@@ -1,0 +1,128 @@
+//! The application abstraction and run harness.
+
+use nvsim_trace::{Phase, Tracer};
+use nvsim_types::NvsimError;
+use serde::{Deserialize, Serialize};
+
+/// Footprint scaling relative to the paper's per-task footprints
+/// (Table I: Nek5000 824 MB, CAM 608 MB, GTC 218 MB, S3D 512 MB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppScale {
+    /// 1/4096 of the paper footprint — unit tests and smoke runs.
+    Test,
+    /// 1/256 of the paper footprint — fast experiment sweeps.
+    Small,
+    /// 1/64 of the paper footprint — the default experiment scale.
+    Bench,
+}
+
+impl AppScale {
+    /// The divisor applied to the paper's footprints.
+    pub fn divisor(self) -> u64 {
+        match self {
+            AppScale::Test => 4096,
+            AppScale::Small => 256,
+            AppScale::Bench => 64,
+        }
+    }
+
+    /// Scales a paper-reported megabyte figure to bytes at this scale.
+    pub fn bytes(self, paper_mb: f64) -> u64 {
+        ((paper_mb * 1024.0 * 1024.0) / self.divisor() as f64) as u64
+    }
+
+    /// Scales a paper-reported megabyte figure to a number of `f64`
+    /// elements at this scale.
+    pub fn elems(self, paper_mb: f64) -> usize {
+        (self.bytes(paper_mb) / 8) as usize
+    }
+}
+
+/// Static description of an application (Table I row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Application name.
+    pub name: &'static str,
+    /// One-line description (Table I column 3).
+    pub description: &'static str,
+    /// Input/problem description (Table I column 2).
+    pub input: &'static str,
+    /// Paper-reported memory footprint per task, MB (Table I column 4).
+    pub paper_footprint_mb: f64,
+    /// Scale the proxy instance runs at.
+    pub scale: AppScale,
+}
+
+impl AppSpec {
+    /// Footprint the proxy targets at its scale, in bytes.
+    pub fn scaled_footprint_bytes(&self) -> u64 {
+        self.scale.bytes(self.paper_footprint_mb)
+    }
+}
+
+/// A proxy application.
+///
+/// `run` must drive the tracer through the §VI phase protocol: one
+/// [`Phase::PreComputeBegin`], `iterations` pairs of
+/// [`Phase::IterationBegin`]/[`Phase::IterationEnd`], one
+/// [`Phase::PostProcessBegin`], and finally [`Tracer::finish`] (the
+/// [`run_to_completion`] helper checks this contract in tests).
+pub trait Application {
+    /// Static metadata.
+    fn spec(&self) -> AppSpec;
+
+    /// Runs the full program: pre-compute, `iterations` main-loop
+    /// iterations, post-processing.
+    fn run(&mut self, t: &mut Tracer<'_>, iterations: u32) -> Result<(), NvsimError>;
+}
+
+/// Runs an application against a sink with the standard protocol and
+/// finishes the tracer.
+pub fn run_to_completion(
+    app: &mut dyn Application,
+    sink: &mut dyn nvsim_trace::EventSink,
+    iterations: u32,
+) -> Result<(), NvsimError> {
+    let mut tracer = Tracer::new(sink);
+    app.run(&mut tracer, iterations)?;
+    tracer.finish();
+    Ok(())
+}
+
+/// Shared helper: emit the standard phase wrapper around a main loop.
+/// All three callbacks receive the tracer and the shared application
+/// state `ctx`; `step` also receives the iteration index.
+pub fn phased_run<C, E>(
+    t: &mut Tracer<'_>,
+    ctx: &mut C,
+    iterations: u32,
+    mut pre: impl FnMut(&mut Tracer<'_>, &mut C) -> Result<(), E>,
+    mut step: impl FnMut(&mut Tracer<'_>, &mut C, u32) -> Result<(), E>,
+    mut post: impl FnMut(&mut Tracer<'_>, &mut C) -> Result<(), E>,
+) -> Result<(), E> {
+    t.phase(Phase::PreComputeBegin);
+    pre(t, ctx)?;
+    for i in 0..iterations {
+        t.phase(Phase::IterationBegin(i));
+        step(t, ctx, i)?;
+        t.phase(Phase::IterationEnd(i));
+    }
+    t.phase(Phase::PostProcessBegin);
+    post(t, ctx)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_divisors() {
+        assert_eq!(AppScale::Test.divisor(), 4096);
+        assert_eq!(AppScale::Bench.divisor(), 64);
+        // 824 MB at 1/64 is ~12.9 MB.
+        let b = AppScale::Bench.bytes(824.0);
+        assert!(b > 12 << 20 && b < 14 << 20);
+        assert_eq!(AppScale::Bench.elems(8.0) * 8, AppScale::Bench.bytes(8.0) as usize);
+    }
+}

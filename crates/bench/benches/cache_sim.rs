@@ -1,0 +1,36 @@
+//! Throughput of the embedded cache-hierarchy simulator (the component
+//! every reference passes through in the Figure 1 pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvsim_cache::CacheHierarchy;
+use nvsim_types::{CacheConfig, VirtAddr};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sim");
+    let n: u64 = 100_000;
+    group.throughput(Throughput::Elements(n));
+
+    // Three locality regimes: L1-resident, L2-resident, streaming.
+    for (name, span) in [
+        ("l1_resident", 16u64 << 10),
+        ("l2_resident", 512u64 << 10),
+        ("streaming", 256u64 << 20),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &span, |b, &span| {
+            b.iter(|| {
+                let mut h = CacheHierarchy::new(&CacheConfig::default());
+                let mut sink = 0u64;
+                for i in 0..n {
+                    let addr = VirtAddr::new((i * 64 * 7) % span);
+                    h.access(black_box(addr), i % 4 == 0, &mut |_| sink += 1);
+                }
+                sink
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! End-to-end instrumentation throughput: full NV-SCAVENGER pipeline
+//! (registry + fast stack tool) over each proxy application — the
+//! "instrumentation slowdown" axis §III-D optimizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nv_scavenger::pipeline::characterize;
+use nvsim_apps::{all_apps, AppScale};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for app_template in all_apps(AppScale::Test) {
+        let name = app_template.spec().name;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let mut app = all_apps(AppScale::Test)
+                    .into_iter()
+                    .find(|a| a.spec().name == name)
+                    .expect("app exists");
+                characterize(app.as_mut(), 2).expect("pipeline")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

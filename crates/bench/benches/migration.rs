@@ -1,0 +1,57 @@
+//! Placement ablation: dynamic-migration epoch length (§VII-C motivates a
+//! fine-grained monitor for Nek5000's diverse reference rates) and the
+//! migration simulator's throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvsim_placement::{MigrationConfig, MigrationSimulator};
+use nvsim_types::{AccessCounts, IterationStats, ObjectMetrics};
+
+/// A population of objects with phase-shifting behaviour.
+fn objects(n: usize, iterations: usize) -> Vec<ObjectMetrics> {
+    (0..n)
+        .map(|i| {
+            let mut m = ObjectMetrics::new(4096 + (i as u64 % 7) * 1024);
+            m.per_iteration = (0..iterations)
+                .map(|it| {
+                    // A third of objects flip between friendly/unfriendly.
+                    let friendly = match i % 3 {
+                        0 => true,
+                        1 => false,
+                        _ => (it / 3) % 2 == 0,
+                    };
+                    let counts = if friendly {
+                        AccessCounts::new(400, 4)
+                    } else {
+                        AccessCounts::new(50, 50)
+                    };
+                    IterationStats::from_counts(counts, 1_000_000)
+                })
+                .collect();
+            m
+        })
+        .collect()
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration");
+    let objs = objects(2000, 30);
+    let refs: Vec<(&ObjectMetrics, u64)> = objs.iter().map(|m| (m, m.size_bytes)).collect();
+
+    for &epoch in &[1u32, 3, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("epoch_iterations", epoch),
+            &epoch,
+            |b, &epoch| {
+                let sim = MigrationSimulator::new(MigrationConfig {
+                    epoch_iterations: epoch,
+                    ..Default::default()
+                });
+                b.iter(|| sim.run(&refs))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

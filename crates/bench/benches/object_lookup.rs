@@ -1,0 +1,101 @@
+//! §III-D ablation: bucketed address index + LRU object cache vs the
+//! naive linear object scan, at the object-lookup level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvsim_objects::{LruObjectCache, ObjectId, RangeIndex};
+use nvsim_types::{AddrRange, VirtAddr};
+use std::hint::black_box;
+
+fn build_index(objects: usize) -> (RangeIndex, Vec<AddrRange>) {
+    let mut idx = RangeIndex::new(VirtAddr::new(0x10_0000_0000));
+    let mut ranges = Vec::with_capacity(objects);
+    for i in 0..objects {
+        let range = AddrRange::from_base_size(
+            VirtAddr::new(0x10_0000_0000 + (i as u64) * 0x4000),
+            0x3000,
+        );
+        idx.insert(range, ObjectId(i as u32));
+        ranges.push(range);
+    }
+    (idx, ranges)
+}
+
+/// Deterministic pseudo-random probe addresses with a hot working set
+/// (80% of probes to 8 hot objects, the §III-D LRU assumption).
+fn probes(ranges: &[AddrRange], n: usize) -> Vec<VirtAddr> {
+    let mut out = Vec::with_capacity(n);
+    let mut x = 0x243f6a8885a308d3u64;
+    for _ in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let hot = (x >> 60) < 13; // ~80%
+        let obj = if hot {
+            ((x >> 32) % 8) as usize
+        } else {
+            ((x >> 32) as usize) % ranges.len()
+        };
+        let r = ranges[obj];
+        out.push(r.start + (x % r.len()));
+    }
+    out
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("object_lookup");
+    for &objects in &[64usize, 512, 4096] {
+        let (mut idx, ranges) = build_index(objects);
+        let addrs = probes(&ranges, 4096);
+
+        group.bench_with_input(BenchmarkId::new("linear", objects), &objects, |b, _| {
+            b.iter(|| {
+                let mut found = 0u64;
+                for &a in &addrs {
+                    if idx.lookup_linear(black_box(a), |_| true).is_some() {
+                        found += 1;
+                    }
+                }
+                found
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("bucket", objects), &objects, |b, _| {
+            b.iter(|| {
+                let mut found = 0u64;
+                for &a in &addrs {
+                    if idx.lookup(black_box(a), |_| true).is_some() {
+                        found += 1;
+                    }
+                }
+                found
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("bucket+lru", objects),
+            &objects,
+            |b, _| {
+                b.iter(|| {
+                    let mut lru = LruObjectCache::default();
+                    let mut found = 0u64;
+                    for &a in &addrs {
+                        if lru.lookup(a).is_some() {
+                            found += 1;
+                        } else if let Some(id) = idx.lookup(black_box(a), |_| true) {
+                            // Re-derive the range from the probe set shape.
+                            let base = 0x10_0000_0000 + u64::from(id.0) * 0x4000;
+                            lru.insert(
+                                AddrRange::from_base_size(VirtAddr::new(base), 0x3000),
+                                id,
+                            );
+                            found += 1;
+                        }
+                    }
+                    found
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

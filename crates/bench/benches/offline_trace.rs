@@ -1,0 +1,67 @@
+//! §III-D design-decision ablation: online on-the-fly analysis vs the
+//! offline store-then-post-process alternative the paper evaluated and
+//! rejected ("the instrumentation time plus post-processing time will be
+//! even longer than that of our initial instrumentation tool").
+//!
+//! Three variants over the same application run:
+//! 1. `online` — analysis sinks attached directly (the paper's choice);
+//! 2. `record` — only the trace encoder attached (the cheap first half of
+//!    the offline design);
+//! 3. `record_then_replay` — encode, then replay the encoded stream into
+//!    the analysis sinks (the full offline cost, minus actual disk I/O —
+//!    i.e. a *lower bound* on the offline design's cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_scavenger::FastStackSink;
+use nvsim_apps::{AppScale, Application, Gtc};
+use nvsim_objects::{ObjectRegistry, RegistryConfig};
+use nvsim_trace::{replay_trace, TeeSink, TraceWriter, Tracer};
+
+fn run_online() -> u64 {
+    let mut registry = ObjectRegistry::new(RegistryConfig::default());
+    let mut stack = FastStackSink::new();
+    let mut app = Gtc::new(AppScale::Test);
+    {
+        let mut tee = TeeSink::new(vec![&mut registry, &mut stack]);
+        let mut t = Tracer::new(&mut tee);
+        app.run(&mut t, 2).unwrap();
+        t.finish();
+    }
+    registry.total_refs()
+}
+
+fn run_record() -> bytes::Bytes {
+    let mut writer = TraceWriter::new();
+    let mut app = Gtc::new(AppScale::Test);
+    {
+        let mut t = Tracer::new(&mut writer);
+        app.run(&mut t, 2).unwrap();
+        t.finish();
+    }
+    writer.into_bytes()
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_trace");
+    group.sample_size(10);
+
+    group.bench_function("online", |b| b.iter(run_online));
+
+    group.bench_function("record_only", |b| b.iter(run_record));
+
+    group.bench_function("record_then_replay", |b| {
+        b.iter(|| {
+            let encoded = run_record();
+            let mut registry = ObjectRegistry::new(RegistryConfig::default());
+            let mut stack = FastStackSink::new();
+            let mut tee = TeeSink::new(vec![&mut registry, &mut stack]);
+            replay_trace(encoded, &mut tee, 65536);
+            registry.total_refs()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! §III-D ablation: "we cut the original design into three tools to
+//! process stack, heap and global data separately. We run the three tools
+//! in parallel" — one combined instrumented run vs three region-filtered
+//! runs on scoped threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_scavenger::parallel::run_three_tools;
+use nv_scavenger::pipeline::characterize;
+use nvsim_apps::{AppScale, Application, Nek5000};
+
+fn bench_tools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_tools");
+    group.sample_size(10);
+
+    group.bench_function("combined_single_run", |b| {
+        b.iter(|| {
+            let mut app = Nek5000::new(AppScale::Test);
+            characterize(&mut app, 2).expect("characterize")
+        })
+    });
+
+    group.bench_function("three_tools_parallel", |b| {
+        b.iter(|| {
+            run_three_tools(
+                || Box::new(Nek5000::new(AppScale::Test)) as Box<dyn Application>,
+                2,
+            )
+            .expect("three tools")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tools);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Memory-controller design ablation: open-page vs closed-page row policy
+//! and column-low vs bank-low address mapping, across technologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvsim_mem::{MappingScheme, MemorySystem, RowPolicy};
+use nvsim_types::{DeviceProfile, MemTransaction, MemoryTechnology, SystemConfig, VirtAddr};
+
+fn trace(n: u64) -> Vec<MemTransaction> {
+    let mut txns = Vec::with_capacity(n as usize);
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        // 70% sequential, 30% scattered; 1/3 writebacks.
+        let addr = if x % 10 < 7 {
+            (i * 64) % (32 << 20)
+        } else {
+            ((x >> 24) % (512 << 20)) & !63
+        };
+        txns.push(if i % 3 == 0 {
+            MemTransaction::writeback(VirtAddr::new(addr))
+        } else {
+            MemTransaction::read_fill(VirtAddr::new(addr))
+        });
+    }
+    txns
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_policy");
+    let txns = trace(100_000);
+    group.throughput(Throughput::Elements(txns.len() as u64));
+    let sys = SystemConfig::default();
+
+    for tech in [MemoryTechnology::Ddr3, MemoryTechnology::Pcram] {
+        for (policy_name, policy) in
+            [("open", RowPolicy::OpenPage), ("closed", RowPolicy::ClosedPage)]
+        {
+            for (map_name, scheme) in [
+                ("col_low", MappingScheme::RowRankBankCol),
+                ("bank_low", MappingScheme::RowColRankBank),
+            ] {
+                let id = format!("{tech}/{policy_name}/{map_name}");
+                group.bench_with_input(BenchmarkId::from_parameter(id), &txns, |b, txns| {
+                    b.iter(|| {
+                        let mut m = MemorySystem::with_policy(
+                            DeviceProfile::for_technology(tech),
+                            &sys,
+                            scheme,
+                            policy,
+                        );
+                        m.replay(txns.iter());
+                        m.finish().stats.elapsed_ns
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

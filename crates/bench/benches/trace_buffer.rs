@@ -1,0 +1,43 @@
+//! §III-D ablation: trace-buffer batch size. "Any memory reference is
+//! simply placed into the buffer until the buffer is full" — the bench
+//! measures end-to-end instrumentation throughput at batch sizes from 1
+//! (no buffering) to 64K.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvsim_objects::{ObjectRegistry, RegistryConfig};
+use nvsim_trace::{Phase, TracedVec, Tracer};
+
+fn run_workload(buffer_capacity: usize) -> u64 {
+    let mut reg = ObjectRegistry::new(RegistryConfig::default());
+    let refs = {
+        let mut t = Tracer::with_capacity(&mut reg, buffer_capacity);
+        let mut v = TracedVec::<f64>::global(&mut t, "field", 4096).unwrap();
+        t.phase(Phase::IterationBegin(0));
+        for round in 0..8 {
+            for i in 0..4096 {
+                let x = v.get(&mut t, (i + round) % 4096);
+                v.set(&mut t, i, x + 1.0);
+            }
+        }
+        t.phase(Phase::IterationEnd(0));
+        t.finish();
+        t.stats().refs
+    };
+    assert!(reg.finished());
+    refs
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_buffer");
+    let refs = 8 * 4096 * 2;
+    group.throughput(Throughput::Elements(refs));
+    for &cap in &[1usize, 64, 4096, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| run_workload(cap))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

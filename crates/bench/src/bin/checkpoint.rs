@@ -1,0 +1,42 @@
+//! Extension study: the §I checkpointing motivation, quantified.
+//!
+//! "NVRAM could provide substantial bandwidth for checkpointing and ...
+//! would drastically reduce latency." For each application's measured
+//! footprint, this binary computes the per-checkpoint cost, the Young-
+//! optimal checkpoint interval and the resulting machine efficiency for a
+//! parallel file system, a node-local SSD and a byte-addressable NVRAM
+//! DIMM, at an exascale-class one-hour system MTBF.
+
+use nv_scavenger::experiments::table1;
+use nvsim_bench::BenchArgs;
+use nvsim_placement::compare_targets;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Extension: checkpoint cost per target (Young model, MTBF = 1 h)");
+    let rows = table1(args.scale).expect("footprints");
+    let mtbf = 3600.0;
+    for r in &rows {
+        // Use the paper-rescaled footprint: checkpoints write the full task
+        // image.
+        let bytes = (r.rescaled_mb() * 1024.0 * 1024.0) as u64;
+        println!("--- {} ({:.0} MB/task) ---", r.app, r.rescaled_mb());
+        println!(
+            "{:<12} {:>12} {:>14} {:>12}",
+            "target", "ckpt cost", "opt interval", "efficiency"
+        );
+        for plan in compare_targets(bytes, mtbf) {
+            println!(
+                "{:<12} {:>11.3}s {:>13.1}s {:>11.2}%",
+                plan.target,
+                plan.delta_s,
+                plan.interval_s,
+                plan.efficiency * 100.0
+            );
+        }
+        println!();
+    }
+    println!("the NVRAM rows show the §I claim: memory-bus checkpointing cuts the");
+    println!("per-checkpoint cost by ~50x over the PFS, shrinking both the overhead");
+    println!("and the optimal interval (finer-grained recovery at lower cost).");
+}

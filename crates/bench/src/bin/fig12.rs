@@ -1,0 +1,31 @@
+//! Regenerates Figure 12: performance sensitivity to NVRAM memory access
+//! latencies — one main-loop iteration timed on the out-of-order core
+//! model at each Table IV latency (read = write, §V).
+
+use nvsim_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Figure 12: time simulation results (latency sweep)");
+    let reports = nv_scavenger::experiments::fig12(args.scale).expect("fig12");
+    for rep in &reports {
+        println!("--- {} (one main-loop iteration) ---", rep.app);
+        println!(
+            "{:<8} {:>10} {:>14} {:>12} {:>14}",
+            "Memory", "latency", "cycles", "normalized", "mem accesses"
+        );
+        for p in &rep.points {
+            println!(
+                "{:<8} {:>8}ns {:>14} {:>12.3} {:>14}",
+                p.technology,
+                p.latency_ns,
+                p.result.cycles,
+                p.normalized_runtime,
+                p.result.mem_accesses
+            );
+        }
+        println!();
+    }
+    println!("paper shape: +20% latency (MRAM) negligible; 2x (STTRAM) < 5% loss; 10x (PCRAM) up to 25% loss");
+    args.dump(&reports);
+}

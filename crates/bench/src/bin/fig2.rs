@@ -1,0 +1,36 @@
+//! Regenerates Figure 2: read/write ratios and reference rates for CAM's
+//! per-routine stack objects (slow stack tool, §III-A second method),
+//! plus the §VII-A population statistics.
+
+use nvsim_bench::{fmt_ratio, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Figure 2: CAM stack objects (slow stack tool)");
+    let rep = nv_scavenger::experiments::fig2(args.scale, args.iterations).expect("fig2");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12}",
+        "Routine stack object", "R/W", "ref rate", "frame bytes"
+    );
+    for o in rep.objects.iter().take(40) {
+        println!(
+            "{:<28} {:>10} {:>11.4}% {:>12}",
+            o.name,
+            fmt_ratio(o.rw_ratio),
+            o.reference_rate * 100.0,
+            o.size_bytes
+        );
+    }
+    println!();
+    println!(
+        "objects with ratio > 10: {:>5.1}%   (paper 43.3%)   covering {:>5.1}% of refs (paper 68.9%)",
+        rep.objects_ratio_gt10 * 100.0,
+        rep.refs_ratio_gt10 * 100.0
+    );
+    println!(
+        "objects with ratio > 50: {:>5.1}%   (paper  3.2%)   covering {:>5.1}% of refs (paper  8.9%)",
+        rep.objects_ratio_gt50 * 100.0,
+        rep.refs_ratio_gt50 * 100.0
+    );
+    args.dump(&rep);
+}

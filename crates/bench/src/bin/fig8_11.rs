@@ -1,0 +1,38 @@
+//! Regenerates Figures 8–11: variance of read/write ratios and memory
+//! reference rates across main-loop iterations, normalized to the first
+//! iteration.
+
+use nvsim_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Figures 8-11: per-iteration variance of R/W ratio and reference rate");
+    let reports =
+        nv_scavenger::experiments::figs8_11(args.scale, args.iterations).expect("figs8_11");
+    for rep in &reports {
+        println!("--- {} ---", rep.app);
+        print!(
+            "{}",
+            nvsim_bench::plot::stacked_fractions(
+                "R/W-ratio variance (normalized to iteration 1):",
+                &rep.rw_ratio.buckets,
+                &rep.rw_ratio.fraction,
+                50,
+            )
+        );
+        print!(
+            "{}",
+            nvsim_bench::plot::stacked_fractions(
+                "reference-rate variance:",
+                &rep.ref_rate.buckets,
+                &rep.ref_rate.fraction,
+                50,
+            )
+        );
+        println!(
+            "min stable [1,2) fraction over iterations: {:.2}  (paper: >0.60)\n",
+            rep.min_stable_fraction
+        );
+    }
+    args.dump(&reports);
+}

@@ -1,0 +1,35 @@
+//! Extension study: object-granularity vs 4 KiB-page-granularity NVRAM
+//! placement. The paper's §VIII positioning ("our work studies the
+//! applications characters at very fine granularity ... exposes more
+//! opportunities for NVRAM") against the page-based hybrid schemes of
+//! Ramos et al. and Zhang & Li, quantified on the same reference streams.
+
+use nvsim_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Extension: object vs page placement granularity");
+    let rows =
+        nv_scavenger::experiments::granularity(args.scale, args.iterations).expect("granularity");
+    println!(
+        "{:<10} {:>16} {:>16} {:>12}",
+        "App", "object suitable", "page suitable", "advantage"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>15.1}% {:>15.1}% {:>11.2}x",
+            r.app,
+            r.comparison.object_fraction() * 100.0,
+            r.comparison.page_fraction() * 100.0,
+            r.comparison.object_advantage()
+        );
+    }
+    println!("\nReading the result: for these array-dominated HPC codes the two");
+    println!("granularities capture similar byte volumes — pages can even subdivide");
+    println!("large heterogeneous arrays (sub-object wins), while objects win where");
+    println!("small hot buffers share pages with cold data (see the blending unit");
+    println!("test in nvsim-placement::page). The object view's unique value is");
+    println!("attribution: it names *which data structures* to co-design, which a");
+    println!("page monitor cannot (the paper's §VIII argument).");
+    args.dump(&rows);
+}

@@ -1,0 +1,62 @@
+//! Extension study: spatial/temporal locality of the proxy applications
+//! (the Weinberg et al. instrumentation §II cites), plus a cross-check of
+//! the reuse-distance theory against the actual cache simulator.
+//!
+//! For each app the binary reports the Weinberg-style spatial and
+//! temporal scores, the LRU miss-rate curve predicted from the reuse
+//! histogram, and the *measured* L1/L2 hit rates from the Table II
+//! hierarchy on the same stream — stack-distance theory says the curves
+//! should bracket the set-associative reality.
+
+use nvsim_apps::all_apps;
+use nvsim_bench::BenchArgs;
+use nvsim_cache::{CacheFilterSink, CountingTransactionSink, LocalitySink};
+use nvsim_trace::{TeeSink, Tracer};
+use nvsim_types::CacheConfig;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Extension: spatial/temporal locality (Weinberg-style scores)");
+    for mut app in all_apps(args.scale) {
+        let name = app.spec().name.to_string();
+        let mut locality = LocalitySink::new();
+        let mut cache =
+            CacheFilterSink::new(&CacheConfig::default(), CountingTransactionSink::default());
+        {
+            let mut tee = TeeSink::new(vec![&mut locality, &mut cache]);
+            let mut t = Tracer::new(&mut tee);
+            app.run(&mut t, args.iterations).expect("run");
+            t.finish();
+        }
+        let h = locality.reuse.histogram();
+        let sp = locality.spatial.report();
+        println!("--- {name} ---");
+        println!(
+            "spatial score {:.3}  temporal score {:.3}  footprint {} lines",
+            sp.spatial_score(),
+            h.temporal_score(),
+            locality.reuse.footprint_lines()
+        );
+        print!("predicted LRU hit rate by cache size: ");
+        for (label, lines) in [
+            ("8KB", 128u64),
+            ("32KB", 512),
+            ("256KB", 4096),
+            ("1MB", 16384),
+            ("8MB", 131072),
+        ] {
+            print!("{label}={:.3} ", h.predicted_hit_rate(lines));
+        }
+        println!();
+        let stats = cache.stats();
+        println!(
+            "measured (set-assoc, Table II): L1 {:.3}  L1+L2 {:.3}\n",
+            stats.l1_hit_rate(),
+            1.0 - (stats.mem_reads + stats.mem_writes) as f64
+                / cache.refs_seen().max(1) as f64
+        );
+    }
+    println!("reading: high spatial + moderate temporal scores are why the horizontal");
+    println!("hybrid (with per-object placement) beats a DRAM cache for these codes;");
+    println!("the predicted curve at 32KB/1MB should track the measured L1/L2 rates.");
+}

@@ -1,0 +1,49 @@
+//! Extension study: prefetching as a latency-hiding feature (§V:
+//! "Architectural features such as prefetching can also hide memory
+//! access time"). Reruns the Figure 12 PCRAM point with next-line
+//! prefetch degrees 0/2/4 and reports the residual slowdown.
+
+use nvsim_apps::{all_apps, AppScale};
+use nvsim_bench::BenchArgs;
+use nvsim_cpu::{CoreParams, CpuSink};
+use nvsim_trace::Tracer;
+
+fn time_one(app_name: &str, scale: AppScale, mut params: CoreParams, degree: u32) -> u64 {
+    params.prefetch_degree = degree;
+    let mut app = all_apps(scale)
+        .into_iter()
+        .find(|a| a.spec().name == app_name)
+        .expect("app");
+    let mut sink = CpuSink::for_iterations(params, 0, 1);
+    {
+        let mut tracer = Tracer::new(&mut sink);
+        app.run(&mut tracer, 1).expect("run");
+        tracer.finish();
+    }
+    sink.result().expect("finished").cycles
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Extension: prefetching vs PCRAM latency sensitivity");
+    println!(
+        "{:<10} {:>10} {:>18} {:>18}",
+        "App", "degree", "DRAM cycles", "PCRAM slowdown"
+    );
+    for app in ["GTC", "S3D"] {
+        for degree in [0u32, 2, 4] {
+            let dram = time_one(app, args.scale, CoreParams::with_latency_ns(10.0), degree);
+            let pcram = time_one(app, args.scale, CoreParams::with_latency_ns(100.0), degree);
+            println!(
+                "{:<10} {:>10} {:>18} {:>17.3}x",
+                app,
+                degree,
+                dram,
+                pcram as f64 / dram as f64
+            );
+        }
+    }
+    println!("\nhigher prefetch degrees convert demand misses into timely fills, so");
+    println!("the PCRAM slowdown shrinks — quantifying the §V remark that prefetching");
+    println!("hides NVRAM's longer access latencies.");
+}

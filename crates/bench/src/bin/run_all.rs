@@ -1,0 +1,95 @@
+//! Runs every experiment binary's logic in sequence — the one-command
+//! regeneration of the paper's full evaluation section.
+
+use nv_scavenger::experiments as ex;
+use nvsim_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Full evaluation: every table and figure");
+
+    println!("### Table I");
+    for r in ex::table1(args.scale).expect("table1") {
+        println!(
+            "  {:<10} paper {:>5.0} MB | measured (rescaled) {:>6.1} MB",
+            r.app, r.paper_footprint_mb, r.rescaled_mb()
+        );
+    }
+
+    println!("\n### Table V");
+    for r in ex::table5(args.scale, args.iterations).expect("table5") {
+        println!(
+            "  {:<10} ratio {:>6.2} (paper {:>5.2})  first {:>6.2} (paper {:>5.2})  stack {:>5.1}% (paper {:>4.1}%)",
+            r.app, r.rw_ratio, r.paper.0, r.rw_ratio_first, r.paper.1,
+            r.reference_percentage, r.paper.2
+        );
+    }
+
+    println!("\n### Figure 2 (CAM stack objects)");
+    let f2 = ex::fig2(args.scale, args.iterations).expect("fig2");
+    println!(
+        "  >10: {:.1}% of objects / {:.1}% of refs (paper 43.3/68.9); >50: {:.1}%/{:.1}% (paper 3.2/8.9)",
+        f2.objects_ratio_gt10 * 100.0, f2.refs_ratio_gt10 * 100.0,
+        f2.objects_ratio_gt50 * 100.0, f2.refs_ratio_gt50 * 100.0
+    );
+
+    println!("\n### Figures 3-6 (global+heap pools)");
+    let rescale = args.scale.divisor() as f64 / (1024.0 * 1024.0);
+    for r in ex::figs3_6(args.scale, args.iterations).expect("figs3_6") {
+        println!(
+            "  {:<10} read-only {:>5.1}% | ratio>50 {:>6.1} MB | {:>3} objects",
+            r.app,
+            100.0 * r.read_only_bytes as f64 / r.total_bytes.max(1) as f64,
+            r.high_ratio_bytes as f64 * rescale,
+            r.objects.len()
+        );
+    }
+
+    println!("\n### Figure 7 (usage across time steps)");
+    for r in ex::fig7(args.scale, args.iterations).expect("fig7") {
+        println!(
+            "  {:<10} untouched in main loop: {:>5.1}% ({:.1} MB paper-eq)",
+            r.app,
+            r.untouched_fraction * 100.0,
+            r.distribution.untouched_in_main() as f64 * rescale
+        );
+    }
+
+    println!("\n### Figures 8-11 (iteration variance)");
+    for r in ex::figs8_11(args.scale, args.iterations).expect("figs8_11") {
+        println!(
+            "  {:<10} min stable [1,2) fraction: {:.2} (paper >0.60)",
+            r.app, r.min_stable_fraction
+        );
+    }
+
+    println!("\n### Table VI (normalized power)");
+    for r in ex::table6(args.scale, args.iterations).expect("table6") {
+        println!(
+            "  {:<10} measured [{:.3} {:.3} {:.3} {:.3}] paper [{:.3} {:.3} {:.3} {:.3}]",
+            r.app,
+            r.normalized[0], r.normalized[1], r.normalized[2], r.normalized[3],
+            r.paper[0], r.paper[1], r.paper[2], r.paper[3]
+        );
+    }
+
+    println!("\n### Figure 12 (latency sensitivity)");
+    for r in ex::fig12(args.scale).expect("fig12") {
+        let pts: Vec<String> = r
+            .points
+            .iter()
+            .map(|p| format!("{}={:.3}", p.technology, p.normalized_runtime))
+            .collect();
+        println!("  {:<10} {}", r.app, pts.join("  "));
+    }
+
+    println!("\n### Suitability (abstract: 31%/27%)");
+    for r in ex::suitability(args.scale, args.iterations).expect("suitability") {
+        println!(
+            "  {:<10} cat2 {:>5.1}%  cat1 {:>5.1}%",
+            r.app,
+            r.category2.suitable_fraction() * 100.0,
+            r.category1.suitable_fraction() * 100.0
+        );
+    }
+}

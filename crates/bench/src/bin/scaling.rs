@@ -1,0 +1,64 @@
+//! Harness scaling: characterizing several applications concurrently.
+//!
+//! §III-D runs the three region tools in parallel; the same engineering
+//! applies one level up when a study covers many applications (or many
+//! MPI ranks' traces). This binary times the whole four-app suite run
+//! sequentially vs on scoped threads (`nv_scavenger::parallel::characterize_all`).
+
+use nv_scavenger::parallel::characterize_all;
+use nv_scavenger::pipeline::characterize;
+use nvsim_apps::{all_apps, Application};
+use nvsim_bench::BenchArgs;
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Harness scaling: sequential vs parallel app characterization");
+
+    let names = ["Nek5000", "CAM", "GTC", "S3D"];
+
+    let t0 = Instant::now();
+    let mut seq_refs = 0u64;
+    for name in names {
+        let mut app = all_apps(args.scale)
+            .into_iter()
+            .find(|a| a.spec().name == name)
+            .unwrap();
+        let c = characterize(app.as_mut(), args.iterations).expect("run");
+        seq_refs += c.tracer_stats.refs;
+    }
+    let sequential = t0.elapsed();
+
+    let scale = args.scale;
+    let factories: Vec<_> = names
+        .iter()
+        .map(|&name| {
+            move || {
+                all_apps(scale)
+                    .into_iter()
+                    .find(|a| a.spec().name == name)
+                    .unwrap() as Box<dyn Application>
+            }
+        })
+        .collect();
+    let t1 = Instant::now();
+    let results = characterize_all(factories, args.iterations);
+    let parallel = t1.elapsed();
+    let par_refs: u64 = results
+        .iter()
+        .map(|r| r.as_ref().expect("run").tracer_stats.refs)
+        .sum();
+
+    assert_eq!(seq_refs, par_refs, "parallel run must do identical work");
+    println!(
+        "sequential: {:8.2?}   ({:.1} M refs/s)",
+        sequential,
+        seq_refs as f64 / sequential.as_secs_f64() / 1e6
+    );
+    println!(
+        "parallel:   {:8.2?}   ({:.1} M refs/s)  speedup {:.2}x",
+        parallel,
+        par_refs as f64 / parallel.as_secs_f64() / 1e6,
+        sequential.as_secs_f64() / parallel.as_secs_f64()
+    );
+}

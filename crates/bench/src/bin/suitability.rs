@@ -1,0 +1,30 @@
+//! Quantifies the abstract's headline claim: the fraction of each
+//! application's working set suitable for NVRAM ("In two of our
+//! applications, 31% and 27% of the memory working sets are suitable for
+//! NVRAM"), using the three-metric placement classifier.
+
+use nvsim_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Working-set NVRAM suitability (abstract claim: 31% / 27%)");
+    let rows = nv_scavenger::experiments::suitability(args.scale, args.iterations)
+        .expect("suitability");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>14} {:>12}",
+        "App", "cat2 (STT)", "cat1 (PCM)", "untouched", "read-only", "high-ratio"
+    );
+    for r in &rows {
+        let pct = |b: u64| 100.0 * b as f64 / r.category2.total_bytes.max(1) as f64;
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}% {:>13.1}% {:>13.1}% {:>11.1}%",
+            r.app,
+            r.category2.suitable_fraction() * 100.0,
+            r.category1.suitable_fraction() * 100.0,
+            pct(r.category2.untouched_bytes),
+            pct(r.category2.read_only_bytes),
+            pct(r.category2.high_ratio_bytes),
+        );
+    }
+    args.dump(&rows);
+}

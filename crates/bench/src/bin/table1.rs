@@ -1,0 +1,24 @@
+//! Regenerates Table I: application characteristics (memory footprint per
+//! task), measured from the proxies and rescaled to the paper's units.
+
+use nvsim_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Table I: application characteristics");
+    let rows = nv_scavenger::experiments::table1(args.scale).expect("table1");
+    println!(
+        "{:<10} {:<45} {:>12} {:>12}",
+        "App", "Input", "paper MB", "measured MB"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<45} {:>12.0} {:>12.1}",
+            r.app,
+            &r.input[..r.input.len().min(45)],
+            r.paper_footprint_mb,
+            r.rescaled_mb()
+        );
+    }
+    args.dump(&rows);
+}

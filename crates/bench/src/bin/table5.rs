@@ -1,0 +1,24 @@
+//! Regenerates Table V: stack-data analysis with the fast whole-stack
+//! tool (§III-A first method) — read/write ratio and stack reference
+//! percentage per application.
+
+use nvsim_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.header("Table V: stack data analysis");
+    let rows =
+        nv_scavenger::experiments::table5(args.scale, args.iterations).expect("table5");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "App", "R/W", "paper", "first-it", "paper", "stack %", "paper"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>8.1}% {:>8.1}%",
+            r.app, r.rw_ratio, r.paper.0, r.rw_ratio_first, r.paper.1,
+            r.reference_percentage, r.paper.2
+        );
+    }
+    args.dump(&rows);
+}

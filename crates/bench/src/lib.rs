@@ -1,0 +1,116 @@
+//! # nvsim-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper (run
+//! with `cargo run -p nvsim-bench --release --bin <name>`), plus Criterion
+//! microbenchmarks of the tool itself covering the §III-D engineering
+//! ablations (bucket index, LRU cache, trace buffering, parallel tools)
+//! and the memory-controller design choices (row policy).
+//!
+//! Every binary accepts an optional scale argument (`test`, `small`,
+//! `bench`; default `bench` = 1/64 of the paper's footprints) and an
+//! optional `--json <path>` to dump the machine-readable report that
+//! EXPERIMENTS.md references.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use nvsim_apps::AppScale;
+use serde::Serialize;
+use std::path::PathBuf;
+
+pub mod plot;
+
+/// Parsed command-line options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Footprint scale to run at.
+    pub scale: AppScale,
+    /// Main-loop iterations (default: the paper's 10).
+    pub iterations: u32,
+    /// Optional JSON dump path.
+    pub json: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`: `[scale] [--iters N] [--json PATH]`.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs {
+            scale: AppScale::Bench,
+            iterations: 10,
+            json: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "test" => args.scale = AppScale::Test,
+                "small" => args.scale = AppScale::Small,
+                "bench" => args.scale = AppScale::Bench,
+                "--iters" => {
+                    args.iterations = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--iters needs a number");
+                }
+                "--json" => {
+                    args.json = Some(PathBuf::from(it.next().expect("--json needs a path")));
+                }
+                other => panic!("unknown argument: {other} (expected test|small|bench, --iters N, --json PATH)"),
+            }
+        }
+        args
+    }
+
+    /// Writes the JSON dump if requested.
+    pub fn dump<T: Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let json = serde_json::to_string_pretty(value).expect("report serializes");
+            std::fs::write(path, json).expect("write json report");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    /// Prints the standard experiment header (the Tables II–IV
+    /// configuration every run shares).
+    pub fn header(&self, what: &str) {
+        let sys = nvsim_types::SystemConfig::default();
+        println!("== {what} ==");
+        println!(
+            "config: L1 32KB/4-way/64B no-write-allocate; L2 1MB/16-way LRU write-allocate;"
+        );
+        println!(
+            "        {} cores @ {} GHz, miss buffer {}, mem {} GB x {} banks x {} ranks",
+            sys.cores,
+            sys.cpu_ghz,
+            sys.miss_buffer_entries,
+            sys.mem_capacity_bytes >> 30,
+            sys.banks,
+            sys.ranks
+        );
+        println!(
+            "scale: 1/{} of the paper's per-task footprints; {} main-loop iterations\n",
+            self.scale.divisor(),
+            self.iterations
+        );
+    }
+}
+
+/// Formats an `Option<f64>` ratio for table output.
+pub fn fmt_ratio(r: Option<f64>) -> String {
+    match r {
+        None => "-".into(),
+        Some(x) if x.is_infinite() => "RO".into(),
+        Some(x) => format!("{x:.2}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ratio_cases() {
+        assert_eq!(fmt_ratio(None), "-");
+        assert_eq!(fmt_ratio(Some(f64::INFINITY)), "RO");
+        assert_eq!(fmt_ratio(Some(6.333)), "6.33");
+    }
+}

@@ -1,0 +1,165 @@
+//! Terminal plotting for the figure binaries: log-scale scatter plots
+//! (Figures 3–6), cumulative step curves (Figure 7) and stacked-fraction
+//! bars (Figures 8–11), rendered in plain ASCII so every experiment run
+//! shows its figure inline.
+
+/// Renders a scatter plot of `(x, y)` points on log10 axes into a string.
+///
+/// Points outside the positive quadrant are dropped (log axes). `width`
+/// and `height` are the plot body size in characters.
+pub fn log_scatter(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+) -> String {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|&(x, y)| (x.log10(), y.log10()))
+        .collect();
+    let mut out = format!("{title}\n");
+    if pts.is_empty() {
+        out.push_str("(no positive points)\n");
+        return out;
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    // Pad degenerate ranges.
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![b' '; width]; height];
+    for &(x, y) in &pts {
+        let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy;
+        let cell = &mut grid[row][cx.min(width - 1)];
+        *cell = match *cell {
+            b' ' => b'o',
+            b'o' => b'O',
+            _ => b'@',
+        };
+    }
+    out.push_str(&format!("{y_label} (log10 {y0:.1}..{y1:.1})\n"));
+    for row in grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(" {x_label} (log10 {x0:.1}..{x1:.1})\n"));
+    out
+}
+
+/// Renders a monotone step curve `y = f(x)` for integer `x` as an ASCII
+/// profile (Figure 7's cumulative distribution).
+pub fn step_curve(title: &str, ys: &[f64], width: usize) -> String {
+    let mut out = format!("{title}\n");
+    let max = ys.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        out.push_str("(empty)\n");
+        return out;
+    }
+    for (x, &y) in ys.iter().enumerate() {
+        let bar = ((y / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{x:>4} |{}{} {y:.1}\n",
+            "#".repeat(bar),
+            " ".repeat(width.saturating_sub(bar))
+        ));
+    }
+    out
+}
+
+/// Renders per-iteration stacked fractions (Figures 8–11): one row per
+/// iteration, one glyph per bucket, width proportional to the fraction.
+pub fn stacked_fractions(title: &str, bucket_names: &[String], rows: &[Vec<f64>], width: usize) -> String {
+    const GLYPHS: [char; 6] = ['.', '#', '=', '+', '*', '%'];
+    let mut out = format!("{title}\n");
+    out.push_str("legend: ");
+    for (i, name) in bucket_names.iter().enumerate() {
+        out.push_str(&format!("{}={} ", GLYPHS[i % GLYPHS.len()], name));
+    }
+    out.push('\n');
+    for (iter, row) in rows.iter().enumerate() {
+        out.push_str(&format!("iter {iter:>2} |"));
+        let mut used = 0usize;
+        for (b, &frac) in row.iter().enumerate() {
+            let cells = (frac * width as f64).round() as usize;
+            let cells = cells.min(width - used);
+            for _ in 0..cells {
+                out.push(GLYPHS[b % GLYPHS.len()]);
+            }
+            used += cells;
+        }
+        while used < width {
+            out.push(' ');
+            used += 1;
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_all_points() {
+        let pts = vec![(1.0, 1.0), (100.0, 1000.0), (1e6, 0.5)];
+        let s = log_scatter("t", "size", "ratio", &pts, 40, 10);
+        assert!(s.contains('o'));
+        assert!(s.lines().count() >= 12);
+        // Log range covers 1..1e6 on x.
+        assert!(s.contains("log10 0.0..6.0"));
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_nonpositive() {
+        let s = log_scatter("t", "x", "y", &[(0.0, 1.0), (-1.0, 2.0)], 20, 5);
+        assert!(s.contains("no positive points"));
+    }
+
+    #[test]
+    fn scatter_marks_overlap_density() {
+        let pts = vec![(10.0, 10.0); 5];
+        let s = log_scatter("t", "x", "y", &pts, 10, 5);
+        assert!(s.contains('@'), "{s}");
+    }
+
+    #[test]
+    fn step_curve_is_monotone_in_bar_length() {
+        let s = step_curve("cdf", &[1.0, 2.0, 4.0, 8.0], 16);
+        let bars: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|&c| c == '#').count())
+            .collect();
+        assert_eq!(bars, vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn stacked_rows_fill_width() {
+        let rows = vec![vec![0.5, 0.5], vec![1.0, 0.0]];
+        let names = vec!["a".to_string(), "b".to_string()];
+        let s = stacked_fractions("var", &names, &rows, 20);
+        for line in s.lines().skip(2) {
+            let body = line.split('|').nth(1).unwrap();
+            assert_eq!(body.chars().count(), 20, "{line}");
+        }
+    }
+}

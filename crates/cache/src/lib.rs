@@ -1,0 +1,25 @@
+//! # nvsim-cache
+//!
+//! The configurable cache-hierarchy simulator embedded in NV-SCAVENGER
+//! (paper §III): "It takes memory references from the instrumentation tool
+//! as the input, and outputs memory traces filtered by the cache hierarchy.
+//! As a result, memory traces represent main memory accesses due to last
+//! level cache misses and cache evictions."
+//!
+//! Geometry and policies follow Table II: a 32 KB, 4-way, 64-byte-line L1
+//! data cache with **no-write-allocate**, and a 1 MB, 16-way, LRU L2 with
+//! **write-allocate**. Both levels are write-back. The output transaction
+//! stream feeds the DRAMSim2-style power simulator (`nvsim-mem`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hierarchy;
+pub mod locality;
+pub mod set_assoc;
+pub mod sink;
+
+pub use hierarchy::{CacheHierarchy, HierarchyStats, HitLevel};
+pub use locality::{LocalitySink, ReuseAnalyzer, ReuseHistogram, SpatialAnalyzer, SpatialReport};
+pub use set_assoc::{AccessOutcome, SetAssocCache};
+pub use sink::{CacheFilterSink, CountingTransactionSink, TransactionSink, VecTransactionSink};

@@ -1,0 +1,401 @@
+//! Locality quantification: reuse distances and spatial strides.
+//!
+//! §II justifies the horizontal hybrid design by appeal to measured
+//! locality: "Previous work has shown that real world applications can
+//! exhibit very low spatial and temporal locality \[Weinberg et al.\].
+//! This is especially true for some large-scale scientific simulations
+//! with irregular memory access patterns."
+//!
+//! This module implements the two classic instruments:
+//!
+//! * **Temporal locality** — the LRU *reuse distance* (Mattson stack
+//!   distance) of every reference at cache-line granularity, computed in
+//!   O(log n) per reference with a Fenwick tree over access timestamps.
+//!   The resulting histogram predicts the hit rate of *any* fully-
+//!   associative LRU cache size in one pass (the miss-rate curve), and a
+//!   Weinberg-style score summarizes it in `[0, 1]`.
+//! * **Spatial locality** — a stride histogram between consecutive
+//!   references, scored by how much of the traffic lands within a cache
+//!   line / page of its predecessor.
+
+use nvsim_types::{MemRef, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Fenwick (binary indexed) tree counting live timestamps.
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(capacity: usize) -> Self {
+        Fenwick {
+            tree: vec![0; capacity + 1],
+        }
+    }
+
+    fn grow_to(&mut self, capacity: usize) {
+        if capacity + 1 > self.tree.len() {
+            // Rebuild: Fenwick trees don't grow in place. Exponential
+            // growth keeps the amortized cost constant.
+            let mut bigger = Fenwick::new((capacity + 1).next_power_of_two());
+            for (i, _) in self.tree.iter().enumerate().skip(1) {
+                let count = self.range_count(i, i);
+                for _ in 0..count {
+                    bigger.add(i, 1);
+                }
+            }
+            *self = bigger;
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, mut i: usize, delta: i64) {
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Count of live entries in `[1, i]`.
+    #[inline]
+    fn prefix(&self, mut i: usize) -> u64 {
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    fn range_count(&self, lo: usize, hi: usize) -> u64 {
+        self.prefix(hi) - self.prefix(lo.saturating_sub(1))
+    }
+}
+
+/// Histogram of reuse distances with power-of-two buckets, plus cold
+/// (first-touch) misses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    /// `buckets[k]` counts references with reuse distance in
+    /// `[2^k, 2^(k+1))` distinct lines (bucket 0 is distance 0–1).
+    pub buckets: Vec<u64>,
+    /// First-touch references (infinite distance).
+    pub cold: u64,
+    /// Total references.
+    pub total: u64,
+}
+
+impl ReuseHistogram {
+    /// Predicted hit rate of a fully-associative LRU cache holding
+    /// `lines` cache lines: the fraction of references whose reuse
+    /// distance is below the capacity (stack-distance theory).
+    pub fn predicted_hit_rate(&self, lines: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut hits = 0u64;
+        for (k, &count) in self.buckets.iter().enumerate() {
+            let lo = if k == 0 { 0u64 } else { 1u64 << k };
+            let hi = (1u64 << (k + 1)).saturating_sub(1);
+            if hi < lines {
+                hits += count;
+            } else if lo < lines {
+                // Bucket straddles the capacity: assume uniform spread.
+                let span = (hi - lo + 1) as f64;
+                hits += ((lines - lo) as f64 / span * count as f64) as u64;
+            }
+        }
+        hits as f64 / self.total as f64
+    }
+
+    /// Weinberg-style temporal score in `[0, 1]`: each reuse weighted by
+    /// how near it is (distance `d` contributes `1/log2(d+2)`), cold
+    /// misses contribute 0.
+    pub fn temporal_score(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut score = 0.0;
+        for (k, &count) in self.buckets.iter().enumerate() {
+            let midpoint = if k == 0 { 1.0 } else { 1.5 * (1u64 << k) as f64 };
+            score += count as f64 / (midpoint + 2.0).log2();
+        }
+        score / self.total as f64
+    }
+}
+
+/// Streaming reuse-distance analyzer at cache-line granularity.
+pub struct ReuseAnalyzer {
+    line_shift: u32,
+    /// Line -> timestamp of its last access.
+    last_access: HashMap<u64, usize>,
+    fenwick: Fenwick,
+    clock: usize,
+    histogram: ReuseHistogram,
+}
+
+impl ReuseAnalyzer {
+    /// Creates an analyzer for `line_size`-byte lines (power of two).
+    pub fn new(line_size: u64) -> Self {
+        assert!(line_size.is_power_of_two());
+        ReuseAnalyzer {
+            line_shift: line_size.trailing_zeros(),
+            last_access: HashMap::new(),
+            fenwick: Fenwick::new(1 << 16),
+            clock: 0,
+            histogram: ReuseHistogram {
+                buckets: vec![0; 40],
+                cold: 0,
+                total: 0,
+            },
+        }
+    }
+
+    /// Feeds one reference.
+    pub fn feed(&mut self, addr: VirtAddr) {
+        let line = addr.raw() >> self.line_shift;
+        self.clock += 1;
+        self.fenwick.grow_to(self.clock);
+        self.histogram.total += 1;
+        match self.last_access.insert(line, self.clock) {
+            None => {
+                self.histogram.cold += 1;
+            }
+            Some(prev) => {
+                // Reuse distance = number of distinct lines touched since
+                // the previous access = live timestamps after `prev`.
+                let distance = self.fenwick.range_count(prev + 1, self.clock - 1);
+                let bucket = (64 - (distance + 1).leading_zeros() - 1) as usize;
+                let last = self.histogram.buckets.len() - 1;
+                self.histogram.buckets[bucket.min(last)] += 1;
+                // The old timestamp dies.
+                self.fenwick.add(prev, -1);
+            }
+        }
+        self.fenwick.add(self.clock, 1);
+    }
+
+    /// The histogram so far.
+    pub fn histogram(&self) -> &ReuseHistogram {
+        &self.histogram
+    }
+
+    /// Distinct lines touched.
+    pub fn footprint_lines(&self) -> usize {
+        self.last_access.len()
+    }
+}
+
+/// Spatial-locality analyzer: stride histogram between consecutive
+/// references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialReport {
+    /// References whose address is within the same 64 B line as the
+    /// previous reference.
+    pub same_line: u64,
+    /// Within ±64 B (adjacent line).
+    pub adjacent_line: u64,
+    /// Within the same 4 KiB page.
+    pub same_page: u64,
+    /// Anything farther.
+    pub far: u64,
+    /// Total references (first one excluded).
+    pub total: u64,
+}
+
+impl SpatialReport {
+    /// Weinberg-style spatial score in `[0, 1]`.
+    pub fn spatial_score(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.same_line as f64
+            + 0.75 * self.adjacent_line as f64
+            + 0.25 * self.same_page as f64)
+            / self.total as f64
+    }
+}
+
+/// Streaming spatial analyzer.
+#[derive(Debug)]
+pub struct SpatialAnalyzer {
+    prev: Option<u64>,
+    report: SpatialReport,
+}
+
+impl Default for SpatialAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpatialAnalyzer {
+    /// Creates an analyzer.
+    pub fn new() -> Self {
+        SpatialAnalyzer {
+            prev: None,
+            report: SpatialReport {
+                same_line: 0,
+                adjacent_line: 0,
+                same_page: 0,
+                far: 0,
+                total: 0,
+            },
+        }
+    }
+
+    /// Feeds one reference.
+    pub fn feed(&mut self, addr: VirtAddr) {
+        let a = addr.raw();
+        if let Some(p) = self.prev {
+            self.report.total += 1;
+            let dist = a.abs_diff(p);
+            if a >> 6 == p >> 6 {
+                self.report.same_line += 1;
+            } else if dist <= 128 {
+                self.report.adjacent_line += 1;
+            } else if a >> 12 == p >> 12 {
+                self.report.same_page += 1;
+            } else {
+                self.report.far += 1;
+            }
+        }
+        self.prev = Some(a);
+    }
+
+    /// The report so far.
+    pub fn report(&self) -> &SpatialReport {
+        &self.report
+    }
+}
+
+/// An [`EventSink`](crate::sink) companion running both analyzers over an
+/// instrumentation stream.
+pub struct LocalitySink {
+    /// Temporal analyzer (64 B lines).
+    pub reuse: ReuseAnalyzer,
+    /// Spatial analyzer.
+    pub spatial: SpatialAnalyzer,
+}
+
+impl Default for LocalitySink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalitySink {
+    /// Creates the sink with 64-byte lines.
+    pub fn new() -> Self {
+        LocalitySink {
+            reuse: ReuseAnalyzer::new(64),
+            spatial: SpatialAnalyzer::new(),
+        }
+    }
+}
+
+impl nvsim_trace::EventSink for LocalitySink {
+    fn on_batch(&mut self, refs: &[MemRef]) {
+        for r in refs {
+            self.reuse.feed(r.addr);
+            self.spatial.feed(r.addr);
+        }
+    }
+
+    fn on_control(&mut self, _event: &nvsim_trace::Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_scan_has_no_temporal_reuse() {
+        let mut a = ReuseAnalyzer::new(64);
+        for i in 0..10_000u64 {
+            a.feed(VirtAddr::new(i * 64));
+        }
+        let h = a.histogram();
+        assert_eq!(h.cold, 10_000);
+        assert_eq!(h.temporal_score(), 0.0);
+        assert_eq!(a.footprint_lines(), 10_000);
+    }
+
+    #[test]
+    fn tight_loop_has_unit_distances() {
+        let mut a = ReuseAnalyzer::new(64);
+        for _ in 0..1000 {
+            a.feed(VirtAddr::new(0));
+            a.feed(VirtAddr::new(64));
+        }
+        let h = a.histogram();
+        assert_eq!(h.cold, 2);
+        // Every reuse alternates between two lines: distance 1.
+        assert_eq!(h.buckets[0] + h.buckets[1], h.total - h.cold);
+        assert!(h.temporal_score() > 0.4);
+    }
+
+    #[test]
+    fn predicted_hit_rate_matches_cyclic_working_set() {
+        // Cyclic sweep over W lines: LRU of capacity >= W hits everything
+        // (after warmup), capacity < W hits nothing — the classic cliff.
+        let w = 256u64;
+        let mut a = ReuseAnalyzer::new(64);
+        for round in 0..50u64 {
+            for i in 0..w {
+                a.feed(VirtAddr::new(i * 64));
+                let _ = round;
+            }
+        }
+        let h = a.histogram();
+        assert!(h.predicted_hit_rate(2 * w) > 0.95);
+        assert!(h.predicted_hit_rate(w / 4) < 0.05);
+    }
+
+    #[test]
+    fn reuse_distance_is_exact_for_known_pattern() {
+        // a b c a : the reuse of `a` has distance 2 (b, c touched since).
+        let mut an = ReuseAnalyzer::new(64);
+        for addr in [0u64, 64, 128, 0] {
+            an.feed(VirtAddr::new(addr));
+        }
+        let h = an.histogram();
+        assert_eq!(h.cold, 3);
+        // distance 2 -> bucket index 1 ([2,4)).
+        assert_eq!(h.buckets[1], 1);
+    }
+
+    #[test]
+    fn spatial_scores_separate_stream_from_random() {
+        let mut stream = SpatialAnalyzer::new();
+        for i in 0..10_000u64 {
+            stream.feed(VirtAddr::new(i * 8));
+        }
+        let mut random = SpatialAnalyzer::new();
+        let mut x = 0x2545f4914f6cdd1du64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            random.feed(VirtAddr::new(x % (1 << 30)));
+        }
+        assert!(stream.report().spatial_score() > 0.8);
+        assert!(random.report().spatial_score() < 0.1);
+    }
+
+    #[test]
+    fn fenwick_grows_transparently() {
+        let mut a = ReuseAnalyzer::new(64);
+        // Far beyond the initial 64K capacity.
+        for i in 0..200_000u64 {
+            a.feed(VirtAddr::new((i % 1000) * 64));
+        }
+        let h = a.histogram();
+        assert_eq!(h.total, 200_000);
+        assert_eq!(h.cold, 1000);
+        // Cyclic over 1000 lines: distances are 999 -> bucket [512,1024).
+        assert_eq!(h.buckets[9], h.total - h.cold);
+    }
+}

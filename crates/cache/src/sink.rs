@@ -1,0 +1,198 @@
+//! Event-sink adapter: runs the instrumentation stream through the cache
+//! hierarchy and forwards the filtered main-memory transactions.
+
+use crate::hierarchy::{CacheHierarchy, HierarchyStats};
+use nvsim_trace::{Event, EventSink};
+use nvsim_types::{CacheConfig, MemRef, MemTransaction, TransactionKind};
+
+/// Consumer of main-memory transactions (implemented by the power
+/// simulator and by simple collectors).
+pub trait TransactionSink {
+    /// One filtered main-memory transaction.
+    fn on_transaction(&mut self, t: MemTransaction);
+}
+
+/// Collects transactions into a vector (tests, small traces).
+#[derive(Debug, Default)]
+pub struct VecTransactionSink {
+    /// The collected transactions.
+    pub transactions: Vec<MemTransaction>,
+}
+
+impl TransactionSink for VecTransactionSink {
+    fn on_transaction(&mut self, t: MemTransaction) {
+        self.transactions.push(t);
+    }
+}
+
+/// Counts transactions by kind.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingTransactionSink {
+    /// Read fills observed.
+    pub reads: u64,
+    /// Writebacks (and write-throughs) observed.
+    pub writes: u64,
+}
+
+impl TransactionSink for CountingTransactionSink {
+    fn on_transaction(&mut self, t: MemTransaction) {
+        match t.kind {
+            TransactionKind::ReadFill => self.reads += 1,
+            _ => self.writes += 1,
+        }
+    }
+}
+
+/// An [`EventSink`] that filters the reference stream through the cache
+/// hierarchy (paper §III, Figure 1: instrumentation → cache simulator →
+/// memory traces → power simulator).
+pub struct CacheFilterSink<S> {
+    hierarchy: CacheHierarchy,
+    downstream: S,
+    refs_seen: u64,
+    /// Drain residual dirty lines when the program ends, so the trace
+    /// includes the final writeback burst.
+    drain_on_finish: bool,
+}
+
+impl<S: TransactionSink> CacheFilterSink<S> {
+    /// Builds a filter with the Table II configuration.
+    pub fn new(config: &CacheConfig, downstream: S) -> Self {
+        CacheFilterSink {
+            hierarchy: CacheHierarchy::new(config),
+            downstream,
+            refs_seen: 0,
+            drain_on_finish: true,
+        }
+    }
+
+    /// Disables the end-of-run dirty-line drain.
+    pub fn without_final_drain(mut self) -> Self {
+        self.drain_on_finish = false;
+        self
+    }
+
+    /// The downstream sink.
+    pub fn downstream(&self) -> &S {
+        &self.downstream
+    }
+
+    /// Consumes the filter, returning the downstream sink.
+    pub fn into_downstream(self) -> S {
+        self.downstream
+    }
+
+    /// Hierarchy statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        self.hierarchy.stats()
+    }
+
+    /// References processed.
+    pub fn refs_seen(&self) -> u64 {
+        self.refs_seen
+    }
+
+    fn feed(&mut self, r: &MemRef) {
+        self.refs_seen += 1;
+        let line_size = self.hierarchy.line_size();
+        let downstream = &mut self.downstream;
+        let mut emit = |t: MemTransaction| downstream.on_transaction(t);
+        self.hierarchy.access(r.addr, r.kind.is_write(), &mut emit);
+        if r.crosses_line(line_size) {
+            // A straddling access touches the next line too (PIN reports
+            // one reference; the cache sees two line probes).
+            let next = r.last_byte().align_down(line_size);
+            self.hierarchy.access(next, r.kind.is_write(), &mut emit);
+        }
+    }
+}
+
+impl<S: TransactionSink> EventSink for CacheFilterSink<S> {
+    fn on_batch(&mut self, refs: &[MemRef]) {
+        for r in refs {
+            self.feed(r);
+        }
+    }
+
+    fn on_control(&mut self, _event: &Event) {}
+
+    fn on_finish(&mut self) {
+        if self.drain_on_finish {
+            let downstream = &mut self.downstream;
+            self.hierarchy.drain(&mut |t| downstream.on_transaction(t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_trace::{Tracer, TracedVec};
+    use nvsim_types::VirtAddr;
+
+    #[test]
+    fn filter_reduces_traffic() {
+        let mut sink = CacheFilterSink::new(&CacheConfig::default(), CountingTransactionSink::default());
+        {
+            let mut t = Tracer::new(&mut sink);
+            let mut v = TracedVec::<f64>::global(&mut t, "v", 4096).unwrap();
+            // Two passes: first cold, second fully cached (32 KiB fits L2).
+            for _ in 0..2 {
+                for i in 0..4096 {
+                    let x = v.get(&mut t, i);
+                    v.set(&mut t, i, x + 1.0);
+                }
+            }
+            t.finish();
+        }
+        let refs = sink.refs_seen();
+        assert_eq!(refs, 4 * 4096);
+        let stats = sink.stats();
+        // 4096 doubles = 512 lines: cold read fills only.
+        assert_eq!(stats.mem_reads, 512);
+        let counts = *sink.downstream();
+        assert_eq!(counts.reads, 512);
+        // Final drain wrote every dirtied line back.
+        assert_eq!(counts.writes, 512);
+    }
+
+    #[test]
+    fn line_crossing_ref_probes_both_lines() {
+        let mut sink = CacheFilterSink::new(&CacheConfig::default(), CountingTransactionSink::default())
+            .without_final_drain();
+        {
+            let mut t = Tracer::new(&mut sink);
+            t.read(VirtAddr::new(0x40_0000 + 60), 8); // crosses 64B boundary
+            t.finish();
+        }
+        assert_eq!(sink.downstream().reads, 2);
+    }
+
+    #[test]
+    fn without_drain_suppresses_final_writebacks() {
+        let mut sink = CacheFilterSink::new(&CacheConfig::default(), CountingTransactionSink::default())
+            .without_final_drain();
+        {
+            let mut t = Tracer::new(&mut sink);
+            let mut v = TracedVec::<f64>::global(&mut t, "v", 8).unwrap();
+            v.fill(&mut t, 1.0);
+            t.finish();
+        }
+        assert_eq!(sink.downstream().writes, 0);
+    }
+
+    #[test]
+    fn vec_sink_records_order() {
+        let mut sink = CacheFilterSink::new(&CacheConfig::default(), VecTransactionSink::default())
+            .without_final_drain();
+        {
+            let mut t = Tracer::new(&mut sink);
+            t.read(VirtAddr::new(0x40_0000), 8);
+            t.read(VirtAddr::new(0x40_0000 + 4096), 8);
+            t.finish();
+        }
+        let txns = &sink.downstream().transactions;
+        assert_eq!(txns.len(), 2);
+        assert!(txns[0].addr < txns[1].addr);
+    }
+}

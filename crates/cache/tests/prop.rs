@@ -1,0 +1,97 @@
+//! Property tests of the cache-hierarchy invariants: capacity bounds,
+//! writeback soundness (a dirty eviction implies a prior write to that
+//! line) and the miss-filter contract (memory reads only for lines not
+//! already resident).
+
+use nvsim_cache::CacheHierarchy;
+use nvsim_types::{CacheConfig, MemTransaction, TransactionKind, VirtAddr};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn refs() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..1 << 22, any::<bool>()), 1..2000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn writebacks_only_for_written_lines(ops in refs()) {
+        let mut h = CacheHierarchy::new(&CacheConfig::default());
+        let mut written: HashSet<u64> = HashSet::new();
+        let mut events: Vec<MemTransaction> = Vec::new();
+        for &(addr, is_write) in &ops {
+            let a = VirtAddr::new(addr & !7);
+            if is_write {
+                written.insert(a.align_down(64).raw());
+            }
+            h.access(a, is_write, &mut |t| events.push(t));
+        }
+        h.drain(&mut |t| events.push(t));
+        for e in &events {
+            if e.kind == TransactionKind::Writeback {
+                prop_assert!(
+                    written.contains(&e.addr.raw()),
+                    "writeback of never-written line {:#x}",
+                    e.addr.raw()
+                );
+            }
+            // All traffic is line-aligned.
+            prop_assert!(e.addr.is_aligned(64));
+        }
+    }
+
+    #[test]
+    fn every_line_is_fetched_before_any_writeback(ops in refs()) {
+        let mut h = CacheHierarchy::new(&CacheConfig::default());
+        let mut fetched: HashSet<u64> = HashSet::new();
+        let mut ok = true;
+        for &(addr, is_write) in &ops {
+            let a = VirtAddr::new(addr & !7);
+            h.access(a, is_write, &mut |t| match t.kind {
+                TransactionKind::ReadFill => {
+                    fetched.insert(t.addr.raw());
+                }
+                _ => {
+                    // A writeback must concern a line that was fetched at
+                    // some point (write-allocate fetches on write miss).
+                    ok &= fetched.contains(&t.addr.raw());
+                }
+            });
+        }
+        prop_assert!(ok, "writeback of a line never fetched");
+    }
+
+    #[test]
+    fn stats_are_conserved(ops in refs()) {
+        let mut h = CacheHierarchy::new(&CacheConfig::default());
+        for &(addr, is_write) in &ops {
+            h.access(VirtAddr::new(addr & !7), is_write, &mut |_| {});
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l1_hits + s.l1_misses, ops.len() as u64);
+        // Every L2 access comes from an L1 miss (possibly two per miss
+        // when an L1 dirty victim is written into L2).
+        prop_assert!(s.l2_hits + s.l2_misses >= s.l1_misses);
+        prop_assert!(s.l2_hits + s.l2_misses <= 2 * s.l1_misses);
+        // Memory reads = L2 misses (every L2 miss fetches exactly once).
+        prop_assert_eq!(s.mem_reads, s.l2_misses);
+    }
+
+    #[test]
+    fn repeat_pass_over_small_set_is_all_hits(lines in 1u64..128, passes in 2u64..5) {
+        let mut h = CacheHierarchy::new(&CacheConfig::default());
+        let mut traffic = 0u64;
+        for pass in 0..passes {
+            for i in 0..lines {
+                h.access(VirtAddr::new(i * 64), false, &mut |_| {
+                    if pass > 0 {
+                        traffic += 1;
+                    }
+                });
+            }
+        }
+        // A set this small (<= 8 KiB) never misses after the cold pass.
+        prop_assert_eq!(traffic, 0);
+    }
+}

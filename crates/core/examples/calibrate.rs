@@ -1,0 +1,81 @@
+//! Calibration probe: print measured-vs-paper for the headline numbers.
+use nv_scavenger::experiments as ex;
+use nvsim_apps::AppScale;
+
+fn main() {
+    let scale = AppScale::Small;
+    let iters = 10;
+
+    println!("== Table V (stack) ==");
+    for r in ex::table5(scale, iters).unwrap() {
+        println!(
+            "{:8} ratio={:6.2} (paper {:5.2})  first={:6.2} (paper {:5.2})  share={:5.1}% (paper {:4.1}%)",
+            r.app, r.rw_ratio, r.paper.0, r.rw_ratio_first, r.paper.1,
+            r.reference_percentage, r.paper.2
+        );
+    }
+
+    println!("\n== Figure 2 (CAM stack objects) ==");
+    let f2 = ex::fig2(scale, iters).unwrap();
+    println!(
+        ">10: objects {:.1}% (paper 43.3) refs {:.1}% (paper 68.9) | >50: objects {:.1}% (paper 3.2) refs {:.1}% (paper 8.9)",
+        f2.objects_ratio_gt10 * 100.0, f2.refs_ratio_gt10 * 100.0,
+        f2.objects_ratio_gt50 * 100.0, f2.refs_ratio_gt50 * 100.0
+    );
+
+    println!("\n== Figures 3-6 (global+heap pools) ==");
+    for r in ex::figs3_6(scale, iters).unwrap() {
+        println!(
+            "{:8} total={:6.2}MBeq read_only={:5.1}% high_ratio={:6.3}MBeq gt1_objs={:4.1}%",
+            r.app,
+            mbeq(r.total_bytes, scale),
+            100.0 * r.read_only_bytes as f64 / r.total_bytes.max(1) as f64,
+            mbeq(r.high_ratio_bytes, scale),
+            r.objects_ratio_gt1 * 100.0
+        );
+    }
+    println!("paper: Nek RO 7.1% of 824MB (59MB), high 38.6MB; CAM RO 15.5% (94MB), high 4.8MB");
+
+    println!("\n== Figure 7 (untouched) ==");
+    for r in ex::fig7(scale, iters).unwrap() {
+        println!("{:8} untouched={:4.1}%", r.app, r.untouched_fraction * 100.0);
+    }
+    println!("paper: Nek 24.3%, CAM 11.5%, S3D small, GTC ~0");
+
+    println!("\n== Figures 8-11 (variance, min stable [1,2) fraction) ==");
+    for r in ex::figs8_11(scale, iters).unwrap() {
+        println!("{:8} min_stable={:4.2} (paper >0.6)", r.app, r.min_stable_fraction);
+    }
+
+    println!("\n== Table VI (normalized power) ==");
+    for r in ex::table6(scale, iters).unwrap() {
+        println!(
+            "{:8} [{:.3} {:.3} {:.3} {:.3}] paper [{:.3} {:.3} {:.3} {:.3}] txns={}",
+            r.app, r.normalized[0], r.normalized[1], r.normalized[2], r.normalized[3],
+            r.paper[0], r.paper[1], r.paper[2], r.paper[3], r.transactions
+        );
+    }
+
+    println!("\n== Figure 12 (normalized runtime) ==");
+    for r in ex::fig12(scale).unwrap() {
+        print!("{:8}", r.app);
+        for p in &r.points {
+            print!("  {}={:.3}", p.technology, p.normalized_runtime);
+        }
+        println!("  (paper: MRAM ~1.00, STT <1.05, PCRAM <=1.25)");
+    }
+
+    println!("\n== Suitability (abstract: 31% / 27% for two apps) ==");
+    for r in ex::suitability(scale, iters).unwrap() {
+        println!(
+            "{:8} cat2={:4.1}% cat1={:4.1}%",
+            r.app,
+            r.category2.suitable_fraction() * 100.0,
+            r.category1.suitable_fraction() * 100.0
+        );
+    }
+}
+
+fn mbeq(bytes: u64, scale: AppScale) -> f64 {
+    bytes as f64 * scale.divisor() as f64 / (1024.0 * 1024.0)
+}

@@ -1,0 +1,293 @@
+//! `nvscav` — the NV-SCAVENGER command-line tool.
+//!
+//! ```text
+//! nvscav list
+//! nvscav characterize <app> [--scale test|small|bench] [--iters N] [--json out.json]
+//! nvscav power        <app> [--scale ...] [--iters N]
+//! nvscav latency      <app> [--scale ...]
+//! nvscav plan         <app> [--scale ...] [--iters N]
+//! nvscav record       <app> --out trace.nvsc [--scale ...] [--iters N]
+//! nvscav replay       --in trace.nvsc
+//! ```
+//!
+//! `record`/`replay` exercise the offline-trace path of §III-D: `record`
+//! runs an application once and stores the compressed event stream;
+//! `replay` re-runs the full attribution analysis from the file without
+//! re-executing the application.
+
+use nv_scavenger::pipeline::characterize;
+use nv_scavenger::FastStackSink;
+use nvsim_apps::{all_apps, AppScale, Application};
+use nvsim_cpu::{sweep_technologies, CoreParams, CpuSink};
+use nvsim_mem::system::replay_all_technologies;
+use nvsim_objects::report::object_summaries;
+use nvsim_objects::{ObjectRegistry, RegistryConfig};
+use nvsim_placement::{classify, plan, PlacementPolicy};
+use nvsim_trace::{replay_trace, TeeSink, TraceWriter, Tracer};
+use nvsim_types::{DeviceProfile, Region, SystemConfig};
+use std::process::ExitCode;
+
+struct Cli {
+    scale: AppScale,
+    iters: u32,
+    out: Option<String>,
+    input: Option<String>,
+    json: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        scale: AppScale::Small,
+        iters: 10,
+        out: None,
+        input: None,
+        json: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                cli.scale = match it.next().map(String::as_str) {
+                    Some("test") => AppScale::Test,
+                    Some("small") => AppScale::Small,
+                    Some("bench") => AppScale::Bench,
+                    other => return Err(format!("bad --scale {other:?}")),
+                }
+            }
+            "--iters" => {
+                cli.iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--iters needs a number")?;
+            }
+            "--out" => cli.out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--in" => cli.input = Some(it.next().ok_or("--in needs a path")?.clone()),
+            "--json" => cli.json = Some(it.next().ok_or("--json needs a path")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => cli.positional.push(other.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn find_app(name: &str, scale: AppScale) -> Result<Box<dyn Application>, String> {
+    all_apps(scale)
+        .into_iter()
+        .find(|a| a.spec().name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown app {name}; try `nvscav list`"))
+}
+
+fn cmd_list() {
+    println!("bundled proxy applications (Table I):");
+    for app in all_apps(AppScale::Small) {
+        let s = app.spec();
+        println!(
+            "  {:<10} {:<35} paper footprint {:>4.0} MB/task",
+            s.name, s.description, s.paper_footprint_mb
+        );
+    }
+}
+
+fn cmd_characterize(cli: &Cli) -> Result<(), String> {
+    let name = cli.positional.first().ok_or("characterize needs an app")?;
+    let mut app = find_app(name, cli.scale)?;
+    let c = characterize(app.as_mut(), cli.iters).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} refs ({} reads / {} writes), footprint {} B",
+        app.spec().name,
+        c.tracer_stats.refs,
+        c.tracer_stats.reads,
+        c.tracer_stats.writes,
+        c.footprint.total()
+    );
+    println!(
+        "stack: R/W {:.2} (first iter {:.2}), {:.1}% of references",
+        c.stack.rw_ratio_steady().unwrap_or(0.0),
+        c.stack.rw_ratio_first().unwrap_or(0.0),
+        c.stack.stack_reference_share() * 100.0
+    );
+    println!("\ntop objects:");
+    let mut rows = object_summaries(&c.registry, Region::Global);
+    rows.extend(object_summaries(&c.registry, Region::Heap));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.counts.total()));
+    if let Some(path) = &cli.json {
+        let dump = serde_json::json!({
+            "app": app.spec().name,
+            "scale_divisor": cli.scale.divisor(),
+            "iterations": cli.iters,
+            "stack": c.stack,
+            "footprint": c.footprint,
+            "objects": rows,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&dump).expect("serializes"))
+            .map_err(|e| e.to_string())?;
+        println!("(wrote {path})");
+    }
+    for o in rows.iter().take(12) {
+        println!(
+            "  {:<24} {:<7} {:>12} refs  ratio {}",
+            o.name,
+            o.region.to_string(),
+            o.counts.total(),
+            nvsim_bench_fmt(o.rw_ratio)
+        );
+    }
+    Ok(())
+}
+
+fn nvsim_bench_fmt(r: Option<f64>) -> String {
+    match r {
+        None => "-".into(),
+        Some(x) if x.is_infinite() => "read-only".into(),
+        Some(x) => format!("{x:.2}"),
+    }
+}
+
+fn cmd_power(cli: &Cli) -> Result<(), String> {
+    let name = cli.positional.first().ok_or("power needs an app")?;
+    let mut app = find_app(name, cli.scale)?;
+    let txns = nv_scavenger::experiments::filtered_trace(app.as_mut(), cli.iters)
+        .map_err(|e| e.to_string())?;
+    println!("{} main-memory transactions after cache filtering", txns.len());
+    let (reports, normalized) = replay_all_technologies(&txns, &SystemConfig::default());
+    for (r, n) in reports.iter().zip(&normalized) {
+        println!(
+            "  {:<8} {:>8.1} mW  normalized {:.3}",
+            r.technology,
+            r.total_mw(),
+            n
+        );
+    }
+    Ok(())
+}
+
+fn cmd_latency(cli: &Cli) -> Result<(), String> {
+    let name = cli
+        .positional
+        .first()
+        .ok_or("latency needs an app")?
+        .clone();
+    let scale = cli.scale;
+    let points = sweep_technologies(&CoreParams::default(), |params| {
+        let mut app = find_app(&name, scale).expect("validated above");
+        let mut sink = CpuSink::for_iterations(params, 0, 1);
+        {
+            let mut tracer = Tracer::new(&mut sink);
+            app.run(&mut tracer, 1).expect("run");
+            tracer.finish();
+        }
+        sink.result().expect("finished")
+    });
+    for p in &points {
+        println!(
+            "  {:<8} {:>5} ns  {:>12} cycles  normalized {:.3}",
+            p.technology, p.latency_ns, p.result.cycles, p.normalized_runtime
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(cli: &Cli) -> Result<(), String> {
+    let name = cli.positional.first().ok_or("plan needs an app")?;
+    let mut app = find_app(name, cli.scale)?;
+    let c = characterize(app.as_mut(), cli.iters).map_err(|e| e.to_string())?;
+    let mut objects = object_summaries(&c.registry, Region::Global);
+    objects.extend(object_summaries(&c.registry, Region::Heap));
+    for (label, policy) in [
+        ("category 2 (STTRAM-like)", PlacementPolicy::category2()),
+        ("category 1 (PCRAM-like)", PlacementPolicy::category1()),
+    ] {
+        let rep = classify(&objects, &policy);
+        let hybrid = plan(&rep, &DeviceProfile::ddr3(), 1.25);
+        println!(
+            "{label}: {:.1}% suitable -> plan {} B DRAM + {} B NVRAM, {:.1} mW standby saved",
+            rep.suitable_fraction() * 100.0,
+            hybrid.dram_bytes,
+            hybrid.nvram_bytes,
+            hybrid.standby_saving_mw
+        );
+    }
+    Ok(())
+}
+
+fn cmd_record(cli: &Cli) -> Result<(), String> {
+    let name = cli.positional.first().ok_or("record needs an app")?;
+    let out = cli.out.as_ref().ok_or("record needs --out <path>")?;
+    let mut app = find_app(name, cli.scale)?;
+    let mut writer = TraceWriter::new();
+    {
+        let mut tracer = Tracer::new(&mut writer);
+        app.run(&mut tracer, cli.iters).map_err(|e| e.to_string())?;
+        tracer.finish();
+    }
+    let events = writer.events();
+    let bytes = writer.into_bytes();
+    std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "recorded {events} events ({} bytes, {:.2} B/event) to {out}",
+        bytes.len(),
+        bytes.len() as f64 / events as f64
+    );
+    Ok(())
+}
+
+fn cmd_replay(cli: &Cli) -> Result<(), String> {
+    let input = cli.input.as_ref().ok_or("replay needs --in <path>")?;
+    let data = std::fs::read(input).map_err(|e| e.to_string())?;
+    let mut registry = ObjectRegistry::new(RegistryConfig::default());
+    let mut stack = FastStackSink::new();
+    let events = {
+        let mut tee = TeeSink::new(vec![&mut registry, &mut stack]);
+        replay_trace(bytes::Bytes::from(data), &mut tee, 65536)
+    };
+    println!("replayed {events} events from {input}");
+    println!(
+        "stack: R/W {:.2}, {:.1}% of references",
+        stack.report().rw_ratio_all().unwrap_or(0.0),
+        stack.report().stack_reference_share() * 100.0
+    );
+    println!(
+        "objects: {} tracked over {} iterations, {} main-loop refs",
+        registry.objects().len(),
+        registry.iterations_seen(),
+        registry.total_refs()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("usage: nvscav <list|characterize|power|latency|plan|record|replay> ...");
+        return ExitCode::FAILURE;
+    };
+    let cli = match parse_cli(&args[1..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "characterize" => cmd_characterize(&cli),
+        "power" => cmd_power(&cli),
+        "latency" => cmd_latency(&cli),
+        "plan" => cmd_plan(&cli),
+        "record" => cmd_record(&cli),
+        "replay" => cmd_replay(&cli),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

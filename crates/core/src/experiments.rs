@@ -1,0 +1,562 @@
+//! One assembly function per table and figure of the paper.
+//!
+//! Every function runs the required pipeline over the proxy applications
+//! and returns a serializable report; the `nvsim-bench` binaries print
+//! them next to the paper's published values, and EXPERIMENTS.md records
+//! the comparison.
+
+use crate::pipeline::{characterize, Characterization};
+use nvsim_apps::{all_apps, AppScale, Application};
+use nvsim_cache::{CacheFilterSink, VecTransactionSink};
+use nvsim_cpu::{CoreParams, CpuSink, LatencyPoint};
+use nvsim_objects::report::{
+    object_summaries, region_report, ObjectSummary, UsageDistribution, VarianceHistogram,
+    VarianceMetric,
+};
+use nvsim_placement::{classify, PlacementPolicy, SuitabilityReport};
+use nvsim_trace::Tracer;
+use nvsim_types::{
+    CacheConfig, MemTransaction, MemoryTechnology, NvsimError, Region, SystemConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// Number of main-loop iterations the paper instruments (§VII).
+pub const PAPER_ITERATIONS: u32 = 10;
+
+// ---------------------------------------------------------------- Table I
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: String,
+    /// Input/problem size description.
+    pub input: String,
+    /// Description.
+    pub description: String,
+    /// Paper footprint per task, MB.
+    pub paper_footprint_mb: f64,
+    /// Measured proxy footprint, bytes.
+    pub measured_footprint_bytes: u64,
+    /// Scale divisor the proxy ran at.
+    pub scale_divisor: u64,
+}
+
+impl Table1Row {
+    /// Measured footprint re-scaled to the paper's units, MB.
+    pub fn rescaled_mb(&self) -> f64 {
+        self.measured_footprint_bytes as f64 * self.scale_divisor as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Runs all apps for one iteration and reports footprints (Table I).
+pub fn table1(scale: AppScale) -> Result<Vec<Table1Row>, NvsimError> {
+    all_apps(scale)
+        .into_iter()
+        .map(|mut app| {
+            let spec = app.spec();
+            let c = characterize(app.as_mut(), 1)?;
+            Ok(Table1Row {
+                app: spec.name.to_string(),
+                input: spec.input.to_string(),
+                description: spec.description.to_string(),
+                paper_footprint_mb: spec.paper_footprint_mb,
+                measured_footprint_bytes: c.footprint.total(),
+                scale_divisor: scale.divisor(),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table V
+
+/// One row of Table V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Application name.
+    pub app: String,
+    /// Steady-state stack read/write ratio (iterations 2..).
+    pub rw_ratio: f64,
+    /// First-iteration stack read/write ratio.
+    pub rw_ratio_first: f64,
+    /// Stack reference percentage of all main-loop references.
+    pub reference_percentage: f64,
+    /// Paper values for side-by-side printing: (ratio, first, share %).
+    pub paper: (f64, f64, f64),
+}
+
+/// Paper Table V values: (steady ratio, first-iteration ratio, share %).
+pub const TABLE5_PAPER: [(&str, f64, f64, f64); 4] = [
+    ("Nek5000", 6.33, 6.33, 75.6),
+    ("CAM", 20.39, 11.46, 76.3),
+    ("GTC", 3.48, 3.48, 44.3),
+    ("S3D", 6.04, 6.04, 63.1),
+];
+
+/// Runs the fast stack tool over all apps (Table V).
+pub fn table5(scale: AppScale, iterations: u32) -> Result<Vec<Table5Row>, NvsimError> {
+    all_apps(scale)
+        .into_iter()
+        .zip(TABLE5_PAPER)
+        .map(|(mut app, (name, pr, pf, ps))| {
+            let c = characterize(app.as_mut(), iterations)?;
+            debug_assert_eq!(app.spec().name, name);
+            Ok(Table5Row {
+                app: app.spec().name.to_string(),
+                rw_ratio: c.stack.rw_ratio_steady().unwrap_or(0.0),
+                rw_ratio_first: c.stack.rw_ratio_first().unwrap_or(0.0),
+                reference_percentage: c.stack.stack_reference_share() * 100.0,
+                paper: (pr, pf, ps),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+/// The Figure 2 report: CAM stack objects at routine granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Report {
+    /// Per-routine stack-object rows, sorted by reference count.
+    pub objects: Vec<ObjectSummary>,
+    /// Fraction of stack objects with read/write ratio > 10 (paper: 43.3%).
+    pub objects_ratio_gt10: f64,
+    /// Fraction of stack references covered by those objects (68.9%).
+    pub refs_ratio_gt10: f64,
+    /// Fraction of stack objects with ratio > 50 (3.2%).
+    pub objects_ratio_gt50: f64,
+    /// Fraction of stack references covered by those (8.9%).
+    pub refs_ratio_gt50: f64,
+}
+
+/// Runs the slow stack tool over CAM (Figure 2 / §VII-A).
+pub fn fig2(scale: AppScale, iterations: u32) -> Result<Fig2Report, NvsimError> {
+    let mut app = nvsim_apps::Cam::new(scale);
+    let c = characterize(&mut app, iterations)?;
+    let rows = object_summaries(&c.registry, Region::Stack);
+    let stack_refs: u64 = rows.iter().map(|r| r.counts.total()).sum();
+    let frac = |pred: &dyn Fn(&ObjectSummary) -> bool| -> (f64, f64) {
+        let hits: Vec<&ObjectSummary> = rows.iter().filter(|r| pred(r)).collect();
+        let obj_frac = hits.len() as f64 / rows.len().max(1) as f64;
+        let ref_frac = hits.iter().map(|r| r.counts.total()).sum::<u64>() as f64
+            / stack_refs.max(1) as f64;
+        (obj_frac, ref_frac)
+    };
+    let gt = |threshold: f64, r: &ObjectSummary| -> bool {
+        matches!(r.rw_ratio, Some(x) if x > threshold && x.is_finite())
+    };
+    let (o10, r10) = frac(&|r| gt(10.0, r));
+    let (o50, r50) = frac(&|r| gt(50.0, r));
+    Ok(Fig2Report {
+        objects: rows,
+        objects_ratio_gt10: o10,
+        refs_ratio_gt10: r10,
+        objects_ratio_gt50: o50,
+        refs_ratio_gt50: r50,
+    })
+}
+
+// ------------------------------------------------------------- Figures 3–6
+
+/// Global+heap object report for one application (one of Figures 3–6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppObjectsReport {
+    /// Application name.
+    pub app: String,
+    /// Per-object rows (global + heap), sorted by reference count.
+    pub objects: Vec<ObjectSummary>,
+    /// Total tracked bytes (global + heap).
+    pub total_bytes: u64,
+    /// Bytes read-only during the main loop.
+    pub read_only_bytes: u64,
+    /// Bytes with read/write ratio above 50.
+    pub high_ratio_bytes: u64,
+    /// Fraction of objects with ratio above 1.
+    pub objects_ratio_gt1: f64,
+}
+
+/// Runs the global+heap tools over every app (Figures 3–6).
+pub fn figs3_6(scale: AppScale, iterations: u32) -> Result<Vec<AppObjectsReport>, NvsimError> {
+    all_apps(scale)
+        .into_iter()
+        .map(|mut app| {
+            let name = app.spec().name.to_string();
+            let c = characterize(app.as_mut(), iterations)?;
+            let mut objects = object_summaries(&c.registry, Region::Global);
+            objects.extend(object_summaries(&c.registry, Region::Heap));
+            objects.sort_by_key(|o| std::cmp::Reverse(o.counts.total()));
+            let g = region_report(&c.registry, Region::Global);
+            let h = region_report(&c.registry, Region::Heap);
+            let touched: Vec<&ObjectSummary> =
+                objects.iter().filter(|o| o.counts.total() > 0).collect();
+            let gt1 = touched
+                .iter()
+                .filter(|o| matches!(o.rw_ratio, Some(r) if r > 1.0))
+                .count() as f64
+                / touched.len().max(1) as f64;
+            Ok(AppObjectsReport {
+                app: name,
+                total_bytes: g.total_bytes + h.total_bytes,
+                read_only_bytes: g.read_only_bytes + h.read_only_bytes,
+                high_ratio_bytes: g.high_ratio_bytes + h.high_ratio_bytes,
+                objects_ratio_gt1: gt1,
+                objects,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+/// Figure 7 data for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Report {
+    /// Application name.
+    pub app: String,
+    /// The usage distribution (long-term objects only).
+    pub distribution: UsageDistribution,
+    /// Fraction of the tracked footprint untouched by the main loop.
+    pub untouched_fraction: f64,
+}
+
+/// Builds Figure 7 for all apps.
+pub fn fig7(scale: AppScale, iterations: u32) -> Result<Vec<Fig7Report>, NvsimError> {
+    all_apps(scale)
+        .into_iter()
+        .map(|mut app| {
+            let name = app.spec().name.to_string();
+            let c = characterize(app.as_mut(), iterations)?;
+            let distribution = UsageDistribution::from_registry(&c.registry);
+            let untouched_fraction =
+                distribution.untouched_in_main() as f64 / distribution.total().max(1) as f64;
+            Ok(Fig7Report {
+                app: name,
+                distribution,
+                untouched_fraction,
+            })
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ Figures 8–11
+
+/// Figures 8–11 data for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarianceReport {
+    /// Application name.
+    pub app: String,
+    /// Read/write-ratio variance histogram (global+heap objects).
+    pub rw_ratio: VarianceHistogram,
+    /// Reference-rate variance histogram.
+    pub ref_rate: VarianceHistogram,
+    /// Minimum over iterations of the `[1,2)` stable fraction for the
+    /// read/write ratio (paper: "more than 60% ... within [1,2)").
+    pub min_stable_fraction: f64,
+}
+
+/// Builds Figures 8–11 for all apps.
+pub fn figs8_11(scale: AppScale, iterations: u32) -> Result<Vec<VarianceReport>, NvsimError> {
+    all_apps(scale)
+        .into_iter()
+        .map(|mut app| {
+            let name = app.spec().name.to_string();
+            let c = characterize(app.as_mut(), iterations)?;
+            // The paper plots all memory objects; we merge global and heap
+            // histograms by building over each region and averaging
+            // weighted by object count — simpler: build one histogram over
+            // Global (the dominant population) and one over Heap, then
+            // take Global as representative plus report both.
+            let rw = merged_histogram(&c, VarianceMetric::RwRatio, iterations);
+            let rate = merged_histogram(&c, VarianceMetric::RefRate, iterations);
+            let min_stable = (0..iterations as usize)
+                .skip(1) // iteration 0 is the normalization base
+                .map(|i| rw.stable_fraction(i))
+                .fold(1.0f64, f64::min);
+            Ok(VarianceReport {
+                app: name,
+                rw_ratio: rw,
+                ref_rate: rate,
+                min_stable_fraction: min_stable,
+            })
+        })
+        .collect()
+}
+
+fn merged_histogram(
+    c: &Characterization,
+    metric: VarianceMetric,
+    _iterations: u32,
+) -> VarianceHistogram {
+    // Build over global objects and heap objects together by
+    // concatenating region histogram counts: reconstruct via a temporary
+    // union — VarianceHistogram::from_registry is region-scoped, so run
+    // it per region and average weighted by qualifying objects.
+    let g = VarianceHistogram::from_registry(&c.registry, Region::Global, metric);
+    let h = VarianceHistogram::from_registry(&c.registry, Region::Heap, metric);
+    let ng = c.registry.objects_in(Region::Global).count() as f64;
+    let nh = c.registry.objects_in(Region::Heap).count() as f64;
+    let total = (ng + nh).max(1.0);
+    let iters = g.fraction.len().max(h.fraction.len());
+    let buckets = g.buckets.clone();
+    let fraction = (0..iters)
+        .map(|i| {
+            (0..buckets.len())
+                .map(|b| {
+                    let gv = g.fraction.get(i).map_or(0.0, |row| row[b]);
+                    let hv = h.fraction.get(i).map_or(0.0, |row| row[b]);
+                    (gv * ng + hv * nh) / total
+                })
+                .collect()
+        })
+        .collect();
+    VarianceHistogram { buckets, fraction }
+}
+
+// ---------------------------------------------------------------- Table VI
+
+/// One row of Table VI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6Row {
+    /// Application name.
+    pub app: String,
+    /// Normalized average power in `[DDR3, PCRAM, STTRAM, MRAM]` order.
+    pub normalized: [f64; 4],
+    /// Paper values in the same order.
+    pub paper: [f64; 4],
+    /// Main-memory transactions replayed.
+    pub transactions: u64,
+}
+
+/// Paper Table VI values.
+pub const TABLE6_PAPER: [(&str, [f64; 4]); 4] = [
+    ("Nek5000", [1.0, 0.688, 0.706, 0.711]),
+    ("CAM", [1.0, 0.686, 0.699, 0.701]),
+    ("GTC", [1.0, 0.687, 0.708, 0.718]),
+    ("S3D", [1.0, 0.686, 0.711, 0.730]),
+];
+
+/// Collects the cache-filtered trace of one app run.
+pub fn filtered_trace(
+    app: &mut dyn Application,
+    iterations: u32,
+) -> Result<Vec<MemTransaction>, NvsimError> {
+    let mut sink = CacheFilterSink::new(&CacheConfig::default(), VecTransactionSink::default());
+    {
+        let mut tracer = Tracer::new(&mut sink);
+        app.run(&mut tracer, iterations)?;
+        tracer.finish();
+    }
+    Ok(sink.into_downstream().transactions)
+}
+
+/// Runs the power study over all apps (Table VI).
+pub fn table6(scale: AppScale, iterations: u32) -> Result<Vec<Table6Row>, NvsimError> {
+    let sys = SystemConfig::default();
+    all_apps(scale)
+        .into_iter()
+        .zip(TABLE6_PAPER)
+        .map(|(mut app, (name, paper))| {
+            debug_assert_eq!(app.spec().name, name);
+            let name = app.spec().name.to_string();
+            let txns = filtered_trace(app.as_mut(), iterations)?;
+            let (_, normalized) = nvsim_mem::system::replay_all_technologies(&txns, &sys);
+            Ok(Table6Row {
+                app: name,
+                normalized: [normalized[0], normalized[1], normalized[2], normalized[3]],
+                paper,
+                transactions: txns.len() as u64,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 12
+
+/// Figure 12 data for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12Report {
+    /// Application name.
+    pub app: String,
+    /// Sweep points in increasing-latency order (DDR3, MRAM, STTRAM,
+    /// PCRAM).
+    pub points: Vec<LatencyPoint>,
+}
+
+/// Runs the latency sweep for the two §VII-E applications (GTC and S3D —
+/// one main-loop iteration each, as the paper does to bound simulation
+/// time).
+pub fn fig12(scale: AppScale) -> Result<Vec<Fig12Report>, NvsimError> {
+    let apps: Vec<Box<dyn Application>> = vec![
+        Box::new(nvsim_apps::Gtc::new(scale)),
+        Box::new(nvsim_apps::S3d::new(scale)),
+    ];
+    apps.into_iter()
+        .map(|mut app| {
+            let name = app.spec().name.to_string();
+            let base = CoreParams::default();
+            let points = nvsim_cpu::sweep_technologies(&base, |params| {
+                // Time exactly one main-loop iteration (§VII-E).
+                let mut sink = CpuSink::for_iterations(params, 0, 1);
+                {
+                    let mut tracer = Tracer::new(&mut sink);
+                    app.run(&mut tracer, 1).expect("proxy run failed");
+                    tracer.finish();
+                }
+                sink.result().expect("cpu sink finished")
+            });
+            Ok(Fig12Report { app: name, points })
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- Suitability
+
+/// Working-set suitability for one app under one policy (abstract claim:
+/// 31% and 27% for two applications).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuitabilityRow {
+    /// Application name.
+    pub app: String,
+    /// Category-2 (STTRAM-like) suitability.
+    pub category2: SuitabilityReport,
+    /// Category-1 (PCRAM-like) suitability.
+    pub category1: SuitabilityReport,
+}
+
+/// Classifies every app's working set (global + heap objects).
+pub fn suitability(scale: AppScale, iterations: u32) -> Result<Vec<SuitabilityRow>, NvsimError> {
+    all_apps(scale)
+        .into_iter()
+        .map(|mut app| {
+            let name = app.spec().name.to_string();
+            let c = characterize(app.as_mut(), iterations)?;
+            let mut objects = object_summaries(&c.registry, Region::Global);
+            objects.extend(object_summaries(&c.registry, Region::Heap));
+            Ok(SuitabilityRow {
+                app: name,
+                category2: classify(&objects, &PlacementPolicy::category2()),
+                category1: classify(&objects, &PlacementPolicy::category1()),
+            })
+        })
+        .collect()
+}
+
+/// All Table IV technologies, for printing headers.
+pub fn technologies() -> [MemoryTechnology; 4] {
+    MemoryTechnology::ALL
+}
+
+// ------------------------------------------------------- Granularity study
+
+/// Object-vs-page placement granularity for one app (extension study:
+/// quantifies the paper's thesis that memory-object granularity exposes
+/// more NVRAM opportunity than the §VIII page-based schemes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GranularityRow {
+    /// Application name.
+    pub app: String,
+    /// The comparison under the category-2 policy.
+    pub comparison: nvsim_placement::GranularityComparison,
+}
+
+/// Runs every app once with both an object registry and a page profiler
+/// attached, then classifies both granularities under one policy.
+pub fn granularity(scale: AppScale, iterations: u32) -> Result<Vec<GranularityRow>, NvsimError> {
+    use nvsim_objects::{ObjectRegistry, RegistryConfig};
+    use nvsim_placement::{compare_granularities, PageProfiler};
+    use nvsim_trace::TeeSink;
+
+    all_apps(scale)
+        .into_iter()
+        .map(|mut app| {
+            let name = app.spec().name.to_string();
+            let mut registry = ObjectRegistry::new(RegistryConfig::default());
+            let mut pages = PageProfiler::new(nvsim_placement::page::PAGE_SIZE);
+            {
+                let mut tee = TeeSink::new(vec![&mut registry, &mut pages]);
+                let mut tracer = Tracer::new(&mut tee);
+                app.run(&mut tracer, iterations)?;
+                tracer.finish();
+            }
+            let mut objects = object_summaries(&registry, Region::Global);
+            objects.extend(object_summaries(&registry, Region::Heap));
+            let comparison =
+                compare_granularities(&objects, &pages, &PlacementPolicy::category2());
+            Ok(GranularityRow {
+                app: name,
+                comparison,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reports_scaled_footprints() {
+        let rows = table1(AppScale::Test).unwrap();
+        assert_eq!(rows.len(), 4);
+        // Rescaled footprints are within 3x of the paper's (the proxies
+        // approximate proportions, not exact sizes).
+        for r in &rows {
+            let re = r.rescaled_mb();
+            assert!(
+                re > r.paper_footprint_mb / 3.0 && re < r.paper_footprint_mb * 3.0,
+                "{}: rescaled {re} vs paper {}",
+                r.app,
+                r.paper_footprint_mb
+            );
+        }
+        // Ordering matches Table I: Nek > CAM > S3D > GTC.
+        let by_name = |n: &str| rows.iter().find(|r| r.app == n).unwrap().rescaled_mb();
+        assert!(by_name("Nek5000") > by_name("CAM"));
+        assert!(by_name("CAM") > by_name("S3D"));
+        assert!(by_name("S3D") > by_name("GTC"));
+    }
+
+    #[test]
+    fn table5_shape() {
+        let rows = table5(AppScale::Test, 3).unwrap();
+        let by_name = |n: &str| rows.iter().find(|r| r.app == n).unwrap().clone();
+        let cam = by_name("CAM");
+        let gtc = by_name("GTC");
+        let nek = by_name("Nek5000");
+        let s3d = by_name("S3D");
+        // CAM has by far the highest stack ratio; GTC the lowest.
+        assert!(cam.rw_ratio > nek.rw_ratio);
+        assert!(cam.rw_ratio > s3d.rw_ratio);
+        assert!(gtc.rw_ratio < nek.rw_ratio);
+        // CAM's first iteration is clearly below steady state.
+        assert!(cam.rw_ratio_first < cam.rw_ratio * 0.75);
+        // Stack share ordering: Nek/CAM > S3D > GTC.
+        assert!(nek.reference_percentage > s3d.reference_percentage);
+        assert!(cam.reference_percentage > s3d.reference_percentage);
+        assert!(s3d.reference_percentage > gtc.reference_percentage);
+    }
+
+    #[test]
+    fn fig7_shape() {
+        let reports = fig7(AppScale::Test, 3).unwrap();
+        let by_name = |n: &str| reports.iter().find(|r| r.app == n).unwrap();
+        // Nek has the largest untouched pool; GTC effectively none.
+        assert!(by_name("Nek5000").untouched_fraction > 0.15);
+        assert!(by_name("CAM").untouched_fraction > 0.05);
+        assert!(by_name("GTC").untouched_fraction < 0.02);
+    }
+
+    #[test]
+    fn suitability_has_nvram_opportunity() {
+        let rows = suitability(AppScale::Test, 3).unwrap();
+        for r in &rows {
+            assert!(
+                r.category2.suitable_fraction() >= r.category1.suitable_fraction(),
+                "{}: category 2 should be at least as permissive",
+                r.app
+            );
+        }
+        let nek = rows.iter().find(|r| r.app == "Nek5000").unwrap();
+        assert!(nek.category2.suitable_fraction() > 0.2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # nv-scavenger
+//!
+//! The top of the reproduction: NV-SCAVENGER as a library. This crate
+//! wires the substrate crates into the paper's Figure 1 pipeline —
+//! instrumented application → trace buffer → {stack, heap, global}
+//! attribution tools and cache simulator → memory traces → power
+//! simulator — plus the PTLsim-replacement latency study and the
+//! placement advisor.
+//!
+//! * [`stack_fast`] — the light-weight whole-stack tool of §III-A (first
+//!   method), which produces Table V;
+//! * [`pipeline`] — single-run characterization combining the object
+//!   registry, the fast stack tool and footprint accounting;
+//! * [`parallel`] — the §III-D "three tools in parallel" runner (one
+//!   instrumented execution per tool, on crossbeam scoped threads);
+//! * [`experiments`] — one assembly function per table/figure of the
+//!   paper, returning serializable report types.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod parallel;
+pub mod pipeline;
+pub mod stack_fast;
+
+pub use pipeline::{characterize, Characterization};
+pub use stack_fast::{FastStackSink, StackIterationRow, StackReport};

@@ -1,0 +1,179 @@
+//! The "three tools in parallel" runner of §III-D.
+//!
+//! "Furthermore, we cut the original design into three tools to process
+//! stack, heap and global data separately. We run the three tools in
+//! parallel to collect memory access patterns."
+//!
+//! Each tool is one instrumented execution of the application with a
+//! region-restricted registry; the three executions run on crossbeam
+//! scoped threads. Because the proxies are deterministic, the three tools
+//! observe identical reference streams, exactly as three PIN runs of a
+//! deterministic binary would.
+
+use nvsim_apps::Application;
+use nvsim_objects::{ObjectRegistry, RegistryConfig};
+use nvsim_trace::Tracer;
+use nvsim_types::{NvsimError, Region};
+
+/// Results of the three region tools, in `[Stack, Heap, Global]` order.
+pub struct ThreeToolRun {
+    /// Stack-tool registry.
+    pub stack: ObjectRegistry,
+    /// Heap-tool registry.
+    pub heap: ObjectRegistry,
+    /// Global-tool registry.
+    pub global: ObjectRegistry,
+}
+
+impl ThreeToolRun {
+    /// The registry for one region.
+    pub fn for_region(&self, region: Region) -> &ObjectRegistry {
+        match region {
+            Region::Stack => &self.stack,
+            Region::Heap => &self.heap,
+            Region::Global => &self.global,
+        }
+    }
+}
+
+fn run_one<F>(factory: &F, region: Region, iterations: u32) -> Result<ObjectRegistry, NvsimError>
+where
+    F: Fn() -> Box<dyn Application> + Sync,
+{
+    let mut registry = ObjectRegistry::new(RegistryConfig::only(region));
+    let mut app = factory();
+    let routines = {
+        let mut tracer = Tracer::new(&mut registry);
+        app.run(&mut tracer, iterations)?;
+        tracer.finish();
+        tracer.routines().clone()
+    };
+    registry.resolve_stack_names(&routines);
+    Ok(registry)
+}
+
+/// Runs the three region tools in parallel over fresh instances of the
+/// application produced by `factory`.
+pub fn run_three_tools<F>(factory: F, iterations: u32) -> Result<ThreeToolRun, NvsimError>
+where
+    F: Fn() -> Box<dyn Application> + Sync,
+{
+    let factory = &factory;
+    let results = crossbeam::thread::scope(|scope| {
+        let h_stack = scope.spawn(move |_| run_one(factory, Region::Stack, iterations));
+        let h_heap = scope.spawn(move |_| run_one(factory, Region::Heap, iterations));
+        let global = run_one(factory, Region::Global, iterations);
+        let stack = h_stack.join().expect("stack tool panicked");
+        let heap = h_heap.join().expect("heap tool panicked");
+        (stack, heap, global)
+    })
+    .expect("three-tool scope panicked");
+    Ok(ThreeToolRun {
+        stack: results.0?,
+        heap: results.1?,
+        global: results.2?,
+    })
+}
+
+/// Characterizes several applications concurrently, one scoped thread per
+/// application (the application-level analogue of the paper's
+/// run-the-tools-in-parallel engineering). Results come back in input
+/// order regardless of completion order.
+pub fn characterize_all<F>(
+    factories: Vec<F>,
+    iterations: u32,
+) -> Vec<Result<crate::pipeline::Characterization, NvsimError>>
+where
+    F: FnOnce() -> Box<dyn Application> + Send,
+{
+    let n = factories.len();
+    let results = parking_lot::Mutex::new(Vec::with_capacity(n));
+    for _ in 0..n {
+        results.lock().push(None);
+    }
+    crossbeam::thread::scope(|scope| {
+        for (i, factory) in factories.into_iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let mut app = factory();
+                let r = crate::pipeline::characterize(app.as_mut(), iterations);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("characterize_all scope panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::characterize;
+    use nvsim_apps::{AppScale, Application, Nek5000};
+
+    #[test]
+    fn three_tools_match_combined_run() {
+        let factory = || Box::new(Nek5000::new(AppScale::Test)) as Box<dyn Application>;
+        let three = run_three_tools(factory, 2).unwrap();
+
+        let mut app = Nek5000::new(AppScale::Test);
+        let combined = characterize(&mut app, 2).unwrap();
+
+        for region in Region::ALL {
+            let split = three.for_region(region);
+            let split_total = split.region_total(region);
+            let combined_total = combined.registry.region_total(region);
+            assert_eq!(split_total, combined_total, "{region} totals differ");
+            assert_eq!(
+                split.objects_in(region).count(),
+                combined.registry.objects_in(region).count(),
+                "{region} object counts differ"
+            );
+        }
+    }
+
+    #[test]
+    fn characterize_all_matches_sequential_runs() {
+        use nvsim_apps::all_apps;
+        let factories: Vec<_> = ["Nek5000", "CAM", "GTC", "S3D"]
+            .into_iter()
+            .map(|name| {
+                move || {
+                    all_apps(AppScale::Test)
+                        .into_iter()
+                        .find(|a| a.spec().name == name)
+                        .expect("app exists")
+                }
+            })
+            .collect();
+        let parallel = characterize_all(factories, 2);
+        assert_eq!(parallel.len(), 4);
+        for (i, name) in ["Nek5000", "CAM", "GTC", "S3D"].iter().enumerate() {
+            let p = parallel[i].as_ref().expect("parallel run succeeded");
+            let mut app = all_apps(AppScale::Test)
+                .into_iter()
+                .find(|a| a.spec().name == *name)
+                .unwrap();
+            let s = characterize(app.as_mut(), 2).unwrap();
+            assert_eq!(
+                p.tracer_stats.refs, s.tracer_stats.refs,
+                "{name}: parallel and sequential runs diverge"
+            );
+            assert_eq!(p.registry.total_refs(), s.registry.total_refs());
+        }
+    }
+
+    #[test]
+    fn each_tool_tracks_only_its_region() {
+        let factory = || Box::new(Nek5000::new(AppScale::Test)) as Box<dyn Application>;
+        let three = run_three_tools(factory, 1).unwrap();
+        assert_eq!(three.stack.objects_in(Region::Heap).count(), 0);
+        assert_eq!(three.heap.objects_in(Region::Global).count(), 0);
+        assert_eq!(three.global.objects_in(Region::Stack).count(), 0);
+        assert!(three.global.objects_in(Region::Global).count() > 0);
+    }
+}

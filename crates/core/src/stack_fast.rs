@@ -1,0 +1,256 @@
+//! The fast whole-stack analysis tool (§III-A, first method).
+//!
+//! "In the first method, we record the number of read and write operations
+//! to the entire program stack. In particular, for each memory reference,
+//! we record the current stack pointer besides the memory reference
+//! information. We also record the maximum value that the stack pointer
+//! has had during the execution of the program. Assuming that the stack
+//! pointer grows downwards, if the effective memory address stays between
+//! the maximum stack pointer and the current stack pointer, this memory
+//! reference is counted as a stack memory reference. ... it is
+//! light-weighted and much faster than the second method."
+//!
+//! This sink needs no object registry, no shadow stack and no address
+//! index — just the per-reference stack pointer already carried by
+//! [`MemRef`] — and produces exactly the Table V columns.
+
+use nvsim_trace::{Event, EventSink, Phase};
+use nvsim_types::{AccessCounts, MemRef, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+/// Per-iteration counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StackIterationRow {
+    /// References classified as stack.
+    pub stack: AccessCounts,
+    /// All references in the iteration.
+    pub total: AccessCounts,
+}
+
+impl StackIterationRow {
+    /// Stack read/write ratio for the iteration.
+    pub fn rw_ratio(&self) -> Option<f64> {
+        self.stack.read_write_ratio()
+    }
+
+    /// Fraction of the iteration's references that hit the stack.
+    pub fn stack_share(&self) -> f64 {
+        if self.total.total() == 0 {
+            0.0
+        } else {
+            self.stack.total() as f64 / self.total.total() as f64
+        }
+    }
+}
+
+/// The Table V row produced for one application.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StackReport {
+    /// Per main-loop-iteration counters.
+    pub iterations: Vec<StackIterationRow>,
+}
+
+impl StackReport {
+    /// Aggregate stack read/write ratio over iterations `1..` (the paper
+    /// reports CAM's steady-state ratio excluding the first iteration).
+    pub fn rw_ratio_steady(&self) -> Option<f64> {
+        let mut acc = AccessCounts::ZERO;
+        for row in self.iterations.iter().skip(1) {
+            acc += row.stack;
+        }
+        if self.iterations.len() <= 1 {
+            return self.rw_ratio_all();
+        }
+        acc.read_write_ratio()
+    }
+
+    /// First-iteration stack read/write ratio (the parenthesized CAM value
+    /// in Table V).
+    pub fn rw_ratio_first(&self) -> Option<f64> {
+        self.iterations.first().and_then(|r| r.rw_ratio())
+    }
+
+    /// Aggregate ratio over all iterations.
+    pub fn rw_ratio_all(&self) -> Option<f64> {
+        let mut acc = AccessCounts::ZERO;
+        for row in &self.iterations {
+            acc += row.stack;
+        }
+        acc.read_write_ratio()
+    }
+
+    /// Stack reference percentage over the whole main loop (Table V,
+    /// column 3).
+    pub fn stack_reference_share(&self) -> f64 {
+        let stack: u64 = self.iterations.iter().map(|r| r.stack.total()).sum();
+        let total: u64 = self.iterations.iter().map(|r| r.total.total()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            stack as f64 / total as f64
+        }
+    }
+}
+
+/// The fast stack tool.
+pub struct FastStackSink {
+    max_sp: VirtAddr,
+    current: StackIterationRow,
+    in_iteration: bool,
+    report: StackReport,
+}
+
+impl Default for FastStackSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FastStackSink {
+    /// Creates the sink.
+    pub fn new() -> Self {
+        FastStackSink {
+            max_sp: VirtAddr::NULL,
+            current: StackIterationRow::default(),
+            in_iteration: false,
+            report: StackReport::default(),
+        }
+    }
+
+    /// The finished report.
+    pub fn report(&self) -> &StackReport {
+        &self.report
+    }
+
+    /// Consumes the sink, returning the report.
+    pub fn into_report(self) -> StackReport {
+        self.report
+    }
+
+    #[inline]
+    fn classify(&mut self, r: &MemRef) {
+        // Track the highest stack-pointer value seen (stack grows down).
+        if r.sp > self.max_sp {
+            self.max_sp = r.sp;
+        }
+        let is_write = r.kind.is_write();
+        self.current.total.record(is_write);
+        if r.addr >= r.sp && r.addr < self.max_sp {
+            self.current.stack.record(is_write);
+        }
+    }
+}
+
+impl EventSink for FastStackSink {
+    fn on_batch(&mut self, refs: &[MemRef]) {
+        if !self.in_iteration {
+            return; // Table V instruments the main computation loop only.
+        }
+        for r in refs {
+            self.classify(r);
+        }
+    }
+
+    fn on_control(&mut self, event: &Event) {
+        match event {
+            // A call instruction reads the stack pointer before pushing
+            // the frame: the caller's sp (= the new frame's base) is a
+            // stack-pointer observation too, and the outermost one is the
+            // program's initial stack pointer — the "maximum value the
+            // stack pointer has had".
+            Event::RoutineEnter { frame_base, .. }
+                if *frame_base > self.max_sp => {
+                    self.max_sp = *frame_base;
+                }
+            Event::Phase(p) => match p {
+                Phase::IterationBegin(_) => {
+                    self.in_iteration = true;
+                    self.current = StackIterationRow::default();
+                }
+                Phase::IterationEnd(_) => {
+                    self.in_iteration = false;
+                    self.report.iterations.push(self.current);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_trace::{TracedVec, Tracer};
+
+    #[test]
+    fn classifies_stack_vs_global() {
+        let mut sink = FastStackSink::new();
+        {
+            let mut t = Tracer::new(&mut sink);
+            let rid = t.register_routine("app", "kern");
+            let mut g = TracedVec::<f64>::global(&mut t, "g", 64).unwrap();
+            for iter in 0..2 {
+                t.phase(Phase::IterationBegin(iter));
+                let mut frame = t.call(rid, 512).unwrap();
+                let mut local = TracedVec::<f64>::on_stack(&mut frame, 16);
+                for i in 0..16 {
+                    let v = g.get(&mut t, i); // global read
+                    local.set(&mut t, i, v); // stack write
+                    let a = local.get(&mut t, i); // stack read
+                    let b = local.get(&mut t, (i + 1) % 16); // stack read
+                    g.set(&mut t, i, a + b); // global write
+                }
+                t.ret(rid).unwrap();
+                t.phase(Phase::IterationEnd(iter));
+            }
+            t.finish();
+        }
+        let rep = sink.report();
+        assert_eq!(rep.iterations.len(), 2);
+        let row = rep.iterations[0];
+        // Per inner step: 2 global refs + 3 stack refs.
+        assert_eq!(row.total.total(), 16 * 5);
+        assert_eq!(row.stack.total(), 16 * 3);
+        assert!((row.stack_share() - 0.6).abs() < 1e-12);
+        // Stack: 2 reads / 1 write per step.
+        assert!((row.rw_ratio().unwrap() - 2.0).abs() < 1e-12);
+        assert!((rep.stack_reference_share() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_and_post_phase_refs_are_excluded() {
+        let mut sink = FastStackSink::new();
+        {
+            let mut t = Tracer::new(&mut sink);
+            let mut g = TracedVec::<f64>::global(&mut t, "g", 8).unwrap();
+            t.phase(Phase::PreComputeBegin);
+            g.fill(&mut t, 1.0);
+            t.phase(Phase::IterationBegin(0));
+            let _ = g.get(&mut t, 0);
+            t.phase(Phase::IterationEnd(0));
+            t.phase(Phase::PostProcessBegin);
+            g.fill(&mut t, 2.0);
+            t.finish();
+        }
+        let rep = sink.report();
+        assert_eq!(rep.iterations.len(), 1);
+        assert_eq!(rep.iterations[0].total.total(), 1);
+    }
+
+    #[test]
+    fn steady_vs_first_iteration_split() {
+        let mut rep = StackReport::default();
+        let row = |r, w| StackIterationRow {
+            stack: AccessCounts::new(r, w),
+            total: AccessCounts::new(r + 10, w + 10),
+        };
+        rep.iterations.push(row(10, 2)); // first: ratio 5
+        rep.iterations.push(row(100, 5)); // steady: ratio 20
+        rep.iterations.push(row(100, 5));
+        assert!((rep.rw_ratio_first().unwrap() - 5.0).abs() < 1e-12);
+        assert!((rep.rw_ratio_steady().unwrap() - 20.0).abs() < 1e-12);
+        let all = rep.rw_ratio_all().unwrap();
+        assert!(all > 5.0 && all < 20.0);
+    }
+}

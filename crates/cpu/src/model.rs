@@ -1,0 +1,414 @@
+//! The out-of-order core interval model.
+//!
+//! One pass over the reference stream, no event queue: the model tracks
+//! the issue clock, a bounded set of outstanding misses (the miss buffer /
+//! MSHR file of Table III) and a bounded reorder window. A miss's
+//! completion time is its issue time plus the hierarchy latency; the core
+//! stalls only when a structural limit binds (window full, miss buffer
+//! full) or a dependent load needs an in-flight value. That is the
+//! standard interval approximation of an OoO core, and it reproduces the
+//! first-order behaviour §V relies on: independent misses overlap, so
+//! runtime grows far slower than memory latency.
+
+use nvsim_cache::CacheHierarchy;
+use nvsim_types::{CacheConfig, MemRef, SystemConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Core parameters (defaults follow Table III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreParams {
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Reorder-window (ROB) capacity in instructions.
+    pub window: u32,
+    /// Miss-buffer entries (outstanding cache misses), Table III: 64.
+    pub miss_buffer: u32,
+    /// Non-memory instructions modelled per memory reference (scientific
+    /// kernels run roughly two arithmetic/control instructions per
+    /// load/store).
+    pub ops_per_ref: f64,
+    /// Every `dependence_distance`-th missing load depends on the most
+    /// recent in-flight miss (gather/indirect chains); 0 disables
+    /// dependences.
+    pub dependence_distance: u32,
+    /// Main-memory read access latency in ns.
+    pub mem_latency_ns: f64,
+    /// Main-memory write access latency in ns. `None` means write = read,
+    /// which is the paper's §V assumption ("the current simulator does not
+    /// differentiate between read and write latencies ... our simulation
+    /// in fact provides a performance lower bound"). Setting it to the
+    /// device's real write latency while `mem_latency_ns` holds the real
+    /// read latency turns the lower bound into the real asymmetric-device
+    /// estimate — the extension experiment `fig12_split` measures the gap.
+    pub mem_write_latency_ns: Option<f64>,
+    /// Core clock in GHz.
+    pub cpu_ghz: f64,
+    /// L1 hit latency, cycles.
+    pub l1_hit_cycles: u32,
+    /// L2 hit latency, cycles.
+    pub l2_hit_cycles: u32,
+    /// Next-line prefetch degree in the cache hierarchy (0 = off, the
+    /// Table II baseline). §V lists prefetching among the latency-hiding
+    /// features; the `prefetch` bench measures its effect on Figure 12.
+    pub prefetch_degree: u32,
+}
+
+impl CoreParams {
+    /// Defaults from Tables II–IV with a given memory latency.
+    pub fn with_latency_ns(mem_latency_ns: f64) -> Self {
+        let sys = SystemConfig::default();
+        let cache = CacheConfig::default();
+        CoreParams {
+            issue_width: 4,
+            window: 128,
+            miss_buffer: sys.miss_buffer_entries,
+            ops_per_ref: 2.0,
+            dependence_distance: 8,
+            mem_latency_ns,
+            mem_write_latency_ns: None,
+            cpu_ghz: sys.cpu_ghz,
+            l1_hit_cycles: cache.l1.hit_latency_cycles,
+            l2_hit_cycles: cache.l2.hit_latency_cycles,
+            prefetch_degree: 0,
+        }
+    }
+
+    /// Memory read latency in core cycles (rounded up).
+    pub fn mem_latency_cycles(&self) -> u64 {
+        (self.mem_latency_ns * self.cpu_ghz).ceil() as u64
+    }
+
+    /// Memory write latency in core cycles; equals the read latency when
+    /// no separate write latency is configured (§V assumption).
+    pub fn mem_write_latency_cycles(&self) -> u64 {
+        (self.mem_write_latency_ns.unwrap_or(self.mem_latency_ns) * self.cpu_ghz).ceil() as u64
+    }
+
+    /// Configures real asymmetric device latencies from a profile.
+    pub fn with_device(device: &nvsim_types::DeviceProfile) -> Self {
+        let mut p = Self::with_latency_ns(device.read_latency_ns);
+        p.mem_write_latency_ns = Some(device.write_latency_ns);
+        p
+    }
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        Self::with_latency_ns(10.0)
+    }
+}
+
+/// Result of one timing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuResult {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Memory references consumed.
+    pub refs: u64,
+    /// Modelled instructions (refs × (1 + ops_per_ref)).
+    pub instructions: u64,
+    /// References that missed to main memory.
+    pub mem_accesses: u64,
+    /// Cycles lost to full miss buffer.
+    pub mshr_stall_cycles: u64,
+    /// Cycles lost to full reorder window.
+    pub window_stall_cycles: u64,
+}
+
+impl CpuResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Runtime in nanoseconds for a given clock.
+    pub fn runtime_ns(&self, cpu_ghz: f64) -> f64 {
+        self.cycles as f64 / cpu_ghz
+    }
+}
+
+/// The core model. Feed it references, then call [`OooCore::finish`].
+///
+/// ```
+/// use nvsim_cpu::{CoreParams, OooCore};
+/// use nvsim_types::{MemRef, VirtAddr};
+///
+/// let mut core = OooCore::new(CoreParams::with_latency_ns(100.0));
+/// for i in 0..10_000u64 {
+///     core.feed(&MemRef::read(VirtAddr::new(0x40_0000 + i * 64), 8));
+/// }
+/// let result = core.finish();
+/// assert_eq!(result.refs, 10_000);
+/// // 64 MSHRs overlap the misses: far faster than serial latency.
+/// assert!(result.cycles < result.mem_accesses * 227);
+/// ```
+pub struct OooCore {
+    params: CoreParams,
+    hierarchy: CacheHierarchy,
+    /// Issue clock in cycles ×`issue_width` (kept scaled to stay integral).
+    issue_subcycles: u64,
+    /// Completion cycles of outstanding misses, oldest first.
+    mshrs: VecDeque<u64>,
+    /// Completion cycles of in-window instructions, program order.
+    window: VecDeque<u64>,
+    last_miss_completion: u64,
+    miss_counter: u32,
+    horizon: u64,
+    result: CpuResult,
+}
+
+impl OooCore {
+    /// Creates a core with the Table II cache hierarchy.
+    pub fn new(params: CoreParams) -> Self {
+        OooCore {
+            hierarchy: CacheHierarchy::new(&CacheConfig::default())
+                .with_prefetch(params.prefetch_degree),
+            issue_subcycles: 0,
+            mshrs: VecDeque::with_capacity(params.miss_buffer as usize),
+            window: VecDeque::with_capacity(params.window as usize),
+            last_miss_completion: 0,
+            miss_counter: 0,
+            horizon: 0,
+            result: CpuResult {
+                cycles: 0,
+                refs: 0,
+                instructions: 0,
+                mem_accesses: 0,
+                mshr_stall_cycles: 0,
+                window_stall_cycles: 0,
+            },
+            params,
+        }
+    }
+
+    #[inline]
+    fn issue_cycle(&self) -> u64 {
+        self.issue_subcycles / u64::from(self.params.issue_width)
+    }
+
+    #[inline]
+    fn bump_issue(&mut self, instructions: u64) {
+        self.issue_subcycles += instructions;
+        self.result.instructions += instructions;
+    }
+
+    /// Retires instructions that would block the window; returns the
+    /// adjusted issue cycle after any stall.
+    fn reserve_window_slot(&mut self) {
+        if self.window.len() == self.params.window as usize {
+            let oldest = self.window.pop_front().expect("window is full");
+            let now = self.issue_cycle();
+            if oldest > now {
+                self.result.window_stall_cycles += oldest - now;
+                self.issue_subcycles = oldest * u64::from(self.params.issue_width);
+            }
+        }
+    }
+
+    fn reserve_mshr(&mut self) {
+        if self.mshrs.len() == self.params.miss_buffer as usize {
+            let oldest = self.mshrs.pop_front().expect("mshr file is full");
+            let now = self.issue_cycle();
+            if oldest > now {
+                self.result.mshr_stall_cycles += oldest - now;
+                self.issue_subcycles = oldest * u64::from(self.params.issue_width);
+            }
+        }
+        // Also drop entries that already completed.
+        let now = self.issue_cycle();
+        while matches!(self.mshrs.front(), Some(&c) if c <= now) {
+            self.mshrs.pop_front();
+        }
+    }
+
+    /// Feeds one memory reference.
+    pub fn feed(&mut self, r: &MemRef) {
+        self.result.refs += 1;
+        // Surrounding compute instructions.
+        let ops = (self.params.ops_per_ref * u64::from(self.params.issue_width) as f64) as u64;
+        self.issue_subcycles += ops;
+        self.result.instructions += self.params.ops_per_ref as u64;
+
+        // The memory instruction itself.
+        self.bump_issue(1);
+        self.reserve_window_slot();
+
+        // Classify through the hierarchy (transactions are discarded; the
+        // power path uses its own filter instance).
+        let level = self
+            .hierarchy
+            .access(r.addr, r.kind.is_write(), &mut |_t| {});
+        let missed = level == nvsim_cache::HitLevel::Memory;
+        let latency_cycles = match level {
+            nvsim_cache::HitLevel::L1 => u64::from(self.params.l1_hit_cycles),
+            nvsim_cache::HitLevel::L2 => u64::from(self.params.l2_hit_cycles),
+            nvsim_cache::HitLevel::Memory => {
+                self.result.mem_accesses += 1;
+                let mem = if r.kind.is_write() {
+                    self.params.mem_write_latency_cycles()
+                } else {
+                    self.params.mem_latency_cycles()
+                };
+                u64::from(self.params.l2_hit_cycles) + mem
+            }
+        };
+
+        let mut start = self.issue_cycle();
+        if missed {
+            self.reserve_mshr();
+            start = self.issue_cycle();
+            // Dependence chain: every k-th miss waits for the previous one.
+            self.miss_counter += 1;
+            if self.params.dependence_distance > 0
+                && self.miss_counter.is_multiple_of(self.params.dependence_distance)
+            {
+                start = start.max(self.last_miss_completion);
+            }
+        }
+        let completion = start + latency_cycles;
+        if missed {
+            self.mshrs.push_back(completion);
+            self.last_miss_completion = completion;
+        }
+        self.window.push_back(completion);
+        self.horizon = self.horizon.max(completion);
+    }
+
+    /// Finalizes the run: waits for the last instruction to complete.
+    pub fn finish(mut self) -> CpuResult {
+        self.result.cycles = self.issue_cycle().max(self.horizon);
+        self.result
+    }
+
+    /// Parameters the core was built with.
+    pub fn params(&self) -> &CoreParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::VirtAddr;
+
+    /// Streaming reads over `n` distinct lines, then `reuse` passes over
+    /// the same footprint.
+    fn run_stream(params: CoreParams, lines: u64, passes: u64) -> CpuResult {
+        let mut core = OooCore::new(params);
+        for _ in 0..passes {
+            for i in 0..lines {
+                core.feed(&MemRef::read(VirtAddr::new(0x40_0000 + i * 64), 8));
+            }
+        }
+        core.finish()
+    }
+
+    #[test]
+    fn cached_workload_is_latency_insensitive() {
+        // 256 lines = 16 KiB, fits L1/L2: after the cold pass everything
+        // hits; runtime is issue-bound.
+        let fast = run_stream(CoreParams::with_latency_ns(10.0), 256, 50);
+        let slow = run_stream(CoreParams::with_latency_ns(100.0), 256, 50);
+        let ratio = slow.cycles as f64 / fast.cycles as f64;
+        assert!(ratio < 1.05, "cached workload slowed {ratio}x");
+    }
+
+    #[test]
+    fn streaming_workload_shows_bounded_sensitivity() {
+        // 1M distinct lines: every access misses, but 64 MSHRs overlap
+        // them; slowdown is bounded well below the 10x latency ratio.
+        let fast = run_stream(CoreParams::with_latency_ns(10.0), 1 << 20, 1);
+        let slow = run_stream(CoreParams::with_latency_ns(100.0), 1 << 20, 1);
+        assert_eq!(fast.mem_accesses, 1 << 20);
+        let ratio = slow.cycles as f64 / fast.cycles as f64;
+        assert!(ratio > 1.05, "pure-miss stream must feel latency: {ratio}");
+        assert!(ratio < 10.0, "MLP must hide most of the 10x: {ratio}");
+    }
+
+    #[test]
+    fn dependences_reduce_mlp() {
+        let mut chained = CoreParams::with_latency_ns(100.0);
+        chained.dependence_distance = 1; // every miss waits for the last
+        let mut free = CoreParams::with_latency_ns(100.0);
+        free.dependence_distance = 0;
+        let dep = run_stream(chained, 1 << 18, 1);
+        let indep = run_stream(free, 1 << 18, 1);
+        assert!(
+            dep.cycles > indep.cycles * 3,
+            "chained {} vs independent {}",
+            dep.cycles,
+            indep.cycles
+        );
+    }
+
+    #[test]
+    fn smaller_miss_buffer_hurts_misses() {
+        let mut tiny = CoreParams::with_latency_ns(100.0);
+        tiny.miss_buffer = 1;
+        tiny.dependence_distance = 0;
+        let mut big = CoreParams::with_latency_ns(100.0);
+        big.miss_buffer = 64;
+        big.dependence_distance = 0;
+        let small = run_stream(tiny, 1 << 18, 1);
+        let large = run_stream(big, 1 << 18, 1);
+        assert!(small.cycles > large.cycles);
+        assert!(small.mshr_stall_cycles > 0);
+    }
+
+    #[test]
+    fn instruction_and_ref_accounting() {
+        let r = run_stream(CoreParams::default(), 100, 1);
+        assert_eq!(r.refs, 100);
+        assert_eq!(r.instructions, 100 * 3); // 2 ops + 1 memory op per ref
+        assert!(r.cpi() > 0.0);
+        assert!(r.runtime_ns(2.266) > 0.0);
+    }
+
+    #[test]
+    fn split_write_latency_slows_write_misses_only() {
+        use nvsim_types::DeviceProfile;
+        // Streaming writes over fresh lines: write misses dominate.
+        let run = |params: CoreParams| {
+            let mut core = OooCore::new(params);
+            for i in 0..(1u64 << 16) {
+                core.feed(&MemRef::write(VirtAddr::new(0x40_0000 + i * 64), 8));
+            }
+            core.finish()
+        };
+        // §V lower bound uses the perf-sim (write) latency for both; the
+        // split model with PCRAM's real 20/100 must sit between the
+        // all-20ns and all-100ns bounds.
+        let all_read = run(CoreParams::with_latency_ns(20.0));
+        let all_write = run(CoreParams::with_latency_ns(100.0));
+        let split = run(CoreParams::with_device(&DeviceProfile::pcram()));
+        assert!(split.cycles >= all_read.cycles);
+        assert!(split.cycles <= all_write.cycles);
+
+        // Pure reads under the split model cost the read latency only.
+        let run_reads = |params: CoreParams| {
+            let mut core = OooCore::new(params);
+            for i in 0..(1u64 << 16) {
+                core.feed(&MemRef::read(VirtAddr::new(0x40_0000 + i * 64), 8));
+            }
+            core.finish()
+        };
+        let split_reads = run_reads(CoreParams::with_device(&DeviceProfile::pcram()));
+        let read_only = run_reads(CoreParams::with_latency_ns(20.0));
+        assert_eq!(split_reads.cycles, read_only.cycles);
+    }
+
+    #[test]
+    fn monotone_in_latency() {
+        let mut prev = 0u64;
+        for lat in [10.0, 12.0, 20.0, 100.0] {
+            let r = run_stream(CoreParams::with_latency_ns(lat), 1 << 16, 2);
+            assert!(r.cycles >= prev, "latency {lat} not monotone");
+            prev = r.cycles;
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Event-sink adapter running the reference stream through the core model.
+
+use crate::model::{CoreParams, CpuResult, OooCore};
+use nvsim_trace::{Event, EventSink, Phase};
+use nvsim_types::MemRef;
+
+/// An [`EventSink`] that times the traced program on the core model.
+///
+/// §VII-E: "only one iteration of the main computation loop (or one time
+/// step) for one task is simulated" — the sink can therefore be restricted
+/// to time only a window of iterations.
+pub struct CpuSink {
+    core: Option<OooCore>,
+    result: Option<CpuResult>,
+    /// When set, only references inside `[from, to)` main-loop iterations
+    /// are timed.
+    window: Option<(u32, u32)>,
+    in_window: bool,
+}
+
+impl CpuSink {
+    /// Times the entire reference stream.
+    pub fn new(params: CoreParams) -> Self {
+        CpuSink {
+            core: Some(OooCore::new(params)),
+            result: None,
+            window: None,
+            in_window: true,
+        }
+    }
+
+    /// Times only main-loop iterations `from..to` (§VII-E uses one
+    /// iteration).
+    pub fn for_iterations(params: CoreParams, from: u32, to: u32) -> Self {
+        CpuSink {
+            core: Some(OooCore::new(params)),
+            result: None,
+            window: Some((from, to)),
+            in_window: false,
+        }
+    }
+
+    /// The timing result (available after the program finished).
+    pub fn result(&self) -> Option<CpuResult> {
+        self.result
+    }
+
+    fn finalize(&mut self) {
+        if let Some(core) = self.core.take() {
+            self.result = Some(core.finish());
+        }
+    }
+}
+
+impl EventSink for CpuSink {
+    fn on_batch(&mut self, refs: &[MemRef]) {
+        if !self.in_window {
+            return;
+        }
+        if let Some(core) = self.core.as_mut() {
+            for r in refs {
+                core.feed(r);
+            }
+        }
+    }
+
+    fn on_control(&mut self, event: &Event) {
+        if let Event::Phase(p) = event {
+            match (*p, self.window) {
+                (Phase::IterationBegin(i), Some((from, to))) => {
+                    self.in_window = i >= from && i < to;
+                }
+                (Phase::IterationEnd(i), Some((_, to)))
+                    if i + 1 >= to => {
+                        self.in_window = false;
+                    }
+                (Phase::ProgramEnd, _) => self.finalize(),
+                _ => {}
+            }
+        }
+    }
+
+    fn on_finish(&mut self) {
+        self.finalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_trace::{TracedVec, Tracer};
+
+    fn run(window: Option<(u32, u32)>) -> CpuResult {
+        let params = CoreParams::default();
+        let mut sink = match window {
+            Some((a, b)) => CpuSink::for_iterations(params, a, b),
+            None => CpuSink::new(params),
+        };
+        {
+            let mut t = Tracer::new(&mut sink);
+            let mut v = TracedVec::<f64>::global(&mut t, "v", 1024).unwrap();
+            for iter in 0..4u32 {
+                t.phase(Phase::IterationBegin(iter));
+                for i in 0..1024 {
+                    v.update(&mut t, i, |x| x + 1.0);
+                }
+                t.phase(Phase::IterationEnd(iter));
+            }
+            t.finish();
+        }
+        sink.result().expect("program finished")
+    }
+
+    #[test]
+    fn whole_program_counts_all_refs() {
+        let r = run(None);
+        assert_eq!(r.refs, 4 * 1024 * 2);
+    }
+
+    #[test]
+    fn iteration_window_restricts_timing() {
+        let r = run(Some((1, 2)));
+        assert_eq!(r.refs, 1024 * 2);
+        let r2 = run(Some((0, 4)));
+        assert_eq!(r2.refs, 4 * 1024 * 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! The Figure 12 latency sweep: run the same workload with each Table IV
+//! memory latency and report normalized runtimes.
+
+use crate::model::{CoreParams, CpuResult};
+use nvsim_types::{DeviceProfile, MemoryTechnology};
+use serde::{Deserialize, Serialize};
+
+/// One point of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// Technology simulated.
+    pub technology: String,
+    /// Memory latency used (read = write), ns.
+    pub latency_ns: f64,
+    /// Timing result.
+    pub result: CpuResult,
+    /// Runtime normalized to the DRAM (10 ns) run.
+    pub normalized_runtime: f64,
+}
+
+/// Runs `workload` once per Table IV technology, where `workload` receives
+/// the core parameters and returns the timing result (typically by driving
+/// a proxy application through a [`crate::sink::CpuSink`]).
+///
+/// Returns points in `[DDR3, MRAM, STTRAM, PCRAM]` order — increasing
+/// latency, the order Figure 12 plots.
+pub fn sweep_technologies(
+    base: &CoreParams,
+    mut workload: impl FnMut(CoreParams) -> CpuResult,
+) -> Vec<LatencyPoint> {
+    let order = [
+        MemoryTechnology::Ddr3,
+        MemoryTechnology::Mram,
+        MemoryTechnology::Sttram,
+        MemoryTechnology::Pcram,
+    ];
+    let mut points = Vec::with_capacity(order.len());
+    let mut baseline_cycles = None;
+    for tech in order {
+        let profile = DeviceProfile::for_technology(tech);
+        let mut params = base.clone();
+        params.mem_latency_ns = profile.perf_sim_latency_ns;
+        let result = workload(params);
+        let baseline = *baseline_cycles.get_or_insert(result.cycles.max(1));
+        points.push(LatencyPoint {
+            technology: tech.to_string(),
+            latency_ns: profile.perf_sim_latency_ns,
+            result,
+            normalized_runtime: result.cycles as f64 / baseline as f64,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OooCore;
+    use nvsim_types::{MemRef, VirtAddr};
+
+    /// A workload with strong reuse (cache-resident inner working set plus
+    /// a streaming component), like one main-loop iteration of a solver.
+    fn solver_like(params: CoreParams) -> CpuResult {
+        let mut core = OooCore::new(params);
+        // 512 KiB hot set (L2-resident) with a thin streaming component:
+        // ~1% of references miss to memory after the hierarchy, which is
+        // the regime the paper's cache-friendly solvers operate in.
+        let hot_lines = 8192u64;
+        for pass in 0..8u64 {
+            for i in 0..hot_lines {
+                core.feed(&MemRef::read(VirtAddr::new(0x40_0000 + i * 64), 8));
+            }
+            // streaming segment: 64 fresh lines per pass
+            for i in 0..64u64 {
+                let addr = 0x10_0000_0000u64 + (pass * 64 + i) * 64;
+                core.feed(&MemRef::read(VirtAddr::new(addr), 8));
+            }
+        }
+        core.finish()
+    }
+
+    #[test]
+    fn figure_12_shape() {
+        let points = sweep_technologies(&CoreParams::default(), solver_like);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].technology, "DDR3");
+        assert!((points[0].normalized_runtime - 1.0).abs() < 1e-12);
+        // Latencies in Table IV order of magnitude.
+        assert_eq!(points[1].latency_ns, 12.0);
+        assert_eq!(points[2].latency_ns, 20.0);
+        assert_eq!(points[3].latency_ns, 100.0);
+        // Paper shape: MRAM negligible, STTRAM small, PCRAM bounded.
+        let mram = points[1].normalized_runtime;
+        let stt = points[2].normalized_runtime;
+        let pcram = points[3].normalized_runtime;
+        assert!(mram < 1.02, "MRAM loss should be negligible: {mram}");
+        assert!(stt < 1.10, "STTRAM loss should be small: {stt}");
+        assert!(pcram > stt, "PCRAM must be worst: {pcram} vs {stt}");
+        assert!(pcram < 1.6, "PCRAM loss must stay bounded: {pcram}");
+    }
+
+    #[test]
+    fn monotone_in_latency() {
+        let points = sweep_technologies(&CoreParams::default(), solver_like);
+        for pair in points.windows(2) {
+            assert!(pair[1].normalized_runtime >= pair[0].normalized_runtime - 1e-12);
+        }
+    }
+}

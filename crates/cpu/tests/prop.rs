@@ -1,0 +1,95 @@
+//! Property tests of the core timing model: monotonicity in latency and
+//! structural resources, and accounting invariants.
+
+use nvsim_cpu::{CoreParams, OooCore};
+use nvsim_types::{MemRef, VirtAddr};
+use proptest::prelude::*;
+
+/// A bounded random reference stream over a configurable footprint.
+fn stream(seed: u64, n: usize, span: u64) -> Vec<MemRef> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = VirtAddr::new((0x40_0000 + (x % span)) & !7);
+            if x.count_ones().is_multiple_of(3) {
+                MemRef::write(addr, 8)
+            } else {
+                MemRef::read(addr, 8)
+            }
+        })
+        .collect()
+}
+
+fn run(params: CoreParams, refs: &[MemRef]) -> nvsim_cpu::CpuResult {
+    let mut core = OooCore::new(params);
+    for r in refs {
+        core.feed(r);
+    }
+    core.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn runtime_is_monotone_in_memory_latency(seed in any::<u64>(), span_kb in 1u64..4096) {
+        let refs = stream(seed, 20_000, span_kb << 10);
+        let mut prev = 0u64;
+        for lat in [10.0, 12.0, 20.0, 100.0] {
+            let r = run(CoreParams::with_latency_ns(lat), &refs);
+            prop_assert!(r.cycles >= prev, "latency {lat}: {} < {prev}", r.cycles);
+            prev = r.cycles;
+        }
+    }
+
+    #[test]
+    fn more_mshrs_never_hurt(seed in any::<u64>()) {
+        let refs = stream(seed, 20_000, 64 << 20);
+        let mut prev = u64::MAX;
+        for mshrs in [1u32, 4, 16, 64] {
+            let mut p = CoreParams::with_latency_ns(100.0);
+            p.miss_buffer = mshrs;
+            p.dependence_distance = 0;
+            let r = run(p, &refs);
+            prop_assert!(r.cycles <= prev, "mshrs {mshrs}: {} > {prev}", r.cycles);
+            prev = r.cycles;
+        }
+    }
+
+    #[test]
+    fn accounting_is_exact(seed in any::<u64>(), n in 100usize..5000) {
+        let refs = stream(seed, n, 1 << 20);
+        let r = run(CoreParams::default(), &refs);
+        prop_assert_eq!(r.refs, n as u64);
+        prop_assert_eq!(r.instructions, (n * 3) as u64); // 2 ops + 1 mem op
+        prop_assert!(r.mem_accesses <= r.refs);
+        // Runtime is at least issue-bound and at most fully-serialized.
+        let issue_bound = r.instructions / 4;
+        prop_assert!(r.cycles >= issue_bound);
+        let serial_bound = r.instructions
+            + r.mem_accesses * (CoreParams::default().mem_latency_cycles() + 5);
+        prop_assert!(r.cycles <= serial_bound);
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic(seed in any::<u64>()) {
+        let refs = stream(seed, 5_000, 8 << 20);
+        let a = run(CoreParams::default(), &refs);
+        let b = run(CoreParams::default(), &refs);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_write_latency_bounded_by_uniform_latencies(seed in any::<u64>()) {
+        let refs = stream(seed, 10_000, 64 << 20);
+        let lo = run(CoreParams::with_latency_ns(20.0), &refs);
+        let hi = run(CoreParams::with_latency_ns(100.0), &refs);
+        let split = run(
+            CoreParams::with_device(&nvsim_types::DeviceProfile::pcram()),
+            &refs,
+        );
+        prop_assert!(split.cycles >= lo.cycles);
+        prop_assert!(split.cycles <= hi.cycles);
+    }
+}

@@ -1,0 +1,39 @@
+//! Quick probe: replay a synthetic mixed trace on all four technologies
+//! and print the normalized Table VI row the defaults produce.
+use nvsim_mem::system::replay_all_technologies;
+use nvsim_types::{MemTransaction, SystemConfig, VirtAddr};
+
+fn main() {
+    // Mixed-locality trace: streaming fills with interleaved writebacks
+    // to a second region, plus scattered accesses.
+    let mut txns = Vec::new();
+    let mut x: u64 = 12345;
+    for i in 0..200_000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let scattered = (x >> 33).is_multiple_of(4);
+        let addr = if scattered {
+            VirtAddr::new(((x >> 20) % (512 << 20)) & !63)
+        } else {
+            VirtAddr::new((i * 64) % (96 << 20))
+        };
+        if (x >> 13) % 5 < 2 {
+            txns.push(MemTransaction::writeback(addr));
+        } else {
+            txns.push(MemTransaction::read_fill(addr));
+        }
+    }
+    let sys = SystemConfig::default();
+    let (reports, normalized) = replay_all_technologies(&txns, &sys);
+    for (r, n) in reports.iter().zip(&normalized) {
+        println!(
+            "{:8} norm={:.3} total={:7.1}mW dyn_frac={:.2} elapsed={:.2}ms hits={:.2} dirty_wb={}",
+            r.technology,
+            n,
+            r.total_mw(),
+            r.power.dynamic_fraction(),
+            r.stats.elapsed_ns / 1e6,
+            r.stats.row_hit_rate(),
+            r.stats.dirty_writebacks,
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Bank state machines — the "memory ranks" module of §IV, "responsible
+//! for tracking down the errors in scheduling, handling the command
+//! transactions issued by the memory controller and powering up or down
+//! the banks".
+
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowPolicy {
+    /// Leave the row open after an access (good for locality).
+    OpenPage,
+    /// Precharge immediately after every access.
+    ClosedPage,
+}
+
+/// Bank state: precharged or with one row active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// All rows closed.
+    Idle,
+    /// `row` is latched in the row buffer; `dirty` records whether the
+    /// buffer holds modified data that must be written back to the array
+    /// before the row can be replaced (the cost that makes slow-write
+    /// NVRAMs stretch the replay).
+    Active {
+        /// The open row.
+        row: u32,
+        /// Row buffer holds unwritten modifications.
+        dirty: bool,
+    },
+}
+
+/// Per-bank command counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// PRECHARGE commands issued.
+    pub precharges: u64,
+    /// Column reads.
+    pub reads: u64,
+    /// Column writes.
+    pub writes: u64,
+    /// Accesses that found their row already open.
+    pub row_hits: u64,
+    /// Accesses that required closing another row first.
+    pub row_conflicts: u64,
+    /// Row closes that had to write a dirty row buffer back to the array.
+    pub dirty_writebacks: u64,
+}
+
+/// One bank: state machine plus availability time.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: BankState,
+    /// Simulated time (ns) at which the bank can accept the next command.
+    pub ready_ns: f64,
+    stats: BankStats,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank {
+            state: BankState::Idle,
+            ready_ns: 0.0,
+            stats: BankStats::default(),
+        }
+    }
+}
+
+/// What an access needed from the bank, as decided by the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Row already open: column access only.
+    Hit,
+    /// Bank idle: activate then access.
+    Activate,
+    /// Different row open: close it (writing the row buffer back to the
+    /// array if it was dirty), activate, then access.
+    Conflict {
+        /// The evicted row buffer was dirty.
+        dirty_eviction: bool,
+    },
+}
+
+impl Bank {
+    /// Current state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> BankStats {
+        self.stats
+    }
+
+    /// Applies an access to `row` under `policy`, updating state and
+    /// counters, and returns what the controller must pay for.
+    pub fn access(&mut self, row: u32, is_write: bool, policy: RowPolicy) -> RowOutcome {
+        let outcome = match self.state {
+            BankState::Active { row: open, .. } if open == row => {
+                self.stats.row_hits += 1;
+                RowOutcome::Hit
+            }
+            BankState::Active { dirty, .. } => {
+                self.stats.row_conflicts += 1;
+                self.stats.precharges += 1;
+                self.stats.activates += 1;
+                if dirty {
+                    self.stats.dirty_writebacks += 1;
+                }
+                RowOutcome::Conflict {
+                    dirty_eviction: dirty,
+                }
+            }
+            BankState::Idle => {
+                self.stats.activates += 1;
+                RowOutcome::Activate
+            }
+        };
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let was_dirty_hit = matches!(
+            (self.state, outcome),
+            (BankState::Active { dirty: true, .. }, RowOutcome::Hit)
+        );
+        self.state = match policy {
+            RowPolicy::OpenPage => BankState::Active {
+                row,
+                dirty: is_write || was_dirty_hit,
+            },
+            RowPolicy::ClosedPage => {
+                // Auto-precharge after the access; a write closes a dirty
+                // buffer and pays the array writeback immediately.
+                self.stats.precharges += 1;
+                if is_write {
+                    self.stats.dirty_writebacks += 1;
+                }
+                BankState::Idle
+            }
+        };
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_page_hits_on_same_row() {
+        let mut b = Bank::default();
+        assert_eq!(b.access(5, false, RowPolicy::OpenPage), RowOutcome::Activate);
+        assert_eq!(b.access(5, false, RowPolicy::OpenPage), RowOutcome::Hit);
+        assert_eq!(b.access(5, true, RowPolicy::OpenPage), RowOutcome::Hit);
+        let s = b.stats();
+        assert_eq!(s.activates, 1);
+        assert_eq!(s.row_hits, 2);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+    }
+
+    #[test]
+    fn open_page_conflict_pays_precharge_and_activate() {
+        let mut b = Bank::default();
+        b.access(1, false, RowPolicy::OpenPage);
+        assert_eq!(
+            b.access(2, false, RowPolicy::OpenPage),
+            RowOutcome::Conflict {
+                dirty_eviction: false
+            }
+        );
+        let s = b.stats();
+        assert_eq!(s.activates, 2);
+        assert_eq!(s.precharges, 1);
+        assert_eq!(s.row_conflicts, 1);
+        assert_eq!(s.dirty_writebacks, 0);
+        assert_eq!(
+            b.state(),
+            BankState::Active {
+                row: 2,
+                dirty: false
+            }
+        );
+    }
+
+    #[test]
+    fn dirty_row_eviction_is_flagged() {
+        let mut b = Bank::default();
+        b.access(1, true, RowPolicy::OpenPage); // open + dirty row 1
+        b.access(1, false, RowPolicy::OpenPage); // read hit keeps it dirty
+        assert_eq!(
+            b.access(2, false, RowPolicy::OpenPage),
+            RowOutcome::Conflict {
+                dirty_eviction: true
+            }
+        );
+        assert_eq!(b.stats().dirty_writebacks, 1);
+        // The newly opened row is clean.
+        assert_eq!(
+            b.state(),
+            BankState::Active {
+                row: 2,
+                dirty: false
+            }
+        );
+    }
+
+    #[test]
+    fn closed_page_always_activates() {
+        let mut b = Bank::default();
+        assert_eq!(b.access(1, false, RowPolicy::ClosedPage), RowOutcome::Activate);
+        assert_eq!(b.state(), BankState::Idle);
+        assert_eq!(b.access(1, false, RowPolicy::ClosedPage), RowOutcome::Activate);
+        let s = b.stats();
+        assert_eq!(s.activates, 2);
+        assert_eq!(s.precharges, 2);
+        assert_eq!(s.row_hits, 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The *hierarchical* hybrid memory design: DRAM as a cache in front of
+//! NVRAM (Qureshi et al., §VIII), built so the paper's §II argument
+//! against it can be tested:
+//!
+//! "A hybrid memory system can be hierarchical, using DRAM as a cache to
+//! reduce NVRAM access latency, or horizontally putting NVRAM and DRAM
+//! side-by-side behind the bus. ... The first design does not fit well
+//! for many scientific applications. For workloads with poor locality,
+//! the DRAM cache actually lowers performance and increases energy
+//! consumption. ... Therefore, our discussion in this paper focuses on
+//! the second hybrid memory system."
+//!
+//! The model: a set-associative DRAM cache (4 KB blocks, as Qureshi's
+//! design caches at page-ish granularity) in front of an NVRAM backing
+//! store. Every main-memory transaction first probes the cache; a miss
+//! pays the NVRAM access *plus* the block fill, and a dirty eviction pays
+//! a block write back to NVRAM. The report gives average access latency
+//! and energy per transaction, directly comparable with a flat replay on
+//! the same trace.
+
+use crate::calibration::{E_PERIPHERAL_NJ, T_BUS_NS, VDD};
+use nvsim_types::{DeviceProfile, MemTransaction};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the DRAM cache layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramCacheConfig {
+    /// Cache capacity in bytes (Qureshi-style: ~3% of NVRAM capacity).
+    pub capacity_bytes: u64,
+    /// Block (fill) size in bytes — large blocks amortize tag overhead
+    /// but multiply miss cost for poor locality.
+    pub block_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// DRAM access latency, ns.
+    pub dram_latency_ns: f64,
+}
+
+impl Default for DramCacheConfig {
+    fn default() -> Self {
+        DramCacheConfig {
+            capacity_bytes: 64 << 20,
+            block_bytes: 4096,
+            ways: 8,
+            dram_latency_ns: 10.0,
+        }
+    }
+}
+
+/// Aggregate result of a hierarchical-hybrid replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramCacheReport {
+    /// Transactions served.
+    pub transactions: u64,
+    /// DRAM-cache hits.
+    pub hits: u64,
+    /// Misses (each pays an NVRAM block fill).
+    pub misses: u64,
+    /// Dirty block evictions written back to NVRAM.
+    pub dirty_evictions: u64,
+    /// Average latency per transaction, ns.
+    pub avg_latency_ns: f64,
+    /// Average energy per transaction, nJ.
+    pub avg_energy_nj: f64,
+}
+
+impl DramCacheReport {
+    /// Cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.transactions as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    tag: u64,
+    dirty: bool,
+    valid: bool,
+    last_use: u64,
+}
+
+/// The hierarchical hybrid: DRAM cache over an NVRAM backing store.
+pub struct DramCachedNvram {
+    config: DramCacheConfig,
+    nvram: DeviceProfile,
+    blocks: Vec<Block>,
+    sets: u64,
+    tick: u64,
+    report: DramCacheReport,
+    total_latency_ns: f64,
+    total_energy_nj: f64,
+}
+
+impl DramCachedNvram {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    /// Panics if the geometry is not a power-of-two set count.
+    pub fn new(config: DramCacheConfig, nvram: DeviceProfile) -> Self {
+        let blocks_total = config.capacity_bytes / config.block_bytes;
+        let sets = blocks_total / u64::from(config.ways);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        DramCachedNvram {
+            blocks: vec![
+                Block {
+                    tag: 0,
+                    dirty: false,
+                    valid: false,
+                    last_use: 0
+                };
+                blocks_total as usize
+            ],
+            sets,
+            tick: 0,
+            report: DramCacheReport {
+                transactions: 0,
+                hits: 0,
+                misses: 0,
+                dirty_evictions: 0,
+                avg_latency_ns: 0.0,
+                avg_energy_nj: 0.0,
+            },
+            total_latency_ns: 0.0,
+            total_energy_nj: 0.0,
+            config,
+            nvram,
+        }
+    }
+
+    /// Energy of moving `bytes` at the NVRAM array (per-64B-burst cell
+    /// current over the bus window).
+    fn nvram_energy_nj(&self, bytes: u64, write: bool) -> f64 {
+        let bursts = bytes.div_ceil(64) as f64;
+        let current = if write {
+            self.nvram.write_current_ma
+        } else {
+            self.nvram.read_current_ma
+        };
+        bursts * (VDD * current * 1e-3 * T_BUS_NS + E_PERIPHERAL_NJ)
+    }
+
+    /// DRAM access energy for one 64 B transaction.
+    fn dram_energy_nj(&self) -> f64 {
+        VDD * 115.0 * 1e-3 * T_BUS_NS + E_PERIPHERAL_NJ
+    }
+
+    /// Serves one 64-byte transaction.
+    pub fn process(&mut self, txn: &MemTransaction) {
+        self.tick += 1;
+        self.report.transactions += 1;
+        // Pre-compute the energies before borrowing the block set.
+        let dram_e = self.dram_energy_nj();
+        let fill_e = self.nvram_energy_nj(self.config.block_bytes, false);
+        let wb_e = self.nvram_energy_nj(self.config.block_bytes, true);
+        let block_addr = txn.addr.raw() / self.config.block_bytes;
+        let set = (block_addr % self.sets) as usize;
+        let ways = self.config.ways as usize;
+        let tick = self.tick;
+        let slice = &mut self.blocks[set * ways..(set + 1) * ways];
+
+        // Probe.
+        if let Some(b) = slice.iter_mut().find(|b| b.valid && b.tag == block_addr) {
+            b.last_use = tick;
+            b.dirty |= txn.kind.is_write();
+            self.report.hits += 1;
+            self.total_latency_ns += self.config.dram_latency_ns;
+            self.total_energy_nj += dram_e;
+            return;
+        }
+
+        // Miss: fill the whole block from NVRAM, evicting LRU.
+        self.report.misses += 1;
+        let victim = match slice.iter_mut().find(|b| !b.valid) {
+            Some(v) => v,
+            None => slice.iter_mut().min_by_key(|b| b.last_use).expect("ways >= 1"),
+        };
+        let mut latency = self.nvram.read_latency_ns
+            + self.config.block_bytes as f64 / 64.0 * T_BUS_NS
+            + self.config.dram_latency_ns;
+        let mut energy = fill_e + dram_e;
+        let mut dirty_evicted = false;
+        if victim.valid && victim.dirty {
+            dirty_evicted = true;
+            latency += self.nvram.write_latency_ns;
+            energy += wb_e;
+        }
+        *victim = Block {
+            tag: block_addr,
+            dirty: txn.kind.is_write(),
+            valid: true,
+            last_use: tick,
+        };
+        if dirty_evicted {
+            self.report.dirty_evictions += 1;
+        }
+        self.total_latency_ns += latency;
+        self.total_energy_nj += energy;
+    }
+
+    /// Finalizes averages and returns the report.
+    pub fn finish(mut self) -> DramCacheReport {
+        let n = self.report.transactions.max(1) as f64;
+        self.report.avg_latency_ns = self.total_latency_ns / n;
+        self.report.avg_energy_nj = self.total_energy_nj / n;
+        self.report
+    }
+}
+
+/// Flat (horizontal) baseline on the same trace: every transaction goes
+/// straight to the device at 64-byte granularity.
+pub fn flat_baseline(txns: &[MemTransaction], device: &DeviceProfile) -> DramCacheReport {
+    let mut total_latency = 0.0;
+    let mut total_energy = 0.0;
+    for t in txns {
+        let write = t.kind.is_write();
+        total_latency += if write {
+            device.write_latency_ns
+        } else {
+            device.read_latency_ns
+        };
+        let current = if write {
+            device.write_current_ma
+        } else {
+            device.read_current_ma
+        };
+        total_energy += VDD * current * 1e-3 * T_BUS_NS + E_PERIPHERAL_NJ;
+    }
+    let n = txns.len().max(1) as f64;
+    DramCacheReport {
+        transactions: txns.len() as u64,
+        hits: 0,
+        misses: txns.len() as u64,
+        dirty_evictions: 0,
+        avg_latency_ns: total_latency / n,
+        avg_energy_nj: total_energy / n,
+    }
+}
+
+/// Replays a trace through the hierarchical hybrid.
+pub fn replay_dram_cache(
+    txns: &[MemTransaction],
+    config: DramCacheConfig,
+    nvram: DeviceProfile,
+) -> DramCacheReport {
+    let mut h = DramCachedNvram::new(config, nvram);
+    for t in txns {
+        h.process(t);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::{TransactionKind, VirtAddr};
+
+    fn txn(addr: u64, write: bool) -> MemTransaction {
+        MemTransaction {
+            addr: VirtAddr::new(addr),
+            kind: if write {
+                TransactionKind::Writeback
+            } else {
+                TransactionKind::ReadFill
+            },
+            issue_cycle: 0,
+        }
+    }
+
+    /// Good locality: a working set that fits the DRAM cache, revisited.
+    fn local_trace(n: u64) -> Vec<MemTransaction> {
+        (0..n)
+            .map(|i| txn((i * 64) % (16 << 20), i % 4 == 0))
+            .collect()
+    }
+
+    /// Poor locality: a random walk over 1 GiB (far beyond the cache).
+    fn scattered_trace(n: u64) -> Vec<MemTransaction> {
+        let mut x = 0x853c49e6748fea9bu64;
+        (0..n)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                txn((x % (1 << 30)) & !63, i % 4 == 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn good_locality_wins_with_the_dram_cache() {
+        let txns = local_trace(200_000);
+        let cached = replay_dram_cache(&txns, DramCacheConfig::default(), DeviceProfile::pcram());
+        let flat = flat_baseline(&txns, &DeviceProfile::pcram());
+        assert!(cached.hit_rate() > 0.9, "hit rate {}", cached.hit_rate());
+        assert!(
+            cached.avg_latency_ns < flat.avg_latency_ns,
+            "cached {} vs flat {}",
+            cached.avg_latency_ns,
+            flat.avg_latency_ns
+        );
+    }
+
+    #[test]
+    fn poor_locality_loses_with_the_dram_cache() {
+        // The §II claim: for poor locality the DRAM cache *lowers
+        // performance and increases energy* vs going to NVRAM directly.
+        let txns = scattered_trace(100_000);
+        let cached = replay_dram_cache(&txns, DramCacheConfig::default(), DeviceProfile::pcram());
+        let flat = flat_baseline(&txns, &DeviceProfile::pcram());
+        assert!(cached.hit_rate() < 0.2, "hit rate {}", cached.hit_rate());
+        assert!(
+            cached.avg_latency_ns > flat.avg_latency_ns,
+            "cache should hurt: {} vs {}",
+            cached.avg_latency_ns,
+            flat.avg_latency_ns
+        );
+        assert!(
+            cached.avg_energy_nj > 2.0 * flat.avg_energy_nj,
+            "block fills should burn energy: {} vs {}",
+            cached.avg_energy_nj,
+            flat.avg_energy_nj
+        );
+    }
+
+    #[test]
+    fn dirty_evictions_pay_nvram_writes() {
+        // Write-heavy thrash: every miss eventually evicts dirty.
+        let mut txns = Vec::new();
+        for i in 0..50_000u64 {
+            txns.push(txn((i * 4096) % (1 << 30), true));
+        }
+        let rep = replay_dram_cache(&txns, DramCacheConfig::default(), DeviceProfile::pcram());
+        assert!(rep.dirty_evictions > 10_000);
+    }
+
+    #[test]
+    fn report_accounting() {
+        let txns = local_trace(10_000);
+        let rep = replay_dram_cache(&txns, DramCacheConfig::default(), DeviceProfile::sttram());
+        assert_eq!(rep.transactions, 10_000);
+        assert_eq!(rep.hits + rep.misses, 10_000);
+        assert!(rep.avg_latency_ns > 0.0);
+        assert!(rep.avg_energy_nj > 0.0);
+    }
+}

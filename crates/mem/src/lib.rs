@@ -1,0 +1,36 @@
+//! # nvsim-mem
+//!
+//! A DRAMSim2-style transaction-level memory-system simulator with power
+//! estimation for DRAM and NVRAM devices (paper §IV).
+//!
+//! The paper's simulator "has three modules": the *memory system* (the
+//! interface fed by trace files — [`system::MemorySystem`] here), the
+//! *memory controller* ("address mapping, row policy and bank state
+//! updates" — [`controller::MemoryController`]), and the *memory ranks*
+//! module (bank state machines and command legality — [`bank`]). Power
+//! components follow §IV: burst power (reading/writing cells), background
+//! power, activation/precharge power, and refresh power, which is zero for
+//! NVRAM. The §IV assumptions are kept: identical peripheral circuitry and
+//! memory protocol across technologies, PCM set current equal to the reset
+//! current (upper bound), and PCM currents (40 mA read / 150 mA write)
+//! reused for STTRAM and MRAM (upper bound).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bank;
+pub mod calibration;
+pub mod controller;
+pub mod dram_cache;
+pub mod mapping;
+pub mod power;
+pub mod scheduler;
+pub mod system;
+
+pub use bank::{Bank, BankStats, RowPolicy};
+pub use controller::{ControllerStats, MemoryController};
+pub use dram_cache::{flat_baseline, replay_dram_cache, DramCacheConfig, DramCacheReport};
+pub use mapping::{AddressMapping, DecodedAddr, MappingScheme};
+pub use power::{PowerBreakdown, PowerModel};
+pub use scheduler::FrFcfsScheduler;
+pub use system::{MemorySystem, PowerReport};

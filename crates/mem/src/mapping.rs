@@ -1,0 +1,195 @@
+//! Physical address mapping: line address → (rank, bank, row, column).
+//!
+//! The scheme decides which resources consecutive cache lines land on, and
+//! with it the row-buffer hit rate and bank-level parallelism the
+//! controller sees. DRAMSim2 ships several orderings; we implement the two
+//! that bracket the behaviour space.
+
+use nvsim_types::{SystemConfig, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+/// Bit-field ordering of the decomposed address (listed from the most
+/// significant field to the least).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingScheme {
+    /// `row : rank : bank : column` — consecutive lines walk the columns
+    /// of one open row, maximizing row-buffer hits for streaming access.
+    RowRankBankCol,
+    /// `row : column : rank : bank` — consecutive lines rotate over banks
+    /// and ranks, maximizing bank-level parallelism.
+    RowColRankBank,
+}
+
+/// A decoded device coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodedAddr {
+    /// Rank index.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// Line-granularity column within the row.
+    pub col: u32,
+}
+
+impl DecodedAddr {
+    /// Flattened bank index across ranks.
+    pub fn flat_bank(&self, banks_per_rank: u32) -> usize {
+        (self.rank * banks_per_rank + self.bank) as usize
+    }
+}
+
+/// Address decoder configured from Table III geometry.
+#[derive(Debug, Clone)]
+pub struct AddressMapping {
+    scheme: MappingScheme,
+    line_bits: u32,
+    col_bits: u32,
+    bank_bits: u32,
+    rank_bits: u32,
+    row_bits: u32,
+}
+
+impl AddressMapping {
+    /// Builds a mapping for the given system geometry and cache line size.
+    ///
+    /// # Panics
+    /// Panics if any geometry field is not a power of two.
+    pub fn new(scheme: MappingScheme, sys: &SystemConfig, line_size: u64) -> Self {
+        // Each column holds one bus transfer (bus_bits/8 bytes); a cache
+        // line spans line_size / (bus_bits/8) consecutive columns. We
+        // decode at line granularity, so the per-line column field loses
+        // those low bits.
+        let bus_bytes = u64::from(sys.bus_bits) / 8;
+        let cols_per_line = (line_size / bus_bytes).max(1);
+        let line_cols = (u64::from(sys.cols) / cols_per_line).max(1);
+        for (v, what) in [
+            (u64::from(sys.banks), "banks"),
+            (u64::from(sys.ranks), "ranks"),
+            (u64::from(sys.rows), "rows"),
+            (line_cols, "columns per line"),
+        ] {
+            assert!(v.is_power_of_two(), "{what} must be a power of two, got {v}");
+        }
+        AddressMapping {
+            scheme,
+            line_bits: line_size.trailing_zeros(),
+            col_bits: line_cols.trailing_zeros(),
+            bank_bits: sys.banks.trailing_zeros(),
+            rank_bits: sys.ranks.trailing_zeros(),
+            row_bits: sys.rows.trailing_zeros(),
+        }
+    }
+
+    /// Total addressable bytes before the decode wraps.
+    pub fn capacity_bytes(&self) -> u64 {
+        1u64 << (self.line_bits + self.col_bits + self.bank_bits + self.rank_bits + self.row_bits)
+    }
+
+    /// Decodes a byte address (the line offset is discarded; addresses
+    /// beyond the capacity wrap, as trace replay treats the device as a
+    /// direct-mapped window).
+    pub fn decode(&self, addr: VirtAddr) -> DecodedAddr {
+        let mut x = addr.raw() >> self.line_bits;
+        let mut take = |bits: u32| {
+            let v = (x & ((1 << bits) - 1)) as u32;
+            x >>= bits;
+            v
+        };
+        match self.scheme {
+            MappingScheme::RowRankBankCol => {
+                let col = take(self.col_bits);
+                let bank = take(self.bank_bits);
+                let rank = take(self.rank_bits);
+                let row = take(self.row_bits);
+                DecodedAddr {
+                    rank,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+            MappingScheme::RowColRankBank => {
+                let bank = take(self.bank_bits);
+                let rank = take(self.rank_bits);
+                let col = take(self.col_bits);
+                let row = take(self.row_bits);
+                DecodedAddr {
+                    rank,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping(scheme: MappingScheme) -> AddressMapping {
+        AddressMapping::new(scheme, &SystemConfig::default(), 64)
+    }
+
+    #[test]
+    fn sequential_lines_stay_in_row_with_col_low() {
+        let m = mapping(MappingScheme::RowRankBankCol);
+        let a = m.decode(VirtAddr::new(0));
+        let b = m.decode(VirtAddr::new(64));
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(b.col, a.col + 1);
+    }
+
+    #[test]
+    fn sequential_lines_rotate_banks_with_bank_low() {
+        let m = mapping(MappingScheme::RowColRankBank);
+        let a = m.decode(VirtAddr::new(0));
+        let b = m.decode(VirtAddr::new(64));
+        assert_eq!(b.bank, a.bank + 1);
+        assert_eq!(a.row, b.row);
+    }
+
+    #[test]
+    fn decode_fields_are_in_range() {
+        let sys = SystemConfig::default();
+        for scheme in [MappingScheme::RowRankBankCol, MappingScheme::RowColRankBank] {
+            let m = mapping(scheme);
+            for addr in (0..(1u64 << 32)).step_by(997 * 64) {
+                let d = m.decode(VirtAddr::new(addr));
+                assert!(d.bank < sys.banks);
+                assert!(d.rank < sys.ranks);
+                assert!(d.row < sys.rows);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_matches_table_iii() {
+        // 1024 rows * 16 ranks * 16 banks * (1024 cols * 8 B) = 2 GiB.
+        let m = mapping(MappingScheme::RowRankBankCol);
+        assert_eq!(m.capacity_bytes(), 2 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn flat_bank_is_unique_per_rank_bank() {
+        let sys = SystemConfig::default();
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..sys.ranks {
+            for bank in 0..sys.banks {
+                let d = DecodedAddr {
+                    rank,
+                    bank,
+                    row: 0,
+                    col: 0,
+                };
+                assert!(seen.insert(d.flat_bank(sys.banks)));
+            }
+        }
+        assert_eq!(seen.len(), 256);
+    }
+}

@@ -1,0 +1,230 @@
+//! The power model of §IV.
+//!
+//! "Our power simulator for NVRAM includes power components for burst power
+//! (i.e., the cost for reading/writing memory cells), background power, and
+//! activation/precharge power (depending on the availability of hardware
+//! parameters). Refresh power is 0 for NVRAM."
+//!
+//! Average power over a full-speed trace replay is total energy divided by
+//! the replay time the controller measured. Background and refresh power
+//! are time-proportional (and zero for NVRAM); burst and activate/precharge
+//! energy are event-proportional.
+
+use crate::calibration::{
+    DDR3_I_READ_MA, DDR3_I_WRITE_MA, E_ACT_PRE_NJ, E_PERIPHERAL_NJ, PARTIAL_WRITE_FRACTION,
+    REFRESH_MW_PER_GB, T_BUS_NS, VDD,
+};
+use crate::controller::ControllerStats;
+use nvsim_types::{DeviceProfile, MemoryTechnology};
+use serde::{Deserialize, Serialize};
+
+/// Power decomposed into the §IV components, in milliwatts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Burst power of column reads.
+    pub burst_read_mw: f64,
+    /// Burst power of column writes.
+    pub burst_write_mw: f64,
+    /// Activation/precharge power: peripheral command energy plus the
+    /// array sense energy of each activation and the array write-pulse
+    /// energy of each dirty row-buffer writeback.
+    pub act_pre_mw: f64,
+    /// Background (leakage + peripheral standby) power.
+    pub background_mw: f64,
+    /// Refresh power (0 for NVRAM).
+    pub refresh_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total average power in mW.
+    pub fn total_mw(&self) -> f64 {
+        self.burst_read_mw
+            + self.burst_write_mw
+            + self.act_pre_mw
+            + self.background_mw
+            + self.refresh_mw
+    }
+
+    /// Dynamic (event-driven) fraction of the total.
+    pub fn dynamic_fraction(&self) -> f64 {
+        let total = self.total_mw();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.burst_read_mw + self.burst_write_mw + self.act_pre_mw) / total
+        }
+    }
+}
+
+/// The power model for one device.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    device: DeviceProfile,
+    capacity_gb: f64,
+}
+
+impl PowerModel {
+    /// Creates a model for `device` with `capacity_bytes` of memory.
+    pub fn new(device: DeviceProfile, capacity_bytes: u64) -> Self {
+        PowerModel {
+            device,
+            capacity_gb: capacity_bytes as f64 / (1u64 << 30) as f64,
+        }
+    }
+
+    /// Energy of one column read burst, nJ: technology cell current over
+    /// the (protocol-fixed) burst window, plus the shared peripheral
+    /// energy. DRAM uses IDD4-class currents; NVRAMs use the §IV cell
+    /// currents (identical for PCRAM/STTRAM/MRAM — the upper-bound reuse).
+    pub fn read_burst_energy_nj(&self) -> f64 {
+        let current_ma = match self.device.technology {
+            MemoryTechnology::Ddr3 => DDR3_I_READ_MA,
+            _ => self.device.read_current_ma,
+        };
+        VDD * current_ma * 1e-3 * T_BUS_NS + E_PERIPHERAL_NJ
+    }
+
+    /// Energy of one column write burst, nJ (see
+    /// [`PowerModel::read_burst_energy_nj`]).
+    pub fn write_burst_energy_nj(&self) -> f64 {
+        let current_ma = match self.device.technology {
+            MemoryTechnology::Ddr3 => DDR3_I_WRITE_MA,
+            _ => self.device.write_current_ma,
+        };
+        VDD * current_ma * 1e-3 * T_BUS_NS + E_PERIPHERAL_NJ
+    }
+
+    /// Computes the average-power breakdown for a finished replay.
+    ///
+    /// # Panics
+    /// Panics if the replay time is zero while transactions were served.
+    pub fn average_power(&self, stats: &ControllerStats) -> PowerBreakdown {
+        if stats.transactions() == 0 {
+            return PowerBreakdown {
+                background_mw: self.background_mw(),
+                refresh_mw: self.refresh_mw(),
+                ..PowerBreakdown::default()
+            };
+        }
+        assert!(
+            stats.elapsed_ns > 0.0,
+            "transactions served but no elapsed time"
+        );
+        let t_ns = stats.elapsed_ns;
+        // nJ / ns = W; ×1000 -> mW.
+        let to_mw = 1000.0 / t_ns;
+        let act_energy_nj = stats.activates as f64
+            * (E_ACT_PRE_NJ + self.array_sense_energy_nj())
+            + stats.dirty_writebacks as f64 * self.array_write_energy_nj();
+        PowerBreakdown {
+            burst_read_mw: stats.reads as f64 * self.read_burst_energy_nj() * to_mw,
+            burst_write_mw: stats.writes as f64 * self.write_burst_energy_nj() * to_mw,
+            act_pre_mw: act_energy_nj * to_mw,
+            background_mw: self.background_mw(),
+            refresh_mw: self.refresh_mw(),
+        }
+    }
+
+    /// Array sense energy of one activation, nJ: the device read current
+    /// over the device read latency.
+    pub fn array_sense_energy_nj(&self) -> f64 {
+        VDD * self.device.read_current_ma * 1e-3 * self.device.read_latency_ns
+    }
+
+    /// Array write-pulse energy of one dirty row-buffer writeback, nJ:
+    /// the device write current over the device write latency, scaled by
+    /// the partial-write coverage.
+    pub fn array_write_energy_nj(&self) -> f64 {
+        VDD * self.device.write_current_ma
+            * 1e-3
+            * self.device.write_latency_ns
+            * PARTIAL_WRITE_FRACTION
+    }
+
+    fn background_mw(&self) -> f64 {
+        self.device.standby_power_mw_per_gb * self.capacity_gb
+    }
+
+    fn refresh_mw(&self) -> f64 {
+        if self.device.refresh_interval_ns > 0.0 {
+            REFRESH_MW_PER_GB * self.capacity_gb
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB2: u64 = 2 * 1024 * 1024 * 1024;
+
+    fn stats(reads: u64, writes: u64, activates: u64, elapsed_ns: f64) -> ControllerStats {
+        ControllerStats {
+            reads,
+            writes,
+            activates,
+            elapsed_ns,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn nvram_has_no_background_or_refresh() {
+        for t in [MemoryTechnology::Pcram, MemoryTechnology::Sttram, MemoryTechnology::Mram] {
+            let m = PowerModel::new(DeviceProfile::for_technology(t), GB2);
+            let p = m.average_power(&stats(100, 50, 150, 10_000.0));
+            assert_eq!(p.background_mw, 0.0, "{t}");
+            assert_eq!(p.refresh_mw, 0.0, "{t}");
+            assert!(p.total_mw() > 0.0);
+            assert_eq!(p.dynamic_fraction(), 1.0);
+        }
+    }
+
+    #[test]
+    fn dram_pays_background_and_refresh() {
+        let m = PowerModel::new(DeviceProfile::ddr3(), GB2);
+        let p = m.average_power(&stats(100, 50, 150, 10_000.0));
+        assert!(p.background_mw > 0.0);
+        assert!(p.refresh_mw > 0.0);
+        assert!(p.dynamic_fraction() < 1.0);
+    }
+
+    #[test]
+    fn write_burst_costs_more_than_read_for_nvram() {
+        let m = PowerModel::new(DeviceProfile::pcram(), GB2);
+        // 150 mA write vs 40 mA read.
+        assert!(m.write_burst_energy_nj() > m.read_burst_energy_nj());
+        // All NVRAMs share the burst energies (same currents, same window).
+        let s = PowerModel::new(DeviceProfile::sttram(), GB2);
+        assert_eq!(m.write_burst_energy_nj(), s.write_burst_energy_nj());
+        assert_eq!(m.read_burst_energy_nj(), s.read_burst_energy_nj());
+    }
+
+    #[test]
+    fn power_scales_inversely_with_elapsed_time() {
+        let m = PowerModel::new(DeviceProfile::pcram(), GB2);
+        let fast = m.average_power(&stats(1000, 500, 1500, 10_000.0));
+        let slow = m.average_power(&stats(1000, 500, 1500, 20_000.0));
+        assert!((fast.total_mw() / slow.total_mw() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_monotone_in_write_fraction() {
+        let m = PowerModel::new(DeviceProfile::pcram(), GB2);
+        let read_heavy = m.average_power(&stats(900, 100, 1000, 10_000.0));
+        let write_heavy = m.average_power(&stats(100, 900, 1000, 10_000.0));
+        assert!(write_heavy.total_mw() > read_heavy.total_mw());
+    }
+
+    #[test]
+    fn idle_trace_is_background_only() {
+        let m = PowerModel::new(DeviceProfile::ddr3(), GB2);
+        let p = m.average_power(&ControllerStats::default());
+        assert_eq!(p.burst_read_mw, 0.0);
+        assert!(p.background_mw > 0.0);
+        let nv = PowerModel::new(DeviceProfile::mram(), GB2);
+        assert_eq!(nv.average_power(&ControllerStats::default()).total_mw(), 0.0);
+    }
+}

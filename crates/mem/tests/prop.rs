@@ -1,0 +1,118 @@
+//! Property tests of the memory system: the address decode is a bijection
+//! over the device capacity, replay time is monotone and bus-bounded, and
+//! power obeys basic sanity (non-negative, monotone in traffic).
+
+use nvsim_mem::{AddressMapping, MappingScheme, MemorySystem};
+use nvsim_types::{
+    DeviceProfile, MemTransaction, MemoryTechnology, SystemConfig, VirtAddr,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn decode_is_injective_over_sampled_lines(seed in any::<u64>()) {
+        let sys = SystemConfig::default();
+        for scheme in [MappingScheme::RowRankBankCol, MappingScheme::RowColRankBank] {
+            let m = AddressMapping::new(scheme, &sys, 64);
+            let mut seen = HashSet::new();
+            let mut x = seed | 1;
+            for _ in 0..2000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let line = (x % (m.capacity_bytes() / 64)) * 64;
+                let d = m.decode(VirtAddr::new(line));
+                let key = (d.rank, d.bank, d.row, d.col);
+                // Distinct lines must decode to distinct coordinates.
+                prop_assert!(
+                    seen.insert((line, key)) || !seen.contains(&(line ^ 1, key)),
+                    "collision"
+                );
+            }
+            // Stronger: full injectivity over a small contiguous window.
+            let mut coords = HashSet::new();
+            for i in 0..4096u64 {
+                let d = m.decode(VirtAddr::new(i * 64));
+                prop_assert!(coords.insert((d.rank, d.bank, d.row, d.col)));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_time_is_monotone_in_trace_length(n in 10u64..300) {
+        let sys = SystemConfig::default();
+        let txns: Vec<MemTransaction> = (0..n)
+            .map(|i| MemTransaction::read_fill(VirtAddr::new(i * 64)))
+            .collect();
+        let mut prev = 0.0;
+        for take in [n / 2, n] {
+            let mut m = MemorySystem::new(DeviceProfile::ddr3(), &sys);
+            m.replay(txns.iter().take(take as usize));
+            let r = m.finish();
+            prop_assert!(r.stats.elapsed_ns >= prev);
+            prev = r.stats.elapsed_ns;
+        }
+    }
+
+    #[test]
+    fn power_components_are_nonnegative(
+        addrs in proptest::collection::vec((0u64..1 << 28, any::<bool>()), 1..500),
+    ) {
+        let sys = SystemConfig::default();
+        for tech in MemoryTechnology::ALL {
+            let mut m = MemorySystem::new(DeviceProfile::for_technology(tech), &sys);
+            for &(a, w) in &addrs {
+                let addr = VirtAddr::new(a & !63);
+                m.process(&if w {
+                    MemTransaction::writeback(addr)
+                } else {
+                    MemTransaction::read_fill(addr)
+                });
+            }
+            let r = m.finish();
+            let p = r.power;
+            for v in [
+                p.burst_read_mw,
+                p.burst_write_mw,
+                p.act_pre_mw,
+                p.background_mw,
+                p.refresh_mw,
+            ] {
+                prop_assert!(v >= 0.0 && v.is_finite());
+            }
+            prop_assert!(r.total_mw() > 0.0);
+            // Replay is at least bus-bound.
+            prop_assert!(
+                r.stats.elapsed_ns + 1e-9 >= (addrs.len() as f64 - 1.0) * 8.0,
+                "{}: {} ns for {} txns",
+                tech,
+                r.stats.elapsed_ns,
+                addrs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn nvram_always_beats_dram_on_identical_traces(
+        addrs in proptest::collection::vec(0u64..1 << 26, 50..400),
+    ) {
+        let sys = SystemConfig::default();
+        let txns: Vec<MemTransaction> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let addr = VirtAddr::new(a & !63);
+                if i % 3 == 0 {
+                    MemTransaction::writeback(addr)
+                } else {
+                    MemTransaction::read_fill(addr)
+                }
+            })
+            .collect();
+        let (_, normalized) = nvsim_mem::system::replay_all_technologies(&txns, &sys);
+        for (i, &n) in normalized[1..].iter().enumerate() {
+            prop_assert!(n < 1.0, "tech {} drew {n} >= DRAM", i + 1);
+        }
+    }
+}

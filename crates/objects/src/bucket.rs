@@ -1,0 +1,281 @@
+//! The bucketed address-space index of §III-D.
+//!
+//! "To speed up searching, we divide the memory address space into many
+//! buckets and distribute the memory objects into the buckets based on
+//! their address range. To decide which memory object a memory reference
+//! belongs to, we apply a memory masking scheme to the reference address to
+//! choose the bucket corresponding to this address, and then search for
+//! memory objects within the chosen bucket. To avoid clustering memory
+//! objects into very few buckets and invalidating the bucket scheme, we
+//! dynamically divide the memory address space so that the memory objects
+//! can be evenly distributed between buckets."
+//!
+//! The index covers one segment (heap or global). Buckets are fixed in
+//! count; the bucket *size* (a power of two, applied by shift — the paper's
+//! "masking scheme") adapts: when the populated span outgrows the covered
+//! span the index rebuilds with a larger shift, and when average bucket
+//! occupancy exceeds a threshold it rebuilds with a smaller shift (down to
+//! a floor) to spread objects out.
+
+use crate::object::ObjectId;
+use nvsim_types::{AddrRange, VirtAddr};
+
+/// Number of buckets. Power of two so the bucket choice is shift+mask.
+const NUM_BUCKETS: usize = 4096;
+/// Rebuild to smaller buckets when average live occupancy exceeds this.
+const MAX_AVG_OCCUPANCY: usize = 8;
+/// Smallest bucket size: 4 KiB.
+const MIN_SHIFT: u32 = 12;
+
+/// A bucketed index from addresses to the objects whose ranges cover them.
+#[derive(Debug, Clone)]
+pub struct RangeIndex {
+    /// Base address the bucket grid is anchored at.
+    base: VirtAddr,
+    /// log2 of the bucket size.
+    shift: u32,
+    buckets: Vec<Vec<(AddrRange, ObjectId)>>,
+    /// All entries, for rebuilds (range, id).
+    entries: Vec<(AddrRange, ObjectId)>,
+    /// Statistics: lookups and entries scanned, for the §III-D ablation.
+    lookups: u64,
+    scanned: u64,
+    rebuilds: u64,
+}
+
+impl RangeIndex {
+    /// Creates an index anchored at `segment_start` with minimal buckets.
+    pub fn new(segment_start: VirtAddr) -> Self {
+        RangeIndex {
+            base: segment_start,
+            shift: MIN_SHIFT,
+            buckets: vec![Vec::new(); NUM_BUCKETS],
+            entries: Vec::new(),
+            lookups: 0,
+            scanned: 0,
+            rebuilds: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, addr: VirtAddr) -> Option<usize> {
+        let off = addr.raw().checked_sub(self.base.raw())?;
+        let idx = (off >> self.shift) as usize;
+        if idx < NUM_BUCKETS {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Span covered by the current grid.
+    fn covered_end(&self) -> VirtAddr {
+        VirtAddr::new(self.base.raw() + ((NUM_BUCKETS as u64) << self.shift))
+    }
+
+    /// Inserts an object range. Triggers a rebuild if the range falls
+    /// outside the covered span or occupancy is too high.
+    pub fn insert(&mut self, range: AddrRange, id: ObjectId) {
+        self.entries.push((range, id));
+        if range.end > self.covered_end() {
+            self.grow_to_cover(range.end);
+        } else {
+            self.place(range, id);
+            self.maybe_shrink_buckets();
+        }
+    }
+
+    /// Removes an object (e.g. when a stale entry must disappear entirely;
+    /// dead heap objects normally stay indexed and are filtered by
+    /// liveness at lookup).
+    pub fn remove(&mut self, id: ObjectId) {
+        self.entries.retain(|&(_, e)| e != id);
+        for b in &mut self.buckets {
+            b.retain(|&(_, e)| e != id);
+        }
+    }
+
+    fn place(&mut self, range: AddrRange, id: ObjectId) {
+        let first = self
+            .bucket_of(range.start)
+            .expect("range start below index base");
+        let last = self
+            .bucket_of(VirtAddr::new(range.end.raw().saturating_sub(1).max(range.start.raw())))
+            .unwrap_or(NUM_BUCKETS - 1);
+        for b in first..=last {
+            self.buckets[b].push((range, id));
+        }
+    }
+
+    fn grow_to_cover(&mut self, end: VirtAddr) {
+        while end > self.covered_end() {
+            self.shift += 1;
+        }
+        self.rebuild();
+    }
+
+    fn maybe_shrink_buckets(&mut self) {
+        // Average occupancy over *populated* buckets; a high average means
+        // objects cluster and lookups degrade to linear scans.
+        let populated: usize = self.buckets.iter().filter(|b| !b.is_empty()).count();
+        if populated == 0 {
+            return;
+        }
+        let total: usize = self.buckets.iter().map(|b| b.len()).sum();
+        if total / populated > MAX_AVG_OCCUPANCY && self.shift > MIN_SHIFT {
+            // Only worth shrinking if the span allows it.
+            let span = self
+                .entries
+                .iter()
+                .map(|(r, _)| r.end.raw())
+                .max()
+                .unwrap_or(self.base.raw())
+                - self.base.raw();
+            let needed_shift = span
+                .next_power_of_two()
+                .trailing_zeros()
+                .saturating_sub(NUM_BUCKETS.trailing_zeros())
+                .max(MIN_SHIFT);
+            if needed_shift < self.shift {
+                self.shift = needed_shift;
+                self.rebuild();
+            }
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.rebuilds += 1;
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        let entries = std::mem::take(&mut self.entries);
+        for &(range, id) in &entries {
+            self.place(range, id);
+        }
+        self.entries = entries;
+    }
+
+    /// Finds all objects whose range contains `addr`, invoking `f` for each
+    /// until it returns `true` (found). Returns the matching id, if any.
+    ///
+    /// The caller filters by liveness: several objects (one live, others
+    /// dead) may cover the same address after heap reuse (§III-B).
+    pub fn lookup(&mut self, addr: VirtAddr, mut accept: impl FnMut(ObjectId) -> bool) -> Option<ObjectId> {
+        self.lookups += 1;
+        let bucket = self.bucket_of(addr)?;
+        for &(range, id) in &self.buckets[bucket] {
+            self.scanned += 1;
+            if range.contains(addr) && accept(id) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Linear-scan reference implementation, used by property tests to
+    /// validate the index and by the ablation benchmark as the baseline.
+    pub fn lookup_linear(&self, addr: VirtAddr, mut accept: impl FnMut(ObjectId) -> bool) -> Option<ObjectId> {
+        for &(range, id) in &self.entries {
+            if range.contains(addr) && accept(id) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// (lookups, entries scanned, rebuilds) — ablation counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.lookups, self.scanned, self.rebuilds)
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(base: u64, size: u64) -> AddrRange {
+        AddrRange::from_base_size(VirtAddr::new(base), size)
+    }
+
+    #[test]
+    fn lookup_finds_containing_object() {
+        let mut idx = RangeIndex::new(VirtAddr::new(0x1000));
+        idx.insert(range(0x1000, 0x100), ObjectId(0));
+        idx.insert(range(0x2000, 0x100), ObjectId(1));
+        assert_eq!(idx.lookup(VirtAddr::new(0x1080), |_| true), Some(ObjectId(0)));
+        assert_eq!(idx.lookup(VirtAddr::new(0x20ff), |_| true), Some(ObjectId(1)));
+        assert_eq!(idx.lookup(VirtAddr::new(0x3000), |_| true), None);
+        assert_eq!(idx.lookup(VirtAddr::new(0x0), |_| true), None);
+    }
+
+    #[test]
+    fn accept_filter_skips_rejected() {
+        let mut idx = RangeIndex::new(VirtAddr::new(0x1000));
+        // Two objects covering the same address (dead + live heap reuse).
+        idx.insert(range(0x1000, 0x100), ObjectId(0));
+        idx.insert(range(0x1000, 0x100), ObjectId(1));
+        let found = idx.lookup(VirtAddr::new(0x1010), |id| id == ObjectId(1));
+        assert_eq!(found, Some(ObjectId(1)));
+    }
+
+    #[test]
+    fn grows_to_cover_far_ranges() {
+        let mut idx = RangeIndex::new(VirtAddr::new(0));
+        idx.insert(range(0, 64), ObjectId(0));
+        // Far beyond the initial 4096 * 4KiB = 16 MiB coverage.
+        idx.insert(range(1 << 34, 4096), ObjectId(1));
+        assert_eq!(idx.lookup(VirtAddr::new(32), |_| true), Some(ObjectId(0)));
+        assert_eq!(
+            idx.lookup(VirtAddr::new((1 << 34) + 100), |_| true),
+            Some(ObjectId(1))
+        );
+        let (_, _, rebuilds) = idx.stats();
+        assert!(rebuilds >= 1);
+    }
+
+    #[test]
+    fn spanning_object_found_from_every_bucket() {
+        let mut idx = RangeIndex::new(VirtAddr::new(0));
+        // 64 KiB object spans multiple 4 KiB buckets.
+        idx.insert(range(0x1000, 0x10000), ObjectId(7));
+        for probe in [0x1000u64, 0x4000, 0x8000, 0x10fff] {
+            assert_eq!(idx.lookup(VirtAddr::new(probe), |_| true), Some(ObjectId(7)));
+        }
+    }
+
+    #[test]
+    fn remove_erases_entry() {
+        let mut idx = RangeIndex::new(VirtAddr::new(0));
+        idx.insert(range(0x1000, 0x100), ObjectId(0));
+        idx.remove(ObjectId(0));
+        assert_eq!(idx.lookup(VirtAddr::new(0x1010), |_| true), None);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn matches_linear_reference() {
+        let mut idx = RangeIndex::new(VirtAddr::new(0));
+        let ranges: Vec<AddrRange> = (0..200)
+            .map(|i| range(0x1000 + i * 0x200, 0x180))
+            .collect();
+        for (i, r) in ranges.iter().enumerate() {
+            idx.insert(*r, ObjectId(i as u32));
+        }
+        for probe in (0..0x20000u64).step_by(37) {
+            let a = VirtAddr::new(probe);
+            let fast = idx.lookup(a, |_| true);
+            let slow = idx.lookup_linear(a, |_| true);
+            assert_eq!(fast, slow, "divergence at {a}");
+        }
+    }
+}

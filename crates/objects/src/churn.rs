@@ -1,0 +1,125 @@
+//! Heap-churn analysis: the allocation-lifecycle view behind Figure 7's
+//! short-term/long-term distinction.
+//!
+//! §VII-C: "The short-term heap memory objects are only temporarily
+//! allocated and then deallocated in the middle of the computation. Due to
+//! the volatility of these memory objects, their cumulative memory size
+//! does not represent a real opportunity for NVRAM." This module
+//! summarizes the heap's allocation behaviour per site: how often each
+//! context allocates, how much, and whether its objects are loop-local.
+
+use crate::registry::ObjectRegistry;
+use nvsim_types::Region;
+use serde::{Deserialize, Serialize};
+
+/// Per-allocation-context churn summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnRow {
+    /// Allocation context (file:line display name).
+    pub name: String,
+    /// Object size in bytes.
+    pub size_bytes: u64,
+    /// `true` if the object was allocated and freed inside the main loop.
+    pub short_term: bool,
+    /// `true` if the object was still live at program end.
+    pub live_at_end: bool,
+    /// Main-loop references to the object.
+    pub main_loop_refs: u64,
+}
+
+/// Aggregate heap-churn report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeapChurnReport {
+    /// One row per tracked heap object (deduplicated contexts, §III-B).
+    pub rows: Vec<ChurnRow>,
+    /// Bytes in long-term objects (the Figure 7 population).
+    pub long_term_bytes: u64,
+    /// Bytes in short-term objects (excluded from Figure 7).
+    pub short_term_bytes: u64,
+}
+
+impl HeapChurnReport {
+    /// Builds the report from a finished registry.
+    pub fn from_registry(reg: &ObjectRegistry) -> Self {
+        let mut rows = Vec::new();
+        let mut long_term_bytes = 0;
+        let mut short_term_bytes = 0;
+        for o in reg.objects_in(Region::Heap) {
+            if o.short_term_heap {
+                short_term_bytes += o.metrics.size_bytes;
+            } else {
+                long_term_bytes += o.metrics.size_bytes;
+            }
+            rows.push(ChurnRow {
+                name: o.name.clone(),
+                size_bytes: o.metrics.size_bytes,
+                short_term: o.short_term_heap,
+                live_at_end: o.live,
+                main_loop_refs: o.metrics.total.total(),
+            });
+        }
+        rows.sort_by_key(|r| std::cmp::Reverse(r.main_loop_refs));
+        HeapChurnReport {
+            rows,
+            long_term_bytes,
+            short_term_bytes,
+        }
+    }
+
+    /// Fraction of heap bytes in short-term (loop-local) objects.
+    pub fn short_term_fraction(&self) -> f64 {
+        let total = self.long_term_bytes + self.short_term_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.short_term_bytes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use nvsim_trace::{AllocSite, Phase, TracedVec, Tracer};
+
+    #[test]
+    fn classifies_short_and_long_term() {
+        let mut reg = ObjectRegistry::new(RegistryConfig::default());
+        {
+            let mut t = Tracer::new(&mut reg);
+            // Long-term: allocated pre-loop, lives to the end.
+            let mut long =
+                TracedVec::<f64>::heap(&mut t, AllocSite::new("solver.rs", 1), 256).unwrap();
+            t.phase(Phase::IterationBegin(0));
+            long.set(&mut t, 0, 1.0);
+            // Short-term: allocated and freed inside the loop.
+            let mut tmp =
+                TracedVec::<f64>::heap(&mut t, AllocSite::new("scratch.rs", 2), 64).unwrap();
+            tmp.set(&mut t, 0, 2.0);
+            tmp.free(&mut t).unwrap();
+            t.phase(Phase::IterationEnd(0));
+            t.finish();
+        }
+        let report = HeapChurnReport::from_registry(&reg);
+        assert_eq!(report.rows.len(), 2);
+        let long = report.rows.iter().find(|r| r.name.contains("solver")).unwrap();
+        let short = report.rows.iter().find(|r| r.name.contains("scratch")).unwrap();
+        assert!(!long.short_term);
+        assert!(long.live_at_end);
+        assert!(short.short_term);
+        assert!(!short.live_at_end);
+        assert_eq!(report.long_term_bytes, 256 * 8);
+        assert_eq!(report.short_term_bytes, 64 * 8);
+        let f = report.short_term_fraction();
+        assert!((f - (512.0 / 2560.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_heap_reports_zero() {
+        let reg = ObjectRegistry::new(RegistryConfig::default());
+        let report = HeapChurnReport::from_registry(&reg);
+        assert!(report.rows.is_empty());
+        assert_eq!(report.short_term_fraction(), 0.0);
+    }
+}

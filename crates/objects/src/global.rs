@@ -1,0 +1,128 @@
+//! Global-symbol processing with common-block overlap merging (§III-C).
+//!
+//! "A common block allows one program unit to have a different view of a
+//! shared memory block from other program units. ... different memory
+//! identification may point to memory regions with overlapped data blocks.
+//! To solve this problem, we regard the memory objects with overlapped data
+//! blocks as one single memory object whose address range is the union of
+//! individual memory regions. We choose the combined symbol name of
+//! individual memory objects to identify the new memory object."
+
+use nvsim_trace::GlobalSymbol;
+use nvsim_types::AddrRange;
+
+/// A merged global object: the union of one or more overlapping symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedGlobal {
+    /// Combined symbol name (`a+b+c` for merged views).
+    pub name: String,
+    /// Union address range.
+    pub range: AddrRange,
+    /// How many raw symbols were merged into this object.
+    pub merged_count: usize,
+}
+
+/// Merges overlapping global symbols into disjoint objects.
+///
+/// The result is sorted by base address and its ranges are pairwise
+/// disjoint — the invariant the property tests pin down.
+pub fn merge_overlapping(symbols: &[GlobalSymbol]) -> Vec<MergedGlobal> {
+    let mut sorted: Vec<&GlobalSymbol> = symbols.iter().filter(|s| s.size > 0).collect();
+    sorted.sort_by_key(|s| (s.base, s.size));
+
+    let mut merged: Vec<MergedGlobal> = Vec::new();
+    for sym in sorted {
+        let range = AddrRange::from_base_size(sym.base, sym.size);
+        match merged.last_mut() {
+            // Overlap (not mere adjacency) merges into the union.
+            Some(last) if last.range.overlaps(&range) => {
+                last.range = last.range.union(&range);
+                last.name.push('+');
+                last.name.push_str(&sym.name);
+                last.merged_count += 1;
+            }
+            _ => merged.push(MergedGlobal {
+                name: sym.name.clone(),
+                range,
+                merged_count: 1,
+            }),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::VirtAddr;
+
+    fn sym(name: &str, base: u64, size: u64) -> GlobalSymbol {
+        GlobalSymbol {
+            name: name.into(),
+            base: VirtAddr::new(base),
+            size,
+        }
+    }
+
+    #[test]
+    fn disjoint_symbols_stay_separate() {
+        let merged = merge_overlapping(&[sym("a", 0x1000, 0x100), sym("b", 0x2000, 0x100)]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].name, "a");
+        assert_eq!(merged[1].name, "b");
+    }
+
+    #[test]
+    fn overlapping_views_merge_to_union() {
+        // A FORTRAN common block /fields/ re-partitioned by two units:
+        //   unit 1: real u(1024)         -> [0x1000, 0x3000)
+        //   unit 2: real uv(512), w(512) -> [0x1000, 0x2000), [0x2000, 0x3000)
+        let merged = merge_overlapping(&[
+            sym("u", 0x1000, 0x2000),
+            sym("uv", 0x1000, 0x1000),
+            sym("w", 0x2000, 0x1000),
+        ]);
+        assert_eq!(merged.len(), 1);
+        let m = &merged[0];
+        assert_eq!(m.range, AddrRange::from_base_size(VirtAddr::new(0x1000), 0x2000));
+        assert_eq!(m.merged_count, 3);
+        assert!(m.name.contains("u") && m.name.contains("w"));
+    }
+
+    #[test]
+    fn adjacency_is_not_overlap() {
+        let merged = merge_overlapping(&[sym("a", 0x1000, 0x1000), sym("b", 0x2000, 0x1000)]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn chained_overlaps_collapse() {
+        let merged = merge_overlapping(&[
+            sym("a", 0x1000, 0x1800),
+            sym("b", 0x2000, 0x1800),
+            sym("c", 0x3000, 0x1800),
+        ]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].range.len(), 0x3800);
+    }
+
+    #[test]
+    fn zero_sized_symbols_dropped() {
+        let merged = merge_overlapping(&[sym("empty", 0x1000, 0), sym("a", 0x1000, 64)]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].name, "a");
+    }
+
+    #[test]
+    fn result_is_sorted_and_disjoint() {
+        let merged = merge_overlapping(&[
+            sym("d", 0x5000, 0x100),
+            sym("a", 0x1000, 0x100),
+            sym("c", 0x4000, 0x200),
+            sym("c2", 0x4100, 0x200),
+        ]);
+        for pair in merged.windows(2) {
+            assert!(pair[0].range.end <= pair[1].range.start);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # nvsim-objects
+//!
+//! The memory-object attribution engine of NV-SCAVENGER (paper §III).
+//!
+//! A *memory object* is the granularity at which the paper studies access
+//! patterns: "an application data structure, such as a data array, that
+//! saves the computation state, or ... a stack frame associated with a
+//! subroutine invocation". This crate implements:
+//!
+//! * [`object`] — object identities, kinds and records;
+//! * [`shadow`] — the shadow call stack used to attribute stack references
+//!   to routine frames (§III-A, slow method);
+//! * [`heap`] — heap-object signatures with dead-object flags, address
+//!   reuse and same-context deduplication (§III-B);
+//! * [`global`] — global symbols with FORTRAN common-block overlap merging
+//!   (§III-C);
+//! * [`bucket`] — the bucketed address-space index of §III-D;
+//! * [`lru`] — the small LRU software cache of §III-D ("a shortcut for
+//!   updating access records for most often used memory objects");
+//! * [`registry`] — the [`ObjectRegistry`] event sink tying it together
+//!   and collecting per-iteration statistics;
+//! * [`report`] — query structures for the paper's figures;
+//! * [`churn`] — the heap allocation-lifecycle summary behind Figure 7's
+//!   short-term/long-term split.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bucket;
+pub mod churn;
+pub mod global;
+pub mod heap;
+pub mod lru;
+pub mod object;
+pub mod registry;
+pub mod report;
+pub mod shadow;
+
+pub use bucket::RangeIndex;
+pub use churn::{ChurnRow, HeapChurnReport};
+pub use heap::HeapSignature;
+pub use lru::LruObjectCache;
+pub use object::{MemoryObject, ObjectId, ObjectKind};
+pub use registry::{ObjectRegistry, RegistryConfig};
+pub use report::{ObjectSummary, RegionReport, UsageDistribution};
+pub use shadow::ShadowStack;

@@ -1,0 +1,187 @@
+//! The small LRU software cache of §III-D.
+//!
+//! "We also employ a small software cache using LRU algorithm to save
+//! information for most often used memory objects. This scheme provides a
+//! shortcut for updating access records for memory objects."
+//!
+//! The cache holds a handful of `(range, id)` pairs; a lookup scans them
+//! linearly (a few comparisons — cheaper than the bucket walk) and promotes
+//! hits with a monotone use counter. The cache is *transparent*: it may
+//! only serve entries that the authoritative index would also return, so
+//! stale entries are invalidated on object death.
+
+use crate::object::ObjectId;
+use nvsim_types::{AddrRange, VirtAddr};
+
+/// Default number of cached objects. Hot loops touch a small working set
+/// of arrays, so a handful of slots captures most references.
+pub const DEFAULT_WAYS: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    range: AddrRange,
+    id: ObjectId,
+    last_use: u64,
+}
+
+/// A tiny fully-associative LRU cache mapping address ranges to object ids.
+#[derive(Debug, Clone)]
+pub struct LruObjectCache {
+    slots: Vec<Slot>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruObjectCache {
+    /// Creates a cache with `ways` slots.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways > 0, "LRU cache needs at least one slot");
+        LruObjectCache {
+            slots: Vec::with_capacity(ways),
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the object covering `addr`, promoting it on hit.
+    #[inline]
+    pub fn lookup(&mut self, addr: VirtAddr) -> Option<ObjectId> {
+        self.tick += 1;
+        for slot in &mut self.slots {
+            if slot.range.contains(addr) {
+                slot.last_use = self.tick;
+                self.hits += 1;
+                return Some(slot.id);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts a mapping, evicting the least recently used slot if full.
+    pub fn insert(&mut self, range: AddrRange, id: ObjectId) {
+        self.tick += 1;
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.id == id) {
+            slot.range = range;
+            slot.last_use = self.tick;
+            return;
+        }
+        if self.slots.len() < self.ways {
+            self.slots.push(Slot {
+                range,
+                id,
+                last_use: self.tick,
+            });
+        } else {
+            let victim = self
+                .slots
+                .iter_mut()
+                .min_by_key(|s| s.last_use)
+                .expect("cache is non-empty");
+            *victim = Slot {
+                range,
+                id,
+                last_use: self.tick,
+            };
+        }
+    }
+
+    /// Drops any entry for `id` (object died or was resized).
+    pub fn invalidate(&mut self, id: ObjectId) {
+        self.slots.retain(|s| s.id != id);
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// `(hits, misses)` — ablation counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl Default for LruObjectCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_WAYS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(base: u64, size: u64) -> AddrRange {
+        AddrRange::from_base_size(VirtAddr::new(base), size)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = LruObjectCache::new(2);
+        c.insert(range(0x1000, 0x100), ObjectId(1));
+        assert_eq!(c.lookup(VirtAddr::new(0x1050)), Some(ObjectId(1)));
+        assert_eq!(c.lookup(VirtAddr::new(0x2000)), None);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruObjectCache::new(2);
+        c.insert(range(0x1000, 0x100), ObjectId(1));
+        c.insert(range(0x2000, 0x100), ObjectId(2));
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.lookup(VirtAddr::new(0x1000)).is_some());
+        c.insert(range(0x3000, 0x100), ObjectId(3));
+        assert_eq!(c.lookup(VirtAddr::new(0x2000)), None); // evicted
+        assert_eq!(c.lookup(VirtAddr::new(0x1000)), Some(ObjectId(1)));
+        assert_eq!(c.lookup(VirtAddr::new(0x3000)), Some(ObjectId(3)));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = LruObjectCache::new(2);
+        c.insert(range(0x1000, 0x100), ObjectId(1));
+        c.insert(range(0x5000, 0x100), ObjectId(1)); // object moved
+        assert_eq!(c.lookup(VirtAddr::new(0x1000)), None);
+        assert_eq!(c.lookup(VirtAddr::new(0x5000)), Some(ObjectId(1)));
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut c = LruObjectCache::default();
+        c.insert(range(0x1000, 0x100), ObjectId(1));
+        c.invalidate(ObjectId(1));
+        assert_eq!(c.lookup(VirtAddr::new(0x1000)), None);
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let mut c = LruObjectCache::default();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.insert(range(0, 64), ObjectId(0));
+        c.lookup(VirtAddr::new(0));
+        c.lookup(VirtAddr::new(128));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_ways_panics() {
+        let _ = LruObjectCache::new(0);
+    }
+}

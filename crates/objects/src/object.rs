@@ -1,0 +1,146 @@
+//! Memory-object identities and records.
+
+use nvsim_types::{AccessCounts, AddrRange, ObjectMetrics, Region};
+use nvsim_trace::RoutineId;
+use serde::{Deserialize, Serialize};
+
+/// Index of an object in the registry arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What kind of program entity an object represents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// All stack frames of one routine, aggregated (§III-A: the routine's
+    /// start address is its signature; Figure 2 reports per-routine stack
+    /// objects).
+    StackRoutine {
+        /// The routine whose frames this object aggregates.
+        routine: RoutineId,
+    },
+    /// One heap allocation context (§III-B: objects with the same signature
+    /// across execution phases are regarded as the same object).
+    Heap {
+        /// Hash of the full signature (base, size, site, call stack).
+        signature_hash: u64,
+    },
+    /// One global symbol, possibly the union of several overlapping
+    /// common-block views (§III-C).
+    Global,
+}
+
+/// One tracked memory object and its accumulated statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryObject {
+    /// Arena id.
+    pub id: ObjectId,
+    /// Human-readable name: symbol name (global), `file:line` allocation
+    /// context (heap), or routine name (stack).
+    pub name: String,
+    /// Segment this object lives in.
+    pub region: Region,
+    /// Kind-specific identity.
+    pub kind: ObjectKind,
+    /// Address range. For stack-routine objects this is the *maximal frame
+    /// extent observed* and is informational only (attribution goes through
+    /// the shadow stack, not the range index).
+    pub range: AddrRange,
+    /// Dead-object flag (§III-B): set when a heap object is freed so that a
+    /// later allocation reusing the address is not confused with it.
+    pub live: bool,
+    /// Aggregated metrics across the instrumented window.
+    pub metrics: ObjectMetrics,
+    /// Counts accumulated in the current (open) iteration.
+    pub pending: AccessCounts,
+    /// References observed outside the main loop (pre-compute +
+    /// post-process; the "step 0" bucket of Figure 7).
+    pub pre_post: AccessCounts,
+    /// `true` if the object is a heap object that was both allocated and
+    /// freed inside the main loop — the "short-term heap memory objects"
+    /// Figure 7 excludes.
+    pub short_term_heap: bool,
+    /// `true` if the (heap) object's most recent allocation happened inside
+    /// the main computation loop.
+    pub allocated_in_main: bool,
+}
+
+impl MemoryObject {
+    /// Creates a fresh object record.
+    pub fn new(
+        id: ObjectId,
+        name: String,
+        region: Region,
+        kind: ObjectKind,
+        range: AddrRange,
+    ) -> Self {
+        let size = range.len();
+        MemoryObject {
+            id,
+            name,
+            region,
+            kind,
+            range,
+            live: true,
+            metrics: ObjectMetrics::new(size),
+            pending: AccessCounts::ZERO,
+            pre_post: AccessCounts::ZERO,
+            short_term_heap: false,
+            allocated_in_main: false,
+        }
+    }
+
+    /// Total main-loop references plus pre/post references.
+    pub fn lifetime_total(&self) -> u64 {
+        self.metrics.total.total() + self.pre_post.total()
+    }
+
+    /// `true` if the object was never written during the main loop (but was
+    /// read at least once) — the paper's read-only classification for
+    /// Figures 3–6, which considers main-loop behaviour.
+    pub fn is_read_only_in_main_loop(&self) -> bool {
+        self.metrics.total.is_read_only()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::VirtAddr;
+
+    #[test]
+    fn new_object_is_live_with_sized_metrics() {
+        let o = MemoryObject::new(
+            ObjectId(0),
+            "x".into(),
+            Region::Global,
+            ObjectKind::Global,
+            AddrRange::from_base_size(VirtAddr::new(0x40_0000), 4096),
+        );
+        assert!(o.live);
+        assert_eq!(o.metrics.size_bytes, 4096);
+        assert_eq!(o.lifetime_total(), 0);
+        assert!(!o.is_read_only_in_main_loop());
+    }
+
+    #[test]
+    fn lifetime_total_includes_pre_post() {
+        let mut o = MemoryObject::new(
+            ObjectId(1),
+            "y".into(),
+            Region::Heap,
+            ObjectKind::Heap { signature_hash: 1 },
+            AddrRange::from_base_size(VirtAddr::new(0x10_0000_0000), 64),
+        );
+        o.pre_post.record(false);
+        o.metrics.total.record(true);
+        assert_eq!(o.lifetime_total(), 2);
+    }
+}

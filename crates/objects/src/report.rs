@@ -1,0 +1,366 @@
+//! Report/query structures extracting the paper's figures from a registry.
+
+use crate::object::MemoryObject;
+use crate::registry::ObjectRegistry;
+use nvsim_types::{AccessCounts, Region};
+use serde::{Deserialize, Serialize};
+
+/// Flat per-object summary — one row of Figures 2–6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectSummary {
+    /// Object name.
+    pub name: String,
+    /// Region the object lives in.
+    pub region: Region,
+    /// Object size in bytes (metric 2).
+    pub size_bytes: u64,
+    /// Main-loop totals.
+    pub counts: AccessCounts,
+    /// Read/write ratio (metric 1); `None` if untouched, `inf` if
+    /// read-only.
+    pub rw_ratio: Option<f64>,
+    /// Fraction of all main-loop references that hit this object
+    /// (metric 3, averaged over the window).
+    pub reference_rate: f64,
+    /// Iterations in which the object was touched.
+    pub iterations_touched: u32,
+    /// `true` if touched only outside the main loop (Figure 7's step 0).
+    pub only_pre_post: bool,
+    /// `true` for short-term heap objects excluded from Figure 7.
+    pub short_term_heap: bool,
+}
+
+impl ObjectSummary {
+    /// Builds a summary row given the window-wide reference total.
+    pub fn from_object(obj: &MemoryObject, window_total_refs: u64) -> Self {
+        let touched_main = obj.metrics.total.total() > 0;
+        let touched_pre_post = obj.pre_post.total() > 0;
+        ObjectSummary {
+            name: obj.name.clone(),
+            region: obj.region,
+            size_bytes: obj.metrics.size_bytes,
+            counts: obj.metrics.total,
+            rw_ratio: obj.metrics.read_write_ratio(),
+            reference_rate: if window_total_refs == 0 {
+                0.0
+            } else {
+                obj.metrics.total.total() as f64 / window_total_refs as f64
+            },
+            iterations_touched: obj.metrics.iterations_touched,
+            only_pre_post: !touched_main && touched_pre_post,
+            short_term_heap: obj.short_term_heap,
+        }
+    }
+}
+
+/// Aggregate statistics for one region — the inputs to Table V and the
+/// prose observations of §VII-B.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionReport {
+    /// Region summarized.
+    pub region: Region,
+    /// Main-loop totals across the region.
+    pub counts: AccessCounts,
+    /// Fraction of all main-loop references landing in the region.
+    pub reference_percentage: f64,
+    /// Objects tracked in the region.
+    pub object_count: usize,
+    /// Total bytes of tracked objects.
+    pub total_bytes: u64,
+    /// Bytes of objects that were read-only during the main loop.
+    pub read_only_bytes: u64,
+    /// Bytes of objects with finite read/write ratio > 50 (the §VII-B
+    /// NVRAM candidate pool, distinct from the read-only pool).
+    pub high_ratio_bytes: u64,
+}
+
+/// Builds per-object summaries for a region, sorted by descending
+/// reference count.
+pub fn object_summaries(reg: &ObjectRegistry, region: Region) -> Vec<ObjectSummary> {
+    let window_total = reg.total_refs();
+    let mut rows: Vec<ObjectSummary> = reg
+        .objects_in(region)
+        .map(|o| ObjectSummary::from_object(o, window_total))
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.counts.total()));
+    rows
+}
+
+/// Builds the aggregate region report.
+pub fn region_report(reg: &ObjectRegistry, region: Region) -> RegionReport {
+    let counts = reg.region_total(region);
+    let total = reg.total_refs();
+    let mut object_count = 0;
+    let mut total_bytes = 0;
+    let mut read_only_bytes = 0;
+    let mut high_ratio_bytes = 0;
+    for o in reg.objects_in(region) {
+        object_count += 1;
+        total_bytes += o.metrics.size_bytes;
+        if o.is_read_only_in_main_loop() {
+            read_only_bytes += o.metrics.size_bytes;
+        }
+        // The >50 pool is distinct from the read-only pool (§VII-B
+        // reports them separately), so infinite ratios are excluded.
+        if matches!(o.metrics.read_write_ratio(), Some(r) if r > 50.0 && r.is_finite()) {
+            high_ratio_bytes += o.metrics.size_bytes;
+        }
+    }
+    RegionReport {
+        region,
+        counts,
+        reference_percentage: if total == 0 {
+            0.0
+        } else {
+            counts.total() as f64 / total as f64
+        },
+        object_count,
+        total_bytes,
+        read_only_bytes,
+        high_ratio_bytes,
+    }
+}
+
+/// The cumulative distribution of memory usage across time steps
+/// (Figure 7). A point `(x, y)` means `y` bytes of memory objects were
+/// used in no more than `x` iterations; `x = 0` covers objects touched
+/// only in the pre/post phases (or never). Short-term heap objects are
+/// excluded, as in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageDistribution {
+    /// `bytes_by_steps[x]` = total bytes of objects used in exactly `x`
+    /// iterations.
+    pub bytes_by_steps: Vec<u64>,
+}
+
+impl UsageDistribution {
+    /// Builds the distribution over all long-term objects in a registry.
+    pub fn from_registry(reg: &ObjectRegistry) -> Self {
+        let iters = reg.iterations_seen() as usize;
+        let mut bytes_by_steps = vec![0u64; iters + 1];
+        for o in reg.objects() {
+            if o.short_term_heap {
+                continue;
+            }
+            let steps = (o.metrics.iterations_touched as usize).min(iters);
+            bytes_by_steps[steps] += o.metrics.size_bytes;
+        }
+        UsageDistribution { bytes_by_steps }
+    }
+
+    /// Cumulative bytes used in no more than `x` iterations.
+    pub fn cumulative(&self, x: usize) -> u64 {
+        self.bytes_by_steps
+            .iter()
+            .take(x.saturating_add(1))
+            .sum()
+    }
+
+    /// Total bytes covered by the distribution.
+    pub fn total(&self) -> u64 {
+        self.bytes_by_steps.iter().sum()
+    }
+
+    /// Bytes of objects not used in the main computation at all — the pool
+    /// §VII-C finds "suitable for being placed in NVRAMs with their low
+    /// standby power".
+    pub fn untouched_in_main(&self) -> u64 {
+        self.bytes_by_steps[0]
+    }
+}
+
+/// Variance histogram for Figures 8–11: per iteration, the distribution of
+/// normalized values (value in iteration *i* divided by iteration 1) over
+/// all objects, bucketed as the paper plots them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarianceHistogram {
+    /// Bucket upper bounds: `[1, 2)`, `[2, 4)`, `[4, 8)`, `>= 8`, plus a
+    /// `< 1` bucket stored first.
+    pub buckets: Vec<String>,
+    /// `fraction[iter][bucket]` — fraction of qualifying objects whose
+    /// normalized value falls in the bucket at that iteration.
+    pub fraction: Vec<Vec<f64>>,
+}
+
+/// Which normalized series Figures 8–11 plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarianceMetric {
+    /// Read/write ratio normalized to iteration 1.
+    RwRatio,
+    /// Memory reference rate normalized to iteration 1.
+    RefRate,
+}
+
+const BUCKET_NAMES: [&str; 5] = ["<1", "[1,2)", "[2,4)", "[4,8)", ">=8"];
+
+fn bucket_of(v: f64) -> usize {
+    if v < 1.0 {
+        0
+    } else if v < 2.0 {
+        1
+    } else if v < 4.0 {
+        2
+    } else if v < 8.0 {
+        3
+    } else {
+        4
+    }
+}
+
+impl VarianceHistogram {
+    /// Builds the histogram over all objects in `region` with a usable
+    /// first iteration.
+    pub fn from_registry(
+        reg: &ObjectRegistry,
+        region: Region,
+        metric: VarianceMetric,
+    ) -> Self {
+        let iters = reg.iterations_seen() as usize;
+        let mut counts = vec![[0u64; 5]; iters];
+        let mut qualifying = vec![0u64; iters];
+        for o in reg.objects_in(region) {
+            let series = match metric {
+                VarianceMetric::RwRatio => o.metrics.rw_ratio_normalized(),
+                VarianceMetric::RefRate => o.metrics.ref_rate_normalized(),
+            };
+            for (i, v) in series.iter().enumerate().take(iters) {
+                if let Some(v) = v {
+                    counts[i][bucket_of(*v)] += 1;
+                    qualifying[i] += 1;
+                }
+            }
+        }
+        let fraction = counts
+            .iter()
+            .zip(&qualifying)
+            .map(|(c, &q)| {
+                c.iter()
+                    .map(|&n| if q == 0 { 0.0 } else { n as f64 / q as f64 })
+                    .collect()
+            })
+            .collect();
+        VarianceHistogram {
+            buckets: BUCKET_NAMES.iter().map(|s| s.to_string()).collect(),
+            fraction,
+        }
+    }
+
+    /// Fraction of objects in the `[1,2)` bucket at iteration `i` — the
+    /// paper's ">60% of memory objects stay within [1,2)" check.
+    pub fn stable_fraction(&self, i: usize) -> f64 {
+        self.fraction.get(i).map_or(0.0, |row| row[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use nvsim_trace::{AllocSite, Phase, TracedVec, Tracer};
+
+    fn build_registry() -> ObjectRegistry {
+        let mut reg = ObjectRegistry::new(RegistryConfig::default());
+        {
+            let mut t = Tracer::new(&mut reg);
+            // hot: read every iteration; cold: written only pre-phase;
+            // once: touched in a single iteration.
+            let mut hot = TracedVec::<f64>::global(&mut t, "hot", 128).unwrap();
+            let mut cold = TracedVec::<f64>::global(&mut t, "cold", 512).unwrap();
+            let mut once = TracedVec::<f64>::global(&mut t, "once", 64).unwrap();
+            let mut short = TracedVec::<f64>::heap(&mut t, AllocSite::new("tmp.rs", 1), 256)
+                .unwrap();
+
+            t.phase(Phase::PreComputeBegin);
+            cold.fill(&mut t, 0.5);
+
+            for iter in 0..4u32 {
+                t.phase(Phase::IterationBegin(iter));
+                for i in 0..16 {
+                    let v = hot.get(&mut t, i);
+                    hot.set(&mut t, i, v + 1.0);
+                }
+                if iter == 2 {
+                    once.set(&mut t, 0, 9.0);
+                }
+                if iter == 0 {
+                    // Short-term heap churn inside the loop.
+                    short.set(&mut t, 0, 1.0);
+                }
+                t.phase(Phase::IterationEnd(iter));
+            }
+            // Free `short` inside... it was allocated pre-phase, so free it
+            // pre-classified as long-term. Allocate + free one in-loop:
+            t.phase(Phase::IterationBegin(4));
+            let tmp = TracedVec::<f64>::heap(&mut t, AllocSite::new("tmp.rs", 2), 128).unwrap();
+            tmp.free(&mut t).unwrap();
+            t.phase(Phase::IterationEnd(4));
+            short.free(&mut t).unwrap();
+            t.finish();
+        }
+        reg
+    }
+
+    #[test]
+    fn summaries_sorted_by_traffic() {
+        let reg = build_registry();
+        let rows = object_summaries(&reg, Region::Global);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "hot");
+        assert!(rows[0].counts.total() > rows[1].counts.total());
+        let cold = rows.iter().find(|r| r.name == "cold").unwrap();
+        assert!(cold.only_pre_post);
+        assert_eq!(cold.rw_ratio, None);
+    }
+
+    #[test]
+    fn region_report_aggregates() {
+        let reg = build_registry();
+        let rep = region_report(&reg, Region::Global);
+        assert_eq!(rep.object_count, 3);
+        assert_eq!(rep.total_bytes, (128 + 512 + 64) * 8);
+        // "once" was only written (ratio 0); "hot" has ratio 1; no
+        // read-only objects in the main loop.
+        assert_eq!(rep.read_only_bytes, 0);
+        assert!(rep.reference_percentage > 0.9); // almost all refs are global
+    }
+
+    #[test]
+    fn usage_distribution_matches_touch_counts() {
+        let reg = build_registry();
+        let dist = UsageDistribution::from_registry(&reg);
+        assert_eq!(dist.bytes_by_steps.len(), 6); // 5 iterations + step 0
+        // cold (4096 B) used in 0 iterations; short (2048 B) is long-term
+        // heap touched in 1 iteration; once (512 B) in 1; hot (1024 B) in 4.
+        assert_eq!(dist.untouched_in_main(), 512 * 8);
+        assert_eq!(dist.bytes_by_steps[1], 64 * 8 + 256 * 8);
+        assert_eq!(dist.bytes_by_steps[4], 128 * 8);
+        // tmp (1024 B) is short-term and excluded.
+        assert_eq!(dist.total(), (128 + 512 + 64 + 256) as u64 * 8);
+        // cumulative is monotone.
+        for x in 0..5 {
+            assert!(dist.cumulative(x) <= dist.cumulative(x + 1));
+        }
+    }
+
+    #[test]
+    fn variance_histogram_stable_for_steady_objects() {
+        let reg = build_registry();
+        let h = VarianceHistogram::from_registry(&reg, Region::Global, VarianceMetric::RwRatio);
+        // "hot" is perfectly steady (ratio 1 every iteration): it lands in
+        // [1,2) at every iteration where it qualifies.
+        for i in 0..4 {
+            assert!(h.stable_fraction(i) > 0.99, "iteration {i}: {h:?}");
+        }
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0.5), 0);
+        assert_eq!(bucket_of(1.0), 1);
+        assert_eq!(bucket_of(1.999), 1);
+        assert_eq!(bucket_of(2.0), 2);
+        assert_eq!(bucket_of(7.999), 3);
+        assert_eq!(bucket_of(8.0), 4);
+        assert_eq!(bucket_of(1e9), 4);
+    }
+}

@@ -1,0 +1,190 @@
+//! The shadow call stack of §III-A (slow method).
+//!
+//! "We instrument all function calls and return points so that we can
+//! maintain a shadow stack in NV-SCAVENGER. ... We also record the base
+//! frame address at each routine call. For each memory reference, we
+//! traverse through our call stack to attribute the effective memory
+//! address to the corresponding routine's frame. It is possible that the
+//! currently executing routine may access a frame underneath the current
+//! routine's frame. In this case, the memory reference is attributed to the
+//! underneath frame. This makes sense when considering data placement,
+//! because it is the previously called routine that really allocates data
+//! on the stack."
+
+use nvsim_trace::RoutineId;
+use nvsim_types::{AddrRange, VirtAddr};
+
+/// One live frame on the shadow stack. The frame occupies
+/// `[sp, frame_base)`; `frame_base` equals the caller's stack pointer, so
+/// live frames tile the active stack region with no gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowFrame {
+    /// Routine that owns the frame.
+    pub routine: RoutineId,
+    /// Extent of the frame.
+    pub range: AddrRange,
+}
+
+/// The shadow stack.
+#[derive(Debug, Default, Clone)]
+pub struct ShadowStack {
+    frames: Vec<ShadowFrame>,
+    max_depth: usize,
+}
+
+impl ShadowStack {
+    /// Creates an empty shadow stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a frame on routine entry.
+    pub fn push(&mut self, routine: RoutineId, frame_base: VirtAddr, sp: VirtAddr) {
+        debug_assert!(sp <= frame_base);
+        if let Some(top) = self.frames.last() {
+            debug_assert_eq!(
+                top.range.start, frame_base,
+                "new frame must start where the previous one ends"
+            );
+        }
+        self.frames.push(ShadowFrame {
+            routine,
+            range: AddrRange::new(sp, frame_base),
+        });
+        self.max_depth = self.max_depth.max(self.frames.len());
+    }
+
+    /// Pops the top frame on routine exit; returns it, or `None` if the
+    /// stack was empty (unbalanced instrumentation).
+    pub fn pop(&mut self) -> Option<ShadowFrame> {
+        self.frames.pop()
+    }
+
+    /// Attributes an address to the live frame containing it (§III-A:
+    /// traversal finds "underneath" frames when the current routine reaches
+    /// into its callers' storage). Returns `None` for addresses outside
+    /// every live frame.
+    ///
+    /// Frames are address-ordered (deeper frames at lower addresses), so a
+    /// binary search over frame starts finds the candidate in O(log depth).
+    #[inline]
+    pub fn attribute(&self, addr: VirtAddr) -> Option<ShadowFrame> {
+        if self.frames.is_empty() {
+            return None;
+        }
+        // frames[0].range is the outermost (highest addresses); the vector
+        // is sorted descending by range.start.
+        let idx = self.frames.partition_point(|f| f.range.start > addr);
+        // `idx` is the first frame with start <= addr — the deepest frame
+        // that could contain it.
+        let f = self.frames.get(idx)?;
+        f.range.contains(addr).then_some(*f)
+    }
+
+    /// Current routine (top of stack).
+    pub fn current(&self) -> Option<RoutineId> {
+        self.frames.last().map(|f| f.routine)
+    }
+
+    /// Start addresses of the live routines, outermost first — the
+    /// call-stack component of the heap-object signature (§III-B). Routine
+    /// ids stand in for start addresses (they map 1:1 through the routine
+    /// table).
+    pub fn signature(&self) -> impl Iterator<Item = RoutineId> + '_ {
+        self.frames.iter().map(|f| f.routine)
+    }
+
+    /// Live depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Deepest nesting observed.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// `true` if no frames are live.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u32) -> RoutineId {
+        RoutineId(i)
+    }
+
+    #[test]
+    fn attribute_finds_owning_frame() {
+        let mut s = ShadowStack::new();
+        // main: [900, 1000), callee: [800, 900), leaf: [700, 800)
+        s.push(rid(0), VirtAddr::new(1000), VirtAddr::new(900));
+        s.push(rid(1), VirtAddr::new(900), VirtAddr::new(800));
+        s.push(rid(2), VirtAddr::new(800), VirtAddr::new(700));
+        assert_eq!(s.attribute(VirtAddr::new(950)).unwrap().routine, rid(0));
+        assert_eq!(s.attribute(VirtAddr::new(800)).unwrap().routine, rid(1));
+        assert_eq!(s.attribute(VirtAddr::new(799)).unwrap().routine, rid(2));
+        assert_eq!(s.attribute(VirtAddr::new(700)).unwrap().routine, rid(2));
+        // Below the deepest sp and at/above the base: unattributed.
+        assert!(s.attribute(VirtAddr::new(699)).is_none());
+        assert!(s.attribute(VirtAddr::new(1000)).is_none());
+    }
+
+    #[test]
+    fn underneath_access_goes_to_caller_frame() {
+        let mut s = ShadowStack::new();
+        s.push(rid(0), VirtAddr::new(1000), VirtAddr::new(900));
+        s.push(rid(1), VirtAddr::new(900), VirtAddr::new(850));
+        // Current routine is 1, but the address belongs to 0's frame: the
+        // reference is attributed to the underneath (caller) frame.
+        assert_eq!(s.current(), Some(rid(1)));
+        assert_eq!(s.attribute(VirtAddr::new(920)).unwrap().routine, rid(0));
+    }
+
+    #[test]
+    fn pop_restores_previous_attribution() {
+        let mut s = ShadowStack::new();
+        s.push(rid(0), VirtAddr::new(1000), VirtAddr::new(900));
+        s.push(rid(1), VirtAddr::new(900), VirtAddr::new(800));
+        assert_eq!(s.pop().unwrap().routine, rid(1));
+        assert!(s.attribute(VirtAddr::new(850)).is_none()); // frame gone
+        assert_eq!(s.attribute(VirtAddr::new(950)).unwrap().routine, rid(0));
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.max_depth(), 2);
+    }
+
+    #[test]
+    fn signature_lists_outermost_first() {
+        let mut s = ShadowStack::new();
+        s.push(rid(3), VirtAddr::new(1000), VirtAddr::new(900));
+        s.push(rid(7), VirtAddr::new(900), VirtAddr::new(800));
+        let sig: Vec<RoutineId> = s.signature().collect();
+        assert_eq!(sig, vec![rid(3), rid(7)]);
+    }
+
+    #[test]
+    fn pop_empty_returns_none() {
+        let mut s = ShadowStack::new();
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn deep_stack_attribution_is_correct() {
+        let mut s = ShadowStack::new();
+        let top = 1_000_000u64;
+        let mut base = top;
+        for i in 0..100 {
+            let sp = base - 64;
+            s.push(rid(i), VirtAddr::new(base), VirtAddr::new(sp));
+            base = sp;
+        }
+        for i in 0..100u64 {
+            let addr = VirtAddr::new(top - i * 64 - 1);
+            assert_eq!(s.attribute(addr).unwrap().routine, rid(i as u32));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests pinning the §III-D fast paths to their reference
+//! semantics: the bucket index must agree with a linear scan, the LRU
+//! cache must be transparent, and common-block merging must produce a
+//! disjoint cover.
+
+use nvsim_objects::global::merge_overlapping;
+use nvsim_objects::{LruObjectCache, ObjectId, RangeIndex};
+use nvsim_trace::GlobalSymbol;
+use nvsim_types::{AddrRange, VirtAddr};
+use proptest::prelude::*;
+
+fn object_set() -> impl Strategy<Value = Vec<AddrRange>> {
+    proptest::collection::vec((0u64..1 << 24, 1u64..1 << 16), 1..100).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(base, len)| {
+                AddrRange::from_base_size(VirtAddr::new(0x1000 + base * 16), len)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn bucket_index_matches_linear_scan(
+        ranges in object_set(),
+        probes in proptest::collection::vec(0u64..1 << 29, 1..200),
+    ) {
+        let mut idx = RangeIndex::new(VirtAddr::new(0x1000));
+        for (i, r) in ranges.iter().enumerate() {
+            idx.insert(*r, ObjectId(i as u32));
+        }
+        for &p in &probes {
+            let addr = VirtAddr::new(0x1000 + p);
+            let fast = idx.lookup(addr, |_| true);
+            let slow = idx.lookup_linear(addr, |_| true);
+            // Both must agree on *whether* anything contains the address;
+            // with overlapping objects the specific winner may differ, but
+            // the winner must actually contain the address.
+            prop_assert_eq!(fast.is_some(), slow.is_some());
+            if let Some(id) = fast {
+                prop_assert!(ranges[id.0 as usize].contains(addr));
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_respects_accept_filter(
+        ranges in object_set(),
+        probes in proptest::collection::vec(0u64..1 << 29, 1..100),
+        reject_mod in 2usize..5,
+    ) {
+        let mut idx = RangeIndex::new(VirtAddr::new(0x1000));
+        for (i, r) in ranges.iter().enumerate() {
+            idx.insert(*r, ObjectId(i as u32));
+        }
+        for &p in &probes {
+            let addr = VirtAddr::new(0x1000 + p);
+            let accept = |id: ObjectId| !(id.0 as usize).is_multiple_of(reject_mod);
+            if let Some(id) = idx.lookup(addr, accept) {
+                prop_assert!(accept(id));
+                prop_assert!(ranges[id.0 as usize].contains(addr));
+            } else {
+                // Linear scan with the same filter also finds nothing.
+                prop_assert!(idx.lookup_linear(addr, accept).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn lru_cache_is_transparent(
+        entries in proptest::collection::vec((0u64..1 << 20, 1u64..4096), 1..50),
+        probes in proptest::collection::vec(0u64..1 << 21, 1..200),
+        ways in 1usize..16,
+    ) {
+        // Entries with disjoint ranges (stride them apart).
+        let ranges: Vec<AddrRange> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, len))| {
+                AddrRange::from_base_size(VirtAddr::new((i as u64) << 24), len)
+            })
+            .collect();
+        let mut lru = LruObjectCache::new(ways);
+        for (i, r) in ranges.iter().enumerate() {
+            lru.insert(*r, ObjectId(i as u32));
+        }
+        for &p in &probes {
+            let addr = VirtAddr::new(p << 12);
+            if let Some(id) = lru.lookup(addr) {
+                // A hit must be correct (the point of cache transparency).
+                prop_assert!(ranges[id.0 as usize].contains(addr));
+            }
+        }
+    }
+
+    #[test]
+    fn merged_globals_are_disjoint_and_cover(
+        symbols in proptest::collection::vec((0u64..1 << 20, 1u64..1 << 12), 1..60),
+    ) {
+        let syms: Vec<GlobalSymbol> = symbols
+            .iter()
+            .enumerate()
+            .map(|(i, &(base, size))| GlobalSymbol {
+                name: format!("sym{i}"),
+                base: VirtAddr::new(0x40_0000 + base),
+                size,
+            })
+            .collect();
+        let merged = merge_overlapping(&syms);
+        // Pairwise disjoint and sorted.
+        for pair in merged.windows(2) {
+            prop_assert!(pair[0].range.end <= pair[1].range.start);
+        }
+        // Every input byte is covered by exactly one merged object.
+        for s in &syms {
+            let r = AddrRange::from_base_size(s.base, s.size);
+            let covering: Vec<_> = merged
+                .iter()
+                .filter(|m| m.range.contains_range(&r))
+                .collect();
+            prop_assert_eq!(covering.len(), 1, "symbol {:?} not covered once", s.name);
+        }
+        // Merge counts add up to the number of (nonzero) inputs.
+        let total: usize = merged.iter().map(|m| m.merged_count).sum();
+        prop_assert_eq!(total, syms.len());
+    }
+}

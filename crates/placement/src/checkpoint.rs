@@ -1,0 +1,160 @@
+//! Checkpoint cost modelling — the §I motivation made quantitative.
+//!
+//! "NVRAM could provide substantial bandwidth for checkpointing and,
+//! since it would enable checkpointing to be brought under the control of
+//! hardware, would drastically reduce latency. This will become
+//! increasingly important in exascale systems, given the aforementioned
+//! resiliency challenge, and limited external I/O bandwidth."
+//!
+//! The model: a checkpoint of `bytes` to a target costs
+//! `latency + bytes / bandwidth`; with system mean-time-between-failures
+//! `MTBF`, Young's first-order optimum places checkpoints every
+//! `sqrt(2 · δ · MTBF)` seconds (δ = checkpoint cost), and machine
+//! efficiency is the useful fraction of wall time after checkpoint
+//! overhead and expected rework.
+
+use serde::{Deserialize, Serialize};
+
+/// A checkpoint destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointTarget {
+    /// Target name for reports.
+    pub name: String,
+    /// Sustained write bandwidth per task, bytes/s.
+    pub bandwidth_bytes_s: f64,
+    /// Fixed software/hardware initiation latency, seconds.
+    pub latency_s: f64,
+}
+
+impl CheckpointTarget {
+    /// A shared parallel file system: ~200 MB/s per task once thousands of
+    /// tasks contend for the I/O backbone, with milliseconds of software
+    /// stack latency.
+    pub fn parallel_file_system() -> Self {
+        CheckpointTarget {
+            name: "PFS".into(),
+            bandwidth_bytes_s: 200e6,
+            latency_s: 5e-3,
+        }
+    }
+
+    /// A node-local SSD: ~1 GB/s, block-layer latency.
+    pub fn local_ssd() -> Self {
+        CheckpointTarget {
+            name: "local SSD".into(),
+            bandwidth_bytes_s: 1e9,
+            latency_s: 100e-6,
+        }
+    }
+
+    /// Byte-addressable NVRAM on the memory bus: memory-class bandwidth
+    /// and hardware-controlled initiation (§I: "brought under the control
+    /// of hardware").
+    pub fn nvram_dimm() -> Self {
+        CheckpointTarget {
+            name: "NVRAM DIMM".into(),
+            bandwidth_bytes_s: 10e9,
+            latency_s: 1e-6,
+        }
+    }
+
+    /// Time to checkpoint `bytes`, seconds.
+    pub fn checkpoint_time_s(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_s
+    }
+}
+
+/// Result of the Young-model analysis for one (footprint, target, MTBF).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPlan {
+    /// Target used.
+    pub target: String,
+    /// Cost of one checkpoint, seconds.
+    pub delta_s: f64,
+    /// Young-optimal checkpoint interval, seconds.
+    pub interval_s: f64,
+    /// Fraction of wall time doing useful work.
+    pub efficiency: f64,
+}
+
+/// Computes the Young-optimal checkpoint schedule.
+///
+/// Efficiency model (first order): overhead fraction ≈ δ/τ + τ/(2·MTBF),
+/// minimized at τ = √(2·δ·MTBF), where it equals √(2δ/MTBF).
+///
+/// # Panics
+/// Panics if `mtbf_s` is not positive.
+pub fn young_plan(bytes: u64, target: &CheckpointTarget, mtbf_s: f64) -> CheckpointPlan {
+    assert!(mtbf_s > 0.0, "MTBF must be positive");
+    let delta = target.checkpoint_time_s(bytes);
+    let interval = (2.0 * delta * mtbf_s).sqrt();
+    let overhead = delta / interval + interval / (2.0 * mtbf_s);
+    CheckpointPlan {
+        target: target.name.clone(),
+        delta_s: delta,
+        interval_s: interval,
+        efficiency: (1.0 - overhead).max(0.0),
+    }
+}
+
+/// Convenience: plans for all three standard targets.
+pub fn compare_targets(bytes: u64, mtbf_s: f64) -> Vec<CheckpointPlan> {
+    [
+        CheckpointTarget::parallel_file_system(),
+        CheckpointTarget::local_ssd(),
+        CheckpointTarget::nvram_dimm(),
+    ]
+    .iter()
+    .map(|t| young_plan(bytes, t, mtbf_s))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn faster_target_shorter_interval_higher_efficiency() {
+        let mtbf = 3600.0; // an hour — exascale-class full-system MTBF
+        let plans = compare_targets(GB, mtbf);
+        assert_eq!(plans.len(), 3);
+        for pair in plans.windows(2) {
+            assert!(pair[1].delta_s < pair[0].delta_s);
+            assert!(pair[1].interval_s < pair[0].interval_s);
+            assert!(pair[1].efficiency > pair[0].efficiency);
+        }
+        // NVRAM checkpointing at memory bandwidth is near-free.
+        assert!(plans[2].efficiency > 0.98, "{:?}", plans[2]);
+        // A PFS checkpoint of 1 GiB at 200 MB/s costs ~5.4s.
+        let expected = 5e-3 + GB as f64 / 200e6;
+        assert!((plans[0].delta_s - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_degrades_with_shrinking_mtbf() {
+        let t = CheckpointTarget::parallel_file_system();
+        let hourly = young_plan(GB, &t, 3600.0);
+        let minutely = young_plan(GB, &t, 60.0);
+        assert!(minutely.efficiency < hourly.efficiency);
+    }
+
+    #[test]
+    fn young_interval_formula() {
+        let t = CheckpointTarget {
+            name: "x".into(),
+            bandwidth_bytes_s: 1e9,
+            latency_s: 0.0,
+        };
+        let plan = young_plan(2 * GB, &t, 800.0);
+        let delta = 2.0 * GB as f64 / 1e9;
+        assert!((plan.interval_s - (2.0 * delta * 800.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let t = CheckpointTarget::local_ssd();
+        assert_eq!(t.checkpoint_time_s(0), t.latency_s);
+    }
+}

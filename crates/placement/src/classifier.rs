@@ -1,0 +1,283 @@
+//! Per-object NVRAM suitability classification using the three §II
+//! metrics.
+
+use nvsim_objects::ObjectSummary;
+use nvsim_types::NvramCategory;
+use serde::{Deserialize, Serialize};
+
+/// Placement thresholds.
+///
+/// The defaults encode the §II discussion: category-2 NVRAM (STTRAM-like)
+/// tolerates reads at DRAM speed, so a read/write ratio above ~10 together
+/// with a bounded share of total write traffic qualifies; category-1
+/// (PCRAM-like) needs rarer writes *and* a bounded reference rate, because
+/// even read traffic is slower there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPolicy {
+    /// NVRAM category the placement targets.
+    pub category: NvramCategory,
+    /// Minimum read/write ratio for NVRAM placement (read-only and
+    /// untouched objects always qualify).
+    pub min_rw_ratio: f64,
+    /// Maximum fraction of the application's total references an NVRAM
+    /// object may account for (§II metric 3: "a memory object with a high
+    /// read/write ratio may still account for a large fraction of write
+    /// memory accesses").
+    pub max_reference_rate: f64,
+    /// Objects never touched in the main loop always go to NVRAM (the
+    /// Figure 7 pool: "suitable for being placed in NVRAMs with their low
+    /// standby power").
+    pub place_untouched: bool,
+}
+
+impl PlacementPolicy {
+    /// Policy for category-1 NVRAM (PCRAM-like): long reads and writes.
+    pub fn category1() -> Self {
+        PlacementPolicy {
+            category: NvramCategory::LongReadWrite,
+            min_rw_ratio: 50.0,
+            max_reference_rate: 0.02,
+            place_untouched: true,
+        }
+    }
+
+    /// Policy for category-2 NVRAM (STTRAM-like): DRAM-like reads.
+    pub fn category2() -> Self {
+        PlacementPolicy {
+            category: NvramCategory::LongWriteOnly,
+            min_rw_ratio: 10.0,
+            max_reference_rate: 0.25,
+            place_untouched: true,
+        }
+    }
+}
+
+/// A placement decision for one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Place in NVRAM: untouched by the main loop.
+    NvramUntouched,
+    /// Place in NVRAM: read-only during the main loop.
+    NvramReadOnly,
+    /// Place in NVRAM: high read/write ratio under the rate cap.
+    NvramHighRatio,
+    /// Keep in DRAM: write traffic or reference rate disqualifies it.
+    Dram,
+}
+
+impl Decision {
+    /// `true` for any NVRAM placement.
+    pub fn is_nvram(self) -> bool {
+        !matches!(self, Decision::Dram)
+    }
+}
+
+/// Aggregate suitability over an application's working set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuitabilityReport {
+    /// Per-object decisions, same order as the input summaries.
+    pub decisions: Vec<Decision>,
+    /// Total bytes across all objects.
+    pub total_bytes: u64,
+    /// Bytes placed in NVRAM.
+    pub nvram_bytes: u64,
+    /// Bytes placed in NVRAM because they are untouched in the main loop.
+    pub untouched_bytes: u64,
+    /// Bytes placed in NVRAM because they are read-only.
+    pub read_only_bytes: u64,
+    /// Bytes placed for their high read/write ratio.
+    pub high_ratio_bytes: u64,
+}
+
+impl SuitabilityReport {
+    /// Fraction of the working set suitable for NVRAM.
+    pub fn suitable_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.nvram_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// Classifies one object under a policy.
+pub fn classify_object(o: &ObjectSummary, policy: &PlacementPolicy) -> Decision {
+    if o.short_term_heap {
+        // Volatile by construction; no placement opportunity (Figure 7).
+        return Decision::Dram;
+    }
+    if policy.place_untouched && o.counts.total() == 0 {
+        return Decision::NvramUntouched;
+    }
+    match o.rw_ratio {
+        Some(r) if r.is_infinite() => {
+            if o.reference_rate <= policy.max_reference_rate {
+                Decision::NvramReadOnly
+            } else {
+                // Even read-only data is rate-capped for category 1.
+                match policy.category {
+                    NvramCategory::LongReadWrite => Decision::Dram,
+                    _ => Decision::NvramReadOnly,
+                }
+            }
+        }
+        Some(r) if r >= policy.min_rw_ratio && o.reference_rate <= policy.max_reference_rate => {
+            Decision::NvramHighRatio
+        }
+        _ => Decision::Dram,
+    }
+}
+
+/// Classifies a whole working set.
+///
+/// ```
+/// use nvsim_placement::{classify, PlacementPolicy};
+/// use nvsim_objects::ObjectSummary;
+/// use nvsim_types::{AccessCounts, Region};
+///
+/// let counts = AccessCounts::new(1000, 0); // read-only lookup table
+/// let table = ObjectSummary {
+///     name: "chemtab".into(),
+///     region: Region::Global,
+///     size_bytes: 4096,
+///     counts,
+///     rw_ratio: counts.read_write_ratio(),
+///     reference_rate: 0.01,
+///     iterations_touched: 10,
+///     only_pre_post: false,
+///     short_term_heap: false,
+/// };
+/// let report = classify(&[table], &PlacementPolicy::category2());
+/// assert_eq!(report.nvram_bytes, 4096);
+/// assert!(report.decisions[0].is_nvram());
+/// ```
+pub fn classify(summaries: &[ObjectSummary], policy: &PlacementPolicy) -> SuitabilityReport {
+    let mut report = SuitabilityReport {
+        decisions: Vec::with_capacity(summaries.len()),
+        total_bytes: 0,
+        nvram_bytes: 0,
+        untouched_bytes: 0,
+        read_only_bytes: 0,
+        high_ratio_bytes: 0,
+    };
+    for o in summaries {
+        let d = classify_object(o, policy);
+        report.total_bytes += o.size_bytes;
+        match d {
+            Decision::NvramUntouched => {
+                report.nvram_bytes += o.size_bytes;
+                report.untouched_bytes += o.size_bytes;
+            }
+            Decision::NvramReadOnly => {
+                report.nvram_bytes += o.size_bytes;
+                report.read_only_bytes += o.size_bytes;
+            }
+            Decision::NvramHighRatio => {
+                report.nvram_bytes += o.size_bytes;
+                report.high_ratio_bytes += o.size_bytes;
+            }
+            Decision::Dram => {}
+        }
+        report.decisions.push(d);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::{AccessCounts, Region};
+
+    fn obj(name: &str, size: u64, reads: u64, writes: u64, rate: f64) -> ObjectSummary {
+        let counts = AccessCounts::new(reads, writes);
+        ObjectSummary {
+            name: name.into(),
+            region: Region::Global,
+            size_bytes: size,
+            counts,
+            rw_ratio: counts.read_write_ratio(),
+            reference_rate: rate,
+            iterations_touched: if reads + writes > 0 { 10 } else { 0 },
+            only_pre_post: reads + writes == 0,
+            short_term_heap: false,
+        }
+    }
+
+    #[test]
+    fn untouched_and_read_only_qualify() {
+        let policy = PlacementPolicy::category2();
+        assert_eq!(
+            classify_object(&obj("cold", 1024, 0, 0, 0.0), &policy),
+            Decision::NvramUntouched
+        );
+        assert_eq!(
+            classify_object(&obj("table", 1024, 1000, 0, 0.01), &policy),
+            Decision::NvramReadOnly
+        );
+    }
+
+    #[test]
+    fn high_ratio_respects_rate_cap() {
+        let policy = PlacementPolicy::category2();
+        assert_eq!(
+            classify_object(&obj("coef", 64, 200, 10, 0.01), &policy),
+            Decision::NvramHighRatio
+        );
+        // Same ratio, but the object dominates the reference stream.
+        assert_eq!(
+            classify_object(&obj("hot_coef", 64, 200, 10, 0.5), &policy),
+            Decision::Dram
+        );
+    }
+
+    #[test]
+    fn write_heavy_objects_stay_in_dram() {
+        let policy = PlacementPolicy::category2();
+        assert_eq!(
+            classify_object(&obj("grid", 64, 100, 100, 0.01), &policy),
+            Decision::Dram
+        );
+    }
+
+    #[test]
+    fn category1_is_stricter_than_category2() {
+        let o = obj("coef", 64, 200, 10, 0.01); // ratio 20
+        assert!(classify_object(&o, &PlacementPolicy::category2()).is_nvram());
+        assert!(!classify_object(&o, &PlacementPolicy::category1()).is_nvram());
+    }
+
+    #[test]
+    fn category1_rate_caps_read_only_data() {
+        let hot_ro = obj("hot_table", 64, 100_000, 0, 0.4);
+        assert!(!classify_object(&hot_ro, &PlacementPolicy::category1()).is_nvram());
+        assert!(classify_object(&hot_ro, &PlacementPolicy::category2()).is_nvram());
+    }
+
+    #[test]
+    fn short_term_heap_never_qualifies() {
+        let mut o = obj("tmp", 4096, 0, 0, 0.0);
+        o.short_term_heap = true;
+        assert_eq!(
+            classify_object(&o, &PlacementPolicy::category2()),
+            Decision::Dram
+        );
+    }
+
+    #[test]
+    fn aggregate_fractions_add_up() {
+        let policy = PlacementPolicy::category2();
+        let set = vec![
+            obj("cold", 3000, 0, 0, 0.0),
+            obj("table", 2000, 500, 0, 0.01),
+            obj("coef", 1000, 300, 10, 0.02),
+            obj("grid", 4000, 100, 100, 0.1),
+        ];
+        let rep = classify(&set, &policy);
+        assert_eq!(rep.total_bytes, 10_000);
+        assert_eq!(rep.nvram_bytes, 6000);
+        assert_eq!(rep.untouched_bytes, 3000);
+        assert_eq!(rep.read_only_bytes, 2000);
+        assert_eq!(rep.high_ratio_bytes, 1000);
+        assert!((rep.suitable_fraction() - 0.6).abs() < 1e-12);
+    }
+}

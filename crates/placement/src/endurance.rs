@@ -1,0 +1,88 @@
+//! Write-endurance lifetime estimation.
+//!
+//! §II: "today's state-of-the-art processor technology has demonstrated
+//! that the write endurance for PCRAM is around 10⁸ and 10⁹·⁷, much worse
+//! than that of DRAM (10¹⁶)". The classifier's rate caps keep hot objects
+//! out of NVRAM; this module quantifies the residual wear for the objects
+//! that were placed there.
+
+use nvsim_types::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Endurance analysis for one placed object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceReport {
+    /// Writes per byte per second the object sustains.
+    pub write_bytes_per_s: f64,
+    /// Estimated years until the device region wears out, assuming ideal
+    /// wear-levelling across the object's cells.
+    pub lifetime_years: f64,
+    /// `true` if the lifetime clears a 5-year deployment bar.
+    pub acceptable: bool,
+}
+
+/// Seconds per year.
+const YEAR_S: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Estimates lifetime for an object of `size_bytes` receiving
+/// `writes_per_second` (each write touching `write_width` bytes) on
+/// `device`, with ideal wear-levelling.
+///
+/// Returns infinite lifetime for objects that are never written.
+pub fn lifetime_years(
+    size_bytes: u64,
+    writes_per_second: f64,
+    write_width: u64,
+    device: &DeviceProfile,
+) -> EnduranceReport {
+    let endurance = 10f64.powf(device.endurance_log10);
+    let write_bytes_per_s = writes_per_second * write_width as f64;
+    let lifetime_years = if write_bytes_per_s <= 0.0 {
+        f64::INFINITY
+    } else {
+        // Ideal wear-levelling spreads the write stream across all cells:
+        // cell write rate = stream rate / size.
+        let cell_writes_per_s = write_bytes_per_s / size_bytes.max(1) as f64;
+        endurance / cell_writes_per_s / YEAR_S
+    };
+    EnduranceReport {
+        write_bytes_per_s,
+        lifetime_years,
+        acceptable: lifetime_years >= 5.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_object_lives_forever() {
+        let r = lifetime_years(1 << 20, 0.0, 8, &DeviceProfile::pcram());
+        assert!(r.lifetime_years.is_infinite());
+        assert!(r.acceptable);
+    }
+
+    #[test]
+    fn rarely_written_large_object_is_fine_on_pcram() {
+        // 1 GiB object written at 1 MB/s: cell rate ~1e-3/s.
+        let r = lifetime_years(1 << 30, 125_000.0, 8, &DeviceProfile::pcram());
+        assert!(r.acceptable, "lifetime {} years", r.lifetime_years);
+    }
+
+    #[test]
+    fn hot_small_object_wears_pcram_out() {
+        // 4 KiB object rewritten 10M times/s.
+        let r = lifetime_years(4096, 10_000_000.0, 8, &DeviceProfile::pcram());
+        assert!(!r.acceptable, "lifetime {} years", r.lifetime_years);
+    }
+
+    #[test]
+    fn dram_endurance_is_effectively_unbounded() {
+        let r = lifetime_years(4096, 10_000_000.0, 8, &DeviceProfile::ddr3());
+        assert!(r.acceptable);
+        // 10^16 vs 10^8.85: ~7 orders of magnitude more lifetime.
+        let p = lifetime_years(4096, 10_000_000.0, 8, &DeviceProfile::pcram());
+        assert!(r.lifetime_years > p.lifetime_years * 1e6);
+    }
+}

@@ -1,0 +1,47 @@
+//! # nvsim-placement
+//!
+//! The hybrid DRAM–NVRAM data-placement advisor: the actionable output of
+//! the paper's characterization. §II defines the management policy this
+//! crate implements: "place memory pages in NVRAMs as much as possible
+//! while avoiding performance-critical frequent accesses (especially write
+//! accesses) to NVRAM, such that energy savings are maximized and
+//! performance losses are minimized", using the three metrics (read/write
+//! ratio, object size, reference rate) evaluated per memory object.
+//!
+//! * [`classifier`] — per-object NVRAM suitability decisions and the
+//!   working-set suitability fraction (the abstract's "31% and 27% of the
+//!   memory working sets are suitable for NVRAM");
+//! * [`planner`] — capacity split and standby-power-saving estimate for a
+//!   horizontal hybrid memory system;
+//! * [`migration`] — an epoch-based dynamic page/object migration
+//!   simulator in the style of Ramos et al. \[3\], driven by the
+//!   per-iteration statistics (§VII-C motivates migration for objects with
+//!   time-varying access patterns);
+//! * [`endurance`] — write-endurance lifetime estimates (§II lists
+//!   endurance as the third NVRAM limitation);
+//! * [`page`] — the page-granularity baseline of the §VIII hybrid-memory
+//!   systems, for quantifying the paper's object-vs-page granularity
+//!   thesis;
+//! * [`wear`] — Start-Gap wear levelling, measuring how close practical
+//!   levelling gets to the ideal assumed by [`endurance`];
+//! * [`checkpoint`] — Young-model checkpoint scheduling, quantifying the
+//!   §I claim that NVRAM "would drastically reduce" checkpoint cost.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checkpoint;
+pub mod classifier;
+pub mod endurance;
+pub mod migration;
+pub mod page;
+pub mod planner;
+pub mod wear;
+
+pub use checkpoint::{compare_targets, young_plan, CheckpointPlan, CheckpointTarget};
+pub use classifier::{classify, Decision, PlacementPolicy, SuitabilityReport};
+pub use endurance::{lifetime_years, EnduranceReport};
+pub use migration::{MigrationConfig, MigrationSimulator, MigrationStats};
+pub use page::{compare_granularities, GranularityComparison, PageProfiler};
+pub use planner::{plan, HybridPlan};
+pub use wear::{compare_wear, StartGap, WearTracker};

@@ -1,0 +1,255 @@
+//! Epoch-based dynamic object migration between DRAM and NVRAM.
+//!
+//! §VII-C: "If there are temporal NVRAM-friendly access patterns, a
+//! dynamic data placement scheme like [Ramos et al.] will have a chance to
+//! migrate data between DRAM and NVRAM to save power" — and for Nek5000's
+//! diverse reference rates, "a memory reference monitor working at a fine
+//! time granularity should be applied to dynamically decide the optimal
+//! location of a memory page".
+//!
+//! The simulator replays an object's per-iteration statistics: each epoch
+//! (one or more iterations) it re-evaluates every object against the
+//! policy and migrates it if the decision flipped, charging a migration
+//! cost proportional to the object size.
+
+use crate::classifier::PlacementPolicy;
+use nvsim_types::ObjectMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Migration simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Iterations per monitoring epoch (1 = the fine granularity §VII-C
+    /// recommends for Nek5000).
+    pub epoch_iterations: u32,
+    /// Placement thresholds.
+    pub policy: PlacementPolicy,
+    /// Migration cost per byte moved, in ns (DMA copy between DIMMs).
+    pub cost_ns_per_byte: f64,
+    /// Hysteresis: a decision must persist this many epochs to trigger a
+    /// migration (suppresses ping-ponging).
+    pub hysteresis_epochs: u32,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            epoch_iterations: 1,
+            policy: PlacementPolicy::category2(),
+            cost_ns_per_byte: 0.25, // ~4 GB/s copy engine
+            hysteresis_epochs: 1,
+        }
+    }
+}
+
+/// Where an object currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Residence {
+    /// In DRAM.
+    Dram,
+    /// In NVRAM.
+    Nvram,
+}
+
+/// Outcome of a migration run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationStats {
+    /// Migrations performed.
+    pub migrations: u64,
+    /// Bytes moved in total.
+    pub bytes_moved: u64,
+    /// Total migration cost, ns.
+    pub cost_ns: f64,
+    /// Byte-epochs spent in NVRAM (the standby-saving integral).
+    pub nvram_byte_epochs: u128,
+    /// Byte-epochs total.
+    pub total_byte_epochs: u128,
+    /// Final residences, one per input object.
+    pub final_residence: Vec<Residence>,
+}
+
+impl MigrationStats {
+    /// Time-averaged fraction of the working set resident in NVRAM.
+    pub fn nvram_residency(&self) -> f64 {
+        if self.total_byte_epochs == 0 {
+            0.0
+        } else {
+            self.nvram_byte_epochs as f64 / self.total_byte_epochs as f64
+        }
+    }
+}
+
+/// The migration simulator.
+pub struct MigrationSimulator {
+    config: MigrationConfig,
+}
+
+impl MigrationSimulator {
+    /// Creates a simulator.
+    pub fn new(config: MigrationConfig) -> Self {
+        MigrationSimulator { config }
+    }
+
+    /// Replays the per-iteration metrics of a set of objects (all series
+    /// must have equal length) and returns migration statistics. Objects
+    /// start in DRAM.
+    pub fn run(&self, objects: &[(&ObjectMetrics, u64)]) -> MigrationStats {
+        let iterations = objects
+            .iter()
+            .map(|(m, _)| m.per_iteration.len())
+            .max()
+            .unwrap_or(0);
+        let epochs = if self.config.epoch_iterations == 0 {
+            0
+        } else {
+            iterations.div_ceil(self.config.epoch_iterations as usize)
+        };
+        let mut stats = MigrationStats {
+            final_residence: vec![Residence::Dram; objects.len()],
+            ..Default::default()
+        };
+        let mut pending: Vec<(Residence, u32)> =
+            vec![(Residence::Dram, 0); objects.len()];
+
+        for epoch in 0..epochs {
+            let lo = epoch * self.config.epoch_iterations as usize;
+            let hi = (lo + self.config.epoch_iterations as usize).min(iterations);
+            for (idx, (metrics, size)) in objects.iter().enumerate() {
+                // Aggregate the epoch's counters.
+                let mut counts = nvsim_types::AccessCounts::ZERO;
+                let mut rate = 0.0;
+                for s in metrics.per_iteration.get(lo..hi).unwrap_or(&[]) {
+                    counts += s.counts;
+                    rate += s.reference_rate;
+                }
+                let want = self.desired_residence(counts, rate / (hi - lo).max(1) as f64);
+                let current = stats.final_residence[idx];
+                let (last_want, streak) = pending[idx];
+                let streak = if want == last_want { streak + 1 } else { 1 };
+                pending[idx] = (want, streak);
+                if want != current && streak >= self.config.hysteresis_epochs {
+                    stats.migrations += 1;
+                    stats.bytes_moved += size;
+                    stats.cost_ns += *size as f64 * self.config.cost_ns_per_byte;
+                    stats.final_residence[idx] = want;
+                }
+                if stats.final_residence[idx] == Residence::Nvram {
+                    stats.nvram_byte_epochs += u128::from(*size);
+                }
+                stats.total_byte_epochs += u128::from(*size);
+            }
+        }
+        stats
+    }
+
+    fn desired_residence(&self, counts: nvsim_types::AccessCounts, rate: f64) -> Residence {
+        if counts.total() == 0 {
+            return Residence::Nvram; // idle this epoch: park in NVRAM
+        }
+        match counts.read_write_ratio() {
+            Some(r)
+                if r >= self.config.policy.min_rw_ratio
+                    && rate <= self.config.policy.max_reference_rate =>
+            {
+                Residence::Nvram
+            }
+            _ => Residence::Dram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::{AccessCounts, IterationStats, ObjectMetrics};
+
+    fn metrics(series: &[(u64, u64)]) -> ObjectMetrics {
+        let mut m = ObjectMetrics::new(4096);
+        m.per_iteration = series
+            .iter()
+            .map(|&(r, w)| IterationStats::from_counts(AccessCounts::new(r, w), 10_000))
+            .collect();
+        m
+    }
+
+    #[test]
+    fn steady_friendly_object_migrates_once() {
+        let m = metrics(&[(100, 2); 10]); // ratio 50, rate 0.0102
+        let sim = MigrationSimulator::new(MigrationConfig::default());
+        let stats = sim.run(&[(&m, 4096)]);
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.bytes_moved, 4096);
+        assert_eq!(stats.final_residence[0], Residence::Nvram);
+        assert!(stats.nvram_residency() > 0.8);
+    }
+
+    #[test]
+    fn write_heavy_object_stays_in_dram() {
+        let m = metrics(&[(10, 10); 10]);
+        let sim = MigrationSimulator::new(MigrationConfig::default());
+        let stats = sim.run(&[(&m, 4096)]);
+        assert_eq!(stats.migrations, 0);
+        assert_eq!(stats.final_residence[0], Residence::Dram);
+        assert_eq!(stats.nvram_residency(), 0.0);
+    }
+
+    #[test]
+    fn phase_change_triggers_migration() {
+        // Write-heavy first half, read-mostly second half.
+        let mut series = vec![(10u64, 10u64); 5];
+        series.extend([(200, 2); 5]);
+        let m = metrics(&series);
+        let sim = MigrationSimulator::new(MigrationConfig::default());
+        let stats = sim.run(&[(&m, 8192)]);
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.final_residence[0], Residence::Nvram);
+        assert!(stats.nvram_residency() > 0.3 && stats.nvram_residency() < 0.7);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_ping_pong() {
+        // Alternating friendly/unfriendly epochs.
+        let series: Vec<(u64, u64)> = (0..10)
+            .map(|i| if i % 2 == 0 { (200, 2) } else { (10, 10) })
+            .collect();
+        let m = metrics(&series);
+        let eager = MigrationSimulator::new(MigrationConfig {
+            hysteresis_epochs: 1,
+            ..Default::default()
+        });
+        let cautious = MigrationSimulator::new(MigrationConfig {
+            hysteresis_epochs: 3,
+            ..Default::default()
+        });
+        let e = eager.run(&[(&m, 4096)]);
+        let c = cautious.run(&[(&m, 4096)]);
+        assert!(e.migrations > c.migrations);
+        assert_eq!(c.migrations, 0);
+    }
+
+    #[test]
+    fn longer_epochs_smooth_decisions() {
+        let series: Vec<(u64, u64)> = (0..10)
+            .map(|i| if i % 2 == 0 { (200, 2) } else { (10, 10) })
+            .collect();
+        let m = metrics(&series);
+        let coarse = MigrationSimulator::new(MigrationConfig {
+            epoch_iterations: 5,
+            ..Default::default()
+        });
+        let stats = coarse.run(&[(&m, 4096)]);
+        // Aggregated over 5 iterations the ratio is ~17.5 > 10: friendly.
+        assert_eq!(stats.final_residence[0], Residence::Nvram);
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let m = metrics(&[(100, 2); 4]);
+        let sim = MigrationSimulator::new(MigrationConfig {
+            cost_ns_per_byte: 1.0,
+            ..Default::default()
+        });
+        let stats = sim.run(&[(&m, 1000)]);
+        assert_eq!(stats.cost_ns, 1000.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Capacity planning for a horizontal hybrid DRAM+NVRAM system.
+
+use crate::classifier::SuitabilityReport;
+use nvsim_types::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// A hybrid capacity plan derived from a suitability report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridPlan {
+    /// Bytes provisioned as DRAM.
+    pub dram_bytes: u64,
+    /// Bytes provisioned as NVRAM.
+    pub nvram_bytes: u64,
+    /// Standby power saved relative to an all-DRAM system, mW (the bytes
+    /// moved to NVRAM stop paying DRAM leakage + refresh).
+    pub standby_saving_mw: f64,
+    /// Fraction of standby power saved.
+    pub standby_saving_fraction: f64,
+}
+
+/// Builds a plan: NVRAM sized to the suitable working set (padded by
+/// `headroom`, e.g. 1.25 for growth), DRAM holding the rest.
+///
+/// # Panics
+/// Panics if `headroom < 1.0`.
+pub fn plan(report: &SuitabilityReport, dram: &DeviceProfile, headroom: f64) -> HybridPlan {
+    assert!(headroom >= 1.0, "headroom must be at least 1.0");
+    let nvram_bytes = (report.nvram_bytes as f64 * headroom) as u64;
+    let dram_bytes = report.total_bytes.saturating_sub(report.nvram_bytes);
+    let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
+    let standby_saving_mw = dram.standby_power_mw_per_gb * gb(nvram_bytes);
+    let total_standby = dram.standby_power_mw_per_gb * gb(nvram_bytes + dram_bytes);
+    HybridPlan {
+        dram_bytes,
+        nvram_bytes,
+        standby_saving_mw,
+        standby_saving_fraction: if total_standby > 0.0 {
+            standby_saving_mw / total_standby
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Decision;
+
+    fn report(total: u64, nvram: u64) -> SuitabilityReport {
+        SuitabilityReport {
+            decisions: vec![Decision::Dram],
+            total_bytes: total,
+            nvram_bytes: nvram,
+            untouched_bytes: nvram,
+            read_only_bytes: 0,
+            high_ratio_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn plan_splits_capacity() {
+        let p = plan(&report(10 << 30, 3 << 30), &DeviceProfile::ddr3(), 1.0);
+        assert_eq!(p.nvram_bytes, 3 << 30);
+        assert_eq!(p.dram_bytes, 7 << 30);
+        assert!(p.standby_saving_mw > 0.0);
+        assert!((p.standby_saving_fraction - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headroom_grows_nvram_only() {
+        let base = plan(&report(10 << 30, 2 << 30), &DeviceProfile::ddr3(), 1.0);
+        let padded = plan(&report(10 << 30, 2 << 30), &DeviceProfile::ddr3(), 1.5);
+        assert!(padded.nvram_bytes > base.nvram_bytes);
+        assert_eq!(padded.dram_bytes, base.dram_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn sub_unity_headroom_panics() {
+        let _ = plan(&report(1, 1), &DeviceProfile::ddr3(), 0.5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests of the placement advisor: threshold monotonicity,
+//! byte-accounting conservation, and migration-simulator invariants.
+
+use nvsim_objects::ObjectSummary;
+use nvsim_placement::{classify, MigrationConfig, MigrationSimulator, PlacementPolicy};
+use nvsim_types::{AccessCounts, IterationStats, ObjectMetrics, Region};
+use proptest::prelude::*;
+
+fn summaries() -> impl Strategy<Value = Vec<ObjectSummary>> {
+    proptest::collection::vec(
+        (1u64..1 << 20, 0u64..10_000, 0u64..1_000, 0.0f64..0.4),
+        1..60,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (size, reads, writes, rate))| {
+                let counts = AccessCounts::new(reads, writes);
+                ObjectSummary {
+                    name: format!("obj{i}"),
+                    region: Region::Global,
+                    size_bytes: size,
+                    counts,
+                    rw_ratio: counts.read_write_ratio(),
+                    reference_rate: rate,
+                    iterations_touched: u32::from(reads + writes > 0),
+                    only_pre_post: reads + writes == 0,
+                    short_term_heap: false,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn classification_bytes_are_conserved(objs in summaries()) {
+        let rep = classify(&objs, &PlacementPolicy::category2());
+        let total: u64 = objs.iter().map(|o| o.size_bytes).sum();
+        prop_assert_eq!(rep.total_bytes, total);
+        prop_assert_eq!(
+            rep.nvram_bytes,
+            rep.untouched_bytes + rep.read_only_bytes + rep.high_ratio_bytes
+        );
+        prop_assert!(rep.nvram_bytes <= rep.total_bytes);
+        prop_assert_eq!(rep.decisions.len(), objs.len());
+    }
+
+    #[test]
+    fn stricter_thresholds_place_less(objs in summaries(), ratio in 1.0f64..100.0) {
+        let loose = PlacementPolicy {
+            min_rw_ratio: ratio,
+            ..PlacementPolicy::category2()
+        };
+        let strict = PlacementPolicy {
+            min_rw_ratio: ratio * 2.0,
+            ..PlacementPolicy::category2()
+        };
+        let l = classify(&objs, &loose);
+        let s = classify(&objs, &strict);
+        prop_assert!(s.nvram_bytes <= l.nvram_bytes);
+        for (dl, ds) in l.decisions.iter().zip(&s.decisions) {
+            if ds.is_nvram() {
+                prop_assert!(dl.is_nvram(), "strict placed what loose rejected");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_cap_is_monotone(objs in summaries(), cap in 0.0f64..0.5) {
+        let tight = PlacementPolicy {
+            max_reference_rate: cap,
+            ..PlacementPolicy::category2()
+        };
+        let wide = PlacementPolicy {
+            max_reference_rate: cap + 0.3,
+            ..PlacementPolicy::category2()
+        };
+        let t = classify(&objs, &tight);
+        let w = classify(&objs, &wide);
+        prop_assert!(t.nvram_bytes <= w.nvram_bytes);
+    }
+
+    #[test]
+    fn migration_accounting_is_consistent(
+        series in proptest::collection::vec(
+            proptest::collection::vec((0u64..5_000, 0u64..500), 4..20),
+            1..20,
+        ),
+    ) {
+        let metrics: Vec<ObjectMetrics> = series
+            .iter()
+            .map(|s| {
+                let mut m = ObjectMetrics::new(4096);
+                m.per_iteration = s
+                    .iter()
+                    .map(|&(r, w)| IterationStats::from_counts(AccessCounts::new(r, w), 1_000_000))
+                    .collect();
+                m
+            })
+            .collect();
+        let refs: Vec<(&ObjectMetrics, u64)> =
+            metrics.iter().map(|m| (m, m.size_bytes)).collect();
+        let sim = MigrationSimulator::new(MigrationConfig::default());
+        let stats = sim.run(&refs);
+        prop_assert_eq!(stats.final_residence.len(), metrics.len());
+        prop_assert_eq!(stats.bytes_moved, stats.migrations * 4096);
+        prop_assert!(stats.nvram_byte_epochs <= stats.total_byte_epochs);
+        let residency = stats.nvram_residency();
+        prop_assert!((0.0..=1.0).contains(&residency));
+    }
+}

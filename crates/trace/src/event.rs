@@ -1,0 +1,133 @@
+//! The event vocabulary flowing from an instrumented application to
+//! analysis sinks.
+//!
+//! Events correspond one-to-one with the instrumentation points the paper
+//! inserts with PIN (§III): memory-operand callbacks, function call/return
+//! instrumentation (for the shadow stack), `malloc`/`free` entry/exit
+//! instrumentation (heap objects), and iteration markers around the main
+//! computation loop (§VI: "we specifically instrument the main computation
+//! loop").
+
+use crate::routine::RoutineId;
+use nvsim_types::{MemRef, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+/// Execution phase markers.
+///
+/// §VI: scientific applications typically have a pre-computing phase, a
+/// main computation loop, and a post-processing phase; the tool instruments
+/// the main loop but tracks allocations made in all phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Initialization / input parsing begins.
+    PreComputeBegin,
+    /// One iteration of the main computation loop begins (0-based index).
+    IterationBegin(u32),
+    /// The iteration ends.
+    IterationEnd(u32),
+    /// Post-processing (aggregation, output) begins.
+    PostProcessBegin,
+    /// The program is done; sinks should finalize.
+    ProgramEnd,
+}
+
+/// The static allocation site of a heap object.
+///
+/// §III-B uses "the base address, the size, the line number and the file
+/// name for the function call, and the starting addresses of the routines
+/// currently active in the shadow stack" as the heap-object signature. The
+/// call-stack component is appended by the object registry (which owns the
+/// shadow stack); the site carries the source coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AllocSite {
+    /// Source file of the allocating call.
+    pub file: &'static str,
+    /// Line number of the allocating call.
+    pub line: u32,
+}
+
+impl AllocSite {
+    /// Creates an allocation site.
+    pub const fn new(file: &'static str, line: u32) -> Self {
+        AllocSite { file, line }
+    }
+}
+
+/// A global symbol, as NV-SCAVENGER would read it from the executable with
+/// libdwarf (§III-C).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalSymbol {
+    /// Symbol name (e.g. `mass_matrix`, or a FORTRAN common-block member).
+    pub name: String,
+    /// Base address in the global segment.
+    pub base: VirtAddr,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// One instrumentation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A batch-flushed memory reference (the common case by far).
+    Ref(MemRef),
+    /// A routine was entered; `frame_base` is the highest address of its
+    /// new stack frame, `sp` the stack pointer after frame setup.
+    RoutineEnter {
+        /// Routine being entered.
+        routine: RoutineId,
+        /// Highest address (exclusive) of the routine's frame.
+        frame_base: VirtAddr,
+        /// Stack pointer after the frame was set up.
+        sp: VirtAddr,
+    },
+    /// The current routine returned; `sp` is restored to the caller's.
+    RoutineExit {
+        /// Routine being exited.
+        routine: RoutineId,
+        /// Stack pointer after the frame was torn down.
+        sp: VirtAddr,
+    },
+    /// A heap region was allocated (`malloc`/Fortran `allocate` exit hook).
+    HeapAlloc {
+        /// Base address returned by the allocator.
+        base: VirtAddr,
+        /// Requested size in bytes.
+        size: u64,
+        /// Static allocation site.
+        site: AllocSite,
+    },
+    /// A heap region was freed (`free` entry hook). `realloc` is modelled
+    /// as free + alloc, exactly as §III-B prescribes.
+    HeapFree {
+        /// Base address being freed.
+        base: VirtAddr,
+    },
+    /// Execution phase marker.
+    Phase(Phase),
+}
+
+impl Event {
+    /// `true` for `Event::Ref`.
+    #[inline]
+    pub fn is_ref(&self) -> bool {
+        matches!(self, Event::Ref(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_classification() {
+        let e = Event::Ref(MemRef::read(VirtAddr::new(8), 8));
+        assert!(e.is_ref());
+        assert!(!Event::Phase(Phase::ProgramEnd).is_ref());
+    }
+
+    #[test]
+    fn alloc_site_equality_is_structural() {
+        assert_eq!(AllocSite::new("a.rs", 10), AllocSite::new("a.rs", 10));
+        assert_ne!(AllocSite::new("a.rs", 10), AllocSite::new("a.rs", 11));
+    }
+}

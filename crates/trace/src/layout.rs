@@ -1,0 +1,420 @@
+//! Synthetic address-space allocators for the three segments.
+//!
+//! The proxy applications allocate their data structures through these
+//! allocators so that every data structure owns a realistic, disjoint
+//! virtual address range. The heap allocator deliberately *reuses freed
+//! addresses* (first-fit free list with coalescing): §III-B calls out that
+//! "some already deallocated heap objects may share the same virtual memory
+//! address with an active heap memory object", which forces the object
+//! registry to keep dead-object flags — behaviour this allocator exercises.
+
+use nvsim_types::{AddrRange, NvsimError, VirtAddr};
+
+/// Alignment applied to all allocations (glibc-style 16 bytes).
+pub const ALLOC_ALIGN: u64 = 16;
+
+/// Bump allocator for the global/data segment.
+#[derive(Debug, Clone)]
+pub struct GlobalAllocator {
+    range: AddrRange,
+    next: VirtAddr,
+}
+
+impl GlobalAllocator {
+    /// Creates an allocator over the given segment range.
+    pub fn new(range: AddrRange) -> Self {
+        GlobalAllocator {
+            range,
+            next: range.start,
+        }
+    }
+
+    /// Reserves `size` bytes and returns their base address.
+    pub fn alloc(&mut self, size: u64) -> Result<VirtAddr, NvsimError> {
+        let base = self.next.align_up(ALLOC_ALIGN);
+        let end = base
+            .checked_add(size)
+            .ok_or(NvsimError::OutOfAddressSpace {
+                segment: "global",
+                requested: size,
+            })?;
+        if end > self.range.end {
+            return Err(NvsimError::OutOfAddressSpace {
+                segment: "global",
+                requested: size,
+            });
+        }
+        self.next = end;
+        Ok(base)
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> u64 {
+        self.next.raw() - self.range.start.raw()
+    }
+}
+
+/// A block on the heap free list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreeBlock {
+    base: VirtAddr,
+    size: u64,
+}
+
+/// First-fit heap allocator with address reuse and coalescing.
+#[derive(Debug, Clone)]
+pub struct HeapAllocator {
+    range: AddrRange,
+    frontier: VirtAddr,
+    /// Free blocks sorted by base address (kept small: scientific codes
+    /// make few concurrent allocations relative to their footprint).
+    free: Vec<FreeBlock>,
+    /// Live allocations: (base, size), sorted by base.
+    live: Vec<(VirtAddr, u64)>,
+    peak_bytes: u64,
+    live_bytes: u64,
+}
+
+impl HeapAllocator {
+    /// Creates an allocator over the given heap range.
+    pub fn new(range: AddrRange) -> Self {
+        HeapAllocator {
+            range,
+            frontier: range.start,
+            free: Vec::new(),
+            live: Vec::new(),
+            peak_bytes: 0,
+            live_bytes: 0,
+        }
+    }
+
+    /// Allocates `size` bytes (rounded up to [`ALLOC_ALIGN`]), preferring
+    /// to reuse a freed block.
+    pub fn alloc(&mut self, size: u64) -> Result<VirtAddr, NvsimError> {
+        let size = size.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        // First fit over the free list.
+        if let Some(idx) = self.free.iter().position(|b| b.size >= size) {
+            let block = self.free[idx];
+            let base = block.base;
+            if block.size == size {
+                self.free.remove(idx);
+            } else {
+                self.free[idx] = FreeBlock {
+                    base: block.base + size,
+                    size: block.size - size,
+                };
+            }
+            self.insert_live(base, size);
+            return Ok(base);
+        }
+        // Otherwise extend the frontier.
+        let base = self.frontier.align_up(ALLOC_ALIGN);
+        let end = base
+            .checked_add(size)
+            .ok_or(NvsimError::OutOfAddressSpace {
+                segment: "heap",
+                requested: size,
+            })?;
+        if end > self.range.end {
+            return Err(NvsimError::OutOfAddressSpace {
+                segment: "heap",
+                requested: size,
+            });
+        }
+        self.frontier = end;
+        self.insert_live(base, size);
+        Ok(base)
+    }
+
+    /// Frees the allocation starting at `base`, returning its size.
+    pub fn free(&mut self, base: VirtAddr) -> Result<u64, NvsimError> {
+        let idx = self
+            .live
+            .binary_search_by_key(&base, |&(b, _)| b)
+            .map_err(|_| NvsimError::Protocol(format!("free of unallocated address {base}")))?;
+        let (_, size) = self.live.remove(idx);
+        self.live_bytes -= size;
+        self.insert_free(FreeBlock { base, size });
+        Ok(size)
+    }
+
+    /// Reallocates: modelled as free followed by alloc, exactly as §III-B
+    /// treats `realloc`. Returns the new base address.
+    pub fn realloc(&mut self, base: VirtAddr, new_size: u64) -> Result<VirtAddr, NvsimError> {
+        self.free(base)?;
+        self.alloc(new_size)
+    }
+
+    /// Size of the live allocation at `base`, if any.
+    pub fn live_size(&self, base: VirtAddr) -> Option<u64> {
+        self.live
+            .binary_search_by_key(&base, |&(b, _)| b)
+            .ok()
+            .map(|i| self.live[i].1)
+    }
+
+    /// Current live bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Peak live bytes over the allocator's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    fn insert_live(&mut self, base: VirtAddr, size: u64) {
+        let idx = self
+            .live
+            .binary_search_by_key(&base, |&(b, _)| b)
+            .expect_err("allocator returned an address that is already live");
+        self.live.insert(idx, (base, size));
+        self.live_bytes += size;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+    }
+
+    fn insert_free(&mut self, block: FreeBlock) {
+        let idx = self
+            .free
+            .partition_point(|b| b.base < block.base);
+        self.free.insert(idx, block);
+        // Coalesce with the successor, then the predecessor.
+        if idx + 1 < self.free.len() {
+            let next = self.free[idx + 1];
+            if self.free[idx].base + self.free[idx].size == next.base {
+                self.free[idx].size += next.size;
+                self.free.remove(idx + 1);
+            }
+        }
+        if idx > 0 {
+            let prev = self.free[idx - 1];
+            if prev.base + prev.size == self.free[idx].base {
+                self.free[idx - 1].size += self.free[idx].size;
+                self.free.remove(idx);
+            }
+        }
+    }
+}
+
+/// Downward-growing stack with frame bookkeeping.
+///
+/// §III-A's fast method classifies a reference as a stack reference when
+/// its address lies between the current stack pointer and the highest value
+/// the stack pointer ever had; [`StackAllocator::base`] and
+/// [`StackAllocator::sp`] provide those bounds, and the low watermark is
+/// tracked for footprint reporting.
+#[derive(Debug, Clone)]
+pub struct StackAllocator {
+    range: AddrRange,
+    sp: VirtAddr,
+    /// Frame base (address one past the top of the frame) per live frame.
+    frames: Vec<VirtAddr>,
+    low_watermark: VirtAddr,
+}
+
+impl StackAllocator {
+    /// Creates a stack occupying `range`, with the stack pointer at the top.
+    pub fn new(range: AddrRange) -> Self {
+        StackAllocator {
+            range,
+            sp: range.end,
+            frames: Vec::new(),
+            low_watermark: range.end,
+        }
+    }
+
+    /// Current stack pointer.
+    #[inline]
+    pub fn sp(&self) -> VirtAddr {
+        self.sp
+    }
+
+    /// Initial (highest) stack pointer — the paper's "maximum value that
+    /// the stack pointer has had".
+    #[inline]
+    pub fn base(&self) -> VirtAddr {
+        self.range.end
+    }
+
+    /// Deepest stack pointer reached.
+    #[inline]
+    pub fn low_watermark(&self) -> VirtAddr {
+        self.low_watermark
+    }
+
+    /// Maximum stack depth in bytes reached so far.
+    pub fn max_depth(&self) -> u64 {
+        self.range.end.raw() - self.low_watermark.raw()
+    }
+
+    /// Pushes a frame of `size` bytes; returns `(frame_base, new_sp)` where
+    /// the frame occupies `[new_sp, frame_base)`.
+    pub fn push_frame(&mut self, size: u64) -> Result<(VirtAddr, VirtAddr), NvsimError> {
+        let size = size.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        let frame_base = self.sp;
+        let new_sp_raw = self
+            .sp
+            .raw()
+            .checked_sub(size)
+            .filter(|&raw| raw >= self.range.start.raw())
+            .ok_or(NvsimError::OutOfAddressSpace {
+                segment: "stack",
+                requested: size,
+            })?;
+        self.sp = VirtAddr::new(new_sp_raw);
+        self.low_watermark = self.low_watermark.min(self.sp);
+        self.frames.push(frame_base);
+        Ok((frame_base, self.sp))
+    }
+
+    /// Pops the top frame, restoring the stack pointer.
+    pub fn pop_frame(&mut self) -> Result<VirtAddr, NvsimError> {
+        let frame_base = self
+            .frames
+            .pop()
+            .ok_or_else(|| NvsimError::Protocol("pop_frame on empty stack".into()))?;
+        self.sp = frame_base;
+        Ok(self.sp)
+    }
+
+    /// Number of live frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` if `addr` lies in the live stack area (fast-method test).
+    #[inline]
+    pub fn is_live_stack_addr(&self, addr: VirtAddr) -> bool {
+        addr >= self.sp && addr < self.base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::AddressSpaceLayout;
+
+    fn heap() -> HeapAllocator {
+        HeapAllocator::new(AddressSpaceLayout::default().heap)
+    }
+
+    #[test]
+    fn global_bump_is_monotone_and_aligned() {
+        let mut g = GlobalAllocator::new(AddressSpaceLayout::default().global);
+        let a = g.alloc(100).unwrap();
+        let b = g.alloc(10).unwrap();
+        assert!(b > a);
+        assert!(a.is_aligned(ALLOC_ALIGN));
+        assert!(b.is_aligned(ALLOC_ALIGN));
+        assert!(b.raw() - a.raw() >= 100);
+        assert!(g.used() >= 110);
+    }
+
+    #[test]
+    fn global_exhaustion_errors() {
+        let mut g = GlobalAllocator::new(AddrRange::from_base_size(VirtAddr::new(0x40_0000), 64));
+        assert!(g.alloc(48).is_ok());
+        assert!(matches!(
+            g.alloc(64),
+            Err(NvsimError::OutOfAddressSpace { segment: "global", .. })
+        ));
+    }
+
+    #[test]
+    fn heap_reuses_freed_addresses() {
+        let mut h = heap();
+        let a = h.alloc(1024).unwrap();
+        let _b = h.alloc(1024).unwrap();
+        h.free(a).unwrap();
+        let c = h.alloc(512).unwrap();
+        // First-fit: the freed block at `a` is reused.
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn heap_free_of_unknown_address_errors() {
+        let mut h = heap();
+        assert!(matches!(
+            h.free(VirtAddr::new(0xdead_beef)),
+            Err(NvsimError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn heap_coalescing_merges_neighbours() {
+        let mut h = heap();
+        let a = h.alloc(64).unwrap();
+        let b = h.alloc(64).unwrap();
+        let c = h.alloc(64).unwrap();
+        let _keep = h.alloc(64).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        h.free(b).unwrap(); // merges a+b+c into one 192-byte block
+        let d = h.alloc(192).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn heap_tracks_live_and_peak() {
+        let mut h = heap();
+        let a = h.alloc(100).unwrap(); // rounds to 112
+        assert_eq!(h.live_bytes(), 112);
+        assert_eq!(h.live_size(a), Some(112));
+        let b = h.alloc(16).unwrap();
+        assert_eq!(h.peak_bytes(), 128);
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.live_bytes(), 0);
+        assert_eq!(h.peak_bytes(), 128);
+        assert_eq!(h.live_count(), 0);
+    }
+
+    #[test]
+    fn realloc_is_free_then_alloc() {
+        let mut h = heap();
+        let a = h.alloc(64).unwrap();
+        let b = h.realloc(a, 32).unwrap();
+        // The freed 64-byte block satisfies the 32-byte request first-fit.
+        assert_eq!(b, a);
+        assert!(h.realloc(VirtAddr::new(0x1), 8).is_err());
+    }
+
+    #[test]
+    fn stack_frames_nest_and_restore() {
+        let mut s = StackAllocator::new(AddressSpaceLayout::default().stack);
+        let top = s.sp();
+        let (fb1, sp1) = s.push_frame(100).unwrap();
+        assert_eq!(fb1, top);
+        assert_eq!(sp1.raw(), top.raw() - 112); // aligned up to 112
+        let (fb2, sp2) = s.push_frame(64).unwrap();
+        assert_eq!(fb2, sp1);
+        assert!(sp2 < sp1);
+        assert_eq!(s.depth(), 2);
+        assert!(s.is_live_stack_addr(sp2));
+        assert!(!s.is_live_stack_addr(sp2 - 8));
+        s.pop_frame().unwrap();
+        assert_eq!(s.sp(), sp1);
+        s.pop_frame().unwrap();
+        assert_eq!(s.sp(), top);
+        assert!(s.pop_frame().is_err());
+        assert_eq!(s.max_depth(), top.raw() - sp2.raw());
+    }
+
+    #[test]
+    fn stack_overflow_errors() {
+        let mut s = StackAllocator::new(AddrRange::from_base_size(
+            VirtAddr::new(0x7ff0_0000_0000),
+            256,
+        ));
+        assert!(s.push_frame(128).is_ok());
+        assert!(matches!(
+            s.push_frame(256),
+            Err(NvsimError::OutOfAddressSpace { segment: "stack", .. })
+        ));
+    }
+}

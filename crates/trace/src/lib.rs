@@ -1,0 +1,49 @@
+//! # nvsim-trace
+//!
+//! The library-level instrumentation layer of the NV-SCAVENGER
+//! reproduction. The paper instruments x86 binaries with PIN (§III); since
+//! no mature binary-instrumentation bindings exist for Rust, this crate
+//! substitutes *traced containers*: application data structures whose reads
+//! and writes emit the exact [`MemRef`](nvsim_types::MemRef) stream the
+//! algorithm performs, plus routine enter/exit hooks that drive the same
+//! shadow-stack attribution logic NV-SCAVENGER builds on top of PIN's
+//! call/return instrumentation.
+//!
+//! The crate provides:
+//!
+//! * [`event`] — the event vocabulary flowing from an application to
+//!   analysis sinks (references, routine enter/exit, heap alloc/free,
+//!   phase markers);
+//! * [`buffer`] — the trace buffer of §III-D ("any memory reference is
+//!   simply placed into the buffer until the buffer is full; all addresses
+//!   in the buffer are then processed at once");
+//! * [`layout`] — synthetic stack/heap/global address-space allocators;
+//! * [`routine`] — the routine table (PIN `RTN`-style name/image lookup);
+//! * [`tracer`] — the [`Tracer`] façade applications call into;
+//! * [`traced`] — traced containers ([`TracedVec`], [`TracedScalar`],
+//!   [`TracedMatrix`]);
+//! * [`sink`] — the [`EventSink`] consumer trait and utility sinks;
+//! * [`tracefile`] — the compact on-disk trace encoding implementing the
+//!   *offline* design §III-D discusses, so the online-vs-offline decision
+//!   can be benchmarked.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod event;
+pub mod layout;
+pub mod routine;
+pub mod sink;
+pub mod traced;
+pub mod tracefile;
+pub mod tracer;
+
+pub use buffer::TraceBuffer;
+pub use event::{AllocSite, Event, GlobalSymbol, Phase};
+pub use layout::{GlobalAllocator, HeapAllocator, StackAllocator};
+pub use routine::{RoutineId, RoutineTable};
+pub use sink::{CountingSink, EventSink, NullSink, RecordingSink, TeeSink};
+pub use tracefile::{replay as replay_trace, TraceWriter};
+pub use traced::{TracedMatrix, TracedScalar, TracedVec};
+pub use tracer::{Tracer, TracerStats};

@@ -1,0 +1,143 @@
+//! Routine identities, mirroring PIN's `RTN` API.
+//!
+//! §III-A: "to identify the routine, we use the starting address of the
+//! routine as its signature, because we can easily obtain routine name and
+//! image name based on this address using the PIN API." Here routines are
+//! registered up front by the proxy applications; the table maps a compact
+//! id to (name, image, synthetic start address).
+
+use nvsim_types::VirtAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Compact identifier of a registered routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RoutineId(pub u32);
+
+/// Metadata for one routine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutineInfo {
+    /// Routine (function/subroutine) name.
+    pub name: String,
+    /// Image (executable or library) the routine belongs to.
+    pub image: String,
+    /// Synthetic starting address — the routine signature of §III-A.
+    pub start_addr: VirtAddr,
+}
+
+/// Registry of routines known to the instrumentation layer.
+#[derive(Debug, Default, Clone)]
+pub struct RoutineTable {
+    routines: Vec<RoutineInfo>,
+    by_name: HashMap<(String, String), RoutineId>,
+}
+
+/// Synthetic text segment where routine start addresses are minted; below
+/// the global segment so they never alias data.
+const TEXT_BASE: u64 = 0x10_0000;
+/// Spacing between synthetic routine start addresses.
+const TEXT_STRIDE: u64 = 0x100;
+
+impl RoutineTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a routine (idempotent per `(image, name)` pair) and
+    /// returns its id.
+    pub fn register(&mut self, image: &str, name: &str) -> RoutineId {
+        let key = (image.to_owned(), name.to_owned());
+        if let Some(&id) = self.by_name.get(&key) {
+            return id;
+        }
+        let id = RoutineId(self.routines.len() as u32);
+        let start_addr = VirtAddr::new(TEXT_BASE + TEXT_STRIDE * u64::from(id.0));
+        self.routines.push(RoutineInfo {
+            name: name.to_owned(),
+            image: image.to_owned(),
+            start_addr,
+        });
+        self.by_name.insert(key, id);
+        id
+    }
+
+    /// Looks up routine metadata.
+    pub fn info(&self, id: RoutineId) -> Option<&RoutineInfo> {
+        self.routines.get(id.0 as usize)
+    }
+
+    /// Resolves a routine by its synthetic start address (the PIN-style
+    /// reverse lookup).
+    pub fn by_start_addr(&self, addr: VirtAddr) -> Option<RoutineId> {
+        let raw = addr.raw();
+        if raw < TEXT_BASE || !(raw - TEXT_BASE).is_multiple_of(TEXT_STRIDE) {
+            return None;
+        }
+        let idx = (raw - TEXT_BASE) / TEXT_STRIDE;
+        if (idx as usize) < self.routines.len() {
+            Some(RoutineId(idx as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Number of registered routines.
+    pub fn len(&self) -> usize {
+        self.routines.len()
+    }
+
+    /// `true` if no routines are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routines.is_empty()
+    }
+
+    /// Iterates over `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RoutineId, &RoutineInfo)> {
+        self.routines
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (RoutineId(i as u32), info))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut t = RoutineTable::new();
+        let a = t.register("nek5000", "ax_helm");
+        let b = t.register("nek5000", "ax_helm");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        let c = t.register("nek5000", "glsum");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn same_name_different_image_is_distinct() {
+        let mut t = RoutineTable::new();
+        let a = t.register("cam", "init");
+        let b = t.register("gtc", "init");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn start_addr_round_trips() {
+        let mut t = RoutineTable::new();
+        let a = t.register("s3d", "rhsf");
+        let b = t.register("s3d", "chemkin");
+        for id in [a, b] {
+            let addr = t.info(id).unwrap().start_addr;
+            assert_eq!(t.by_start_addr(addr), Some(id));
+        }
+        assert_eq!(t.by_start_addr(VirtAddr::new(0x1)), None);
+        assert_eq!(t.by_start_addr(VirtAddr::new(TEXT_BASE + 7)), None);
+        assert_eq!(
+            t.by_start_addr(VirtAddr::new(TEXT_BASE + 100 * TEXT_STRIDE)),
+            None
+        );
+    }
+}

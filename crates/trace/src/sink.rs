@@ -1,0 +1,192 @@
+//! Consumers of the instrumentation event stream.
+//!
+//! A sink is the analysis side of NV-SCAVENGER: the object-attribution
+//! tools (stack/heap/global, paper §III-A..C) and the embedded cache
+//! simulator (§III) all implement [`EventSink`]. References arrive in
+//! batches (the trace buffer of §III-D); control events arrive in order —
+//! the tracer flushes pending references before delivering a control event,
+//! so every batched reference was executed under the call-stack state
+//! established by the control events that precede it.
+
+use crate::event::{Event, GlobalSymbol};
+use nvsim_types::MemRef;
+
+/// A consumer of instrumentation events.
+pub trait EventSink {
+    /// Called once before any event, with the global symbol table (the
+    /// libdwarf scan of §III-C).
+    fn on_globals(&mut self, _symbols: &[GlobalSymbol]) {}
+
+    /// A flushed batch of memory references, in program order.
+    fn on_batch(&mut self, refs: &[MemRef]);
+
+    /// A control event (routine enter/exit, heap alloc/free, phase marker).
+    /// Never called with [`Event::Ref`].
+    fn on_control(&mut self, event: &Event);
+
+    /// Called after the final flush, when the traced program ends.
+    fn on_finish(&mut self) {}
+}
+
+/// A sink that discards everything; useful for measuring pure
+/// instrumentation overhead.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn on_batch(&mut self, _refs: &[MemRef]) {}
+    #[inline]
+    fn on_control(&mut self, _event: &Event) {}
+}
+
+/// Counts references and control events.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Total references observed.
+    pub refs: u64,
+    /// Read references observed.
+    pub reads: u64,
+    /// Write references observed.
+    pub writes: u64,
+    /// Control events observed.
+    pub controls: u64,
+    /// Batches delivered.
+    pub batches: u64,
+    /// Whether `on_finish` ran.
+    pub finished: bool,
+}
+
+impl EventSink for CountingSink {
+    fn on_batch(&mut self, refs: &[MemRef]) {
+        self.batches += 1;
+        self.refs += refs.len() as u64;
+        for r in refs {
+            if r.kind.is_write() {
+                self.writes += 1;
+            } else {
+                self.reads += 1;
+            }
+        }
+    }
+
+    fn on_control(&mut self, _event: &Event) {
+        self.controls += 1;
+    }
+
+    fn on_finish(&mut self) {
+        self.finished = true;
+    }
+}
+
+/// Records the full interleaved event stream; for tests and small traces
+/// only (it stores every reference).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    /// Interleaved events: control events and individual references in the
+    /// order the program produced them.
+    pub events: Vec<Event>,
+    /// Global symbols received at start.
+    pub globals: Vec<GlobalSymbol>,
+}
+
+impl EventSink for RecordingSink {
+    fn on_globals(&mut self, symbols: &[GlobalSymbol]) {
+        self.globals = symbols.to_vec();
+    }
+
+    fn on_batch(&mut self, refs: &[MemRef]) {
+        self.events.extend(refs.iter().copied().map(Event::Ref));
+    }
+
+    fn on_control(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Fans events out to several sinks — the "three tools" of §III-D run over
+/// one execution in-process by teeing the stream.
+pub struct TeeSink<'a> {
+    sinks: Vec<&'a mut dyn EventSink>,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Creates a tee over the given sinks.
+    pub fn new(sinks: Vec<&'a mut dyn EventSink>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl EventSink for TeeSink<'_> {
+    fn on_globals(&mut self, symbols: &[GlobalSymbol]) {
+        for s in &mut self.sinks {
+            s.on_globals(symbols);
+        }
+    }
+
+    fn on_batch(&mut self, refs: &[MemRef]) {
+        for s in &mut self.sinks {
+            s.on_batch(refs);
+        }
+    }
+
+    fn on_control(&mut self, event: &Event) {
+        for s in &mut self.sinks {
+            s.on_control(event);
+        }
+    }
+
+    fn on_finish(&mut self) {
+        for s in &mut self.sinks {
+            s.on_finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+    use nvsim_types::VirtAddr;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::default();
+        s.on_batch(&[
+            MemRef::read(VirtAddr::new(0), 8),
+            MemRef::write(VirtAddr::new(8), 8),
+            MemRef::read(VirtAddr::new(16), 8),
+        ]);
+        s.on_control(&Event::Phase(Phase::ProgramEnd));
+        s.on_finish();
+        assert_eq!((s.refs, s.reads, s.writes), (3, 2, 1));
+        assert_eq!(s.controls, 1);
+        assert_eq!(s.batches, 1);
+        assert!(s.finished);
+    }
+
+    #[test]
+    fn tee_duplicates_stream() {
+        let mut a = CountingSink::default();
+        let mut b = CountingSink::default();
+        {
+            let mut tee = TeeSink::new(vec![&mut a, &mut b]);
+            tee.on_batch(&[MemRef::read(VirtAddr::new(0), 4)]);
+            tee.on_control(&Event::Phase(Phase::PreComputeBegin));
+            tee.on_finish();
+        }
+        assert_eq!(a.refs, 1);
+        assert_eq!(b.refs, 1);
+        assert!(a.finished && b.finished);
+    }
+
+    #[test]
+    fn recording_sink_preserves_order() {
+        let mut s = RecordingSink::default();
+        s.on_control(&Event::Phase(Phase::PreComputeBegin));
+        s.on_batch(&[MemRef::read(VirtAddr::new(4), 4)]);
+        assert_eq!(s.events.len(), 2);
+        assert!(matches!(s.events[0], Event::Phase(_)));
+        assert!(s.events[1].is_ref());
+    }
+}

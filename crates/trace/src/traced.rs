@@ -1,0 +1,376 @@
+//! Traced containers: data structures that emit their own reference stream.
+//!
+//! These are the substitution for PIN's memory-operand instrumentation: a
+//! proxy application stores its real computation state in traced containers
+//! and every element access goes through a [`Tracer`], producing the same
+//! `MemRef` stream the equivalent compiled loads/stores would produce under
+//! PIN (same addresses, sizes and read/write kinds, in the same order).
+
+use crate::event::AllocSite;
+use crate::tracer::{StackFrame, Tracer};
+use nvsim_types::{AddrRange, NvsimError, VirtAddr};
+use std::marker::PhantomData;
+
+/// A traced, fixed-length array of `T` backed by real storage.
+#[derive(Debug, Clone)]
+pub struct TracedVec<T> {
+    data: Vec<T>,
+    base: VirtAddr,
+}
+
+impl<T: Copy + Default> TracedVec<T> {
+    /// Element size in bytes as emitted in references.
+    const ELEM: u64 = std::mem::size_of::<T>() as u64;
+
+    /// Creates a traced vector in the global segment under `name`.
+    pub fn global(t: &mut Tracer<'_>, name: &str, len: usize) -> Result<Self, NvsimError> {
+        let base = t.define_global(name, len as u64 * Self::ELEM)?;
+        Ok(TracedVec {
+            data: vec![T::default(); len],
+            base,
+        })
+    }
+
+    /// Creates a traced vector on the heap at the given allocation site.
+    pub fn heap(t: &mut Tracer<'_>, site: AllocSite, len: usize) -> Result<Self, NvsimError> {
+        let base = t.malloc(len as u64 * Self::ELEM, site)?;
+        Ok(TracedVec {
+            data: vec![T::default(); len],
+            base,
+        })
+    }
+
+    /// Creates a traced vector inside a stack frame.
+    pub fn on_stack(frame: &mut StackFrame, len: usize) -> Self {
+        let base = frame.reserve(len as u64 * Self::ELEM);
+        TracedVec {
+            data: vec![T::default(); len],
+            base,
+        }
+    }
+
+    /// Frees a heap-resident vector, consuming it.
+    pub fn free(self, t: &mut Tracer<'_>) -> Result<(), NvsimError> {
+        t.free(self.base)
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the vector has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Base address of the backing storage.
+    #[inline]
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Size of the backing storage in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.data.len() as u64 * Self::ELEM
+    }
+
+    /// Address range occupied by the storage.
+    pub fn range(&self) -> AddrRange {
+        AddrRange::from_base_size(self.base, self.size_bytes())
+    }
+
+    /// Address of element `i`.
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> VirtAddr {
+        debug_assert!(i < self.data.len());
+        self.base + i as u64 * Self::ELEM
+    }
+
+    /// Traced read of element `i`.
+    #[inline]
+    pub fn get(&self, t: &mut Tracer<'_>, i: usize) -> T {
+        t.read(self.addr_of(i), Self::ELEM as u32);
+        self.data[i]
+    }
+
+    /// Traced write of element `i`.
+    #[inline]
+    pub fn set(&mut self, t: &mut Tracer<'_>, i: usize, v: T) {
+        t.write(self.addr_of(i), Self::ELEM as u32);
+        self.data[i] = v;
+    }
+
+    /// Traced read-modify-write of element `i` (one read + one write, as a
+    /// compiled `a[i] = f(a[i])` performs).
+    #[inline]
+    pub fn update(&mut self, t: &mut Tracer<'_>, i: usize, f: impl FnOnce(T) -> T) {
+        let addr = self.addr_of(i);
+        t.read(addr, Self::ELEM as u32);
+        let v = f(self.data[i]);
+        t.write(addr, Self::ELEM as u32);
+        self.data[i] = v;
+    }
+
+    /// Traced fill of the whole vector (one write per element).
+    pub fn fill(&mut self, t: &mut Tracer<'_>, v: T) {
+        for i in 0..self.data.len() {
+            self.set(t, i, v);
+        }
+    }
+
+    /// Untraced view of the data, for assertions and result verification
+    /// (the analogue of inspecting memory from outside the instrumented
+    /// program).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Untraced mutable initialization access, for pre-trace setup only.
+    pub fn as_mut_slice_untraced(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+/// A single traced scalar value.
+#[derive(Debug, Clone)]
+pub struct TracedScalar<T> {
+    value: T,
+    addr: VirtAddr,
+}
+
+impl<T: Copy + Default> TracedScalar<T> {
+    const SIZE: u64 = std::mem::size_of::<T>() as u64;
+
+    /// Creates a traced scalar in the global segment.
+    pub fn global(t: &mut Tracer<'_>, name: &str) -> Result<Self, NvsimError> {
+        let addr = t.define_global(name, Self::SIZE)?;
+        Ok(TracedScalar {
+            value: T::default(),
+            addr,
+        })
+    }
+
+    /// Creates a traced scalar inside a stack frame.
+    pub fn on_stack(frame: &mut StackFrame) -> Self {
+        TracedScalar {
+            value: T::default(),
+            addr: frame.reserve(Self::SIZE),
+        }
+    }
+
+    /// Address of the scalar.
+    pub fn addr(&self) -> VirtAddr {
+        self.addr
+    }
+
+    /// Traced read.
+    #[inline]
+    pub fn get(&self, t: &mut Tracer<'_>) -> T {
+        t.read(self.addr, Self::SIZE as u32);
+        self.value
+    }
+
+    /// Traced write.
+    #[inline]
+    pub fn set(&mut self, t: &mut Tracer<'_>, v: T) {
+        t.write(self.addr, Self::SIZE as u32);
+        self.value = v;
+    }
+}
+
+/// A traced row-major matrix.
+#[derive(Debug, Clone)]
+pub struct TracedMatrix<T> {
+    storage: TracedVec<T>,
+    rows: usize,
+    cols: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Copy + Default> TracedMatrix<T> {
+    /// Creates a traced matrix in the global segment.
+    pub fn global(
+        t: &mut Tracer<'_>,
+        name: &str,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self, NvsimError> {
+        Ok(TracedMatrix {
+            storage: TracedVec::global(t, name, rows * cols)?,
+            rows,
+            cols,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Creates a traced matrix on the heap.
+    pub fn heap(
+        t: &mut Tracer<'_>,
+        site: AllocSite,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self, NvsimError> {
+        Ok(TracedMatrix {
+            storage: TracedVec::heap(t, site, rows * cols)?,
+            rows,
+            cols,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Backing storage size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.storage.size_bytes()
+    }
+
+    /// Base address.
+    pub fn base(&self) -> VirtAddr {
+        self.storage.base()
+    }
+
+    /// Traced read of `(i, j)`.
+    #[inline]
+    pub fn get(&self, t: &mut Tracer<'_>, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.storage.get(t, i * self.cols + j)
+    }
+
+    /// Traced write of `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, t: &mut Tracer<'_>, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.storage.set(t, i * self.cols + j, v)
+    }
+
+    /// Frees a heap-resident matrix.
+    pub fn free(self, t: &mut Tracer<'_>) -> Result<(), NvsimError> {
+        self.storage.free(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CountingSink, RecordingSink};
+    use crate::Event;
+    use nvsim_types::Region;
+
+    #[test]
+    fn traced_vec_emits_reads_and_writes() {
+        let mut sink = CountingSink::default();
+        {
+            let mut t = Tracer::new(&mut sink);
+            let mut v = TracedVec::<f64>::global(&mut t, "v", 16).unwrap();
+            v.set(&mut t, 0, 1.5);
+            v.set(&mut t, 1, 2.5);
+            let sum = v.get(&mut t, 0) + v.get(&mut t, 1);
+            assert_eq!(sum, 4.0);
+            v.update(&mut t, 0, |x| x * 2.0);
+            assert_eq!(v.as_slice()[0], 3.0);
+            t.finish();
+        }
+        // 2 writes + 2 reads + update(1 read + 1 write)
+        assert_eq!(sink.reads, 3);
+        assert_eq!(sink.writes, 3);
+    }
+
+    #[test]
+    fn element_addresses_are_contiguous() {
+        let mut sink = RecordingSink::default();
+        {
+            let mut t = Tracer::new(&mut sink);
+            let v = TracedVec::<f64>::global(&mut t, "v", 4).unwrap();
+            for i in 0..4 {
+                let _ = v.get(&mut t, i);
+            }
+            t.finish();
+        }
+        let addrs: Vec<u64> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Ref(r) => Some(r.addr.raw()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(addrs.len(), 4);
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 8);
+        }
+    }
+
+    #[test]
+    fn regions_match_constructors() {
+        let mut sink = CountingSink::default();
+        let mut t = Tracer::new(&mut sink);
+        let layout = *t.layout();
+        let rid = t.register_routine("app", "f");
+
+        let g = TracedVec::<f64>::global(&mut t, "g", 8).unwrap();
+        assert_eq!(layout.region_of(g.base()), Some(Region::Global));
+
+        let h = TracedVec::<f64>::heap(&mut t, AllocSite::new("x.rs", 1), 8).unwrap();
+        assert_eq!(layout.region_of(h.base()), Some(Region::Heap));
+
+        let mut frame = t.call(rid, 256).unwrap();
+        let s = TracedVec::<f64>::on_stack(&mut frame, 8);
+        assert_eq!(layout.region_of(s.base()), Some(Region::Stack));
+        t.ret(rid).unwrap();
+
+        h.free(&mut t).unwrap();
+        t.finish();
+    }
+
+    #[test]
+    fn matrix_is_row_major() {
+        let mut sink = RecordingSink::default();
+        {
+            let mut t = Tracer::new(&mut sink);
+            let mut m = TracedMatrix::<f32>::global(&mut t, "m", 2, 3).unwrap();
+            m.set(&mut t, 0, 0, 1.0);
+            m.set(&mut t, 0, 1, 2.0);
+            m.set(&mut t, 1, 0, 3.0);
+            assert_eq!(m.get(&mut t, 1, 0), 3.0);
+            t.finish();
+        }
+        let addrs: Vec<u64> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Ref(r) => Some(r.addr.raw()),
+                _ => None,
+            })
+            .collect();
+        // (0,1) is 4 bytes after (0,0); (1,0) is 12 bytes after (0,0).
+        assert_eq!(addrs[1] - addrs[0], 4);
+        assert_eq!(addrs[2] - addrs[0], 12);
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut sink = CountingSink::default();
+        {
+            let mut t = Tracer::new(&mut sink);
+            let mut s = TracedScalar::<u64>::global(&mut t, "counter").unwrap();
+            s.set(&mut t, 42);
+            assert_eq!(s.get(&mut t), 42);
+            t.finish();
+        }
+        assert_eq!(sink.reads, 1);
+        assert_eq!(sink.writes, 1);
+    }
+}

@@ -1,0 +1,444 @@
+//! On-disk trace encoding — the *offline* NV-SCAVENGER design §III-D
+//! describes and rejects:
+//!
+//! "One possible solution is to offload major instrumentation
+//! functionality into an offline tool. ... This solution reduces the
+//! instrumentation overhead significantly. ... However, it is not a
+//! scalable solution. A short serial HPC application can easily produce a
+//! trace of tens of gigabytes of data. Post-processing the trace by I/O
+//! operations, even though the trace file is compressed, is also very
+//! slow. ... So we stick to the original design, i.e., computing
+//! statistics on the address stream on-the-fly without storing raw
+//! traces."
+//!
+//! We implement the offline path anyway so the design decision can be
+//! *measured* (see `benches/` and the `offline_vs_online` experiment):
+//! a compact delta/varint encoding of the full event stream that any
+//! `EventSink` can be replayed from later.
+//!
+//! Encoding: one byte tag per event. References encode the address as a
+//! zig-zag varint *delta* from the previous reference address (spatial
+//! locality makes most deltas one or two bytes), the size as a varint and
+//! the kind in the tag; the stack pointer is delta-encoded against the
+//! previous sp. Control events are rare and encoded plainly.
+
+use crate::event::{AllocSite, Event, GlobalSymbol, Phase};
+use crate::routine::RoutineId;
+use crate::sink::EventSink;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nvsim_types::{AccessKind, MemRef, VirtAddr};
+
+const TAG_READ: u8 = 0;
+const TAG_WRITE: u8 = 1;
+const TAG_ENTER: u8 = 2;
+const TAG_EXIT: u8 = 3;
+const TAG_ALLOC: u8 = 4;
+const TAG_FREE: u8 = 5;
+const TAG_PHASE: u8 = 6;
+const TAG_GLOBALS: u8 = 7;
+
+/// File magic ("NVSC" + version).
+const MAGIC: u32 = 0x4e56_5301;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+        assert!(shift < 64, "varint too long");
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// An [`EventSink`] that encodes the event stream into a byte buffer.
+#[derive(Debug)]
+pub struct TraceWriter {
+    buf: BytesMut,
+    last_addr: u64,
+    last_sp: u64,
+    events: u64,
+}
+
+impl Default for TraceWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceWriter {
+    /// Creates a writer with the file header in place.
+    pub fn new() -> Self {
+        let mut buf = BytesMut::with_capacity(1 << 16);
+        buf.put_u32(MAGIC);
+        TraceWriter {
+            buf,
+            last_addr: 0,
+            last_sp: 0,
+            events: 0,
+        }
+    }
+
+    /// Encoded size so far, bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if only the header has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.len() <= 4
+    }
+
+    /// Events encoded so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Finishes the stream, returning the encoded bytes.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    fn put_ref(&mut self, r: &MemRef) {
+        self.events += 1;
+        self.buf.put_u8(if r.kind.is_write() { TAG_WRITE } else { TAG_READ });
+        let addr = r.addr.raw();
+        put_varint(&mut self.buf, zigzag(addr.wrapping_sub(self.last_addr) as i64));
+        self.last_addr = addr;
+        put_varint(&mut self.buf, u64::from(r.size));
+        let sp = r.sp.raw();
+        put_varint(&mut self.buf, zigzag(sp.wrapping_sub(self.last_sp) as i64));
+        self.last_sp = sp;
+    }
+
+    fn put_str(&mut self, s: &str) {
+        put_varint(&mut self.buf, s.len() as u64);
+        self.buf.put_slice(s.as_bytes());
+    }
+}
+
+impl EventSink for TraceWriter {
+    fn on_globals(&mut self, symbols: &[GlobalSymbol]) {
+        self.buf.put_u8(TAG_GLOBALS);
+        put_varint(&mut self.buf, symbols.len() as u64);
+        for s in symbols {
+            self.put_str(&s.name);
+            put_varint(&mut self.buf, s.base.raw());
+            put_varint(&mut self.buf, s.size);
+        }
+    }
+
+    fn on_batch(&mut self, refs: &[MemRef]) {
+        for r in refs {
+            self.put_ref(r);
+        }
+    }
+
+    fn on_control(&mut self, event: &Event) {
+        self.events += 1;
+        match event {
+            Event::RoutineEnter {
+                routine,
+                frame_base,
+                sp,
+            } => {
+                self.buf.put_u8(TAG_ENTER);
+                put_varint(&mut self.buf, u64::from(routine.0));
+                put_varint(&mut self.buf, frame_base.raw());
+                put_varint(&mut self.buf, sp.raw());
+            }
+            Event::RoutineExit { routine, sp } => {
+                self.buf.put_u8(TAG_EXIT);
+                put_varint(&mut self.buf, u64::from(routine.0));
+                put_varint(&mut self.buf, sp.raw());
+            }
+            Event::HeapAlloc { base, size, site } => {
+                self.buf.put_u8(TAG_ALLOC);
+                put_varint(&mut self.buf, base.raw());
+                put_varint(&mut self.buf, *size);
+                self.put_str(site.file);
+                put_varint(&mut self.buf, u64::from(site.line));
+            }
+            Event::HeapFree { base } => {
+                self.buf.put_u8(TAG_FREE);
+                put_varint(&mut self.buf, base.raw());
+            }
+            Event::Phase(p) => {
+                self.buf.put_u8(TAG_PHASE);
+                let (kind, arg) = match p {
+                    Phase::PreComputeBegin => (0u8, 0u32),
+                    Phase::IterationBegin(i) => (1, *i),
+                    Phase::IterationEnd(i) => (2, *i),
+                    Phase::PostProcessBegin => (3, 0),
+                    Phase::ProgramEnd => (4, 0),
+                };
+                self.buf.put_u8(kind);
+                put_varint(&mut self.buf, u64::from(arg));
+            }
+            Event::Ref(_) => unreachable!("refs arrive via on_batch"),
+        }
+    }
+}
+
+/// Replays an encoded trace into a sink, batching references through a
+/// reusable buffer so the sink sees the same batch/control discipline as
+/// the online pipeline.
+///
+/// Leaked strings: allocation sites carry `&'static str` file names (as
+/// PIN's image data effectively is); decoding interns each distinct file
+/// name once via `Box::leak`. Traces name few files, so the leak is
+/// bounded and intentional.
+///
+/// # Panics
+/// Panics on a malformed trace (wrong magic, truncated stream).
+pub fn replay(encoded: Bytes, sink: &mut dyn EventSink, batch_capacity: usize) -> u64 {
+    let mut buf = encoded;
+    assert!(buf.remaining() >= 4, "trace too short");
+    assert_eq!(buf.get_u32(), MAGIC, "bad trace magic");
+
+    let mut batch: Vec<MemRef> = Vec::with_capacity(batch_capacity);
+    let mut last_addr = 0u64;
+    let mut last_sp = 0u64;
+    let mut events = 0u64;
+    let mut files: Vec<&'static str> = Vec::new();
+
+    let get_str = |buf: &mut Bytes| -> String {
+        let len = get_varint(buf) as usize;
+        let bytes = buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec()).expect("utf8 string in trace")
+    };
+
+    macro_rules! flush {
+        ($sink:expr) => {
+            if !batch.is_empty() {
+                $sink.on_batch(&batch);
+                batch.clear();
+            }
+        };
+    }
+
+    while buf.has_remaining() {
+        let tag = buf.get_u8();
+        match tag {
+            TAG_READ | TAG_WRITE => {
+                events += 1;
+                let addr = last_addr.wrapping_add(unzigzag(get_varint(&mut buf)) as u64);
+                last_addr = addr;
+                let size = get_varint(&mut buf) as u32;
+                let sp = last_sp.wrapping_add(unzigzag(get_varint(&mut buf)) as u64);
+                last_sp = sp;
+                batch.push(MemRef {
+                    addr: VirtAddr::new(addr),
+                    size,
+                    kind: if tag == TAG_WRITE {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                    sp: VirtAddr::new(sp),
+                });
+                if batch.len() == batch_capacity {
+                    flush!(sink);
+                }
+            }
+            TAG_GLOBALS => {
+                let n = get_varint(&mut buf);
+                let symbols: Vec<GlobalSymbol> = (0..n)
+                    .map(|_| {
+                        let name = get_str(&mut buf);
+                        let base = VirtAddr::new(get_varint(&mut buf));
+                        let size = get_varint(&mut buf);
+                        GlobalSymbol { name, base, size }
+                    })
+                    .collect();
+                sink.on_globals(&symbols);
+            }
+            TAG_ENTER => {
+                events += 1;
+                flush!(sink);
+                let routine = RoutineId(get_varint(&mut buf) as u32);
+                let frame_base = VirtAddr::new(get_varint(&mut buf));
+                let sp = VirtAddr::new(get_varint(&mut buf));
+                sink.on_control(&Event::RoutineEnter {
+                    routine,
+                    frame_base,
+                    sp,
+                });
+            }
+            TAG_EXIT => {
+                events += 1;
+                flush!(sink);
+                let routine = RoutineId(get_varint(&mut buf) as u32);
+                let sp = VirtAddr::new(get_varint(&mut buf));
+                sink.on_control(&Event::RoutineExit { routine, sp });
+            }
+            TAG_ALLOC => {
+                events += 1;
+                flush!(sink);
+                let base = VirtAddr::new(get_varint(&mut buf));
+                let size = get_varint(&mut buf);
+                let file_owned = get_str(&mut buf);
+                let line = get_varint(&mut buf) as u32;
+                let file = match files.iter().find(|f| **f == file_owned) {
+                    Some(f) => *f,
+                    None => {
+                        let leaked: &'static str = Box::leak(file_owned.into_boxed_str());
+                        files.push(leaked);
+                        leaked
+                    }
+                };
+                sink.on_control(&Event::HeapAlloc {
+                    base,
+                    size,
+                    site: AllocSite::new(file, line),
+                });
+            }
+            TAG_FREE => {
+                events += 1;
+                flush!(sink);
+                let base = VirtAddr::new(get_varint(&mut buf));
+                sink.on_control(&Event::HeapFree { base });
+            }
+            TAG_PHASE => {
+                events += 1;
+                flush!(sink);
+                let kind = buf.get_u8();
+                let arg = get_varint(&mut buf) as u32;
+                let phase = match kind {
+                    0 => Phase::PreComputeBegin,
+                    1 => Phase::IterationBegin(arg),
+                    2 => Phase::IterationEnd(arg),
+                    3 => Phase::PostProcessBegin,
+                    4 => Phase::ProgramEnd,
+                    other => panic!("bad phase kind {other}"),
+                };
+                sink.on_control(&Event::Phase(phase));
+                if matches!(phase, Phase::ProgramEnd) {
+                    sink.on_finish();
+                }
+            }
+            other => panic!("bad trace tag {other}"),
+        }
+    }
+    flush!(sink);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CountingSink, RecordingSink};
+    use crate::traced::TracedVec;
+    use crate::tracer::Tracer;
+
+    /// Encode a run, replay it, and compare with a direct run.
+    #[test]
+    fn round_trip_matches_direct_run() {
+        let run = |sink: &mut dyn EventSink| {
+            let mut t = Tracer::new(sink);
+            let rid = t.register_routine("app", "kern");
+            let mut v = TracedVec::<f64>::global(&mut t, "v", 128).unwrap();
+            let h = TracedVec::<f64>::heap(&mut t, AllocSite::new("x.rs", 9), 32).unwrap();
+            t.phase(Phase::IterationBegin(0));
+            let mut frame = t.call(rid, 256).unwrap();
+            let mut loc = TracedVec::<f64>::on_stack(&mut frame, 8);
+            for i in 0..128 {
+                let x = v.get(&mut t, i);
+                loc.set(&mut t, i % 8, x);
+                v.set(&mut t, i, x + 1.0);
+            }
+            t.ret(rid).unwrap();
+            t.phase(Phase::IterationEnd(0));
+            h.free(&mut t).unwrap();
+            t.finish();
+        };
+
+        // Direct recording.
+        let mut direct = RecordingSink::default();
+        run(&mut direct);
+
+        // Encoded round trip.
+        let mut writer = TraceWriter::new();
+        run(&mut writer);
+        let encoded = writer.into_bytes();
+        let mut replayed = RecordingSink::default();
+        replay(encoded, &mut replayed, 64);
+
+        assert_eq!(direct.globals, replayed.globals);
+        assert_eq!(direct.events.len(), replayed.events.len());
+        assert_eq!(direct.events, replayed.events);
+    }
+
+    #[test]
+    fn encoding_is_compact_for_sequential_refs() {
+        let mut writer = TraceWriter::new();
+        {
+            let mut t = Tracer::new(&mut writer);
+            let v = TracedVec::<f64>::global(&mut t, "v", 10_000).unwrap();
+            for i in 0..10_000 {
+                let _ = v.get(&mut t, i);
+            }
+            t.finish();
+        }
+        let events = writer.events();
+        let bytes = writer.len();
+        // Sequential deltas fit in ~4 bytes/event (tag + delta + size +
+        // sp-delta), far below the 21-byte raw record.
+        assert!(events >= 10_000);
+        assert!(
+            (bytes as f64) < 6.0 * events as f64,
+            "{bytes} bytes for {events} events"
+        );
+    }
+
+    #[test]
+    fn replay_batching_respects_capacity() {
+        let mut writer = TraceWriter::new();
+        {
+            let mut t = Tracer::new(&mut writer);
+            let v = TracedVec::<f64>::global(&mut t, "v", 100).unwrap();
+            for i in 0..100 {
+                let _ = v.get(&mut t, i);
+            }
+            t.finish();
+        }
+        let mut counter = CountingSink::default();
+        replay(writer.into_bytes(), &mut counter, 16);
+        assert_eq!(counter.refs, 100);
+        assert!(counter.finished);
+        // 100 refs / 16 per batch (plus a final control flush).
+        assert!(counter.batches >= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad trace magic")]
+    fn bad_magic_panics() {
+        let mut sink = CountingSink::default();
+        replay(Bytes::from_static(&[0, 0, 0, 0, 1]), &mut sink, 8);
+    }
+}

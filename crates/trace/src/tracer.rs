@@ -1,0 +1,495 @@
+//! The [`Tracer`]: the façade an instrumented application calls into.
+//!
+//! One `Tracer` stands in for the PIN runtime of the paper: it owns the
+//! synthetic address space, the routine table, the trace buffer (§III-D)
+//! and the connection to the analysis sinks. Proxy applications hold a
+//! `Tracer` for the duration of a run and route every load, store,
+//! allocation, call and return through it.
+
+use crate::buffer::TraceBuffer;
+use crate::event::{AllocSite, Event, GlobalSymbol, Phase};
+use crate::layout::{GlobalAllocator, HeapAllocator, StackAllocator};
+use crate::routine::{RoutineId, RoutineTable};
+use crate::sink::EventSink;
+use nvsim_types::{AddressSpaceLayout, MemRef, NvsimError, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+/// Running totals kept inline by the tracer (cheap enough for the hot
+/// path; everything finer-grained lives in sinks).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracerStats {
+    /// Total references recorded.
+    pub refs: u64,
+    /// Read references.
+    pub reads: u64,
+    /// Write references.
+    pub writes: u64,
+    /// Routine calls recorded.
+    pub calls: u64,
+    /// Heap allocations recorded.
+    pub allocs: u64,
+}
+
+/// A bump cursor over one routine's stack frame, used by traced containers
+/// to place stack variables at realistic addresses. Returned by
+/// [`Tracer::call`]; the frame occupies `[sp, frame_base)`.
+#[derive(Debug, Clone, Copy)]
+pub struct StackFrame {
+    /// Routine owning the frame.
+    pub routine: RoutineId,
+    /// One past the highest address of the frame.
+    pub frame_base: VirtAddr,
+    /// Lowest address of the frame (stack pointer after setup).
+    pub sp: VirtAddr,
+    cursor: VirtAddr,
+}
+
+impl StackFrame {
+    /// Reserves `size` bytes inside the frame and returns their base.
+    ///
+    /// # Panics
+    /// Panics if the frame is exhausted — frame sizes are declared by the
+    /// proxy application, so exhaustion is a bug in the app model.
+    pub fn reserve(&mut self, size: u64) -> VirtAddr {
+        let size = size.max(1).div_ceil(8) * 8;
+        let new_cursor = self.cursor.raw().checked_sub(size).expect("frame underflow");
+        assert!(
+            new_cursor >= self.sp.raw(),
+            "stack frame exhausted: routine {:?} declared too small a frame",
+            self.routine
+        );
+        self.cursor = VirtAddr::new(new_cursor);
+        self.cursor
+    }
+}
+
+/// The instrumentation façade.
+///
+/// ```
+/// use nvsim_trace::{Tracer, TracedVec, CountingSink, Phase};
+///
+/// let mut sink = CountingSink::default();
+/// {
+///     let mut t = Tracer::new(&mut sink);
+///     let mut v = TracedVec::<f64>::global(&mut t, "field", 8).unwrap();
+///     t.phase(Phase::IterationBegin(0));
+///     v.set(&mut t, 0, 1.0);           // traced write
+///     let _x = v.get(&mut t, 0);       // traced read
+///     t.phase(Phase::IterationEnd(0));
+///     t.finish();
+/// }
+/// assert_eq!(sink.reads, 1);
+/// assert_eq!(sink.writes, 1);
+/// ```
+pub struct Tracer<'s> {
+    layout: AddressSpaceLayout,
+    routines: RoutineTable,
+    globals: Vec<GlobalSymbol>,
+    global_alloc: GlobalAllocator,
+    heap_alloc: HeapAllocator,
+    stack_alloc: StackAllocator,
+    buffer: TraceBuffer,
+    sink: &'s mut dyn EventSink,
+    started: bool,
+    finished: bool,
+    stats: TracerStats,
+    /// When `false`, `read`/`write` are dropped (but allocations and calls
+    /// still flow). §VI: heap (de)allocations are instrumented through the
+    /// whole program, "but memory references to those objects are recorded
+    /// only during the main computation loop".
+    refs_enabled: bool,
+}
+
+impl<'s> Tracer<'s> {
+    /// Creates a tracer with the default layout and buffer capacity.
+    pub fn new(sink: &'s mut dyn EventSink) -> Self {
+        Self::with_capacity(sink, crate::buffer::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a tracer with an explicit trace-buffer capacity.
+    pub fn with_capacity(sink: &'s mut dyn EventSink, buffer_capacity: usize) -> Self {
+        let layout = AddressSpaceLayout::default();
+        Tracer {
+            layout,
+            routines: RoutineTable::new(),
+            globals: Vec::new(),
+            global_alloc: GlobalAllocator::new(layout.global),
+            heap_alloc: HeapAllocator::new(layout.heap),
+            stack_alloc: StackAllocator::new(layout.stack),
+            buffer: TraceBuffer::new(buffer_capacity),
+            sink,
+            started: false,
+            finished: false,
+            stats: TracerStats::default(),
+            refs_enabled: true,
+        }
+    }
+
+    /// The simulated address-space layout.
+    pub fn layout(&self) -> &AddressSpaceLayout {
+        &self.layout
+    }
+
+    /// The routine table (for report name resolution).
+    pub fn routines(&self) -> &RoutineTable {
+        &self.routines
+    }
+
+    /// Registered global symbols.
+    pub fn globals(&self) -> &[GlobalSymbol] {
+        &self.globals
+    }
+
+    /// Inline statistics.
+    pub fn stats(&self) -> TracerStats {
+        self.stats
+    }
+
+    /// Enables or disables reference recording (§VI semantics). Control
+    /// events always flow.
+    pub fn set_refs_enabled(&mut self, enabled: bool) {
+        self.refs_enabled = enabled;
+    }
+
+    /// `true` if reference recording is enabled.
+    pub fn refs_enabled(&self) -> bool {
+        self.refs_enabled
+    }
+
+    // ---- setup -----------------------------------------------------------
+
+    /// Registers a routine; idempotent per `(image, name)`.
+    pub fn register_routine(&mut self, image: &str, name: &str) -> RoutineId {
+        self.routines.register(image, name)
+    }
+
+    /// Defines a global symbol of `size` bytes and returns its base.
+    pub fn define_global(&mut self, name: &str, size: u64) -> Result<VirtAddr, NvsimError> {
+        assert!(!self.started, "globals must be defined before tracing starts");
+        let base = self.global_alloc.alloc(size)?;
+        self.globals.push(GlobalSymbol {
+            name: name.to_owned(),
+            base,
+            size,
+        });
+        Ok(base)
+    }
+
+    /// Defines an *overlay* view of existing global storage — a FORTRAN
+    /// common-block member that re-partitions a shared block (§III-C). The
+    /// registry downstream merges overlapping views into one object.
+    pub fn define_global_overlay(
+        &mut self,
+        name: &str,
+        base: VirtAddr,
+        size: u64,
+    ) -> Result<(), NvsimError> {
+        assert!(!self.started, "globals must be defined before tracing starts");
+        if !self.layout.global.contains(base) {
+            return Err(NvsimError::InvalidConfig(format!(
+                "overlay {name} base {base} outside global segment"
+            )));
+        }
+        self.globals.push(GlobalSymbol {
+            name: name.to_owned(),
+            base,
+            size,
+        });
+        Ok(())
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            self.sink.on_globals(&self.globals);
+        }
+    }
+
+    // ---- control events --------------------------------------------------
+
+    fn control(&mut self, event: Event) {
+        self.ensure_started();
+        let sink = &mut *self.sink;
+        self.buffer.flush(|batch| sink.on_batch(batch));
+        sink.on_control(&event);
+    }
+
+    /// Marks an execution phase boundary.
+    pub fn phase(&mut self, phase: Phase) {
+        self.control(Event::Phase(phase));
+    }
+
+    /// Enters `routine` with a frame of `frame_size` bytes; returns the
+    /// frame for stack-variable placement. Must be paired with
+    /// [`Tracer::ret`].
+    pub fn call(&mut self, routine: RoutineId, frame_size: u64) -> Result<StackFrame, NvsimError> {
+        let (frame_base, sp) = self.stack_alloc.push_frame(frame_size)?;
+        self.stats.calls += 1;
+        self.control(Event::RoutineEnter {
+            routine,
+            frame_base,
+            sp,
+        });
+        Ok(StackFrame {
+            routine,
+            frame_base,
+            sp,
+            cursor: frame_base,
+        })
+    }
+
+    /// Returns from the most recent [`Tracer::call`].
+    pub fn ret(&mut self, routine: RoutineId) -> Result<(), NvsimError> {
+        let sp = self.stack_alloc.pop_frame()?;
+        self.control(Event::RoutineExit { routine, sp });
+        Ok(())
+    }
+
+    /// Allocates `size` heap bytes (malloc exit hook).
+    pub fn malloc(&mut self, size: u64, site: AllocSite) -> Result<VirtAddr, NvsimError> {
+        let base = self.heap_alloc.alloc(size)?;
+        self.stats.allocs += 1;
+        self.control(Event::HeapAlloc { base, size, site });
+        Ok(base)
+    }
+
+    /// Frees a heap allocation (free entry hook).
+    pub fn free(&mut self, base: VirtAddr) -> Result<(), NvsimError> {
+        self.heap_alloc.free(base)?;
+        self.control(Event::HeapFree { base });
+        Ok(())
+    }
+
+    /// Reallocates: free + malloc, per §III-B.
+    pub fn realloc(
+        &mut self,
+        base: VirtAddr,
+        new_size: u64,
+        site: AllocSite,
+    ) -> Result<VirtAddr, NvsimError> {
+        self.free(base)?;
+        self.malloc(new_size, site)
+    }
+
+    // ---- the hot path ------------------------------------------------------
+
+    /// Records a read of `size` bytes at `addr`.
+    #[inline]
+    pub fn read(&mut self, addr: VirtAddr, size: u32) {
+        if self.refs_enabled {
+            self.push_ref(MemRef::read(addr, size));
+        }
+    }
+
+    /// Records a write of `size` bytes at `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: VirtAddr, size: u32) {
+        if self.refs_enabled {
+            self.push_ref(MemRef::write(addr, size));
+        }
+    }
+
+    #[inline]
+    fn push_ref(&mut self, r: MemRef) {
+        self.ensure_started();
+        let r = r.with_sp(self.stack_alloc.sp());
+        self.stats.refs += 1;
+        if r.kind.is_write() {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        if self.buffer.push(r) {
+            let sink = &mut *self.sink;
+            self.buffer.flush(|batch| sink.on_batch(batch));
+        }
+    }
+
+    // ---- teardown ----------------------------------------------------------
+
+    /// Flushes pending references, emits [`Phase::ProgramEnd`] and
+    /// finalizes the sink. Idempotent.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.control(Event::Phase(Phase::ProgramEnd));
+        self.sink.on_finish();
+    }
+
+    /// Current heap statistics (live bytes, peak bytes).
+    pub fn heap_stats(&self) -> (u64, u64) {
+        (self.heap_alloc.live_bytes(), self.heap_alloc.peak_bytes())
+    }
+
+    /// Current stack pointer (for tests and diagnostics).
+    pub fn sp(&self) -> VirtAddr {
+        self.stack_alloc.sp()
+    }
+
+    /// Global segment bytes allocated.
+    pub fn global_bytes(&self) -> u64 {
+        self.global_alloc.used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CountingSink, RecordingSink};
+
+    #[test]
+    fn refs_flow_through_buffer_to_sink() {
+        let mut sink = CountingSink::default();
+        {
+            let mut t = Tracer::with_capacity(&mut sink, 4);
+            let g = t.define_global("grid", 1024).unwrap();
+            for i in 0..10 {
+                t.read(g + i * 8, 8);
+            }
+            t.write(g, 8);
+            t.finish();
+        }
+        assert_eq!(sink.refs, 11);
+        assert_eq!(sink.reads, 10);
+        assert_eq!(sink.writes, 1);
+        assert!(sink.finished);
+        // 11 refs with capacity 4: two full flushes + final control flush.
+        assert_eq!(sink.batches, 3);
+    }
+
+    #[test]
+    fn control_events_flush_pending_refs_first() {
+        let mut sink = RecordingSink::default();
+        {
+            let mut t = Tracer::with_capacity(&mut sink, 1024);
+            let rid = t.register_routine("app", "kernel");
+            let g = t.define_global("x", 64).unwrap();
+            t.read(g, 8);
+            let frame = t.call(rid, 128).unwrap();
+            t.write(frame.sp, 8);
+            t.ret(rid).unwrap();
+            t.finish();
+        }
+        // Order: Ref(read) < RoutineEnter < Ref(write) < RoutineExit < Phase(End)
+        let kinds: Vec<&'static str> = sink
+            .events
+            .iter()
+            .map(|e| match e {
+                Event::Ref(r) if r.kind.is_write() => "W",
+                Event::Ref(_) => "R",
+                Event::RoutineEnter { .. } => "enter",
+                Event::RoutineExit { .. } => "exit",
+                Event::Phase(_) => "phase",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["R", "enter", "W", "exit", "phase"]);
+    }
+
+    #[test]
+    fn refs_carry_current_sp() {
+        let mut sink = RecordingSink::default();
+        {
+            let mut t = Tracer::new(&mut sink);
+            let rid = t.register_routine("app", "f");
+            let g = t.define_global("x", 64).unwrap();
+            t.read(g, 8); // before any call: sp at stack top
+            let frame = t.call(rid, 256).unwrap();
+            t.read(g, 8); // inside call: sp lowered
+            assert_eq!(t.sp(), frame.sp);
+            t.ret(rid).unwrap();
+            t.finish();
+        }
+        let sps: Vec<u64> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Ref(r) => Some(r.sp.raw()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sps.len(), 2);
+        assert!(sps[0] > sps[1]);
+    }
+
+    #[test]
+    fn disabled_refs_are_dropped_but_allocs_flow() {
+        let mut sink = CountingSink::default();
+        {
+            let mut t = Tracer::new(&mut sink);
+            t.set_refs_enabled(false);
+            let b = t.malloc(4096, AllocSite::new("pre.rs", 1)).unwrap();
+            t.read(b, 8);
+            t.write(b, 8);
+            t.set_refs_enabled(true);
+            t.read(b, 8);
+            t.finish();
+        }
+        assert_eq!(sink.refs, 1);
+        // alloc + program end
+        assert_eq!(sink.controls, 2);
+    }
+
+    #[test]
+    fn globals_delivered_once_at_start() {
+        let mut sink = RecordingSink::default();
+        {
+            let mut t = Tracer::new(&mut sink);
+            t.define_global("a", 64).unwrap();
+            t.define_global("b", 128).unwrap();
+            let base = t.globals()[0].base;
+            t.define_global_overlay("a_view", base, 32).unwrap();
+            t.read(base, 8);
+            t.finish();
+        }
+        assert_eq!(sink.globals.len(), 3);
+        assert_eq!(sink.globals[2].name, "a_view");
+    }
+
+    #[test]
+    fn frame_reserve_places_vars_inside_frame() {
+        let mut sink = CountingSink::default();
+        let mut t = Tracer::new(&mut sink);
+        let rid = t.register_routine("app", "f");
+        let mut frame = t.call(rid, 256).unwrap();
+        let a = frame.reserve(64);
+        let b = frame.reserve(64);
+        assert!(b < a);
+        assert!(a >= frame.sp && a < frame.frame_base);
+        assert!(b >= frame.sp);
+        t.ret(rid).unwrap();
+        t.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn frame_overflow_panics() {
+        let mut sink = CountingSink::default();
+        let mut t = Tracer::new(&mut sink);
+        let rid = t.register_routine("app", "f");
+        let mut frame = t.call(rid, 64).unwrap();
+        let _ = frame.reserve(128);
+    }
+
+    #[test]
+    fn overlay_outside_global_segment_errors() {
+        let mut sink = CountingSink::default();
+        let mut t = Tracer::new(&mut sink);
+        assert!(t
+            .define_global_overlay("bad", VirtAddr::new(0x1), 8)
+            .is_err());
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut sink = CountingSink::default();
+        {
+            let mut t = Tracer::new(&mut sink);
+            t.finish();
+            t.finish();
+        }
+        assert_eq!(sink.controls, 1);
+    }
+}

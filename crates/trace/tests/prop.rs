@@ -1,0 +1,158 @@
+//! Property tests for the synthetic allocators: live heap allocations
+//! never overlap (even under heavy reuse), the stack balances, and the
+//! trace buffer never drops or reorders references.
+
+use nvsim_trace::{
+    replay_trace, HeapAllocator, RecordingSink, StackAllocator, TraceBuffer, TraceWriter,
+};
+use nvsim_trace::{Event, EventSink, Phase, RoutineId};
+use nvsim_types::{AddressSpaceLayout, AddrRange, AccessKind, MemRef, VirtAddr};
+use proptest::prelude::*;
+
+/// A heap workload step: allocate (size) or free (index into live list).
+#[derive(Debug, Clone)]
+enum Step {
+    Alloc(u64),
+    Free(usize),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..100_000).prop_map(Step::Alloc),
+            (0usize..64).prop_map(Step::Free),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn live_heap_allocations_never_overlap(ops in steps()) {
+        let mut h = HeapAllocator::new(AddressSpaceLayout::default().heap);
+        let mut live: Vec<(VirtAddr, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Step::Alloc(size) => {
+                    let base = h.alloc(size).unwrap();
+                    let sz = h.live_size(base).unwrap();
+                    let range = AddrRange::from_base_size(base, sz);
+                    for &(b, s) in &live {
+                        let other = AddrRange::from_base_size(b, s);
+                        prop_assert!(
+                            !range.overlaps(&other),
+                            "overlap: {range} vs {other}"
+                        );
+                    }
+                    live.push((base, sz));
+                }
+                Step::Free(i) if !live.is_empty() => {
+                    let (base, _) = live.swap_remove(i % live.len());
+                    h.free(base).unwrap();
+                }
+                Step::Free(_) => {}
+            }
+        }
+        let live_bytes: u64 = live.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(h.live_bytes(), live_bytes);
+        prop_assert!(h.peak_bytes() >= h.live_bytes());
+    }
+
+    #[test]
+    fn stack_balances_and_stays_in_range(sizes in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let layout = AddressSpaceLayout::default();
+        let mut s = StackAllocator::new(layout.stack);
+        let top = s.sp();
+        let mut frames = Vec::new();
+        for &size in &sizes {
+            let (base, sp) = s.push_frame(size).unwrap();
+            prop_assert!(sp < base);
+            prop_assert!(layout.stack.contains(sp));
+            frames.push((base, sp));
+        }
+        // Frames tile the stack without gaps.
+        for pair in frames.windows(2) {
+            prop_assert_eq!(pair[1].0, pair[0].1);
+        }
+        for _ in &sizes {
+            s.pop_frame().unwrap();
+        }
+        prop_assert_eq!(s.sp(), top);
+        prop_assert!(s.pop_frame().is_err());
+        prop_assert_eq!(s.max_depth(), top.raw() - frames.last().unwrap().1.raw());
+    }
+
+    #[test]
+    fn trace_buffer_preserves_order_and_count(
+        addrs in proptest::collection::vec(0u64..1 << 30, 1..500),
+        cap in 1usize..64,
+    ) {
+        let mut buf = TraceBuffer::new(cap);
+        let mut seen = Vec::new();
+        for &a in &addrs {
+            if buf.push(MemRef::read(VirtAddr::new(a), 8)) {
+                buf.flush(|batch| seen.extend(batch.iter().map(|r| r.addr.raw())));
+            }
+        }
+        buf.flush(|batch| seen.extend(batch.iter().map(|r| r.addr.raw())));
+        prop_assert_eq!(&seen, &addrs);
+        prop_assert_eq!(buf.total_refs(), addrs.len() as u64);
+    }
+}
+
+/// An arbitrary well-formed event sequence for the trace-file round trip.
+fn event_sequence() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..1 << 40, 1u32..64, any::<bool>(), 0u64..1 << 40).prop_map(
+                |(addr, size, write, sp)| {
+                    Event::Ref(MemRef {
+                        addr: VirtAddr::new(addr),
+                        size,
+                        kind: if write { AccessKind::Write } else { AccessKind::Read },
+                        sp: VirtAddr::new(sp),
+                    })
+                }
+            ),
+            (0u32..16, 0u64..1 << 40, 0u64..1 << 40).prop_map(|(r, fb, sp)| {
+                Event::RoutineEnter {
+                    routine: RoutineId(r),
+                    frame_base: VirtAddr::new(fb.max(sp)),
+                    sp: VirtAddr::new(sp.min(fb)),
+                }
+            }),
+            (0u32..16, 0u64..1 << 40).prop_map(|(r, sp)| Event::RoutineExit {
+                routine: RoutineId(r),
+                sp: VirtAddr::new(sp),
+            }),
+            (0u32..20).prop_map(|i| Event::Phase(Phase::IterationBegin(i))),
+            (0u32..20).prop_map(|i| Event::Phase(Phase::IterationEnd(i))),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    #[test]
+    fn tracefile_round_trips_arbitrary_streams(events in event_sequence()) {
+        // Feed the raw events into both a recorder and the encoder.
+        let mut direct = RecordingSink::default();
+        let mut writer = TraceWriter::new();
+        for e in &events {
+            match e {
+                Event::Ref(r) => {
+                    direct.on_batch(std::slice::from_ref(r));
+                    writer.on_batch(std::slice::from_ref(r));
+                }
+                other => {
+                    direct.on_control(other);
+                    writer.on_control(other);
+                }
+            }
+        }
+        let encoded = writer.into_bytes();
+        let mut replayed = RecordingSink::default();
+        replay_trace(encoded, &mut replayed, 32);
+        prop_assert_eq!(&direct.events, &replayed.events);
+    }
+}

@@ -1,0 +1,188 @@
+//! Memory references and main-memory transactions.
+//!
+//! A [`MemRef`] is one dynamic load or store as observed by the
+//! instrumentation layer (the analogue of a PIN memory-operand callback,
+//! paper §III). A [`MemTransaction`] is a cache-line-granularity main-memory
+//! access produced *after* the reference stream has been filtered by the
+//! cache hierarchy (paper §III: "memory traces represent main memory
+//! accesses due to last level cache misses and cache evictions"), and is
+//! what the DRAMSim2-style power simulator consumes (§IV).
+
+use crate::addr::VirtAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a memory reference reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("R"),
+            AccessKind::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// One dynamic memory reference: effective address, size in bytes, and kind.
+///
+/// The stack-attribution fast path (§III-A, first method) additionally needs
+/// the current stack-pointer value at the time of the reference, so it is
+/// carried inline; it is `VirtAddr::NULL` for streams whose producer does
+/// not model a stack pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Effective virtual address of the access.
+    pub addr: VirtAddr,
+    /// Access size in bytes (1–64 for ordinary scalar/vector accesses).
+    pub size: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Stack-pointer value when the access executed (`NULL` if unknown).
+    pub sp: VirtAddr,
+}
+
+impl MemRef {
+    /// Convenience constructor for a read without stack-pointer context.
+    #[inline]
+    pub fn read(addr: VirtAddr, size: u32) -> Self {
+        MemRef {
+            addr,
+            size,
+            kind: AccessKind::Read,
+            sp: VirtAddr::NULL,
+        }
+    }
+
+    /// Convenience constructor for a write without stack-pointer context.
+    #[inline]
+    pub fn write(addr: VirtAddr, size: u32) -> Self {
+        MemRef {
+            addr,
+            size,
+            kind: AccessKind::Write,
+            sp: VirtAddr::NULL,
+        }
+    }
+
+    /// Returns the same reference with the stack pointer filled in.
+    #[inline]
+    pub fn with_sp(mut self, sp: VirtAddr) -> Self {
+        self.sp = sp;
+        self
+    }
+
+    /// Last byte address touched by this reference.
+    #[inline]
+    pub fn last_byte(&self) -> VirtAddr {
+        VirtAddr::new(self.addr.raw() + u64::from(self.size.max(1)) - 1)
+    }
+
+    /// `true` if the access crosses a cache-line boundary of `line_size`.
+    #[inline]
+    pub fn crosses_line(&self, line_size: u64) -> bool {
+        self.addr.line_index(line_size) != self.last_byte().line_index(line_size)
+    }
+}
+
+/// Kind of a main-memory transaction emitted by the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransactionKind {
+    /// Line fill caused by a last-level-cache read or write miss.
+    ReadFill,
+    /// Writeback of a dirty line evicted from the last-level cache.
+    Writeback,
+    /// A write that bypasses allocation (no-write-allocate miss that also
+    /// misses the lower levels and is sent directly to memory).
+    WriteThrough,
+}
+
+impl TransactionKind {
+    /// `true` if the transaction drives write current at the devices.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        !matches!(self, TransactionKind::ReadFill)
+    }
+}
+
+/// A cache-line-granularity access to main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemTransaction {
+    /// Line-aligned physical/virtual address (the simulators use a unified
+    /// flat space, as trace-driven DRAMSim2 does).
+    pub addr: VirtAddr,
+    /// Transaction kind.
+    pub kind: TransactionKind,
+    /// Cycle (in CPU cycles of the producing simulation) at which the
+    /// transaction entered the memory controller queue; 0 for full-speed
+    /// trace replay (paper §IV: "memory requests are processed by the
+    /// memory system at full speed").
+    pub issue_cycle: u64,
+}
+
+impl MemTransaction {
+    /// Creates a line fill transaction.
+    #[inline]
+    pub fn read_fill(addr: VirtAddr) -> Self {
+        MemTransaction {
+            addr,
+            kind: TransactionKind::ReadFill,
+            issue_cycle: 0,
+        }
+    }
+
+    /// Creates a writeback transaction.
+    #[inline]
+    pub fn writeback(addr: VirtAddr) -> Self {
+        MemTransaction {
+            addr,
+            kind: TransactionKind::Writeback,
+            issue_cycle: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_byte_and_line_crossing() {
+        let r = MemRef::read(VirtAddr::new(60), 8);
+        assert_eq!(r.last_byte(), VirtAddr::new(67));
+        assert!(r.crosses_line(64));
+        let r = MemRef::read(VirtAddr::new(56), 8);
+        assert!(!r.crosses_line(64));
+        // zero-size refs are treated as one byte
+        let r = MemRef::read(VirtAddr::new(63), 0);
+        assert_eq!(r.last_byte(), VirtAddr::new(63));
+    }
+
+    #[test]
+    fn transaction_write_classification() {
+        assert!(!TransactionKind::ReadFill.is_write());
+        assert!(TransactionKind::Writeback.is_write());
+        assert!(TransactionKind::WriteThrough.is_write());
+    }
+
+    #[test]
+    fn memref_constructors() {
+        let r = MemRef::write(VirtAddr::new(0x100), 4).with_sp(VirtAddr::new(0x7fff));
+        assert!(r.kind.is_write());
+        assert_eq!(r.sp, VirtAddr::new(0x7fff));
+    }
+}

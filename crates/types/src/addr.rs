@@ -1,0 +1,282 @@
+//! Virtual addresses and half-open address ranges.
+//!
+//! All simulators in the workspace operate on a synthetic 64-bit virtual
+//! address space laid out by [`crate::region::AddressSpaceLayout`]. Using a
+//! newtype rather than a bare `u64` keeps address arithmetic explicit and
+//! lets the type system catch unit confusion (address vs. size vs. count).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A virtual memory address in the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The zero address. Never allocated by the layout; useful as a sentinel.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Creates an address from a raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rounds the address down to a multiple of `align` (a power of two).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `align` is not a power of two.
+    #[inline]
+    pub fn align_down(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        VirtAddr(self.0 & !(align - 1))
+    }
+
+    /// Rounds the address up to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn align_up(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        VirtAddr(self.0.checked_add(align - 1).expect("address overflow") & !(align - 1))
+    }
+
+    /// Returns `true` if the address is aligned to `align` bytes.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (align - 1) == 0
+    }
+
+    /// The index of the cache line containing this address, for a given
+    /// line size in bytes (power of two).
+    #[inline]
+    pub fn line_index(self, line_size: u64) -> u64 {
+        debug_assert!(line_size.is_power_of_two());
+        self.0 >> line_size.trailing_zeros()
+    }
+
+    /// Offset of this address from `base`. Panics if `self < base`.
+    #[inline]
+    pub fn offset_from(self, base: VirtAddr) -> u64 {
+        self.0
+            .checked_sub(base.0)
+            .expect("offset_from: address below base")
+    }
+
+    /// Checked addition of a byte offset.
+    #[inline]
+    pub fn checked_add(self, bytes: u64) -> Option<Self> {
+        self.0.checked_add(bytes).map(VirtAddr)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+    #[inline]
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for VirtAddr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<u64> for VirtAddr {
+    type Output = VirtAddr;
+    #[inline]
+    fn sub(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 - rhs)
+    }
+}
+
+/// A half-open address range `[start, end)`.
+///
+/// Ranges are the unit of bookkeeping for memory objects: a heap allocation,
+/// a stack frame, and a global symbol each own one range. FORTRAN common
+/// blocks with overlapping views are merged into a single range that is the
+/// union of the individual regions (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddrRange {
+    /// First address in the range.
+    pub start: VirtAddr,
+    /// One past the last address in the range.
+    pub end: VirtAddr,
+}
+
+impl AddrRange {
+    /// Creates a range from `start` (inclusive) to `end` (exclusive).
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    pub fn new(start: VirtAddr, end: VirtAddr) -> Self {
+        assert!(end >= start, "AddrRange end {end} precedes start {start}");
+        AddrRange { start, end }
+    }
+
+    /// Creates a range from a base address and a size in bytes.
+    pub fn from_base_size(base: VirtAddr, size: u64) -> Self {
+        AddrRange {
+            start: base,
+            end: base.checked_add(size).expect("AddrRange overflows u64"),
+        }
+    }
+
+    /// An empty range at address zero.
+    pub const fn empty() -> Self {
+        AddrRange {
+            start: VirtAddr::NULL,
+            end: VirtAddr::NULL,
+        }
+    }
+
+    /// Size of the range in bytes.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// `true` if the range contains no addresses.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` if `addr` lies inside the range.
+    #[inline]
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// `true` if the whole of `other` lies inside `self`.
+    #[inline]
+    pub fn contains_range(&self, other: &AddrRange) -> bool {
+        other.start >= self.start && other.end <= self.end
+    }
+
+    /// `true` if the two ranges share at least one address.
+    #[inline]
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Smallest range covering both `self` and `other` (the union used when
+    /// merging overlapping FORTRAN common-block views, §III-C).
+    pub fn union(&self, other: &AddrRange) -> AddrRange {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        AddrRange {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Intersection of the two ranges, or `None` if they are disjoint.
+    pub fn intersection(&self, other: &AddrRange) -> Option<AddrRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(AddrRange { start, end })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_down_and_up() {
+        let a = VirtAddr::new(0x1003);
+        assert_eq!(a.align_down(64), VirtAddr::new(0x1000));
+        assert_eq!(a.align_up(64), VirtAddr::new(0x1040));
+        assert_eq!(VirtAddr::new(0x1000).align_up(64), VirtAddr::new(0x1000));
+        assert!(VirtAddr::new(0x1000).is_aligned(64));
+        assert!(!a.is_aligned(64));
+    }
+
+    #[test]
+    fn line_index_uses_line_size() {
+        assert_eq!(VirtAddr::new(0).line_index(64), 0);
+        assert_eq!(VirtAddr::new(63).line_index(64), 0);
+        assert_eq!(VirtAddr::new(64).line_index(64), 1);
+        assert_eq!(VirtAddr::new(1 << 20).line_index(64), 1 << 14);
+    }
+
+    #[test]
+    fn range_contains_and_overlap() {
+        let r = AddrRange::from_base_size(VirtAddr::new(100), 50);
+        assert_eq!(r.len(), 50);
+        assert!(r.contains(VirtAddr::new(100)));
+        assert!(r.contains(VirtAddr::new(149)));
+        assert!(!r.contains(VirtAddr::new(150)));
+        let s = AddrRange::from_base_size(VirtAddr::new(149), 10);
+        assert!(r.overlaps(&s));
+        let t = AddrRange::from_base_size(VirtAddr::new(150), 10);
+        assert!(!r.overlaps(&t));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let r = AddrRange::from_base_size(VirtAddr::new(100), 50);
+        let s = AddrRange::from_base_size(VirtAddr::new(140), 100);
+        let u = r.union(&s);
+        assert_eq!(u.start, VirtAddr::new(100));
+        assert_eq!(u.end, VirtAddr::new(240));
+        assert!(u.contains_range(&r));
+        assert!(u.contains_range(&s));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let r = AddrRange::from_base_size(VirtAddr::new(100), 50);
+        assert_eq!(r.union(&AddrRange::empty()), r);
+        assert_eq!(AddrRange::empty().union(&r), r);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_none() {
+        let r = AddrRange::from_base_size(VirtAddr::new(0), 10);
+        let s = AddrRange::from_base_size(VirtAddr::new(10), 10);
+        assert!(r.intersection(&s).is_none());
+        let t = AddrRange::from_base_size(VirtAddr::new(5), 10);
+        assert_eq!(
+            r.intersection(&t),
+            Some(AddrRange::from_base_size(VirtAddr::new(5), 5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn reversed_range_panics() {
+        let _ = AddrRange::new(VirtAddr::new(10), VirtAddr::new(5));
+    }
+}

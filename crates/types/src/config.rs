@@ -1,0 +1,240 @@
+//! Simulation configuration mirroring Tables II and III of the paper.
+//!
+//! Table II (used by both NV-SCAVENGER's embedded cache simulator and the
+//! PTLsim performance simulation):
+//!
+//! * L1 (private): split I/D, 32 KB each, 4-way, 64-byte lines,
+//!   **no-write-allocate**;
+//! * L2 (private): 1 MB, 16-way, LRU, 64-byte lines, **write-allocate**.
+//!
+//! Table III (system): 2.266 GHz x86 out-of-order cores, 8-bank L1 with
+//! 1-cycle hits, L2 with 5-cycle hits, 64-entry load fill request queue,
+//! 64-entry miss buffer, 2 GB devices with 16 banks and 16 ranks, device
+//! width 4, 64-bit JEDEC data bus, 1024 rows × 1024 columns.
+
+use crate::device::{DeviceProfile, MemoryTechnology};
+use serde::{Deserialize, Serialize};
+
+/// Write-miss allocation policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteAllocate {
+    /// Write misses allocate a line (fetch-on-write).
+    Allocate,
+    /// Write misses do not allocate; the write is forwarded downstream.
+    NoAllocate,
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Set associativity (ways).
+    pub associativity: u32,
+    /// Cache line size in bytes (power of two).
+    pub line_size: u64,
+    /// Write-miss allocation policy.
+    pub write_allocate: WriteAllocate,
+    /// Hit latency in CPU cycles (Table III).
+    pub hit_latency_cycles: u32,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide evenly or sets are not a
+    /// power of two (required by the index function).
+    pub fn num_sets(&self) -> u64 {
+        let line_capacity = self.size_bytes / self.line_size;
+        assert_eq!(
+            self.size_bytes % self.line_size,
+            0,
+            "cache size must be a multiple of line size"
+        );
+        let sets = line_capacity / u64::from(self.associativity);
+        assert_eq!(
+            line_capacity % u64::from(self.associativity),
+            0,
+            "cache lines must divide evenly into ways"
+        );
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Two-level private cache hierarchy of Table II.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// L1 data cache (the instruction cache is not simulated: the tool
+    /// instruments data references only).
+    pub l1: CacheLevelConfig,
+    /// Unified private L2.
+    pub l2: CacheLevelConfig,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            l1: CacheLevelConfig {
+                size_bytes: 32 * 1024,
+                associativity: 4,
+                line_size: 64,
+                write_allocate: WriteAllocate::NoAllocate,
+                hit_latency_cycles: 1,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 1024 * 1024,
+                associativity: 16,
+                line_size: 64,
+                write_allocate: WriteAllocate::Allocate,
+                hit_latency_cycles: 5,
+            },
+        }
+    }
+}
+
+/// System configuration of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Core clock in GHz (Table III: 2.266 GHz).
+    pub cpu_ghz: f64,
+    /// Hardware threads per core (Table III: one).
+    pub threads_per_core: u32,
+    /// Number of cores (two quad-core processors).
+    pub cores: u32,
+    /// Per-core TLB entries.
+    pub tlb_entries: u32,
+    /// Load fill request queue entries.
+    pub load_fill_queue_entries: u32,
+    /// Miss buffer entries (bounds memory-level parallelism in §V).
+    pub miss_buffer_entries: u32,
+    /// Memory device capacity in bytes (Table III: 2 GB).
+    pub mem_capacity_bytes: u64,
+    /// Banks per rank.
+    pub banks: u32,
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Device width in bits.
+    pub device_width: u32,
+    /// JEDEC data bus width in bits.
+    pub bus_bits: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Columns per row.
+    pub cols: u32,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            cpu_ghz: 2.266,
+            threads_per_core: 1,
+            cores: 8,
+            tlb_entries: 32,
+            load_fill_queue_entries: 64,
+            miss_buffer_entries: 64,
+            mem_capacity_bytes: 2 * 1024 * 1024 * 1024,
+            banks: 16,
+            ranks: 16,
+            device_width: 4,
+            bus_bits: 64,
+            rows: 1024,
+            cols: 1024,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// CPU cycle time in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.cpu_ghz
+    }
+
+    /// Converts a latency in nanoseconds to (rounded-up) CPU cycles.
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.cpu_ghz).ceil() as u64
+    }
+}
+
+/// Top-level simulation configuration bundling Tables II–IV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Cache hierarchy (Table II).
+    pub cache: CacheConfig,
+    /// System parameters (Table III).
+    pub system: SystemConfig,
+    /// Memory device under study (Table IV).
+    pub device: DeviceProfile,
+    /// Iterations of the main computation loop to instrument (§VII: "We
+    /// collect data for the first 10 iterations").
+    pub main_loop_iterations: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cache: CacheConfig::default(),
+            system: SystemConfig::default(),
+            device: DeviceProfile::ddr3(),
+            main_loop_iterations: 10,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Same configuration with a different memory device.
+    pub fn with_technology(mut self, t: MemoryTechnology) -> Self {
+        self.device = DeviceProfile::for_technology(t);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_geometry() {
+        let c = CacheConfig::default();
+        assert_eq!(c.l1.num_sets(), 128); // 32KB / 64B / 4 ways
+        assert_eq!(c.l2.num_sets(), 1024); // 1MB / 64B / 16 ways
+        assert_eq!(c.l1.write_allocate, WriteAllocate::NoAllocate);
+        assert_eq!(c.l2.write_allocate, WriteAllocate::Allocate);
+    }
+
+    #[test]
+    fn table_iii_defaults() {
+        let s = SystemConfig::default();
+        assert_eq!(s.cpu_ghz, 2.266);
+        assert_eq!(s.miss_buffer_entries, 64);
+        assert_eq!(s.banks, 16);
+        assert_eq!(s.ranks, 16);
+        assert_eq!(s.rows, 1024);
+        assert_eq!(s.cols, 1024);
+    }
+
+    #[test]
+    fn cycle_conversion_rounds_up() {
+        let s = SystemConfig::default();
+        // 10ns at 2.266GHz = 22.66 cycles -> 23
+        assert_eq!(s.ns_to_cycles(10.0), 23);
+        assert_eq!(s.ns_to_cycles(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let mut l = CacheConfig::default().l1;
+        l.size_bytes = 48 * 1024; // 192 sets, not a power of two
+        let _ = l.num_sets();
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = SimConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

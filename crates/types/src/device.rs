@@ -1,0 +1,257 @@
+//! Memory-device profiles: DDR3 DRAM and the NVRAM technologies of §II.
+//!
+//! The paper divides NVRAMs into three categories (§II):
+//!
+//! 1. long read **and** write latencies (PCRAM, Flash),
+//! 2. long write latency but DRAM-like read latency (STTRAM),
+//! 3. performance close to (or better than) DRAM (RRAM) — immature, out of
+//!    scope for the study.
+//!
+//! Latencies follow Table IV. Cell currents follow §IV: PCM read 40 mA /
+//! write 150 mA, and the same values are reused for STTRAM and MRAM so the
+//! power estimate is an upper bound. DRAM additionally pays refresh and
+//! leakage (background) power — the paper attributes "more than 35% of the
+//! memory subsystem power consumption for memory-intensive workloads" to
+//! leakage + refresh — while NVRAM standby power is zero.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The memory technology of a device profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryTechnology {
+    /// Conventional DDR3 DRAM (the baseline of Tables IV and VI).
+    Ddr3,
+    /// Phase-change memory: category 1 (long read and write latencies).
+    Pcram,
+    /// Spin-torque-transfer RAM: category 2 (long writes, DRAM-like reads).
+    Sttram,
+    /// Magnetoresistive RAM: near-DRAM latencies in Table IV.
+    Mram,
+}
+
+impl MemoryTechnology {
+    /// All technologies in Table IV/VI report order.
+    pub const ALL: [MemoryTechnology; 4] = [
+        MemoryTechnology::Ddr3,
+        MemoryTechnology::Pcram,
+        MemoryTechnology::Sttram,
+        MemoryTechnology::Mram,
+    ];
+
+    /// `true` for non-volatile technologies.
+    pub fn is_nvram(self) -> bool {
+        !matches!(self, MemoryTechnology::Ddr3)
+    }
+}
+
+impl fmt::Display for MemoryTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryTechnology::Ddr3 => f.write_str("DDR3"),
+            MemoryTechnology::Pcram => f.write_str("PCRAM"),
+            MemoryTechnology::Sttram => f.write_str("STTRAM"),
+            MemoryTechnology::Mram => f.write_str("MRAM"),
+        }
+    }
+}
+
+/// The paper's three NVRAM categories (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NvramCategory {
+    /// Long access latencies for both reads and writes (PCRAM, Flash).
+    LongReadWrite,
+    /// Long write latency, read latency comparable to DRAM (STTRAM).
+    LongWriteOnly,
+    /// Performance close to or better than DRAM (RRAM) — immature.
+    NearDram,
+}
+
+/// Electrical and timing parameters for one memory technology.
+///
+/// Latencies are device access latencies as in Table IV; currents are the
+/// per-operation cell currents of §IV. `refresh_interval_ns == 0` means the
+/// device never refreshes (all NVRAMs). `standby_power_mw_per_gb` models
+/// leakage + peripheral standby; it is zero for NVRAM per §II ("NVRAMs have
+/// zero standby power").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Technology this profile describes.
+    pub technology: MemoryTechnology,
+    /// Real device read latency in nanoseconds (Table IV, column 2).
+    pub read_latency_ns: f64,
+    /// Real device write latency in nanoseconds (Table IV, column 3).
+    pub write_latency_ns: f64,
+    /// Latency used by the performance simulation, which cannot
+    /// differentiate reads from writes (Table IV, column 4). Using the write
+    /// latency for both makes the simulated slowdown a lower bound on
+    /// performance (§V).
+    pub perf_sim_latency_ns: f64,
+    /// Cell read current in milliamps (§IV: 40 mA for PCM, reused for
+    /// STTRAM/MRAM as an upper bound).
+    pub read_current_ma: f64,
+    /// Cell write current in milliamps (§IV: 150 mA for PCM; the paper
+    /// assumes set current equals the larger reset current, again an upper
+    /// bound).
+    pub write_current_ma: f64,
+    /// Average refresh interval per row in nanoseconds; 0 disables refresh.
+    pub refresh_interval_ns: f64,
+    /// Standby (leakage + refresh-logic) power per gigabyte in milliwatts.
+    pub standby_power_mw_per_gb: f64,
+    /// Base-10 logarithm of write endurance (§II: PCRAM 8–9.7, DRAM 16).
+    pub endurance_log10: f64,
+}
+
+impl DeviceProfile {
+    /// DDR3 DRAM baseline: 10 ns read/write, refresh enabled, nonzero
+    /// standby power. Current values approximate DDR3 IDD4R/IDD4W burst
+    /// draw; absolute magnitudes cancel in the normalized Table VI result.
+    pub fn ddr3() -> Self {
+        DeviceProfile {
+            technology: MemoryTechnology::Ddr3,
+            read_latency_ns: 10.0,
+            write_latency_ns: 10.0,
+            perf_sim_latency_ns: 10.0,
+            read_current_ma: 40.0,
+            write_current_ma: 40.0,
+            refresh_interval_ns: 7_800.0, // tREFI for DDR3
+            standby_power_mw_per_gb: 62.0,
+            endurance_log10: 16.0,
+        }
+    }
+
+    /// PCRAM: 20 ns read, 100 ns write (Table IV), zero standby/refresh.
+    pub fn pcram() -> Self {
+        DeviceProfile {
+            technology: MemoryTechnology::Pcram,
+            read_latency_ns: 20.0,
+            write_latency_ns: 100.0,
+            perf_sim_latency_ns: 100.0,
+            read_current_ma: 40.0,
+            write_current_ma: 150.0,
+            refresh_interval_ns: 0.0,
+            standby_power_mw_per_gb: 0.0,
+            endurance_log10: 8.85, // midpoint of 10^8 .. 10^9.7
+        }
+    }
+
+    /// STTRAM: 10 ns read, 20 ns write (Table IV); PCM currents reused.
+    pub fn sttram() -> Self {
+        DeviceProfile {
+            technology: MemoryTechnology::Sttram,
+            read_latency_ns: 10.0,
+            write_latency_ns: 20.0,
+            perf_sim_latency_ns: 20.0,
+            read_current_ma: 40.0,
+            write_current_ma: 150.0,
+            refresh_interval_ns: 0.0,
+            standby_power_mw_per_gb: 0.0,
+            endurance_log10: 15.0,
+        }
+    }
+
+    /// MRAM: 12 ns read and write (Table IV); PCM currents reused.
+    pub fn mram() -> Self {
+        DeviceProfile {
+            technology: MemoryTechnology::Mram,
+            read_latency_ns: 12.0,
+            write_latency_ns: 12.0,
+            perf_sim_latency_ns: 12.0,
+            read_current_ma: 40.0,
+            write_current_ma: 150.0,
+            refresh_interval_ns: 0.0,
+            standby_power_mw_per_gb: 0.0,
+            endurance_log10: 15.0,
+        }
+    }
+
+    /// Profile for a technology.
+    pub fn for_technology(t: MemoryTechnology) -> Self {
+        match t {
+            MemoryTechnology::Ddr3 => Self::ddr3(),
+            MemoryTechnology::Pcram => Self::pcram(),
+            MemoryTechnology::Sttram => Self::sttram(),
+            MemoryTechnology::Mram => Self::mram(),
+        }
+    }
+
+    /// NVRAM category per §II; `None` for DRAM.
+    pub fn category(&self) -> Option<NvramCategory> {
+        match self.technology {
+            MemoryTechnology::Ddr3 => None,
+            MemoryTechnology::Pcram => Some(NvramCategory::LongReadWrite),
+            MemoryTechnology::Sttram => Some(NvramCategory::LongWriteOnly),
+            MemoryTechnology::Mram => Some(NvramCategory::NearDram),
+        }
+    }
+
+    /// Write/read latency asymmetry.
+    pub fn write_read_latency_ratio(&self) -> f64 {
+        self.write_latency_ns / self.read_latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_latencies() {
+        // Exact values from Table IV of the paper.
+        let d = DeviceProfile::ddr3();
+        assert_eq!((d.read_latency_ns, d.write_latency_ns), (10.0, 10.0));
+        let p = DeviceProfile::pcram();
+        assert_eq!((p.read_latency_ns, p.write_latency_ns), (20.0, 100.0));
+        assert_eq!(p.perf_sim_latency_ns, 100.0);
+        let s = DeviceProfile::sttram();
+        assert_eq!((s.read_latency_ns, s.write_latency_ns), (10.0, 20.0));
+        let m = DeviceProfile::mram();
+        assert_eq!((m.read_latency_ns, m.write_latency_ns), (12.0, 12.0));
+    }
+
+    #[test]
+    fn nvram_has_zero_standby_and_refresh() {
+        for t in MemoryTechnology::ALL {
+            let p = DeviceProfile::for_technology(t);
+            if t.is_nvram() {
+                assert_eq!(p.standby_power_mw_per_gb, 0.0, "{t}");
+                assert_eq!(p.refresh_interval_ns, 0.0, "{t}");
+            } else {
+                assert!(p.standby_power_mw_per_gb > 0.0);
+                assert!(p.refresh_interval_ns > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn section_ii_latency_asymmetries() {
+        // §II: STT-RAM write latency ~4x DRAM write; PCRAM write 10x, read 2x.
+        let d = DeviceProfile::ddr3();
+        let p = DeviceProfile::pcram();
+        assert_eq!(p.write_latency_ns / d.write_latency_ns, 10.0);
+        assert_eq!(p.read_latency_ns / d.read_latency_ns, 2.0);
+        assert!(p.write_read_latency_ratio() > 1.0);
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(
+            DeviceProfile::pcram().category(),
+            Some(NvramCategory::LongReadWrite)
+        );
+        assert_eq!(
+            DeviceProfile::sttram().category(),
+            Some(NvramCategory::LongWriteOnly)
+        );
+        assert_eq!(DeviceProfile::ddr3().category(), None);
+    }
+
+    #[test]
+    fn pcm_currents_are_upper_bound_for_all_nvram() {
+        for t in [MemoryTechnology::Pcram, MemoryTechnology::Sttram, MemoryTechnology::Mram] {
+            let p = DeviceProfile::for_technology(t);
+            assert_eq!(p.read_current_ma, 40.0);
+            assert_eq!(p.write_current_ma, 150.0);
+        }
+    }
+}

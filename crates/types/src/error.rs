@@ -1,0 +1,59 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Errors surfaced by the nvsim toolkit.
+///
+/// The simulators are deterministic and panic on internal invariant
+/// violations (bugs); `NvsimError` covers *user-facing* failure modes:
+/// invalid configuration, exhausted synthetic resources, and malformed
+/// inputs to report parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvsimError {
+    /// A configuration value is inconsistent or out of range.
+    InvalidConfig(String),
+    /// A synthetic allocator ran out of address space.
+    OutOfAddressSpace {
+        /// Segment that was exhausted ("heap", "stack", "global").
+        segment: &'static str,
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+    },
+    /// An operation referenced an unknown object, routine or symbol.
+    NotFound(String),
+    /// An operation violated the API contract (e.g. `ret` with an empty
+    /// shadow stack, free of an unallocated address).
+    Protocol(String),
+}
+
+impl fmt::Display for NvsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvsimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NvsimError::OutOfAddressSpace { segment, requested } => {
+                write!(f, "out of {segment} address space (requested {requested} bytes)")
+            }
+            NvsimError::NotFound(what) => write!(f, "not found: {what}"),
+            NvsimError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NvsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NvsimError::OutOfAddressSpace {
+            segment: "heap",
+            requested: 4096,
+        };
+        let s = e.to_string();
+        assert!(s.contains("heap"));
+        assert!(s.contains("4096"));
+        assert!(NvsimError::NotFound("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # nvsim-types
+//!
+//! Foundation types shared by every crate in the `nv-scavenger-rs` workspace,
+//! the Rust reproduction of *"Identifying Opportunities for Byte-Addressable
+//! Non-Volatile Memory in Extreme-Scale Scientific Applications"*
+//! (Li et al., IPDPS 2012).
+//!
+//! The crate deliberately contains no simulation logic: it defines the
+//! vocabulary the rest of the toolkit speaks —
+//!
+//! * [`addr`] — virtual addresses and address ranges,
+//! * [`access`] — memory references and main-memory transactions,
+//! * [`region`] — the stack/heap/global segmentation the paper's tool
+//!   (NV-SCAVENGER, §III) attributes references to,
+//! * [`device`] — NVRAM device profiles and the three NVRAM categories of
+//!   §II (Table IV latencies, PCM currents used in §IV),
+//! * [`config`] — the simulated cache/system configuration of Tables II/III,
+//! * [`stats`] — read/write counters and the three NVRAM-opportunity
+//!   metrics of §II (read/write ratio, object size, reference rate),
+//! * [`units`] — byte/time unit helpers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod access;
+pub mod addr;
+pub mod config;
+pub mod device;
+pub mod error;
+pub mod region;
+pub mod stats;
+pub mod units;
+
+pub use access::{AccessKind, MemRef, MemTransaction, TransactionKind};
+pub use addr::{AddrRange, VirtAddr};
+pub use config::{CacheConfig, CacheLevelConfig, SimConfig, SystemConfig, WriteAllocate};
+pub use device::{DeviceProfile, MemoryTechnology, NvramCategory};
+pub use error::NvsimError;
+pub use region::{AddressSpaceLayout, Region};
+pub use stats::{AccessCounts, IterationStats, ObjectMetrics};

@@ -1,0 +1,146 @@
+//! Stack / heap / global segmentation of the simulated address space.
+//!
+//! NV-SCAVENGER differentiates memory objects in the heap, data segment and
+//! stack "because it helps us to better understand how the applications use
+//! these memory objects" (paper §III). The layout here mirrors a classic
+//! Unix process image: globals low, heap growing upward above them, stack
+//! growing downward from the top of the canonical user range.
+
+use crate::addr::{AddrRange, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which process segment a memory object (or reference) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Program stack (per-routine frames, §III-A).
+    Stack,
+    /// Dynamically allocated heap objects (§III-B).
+    Heap,
+    /// Global data segment: statics, FORTRAN common blocks (§III-C).
+    Global,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Stack => f.write_str("stack"),
+            Region::Heap => f.write_str("heap"),
+            Region::Global => f.write_str("global"),
+        }
+    }
+}
+
+impl Region {
+    /// All regions, in report order.
+    pub const ALL: [Region; 3] = [Region::Stack, Region::Heap, Region::Global];
+}
+
+/// Fixed layout of the simulated virtual address space.
+///
+/// The defaults give each segment far more room than any proxy application
+/// uses, so segment classification is purely a range check and allocators
+/// never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressSpaceLayout {
+    /// Global/data segment range.
+    pub global: AddrRange,
+    /// Heap range (allocator moves upward from `heap.start`).
+    pub heap: AddrRange,
+    /// Stack range (stack pointer moves downward from `stack.end`).
+    pub stack: AddrRange,
+}
+
+impl Default for AddressSpaceLayout {
+    fn default() -> Self {
+        AddressSpaceLayout {
+            // 4 GiB of global data starting at 4 MiB (skip the zero page and
+            // a text-segment-sized hole so NULL never classifies as global).
+            global: AddrRange::new(VirtAddr::new(0x40_0000), VirtAddr::new(0x1_0040_0000)),
+            // 1 TiB of heap.
+            heap: AddrRange::new(VirtAddr::new(0x10_0000_0000), VirtAddr::new(0x110_0000_0000)),
+            // 64 GiB of stack below the canonical top.
+            stack: AddrRange::new(
+                VirtAddr::new(0x7ff0_0000_0000),
+                VirtAddr::new(0x8000_0000_0000),
+            ),
+        }
+    }
+}
+
+impl AddressSpaceLayout {
+    /// Classifies an address into a region, or `None` for unmapped holes.
+    #[inline]
+    pub fn region_of(&self, addr: VirtAddr) -> Option<Region> {
+        if self.stack.contains(addr) {
+            Some(Region::Stack)
+        } else if self.heap.contains(addr) {
+            Some(Region::Heap)
+        } else if self.global.contains(addr) {
+            Some(Region::Global)
+        } else {
+            None
+        }
+    }
+
+    /// The range backing a given region.
+    #[inline]
+    pub fn range_of(&self, region: Region) -> AddrRange {
+        match region {
+            Region::Stack => self.stack,
+            Region::Heap => self.heap,
+            Region::Global => self.global,
+        }
+    }
+
+    /// Validates that the three segments are pairwise disjoint.
+    pub fn validate(&self) -> Result<(), String> {
+        let pairs = [
+            (self.global, self.heap, "global/heap"),
+            (self.global, self.stack, "global/stack"),
+            (self.heap, self.stack, "heap/stack"),
+        ];
+        for (a, b, what) in pairs {
+            if a.overlaps(&b) {
+                return Err(format!("segments {what} overlap: {a} vs {b}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_is_disjoint() {
+        AddressSpaceLayout::default().validate().unwrap();
+    }
+
+    #[test]
+    fn classification_matches_ranges() {
+        let l = AddressSpaceLayout::default();
+        assert_eq!(l.region_of(l.global.start), Some(Region::Global));
+        assert_eq!(l.region_of(l.heap.start), Some(Region::Heap));
+        assert_eq!(l.region_of(l.stack.end - 1), Some(Region::Stack));
+        assert_eq!(l.region_of(VirtAddr::NULL), None);
+        assert_eq!(l.region_of(l.global.end), None);
+    }
+
+    #[test]
+    fn range_of_round_trips() {
+        let l = AddressSpaceLayout::default();
+        for r in Region::ALL {
+            let range = l.range_of(r);
+            assert_eq!(l.region_of(range.start), Some(r));
+        }
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut l = AddressSpaceLayout::default();
+        l.heap = AddrRange::new(l.global.start, l.global.end + 10);
+        assert!(l.validate().is_err());
+    }
+}

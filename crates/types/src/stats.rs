@@ -1,0 +1,252 @@
+//! Access counters and the three NVRAM-opportunity metrics of §II.
+//!
+//! The paper quantifies NVRAM opportunity per memory object with:
+//!
+//! 1. **read/write ratio** — higher means less write-intensive, favoured by
+//!    NVRAM (especially category 2, STTRAM-like);
+//! 2. **memory object size** — static power savings scale with the bytes
+//!    parked in NVRAM;
+//! 3. **memory reference rate** — a complementary guard: an object with a
+//!    high read/write ratio can still contribute a large share of absolute
+//!    writes, which category-1 NVRAM must avoid.
+//!
+//! These are evaluated *per iteration of the main computation loop* and
+//! compared across iterations to detect usage variance (§II, §VII-C).
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Raw read/write counters for one object (or one region, or one iteration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessCounts {
+    /// Number of read references.
+    pub reads: u64,
+    /// Number of write references.
+    pub writes: u64,
+}
+
+impl AccessCounts {
+    /// A zeroed counter.
+    pub const ZERO: AccessCounts = AccessCounts { reads: 0, writes: 0 };
+
+    /// Creates counters from explicit values.
+    pub fn new(reads: u64, writes: u64) -> Self {
+        AccessCounts { reads, writes }
+    }
+
+    /// Total references.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Read/write ratio (metric 1).
+    ///
+    /// Objects that are never written are *read-only*; their ratio is
+    /// `f64::INFINITY`. Objects never accessed return `None` so callers can
+    /// distinguish "untouched" from "read-only".
+    #[inline]
+    pub fn read_write_ratio(&self) -> Option<f64> {
+        if self.total() == 0 {
+            None
+        } else if self.writes == 0 {
+            Some(f64::INFINITY)
+        } else {
+            Some(self.reads as f64 / self.writes as f64)
+        }
+    }
+
+    /// `true` if the object was accessed but never written.
+    #[inline]
+    pub fn is_read_only(&self) -> bool {
+        self.reads > 0 && self.writes == 0
+    }
+
+    /// Fraction of all writes in `total_writes` attributable to this
+    /// counter; 0 when `total_writes` is 0.
+    #[inline]
+    pub fn write_share(&self, total_writes: u64) -> f64 {
+        if total_writes == 0 {
+            0.0
+        } else {
+            self.writes as f64 / total_writes as f64
+        }
+    }
+
+    /// Records one access.
+    #[inline]
+    pub fn record(&mut self, is_write: bool) {
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+    }
+}
+
+impl AddAssign for AccessCounts {
+    #[inline]
+    fn add_assign(&mut self, rhs: AccessCounts) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+    }
+}
+
+/// Per-iteration snapshot of one object's three metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Read/write counters accumulated during the iteration.
+    pub counts: AccessCounts,
+    /// References per instrumented instruction slot ×10⁶ — the "memory
+    /// reference rate" (metric 3). The producer decides the denominator
+    /// (total references in the iteration); stored pre-computed so snapshots
+    /// are self-contained.
+    pub reference_rate: f64,
+}
+
+impl IterationStats {
+    /// Builds a snapshot from counters and the iteration-wide totals.
+    pub fn from_counts(counts: AccessCounts, iteration_total_refs: u64) -> Self {
+        let reference_rate = if iteration_total_refs == 0 {
+            0.0
+        } else {
+            counts.total() as f64 / iteration_total_refs as f64
+        };
+        IterationStats {
+            counts,
+            reference_rate,
+        }
+    }
+}
+
+/// Aggregated metrics for one memory object across the instrumented window:
+/// the unit row of Figures 3–6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectMetrics {
+    /// Object size in bytes (metric 2).
+    pub size_bytes: u64,
+    /// Totals across all instrumented iterations.
+    pub total: AccessCounts,
+    /// Per-iteration snapshots, index 0 = first main-loop iteration.
+    pub per_iteration: Vec<IterationStats>,
+    /// Number of iterations in which the object was touched at least once.
+    pub iterations_touched: u32,
+}
+
+impl ObjectMetrics {
+    /// Creates empty metrics for an object of `size_bytes`.
+    pub fn new(size_bytes: u64) -> Self {
+        ObjectMetrics {
+            size_bytes,
+            total: AccessCounts::ZERO,
+            per_iteration: Vec::new(),
+            iterations_touched: 0,
+        }
+    }
+
+    /// Overall read/write ratio across the window.
+    pub fn read_write_ratio(&self) -> Option<f64> {
+        self.total.read_write_ratio()
+    }
+
+    /// Normalized variance series used by Figures 8–11: each iteration's
+    /// read/write ratio divided by the first iteration's. Iterations where
+    /// either value is unavailable yield `None` entries.
+    pub fn rw_ratio_normalized(&self) -> Vec<Option<f64>> {
+        let first = self
+            .per_iteration
+            .first()
+            .and_then(|s| s.counts.read_write_ratio())
+            .filter(|r| r.is_finite() && *r > 0.0);
+        self.per_iteration
+            .iter()
+            .map(|s| match (first, s.counts.read_write_ratio()) {
+                (Some(f), Some(r)) if r.is_finite() => Some(r / f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Normalized reference-rate series for Figures 8–11.
+    pub fn ref_rate_normalized(&self) -> Vec<Option<f64>> {
+        let first = self
+            .per_iteration
+            .first()
+            .map(|s| s.reference_rate)
+            .filter(|r| *r > 0.0);
+        self.per_iteration
+            .iter()
+            .map(|s| first.map(|f| s.reference_rate / f))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_cases() {
+        assert_eq!(AccessCounts::ZERO.read_write_ratio(), None);
+        assert_eq!(
+            AccessCounts::new(10, 0).read_write_ratio(),
+            Some(f64::INFINITY)
+        );
+        assert_eq!(AccessCounts::new(20, 4).read_write_ratio(), Some(5.0));
+        assert!(AccessCounts::new(10, 0).is_read_only());
+        assert!(!AccessCounts::new(0, 0).is_read_only());
+        assert!(!AccessCounts::new(10, 1).is_read_only());
+    }
+
+    #[test]
+    fn record_and_add() {
+        let mut c = AccessCounts::ZERO;
+        c.record(false);
+        c.record(false);
+        c.record(true);
+        assert_eq!(c, AccessCounts::new(2, 1));
+        let mut d = AccessCounts::new(1, 1);
+        d += c;
+        assert_eq!(d, AccessCounts::new(3, 2));
+    }
+
+    #[test]
+    fn write_share() {
+        let c = AccessCounts::new(100, 25);
+        assert_eq!(c.write_share(100), 0.25);
+        assert_eq!(c.write_share(0), 0.0);
+    }
+
+    #[test]
+    fn iteration_stats_rate() {
+        let s = IterationStats::from_counts(AccessCounts::new(30, 10), 400);
+        assert_eq!(s.reference_rate, 0.1);
+        let z = IterationStats::from_counts(AccessCounts::ZERO, 0);
+        assert_eq!(z.reference_rate, 0.0);
+    }
+
+    #[test]
+    fn normalized_series() {
+        let mut m = ObjectMetrics::new(4096);
+        m.per_iteration = vec![
+            IterationStats::from_counts(AccessCounts::new(10, 2), 100), // ratio 5
+            IterationStats::from_counts(AccessCounts::new(20, 2), 100), // ratio 10
+            IterationStats::from_counts(AccessCounts::new(5, 1), 100),  // ratio 5
+        ];
+        let norm = m.rw_ratio_normalized();
+        assert_eq!(norm, vec![Some(1.0), Some(2.0), Some(1.0)]);
+        let rates = m.ref_rate_normalized();
+        assert_eq!(rates[0], Some(1.0));
+    }
+
+    #[test]
+    fn normalized_series_handles_zero_first_iteration() {
+        let mut m = ObjectMetrics::new(64);
+        m.per_iteration = vec![
+            IterationStats::from_counts(AccessCounts::ZERO, 100),
+            IterationStats::from_counts(AccessCounts::new(10, 5), 100),
+        ];
+        assert_eq!(m.rw_ratio_normalized(), vec![None, None]);
+        assert_eq!(m.ref_rate_normalized(), vec![None, None]);
+    }
+}

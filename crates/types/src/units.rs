@@ -1,0 +1,56 @@
+//! Byte and time unit helpers used across reports and configuration.
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Formats a byte count with a binary-unit suffix, e.g. `1.5 MiB`.
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.2} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Converts megabytes (as the paper reports footprints) to bytes.
+pub const fn mb(n: u64) -> u64 {
+    n * MIB
+}
+
+/// Converts nanoseconds to seconds.
+pub fn ns_to_s(ns: f64) -> f64 {
+    ns * 1e-9
+}
+
+/// Converts milliwatts to watts.
+pub fn mw_to_w(mw: f64) -> f64 {
+    mw * 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(3 * MIB / 2), "1.50 MiB");
+        assert_eq!(format_bytes(GIB), "1.00 GiB");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(mb(2), 2 * 1024 * 1024);
+        assert!((ns_to_s(10.0) - 1e-8).abs() < 1e-20);
+        assert!((mw_to_w(1500.0) - 1.5).abs() < 1e-12);
+    }
+}

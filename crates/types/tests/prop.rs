@@ -1,0 +1,80 @@
+//! Property tests for the address/range algebra and counters.
+
+use nvsim_types::{AccessCounts, AddrRange, VirtAddr};
+use proptest::prelude::*;
+
+fn range_strategy() -> impl Strategy<Value = AddrRange> {
+    (0u64..1 << 40, 0u64..1 << 20)
+        .prop_map(|(base, len)| AddrRange::from_base_size(VirtAddr::new(base), len))
+}
+
+proptest! {
+    #[test]
+    fn align_down_le_addr_le_align_up(raw in 0u64..1 << 60, shift in 0u32..20) {
+        let align = 1u64 << shift;
+        let a = VirtAddr::new(raw);
+        let down = a.align_down(align);
+        let up = a.align_up(align);
+        prop_assert!(down <= a);
+        prop_assert!(up >= a);
+        prop_assert!(down.is_aligned(align));
+        prop_assert!(up.is_aligned(align));
+        prop_assert!(up.raw() - down.raw() < 2 * align);
+    }
+
+    #[test]
+    fn union_contains_both(r in range_strategy(), s in range_strategy()) {
+        let u = r.union(&s);
+        prop_assert!(u.contains_range(&r));
+        prop_assert!(u.contains_range(&s));
+        // Union is the smallest such range: its ends touch r or s.
+        prop_assert!(u.start == r.start || u.start == s.start);
+        prop_assert!(u.end == r.end || u.end == s.end);
+    }
+
+    #[test]
+    fn intersection_is_contained_and_symmetric(r in range_strategy(), s in range_strategy()) {
+        let i1 = r.intersection(&s);
+        let i2 = s.intersection(&r);
+        prop_assert_eq!(i1, i2);
+        if let Some(i) = i1 {
+            prop_assert!(r.contains_range(&i));
+            prop_assert!(s.contains_range(&i));
+            prop_assert!(r.overlaps(&s));
+        } else {
+            prop_assert!(!r.overlaps(&s) || r.is_empty() || s.is_empty());
+        }
+    }
+
+    #[test]
+    fn overlap_iff_some_common_point(r in range_strategy(), s in range_strategy()) {
+        let overlaps = r.overlaps(&s);
+        let common = r.intersection(&s).is_some();
+        prop_assert_eq!(overlaps, common);
+    }
+
+    #[test]
+    fn contains_respects_bounds(r in range_strategy(), probe in 0u64..1 << 41) {
+        let p = VirtAddr::new(probe);
+        prop_assert_eq!(r.contains(p), p >= r.start && p < r.end);
+    }
+
+    #[test]
+    fn counters_accumulate(ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = AccessCounts::ZERO;
+        for &w in &ops {
+            c.record(w);
+        }
+        let writes = ops.iter().filter(|&&w| w).count() as u64;
+        prop_assert_eq!(c.writes, writes);
+        prop_assert_eq!(c.reads, ops.len() as u64 - writes);
+        prop_assert_eq!(c.total(), ops.len() as u64);
+        match c.read_write_ratio() {
+            None => prop_assert_eq!(c.total(), 0),
+            Some(r) if r.is_infinite() => prop_assert!(c.writes == 0 && c.reads > 0),
+            Some(r) => {
+                prop_assert!((r - c.reads as f64 / c.writes as f64).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Characterize one of the bundled proxy applications end to end: the
+//! §VII workflow for a single code.
+//!
+//! Run with: `cargo run --release --example characterize_app -- [nek5000|cam|gtc|s3d]`
+
+use nv_scavenger::pipeline::characterize;
+use nvsim_apps::{all_apps, AppScale};
+use nvsim_objects::report::{object_summaries, UsageDistribution};
+use nvsim_types::Region;
+
+fn main() {
+    let want = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nek5000".to_string())
+        .to_lowercase();
+    let mut app = all_apps(AppScale::Small)
+        .into_iter()
+        .find(|a| a.spec().name.to_lowercase() == want)
+        .unwrap_or_else(|| panic!("unknown app {want}; expected nek5000|cam|gtc|s3d"));
+
+    let spec = app.spec();
+    println!(
+        "characterizing {} ({}) at 1/{} scale, 10 iterations...\n",
+        spec.name,
+        spec.description,
+        spec.scale.divisor()
+    );
+    let c = characterize(app.as_mut(), 10).expect("pipeline");
+
+    println!("references: {} ({} reads / {} writes)", c.tracer_stats.refs, c.tracer_stats.reads, c.tracer_stats.writes);
+    println!(
+        "footprint: {} global + {} peak heap bytes",
+        c.footprint.global_bytes, c.footprint.heap_peak_bytes
+    );
+
+    println!("\n-- Table V row --");
+    println!(
+        "stack R/W {:.2} (first iteration {:.2}), stack share {:.1}%",
+        c.stack.rw_ratio_steady().unwrap_or(0.0),
+        c.stack.rw_ratio_first().unwrap_or(0.0),
+        c.stack.stack_reference_share() * 100.0
+    );
+
+    println!("\n-- top memory objects by traffic --");
+    let mut rows = object_summaries(&c.registry, Region::Global);
+    rows.extend(object_summaries(&c.registry, Region::Heap));
+    rows.extend(object_summaries(&c.registry, Region::Stack));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.counts.total()));
+    for o in rows.iter().take(15) {
+        println!(
+            "{:<26} {:<7} {:>10} refs  ratio {:?}",
+            o.name,
+            o.region.to_string(),
+            o.counts.total(),
+            o.rw_ratio.map(|r| (r * 10.0).round() / 10.0)
+        );
+    }
+
+    println!("\n-- Figure 7: usage across time steps --");
+    let dist = UsageDistribution::from_registry(&c.registry);
+    for x in 0..dist.bytes_by_steps.len() {
+        if dist.bytes_by_steps[x] > 0 {
+            println!("  used in {:>2} steps: {:>10} bytes", x, dist.bytes_by_steps[x]);
+        }
+    }
+    println!(
+        "  untouched by the main loop: {} bytes ({:.1}%)",
+        dist.untouched_in_main(),
+        100.0 * dist.untouched_in_main() as f64 / dist.total().max(1) as f64
+    );
+}

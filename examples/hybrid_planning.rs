@@ -1,0 +1,92 @@
+//! Hybrid DRAM–NVRAM planning for an application: classify the working
+//! set with the three §II metrics, size the hybrid system, simulate
+//! dynamic migration across the instrumented window, and check write
+//! endurance for the placed objects.
+//!
+//! Run with: `cargo run --release --example hybrid_planning -- [nek5000|cam|gtc|s3d]`
+
+use nv_scavenger::pipeline::characterize;
+use nvsim_apps::{all_apps, AppScale};
+use nvsim_objects::report::object_summaries;
+use nvsim_placement::{
+    classify, lifetime_years, plan, MigrationConfig, MigrationSimulator, PlacementPolicy,
+};
+use nvsim_types::{DeviceProfile, Region};
+
+fn main() {
+    let want = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nek5000".to_string())
+        .to_lowercase();
+    let mut app = all_apps(AppScale::Small)
+        .into_iter()
+        .find(|a| a.spec().name.to_lowercase() == want)
+        .unwrap_or_else(|| panic!("unknown app {want}"));
+    let name = app.spec().name;
+
+    let c = characterize(app.as_mut(), 10).expect("pipeline");
+    let mut objects = object_summaries(&c.registry, Region::Global);
+    objects.extend(object_summaries(&c.registry, Region::Heap));
+
+    // Static placement.
+    let policy = PlacementPolicy::category2();
+    let suit = classify(&objects, &policy);
+    println!("== {name}: static placement (category-2 NVRAM) ==");
+    println!(
+        "suitable: {:.1}% of {} bytes  (untouched {:.0}%, read-only {:.0}%, high-ratio {:.0}%)",
+        suit.suitable_fraction() * 100.0,
+        suit.total_bytes,
+        100.0 * suit.untouched_bytes as f64 / suit.total_bytes.max(1) as f64,
+        100.0 * suit.read_only_bytes as f64 / suit.total_bytes.max(1) as f64,
+        100.0 * suit.high_ratio_bytes as f64 / suit.total_bytes.max(1) as f64,
+    );
+
+    // Capacity plan.
+    let hybrid = plan(&suit, &DeviceProfile::ddr3(), 1.25);
+    println!(
+        "hybrid plan: {} B DRAM + {} B NVRAM -> {:.1} mW standby saved ({:.0}%)",
+        hybrid.dram_bytes,
+        hybrid.nvram_bytes,
+        hybrid.standby_saving_mw,
+        hybrid.standby_saving_fraction * 100.0
+    );
+
+    // Dynamic migration over the per-iteration series.
+    let metric_refs: Vec<_> = c
+        .registry
+        .objects()
+        .iter()
+        .filter(|o| o.region != Region::Stack)
+        .map(|o| (&o.metrics, o.metrics.size_bytes))
+        .collect();
+    for epoch in [1u32, 5] {
+        let sim = MigrationSimulator::new(MigrationConfig {
+            epoch_iterations: epoch,
+            ..Default::default()
+        });
+        let stats = sim.run(&metric_refs);
+        println!(
+            "migration (epoch={epoch}): {} migrations, {} bytes moved, {:.1}% time-avg NVRAM residency",
+            stats.migrations,
+            stats.bytes_moved,
+            stats.nvram_residency() * 100.0
+        );
+    }
+
+    // Endurance check on the NVRAM-placed objects.
+    println!("\n== endurance (PCRAM, ideal wear-levelling) ==");
+    let pcram = DeviceProfile::pcram();
+    let window_s = 1.0; // treat the instrumented window as one second
+    for (o, d) in objects.iter().zip(&suit.decisions) {
+        if d.is_nvram() && o.counts.writes > 0 {
+            let rep = lifetime_years(o.size_bytes, o.counts.writes as f64 / window_s, 8, &pcram);
+            println!(
+                "{:<22} writes/s={:>9.0} lifetime={:>10.1} years  {}",
+                o.name,
+                rep.write_bytes_per_s / 8.0,
+                rep.lifetime_years,
+                if rep.acceptable { "ok" } else { "TOO HOT" }
+            );
+        }
+    }
+}

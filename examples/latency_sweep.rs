@@ -1,0 +1,48 @@
+//! Latency-sensitivity study (§V / Figure 12) for any bundled proxy:
+//! time one main-loop iteration on the out-of-order core model at each
+//! Table IV memory latency.
+//!
+//! Run with: `cargo run --release --example latency_sweep -- [nek5000|cam|gtc|s3d]`
+
+use nvsim_apps::{all_apps, AppScale};
+use nvsim_cpu::{sweep_technologies, CoreParams, CpuSink};
+use nvsim_trace::Tracer;
+
+fn main() {
+    let want = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gtc".to_string())
+        .to_lowercase();
+
+    let points = sweep_technologies(&CoreParams::default(), |params| {
+        let mut app = all_apps(AppScale::Small)
+            .into_iter()
+            .find(|a| a.spec().name.to_lowercase() == want)
+            .unwrap_or_else(|| panic!("unknown app {want}"));
+        let mut sink = CpuSink::for_iterations(params, 0, 1);
+        {
+            let mut tracer = Tracer::new(&mut sink);
+            app.run(&mut tracer, 1).expect("proxy run");
+            tracer.finish();
+        }
+        sink.result().expect("finished")
+    });
+
+    println!("== {want}: one main-loop iteration per Table IV latency ==");
+    println!(
+        "{:<8} {:>9} {:>14} {:>11} {:>13} {:>8}",
+        "memory", "latency", "cycles", "normalized", "mem accesses", "CPI"
+    );
+    for p in &points {
+        println!(
+            "{:<8} {:>7}ns {:>14} {:>11.3} {:>13} {:>8.2}",
+            p.technology,
+            p.latency_ns,
+            p.result.cycles,
+            p.normalized_runtime,
+            p.result.mem_accesses,
+            p.result.cpi()
+        );
+    }
+    println!("\npaper shape: MRAM negligible loss; STTRAM <5%; PCRAM up to 25%");
+}

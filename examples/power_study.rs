@@ -1,0 +1,58 @@
+//! Power study for one application: collect the cache-filtered
+//! main-memory trace and replay it on all four Table IV memory
+//! technologies, printing the §IV power breakdown per component.
+//!
+//! Run with: `cargo run --release --example power_study -- [nek5000|cam|gtc|s3d]`
+
+use nv_scavenger::experiments::filtered_trace;
+use nvsim_apps::{all_apps, AppScale};
+use nvsim_mem::MemorySystem;
+use nvsim_types::{DeviceProfile, MemoryTechnology, SystemConfig};
+
+fn main() {
+    let want = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cam".to_string())
+        .to_lowercase();
+    let mut app = all_apps(AppScale::Small)
+        .into_iter()
+        .find(|a| a.spec().name.to_lowercase() == want)
+        .unwrap_or_else(|| panic!("unknown app {want}"));
+
+    println!("collecting cache-filtered trace for {}...", app.spec().name);
+    let txns = filtered_trace(app.as_mut(), 10).expect("trace");
+    let writes = txns.iter().filter(|t| t.kind.is_write()).count();
+    println!(
+        "{} main-memory transactions ({} fills, {} writebacks)\n",
+        txns.len(),
+        txns.len() - writes,
+        writes
+    );
+
+    let sys = SystemConfig::default();
+    let mut dram_total = None;
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "tech", "burst-R", "burst-W", "act/pre", "bkgnd", "refresh", "total", "norm"
+    );
+    for tech in MemoryTechnology::ALL {
+        let mut m = MemorySystem::new(DeviceProfile::for_technology(tech), &sys);
+        m.replay(&txns);
+        let r = m.finish();
+        let p = r.power;
+        let total = p.total_mw();
+        let base = *dram_total.get_or_insert(total);
+        println!(
+            "{:<8} {:>7.1}mW {:>7.1}mW {:>7.1}mW {:>7.1}mW {:>7.1}mW {:>7.1}mW {:>7.3}",
+            r.technology,
+            p.burst_read_mw,
+            p.burst_write_mw,
+            p.act_pre_mw,
+            p.background_mw,
+            p.refresh_mw,
+            total,
+            total / base
+        );
+    }
+    println!("\n(paper Table VI: PCRAM ~0.686-0.688, STTRAM ~0.699-0.711, MRAM ~0.701-0.730)");
+}

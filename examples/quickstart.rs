@@ -1,0 +1,117 @@
+//! Quickstart: instrument *your own* computation with NV-SCAVENGER.
+//!
+//! This example builds a small user-defined workload out of traced
+//! containers (the library-level substitute for PIN instrumentation),
+//! runs the full analysis pipeline over it, and prints the per-object
+//! NVRAM-opportunity metrics plus a placement recommendation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nv_scavenger::FastStackSink;
+use nvsim_objects::report::{object_summaries, region_report};
+use nvsim_objects::{ObjectRegistry, RegistryConfig};
+use nvsim_placement::{classify, PlacementPolicy};
+use nvsim_trace::{AllocSite, Phase, TeeSink, TracedVec, Tracer};
+use nvsim_types::Region;
+
+fn main() {
+    // 1. Create the analysis sinks: the object registry (heap/global/stack
+    //    attribution) and the fast whole-stack tool.
+    let mut registry = ObjectRegistry::new(RegistryConfig::default());
+    let mut stack_tool = FastStackSink::new();
+
+    {
+        let mut tee = TeeSink::new(vec![&mut registry, &mut stack_tool]);
+        let mut t = Tracer::new(&mut tee);
+
+        // 2. Declare the program's data structures through the tracer.
+        let kernel = t.register_routine("quickstart", "smooth_kernel");
+        let mut field = TracedVec::<f64>::global(&mut t, "field", 4096).unwrap();
+        let coeffs = {
+            let mut c = TracedVec::<f64>::global(&mut t, "coefficients", 64).unwrap();
+            // Untraced initialization is fine before the run starts...
+            c.as_mut_slice_untraced()
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, v)| *v = 1.0 / (i + 1) as f64);
+            c
+        };
+        let mut history =
+            TracedVec::<f64>::heap(&mut t, AllocSite::new("quickstart.rs", 34), 1024).unwrap();
+
+        // 3. Run the phases the analysis understands: pre-compute, a main
+        //    loop with iteration markers, post-processing.
+        t.phase(Phase::PreComputeBegin);
+        field.fill(&mut t, 1.0);
+
+        for step in 0..5u32 {
+            t.phase(Phase::IterationBegin(step));
+            let mut frame = t.call(kernel, 1024).unwrap();
+            let mut window = TracedVec::<f64>::on_stack(&mut frame, 8);
+            for i in 0..field.len() {
+                // Gather a window into stack locals, smooth, write back.
+                for k in 0..8 {
+                    let v = field.get(&mut t, (i + k) % field.len());
+                    window.set(&mut t, k, v);
+                }
+                let mut acc = 0.0;
+                for k in 0..8 {
+                    acc += window.get(&mut t, k) * coeffs.get(&mut t, k % coeffs.len());
+                }
+                field.set(&mut t, i, acc / 8.0);
+                if i % 4 == 0 {
+                    history.set(&mut t, (i / 4) % history.len(), acc);
+                }
+            }
+            t.ret(kernel).unwrap();
+            t.phase(Phase::IterationEnd(step));
+        }
+
+        t.phase(Phase::PostProcessBegin);
+        let checksum: f64 = field.as_slice().iter().sum();
+        println!("computation checksum: {checksum:.3}\n");
+        t.finish();
+    }
+
+    // 4. Read the reports.
+    println!("== stack tool (Table V style) ==");
+    let stack = stack_tool.report();
+    println!(
+        "stack R/W ratio: {:.2}   stack reference share: {:.1}%\n",
+        stack.rw_ratio_all().unwrap_or(0.0),
+        stack.stack_reference_share() * 100.0
+    );
+
+    println!("== per-object metrics (Figures 3-6 style) ==");
+    for region in [Region::Global, Region::Heap] {
+        for o in object_summaries(&registry, region) {
+            println!(
+                "{:<14} {:<7} size={:>6}B reads={:>7} writes={:>7} ratio={:?}",
+                o.name,
+                o.region.to_string(),
+                o.size_bytes,
+                o.counts.reads,
+                o.counts.writes,
+                o.rw_ratio.map(|r| (r * 100.0).round() / 100.0)
+            );
+        }
+    }
+    let g = region_report(&registry, Region::Global);
+    println!(
+        "\nglobal region: {} objects, {} bytes, {} read-only bytes",
+        g.object_count, g.total_bytes, g.read_only_bytes
+    );
+
+    // 5. Ask the placement advisor what belongs in NVRAM.
+    let mut objects = object_summaries(&registry, Region::Global);
+    objects.extend(object_summaries(&registry, Region::Heap));
+    let suit = classify(&objects, &PlacementPolicy::category2());
+    println!("\n== placement (category-2 NVRAM, STTRAM-like) ==");
+    for (o, d) in objects.iter().zip(&suit.decisions) {
+        println!("{:<14} -> {:?}", o.name, d);
+    }
+    println!(
+        "\n{:.1}% of the working set is NVRAM-suitable",
+        suit.suitable_fraction() * 100.0
+    );
+}

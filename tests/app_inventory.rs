@@ -1,0 +1,177 @@
+//! The §VII-B data-structure inventory, asserted by name: the specific
+//! objects the paper calls out must exist in the proxies and behave as
+//! described.
+
+use nv_scavenger::pipeline::characterize;
+use nvsim_apps::{all_apps, AppScale};
+use nvsim_objects::report::object_summaries;
+use nvsim_objects::ObjectSummary;
+use nvsim_types::Region;
+
+fn objects_of(app_name: &str) -> Vec<ObjectSummary> {
+    let mut app = all_apps(AppScale::Test)
+        .into_iter()
+        .find(|a| a.spec().name == app_name)
+        .unwrap();
+    let c = characterize(app.as_mut(), 5).unwrap();
+    let mut rows = object_summaries(&c.registry, Region::Global);
+    rows.extend(object_summaries(&c.registry, Region::Heap));
+    rows.extend(object_summaries(&c.registry, Region::Stack));
+    rows
+}
+
+fn find<'a>(rows: &'a [ObjectSummary], name: &str) -> &'a ObjectSummary {
+    rows.iter()
+        .find(|o| o.name == name)
+        .unwrap_or_else(|| panic!("object {name} missing"))
+}
+
+fn is_read_only(o: &ObjectSummary) -> bool {
+    matches!(o.rw_ratio, Some(r) if r.is_infinite())
+}
+
+#[test]
+fn nek5000_inventory() {
+    let rows = objects_of("Nek5000");
+
+    // Auxiliary read-only structures: inverse and lagged mass matrices
+    // (created pre-compute, read during the main loop).
+    assert!(is_read_only(find(&rows, "binvm1")), "binvm1 must be read-only");
+    assert!(is_read_only(find(&rows, "blagged")), "blagged must be read-only");
+
+    // Computing-dependent read-only data: the 70-entry bc table.
+    let cbc = find(&rows, "cbc");
+    assert!(is_read_only(cbc));
+    assert_eq!(cbc.size_bytes, 70 * 8);
+
+    // High-ratio geometry: written sparsely, read densely.
+    for name in ["xm1", "ym1"] {
+        let g = find(&rows, name);
+        let r = g.rw_ratio.unwrap();
+        assert!(r.is_finite() && r > 50.0, "{name} ratio {r}");
+    }
+
+    // The untouched pool.
+    for name in ["prelag", "post_buf", "bm1"] {
+        let o = find(&rows, name);
+        assert_eq!(o.counts.total(), 0, "{name} must be untouched in main loop");
+        assert!(o.only_pre_post, "{name} must be touched pre/post only");
+    }
+
+    // Physical invariants (§VII-B third read-only class).
+    for name in ["strain_rate_inv", "convective_char"] {
+        assert!(is_read_only(find(&rows, name)), "{name} must be read-only");
+    }
+
+    // The FORTRAN common-block overlay was merged: one object whose name
+    // combines the views, not three separate ones.
+    let merged = rows
+        .iter()
+        .find(|o| o.name.contains("scrns") && o.name.contains('+'))
+        .expect("merged /scrns/ common block");
+    assert!(merged.name.contains("scrns_lo") || merged.name.contains("scrns_hi"));
+    assert_eq!(
+        rows.iter().filter(|o| o.name.contains("scrns")).count(),
+        1,
+        "overlapping views must merge into one object"
+    );
+
+    // The computational kernels own the stack traffic: the CG smoother
+    // and the Helmholtz operator are the two dominant stack objects.
+    let mut stack: Vec<&ObjectSummary> =
+        rows.iter().filter(|o| o.region == Region::Stack).collect();
+    stack.sort_by_key(|o| std::cmp::Reverse(o.counts.total()));
+    let top2: Vec<&str> = stack.iter().take(2).map(|o| o.name.as_str()).collect();
+    assert!(
+        top2.iter().any(|n| n.contains("cggo")) && top2.iter().any(|n| n.contains("ax_helm")),
+        "dominant stack objects are {top2:?}"
+    );
+}
+
+#[test]
+fn cam_inventory() {
+    let rows = objects_of("CAM");
+
+    // Read-only pool: Legendre constants, longitude tables, the field-name
+    // hash table ("to accelerate output processing").
+    for name in ["legendre_coef", "cos_lon", "sin_lon", "field_name_hash"] {
+        assert!(is_read_only(find(&rows, name)), "{name} must be read-only");
+    }
+
+    // Physical invariants: soil thermal conductivity (§VII-B).
+    assert!(is_read_only(find(&rows, "soil_thermal_cond")));
+
+    // Physics-grid longitudes: the finite ratio>50 pool.
+    let lon = find(&rows, "phys_grid_lon");
+    let r = lon.rw_ratio.unwrap();
+    assert!(r.is_finite() && r > 50.0, "phys_grid_lon ratio {r}");
+
+    // Untouched diagnostics/restart buffers.
+    for name in ["diag_buf", "restart_buf"] {
+        assert!(find(&rows, name).only_pre_post, "{name}");
+    }
+
+    // The highest-ratio stack object is the radiation interpolation
+    // routine (§VII-A's first mechanism).
+    let best = rows
+        .iter()
+        .filter(|o| o.region == Region::Stack)
+        .filter_map(|o| o.rw_ratio.filter(|r| r.is_finite()).map(|r| (o, r)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("stack objects have ratios");
+    assert!(
+        best.0.name.contains("radctl_interp"),
+        "highest-ratio routine is {}",
+        best.0.name
+    );
+    assert!(best.1 > 50.0);
+}
+
+#[test]
+fn gtc_inventory() {
+    let rows = objects_of("GTC");
+
+    // Particle arrays live on the heap.
+    let zion = rows
+        .iter()
+        .find(|o| o.region == Region::Heap && o.name.contains("gtc/setup.rs:61"))
+        .expect("zion heap allocation");
+    // Push updates read+write every field: ratio near 1-2.
+    let zr = zion.rw_ratio.unwrap();
+    assert!(zr > 0.5 && zr < 4.0, "zion ratio {zr}");
+
+    // Radial interpolation arrays are the §VII-B read-only candidates.
+    assert!(is_read_only(find(&rows, "radial_interp")));
+
+    // Every long-term object is touched every iteration (Figure 7 omits
+    // GTC for this reason).
+    for o in rows.iter().filter(|o| o.region != Region::Stack) {
+        if o.counts.total() > 0 {
+            assert_eq!(
+                o.iterations_touched, 5,
+                "{} touched {}/5 iterations",
+                o.name, o.iterations_touched
+            );
+        }
+    }
+}
+
+#[test]
+fn s3d_inventory() {
+    let rows = objects_of("S3D");
+
+    // Chemistry/transport look-up tables: §VII-B "look-up tables that
+    // contain coefficients for linear interpolation".
+    assert!(is_read_only(find(&rows, "chemtab")));
+
+    // I/O staging buffer: the small Figure 7 pool.
+    assert!(find(&rows, "io_buf").only_pre_post);
+
+    // Reference rates are flat: every touched long-term object is touched
+    // in every iteration with identical work.
+    let ys = find(&rows, "yspecies");
+    assert_eq!(ys.iterations_touched, 5);
+    // The species array dominates the footprint (9 species per point).
+    let max_bytes = rows.iter().map(|o| o.size_bytes).max().unwrap();
+    assert_eq!(ys.size_bytes, max_bytes);
+}

@@ -1,0 +1,159 @@
+//! Failure injection: the toolkit must fail loudly and precisely on
+//! protocol misuse and malformed inputs, never silently corrupt its
+//! statistics.
+
+use nvsim_objects::{ObjectRegistry, RegistryConfig};
+use nvsim_trace::{
+    replay_trace, AllocSite, CountingSink, EventSink, Phase, TraceWriter, TracedVec, Tracer,
+};
+use nvsim_types::{NvsimError, Region, VirtAddr};
+
+#[test]
+fn double_free_is_rejected() {
+    let mut sink = CountingSink::default();
+    let mut t = Tracer::new(&mut sink);
+    let base = t.malloc(4096, AllocSite::new("a.rs", 1)).unwrap();
+    t.free(base).unwrap();
+    let err = t.free(base).unwrap_err();
+    assert!(matches!(err, NvsimError::Protocol(_)), "{err}");
+}
+
+#[test]
+fn free_of_wild_pointer_is_rejected() {
+    let mut sink = CountingSink::default();
+    let mut t = Tracer::new(&mut sink);
+    assert!(t.free(VirtAddr::new(0xdead_beef)).is_err());
+}
+
+#[test]
+fn unbalanced_return_is_rejected() {
+    let mut sink = CountingSink::default();
+    let mut t = Tracer::new(&mut sink);
+    let rid = t.register_routine("app", "f");
+    assert!(t.ret(rid).is_err());
+    // A balanced call/ret still works afterwards.
+    t.call(rid, 128).unwrap();
+    t.ret(rid).unwrap();
+}
+
+#[test]
+fn refs_to_unmapped_holes_are_counted_not_crashed() {
+    let mut reg = ObjectRegistry::new(RegistryConfig::default());
+    {
+        let mut t = Tracer::new(&mut reg);
+        t.phase(Phase::IterationBegin(0));
+        // An address in no segment (below the global base).
+        t.read(VirtAddr::new(0x10), 8);
+        t.phase(Phase::IterationEnd(0));
+        t.finish();
+    }
+    assert_eq!(reg.unattributed(), 1);
+    assert_eq!(reg.total_refs(), 0); // not attributed to any region
+}
+
+#[test]
+fn refs_to_untracked_gaps_inside_a_segment_are_unattributed() {
+    let mut reg = ObjectRegistry::new(RegistryConfig::default());
+    {
+        let mut t = Tracer::new(&mut reg);
+        let v = TracedVec::<f64>::global(&mut t, "v", 8).unwrap();
+        t.phase(Phase::IterationBegin(0));
+        let _ = v.get(&mut t, 0);
+        // A global-segment address far past any symbol.
+        t.read(v.base() + (1 << 20), 8);
+        t.phase(Phase::IterationEnd(0));
+        t.finish();
+    }
+    assert_eq!(reg.unattributed(), 1);
+    let obj = reg.objects_in(Region::Global).next().unwrap();
+    assert_eq!(obj.metrics.total.total(), 1);
+}
+
+#[test]
+#[should_panic(expected = "bad trace magic")]
+fn corrupt_trace_header_panics() {
+    let mut sink = CountingSink::default();
+    replay_trace(
+        bytes::Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0x00]),
+        &mut sink,
+        16,
+    );
+}
+
+#[test]
+#[should_panic]
+fn truncated_trace_panics_rather_than_fabricating_events() {
+    // Record a real trace, then cut it mid-event.
+    let mut writer = TraceWriter::new();
+    {
+        let mut t = Tracer::new(&mut writer);
+        let v = TracedVec::<f64>::global(&mut t, "v", 64).unwrap();
+        for i in 0..64 {
+            let _ = v.get(&mut t, i);
+        }
+        t.finish();
+    }
+    let full = writer.into_bytes();
+    // Cut mid-event: the final ProgramEnd phase event loses its payload.
+    let cut = full.slice(0..full.len() - 1);
+    let mut sink = CountingSink::default();
+    replay_trace(cut, &mut sink, 16);
+}
+
+#[test]
+fn registry_survives_event_stream_without_phases() {
+    // A producer that never emits iteration markers: everything lands in
+    // the pre/post bucket, nothing panics, nothing counts as main-loop.
+    let mut reg = ObjectRegistry::new(RegistryConfig::default());
+    {
+        let mut t = Tracer::new(&mut reg);
+        let mut v = TracedVec::<f64>::global(&mut t, "v", 32).unwrap();
+        v.fill(&mut t, 1.0);
+        t.finish();
+    }
+    assert_eq!(reg.iterations_seen(), 0);
+    assert_eq!(reg.total_refs(), 0);
+    let obj = reg.objects_in(Region::Global).next().unwrap();
+    assert_eq!(obj.pre_post.writes, 32);
+}
+
+#[test]
+fn sink_finish_is_idempotent_across_pipeline() {
+    struct FinishCounter(u32);
+    impl EventSink for FinishCounter {
+        fn on_batch(&mut self, _: &[nvsim_types::MemRef]) {}
+        fn on_control(&mut self, _: &nvsim_trace::Event) {}
+        fn on_finish(&mut self) {
+            self.0 += 1;
+        }
+    }
+    let mut sink = FinishCounter(0);
+    {
+        let mut t = Tracer::new(&mut sink);
+        t.finish();
+        t.finish();
+        t.finish();
+    }
+    assert_eq!(sink.0, 1);
+}
+
+#[test]
+fn stack_overflow_is_an_error_not_a_crash() {
+    let mut sink = CountingSink::default();
+    let mut t = Tracer::new(&mut sink);
+    let rid = t.register_routine("app", "deep");
+    // Push frames until the 64 GiB synthetic stack refuses.
+    let mut depth = 0u64;
+    loop {
+        match t.call(rid, 1 << 30) {
+            Ok(_) => depth += 1,
+            Err(NvsimError::OutOfAddressSpace { segment, .. }) => {
+                assert_eq!(segment, "stack");
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        assert!(depth < 100, "stack never filled");
+    }
+    assert!(depth >= 63);
+}

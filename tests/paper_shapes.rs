@@ -1,0 +1,199 @@
+//! The paper's qualitative findings, asserted as integration tests.
+//!
+//! Absolute numbers depend on the proxy scale; these tests pin the
+//! *shapes* the paper reports — who wins, by roughly what factor, where
+//! the outliers are — at the fast `Test` scale. The bench binaries
+//! regenerate the quantitative tables at the full `Bench` scale.
+
+use nv_scavenger::experiments as ex;
+use nvsim_apps::AppScale;
+
+const SCALE: AppScale = AppScale::Test;
+const ITERS: u32 = 5;
+
+/// Table I: footprint ordering Nek5000 > CAM > S3D > GTC.
+#[test]
+fn table1_footprint_ordering() {
+    let rows = ex::table1(SCALE).unwrap();
+    let mb = |n: &str| rows.iter().find(|r| r.app == n).unwrap().rescaled_mb();
+    assert!(mb("Nek5000") > mb("CAM"));
+    assert!(mb("CAM") > mb("S3D"));
+    assert!(mb("S3D") > mb("GTC"));
+    // And within 50% of the paper's absolute (rescaled) values.
+    for r in &rows {
+        let rel = r.rescaled_mb() / r.paper_footprint_mb;
+        assert!(
+            (0.5..2.0).contains(&rel),
+            "{}: rescaled {:.0} vs paper {:.0}",
+            r.app,
+            r.rescaled_mb(),
+            r.paper_footprint_mb
+        );
+    }
+}
+
+/// Table V: CAM's stack ratio dominates, GTC's is lowest; Nek/CAM have
+/// >70% stack shares; CAM's first iteration is write-heavier.
+#[test]
+fn table5_stack_shapes() {
+    let rows = ex::table5(SCALE, ITERS).unwrap();
+    let row = |n: &str| rows.iter().find(|r| r.app == n).unwrap().clone();
+    let (nek, cam, gtc, s3d) = (row("Nek5000"), row("CAM"), row("GTC"), row("S3D"));
+
+    // Ratios: CAM >> {Nek, S3D} > GTC, all > 1.
+    assert!(cam.rw_ratio > 2.0 * nek.rw_ratio);
+    assert!(cam.rw_ratio > 2.0 * s3d.rw_ratio);
+    assert!(nek.rw_ratio > gtc.rw_ratio);
+    assert!(s3d.rw_ratio > gtc.rw_ratio);
+    assert!(gtc.rw_ratio > 1.0);
+
+    // CAM first-iteration dip (initialization writes).
+    assert!(cam.rw_ratio_first < 0.75 * cam.rw_ratio);
+    // Others are steady from the start.
+    assert!((nek.rw_ratio_first / nek.rw_ratio - 1.0).abs() < 0.25);
+
+    // Shares: Nek/CAM above 70%, S3D in between, GTC lowest and < 50%.
+    assert!(nek.reference_percentage > 70.0);
+    assert!(cam.reference_percentage > 70.0);
+    assert!(gtc.reference_percentage < 50.0);
+    assert!(s3d.reference_percentage > gtc.reference_percentage);
+    assert!(s3d.reference_percentage < nek.reference_percentage);
+}
+
+/// Figure 2: a large minority of CAM stack objects exceed ratio 10 and
+/// cover the majority of stack references; a single object exceeds 50.
+#[test]
+fn fig2_cam_stack_distribution() {
+    let rep = ex::fig2(SCALE, ITERS).unwrap();
+    assert!(rep.objects_ratio_gt10 > 0.25 && rep.objects_ratio_gt10 < 0.6);
+    assert!(rep.refs_ratio_gt10 > 0.55);
+    assert!(rep.objects_ratio_gt50 > 0.0 && rep.objects_ratio_gt50 < 0.1);
+    assert!(rep.refs_ratio_gt50 > 0.03 && rep.refs_ratio_gt50 < 0.2);
+}
+
+/// Figures 3–6: read-only pools exist in Nek/CAM (CAM's the largest
+/// fraction); Nek has a substantial finite ratio>50 pool; most touched
+/// objects have ratio > 1 except GTC's population, which is the lowest.
+#[test]
+fn figs3_6_pool_shapes() {
+    let reports = ex::figs3_6(SCALE, ITERS).unwrap();
+    let rep = |n: &str| reports.iter().find(|r| r.app == n).unwrap();
+    let ro_frac =
+        |r: &ex::AppObjectsReport| r.read_only_bytes as f64 / r.total_bytes.max(1) as f64;
+
+    assert!(ro_frac(rep("CAM")) > 0.10, "CAM read-only pool");
+    assert!(ro_frac(rep("Nek5000")) > 0.04, "Nek read-only pool");
+    assert!(ro_frac(rep("CAM")) > ro_frac(rep("Nek5000")));
+    assert!(rep("Nek5000").high_ratio_bytes > rep("CAM").high_ratio_bytes);
+    let gtc_gt1 = rep("GTC").objects_ratio_gt1;
+    for other in ["Nek5000", "CAM", "S3D"] {
+        // GTC is the write-heavy outlier but every app has some >1 pool.
+        assert!(rep(other).objects_ratio_gt1 > 0.4, "{other}");
+    }
+    assert!(gtc_gt1 < 1.0);
+}
+
+/// Figure 7: Nek5000 has the largest untouched pool, CAM second, S3D
+/// small, GTC none (the paper omits GTC's plot entirely).
+#[test]
+fn fig7_untouched_pools() {
+    let reports = ex::fig7(SCALE, ITERS).unwrap();
+    let f = |n: &str| {
+        reports
+            .iter()
+            .find(|r| r.app == n)
+            .unwrap()
+            .untouched_fraction
+    };
+    assert!(f("Nek5000") > 0.15);
+    assert!(f("CAM") > 0.06);
+    assert!(f("Nek5000") > f("CAM"));
+    assert!(f("S3D") < 0.05);
+    assert!(f("GTC") < 0.01);
+}
+
+/// Figures 8–11: more than 60% of objects stay within [1,2) of their
+/// first-iteration behaviour; S3D and GTC are perfectly flat.
+#[test]
+fn figs8_11_stability() {
+    let reports = ex::figs8_11(SCALE, ITERS).unwrap();
+    for r in &reports {
+        assert!(
+            r.min_stable_fraction > 0.6,
+            "{}: stable fraction {}",
+            r.app,
+            r.min_stable_fraction
+        );
+    }
+    let flat = |n: &str| {
+        reports
+            .iter()
+            .find(|r| r.app == n)
+            .unwrap()
+            .min_stable_fraction
+    };
+    assert!(flat("S3D") > 0.95);
+    assert!(flat("GTC") > 0.95);
+}
+
+/// Table VI: every NVRAM saves at least ~25% power on every app, and
+/// PCRAM (slowest, least loaded) draws no more than STTRAM/MRAM.
+#[test]
+fn table6_power_shape() {
+    let rows = ex::table6(SCALE, ITERS).unwrap();
+    for r in &rows {
+        assert_eq!(r.normalized[0], 1.0, "{}", r.app);
+        for (i, &n) in r.normalized[1..].iter().enumerate() {
+            assert!(
+                n < 0.85,
+                "{} tech {} saves too little: {n}",
+                r.app,
+                i + 1
+            );
+            assert!(n > 0.4, "{} tech {} implausibly low: {n}", r.app, i + 1);
+        }
+        assert!(
+            r.normalized[1] <= r.normalized[2] + 0.02,
+            "{}: PCRAM above STTRAM",
+            r.app
+        );
+        assert!(
+            r.normalized[1] <= r.normalized[3] + 0.02,
+            "{}: PCRAM above MRAM",
+            r.app
+        );
+    }
+}
+
+/// Figure 12: MRAM's +20% latency is negligible, STTRAM's 2x is small,
+/// PCRAM's 10x is visible but far below 10x.
+#[test]
+fn fig12_latency_shape() {
+    let reports = ex::fig12(SCALE).unwrap();
+    assert_eq!(reports.len(), 2);
+    for r in &reports {
+        let norm: Vec<f64> = r.points.iter().map(|p| p.normalized_runtime).collect();
+        assert_eq!(norm[0], 1.0, "{}", r.app);
+        assert!(norm[1] < 1.05, "{} MRAM {}", r.app, norm[1]);
+        assert!(norm[2] < 1.10, "{} STTRAM {}", r.app, norm[2]);
+        assert!(norm[3] >= norm[2], "{} PCRAM < STTRAM", r.app);
+        assert!(norm[3] < 1.6, "{} PCRAM {}", r.app, norm[3]);
+    }
+}
+
+/// Abstract claim: Nek5000 and CAM have roughly 31%/27% of their working
+/// sets suitable for NVRAM; GTC has almost nothing.
+#[test]
+fn suitability_headline() {
+    let rows = ex::suitability(SCALE, ITERS).unwrap();
+    let f = |n: &str| {
+        rows.iter()
+            .find(|r| r.app == n)
+            .unwrap()
+            .category2
+            .suitable_fraction()
+    };
+    assert!((0.20..0.45).contains(&f("Nek5000")), "Nek {}", f("Nek5000"));
+    assert!((0.18..0.40).contains(&f("CAM")), "CAM {}", f("CAM"));
+    assert!(f("GTC") < 0.10, "GTC {}", f("GTC"));
+}

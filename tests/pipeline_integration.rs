@@ -1,0 +1,140 @@
+//! Cross-crate integration: the full Figure 1 pipeline — instrumented
+//! application → trace buffer → attribution/cache sinks → memory trace →
+//! power and timing simulators — wired exactly as the experiment harness
+//! wires it, with consistency checks between independently-computed views
+//! of the same run.
+
+use nv_scavenger::experiments::filtered_trace;
+use nv_scavenger::pipeline::characterize;
+use nvsim_apps::{all_apps, AppScale, Application, Gtc, Nek5000};
+use nvsim_cache::{CacheFilterSink, CountingTransactionSink};
+use nvsim_cpu::{CoreParams, CpuSink};
+use nvsim_mem::system::replay_all_technologies;
+use nvsim_trace::{CountingSink, TeeSink, Tracer};
+use nvsim_types::{CacheConfig, Region, SystemConfig};
+
+/// Runs an app against two sinks at once and checks both see every ref.
+#[test]
+fn tee_delivers_identical_streams() {
+    let mut a = CountingSink::default();
+    let mut b = CountingSink::default();
+    {
+        let mut app = Gtc::new(AppScale::Test);
+        let mut tee = TeeSink::new(vec![&mut a, &mut b]);
+        let mut t = Tracer::new(&mut tee);
+        app.run(&mut t, 2).unwrap();
+        t.finish();
+    }
+    assert!(a.refs > 10_000);
+    assert_eq!(a.refs, b.refs);
+    assert_eq!(a.reads, b.reads);
+    assert_eq!(a.controls, b.controls);
+}
+
+/// The tracer's inline counters and the registry totals must agree.
+#[test]
+fn tracer_and_registry_counters_agree() {
+    for mut app in all_apps(AppScale::Test) {
+        let name = app.spec().name;
+        let c = characterize(app.as_mut(), 2).unwrap();
+        // Registry counts main-loop refs only; tracer counts everything,
+        // so registry <= tracer and both are nonzero.
+        assert!(c.registry.total_refs() > 0, "{name}");
+        assert!(
+            c.registry.total_refs() <= c.tracer_stats.refs,
+            "{name}: registry {} > tracer {}",
+            c.registry.total_refs(),
+            c.tracer_stats.refs
+        );
+        // Every main-loop ref lands in exactly one region bucket.
+        let sum: u64 = Region::ALL
+            .iter()
+            .map(|&r| c.registry.region_total(r).total())
+            .sum();
+        assert_eq!(sum, c.registry.total_refs(), "{name}");
+        // Attribution is complete: unattributed refs are a tiny residue
+        // (references outside any live frame).
+        assert!(
+            (c.registry.unattributed() as f64) < 0.01 * c.tracer_stats.refs as f64,
+            "{name}: too many unattributed refs"
+        );
+    }
+}
+
+/// The cache filter must pass strictly fewer transactions than references
+/// and stay consistent with its own hit counters.
+#[test]
+fn cache_filter_conservation() {
+    let mut sink =
+        CacheFilterSink::new(&CacheConfig::default(), CountingTransactionSink::default());
+    {
+        let mut app = Nek5000::new(AppScale::Test);
+        let mut t = Tracer::new(&mut sink);
+        app.run(&mut t, 2).unwrap();
+        t.finish();
+    }
+    let refs = sink.refs_seen();
+    let stats = sink.stats();
+    let counts = *sink.downstream();
+    assert!(refs > 100_000);
+    assert_eq!(stats.l1_hits + stats.l1_misses, refs);
+    // Mem traffic is far below the reference count (the point of §III's
+    // cache filtering) and the sink saw exactly what the stats counted.
+    assert!(counts.reads + counts.writes < refs / 4);
+    assert_eq!(counts.reads, stats.mem_reads);
+    assert_eq!(counts.writes, stats.mem_writes);
+}
+
+/// Full power path: app trace → all four technologies; every replay must
+/// process the same transactions and DRAM must be the most power-hungry.
+#[test]
+fn power_path_all_technologies() {
+    let mut app = Gtc::new(AppScale::Test);
+    let txns = filtered_trace(&mut app, 3).unwrap();
+    assert!(!txns.is_empty());
+    let (reports, normalized) = replay_all_technologies(&txns, &SystemConfig::default());
+    for r in &reports {
+        assert_eq!(r.stats.transactions(), txns.len() as u64);
+        assert!(r.total_mw() > 0.0);
+    }
+    assert_eq!(normalized[0], 1.0);
+    for &n in &normalized[1..] {
+        assert!(n < 1.0, "NVRAM must save power: {normalized:?}");
+    }
+}
+
+/// Timing path: the CPU sink times a window of the same reference stream
+/// and longer memory latency can never make the run faster.
+#[test]
+fn cpu_path_monotone_latency() {
+    let mut cycles = Vec::new();
+    for latency in [10.0, 20.0, 100.0] {
+        let mut app = Gtc::new(AppScale::Test);
+        let mut sink = CpuSink::for_iterations(CoreParams::with_latency_ns(latency), 0, 1);
+        {
+            let mut t = Tracer::new(&mut sink);
+            app.run(&mut t, 1).unwrap();
+            t.finish();
+        }
+        cycles.push(sink.result().unwrap().cycles);
+    }
+    assert!(cycles[0] <= cycles[1]);
+    assert!(cycles[1] <= cycles[2]);
+}
+
+/// Determinism end to end: two identical characterizations produce
+/// identical per-object statistics.
+#[test]
+fn end_to_end_determinism() {
+    let run = |app: &mut dyn Application| {
+        let c = characterize(app, 2).unwrap();
+        c.registry
+            .objects()
+            .iter()
+            .map(|o| (o.name.clone(), o.metrics.total, o.pre_post))
+            .collect::<Vec<_>>()
+    };
+    let mut a = Nek5000::new(AppScale::Test);
+    let mut b = Nek5000::new(AppScale::Test);
+    assert_eq!(run(&mut a), run(&mut b));
+}

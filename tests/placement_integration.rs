@@ -1,0 +1,114 @@
+//! Integration of the characterization pipeline with the placement
+//! advisor: classification, capacity planning, dynamic migration and
+//! endurance, driven by real proxy-application statistics.
+
+use nv_scavenger::pipeline::characterize;
+use nvsim_apps::{AppScale, Cam, Nek5000};
+use nvsim_objects::report::object_summaries;
+use nvsim_placement::{
+    classify, lifetime_years, plan, MigrationConfig, MigrationSimulator, PlacementPolicy,
+};
+use nvsim_types::{DeviceProfile, Region};
+
+fn working_set(
+    c: &nv_scavenger::Characterization,
+) -> Vec<nvsim_objects::ObjectSummary> {
+    let mut objects = object_summaries(&c.registry, Region::Global);
+    objects.extend(object_summaries(&c.registry, Region::Heap));
+    objects
+}
+
+#[test]
+fn classifier_finds_the_papers_pools() {
+    let mut app = Nek5000::new(AppScale::Test);
+    let c = characterize(&mut app, 5).unwrap();
+    let objects = working_set(&c);
+    let rep = classify(&objects, &PlacementPolicy::category2());
+
+    // The untouched pool (prelag/post_buf/bm1) must be placed.
+    assert!(rep.untouched_bytes > 0);
+    // The read-only pool (binvm1/blagged/crs_work) must be placed.
+    assert!(rep.read_only_bytes > 0);
+    // The geometry arrays (finite ratio > 50) must be placed under cat-2.
+    assert!(rep.high_ratio_bytes > 0);
+    // And the placed names make sense.
+    for (o, d) in objects.iter().zip(&rep.decisions) {
+        if o.name == "prelag" || o.name == "post_buf" {
+            assert!(d.is_nvram(), "{} should be NVRAM ({:?})", o.name, d);
+        }
+        if o.name == "vx" {
+            assert!(!d.is_nvram(), "hot mixed field vx must stay in DRAM");
+        }
+    }
+}
+
+#[test]
+fn category1_is_a_subset_of_category2() {
+    let mut app = Cam::new(AppScale::Test);
+    let c = characterize(&mut app, 5).unwrap();
+    let objects = working_set(&c);
+    let cat1 = classify(&objects, &PlacementPolicy::category1());
+    let cat2 = classify(&objects, &PlacementPolicy::category2());
+    assert!(cat1.nvram_bytes <= cat2.nvram_bytes);
+    // Any object placed under cat-1 is also placed under cat-2.
+    for (d1, d2) in cat1.decisions.iter().zip(&cat2.decisions) {
+        if d1.is_nvram() {
+            assert!(d2.is_nvram());
+        }
+    }
+}
+
+#[test]
+fn plan_and_migration_are_consistent() {
+    let mut app = Nek5000::new(AppScale::Test);
+    let c = characterize(&mut app, 5).unwrap();
+    let objects = working_set(&c);
+    let rep = classify(&objects, &PlacementPolicy::category2());
+
+    let hybrid = plan(&rep, &DeviceProfile::ddr3(), 1.0);
+    assert_eq!(hybrid.nvram_bytes, rep.nvram_bytes);
+    assert_eq!(hybrid.dram_bytes + hybrid.nvram_bytes, rep.total_bytes);
+    assert!(hybrid.standby_saving_fraction > 0.1);
+
+    // Dynamic migration should achieve at least as much NVRAM residency as
+    // the static untouched pool alone implies.
+    let refs: Vec<_> = c
+        .registry
+        .objects()
+        .iter()
+        .filter(|o| o.region != Region::Stack)
+        .map(|o| (&o.metrics, o.metrics.size_bytes))
+        .collect();
+    let sim = MigrationSimulator::new(MigrationConfig::default());
+    let stats = sim.run(&refs);
+    let untouched_frac = rep.untouched_bytes as f64 / rep.total_bytes as f64;
+    assert!(
+        stats.nvram_residency() > untouched_frac * 0.8,
+        "residency {} vs untouched {}",
+        stats.nvram_residency(),
+        untouched_frac
+    );
+    // Costs are accounted.
+    if stats.migrations > 0 {
+        assert!(stats.bytes_moved > 0);
+        assert!(stats.cost_ns > 0.0);
+    }
+}
+
+#[test]
+fn endurance_screens_hot_objects() {
+    let mut app = Nek5000::new(AppScale::Test);
+    let c = characterize(&mut app, 5).unwrap();
+    let objects = working_set(&c);
+    let pcram = DeviceProfile::pcram();
+    // Read-only / untouched objects are always endurance-safe; the hot
+    // mixed fields would wear out if the whole instrumented window were
+    // compressed into one second — which is exactly why the classifier
+    // keeps them in DRAM.
+    for o in &objects {
+        let rep = lifetime_years(o.size_bytes.max(1), o.counts.writes as f64, 8, &pcram);
+        if o.counts.writes == 0 {
+            assert!(rep.acceptable, "{}", o.name);
+        }
+    }
+}
