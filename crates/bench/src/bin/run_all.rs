@@ -92,4 +92,23 @@ fn main() {
             r.category1.suitable_fraction() * 100.0
         );
     }
+
+    // Instrumented pass: with --metrics-json, run every app through the
+    // fully instrumented pipeline into one shared registry and dump the
+    // aggregate snapshot (counters sum over the four applications).
+    if args.metrics_json.is_some() {
+        let metrics = args.metrics();
+        println!("\n### Instrumented pipeline (--metrics-json)");
+        for mut app in nvsim_apps::all_apps(args.scale) {
+            let r = nv_scavenger::profile::profile(app.as_mut(), args.iterations, &metrics)
+                .expect("instrumented profile");
+            println!(
+                "  {:<10} {:>10} refs -> {:>7} main-memory transactions",
+                app.spec().name,
+                r.characterization.tracer_stats.refs,
+                r.transactions
+            );
+        }
+        args.dump_metrics(&metrics.snapshot());
+    }
 }

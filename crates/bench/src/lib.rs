@@ -9,12 +9,16 @@
 //! Every binary accepts an optional scale argument (`test`, `small`,
 //! `bench`; default `bench` = 1/64 of the paper's footprints) and an
 //! optional `--json <path>` to dump the machine-readable report that
-//! EXPERIMENTS.md references.
+//! EXPERIMENTS.md references. `run_all` additionally accepts
+//! `--metrics-json <path>`: it then re-runs every application through
+//! the instrumented pipeline and dumps the `nvsim-obs` snapshot
+//! (`trace.*`, `cache.*`, `mem.<tech>.*`, … — see `docs/METRICS.md`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use nvsim_apps::AppScale;
+use nvsim_obs::{Metrics, Snapshot};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -29,15 +33,19 @@ pub struct BenchArgs {
     pub iterations: u32,
     /// Optional JSON dump path.
     pub json: Option<PathBuf>,
+    /// Optional `nvsim-obs` snapshot dump path (`--metrics-json`).
+    pub metrics_json: Option<PathBuf>,
 }
 
 impl BenchArgs {
-    /// Parses `std::env::args`: `[scale] [--iters N] [--json PATH]`.
+    /// Parses `std::env::args`:
+    /// `[scale] [--iters N] [--json PATH] [--metrics-json PATH]`.
     pub fn parse() -> Self {
         let mut args = BenchArgs {
             scale: AppScale::Bench,
             iterations: 10,
             json: None,
+            metrics_json: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -54,7 +62,12 @@ impl BenchArgs {
                 "--json" => {
                     args.json = Some(PathBuf::from(it.next().expect("--json needs a path")));
                 }
-                other => panic!("unknown argument: {other} (expected test|small|bench, --iters N, --json PATH)"),
+                "--metrics-json" => {
+                    args.metrics_json = Some(PathBuf::from(
+                        it.next().expect("--metrics-json needs a path"),
+                    ));
+                }
+                other => panic!("unknown argument: {other} (expected test|small|bench, --iters N, --json PATH, --metrics-json PATH)"),
             }
         }
         args
@@ -65,6 +78,27 @@ impl BenchArgs {
         if let Some(path) = &self.json {
             let json = serde_json::to_string_pretty(value).expect("report serializes");
             std::fs::write(path, json).expect("write json report");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    /// Returns the metrics handle the run should thread through the
+    /// pipeline: enabled when `--metrics-json` was given (the snapshot
+    /// is written by [`BenchArgs::dump_metrics`]), disabled — every
+    /// instrument a no-op — otherwise.
+    pub fn metrics(&self) -> Metrics {
+        if self.metrics_json.is_some() {
+            Metrics::enabled()
+        } else {
+            Metrics::disabled()
+        }
+    }
+
+    /// Writes the `--metrics-json` snapshot if requested. Metric names
+    /// and units are documented in `docs/METRICS.md`.
+    pub fn dump_metrics(&self, snapshot: &Snapshot) {
+        if let Some(path) = &self.metrics_json {
+            std::fs::write(path, snapshot.to_json()).expect("write metrics json");
             eprintln!("wrote {}", path.display());
         }
     }

@@ -10,6 +10,20 @@
 //! data cache with **no-write-allocate**, and a 1 MB, 16-way, LRU L2 with
 //! **write-allocate**. Both levels are write-back. The output transaction
 //! stream feeds the DRAMSim2-style power simulator (`nvsim-mem`).
+//!
+//! ```
+//! use nvsim_cache::{CacheHierarchy, HitLevel};
+//! use nvsim_types::{CacheConfig, VirtAddr};
+//!
+//! let mut cache = CacheHierarchy::new(&CacheConfig::default());
+//! let mut to_memory = Vec::new();
+//! let addr = VirtAddr::new(0x1000);
+//! let cold = cache.access(addr, false, &mut |t| to_memory.push(t));
+//! let hot = cache.access(addr, false, &mut |t| to_memory.push(t));
+//! assert_eq!(cold, HitLevel::Memory); // cold miss: one main-memory fill
+//! assert_eq!(hot, HitLevel::L1);      // re-reference filtered by L1
+//! assert_eq!(to_memory.len(), 1);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -2,6 +2,7 @@
 //! hierarchy and forwards the filtered main-memory transactions.
 
 use crate::hierarchy::{CacheHierarchy, HierarchyStats};
+use nvsim_obs::{Histogram, Metrics};
 use nvsim_trace::{Event, EventSink};
 use nvsim_types::{CacheConfig, MemRef, MemTransaction, TransactionKind};
 
@@ -53,6 +54,8 @@ pub struct CacheFilterSink<S> {
     /// Drain residual dirty lines when the program ends, so the trace
     /// includes the final writeback burst.
     drain_on_finish: bool,
+    metrics: Metrics,
+    ref_bytes: Histogram,
 }
 
 impl<S: TransactionSink> CacheFilterSink<S> {
@@ -63,7 +66,36 @@ impl<S: TransactionSink> CacheFilterSink<S> {
             downstream,
             refs_seen: 0,
             drain_on_finish: true,
+            metrics: Metrics::disabled(),
+            ref_bytes: Histogram::default(),
         }
+    }
+
+    /// Binds the filter to an observability registry. The reference-size
+    /// histogram `cache.ref_bytes` records live; the `cache.*` hit/miss
+    /// and traffic counters are exported when the stream finishes (they
+    /// mirror [`HierarchyStats`], which the hierarchy already keeps).
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
+        self.ref_bytes = metrics.histogram("cache.ref_bytes");
+    }
+
+    fn export_metrics(&self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let s = self.hierarchy.stats();
+        self.metrics.counter("cache.refs").add(self.refs_seen);
+        self.metrics.counter("cache.l1_hits").add(s.l1_hits);
+        self.metrics.counter("cache.l1_misses").add(s.l1_misses);
+        self.metrics.counter("cache.l2_hits").add(s.l2_hits);
+        self.metrics.counter("cache.l2_misses").add(s.l2_misses);
+        self.metrics.counter("cache.mem_reads").add(s.mem_reads);
+        self.metrics.counter("cache.mem_writes").add(s.mem_writes);
+        self.metrics.counter("cache.prefetches").add(s.prefetches);
+        self.metrics
+            .counter("cache.prefetch_hits")
+            .add(s.prefetch_hits);
     }
 
     /// Disables the end-of-run dirty-line drain.
@@ -94,6 +126,7 @@ impl<S: TransactionSink> CacheFilterSink<S> {
 
     fn feed(&mut self, r: &MemRef) {
         self.refs_seen += 1;
+        self.ref_bytes.record(u64::from(r.size));
         let line_size = self.hierarchy.line_size();
         let downstream = &mut self.downstream;
         let mut emit = |t: MemTransaction| downstream.on_transaction(t);
@@ -121,6 +154,7 @@ impl<S: TransactionSink> EventSink for CacheFilterSink<S> {
             let downstream = &mut self.downstream;
             self.hierarchy.drain(&mut |t| downstream.on_transaction(t));
         }
+        self.export_metrics();
     }
 }
 
@@ -179,6 +213,31 @@ mod tests {
             t.finish();
         }
         assert_eq!(sink.downstream().writes, 0);
+    }
+
+    #[test]
+    fn metrics_export_mirrors_hierarchy_stats() {
+        let m = nvsim_obs::Metrics::enabled();
+        let mut sink =
+            CacheFilterSink::new(&CacheConfig::default(), CountingTransactionSink::default());
+        sink.set_metrics(&m);
+        {
+            let mut t = Tracer::new(&mut sink);
+            let mut v = TracedVec::<f64>::global(&mut t, "v", 1024).unwrap();
+            for i in 0..1024 {
+                v.set(&mut t, i, i as f64);
+            }
+            t.finish();
+        }
+        let stats = sink.stats();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("cache.refs"), Some(sink.refs_seen()));
+        assert_eq!(snap.counter("cache.l1_hits"), Some(stats.l1_hits));
+        assert_eq!(snap.counter("cache.l2_misses"), Some(stats.l2_misses));
+        assert_eq!(snap.counter("cache.mem_writes"), Some(stats.mem_writes));
+        let sizes = snap.histogram("cache.ref_bytes").expect("ref sizes");
+        assert_eq!(sizes.count, sink.refs_seen());
+        assert_eq!(sizes.max, 8);
     }
 
     #[test]

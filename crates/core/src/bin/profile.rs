@@ -1,0 +1,120 @@
+//! `profile` — run one application through the fully instrumented
+//! pipeline and print the per-layer metrics breakdown.
+//!
+//! ```text
+//! profile --app <name> [--scale test|small|bench] [--iters N] [--json out.json]
+//! ```
+//!
+//! Every stage of the Figure 1 pipeline is bound to one `nvsim-obs`
+//! registry: the tracer and object registry (`trace.*`, `objects.*`),
+//! the L1/L2 cache filter (`cache.*`), the four Table IV memory replays
+//! (`mem.<tech>.*`) and the migration simulator (`placement.*`). The
+//! metric names and units are documented in `docs/METRICS.md`; the JSON
+//! layout is described in EXPERIMENTS.md ("Reading the metrics output").
+
+use nv_scavenger::profile::profile;
+use nvsim_apps::{all_apps, AppScale, Application};
+use nvsim_obs::Metrics;
+use std::process::ExitCode;
+
+struct Cli {
+    app: Option<String>,
+    scale: AppScale,
+    iters: u32,
+    json: Option<String>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        app: None,
+        scale: AppScale::Small,
+        iters: 10,
+        json: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--app" => cli.app = Some(it.next().ok_or("--app needs a name")?.clone()),
+            "--scale" => {
+                cli.scale = match it.next().map(String::as_str) {
+                    Some("test") => AppScale::Test,
+                    Some("small") => AppScale::Small,
+                    Some("bench") => AppScale::Bench,
+                    other => return Err(format!("bad --scale {other:?}")),
+                }
+            }
+            "--iters" => {
+                cli.iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--iters needs a number")?;
+            }
+            "--json" => cli.json = Some(it.next().ok_or("--json needs a path")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            // Allow the app as a bare positional too: `profile gtc`.
+            other => cli.app = Some(other.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn find_app(name: &str, scale: AppScale) -> Result<Box<dyn Application>, String> {
+    all_apps(scale)
+        .into_iter()
+        .find(|a| a.spec().name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = all_apps(scale).iter().map(|a| a.spec().name).collect();
+            format!("unknown app {name}; bundled apps: {}", names.join(", "))
+        })
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let name = cli.app.as_ref().ok_or("usage: profile --app <name> [--scale test|small|bench] [--iters N] [--json out.json]")?;
+    let mut app = find_app(name, cli.scale)?;
+    let metrics = Metrics::enabled();
+    let report = profile(app.as_mut(), cli.iters, &metrics).map_err(|e| e.to_string())?;
+
+    println!(
+        "{} @ 1/{} scale, {} iterations: {} refs -> {} main-memory transactions",
+        app.spec().name,
+        cli.scale.divisor(),
+        cli.iters,
+        report.characterization.tracer_stats.refs,
+        report.transactions
+    );
+    println!(
+        "objects: {} tracked, stack share {:.1}%, migration moved {} B for {:.2}% NVRAM residency",
+        report.characterization.registry.objects().len(),
+        report.characterization.stack.stack_reference_share() * 100.0,
+        report.migration.bytes_moved,
+        report.migration.nvram_residency() * 100.0
+    );
+    for p in &report.power {
+        println!("  {:<8} {:>8.1} mW", p.technology, p.total_mw());
+    }
+    println!("\n{}", report.snapshot.to_table());
+
+    if let Some(path) = &cli.json {
+        std::fs::write(path, report.snapshot.to_json()).map_err(|e| e.to_string())?;
+        println!("(wrote {path})");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,6 +13,8 @@
 //!   registry, the fast stack tool and footprint accounting;
 //! * [`parallel`] — the §III-D "three tools in parallel" runner (one
 //!   instrumented execution per tool, on crossbeam scoped threads);
+//! * [`profile`] — the whole pipeline bound to one `nvsim-obs` metrics
+//!   registry, exporting per-layer counters (see `docs/METRICS.md`);
 //! * [`experiments`] — one assembly function per table/figure of the
 //!   paper, returning serializable report types.
 
@@ -22,7 +24,9 @@
 pub mod experiments;
 pub mod parallel;
 pub mod pipeline;
+pub mod profile;
 pub mod stack_fast;
 
-pub use pipeline::{characterize, Characterization};
+pub use pipeline::{characterize, characterize_with_metrics, Characterization};
+pub use profile::{profile, ProfileReport};
 pub use stack_fast::{FastStackSink, StackIterationRow, StackReport};

@@ -4,6 +4,7 @@
 use crate::stack_fast::{FastStackSink, StackReport};
 use nvsim_apps::Application;
 use nvsim_objects::{ObjectRegistry, RegistryConfig};
+use nvsim_obs::Metrics;
 use nvsim_trace::{TeeSink, Tracer, TracerStats};
 use nvsim_types::NvsimError;
 use serde::{Deserialize, Serialize};
@@ -42,11 +43,27 @@ pub fn characterize(
     app: &mut dyn Application,
     iterations: u32,
 ) -> Result<Characterization, NvsimError> {
+    characterize_with_metrics(app, iterations, &Metrics::disabled())
+}
+
+/// Like [`characterize`], but binds every pipeline stage (tracer, tee
+/// fan-out, object registry) to `metrics` so the run also exports
+/// `trace.*` and `objects.*` instruments. With a disabled handle this is
+/// exactly [`characterize`]: the instruments compile to no-ops and the
+/// returned [`Characterization`] is identical.
+pub fn characterize_with_metrics(
+    app: &mut dyn Application,
+    iterations: u32,
+    metrics: &Metrics,
+) -> Result<Characterization, NvsimError> {
     let mut registry = ObjectRegistry::new(RegistryConfig::default());
+    registry.set_metrics(metrics);
     let mut fast = FastStackSink::new();
     let (tracer_stats, footprint, routines) = {
         let mut tee = TeeSink::new(vec![&mut registry, &mut fast]);
+        tee.set_metrics(metrics);
         let mut tracer = Tracer::new(&mut tee);
+        tracer.set_metrics(metrics);
         app.run(&mut tracer, iterations)?;
         tracer.finish();
         let (_, heap_peak) = tracer.heap_stats();

@@ -1,0 +1,140 @@
+//! Instrumented end-to-end profiling: the Figure 1 pipeline with every
+//! stage bound to one shared [`nvsim_obs`] registry.
+//!
+//! [`profile`] runs an application through the full stack — tracer →
+//! trace buffer → tee fan-out → {object registry, fast stack tool} — then
+//! replays the cache-filtered transaction stream on all four Table IV
+//! memory technologies and feeds the per-object statistics to the §VII-C
+//! migration simulator. Each stage exports its instruments (`trace.*`,
+//! `objects.*`, `cache.*`, `mem.<tech>.*`, `placement.*` — see
+//! `docs/METRICS.md`), and the result carries one [`Snapshot`] of
+//! everything the run counted.
+
+use crate::pipeline::{characterize_with_metrics, Characterization};
+use nvsim_apps::Application;
+use nvsim_cache::{CacheFilterSink, VecTransactionSink};
+use nvsim_mem::system::{MemorySystem, PowerReport};
+use nvsim_obs::{Metrics, Snapshot};
+use nvsim_placement::{MigrationConfig, MigrationSimulator, MigrationStats};
+use nvsim_trace::Tracer;
+use nvsim_types::{
+    CacheConfig, DeviceProfile, MemoryTechnology, NvsimError, Region, SystemConfig,
+};
+
+/// Everything one instrumented pipeline run produces.
+pub struct ProfileReport {
+    /// The characterization (registry, stack report, tracer counters).
+    pub characterization: Characterization,
+    /// Main-memory transactions surviving the cache filter.
+    pub transactions: u64,
+    /// Power reports in `[DDR3, PCRAM, STTRAM, MRAM]` order.
+    pub power: Vec<PowerReport>,
+    /// Migration outcome over the run's global+heap objects.
+    pub migration: MigrationStats,
+    /// Snapshot of every instrument the run exported.
+    pub snapshot: Snapshot,
+}
+
+/// Runs the full instrumented pipeline over one application.
+///
+/// Two instrumented executions are performed, mirroring the paper's
+/// tool structure (§III-D runs the attribution tools and the cache
+/// simulator as separate instrumented processes): the first feeds the
+/// object registry and fast stack tool (exporting `trace.*` and
+/// `objects.*`), the second feeds the L1/L2 cache filter (exporting
+/// `cache.*`) whose surviving transactions are then replayed on every
+/// Table IV technology (exporting `mem.<tech>.*`). The per-object
+/// statistics from the first run drive the migration simulator
+/// (exporting `placement.*`).
+///
+/// With a disabled `metrics` handle the pipeline work still happens and
+/// the report is complete, but the snapshot is empty and the hot paths
+/// skip all instrument updates.
+pub fn profile(
+    app: &mut dyn Application,
+    iterations: u32,
+    metrics: &Metrics,
+) -> Result<ProfileReport, NvsimError> {
+    // Run 1: attribution tools, instrumented at the tracer level. Only
+    // this run binds the tracer so `trace.*` counts one execution.
+    let characterization = characterize_with_metrics(app, iterations, metrics)?;
+
+    // Run 2: cache filter. The tracer here is deliberately left unbound
+    // to keep `trace.*` single-run; the filter exports `cache.*`.
+    let mut sink = CacheFilterSink::new(&CacheConfig::default(), VecTransactionSink::default());
+    sink.set_metrics(metrics);
+    {
+        let mut tracer = Tracer::new(&mut sink);
+        app.run(&mut tracer, iterations)?;
+        tracer.finish();
+    }
+    let txns = sink.into_downstream().transactions;
+
+    // Replay the filtered trace on each technology; `mem.<tech>.*` keys
+    // keep the four replays apart in the shared registry.
+    let sys = SystemConfig::default();
+    let power: Vec<PowerReport> = MemoryTechnology::ALL
+        .iter()
+        .map(|&t| {
+            let mut m = MemorySystem::new(DeviceProfile::for_technology(t), &sys);
+            m.set_metrics(metrics);
+            m.replay(&txns);
+            m.finish()
+        })
+        .collect();
+
+    // Migration over the run's long-term working set (global + heap).
+    let refs: Vec<_> = characterization
+        .registry
+        .objects()
+        .iter()
+        .filter(|o| o.region != Region::Stack)
+        .map(|o| (&o.metrics, o.metrics.size_bytes))
+        .collect();
+    let migration = MigrationSimulator::new(MigrationConfig::default())
+        .with_metrics(metrics)
+        .run(&refs);
+
+    Ok(ProfileReport {
+        characterization,
+        transactions: txns.len() as u64,
+        power,
+        migration,
+        snapshot: metrics.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_apps::{AppScale, Gtc};
+
+    #[test]
+    fn profile_exports_every_layer() {
+        let metrics = Metrics::enabled();
+        let mut app = Gtc::new(AppScale::Test);
+        let report = profile(&mut app, 2, &metrics).unwrap();
+        let snap = &report.snapshot;
+        assert_eq!(
+            snap.counter("trace.refs"),
+            Some(report.characterization.tracer_stats.refs)
+        );
+        assert!(snap.counter("cache.refs").unwrap() > 0);
+        assert_eq!(
+            snap.counter("mem.ddr3.reads").unwrap() + snap.counter("mem.ddr3.writes").unwrap(),
+            report.transactions
+        );
+        assert!(snap.counter("objects.tracked").unwrap() > 0);
+        assert!(snap.counter("placement.migrations").is_some());
+        assert_eq!(report.power.len(), 4);
+    }
+
+    #[test]
+    fn disabled_metrics_still_produce_a_full_report() {
+        let mut app = Gtc::new(AppScale::Test);
+        let report = profile(&mut app, 2, &Metrics::disabled()).unwrap();
+        assert!(report.snapshot.is_empty());
+        assert!(report.transactions > 0);
+        assert_eq!(report.power.len(), 4);
+    }
+}

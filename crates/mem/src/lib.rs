@@ -14,6 +14,26 @@
 //! memory protocol across technologies, PCM set current equal to the reset
 //! current (upper bound), and PCM currents (40 mA read / 150 mA write)
 //! reused for STTRAM and MRAM (upper bound).
+//!
+//! ```
+//! use nvsim_mem::MemorySystem;
+//! use nvsim_types::{DeviceProfile, MemTransaction, SystemConfig, VirtAddr};
+//!
+//! // Replay the same light trace on DDR3 and PCRAM (Table VI setup).
+//! let sys = SystemConfig::default();
+//! let mut ddr3 = MemorySystem::new(DeviceProfile::ddr3(), &sys);
+//! let mut pcram = MemorySystem::new(DeviceProfile::pcram(), &sys);
+//! for i in 0..512u64 {
+//!     let t = MemTransaction::read_fill(VirtAddr::new(i * 64));
+//!     ddr3.process(&t);
+//!     pcram.process(&t);
+//! }
+//! let (d, p) = (ddr3.finish(), pcram.finish());
+//! // §IV: NVRAM pays no refresh and little background power, so it wins
+//! // on a read-dominated, low-intensity trace.
+//! assert_eq!(p.power.refresh_mw, 0.0);
+//! assert!(p.total_mw() < d.total_mw());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

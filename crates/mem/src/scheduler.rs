@@ -12,6 +12,7 @@ use crate::bank::{Bank, RowPolicy, RowOutcome};
 use crate::calibration;
 use crate::controller::ControllerStats;
 use crate::mapping::{AddressMapping, DecodedAddr, MappingScheme};
+use nvsim_obs::{Histogram, Metrics};
 use nvsim_types::{DeviceProfile, MemTransaction, SystemConfig};
 use std::collections::VecDeque;
 
@@ -39,6 +40,7 @@ pub struct FrFcfsScheduler {
     starvation_cap: u64,
     oldest_bypassed: u64,
     stats: ControllerStats,
+    occupancy: Histogram,
 }
 
 impl FrFcfsScheduler {
@@ -64,12 +66,22 @@ impl FrFcfsScheduler {
             starvation_cap: 4 * queue_depth as u64,
             oldest_bypassed: 0,
             stats: ControllerStats::default(),
+            occupancy: Histogram::default(),
         }
+    }
+
+    /// Binds the scheduler to an observability registry: the histogram
+    /// `mem.<technology>.queue_depth` records the queue occupancy seen
+    /// by each arriving transaction.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        let tech = self.device.technology.to_string().to_lowercase();
+        self.occupancy = metrics.histogram(&format!("mem.{tech}.queue_depth"));
     }
 
     /// Enqueues a transaction, draining one slot first if the queue is
     /// full.
     pub fn process(&mut self, txn: &MemTransaction) {
+        self.occupancy.record(self.queue.len() as u64);
         if self.queue.len() == self.queue_depth {
             self.issue_one();
         }
@@ -265,6 +277,30 @@ mod tests {
         assert_eq!(stats.transactions(), 4097);
         // The straggler activated row 1 at some point (2 activations).
         assert!(stats.activates >= 2);
+    }
+
+    #[test]
+    fn occupancy_histogram_tracks_queue_fill() {
+        let m = nvsim_obs::Metrics::enabled();
+        let sys = SystemConfig::default();
+        let mut s = FrFcfsScheduler::new(
+            DeviceProfile::ddr3(),
+            &sys,
+            MappingScheme::RowRankBankCol,
+            RowPolicy::OpenPage,
+            8,
+        );
+        s.set_metrics(&m);
+        let txns = two_stream_trace(100);
+        for t in &txns {
+            s.process(t);
+        }
+        let _ = s.finish();
+        let snap = m.snapshot();
+        let h = snap.histogram("mem.ddr3.queue_depth").expect("occupancy");
+        assert_eq!(h.count, 100);
+        // The queue fills to capacity and stays there under load.
+        assert_eq!(h.max, 8);
     }
 
     #[test]

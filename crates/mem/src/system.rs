@@ -7,6 +7,7 @@ use crate::mapping::MappingScheme;
 use crate::bank::RowPolicy;
 use crate::power::{PowerBreakdown, PowerModel};
 use nvsim_cache::TransactionSink;
+use nvsim_obs::Metrics;
 use nvsim_types::{DeviceProfile, MemTransaction, SystemConfig};
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +50,7 @@ impl PowerReport {
 pub struct MemorySystem {
     controller: MemoryController,
     model: PowerModel,
+    metrics: Metrics,
 }
 
 impl MemorySystem {
@@ -57,6 +59,7 @@ impl MemorySystem {
         MemorySystem {
             controller: MemoryController::with_defaults(device.clone(), sys),
             model: PowerModel::new(device, sys.mem_capacity_bytes),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -71,7 +74,47 @@ impl MemorySystem {
         MemorySystem {
             controller: MemoryController::new(device.clone(), sys, scheme, policy, 64),
             model: PowerModel::new(device, sys.mem_capacity_bytes),
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Binds the system to an observability registry. Counters and
+    /// gauges are exported by [`MemorySystem::finish`] under
+    /// `mem.<technology>.*` (see `docs/METRICS.md`), so several systems
+    /// replaying the same trace on different devices can share one
+    /// registry without colliding.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
+    }
+
+    fn export_metrics(&self, stats: &ControllerStats, power: &PowerBreakdown) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let tech = self
+            .controller
+            .device()
+            .technology
+            .to_string()
+            .to_lowercase();
+        let c = |suffix: &str, v: u64| self.metrics.counter(&format!("mem.{tech}.{suffix}")).add(v);
+        c("reads", stats.reads);
+        c("writes", stats.writes);
+        c("activates", stats.activates);
+        c("precharges", stats.precharges);
+        c("row_hits", stats.row_hits);
+        c("row_conflicts", stats.row_conflicts);
+        c("dirty_writebacks", stats.dirty_writebacks);
+        c("refreshes", stats.refreshes);
+        let g = |suffix: &str, v: f64| {
+            self.metrics
+                .gauge(&format!("mem.{tech}.{suffix}"))
+                .set(v as i64)
+        };
+        g("elapsed_ns", stats.elapsed_ns);
+        g("bank_stall_ns", stats.bank_stall_ns);
+        // mW × ns = pJ: the replay's total energy on this device.
+        g("energy_pj", power.total_mw() * stats.elapsed_ns);
     }
 
     /// Replays one transaction.
@@ -90,6 +133,7 @@ impl MemorySystem {
     pub fn finish(mut self) -> PowerReport {
         let stats = self.controller.finish();
         let power = self.model.average_power(&stats);
+        self.export_metrics(&stats, &power);
         PowerReport {
             technology: self.controller.device().technology.to_string(),
             stats,
@@ -179,6 +223,36 @@ mod tests {
         }
         let rb = b.finish();
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn metrics_export_is_namespaced_per_technology() {
+        let m = nvsim_obs::Metrics::enabled();
+        let txns = synthetic_trace(2_000);
+        let sys = SystemConfig::default();
+        let mut reports = Vec::new();
+        for tech in [DeviceProfile::ddr3(), DeviceProfile::pcram()] {
+            let mut ms = MemorySystem::new(tech, &sys);
+            ms.set_metrics(&m);
+            ms.replay(&txns);
+            reports.push(ms.finish());
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("mem.ddr3.reads"), Some(reports[0].stats.reads));
+        assert_eq!(
+            snap.counter("mem.pcram.writes"),
+            Some(reports[1].stats.writes)
+        );
+        for r in &reports {
+            let tech = r.technology.to_lowercase();
+            let pj = snap.gauge(&format!("mem.{tech}.energy_pj")).unwrap();
+            let expected = r.total_mw() * r.stats.elapsed_ns;
+            assert!((pj as f64 - expected).abs() <= 1.0, "{tech}: {pj} vs {expected}");
+        }
+        // Only the DRAM replay pays refresh; both replays advance time.
+        assert!(snap.counter("mem.ddr3.refreshes").unwrap() > 0);
+        assert_eq!(snap.counter("mem.pcram.refreshes"), Some(0));
+        assert!(snap.gauge("mem.pcram.elapsed_ns").unwrap() > 0);
     }
 
     #[test]

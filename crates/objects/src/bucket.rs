@@ -18,6 +18,7 @@
 //! a floor) to spread objects out.
 
 use crate::object::ObjectId;
+use nvsim_obs::Histogram;
 use nvsim_types::{AddrRange, VirtAddr};
 
 /// Number of buckets. Power of two so the bucket choice is shift+mask.
@@ -41,6 +42,8 @@ pub struct RangeIndex {
     lookups: u64,
     scanned: u64,
     rebuilds: u64,
+    /// Optional per-lookup probe-length histogram (no-op by default).
+    probe: Histogram,
 }
 
 impl RangeIndex {
@@ -54,7 +57,15 @@ impl RangeIndex {
             lookups: 0,
             scanned: 0,
             rebuilds: 0,
+            probe: Histogram::default(),
         }
+    }
+
+    /// Sets the histogram receiving the number of entries scanned by
+    /// each lookup — the §III-D "searching within the chosen bucket"
+    /// cost, observable without re-running the ablation.
+    pub fn set_probe_histogram(&mut self, probe: Histogram) {
+        self.probe = probe;
     }
 
     #[inline]
@@ -163,13 +174,18 @@ impl RangeIndex {
     pub fn lookup(&mut self, addr: VirtAddr, mut accept: impl FnMut(ObjectId) -> bool) -> Option<ObjectId> {
         self.lookups += 1;
         let bucket = self.bucket_of(addr)?;
+        let mut probed = 0u64;
+        let mut found = None;
         for &(range, id) in &self.buckets[bucket] {
-            self.scanned += 1;
+            probed += 1;
             if range.contains(addr) && accept(id) {
-                return Some(id);
+                found = Some(id);
+                break;
             }
         }
-        None
+        self.scanned += probed;
+        self.probe.record(probed);
+        found
     }
 
     /// Linear-scan reference implementation, used by property tests to

@@ -15,6 +15,7 @@ use crate::heap::HeapSignature;
 use crate::lru::LruObjectCache;
 use crate::object::{MemoryObject, ObjectId, ObjectKind};
 use crate::shadow::ShadowStack;
+use nvsim_obs::Metrics;
 use nvsim_trace::{Event, EventSink, GlobalSymbol, Phase, RoutineId};
 use nvsim_types::{
     AccessCounts, AddrRange, AddressSpaceLayout, IterationStats, MemRef, Region,
@@ -122,6 +123,7 @@ pub struct ObjectRegistry {
     /// References that could not be attributed to any object.
     unattributed: u64,
     finished: bool,
+    metrics: Metrics,
 }
 
 impl ObjectRegistry {
@@ -144,6 +146,46 @@ impl ObjectRegistry {
             region_totals: [AccessCounts::ZERO; 3],
             unattributed: 0,
             finished: false,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Binds the registry to an observability registry. The bucket-index
+    /// probe-length histograms (`objects.heap_probe_len`,
+    /// `objects.global_probe_len`) record live; the `objects.*` counters
+    /// and the object-size histogram are exported when the traced
+    /// program finishes (see `docs/METRICS.md`).
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
+        self.heap_index
+            .set_probe_histogram(metrics.histogram("objects.heap_probe_len"));
+        self.global_index
+            .set_probe_histogram(metrics.histogram("objects.global_probe_len"));
+    }
+
+    fn export_metrics(&self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let c = |name: &str, v: u64| self.metrics.counter(name).add(v);
+        c("objects.tracked", self.objects.len() as u64);
+        c("objects.unattributed", self.unattributed);
+        let (lru_hits, lru_misses) = self.lru.stats();
+        c("objects.lru_hits", lru_hits);
+        c("objects.lru_misses", lru_misses);
+        let ((hl, hs, hr), (gl, gs, gr)) = self.index_stats();
+        c("objects.heap_index_lookups", hl);
+        c("objects.heap_index_scanned", hs);
+        c("objects.heap_index_rebuilds", hr);
+        c("objects.global_index_lookups", gl);
+        c("objects.global_index_scanned", gs);
+        c("objects.global_index_rebuilds", gr);
+        self.metrics
+            .gauge("objects.iterations")
+            .set(i64::from(self.iterations_seen));
+        let sizes = self.metrics.histogram("objects.size_bytes");
+        for o in &self.objects {
+            sizes.record(o.range.len());
         }
     }
 
@@ -380,6 +422,7 @@ impl EventSink for ObjectRegistry {
 
     fn on_finish(&mut self) {
         self.finished = true;
+        self.export_metrics();
     }
 }
 
@@ -635,5 +678,38 @@ mod tests {
         assert_eq!(o.metrics.per_iteration[0].counts.total(), 0);
         assert_eq!(o.metrics.per_iteration[1].counts.total(), 1);
         assert_eq!(o.metrics.iterations_touched, 1);
+    }
+
+    #[test]
+    fn metrics_export_mirrors_introspection() {
+        let m = Metrics::enabled();
+        let mut reg = ObjectRegistry::new(RegistryConfig::default());
+        reg.set_metrics(&m);
+        {
+            let mut t = Tracer::new(&mut reg);
+            let mut g = TracedVec::<f64>::global(&mut t, "grid", 64).unwrap();
+            let h = TracedVec::<f64>::heap(&mut t, AllocSite::new("app.rs", 1), 32).unwrap();
+            t.phase(Phase::IterationBegin(0));
+            g.fill(&mut t, 1.0);
+            let _ = h.get(&mut t, 0);
+            t.phase(Phase::IterationEnd(0));
+            t.finish();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("objects.tracked"), Some(reg.objects().len() as u64));
+        assert_eq!(snap.counter("objects.unattributed"), Some(reg.unattributed()));
+        let (lru_hits, lru_misses) = reg.lru_stats();
+        assert_eq!(snap.counter("objects.lru_hits"), Some(lru_hits));
+        assert_eq!(snap.counter("objects.lru_misses"), Some(lru_misses));
+        let ((hl, hs, _), _) = reg.index_stats();
+        assert_eq!(snap.counter("objects.heap_index_lookups"), Some(hl));
+        assert_eq!(snap.counter("objects.heap_index_scanned"), Some(hs));
+        // Probe lengths recorded live match the scanned totals.
+        let probes = snap.histogram("objects.heap_probe_len").expect("probes");
+        assert_eq!(probes.sum, hs);
+        // One size sample per tracked object.
+        let sizes = snap.histogram("objects.size_bytes").expect("sizes");
+        assert_eq!(sizes.count, reg.objects().len() as u64);
+        assert_eq!(snap.gauge("objects.iterations"), Some(1));
     }
 }

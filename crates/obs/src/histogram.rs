@@ -1,0 +1,213 @@
+//! Fixed-bucket power-of-two histograms.
+//!
+//! Bucket 0 counts the value 0, bucket `i >= 1` counts values in
+//! `[2^(i-1), 2^i)`, and the last bucket absorbs everything at or above
+//! `2^(BUCKETS-2)`. Recording is one index computation from
+//! `leading_zeros` plus one relaxed atomic add — no allocation, no
+//! locks — so histograms are safe on the tracer's per-reference path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets. 33 buckets cover 0 and `[1, 2^31)` exactly, with
+/// one overflow bucket — enough range for nanosecond latencies, byte
+/// sizes, and queue depths alike.
+pub const BUCKETS: usize = 33;
+
+/// Shared interior of a histogram: bucket counts plus sum/min/max.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket a value falls in.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+impl HistogramCore {
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Recording handle for one histogram. `Clone` shares the buckets; a
+/// handle from a disabled [`crate::Metrics`] drops every record.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    pub(crate) fn from_core(core: Option<Arc<HistogramCore>>) -> Self {
+        Histogram(core)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    /// `true` when records actually land somewhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Immutable copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see module docs for bounds).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping at `u64::MAX`).
+    pub sum: u64,
+    /// Smallest observed value, 0 when empty.
+    pub min: u64,
+    /// Largest observed value, 0 when empty.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive) of bucket `i`, `u64::MAX` for the
+    /// overflow bucket.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i + 1 >= BUCKETS {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// An approximate quantile (`q` in 0..=1) read off the bucket
+    /// boundaries: the upper bound of the bucket where the cumulative
+    /// count crosses `q * count`. Exact for values that are themselves
+    /// powers of two minus one; within 2x otherwise.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target.max(1) {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_pow2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn records_track_count_sum_min_max() {
+        let core = HistogramCore::default();
+        for v in [4u64, 64, 64, 1000] {
+            core.record(v);
+        }
+        let s = core.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1132);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 283.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = HistogramCore::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_lands_in_the_right_bucket() {
+        let core = HistogramCore::default();
+        for _ in 0..90 {
+            core.record(10); // bucket [8,16)
+        }
+        for _ in 0..10 {
+            core.record(5000); // bucket [4096,8192)
+        }
+        let s = core.snapshot();
+        assert_eq!(s.quantile(0.5), 16);
+        assert_eq!(s.quantile(1.0), 5000); // capped at observed max
+    }
+
+    #[test]
+    fn disabled_histogram_drops_records() {
+        let h = Histogram::default();
+        assert!(!h.is_enabled());
+        h.record(42); // no panic, no effect
+    }
+}

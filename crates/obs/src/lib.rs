@@ -1,0 +1,62 @@
+//! # nvsim-obs
+//!
+//! A zero-dependency observability layer for the NV-SCAVENGER pipeline:
+//! counters, gauges, fixed-bucket histograms, and scoped span timers,
+//! collected into a [`Snapshot`] that renders as JSON or a human table.
+//!
+//! The paper's tool (§III) computes its statistics *on-the-fly* rather
+//! than post-processing trace files, which makes the instrumentation
+//! layer itself part of the measured system. This crate exists so each
+//! pipeline stage — tracer, cache filter, memory controller, object
+//! registry, migration simulator — can report what it did without
+//! perturbing what it measures:
+//!
+//! * every handle is pre-bound (one `Arc<AtomicU64>` clone at setup, a
+//!   single relaxed atomic op per event on the hot path), and
+//! * a [`Metrics`] handle created with [`Metrics::disabled`] hands out
+//!   no-op instruments, so un-instrumented runs pay one branch on a
+//!   `None` — the benches of §III-D keep their numbers.
+//!
+//! Histograms use power-of-two buckets (bucket *i* counts values in
+//! `[2^(i-1), 2^i)`), which is exact enough for latency and object-size
+//! distributions while keeping recording branch-free.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvsim_obs::Metrics;
+//!
+//! let metrics = Metrics::enabled();
+//! let refs = metrics.counter("trace.refs");
+//! let sizes = metrics.histogram("objects.size_bytes");
+//!
+//! for size in [8u64, 64, 64, 4096] {
+//!     refs.inc();
+//!     sizes.record(size);
+//! }
+//!
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counter("trace.refs"), Some(4));
+//! let h = snap.histogram("objects.size_bytes").unwrap();
+//! assert_eq!(h.count, 4);
+//! assert_eq!(h.max, 4096);
+//! assert!(snap.to_json().contains("\"trace.refs\": 4"));
+//!
+//! // Disabled metrics accept the same calls and record nothing.
+//! let off = Metrics::disabled();
+//! off.counter("trace.refs").inc();
+//! assert!(off.snapshot().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod histogram;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use metrics::{Counter, Gauge, Metrics};
+pub use snapshot::Snapshot;
+pub use span::Span;

@@ -1,0 +1,236 @@
+//! The [`Metrics`] registry and its scalar instruments.
+//!
+//! A [`Metrics`] value is a cheap clonable handle. Instruments are
+//! pre-bound: [`Metrics::counter`] resolves the name once and returns a
+//! handle whose [`Counter::inc`] is a single relaxed atomic add — or a
+//! no-op when the registry is disabled. All instruments registered under
+//! the same name share one underlying cell, so any pipeline stage can
+//! contribute to e.g. `trace.refs`.
+
+use crate::histogram::{Histogram, HistogramCore};
+use crate::snapshot::Snapshot;
+use crate::span::Span;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Interior tables of an enabled registry. Names are resolved under a
+/// mutex (setup path); recording touches only the pre-bound atomics.
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+/// Handle to a metrics registry; the no-op flavour costs one `None`
+/// check per instrument creation and nothing per event.
+///
+/// Cloning shares the registry: clones see each other's instruments and
+/// a snapshot taken from any clone covers them all.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Metrics {
+    /// Creates a live registry that records everything.
+    pub fn enabled() -> Self {
+        Metrics {
+            inner: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// Creates a disabled registry: every instrument it hands out is a
+    /// no-op and [`Metrics::snapshot`] is empty.
+    pub fn disabled() -> Self {
+        Metrics { inner: None }
+    }
+
+    /// `true` when instruments from this handle actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Returns the counter registered under `name`, creating it at zero
+    /// on first use. Counters are monotonically increasing `u64`s.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.counters
+                    .lock()
+                    .expect("counter table poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Returns the gauge registered under `name` (a settable `i64`,
+    /// e.g. a current queue depth or a signed energy delta).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.gauges
+                    .lock()
+                    .expect("gauge table poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Returns the histogram registered under `name` (power-of-two
+    /// buckets; see [`crate::histogram`]).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram::from_core(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.histograms
+                    .lock()
+                    .expect("histogram table poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Starts a wall-clock span that records elapsed nanoseconds into
+    /// the histogram `name` when dropped.
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(self.histogram(name))
+    }
+
+    /// Reads every instrument into an immutable [`Snapshot`]. Counters
+    /// and histograms keep accumulating afterwards; snapshots are cheap
+    /// enough to take per phase.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        if let Some(r) = &self.inner {
+            for (name, cell) in r.counters.lock().expect("counter table poisoned").iter() {
+                snap.counters
+                    .insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+            for (name, cell) in r.gauges.lock().expect("gauge table poisoned").iter() {
+                snap.gauges
+                    .insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+            for (name, core) in r.histograms.lock().expect("histogram table poisoned").iter() {
+                snap.histograms.insert(name.clone(), core.snapshot());
+            }
+        }
+        snap
+    }
+}
+
+/// A monotonically increasing counter. `Clone` shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled counter).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A settable signed gauge. `Clone` shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled gauge).
+    pub fn get(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        m.counter("a").add(5);
+        m.gauge("b").set(7);
+        m.histogram("c").record(9);
+        assert_eq!(m.counter("a").get(), 0);
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn instruments_with_same_name_share_a_cell() {
+        let m = Metrics::enabled();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(m.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let m = Metrics::enabled();
+        let m2 = m.clone();
+        m.counter("shared").inc();
+        m2.counter("shared").inc();
+        assert_eq!(m.snapshot().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn gauges_go_both_ways() {
+        let m = Metrics::enabled();
+        let g = m.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        assert_eq!(m.snapshot().gauge("depth"), Some(7));
+    }
+
+    #[test]
+    fn snapshot_is_a_point_in_time() {
+        let m = Metrics::enabled();
+        let c = m.counter("events");
+        c.inc();
+        let snap = m.snapshot();
+        c.inc();
+        assert_eq!(snap.counter("events"), Some(1));
+        assert_eq!(m.snapshot().counter("events"), Some(2));
+    }
+}

@@ -1,0 +1,245 @@
+//! Point-in-time metric snapshots and their JSON / table renderings.
+
+use crate::histogram::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// All instruments of a [`crate::Metrics`] registry at one instant.
+/// Maps are ordered by name so both emitters are deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of the counter `name`, if it was registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Value of the gauge `name`, if it was registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// State of the histogram `name`, if it was registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// `true` when no instrument was ever registered (e.g. the registry
+    /// was disabled).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as a JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"trace.refs": 4},
+    ///   "gauges": {},
+    ///   "histograms": {
+    ///     "objects.size_bytes": {
+    ///       "count": 4, "sum": 4232, "min": 8, "max": 4096,
+    ///       "mean": 1058.0, "p50": 64, "p99": 4096,
+    ///       "buckets": [[8, 1], [64, 2], [4096, 1]]
+    ///     }
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// `buckets` lists only occupied buckets as `[upper_bound, count]`
+    /// pairs. The emitter is hand-rolled (sorted keys, standard string
+    /// escaping) so the crate stays dependency-free.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        emit_map(&mut out, &self.counters, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\n  \"gauges\": {");
+        emit_map(&mut out, &self.gauges, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\n  \"histograms\": {");
+        emit_map(&mut out, &self.histograms, |out, h| {
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \"buckets\": [",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            );
+            let mut first = true;
+            for (i, n) in h.buckets.iter().enumerate() {
+                if *n > 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    let bound = HistogramSnapshot::bucket_bound(i);
+                    let _ = write!(out, "[{bound}, {n}]");
+                }
+            }
+            out.push_str("]}");
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders the snapshot as an aligned text table grouped by the
+    /// first dotted segment of each name (`trace.refs` files under
+    /// `trace`), the format the `profile` binary prints.
+    pub fn to_table(&self) -> String {
+        let mut groups: BTreeMap<&str, Vec<(String, String)>> = BTreeMap::new();
+        for (name, v) in &self.counters {
+            groups
+                .entry(group_of(name))
+                .or_default()
+                .push((name.clone(), format_count(*v)));
+        }
+        for (name, v) in &self.gauges {
+            groups
+                .entry(group_of(name))
+                .or_default()
+                .push((name.clone(), format!("{v}")));
+        }
+        for (name, h) in &self.histograms {
+            groups.entry(group_of(name)).or_default().push((
+                name.clone(),
+                format!(
+                    "n={} mean={:.1} p50={} p99={} max={}",
+                    format_count(h.count),
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max
+                ),
+            ));
+        }
+
+        let width = groups
+            .values()
+            .flatten()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (group, mut rows) in groups {
+            let _ = writeln!(out, "[{group}]");
+            rows.sort();
+            for (name, value) in rows {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        out
+    }
+}
+
+/// First dotted segment of a metric name.
+fn group_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Groups thousands with `_` so large counters stay readable.
+fn format_count(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Emits `"key": <value>` pairs of a sorted map into `out`.
+fn emit_map<V>(out: &mut String, map: &BTreeMap<String, V>, mut emit: impl FnMut(&mut String, &V)) {
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        for c in k.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push_str("\": ");
+        emit(out, v);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Metrics;
+
+    #[test]
+    fn json_contains_all_sections_sorted() {
+        let m = Metrics::enabled();
+        m.counter("b.two").add(2);
+        m.counter("a.one").inc();
+        m.gauge("g.depth").set(-4);
+        m.histogram("h.sizes").record(100);
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"a.one\": 1"));
+        assert!(json.contains("\"b.two\": 2"));
+        assert!(json.contains("\"g.depth\": -4"));
+        assert!(json.contains("\"count\": 1"));
+        let a = json.find("a.one").unwrap();
+        let b = json.find("b.two").unwrap();
+        assert!(a < b, "keys are sorted");
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shell() {
+        let json = Metrics::disabled().snapshot().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn table_groups_by_first_segment() {
+        let m = Metrics::enabled();
+        m.counter("trace.refs").add(1_234_567);
+        m.counter("cache.l1_hits").add(9);
+        m.histogram("cache.ref_bytes").record(64);
+        let table = m.snapshot().to_table();
+        assert!(table.contains("[trace]"));
+        assert!(table.contains("[cache]"));
+        assert!(table.contains("1_234_567"));
+        assert!(table.find("[cache]").unwrap() < table.find("[trace]").unwrap());
+    }
+
+    #[test]
+    fn keys_are_escaped() {
+        let m = Metrics::enabled();
+        m.counter("weird\"name").inc();
+        let json = m.snapshot().to_json();
+        assert!(json.contains("weird\\\"name"));
+    }
+}

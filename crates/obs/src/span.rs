@@ -1,0 +1,75 @@
+//! Scoped wall-clock timing.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// A scoped timer: created by [`crate::Metrics::span`], it records the
+/// elapsed wall-clock nanoseconds into its histogram when dropped.
+///
+/// Spans from a disabled registry still read the clock twice but record
+/// nothing; keep them off per-event hot paths and around phases
+/// instead (one span per experiment, app run, or drain).
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    started: Instant,
+}
+
+impl Span {
+    pub(crate) fn new(histogram: Histogram) -> Self {
+        Span {
+            histogram,
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Ends the span early, recording the elapsed time now.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.record(self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Metrics;
+
+    #[test]
+    fn span_records_into_its_histogram_on_drop() {
+        let m = Metrics::enabled();
+        {
+            let _span = m.span("phase.ns");
+            std::hint::black_box(0u64);
+        }
+        let snap = m.snapshot();
+        let h = snap.histogram("phase.ns").expect("span recorded");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn finish_records_immediately() {
+        let m = Metrics::enabled();
+        let span = m.span("early.ns");
+        span.finish();
+        assert_eq!(m.snapshot().histogram("early.ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_span_is_silent() {
+        let m = Metrics::disabled();
+        let span = m.span("quiet.ns");
+        assert!(span.elapsed_ns() < u64::MAX);
+        drop(span);
+        assert!(m.snapshot().is_empty());
+    }
+}

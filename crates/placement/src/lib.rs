@@ -26,6 +26,21 @@
 //!   levelling gets to the ideal assumed by [`endurance`];
 //! * [`checkpoint`] — Young-model checkpoint scheduling, quantifying the
 //!   §I claim that NVRAM "would drastically reduce" checkpoint cost.
+//!
+//! ```
+//! use nvsim_placement::{MigrationConfig, MigrationSimulator};
+//! use nvsim_types::{AccessCounts, IterationStats, ObjectMetrics};
+//!
+//! // A read-mostly 4 KiB object: 100 reads / 2 writes per iteration.
+//! let mut m = ObjectMetrics::new(4096);
+//! m.per_iteration = (0..10)
+//!     .map(|_| IterationStats::from_counts(AccessCounts::new(100, 2), 10_000))
+//!     .collect();
+//! let sim = MigrationSimulator::new(MigrationConfig::default());
+//! let stats = sim.run(&[(&m, 4096)]);
+//! assert_eq!(stats.migrations, 1); // moved to NVRAM once and stayed
+//! assert!(stats.nvram_residency() > 0.8);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -13,6 +13,7 @@
 //! cost proportional to the object size.
 
 use crate::classifier::PlacementPolicy;
+use nvsim_obs::Metrics;
 use nvsim_types::ObjectMetrics;
 use serde::{Deserialize, Serialize};
 
@@ -82,12 +83,53 @@ impl MigrationStats {
 /// The migration simulator.
 pub struct MigrationSimulator {
     config: MigrationConfig,
+    metrics: Metrics,
 }
 
 impl MigrationSimulator {
     /// Creates a simulator.
     pub fn new(config: MigrationConfig) -> Self {
-        MigrationSimulator { config }
+        MigrationSimulator {
+            config,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Binds the simulator to an observability registry; each
+    /// [`MigrationSimulator::run`] then exports `placement.*` counters
+    /// and gauges (see `docs/METRICS.md`).
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.metrics = metrics.clone();
+        self
+    }
+
+    fn export_metrics(&self, stats: &MigrationStats) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        self.metrics
+            .counter("placement.migrations")
+            .add(stats.migrations);
+        self.metrics
+            .counter("placement.bytes_moved")
+            .add(stats.bytes_moved);
+        self.metrics
+            .counter("placement.migration_cost_ns")
+            .add(stats.cost_ns as u64);
+        self.metrics
+            .counter("placement.objects_finishing_in_nvram")
+            .add(
+                stats
+                    .final_residence
+                    .iter()
+                    .filter(|r| **r == Residence::Nvram)
+                    .count() as u64,
+            );
+        // Store the residency fraction in ppm so the i64 gauge keeps
+        // four significant digits.
+        self.metrics
+            .gauge("placement.nvram_residency_ppm")
+            .set((stats.nvram_residency() * 1e6) as i64);
     }
 
     /// Replays the per-iteration metrics of a set of objects (all series
@@ -139,6 +181,7 @@ impl MigrationSimulator {
                 stats.total_byte_epochs += u128::from(*size);
             }
         }
+        self.export_metrics(&stats);
         stats
     }
 
@@ -251,5 +294,22 @@ mod tests {
         });
         let stats = sim.run(&[(&m, 1000)]);
         assert_eq!(stats.cost_ns, 1000.0);
+    }
+
+    #[test]
+    fn metrics_export_mirrors_stats() {
+        let reg = Metrics::enabled();
+        let m = metrics(&[(100, 2); 10]);
+        let sim = MigrationSimulator::new(MigrationConfig::default()).with_metrics(&reg);
+        let stats = sim.run(&[(&m, 4096), (&m, 8192)]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("placement.migrations"), Some(stats.migrations));
+        assert_eq!(
+            snap.counter("placement.bytes_moved"),
+            Some(stats.bytes_moved)
+        );
+        assert_eq!(snap.counter("placement.objects_finishing_in_nvram"), Some(2));
+        let ppm = snap.gauge("placement.nvram_residency_ppm").unwrap();
+        assert!((ppm as f64 / 1e6 - stats.nvram_residency()).abs() < 1e-3);
     }
 }

@@ -9,6 +9,7 @@
 //! established by the control events that precede it.
 
 use crate::event::{Event, GlobalSymbol};
+use nvsim_obs::{Counter, Metrics};
 use nvsim_types::MemRef;
 
 /// A consumer of instrumentation events.
@@ -108,12 +109,26 @@ impl EventSink for RecordingSink {
 /// one execution in-process by teeing the stream.
 pub struct TeeSink<'a> {
     sinks: Vec<&'a mut dyn EventSink>,
+    batches: Counter,
+    fanout_refs: Counter,
 }
 
 impl<'a> TeeSink<'a> {
     /// Creates a tee over the given sinks.
     pub fn new(sinks: Vec<&'a mut dyn EventSink>) -> Self {
-        TeeSink { sinks }
+        TeeSink {
+            sinks,
+            batches: Counter::default(),
+            fanout_refs: Counter::default(),
+        }
+    }
+
+    /// Binds the tee to an observability registry: `trace.tee_batches`
+    /// counts incoming batches, `trace.tee_fanout_refs` the references
+    /// delivered across all attached sinks (batch size × sink count).
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.batches = metrics.counter("trace.tee_batches");
+        self.fanout_refs = metrics.counter("trace.tee_fanout_refs");
     }
 }
 
@@ -125,6 +140,9 @@ impl EventSink for TeeSink<'_> {
     }
 
     fn on_batch(&mut self, refs: &[MemRef]) {
+        self.batches.inc();
+        self.fanout_refs
+            .add(refs.len() as u64 * self.sinks.len() as u64);
         for s in &mut self.sinks {
             s.on_batch(refs);
         }

@@ -11,8 +11,37 @@ use crate::event::{AllocSite, Event, GlobalSymbol, Phase};
 use crate::layout::{GlobalAllocator, HeapAllocator, StackAllocator};
 use crate::routine::{RoutineId, RoutineTable};
 use crate::sink::EventSink;
+use nvsim_obs::{Counter, Histogram, Metrics};
 use nvsim_types::{AddressSpaceLayout, MemRef, NvsimError, VirtAddr};
 use serde::{Deserialize, Serialize};
+
+/// Pre-bound observability handles for the tracer's hot path. Every
+/// handle is a no-op when the tracer was given no (or a disabled)
+/// [`Metrics`] registry, so un-instrumented runs keep §III-D numbers.
+#[derive(Debug, Default)]
+struct TracerInstruments {
+    refs: Counter,
+    reads: Counter,
+    writes: Counter,
+    controls: Counter,
+    dropped_refs: Counter,
+    flushes: Counter,
+    batch_refs: Histogram,
+}
+
+impl TracerInstruments {
+    fn bind(metrics: &Metrics) -> Self {
+        TracerInstruments {
+            refs: metrics.counter("trace.refs"),
+            reads: metrics.counter("trace.reads"),
+            writes: metrics.counter("trace.writes"),
+            controls: metrics.counter("trace.controls"),
+            dropped_refs: metrics.counter("trace.dropped_refs"),
+            flushes: metrics.counter("trace.flushes"),
+            batch_refs: metrics.histogram("trace.batch_refs"),
+        }
+    }
+}
 
 /// Running totals kept inline by the tracer (cheap enough for the hot
 /// path; everything finer-grained lives in sinks).
@@ -93,6 +122,7 @@ pub struct Tracer<'s> {
     started: bool,
     finished: bool,
     stats: TracerStats,
+    obs: TracerInstruments,
     /// When `false`, `read`/`write` are dropped (but allocations and calls
     /// still flow). §VI: heap (de)allocations are instrumented through the
     /// whole program, "but memory references to those objects are recorded
@@ -121,8 +151,16 @@ impl<'s> Tracer<'s> {
             started: false,
             finished: false,
             stats: TracerStats::default(),
+            obs: TracerInstruments::default(),
             refs_enabled: true,
         }
+    }
+
+    /// Binds this tracer to an observability registry. Counters under
+    /// `trace.*` (see `docs/METRICS.md`) start recording; with a
+    /// disabled registry every handle stays a no-op.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.obs = TracerInstruments::bind(metrics);
     }
 
     /// The simulated address-space layout.
@@ -210,7 +248,13 @@ impl<'s> Tracer<'s> {
     fn control(&mut self, event: Event) {
         self.ensure_started();
         let sink = &mut *self.sink;
-        self.buffer.flush(|batch| sink.on_batch(batch));
+        let obs = &self.obs;
+        self.buffer.flush(|batch| {
+            obs.flushes.inc();
+            obs.batch_refs.record(batch.len() as u64);
+            sink.on_batch(batch);
+        });
+        obs.controls.inc();
         sink.on_control(&event);
     }
 
@@ -278,6 +322,8 @@ impl<'s> Tracer<'s> {
     pub fn read(&mut self, addr: VirtAddr, size: u32) {
         if self.refs_enabled {
             self.push_ref(MemRef::read(addr, size));
+        } else {
+            self.obs.dropped_refs.inc();
         }
     }
 
@@ -286,6 +332,8 @@ impl<'s> Tracer<'s> {
     pub fn write(&mut self, addr: VirtAddr, size: u32) {
         if self.refs_enabled {
             self.push_ref(MemRef::write(addr, size));
+        } else {
+            self.obs.dropped_refs.inc();
         }
     }
 
@@ -294,14 +342,22 @@ impl<'s> Tracer<'s> {
         self.ensure_started();
         let r = r.with_sp(self.stack_alloc.sp());
         self.stats.refs += 1;
+        self.obs.refs.inc();
         if r.kind.is_write() {
             self.stats.writes += 1;
+            self.obs.writes.inc();
         } else {
             self.stats.reads += 1;
+            self.obs.reads.inc();
         }
         if self.buffer.push(r) {
             let sink = &mut *self.sink;
-            self.buffer.flush(|batch| sink.on_batch(batch));
+            let obs = &self.obs;
+            self.buffer.flush(|batch| {
+                obs.flushes.inc();
+                obs.batch_refs.record(batch.len() as u64);
+                sink.on_batch(batch);
+            });
         }
     }
 
@@ -480,6 +536,35 @@ mod tests {
         assert!(t
             .define_global_overlay("bad", VirtAddr::new(0x1), 8)
             .is_err());
+    }
+
+    #[test]
+    fn metrics_mirror_stats_and_count_drops() {
+        let m = nvsim_obs::Metrics::enabled();
+        let mut sink = CountingSink::default();
+        {
+            let mut t = Tracer::with_capacity(&mut sink, 4);
+            t.set_metrics(&m);
+            let g = t.define_global("x", 256).unwrap();
+            for i in 0..6 {
+                t.read(g + i * 8, 8);
+            }
+            t.write(g, 8);
+            t.set_refs_enabled(false);
+            t.read(g, 8);
+            t.finish();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.counter("trace.refs"), Some(7));
+        assert_eq!(s.counter("trace.reads"), Some(6));
+        assert_eq!(s.counter("trace.writes"), Some(1));
+        assert_eq!(s.counter("trace.dropped_refs"), Some(1));
+        // Capacity 4, 7 refs: one full flush plus the finish flush.
+        assert_eq!(s.counter("trace.flushes"), Some(2));
+        let batches = s.histogram("trace.batch_refs").expect("batch histogram");
+        assert_eq!(batches.count, 2);
+        assert_eq!(batches.sum, 7);
+        assert_eq!(batches.max, 4);
     }
 
     #[test]

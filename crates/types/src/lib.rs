@@ -18,6 +18,21 @@
 //! * [`stats`] — read/write counters and the three NVRAM-opportunity
 //!   metrics of §II (read/write ratio, object size, reference rate),
 //! * [`units`] — byte/time unit helpers.
+//!
+//! ```
+//! use nvsim_types::{AccessCounts, AddrRange, VirtAddr};
+//!
+//! // A 4 KiB object and the §II suitability metrics over its accesses.
+//! let range = AddrRange::from_base_size(VirtAddr::new(0x1000), 4096);
+//! assert!(range.contains(VirtAddr::new(0x1fff)));
+//! assert_eq!(range.len(), 4096);
+//!
+//! let mut counts = AccessCounts::new(100, 2);
+//! counts.record(true); // one more write
+//! assert_eq!(counts.total(), 103);
+//! // Read-mostly (ratio >> 1): an NVRAM placement candidate.
+//! assert!(counts.read_write_ratio().unwrap() > 30.0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -1,0 +1,119 @@
+//! Cross-crate integration tests for the `nvsim-obs` metrics layer:
+//! the instrumented pipeline exports non-zero counters at every layer,
+//! a disabled handle changes nothing about the pipeline's results, and
+//! the JSON emitter produces output a standard parser accepts.
+
+use nv_scavenger::pipeline::{characterize, characterize_with_metrics};
+use nv_scavenger::profile::profile;
+use nvsim_apps::{AppScale, Gtc};
+use nvsim_obs::Metrics;
+use nvsim_types::Region;
+
+#[test]
+fn characterize_exports_trace_and_object_counters() {
+    let metrics = Metrics::enabled();
+    let mut app = Gtc::new(AppScale::Test);
+    let c = characterize_with_metrics(&mut app, 3, &metrics).unwrap();
+    let snap = metrics.snapshot();
+
+    // Tracer-level counters mirror the pipeline's own statistics.
+    assert_eq!(snap.counter("trace.refs"), Some(c.tracer_stats.refs));
+    assert_eq!(snap.counter("trace.reads"), Some(c.tracer_stats.reads));
+    assert_eq!(snap.counter("trace.writes"), Some(c.tracer_stats.writes));
+    assert!(snap.counter("trace.flushes").unwrap() > 0);
+    // The tee fans each flushed batch out to two sinks.
+    assert_eq!(
+        snap.counter("trace.tee_fanout_refs"),
+        Some(c.tracer_stats.refs * 2)
+    );
+
+    // Registry-level counters.
+    assert_eq!(
+        snap.counter("objects.tracked"),
+        Some(c.registry.objects().len() as u64)
+    );
+    assert!(snap.counter("objects.heap_index_lookups").unwrap() > 0);
+    let probe = snap.histogram("objects.heap_probe_len").unwrap();
+    assert!(probe.count > 0);
+}
+
+#[test]
+fn full_profile_exports_cache_and_mem_counters() {
+    let metrics = Metrics::enabled();
+    let mut app = Gtc::new(AppScale::Test);
+    let report = profile(&mut app, 2, &metrics).unwrap();
+    let snap = &report.snapshot;
+
+    assert!(snap.counter("cache.refs").unwrap() > 0);
+    assert!(snap.counter("cache.l1_hits").unwrap() > 0);
+    // Everything the cache filter let through reached the DDR3 replay.
+    assert_eq!(
+        snap.counter("mem.ddr3.reads").unwrap() + snap.counter("mem.ddr3.writes").unwrap(),
+        report.transactions
+    );
+    // All four technologies replayed the same transaction stream.
+    for tech in ["ddr3", "pcram", "sttram", "mram"] {
+        assert_eq!(
+            snap.counter(&format!("mem.{tech}.reads")),
+            snap.counter("mem.ddr3.reads"),
+            "replay diverged for {tech}"
+        );
+    }
+    // Only DRAM refreshes (§IV: NVRAM pays no refresh power).
+    assert!(snap.counter("mem.ddr3.refreshes").unwrap() > 0);
+    assert_eq!(snap.counter("mem.pcram.refreshes"), Some(0));
+}
+
+#[test]
+fn disabled_metrics_leave_characterization_identical() {
+    let run = |metrics: &Metrics| {
+        let mut app = Gtc::new(AppScale::Test);
+        characterize_with_metrics(&mut app, 3, metrics).unwrap()
+    };
+    let plain = {
+        let mut app = Gtc::new(AppScale::Test);
+        characterize(&mut app, 3).unwrap()
+    };
+    let disabled = run(&Metrics::disabled());
+    let enabled = run(&Metrics::enabled());
+    for c in [&plain, &disabled, &enabled] {
+        assert_eq!(c.tracer_stats, enabled.tracer_stats);
+        assert_eq!(c.footprint, enabled.footprint);
+        assert_eq!(c.registry.total_refs(), enabled.registry.total_refs());
+        assert_eq!(
+            c.registry.objects().len(),
+            enabled.registry.objects().len()
+        );
+        for r in Region::ALL {
+            assert_eq!(
+                c.registry.region_total(r),
+                enabled.registry.region_total(r),
+                "region totals diverged in {r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_json_parses_and_round_trips_counters() {
+    let metrics = Metrics::enabled();
+    let mut app = Gtc::new(AppScale::Test);
+    let c = characterize_with_metrics(&mut app, 2, &metrics).unwrap();
+    let snap = metrics.snapshot();
+
+    let value: serde_json::Value = serde_json::from_str(&snap.to_json()).unwrap();
+    let refs = value
+        .get("counters")
+        .and_then(|c| c.get("trace.refs"))
+        .and_then(|v| v.as_u64())
+        .expect("counters.\"trace.refs\" present");
+    assert_eq!(refs, c.tracer_stats.refs);
+    let hist = value
+        .get("histograms")
+        .and_then(|h| h.get("objects.size_bytes"))
+        .expect("histograms.\"objects.size_bytes\" present");
+    assert_eq!(
+        hist.get("count").and_then(|v| v.as_u64()),
+        Some(c.registry.objects().len() as u64)
+    );
+}
