@@ -28,7 +28,7 @@
 //! the main loop never touches.
 
 use crate::app::{phased_run, AppScale, AppSpec, Application};
-use nvsim_trace::{AllocSite, RoutineId, TracedVec, Tracer};
+use nvsim_trace::{AllocSite, ArgValue, RoutineId, TracedVec, Tracer};
 use nvsim_types::NvsimError;
 
 /// One physics routine of the proxy: writes `coef_len` stack coefficients
@@ -171,7 +171,20 @@ impl Application for Cam {
             &mut st,
             iterations,
             |t, st| pre_compute(t, rtn_init, st),
-            |t, st, step| time_step(t, &routines, rtn_dyn, st, ncols, step),
+            |t, st, step| {
+                t.annotate(
+                    "cam.timestep",
+                    &[
+                        ("step", ArgValue::U64(u64::from(step))),
+                        ("columns", ArgValue::U64(ncols as u64)),
+                        ("physics_routines", ArgValue::U64(routines.len() as u64)),
+                        // Step 0 runs each routine's init path (§VII-A),
+                        // halving the stack read/write ratio.
+                        ("init_pass", ArgValue::U64(u64::from(step == 0))),
+                    ],
+                );
+                time_step(t, &routines, rtn_dyn, st, ncols, step)
+            },
             |t, st| post_process(t, rtn_post, st),
         )
     }

@@ -21,7 +21,7 @@
 //! and a particle push that gathers the field at particle positions.
 
 use crate::app::{phased_run, AppScale, AppSpec, Application};
-use nvsim_trace::{AllocSite, RoutineId, TracedVec, Tracer};
+use nvsim_trace::{AllocSite, ArgValue, RoutineId, TracedVec, Tracer};
 use nvsim_types::NvsimError;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -124,6 +124,14 @@ impl Application for Gtc {
             iterations,
             |t, st| load_particles(t, rtn_load, st, npart),
             |t, st, step| {
+                t.annotate(
+                    "gtc.timestep",
+                    &[
+                        ("step", ArgValue::U64(u64::from(step))),
+                        ("particles", ArgValue::U64(npart as u64)),
+                        ("grid_cells", ArgValue::U64(ngrid as u64)),
+                    ],
+                );
                 charge_deposit(t, rtn_charge, st, npart, ngrid)?;
                 poisson_solve(t, rtn_solve, st, ngrid, step)?;
                 push_particles(t, rtn_push, st, npart, ngrid)

@@ -32,7 +32,7 @@
 //! paper observes for Nek5000 (Figures 7/8).
 
 use crate::app::{phased_run, AppScale, AppSpec, Application};
-use nvsim_trace::{AllocSite, TracedVec, Tracer};
+use nvsim_trace::{AllocSite, ArgValue, TracedVec, Tracer};
 use nvsim_types::NvsimError;
 
 /// Points per spectral element (8×8 collocation grid).
@@ -194,7 +194,21 @@ impl Application for Nek5000 {
             &mut st,
             iterations,
             |t, st| pre_compute(t, rtn_setup, st, nelt),
-            |t, st, step| time_step(t, rtn_ax, rtn_cg, rtn_bc, st, nelt, step),
+            |t, st, step| {
+                let cg_iters =
+                    shape::CG_BASE + shape::CG_JITTER[step as usize % shape::CG_JITTER.len()];
+                t.annotate(
+                    "nek5000.timestep",
+                    &[
+                        ("step", ArgValue::U64(u64::from(step))),
+                        ("elements", ArgValue::U64(nelt as u64)),
+                        // The varying CG depth is what produces Nek5000's
+                        // diverse per-iteration reference rates (Figure 8).
+                        ("cg_iterations", ArgValue::U64(u64::from(cg_iters))),
+                    ],
+                );
+                time_step(t, rtn_ax, rtn_cg, rtn_bc, st, nelt, step)
+            },
             |t, st| post_process(t, rtn_post, st),
         )
     }

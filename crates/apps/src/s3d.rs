@@ -17,7 +17,7 @@
 //!   the proxy's main loop is deliberately step-independent.
 
 use crate::app::{phased_run, AppScale, AppSpec, Application};
-use nvsim_trace::{AllocSite, RoutineId, TracedVec, Tracer};
+use nvsim_trace::{AllocSite, ArgValue, RoutineId, TracedVec, Tracer};
 use nvsim_types::NvsimError;
 
 /// Chemical species tracked (reduced mechanism).
@@ -105,7 +105,15 @@ impl Application for S3d {
             &mut st,
             iterations,
             |t, st| initialize(t, rtn_init, st, n),
-            |t, st, _step| {
+            |t, st, step| {
+                t.annotate(
+                    "s3d.timestep",
+                    &[
+                        ("step", ArgValue::U64(u64::from(step))),
+                        ("grid_points", ArgValue::U64(n as u64)),
+                        ("species", ArgValue::U64(NSPEC as u64)),
+                    ],
+                );
                 // Step-independent work: S3D's reference rates stay flat
                 // across iterations (Figure 10).
                 rhsf(t, rtn_rhsf, st, n)?;

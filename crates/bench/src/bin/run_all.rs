@@ -93,22 +93,32 @@ fn main() {
         );
     }
 
-    // Instrumented pass: with --metrics-json, run every app through the
-    // fully instrumented pipeline into one shared registry and dump the
-    // aggregate snapshot (counters sum over the four applications).
-    if args.metrics_json.is_some() {
+    // Instrumented pass: with --metrics-json and/or --timeline, run every
+    // app through the fully instrumented pipeline into one shared registry
+    // and journal, then dump the aggregate snapshot (counters sum over the
+    // four applications) and/or the Chrome trace-event timeline (the four
+    // apps' spans land back-to-back on the same per-category tracks).
+    if args.wants_instrumented_pass() {
         let metrics = args.metrics();
-        println!("\n### Instrumented pipeline (--metrics-json)");
+        let timeline = args.timeline();
+        println!("\n### Instrumented pipeline (--metrics-json / --timeline)");
         for mut app in nvsim_apps::all_apps(args.scale) {
-            let r = nv_scavenger::profile::profile(app.as_mut(), args.iterations, &metrics)
-                .expect("instrumented profile");
+            let r = nv_scavenger::profile::profile_observed(
+                app.as_mut(),
+                args.iterations,
+                &metrics,
+                &timeline,
+            )
+            .expect("instrumented profile");
             println!(
-                "  {:<10} {:>10} refs -> {:>7} main-memory transactions",
+                "  {:<10} {:>10} refs -> {:>7} main-memory transactions ({} epochs)",
                 app.spec().name,
                 r.characterization.tracer_stats.refs,
-                r.transactions
+                r.transactions,
+                r.epochs.len()
             );
         }
         args.dump_metrics(&metrics.snapshot());
+        args.dump_timeline(&timeline);
     }
 }

@@ -10,15 +10,17 @@
 //! `bench`; default `bench` = 1/64 of the paper's footprints) and an
 //! optional `--json <path>` to dump the machine-readable report that
 //! EXPERIMENTS.md references. `run_all` additionally accepts
-//! `--metrics-json <path>`: it then re-runs every application through
-//! the instrumented pipeline and dumps the `nvsim-obs` snapshot
-//! (`trace.*`, `cache.*`, `mem.<tech>.*`, … — see `docs/METRICS.md`).
+//! `--metrics-json <path>` and `--timeline <path>`: either flag re-runs
+//! every application through the instrumented pipeline, dumping the
+//! `nvsim-obs` snapshot (`trace.*`, `cache.*`, `mem.<tech>.*`, … — see
+//! `docs/METRICS.md`) and/or the event journal as Chrome trace-event
+//! JSON (open it at <https://ui.perfetto.dev>).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use nvsim_apps::AppScale;
-use nvsim_obs::{Metrics, Snapshot};
+use nvsim_obs::{Metrics, Snapshot, Timeline};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -35,17 +37,21 @@ pub struct BenchArgs {
     pub json: Option<PathBuf>,
     /// Optional `nvsim-obs` snapshot dump path (`--metrics-json`).
     pub metrics_json: Option<PathBuf>,
+    /// Optional Chrome trace-event timeline dump path (`--timeline`).
+    pub timeline_json: Option<PathBuf>,
 }
 
 impl BenchArgs {
     /// Parses `std::env::args`:
-    /// `[scale] [--iters N] [--json PATH] [--metrics-json PATH]`.
+    /// `[scale] [--iters N] [--json PATH] [--metrics-json PATH]
+    /// [--timeline PATH]`.
     pub fn parse() -> Self {
         let mut args = BenchArgs {
             scale: AppScale::Bench,
             iterations: 10,
             json: None,
             metrics_json: None,
+            timeline_json: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -67,7 +73,11 @@ impl BenchArgs {
                         it.next().expect("--metrics-json needs a path"),
                     ));
                 }
-                other => panic!("unknown argument: {other} (expected test|small|bench, --iters N, --json PATH, --metrics-json PATH)"),
+                "--timeline" => {
+                    args.timeline_json =
+                        Some(PathBuf::from(it.next().expect("--timeline needs a path")));
+                }
+                other => panic!("unknown argument: {other} (expected test|small|bench, --iters N, --json PATH, --metrics-json PATH, --timeline PATH)"),
             }
         }
         args
@@ -82,15 +92,32 @@ impl BenchArgs {
         }
     }
 
+    /// Returns `true` when any flag requests the instrumented pass
+    /// (`--metrics-json` or `--timeline`).
+    pub fn wants_instrumented_pass(&self) -> bool {
+        self.metrics_json.is_some() || self.timeline_json.is_some()
+    }
+
     /// Returns the metrics handle the run should thread through the
-    /// pipeline: enabled when `--metrics-json` was given (the snapshot
-    /// is written by [`BenchArgs::dump_metrics`]), disabled — every
-    /// instrument a no-op — otherwise.
+    /// pipeline: enabled when the instrumented pass was requested (the
+    /// snapshot is written by [`BenchArgs::dump_metrics`]), disabled —
+    /// every instrument a no-op — otherwise.
     pub fn metrics(&self) -> Metrics {
-        if self.metrics_json.is_some() {
+        if self.wants_instrumented_pass() {
             Metrics::enabled()
         } else {
             Metrics::disabled()
+        }
+    }
+
+    /// Returns the timeline handle for the instrumented pass: enabled
+    /// when `--timeline` was given (the journal is written by
+    /// [`BenchArgs::dump_timeline`]), disabled otherwise.
+    pub fn timeline(&self) -> Timeline {
+        if self.timeline_json.is_some() {
+            Timeline::enabled()
+        } else {
+            Timeline::disabled()
         }
     }
 
@@ -100,6 +127,19 @@ impl BenchArgs {
         if let Some(path) = &self.metrics_json {
             std::fs::write(path, snapshot.to_json()).expect("write metrics json");
             eprintln!("wrote {}", path.display());
+        }
+    }
+
+    /// Writes the `--timeline` Chrome trace-event JSON if requested.
+    pub fn dump_timeline(&self, timeline: &Timeline) {
+        if let Some(path) = &self.timeline_json {
+            std::fs::write(path, timeline.to_chrome_json()).expect("write timeline json");
+            eprintln!(
+                "wrote {} ({} events, {} dropped)",
+                path.display(),
+                timeline.len(),
+                timeline.dropped()
+            );
         }
     }
 

@@ -1,0 +1,58 @@
+//! Golden-schema test for the `run_all` binary's instrumented pass:
+//! `--metrics-json` keeps the documented counter namespaces (aggregated
+//! over all four applications) and `--timeline` emits a Chrome trace
+//! with every app's phase spans on it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nvsim-run-all-schema-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn metrics_json_and_timeline_cover_all_apps() {
+    let metrics_out = scratch("metrics.json");
+    let timeline_out = scratch("timeline.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args(["test", "--iters", "2"])
+        .args(["--metrics-json", metrics_out.to_str().unwrap()])
+        .args(["--timeline", timeline_out.to_str().unwrap()])
+        .status()
+        .expect("run run_all");
+    assert!(status.success());
+
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_out).unwrap()).unwrap();
+    let counters = metrics["counters"].as_object().unwrap();
+    for ns in ["trace.", "cache.", "mem.ddr3.", "placement."] {
+        assert!(
+            counters.keys().any(|k| k.starts_with(ns)),
+            "no {ns} counters in --metrics-json output"
+        );
+    }
+    // The shared registry aggregates four applications' worth of refs.
+    assert!(counters["trace.refs"].as_u64().unwrap() > 100_000);
+
+    let timeline: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&timeline_out).unwrap()).unwrap();
+    assert_eq!(timeline["schema"].as_u64(), Some(1));
+    let events = timeline["traceEvents"].as_array().unwrap();
+    // One annotation instant per app per iteration rides on the trace.
+    for marker in [
+        "gtc.timestep",
+        "cam.timestep",
+        "s3d.timestep",
+        "nek5000.timestep",
+    ] {
+        let n = events
+            .iter()
+            .filter(|e| e["name"].as_str() == Some(marker))
+            .count();
+        assert_eq!(n, 2, "expected 2 {marker} instants");
+    }
+    std::fs::remove_file(&metrics_out).ok();
+    std::fs::remove_file(&timeline_out).ok();
+}

@@ -2,7 +2,7 @@
 //! hierarchy and forwards the filtered main-memory transactions.
 
 use crate::hierarchy::{CacheHierarchy, HierarchyStats};
-use nvsim_obs::{Histogram, Metrics};
+use nvsim_obs::{ArgValue, Histogram, Metrics, Timeline};
 use nvsim_trace::{Event, EventSink};
 use nvsim_types::{CacheConfig, MemRef, MemTransaction, TransactionKind};
 
@@ -56,6 +56,7 @@ pub struct CacheFilterSink<S> {
     drain_on_finish: bool,
     metrics: Metrics,
     ref_bytes: Histogram,
+    timeline: Timeline,
 }
 
 impl<S: TransactionSink> CacheFilterSink<S> {
@@ -68,6 +69,7 @@ impl<S: TransactionSink> CacheFilterSink<S> {
             drain_on_finish: true,
             metrics: Metrics::disabled(),
             ref_bytes: Histogram::default(),
+            timeline: Timeline::disabled(),
         }
     }
 
@@ -78,6 +80,16 @@ impl<S: TransactionSink> CacheFilterSink<S> {
     pub fn set_metrics(&mut self, metrics: &Metrics) {
         self.metrics = metrics.clone();
         self.ref_bytes = metrics.histogram("cache.ref_bytes");
+    }
+
+    /// Binds the filter to an event timeline: every dirty line leaving
+    /// the hierarchy (a `Writeback` or `WriteThrough` transaction)
+    /// becomes a `dirty_eviction` instant under the `cache` category,
+    /// and the end-of-run drain renders as a `drain` span. Past the
+    /// timeline's capacity, instants count as dropped instead — spans
+    /// always record, so the trace stays balanced.
+    pub fn set_timeline(&mut self, timeline: &Timeline) {
+        self.timeline = timeline.clone();
     }
 
     fn export_metrics(&self) {
@@ -129,7 +141,17 @@ impl<S: TransactionSink> CacheFilterSink<S> {
         self.ref_bytes.record(u64::from(r.size));
         let line_size = self.hierarchy.line_size();
         let downstream = &mut self.downstream;
-        let mut emit = |t: MemTransaction| downstream.on_transaction(t);
+        let timeline = &self.timeline;
+        let mut emit = |t: MemTransaction| {
+            if timeline.is_enabled() && t.kind != TransactionKind::ReadFill {
+                timeline.instant(
+                    "dirty_eviction",
+                    "cache",
+                    &[("addr", ArgValue::U64(t.addr.raw()))],
+                );
+            }
+            downstream.on_transaction(t)
+        };
         self.hierarchy.access(r.addr, r.kind.is_write(), &mut emit);
         if r.crosses_line(line_size) {
             // A straddling access touches the next line too (PIN reports
@@ -151,8 +173,23 @@ impl<S: TransactionSink> EventSink for CacheFilterSink<S> {
 
     fn on_finish(&mut self) {
         if self.drain_on_finish {
+            self.timeline.begin("drain", "cache");
             let downstream = &mut self.downstream;
-            self.hierarchy.drain(&mut |t| downstream.on_transaction(t));
+            let timeline = &self.timeline;
+            let mut drained = 0u64;
+            self.hierarchy.drain(&mut |t| {
+                drained += 1;
+                if timeline.is_enabled() {
+                    timeline.instant(
+                        "dirty_eviction",
+                        "cache",
+                        &[("addr", ArgValue::U64(t.addr.raw()))],
+                    );
+                }
+                downstream.on_transaction(t)
+            });
+            self.timeline
+                .end_with("drain", "cache", &[("writebacks", ArgValue::U64(drained))]);
         }
         self.export_metrics();
     }
@@ -238,6 +275,36 @@ mod tests {
         let sizes = snap.histogram("cache.ref_bytes").expect("ref sizes");
         assert_eq!(sizes.count, sink.refs_seen());
         assert_eq!(sizes.max, 8);
+    }
+
+    #[test]
+    fn timeline_sees_evictions_and_drain_span() {
+        use nvsim_obs::{EventKind, Timeline};
+        let tl = Timeline::enabled();
+        let mut sink =
+            CacheFilterSink::new(&CacheConfig::default(), CountingTransactionSink::default());
+        sink.set_timeline(&tl);
+        {
+            let mut t = Tracer::new(&mut sink);
+            let mut v = TracedVec::<f64>::global(&mut t, "v", 64).unwrap();
+            v.fill(&mut t, 1.0); // dirties 8 lines, written back by the drain
+            t.finish();
+        }
+        let events = tl.events();
+        let evictions = events
+            .iter()
+            .filter(|e| e.name == "dirty_eviction" && e.cat == "cache")
+            .count() as u64;
+        assert_eq!(evictions, sink.downstream().writes);
+        assert!(evictions > 0);
+        let drain_end = events
+            .iter()
+            .find(|e| e.name == "drain" && e.kind == EventKind::End)
+            .expect("drain span closed");
+        assert_eq!(
+            drain_end.args[0],
+            ("writebacks".to_string(), nvsim_obs::ArgValue::U64(evictions))
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! pipeline and print the per-layer metrics breakdown.
 //!
 //! ```text
-//! profile --app <name> [--scale test|small|bench] [--iters N] [--json out.json]
+//! profile --app <name> [--scale test|small|bench] [--iters N]
+//!         [--json out.json] [--timeline out.trace.json] [--report out.md|out.json]
 //! ```
 //!
 //! Every stage of the Figure 1 pipeline is bound to one `nvsim-obs`
@@ -11,10 +12,14 @@
 //! (`mem.<tech>.*`) and the migration simulator (`placement.*`). The
 //! metric names and units are documented in `docs/METRICS.md`; the JSON
 //! layout is described in EXPERIMENTS.md ("Reading the metrics output").
+//!
+//! `--timeline` writes the run's event journal as Chrome trace-event
+//! JSON (open it at <https://ui.perfetto.dev>). `--report` writes the
+//! consolidated run report — Markdown unless the path ends in `.json`.
 
-use nv_scavenger::profile::profile;
+use nv_scavenger::profile::profile_observed;
 use nvsim_apps::{all_apps, AppScale, Application};
-use nvsim_obs::Metrics;
+use nvsim_obs::{Metrics, Timeline};
 use std::process::ExitCode;
 
 struct Cli {
@@ -22,6 +27,8 @@ struct Cli {
     scale: AppScale,
     iters: u32,
     json: Option<String>,
+    timeline: Option<String>,
+    report: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -30,6 +37,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         scale: AppScale::Small,
         iters: 10,
         json: None,
+        timeline: None,
+        report: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -50,6 +59,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .ok_or("--iters needs a number")?;
             }
             "--json" => cli.json = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--timeline" => {
+                cli.timeline = Some(it.next().ok_or("--timeline needs a path")?.clone())
+            }
+            "--report" => cli.report = Some(it.next().ok_or("--report needs a path")?.clone()),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             // Allow the app as a bare positional too: `profile gtc`.
             other => cli.app = Some(other.to_string()),
@@ -69,10 +82,21 @@ fn find_app(name: &str, scale: AppScale) -> Result<Box<dyn Application>, String>
 }
 
 fn run(cli: &Cli) -> Result<(), String> {
-    let name = cli.app.as_ref().ok_or("usage: profile --app <name> [--scale test|small|bench] [--iters N] [--json out.json]")?;
+    let name = cli.app.as_ref().ok_or(
+        "usage: profile --app <name> [--scale test|small|bench] [--iters N] \
+         [--json out.json] [--timeline out.trace.json] [--report out.md|out.json]",
+    )?;
     let mut app = find_app(name, cli.scale)?;
     let metrics = Metrics::enabled();
-    let report = profile(app.as_mut(), cli.iters, &metrics).map_err(|e| e.to_string())?;
+    // The journal costs a lock per event, so only keep one when some
+    // output actually wants it (the report embeds its event counts).
+    let timeline = if cli.timeline.is_some() || cli.report.is_some() {
+        Timeline::enabled()
+    } else {
+        Timeline::disabled()
+    };
+    let report = profile_observed(app.as_mut(), cli.iters, &metrics, &timeline)
+        .map_err(|e| e.to_string())?;
 
     println!(
         "{} @ 1/{} scale, {} iterations: {} refs -> {} main-memory transactions",
@@ -96,6 +120,24 @@ fn run(cli: &Cli) -> Result<(), String> {
 
     if let Some(path) = &cli.json {
         std::fs::write(path, report.snapshot.to_json()).map_err(|e| e.to_string())?;
+        println!("(wrote {path})");
+    }
+    if let Some(path) = &cli.timeline {
+        std::fs::write(path, timeline.to_chrome_json()).map_err(|e| e.to_string())?;
+        println!(
+            "(wrote {path}: {} events, {} dropped — open at ui.perfetto.dev)",
+            timeline.len(),
+            timeline.dropped()
+        );
+    }
+    if let Some(path) = &cli.report {
+        let rr = report.run_report(&timeline);
+        let rendered = if path.ends_with(".json") {
+            rr.to_json()
+        } else {
+            rr.to_markdown()
+        };
+        std::fs::write(path, rendered).map_err(|e| e.to_string())?;
         println!("(wrote {path})");
     }
     Ok(())

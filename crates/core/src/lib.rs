@@ -27,6 +27,10 @@ pub mod pipeline;
 pub mod profile;
 pub mod stack_fast;
 
-pub use pipeline::{characterize, characterize_with_metrics, Characterization};
-pub use profile::{profile, ProfileReport};
+pub use pipeline::{
+    characterize, characterize_observed, characterize_with_metrics, Characterization,
+};
+pub use profile::{
+    object_drift, profile, profile_observed, ProfileReport, DEFAULT_MTBF_S, HOT_REFERENCE_RATE,
+};
 pub use stack_fast::{FastStackSink, StackIterationRow, StackReport};

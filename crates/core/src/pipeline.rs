@@ -4,7 +4,7 @@
 use crate::stack_fast::{FastStackSink, StackReport};
 use nvsim_apps::Application;
 use nvsim_objects::{ObjectRegistry, RegistryConfig};
-use nvsim_obs::Metrics;
+use nvsim_obs::{EpochRecorder, Metrics, Timeline};
 use nvsim_trace::{TeeSink, Tracer, TracerStats};
 use nvsim_types::NvsimError;
 use serde::{Deserialize, Serialize};
@@ -56,6 +56,27 @@ pub fn characterize_with_metrics(
     iterations: u32,
     metrics: &Metrics,
 ) -> Result<Characterization, NvsimError> {
+    characterize_observed(
+        app,
+        iterations,
+        metrics,
+        &EpochRecorder::disabled(),
+        &Timeline::disabled(),
+    )
+}
+
+/// Like [`characterize_with_metrics`], but additionally binds the tracer
+/// to an [`EpochRecorder`] (each §VI phase boundary closes a metric
+/// window) and a [`Timeline`] (phases render as begin/end spans). Both
+/// have disabled flavours, so this is the most general entry point; the
+/// narrower functions delegate here.
+pub fn characterize_observed(
+    app: &mut dyn Application,
+    iterations: u32,
+    metrics: &Metrics,
+    epochs: &EpochRecorder,
+    timeline: &Timeline,
+) -> Result<Characterization, NvsimError> {
     let mut registry = ObjectRegistry::new(RegistryConfig::default());
     registry.set_metrics(metrics);
     let mut fast = FastStackSink::new();
@@ -64,6 +85,8 @@ pub fn characterize_with_metrics(
         tee.set_metrics(metrics);
         let mut tracer = Tracer::new(&mut tee);
         tracer.set_metrics(metrics);
+        tracer.set_epochs(epochs);
+        tracer.set_timeline(timeline);
         app.run(&mut tracer, iterations)?;
         tracer.finish();
         let (_, heap_peak) = tracer.heap_stats();

@@ -9,17 +9,37 @@
 //! `objects.*`, `cache.*`, `mem.<tech>.*`, `placement.*` — see
 //! `docs/METRICS.md`), and the result carries one [`Snapshot`] of
 //! everything the run counted.
+//!
+//! [`profile_observed`] additionally threads an [`EpochRecorder`] and a
+//! [`Timeline`] through every stage: the run comes back with
+//! per-iteration metric deltas (whose counters sum to the snapshot
+//! totals), a Chrome-trace-exportable event journal, and — via
+//! [`ProfileReport::run_report`] — a consolidated Markdown/JSON report.
 
-use crate::pipeline::{characterize_with_metrics, Characterization};
+use crate::pipeline::{characterize_observed, Characterization};
 use nvsim_apps::Application;
 use nvsim_cache::{CacheFilterSink, VecTransactionSink};
 use nvsim_mem::system::{MemorySystem, PowerReport};
-use nvsim_obs::{Metrics, Snapshot};
-use nvsim_placement::{MigrationConfig, MigrationSimulator, MigrationStats};
+use nvsim_obs::{
+    Epoch, EpochRecorder, Metrics, ObjectDrift, ReportMeta, RunReport, Snapshot, Timeline,
+};
+use nvsim_placement::{
+    compare_targets_traced, CheckpointPlan, MigrationConfig, MigrationSimulator, MigrationStats,
+};
 use nvsim_trace::Tracer;
 use nvsim_types::{
     CacheConfig, DeviceProfile, MemoryTechnology, NvsimError, Region, SystemConfig,
 };
+
+/// Reference-rate threshold above which an object counts as *hot* in an
+/// iteration, for the run report's drift table. Matches the §VII
+/// category-2 intuition: an object referenced in ≥1% of an iteration's
+/// accesses is active enough that its placement matters.
+pub const HOT_REFERENCE_RATE: f64 = 0.01;
+
+/// MTBF assumed for the report's checkpoint plans: an hour, the
+/// exascale-class full-system figure the §I motivation uses.
+pub const DEFAULT_MTBF_S: f64 = 3600.0;
 
 /// Everything one instrumented pipeline run produces.
 pub struct ProfileReport {
@@ -31,8 +51,55 @@ pub struct ProfileReport {
     pub power: Vec<PowerReport>,
     /// Migration outcome over the run's global+heap objects.
     pub migration: MigrationStats,
+    /// Young-model checkpoint plans for the measured footprint
+    /// (PFS / local SSD / NVRAM DIMM at [`DEFAULT_MTBF_S`]).
+    pub checkpoints: Vec<CheckpointPlan>,
     /// Snapshot of every instrument the run exported.
     pub snapshot: Snapshot,
+    /// Per-phase metric deltas (Setup, one per iteration, PostProcess,
+    /// Tail). Empty unless the run was profiled with enabled metrics via
+    /// [`profile_observed`]. The deltas partition `snapshot`: for every
+    /// counter, the epoch values sum to the whole-run total.
+    pub epochs: Vec<Epoch>,
+    /// Report identity (app name, configured iterations).
+    pub meta: ReportMeta,
+}
+
+impl ProfileReport {
+    /// Folds this report into a consolidated [`RunReport`] (per-epoch
+    /// table, object drift, memory-system comparison, timeline summary).
+    /// Pass the timeline the run was profiled with, or
+    /// [`Timeline::disabled`].
+    pub fn run_report(&self, timeline: &Timeline) -> RunReport {
+        RunReport::new(self.meta.clone(), self.epochs.clone(), self.snapshot.clone())
+            .with_drift(object_drift(&self.characterization, HOT_REFERENCE_RATE))
+            .with_timeline(timeline)
+    }
+}
+
+/// Per-object hot/cold drift rows from a characterization: an object is
+/// hot in iteration `i` when its per-iteration reference rate is at
+/// least `threshold`. Stack objects are excluded (placement targets the
+/// long-lived working set); rows come back hottest-first.
+pub fn object_drift(c: &Characterization, threshold: f64) -> Vec<ObjectDrift> {
+    let mut rows: Vec<ObjectDrift> = c
+        .registry
+        .objects()
+        .iter()
+        .filter(|o| o.region != Region::Stack && !o.metrics.per_iteration.is_empty())
+        .map(|o| {
+            let rates: Vec<f64> = o
+                .metrics
+                .per_iteration
+                .iter()
+                .map(|s| s.reference_rate)
+                .collect();
+            let hot: Vec<bool> = rates.iter().map(|r| *r >= threshold).collect();
+            ObjectDrift::from_flags(&o.name, &hot, &rates)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.mean_reference_rate.total_cmp(&a.mean_reference_rate));
+    rows
 }
 
 /// Runs the full instrumented pipeline over one application.
@@ -55,19 +122,51 @@ pub fn profile(
     iterations: u32,
     metrics: &Metrics,
 ) -> Result<ProfileReport, NvsimError> {
+    profile_observed(app, iterations, metrics, &Timeline::disabled())
+}
+
+/// [`profile`] with iteration-resolved observation: an [`EpochRecorder`]
+/// over `metrics` snapshots the registry at every §VI phase boundary of
+/// the characterization run (the post-trace stages land in the Tail
+/// epoch), and `timeline` collects begin/end spans and instant events
+/// from every stage — phases from the tracer, dirty evictions and the
+/// final drain from the cache filter, one replay span plus power instant
+/// per technology, and migrations plus checkpoint plans from placement.
+///
+/// Export the journal with [`Timeline::to_chrome_json`] and the
+/// consolidated report with [`ProfileReport::run_report`].
+pub fn profile_observed(
+    app: &mut dyn Application,
+    iterations: u32,
+    metrics: &Metrics,
+    timeline: &Timeline,
+) -> Result<ProfileReport, NvsimError> {
+    let recorder = EpochRecorder::new(metrics);
+
     // Run 1: attribution tools, instrumented at the tracer level. Only
     // this run binds the tracer so `trace.*` counts one execution.
-    let characterization = characterize_with_metrics(app, iterations, metrics)?;
+    let characterization = characterize_observed(app, iterations, metrics, &recorder, timeline)?;
+
+    // What would checkpointing the measured footprint cost? (§I
+    // motivation; renders as `checkpoint_flush` instants.)
+    let checkpoints = compare_targets_traced(
+        characterization.footprint.total(),
+        DEFAULT_MTBF_S,
+        timeline,
+    );
 
     // Run 2: cache filter. The tracer here is deliberately left unbound
     // to keep `trace.*` single-run; the filter exports `cache.*`.
+    timeline.begin("cache_filter", "cache");
     let mut sink = CacheFilterSink::new(&CacheConfig::default(), VecTransactionSink::default());
     sink.set_metrics(metrics);
+    sink.set_timeline(timeline);
     {
         let mut tracer = Tracer::new(&mut sink);
         app.run(&mut tracer, iterations)?;
         tracer.finish();
     }
+    timeline.end("cache_filter", "cache");
     let txns = sink.into_downstream().transactions;
 
     // Replay the filtered trace on each technology; `mem.<tech>.*` keys
@@ -78,6 +177,7 @@ pub fn profile(
         .map(|&t| {
             let mut m = MemorySystem::new(DeviceProfile::for_technology(t), &sys);
             m.set_metrics(metrics);
+            m.set_timeline(timeline);
             m.replay(&txns);
             m.finish()
         })
@@ -93,14 +193,26 @@ pub fn profile(
         .collect();
     let migration = MigrationSimulator::new(MigrationConfig::default())
         .with_metrics(metrics)
+        .with_timeline(timeline)
         .run(&refs);
 
+    // Seal the epoch partition *before* the final snapshot so the Tail
+    // epoch absorbs everything since PostProcess and the sum invariant
+    // holds exactly.
+    recorder.finish();
+    let meta = ReportMeta {
+        app: app.spec().name.to_string(),
+        iterations,
+    };
     Ok(ProfileReport {
         characterization,
         transactions: txns.len() as u64,
         power,
         migration,
+        checkpoints,
         snapshot: metrics.snapshot(),
+        epochs: recorder.epochs(),
+        meta,
     })
 }
 
@@ -108,6 +220,7 @@ pub fn profile(
 mod tests {
     use super::*;
     use nvsim_apps::{AppScale, Gtc};
+    use nvsim_obs::EpochKind;
 
     #[test]
     fn profile_exports_every_layer() {
@@ -127,6 +240,7 @@ mod tests {
         assert!(snap.counter("objects.tracked").unwrap() > 0);
         assert!(snap.counter("placement.migrations").is_some());
         assert_eq!(report.power.len(), 4);
+        assert_eq!(report.checkpoints.len(), 3);
     }
 
     #[test]
@@ -136,5 +250,55 @@ mod tests {
         assert!(report.snapshot.is_empty());
         assert!(report.transactions > 0);
         assert_eq!(report.power.len(), 4);
+        assert!(report.epochs.is_empty());
+    }
+
+    #[test]
+    fn observed_profile_partitions_counters_into_epochs() {
+        let metrics = Metrics::enabled();
+        let timeline = Timeline::enabled();
+        let mut app = Gtc::new(AppScale::Test);
+        let report = profile_observed(&mut app, 3, &metrics, &timeline).unwrap();
+
+        // Setup + 3 iterations + PostProcess + Tail.
+        let labels: Vec<String> = report.epochs.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            ["setup", "iteration 0", "iteration 1", "iteration 2", "post_process", "tail"]
+        );
+        // Every counter's epoch deltas sum to its whole-run total.
+        for (name, total) in &report.snapshot.counters {
+            let sum: u64 = report
+                .epochs
+                .iter()
+                .filter_map(|e| e.delta.counter(name))
+                .sum();
+            assert_eq!(sum, *total, "epoch deltas of {name} must sum to total");
+        }
+        // The cache filter and replays run after the traced program, so
+        // their counters live entirely in the Tail epoch.
+        let tail = report.epochs.last().unwrap();
+        assert_eq!(tail.kind, EpochKind::Tail);
+        assert_eq!(
+            tail.delta.counter("cache.refs"),
+            report.snapshot.counter("cache.refs")
+        );
+
+        // The timeline saw every stage.
+        let events = timeline.events();
+        for cat in ["trace", "cache", "mem", "placement"] {
+            assert!(events.iter().any(|e| e.cat == cat), "no {cat} events");
+        }
+        assert!(events.iter().any(|e| e.name == "checkpoint_flush"));
+
+        // And the consolidated report reflects all of it.
+        let rr = report.run_report(&timeline);
+        assert!(!rr.drift.is_empty());
+        let json = rr.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"label\": \"iteration 2\""));
+        let md = rr.to_markdown();
+        assert!(md.contains("run report: GTC"));
+        assert!(md.contains("| iteration 1 |"));
     }
 }

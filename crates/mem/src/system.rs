@@ -7,7 +7,7 @@ use crate::mapping::MappingScheme;
 use crate::bank::RowPolicy;
 use crate::power::{PowerBreakdown, PowerModel};
 use nvsim_cache::TransactionSink;
-use nvsim_obs::Metrics;
+use nvsim_obs::{ArgValue, Metrics, Timeline};
 use nvsim_types::{DeviceProfile, MemTransaction, SystemConfig};
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +51,7 @@ pub struct MemorySystem {
     controller: MemoryController,
     model: PowerModel,
     metrics: Metrics,
+    timeline: Timeline,
 }
 
 impl MemorySystem {
@@ -60,6 +61,7 @@ impl MemorySystem {
             controller: MemoryController::with_defaults(device.clone(), sys),
             model: PowerModel::new(device, sys.mem_capacity_bytes),
             metrics: Metrics::disabled(),
+            timeline: Timeline::disabled(),
         }
     }
 
@@ -75,6 +77,7 @@ impl MemorySystem {
             controller: MemoryController::new(device.clone(), sys, scheme, policy, 64),
             model: PowerModel::new(device, sys.mem_capacity_bytes),
             metrics: Metrics::disabled(),
+            timeline: Timeline::disabled(),
         }
     }
 
@@ -85,6 +88,18 @@ impl MemorySystem {
     /// registry without colliding.
     pub fn set_metrics(&mut self, metrics: &Metrics) {
         self.metrics = metrics.clone();
+    }
+
+    /// Binds the system to an event timeline: [`MemorySystem::replay`]
+    /// renders as a `replay <tech>` span and [`MemorySystem::finish`]
+    /// emits a `power` instant carrying the replay's energy and elapsed
+    /// time, all under the `mem` category.
+    pub fn set_timeline(&mut self, timeline: &Timeline) {
+        self.timeline = timeline.clone();
+    }
+
+    fn technology_label(&self) -> String {
+        self.controller.device().technology.to_string().to_lowercase()
     }
 
     fn export_metrics(&self, stats: &ControllerStats, power: &PowerBreakdown) {
@@ -124,8 +139,19 @@ impl MemorySystem {
 
     /// Replays a whole trace.
     pub fn replay<'a>(&mut self, txns: impl IntoIterator<Item = &'a MemTransaction>) {
+        let span = self.timeline.is_enabled().then(|| {
+            let name = format!("replay {}", self.technology_label());
+            self.timeline.begin(&name, "mem");
+            name
+        });
+        let mut n = 0u64;
         for t in txns {
             self.process(t);
+            n += 1;
+        }
+        if let Some(name) = span {
+            self.timeline
+                .end_with(&name, "mem", &[("transactions", ArgValue::U64(n))]);
         }
     }
 
@@ -134,6 +160,17 @@ impl MemorySystem {
         let stats = self.controller.finish();
         let power = self.model.average_power(&stats);
         self.export_metrics(&stats, &power);
+        if self.timeline.is_enabled() {
+            self.timeline.instant(
+                "power",
+                "mem",
+                &[
+                    ("tech", ArgValue::Str(self.technology_label())),
+                    ("energy_pj", ArgValue::F64(power.total_mw() * stats.elapsed_ns)),
+                    ("elapsed_ns", ArgValue::F64(stats.elapsed_ns)),
+                ],
+            );
+        }
         PowerReport {
             technology: self.controller.device().technology.to_string(),
             stats,
@@ -253,6 +290,31 @@ mod tests {
         assert!(snap.counter("mem.ddr3.refreshes").unwrap() > 0);
         assert_eq!(snap.counter("mem.pcram.refreshes"), Some(0));
         assert!(snap.gauge("mem.pcram.elapsed_ns").unwrap() > 0);
+    }
+
+    #[test]
+    fn timeline_gets_replay_span_and_power_instant() {
+        use nvsim_obs::{EventKind, Timeline};
+        let tl = Timeline::enabled();
+        let sys = SystemConfig::default();
+        let mut ms = MemorySystem::new(DeviceProfile::pcram(), &sys);
+        ms.set_timeline(&tl);
+        ms.replay(&synthetic_trace(100));
+        let _ = ms.finish();
+        let events = tl.events();
+        let span: Vec<_> = events.iter().filter(|e| e.name == "replay pcram").collect();
+        assert_eq!(span.len(), 2);
+        assert_eq!(span[0].kind, EventKind::Begin);
+        assert_eq!(span[1].kind, EventKind::End);
+        assert_eq!(
+            span[1].args[0],
+            ("transactions".to_string(), ArgValue::U64(100))
+        );
+        let power = events
+            .iter()
+            .find(|e| e.name == "power" && e.cat == "mem")
+            .expect("power instant");
+        assert_eq!(power.args[0], ("tech".to_string(), ArgValue::Str("pcram".into())));
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Per-main-loop-iteration metric deltas.
+//!
+//! NV-SCAVENGER's core methodology (§VI) is *iteration-resolved*: the
+//! tool reports read/write ratio, reference rate and size per object per
+//! main-loop iteration, because aggregate numbers hide the phase
+//! behaviour that decides NVRAM suitability. The whole-run
+//! [`Snapshot`](crate::Snapshot) loses that structure; an
+//! [`EpochRecorder`] restores it by snapshotting one shared
+//! [`Metrics`](crate::Metrics) registry at every phase boundary and
+//! storing the [`Snapshot::delta`] since the previous boundary as an
+//! [`Epoch`].
+//!
+//! The recorder guarantees a partition: every counter increment lands in
+//! exactly one epoch, so for any counter the sum over all epochs equals
+//! the whole-run total (the integration tests assert this). The final
+//! [`EpochRecorder::finish`] call captures whatever accrued after the
+//! last boundary (cache-filter re-run, technology replays, migration)
+//! into a trailing [`EpochKind::Tail`] epoch.
+//!
+//! ```
+//! use nvsim_obs::{EpochKind, EpochRecorder, Metrics};
+//!
+//! let metrics = Metrics::enabled();
+//! let recorder = EpochRecorder::new(&metrics);
+//! metrics.counter("trace.refs").add(10);
+//! recorder.mark(EpochKind::Iteration(0));
+//! metrics.counter("trace.refs").add(4);
+//! recorder.mark(EpochKind::Iteration(1));
+//! recorder.finish();
+//!
+//! let epochs = recorder.epochs();
+//! assert_eq!(epochs.len(), 3); // two iterations + tail
+//! assert_eq!(epochs[0].delta.counter("trace.refs"), Some(10));
+//! assert_eq!(epochs[1].delta.counter("trace.refs"), Some(4));
+//! let sum: u64 = epochs.iter().filter_map(|e| e.delta.counter("trace.refs")).sum();
+//! assert_eq!(sum, metrics.snapshot().counter("trace.refs").unwrap());
+//! ```
+
+use crate::metrics::Metrics;
+use crate::snapshot::Snapshot;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What part of the run an epoch covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochKind {
+    /// Everything before the first main-loop iteration (allocation,
+    /// input parsing — §VI's "pre-computing phase").
+    Setup,
+    /// One main-loop iteration (0-based).
+    Iteration(u32),
+    /// The post-processing phase (§VI).
+    PostProcess,
+    /// Everything after the traced run: cache-filter re-run, technology
+    /// replays, migration simulation. Captured by
+    /// [`EpochRecorder::finish`] so epoch sums stay exhaustive.
+    Tail,
+}
+
+impl EpochKind {
+    /// Human/report label (`setup`, `iteration 3`, `post_process`,
+    /// `tail`).
+    pub fn label(&self) -> String {
+        match self {
+            EpochKind::Setup => "setup".into(),
+            EpochKind::Iteration(i) => format!("iteration {i}"),
+            EpochKind::PostProcess => "post_process".into(),
+            EpochKind::Tail => "tail".into(),
+        }
+    }
+
+    /// The iteration index, for `Iteration` epochs.
+    pub fn iteration(&self) -> Option<u32> {
+        match self {
+            EpochKind::Iteration(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded epoch: the metric delta over a window of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Epoch {
+    /// Which window this is.
+    pub kind: EpochKind,
+    /// Instrument deltas over the window (see [`Snapshot::delta`]).
+    pub delta: Snapshot,
+    /// Wall-clock duration of the window, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl Epoch {
+    /// Read/write ratio of the window, from `trace.reads` /
+    /// `trace.writes` deltas. `None` when nothing was traced;
+    /// `Some(f64::INFINITY)` for a read-only window.
+    pub fn rw_ratio(&self) -> Option<f64> {
+        let reads = self.delta.counter("trace.reads").unwrap_or(0);
+        let writes = self.delta.counter("trace.writes").unwrap_or(0);
+        match (reads, writes) {
+            (0, 0) => None,
+            (_, 0) => Some(f64::INFINITY),
+            (r, w) => Some(r as f64 / w as f64),
+        }
+    }
+
+    /// References traced during the window (`trace.refs` delta).
+    pub fn refs(&self) -> u64 {
+        self.delta.counter("trace.refs").unwrap_or(0)
+    }
+}
+
+#[derive(Debug)]
+struct RecorderState {
+    metrics: Metrics,
+    last: Snapshot,
+    last_at: Instant,
+    epochs: Vec<Epoch>,
+    finished: bool,
+}
+
+/// Captures metric deltas at phase boundaries. Cheaply clonable; clones
+/// share the epoch list. Created from a disabled registry (or via
+/// [`EpochRecorder::disabled`]) every call is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct EpochRecorder {
+    inner: Option<Arc<Mutex<RecorderState>>>,
+}
+
+impl EpochRecorder {
+    /// Creates a recorder over `metrics`. The baseline snapshot is taken
+    /// now; the first [`EpochRecorder::mark`] captures everything since
+    /// this call. A disabled registry yields a disabled recorder.
+    pub fn new(metrics: &Metrics) -> Self {
+        if !metrics.is_enabled() {
+            return Self::disabled();
+        }
+        EpochRecorder {
+            inner: Some(Arc::new(Mutex::new(RecorderState {
+                metrics: metrics.clone(),
+                last: metrics.snapshot(),
+                last_at: Instant::now(),
+                epochs: Vec::new(),
+                finished: false,
+            }))),
+        }
+    }
+
+    /// Creates a recorder that records nothing.
+    pub fn disabled() -> Self {
+        EpochRecorder { inner: None }
+    }
+
+    /// `true` when marks actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Closes the current window as an epoch of `kind` and opens the
+    /// next one.
+    pub fn mark(&self, kind: EpochKind) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock().expect("epoch recorder poisoned");
+        if st.finished {
+            return;
+        }
+        let now_at = Instant::now();
+        let now = st.metrics.snapshot();
+        let delta = now.delta(&st.last);
+        let wall_ns =
+            u64::try_from(now_at.duration_since(st.last_at).as_nanos()).unwrap_or(u64::MAX);
+        st.epochs.push(Epoch {
+            kind,
+            delta,
+            wall_ns,
+        });
+        st.last = now;
+        st.last_at = now_at;
+    }
+
+    /// Captures everything since the last mark into a final
+    /// [`EpochKind::Tail`] epoch (skipped when nothing accrued) and
+    /// seals the recorder — later marks are ignored. Idempotent.
+    pub fn finish(&self) {
+        let Some(inner) = &self.inner else { return };
+        let already = inner.lock().expect("epoch recorder poisoned").finished;
+        if already {
+            return;
+        }
+        self.mark(EpochKind::Tail);
+        let mut st = inner.lock().expect("epoch recorder poisoned");
+        if let Some(last) = st.epochs.last() {
+            if last.kind == EpochKind::Tail
+                && last.delta.counters.values().all(|v| *v == 0)
+                && last.delta.histograms.values().all(|h| h.count == 0)
+            {
+                st.epochs.pop();
+            }
+        }
+        st.finished = true;
+    }
+
+    /// Epochs recorded so far, in order.
+    pub fn epochs(&self) -> Vec<Epoch> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            inner.lock().expect("epoch recorder poisoned").epochs.clone()
+        })
+    }
+
+    /// Number of epochs recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.lock().expect("epoch recorder poisoned").epochs.len()
+        })
+    }
+
+    /// `true` when no epoch has been recorded (always for disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_silent() {
+        let rec = EpochRecorder::new(&Metrics::disabled());
+        rec.mark(EpochKind::Iteration(0));
+        rec.finish();
+        assert!(!rec.is_enabled());
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn epochs_partition_the_run() {
+        let m = Metrics::enabled();
+        let rec = EpochRecorder::new(&m);
+        let c = m.counter("trace.refs");
+        c.add(3);
+        rec.mark(EpochKind::Setup);
+        c.add(7);
+        rec.mark(EpochKind::Iteration(0));
+        rec.mark(EpochKind::Iteration(1)); // empty window
+        c.add(5);
+        rec.finish();
+
+        let epochs = rec.epochs();
+        assert_eq!(epochs.len(), 4);
+        assert_eq!(epochs[0].kind, EpochKind::Setup);
+        assert_eq!(epochs[0].refs(), 3);
+        assert_eq!(epochs[1].refs(), 7);
+        assert_eq!(epochs[2].refs(), 0);
+        assert_eq!(epochs[3].kind, EpochKind::Tail);
+        assert_eq!(epochs[3].refs(), 5);
+        let sum: u64 = epochs.iter().map(|e| e.refs()).sum();
+        assert_eq!(sum, m.snapshot().counter("trace.refs").unwrap());
+    }
+
+    #[test]
+    fn empty_tail_is_elided_and_finish_is_idempotent() {
+        let m = Metrics::enabled();
+        let rec = EpochRecorder::new(&m);
+        m.counter("x").inc();
+        rec.mark(EpochKind::Iteration(0));
+        rec.finish();
+        rec.finish();
+        rec.mark(EpochKind::Iteration(1)); // after finish: ignored
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn rw_ratio_flavours() {
+        let m = Metrics::enabled();
+        let rec = EpochRecorder::new(&m);
+        rec.mark(EpochKind::Iteration(0)); // empty
+        m.counter("trace.reads").add(10);
+        m.counter("trace.refs").add(10);
+        rec.mark(EpochKind::Iteration(1)); // read-only
+        m.counter("trace.reads").add(8);
+        m.counter("trace.writes").add(4);
+        m.counter("trace.refs").add(12);
+        rec.mark(EpochKind::Iteration(2)); // ratio 2
+        let e = rec.epochs();
+        assert_eq!(e[0].rw_ratio(), None);
+        assert_eq!(e[1].rw_ratio(), Some(f64::INFINITY));
+        assert_eq!(e[2].rw_ratio(), Some(2.0));
+        assert!(e[2].wall_ns < u64::MAX);
+    }
+
+    #[test]
+    fn clones_share_epochs() {
+        let m = Metrics::enabled();
+        let rec = EpochRecorder::new(&m);
+        let rec2 = rec.clone();
+        m.counter("x").inc();
+        rec.mark(EpochKind::Iteration(0));
+        assert_eq!(rec2.len(), 1);
+    }
+}

@@ -130,6 +130,39 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The observations recorded between `earlier` and `self` (both
+    /// snapshots of the *same* histogram, `earlier` taken first):
+    /// bucket counts, `count` and `sum` subtract; `min`/`max` cannot be
+    /// recovered for a window, so the delta keeps the whole-run values
+    /// from `self`.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| {
+                self.buckets[i].saturating_sub(earlier.buckets[i])
+            }),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Median (approximate, from bucket bounds — see
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th percentile (approximate, from bucket bounds).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.9)
+    }
+
+    /// 99th percentile (approximate, from bucket bounds).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// An approximate quantile (`q` in 0..=1) read off the bucket
     /// boundaries: the upper bound of the bucket where the cumulative
     /// count crosses `q * count`. Exact for values that are themselves
@@ -188,6 +221,19 @@ mod tests {
         assert_eq!(s.max, 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_helpers_match_quantile() {
+        let core = HistogramCore::default();
+        for v in 1..=100u64 {
+            core.record(v);
+        }
+        let s = core.snapshot();
+        assert_eq!(s.p50(), s.quantile(0.5));
+        assert_eq!(s.p90(), s.quantile(0.9));
+        assert_eq!(s.p99(), s.quantile(0.99));
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
     }
 
     #[test]

@@ -21,6 +21,17 @@
 //! `[2^(i-1), 2^i)`), which is exact enough for latency and object-size
 //! distributions while keeping recording branch-free.
 //!
+//! On top of the instruments sit three iteration-resolved layers:
+//!
+//! * [`epoch`] — an [`EpochRecorder`] snapshots the registry at phase
+//!   boundaries and stores per-window [`Snapshot::delta`]s, restoring
+//!   the per-iteration view the paper's methodology is built on;
+//! * [`timeline`] — a [`Timeline`] journal of begin/end phase spans and
+//!   instant events (migrations, dirty evictions, checkpoint flushes)
+//!   that exports Chrome trace-event JSON loadable in Perfetto;
+//! * [`report`] — a [`RunReport`] folding epochs, totals, drift rows
+//!   and the timeline summary into versioned JSON or Markdown.
+//!
 //! ## Example
 //!
 //! ```
@@ -51,12 +62,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod epoch;
 pub mod histogram;
 pub mod metrics;
+pub mod report;
 pub mod snapshot;
 pub mod span;
+pub mod timeline;
 
+pub use epoch::{Epoch, EpochKind, EpochRecorder};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use metrics::{Counter, Gauge, Metrics};
+pub use report::{ObjectDrift, ReportMeta, RunReport, REPORT_SCHEMA_VERSION};
 pub use snapshot::Snapshot;
 pub use span::Span;
+pub use timeline::{ArgValue, EventKind, Timeline, TraceEvent, TRACE_SCHEMA_VERSION};

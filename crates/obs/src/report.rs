@@ -1,0 +1,492 @@
+//! Consolidated run reports.
+//!
+//! A [`RunReport`] folds the three observability products of a profiling
+//! run — per-iteration [`Epoch`] deltas, whole-run
+//! [`Snapshot`](crate::Snapshot) totals, and (optionally) a
+//! [`Timeline`](crate::Timeline) summary plus per-object hot/cold drift
+//! rows — into one artifact with two stable renderings:
+//! [`RunReport::to_json`] for machines and [`RunReport::to_markdown`]
+//! for humans.
+//!
+//! The JSON rendering is versioned: the top-level `"schema"` field is
+//! [`REPORT_SCHEMA_VERSION`] and only additive changes are allowed
+//! without bumping it. The golden-schema tests under `tests/` pin the
+//! required keys.
+//!
+//! This crate cannot see the object registry, so hot/cold drift rows
+//! ([`ObjectDrift`]) are computed by the caller (`nv-scavenger`'s
+//! profile pipeline) and handed in via [`RunReport::with_drift`].
+
+use crate::epoch::Epoch;
+use crate::snapshot::{escape_json_into, Snapshot};
+use crate::timeline::Timeline;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version of the JSON rendering emitted by [`RunReport::to_json`].
+/// Bump on any non-additive change.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Identifying metadata for one profiled run.
+#[derive(Debug, Clone, Default)]
+pub struct ReportMeta {
+    /// Application driver name (`gtc`, `cam`, ...).
+    pub app: String,
+    /// Main-loop iterations the run was configured for.
+    pub iterations: u32,
+}
+
+/// Hot/cold classification of one object across iterations: the paper's
+/// per-iteration reference-rate view (§VI-B), reduced to a drift row.
+#[derive(Debug, Clone)]
+pub struct ObjectDrift {
+    /// Object name (allocation-site label).
+    pub name: String,
+    /// One char per iteration: `H` when the object was hot that
+    /// iteration (reference rate at or above the classifier threshold),
+    /// `c` when cold.
+    pub pattern: String,
+    /// Number of hot<->cold transitions across consecutive iterations.
+    /// 0 means the object's classification is stable — the paper's
+    /// best case for static NVRAM placement.
+    pub flips: u32,
+    /// Iterations classified hot.
+    pub hot_iterations: u32,
+    /// Mean per-iteration reference rate.
+    pub mean_reference_rate: f64,
+}
+
+impl ObjectDrift {
+    /// Builds a drift row from per-iteration hot flags and rates.
+    /// `hot[i]` says whether the object was hot in iteration `i`.
+    pub fn from_flags(name: &str, hot: &[bool], rates: &[f64]) -> Self {
+        let pattern: String = hot.iter().map(|h| if *h { 'H' } else { 'c' }).collect();
+        let flips = hot.windows(2).filter(|w| w[0] != w[1]).count() as u32;
+        let hot_iterations = hot.iter().filter(|h| **h).count() as u32;
+        let mean_reference_rate = if rates.is_empty() {
+            0.0
+        } else {
+            rates.iter().sum::<f64>() / rates.len() as f64
+        };
+        ObjectDrift {
+            name: name.to_string(),
+            pattern,
+            flips,
+            hot_iterations,
+            mean_reference_rate,
+        }
+    }
+}
+
+/// Per-technology rollup of the `mem.<tech>.*` namespace, plus deltas
+/// against the baseline technology (DRAM when present).
+#[derive(Debug, Clone, Default)]
+struct MemRow {
+    reads: u64,
+    writes: u64,
+    energy_pj: i64,
+    elapsed_ns: i64,
+}
+
+/// The consolidated report. Build with [`RunReport::new`], extend with
+/// [`RunReport::with_drift`] / [`RunReport::with_timeline`], render
+/// with [`RunReport::to_json`] or [`RunReport::to_markdown`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Run identity.
+    pub meta: ReportMeta,
+    /// Per-window metric deltas, in run order.
+    pub epochs: Vec<Epoch>,
+    /// Whole-run snapshot the epochs partition.
+    pub totals: Snapshot,
+    /// Per-object hot/cold drift rows (caller-computed).
+    pub drift: Vec<ObjectDrift>,
+    /// Events recorded on the run's timeline, when one was attached.
+    pub timeline_events: Option<usize>,
+    /// Instants the timeline dropped at its capacity, when attached.
+    pub timeline_dropped: Option<u64>,
+}
+
+impl RunReport {
+    /// Starts a report from the run's epochs and final snapshot.
+    pub fn new(meta: ReportMeta, epochs: Vec<Epoch>, totals: Snapshot) -> Self {
+        RunReport {
+            meta,
+            epochs,
+            totals,
+            drift: Vec::new(),
+            timeline_events: None,
+            timeline_dropped: None,
+        }
+    }
+
+    /// Attaches per-object hot/cold drift rows.
+    pub fn with_drift(mut self, drift: Vec<ObjectDrift>) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Records the timeline's event/drop counts in the report summary.
+    pub fn with_timeline(mut self, timeline: &Timeline) -> Self {
+        if timeline.is_enabled() {
+            self.timeline_events = Some(timeline.len());
+            self.timeline_dropped = Some(timeline.dropped());
+        }
+        self
+    }
+
+    /// Total references across all epochs (equals the whole-run
+    /// `trace.refs` when the epoch partition is exhaustive).
+    fn total_refs(&self) -> u64 {
+        self.totals.counter("trace.refs").unwrap_or(0)
+    }
+
+    /// `mem.<tech>.*` rollup keyed by technology, from the totals.
+    fn mem_rows(&self) -> BTreeMap<String, MemRow> {
+        let mut rows: BTreeMap<String, MemRow> = BTreeMap::new();
+        for (name, v) in &self.totals.counters {
+            let Some(rest) = name.strip_prefix("mem.") else { continue };
+            let Some((tech, suffix)) = rest.split_once('.') else { continue };
+            let row = rows.entry(tech.to_string()).or_default();
+            match suffix {
+                "reads" => row.reads = *v,
+                "writes" => row.writes = *v,
+                _ => {}
+            }
+        }
+        for (name, v) in &self.totals.gauges {
+            let Some(rest) = name.strip_prefix("mem.") else { continue };
+            let Some((tech, suffix)) = rest.split_once('.') else { continue };
+            let row = rows.entry(tech.to_string()).or_default();
+            match suffix {
+                "energy_pj" => row.energy_pj = *v,
+                "elapsed_ns" => row.elapsed_ns = *v,
+                _ => {}
+            }
+        }
+        rows
+    }
+
+    /// The comparison baseline for memory deltas: DDR3 when replayed,
+    /// otherwise the alphabetically first technology.
+    fn mem_baseline<'a>(rows: &'a BTreeMap<String, MemRow>) -> Option<(&'a str, &'a MemRow)> {
+        rows.get("ddr3")
+            .map(|r| ("ddr3", r))
+            .or_else(|| rows.iter().next().map(|(t, r)| (t.as_str(), r)))
+    }
+
+    /// Renders the report as versioned JSON (see module docs). Top-level
+    /// keys: `schema`, `app`, `iterations`, `epochs`, `objects`, `mem`,
+    /// `timeline`, `totals`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(out, "  \"schema\": {REPORT_SCHEMA_VERSION},\n  \"app\": \"");
+        escape_json_into(&mut out, &self.meta.app);
+        let _ = writeln!(out, "\",\n  \"iterations\": {},", self.meta.iterations);
+
+        out.push_str("  \"epochs\": [");
+        let total_refs = self.total_refs();
+        for (i, e) in self.epochs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"label\": \"");
+            escape_json_into(&mut out, &e.kind.label());
+            let _ = write!(
+                out,
+                "\", \"iteration\": {}, \"wall_ns\": {}, \"refs\": {}, \
+                 \"reads\": {}, \"writes\": {}, \"rw_ratio\": {}, \"reference_rate\": {}}}",
+                e.kind
+                    .iteration()
+                    .map_or("null".to_string(), |i| i.to_string()),
+                e.wall_ns,
+                e.refs(),
+                e.delta.counter("trace.reads").unwrap_or(0),
+                e.delta.counter("trace.writes").unwrap_or(0),
+                json_f64(e.rw_ratio()),
+                json_f64(if total_refs == 0 {
+                    None
+                } else {
+                    Some(e.refs() as f64 / total_refs as f64)
+                }),
+            );
+        }
+        if !self.epochs.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+
+        out.push_str("  \"objects\": [");
+        for (i, d) in self.drift.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": \"");
+            escape_json_into(&mut out, &d.name);
+            out.push_str("\", \"pattern\": \"");
+            escape_json_into(&mut out, &d.pattern);
+            let _ = write!(
+                out,
+                "\", \"flips\": {}, \"hot_iterations\": {}, \"mean_reference_rate\": {}}}",
+                d.flips,
+                d.hot_iterations,
+                json_f64(Some(d.mean_reference_rate)),
+            );
+        }
+        if !self.drift.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+
+        let rows = self.mem_rows();
+        let baseline = Self::mem_baseline(&rows).map(|(t, r)| (t.to_string(), r.clone()));
+        out.push_str("  \"mem\": {");
+        let mut first = true;
+        for (tech, row) in &rows {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            escape_json_into(&mut out, tech);
+            let _ = write!(
+                out,
+                "\": {{\"reads\": {}, \"writes\": {}, \"energy_pj\": {}, \"elapsed_ns\": {}, \
+                 \"energy_vs_baseline\": {}, \"latency_vs_baseline\": {}}}",
+                row.reads,
+                row.writes,
+                row.energy_pj,
+                row.elapsed_ns,
+                json_f64(baseline.as_ref().and_then(|(_, b)| ratio(row.energy_pj, b.energy_pj))),
+                json_f64(baseline.as_ref().and_then(|(_, b)| ratio(row.elapsed_ns, b.elapsed_ns))),
+            );
+        }
+        if !rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+
+        let _ = writeln!(
+            out,
+            "  \"timeline\": {{\"events\": {}, \"dropped\": {}}},",
+            self.timeline_events
+                .map_or("null".to_string(), |n| n.to_string()),
+            self.timeline_dropped
+                .map_or("null".to_string(), |n| n.to_string()),
+        );
+
+        out.push_str("  \"totals\": ");
+        // Indent the embedded snapshot object to nest cleanly.
+        let totals = self.totals.to_json();
+        for (i, line) in totals.trim_end().lines().enumerate() {
+            if i > 0 {
+                out.push_str("\n  ");
+            }
+            out.push_str(line);
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Renders the report as Markdown: a per-iteration epoch table, the
+    /// object drift table, and the memory-system comparison.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# NV-SCAVENGER run report: {}", self.meta.app);
+        let _ = writeln!(
+            out,
+            "\n{} configured iterations, {} recorded epochs.",
+            self.meta.iterations,
+            self.epochs.len()
+        );
+        if let Some(events) = self.timeline_events {
+            let _ = writeln!(
+                out,
+                "Timeline: {} events ({} instants dropped at capacity).",
+                events,
+                self.timeline_dropped.unwrap_or(0)
+            );
+        }
+
+        out.push_str("\n## Epochs\n\n");
+        out.push_str("| epoch | wall (ms) | refs | reads | writes | R/W | ref rate |\n");
+        out.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+        let total_refs = self.total_refs();
+        for e in &self.epochs {
+            let _ = writeln!(
+                out,
+                "| {} | {:.3} | {} | {} | {} | {} | {} |",
+                e.kind.label(),
+                e.wall_ns as f64 / 1e6,
+                e.refs(),
+                e.delta.counter("trace.reads").unwrap_or(0),
+                e.delta.counter("trace.writes").unwrap_or(0),
+                md_f64(e.rw_ratio()),
+                md_f64(if total_refs == 0 {
+                    None
+                } else {
+                    Some(e.refs() as f64 / total_refs as f64)
+                }),
+            );
+        }
+
+        if !self.drift.is_empty() {
+            out.push_str("\n## Object hot/cold drift\n\n");
+            out.push_str("`H` = hot that iteration, `c` = cold; stable rows (0 flips) are \n");
+            out.push_str("static-placement candidates.\n\n");
+            out.push_str("| object | pattern | flips | hot iters | mean ref rate |\n");
+            out.push_str("|---|---|---:|---:|---:|\n");
+            for d in &self.drift {
+                let _ = writeln!(
+                    out,
+                    "| {} | `{}` | {} | {} | {:.4} |",
+                    d.name, d.pattern, d.flips, d.hot_iterations, d.mean_reference_rate
+                );
+            }
+        }
+
+        let rows = self.mem_rows();
+        if !rows.is_empty() {
+            let baseline = Self::mem_baseline(&rows).map(|(t, r)| (t.to_string(), r.clone()));
+            let base_name = baseline.as_ref().map_or("-", |(t, _)| t.as_str()).to_string();
+            out.push_str("\n## Memory systems\n\n");
+            let _ = writeln!(out, "Deltas are relative to the `{base_name}` replay.\n");
+            out.push_str("| tech | reads | writes | energy (pJ) | elapsed (ns) | energy Δ | latency Δ |\n");
+            out.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+            for (tech, row) in &rows {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | {} |",
+                    tech,
+                    row.reads,
+                    row.writes,
+                    row.energy_pj,
+                    row.elapsed_ns,
+                    md_ratio(baseline.as_ref().and_then(|(_, b)| ratio(row.energy_pj, b.energy_pj))),
+                    md_ratio(baseline.as_ref().and_then(|(_, b)| ratio(row.elapsed_ns, b.elapsed_ns))),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// `self/base` when both are positive.
+fn ratio(v: i64, base: i64) -> Option<f64> {
+    (v > 0 && base > 0).then(|| v as f64 / base as f64)
+}
+
+/// JSON rendering of an optional float: `null` when absent or
+/// non-finite, 4-decimal fixed otherwise.
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.4}"),
+        _ => "null".to_string(),
+    }
+}
+
+/// Markdown rendering of an optional float: `-` when absent, `inf` for
+/// a read-only window, 3-decimal fixed otherwise.
+fn md_f64(v: Option<f64>) -> String {
+    match v {
+        None => "-".to_string(),
+        Some(v) if v.is_infinite() => "inf".to_string(),
+        Some(v) => format!("{v:.3}"),
+    }
+}
+
+/// Markdown rendering of a baseline ratio: `1.234x` or `-`.
+fn md_ratio(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.3}x"),
+        _ => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::{EpochKind, EpochRecorder};
+    use crate::Metrics;
+
+    fn sample_report() -> RunReport {
+        let m = Metrics::enabled();
+        let rec = EpochRecorder::new(&m);
+        m.counter("trace.refs").add(10);
+        m.counter("trace.reads").add(8);
+        m.counter("trace.writes").add(2);
+        rec.mark(EpochKind::Iteration(0));
+        m.counter("trace.refs").add(30);
+        m.counter("trace.reads").add(30);
+        rec.mark(EpochKind::Iteration(1));
+        m.counter("mem.ddr3.reads").add(100);
+        m.gauge("mem.ddr3.energy_pj").set(1_000);
+        m.gauge("mem.ddr3.elapsed_ns").set(500);
+        m.counter("mem.pcram.reads").add(100);
+        m.gauge("mem.pcram.energy_pj").set(700);
+        m.gauge("mem.pcram.elapsed_ns").set(900);
+        rec.finish();
+        RunReport::new(
+            ReportMeta {
+                app: "gtc".into(),
+                iterations: 2,
+            },
+            rec.epochs(),
+            m.snapshot(),
+        )
+        .with_drift(vec![ObjectDrift::from_flags(
+            "zion",
+            &[true, false],
+            &[0.4, 0.001],
+        )])
+    }
+
+    #[test]
+    fn drift_rows_from_flags() {
+        let d = ObjectDrift::from_flags("x", &[true, true, false, true], &[0.2; 4]);
+        assert_eq!(d.pattern, "HHcH");
+        assert_eq!(d.flips, 2);
+        assert_eq!(d.hot_iterations, 3);
+        assert!((d.mean_reference_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_has_versioned_schema_and_sections() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"app\": \"gtc\""));
+        assert!(json.contains("\"label\": \"iteration 0\""));
+        assert!(json.contains("\"rw_ratio\": 4.0000"));
+        // iteration 1 is read-only: infinity renders as null.
+        assert!(json.contains("\"rw_ratio\": null"));
+        assert!(json.contains("\"pattern\": \"Hc\""));
+        assert!(json.contains("\"ddr3\""));
+        assert!(json.contains("\"energy_vs_baseline\": 0.7000"));
+        assert!(json.contains("\"latency_vs_baseline\": 1.8000"));
+        assert!(json.contains("\"totals\": {"));
+        assert!(json.contains("\"trace.refs\": 40"));
+    }
+
+    #[test]
+    fn markdown_has_epoch_and_drift_tables() {
+        let md = sample_report().to_markdown();
+        assert!(md.contains("# NV-SCAVENGER run report: gtc"));
+        assert!(md.contains("| iteration 0 |"));
+        assert!(md.contains("| zion | `Hc` | 1 | 1 |"));
+        assert!(md.contains("## Memory systems"));
+        assert!(md.contains("0.700x"));
+        assert!(md.contains("| iteration 1 |"));
+        assert!(md.contains(" inf |"), "read-only window renders inf");
+    }
+
+    #[test]
+    fn empty_report_is_still_valid() {
+        let r = RunReport::new(ReportMeta::default(), Vec::new(), Snapshot::default());
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"epochs\": []"));
+        assert!(json.contains("\"timeline\": {\"events\": null, \"dropped\": null}"));
+        let md = r.to_markdown();
+        assert!(md.contains("## Epochs"));
+    }
+}

@@ -38,6 +38,37 @@ impl Snapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// What happened between `earlier` and `self` — both snapshots of
+    /// the *same* registry, `earlier` taken first.
+    ///
+    /// Counters subtract (saturating, so a missing-then-registered
+    /// counter deltas from zero); gauges report the signed change;
+    /// histograms subtract bucket-wise (see
+    /// [`HistogramSnapshot::delta`]). Every instrument present in
+    /// `self` appears in the delta, including zero-change ones, so a
+    /// sequence of deltas always sums back to the final snapshot:
+    /// this is the invariant the epoch layer (`crate::epoch`) and its
+    /// tests rely on.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (name, v) in &self.counters {
+            let before = earlier.counter(name).unwrap_or(0);
+            out.counters.insert(name.clone(), v.saturating_sub(before));
+        }
+        for (name, v) in &self.gauges {
+            let before = earlier.gauge(name).unwrap_or(0);
+            out.gauges.insert(name.clone(), v.wrapping_sub(before));
+        }
+        for (name, h) in &self.histograms {
+            let d = match earlier.histogram(name) {
+                Some(before) => h.delta(before),
+                None => h.clone(),
+            };
+            out.histograms.insert(name.clone(), d);
+        }
+        out
+    }
+
     /// Renders the snapshot as a JSON object:
     ///
     /// ```json
@@ -47,7 +78,7 @@ impl Snapshot {
     ///   "histograms": {
     ///     "objects.size_bytes": {
     ///       "count": 4, "sum": 4232, "min": 8, "max": 4096,
-    ///       "mean": 1058.0, "p50": 64, "p99": 4096,
+    ///       "mean": 1058.0, "p50": 64, "p90": 4096, "p99": 4096,
     ///       "buckets": [[8, 1], [64, 2], [4096, 1]]
     ///     }
     ///   }
@@ -71,14 +102,15 @@ impl Snapshot {
             let _ = write!(
                 out,
                 "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
-                 \"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \"buckets\": [",
+                 \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
                 h.mean(),
-                h.quantile(0.5),
-                h.quantile(0.99)
+                h.p50(),
+                h.p90(),
+                h.p99()
             );
             let mut first = true;
             for (i, n) in h.buckets.iter().enumerate() {
@@ -118,11 +150,12 @@ impl Snapshot {
             groups.entry(group_of(name)).or_default().push((
                 name.clone(),
                 format!(
-                    "n={} mean={:.1} p50={} p99={} max={}",
+                    "n={} mean={:.1} p50={} p90={} p99={} max={}",
                     format_count(h.count),
                     h.mean(),
-                    h.quantile(0.5),
-                    h.quantile(0.99),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
                     h.max
                 ),
             ));
@@ -164,6 +197,24 @@ fn format_count(v: u64) -> String {
     out
 }
 
+/// Appends `s` to `out` with standard JSON string escaping (shared by
+/// every hand-rolled emitter in this crate, which stays dependency-free).
+pub(crate) fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
 /// Emits `"key": <value>` pairs of a sorted map into `out`.
 fn emit_map<V>(out: &mut String, map: &BTreeMap<String, V>, mut emit: impl FnMut(&mut String, &V)) {
     let mut first = true;
@@ -173,19 +224,7 @@ fn emit_map<V>(out: &mut String, map: &BTreeMap<String, V>, mut emit: impl FnMut
         }
         first = false;
         out.push_str("\n    \"");
-        for c in k.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => {
-                    let _ = write!(out, "\\u{:04x}", c as u32);
-                }
-                c => out.push(c),
-            }
-        }
+        escape_json_into(out, k);
         out.push_str("\": ");
         emit(out, v);
     }
@@ -233,6 +272,73 @@ mod tests {
         assert!(table.contains("[cache]"));
         assert!(table.contains("1_234_567"));
         assert!(table.find("[cache]").unwrap() < table.find("[trace]").unwrap());
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let m = Metrics::enabled();
+        let c = m.counter("trace.refs");
+        let h = m.histogram("sizes");
+        c.add(10);
+        h.record(64);
+        let first = m.snapshot();
+        c.add(5);
+        h.record(64);
+        h.record(4096);
+        m.counter("late.arrival").add(3); // registered after `first`
+        let second = m.snapshot();
+
+        let d = second.delta(&first);
+        assert_eq!(d.counter("trace.refs"), Some(5));
+        assert_eq!(d.counter("late.arrival"), Some(3));
+        let dh = d.histogram("sizes").unwrap();
+        assert_eq!(dh.count, 2);
+        assert_eq!(dh.sum, 64 + 4096);
+        // min/max stay whole-run values (not recoverable per window).
+        assert_eq!(dh.min, 64);
+        assert_eq!(dh.max, 4096);
+    }
+
+    #[test]
+    fn deltas_sum_back_to_totals() {
+        let m = Metrics::enabled();
+        let c = m.counter("x");
+        let mut last = m.snapshot();
+        let mut summed = 0u64;
+        for step in 1..=4u64 {
+            c.add(step);
+            let now = m.snapshot();
+            summed += now.delta(&last).counter("x").unwrap();
+            last = now;
+        }
+        assert_eq!(summed, m.snapshot().counter("x").unwrap());
+    }
+
+    #[test]
+    fn delta_of_gauges_is_signed() {
+        let m = Metrics::enabled();
+        let g = m.gauge("depth");
+        g.set(10);
+        let first = m.snapshot();
+        g.set(4);
+        assert_eq!(m.snapshot().delta(&first).gauge("depth"), Some(-6));
+    }
+
+    #[test]
+    fn json_surfaces_percentiles() {
+        let m = Metrics::enabled();
+        let h = m.histogram("lat");
+        for _ in 0..99 {
+            h.record(8);
+        }
+        h.record(1 << 20);
+        // Values of 8 land in the [8,16) bucket, reported by its bound.
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"p50\": 16"));
+        assert!(json.contains("\"p90\": 16"));
+        assert!(json.contains("\"p99\": 16"));
+        let table = m.snapshot().to_table();
+        assert!(table.contains("p90=16"));
     }
 
     #[test]

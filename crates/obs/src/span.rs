@@ -6,26 +6,28 @@ use std::time::Instant;
 /// A scoped timer: created by [`crate::Metrics::span`], it records the
 /// elapsed wall-clock nanoseconds into its histogram when dropped.
 ///
-/// Spans from a disabled registry still read the clock twice but record
-/// nothing; keep them off per-event hot paths and around phases
-/// instead (one span per experiment, app run, or drain).
+/// A span from a disabled registry never reads the clock: construction
+/// and drop are both a single branch, so spans are safe even on
+/// per-event hot paths of un-instrumented runs.
 #[derive(Debug)]
 pub struct Span {
     histogram: Histogram,
-    started: Instant,
+    /// `None` exactly when the histogram is disabled — the clock is
+    /// never consulted in that case.
+    started: Option<Instant>,
 }
 
 impl Span {
     pub(crate) fn new(histogram: Histogram) -> Self {
-        Span {
-            histogram,
-            started: Instant::now(),
-        }
+        let started = histogram.is_enabled().then(Instant::now);
+        Span { histogram, started }
     }
 
-    /// Nanoseconds elapsed so far (saturating at `u64::MAX`).
+    /// Nanoseconds elapsed so far (saturating at `u64::MAX`); 0 for a
+    /// span from a disabled registry, which keeps no start time.
     pub fn elapsed_ns(&self) -> u64 {
-        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        self.started
+            .map_or(0, |s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
     }
 
     /// Ends the span early, recording the elapsed time now.
@@ -36,7 +38,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        self.histogram.record(self.elapsed_ns());
+        if self.started.is_some() {
+            self.histogram.record(self.elapsed_ns());
+        }
     }
 }
 
@@ -65,10 +69,11 @@ mod tests {
     }
 
     #[test]
-    fn disabled_span_is_silent() {
+    fn disabled_span_is_silent_and_clockless() {
         let m = Metrics::disabled();
         let span = m.span("quiet.ns");
-        assert!(span.elapsed_ns() < u64::MAX);
+        assert!(span.started.is_none(), "disabled span must not read the clock");
+        assert_eq!(span.elapsed_ns(), 0);
         drop(span);
         assert!(m.snapshot().is_empty());
     }

@@ -1,0 +1,418 @@
+//! Wall-clock event journal with a Chrome trace-event / Perfetto
+//! exporter.
+//!
+//! The paper's per-iteration characterization (§VI) is temporal: what an
+//! object does *per main-loop iteration* matters more than its whole-run
+//! aggregate. A [`Timeline`] gives every pipeline stage a shared journal
+//! to record that temporal structure into — begin/end spans for
+//! execution phases (pre-compute, each iteration, post-processing,
+//! technology replays) and instant events for one-off occurrences
+//! (migrations, dirty evictions, checkpoint flushes).
+//!
+//! Like [`crate::Metrics`], a timeline handle is cheaply clonable and has
+//! a disabled flavour whose every call is a branch on a `None`, so
+//! un-instrumented runs pay nothing.
+//!
+//! [`Timeline::to_chrome_json`] renders the journal in the Chrome
+//! trace-event JSON format, which `ui.perfetto.dev` and `chrome://tracing`
+//! open directly. Each distinct category gets its own `tid`, so the
+//! tracer, cache filter, memory replays and migration simulator appear as
+//! separate tracks.
+//!
+//! ```
+//! use nvsim_obs::{ArgValue, Timeline};
+//!
+//! let tl = Timeline::enabled();
+//! tl.begin("iteration 0", "trace");
+//! tl.instant("migration", "placement", &[("bytes", ArgValue::U64(4096))]);
+//! tl.end("iteration 0", "trace");
+//! let json = tl.to_chrome_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! assert!(json.contains("\"ph\": \"B\""));
+//! assert!(json.contains("\"schema\": 1"));
+//!
+//! // Disabled timelines accept the same calls and record nothing.
+//! let off = Timeline::disabled();
+//! off.begin("quiet", "trace");
+//! assert_eq!(off.events().len(), 0);
+//! ```
+
+use crate::snapshot::escape_json_into;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default cap on journal length; instants beyond it are counted as
+/// dropped rather than recorded (see [`Timeline::dropped`]).
+pub const DEFAULT_EVENT_CAP: usize = 1 << 16;
+
+/// Version of the JSON envelope emitted by [`Timeline::to_chrome_json`]
+/// (the non-standard `schema` field next to `traceEvents`). Bump on any
+/// non-additive change.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// One typed argument value attached to a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (emitted with three decimals).
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl ArgValue {
+    fn emit(&self, out: &mut String) {
+        match self {
+            ArgValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.3}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            ArgValue::Str(s) => {
+                out.push('"');
+                escape_json_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// Event flavour, mapping onto Chrome trace-event `ph` codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opens (`ph: "B"`).
+    Begin,
+    /// Span closes (`ph: "E"`).
+    End,
+    /// Point-in-time marker (`ph: "i"`, thread-scoped).
+    Instant,
+}
+
+impl EventKind {
+    /// The Chrome trace-event phase code.
+    pub fn ph(self) -> char {
+        match self {
+            EventKind::Begin => 'B',
+            EventKind::End => 'E',
+            EventKind::Instant => 'i',
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span or marker label).
+    pub name: String,
+    /// Category — one per pipeline stage (`trace`, `cache`, `mem.ddr3`,
+    /// `placement`, `app`). Each distinct category renders as its own
+    /// Perfetto track.
+    pub cat: String,
+    /// Begin / end / instant.
+    pub kind: EventKind,
+    /// Nanoseconds since the timeline was created. Non-decreasing in
+    /// journal order (timestamps are taken under the journal lock).
+    pub ts_ns: u64,
+    /// Track id assigned to the category (first use ⇒ next id).
+    pub tid: u32,
+    /// Typed arguments (`args` object in the exported JSON).
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// Interior state, guarded by one mutex: the journal, the category→track
+/// map, and the dropped-instant count. Timestamps are read inside the
+/// lock so journal order and timestamp order always agree.
+#[derive(Debug, Default)]
+struct TimelineState {
+    events: Vec<TraceEvent>,
+    tids: BTreeMap<String, u32>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct TimelineCore {
+    origin: Instant,
+    cap: usize,
+    state: Mutex<TimelineState>,
+}
+
+/// Handle to a shared event journal; the no-op flavour costs one branch
+/// per call. Cloning shares the journal.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    inner: Option<Arc<TimelineCore>>,
+}
+
+impl Timeline {
+    /// Creates a live journal with the default event cap.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAP)
+    }
+
+    /// Creates a live journal capping instants at `cap` total events.
+    /// Begin/end events are always recorded (they are few and must stay
+    /// balanced); instants past the cap increment [`Timeline::dropped`].
+    pub fn with_capacity(cap: usize) -> Self {
+        Timeline {
+            inner: Some(Arc::new(TimelineCore {
+                origin: Instant::now(),
+                cap,
+                state: Mutex::new(TimelineState::default()),
+            })),
+        }
+    }
+
+    /// Creates a disabled journal: every call is a no-op.
+    pub fn disabled() -> Self {
+        Timeline { inner: None }
+    }
+
+    /// `true` when events from this handle actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn push(&self, name: &str, cat: &str, kind: EventKind, args: &[(&str, ArgValue)]) {
+        let Some(core) = &self.inner else { return };
+        let mut st = core.state.lock().expect("timeline poisoned");
+        if kind == EventKind::Instant && st.events.len() >= core.cap {
+            st.dropped += 1;
+            return;
+        }
+        let next_tid = st.tids.len() as u32 + 1;
+        let tid = *st.tids.entry(cat.to_string()).or_insert(next_tid);
+        let ts_ns = u64::try_from(core.origin.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        st.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            kind,
+            ts_ns,
+            tid,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Opens a span. Pair with [`Timeline::end`] using the same
+    /// name and category.
+    pub fn begin(&self, name: &str, cat: &str) {
+        self.push(name, cat, EventKind::Begin, &[]);
+    }
+
+    /// Opens a span with arguments.
+    pub fn begin_with(&self, name: &str, cat: &str, args: &[(&str, ArgValue)]) {
+        self.push(name, cat, EventKind::Begin, args);
+    }
+
+    /// Closes the most recent open span of this name/category.
+    pub fn end(&self, name: &str, cat: &str) {
+        self.push(name, cat, EventKind::End, &[]);
+    }
+
+    /// Closes a span, attaching arguments to the end event (viewers
+    /// merge them with the begin event's arguments).
+    pub fn end_with(&self, name: &str, cat: &str, args: &[(&str, ArgValue)]) {
+        self.push(name, cat, EventKind::End, args);
+    }
+
+    /// Records a point-in-time marker.
+    pub fn instant(&self, name: &str, cat: &str, args: &[(&str, ArgValue)]) {
+        self.push(name, cat, EventKind::Instant, args);
+    }
+
+    /// A copy of the journal, in record (= timestamp) order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |core| {
+            core.state.lock().expect("timeline poisoned").events.clone()
+        })
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |core| {
+            core.state.lock().expect("timeline poisoned").events.len()
+        })
+    }
+
+    /// `true` when no event has been recorded (always for disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Instants discarded because the journal hit its cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |core| {
+            core.state.lock().expect("timeline poisoned").dropped
+        })
+    }
+
+    /// Renders the journal as Chrome trace-event JSON (the "JSON object
+    /// format"), which `ui.perfetto.dev` and `chrome://tracing` load
+    /// directly:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": 1,
+    ///   "displayTimeUnit": "ms",
+    ///   "otherData": {"tool": "nv-scavenger", "dropped_events": 0},
+    ///   "traceEvents": [
+    ///     {"name": "iteration 0", "cat": "trace", "ph": "B",
+    ///      "ts": 12.345, "pid": 1, "tid": 1, "args": {}},
+    ///     {"name": "migration", "cat": "placement", "ph": "i", "s": "t",
+    ///      "ts": 15.002, "pid": 1, "tid": 2, "args": {"bytes": 4096}}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// `ts` is microseconds (fractional, nanosecond precision) since
+    /// timeline creation; `pid` is always 1; `tid` is the per-category
+    /// track. Instants carry `"s": "t"` (thread scope).
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(128 + events.len() * 96);
+        let _ = write!(out, "{{\n  \"schema\": {TRACE_SCHEMA_VERSION},\n");
+        out.push_str("  \"displayTimeUnit\": \"ms\",\n");
+        let _ = write!(
+            out,
+            "  \"otherData\": {{\"tool\": \"nv-scavenger\", \"dropped_events\": {}}},\n",
+            self.dropped()
+        );
+        out.push_str("  \"traceEvents\": [");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": \"");
+            escape_json_into(&mut out, &e.name);
+            out.push_str("\", \"cat\": \"");
+            escape_json_into(&mut out, &e.cat);
+            let _ = write!(
+                out,
+                "\", \"ph\": \"{}\", \"ts\": {}.{:03}, \"pid\": 1, \"tid\": {}",
+                e.kind.ph(),
+                e.ts_ns / 1_000,
+                e.ts_ns % 1_000,
+                e.tid
+            );
+            if e.kind == EventKind::Instant {
+                out.push_str(", \"s\": \"t\"");
+            }
+            out.push_str(", \"args\": {");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                escape_json_into(&mut out, k);
+                out.push_str("\": ");
+                v.emit(&mut out);
+            }
+            out.push_str("}}");
+        }
+        if !events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let tl = Timeline::disabled();
+        tl.begin("a", "x");
+        tl.instant("b", "x", &[]);
+        tl.end("a", "x");
+        assert!(!tl.is_enabled());
+        assert!(tl.is_empty());
+        assert_eq!(tl.dropped(), 0);
+        assert!(tl.to_chrome_json().contains("\"traceEvents\": []"));
+    }
+
+    #[test]
+    fn timestamps_are_non_decreasing_in_record_order() {
+        let tl = Timeline::enabled();
+        for i in 0..50 {
+            tl.instant(&format!("e{i}"), "t", &[]);
+        }
+        let events = tl.events();
+        assert_eq!(events.len(), 50);
+        for w in events.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn categories_get_stable_distinct_tids() {
+        let tl = Timeline::enabled();
+        tl.begin("a", "trace");
+        tl.begin("b", "mem.ddr3");
+        tl.end("b", "mem.ddr3");
+        tl.instant("c", "trace", &[]);
+        tl.end("a", "trace");
+        let e = tl.events();
+        assert_eq!(e[0].tid, e[3].tid);
+        assert_eq!(e[0].tid, e[4].tid);
+        assert_ne!(e[0].tid, e[1].tid);
+    }
+
+    #[test]
+    fn cap_drops_instants_but_never_spans() {
+        let tl = Timeline::with_capacity(4);
+        for _ in 0..10 {
+            tl.instant("i", "t", &[]);
+        }
+        tl.begin("span", "t");
+        tl.end("span", "t");
+        assert_eq!(tl.len(), 6); // 4 instants + B + E
+        assert_eq!(tl.dropped(), 6);
+    }
+
+    #[test]
+    fn clones_share_the_journal() {
+        let tl = Timeline::enabled();
+        let tl2 = tl.clone();
+        tl.begin("a", "x");
+        tl2.end("a", "x");
+        assert_eq!(tl.len(), 2);
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_formats_args() {
+        let tl = Timeline::enabled();
+        tl.instant(
+            "odd\"name",
+            "cat",
+            &[
+                ("n", ArgValue::U64(7)),
+                ("f", ArgValue::F64(1.5)),
+                ("s", ArgValue::Str("x\\y".into())),
+            ],
+        );
+        let json = tl.to_chrome_json();
+        assert!(json.contains("odd\\\"name"));
+        assert!(json.contains("\"n\": 7"));
+        assert!(json.contains("\"f\": 1.500"));
+        assert!(json.contains("\"s\": \"x\\\\y\""));
+        assert!(json.contains("\"s\": \"t\""));
+    }
+}

@@ -109,6 +109,33 @@ pub fn compare_targets(bytes: u64, mtbf_s: f64) -> Vec<CheckpointPlan> {
     .collect()
 }
 
+/// Like [`compare_targets`], but also emits one `checkpoint_flush`
+/// instant per target on `timeline` (category `placement`), carrying the
+/// flush cost and resulting machine efficiency — so a profiled run's
+/// timeline shows what checkpointing its measured footprint would cost
+/// on each target.
+pub fn compare_targets_traced(
+    bytes: u64,
+    mtbf_s: f64,
+    timeline: &nvsim_obs::Timeline,
+) -> Vec<CheckpointPlan> {
+    let plans = compare_targets(bytes, mtbf_s);
+    for p in &plans {
+        timeline.instant(
+            "checkpoint_flush",
+            "placement",
+            &[
+                ("target", nvsim_obs::ArgValue::Str(p.target.clone())),
+                ("bytes", nvsim_obs::ArgValue::U64(bytes)),
+                ("delta_s", nvsim_obs::ArgValue::F64(p.delta_s)),
+                ("interval_s", nvsim_obs::ArgValue::F64(p.interval_s)),
+                ("efficiency", nvsim_obs::ArgValue::F64(p.efficiency)),
+            ],
+        );
+    }
+    plans
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +183,21 @@ mod tests {
     fn zero_bytes_costs_only_latency() {
         let t = CheckpointTarget::local_ssd();
         assert_eq!(t.checkpoint_time_s(0), t.latency_s);
+    }
+
+    #[test]
+    fn traced_comparison_emits_one_instant_per_target() {
+        let tl = nvsim_obs::Timeline::enabled();
+        let plans = compare_targets_traced(GB, 3600.0, &tl);
+        let events = tl.events();
+        assert_eq!(events.len(), plans.len());
+        for (e, p) in events.iter().zip(&plans) {
+            assert_eq!(e.name, "checkpoint_flush");
+            assert_eq!(e.cat, "placement");
+            assert_eq!(
+                e.args[0],
+                ("target".to_string(), nvsim_obs::ArgValue::Str(p.target.clone()))
+            );
+        }
     }
 }

@@ -53,7 +53,9 @@ pub mod page;
 pub mod planner;
 pub mod wear;
 
-pub use checkpoint::{compare_targets, young_plan, CheckpointPlan, CheckpointTarget};
+pub use checkpoint::{
+    compare_targets, compare_targets_traced, young_plan, CheckpointPlan, CheckpointTarget,
+};
 pub use classifier::{classify, Decision, PlacementPolicy, SuitabilityReport};
 pub use endurance::{lifetime_years, EnduranceReport};
 pub use migration::{MigrationConfig, MigrationSimulator, MigrationStats};

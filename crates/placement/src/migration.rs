@@ -13,7 +13,7 @@
 //! cost proportional to the object size.
 
 use crate::classifier::PlacementPolicy;
-use nvsim_obs::Metrics;
+use nvsim_obs::{ArgValue, Metrics, Timeline};
 use nvsim_types::ObjectMetrics;
 use serde::{Deserialize, Serialize};
 
@@ -84,6 +84,7 @@ impl MigrationStats {
 pub struct MigrationSimulator {
     config: MigrationConfig,
     metrics: Metrics,
+    timeline: Timeline,
 }
 
 impl MigrationSimulator {
@@ -92,6 +93,7 @@ impl MigrationSimulator {
         MigrationSimulator {
             config,
             metrics: Metrics::disabled(),
+            timeline: Timeline::disabled(),
         }
     }
 
@@ -100,6 +102,16 @@ impl MigrationSimulator {
     /// and gauges (see `docs/METRICS.md`).
     pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
         self.metrics = metrics.clone();
+        self
+    }
+
+    /// Binds the simulator to an event timeline: each
+    /// [`MigrationSimulator::run`] renders as a `migration_sim` span and
+    /// every individual migration becomes a `migration` instant (object
+    /// index, bytes, destination, deciding epoch) under the `placement`
+    /// category.
+    pub fn with_timeline(mut self, timeline: &Timeline) -> Self {
+        self.timeline = timeline.clone();
         self
     }
 
@@ -146,6 +158,7 @@ impl MigrationSimulator {
         } else {
             iterations.div_ceil(self.config.epoch_iterations as usize)
         };
+        self.timeline.begin("migration_sim", "placement");
         let mut stats = MigrationStats {
             final_residence: vec![Residence::Dram; objects.len()],
             ..Default::default()
@@ -174,6 +187,27 @@ impl MigrationSimulator {
                     stats.bytes_moved += size;
                     stats.cost_ns += *size as f64 * self.config.cost_ns_per_byte;
                     stats.final_residence[idx] = want;
+                    if self.timeline.is_enabled() {
+                        self.timeline.instant(
+                            "migration",
+                            "placement",
+                            &[
+                                ("object", ArgValue::U64(idx as u64)),
+                                ("bytes", ArgValue::U64(*size)),
+                                (
+                                    "to",
+                                    ArgValue::Str(
+                                        match want {
+                                            Residence::Nvram => "nvram",
+                                            Residence::Dram => "dram",
+                                        }
+                                        .into(),
+                                    ),
+                                ),
+                                ("epoch", ArgValue::U64(epoch as u64)),
+                            ],
+                        );
+                    }
                 }
                 if stats.final_residence[idx] == Residence::Nvram {
                     stats.nvram_byte_epochs += u128::from(*size);
@@ -182,6 +216,11 @@ impl MigrationSimulator {
             }
         }
         self.export_metrics(&stats);
+        self.timeline.end_with(
+            "migration_sim",
+            "placement",
+            &[("migrations", ArgValue::U64(stats.migrations))],
+        );
         stats
     }
 
@@ -213,6 +252,30 @@ mod tests {
             .map(|&(r, w)| IterationStats::from_counts(AccessCounts::new(r, w), 10_000))
             .collect();
         m
+    }
+
+    #[test]
+    fn timeline_records_each_migration() {
+        use nvsim_obs::{EventKind, Timeline};
+        let tl = Timeline::enabled();
+        let m = metrics(&[(100, 2); 10]); // migrates to NVRAM once
+        let sim = MigrationSimulator::new(MigrationConfig::default()).with_timeline(&tl);
+        let stats = sim.run(&[(&m, 4096)]);
+        let events = tl.events();
+        let instants: Vec<_> = events.iter().filter(|e| e.name == "migration").collect();
+        assert_eq!(instants.len() as u64, stats.migrations);
+        assert_eq!(
+            instants[0].args[2],
+            ("to".to_string(), ArgValue::Str("nvram".into()))
+        );
+        let sim_end = events
+            .iter()
+            .find(|e| e.name == "migration_sim" && e.kind == EventKind::End)
+            .expect("span closed");
+        assert_eq!(
+            sim_end.args[0],
+            ("migrations".to_string(), ArgValue::U64(stats.migrations))
+        );
     }
 
     #[test]

@@ -47,3 +47,7 @@ pub use sink::{CountingSink, EventSink, NullSink, RecordingSink, TeeSink};
 pub use tracefile::{replay as replay_trace, TraceWriter};
 pub use traced::{TracedMatrix, TracedScalar, TracedVec};
 pub use tracer::{Tracer, TracerStats};
+
+// Re-exported so application drivers can attach typed arguments to
+// [`Tracer::annotate`] markers without depending on `nvsim-obs` directly.
+pub use nvsim_obs::ArgValue;

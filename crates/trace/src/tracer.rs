@@ -11,7 +11,7 @@ use crate::event::{AllocSite, Event, GlobalSymbol, Phase};
 use crate::layout::{GlobalAllocator, HeapAllocator, StackAllocator};
 use crate::routine::{RoutineId, RoutineTable};
 use crate::sink::EventSink;
-use nvsim_obs::{Counter, Histogram, Metrics};
+use nvsim_obs::{ArgValue, Counter, EpochKind, EpochRecorder, Histogram, Metrics, Timeline};
 use nvsim_types::{AddressSpaceLayout, MemRef, NvsimError, VirtAddr};
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +123,13 @@ pub struct Tracer<'s> {
     finished: bool,
     stats: TracerStats,
     obs: TracerInstruments,
+    epochs: EpochRecorder,
+    timeline: Timeline,
+    /// Name of the currently-open phase span on the timeline, if any.
+    open_span: Option<String>,
+    /// Whether the Setup epoch has been closed (at the first
+    /// `IterationBegin`).
+    setup_marked: bool,
     /// When `false`, `read`/`write` are dropped (but allocations and calls
     /// still flow). §VI: heap (de)allocations are instrumented through the
     /// whole program, "but memory references to those objects are recorded
@@ -152,6 +159,10 @@ impl<'s> Tracer<'s> {
             finished: false,
             stats: TracerStats::default(),
             obs: TracerInstruments::default(),
+            epochs: EpochRecorder::disabled(),
+            timeline: Timeline::disabled(),
+            open_span: None,
+            setup_marked: false,
             refs_enabled: true,
         }
     }
@@ -161,6 +172,77 @@ impl<'s> Tracer<'s> {
     /// disabled registry every handle stays a no-op.
     pub fn set_metrics(&mut self, metrics: &Metrics) {
         self.obs = TracerInstruments::bind(metrics);
+    }
+
+    /// Binds this tracer to an epoch recorder: each phase boundary of the
+    /// §VI protocol then closes a metric window — everything before the
+    /// first `IterationBegin` becomes the Setup epoch, each
+    /// `IterationEnd(i)` closes `Iteration(i)`, and `ProgramEnd` closes
+    /// PostProcess. The tracer never calls
+    /// [`EpochRecorder::finish`]; the pipeline owning the recorder does,
+    /// so post-trace stages (cache filter, replays) land in the Tail
+    /// epoch.
+    pub fn set_epochs(&mut self, epochs: &EpochRecorder) {
+        self.epochs = epochs.clone();
+    }
+
+    /// Binds this tracer to an event timeline: the §VI phases render as
+    /// begin/end spans under the `trace` category, and
+    /// [`Tracer::annotate`] markers under `app`.
+    pub fn set_timeline(&mut self, timeline: &Timeline) {
+        self.timeline = timeline.clone();
+    }
+
+    /// Records an application-level instant marker on the timeline
+    /// (category `app`). A no-op without a bound timeline.
+    pub fn annotate(&mut self, name: &str, args: &[(&str, ArgValue)]) {
+        self.timeline.instant(name, "app", args);
+    }
+
+    /// Mirrors a phase boundary onto the timeline and epoch recorder.
+    /// Called *after* the phase control event reached the sink, so any
+    /// metrics the sink updates on the boundary land in the closing
+    /// window.
+    fn observe_phase(&mut self, phase: Phase) {
+        match phase {
+            Phase::PreComputeBegin => self.open_phase_span("pre_compute".to_string()),
+            Phase::IterationBegin(i) => {
+                if !self.setup_marked {
+                    self.setup_marked = true;
+                    self.epochs.mark(EpochKind::Setup);
+                }
+                self.open_phase_span(format!("iteration {i}"));
+            }
+            Phase::IterationEnd(i) => {
+                self.epochs.mark(EpochKind::Iteration(i));
+                self.close_phase_span();
+            }
+            Phase::PostProcessBegin => self.open_phase_span("post_process".to_string()),
+            Phase::ProgramEnd => {
+                // Only meaningful when the app used the phase protocol;
+                // otherwise leave everything to the recorder's Tail.
+                // Reset the flag so `finish` after an explicit
+                // `ProgramEnd` doesn't close a second window.
+                if std::mem::take(&mut self.setup_marked) {
+                    self.epochs.mark(EpochKind::PostProcess);
+                }
+                self.close_phase_span();
+            }
+        }
+    }
+
+    fn open_phase_span(&mut self, name: String) {
+        self.close_phase_span();
+        if self.timeline.is_enabled() {
+            self.timeline.begin(&name, "trace");
+            self.open_span = Some(name);
+        }
+    }
+
+    fn close_phase_span(&mut self) {
+        if let Some(name) = self.open_span.take() {
+            self.timeline.end(&name, "trace");
+        }
     }
 
     /// The simulated address-space layout.
@@ -261,6 +343,7 @@ impl<'s> Tracer<'s> {
     /// Marks an execution phase boundary.
     pub fn phase(&mut self, phase: Phase) {
         self.control(Event::Phase(phase));
+        self.observe_phase(phase);
     }
 
     /// Enters `routine` with a frame of `frame_size` bytes; returns the
@@ -372,6 +455,9 @@ impl<'s> Tracer<'s> {
         self.finished = true;
         self.control(Event::Phase(Phase::ProgramEnd));
         self.sink.on_finish();
+        // Observe after the sink finalized, so metrics it exports on
+        // finish land in the PostProcess window rather than the Tail.
+        self.observe_phase(Phase::ProgramEnd);
     }
 
     /// Current heap statistics (live bytes, peak bytes).
@@ -565,6 +651,59 @@ mod tests {
         assert_eq!(batches.count, 2);
         assert_eq!(batches.sum, 7);
         assert_eq!(batches.max, 4);
+    }
+
+    #[test]
+    fn phases_drive_epochs_and_timeline() {
+        use nvsim_obs::{EpochKind, EpochRecorder, EventKind, Metrics, Timeline};
+        let m = Metrics::enabled();
+        let rec = EpochRecorder::new(&m);
+        let tl = Timeline::enabled();
+        let mut sink = CountingSink::default();
+        {
+            let mut t = Tracer::new(&mut sink);
+            t.set_metrics(&m);
+            t.set_epochs(&rec);
+            t.set_timeline(&tl);
+            let g = t.define_global("x", 256).unwrap();
+            t.phase(Phase::PreComputeBegin);
+            t.read(g, 8); // setup-window ref
+            for i in 0..2 {
+                t.phase(Phase::IterationBegin(i));
+                t.read(g, 8);
+                t.write(g, 8);
+                t.annotate("step", &[("i", ArgValue::U64(u64::from(i)))]);
+                t.phase(Phase::IterationEnd(i));
+            }
+            t.phase(Phase::PostProcessBegin);
+            t.read(g, 8);
+            t.finish();
+        }
+        rec.finish();
+
+        // Setup + two iterations + post-process; the empty tail elides.
+        let epochs = rec.epochs();
+        let labels: Vec<String> = epochs.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(labels, ["setup", "iteration 0", "iteration 1", "post_process"]);
+        assert_eq!(epochs[0].kind, EpochKind::Setup);
+        assert_eq!(epochs[1].refs(), 2);
+        assert_eq!(epochs[1].rw_ratio(), Some(1.0));
+        let total: u64 = epochs.iter().map(|e| e.refs()).sum();
+        assert_eq!(total, m.snapshot().counter("trace.refs").unwrap());
+
+        // Timeline: four balanced phase spans plus two app markers.
+        let events = tl.events();
+        let begins = events.iter().filter(|e| e.kind == EventKind::Begin).count();
+        let ends = events.iter().filter(|e| e.kind == EventKind::End).count();
+        assert_eq!(begins, 4);
+        assert_eq!(begins, ends);
+        let markers: Vec<&str> = events
+            .iter()
+            .filter(|e| e.cat == "app")
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(markers, ["step", "step"]);
+        assert!(events.iter().any(|e| e.name == "iteration 1"));
     }
 
     #[test]

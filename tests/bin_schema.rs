@@ -1,0 +1,129 @@
+//! Golden-schema tests for the `profile` binary: drive the real
+//! executable and assert the machine-readable outputs keep the keys
+//! and namespaces EXPERIMENTS.md documents. Catches accidental schema
+//! drift in `--json`, `--timeline` and `--report`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn profile_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_profile")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nvsim-bin-schema-{}-{name}", std::process::id()));
+    p
+}
+
+/// Counter namespaces every instrumented profile must export.
+const NAMESPACES: &[&str] = &[
+    "trace.",
+    "cache.",
+    "mem.ddr3.",
+    "mem.pcram.",
+    "mem.sttram.",
+    "mem.mram.",
+    "placement.",
+];
+
+#[test]
+fn metrics_json_keeps_documented_namespaces() {
+    let out = scratch("metrics.json");
+    let status = Command::new(profile_bin())
+        .args(["--app", "gtc", "--scale", "test", "--iters", "2"])
+        .args(["--json", out.to_str().unwrap()])
+        .status()
+        .expect("run profile");
+    assert!(status.success());
+
+    let value: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    let counters = value["counters"].as_object().unwrap();
+    for ns in NAMESPACES {
+        assert!(
+            counters.keys().any(|k| k.starts_with(ns)),
+            "no {ns} counters in --json output"
+        );
+    }
+    for key in ["trace.refs", "trace.reads", "trace.writes", "cache.refs"] {
+        assert!(counters[key].as_u64().unwrap() > 0, "{key} is zero");
+    }
+    // Histograms carry the percentile summary alongside the buckets.
+    let sizes = &value["histograms"]["objects.size_bytes"];
+    for key in ["count", "min", "max", "p50", "p90", "p99"] {
+        assert!(!sizes[key].is_null(), "histogram lost {key}");
+    }
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn timeline_flag_writes_chrome_trace_json() {
+    let out = scratch("timeline.json");
+    let status = Command::new(profile_bin())
+        .args(["--app", "cam", "--scale", "test", "--iters", "2"])
+        .args(["--timeline", out.to_str().unwrap()])
+        .status()
+        .expect("run profile");
+    assert!(status.success());
+
+    let value: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(value["schema"].as_u64(), Some(1));
+    assert_eq!(value["displayTimeUnit"].as_str(), Some("ms"));
+    let events = value["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty());
+    for e in events {
+        for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(!e[key].is_null(), "event lost required key {key}");
+        }
+    }
+    // Phase spans from the §VI protocol appear by name.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e["name"].as_str())
+        .collect();
+    for name in ["pre_compute", "iteration 0", "iteration 1", "post_process"] {
+        assert!(names.contains(&name), "missing phase span {name}");
+    }
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn report_flag_writes_versioned_json_report() {
+    let out = scratch("report.json");
+    let status = Command::new(profile_bin())
+        .args(["--app", "s3d", "--scale", "test", "--iters", "2"])
+        .args(["--report", out.to_str().unwrap()])
+        .status()
+        .expect("run profile");
+    assert!(status.success());
+
+    let value: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    for key in ["schema", "app", "iterations", "epochs", "objects", "mem", "timeline", "totals"] {
+        assert!(!value[key].is_null(), "report lost top-level key {key}");
+    }
+    assert_eq!(value["schema"].as_u64(), Some(1));
+    assert_eq!(value["app"].as_str(), Some("S3D"));
+    assert_eq!(value["iterations"].as_u64(), Some(2));
+    let epochs = value["epochs"].as_array().unwrap();
+    assert!(epochs.len() >= 4);
+    for e in epochs {
+        for key in ["label", "wall_ns", "refs", "reads", "writes"] {
+            assert!(!e[key].is_null(), "epoch row lost {key}");
+        }
+    }
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let output = Command::new(profile_bin())
+        .args(["--app", "gtc", "--frobnicate"])
+        .output()
+        .expect("run profile");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("unknown flag"), "stderr: {err}");
+}

@@ -1,0 +1,187 @@
+//! Cross-crate integration tests for iteration-resolved observability:
+//! the epoch recorder partitions the whole run's counters losslessly,
+//! the timeline journal is a well-formed Chrome trace, and the run
+//! report folds both into one parseable document.
+
+use nv_scavenger::profile::profile_observed;
+use nvsim_apps::{AppScale, Cam, Gtc};
+use nvsim_obs::{EventKind, Metrics, Timeline};
+use serde_json::Value;
+
+/// Field access that names the missing key on failure.
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key).unwrap_or_else(|| panic!("missing key {key}"))
+}
+
+/// The ISSUE's acceptance invariant: for every counter the per-epoch
+/// deltas sum to the whole-run snapshot total — nothing is double
+/// counted and nothing falls between two windows.
+#[test]
+fn epoch_deltas_sum_to_whole_run_totals() {
+    let metrics = Metrics::enabled();
+    let timeline = Timeline::enabled();
+    let mut app = Gtc::new(AppScale::Test);
+    let report = profile_observed(&mut app, 3, &metrics, &timeline).unwrap();
+
+    // At least setup + 3 iterations + post-process; the cache filter,
+    // replays and migration land in the trailing "tail" epoch.
+    assert!(report.epochs.len() >= 5, "epochs: {}", report.epochs.len());
+    let iteration_epochs = report
+        .epochs
+        .iter()
+        .filter(|e| e.kind.iteration().is_some())
+        .count();
+    assert_eq!(iteration_epochs, 3);
+
+    for name in report.snapshot.counters.keys() {
+        let total = report.snapshot.counter(name).unwrap();
+        let summed: u64 = report
+            .epochs
+            .iter()
+            .map(|e| e.delta.counter(name).unwrap_or(0))
+            .sum();
+        assert_eq!(summed, total, "epoch deltas diverge for {name}");
+    }
+}
+
+/// Every epoch of the §VI main loop does identical work in GTC, so the
+/// per-iteration windows must agree with each other and the deltas must
+/// be a real partition (each strictly smaller than the total).
+#[test]
+fn iteration_epochs_resolve_per_iteration_work() {
+    let metrics = Metrics::enabled();
+    let mut app = Gtc::new(AppScale::Test);
+    let report =
+        profile_observed(&mut app, 2, &metrics, &Timeline::disabled()).unwrap();
+
+    let iters: Vec<_> = report
+        .epochs
+        .iter()
+        .filter(|e| e.kind.iteration().is_some())
+        .collect();
+    assert_eq!(iters.len(), 2);
+    let total = report.snapshot.counter("trace.refs").unwrap();
+    for e in &iters {
+        let refs = e.delta.counter("trace.refs").unwrap();
+        assert!(refs > 0 && refs < total, "iteration refs {refs} vs {total}");
+    }
+    // GTC's main loop is step-for-step identical work.
+    assert_eq!(
+        iters[0].delta.counter("trace.refs"),
+        iters[1].delta.counter("trace.refs")
+    );
+}
+
+/// The journal invariants the Chrome trace format requires: timestamps
+/// never run backwards and every Begin has a matching End on its track.
+#[test]
+fn timeline_is_balanced_and_monotonic() {
+    let metrics = Metrics::enabled();
+    let timeline = Timeline::enabled();
+    let mut app = Cam::new(AppScale::Test);
+    profile_observed(&mut app, 2, &metrics, &timeline).unwrap();
+
+    let events = timeline.events();
+    assert!(events.len() > 20);
+    assert_eq!(timeline.dropped(), 0);
+
+    let mut last_ts = 0;
+    let mut depth: std::collections::HashMap<(u32, String), i64> =
+        std::collections::HashMap::new();
+    for e in &events {
+        assert!(e.ts_ns >= last_ts, "timestamps regressed at {}", e.name);
+        last_ts = e.ts_ns;
+        let key = (e.tid, e.name.clone());
+        match e.kind {
+            EventKind::Begin => *depth.entry(key).or_insert(0) += 1,
+            EventKind::End => {
+                let d = depth.entry(key).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "End before Begin for {}", e.name);
+            }
+            EventKind::Instant => {}
+        }
+    }
+    for ((tid, name), d) in depth {
+        assert_eq!(d, 0, "unbalanced span {name} on track {tid}");
+    }
+
+    // Every instrumented layer shows up, including the app-driver
+    // annotation markers (one "cam.timestep" instant per iteration).
+    let cats: std::collections::BTreeSet<&str> =
+        events.iter().map(|e| e.cat.as_str()).collect();
+    for cat in ["trace", "cache", "mem", "placement", "app"] {
+        assert!(cats.contains(cat), "no {cat} events in the journal");
+    }
+    let steps = events.iter().filter(|e| e.name == "cam.timestep").count();
+    assert_eq!(steps, 2);
+}
+
+/// The exported Chrome trace JSON parses and carries the structure
+/// Perfetto needs: a `traceEvents` array whose `ph` values are B/E/i
+/// and whose `ts` are numbers.
+#[test]
+fn chrome_trace_json_is_well_formed() {
+    let metrics = Metrics::enabled();
+    let timeline = Timeline::enabled();
+    let mut app = Gtc::new(AppScale::Test);
+    profile_observed(&mut app, 2, &metrics, &timeline).unwrap();
+
+    let value: Value = serde_json::from_str(&timeline.to_chrome_json()).unwrap();
+    assert_eq!(field(&value, "schema").as_u64(), Some(1));
+    let events = field(&value, "traceEvents").as_array().unwrap();
+    assert_eq!(events.len(), timeline.len());
+    let mut last_ts = -1.0;
+    for e in events {
+        let ph = field(e, "ph").as_str().unwrap();
+        assert!(matches!(ph, "B" | "E" | "i"), "unexpected ph {ph}");
+        let ts = field(e, "ts").as_f64().unwrap();
+        assert!(ts >= last_ts, "ts regressed");
+        last_ts = ts;
+        if ph == "i" {
+            assert_eq!(field(e, "s").as_str(), Some("t"), "instants need a scope");
+        }
+    }
+}
+
+/// The consolidated run report: versioned schema, one row per epoch
+/// (with ≥ 2 main-loop iterations), totals embedded, drift table and
+/// timeline digest present — in both renderings.
+#[test]
+fn run_report_folds_epochs_drift_and_timeline() {
+    let metrics = Metrics::enabled();
+    let timeline = Timeline::enabled();
+    let mut app = Gtc::new(AppScale::Test);
+    let report = profile_observed(&mut app, 3, &metrics, &timeline).unwrap();
+    let rr = report.run_report(&timeline);
+
+    let value: Value = serde_json::from_str(&rr.to_json()).unwrap();
+    assert_eq!(field(&value, "schema").as_u64(), Some(1));
+    assert_eq!(field(&value, "app").as_str(), Some("GTC"));
+    let epochs = field(&value, "epochs").as_array().unwrap();
+    let iter_rows: Vec<_> = epochs
+        .iter()
+        .filter(|e| e.get("iteration").is_some_and(Value::is_u64))
+        .collect();
+    assert!(iter_rows.len() >= 2, "report needs >= 2 iteration rows");
+    // Row counters cross-check against the embedded whole-run totals.
+    let total_refs = field(field(field(&value, "totals"), "counters"), "trace.refs")
+        .as_u64()
+        .unwrap();
+    let summed: u64 = epochs
+        .iter()
+        .map(|e| field(e, "refs").as_u64().unwrap())
+        .sum();
+    assert_eq!(summed, total_refs, "epoch rows must partition trace.refs");
+    let objects = field(&value, "objects").as_array().unwrap();
+    assert!(!objects.is_empty());
+    assert_eq!(
+        field(field(&value, "timeline"), "events").as_u64(),
+        Some(timeline.len() as u64)
+    );
+
+    let md = rr.to_markdown();
+    assert!(md.contains("run report: GTC"));
+    assert!(md.contains("| iteration 0 |") && md.contains("| iteration 1 |"));
+    assert!(md.contains("## Memory systems"));
+}
