@@ -1,13 +1,21 @@
 //! Regenerates Figure 12: performance sensitivity to NVRAM memory access
 //! latencies — one main-loop iteration timed on the out-of-order core
 //! model at each Table IV latency (read = write, §V).
+//!
+//! With `--parallel`/`--jobs N` the two applications run concurrently on
+//! the fleet pool; each records its event trace once and replays it per
+//! latency point, so the output is identical to the serial run.
 
 use nvsim_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
+    let jobs = args.effective_jobs();
+    if jobs > 1 {
+        eprintln!("parallel fleet: {jobs} workers");
+    }
     args.header("Figure 12: time simulation results (latency sweep)");
-    let reports = nv_scavenger::experiments::fig12(args.scale).expect("fig12");
+    let reports = nv_scavenger::experiments::fig12_jobs(args.scale, jobs).expect("fig12");
     for rep in &reports {
         println!("--- {} (one main-loop iteration) ---", rep.app);
         println!(

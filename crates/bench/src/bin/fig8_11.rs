@@ -6,9 +6,14 @@ use nvsim_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
+    let jobs = args.effective_jobs();
+    if jobs > 1 {
+        eprintln!("parallel fleet: {jobs} workers");
+    }
     args.header("Figures 8-11: per-iteration variance of R/W ratio and reference rate");
     let reports =
-        nv_scavenger::experiments::figs8_11(args.scale, args.iterations).expect("figs8_11");
+        nv_scavenger::experiments::figs8_11_jobs(args.scale, args.iterations, jobs)
+            .expect("figs8_11");
     for rep in &reports {
         println!("--- {} ---", rep.app);
         print!(

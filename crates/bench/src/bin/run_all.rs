@@ -1,15 +1,25 @@
 //! Runs every experiment binary's logic in sequence — the one-command
 //! regeneration of the paper's full evaluation section.
+//!
+//! With `--parallel` (or `--jobs N`) every per-application section and
+//! the technology replays run on the `nv_scavenger::fleet` worker pool;
+//! stdout and every dump (`--json`, `--metrics-json`, `--timeline`) stay
+//! byte-identical to the serial run — the parallel status note goes to
+//! stderr.
 
 use nv_scavenger::experiments as ex;
 use nvsim_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
+    let jobs = args.effective_jobs();
+    if jobs > 1 {
+        eprintln!("parallel fleet: {jobs} workers");
+    }
     args.header("Full evaluation: every table and figure");
 
     println!("### Table I");
-    for r in ex::table1(args.scale).expect("table1") {
+    for r in ex::table1_jobs(args.scale, jobs).expect("table1") {
         println!(
             "  {:<10} paper {:>5.0} MB | measured (rescaled) {:>6.1} MB",
             r.app, r.paper_footprint_mb, r.rescaled_mb()
@@ -17,7 +27,7 @@ fn main() {
     }
 
     println!("\n### Table V");
-    for r in ex::table5(args.scale, args.iterations).expect("table5") {
+    for r in ex::table5_jobs(args.scale, args.iterations, jobs).expect("table5") {
         println!(
             "  {:<10} ratio {:>6.2} (paper {:>5.2})  first {:>6.2} (paper {:>5.2})  stack {:>5.1}% (paper {:>4.1}%)",
             r.app, r.rw_ratio, r.paper.0, r.rw_ratio_first, r.paper.1,
@@ -35,7 +45,7 @@ fn main() {
 
     println!("\n### Figures 3-6 (global+heap pools)");
     let rescale = args.scale.divisor() as f64 / (1024.0 * 1024.0);
-    for r in ex::figs3_6(args.scale, args.iterations).expect("figs3_6") {
+    for r in ex::figs3_6_jobs(args.scale, args.iterations, jobs).expect("figs3_6") {
         println!(
             "  {:<10} read-only {:>5.1}% | ratio>50 {:>6.1} MB | {:>3} objects",
             r.app,
@@ -46,7 +56,7 @@ fn main() {
     }
 
     println!("\n### Figure 7 (usage across time steps)");
-    for r in ex::fig7(args.scale, args.iterations).expect("fig7") {
+    for r in ex::fig7_jobs(args.scale, args.iterations, jobs).expect("fig7") {
         println!(
             "  {:<10} untouched in main loop: {:>5.1}% ({:.1} MB paper-eq)",
             r.app,
@@ -56,7 +66,7 @@ fn main() {
     }
 
     println!("\n### Figures 8-11 (iteration variance)");
-    for r in ex::figs8_11(args.scale, args.iterations).expect("figs8_11") {
+    for r in ex::figs8_11_jobs(args.scale, args.iterations, jobs).expect("figs8_11") {
         println!(
             "  {:<10} min stable [1,2) fraction: {:.2} (paper >0.60)",
             r.app, r.min_stable_fraction
@@ -64,7 +74,7 @@ fn main() {
     }
 
     println!("\n### Table VI (normalized power)");
-    for r in ex::table6(args.scale, args.iterations).expect("table6") {
+    for r in ex::table6_jobs(args.scale, args.iterations, jobs).expect("table6") {
         println!(
             "  {:<10} measured [{:.3} {:.3} {:.3} {:.3}] paper [{:.3} {:.3} {:.3} {:.3}]",
             r.app,
@@ -74,7 +84,7 @@ fn main() {
     }
 
     println!("\n### Figure 12 (latency sensitivity)");
-    for r in ex::fig12(args.scale).expect("fig12") {
+    for r in ex::fig12_jobs(args.scale, jobs).expect("fig12") {
         let pts: Vec<String> = r
             .points
             .iter()
@@ -84,7 +94,7 @@ fn main() {
     }
 
     println!("\n### Suitability (abstract: 31%/27%)");
-    for r in ex::suitability(args.scale, args.iterations).expect("suitability") {
+    for r in ex::suitability_jobs(args.scale, args.iterations, jobs).expect("suitability") {
         println!(
             "  {:<10} cat2 {:>5.1}%  cat1 {:>5.1}%",
             r.app,
@@ -102,17 +112,36 @@ fn main() {
         let metrics = args.metrics();
         let timeline = args.timeline();
         println!("\n### Instrumented pipeline (--metrics-json / --timeline)");
-        for mut app in nvsim_apps::all_apps(args.scale) {
-            let r = nv_scavenger::profile::profile_observed(
-                app.as_mut(),
+        let reports = if jobs > 1 {
+            // The fleet: all four apps in flight at once, per-app shards
+            // merged in Table I order so the dumps below are identical to
+            // the serial branch byte for byte.
+            nv_scavenger::fleet::profile_fleet(
+                args.scale,
                 args.iterations,
+                jobs,
                 &metrics,
                 &timeline,
             )
-            .expect("instrumented profile");
+            .expect("instrumented fleet")
+        } else {
+            nvsim_apps::all_apps(args.scale)
+                .iter_mut()
+                .map(|app| {
+                    nv_scavenger::profile::profile_observed(
+                        app.as_mut(),
+                        args.iterations,
+                        &metrics,
+                        &timeline,
+                    )
+                    .expect("instrumented profile")
+                })
+                .collect()
+        };
+        for r in &reports {
             println!(
                 "  {:<10} {:>10} refs -> {:>7} main-memory transactions ({} epochs)",
-                app.spec().name,
+                r.meta.app,
                 r.characterization.tracer_stats.refs,
                 r.transactions,
                 r.epochs.len()

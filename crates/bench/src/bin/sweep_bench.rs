@@ -1,0 +1,98 @@
+//! Times the full §VI–VII evaluation sweep serially and on the parallel
+//! fleet, and writes the comparison as `BENCH_sweep.json`.
+//!
+//! The workload is `nv_scavenger::experiments::evaluation_sweep` — every
+//! table and figure of the paper, including the Table VI technology grid
+//! and the Figure 12 latency points. The serial leg runs it with one
+//! worker; the parallel leg runs the identical work with `--jobs N`
+//! workers (default: all cores). Reported speedup is serial wall-clock
+//! over parallel wall-clock; the schema is documented in
+//! `docs/METRICS.md`.
+//!
+//! Usage: `sweep_bench [test|small|bench] [--iters N] [--jobs N]
+//! [--json PATH]` (default output path: `BENCH_sweep.json`).
+
+use nvsim_bench::BenchArgs;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The `BENCH_sweep.json` payload.
+#[derive(Debug, Serialize)]
+struct SweepBench {
+    /// Schema version of this file.
+    schema: u32,
+    /// Scale the sweep ran at (`test`/`small`/`bench`).
+    scale: String,
+    /// Main-loop iterations per application.
+    iterations: u32,
+    /// Worker count of the parallel leg.
+    jobs: usize,
+    /// Serial (1-worker) wall-clock, milliseconds.
+    serial_ms: f64,
+    /// Parallel wall-clock, milliseconds.
+    parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    speedup: f64,
+    /// Technology replay cells per leg (Table VI grid + Figure 12
+    /// points).
+    replay_cells: usize,
+    /// Main-memory transactions replayed per Table VI cell, summed over
+    /// applications.
+    transactions: u64,
+    /// Replay cells completed per second, serial leg.
+    cells_per_sec_serial: f64,
+    /// Replay cells completed per second, parallel leg.
+    cells_per_sec_parallel: f64,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let jobs = match (args.parallel, args.jobs) {
+        (_, Some(n)) => n,
+        _ => nv_scavenger::default_jobs(),
+    };
+    args.header("Sweep bench: serial vs parallel fleet");
+
+    // Warm-up leg: touch every code path once so neither timed leg pays
+    // first-run costs (page faults, lazy allocations).
+    nv_scavenger::experiments::evaluation_sweep(args.scale, args.iterations, jobs)
+        .expect("warm-up sweep");
+
+    let t0 = Instant::now();
+    let serial = nv_scavenger::experiments::evaluation_sweep(args.scale, args.iterations, 1)
+        .expect("serial sweep");
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let parallel = nv_scavenger::experiments::evaluation_sweep(args.scale, args.iterations, jobs)
+        .expect("parallel sweep");
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(serial, parallel, "legs must cover identical work");
+
+    let report = SweepBench {
+        schema: 1,
+        scale: format!("1/{}", args.scale.divisor()),
+        iterations: args.iterations,
+        jobs,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms.max(f64::MIN_POSITIVE),
+        replay_cells: serial.replay_cells,
+        transactions: serial.transactions,
+        cells_per_sec_serial: serial.replay_cells as f64 / (serial_ms / 1e3),
+        cells_per_sec_parallel: serial.replay_cells as f64 / (parallel_ms / 1e3),
+    };
+    println!(
+        "serial {serial_ms:.0} ms | parallel ({jobs} workers) {parallel_ms:.0} ms | speedup {:.2}x | {} replay cells",
+        report.speedup, report.replay_cells
+    );
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_sweep.json"));
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json).expect("write BENCH_sweep.json");
+    eprintln!("wrote {}", path.display());
+}

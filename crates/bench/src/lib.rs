@@ -15,6 +15,13 @@
 //! `nvsim-obs` snapshot (`trace.*`, `cache.*`, `mem.<tech>.*`, … — see
 //! `docs/METRICS.md`) and/or the event journal as Chrome trace-event
 //! JSON (open it at <https://ui.perfetto.dev>).
+//!
+//! `--parallel` (or an explicit `--jobs N`) runs the experiments on the
+//! `nv_scavenger::fleet` worker pool — applications and technology
+//! replay cells fan out over bounded crossbeam workers, and the merged
+//! metrics/report output is byte-identical to the serial run (see
+//! EXPERIMENTS.md, "Running sweeps in parallel"). `sweep_bench` times
+//! the two modes against each other and writes `BENCH_sweep.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,8 +33,19 @@ use std::path::PathBuf;
 
 pub mod plot;
 
+/// Usage text every binary prints when argument parsing fails.
+pub const USAGE: &str = "usage: <bin> [test|small|bench] [--iters N] [--json PATH] \
+[--metrics-json PATH] [--timeline PATH] [--parallel] [--jobs N]\n\
+  test|small|bench   footprint scale (default: bench = 1/64 paper size)\n\
+  --iters N          main-loop iterations (default: 10)\n\
+  --json PATH        dump the experiment report as JSON\n\
+  --metrics-json PATH dump the nvsim-obs snapshot (docs/METRICS.md)\n\
+  --timeline PATH    dump the Chrome trace-event journal\n\
+  --parallel         run experiments on the fleet worker pool\n\
+  --jobs N           worker count (implies --parallel; default: all cores)";
+
 /// Parsed command-line options shared by the experiment binaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Footprint scale to run at.
     pub scale: AppScale,
@@ -39,48 +57,93 @@ pub struct BenchArgs {
     pub metrics_json: Option<PathBuf>,
     /// Optional Chrome trace-event timeline dump path (`--timeline`).
     pub timeline_json: Option<PathBuf>,
+    /// `--parallel`: run the experiments on the fleet worker pool.
+    pub parallel: bool,
+    /// `--jobs N`: explicit worker count (implies `--parallel`).
+    pub jobs: Option<usize>,
 }
 
-impl BenchArgs {
-    /// Parses `std::env::args`:
-    /// `[scale] [--iters N] [--json PATH] [--metrics-json PATH]
-    /// [--timeline PATH]`.
-    pub fn parse() -> Self {
-        let mut args = BenchArgs {
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
             scale: AppScale::Bench,
             iterations: 10,
             json: None,
             metrics_json: None,
             timeline_json: None,
-        };
-        let mut it = std::env::args().skip(1);
+            parallel: false,
+            jobs: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, exiting with [`USAGE`] on stderr (status
+    /// 2) when an argument is unknown or malformed.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (no leading program name):
+    /// `[scale] [--iters N] [--json PATH] [--metrics-json PATH]
+    /// [--timeline PATH] [--parallel] [--jobs N]`.
+    pub fn parse_from(
+        argv: impl IntoIterator<Item = String>,
+    ) -> Result<Self, String> {
+        let mut args = BenchArgs::default();
+        let mut it = argv.into_iter();
         while let Some(a) = it.next() {
+            let path_arg = |it: &mut dyn Iterator<Item = String>| {
+                it.next()
+                    .map(PathBuf::from)
+                    .ok_or(format!("{a} needs a path"))
+            };
             match a.as_str() {
                 "test" => args.scale = AppScale::Test,
                 "small" => args.scale = AppScale::Small,
                 "bench" => args.scale = AppScale::Bench,
                 "--iters" => {
-                    args.iterations = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--iters needs a number");
+                    let v = it.next().ok_or("--iters needs a number")?;
+                    args.iterations = v
+                        .parse()
+                        .map_err(|_| format!("--iters needs a number, got {v:?}"))?;
                 }
-                "--json" => {
-                    args.json = Some(PathBuf::from(it.next().expect("--json needs a path")));
+                "--json" => args.json = Some(path_arg(&mut it)?),
+                "--metrics-json" => args.metrics_json = Some(path_arg(&mut it)?),
+                "--timeline" => args.timeline_json = Some(path_arg(&mut it)?),
+                "--parallel" => args.parallel = true,
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a worker count")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--jobs needs a worker count, got {v:?}"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    args.jobs = Some(n);
+                    args.parallel = true;
                 }
-                "--metrics-json" => {
-                    args.metrics_json = Some(PathBuf::from(
-                        it.next().expect("--metrics-json needs a path"),
-                    ));
-                }
-                "--timeline" => {
-                    args.timeline_json =
-                        Some(PathBuf::from(it.next().expect("--timeline needs a path")));
-                }
-                other => panic!("unknown argument: {other} (expected test|small|bench, --iters N, --json PATH, --metrics-json PATH, --timeline PATH)"),
+                other => return Err(format!("unknown argument: {other}")),
             }
         }
-        args
+        Ok(args)
+    }
+
+    /// The worker count the run should use: the explicit `--jobs` value,
+    /// every available core under bare `--parallel`, and 1 (fully
+    /// serial) otherwise.
+    pub fn effective_jobs(&self) -> usize {
+        match (self.parallel, self.jobs) {
+            (_, Some(n)) => n,
+            (true, None) => nv_scavenger::default_jobs(),
+            (false, None) => 1,
+        }
     }
 
     /// Writes the JSON dump if requested.
@@ -181,10 +244,110 @@ pub fn fmt_ratio(r: Option<f64>) -> String {
 mod tests {
     use super::*;
 
+    fn parse(argv: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse_from(argv.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn fmt_ratio_cases() {
         assert_eq!(fmt_ratio(None), "-");
         assert_eq!(fmt_ratio(Some(f64::INFINITY)), "RO");
         assert_eq!(fmt_ratio(Some(6.333)), "6.33");
+    }
+
+    #[test]
+    fn empty_argv_is_the_default() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, BenchArgs::default());
+        assert_eq!(args.scale, AppScale::Bench);
+        assert_eq!(args.iterations, 10);
+        assert!(!args.wants_instrumented_pass());
+        assert_eq!(args.effective_jobs(), 1);
+    }
+
+    #[test]
+    fn every_scale_keyword_parses() {
+        assert_eq!(parse(&["test"]).unwrap().scale, AppScale::Test);
+        assert_eq!(parse(&["small"]).unwrap().scale, AppScale::Small);
+        assert_eq!(parse(&["bench"]).unwrap().scale, AppScale::Bench);
+        // Last keyword wins, like repeated flags.
+        assert_eq!(parse(&["test", "small"]).unwrap().scale, AppScale::Small);
+    }
+
+    #[test]
+    fn every_value_flag_parses() {
+        let args = parse(&[
+            "small",
+            "--iters",
+            "7",
+            "--json",
+            "r.json",
+            "--metrics-json",
+            "m.json",
+            "--timeline",
+            "t.json",
+        ])
+        .unwrap();
+        assert_eq!(args.scale, AppScale::Small);
+        assert_eq!(args.iterations, 7);
+        assert_eq!(args.json.as_deref(), Some(std::path::Path::new("r.json")));
+        assert_eq!(
+            args.metrics_json.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+        assert_eq!(
+            args.timeline_json.as_deref(),
+            Some(std::path::Path::new("t.json"))
+        );
+        assert!(args.wants_instrumented_pass());
+    }
+
+    #[test]
+    fn parallel_flags_parse() {
+        let p = parse(&["--parallel"]).unwrap();
+        assert!(p.parallel);
+        assert_eq!(p.jobs, None);
+        assert_eq!(p.effective_jobs(), nv_scavenger::default_jobs());
+
+        let j = parse(&["--jobs", "3"]).unwrap();
+        assert!(j.parallel, "--jobs implies --parallel");
+        assert_eq!(j.effective_jobs(), 3);
+
+        let both = parse(&["--parallel", "--jobs", "2", "test"]).unwrap();
+        assert_eq!(both.effective_jobs(), 2);
+        assert_eq!(both.scale, AppScale::Test);
+
+        // `--jobs 1` is the serial pipeline under the parallel code path.
+        assert_eq!(parse(&["--jobs", "1"]).unwrap().effective_jobs(), 1);
+    }
+
+    #[test]
+    fn malformed_argv_errors_instead_of_being_ignored() {
+        for (argv, needle) in [
+            (&["--frobnicate"][..], "unknown argument: --frobnicate"),
+            (&["Test"][..], "unknown argument: Test"),
+            (&["--iters"][..], "--iters needs a number"),
+            (&["--iters", "ten"][..], "--iters needs a number"),
+            (&["--json"][..], "--json needs a path"),
+            (&["--metrics-json"][..], "--metrics-json needs a path"),
+            (&["--timeline"][..], "--timeline needs a path"),
+            (&["--jobs"][..], "--jobs needs a worker count"),
+            (&["--jobs", "many"][..], "--jobs needs a worker count"),
+            (&["--jobs", "0"][..], "--jobs must be at least 1"),
+        ] {
+            let err = parse(argv).unwrap_err();
+            assert!(err.contains(needle), "{argv:?}: {err}");
+        }
+        // And the usage text names every flag an error can point at.
+        for flag in [
+            "--iters",
+            "--json",
+            "--metrics-json",
+            "--timeline",
+            "--parallel",
+            "--jobs",
+        ] {
+            assert!(USAGE.contains(flag), "usage text missing {flag}");
+        }
     }
 }

@@ -4,7 +4,16 @@
 //! and returns a serializable report; the `nvsim-bench` binaries print
 //! them next to the paper's published values, and EXPERIMENTS.md records
 //! the comparison.
+//!
+//! Every per-application experiment comes in two flavours: the original
+//! serial entry point (`table1`, `fig7`, …) and a `*_jobs` variant that
+//! runs the applications on the [`crate::fleet`] worker pool. The serial
+//! functions delegate to their `_jobs` twin with `jobs = 1`, so there is
+//! exactly one implementation of each experiment and the parallel path
+//! produces identical reports (asserted by unit tests here and by
+//! `tests/fleet_differential.rs`).
 
+use crate::fleet::{replay_cells, run_indexed, CapturedStream, CellSpec};
 use crate::pipeline::{characterize, Characterization};
 use nvsim_apps::{all_apps, AppScale, Application};
 use nvsim_cache::{CacheFilterSink, VecTransactionSink};
@@ -13,15 +22,32 @@ use nvsim_objects::report::{
     object_summaries, region_report, ObjectSummary, UsageDistribution, VarianceHistogram,
     VarianceMetric,
 };
+use nvsim_obs::{Metrics, Timeline};
 use nvsim_placement::{classify, PlacementPolicy, SuitabilityReport};
-use nvsim_trace::Tracer;
-use nvsim_types::{
-    CacheConfig, MemTransaction, MemoryTechnology, NvsimError, Region, SystemConfig,
-};
+use nvsim_trace::{replay_trace, TraceWriter, Tracer};
+use nvsim_types::{CacheConfig, MemTransaction, MemoryTechnology, NvsimError, Region};
 use serde::{Deserialize, Serialize};
 
 /// Number of main-loop iterations the paper instruments (§VII).
 pub const PAPER_ITERATIONS: u32 = 10;
+
+/// Runs `body` once per proxy application, on at most `jobs` fleet
+/// workers, returning the rows in Table I application order regardless of
+/// scheduling. Each worker constructs its own application instance, so
+/// `body` only needs to be `Sync`.
+fn run_per_app<T, F>(scale: AppScale, jobs: usize, body: F) -> Result<Vec<T>, NvsimError>
+where
+    T: Send,
+    F: Fn(&mut dyn Application, usize) -> Result<T, NvsimError> + Sync,
+{
+    let n = all_apps(scale).len();
+    run_indexed(jobs, n, |i| {
+        let mut app = all_apps(scale).remove(i);
+        body(app.as_mut(), i)
+    })
+    .into_iter()
+    .collect()
+}
 
 // ---------------------------------------------------------------- Table I
 
@@ -51,21 +77,23 @@ impl Table1Row {
 
 /// Runs all apps for one iteration and reports footprints (Table I).
 pub fn table1(scale: AppScale) -> Result<Vec<Table1Row>, NvsimError> {
-    all_apps(scale)
-        .into_iter()
-        .map(|mut app| {
-            let spec = app.spec();
-            let c = characterize(app.as_mut(), 1)?;
-            Ok(Table1Row {
-                app: spec.name.to_string(),
-                input: spec.input.to_string(),
-                description: spec.description.to_string(),
-                paper_footprint_mb: spec.paper_footprint_mb,
-                measured_footprint_bytes: c.footprint.total(),
-                scale_divisor: scale.divisor(),
-            })
+    table1_jobs(scale, 1)
+}
+
+/// [`table1`] on at most `jobs` fleet workers.
+pub fn table1_jobs(scale: AppScale, jobs: usize) -> Result<Vec<Table1Row>, NvsimError> {
+    run_per_app(scale, jobs, |app, _| {
+        let spec = app.spec();
+        let c = characterize(app, 1)?;
+        Ok(Table1Row {
+            app: spec.name.to_string(),
+            input: spec.input.to_string(),
+            description: spec.description.to_string(),
+            paper_footprint_mb: spec.paper_footprint_mb,
+            measured_footprint_bytes: c.footprint.total(),
+            scale_divisor: scale.divisor(),
         })
-        .collect()
+    })
 }
 
 // ---------------------------------------------------------------- Table V
@@ -95,21 +123,27 @@ pub const TABLE5_PAPER: [(&str, f64, f64, f64); 4] = [
 
 /// Runs the fast stack tool over all apps (Table V).
 pub fn table5(scale: AppScale, iterations: u32) -> Result<Vec<Table5Row>, NvsimError> {
-    all_apps(scale)
-        .into_iter()
-        .zip(TABLE5_PAPER)
-        .map(|(mut app, (name, pr, pf, ps))| {
-            let c = characterize(app.as_mut(), iterations)?;
-            debug_assert_eq!(app.spec().name, name);
-            Ok(Table5Row {
-                app: app.spec().name.to_string(),
-                rw_ratio: c.stack.rw_ratio_steady().unwrap_or(0.0),
-                rw_ratio_first: c.stack.rw_ratio_first().unwrap_or(0.0),
-                reference_percentage: c.stack.stack_reference_share() * 100.0,
-                paper: (pr, pf, ps),
-            })
+    table5_jobs(scale, iterations, 1)
+}
+
+/// [`table5`] on at most `jobs` fleet workers.
+pub fn table5_jobs(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+) -> Result<Vec<Table5Row>, NvsimError> {
+    run_per_app(scale, jobs, |app, i| {
+        let (name, pr, pf, ps) = TABLE5_PAPER[i];
+        let c = characterize(app, iterations)?;
+        debug_assert_eq!(app.spec().name, name);
+        Ok(Table5Row {
+            app: app.spec().name.to_string(),
+            rw_ratio: c.stack.rw_ratio_steady().unwrap_or(0.0),
+            rw_ratio_first: c.stack.rw_ratio_first().unwrap_or(0.0),
+            reference_percentage: c.stack.stack_reference_share() * 100.0,
+            paper: (pr, pf, ps),
         })
-        .collect()
+    })
 }
 
 // ---------------------------------------------------------------- Figure 2
@@ -177,33 +211,39 @@ pub struct AppObjectsReport {
 
 /// Runs the global+heap tools over every app (Figures 3–6).
 pub fn figs3_6(scale: AppScale, iterations: u32) -> Result<Vec<AppObjectsReport>, NvsimError> {
-    all_apps(scale)
-        .into_iter()
-        .map(|mut app| {
-            let name = app.spec().name.to_string();
-            let c = characterize(app.as_mut(), iterations)?;
-            let mut objects = object_summaries(&c.registry, Region::Global);
-            objects.extend(object_summaries(&c.registry, Region::Heap));
-            objects.sort_by_key(|o| std::cmp::Reverse(o.counts.total()));
-            let g = region_report(&c.registry, Region::Global);
-            let h = region_report(&c.registry, Region::Heap);
-            let touched: Vec<&ObjectSummary> =
-                objects.iter().filter(|o| o.counts.total() > 0).collect();
-            let gt1 = touched
-                .iter()
-                .filter(|o| matches!(o.rw_ratio, Some(r) if r > 1.0))
-                .count() as f64
-                / touched.len().max(1) as f64;
-            Ok(AppObjectsReport {
-                app: name,
-                total_bytes: g.total_bytes + h.total_bytes,
-                read_only_bytes: g.read_only_bytes + h.read_only_bytes,
-                high_ratio_bytes: g.high_ratio_bytes + h.high_ratio_bytes,
-                objects_ratio_gt1: gt1,
-                objects,
-            })
+    figs3_6_jobs(scale, iterations, 1)
+}
+
+/// [`figs3_6`] on at most `jobs` fleet workers.
+pub fn figs3_6_jobs(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+) -> Result<Vec<AppObjectsReport>, NvsimError> {
+    run_per_app(scale, jobs, |app, _| {
+        let name = app.spec().name.to_string();
+        let c = characterize(app, iterations)?;
+        let mut objects = object_summaries(&c.registry, Region::Global);
+        objects.extend(object_summaries(&c.registry, Region::Heap));
+        objects.sort_by_key(|o| std::cmp::Reverse(o.counts.total()));
+        let g = region_report(&c.registry, Region::Global);
+        let h = region_report(&c.registry, Region::Heap);
+        let touched: Vec<&ObjectSummary> =
+            objects.iter().filter(|o| o.counts.total() > 0).collect();
+        let gt1 = touched
+            .iter()
+            .filter(|o| matches!(o.rw_ratio, Some(r) if r > 1.0))
+            .count() as f64
+            / touched.len().max(1) as f64;
+        Ok(AppObjectsReport {
+            app: name,
+            total_bytes: g.total_bytes + h.total_bytes,
+            read_only_bytes: g.read_only_bytes + h.read_only_bytes,
+            high_ratio_bytes: g.high_ratio_bytes + h.high_ratio_bytes,
+            objects_ratio_gt1: gt1,
+            objects,
         })
-        .collect()
+    })
 }
 
 // ---------------------------------------------------------------- Figure 7
@@ -221,21 +261,27 @@ pub struct Fig7Report {
 
 /// Builds Figure 7 for all apps.
 pub fn fig7(scale: AppScale, iterations: u32) -> Result<Vec<Fig7Report>, NvsimError> {
-    all_apps(scale)
-        .into_iter()
-        .map(|mut app| {
-            let name = app.spec().name.to_string();
-            let c = characterize(app.as_mut(), iterations)?;
-            let distribution = UsageDistribution::from_registry(&c.registry);
-            let untouched_fraction =
-                distribution.untouched_in_main() as f64 / distribution.total().max(1) as f64;
-            Ok(Fig7Report {
-                app: name,
-                distribution,
-                untouched_fraction,
-            })
+    fig7_jobs(scale, iterations, 1)
+}
+
+/// [`fig7`] on at most `jobs` fleet workers.
+pub fn fig7_jobs(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+) -> Result<Vec<Fig7Report>, NvsimError> {
+    run_per_app(scale, jobs, |app, _| {
+        let name = app.spec().name.to_string();
+        let c = characterize(app, iterations)?;
+        let distribution = UsageDistribution::from_registry(&c.registry);
+        let untouched_fraction =
+            distribution.untouched_in_main() as f64 / distribution.total().max(1) as f64;
+        Ok(Fig7Report {
+            app: name,
+            distribution,
+            untouched_fraction,
         })
-        .collect()
+    })
 }
 
 // ------------------------------------------------------------ Figures 8–11
@@ -256,30 +302,36 @@ pub struct VarianceReport {
 
 /// Builds Figures 8–11 for all apps.
 pub fn figs8_11(scale: AppScale, iterations: u32) -> Result<Vec<VarianceReport>, NvsimError> {
-    all_apps(scale)
-        .into_iter()
-        .map(|mut app| {
-            let name = app.spec().name.to_string();
-            let c = characterize(app.as_mut(), iterations)?;
-            // The paper plots all memory objects; we merge global and heap
-            // histograms by building over each region and averaging
-            // weighted by object count — simpler: build one histogram over
-            // Global (the dominant population) and one over Heap, then
-            // take Global as representative plus report both.
-            let rw = merged_histogram(&c, VarianceMetric::RwRatio, iterations);
-            let rate = merged_histogram(&c, VarianceMetric::RefRate, iterations);
-            let min_stable = (0..iterations as usize)
-                .skip(1) // iteration 0 is the normalization base
-                .map(|i| rw.stable_fraction(i))
-                .fold(1.0f64, f64::min);
-            Ok(VarianceReport {
-                app: name,
-                rw_ratio: rw,
-                ref_rate: rate,
-                min_stable_fraction: min_stable,
-            })
+    figs8_11_jobs(scale, iterations, 1)
+}
+
+/// [`figs8_11`] on at most `jobs` fleet workers.
+pub fn figs8_11_jobs(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+) -> Result<Vec<VarianceReport>, NvsimError> {
+    run_per_app(scale, jobs, |app, _| {
+        let name = app.spec().name.to_string();
+        let c = characterize(app, iterations)?;
+        // The paper plots all memory objects; we merge global and heap
+        // histograms by building over each region and averaging
+        // weighted by object count — simpler: build one histogram over
+        // Global (the dominant population) and one over Heap, then
+        // take Global as representative plus report both.
+        let rw = merged_histogram(&c, VarianceMetric::RwRatio, iterations);
+        let rate = merged_histogram(&c, VarianceMetric::RefRate, iterations);
+        let min_stable = (0..iterations as usize)
+            .skip(1) // iteration 0 is the normalization base
+            .map(|i| rw.stable_fraction(i))
+            .fold(1.0f64, f64::min);
+        Ok(VarianceReport {
+            app: name,
+            rw_ratio: rw,
+            ref_rate: rate,
+            min_stable_fraction: min_stable,
         })
-        .collect()
+    })
 }
 
 fn merged_histogram(
@@ -351,23 +403,43 @@ pub fn filtered_trace(
 
 /// Runs the power study over all apps (Table VI).
 pub fn table6(scale: AppScale, iterations: u32) -> Result<Vec<Table6Row>, NvsimError> {
-    let sys = SystemConfig::default();
-    all_apps(scale)
-        .into_iter()
-        .zip(TABLE6_PAPER)
-        .map(|(mut app, (name, paper))| {
-            debug_assert_eq!(app.spec().name, name);
-            let name = app.spec().name.to_string();
-            let txns = filtered_trace(app.as_mut(), iterations)?;
-            let (_, normalized) = nvsim_mem::system::replay_all_technologies(&txns, &sys);
-            Ok(Table6Row {
-                app: name,
-                normalized: [normalized[0], normalized[1], normalized[2], normalized[3]],
-                paper,
-                transactions: txns.len() as u64,
-            })
+    table6_jobs(scale, iterations, 1)
+}
+
+/// [`table6`] on the fleet engine: the tracer + cache filter run **once**
+/// per application ([`CapturedStream::capture`]) and the four technology
+/// replays fan out over the worker pool ([`replay_cells`]) instead of
+/// decoding from a materialized `Vec` — the scavenge-once/replay-many
+/// split. Normalization matches
+/// [`nvsim_mem::system::replay_all_technologies`] exactly (each
+/// technology's total power over the DDR3 total).
+pub fn table6_jobs(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+) -> Result<Vec<Table6Row>, NvsimError> {
+    run_per_app(scale, jobs, |app, i| {
+        let (name, paper) = TABLE6_PAPER[i];
+        debug_assert_eq!(app.spec().name, name);
+        let name = app.spec().name.to_string();
+        let captured =
+            CapturedStream::capture(app, iterations, &Metrics::disabled(), &Timeline::disabled())?;
+        let outcomes = replay_cells(
+            &captured,
+            &CellSpec::grid(),
+            jobs,
+            &Metrics::disabled(),
+            &Timeline::disabled(),
+        );
+        let dram = outcomes[0].power.total_mw();
+        let normalized: Vec<f64> = outcomes.iter().map(|o| o.power.total_mw() / dram).collect();
+        Ok(Table6Row {
+            app: name,
+            normalized: [normalized[0], normalized[1], normalized[2], normalized[3]],
+            paper,
+            transactions: captured.transactions(),
         })
-        .collect()
+    })
 }
 
 // ---------------------------------------------------------------- Figure 12
@@ -386,27 +458,46 @@ pub struct Fig12Report {
 /// one main-loop iteration each, as the paper does to bound simulation
 /// time).
 pub fn fig12(scale: AppScale) -> Result<Vec<Fig12Report>, NvsimError> {
-    let apps: Vec<Box<dyn Application>> = vec![
-        Box::new(nvsim_apps::Gtc::new(scale)),
-        Box::new(nvsim_apps::S3d::new(scale)),
-    ];
-    apps.into_iter()
-        .map(|mut app| {
-            let name = app.spec().name.to_string();
-            let base = CoreParams::default();
-            let points = nvsim_cpu::sweep_technologies(&base, |params| {
-                // Time exactly one main-loop iteration (§VII-E).
-                let mut sink = CpuSink::for_iterations(params, 0, 1);
-                {
-                    let mut tracer = Tracer::new(&mut sink);
-                    app.run(&mut tracer, 1).expect("proxy run failed");
-                    tracer.finish();
-                }
-                sink.result().expect("cpu sink finished")
-            });
-            Ok(Fig12Report { app: name, points })
-        })
-        .collect()
+    fig12_jobs(scale, 1)
+}
+
+/// [`fig12`] on the fleet engine: each application's event stream is
+/// recorded **once** with the tracefile encoder, then replayed through a
+/// fresh out-of-order core model per latency point — the workload runs
+/// once instead of once per technology, and the two applications fan out
+/// over the worker pool. The proxies are deterministic, so replaying the
+/// recorded stream drives the core model with exactly the reference
+/// sequence a live rerun would.
+pub fn fig12_jobs(scale: AppScale, jobs: usize) -> Result<Vec<Fig12Report>, NvsimError> {
+    fn sweep_apps(scale: AppScale) -> Vec<Box<dyn Application>> {
+        vec![
+            Box::new(nvsim_apps::Gtc::new(scale)),
+            Box::new(nvsim_apps::S3d::new(scale)),
+        ]
+    }
+    let n = sweep_apps(scale).len();
+    run_indexed(jobs, n, |i| {
+        let mut app = sweep_apps(scale).remove(i);
+        let name = app.spec().name.to_string();
+        // Scavenge once: record the trace of one main-loop iteration
+        // (§VII-E times exactly one iteration).
+        let mut writer = TraceWriter::new();
+        {
+            let mut tracer = Tracer::new(&mut writer);
+            app.run(&mut tracer, 1)?;
+            tracer.finish();
+        }
+        let encoded = writer.into_bytes();
+        let base = CoreParams::default();
+        let points = nvsim_cpu::sweep_technologies(&base, |params| {
+            let mut sink = CpuSink::for_iterations(params, 0, 1);
+            replay_trace(encoded.clone(), &mut sink, 4096);
+            sink.result().expect("cpu sink finished")
+        });
+        Ok(Fig12Report { app: name, points })
+    })
+    .into_iter()
+    .collect()
 }
 
 // ------------------------------------------------------------- Suitability
@@ -425,20 +516,26 @@ pub struct SuitabilityRow {
 
 /// Classifies every app's working set (global + heap objects).
 pub fn suitability(scale: AppScale, iterations: u32) -> Result<Vec<SuitabilityRow>, NvsimError> {
-    all_apps(scale)
-        .into_iter()
-        .map(|mut app| {
-            let name = app.spec().name.to_string();
-            let c = characterize(app.as_mut(), iterations)?;
-            let mut objects = object_summaries(&c.registry, Region::Global);
-            objects.extend(object_summaries(&c.registry, Region::Heap));
-            Ok(SuitabilityRow {
-                app: name,
-                category2: classify(&objects, &PlacementPolicy::category2()),
-                category1: classify(&objects, &PlacementPolicy::category1()),
-            })
+    suitability_jobs(scale, iterations, 1)
+}
+
+/// [`suitability`] on at most `jobs` fleet workers.
+pub fn suitability_jobs(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+) -> Result<Vec<SuitabilityRow>, NvsimError> {
+    run_per_app(scale, jobs, |app, _| {
+        let name = app.spec().name.to_string();
+        let c = characterize(app, iterations)?;
+        let mut objects = object_summaries(&c.registry, Region::Global);
+        objects.extend(object_summaries(&c.registry, Region::Heap));
+        Ok(SuitabilityRow {
+            app: name,
+            category2: classify(&objects, &PlacementPolicy::category2()),
+            category1: classify(&objects, &PlacementPolicy::category1()),
         })
-        .collect()
+    })
 }
 
 /// All Table IV technologies, for printing headers.
@@ -488,6 +585,48 @@ pub fn granularity(scale: AppScale, iterations: u32) -> Result<Vec<GranularityRo
             })
         })
         .collect()
+}
+
+// -------------------------------------------------------- Evaluation sweep
+
+/// What one whole-evaluation sweep covered — the unit of work
+/// `sweep_bench` times serial against parallel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Applications evaluated.
+    pub apps: usize,
+    /// Technology replay cells executed (Table VI grid + Figure 12
+    /// latency points).
+    pub replay_cells: usize,
+    /// Main-memory transactions replayed per Table VI cell, summed over
+    /// applications.
+    pub transactions: u64,
+}
+
+/// Runs every table/figure of the §VI–VII evaluation — Tables I, V, VI
+/// and Figures 3–12 plus the suitability study — on at most `jobs` fleet
+/// workers, discarding the reports and returning only coverage counts.
+/// With `jobs = 1` this is exactly the serial evaluation the `run_all`
+/// binary prints.
+pub fn evaluation_sweep(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+) -> Result<SweepSummary, NvsimError> {
+    let t1 = table1_jobs(scale, jobs)?;
+    table5_jobs(scale, iterations, jobs)?;
+    figs3_6_jobs(scale, iterations, jobs)?;
+    fig7_jobs(scale, iterations, jobs)?;
+    figs8_11_jobs(scale, iterations, jobs)?;
+    let t6 = table6_jobs(scale, iterations, jobs)?;
+    let f12 = fig12_jobs(scale, jobs)?;
+    suitability_jobs(scale, iterations, jobs)?;
+    Ok(SweepSummary {
+        apps: t1.len(),
+        replay_cells: t6.len() * MemoryTechnology::ALL.len()
+            + f12.iter().map(|r| r.points.len()).sum::<usize>(),
+        transactions: t6.iter().map(|r| r.transactions).sum(),
+    })
 }
 
 #[cfg(test)]
@@ -558,5 +697,63 @@ mod tests {
         }
         let nek = rows.iter().find(|r| r.app == "Nek5000").unwrap();
         assert!(nek.category2.suitable_fraction() > 0.2);
+    }
+
+    #[test]
+    fn parallel_experiments_match_serial() {
+        // Every *_jobs variant at jobs=4 must reproduce the serial rows
+        // exactly — same values, same (Table I) order.
+        assert_eq!(table1(AppScale::Test).unwrap(), table1_jobs(AppScale::Test, 4).unwrap());
+        assert_eq!(
+            table5(AppScale::Test, 2).unwrap(),
+            table5_jobs(AppScale::Test, 2, 4).unwrap()
+        );
+        assert_eq!(
+            fig7(AppScale::Test, 2).unwrap(),
+            fig7_jobs(AppScale::Test, 2, 4).unwrap()
+        );
+        assert_eq!(
+            table6(AppScale::Test, 2).unwrap(),
+            table6_jobs(AppScale::Test, 2, 4).unwrap()
+        );
+        assert_eq!(
+            suitability(AppScale::Test, 2).unwrap(),
+            suitability_jobs(AppScale::Test, 2, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn scavenged_table6_matches_the_vec_pipeline() {
+        // The capture/replay path must agree with a hand-built
+        // filtered_trace + replay_all_technologies loop.
+        let rows = table6(AppScale::Test, 2).unwrap();
+        let sys = nvsim_types::SystemConfig::default();
+        for (row, mut app) in rows.iter().zip(all_apps(AppScale::Test)) {
+            let txns = filtered_trace(app.as_mut(), 2).unwrap();
+            assert_eq!(row.transactions, txns.len() as u64);
+            let (_, normalized) = nvsim_mem::system::replay_all_technologies(&txns, &sys);
+            assert_eq!(row.normalized.to_vec(), normalized, "{}", row.app);
+        }
+    }
+
+    #[test]
+    fn replayed_fig12_sweep_is_deterministic() {
+        let serial = fig12(AppScale::Test).unwrap();
+        let parallel = fig12_jobs(AppScale::Test, 4).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 2);
+        for report in &serial {
+            assert_eq!(report.points.len(), 4);
+            assert!((report.points[0].normalized_runtime - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evaluation_sweep_covers_the_grid() {
+        let s = evaluation_sweep(AppScale::Test, 2, 4).unwrap();
+        assert_eq!(s.apps, 4);
+        assert_eq!(s.replay_cells, 4 * 4 + 2 * 4);
+        assert!(s.transactions > 0);
+        assert_eq!(s, evaluation_sweep(AppScale::Test, 2, 1).unwrap());
     }
 }

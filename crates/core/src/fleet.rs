@@ -1,0 +1,498 @@
+//! The parallel experiment fleet: a scavenge-once/replay-many sweep
+//! engine over the paper's §VI evaluation matrix.
+//!
+//! The evaluation is an embarrassingly parallel grid — 4 applications ×
+//! {DDR3, PCRAM, STTRAM, MRAM} technology cells — yet the serial
+//! pipeline re-runs the instrumented application and the L1/L2 filter
+//! for every cell. This module splits the work the way the cost
+//! structure demands:
+//!
+//! 1. **Scavenge once** — [`CapturedStream::capture`] runs the tracer +
+//!    cache filter a single time per application and encodes the
+//!    surviving main-memory stream with the `tracefile` delta scheme
+//!    ([`nvsim_trace::TxnTraceWriter`]) into an in-memory buffer a few
+//!    bytes per transaction.
+//! 2. **Replay many** — [`replay_cells`] fans the captured buffer out
+//!    across a bounded crossbeam worker pool ([`run_indexed`]), one
+//!    decode-and-replay per technology cell.
+//! 3. **Fleet the applications** — [`profile_fleet`] runs the four
+//!    proxies concurrently on the same pool, each through the full
+//!    instrumented pipeline ([`profile_fleet_app`]).
+//!
+//! ## Determinism
+//!
+//! Every worker records into its own [`Metrics`]/[`Timeline`] shard;
+//! when a stage completes, the shards are merged in **stable cell
+//! order** (never completion order) via [`Metrics::absorb`] and
+//! [`Timeline::absorb`]. Because the proxies are deterministic and
+//! every instrument counts events rather than wall time, the merged
+//! metrics snapshot is *byte-identical* to a serial run sharing one
+//! registry, and the merged timeline has the identical event sequence
+//! (only its wall-clock timestamps differ, as they do between any two
+//! serial runs). `tests/fleet_differential.rs` holds the pipeline to
+//! that guarantee for every application.
+
+use crate::pipeline::characterize_observed;
+use crate::profile::{ProfileReport, DEFAULT_MTBF_S};
+use bytes::Bytes;
+use nvsim_apps::{all_apps, AppScale, Application};
+use nvsim_cache::{CacheFilterSink, TransactionSink};
+use nvsim_mem::system::{MemorySystem, PowerReport};
+use nvsim_obs::{ArgValue, EpochRecorder, Metrics, ReportMeta, Timeline};
+use nvsim_placement::{compare_targets_traced, MigrationConfig, MigrationSimulator};
+use nvsim_trace::{replay_transactions, Tracer, TxnTraceWriter};
+use nvsim_types::{
+    CacheConfig, DeviceProfile, MemTransaction, MemoryTechnology, NvsimError, Region, SystemConfig,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: the machine's available parallelism, 1 if it
+/// cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `task(0..n)` on a bounded pool of at most `jobs` crossbeam
+/// scoped workers and returns the results **in index order**, however
+/// the scheduler interleaved the work. Workers pull indices from a
+/// shared atomic cursor, so the pool stays busy until the grid drains;
+/// with `jobs <= 1` the tasks simply run inline.
+///
+/// This is the fleet's only scheduling primitive: everything layered on
+/// top owes its determinism to results coming back by index, not by
+/// completion.
+///
+/// # Panics
+/// Propagates a panic from any worker.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 {
+        return (0..n).map(task).collect();
+    }
+    let slots: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let slots = &slots;
+            let next = &next;
+            let task = &task;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let done = task(i);
+                *slots[i].lock() = Some(done);
+            });
+        }
+    })
+    .expect("fleet worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every fleet slot filled"))
+        .collect()
+}
+
+/// One cell of the sweep grid: a memory technology plus the system
+/// configuration its replay runs under.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Technology to replay on.
+    pub technology: MemoryTechnology,
+    /// System configuration (Tables II–III defaults unless swept).
+    pub system: SystemConfig,
+}
+
+impl CellSpec {
+    /// The default grid: every Table IV technology at the default
+    /// system configuration, in [`MemoryTechnology::ALL`] (= Table VI
+    /// report) order.
+    pub fn grid() -> Vec<CellSpec> {
+        let sys = SystemConfig::default();
+        MemoryTechnology::ALL
+            .iter()
+            .map(|&t| CellSpec {
+                technology: t,
+                system: sys.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Adapter that delta-encodes every transaction leaving the cache
+/// filter. (Lives here rather than in `nvsim-trace` because the
+/// [`TransactionSink`] trait belongs to `nvsim-cache`, which already
+/// depends on the trace crate.)
+struct EncodingSink {
+    writer: TxnTraceWriter,
+}
+
+impl TransactionSink for EncodingSink {
+    fn on_transaction(&mut self, t: MemTransaction) {
+        self.writer.push(&t);
+    }
+}
+
+/// The scavenge product for one application: its cache-filtered
+/// main-memory stream, delta-encoded in memory, ready to be replayed
+/// into any number of cells concurrently (decoding clones only a
+/// refcounted [`Bytes`] handle).
+pub struct CapturedStream {
+    /// Application the stream was captured from.
+    pub app: String,
+    encoded: Bytes,
+    transactions: u64,
+}
+
+impl CapturedStream {
+    /// Runs the tracer + cache filter once over `app` and captures the
+    /// surviving transaction stream. Observable behaviour matches the
+    /// cache-filter pass of [`crate::profile::profile_observed`]
+    /// exactly: the same `cache_filter` timeline span, the same
+    /// `cache.*` metric exports — only the downstream sink encodes
+    /// instead of materializing a `Vec`.
+    pub fn capture(
+        app: &mut dyn Application,
+        iterations: u32,
+        metrics: &Metrics,
+        timeline: &Timeline,
+    ) -> Result<Self, NvsimError> {
+        let name = app.spec().name.to_string();
+        timeline.begin("cache_filter", "cache");
+        let mut sink = CacheFilterSink::new(
+            &CacheConfig::default(),
+            EncodingSink {
+                writer: TxnTraceWriter::new(),
+            },
+        );
+        sink.set_metrics(metrics);
+        sink.set_timeline(timeline);
+        {
+            let mut tracer = Tracer::new(&mut sink);
+            app.run(&mut tracer, iterations)?;
+            tracer.finish();
+        }
+        timeline.end("cache_filter", "cache");
+        let writer = sink.into_downstream().writer;
+        Ok(CapturedStream {
+            app: name,
+            transactions: writer.count(),
+            encoded: writer.into_bytes(),
+        })
+    }
+
+    /// Transactions in the captured stream.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Encoded size, bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encoded.len()
+    }
+
+    /// Streams the capture into a transaction sink, returning the
+    /// count. Decoding is allocation-free and safe to run from many
+    /// threads at once.
+    pub fn replay_into(&self, sink: &mut dyn TransactionSink) -> u64 {
+        replay_transactions(self.encoded.clone(), |t| sink.on_transaction(t))
+    }
+
+    /// Materializes the capture as a `Vec`, for callers that need the
+    /// serial pipeline's in-memory representation.
+    pub fn to_vec(&self) -> Vec<MemTransaction> {
+        let mut txns = Vec::with_capacity(self.transactions as usize);
+        replay_transactions(self.encoded.clone(), |t| txns.push(t));
+        txns
+    }
+}
+
+/// Result of one replay cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Technology the cell replayed on.
+    pub technology: MemoryTechnology,
+    /// The replay's power report.
+    pub power: PowerReport,
+}
+
+/// Replays one captured stream into every cell of `cells` on at most
+/// `jobs` workers, returning outcomes in cell order.
+///
+/// Each cell records into a private metrics/timeline shard; after the
+/// pool drains, the shards are absorbed into `metrics`/`timeline` in
+/// cell order, reproducing exactly what a serial loop over the cells
+/// would have recorded — counters sum, gauges keep the last cell's
+/// value, and the timeline gains one `replay <tech>` span plus `power`
+/// instant per cell, in grid order.
+pub fn replay_cells(
+    captured: &CapturedStream,
+    cells: &[CellSpec],
+    jobs: usize,
+    metrics: &Metrics,
+    timeline: &Timeline,
+) -> Vec<CellOutcome> {
+    let shards: Vec<(Metrics, Timeline)> = cells
+        .iter()
+        .map(|_| {
+            (
+                if metrics.is_enabled() {
+                    Metrics::enabled()
+                } else {
+                    Metrics::disabled()
+                },
+                if timeline.is_enabled() {
+                    Timeline::enabled()
+                } else {
+                    Timeline::disabled()
+                },
+            )
+        })
+        .collect();
+    let shards_ref = &shards;
+    let outcomes = run_indexed(jobs, cells.len(), |i| {
+        let cell = &cells[i];
+        let (m, tl) = &shards_ref[i];
+        let mut sys = MemorySystem::new(DeviceProfile::for_technology(cell.technology), &cell.system);
+        sys.set_metrics(m);
+        sys.set_timeline(tl);
+        // Streaming decode straight into the controller; the span
+        // mirrors what `MemorySystem::replay` emits for a `Vec` replay.
+        let name = format!(
+            "replay {}",
+            cell.technology.to_string().to_lowercase()
+        );
+        tl.begin(&name, "mem");
+        let n = captured.replay_into(&mut sys);
+        tl.end_with(&name, "mem", &[("transactions", ArgValue::U64(n))]);
+        CellOutcome {
+            technology: cell.technology,
+            power: sys.finish(),
+        }
+    });
+    for (m, tl) in &shards {
+        metrics.absorb(&m.snapshot());
+        timeline.absorb(tl);
+    }
+    outcomes
+}
+
+/// The fleet analogue of [`crate::profile::profile_observed`]: one
+/// application through the full instrumented pipeline, with the
+/// technology replays captured once and fanned out over `jobs` workers.
+///
+/// Stage order — characterization, checkpoint comparison, cache-filter
+/// capture, technology replays, migration, epoch seal — matches the
+/// serial pipeline, and the cell shards are absorbed *before* the
+/// migration stage and the epoch recorder's [`EpochRecorder::finish`],
+/// so the Tail epoch partitions the `cache.*`/`mem.*`/`placement.*`
+/// counters exactly as a serial run does. With `jobs <= 1` the replays
+/// run inline and the function is behaviourally identical to
+/// `profile_observed`.
+pub fn profile_fleet_app(
+    app: &mut dyn Application,
+    iterations: u32,
+    jobs: usize,
+    metrics: &Metrics,
+    timeline: &Timeline,
+) -> Result<ProfileReport, NvsimError> {
+    let recorder = EpochRecorder::new(metrics);
+
+    // Run 1: attribution tools (exports trace.* / objects.*).
+    let characterization = characterize_observed(app, iterations, metrics, &recorder, timeline)?;
+
+    // Checkpoint-cost comparison for the measured footprint.
+    let checkpoints = compare_targets_traced(
+        characterization.footprint.total(),
+        DEFAULT_MTBF_S,
+        timeline,
+    );
+
+    // Run 2: the scavenge — tracer + cache filter once, encoded.
+    let captured = CapturedStream::capture(app, iterations, metrics, timeline)?;
+
+    // The replay fan-out: one cell per Table IV technology.
+    let outcomes = replay_cells(&captured, &CellSpec::grid(), jobs, metrics, timeline);
+    let power: Vec<PowerReport> = outcomes.into_iter().map(|o| o.power).collect();
+
+    // Migration over the run's long-term working set (global + heap).
+    let refs: Vec<_> = characterization
+        .registry
+        .objects()
+        .iter()
+        .filter(|o| o.region != Region::Stack)
+        .map(|o| (&o.metrics, o.metrics.size_bytes))
+        .collect();
+    let migration = MigrationSimulator::new(MigrationConfig::default())
+        .with_metrics(metrics)
+        .with_timeline(timeline)
+        .run(&refs);
+
+    recorder.finish();
+    let meta = ReportMeta {
+        app: app.spec().name.to_string(),
+        iterations,
+    };
+    Ok(ProfileReport {
+        characterization,
+        transactions: captured.transactions(),
+        power,
+        migration,
+        checkpoints,
+        snapshot: metrics.snapshot(),
+        epochs: recorder.epochs(),
+        meta,
+    })
+}
+
+/// Runs every proxy application through [`profile_fleet_app`]
+/// concurrently on at most `jobs` workers, absorbing each application's
+/// metrics/timeline shard into `metrics`/`timeline` in Table I
+/// application order.
+///
+/// This is the engine behind `run_all --parallel`: the merged
+/// `--metrics-json` snapshot is byte-identical to the serial
+/// instrumented pass (counters sum over applications; gauges keep the
+/// last application's value, matching serial overwrite order), and the
+/// merged timeline carries the identical event sequence. Worker count
+/// composes: up to `jobs` applications run at once, each fanning its
+/// replay cells over up to `jobs` more workers.
+pub fn profile_fleet(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+    metrics: &Metrics,
+    timeline: &Timeline,
+) -> Result<Vec<ProfileReport>, NvsimError> {
+    let n = all_apps(scale).len();
+    let shards: Vec<(Metrics, Timeline)> = (0..n)
+        .map(|_| {
+            (
+                if metrics.is_enabled() {
+                    Metrics::enabled()
+                } else {
+                    Metrics::disabled()
+                },
+                if timeline.is_enabled() {
+                    Timeline::enabled()
+                } else {
+                    Timeline::disabled()
+                },
+            )
+        })
+        .collect();
+    let shards_ref = &shards;
+    let results = run_indexed(jobs, n, |i| {
+        let mut app = all_apps(scale).remove(i);
+        let (m, tl) = &shards_ref[i];
+        profile_fleet_app(app.as_mut(), iterations, jobs, m, tl)
+    });
+    for (m, tl) in &shards {
+        metrics.absorb(&m.snapshot());
+        timeline.absorb(tl);
+    }
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::filtered_trace;
+    use nvsim_apps::Gtc;
+    use nvsim_mem::system::replay_all_technologies;
+
+    #[test]
+    fn run_indexed_returns_results_in_index_order() {
+        for jobs in [1, 2, 8, 64] {
+            let got = run_indexed(jobs, 17, |i| i * i);
+            let want: Vec<usize> = (0..17).map(|i| i * i).collect();
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn captured_stream_round_trips_the_filtered_trace() {
+        let mut app = Gtc::new(AppScale::Test);
+        let captured = CapturedStream::capture(
+            &mut app,
+            2,
+            &Metrics::disabled(),
+            &Timeline::disabled(),
+        )
+        .unwrap();
+        let mut app2 = Gtc::new(AppScale::Test);
+        let direct = filtered_trace(&mut app2, 2).unwrap();
+        assert_eq!(captured.transactions(), direct.len() as u64);
+        assert_eq!(captured.to_vec(), direct);
+        // The delta encoding earns its keep: well under the raw record.
+        assert!(captured.encoded_len() < direct.len() * 17);
+    }
+
+    #[test]
+    fn replay_cells_matches_the_serial_replay() {
+        let mut app = Gtc::new(AppScale::Test);
+        let captured = CapturedStream::capture(
+            &mut app,
+            1,
+            &Metrics::disabled(),
+            &Timeline::disabled(),
+        )
+        .unwrap();
+        let serial = replay_all_technologies(&captured.to_vec(), &SystemConfig::default()).0;
+        for jobs in [1, 4] {
+            let outcomes = replay_cells(
+                &captured,
+                &CellSpec::grid(),
+                jobs,
+                &Metrics::disabled(),
+                &Timeline::disabled(),
+            );
+            assert_eq!(outcomes.len(), 4);
+            for (o, s) in outcomes.iter().zip(&serial) {
+                assert_eq!(o.power, *s, "jobs={jobs} {}", o.technology);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_cells_merges_shards_deterministically() {
+        let mut app = Gtc::new(AppScale::Test);
+        let captured = CapturedStream::capture(
+            &mut app,
+            1,
+            &Metrics::disabled(),
+            &Timeline::disabled(),
+        )
+        .unwrap();
+        let reference = {
+            let metrics = Metrics::enabled();
+            let timeline = Timeline::enabled();
+            replay_cells(&captured, &CellSpec::grid(), 1, &metrics, &timeline);
+            (metrics.snapshot().to_json(), timeline_shape(&timeline))
+        };
+        for jobs in [2, 3, 8] {
+            let metrics = Metrics::enabled();
+            let timeline = Timeline::enabled();
+            replay_cells(&captured, &CellSpec::grid(), jobs, &metrics, &timeline);
+            assert_eq!(metrics.snapshot().to_json(), reference.0, "jobs={jobs}");
+            assert_eq!(timeline_shape(&timeline), reference.1, "jobs={jobs}");
+        }
+    }
+
+    /// The timestamp-free view of a journal: everything that must be
+    /// schedule-independent.
+    fn timeline_shape(tl: &Timeline) -> Vec<(String, String, char, u32)> {
+        tl.events()
+            .into_iter()
+            .map(|e| (e.name, e.cat, e.kind.ph(), e.tid))
+            .collect()
+    }
+}

@@ -16,17 +16,26 @@
 //! * [`profile`] — the whole pipeline bound to one `nvsim-obs` metrics
 //!   registry, exporting per-layer counters (see `docs/METRICS.md`);
 //! * [`experiments`] — one assembly function per table/figure of the
-//!   paper, returning serializable report types.
+//!   paper, returning serializable report types;
+//! * [`fleet`] — the parallel sweep engine: capture each application's
+//!   cache-filtered transaction stream once, replay it across the
+//!   technology grid on a bounded worker pool, and merge per-worker
+//!   metric/timeline shards deterministically.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod fleet;
 pub mod parallel;
 pub mod pipeline;
 pub mod profile;
 pub mod stack_fast;
 
+pub use fleet::{
+    default_jobs, profile_fleet, profile_fleet_app, replay_cells, run_indexed, CapturedStream,
+    CellOutcome, CellSpec,
+};
 pub use pipeline::{
     characterize, characterize_observed, characterize_with_metrics, Characterization,
 };

@@ -55,6 +55,24 @@ impl HistogramCore {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Folds a snapshot of *another* histogram into this one: bucket
+    /// counts, `count` and `sum` add; `min`/`max` widen. Empty snapshots
+    /// are a no-op so an absorbed shard never disturbs `min`.
+    pub(crate) fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        for (i, n) in snap.buckets.iter().enumerate() {
+            if *n > 0 {
+                self.buckets[i].fetch_add(*n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.min.fetch_min(snap.min, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
@@ -92,6 +110,18 @@ impl Histogram {
     /// `true` when records actually land somewhere.
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// Folds a [`HistogramSnapshot`] taken from *another* histogram into
+    /// this one, as if every observation it summarizes had been recorded
+    /// here: bucket counts, `count` and `sum` add; `min`/`max` widen.
+    /// Used to merge per-worker shard registries deterministically (see
+    /// [`crate::Metrics::absorb`]). No-op on a disabled handle or an
+    /// empty snapshot.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        if let Some(core) = &self.0 {
+            core.absorb(snap);
+        }
     }
 }
 
@@ -145,6 +175,27 @@ impl HistogramSnapshot {
             min: self.min,
             max: self.max,
         }
+    }
+
+    /// Merges another snapshot into this one, as if both histograms had
+    /// recorded into a single instrument: bucket counts, `count` and
+    /// `sum` (wrapping) add; `min`/`max` widen, treating an empty side
+    /// as neutral. The value-level counterpart of [`Histogram::absorb`].
+    pub fn absorb(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        for (i, n) in other.buckets.iter().enumerate() {
+            self.buckets[i] = self.buckets[i].wrapping_add(*n);
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
     }
 
     /// Median (approximate, from bucket bounds — see
@@ -255,5 +306,60 @@ mod tests {
         let h = Histogram::default();
         assert!(!h.is_enabled());
         h.record(42); // no panic, no effect
+    }
+
+    #[test]
+    fn absorb_matches_recording_into_one_core() {
+        let merged = HistogramCore::default();
+        let shard_a = HistogramCore::default();
+        let shard_b = HistogramCore::default();
+        for v in [1u64, 5, 900] {
+            merged.record(v);
+            shard_a.record(v);
+        }
+        for v in [0u64, 64, u64::MAX] {
+            merged.record(v);
+            shard_b.record(v);
+        }
+        let combined = HistogramCore::default();
+        combined.absorb(&shard_a.snapshot());
+        combined.absorb(&shard_b.snapshot());
+        assert_eq!(combined.snapshot(), merged.snapshot());
+    }
+
+    #[test]
+    fn absorb_of_empty_snapshot_is_identity() {
+        let core = HistogramCore::default();
+        core.record(7);
+        let before = core.snapshot();
+        core.absorb(&HistogramCore::default().snapshot());
+        assert_eq!(core.snapshot(), before);
+        // ... including into an empty core (min must stay untouched).
+        let empty = HistogramCore::default();
+        empty.absorb(&HistogramCore::default().snapshot());
+        assert_eq!(empty.snapshot().min, 0);
+        assert_eq!(empty.snapshot().count, 0);
+    }
+
+    #[test]
+    fn snapshot_absorb_matches_core_absorb() {
+        let a = HistogramCore::default();
+        let b = HistogramCore::default();
+        for v in [3u64, 17, 4096] {
+            a.record(v);
+        }
+        for v in [2u64, 2, 1 << 40] {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.absorb(&b.snapshot());
+        let core = HistogramCore::default();
+        core.absorb(&a.snapshot());
+        core.absorb(&b.snapshot());
+        assert_eq!(merged, core.snapshot());
+        // Empty left-hand side takes the other's min.
+        let mut empty = HistogramCore::default().snapshot();
+        empty.absorb(&b.snapshot());
+        assert_eq!(empty.min, 2);
     }
 }

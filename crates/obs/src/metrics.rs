@@ -100,6 +100,34 @@ impl Metrics {
         Span::new(self.histogram(name))
     }
 
+    /// Folds a shard registry's snapshot into this registry, as if the
+    /// shard's instruments had recorded here directly: counters add,
+    /// gauges take the shard's value ([`Gauge::set`] last-writer-wins),
+    /// histograms merge bucket-wise ([`Histogram::absorb`]). Instruments
+    /// the shard knows and this registry doesn't are created, including
+    /// zero-valued ones — so the merged key set matches a serial run
+    /// that shared one registry.
+    ///
+    /// This is the deterministic-merge primitive of the parallel sweep
+    /// engine: give each worker its own [`Metrics::enabled`] shard, then
+    /// absorb the shards in a *stable* order (cell order, never
+    /// completion order) and the final [`Metrics::snapshot`] is
+    /// byte-identical to the serial run's. No-op on a disabled registry.
+    pub fn absorb(&self, shard: &Snapshot) {
+        if self.inner.is_none() {
+            return;
+        }
+        for (name, v) in &shard.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &shard.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, h) in &shard.histograms {
+            self.histogram(name).absorb(h);
+        }
+    }
+
     /// Reads every instrument into an immutable [`Snapshot`]. Counters
     /// and histograms keep accumulating afterwards; snapshots are cheap
     /// enough to take per phase.
@@ -221,6 +249,27 @@ mod tests {
         g.add(-3);
         assert_eq!(g.get(), 7);
         assert_eq!(m.snapshot().gauge("depth"), Some(7));
+    }
+
+    #[test]
+    fn absorb_merges_shards_in_order() {
+        let parent = Metrics::enabled();
+        parent.counter("trace.refs").add(100);
+        let shard = Metrics::enabled();
+        shard.counter("trace.refs").add(11);
+        shard.counter("cache.misses").add(0); // registered but zero
+        shard.gauge("mem.energy").set(42);
+        shard.histogram("sizes").record(8);
+        parent.absorb(&shard.snapshot());
+        let snap = parent.snapshot();
+        assert_eq!(snap.counter("trace.refs"), Some(111));
+        assert_eq!(snap.counter("cache.misses"), Some(0));
+        assert_eq!(snap.gauge("mem.energy"), Some(42));
+        assert_eq!(snap.histogram("sizes").unwrap().count, 1);
+        // Disabled parents stay empty.
+        let off = Metrics::disabled();
+        off.absorb(&shard.snapshot());
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]

@@ -69,6 +69,32 @@ impl Snapshot {
         out
     }
 
+    /// Merges a shard snapshot into this one, as if the shard's
+    /// instruments had recorded into this registry directly: counters
+    /// add (wrapping, like the live atomics), gauges take the shard's
+    /// value (matching [`crate::Gauge::set`] last-writer-wins
+    /// semantics), histograms merge bucket-wise
+    /// ([`HistogramSnapshot::absorb`]). Instruments only one side knows
+    /// are kept, so absorbing per-worker shards in a stable order yields
+    /// the same snapshot a serial run sharing one registry produces.
+    pub fn absorb(&mut self, shard: &Snapshot) {
+        for (name, v) in &shard.counters {
+            let cell = self.counters.entry(name.clone()).or_insert(0);
+            *cell = cell.wrapping_add(*v);
+        }
+        for (name, v) in &shard.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &shard.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.absorb(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
     /// Renders the snapshot as a JSON object:
     ///
     /// ```json
@@ -339,6 +365,30 @@ mod tests {
         assert!(json.contains("\"p99\": 16"));
         let table = m.snapshot().to_table();
         assert!(table.contains("p90=16"));
+    }
+
+    #[test]
+    fn absorbed_shards_reproduce_a_shared_registry() {
+        // One shared registry vs two shards merged in the same order.
+        let shared = Metrics::enabled();
+        let shard_a = Metrics::enabled();
+        let shard_b = Metrics::enabled();
+        for m in [&shared, &shard_a] {
+            m.counter("trace.refs").add(10);
+            m.gauge("mem.elapsed").set(100);
+            m.histogram("sizes").record(64);
+        }
+        for m in [&shared, &shard_b] {
+            m.counter("trace.refs").add(5);
+            m.counter("cache.refs").add(3);
+            m.gauge("mem.elapsed").set(250); // last writer wins
+            m.histogram("sizes").record(4096);
+        }
+        let mut merged = crate::Snapshot::default();
+        merged.absorb(&shard_a.snapshot());
+        merged.absorb(&shard_b.snapshot());
+        assert_eq!(merged, shared.snapshot());
+        assert_eq!(merged.to_json(), shared.snapshot().to_json());
     }
 
     #[test]

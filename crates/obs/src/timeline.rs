@@ -254,6 +254,54 @@ impl Timeline {
         self.len() == 0
     }
 
+    /// Appends another journal's events to this one, deterministically.
+    ///
+    /// The shard's events keep their relative order; their categories
+    /// are re-mapped onto this journal's track ids (first use ⇒ next
+    /// id, exactly as live recording assigns them); their timestamps
+    /// are re-based onto the end of this journal so the merged journal
+    /// stays non-decreasing in record order; and the shard's dropped
+    /// count carries over. Instants past this journal's cap count as
+    /// dropped, mirroring live recording.
+    ///
+    /// This is the timeline half of the parallel sweep engine's
+    /// deterministic merge (see [`crate::Metrics::absorb`]): absorb
+    /// per-worker shards in a stable order and the merged journal has
+    /// the same event sequence — names, categories, kinds, arguments
+    /// and track ids — as a serial run sharing one journal; only the
+    /// wall-clock `ts_ns` values differ, as they do between any two
+    /// serial runs. No-op on a disabled journal, a disabled or empty
+    /// shard, or a shard that *is* this journal.
+    pub fn absorb(&self, shard: &Timeline) {
+        let Some(core) = &self.inner else { return };
+        if let Some(other) = &shard.inner {
+            if Arc::ptr_eq(core, other) {
+                return;
+            }
+        }
+        let events = shard.events();
+        let shard_dropped = shard.dropped();
+        if events.is_empty() && shard_dropped == 0 {
+            return;
+        }
+        let mut st = core.state.lock().expect("timeline poisoned");
+        let base = st.events.last().map_or(0, |e| e.ts_ns);
+        for e in events {
+            if e.kind == EventKind::Instant && st.events.len() >= core.cap {
+                st.dropped += 1;
+                continue;
+            }
+            let next_tid = st.tids.len() as u32 + 1;
+            let tid = *st.tids.entry(e.cat.clone()).or_insert(next_tid);
+            st.events.push(TraceEvent {
+                ts_ns: base.saturating_add(e.ts_ns),
+                tid,
+                ..e
+            });
+        }
+        st.dropped += shard_dropped;
+    }
+
     /// Instants discarded because the journal hit its cap.
     pub fn dropped(&self) -> u64 {
         self.inner.as_ref().map_or(0, |core| {
@@ -394,6 +442,85 @@ mod tests {
         tl.begin("a", "x");
         tl2.end("a", "x");
         assert_eq!(tl.len(), 2);
+    }
+
+    #[test]
+    fn absorb_rebases_timestamps_and_remaps_tids() {
+        let parent = Timeline::enabled();
+        parent.begin("app0", "trace");
+        parent.end("app0", "trace");
+
+        let shard = Timeline::enabled();
+        shard.begin("replay ddr3", "mem");
+        shard.instant("power", "mem", &[("mw", ArgValue::F64(1.5))]);
+        shard.end("replay ddr3", "mem");
+        shard.instant("migration", "placement", &[]);
+
+        parent.absorb(&shard);
+        let events = parent.events();
+        assert_eq!(events.len(), 6);
+        // Relative order and payloads survive.
+        assert_eq!(events[2].name, "replay ddr3");
+        assert_eq!(events[3].args[0].0, "mw");
+        assert_eq!(events[5].cat, "placement");
+        // Timestamps stay non-decreasing across the seam.
+        for w in events.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns, "ts regressed");
+        }
+        // tids follow the parent's first-use numbering: trace=1, mem=2,
+        // placement=3 — not the shard's own ids.
+        assert_eq!(events[0].tid, 1);
+        assert_eq!(events[2].tid, 2);
+        assert_eq!(events[5].tid, 3);
+    }
+
+    #[test]
+    fn absorb_merges_category_tracks() {
+        let parent = Timeline::enabled();
+        parent.begin("a", "mem");
+        parent.end("a", "mem");
+        let shard = Timeline::enabled();
+        shard.instant("b", "mem", &[]);
+        parent.absorb(&shard);
+        let e = parent.events();
+        assert_eq!(e[0].tid, e[2].tid, "same category, same track");
+    }
+
+    #[test]
+    fn absorb_carries_dropped_and_respects_cap() {
+        let parent = Timeline::with_capacity(3);
+        parent.instant("p", "t", &[]);
+        let shard = Timeline::with_capacity(8);
+        for _ in 0..4 {
+            shard.instant("s", "t", &[]);
+        }
+        parent.absorb(&shard);
+        // Cap 3: one parent instant + two shard instants fit; the other
+        // two shard instants drop.
+        assert_eq!(parent.len(), 3);
+        assert_eq!(parent.dropped(), 2);
+        // A shard's own dropped count carries over too.
+        let lossy = Timeline::with_capacity(0);
+        lossy.instant("x", "t", &[]);
+        assert_eq!(lossy.dropped(), 1);
+        let parent2 = Timeline::enabled();
+        parent2.absorb(&lossy);
+        assert_eq!(parent2.dropped(), 1);
+    }
+
+    #[test]
+    fn absorb_no_ops_on_self_disabled_and_empty() {
+        let tl = Timeline::enabled();
+        tl.begin("a", "x");
+        let clone = tl.clone();
+        tl.absorb(&clone); // same journal: must not deadlock or duplicate
+        assert_eq!(tl.len(), 1);
+        tl.absorb(&Timeline::disabled());
+        tl.absorb(&Timeline::enabled());
+        assert_eq!(tl.len(), 1);
+        let off = Timeline::disabled();
+        off.absorb(&tl);
+        assert!(off.is_empty());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use event::{AllocSite, Event, GlobalSymbol, Phase};
 pub use layout::{GlobalAllocator, HeapAllocator, StackAllocator};
 pub use routine::{RoutineId, RoutineTable};
 pub use sink::{CountingSink, EventSink, NullSink, RecordingSink, TeeSink};
-pub use tracefile::{replay as replay_trace, TraceWriter};
+pub use tracefile::{replay as replay_trace, replay_transactions, TraceWriter, TxnTraceWriter};
 pub use traced::{TracedMatrix, TracedScalar, TracedVec};
 pub use tracer::{Tracer, TracerStats};
 

@@ -26,7 +26,7 @@ use crate::event::{AllocSite, Event, GlobalSymbol, Phase};
 use crate::routine::RoutineId;
 use crate::sink::EventSink;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use nvsim_types::{AccessKind, MemRef, VirtAddr};
+use nvsim_types::{AccessKind, MemRef, MemTransaction, TransactionKind, VirtAddr};
 
 const TAG_READ: u8 = 0;
 const TAG_WRITE: u8 = 1;
@@ -39,6 +39,15 @@ const TAG_GLOBALS: u8 = 7;
 
 /// File magic ("NVSC" + version).
 const MAGIC: u32 = 0x4e56_5301;
+
+const TXN_TAG_READ_FILL: u8 = 0;
+const TXN_TAG_WRITEBACK: u8 = 1;
+const TXN_TAG_WRITE_THROUGH: u8 = 2;
+
+/// Magic for encoded main-memory transaction streams ("NVT" + version).
+/// Distinct from [`MAGIC`] so the two stream flavours can never be
+/// replayed into the wrong decoder.
+const TXN_MAGIC: u32 = 0x4e56_5401;
 
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -203,6 +212,119 @@ impl EventSink for TraceWriter {
             Event::Ref(_) => unreachable!("refs arrive via on_batch"),
         }
     }
+}
+
+/// Encoder for cache-filtered main-memory transaction streams — the
+/// scavenge half of the sweep engine's scavenge-once/replay-many scheme.
+///
+/// The expensive part of a technology sweep is producing the filtered
+/// stream (instrumented run + L1/L2 simulation); the replays themselves
+/// only need the surviving [`MemTransaction`]s. Encoding them with the
+/// same delta/varint scheme as the event stream — one tag byte, a
+/// zig-zag varint address delta and an `issue_cycle` delta — keeps the
+/// captured buffer a few bytes per transaction, so one capture can be
+/// fanned out across arbitrarily many (technology × config) replay
+/// cells without rerunning the application.
+#[derive(Debug)]
+pub struct TxnTraceWriter {
+    buf: BytesMut,
+    last_addr: u64,
+    last_cycle: u64,
+    count: u64,
+}
+
+impl Default for TxnTraceWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnTraceWriter {
+    /// Creates a writer with the stream header in place.
+    pub fn new() -> Self {
+        let mut buf = BytesMut::with_capacity(1 << 16);
+        buf.put_u32(TXN_MAGIC);
+        TxnTraceWriter {
+            buf,
+            last_addr: 0,
+            last_cycle: 0,
+            count: 0,
+        }
+    }
+
+    /// Encoded size so far, bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if only the header has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.len() <= 4
+    }
+
+    /// Transactions encoded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Appends one transaction.
+    pub fn push(&mut self, t: &MemTransaction) {
+        self.count += 1;
+        self.buf.put_u8(match t.kind {
+            TransactionKind::ReadFill => TXN_TAG_READ_FILL,
+            TransactionKind::Writeback => TXN_TAG_WRITEBACK,
+            TransactionKind::WriteThrough => TXN_TAG_WRITE_THROUGH,
+        });
+        let addr = t.addr.raw();
+        put_varint(&mut self.buf, zigzag(addr.wrapping_sub(self.last_addr) as i64));
+        self.last_addr = addr;
+        put_varint(
+            &mut self.buf,
+            zigzag(t.issue_cycle.wrapping_sub(self.last_cycle) as i64),
+        );
+        self.last_cycle = t.issue_cycle;
+    }
+
+    /// Finishes the stream, returning the encoded bytes.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Decodes a transaction stream produced by [`TxnTraceWriter`], calling
+/// `emit` once per transaction in encode order, and returns the count.
+/// Cloning the [`Bytes`] handle is refcounted, so many replay cells can
+/// decode the same capture concurrently without copying it.
+///
+/// # Panics
+/// Panics on a malformed stream (wrong magic, truncated data, unknown
+/// tag).
+pub fn replay_transactions(encoded: Bytes, mut emit: impl FnMut(MemTransaction)) -> u64 {
+    let mut buf = encoded;
+    assert!(buf.remaining() >= 4, "transaction trace too short");
+    assert_eq!(buf.get_u32(), TXN_MAGIC, "bad transaction trace magic");
+    let mut last_addr = 0u64;
+    let mut last_cycle = 0u64;
+    let mut count = 0u64;
+    while buf.has_remaining() {
+        let kind = match buf.get_u8() {
+            TXN_TAG_READ_FILL => TransactionKind::ReadFill,
+            TXN_TAG_WRITEBACK => TransactionKind::Writeback,
+            TXN_TAG_WRITE_THROUGH => TransactionKind::WriteThrough,
+            other => panic!("bad transaction tag {other}"),
+        };
+        let addr = last_addr.wrapping_add(unzigzag(get_varint(&mut buf)) as u64);
+        last_addr = addr;
+        let issue_cycle = last_cycle.wrapping_add(unzigzag(get_varint(&mut buf)) as u64);
+        last_cycle = issue_cycle;
+        emit(MemTransaction {
+            addr: VirtAddr::new(addr),
+            kind,
+            issue_cycle,
+        });
+        count += 1;
+    }
+    count
 }
 
 /// Replays an encoded trace into a sink, batching references through a
@@ -440,5 +562,52 @@ mod tests {
     fn bad_magic_panics() {
         let mut sink = CountingSink::default();
         replay(Bytes::from_static(&[0, 0, 0, 0, 1]), &mut sink, 8);
+    }
+
+    #[test]
+    fn transaction_stream_round_trips() {
+        let txns = vec![
+            MemTransaction::read_fill(VirtAddr::new(0x1000)),
+            MemTransaction::writeback(VirtAddr::new(0x1040)),
+            MemTransaction {
+                addr: VirtAddr::new(0),
+                kind: TransactionKind::WriteThrough,
+                issue_cycle: u64::MAX,
+            },
+            MemTransaction::read_fill(VirtAddr::new(u64::MAX)),
+        ];
+        let mut writer = TxnTraceWriter::new();
+        assert!(writer.is_empty());
+        for t in &txns {
+            writer.push(t);
+        }
+        assert_eq!(writer.count(), 4);
+        let mut decoded = Vec::new();
+        let n = replay_transactions(writer.into_bytes(), |t| decoded.push(t));
+        assert_eq!(n, 4);
+        assert_eq!(decoded, txns);
+    }
+
+    #[test]
+    fn transaction_encoding_is_compact_for_sequential_streams() {
+        let mut writer = TxnTraceWriter::new();
+        for i in 0..10_000u64 {
+            writer.push(&MemTransaction::read_fill(VirtAddr::new(i * 64)));
+        }
+        // Sequential line fills: tag + 1-2 byte address delta + 1 byte
+        // cycle delta, far below the 17-byte raw record.
+        assert!(
+            writer.len() < 5 * 10_000,
+            "{} bytes for 10_000 transactions",
+            writer.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad transaction trace magic")]
+    fn transaction_bad_magic_panics() {
+        // An event-stream header is not a transaction-stream header.
+        let writer = TraceWriter::new();
+        replay_transactions(writer.into_bytes(), |_| {});
     }
 }

@@ -3,10 +3,13 @@
 //! trace buffer never drops or reorders references.
 
 use nvsim_trace::{
-    replay_trace, HeapAllocator, RecordingSink, StackAllocator, TraceBuffer, TraceWriter,
+    replay_trace, replay_transactions, HeapAllocator, RecordingSink, StackAllocator, TraceBuffer,
+    TraceWriter, TxnTraceWriter,
 };
 use nvsim_trace::{Event, EventSink, Phase, RoutineId};
-use nvsim_types::{AddressSpaceLayout, AddrRange, AccessKind, MemRef, VirtAddr};
+use nvsim_types::{
+    AddressSpaceLayout, AddrRange, AccessKind, MemRef, MemTransaction, TransactionKind, VirtAddr,
+};
 use proptest::prelude::*;
 
 /// A heap workload step: allocate (size) or free (index into live list).
@@ -101,10 +104,13 @@ proptest! {
 }
 
 /// An arbitrary well-formed event sequence for the trace-file round trip.
+/// Addresses and stack pointers span the full `u64` range (so consecutive
+/// refs exercise maximum-magnitude zig-zag deltas in both directions),
+/// sizes include zero-sized refs, and every phase-marker variant appears.
 fn event_sequence() -> impl Strategy<Value = Vec<Event>> {
     proptest::collection::vec(
         prop_oneof![
-            (0u64..1 << 40, 1u32..64, any::<bool>(), 0u64..1 << 40).prop_map(
+            (any::<u64>(), 0u32..=64, any::<bool>(), any::<u64>()).prop_map(
                 |(addr, size, write, sp)| {
                     Event::Ref(MemRef {
                         addr: VirtAddr::new(addr),
@@ -114,21 +120,42 @@ fn event_sequence() -> impl Strategy<Value = Vec<Event>> {
                     })
                 }
             ),
-            (0u32..16, 0u64..1 << 40, 0u64..1 << 40).prop_map(|(r, fb, sp)| {
+            (0u32..16, any::<u64>(), any::<u64>()).prop_map(|(r, fb, sp)| {
                 Event::RoutineEnter {
                     routine: RoutineId(r),
                     frame_base: VirtAddr::new(fb.max(sp)),
                     sp: VirtAddr::new(sp.min(fb)),
                 }
             }),
-            (0u32..16, 0u64..1 << 40).prop_map(|(r, sp)| Event::RoutineExit {
+            (0u32..16, any::<u64>()).prop_map(|(r, sp)| Event::RoutineExit {
                 routine: RoutineId(r),
                 sp: VirtAddr::new(sp),
             }),
+            Just(Event::Phase(Phase::PreComputeBegin)),
             (0u32..20).prop_map(|i| Event::Phase(Phase::IterationBegin(i))),
             (0u32..20).prop_map(|i| Event::Phase(Phase::IterationEnd(i))),
+            Just(Event::Phase(Phase::PostProcessBegin)),
+            Just(Event::Phase(Phase::ProgramEnd)),
         ],
         0..300,
+    )
+}
+
+/// An arbitrary cache-filtered transaction stream for the codec round
+/// trip: full-range addresses and issue cycles (maximum deltas), all
+/// three transaction kinds.
+fn txn_sequence() -> impl Strategy<Value = Vec<MemTransaction>> {
+    proptest::collection::vec(
+        (any::<u64>(), 0u8..3, any::<u64>()).prop_map(|(addr, kind, cycle)| MemTransaction {
+            addr: VirtAddr::new(addr),
+            kind: match kind {
+                0 => TransactionKind::ReadFill,
+                1 => TransactionKind::Writeback,
+                _ => TransactionKind::WriteThrough,
+            },
+            issue_cycle: cycle,
+        }),
+        0..400,
     )
 }
 
@@ -154,5 +181,18 @@ proptest! {
         let mut replayed = RecordingSink::default();
         replay_trace(encoded, &mut replayed, 32);
         prop_assert_eq!(&direct.events, &replayed.events);
+    }
+
+    #[test]
+    fn txn_codec_round_trips_arbitrary_streams(txns in txn_sequence()) {
+        let mut writer = TxnTraceWriter::new();
+        for t in &txns {
+            writer.push(t);
+        }
+        prop_assert_eq!(writer.count(), txns.len() as u64);
+        let mut decoded = Vec::with_capacity(txns.len());
+        let n = replay_transactions(writer.into_bytes(), |t| decoded.push(t));
+        prop_assert_eq!(n, txns.len() as u64);
+        prop_assert_eq!(&decoded, &txns);
     }
 }

@@ -1,0 +1,210 @@
+//! Differential harness for the parallel experiment fleet: every product
+//! of the scavenge-once/replay-many engine — merged metrics snapshot,
+//! consolidated run report, per-cell power results, epoch partition,
+//! timeline event sequence — must be *exactly* equal to the serial
+//! pipeline's, for every application, at any worker count.
+//!
+//! Wall-clock fields (`Epoch::wall_ns`, `TraceEvent::ts_ns`) differ
+//! between any two runs, serial or not, and are stripped before
+//! comparison; everything else is compared at JSON-byte granularity.
+
+use nv_scavenger::fleet::{
+    profile_fleet, profile_fleet_app, replay_cells, CapturedStream, CellSpec,
+};
+use nv_scavenger::profile::profile_observed;
+use nvsim_apps::{all_apps, AppScale};
+use nvsim_obs::{Metrics, Timeline, TraceEvent};
+
+const APP_COUNT: usize = 4;
+const ITERS: u32 = 2;
+
+/// The schedule-independent view of a timeline: the full event sequence
+/// with the wall-clock timestamps zeroed.
+fn timeline_shape(tl: &Timeline) -> Vec<TraceEvent> {
+    tl.events()
+        .into_iter()
+        .map(|e| TraceEvent { ts_ns: 0, ..e })
+        .collect()
+}
+
+/// Zeroes every `"wall_ns": <n>` value in a run-report JSON rendering,
+/// leaving all other bytes untouched.
+fn strip_wall_ns(json: &str) -> String {
+    let key = "\"wall_ns\": ";
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(at) = rest.find(key) {
+        let digits_from = at + key.len();
+        out.push_str(&rest[..digits_from]);
+        out.push('0');
+        let tail = &rest[digits_from..];
+        let digits = tail.chars().take_while(|c| c.is_ascii_digit()).count();
+        assert!(digits > 0, "wall_ns key without a number");
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn fleet_app_reports_match_serial_per_app() {
+    for i in 0..APP_COUNT {
+        let serial_metrics = Metrics::enabled();
+        let serial_timeline = Timeline::enabled();
+        let serial = {
+            let mut app = all_apps(AppScale::Test).remove(i);
+            profile_observed(app.as_mut(), ITERS, &serial_metrics, &serial_timeline).unwrap()
+        };
+
+        let fleet_metrics = Metrics::enabled();
+        let fleet_timeline = Timeline::enabled();
+        let fleet = {
+            let mut app = all_apps(AppScale::Test).remove(i);
+            profile_fleet_app(app.as_mut(), ITERS, 4, &fleet_metrics, &fleet_timeline).unwrap()
+        };
+        let name = &serial.meta.app;
+
+        // Metrics: byte-identical snapshot JSON, from the registry and
+        // from the report.
+        assert_eq!(
+            serial_metrics.snapshot().to_json(),
+            fleet_metrics.snapshot().to_json(),
+            "{name}: registry snapshot"
+        );
+        assert_eq!(
+            serial.snapshot.to_json(),
+            fleet.snapshot.to_json(),
+            "{name}: report snapshot"
+        );
+
+        // Per-cell replay results: identical power reports, cell by cell.
+        assert_eq!(serial.power, fleet.power, "{name}: power reports");
+        assert_eq!(serial.transactions, fleet.transactions, "{name}: transactions");
+
+        // Epoch partition: same windows, same deltas (wall time aside).
+        assert_eq!(serial.epochs.len(), fleet.epochs.len(), "{name}: epoch count");
+        for (s, f) in serial.epochs.iter().zip(&fleet.epochs) {
+            assert_eq!(s.kind, f.kind, "{name}: epoch kind");
+            assert_eq!(s.delta, f.delta, "{name}: epoch {} delta", s.kind.label());
+        }
+
+        // Timeline: identical event sequence (names, categories, kinds,
+        // track ids, args) — only timestamps may differ.
+        assert_eq!(
+            timeline_shape(&serial_timeline),
+            timeline_shape(&fleet_timeline),
+            "{name}: timeline events"
+        );
+
+        // Consolidated run report: byte-identical JSON once wall-clock
+        // durations are zeroed.
+        assert_eq!(
+            strip_wall_ns(&serial.run_report(&serial_timeline).to_json()),
+            strip_wall_ns(&fleet.run_report(&fleet_timeline).to_json()),
+            "{name}: run report"
+        );
+    }
+}
+
+#[test]
+fn merged_fleet_equals_a_serial_shared_registry_pass() {
+    // Serial reference: all four apps into one shared registry/journal,
+    // exactly what `run_all --metrics-json --timeline` does.
+    let serial_metrics = Metrics::enabled();
+    let serial_timeline = Timeline::enabled();
+    let serial: Vec<_> = all_apps(AppScale::Test)
+        .iter_mut()
+        .map(|app| {
+            profile_observed(app.as_mut(), ITERS, &serial_metrics, &serial_timeline).unwrap()
+        })
+        .collect();
+
+    let fleet_metrics = Metrics::enabled();
+    let fleet_timeline = Timeline::enabled();
+    let fleet =
+        profile_fleet(AppScale::Test, ITERS, 4, &fleet_metrics, &fleet_timeline).unwrap();
+
+    assert_eq!(fleet.len(), serial.len());
+    for (s, f) in serial.iter().zip(&fleet) {
+        assert_eq!(s.meta.app, f.meta.app, "report order");
+        assert_eq!(s.transactions, f.transactions, "{}", s.meta.app);
+        assert_eq!(s.power, f.power, "{}", s.meta.app);
+    }
+    assert_eq!(
+        serial_metrics.snapshot().to_json(),
+        fleet_metrics.snapshot().to_json(),
+        "merged snapshot"
+    );
+    assert_eq!(
+        timeline_shape(&serial_timeline),
+        timeline_shape(&fleet_timeline),
+        "merged timeline"
+    );
+}
+
+#[test]
+fn jobs_one_fleet_is_the_serial_pipeline() {
+    // The `--jobs 1` guard: the fleet code path with one worker must be
+    // indistinguishable from `--parallel` off.
+    let serial_metrics = Metrics::enabled();
+    let serial = {
+        let mut app = all_apps(AppScale::Test).remove(2); // GTC
+        profile_observed(app.as_mut(), ITERS, &serial_metrics, &Timeline::disabled()).unwrap()
+    };
+    let fleet_metrics = Metrics::enabled();
+    let fleet = {
+        let mut app = all_apps(AppScale::Test).remove(2);
+        profile_fleet_app(app.as_mut(), ITERS, 1, &fleet_metrics, &Timeline::disabled()).unwrap()
+    };
+    assert_eq!(
+        serial_metrics.snapshot().to_json(),
+        fleet_metrics.snapshot().to_json()
+    );
+    assert_eq!(serial.power, fleet.power);
+    assert_eq!(serial.transactions, fleet.transactions);
+}
+
+#[test]
+fn stress_replay_merge_is_deterministic_across_repeats_and_worker_counts() {
+    // One captured stream, replayed 32 times at worker counts 1..=8: the
+    // merged snapshot and timeline shape must never vary, whatever the
+    // scheduler does.
+    let mut app = all_apps(AppScale::Test).remove(2); // GTC
+    let captured = CapturedStream::capture(
+        app.as_mut(),
+        1,
+        &Metrics::disabled(),
+        &Timeline::disabled(),
+    )
+    .unwrap();
+
+    let reference = {
+        let metrics = Metrics::enabled();
+        let timeline = Timeline::enabled();
+        let outcomes = replay_cells(&captured, &CellSpec::grid(), 1, &metrics, &timeline);
+        (
+            metrics.snapshot().to_json(),
+            timeline_shape(&timeline),
+            outcomes,
+        )
+    };
+    assert_eq!(reference.2.len(), 4);
+
+    for rep in 0..32 {
+        let jobs = rep % 8 + 1;
+        let metrics = Metrics::enabled();
+        let timeline = Timeline::enabled();
+        let outcomes = replay_cells(&captured, &CellSpec::grid(), jobs, &metrics, &timeline);
+        assert_eq!(
+            metrics.snapshot().to_json(),
+            reference.0,
+            "rep {rep} jobs {jobs}: snapshot"
+        );
+        assert_eq!(
+            timeline_shape(&timeline),
+            reference.1,
+            "rep {rep} jobs {jobs}: timeline"
+        );
+        assert_eq!(outcomes, reference.2, "rep {rep} jobs {jobs}: outcomes");
+    }
+}
