@@ -55,7 +55,7 @@ fn bench_offline(c: &mut Criterion) {
             let mut registry = ObjectRegistry::new(RegistryConfig::default());
             let mut stack = FastStackSink::new();
             let mut tee = TeeSink::new(vec![&mut registry, &mut stack]);
-            replay_trace(encoded, &mut tee, 65536);
+            replay_trace(encoded, &mut tee, 65536).expect("replay just-recorded trace");
             registry.total_refs()
         })
     });

@@ -8,13 +8,13 @@
 //! DIMM, at an exascale-class one-hour system MTBF.
 
 use nv_scavenger::experiments::table1;
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 use nvsim_placement::compare_targets;
 
 fn main() {
     let args = BenchArgs::parse();
     args.header("Extension: checkpoint cost per target (Young model, MTBF = 1 h)");
-    let rows = table1(args.scale).expect("footprints");
+    let rows = or_die(table1(args.scale), "footprints");
     let mtbf = 3600.0;
     for r in &rows {
         // Use the paper-rescaled footprint: checkpoints write the full task

@@ -6,7 +6,7 @@
 //! the fleet pool; each records its event trace once and replays it per
 //! latency point, so the output is identical to the serial run.
 
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -15,7 +15,7 @@ fn main() {
         eprintln!("parallel fleet: {jobs} workers");
     }
     args.header("Figure 12: time simulation results (latency sweep)");
-    let reports = nv_scavenger::experiments::fig12_jobs(args.scale, jobs).expect("fig12");
+    let reports = or_die(nv_scavenger::experiments::fig12_jobs(args.scale, jobs), "fig12");
     for rep in &reports {
         println!("--- {} (one main-loop iteration) ---", rep.app);
         println!(

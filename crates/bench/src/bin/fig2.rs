@@ -2,12 +2,12 @@
 //! per-routine stack objects (slow stack tool, §III-A second method),
 //! plus the §VII-A population statistics.
 
-use nvsim_bench::{fmt_ratio, BenchArgs};
+use nvsim_bench::{fmt_ratio, or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     args.header("Figure 2: CAM stack objects (slow stack tool)");
-    let rep = nv_scavenger::experiments::fig2(args.scale, args.iterations).expect("fig2");
+    let rep = or_die(nv_scavenger::experiments::fig2(args.scale, args.iterations), "fig2");
     println!(
         "{:<28} {:>10} {:>12} {:>12}",
         "Routine stack object", "R/W", "ref rate", "frame bytes"

@@ -2,13 +2,15 @@
 //! for global and heap memory objects of all four applications, plus the
 //! §VII-B pool sizes (read-only and ratio>50).
 
-use nvsim_bench::{fmt_ratio, BenchArgs};
+use nvsim_bench::{fmt_ratio, or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     args.header("Figures 3-6: global + heap memory objects");
-    let reports =
-        nv_scavenger::experiments::figs3_6(args.scale, args.iterations).expect("figs3_6");
+    let reports = or_die(
+        nv_scavenger::experiments::figs3_6(args.scale, args.iterations),
+        "figs3_6",
+    );
     let rescale = args.scale.divisor() as f64 / (1024.0 * 1024.0);
     for rep in &reports {
         println!("--- {} ---", rep.app);

@@ -2,12 +2,15 @@
 //! across computation time steps (long-term objects only; step 0 holds
 //! the data touched only by pre-compute/post-processing).
 
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     args.header("Figure 7: cumulative distribution of memory usage across time steps");
-    let reports = nv_scavenger::experiments::fig7(args.scale, args.iterations).expect("fig7");
+    let reports = or_die(
+        nv_scavenger::experiments::fig7(args.scale, args.iterations),
+        "fig7",
+    );
     let rescale = args.scale.divisor() as f64 / (1024.0 * 1024.0);
     for rep in &reports {
         println!("--- {} ---", rep.app);

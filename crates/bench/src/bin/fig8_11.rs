@@ -2,7 +2,7 @@
 //! reference rates across main-loop iterations, normalized to the first
 //! iteration.
 
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -11,9 +11,10 @@ fn main() {
         eprintln!("parallel fleet: {jobs} workers");
     }
     args.header("Figures 8-11: per-iteration variance of R/W ratio and reference rate");
-    let reports =
-        nv_scavenger::experiments::figs8_11_jobs(args.scale, args.iterations, jobs)
-            .expect("figs8_11");
+    let reports = or_die(
+        nv_scavenger::experiments::figs8_11_jobs(args.scale, args.iterations, jobs),
+        "figs8_11",
+    );
     for rep in &reports {
         println!("--- {} ---", rep.app);
         print!(

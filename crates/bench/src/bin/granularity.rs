@@ -4,13 +4,15 @@
 //! opportunities for NVRAM") against the page-based hybrid schemes of
 //! Ramos et al. and Zhang & Li, quantified on the same reference streams.
 
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     args.header("Extension: object vs page placement granularity");
-    let rows =
-        nv_scavenger::experiments::granularity(args.scale, args.iterations).expect("granularity");
+    let rows = or_die(
+        nv_scavenger::experiments::granularity(args.scale, args.iterations),
+        "granularity",
+    );
     println!(
         "{:<10} {:>16} {:>16} {:>12}",
         "App", "object suitable", "page suitable", "advantage"

@@ -11,7 +11,7 @@
 
 use nv_scavenger::experiments::filtered_trace;
 use nvsim_apps::all_apps;
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 use nvsim_mem::{flat_baseline, replay_dram_cache, DramCacheConfig};
 use nvsim_types::DeviceProfile;
 
@@ -34,7 +34,7 @@ fn main() {
     );
     for mut app in all_apps(args.scale) {
         let name = app.spec().name.to_string();
-        let txns = filtered_trace(app.as_mut(), args.iterations).expect("trace");
+        let txns = or_die(filtered_trace(app.as_mut(), args.iterations), &name);
         let cached = replay_dram_cache(&txns, config.clone(), DeviceProfile::pcram());
         let flat = flat_baseline(&txns, &DeviceProfile::pcram());
         println!(

@@ -25,7 +25,7 @@ fn main() {
         {
             let mut tee = TeeSink::new(vec![&mut locality, &mut cache]);
             let mut t = Tracer::new(&mut tee);
-            app.run(&mut t, args.iterations).expect("run");
+            nvsim_bench::or_die(app.run(&mut t, args.iterations), &name);
             t.finish();
         }
         let h = locality.reuse.histogram();

@@ -17,7 +17,7 @@ fn time_one(app_name: &str, scale: AppScale, mut params: CoreParams, degree: u32
     let mut sink = CpuSink::for_iterations(params, 0, 1);
     {
         let mut tracer = Tracer::new(&mut sink);
-        app.run(&mut tracer, 1).expect("run");
+        nvsim_bench::or_die(app.run(&mut tracer, 1), app_name);
         tracer.finish();
     }
     sink.result().expect("finished").cycles

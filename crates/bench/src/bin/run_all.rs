@@ -6,9 +6,16 @@
 //! stdout and every dump (`--json`, `--metrics-json`, `--timeline`) stay
 //! byte-identical to the serial run — the parallel status note goes to
 //! stderr.
+//!
+//! The resilience flags (`--retries`, `--keep-going`/`--fail-fast`,
+//! `--journal`, `--resume`, `--faults`, `--fault-seed`) apply to the
+//! instrumented pass: failed technology cells are retried, then
+//! quarantined into the `degraded` section of `--metrics-json` (and a
+//! stderr summary), and a journalled sweep can be killed and resumed.
+//! See docs/RESILIENCE.md.
 
 use nv_scavenger::experiments as ex;
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -19,7 +26,7 @@ fn main() {
     args.header("Full evaluation: every table and figure");
 
     println!("### Table I");
-    for r in ex::table1_jobs(args.scale, jobs).expect("table1") {
+    for r in or_die(ex::table1_jobs(args.scale, jobs), "table1") {
         println!(
             "  {:<10} paper {:>5.0} MB | measured (rescaled) {:>6.1} MB",
             r.app, r.paper_footprint_mb, r.rescaled_mb()
@@ -27,7 +34,7 @@ fn main() {
     }
 
     println!("\n### Table V");
-    for r in ex::table5_jobs(args.scale, args.iterations, jobs).expect("table5") {
+    for r in or_die(ex::table5_jobs(args.scale, args.iterations, jobs), "table5") {
         println!(
             "  {:<10} ratio {:>6.2} (paper {:>5.2})  first {:>6.2} (paper {:>5.2})  stack {:>5.1}% (paper {:>4.1}%)",
             r.app, r.rw_ratio, r.paper.0, r.rw_ratio_first, r.paper.1,
@@ -36,7 +43,7 @@ fn main() {
     }
 
     println!("\n### Figure 2 (CAM stack objects)");
-    let f2 = ex::fig2(args.scale, args.iterations).expect("fig2");
+    let f2 = or_die(ex::fig2(args.scale, args.iterations), "fig2");
     println!(
         "  >10: {:.1}% of objects / {:.1}% of refs (paper 43.3/68.9); >50: {:.1}%/{:.1}% (paper 3.2/8.9)",
         f2.objects_ratio_gt10 * 100.0, f2.refs_ratio_gt10 * 100.0,
@@ -45,7 +52,10 @@ fn main() {
 
     println!("\n### Figures 3-6 (global+heap pools)");
     let rescale = args.scale.divisor() as f64 / (1024.0 * 1024.0);
-    for r in ex::figs3_6_jobs(args.scale, args.iterations, jobs).expect("figs3_6") {
+    for r in or_die(
+        ex::figs3_6_jobs(args.scale, args.iterations, jobs),
+        "figs3_6",
+    ) {
         println!(
             "  {:<10} read-only {:>5.1}% | ratio>50 {:>6.1} MB | {:>3} objects",
             r.app,
@@ -56,7 +66,7 @@ fn main() {
     }
 
     println!("\n### Figure 7 (usage across time steps)");
-    for r in ex::fig7_jobs(args.scale, args.iterations, jobs).expect("fig7") {
+    for r in or_die(ex::fig7_jobs(args.scale, args.iterations, jobs), "fig7") {
         println!(
             "  {:<10} untouched in main loop: {:>5.1}% ({:.1} MB paper-eq)",
             r.app,
@@ -66,7 +76,10 @@ fn main() {
     }
 
     println!("\n### Figures 8-11 (iteration variance)");
-    for r in ex::figs8_11_jobs(args.scale, args.iterations, jobs).expect("figs8_11") {
+    for r in or_die(
+        ex::figs8_11_jobs(args.scale, args.iterations, jobs),
+        "figs8_11",
+    ) {
         println!(
             "  {:<10} min stable [1,2) fraction: {:.2} (paper >0.60)",
             r.app, r.min_stable_fraction
@@ -74,7 +87,7 @@ fn main() {
     }
 
     println!("\n### Table VI (normalized power)");
-    for r in ex::table6_jobs(args.scale, args.iterations, jobs).expect("table6") {
+    for r in or_die(ex::table6_jobs(args.scale, args.iterations, jobs), "table6") {
         println!(
             "  {:<10} measured [{:.3} {:.3} {:.3} {:.3}] paper [{:.3} {:.3} {:.3} {:.3}]",
             r.app,
@@ -84,7 +97,7 @@ fn main() {
     }
 
     println!("\n### Figure 12 (latency sensitivity)");
-    for r in ex::fig12_jobs(args.scale, jobs).expect("fig12") {
+    for r in or_die(ex::fig12_jobs(args.scale, jobs), "fig12") {
         let pts: Vec<String> = r
             .points
             .iter()
@@ -94,7 +107,10 @@ fn main() {
     }
 
     println!("\n### Suitability (abstract: 31%/27%)");
-    for r in ex::suitability_jobs(args.scale, args.iterations, jobs).expect("suitability") {
+    for r in or_die(
+        ex::suitability_jobs(args.scale, args.iterations, jobs),
+        "suitability",
+    ) {
         println!(
             "  {:<10} cat2 {:>5.1}%  cat1 {:>5.1}%",
             r.app,
@@ -112,29 +128,48 @@ fn main() {
         let metrics = args.metrics();
         let timeline = args.timeline();
         println!("\n### Instrumented pipeline (--metrics-json / --timeline)");
-        let reports = if jobs > 1 {
+        let mut degraded = Vec::new();
+        let reports: Vec<_> = if jobs > 1 || args.wants_resilient_fleet() {
             // The fleet: all four apps in flight at once, per-app shards
             // merged in Table I order so the dumps below are identical to
-            // the serial branch byte for byte.
-            nv_scavenger::fleet::profile_fleet(
-                args.scale,
-                args.iterations,
-                jobs,
-                &metrics,
-                &timeline,
-            )
-            .expect("instrumented fleet")
+            // the serial branch byte for byte. Any resilience flag routes
+            // the run through here too (jobs may still be 1): quarantine,
+            // journalling and resume live in the policy-aware fleet.
+            let points = nv_scavenger::grid_points(args.scale);
+            let policy = or_die(args.fleet_policy(&points), "fleet policy");
+            let run = or_die(
+                nv_scavenger::fleet::profile_fleet_policy(
+                    args.scale,
+                    args.iterations,
+                    jobs,
+                    &metrics,
+                    &timeline,
+                    &policy,
+                ),
+                "instrumented fleet",
+            );
+            if run.resumed > 0 {
+                eprintln!(
+                    "resumed {} of {} cells from the journal",
+                    run.resumed,
+                    points.len()
+                );
+            }
+            degraded = run.degraded;
+            run.reports.into_iter().flatten().collect()
         } else {
             nvsim_apps::all_apps(args.scale)
                 .iter_mut()
                 .map(|app| {
-                    nv_scavenger::profile::profile_observed(
-                        app.as_mut(),
-                        args.iterations,
-                        &metrics,
-                        &timeline,
+                    or_die(
+                        nv_scavenger::profile::profile_observed(
+                            app.as_mut(),
+                            args.iterations,
+                            &metrics,
+                            &timeline,
+                        ),
+                        "instrumented profile",
                     )
-                    .expect("instrumented profile")
                 })
                 .collect()
         };
@@ -147,7 +182,13 @@ fn main() {
                 r.epochs.len()
             );
         }
-        args.dump_metrics(&metrics.snapshot());
+        if !degraded.is_empty() {
+            eprintln!("degraded: {} cell(s) quarantined", degraded.len());
+            for d in &degraded {
+                eprintln!("  {} ({} attempts): {}", d.cell, d.attempts, d.error);
+            }
+        }
+        args.dump_metrics_with(&metrics.snapshot(), &degraded);
         args.dump_timeline(&timeline);
     }
 }

@@ -8,7 +8,7 @@
 use nv_scavenger::parallel::characterize_all;
 use nv_scavenger::pipeline::characterize;
 use nvsim_apps::{all_apps, Application};
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 use std::time::Instant;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
             .into_iter()
             .find(|a| a.spec().name == name)
             .unwrap();
-        let c = characterize(app.as_mut(), args.iterations).expect("run");
+        let c = or_die(characterize(app.as_mut(), args.iterations), name);
         seq_refs += c.tracer_stats.refs;
     }
     let sequential = t0.elapsed();
@@ -46,7 +46,7 @@ fn main() {
     let parallel = t1.elapsed();
     let par_refs: u64 = results
         .iter()
-        .map(|r| r.as_ref().expect("run").tracer_stats.refs)
+        .map(|r| or_die(r.as_ref(), "parallel characterize").tracer_stats.refs)
         .sum();
 
     assert_eq!(seq_refs, par_refs, "parallel run must do identical work");

@@ -3,13 +3,15 @@
 //! applications, 31% and 27% of the memory working sets are suitable for
 //! NVRAM"), using the three-metric placement classifier.
 
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     args.header("Working-set NVRAM suitability (abstract claim: 31% / 27%)");
-    let rows = nv_scavenger::experiments::suitability(args.scale, args.iterations)
-        .expect("suitability");
+    let rows = or_die(
+        nv_scavenger::experiments::suitability(args.scale, args.iterations),
+        "suitability",
+    );
     println!(
         "{:<10} {:>12} {:>12} {:>14} {:>14} {:>12}",
         "App", "cat2 (STT)", "cat1 (PCM)", "untouched", "read-only", "high-ratio"

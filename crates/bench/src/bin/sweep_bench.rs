@@ -12,7 +12,8 @@
 //! Usage: `sweep_bench [test|small|bench] [--iters N] [--jobs N]
 //! [--json PATH]` (default output path: `BENCH_sweep.json`).
 
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
+use nvsim_obs::artifact::write_text;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -55,17 +56,23 @@ fn main() {
 
     // Warm-up leg: touch every code path once so neither timed leg pays
     // first-run costs (page faults, lazy allocations).
-    nv_scavenger::experiments::evaluation_sweep(args.scale, args.iterations, jobs)
-        .expect("warm-up sweep");
+    or_die(
+        nv_scavenger::experiments::evaluation_sweep(args.scale, args.iterations, jobs),
+        "warm-up sweep",
+    );
 
     let t0 = Instant::now();
-    let serial = nv_scavenger::experiments::evaluation_sweep(args.scale, args.iterations, 1)
-        .expect("serial sweep");
+    let serial = or_die(
+        nv_scavenger::experiments::evaluation_sweep(args.scale, args.iterations, 1),
+        "serial sweep",
+    );
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let t1 = Instant::now();
-    let parallel = nv_scavenger::experiments::evaluation_sweep(args.scale, args.iterations, jobs)
-        .expect("parallel sweep");
+    let parallel = or_die(
+        nv_scavenger::experiments::evaluation_sweep(args.scale, args.iterations, jobs),
+        "parallel sweep",
+    );
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     assert_eq!(serial, parallel, "legs must cover identical work");
@@ -92,7 +99,10 @@ fn main() {
         .json
         .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("BENCH_sweep.json"));
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&path, json).expect("write BENCH_sweep.json");
+    let json = or_die(
+        serde_json::to_string_pretty(&report),
+        "serialize BENCH_sweep.json",
+    );
+    or_die(write_text(&path, &json), "write BENCH_sweep.json");
     eprintln!("wrote {}", path.display());
 }

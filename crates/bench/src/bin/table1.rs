@@ -1,12 +1,12 @@
 //! Regenerates Table I: application characteristics (memory footprint per
 //! task), measured from the proxies and rescaled to the paper's units.
 
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     args.header("Table I: application characteristics");
-    let rows = nv_scavenger::experiments::table1(args.scale).expect("table1");
+    let rows = or_die(nv_scavenger::experiments::table1(args.scale), "table1");
     println!(
         "{:<10} {:<45} {:>12} {:>12}",
         "App", "Input", "paper MB", "measured MB"

@@ -2,13 +2,15 @@
 //! tool (§III-A first method) — read/write ratio and stack reference
 //! percentage per application.
 
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     args.header("Table V: stack data analysis");
-    let rows =
-        nv_scavenger::experiments::table5(args.scale, args.iterations).expect("table5");
+    let rows = or_die(
+        nv_scavenger::experiments::table5(args.scale, args.iterations),
+        "table5",
+    );
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
         "App", "R/W", "paper", "first-it", "paper", "stack %", "paper"

@@ -2,13 +2,15 @@
 //! DDR3, PCRAM, STTRAM and MRAM, from cache-filtered traces of all four
 //! applications replayed at full speed through the memory-power simulator.
 
-use nvsim_bench::BenchArgs;
+use nvsim_bench::{or_die, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     args.header("Table VI: normalized average power consumption");
-    let rows =
-        nv_scavenger::experiments::table6(args.scale, args.iterations).expect("table6");
+    let rows = or_die(
+        nv_scavenger::experiments::table6(args.scale, args.iterations),
+        "table6",
+    );
     println!(
         "{:<10} {:>22} {:>22} {:>12}",
         "App", "measured [D P S M]", "paper [D P S M]", "txns"

@@ -22,12 +22,23 @@
 //! metrics/report output is byte-identical to the serial run (see
 //! EXPERIMENTS.md, "Running sweeps in parallel"). `sweep_bench` times
 //! the two modes against each other and writes `BENCH_sweep.json`.
+//!
+//! The resilience flags (`--retries`, `--keep-going`/`--fail-fast`,
+//! `--journal`, `--resume`, and the chaos-drill pair
+//! `--faults`/`--fault-seed`) configure the fault-tolerant sweep policy
+//! of docs/RESILIENCE.md: failed cells are retried with bounded
+//! backoff, then quarantined into the report's `degraded` section, and
+//! a journalled sweep can be killed and resumed without losing
+//! completed cells.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use nv_scavenger::{FleetPolicy, Journal};
 use nvsim_apps::AppScale;
-use nvsim_obs::{Metrics, Snapshot, Timeline};
+use nvsim_faults::FaultPlan;
+use nvsim_obs::artifact::write_text;
+use nvsim_obs::{DegradedCell, Metrics, Snapshot, Timeline};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -36,13 +47,36 @@ pub mod plot;
 /// Usage text every binary prints when argument parsing fails.
 pub const USAGE: &str = "usage: <bin> [test|small|bench] [--iters N] [--json PATH] \
 [--metrics-json PATH] [--timeline PATH] [--parallel] [--jobs N]\n\
+\x20      [--retries N] [--keep-going|--fail-fast] [--journal DIR] [--resume]\n\
+\x20      [--faults SPEC] [--fault-seed N]\n\
   test|small|bench   footprint scale (default: bench = 1/64 paper size)\n\
   --iters N          main-loop iterations (default: 10)\n\
   --json PATH        dump the experiment report as JSON\n\
   --metrics-json PATH dump the nvsim-obs snapshot (docs/METRICS.md)\n\
   --timeline PATH    dump the Chrome trace-event journal\n\
   --parallel         run experiments on the fleet worker pool\n\
-  --jobs N           worker count (implies --parallel; default: all cores)";
+  --jobs N           worker count (implies --parallel; default: all cores)\n\
+  --retries N        extra attempts per failed cell (default: 1)\n\
+  --keep-going       quarantine failed cells, finish the sweep (default)\n\
+  --fail-fast        abort the sweep on the first failed cell\n\
+  --journal DIR      record per-cell completions for --resume\n\
+  --resume           restore cells already completed in --journal DIR\n\
+  --faults SPEC      arm a fault plan, e.g. 'panic@GTC/pcram; corrupt@CAM/dram'\n\
+  --fault-seed N     arm a seeded chaos plan (2 panics + 1 corruption)";
+
+/// Unwraps `result`, printing `error: <context>: <cause>` to stderr and
+/// exiting with status 1 — no panic, no backtrace — on failure. The
+/// experiment binaries use it for every fallible I/O step so a full
+/// disk or unwritable path reads as a diagnostic, not a crash.
+pub fn or_die<T, E: std::fmt::Display>(result: Result<T, E>, context: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {context}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 /// Parsed command-line options shared by the experiment binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +95,20 @@ pub struct BenchArgs {
     pub parallel: bool,
     /// `--jobs N`: explicit worker count (implies `--parallel`).
     pub jobs: Option<usize>,
+    /// `--retries N`: extra attempts per failed cell (default: 1).
+    pub retries: u32,
+    /// `--fail-fast`: abort the sweep on the first quarantined cell.
+    /// `--keep-going` (the default) completes the rest of the grid.
+    pub fail_fast: bool,
+    /// `--journal DIR`: per-cell completion journal directory.
+    pub journal: Option<PathBuf>,
+    /// `--resume`: restore journalled cells instead of replaying them.
+    pub resume: bool,
+    /// `--faults SPEC`: explicit fault plan in [`FaultPlan::parse`]
+    /// grammar.
+    pub faults: Option<String>,
+    /// `--fault-seed N`: seeded chaos plan over the sweep's cell grid.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for BenchArgs {
@@ -73,6 +121,12 @@ impl Default for BenchArgs {
             timeline_json: None,
             parallel: false,
             jobs: None,
+            retries: 1,
+            fail_fast: false,
+            journal: None,
+            resume: false,
+            faults: None,
+            fault_seed: None,
         }
     }
 }
@@ -129,8 +183,35 @@ impl BenchArgs {
                     args.jobs = Some(n);
                     args.parallel = true;
                 }
+                "--retries" => {
+                    let v = it.next().ok_or("--retries needs a count")?;
+                    args.retries = v
+                        .parse()
+                        .map_err(|_| format!("--retries needs a count, got {v:?}"))?;
+                }
+                "--keep-going" => args.fail_fast = false,
+                "--fail-fast" => args.fail_fast = true,
+                "--journal" => args.journal = Some(path_arg(&mut it)?),
+                "--resume" => args.resume = true,
+                "--faults" => {
+                    let spec = it.next().ok_or("--faults needs a fault spec")?;
+                    // Validate eagerly: a typo'd spec must die at the usage
+                    // line, not be silently ignored on runs with no dumps.
+                    FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
+                    args.faults = Some(spec);
+                }
+                "--fault-seed" => {
+                    let v = it.next().ok_or("--fault-seed needs a seed")?;
+                    args.fault_seed = Some(
+                        v.parse()
+                            .map_err(|_| format!("--fault-seed needs a seed, got {v:?}"))?,
+                    );
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
+        }
+        if args.resume && args.journal.is_none() {
+            return Err("--resume needs --journal DIR".into());
         }
         Ok(args)
     }
@@ -146,19 +227,58 @@ impl BenchArgs {
         }
     }
 
+    /// `true` when any flag asks for the resilient sweep machinery —
+    /// the `run_all` fleet then goes through the policy-aware entry
+    /// points instead of the strict (panic-on-first-failure) wrappers.
+    pub fn wants_resilient_fleet(&self) -> bool {
+        self.retries != 1
+            || self.fail_fast
+            || self.journal.is_some()
+            || self.resume
+            || self.faults.is_some()
+            || self.fault_seed.is_some()
+    }
+
+    /// Builds the [`FleetPolicy`] for this invocation. `points` is the
+    /// sweep's cell universe (`nv_scavenger::grid_points`), which seeds
+    /// the `--fault-seed` chaos plan; an explicit `--faults` spec wins
+    /// over a seed when both are given.
+    pub fn fleet_policy(&self, points: &[String]) -> Result<FleetPolicy, String> {
+        let mut policy = FleetPolicy {
+            retries: self.retries,
+            fail_fast: self.fail_fast,
+            resume: self.resume,
+            ..FleetPolicy::default()
+        };
+        if let Some(spec) = &self.faults {
+            let plan = FaultPlan::parse(spec).map_err(|e| e.to_string())?;
+            policy.faults = plan.injector();
+        } else if let Some(seed) = self.fault_seed {
+            let plan = FaultPlan::seeded(seed, points, 2, 1, 0);
+            eprintln!("fault plan (seed {seed}): {}", plan.to_spec_string());
+            policy.faults = plan.injector();
+        }
+        if let Some(dir) = &self.journal {
+            policy.journal = Some(Journal::open(dir).map_err(|e| e.to_string())?);
+        }
+        Ok(policy)
+    }
+
     /// Writes the JSON dump if requested.
     pub fn dump<T: Serialize>(&self, value: &T) {
         if let Some(path) = &self.json {
-            let json = serde_json::to_string_pretty(value).expect("report serializes");
-            std::fs::write(path, json).expect("write json report");
+            let json = or_die(serde_json::to_string_pretty(value), "serialize json report");
+            or_die(write_text(path, &json), "write json report");
             eprintln!("wrote {}", path.display());
         }
     }
 
-    /// Returns `true` when any flag requests the instrumented pass
-    /// (`--metrics-json` or `--timeline`).
+    /// Returns `true` when any flag requests the instrumented pass —
+    /// a dump (`--metrics-json` / `--timeline`) or any resilience flag:
+    /// the quarantine/journal machinery lives in the instrumented fleet,
+    /// so e.g. `--journal DIR` alone must still run it.
     pub fn wants_instrumented_pass(&self) -> bool {
-        self.metrics_json.is_some() || self.timeline_json.is_some()
+        self.metrics_json.is_some() || self.timeline_json.is_some() || self.wants_resilient_fleet()
     }
 
     /// Returns the metrics handle the run should thread through the
@@ -187,8 +307,17 @@ impl BenchArgs {
     /// Writes the `--metrics-json` snapshot if requested. Metric names
     /// and units are documented in `docs/METRICS.md`.
     pub fn dump_metrics(&self, snapshot: &Snapshot) {
+        self.dump_metrics_with(snapshot, &[]);
+    }
+
+    /// Writes the `--metrics-json` snapshot with the sweep's `degraded`
+    /// section spliced in. The section is omitted entirely when no cell
+    /// degraded, so a clean resilient run stays byte-identical to the
+    /// strict path (the parallel-vs-serial CI diff depends on that).
+    pub fn dump_metrics_with(&self, snapshot: &Snapshot, degraded: &[DegradedCell]) {
         if let Some(path) = &self.metrics_json {
-            std::fs::write(path, snapshot.to_json()).expect("write metrics json");
+            let json = nvsim_obs::snapshot_json_with_degraded(snapshot, degraded);
+            or_die(write_text(path, &json), "write metrics json");
             eprintln!("wrote {}", path.display());
         }
     }
@@ -196,7 +325,10 @@ impl BenchArgs {
     /// Writes the `--timeline` Chrome trace-event JSON if requested.
     pub fn dump_timeline(&self, timeline: &Timeline) {
         if let Some(path) = &self.timeline_json {
-            std::fs::write(path, timeline.to_chrome_json()).expect("write timeline json");
+            or_die(
+                write_text(path, &timeline.to_chrome_json()),
+                "write timeline json",
+            );
             eprintln!(
                 "wrote {} ({} events, {} dropped)",
                 path.display(),
@@ -322,6 +454,77 @@ mod tests {
     }
 
     #[test]
+    fn resilience_flags_parse() {
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.retries, 1);
+        assert!(!d.fail_fast, "--keep-going is the default");
+        assert!(!d.wants_resilient_fleet(), "defaults stay on strict path");
+
+        let args = parse(&[
+            "--retries",
+            "3",
+            "--fail-fast",
+            "--journal",
+            "j.dir",
+            "--resume",
+            "--faults",
+            "panic@GTC/pcram",
+            "--fault-seed",
+            "42",
+        ])
+        .unwrap();
+        assert_eq!(args.retries, 3);
+        assert!(args.fail_fast);
+        assert_eq!(
+            args.journal.as_deref(),
+            Some(std::path::Path::new("j.dir"))
+        );
+        assert!(args.resume);
+        assert_eq!(args.faults.as_deref(), Some("panic@GTC/pcram"));
+        assert_eq!(args.fault_seed, Some(42));
+        assert!(args.wants_resilient_fleet());
+
+        // --keep-going undoes an earlier --fail-fast (last flag wins),
+        // and is accepted alone as an explicit spelling of the default.
+        assert!(!parse(&["--fail-fast", "--keep-going"]).unwrap().fail_fast);
+        assert!(!parse(&["--keep-going"]).unwrap().fail_fast);
+        // Each resilient option alone flips the fleet onto the policy path
+        // and forces the instrumented pass (journalling without a dump flag
+        // must still journal).
+        assert!(parse(&["--retries", "0"]).unwrap().wants_resilient_fleet());
+        assert!(parse(&["--journal", "j"]).unwrap().wants_resilient_fleet());
+        assert!(parse(&["--fault-seed", "7"]).unwrap().wants_resilient_fleet());
+        assert!(parse(&["--journal", "j"]).unwrap().wants_instrumented_pass());
+        assert!(!parse(&["--keep-going"]).unwrap().wants_instrumented_pass());
+
+        // A malformed fault spec dies at the usage line, even though the
+        // spec string itself is only armed later by `fleet_policy`.
+        let err = parse(&["--faults", "meteor@GTC/pcram"]).unwrap_err();
+        assert!(err.contains("meteor"), "{err}");
+    }
+
+    #[test]
+    fn fleet_policy_builds_from_flags() {
+        let points: Vec<String> = ["GTC/pcram", "CAM/dram"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+
+        let strictish = parse(&["--retries", "2", "--fail-fast"]).unwrap();
+        let policy = strictish.fleet_policy(&points).unwrap();
+        assert_eq!(policy.retries, 2);
+        assert!(policy.fail_fast);
+        assert!(policy.journal.is_none());
+
+        let seeded = parse(&["--fault-seed", "42"]).unwrap();
+        assert!(seeded.fleet_policy(&points).is_ok());
+
+        let armed = parse(&["--faults", "panic@GTC/pcram"]).unwrap();
+        let policy = armed.fleet_policy(&points).unwrap();
+        assert!(policy.faults.is_armed());
+    }
+
+    #[test]
     fn malformed_argv_errors_instead_of_being_ignored() {
         for (argv, needle) in [
             (&["--frobnicate"][..], "unknown argument: --frobnicate"),
@@ -334,6 +537,13 @@ mod tests {
             (&["--jobs"][..], "--jobs needs a worker count"),
             (&["--jobs", "many"][..], "--jobs needs a worker count"),
             (&["--jobs", "0"][..], "--jobs must be at least 1"),
+            (&["--retries"][..], "--retries needs a count"),
+            (&["--retries", "lots"][..], "--retries needs a count"),
+            (&["--journal"][..], "--journal needs a path"),
+            (&["--resume"][..], "--resume needs --journal DIR"),
+            (&["--faults"][..], "--faults needs a fault spec"),
+            (&["--fault-seed"][..], "--fault-seed needs a seed"),
+            (&["--fault-seed", "xyzzy"][..], "--fault-seed needs a seed"),
         ] {
             let err = parse(argv).unwrap_err();
             assert!(err.contains(needle), "{argv:?}: {err}");
@@ -346,6 +556,13 @@ mod tests {
             "--timeline",
             "--parallel",
             "--jobs",
+            "--retries",
+            "--keep-going",
+            "--fail-fast",
+            "--journal",
+            "--resume",
+            "--faults",
+            "--fault-seed",
         ] {
             assert!(USAGE.contains(flag), "usage text missing {flag}");
         }

@@ -121,8 +121,8 @@ fn cmd_characterize(cli: &Cli) -> Result<(), String> {
             "footprint": c.footprint,
             "objects": rows,
         });
-        std::fs::write(path, serde_json::to_string_pretty(&dump).expect("serializes"))
-            .map_err(|e| e.to_string())?;
+        let text = serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?;
+        nvsim_obs::artifact::write_text(std::path::Path::new(path), &text)?;
         println!("(wrote {path})");
     }
     for o in rows.iter().take(12) {
@@ -224,7 +224,7 @@ fn cmd_record(cli: &Cli) -> Result<(), String> {
     }
     let events = writer.events();
     let bytes = writer.into_bytes();
-    std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
+    nvsim_obs::atomic_write(std::path::Path::new(out), &bytes).map_err(|e| format!("{out}: {e}"))?;
     println!(
         "recorded {events} events ({} bytes, {:.2} B/event) to {out}",
         bytes.len(),
@@ -235,12 +235,15 @@ fn cmd_record(cli: &Cli) -> Result<(), String> {
 
 fn cmd_replay(cli: &Cli) -> Result<(), String> {
     let input = cli.input.as_ref().ok_or("replay needs --in <path>")?;
-    let data = std::fs::read(input).map_err(|e| e.to_string())?;
+    let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
     let mut registry = ObjectRegistry::new(RegistryConfig::default());
     let mut stack = FastStackSink::new();
     let events = {
         let mut tee = TeeSink::new(vec![&mut registry, &mut stack]);
+        // A truncated or bit-flipped tracefile surfaces here as a
+        // `Corrupt` error naming the failing frame and byte offset.
         replay_trace(bytes::Bytes::from(data), &mut tee, 65536)
+            .map_err(|e| format!("{input}: {e}"))?
     };
     println!("replayed {events} events from {input}");
     println!(

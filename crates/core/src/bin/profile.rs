@@ -19,7 +19,9 @@
 
 use nv_scavenger::profile::profile_observed;
 use nvsim_apps::{all_apps, AppScale, Application};
+use nvsim_obs::artifact::write_text;
 use nvsim_obs::{Metrics, Timeline};
+use std::path::Path;
 use std::process::ExitCode;
 
 struct Cli {
@@ -119,11 +121,11 @@ fn run(cli: &Cli) -> Result<(), String> {
     println!("\n{}", report.snapshot.to_table());
 
     if let Some(path) = &cli.json {
-        std::fs::write(path, report.snapshot.to_json()).map_err(|e| e.to_string())?;
+        write_text(Path::new(path), &report.snapshot.to_json())?;
         println!("(wrote {path})");
     }
     if let Some(path) = &cli.timeline {
-        std::fs::write(path, timeline.to_chrome_json()).map_err(|e| e.to_string())?;
+        write_text(Path::new(path), &timeline.to_chrome_json())?;
         println!(
             "(wrote {path}: {} events, {} dropped — open at ui.perfetto.dev)",
             timeline.len(),
@@ -137,7 +139,7 @@ fn run(cli: &Cli) -> Result<(), String> {
         } else {
             rr.to_markdown()
         };
-        std::fs::write(path, rendered).map_err(|e| e.to_string())?;
+        write_text(Path::new(path), &rendered)?;
         println!("(wrote {path})");
     }
     Ok(())

@@ -491,7 +491,8 @@ pub fn fig12_jobs(scale: AppScale, jobs: usize) -> Result<Vec<Fig12Report>, Nvsi
         let base = CoreParams::default();
         let points = nvsim_cpu::sweep_technologies(&base, |params| {
             let mut sink = CpuSink::for_iterations(params, 0, 1);
-            replay_trace(encoded.clone(), &mut sink, 4096);
+            replay_trace(encoded.clone(), &mut sink, 4096)
+                .expect("replaying a just-recorded trace");
             sink.result().expect("cpu sink finished")
         });
         Ok(Fig12Report { app: name, points })

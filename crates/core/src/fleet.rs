@@ -12,12 +12,12 @@
 //!    surviving main-memory stream with the `tracefile` delta scheme
 //!    ([`nvsim_trace::TxnTraceWriter`]) into an in-memory buffer a few
 //!    bytes per transaction.
-//! 2. **Replay many** — [`replay_cells`] fans the captured buffer out
-//!    across a bounded crossbeam worker pool ([`run_indexed`]), one
+//! 2. **Replay many** — [`replay_cells_policy`] fans the captured buffer
+//!    out across a bounded crossbeam worker pool ([`run_indexed`]), one
 //!    decode-and-replay per technology cell.
-//! 3. **Fleet the applications** — [`profile_fleet`] runs the four
-//!    proxies concurrently on the same pool, each through the full
-//!    instrumented pipeline ([`profile_fleet_app`]).
+//! 3. **Fleet the applications** — [`profile_fleet_policy`] runs the
+//!    four proxies concurrently on the same pool, each through the full
+//!    instrumented pipeline ([`profile_fleet_app_policy`]).
 //!
 //! ## Determinism
 //!
@@ -31,19 +31,32 @@
 //! (only its wall-clock timestamps differ, as they do between any two
 //! serial runs). `tests/fleet_differential.rs` holds the pipeline to
 //! that guarantee for every application.
+//!
+//! ## Resilience
+//!
+//! Each cell attempt runs under `std::panic::catch_unwind` with a fresh
+//! pair of shards; a failed attempt's shards are discarded whole, so a
+//! retry never double-counts a partial replay. The retry budget,
+//! quarantine behaviour, fault injection and completion journal are all
+//! carried by [`FleetPolicy`] (see [`crate::resilience`] and
+//! `docs/RESILIENCE.md`); the policy-free wrappers keep the original
+//! strict semantics.
 
 use crate::pipeline::characterize_observed;
 use crate::profile::{ProfileReport, DEFAULT_MTBF_S};
+use crate::resilience::{CellRecord, FleetPolicy};
 use bytes::Bytes;
 use nvsim_apps::{all_apps, AppScale, Application};
 use nvsim_cache::{CacheFilterSink, TransactionSink};
+use nvsim_faults::panic_message;
 use nvsim_mem::system::{MemorySystem, PowerReport};
-use nvsim_obs::{ArgValue, EpochRecorder, Metrics, ReportMeta, Timeline};
+use nvsim_obs::{ArgValue, DegradedCell, EpochRecorder, Metrics, ReportMeta, Timeline};
 use nvsim_placement::{compare_targets_traced, MigrationConfig, MigrationSimulator};
 use nvsim_trace::{replay_transactions, Tracer, TxnTraceWriter};
 use nvsim_types::{
     CacheConfig, DeviceProfile, MemTransaction, MemoryTechnology, NvsimError, Region, SystemConfig,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default worker count: the machine's available parallelism, 1 if it
@@ -65,7 +78,10 @@ pub fn default_jobs() -> usize {
 /// completion.
 ///
 /// # Panics
-/// Propagates a panic from any worker.
+/// Propagates a panic from any worker — deterministically: each worker
+/// catches its task's unwind so the rest of the grid still runs, and the
+/// *lowest-indexed* failure is rethrown during collection. (Resilient
+/// callers pass tasks that never panic; see [`replay_cells_policy`].)
 pub fn run_indexed<T, F>(jobs: usize, n: usize, task: F) -> Vec<T>
 where
     T: Send,
@@ -75,7 +91,7 @@ where
     if jobs == 1 {
         return (0..n).map(task).collect();
     }
-    let slots: Vec<parking_lot::Mutex<Option<T>>> =
+    let slots: Vec<parking_lot::Mutex<Option<std::thread::Result<T>>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
@@ -88,15 +104,20 @@ where
                 if i >= n {
                     break;
                 }
-                let done = task(i);
+                let done = catch_unwind(AssertUnwindSafe(|| task(i)));
                 *slots[i].lock() = Some(done);
             });
         }
     })
-    .expect("fleet worker panicked");
+    .expect("fleet scope failed");
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every fleet slot filled"))
+        .map(
+            |slot| match slot.into_inner().expect("every fleet slot filled") {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
+        )
         .collect()
 }
 
@@ -124,6 +145,28 @@ impl CellSpec {
             })
             .collect()
     }
+}
+
+/// The canonical name of one replay cell — `app/technology`, e.g.
+/// `GTC/pcram`. These names key the fault injector, the completion
+/// journal and the `degraded` report section.
+pub fn cell_point(app: &str, technology: MemoryTechnology) -> String {
+    format!("{app}/{}", technology.to_string().to_lowercase())
+}
+
+/// Every cell name of the full sweep grid (all applications × all
+/// Table IV technologies, stable order) — the point universe a seeded
+/// [`nvsim_faults::FaultPlan`] draws from.
+pub fn grid_points(scale: AppScale) -> Vec<String> {
+    all_apps(scale)
+        .iter()
+        .flat_map(|app| {
+            let name = app.spec().name.to_string();
+            CellSpec::grid()
+                .into_iter()
+                .map(move |cell| cell_point(&name, cell.technology))
+        })
+        .collect()
 }
 
 /// Adapter that delta-encodes every transaction leaving the cache
@@ -201,16 +244,25 @@ impl CapturedStream {
     /// Streams the capture into a transaction sink, returning the
     /// count. Decoding is allocation-free and safe to run from many
     /// threads at once.
-    pub fn replay_into(&self, sink: &mut dyn TransactionSink) -> u64 {
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] if the captured buffer fails frame
+    /// validation (possible when a capture was read back from damaged
+    /// storage — an in-memory capture always replays).
+    pub fn replay_into(&self, sink: &mut dyn TransactionSink) -> Result<u64, NvsimError> {
         replay_transactions(self.encoded.clone(), |t| sink.on_transaction(t))
     }
 
     /// Materializes the capture as a `Vec`, for callers that need the
     /// serial pipeline's in-memory representation.
-    pub fn to_vec(&self) -> Vec<MemTransaction> {
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] under the same conditions as
+    /// [`CapturedStream::replay_into`].
+    pub fn to_vec(&self) -> Result<Vec<MemTransaction>, NvsimError> {
         let mut txns = Vec::with_capacity(self.transactions as usize);
-        replay_transactions(self.encoded.clone(), |t| txns.push(t));
-        txns
+        replay_transactions(self.encoded.clone(), |t| txns.push(t))?;
+        Ok(txns)
     }
 }
 
@@ -223,15 +275,236 @@ pub struct CellOutcome {
     pub power: PowerReport,
 }
 
+/// What a policy-driven sweep produced: per-cell outcomes (index-aligned
+/// with the cell grid; `None` marks a quarantined cell), the degraded
+/// roster, and how many cells were restored from the journal instead of
+/// replayed.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One entry per cell, grid order; `None` = quarantined.
+    pub outcomes: Vec<Option<CellOutcome>>,
+    /// Quarantined cells with their last error and attempt count, in
+    /// grid order.
+    pub degraded: Vec<DegradedCell>,
+    /// Cells restored from the completion journal.
+    pub resumed: usize,
+}
+
+/// Private per-cell result carried back from the worker pool, shards
+/// attached so the merge happens in stable order on the caller's thread.
+enum CellRun {
+    Done {
+        outcome: CellOutcome,
+        metrics: Metrics,
+        timeline: Timeline,
+        resumed: bool,
+    },
+    Failed {
+        error: NvsimError,
+        attempts: u32,
+    },
+}
+
+fn shard_pair(metrics: &Metrics, timeline: &Timeline) -> (Metrics, Timeline) {
+    (
+        if metrics.is_enabled() {
+            Metrics::enabled()
+        } else {
+            Metrics::disabled()
+        },
+        if timeline.is_enabled() {
+            Timeline::enabled()
+        } else {
+            Timeline::disabled()
+        },
+    )
+}
+
+/// One replay attempt: probe the fault injector, decode the (possibly
+/// corrupted) capture into a fresh memory system, return the outcome and
+/// replayed count. Records only into the attempt's private shards, so a
+/// failure leaves no trace in the merged report.
+fn run_cell_once(
+    captured: &CapturedStream,
+    cell: &CellSpec,
+    cell_name: &str,
+    policy: &FleetPolicy,
+    metrics: &Metrics,
+    timeline: &Timeline,
+) -> Result<(CellOutcome, u64), NvsimError> {
+    policy.faults.on_cell_start(cell_name)?;
+    let encoded = match policy.faults.corrupted(cell_name, &captured.encoded) {
+        Some(bad) => Bytes::from(bad),
+        None => captured.encoded.clone(),
+    };
+    let mut sys = MemorySystem::new(DeviceProfile::for_technology(cell.technology), &cell.system);
+    sys.set_metrics(metrics);
+    sys.set_timeline(timeline);
+    // Streaming decode straight into the controller; the span mirrors
+    // what `MemorySystem::replay` emits for a `Vec` replay.
+    let span = format!("replay {}", cell.technology.to_string().to_lowercase());
+    timeline.begin(&span, "mem");
+    let n = replay_transactions(encoded, |t| sys.on_transaction(t))?;
+    timeline.end_with(&span, "mem", &[("transactions", ArgValue::U64(n))]);
+    Ok((
+        CellOutcome {
+            technology: cell.technology,
+            power: sys.finish(),
+        },
+        n,
+    ))
+}
+
+/// Runs one cell to completion under the policy: restore from the
+/// journal if resuming, otherwise up to `max_attempts` fresh-shard
+/// attempts with bounded backoff, journaling the first success.
+fn run_cell_resilient(
+    captured: &CapturedStream,
+    cell: &CellSpec,
+    policy: &FleetPolicy,
+    parent_metrics: &Metrics,
+    parent_timeline: &Timeline,
+) -> CellRun {
+    let cell_name = cell_point(&captured.app, cell.technology);
+
+    if policy.resume {
+        if let Some(journal) = &policy.journal {
+            if let Some(record) = journal.load(&cell_name) {
+                // A record from a different capture (changed iterations,
+                // changed scale) is stale: re-run rather than restore.
+                if record.transactions == captured.transactions() {
+                    let (m, tl) = shard_pair(parent_metrics, parent_timeline);
+                    if let Some(outcome) = record.restore(&m, &tl) {
+                        return CellRun::Done {
+                            outcome,
+                            metrics: m,
+                            timeline: tl,
+                            resumed: true,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    let mut last_err: Option<NvsimError> = None;
+    for attempt in 1..=policy.max_attempts() {
+        if attempt > 1 {
+            std::thread::sleep(policy.backoff(attempt));
+        }
+        let (m, tl) = shard_pair(parent_metrics, parent_timeline);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_cell_once(captured, cell, &cell_name, policy, &m, &tl)
+        }));
+        match result {
+            Ok(Ok((outcome, n))) => {
+                if let Some(journal) = &policy.journal {
+                    let record = CellRecord::from_run(&cell_name, &outcome, n, &m, &tl);
+                    if let Err(e) = journal.store(&record) {
+                        // A cell whose completion cannot be made durable
+                        // counts as failed: resuming would silently redo
+                        // (or worse, trust) work the journal never saw.
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+                return CellRun::Done {
+                    outcome,
+                    metrics: m,
+                    timeline: tl,
+                    resumed: false,
+                };
+            }
+            Ok(Err(e)) => last_err = Some(e),
+            Err(payload) => {
+                last_err = Some(NvsimError::WorkerFailed {
+                    cell: cell_name.clone(),
+                    cause: panic_message(payload),
+                })
+            }
+        }
+    }
+    CellRun::Failed {
+        error: last_err.unwrap_or_else(|| NvsimError::WorkerFailed {
+            cell: cell_name.clone(),
+            cause: "no attempt ran".to_string(),
+        }),
+        attempts: policy.max_attempts(),
+    }
+}
+
 /// Replays one captured stream into every cell of `cells` on at most
-/// `jobs` workers, returning outcomes in cell order.
+/// `jobs` workers under a [`FleetPolicy`], returning outcomes in cell
+/// order.
 ///
-/// Each cell records into a private metrics/timeline shard; after the
-/// pool drains, the shards are absorbed into `metrics`/`timeline` in
-/// cell order, reproducing exactly what a serial loop over the cells
-/// would have recorded — counters sum, gauges keep the last cell's
-/// value, and the timeline gains one `replay <tech>` span plus `power`
-/// instant per cell, in grid order.
+/// Each cell *attempt* records into a private metrics/timeline shard;
+/// after the pool drains, the successful shards are absorbed into
+/// `metrics`/`timeline` in cell order, reproducing exactly what a serial
+/// loop over the cells would have recorded — counters sum, gauges keep
+/// the last cell's value, and the timeline gains one `replay <tech>`
+/// span plus `power` instant per cell, in grid order. Failed attempts
+/// contribute nothing; quarantined cells appear only in
+/// [`SweepOutcome::degraded`].
+///
+/// # Errors
+/// With [`FleetPolicy::fail_fast`], the first quarantined cell's error
+/// (in grid order) aborts the sweep. Keep-going sweeps always return
+/// `Ok` and report failures in the degraded roster.
+pub fn replay_cells_policy(
+    captured: &CapturedStream,
+    cells: &[CellSpec],
+    jobs: usize,
+    metrics: &Metrics,
+    timeline: &Timeline,
+    policy: &FleetPolicy,
+) -> Result<SweepOutcome, NvsimError> {
+    let runs = run_indexed(jobs, cells.len(), |i| {
+        run_cell_resilient(captured, &cells[i], policy, metrics, timeline)
+    });
+    let mut outcomes = Vec::with_capacity(cells.len());
+    let mut degraded = Vec::new();
+    let mut resumed = 0usize;
+    for (i, run) in runs.into_iter().enumerate() {
+        match run {
+            CellRun::Done {
+                outcome,
+                metrics: m,
+                timeline: tl,
+                resumed: was_resumed,
+            } => {
+                metrics.absorb(&m.snapshot());
+                timeline.absorb(&tl);
+                if was_resumed {
+                    resumed += 1;
+                }
+                outcomes.push(Some(outcome));
+            }
+            CellRun::Failed { error, attempts } => {
+                if policy.fail_fast {
+                    return Err(error);
+                }
+                degraded.push(DegradedCell {
+                    cell: cell_point(&captured.app, cells[i].technology),
+                    error: error.to_string(),
+                    attempts,
+                });
+                outcomes.push(None);
+            }
+        }
+    }
+    Ok(SweepOutcome {
+        outcomes,
+        degraded,
+        resumed,
+    })
+}
+
+/// [`replay_cells_policy`] under the strict legacy contract: one attempt
+/// per cell, any failure panics with the cell's error. Kept for callers
+/// that sweep trusted in-memory captures (the experiment assemblies).
+///
+/// # Panics
+/// On the first failed cell.
 pub fn replay_cells(
     captured: &CapturedStream,
     cells: &[CellSpec],
@@ -239,54 +512,28 @@ pub fn replay_cells(
     metrics: &Metrics,
     timeline: &Timeline,
 ) -> Vec<CellOutcome> {
-    let shards: Vec<(Metrics, Timeline)> = cells
-        .iter()
-        .map(|_| {
-            (
-                if metrics.is_enabled() {
-                    Metrics::enabled()
-                } else {
-                    Metrics::disabled()
-                },
-                if timeline.is_enabled() {
-                    Timeline::enabled()
-                } else {
-                    Timeline::disabled()
-                },
-            )
-        })
-        .collect();
-    let shards_ref = &shards;
-    let outcomes = run_indexed(jobs, cells.len(), |i| {
-        let cell = &cells[i];
-        let (m, tl) = &shards_ref[i];
-        let mut sys = MemorySystem::new(DeviceProfile::for_technology(cell.technology), &cell.system);
-        sys.set_metrics(m);
-        sys.set_timeline(tl);
-        // Streaming decode straight into the controller; the span
-        // mirrors what `MemorySystem::replay` emits for a `Vec` replay.
-        let name = format!(
-            "replay {}",
-            cell.technology.to_string().to_lowercase()
-        );
-        tl.begin(&name, "mem");
-        let n = captured.replay_into(&mut sys);
-        tl.end_with(&name, "mem", &[("transactions", ArgValue::U64(n))]);
-        CellOutcome {
-            technology: cell.technology,
-            power: sys.finish(),
-        }
-    });
-    for (m, tl) in &shards {
-        metrics.absorb(&m.snapshot());
-        timeline.absorb(tl);
+    match replay_cells_policy(captured, cells, jobs, metrics, timeline, &FleetPolicy::strict()) {
+        Ok(sweep) => sweep.outcomes.into_iter().flatten().collect(),
+        Err(e) => panic!("fleet cell failed: {e}"),
     }
-    outcomes
+}
+
+/// One application's policy-driven fleet run: the report plus its share
+/// of the degraded roster.
+pub struct AppRun {
+    /// The application's profile report. Quarantined cells are absent
+    /// from [`ProfileReport::power`].
+    pub report: ProfileReport,
+    /// Quarantined cells, grid order.
+    pub degraded: Vec<DegradedCell>,
+    /// Cells restored from the journal.
+    pub resumed: usize,
 }
 
 /// The fleet analogue of [`crate::profile::profile_observed`]: one
 /// application through the full instrumented pipeline, with the
-/// technology replays captured once and fanned out over `jobs` workers.
+/// technology replays captured once and fanned out over `jobs` workers
+/// under a [`FleetPolicy`].
 ///
 /// Stage order — characterization, checkpoint comparison, cache-filter
 /// capture, technology replays, migration, epoch seal — matches the
@@ -296,13 +543,19 @@ pub fn replay_cells(
 /// counters exactly as a serial run does. With `jobs <= 1` the replays
 /// run inline and the function is behaviourally identical to
 /// `profile_observed`.
-pub fn profile_fleet_app(
+///
+/// # Errors
+/// Application-level errors (the proxy itself failing) always propagate.
+/// Cell-level failures propagate only under [`FleetPolicy::fail_fast`];
+/// otherwise they land in [`AppRun::degraded`].
+pub fn profile_fleet_app_policy(
     app: &mut dyn Application,
     iterations: u32,
     jobs: usize,
     metrics: &Metrics,
     timeline: &Timeline,
-) -> Result<ProfileReport, NvsimError> {
+    policy: &FleetPolicy,
+) -> Result<AppRun, NvsimError> {
     let recorder = EpochRecorder::new(metrics);
 
     // Run 1: attribution tools (exports trace.* / objects.*).
@@ -319,8 +572,13 @@ pub fn profile_fleet_app(
     let captured = CapturedStream::capture(app, iterations, metrics, timeline)?;
 
     // The replay fan-out: one cell per Table IV technology.
-    let outcomes = replay_cells(&captured, &CellSpec::grid(), jobs, metrics, timeline);
-    let power: Vec<PowerReport> = outcomes.into_iter().map(|o| o.power).collect();
+    let sweep = replay_cells_policy(&captured, &CellSpec::grid(), jobs, metrics, timeline, policy)?;
+    let power: Vec<PowerReport> = sweep
+        .outcomes
+        .into_iter()
+        .flatten()
+        .map(|o| o.power)
+        .collect();
 
     // Migration over the run's long-term working set (global + heap).
     let refs: Vec<_> = characterization
@@ -340,19 +598,51 @@ pub fn profile_fleet_app(
         app: app.spec().name.to_string(),
         iterations,
     };
-    Ok(ProfileReport {
-        characterization,
-        transactions: captured.transactions(),
-        power,
-        migration,
-        checkpoints,
-        snapshot: metrics.snapshot(),
-        epochs: recorder.epochs(),
-        meta,
+    Ok(AppRun {
+        report: ProfileReport {
+            characterization,
+            transactions: captured.transactions(),
+            power,
+            migration,
+            checkpoints,
+            snapshot: metrics.snapshot(),
+            epochs: recorder.epochs(),
+            meta,
+        },
+        degraded: sweep.degraded,
+        resumed: sweep.resumed,
     })
 }
 
-/// Runs every proxy application through [`profile_fleet_app`]
+/// [`profile_fleet_app_policy`] under the strict legacy contract.
+///
+/// # Errors
+/// Any failed stage or cell.
+pub fn profile_fleet_app(
+    app: &mut dyn Application,
+    iterations: u32,
+    jobs: usize,
+    metrics: &Metrics,
+    timeline: &Timeline,
+) -> Result<ProfileReport, NvsimError> {
+    profile_fleet_app_policy(app, iterations, jobs, metrics, timeline, &FleetPolicy::strict())
+        .map(|run| run.report)
+}
+
+/// What a policy-driven whole-fleet run produced.
+pub struct FleetRun {
+    /// One entry per application, Table I order; `None` marks an
+    /// application quarantined by an application-level failure.
+    pub reports: Vec<Option<ProfileReport>>,
+    /// Quarantined cells and applications: cell entries in application
+    /// then grid order, application-level entries named by the bare
+    /// application name.
+    pub degraded: Vec<DegradedCell>,
+    /// Cells restored from the completion journal.
+    pub resumed: usize,
+}
+
+/// Runs every proxy application through [`profile_fleet_app_policy`]
 /// concurrently on at most `jobs` workers, absorbing each application's
 /// metrics/timeline shard into `metrics`/`timeline` in Table I
 /// application order.
@@ -363,7 +653,80 @@ pub fn profile_fleet_app(
 /// last application's value, matching serial overwrite order), and the
 /// merged timeline carries the identical event sequence. Worker count
 /// composes: up to `jobs` applications run at once, each fanning its
-/// replay cells over up to `jobs` more workers.
+/// replay cells over up to `jobs` more workers. An application that
+/// fails outright (panic or error outside the replay cells) is
+/// quarantined whole: its shard is discarded and it joins the degraded
+/// roster under its bare name.
+///
+/// # Errors
+/// With [`FleetPolicy::fail_fast`], the first failure in application
+/// order aborts the run.
+pub fn profile_fleet_policy(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+    metrics: &Metrics,
+    timeline: &Timeline,
+    policy: &FleetPolicy,
+) -> Result<FleetRun, NvsimError> {
+    let names: Vec<String> = all_apps(scale)
+        .iter()
+        .map(|a| a.spec().name.to_string())
+        .collect();
+    let names_ref = &names;
+    let runs = run_indexed(jobs, names.len(), |i| {
+        let (m, tl) = shard_pair(metrics, timeline);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut app = all_apps(scale).remove(i);
+            profile_fleet_app_policy(app.as_mut(), iterations, jobs, &m, &tl, policy)
+        }));
+        let result = match result {
+            Ok(inner) => inner,
+            Err(payload) => Err(NvsimError::WorkerFailed {
+                cell: names_ref[i].clone(),
+                cause: panic_message(payload),
+            }),
+        };
+        (m, tl, result)
+    });
+
+    let mut reports = Vec::with_capacity(names.len());
+    let mut degraded = Vec::new();
+    let mut resumed = 0usize;
+    for (i, (m, tl, result)) in runs.into_iter().enumerate() {
+        match result {
+            Ok(run) => {
+                metrics.absorb(&m.snapshot());
+                timeline.absorb(&tl);
+                degraded.extend(run.degraded);
+                resumed += run.resumed;
+                reports.push(Some(run.report));
+            }
+            Err(error) => {
+                if policy.fail_fast {
+                    return Err(error);
+                }
+                degraded.push(DegradedCell {
+                    cell: names[i].clone(),
+                    error: error.to_string(),
+                    attempts: 1,
+                });
+                reports.push(None);
+            }
+        }
+    }
+    Ok(FleetRun {
+        reports,
+        degraded,
+        resumed,
+    })
+}
+
+/// [`profile_fleet_policy`] under the strict legacy contract: any
+/// failure aborts the whole fleet.
+///
+/// # Errors
+/// The first failed application or cell, in application order.
 pub fn profile_fleet(
     scale: AppScale,
     iterations: u32,
@@ -371,34 +734,19 @@ pub fn profile_fleet(
     metrics: &Metrics,
     timeline: &Timeline,
 ) -> Result<Vec<ProfileReport>, NvsimError> {
-    let n = all_apps(scale).len();
-    let shards: Vec<(Metrics, Timeline)> = (0..n)
-        .map(|_| {
-            (
-                if metrics.is_enabled() {
-                    Metrics::enabled()
-                } else {
-                    Metrics::disabled()
-                },
-                if timeline.is_enabled() {
-                    Timeline::enabled()
-                } else {
-                    Timeline::disabled()
-                },
-            )
-        })
-        .collect();
-    let shards_ref = &shards;
-    let results = run_indexed(jobs, n, |i| {
-        let mut app = all_apps(scale).remove(i);
-        let (m, tl) = &shards_ref[i];
-        profile_fleet_app(app.as_mut(), iterations, jobs, m, tl)
-    });
-    for (m, tl) in &shards {
-        metrics.absorb(&m.snapshot());
-        timeline.absorb(tl);
-    }
-    results.into_iter().collect()
+    let run = profile_fleet_policy(
+        scale,
+        iterations,
+        jobs,
+        metrics,
+        timeline,
+        &FleetPolicy::strict(),
+    )?;
+    Ok(run
+        .reports
+        .into_iter()
+        .map(|r| r.expect("strict fleet returned Ok with a missing report"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -419,6 +767,29 @@ mod tests {
     }
 
     #[test]
+    fn run_indexed_propagates_the_lowest_indexed_panic() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(4, 8, |i| {
+                if i % 2 == 1 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(panic_message(caught), "boom at 1");
+    }
+
+    #[test]
+    fn cell_points_name_app_and_technology() {
+        assert_eq!(cell_point("GTC", MemoryTechnology::Pcram), "GTC/pcram");
+        let points = grid_points(AppScale::Test);
+        assert_eq!(points.len(), 16, "4 apps x 4 technologies");
+        assert!(points.contains(&"Nek5000/ddr3".to_string()));
+        assert!(points.contains(&"S3D/sttram".to_string()));
+    }
+
+    #[test]
     fn captured_stream_round_trips_the_filtered_trace() {
         let mut app = Gtc::new(AppScale::Test);
         let captured = CapturedStream::capture(
@@ -431,7 +802,7 @@ mod tests {
         let mut app2 = Gtc::new(AppScale::Test);
         let direct = filtered_trace(&mut app2, 2).unwrap();
         assert_eq!(captured.transactions(), direct.len() as u64);
-        assert_eq!(captured.to_vec(), direct);
+        assert_eq!(captured.to_vec().unwrap(), direct);
         // The delta encoding earns its keep: well under the raw record.
         assert!(captured.encoded_len() < direct.len() * 17);
     }
@@ -446,7 +817,8 @@ mod tests {
             &Timeline::disabled(),
         )
         .unwrap();
-        let serial = replay_all_technologies(&captured.to_vec(), &SystemConfig::default()).0;
+        let serial =
+            replay_all_technologies(&captured.to_vec().unwrap(), &SystemConfig::default()).0;
         for jobs in [1, 4] {
             let outcomes = replay_cells(
                 &captured,

@@ -20,22 +20,31 @@
 //! * [`fleet`] — the parallel sweep engine: capture each application's
 //!   cache-filtered transaction stream once, replay it across the
 //!   technology grid on a bounded worker pool, and merge per-worker
-//!   metric/timeline shards deterministically.
+//!   metric/timeline shards deterministically;
+//! * [`resilience`] — the fault-tolerance layer under the fleet: the
+//!   retry/quarantine [`FleetPolicy`], the CRC-checked per-cell
+//!   completion [`Journal`] that makes killed sweeps resumable, and the
+//!   exact binary [`CellRecord`] format both are built on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod experiments;
 pub mod fleet;
 pub mod parallel;
 pub mod pipeline;
 pub mod profile;
+pub mod resilience;
 pub mod stack_fast;
 
 pub use fleet::{
-    default_jobs, profile_fleet, profile_fleet_app, replay_cells, run_indexed, CapturedStream,
-    CellOutcome, CellSpec,
+    cell_point, default_jobs, grid_points, profile_fleet, profile_fleet_app,
+    profile_fleet_app_policy, profile_fleet_policy, replay_cells, replay_cells_policy, run_indexed,
+    AppRun, CapturedStream, CellOutcome, CellSpec, FleetRun, SweepOutcome,
 };
+pub use resilience::{CellRecord, FleetPolicy, Journal, JournalEvent};
 pub use pipeline::{
     characterize, characterize_observed, characterize_with_metrics, Characterization,
 };

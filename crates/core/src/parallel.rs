@@ -11,9 +11,27 @@
 //! deterministic binary would.
 
 use nvsim_apps::Application;
+use nvsim_faults::panic_message;
 use nvsim_objects::{ObjectRegistry, RegistryConfig};
 use nvsim_trace::Tracer;
 use nvsim_types::{NvsimError, Region};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs one tool invocation with panic isolation: a panicking tool
+/// becomes [`NvsimError::WorkerFailed`] naming the tool, so one bad
+/// region run cannot take down its siblings (or the caller) with it.
+fn isolated<T>(
+    tool: &str,
+    run: impl FnOnce() -> Result<T, NvsimError>,
+) -> Result<T, NvsimError> {
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(result) => result,
+        Err(payload) => Err(NvsimError::WorkerFailed {
+            cell: tool.to_string(),
+            cause: panic_message(payload),
+        }),
+    }
+}
 
 /// Results of the three region tools, in `[Stack, Heap, Global]` order.
 pub struct ThreeToolRun {
@@ -54,20 +72,28 @@ where
 
 /// Runs the three region tools in parallel over fresh instances of the
 /// application produced by `factory`.
+///
+/// # Errors
+/// A tool that fails — by returning an error *or by panicking* —
+/// surfaces as its own [`NvsimError`] (panics become
+/// [`NvsimError::WorkerFailed`] naming the tool); the sibling tools
+/// still run to completion first.
 pub fn run_three_tools<F>(factory: F, iterations: u32) -> Result<ThreeToolRun, NvsimError>
 where
     F: Fn() -> Box<dyn Application> + Sync,
 {
     let factory = &factory;
     let results = crossbeam::thread::scope(|scope| {
-        let h_stack = scope.spawn(move |_| run_one(factory, Region::Stack, iterations));
-        let h_heap = scope.spawn(move |_| run_one(factory, Region::Heap, iterations));
-        let global = run_one(factory, Region::Global, iterations);
-        let stack = h_stack.join().expect("stack tool panicked");
-        let heap = h_heap.join().expect("heap tool panicked");
+        let h_stack = scope
+            .spawn(move |_| isolated("stack tool", || run_one(factory, Region::Stack, iterations)));
+        let h_heap = scope
+            .spawn(move |_| isolated("heap tool", || run_one(factory, Region::Heap, iterations)));
+        let global = isolated("global tool", || run_one(factory, Region::Global, iterations));
+        let stack = h_stack.join().expect("stack tool isolation never panics");
+        let heap = h_heap.join().expect("heap tool isolation never panics");
         (stack, heap, global)
     })
-    .expect("three-tool scope panicked");
+    .expect("three-tool scope failed");
     Ok(ThreeToolRun {
         stack: results.0?,
         heap: results.1?,
@@ -78,7 +104,9 @@ where
 /// Characterizes several applications concurrently, one scoped thread per
 /// application (the application-level analogue of the paper's
 /// run-the-tools-in-parallel engineering). Results come back in input
-/// order regardless of completion order.
+/// order regardless of completion order. A run that panics yields
+/// `Err(NvsimError::WorkerFailed)` in its slot — naming its input index —
+/// while every other run completes normally.
 pub fn characterize_all<F>(
     factories: Vec<F>,
     iterations: u32,
@@ -95,13 +123,15 @@ where
         for (i, factory) in factories.into_iter().enumerate() {
             let results = &results;
             scope.spawn(move |_| {
-                let mut app = factory();
-                let r = crate::pipeline::characterize(app.as_mut(), iterations);
+                let r = isolated(&format!("characterize #{i}"), || {
+                    let mut app = factory();
+                    crate::pipeline::characterize(app.as_mut(), iterations)
+                });
                 results.lock()[i] = Some(r);
             });
         }
     })
-    .expect("characterize_all scope panicked");
+    .expect("characterize_all scope failed");
     results
         .into_inner()
         .into_iter()
@@ -164,6 +194,50 @@ mod tests {
                 "{name}: parallel and sequential runs diverge"
             );
             assert_eq!(p.registry.total_refs(), s.registry.total_refs());
+        }
+    }
+
+    #[test]
+    fn panicking_runs_are_quarantined_not_propagated() {
+        struct Bomb;
+        impl Application for Bomb {
+            fn spec(&self) -> nvsim_apps::AppSpec {
+                nvsim_apps::AppSpec {
+                    name: "Bomb",
+                    ..Nek5000::new(AppScale::Test).spec()
+                }
+            }
+            fn run(
+                &mut self,
+                _tracer: &mut nvsim_trace::Tracer<'_>,
+                _iterations: u32,
+            ) -> Result<(), nvsim_types::NvsimError> {
+                panic!("bomb detonated");
+            }
+        }
+
+        let factories: Vec<Box<dyn FnOnce() -> Box<dyn Application> + Send>> = vec![
+            Box::new(|| Box::new(Nek5000::new(AppScale::Test)) as Box<dyn Application>),
+            Box::new(|| Box::new(Bomb) as Box<dyn Application>),
+        ];
+        let results = characterize_all(factories, 1);
+        assert!(results[0].is_ok(), "healthy sibling completes");
+        match &results[1] {
+            Err(nvsim_types::NvsimError::WorkerFailed { cell, cause }) => {
+                assert_eq!(cell, "characterize #1");
+                assert_eq!(cause, "bomb detonated");
+            }
+            Err(other) => panic!("expected WorkerFailed, got {other}"),
+            Ok(_) => panic!("expected the bomb to fail"),
+        }
+
+        let boom = run_three_tools(|| Box::new(Bomb) as Box<dyn Application>, 1);
+        match boom {
+            Err(nvsim_types::NvsimError::WorkerFailed { cause, .. }) => {
+                assert_eq!(cause, "bomb detonated");
+            }
+            Err(other) => panic!("expected WorkerFailed, got {other}"),
+            Ok(_) => panic!("expected the bomb to fail"),
         }
     }
 

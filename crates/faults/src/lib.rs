@@ -1,0 +1,473 @@
+//! Deterministic fault injection for the sweep fleet.
+//!
+//! A [`FaultPlan`] is a list of faults to fire at *named injection
+//! points* — the fleet names each grid cell `"{app}/{technology}"`
+//! (e.g. `GTC/pcram`) and asks its [`FaultInjector`] at well-defined
+//! moments whether a fault is armed there. Four kinds exist:
+//!
+//! - **panic** — the worker panics mid-cell (caught by the fleet and
+//!   converted to [`NvsimError::WorkerFailed`]),
+//! - **delay** — the cell sleeps briefly before running (exercises
+//!   stragglers without changing results),
+//! - **corrupt** — the cell replays a bit-flipped copy of the encoded
+//!   transaction trace (caught by the tracefile CRC frames as
+//!   [`NvsimError::Corrupt`]),
+//! - **transient** — the cell sees a retryable
+//!   [`NvsimError::Transient`] device error.
+//!
+//! Plans are deterministic by construction: [`FaultPlan::seeded`] draws
+//! from a hand-rolled SplitMix64 generator, so the same seed over the
+//! same point list always yields the same plan, and nothing in this
+//! crate reads the clock or any other ambient state. Each spec carries
+//! a `times` budget ([`ALWAYS`] = never exhausted); a *transient* armed
+//! once fails the first attempt and recovers on retry, while an
+//! always-armed *panic* survives every retry and quarantines the cell.
+//!
+//! ```
+//! use nvsim_faults::{FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::parse("panic@GTC/pcram; transient@CAM/mram*1").unwrap();
+//! let injector = plan.injector();
+//! // First attempt at CAM/mram fails transiently, the retry succeeds.
+//! assert!(injector.on_cell_start("CAM/mram").is_err());
+//! assert!(injector.on_cell_start("CAM/mram").is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use nvsim_types::NvsimError;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A `times` budget that never runs out: the fault fires on every
+/// attempt, so retries cannot clear it and the cell is quarantined.
+pub const ALWAYS: u32 = u32::MAX;
+
+/// How long an injected *delay* fault stalls a worker. Fixed (not
+/// random, not clock-derived) so delayed runs stay reproducible.
+const DELAY: std::time::Duration = std::time::Duration::from_millis(5);
+
+/// The kind of fault a spec injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Panic inside the worker evaluating the cell.
+    Panic,
+    /// Sleep briefly before evaluating the cell.
+    Delay,
+    /// Bit-flip the encoded transaction trace the cell replays.
+    CorruptTrace,
+    /// Raise a retryable transient device error.
+    Transient,
+}
+
+impl FaultKind {
+    /// The spelling used in fault-plan spec strings.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Delay => "delay",
+            FaultKind::CorruptTrace => "corrupt",
+            FaultKind::Transient => "transient",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "delay" => Some(FaultKind::Delay),
+            "corrupt" => Some(FaultKind::CorruptTrace),
+            "transient" => Some(FaultKind::Transient),
+            _ => None,
+        }
+    }
+}
+
+/// One fault: a kind, the injection point it is armed at, and how many
+/// times it fires before exhausting ([`ALWAYS`] = every attempt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Fault kind.
+    pub kind: FaultKind,
+    /// Injection point name (the fleet uses `"{app}/{technology}"`).
+    pub point: String,
+    /// Remaining-fire budget; [`ALWAYS`] never decrements.
+    pub times: u32,
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.kind.label(), self.point)?;
+        if self.times != ALWAYS {
+            write!(f, "*{}", self.times)?;
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic list of faults to inject into one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The specs in this plan, in arming order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Adds one fault to the plan.
+    pub fn push(&mut self, kind: FaultKind, point: impl Into<String>, times: u32) {
+        self.specs.push(FaultSpec {
+            kind,
+            point: point.into(),
+            times,
+        });
+    }
+
+    /// Parses a spec string: `kind@point[*times]` items separated by
+    /// `;` or `,`, where `kind` is `panic`, `delay`, `corrupt` or
+    /// `transient`. Without `*times` a fault fires on *every* attempt
+    /// (so retries cannot clear it); `*1` makes it one-shot.
+    ///
+    /// Example: `panic@GTC/pcram; corrupt@S3D/mram; transient@CAM/ddr3*1`.
+    pub fn parse(spec: &str) -> Result<Self, NvsimError> {
+        let bad = |msg: String| NvsimError::InvalidConfig(msg);
+        let mut plan = FaultPlan::none();
+        for item in spec.split([';', ',']) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (kind_s, rest) = item
+                .split_once('@')
+                .ok_or_else(|| bad(format!("fault spec `{item}` is not kind@point")))?;
+            let kind = FaultKind::parse(kind_s.trim()).ok_or_else(|| {
+                bad(format!(
+                    "unknown fault kind `{}` (expected panic, delay, corrupt or transient)",
+                    kind_s.trim()
+                ))
+            })?;
+            let (point, times) = match rest.rsplit_once('*') {
+                Some((point, n)) => {
+                    let times: u32 = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad fault count `{n}` in `{item}`")))?;
+                    (point, times)
+                }
+                None => (rest, ALWAYS),
+            };
+            let point = point.trim();
+            if point.is_empty() {
+                return Err(bad(format!("empty injection point in `{item}`")));
+            }
+            plan.push(kind, point, times);
+        }
+        Ok(plan)
+    }
+
+    /// Builds a seeded chaos plan over `points`: `panics` always-armed
+    /// panic faults, `corrupts` always-armed trace corruptions and
+    /// `transients` one-shot transient errors, each at a *distinct*
+    /// point chosen by a SplitMix64 shuffle of `points`. Same seed and
+    /// point list ⇒ same plan. Counts are clamped to the number of
+    /// points available.
+    pub fn seeded(
+        seed: u64,
+        points: &[String],
+        panics: usize,
+        corrupts: usize,
+        transients: usize,
+    ) -> Self {
+        let mut rng = SplitMix64(seed);
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        // Fisher-Yates driven by the seeded generator.
+        for i in (1..order.len()).rev() {
+            let j = (rng.next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut picks = order.into_iter().map(|i| points[i].clone());
+        let mut plan = FaultPlan::none();
+        for _ in 0..panics {
+            match picks.next() {
+                Some(p) => plan.push(FaultKind::Panic, p, ALWAYS),
+                None => break,
+            }
+        }
+        for _ in 0..corrupts {
+            match picks.next() {
+                Some(p) => plan.push(FaultKind::CorruptTrace, p, ALWAYS),
+                None => break,
+            }
+        }
+        for _ in 0..transients {
+            match picks.next() {
+                Some(p) => plan.push(FaultKind::Transient, p, 1),
+                None => break,
+            }
+        }
+        plan
+    }
+
+    /// Renders the plan back into [`FaultPlan::parse`] grammar — handy
+    /// for logging exactly what a seeded plan armed.
+    pub fn to_spec_string(&self) -> String {
+        self.specs
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// Arms the plan: returns a cloneable injector whose fire budgets
+    /// are shared across clones (so a one-shot transient consumed on
+    /// attempt 1 stays consumed on the retry).
+    pub fn injector(&self) -> FaultInjector {
+        if self.is_empty() {
+            return FaultInjector::disabled();
+        }
+        let mut armed: BTreeMap<(String, FaultKind), u32> = BTreeMap::new();
+        for s in &self.specs {
+            let budget = armed.entry((s.point.clone(), s.kind)).or_insert(0);
+            *budget = (*budget).max(s.times);
+        }
+        FaultInjector {
+            armed: Some(Arc::new(Mutex::new(armed))),
+        }
+    }
+}
+
+/// Shared, thread-safe view of an armed [`FaultPlan`]. The disabled
+/// flavour (the default) is a no-op on every probe — production runs
+/// pay one `Option` check per cell.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    armed: Option<Arc<Mutex<BTreeMap<(String, FaultKind), u32>>>>,
+}
+
+impl FaultInjector {
+    /// An injector that never fires.
+    pub fn disabled() -> Self {
+        FaultInjector { armed: None }
+    }
+
+    /// True when at least one fault was armed at construction.
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// Consumes one firing of `(point, kind)` if armed and not
+    /// exhausted; [`ALWAYS`] budgets never decrement.
+    fn consume(&self, point: &str, kind: FaultKind) -> bool {
+        let Some(armed) = &self.armed else {
+            return false;
+        };
+        let mut armed = armed.lock().expect("fault table lock");
+        match armed.get_mut(&(point.to_string(), kind)) {
+            Some(left) if *left > 0 => {
+                if *left != ALWAYS {
+                    *left -= 1;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Probes every attempt-level fault at a cell boundary: fires an
+    /// armed delay (sleep), panic (`panic!`) or transient
+    /// ([`NvsimError::Transient`]) in that order.
+    pub fn on_cell_start(&self, point: &str) -> Result<(), NvsimError> {
+        if self.armed.is_none() {
+            return Ok(());
+        }
+        if self.consume(point, FaultKind::Delay) {
+            std::thread::sleep(DELAY);
+        }
+        if self.consume(point, FaultKind::Panic) {
+            panic!("injected fault: worker panic at {point}");
+        }
+        if self.consume(point, FaultKind::Transient) {
+            return Err(NvsimError::Transient {
+                point: point.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// If a trace corruption is armed at `point`, consumes it and
+    /// returns a copy of `data` with one bit flipped in the middle;
+    /// otherwise `None` (the caller keeps the pristine buffer).
+    pub fn corrupted(&self, point: &str, data: &[u8]) -> Option<Vec<u8>> {
+        if !self.consume(point, FaultKind::CorruptTrace) || data.is_empty() {
+            return None;
+        }
+        let mut out = data.to_vec();
+        let mid = out.len() / 2;
+        out[mid] ^= 0x40;
+        Some(out)
+    }
+}
+
+/// Renders a caught panic payload (`std::panic::catch_unwind` result)
+/// as the human-readable cause for [`NvsimError::WorkerFailed`].
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// SplitMix64: the classic 64-bit mixer — tiny, seedable and
+/// deterministic, which is all a fault plan needs.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<String> {
+        ["GTC/ddr3", "GTC/pcram", "CAM/mram", "S3D/sttram", "Nek5000/pcram"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn parse_round_trips_through_spec_string() {
+        let plan =
+            FaultPlan::parse("panic@GTC/pcram; corrupt@S3D/mram, transient@CAM/ddr3*1").unwrap();
+        assert_eq!(plan.specs().len(), 3);
+        assert_eq!(plan.specs()[0].kind, FaultKind::Panic);
+        assert_eq!(plan.specs()[0].times, ALWAYS);
+        assert_eq!(plan.specs()[2].times, 1);
+        let reparsed = FaultPlan::parse(&plan.to_spec_string()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("explode@GTC/pcram").is_err());
+        assert!(FaultPlan::parse("panic@GTC/pcram*lots").is_err());
+        assert!(FaultPlan::parse("panic@").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_distinct_per_seed() {
+        let a = FaultPlan::seeded(42, &points(), 2, 1, 1);
+        let b = FaultPlan::seeded(42, &points(), 2, 1, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.specs().len(), 4);
+        // All chosen points are distinct.
+        let mut chosen: Vec<&str> = a.specs().iter().map(|s| s.point.as_str()).collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        assert_eq!(chosen.len(), 4);
+        // Transients are one-shot; panics and corruptions persist.
+        assert!(a
+            .specs()
+            .iter()
+            .filter(|s| s.kind == FaultKind::Transient)
+            .all(|s| s.times == 1));
+        assert!(a
+            .specs()
+            .iter()
+            .filter(|s| s.kind != FaultKind::Transient)
+            .all(|s| s.times == ALWAYS));
+
+        let c = FaultPlan::seeded(43, &points(), 2, 1, 1);
+        assert_ne!(a, c, "different seed should pick a different plan");
+    }
+
+    #[test]
+    fn seeded_counts_clamp_to_available_points() {
+        let plan = FaultPlan::seeded(7, &points(), 10, 10, 10);
+        assert_eq!(plan.specs().len(), points().len());
+    }
+
+    #[test]
+    fn transient_budget_is_shared_across_clones() {
+        let plan = FaultPlan::parse("transient@CAM/mram*1").unwrap();
+        let a = plan.injector();
+        let b = a.clone();
+        assert!(matches!(
+            a.on_cell_start("CAM/mram"),
+            Err(NvsimError::Transient { .. })
+        ));
+        // The clone sees the budget already spent.
+        assert!(b.on_cell_start("CAM/mram").is_ok());
+        // Other points are untouched.
+        assert!(a.on_cell_start("GTC/ddr3").is_ok());
+    }
+
+    #[test]
+    fn always_armed_panic_fires_every_attempt() {
+        let plan = FaultPlan::parse("panic@GTC/pcram").unwrap();
+        let inj = plan.injector();
+        for _ in 0..3 {
+            let caught = std::panic::catch_unwind(|| inj.on_cell_start("GTC/pcram"));
+            let msg = panic_message(caught.unwrap_err());
+            assert!(msg.contains("GTC/pcram"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_once_per_budget() {
+        let plan = FaultPlan::parse("corrupt@S3D/mram*1").unwrap();
+        let inj = plan.injector();
+        let data = vec![0u8; 100];
+        let bad = inj.corrupted("S3D/mram", &data).unwrap();
+        assert_eq!(bad.len(), data.len());
+        let diffs: Vec<usize> = (0..data.len()).filter(|&i| bad[i] != data[i]).collect();
+        assert_eq!(diffs, vec![50]);
+        assert_eq!(bad[50], 0x40);
+        // Budget spent: the pristine buffer is kept afterwards.
+        assert!(inj.corrupted("S3D/mram", &data).is_none());
+        // Unarmed points never corrupt.
+        assert!(inj.corrupted("GTC/ddr3", &data).is_none());
+    }
+
+    #[test]
+    fn disabled_injector_is_inert() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_armed());
+        assert!(inj.on_cell_start("anything").is_ok());
+        assert!(inj.corrupted("anything", &[1, 2, 3]).is_none());
+        assert!(FaultPlan::none().injector().on_cell_start("x").is_ok());
+    }
+
+    #[test]
+    fn panic_message_handles_both_payload_shapes() {
+        let s = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(s), "static str");
+        let owned = std::panic::catch_unwind(|| panic!("{}", "owned".to_string())).unwrap_err();
+        assert_eq!(panic_message(owned), "owned");
+    }
+}

@@ -1,0 +1,95 @@
+//! Durable artifact writes: tmp-file + rename so readers never observe
+//! a half-written report.
+//!
+//! Every emitter in the pipeline — metrics JSON, run reports, Chrome
+//! timelines, sweep journals — writes through [`atomic_write`]. The
+//! contents land in a sibling temporary file first, are flushed to the
+//! device, and only then renamed over the destination. A crash mid-write
+//! leaves either the old artifact or the new one, never a torn mix, so
+//! a resumed sweep can trust whatever it finds on disk.
+//!
+//! ```
+//! let dir = std::env::temp_dir().join(format!("nvsim-artifact-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("report.json");
+//! nvsim_obs::artifact::atomic_write(&path, b"{}\n").unwrap();
+//! assert_eq!(std::fs::read(&path).unwrap(), b"{}\n");
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: a `.tmp.<pid>` sibling is
+/// written and synced, then renamed over the destination. On any error
+/// the temporary file is cleaned up and the destination is untouched
+/// (either its previous contents or absent).
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{}: path has no file name", path.display()),
+        )
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+
+    let write_and_sync = |tmp: &Path| -> io::Result<()> {
+        let mut f = fs::File::create(tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()
+    };
+    let renamed = write_and_sync(&tmp).and_then(|()| fs::rename(&tmp, path));
+    if renamed.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    renamed
+}
+
+/// [`atomic_write`] for text artifacts, with the path baked into the
+/// error message — callers can print the `Err` string as-is and the
+/// user sees *which* file failed, not a bare OS error.
+pub fn write_text(path: &Path, contents: &str) -> Result<(), String> {
+    atomic_write(path, contents.as_bytes()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nvsim-artifact-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces_without_leaving_tmp_files() {
+        let dir = scratch("replace");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers.len(), 1, "tmp file left behind: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors_and_write_text_names_the_path() {
+        let dir = scratch("missing");
+        let path = dir.join("no-such-subdir").join("out.json");
+        assert!(atomic_write(&path, b"x").is_err());
+        let msg = write_text(&path, "x").unwrap_err();
+        assert!(msg.contains("no-such-subdir"), "{msg}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod epoch;
 pub mod histogram;
 pub mod metrics;
@@ -73,7 +74,11 @@ pub mod timeline;
 pub use epoch::{Epoch, EpochKind, EpochRecorder};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use metrics::{Counter, Gauge, Metrics};
-pub use report::{ObjectDrift, ReportMeta, RunReport, REPORT_SCHEMA_VERSION};
+pub use artifact::atomic_write;
+pub use report::{
+    snapshot_json_with_degraded, DegradedCell, ObjectDrift, ReportMeta, RunReport,
+    REPORT_SCHEMA_VERSION,
+};
 pub use snapshot::Snapshot;
 pub use span::Span;
 pub use timeline::{ArgValue, EventKind, Timeline, TraceEvent, TRACE_SCHEMA_VERSION};

@@ -78,6 +78,61 @@ impl ObjectDrift {
     }
 }
 
+/// One quarantined sweep cell: the fleet exhausted its retry budget on
+/// this cell and kept going without it. Carried by [`RunReport`] and
+/// the `--metrics-json` `degraded` section so a degraded run is
+/// machine-distinguishable from a complete one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedCell {
+    /// Cell name (`"{app}/{technology}"`, or an app name when the whole
+    /// app failed before its cells ran).
+    pub cell: String,
+    /// Stringified error from the last attempt.
+    pub error: String,
+    /// Attempts made before quarantine (1 = no retries).
+    pub attempts: u32,
+}
+
+/// Emits a `degraded` JSON array (without key) at the given indent.
+fn emit_degraded_array(out: &mut String, degraded: &[DegradedCell], indent: &str) {
+    out.push('[');
+    for (i, d) in degraded.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n{indent}  {{\"cell\": \"");
+        escape_json_into(out, &d.cell);
+        out.push_str("\", \"error\": \"");
+        escape_json_into(out, &d.error);
+        let _ = write!(out, "\", \"attempts\": {}}}", d.attempts);
+    }
+    if !degraded.is_empty() {
+        out.push('\n');
+        out.push_str(indent);
+    }
+    out.push(']');
+}
+
+/// Renders a metrics snapshot as JSON with a trailing `degraded`
+/// section listing quarantined cells. With no degraded cells this is
+/// exactly [`Snapshot::to_json`] — byte-identical, so fault-free runs
+/// keep their golden output — and with quarantined cells the `degraded`
+/// array is spliced in as a fourth top-level key.
+pub fn snapshot_json_with_degraded(snapshot: &Snapshot, degraded: &[DegradedCell]) -> String {
+    let base = snapshot.to_json();
+    if degraded.is_empty() {
+        return base;
+    }
+    let Some(trimmed) = base.strip_suffix("\n}\n") else {
+        return base;
+    };
+    let mut out = String::from(trimmed);
+    out.push_str(",\n  \"degraded\": ");
+    emit_degraded_array(&mut out, degraded, "  ");
+    out.push_str("\n}\n");
+    out
+}
+
 /// Per-technology rollup of the `mem.<tech>.*` namespace, plus deltas
 /// against the baseline technology (DRAM when present).
 #[derive(Debug, Clone, Default)]
@@ -105,6 +160,11 @@ pub struct RunReport {
     pub timeline_events: Option<usize>,
     /// Instants the timeline dropped at its capacity, when attached.
     pub timeline_dropped: Option<u64>,
+    /// Cells the sweep quarantined after exhausting retries. Empty for
+    /// a complete run; rendered (JSON `degraded` array, Markdown
+    /// "Degraded cells" section) only when non-empty, so fault-free
+    /// output is unchanged.
+    pub degraded: Vec<DegradedCell>,
 }
 
 impl RunReport {
@@ -117,7 +177,14 @@ impl RunReport {
             drift: Vec::new(),
             timeline_events: None,
             timeline_dropped: None,
+            degraded: Vec::new(),
         }
+    }
+
+    /// Attaches the sweep's quarantined cells.
+    pub fn with_degraded(mut self, degraded: Vec<DegradedCell>) -> Self {
+        self.degraded = degraded;
+        self
     }
 
     /// Attaches per-object hot/cold drift rows.
@@ -177,7 +244,8 @@ impl RunReport {
 
     /// Renders the report as versioned JSON (see module docs). Top-level
     /// keys: `schema`, `app`, `iterations`, `epochs`, `objects`, `mem`,
-    /// `timeline`, `totals`.
+    /// `timeline`, `totals` — plus `degraded` when the sweep
+    /// quarantined cells.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = write!(out, "  \"schema\": {REPORT_SCHEMA_VERSION},\n  \"app\": \"");
@@ -266,6 +334,12 @@ impl RunReport {
         }
         out.push_str("},\n");
 
+        if !self.degraded.is_empty() {
+            out.push_str("  \"degraded\": ");
+            emit_degraded_array(&mut out, &self.degraded, "  ");
+            out.push_str(",\n");
+        }
+
         let _ = writeln!(
             out,
             "  \"timeline\": {{\"events\": {}, \"dropped\": {}}},",
@@ -342,6 +416,16 @@ impl RunReport {
                     "| {} | `{}` | {} | {} | {:.4} |",
                     d.name, d.pattern, d.flips, d.hot_iterations, d.mean_reference_rate
                 );
+            }
+        }
+
+        if !self.degraded.is_empty() {
+            out.push_str("\n## Degraded cells\n\n");
+            out.push_str("The sweep quarantined these cells after exhausting retries; their\n");
+            out.push_str("results are missing from the tables above.\n\n");
+            out.push_str("| cell | attempts | last error |\n|---|---:|---|\n");
+            for d in &self.degraded {
+                let _ = writeln!(out, "| {} | {} | {} |", d.cell, d.attempts, d.error);
             }
         }
 
@@ -477,6 +561,52 @@ mod tests {
         assert!(md.contains("0.700x"));
         assert!(md.contains("| iteration 1 |"));
         assert!(md.contains(" inf |"), "read-only window renders inf");
+    }
+
+    #[test]
+    fn degraded_section_appears_only_when_cells_failed() {
+        let clean = sample_report();
+        assert!(!clean.to_json().contains("\"degraded\""));
+        assert!(!clean.to_markdown().contains("Degraded cells"));
+
+        let hurt = sample_report().with_degraded(vec![DegradedCell {
+            cell: "GTC/pcram".into(),
+            error: "worker failed on GTC/pcram: injected".into(),
+            attempts: 2,
+        }]);
+        let json = hurt.to_json();
+        assert!(json.contains("\"degraded\": ["));
+        assert!(json.contains("\"cell\": \"GTC/pcram\""));
+        assert!(json.contains("\"attempts\": 2"));
+        let md = hurt.to_markdown();
+        assert!(md.contains("## Degraded cells"));
+        assert!(md.contains("| GTC/pcram | 2 |"));
+    }
+
+    #[test]
+    fn snapshot_json_degraded_splice_preserves_clean_output() {
+        let m = Metrics::enabled();
+        m.counter("trace.refs").add(4);
+        let snap = m.snapshot();
+        assert_eq!(snapshot_json_with_degraded(&snap, &[]), snap.to_json());
+
+        let cells = vec![
+            DegradedCell {
+                cell: "GTC/pcram".into(),
+                error: "corrupt transaction frame 0 at byte 12".into(),
+                attempts: 2,
+            },
+            DegradedCell {
+                cell: "S3D/mram".into(),
+                error: "injected".into(),
+                attempts: 1,
+            },
+        ];
+        let json = snapshot_json_with_degraded(&snap, &cells);
+        assert!(json.starts_with(&snap.to_json()[..snap.to_json().len() - 3]));
+        assert!(json.contains("\"degraded\": ["));
+        assert!(json.contains("\"cell\": \"S3D/mram\""));
+        assert!(json.ends_with("]\n}\n"));
     }
 
     #[test]

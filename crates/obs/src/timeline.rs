@@ -186,6 +186,24 @@ impl Timeline {
     }
 
     fn push(&self, name: &str, cat: &str, kind: EventKind, args: &[(&str, ArgValue)]) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(
+            name,
+            cat,
+            kind,
+            args.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
+        );
+    }
+
+    /// Records one event with pre-owned arguments. This is how restored
+    /// events re-enter a journal (e.g. a resumed sweep replaying a cell's
+    /// spans out of its completion journal): the name, category, kind and
+    /// arguments come from the caller, while the timestamp and track id
+    /// are assigned exactly as live recording would assign them, so a
+    /// restored journal has the same shape as a live one.
+    pub fn record(&self, name: &str, cat: &str, kind: EventKind, args: Vec<(String, ArgValue)>) {
         let Some(core) = &self.inner else { return };
         let mut st = core.state.lock().expect("timeline poisoned");
         if kind == EventKind::Instant && st.events.len() >= core.cap {
@@ -201,10 +219,7 @@ impl Timeline {
             kind,
             ts_ns,
             tid,
-            args: args
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
-                .collect(),
+            args,
         });
     }
 
@@ -520,6 +535,33 @@ mod tests {
         assert_eq!(tl.len(), 1);
         let off = Timeline::disabled();
         off.absorb(&tl);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn record_matches_live_recording_shape() {
+        let live = Timeline::enabled();
+        live.begin_with("replay pcram", "mem", &[("n", ArgValue::U64(3))]);
+        live.end("replay pcram", "mem");
+        live.instant("power", "mem", &[("mw", ArgValue::F64(1.5))]);
+
+        let restored = Timeline::enabled();
+        for e in live.events() {
+            restored.record(&e.name, &e.cat, e.kind, e.args.clone());
+        }
+        let a = live.events();
+        let b = restored.events();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.cat, y.cat);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.tid, y.tid);
+            assert_eq!(x.args, y.args);
+        }
+        // Disabled journals ignore record() like every other call.
+        let off = Timeline::disabled();
+        off.record("x", "y", EventKind::Instant, Vec::new());
         assert!(off.is_empty());
     }
 

@@ -29,6 +29,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod buffer;
 pub mod event;
@@ -44,7 +46,7 @@ pub use event::{AllocSite, Event, GlobalSymbol, Phase};
 pub use layout::{GlobalAllocator, HeapAllocator, StackAllocator};
 pub use routine::{RoutineId, RoutineTable};
 pub use sink::{CountingSink, EventSink, NullSink, RecordingSink, TeeSink};
-pub use tracefile::{replay as replay_trace, replay_transactions, TraceWriter, TxnTraceWriter};
+pub use tracefile::{crc32, replay as replay_trace, replay_transactions, TraceWriter, TxnTraceWriter};
 pub use traced::{TracedMatrix, TracedScalar, TracedVec};
 pub use tracer::{Tracer, TracerStats};
 

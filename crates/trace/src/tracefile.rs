@@ -21,12 +21,31 @@
 //! locality makes most deltas one or two bytes), the size as a varint and
 //! the kind in the tag; the stack pointer is delta-encoded against the
 //! previous sp. Control events are rare and encoded plainly.
+//!
+//! ## Durable framing (format version 2)
+//!
+//! Because captured streams are reused — fanned out across replay cells,
+//! written to disk by `nvscav record`, read back by resumed sweeps — the
+//! byte stream is wrapped in validated sections:
+//!
+//! ```text
+//! [u32 magic] ([u32 len][u32 crc32][len payload bytes])* [u32 0][u32 0]
+//! ```
+//!
+//! The writer seals a frame at an event boundary once the pending
+//! payload reaches [`FRAME_TARGET`] (so no event ever straddles frames;
+//! delta state *does* carry across frames in both writer and reader),
+//! and terminates the stream with a zero-length frame. The decoders
+//! verify magic, frame bounds, per-frame CRC32 (IEEE) and the
+//! terminator, turning truncation and bit corruption into precise
+//! [`NvsimError::Corrupt`] errors — naming the failing section and the
+//! absolute byte offset — instead of fabricating events or panicking.
 
 use crate::event::{AllocSite, Event, GlobalSymbol, Phase};
 use crate::routine::RoutineId;
 use crate::sink::EventSink;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use nvsim_types::{AccessKind, MemRef, MemTransaction, TransactionKind, VirtAddr};
+use nvsim_types::{AccessKind, MemRef, MemTransaction, NvsimError, TransactionKind, VirtAddr};
 
 const TAG_READ: u8 = 0;
 const TAG_WRITE: u8 = 1;
@@ -37,17 +56,247 @@ const TAG_FREE: u8 = 5;
 const TAG_PHASE: u8 = 6;
 const TAG_GLOBALS: u8 = 7;
 
-/// File magic ("NVSC" + version).
-const MAGIC: u32 = 0x4e56_5301;
+/// File magic ("NVSC" + version 2: CRC32-framed sections).
+const MAGIC: u32 = 0x4e56_5302;
 
 const TXN_TAG_READ_FILL: u8 = 0;
 const TXN_TAG_WRITEBACK: u8 = 1;
 const TXN_TAG_WRITE_THROUGH: u8 = 2;
 
-/// Magic for encoded main-memory transaction streams ("NVT" + version).
+/// Magic for encoded main-memory transaction streams ("NVT" + version 2).
 /// Distinct from [`MAGIC`] so the two stream flavours can never be
 /// replayed into the wrong decoder.
-const TXN_MAGIC: u32 = 0x4e56_5401;
+const TXN_MAGIC: u32 = 0x4e56_5402;
+
+/// Target payload size of one CRC32 frame. Frames seal at the first
+/// event boundary at or past this size, so a single oversized event
+/// (e.g. a large globals table) still lands in one frame.
+const FRAME_TARGET: usize = 64 * 1024;
+
+/// Bytes of frame header: `u32` payload length + `u32` CRC32.
+const FRAME_HEADER_LEN: usize = 8;
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE 802.3, reflected) — the checksum guarding each tracefile
+/// frame; exported so other durable artifacts (e.g. the sweep journal)
+/// can share it.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn corrupt(section: impl Into<String>, offset: u64) -> NvsimError {
+    NvsimError::Corrupt {
+        section: section.into(),
+        offset,
+    }
+}
+
+/// Write half of the framing: a header-plus-sealed-frames buffer and the
+/// pending frame payload. `seal` is only called at event boundaries.
+#[derive(Debug)]
+struct FrameBuf {
+    out: BytesMut,
+    frame: BytesMut,
+}
+
+impl FrameBuf {
+    fn new(magic: u32) -> Self {
+        let mut out = BytesMut::with_capacity(1 << 16);
+        out.put_u32(magic);
+        FrameBuf {
+            out,
+            frame: BytesMut::with_capacity(FRAME_TARGET + 1024),
+        }
+    }
+
+    /// Encoded size so far, counting the pending frame's eventual header.
+    fn len(&self) -> usize {
+        let pending = if self.frame.is_empty() {
+            0
+        } else {
+            FRAME_HEADER_LEN + self.frame.len()
+        };
+        self.out.len() + pending
+    }
+
+    fn is_empty(&self) -> bool {
+        self.out.len() <= 4 && self.frame.is_empty()
+    }
+
+    fn seal(&mut self) {
+        if self.frame.is_empty() {
+            return;
+        }
+        let payload = std::mem::take(&mut self.frame);
+        self.out.put_u32(payload.len() as u32);
+        self.out.put_u32(crc32(&payload));
+        self.out.put_slice(&payload);
+    }
+
+    fn maybe_seal(&mut self) {
+        if self.frame.len() >= FRAME_TARGET {
+            self.seal();
+        }
+    }
+
+    fn into_bytes(mut self) -> Bytes {
+        self.seal();
+        // Zero-length terminator frame: its absence tells the decoder the
+        // stream was cut at a frame boundary.
+        self.out.put_u32(0);
+        self.out.put_u32(0);
+        self.out.freeze()
+    }
+}
+
+/// Read half of the framing: validates the magic up front, then yields
+/// CRC-checked frame payloads until the terminator.
+struct Frames {
+    buf: Bytes,
+    /// Absolute offset of the next unread byte.
+    offset: u64,
+    index: u32,
+    /// Section-name prefix for errors: `"event"` or `"transaction"`.
+    prefix: &'static str,
+    done: bool,
+}
+
+impl Frames {
+    fn open(mut buf: Bytes, magic: u32, prefix: &'static str) -> Result<Self, NvsimError> {
+        if buf.remaining() < 4 || buf.get_u32() != magic {
+            return Err(corrupt(format!("{prefix} header"), 0));
+        }
+        Ok(Frames {
+            buf,
+            offset: 4,
+            index: 0,
+            prefix,
+            done: false,
+        })
+    }
+
+    /// The next frame as `(section name, absolute payload offset,
+    /// payload)`, or `None` after the terminator frame.
+    fn next_frame(&mut self) -> Result<Option<(String, u64, Bytes)>, NvsimError> {
+        if self.done {
+            return Ok(None);
+        }
+        let section = format!("{} frame {}", self.prefix, self.index);
+        if self.buf.remaining() < FRAME_HEADER_LEN {
+            return Err(corrupt(format!("{} stream end", self.prefix), self.offset));
+        }
+        let len = self.buf.get_u32() as usize;
+        let want_crc = self.buf.get_u32();
+        if len == 0 && want_crc == 0 {
+            self.done = true;
+            if self.buf.has_remaining() {
+                return Err(corrupt(
+                    format!("{} trailing data", self.prefix),
+                    self.offset + FRAME_HEADER_LEN as u64,
+                ));
+            }
+            return Ok(None);
+        }
+        if self.buf.remaining() < len {
+            return Err(corrupt(section, self.offset));
+        }
+        let payload = self.buf.copy_to_bytes(len);
+        let at = self.offset + FRAME_HEADER_LEN as u64;
+        if crc32(&payload) != want_crc {
+            return Err(corrupt(section, at));
+        }
+        self.offset = at + len as u64;
+        self.index += 1;
+        Ok(Some((section, at, payload)))
+    }
+}
+
+/// Bounds-checked reader over one frame payload, reporting failures as
+/// [`NvsimError::Corrupt`] with absolute offsets.
+struct Cursor {
+    buf: Bytes,
+    base: u64,
+    len0: usize,
+    section: String,
+}
+
+impl Cursor {
+    fn new(payload: Bytes, base: u64, section: String) -> Self {
+        let len0 = payload.remaining();
+        Cursor {
+            buf: payload,
+            base,
+            len0,
+            section,
+        }
+    }
+
+    fn offset(&self) -> u64 {
+        self.base + (self.len0 - self.buf.remaining()) as u64
+    }
+
+    fn fail(&self) -> NvsimError {
+        corrupt(self.section.clone(), self.offset())
+    }
+
+    fn has_remaining(&self) -> bool {
+        self.buf.has_remaining()
+    }
+
+    fn u8(&mut self) -> Result<u8, NvsimError> {
+        if !self.buf.has_remaining() {
+            return Err(self.fail());
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    fn varint(&mut self) -> Result<u64, NvsimError> {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(self.fail());
+            }
+        }
+    }
+
+    fn str_field(&mut self) -> Result<String, NvsimError> {
+        let at = self.offset();
+        let len = self.varint()? as usize;
+        if self.buf.remaining() < len {
+            return Err(self.fail());
+        }
+        let bytes = self.buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt(self.section.clone(), at))
+    }
+}
 
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -58,20 +307,6 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
             return;
         }
         buf.put_u8(byte | 0x80);
-    }
-}
-
-fn get_varint(buf: &mut Bytes) -> u64 {
-    let mut v = 0u64;
-    let mut shift = 0;
-    loop {
-        let byte = buf.get_u8();
-        v |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return v;
-        }
-        shift += 7;
-        assert!(shift < 64, "varint too long");
     }
 }
 
@@ -88,7 +323,7 @@ fn unzigzag(v: u64) -> i64 {
 /// An [`EventSink`] that encodes the event stream into a byte buffer.
 #[derive(Debug)]
 pub struct TraceWriter {
-    buf: BytesMut,
+    frames: FrameBuf,
     last_addr: u64,
     last_sp: u64,
     events: u64,
@@ -103,24 +338,22 @@ impl Default for TraceWriter {
 impl TraceWriter {
     /// Creates a writer with the file header in place.
     pub fn new() -> Self {
-        let mut buf = BytesMut::with_capacity(1 << 16);
-        buf.put_u32(MAGIC);
         TraceWriter {
-            buf,
+            frames: FrameBuf::new(MAGIC),
             last_addr: 0,
             last_sp: 0,
             events: 0,
         }
     }
 
-    /// Encoded size so far, bytes.
+    /// Encoded size so far, bytes (excluding the final terminator frame).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.frames.len()
     }
 
     /// `true` if only the header has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.len() <= 4
+        self.frames.is_empty()
     }
 
     /// Events encoded so far.
@@ -128,38 +361,42 @@ impl TraceWriter {
         self.events
     }
 
-    /// Finishes the stream, returning the encoded bytes.
+    /// Finishes the stream — seals the pending frame and appends the
+    /// terminator — returning the encoded bytes.
     pub fn into_bytes(self) -> Bytes {
-        self.buf.freeze()
+        self.frames.into_bytes()
     }
 
     fn put_ref(&mut self, r: &MemRef) {
         self.events += 1;
-        self.buf.put_u8(if r.kind.is_write() { TAG_WRITE } else { TAG_READ });
+        let buf = &mut self.frames.frame;
+        buf.put_u8(if r.kind.is_write() { TAG_WRITE } else { TAG_READ });
         let addr = r.addr.raw();
-        put_varint(&mut self.buf, zigzag(addr.wrapping_sub(self.last_addr) as i64));
+        put_varint(buf, zigzag(addr.wrapping_sub(self.last_addr) as i64));
         self.last_addr = addr;
-        put_varint(&mut self.buf, u64::from(r.size));
+        put_varint(buf, u64::from(r.size));
         let sp = r.sp.raw();
-        put_varint(&mut self.buf, zigzag(sp.wrapping_sub(self.last_sp) as i64));
+        put_varint(buf, zigzag(sp.wrapping_sub(self.last_sp) as i64));
         self.last_sp = sp;
+        self.frames.maybe_seal();
     }
 
     fn put_str(&mut self, s: &str) {
-        put_varint(&mut self.buf, s.len() as u64);
-        self.buf.put_slice(s.as_bytes());
+        put_varint(&mut self.frames.frame, s.len() as u64);
+        self.frames.frame.put_slice(s.as_bytes());
     }
 }
 
 impl EventSink for TraceWriter {
     fn on_globals(&mut self, symbols: &[GlobalSymbol]) {
-        self.buf.put_u8(TAG_GLOBALS);
-        put_varint(&mut self.buf, symbols.len() as u64);
+        self.frames.frame.put_u8(TAG_GLOBALS);
+        put_varint(&mut self.frames.frame, symbols.len() as u64);
         for s in symbols {
             self.put_str(&s.name);
-            put_varint(&mut self.buf, s.base.raw());
-            put_varint(&mut self.buf, s.size);
+            put_varint(&mut self.frames.frame, s.base.raw());
+            put_varint(&mut self.frames.frame, s.size);
         }
+        self.frames.maybe_seal();
     }
 
     fn on_batch(&mut self, refs: &[MemRef]) {
@@ -170,35 +407,36 @@ impl EventSink for TraceWriter {
 
     fn on_control(&mut self, event: &Event) {
         self.events += 1;
+        let buf = &mut self.frames.frame;
         match event {
             Event::RoutineEnter {
                 routine,
                 frame_base,
                 sp,
             } => {
-                self.buf.put_u8(TAG_ENTER);
-                put_varint(&mut self.buf, u64::from(routine.0));
-                put_varint(&mut self.buf, frame_base.raw());
-                put_varint(&mut self.buf, sp.raw());
+                buf.put_u8(TAG_ENTER);
+                put_varint(buf, u64::from(routine.0));
+                put_varint(buf, frame_base.raw());
+                put_varint(buf, sp.raw());
             }
             Event::RoutineExit { routine, sp } => {
-                self.buf.put_u8(TAG_EXIT);
-                put_varint(&mut self.buf, u64::from(routine.0));
-                put_varint(&mut self.buf, sp.raw());
+                buf.put_u8(TAG_EXIT);
+                put_varint(buf, u64::from(routine.0));
+                put_varint(buf, sp.raw());
             }
             Event::HeapAlloc { base, size, site } => {
-                self.buf.put_u8(TAG_ALLOC);
-                put_varint(&mut self.buf, base.raw());
-                put_varint(&mut self.buf, *size);
+                buf.put_u8(TAG_ALLOC);
+                put_varint(buf, base.raw());
+                put_varint(buf, *size);
                 self.put_str(site.file);
-                put_varint(&mut self.buf, u64::from(site.line));
+                put_varint(&mut self.frames.frame, u64::from(site.line));
             }
             Event::HeapFree { base } => {
-                self.buf.put_u8(TAG_FREE);
-                put_varint(&mut self.buf, base.raw());
+                buf.put_u8(TAG_FREE);
+                put_varint(buf, base.raw());
             }
             Event::Phase(p) => {
-                self.buf.put_u8(TAG_PHASE);
+                buf.put_u8(TAG_PHASE);
                 let (kind, arg) = match p {
                     Phase::PreComputeBegin => (0u8, 0u32),
                     Phase::IterationBegin(i) => (1, *i),
@@ -206,11 +444,12 @@ impl EventSink for TraceWriter {
                     Phase::PostProcessBegin => (3, 0),
                     Phase::ProgramEnd => (4, 0),
                 };
-                self.buf.put_u8(kind);
-                put_varint(&mut self.buf, u64::from(arg));
+                buf.put_u8(kind);
+                put_varint(buf, u64::from(arg));
             }
             Event::Ref(_) => unreachable!("refs arrive via on_batch"),
         }
+        self.frames.maybe_seal();
     }
 }
 
@@ -224,10 +463,13 @@ impl EventSink for TraceWriter {
 /// zig-zag varint address delta and an `issue_cycle` delta — keeps the
 /// captured buffer a few bytes per transaction, so one capture can be
 /// fanned out across arbitrarily many (technology × config) replay
-/// cells without rerunning the application.
+/// cells without rerunning the application. The stream carries the same
+/// CRC32 framing as the event flavour (module docs), so a corrupted or
+/// truncated capture fails one replay cell precisely instead of
+/// poisoning the sweep.
 #[derive(Debug)]
 pub struct TxnTraceWriter {
-    buf: BytesMut,
+    frames: FrameBuf,
     last_addr: u64,
     last_cycle: u64,
     count: u64,
@@ -242,24 +484,22 @@ impl Default for TxnTraceWriter {
 impl TxnTraceWriter {
     /// Creates a writer with the stream header in place.
     pub fn new() -> Self {
-        let mut buf = BytesMut::with_capacity(1 << 16);
-        buf.put_u32(TXN_MAGIC);
         TxnTraceWriter {
-            buf,
+            frames: FrameBuf::new(TXN_MAGIC),
             last_addr: 0,
             last_cycle: 0,
             count: 0,
         }
     }
 
-    /// Encoded size so far, bytes.
+    /// Encoded size so far, bytes (excluding the final terminator frame).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.frames.len()
     }
 
     /// `true` if only the header has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.len() <= 4
+        self.frames.is_empty()
     }
 
     /// Transactions encoded so far.
@@ -270,24 +510,24 @@ impl TxnTraceWriter {
     /// Appends one transaction.
     pub fn push(&mut self, t: &MemTransaction) {
         self.count += 1;
-        self.buf.put_u8(match t.kind {
+        let buf = &mut self.frames.frame;
+        buf.put_u8(match t.kind {
             TransactionKind::ReadFill => TXN_TAG_READ_FILL,
             TransactionKind::Writeback => TXN_TAG_WRITEBACK,
             TransactionKind::WriteThrough => TXN_TAG_WRITE_THROUGH,
         });
         let addr = t.addr.raw();
-        put_varint(&mut self.buf, zigzag(addr.wrapping_sub(self.last_addr) as i64));
+        put_varint(buf, zigzag(addr.wrapping_sub(self.last_addr) as i64));
         self.last_addr = addr;
-        put_varint(
-            &mut self.buf,
-            zigzag(t.issue_cycle.wrapping_sub(self.last_cycle) as i64),
-        );
+        put_varint(buf, zigzag(t.issue_cycle.wrapping_sub(self.last_cycle) as i64));
         self.last_cycle = t.issue_cycle;
+        self.frames.maybe_seal();
     }
 
-    /// Finishes the stream, returning the encoded bytes.
+    /// Finishes the stream — seals the pending frame and appends the
+    /// terminator — returning the encoded bytes.
     pub fn into_bytes(self) -> Bytes {
-        self.buf.freeze()
+        self.frames.into_bytes()
     }
 }
 
@@ -296,35 +536,44 @@ impl TxnTraceWriter {
 /// Cloning the [`Bytes`] handle is refcounted, so many replay cells can
 /// decode the same capture concurrently without copying it.
 ///
-/// # Panics
-/// Panics on a malformed stream (wrong magic, truncated data, unknown
-/// tag).
-pub fn replay_transactions(encoded: Bytes, mut emit: impl FnMut(MemTransaction)) -> u64 {
-    let mut buf = encoded;
-    assert!(buf.remaining() >= 4, "transaction trace too short");
-    assert_eq!(buf.get_u32(), TXN_MAGIC, "bad transaction trace magic");
+/// # Errors
+/// [`NvsimError::Corrupt`] — naming the failing section and absolute
+/// byte offset — on a malformed stream: wrong magic, a truncated or
+/// bit-flipped frame (CRC mismatch), an unknown tag, or a stream cut
+/// before its terminator frame. Transactions already emitted before the
+/// error stand; callers treating the stream as all-or-nothing should
+/// discard their sink on `Err`.
+pub fn replay_transactions(
+    encoded: Bytes,
+    mut emit: impl FnMut(MemTransaction),
+) -> Result<u64, NvsimError> {
+    let mut frames = Frames::open(encoded, TXN_MAGIC, "transaction")?;
     let mut last_addr = 0u64;
     let mut last_cycle = 0u64;
     let mut count = 0u64;
-    while buf.has_remaining() {
-        let kind = match buf.get_u8() {
-            TXN_TAG_READ_FILL => TransactionKind::ReadFill,
-            TXN_TAG_WRITEBACK => TransactionKind::Writeback,
-            TXN_TAG_WRITE_THROUGH => TransactionKind::WriteThrough,
-            other => panic!("bad transaction tag {other}"),
-        };
-        let addr = last_addr.wrapping_add(unzigzag(get_varint(&mut buf)) as u64);
-        last_addr = addr;
-        let issue_cycle = last_cycle.wrapping_add(unzigzag(get_varint(&mut buf)) as u64);
-        last_cycle = issue_cycle;
-        emit(MemTransaction {
-            addr: VirtAddr::new(addr),
-            kind,
-            issue_cycle,
-        });
-        count += 1;
+    while let Some((section, at, payload)) = frames.next_frame()? {
+        let mut cur = Cursor::new(payload, at, section);
+        while cur.has_remaining() {
+            let tag_at = cur.offset();
+            let kind = match cur.u8()? {
+                TXN_TAG_READ_FILL => TransactionKind::ReadFill,
+                TXN_TAG_WRITEBACK => TransactionKind::Writeback,
+                TXN_TAG_WRITE_THROUGH => TransactionKind::WriteThrough,
+                _ => return Err(corrupt(cur.section.clone(), tag_at)),
+            };
+            let addr = last_addr.wrapping_add(unzigzag(cur.varint()?) as u64);
+            last_addr = addr;
+            let issue_cycle = last_cycle.wrapping_add(unzigzag(cur.varint()?) as u64);
+            last_cycle = issue_cycle;
+            emit(MemTransaction {
+                addr: VirtAddr::new(addr),
+                kind,
+                issue_cycle,
+            });
+            count += 1;
+        }
     }
-    count
+    Ok(count)
 }
 
 /// Replays an encoded trace into a sink, batching references through a
@@ -336,24 +585,24 @@ pub fn replay_transactions(encoded: Bytes, mut emit: impl FnMut(MemTransaction))
 /// name once via `Box::leak`. Traces name few files, so the leak is
 /// bounded and intentional.
 ///
-/// # Panics
-/// Panics on a malformed trace (wrong magic, truncated stream).
-pub fn replay(encoded: Bytes, sink: &mut dyn EventSink, batch_capacity: usize) -> u64 {
-    let mut buf = encoded;
-    assert!(buf.remaining() >= 4, "trace too short");
-    assert_eq!(buf.get_u32(), MAGIC, "bad trace magic");
+/// # Errors
+/// [`NvsimError::Corrupt`] — naming the failing section and absolute
+/// byte offset — on a malformed trace: wrong magic, a truncated or
+/// bit-flipped frame (CRC mismatch), an unknown tag or phase kind, a
+/// non-UTF-8 string, or a stream cut before its terminator frame.
+/// Events already delivered to the sink before the error stand.
+pub fn replay(
+    encoded: Bytes,
+    sink: &mut dyn EventSink,
+    batch_capacity: usize,
+) -> Result<u64, NvsimError> {
+    let mut frames = Frames::open(encoded, MAGIC, "event")?;
 
     let mut batch: Vec<MemRef> = Vec::with_capacity(batch_capacity);
     let mut last_addr = 0u64;
     let mut last_sp = 0u64;
     let mut events = 0u64;
     let mut files: Vec<&'static str> = Vec::new();
-
-    let get_str = |buf: &mut Bytes| -> String {
-        let len = get_varint(buf) as usize;
-        let bytes = buf.copy_to_bytes(len);
-        String::from_utf8(bytes.to_vec()).expect("utf8 string in trace")
-    };
 
     macro_rules! flush {
         ($sink:expr) => {
@@ -364,111 +613,115 @@ pub fn replay(encoded: Bytes, sink: &mut dyn EventSink, batch_capacity: usize) -
         };
     }
 
-    while buf.has_remaining() {
-        let tag = buf.get_u8();
-        match tag {
-            TAG_READ | TAG_WRITE => {
-                events += 1;
-                let addr = last_addr.wrapping_add(unzigzag(get_varint(&mut buf)) as u64);
-                last_addr = addr;
-                let size = get_varint(&mut buf) as u32;
-                let sp = last_sp.wrapping_add(unzigzag(get_varint(&mut buf)) as u64);
-                last_sp = sp;
-                batch.push(MemRef {
-                    addr: VirtAddr::new(addr),
-                    size,
-                    kind: if tag == TAG_WRITE {
-                        AccessKind::Write
-                    } else {
-                        AccessKind::Read
-                    },
-                    sp: VirtAddr::new(sp),
-                });
-                if batch.len() == batch_capacity {
-                    flush!(sink);
-                }
-            }
-            TAG_GLOBALS => {
-                let n = get_varint(&mut buf);
-                let symbols: Vec<GlobalSymbol> = (0..n)
-                    .map(|_| {
-                        let name = get_str(&mut buf);
-                        let base = VirtAddr::new(get_varint(&mut buf));
-                        let size = get_varint(&mut buf);
-                        GlobalSymbol { name, base, size }
-                    })
-                    .collect();
-                sink.on_globals(&symbols);
-            }
-            TAG_ENTER => {
-                events += 1;
-                flush!(sink);
-                let routine = RoutineId(get_varint(&mut buf) as u32);
-                let frame_base = VirtAddr::new(get_varint(&mut buf));
-                let sp = VirtAddr::new(get_varint(&mut buf));
-                sink.on_control(&Event::RoutineEnter {
-                    routine,
-                    frame_base,
-                    sp,
-                });
-            }
-            TAG_EXIT => {
-                events += 1;
-                flush!(sink);
-                let routine = RoutineId(get_varint(&mut buf) as u32);
-                let sp = VirtAddr::new(get_varint(&mut buf));
-                sink.on_control(&Event::RoutineExit { routine, sp });
-            }
-            TAG_ALLOC => {
-                events += 1;
-                flush!(sink);
-                let base = VirtAddr::new(get_varint(&mut buf));
-                let size = get_varint(&mut buf);
-                let file_owned = get_str(&mut buf);
-                let line = get_varint(&mut buf) as u32;
-                let file = match files.iter().find(|f| **f == file_owned) {
-                    Some(f) => *f,
-                    None => {
-                        let leaked: &'static str = Box::leak(file_owned.into_boxed_str());
-                        files.push(leaked);
-                        leaked
+    while let Some((section, at, payload)) = frames.next_frame()? {
+        let mut cur = Cursor::new(payload, at, section);
+        while cur.has_remaining() {
+            let tag_at = cur.offset();
+            let tag = cur.u8()?;
+            match tag {
+                TAG_READ | TAG_WRITE => {
+                    events += 1;
+                    let addr = last_addr.wrapping_add(unzigzag(cur.varint()?) as u64);
+                    last_addr = addr;
+                    let size = cur.varint()? as u32;
+                    let sp = last_sp.wrapping_add(unzigzag(cur.varint()?) as u64);
+                    last_sp = sp;
+                    batch.push(MemRef {
+                        addr: VirtAddr::new(addr),
+                        size,
+                        kind: if tag == TAG_WRITE {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                        sp: VirtAddr::new(sp),
+                    });
+                    if batch.len() == batch_capacity {
+                        flush!(sink);
                     }
-                };
-                sink.on_control(&Event::HeapAlloc {
-                    base,
-                    size,
-                    site: AllocSite::new(file, line),
-                });
-            }
-            TAG_FREE => {
-                events += 1;
-                flush!(sink);
-                let base = VirtAddr::new(get_varint(&mut buf));
-                sink.on_control(&Event::HeapFree { base });
-            }
-            TAG_PHASE => {
-                events += 1;
-                flush!(sink);
-                let kind = buf.get_u8();
-                let arg = get_varint(&mut buf) as u32;
-                let phase = match kind {
-                    0 => Phase::PreComputeBegin,
-                    1 => Phase::IterationBegin(arg),
-                    2 => Phase::IterationEnd(arg),
-                    3 => Phase::PostProcessBegin,
-                    4 => Phase::ProgramEnd,
-                    other => panic!("bad phase kind {other}"),
-                };
-                sink.on_control(&Event::Phase(phase));
-                if matches!(phase, Phase::ProgramEnd) {
-                    sink.on_finish();
                 }
+                TAG_GLOBALS => {
+                    let n = cur.varint()?;
+                    let mut symbols = Vec::with_capacity(n.min(1024) as usize);
+                    for _ in 0..n {
+                        let name = cur.str_field()?;
+                        let base = VirtAddr::new(cur.varint()?);
+                        let size = cur.varint()?;
+                        symbols.push(GlobalSymbol { name, base, size });
+                    }
+                    sink.on_globals(&symbols);
+                }
+                TAG_ENTER => {
+                    events += 1;
+                    flush!(sink);
+                    let routine = RoutineId(cur.varint()? as u32);
+                    let frame_base = VirtAddr::new(cur.varint()?);
+                    let sp = VirtAddr::new(cur.varint()?);
+                    sink.on_control(&Event::RoutineEnter {
+                        routine,
+                        frame_base,
+                        sp,
+                    });
+                }
+                TAG_EXIT => {
+                    events += 1;
+                    flush!(sink);
+                    let routine = RoutineId(cur.varint()? as u32);
+                    let sp = VirtAddr::new(cur.varint()?);
+                    sink.on_control(&Event::RoutineExit { routine, sp });
+                }
+                TAG_ALLOC => {
+                    events += 1;
+                    flush!(sink);
+                    let base = VirtAddr::new(cur.varint()?);
+                    let size = cur.varint()?;
+                    let file_owned = cur.str_field()?;
+                    let line = cur.varint()? as u32;
+                    let file = match files.iter().find(|f| **f == file_owned) {
+                        Some(f) => *f,
+                        None => {
+                            let leaked: &'static str = Box::leak(file_owned.into_boxed_str());
+                            files.push(leaked);
+                            leaked
+                        }
+                    };
+                    sink.on_control(&Event::HeapAlloc {
+                        base,
+                        size,
+                        site: AllocSite::new(file, line),
+                    });
+                }
+                TAG_FREE => {
+                    events += 1;
+                    flush!(sink);
+                    let base = VirtAddr::new(cur.varint()?);
+                    sink.on_control(&Event::HeapFree { base });
+                }
+                TAG_PHASE => {
+                    events += 1;
+                    flush!(sink);
+                    let kind_at = cur.offset();
+                    let kind = cur.u8()?;
+                    let arg = cur.varint()? as u32;
+                    let phase = match kind {
+                        0 => Phase::PreComputeBegin,
+                        1 => Phase::IterationBegin(arg),
+                        2 => Phase::IterationEnd(arg),
+                        3 => Phase::PostProcessBegin,
+                        4 => Phase::ProgramEnd,
+                        _ => return Err(corrupt(cur.section.clone(), kind_at)),
+                    };
+                    sink.on_control(&Event::Phase(phase));
+                    if matches!(phase, Phase::ProgramEnd) {
+                        sink.on_finish();
+                    }
+                }
+                _ => return Err(corrupt(cur.section.clone(), tag_at)),
             }
-            other => panic!("bad trace tag {other}"),
         }
     }
     flush!(sink);
-    events
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -509,7 +762,7 @@ mod tests {
         run(&mut writer);
         let encoded = writer.into_bytes();
         let mut replayed = RecordingSink::default();
-        replay(encoded, &mut replayed, 64);
+        replay(encoded, &mut replayed, 64).unwrap();
 
         assert_eq!(direct.globals, replayed.globals);
         assert_eq!(direct.events.len(), replayed.events.len());
@@ -530,7 +783,8 @@ mod tests {
         let events = writer.events();
         let bytes = writer.len();
         // Sequential deltas fit in ~4 bytes/event (tag + delta + size +
-        // sp-delta), far below the 21-byte raw record.
+        // sp-delta), far below the 21-byte raw record; the CRC framing
+        // adds 8 bytes per 64 KiB frame.
         assert!(events >= 10_000);
         assert!(
             (bytes as f64) < 6.0 * events as f64,
@@ -550,7 +804,7 @@ mod tests {
             t.finish();
         }
         let mut counter = CountingSink::default();
-        replay(writer.into_bytes(), &mut counter, 16);
+        replay(writer.into_bytes(), &mut counter, 16).unwrap();
         assert_eq!(counter.refs, 100);
         assert!(counter.finished);
         // 100 refs / 16 per batch (plus a final control flush).
@@ -558,10 +812,96 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad trace magic")]
-    fn bad_magic_panics() {
+    fn multi_frame_streams_round_trip() {
+        // Enough refs to force several 64 KiB frames; delta state must
+        // carry across the frame seams.
+        let mut writer = TraceWriter::new();
+        {
+            let mut t = Tracer::new(&mut writer);
+            let mut v = TracedVec::<f64>::global(&mut t, "v", 1 << 15).unwrap();
+            for i in 0..(1 << 15) {
+                let _ = v.get(&mut t, i);
+                v.set(&mut t, i, 1.0);
+            }
+            t.finish();
+        }
+        let encoded = writer.into_bytes();
+        assert!(
+            encoded.len() > FRAME_TARGET + FRAME_HEADER_LEN + 4,
+            "stream should span multiple frames ({} bytes)",
+            encoded.len()
+        );
+        let mut counter = CountingSink::default();
+        replay(encoded, &mut counter, 256).unwrap();
+        assert_eq!(counter.refs, 2 << 15);
+        assert!(counter.finished);
+    }
+
+    #[test]
+    fn bad_magic_is_a_header_error() {
         let mut sink = CountingSink::default();
-        replay(Bytes::from_static(&[0, 0, 0, 0, 1]), &mut sink, 8);
+        let err = replay(Bytes::from_static(&[0, 0, 0, 0, 1]), &mut sink, 8).unwrap_err();
+        assert_eq!(
+            err,
+            NvsimError::Corrupt {
+                section: "event header".into(),
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn bit_flip_is_a_frame_crc_error() {
+        let mut writer = TraceWriter::new();
+        {
+            let mut t = Tracer::new(&mut writer);
+            let v = TracedVec::<f64>::global(&mut t, "v", 64).unwrap();
+            for i in 0..64 {
+                let _ = v.get(&mut t, i);
+            }
+            t.finish();
+        }
+        let good = writer.into_bytes();
+        // Flip one bit in the middle of frame 0's payload.
+        let mut bad = good.to_vec();
+        let mid = 4 + FRAME_HEADER_LEN + (bad.len() - 4 - 2 * FRAME_HEADER_LEN) / 2;
+        bad[mid] ^= 0x01;
+        let mut sink = CountingSink::default();
+        let err = replay(Bytes::from(bad), &mut sink, 8).unwrap_err();
+        match err {
+            NvsimError::Corrupt { section, offset } => {
+                assert_eq!(section, "event frame 0");
+                assert_eq!(offset, (4 + FRAME_HEADER_LEN) as u64);
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        // The pristine copy still replays.
+        let mut ok = CountingSink::default();
+        assert!(replay(good, &mut ok, 8).is_ok());
+    }
+
+    #[test]
+    fn truncation_is_a_precise_error_at_any_cut() {
+        let mut writer = TraceWriter::new();
+        {
+            let mut t = Tracer::new(&mut writer);
+            let v = TracedVec::<f64>::global(&mut t, "v", 32).unwrap();
+            for i in 0..32 {
+                let _ = v.get(&mut t, i);
+            }
+            t.finish();
+        }
+        let good = writer.into_bytes();
+        // Any proper prefix must fail — mid-frame cuts break the frame
+        // bounds, frame-boundary cuts lose the terminator.
+        for cut in [good.len() - 1, good.len() - FRAME_HEADER_LEN, 6, 4] {
+            let mut sink = CountingSink::default();
+            let err = replay(good.slice(0..cut), &mut sink, 8).unwrap_err();
+            assert!(
+                matches!(err, NvsimError::Corrupt { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
     }
 
     #[test]
@@ -583,7 +923,7 @@ mod tests {
         }
         assert_eq!(writer.count(), 4);
         let mut decoded = Vec::new();
-        let n = replay_transactions(writer.into_bytes(), |t| decoded.push(t));
+        let n = replay_transactions(writer.into_bytes(), |t| decoded.push(t)).unwrap();
         assert_eq!(n, 4);
         assert_eq!(decoded, txns);
     }
@@ -604,10 +944,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad transaction trace magic")]
-    fn transaction_bad_magic_panics() {
+    fn transaction_bad_magic_is_a_header_error() {
         // An event-stream header is not a transaction-stream header.
         let writer = TraceWriter::new();
-        replay_transactions(writer.into_bytes(), |_| {});
+        let err = replay_transactions(writer.into_bytes(), |_| {}).unwrap_err();
+        assert_eq!(
+            err,
+            NvsimError::Corrupt {
+                section: "transaction header".into(),
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn transaction_truncation_and_bit_flips_are_caught() {
+        let mut writer = TxnTraceWriter::new();
+        for i in 0..100u64 {
+            writer.push(&MemTransaction::read_fill(VirtAddr::new(i * 64)));
+        }
+        let good = writer.into_bytes();
+
+        let err = replay_transactions(good.slice(0..good.len() - 9), |_| {}).unwrap_err();
+        assert!(matches!(err, NvsimError::Corrupt { .. }), "{err}");
+
+        let mut bad = good.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        let err = replay_transactions(Bytes::from(bad), |_| {}).unwrap_err();
+        match &err {
+            NvsimError::Corrupt { section, .. } => {
+                assert!(section.starts_with("transaction"), "{err}")
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+
+        assert_eq!(replay_transactions(good, |_| {}).unwrap(), 100);
+    }
+
+    #[test]
+    fn empty_streams_round_trip() {
+        let n = replay_transactions(TxnTraceWriter::new().into_bytes(), |_| {}).unwrap();
+        assert_eq!(n, 0);
+        let mut sink = CountingSink::default();
+        assert_eq!(replay(TraceWriter::new().into_bytes(), &mut sink, 8).unwrap(), 0);
     }
 }

@@ -179,7 +179,7 @@ proptest! {
         }
         let encoded = writer.into_bytes();
         let mut replayed = RecordingSink::default();
-        replay_trace(encoded, &mut replayed, 32);
+        replay_trace(encoded, &mut replayed, 32).expect("round-trip replay");
         prop_assert_eq!(&direct.events, &replayed.events);
     }
 
@@ -191,7 +191,8 @@ proptest! {
         }
         prop_assert_eq!(writer.count(), txns.len() as u64);
         let mut decoded = Vec::with_capacity(txns.len());
-        let n = replay_transactions(writer.into_bytes(), |t| decoded.push(t));
+        let n = replay_transactions(writer.into_bytes(), |t| decoded.push(t))
+            .expect("round-trip replay");
         prop_assert_eq!(n, txns.len() as u64);
         prop_assert_eq!(&decoded, &txns);
     }

@@ -24,6 +24,39 @@ pub enum NvsimError {
     /// An operation violated the API contract (e.g. `ret` with an empty
     /// shadow stack, free of an unallocated address).
     Protocol(String),
+    /// A sweep worker failed — it panicked or returned an error — while
+    /// evaluating one grid cell. The fleet converts caught panics into
+    /// this variant so a single bad cell degrades instead of aborting
+    /// the whole run.
+    WorkerFailed {
+        /// Cell or tool that failed (e.g. `GTC/pcram`, `stack tool`).
+        cell: String,
+        /// Human-readable cause: the panic payload or source error.
+        cause: String,
+    },
+    /// A durable artifact (trace file, journal entry) failed validation:
+    /// bad magic, a truncated frame, or a CRC mismatch.
+    Corrupt {
+        /// Section being decoded when validation failed
+        /// (`"event header"`, `"transaction frame 3"`, ...).
+        section: String,
+        /// Absolute byte offset where the corruption was detected.
+        offset: u64,
+    },
+    /// A file operation failed; carries the path for context so callers
+    /// never have to print a bare `No such file or directory`.
+    Io {
+        /// Path of the file or directory being accessed.
+        path: String,
+        /// Underlying cause, stringified.
+        cause: String,
+    },
+    /// A transient device or injection-point error. Retryable: the fleet
+    /// re-attempts the cell with backoff before quarantining it.
+    Transient {
+        /// Injection point or device site that reported the error.
+        point: String,
+    },
 }
 
 impl fmt::Display for NvsimError {
@@ -35,6 +68,16 @@ impl fmt::Display for NvsimError {
             }
             NvsimError::NotFound(what) => write!(f, "not found: {what}"),
             NvsimError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NvsimError::WorkerFailed { cell, cause } => {
+                write!(f, "worker failed on {cell}: {cause}")
+            }
+            NvsimError::Corrupt { section, offset } => {
+                write!(f, "corrupt {section} at byte {offset}")
+            }
+            NvsimError::Io { path, cause } => write!(f, "{path}: {cause}"),
+            NvsimError::Transient { point } => {
+                write!(f, "transient device error at {point}")
+            }
         }
     }
 }
@@ -55,5 +98,33 @@ mod tests {
         assert!(s.contains("heap"));
         assert!(s.contains("4096"));
         assert!(NvsimError::NotFound("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn resilience_variants_name_their_subject() {
+        let w = NvsimError::WorkerFailed {
+            cell: "GTC/pcram".into(),
+            cause: "injected".into(),
+        };
+        assert!(w.to_string().contains("GTC/pcram"));
+        assert!(w.to_string().contains("injected"));
+
+        let c = NvsimError::Corrupt {
+            section: "transaction frame 2".into(),
+            offset: 117,
+        };
+        assert!(c.to_string().contains("transaction frame 2"));
+        assert!(c.to_string().contains("117"));
+
+        let io = NvsimError::Io {
+            path: "/tmp/x.json".into(),
+            cause: "permission denied".into(),
+        };
+        assert!(io.to_string().contains("/tmp/x.json"));
+
+        let t = NvsimError::Transient {
+            point: "CAM/mram".into(),
+        };
+        assert!(t.to_string().contains("CAM/mram"));
     }
 }

@@ -1,0 +1,160 @@
+//! Chaos drills for the fault-tolerant fleet (docs/RESILIENCE.md):
+//! deterministic fault plans, quarantine-with-retry, and kill-and-resume
+//! convergence against the fault-free run.
+
+use nv_scavenger::{grid_points, FleetPolicy, Journal};
+use nvsim_apps::AppScale;
+use nvsim_faults::FaultPlan;
+use nvsim_obs::{DegradedCell, Metrics, Timeline};
+
+const SCALE: AppScale = AppScale::Test;
+const ITERS: u32 = 2;
+
+/// A fresh scratch directory under the system tempdir; any leftover from
+/// a previous run of the same test is cleared first.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvsim-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The timestamp-free rendition of a journal: everything a Chrome trace
+/// export contains except `ts` (wall-clock `ts_ns` differs between any
+/// two runs, even two serial ones — see `Timeline::absorb`).
+fn timeline_shape(timeline: &Timeline) -> String {
+    timeline
+        .events()
+        .into_iter()
+        .map(|e| format!("{}|{}|{}|{}|{:?}\n", e.name, e.cat, e.kind.ph(), e.tid, e.args))
+        .collect()
+}
+
+/// Runs the whole fleet under `policy`, returning the degraded roster,
+/// resumed count, the merged metrics JSON and the merged timeline shape.
+fn run_fleet(jobs: usize, policy: &FleetPolicy) -> (Vec<DegradedCell>, usize, String, String) {
+    let metrics = Metrics::enabled();
+    let timeline = Timeline::enabled();
+    let run = nv_scavenger::profile_fleet_policy(SCALE, ITERS, jobs, &metrics, &timeline, policy)
+        .expect("keep-going fleet completes");
+    assert_eq!(run.reports.iter().filter(|r| r.is_some()).count(), 4);
+    (
+        run.degraded,
+        run.resumed,
+        metrics.snapshot().to_json(),
+        timeline_shape(&timeline),
+    )
+}
+
+fn seeded_policy(seed: u64, retries: u32) -> FleetPolicy {
+    let points = grid_points(SCALE);
+    FleetPolicy {
+        retries,
+        faults: FaultPlan::seeded(seed, &points, 2, 1, 0).injector(),
+        ..FleetPolicy::default()
+    }
+}
+
+#[test]
+fn same_seed_gives_the_same_degraded_report() {
+    let (d1, _, _, _) = run_fleet(2, &seeded_policy(42, 1));
+    let (d2, _, _, _) = run_fleet(2, &seeded_policy(42, 1));
+    assert_eq!(d1.len(), 3, "2 panics + 1 corruption quarantined: {d1:?}");
+    assert_eq!(d1, d2, "same seed must reproduce the same failures");
+    for d in &d1 {
+        assert_eq!(d.attempts, 2, "retries+1 attempts before quarantine");
+        assert!(
+            grid_points(SCALE).contains(&d.cell),
+            "degraded names a grid cell, got {}",
+            d.cell
+        );
+    }
+    // A different seed picks (with this plan size, almost surely) a
+    // different set of victims — but always exactly three.
+    let (d3, _, _, _) = run_fleet(2, &seeded_policy(7, 1));
+    assert_eq!(d3.len(), 3);
+}
+
+#[test]
+fn killed_sweep_resumes_to_the_fault_free_result() {
+    // Fault-free reference: the parallel fleet with the default policy.
+    let (ref_degraded, _, ref_metrics, ref_timeline) = run_fleet(2, &FleetPolicy::default());
+    assert!(ref_degraded.is_empty());
+
+    // Chaos leg: seeded faults, journalling on. Three cells quarantine;
+    // the other thirteen land in the journal.
+    let dir = scratch("resume");
+    let chaos = FleetPolicy {
+        journal: Some(Journal::open(&dir).unwrap()),
+        ..seeded_policy(42, 1)
+    };
+    let (degraded, resumed, _, _) = run_fleet(2, &chaos);
+    assert_eq!(degraded.len(), 3);
+    assert_eq!(resumed, 0);
+
+    // Resume leg: faults off (the operator fixed the box), same journal.
+    // Journalled cells restore, quarantined cells re-run cleanly, and the
+    // merged artifacts converge byte-for-byte on the reference.
+    let resume = FleetPolicy {
+        journal: Some(Journal::open(&dir).unwrap()),
+        resume: true,
+        ..FleetPolicy::default()
+    };
+    let (degraded, resumed, metrics, timeline) = run_fleet(2, &resume);
+    assert!(degraded.is_empty(), "{degraded:?}");
+    assert_eq!(resumed, 13, "16 cells minus the 3 quarantined ones");
+    assert_eq!(metrics, ref_metrics, "resumed metrics diverge");
+    assert_eq!(timeline, ref_timeline, "resumed timeline diverges");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_faults_recover_with_a_retry() {
+    let cell = grid_points(SCALE).remove(0);
+    let spec = format!("transient@{cell}*1");
+    let injected = || FaultPlan::parse(&spec).unwrap().injector();
+
+    // One retry: the one-shot transient burns on attempt 1, attempt 2
+    // succeeds, nothing degrades.
+    let policy = FleetPolicy {
+        retries: 1,
+        faults: injected(),
+        ..FleetPolicy::default()
+    };
+    let (degraded, _, _, _) = run_fleet(2, &policy);
+    assert!(degraded.is_empty(), "{degraded:?}");
+
+    // No retries: the same fault quarantines the cell after one attempt.
+    let policy = FleetPolicy {
+        retries: 0,
+        faults: injected(),
+        ..FleetPolicy::default()
+    };
+    let (degraded, _, _, _) = run_fleet(2, &policy);
+    assert_eq!(degraded.len(), 1);
+    assert_eq!(degraded[0].cell, cell);
+    assert_eq!(degraded[0].attempts, 1);
+}
+
+#[test]
+fn fail_fast_surfaces_the_first_failure_as_an_error() {
+    let cell = grid_points(SCALE).remove(0);
+    let policy = FleetPolicy {
+        retries: 0,
+        fail_fast: true,
+        faults: FaultPlan::parse(&format!("panic@{cell}"))
+            .unwrap()
+            .injector(),
+        ..FleetPolicy::default()
+    };
+    let metrics = Metrics::disabled();
+    let timeline = Timeline::disabled();
+    match nv_scavenger::profile_fleet_policy(SCALE, ITERS, 2, &metrics, &timeline, &policy) {
+        Err(nvsim_types::NvsimError::WorkerFailed { cell: failed, .. }) => {
+            assert_eq!(failed, cell);
+        }
+        Err(other) => panic!("expected WorkerFailed, got {other}"),
+        Ok(_) => panic!("fail-fast must abort"),
+    }
+}

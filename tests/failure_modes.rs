@@ -70,20 +70,24 @@ fn refs_to_untracked_gaps_inside_a_segment_are_unattributed() {
 }
 
 #[test]
-#[should_panic(expected = "bad trace magic")]
-fn corrupt_trace_header_panics() {
+fn corrupt_trace_header_is_a_corrupt_error() {
     let mut sink = CountingSink::default();
-    replay_trace(
+    let err = replay_trace(
         bytes::Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0x00]),
         &mut sink,
         16,
-    );
+    )
+    .unwrap_err();
+    match err {
+        NvsimError::Corrupt { section, offset } => {
+            assert_eq!(section, "event header");
+            assert_eq!(offset, 0);
+        }
+        other => panic!("expected Corrupt, got {other}"),
+    }
 }
 
-#[test]
-#[should_panic]
-fn truncated_trace_panics_rather_than_fabricating_events() {
-    // Record a real trace, then cut it mid-event.
+fn recorded_trace() -> bytes::Bytes {
     let mut writer = TraceWriter::new();
     {
         let mut t = Tracer::new(&mut writer);
@@ -93,11 +97,50 @@ fn truncated_trace_panics_rather_than_fabricating_events() {
         }
         t.finish();
     }
-    let full = writer.into_bytes();
-    // Cut mid-event: the final ProgramEnd phase event loses its payload.
+    writer.into_bytes()
+}
+
+#[test]
+fn truncated_trace_is_an_error_not_fabricated_events() {
+    let full = recorded_trace();
+    // Cut mid-frame: the CRC no longer covers the advertised length, so
+    // the replay refuses before decoding a single event of that frame.
     let cut = full.slice(0..full.len() - 1);
     let mut sink = CountingSink::default();
-    replay_trace(cut, &mut sink, 16);
+    let err = replay_trace(cut, &mut sink, 16).unwrap_err();
+    assert!(
+        matches!(err, NvsimError::Corrupt { .. }),
+        "expected Corrupt, got {err}"
+    );
+
+    // Cut at a frame boundary: the stream terminator goes missing, which
+    // is still corruption (a shorter-but-framed file must not pass).
+    let boundary = full.slice(0..full.len() - 8);
+    let err = replay_trace(boundary, &mut sink, 16).unwrap_err();
+    match err {
+        NvsimError::Corrupt { section, .. } => {
+            assert!(section.contains("stream end"), "section was {section}");
+        }
+        other => panic!("expected Corrupt, got {other}"),
+    }
+}
+
+#[test]
+fn bit_flipped_trace_names_the_frame_and_offset() {
+    let full = recorded_trace();
+    let mut bad = full.to_vec();
+    // Flip one payload bit past the header and frame header.
+    let target = 4 + 8 + (bad.len() - 12) / 2;
+    bad[target] ^= 0x10;
+    let mut sink = CountingSink::default();
+    let err = replay_trace(bytes::Bytes::from(bad), &mut sink, 16).unwrap_err();
+    match err {
+        NvsimError::Corrupt { section, offset } => {
+            assert!(section.starts_with("event frame"), "section was {section}");
+            assert!(offset > 0);
+        }
+        other => panic!("expected Corrupt, got {other}"),
+    }
 }
 
 #[test]
