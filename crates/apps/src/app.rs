@@ -36,6 +36,23 @@ impl AppScale {
     pub fn elems(self, paper_mb: f64) -> usize {
         (self.bytes(paper_mb) / 8) as usize
     }
+
+    /// Rescales a byte count measured at this scale back to paper-unit
+    /// megabytes — the inverse of [`AppScale::bytes`]. This is THE
+    /// rescaling every table, figure, store query and serve endpoint
+    /// must apply; keep it here so the ×64 (bench), ×256 (small), ×4096
+    /// (test) factors live in exactly one place.
+    pub fn to_paper_mb(self, measured_bytes: u64) -> f64 {
+        rescale_mb(measured_bytes, self.divisor())
+    }
+}
+
+/// Rescales `measured_bytes` captured under footprint divisor `divisor`
+/// back to paper-unit megabytes. Shared by [`AppScale::to_paper_mb`] and
+/// by report rows that carry their divisor with them (so stored records
+/// rescale identically without an `AppScale` in hand).
+pub fn rescale_mb(measured_bytes: u64, divisor: u64) -> f64 {
+    measured_bytes as f64 * divisor as f64 / (1024.0 * 1024.0)
 }
 
 /// Static description of an application (Table I row).
@@ -124,5 +141,28 @@ mod tests {
         let b = AppScale::Bench.bytes(824.0);
         assert!(b > 12 << 20 && b < 14 << 20);
         assert_eq!(AppScale::Bench.elems(8.0) * 8, AppScale::Bench.bytes(8.0) as usize);
+    }
+
+    /// Pins the paper-unit rescale factor in its one shared home: bench
+    /// scale is exactly ×64, and `to_paper_mb` inverts `bytes` for every
+    /// scale (EXPERIMENTS.md documents this contract for `--json`, the
+    /// store, `nvq`, and the serve endpoints alike).
+    #[test]
+    fn rescale_factor_is_pinned() {
+        assert_eq!(rescale_mb(1024 * 1024, 64), 64.0);
+        assert_eq!(rescale_mb(0, 64), 0.0);
+        // One bench-scale mebibyte rescales to exactly 64 paper MB.
+        assert_eq!(AppScale::Bench.to_paper_mb(1024 * 1024), 64.0);
+        for scale in [AppScale::Test, AppScale::Small, AppScale::Bench] {
+            // bytes() truncates to whole bytes, so round-tripping a
+            // whole-MB paper figure is exact for these divisors.
+            let bytes = scale.bytes(824.0);
+            assert_eq!(scale.to_paper_mb(bytes), 824.0, "{scale:?}");
+            assert_eq!(
+                rescale_mb(bytes, scale.divisor()),
+                scale.to_paper_mb(bytes),
+                "{scale:?}"
+            );
+        }
     }
 }

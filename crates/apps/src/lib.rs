@@ -28,7 +28,7 @@ pub mod gtc;
 pub mod nek5000;
 pub mod s3d;
 
-pub use app::{AppScale, AppSpec, Application, run_to_completion};
+pub use app::{rescale_mb, AppScale, AppSpec, Application, run_to_completion};
 pub use cam::Cam;
 pub use gtc::Gtc;
 pub use nek5000::Nek5000;

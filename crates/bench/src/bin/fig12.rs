@@ -36,4 +36,5 @@ fn main() {
     }
     println!("paper shape: +20% latency (MRAM) negligible; 2x (STTRAM) < 5% loss; 10x (PCRAM) up to 25% loss");
     args.dump(&reports);
+    args.dump_store(|| nv_scavenger::dataset_store::fig12_tables(&reports));
 }

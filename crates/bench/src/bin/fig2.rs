@@ -33,4 +33,5 @@ fn main() {
         rep.refs_ratio_gt50 * 100.0
     );
     args.dump(&rep);
+    args.dump_store(|| nv_scavenger::dataset_store::fig2_tables(&rep));
 }

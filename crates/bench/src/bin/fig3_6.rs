@@ -11,7 +11,6 @@ fn main() {
         nv_scavenger::experiments::figs3_6(args.scale, args.iterations),
         "figs3_6",
     );
-    let rescale = args.scale.divisor() as f64 / (1024.0 * 1024.0);
     for rep in &reports {
         println!("--- {} ---", rep.app);
         println!(
@@ -25,7 +24,7 @@ fn main() {
                 o.region.to_string(),
                 fmt_ratio(o.rw_ratio),
                 o.reference_rate * 100.0,
-                o.size_bytes as f64 * rescale
+                args.scale.to_paper_mb(o.size_bytes)
             );
         }
         // ASCII rendition of the figure: size vs read/write ratio.
@@ -51,9 +50,9 @@ fn main() {
         );
         println!(
             "read-only pool: {:.1} MB(paper-eq) = {:.1}% of tracked bytes; ratio>50 pool: {:.1} MB",
-            rep.read_only_bytes as f64 * rescale,
+            args.scale.to_paper_mb(rep.read_only_bytes),
             100.0 * rep.read_only_bytes as f64 / rep.total_bytes.max(1) as f64,
-            rep.high_ratio_bytes as f64 * rescale,
+            args.scale.to_paper_mb(rep.high_ratio_bytes),
         );
         println!(
             "objects with ratio > 1: {:.1}% of touched objects\n",
@@ -63,4 +62,5 @@ fn main() {
     println!("paper: Nek5000 read-only 59MB (7.1%), ratio>50 38.6MB; CAM read-only 94MB (15.5%), ratio>50 4.8MB;");
     println!("       most objects have ratio > 1 except in GTC");
     args.dump(&reports);
+    args.dump_store(|| nv_scavenger::dataset_store::figs3_6_tables(&reports));
 }

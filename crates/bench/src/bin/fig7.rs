@@ -11,16 +11,15 @@ fn main() {
         nv_scavenger::experiments::fig7(args.scale, args.iterations),
         "fig7",
     );
-    let rescale = args.scale.divisor() as f64 / (1024.0 * 1024.0);
     for rep in &reports {
         println!("--- {} ---", rep.app);
         print!("cumulative MB(paper-eq) by max steps used: ");
         for x in 0..rep.distribution.bytes_by_steps.len() {
-            print!("({x},{:.0}) ", rep.distribution.cumulative(x) as f64 * rescale);
+            print!("({x},{:.0}) ", args.scale.to_paper_mb(rep.distribution.cumulative(x)));
         }
         println!();
         let curve: Vec<f64> = (0..rep.distribution.bytes_by_steps.len())
-            .map(|x| rep.distribution.cumulative(x) as f64 * rescale)
+            .map(|x| args.scale.to_paper_mb(rep.distribution.cumulative(x)))
             .collect();
         print!(
             "{}",
@@ -28,11 +27,12 @@ fn main() {
         );
         println!(
             "untouched in main loop: {:.1} MB = {:.1}% of tracked footprint",
-            rep.distribution.untouched_in_main() as f64 * rescale,
+            args.scale.to_paper_mb(rep.distribution.untouched_in_main()),
             rep.untouched_fraction * 100.0
         );
     }
     println!("\npaper: Nek5000 ~200MB (24.3%) unused in main loop; CAM ~70MB (11.5%); S3D 7.1MB;");
     println!("       GTC omitted (objects evenly touched or short-term heap)");
     args.dump(&reports);
+    args.dump_store(|| nv_scavenger::dataset_store::fig7_tables(&reports));
 }

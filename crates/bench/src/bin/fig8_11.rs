@@ -41,4 +41,5 @@ fn main() {
         );
     }
     args.dump(&reports);
+    args.dump_store(|| nv_scavenger::dataset_store::figs8_11_tables(&reports));
 }

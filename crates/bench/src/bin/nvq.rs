@@ -1,0 +1,162 @@
+//! `nvq` — query a sweep-result store without re-running anything.
+//!
+//! Works against the `dataset.nvstore` the experiment binaries write
+//! under `--store DIR` (and the `profile.nvstore` the `profile` binary
+//! writes, via `--profile`). Three modes:
+//!
+//! * `nvq [--store DIR] --tables` — list tables, row counts, schemas;
+//! * `nvq [--store DIR] --report SECTION` — print one section of the
+//!   evaluation exactly as that section's binary dumps it with
+//!   `--json`: the bytes match `table1 --json`, `fig2 --json`, ... with
+//!   zero re-simulation (no trailing newline, so `diff file
+//!   <(nvq --report ...)` compares byte for byte);
+//! * `nvq [--store DIR] TABLE [query flags]` — run a query
+//!   (`--where`, `--select`, `--agg`, `--by`, `--sort`, `--limit`;
+//!   both `--flag value` and `--flag=value` spellings) and print an
+//!   aligned text table, or JSON with `--json`.
+//!
+//! The query grammar and the table schemas are documented in
+//! `docs/STORE.md`.
+
+use nvsim_bench::or_die;
+use nvsim_store::{Query, Store, DATASET_FILE, PROFILE_FILE};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: nvq [--store DIR] [--profile] --tables\n\
+\x20      nvq [--store DIR] --report SECTION\n\
+\x20      nvq [--store DIR] [--profile] TABLE [--where EXPR] [--select COLS]\n\
+\x20          [--agg SPECS] [--by COL] [--sort COL[:desc]] [--limit N] [--json]\n\
+value flags accept both spellings: --where app=CAM and '--where=app=CAM'\n\
+  --store DIR     store directory (default: .)\n\
+  --profile       query DIR/profile.nvstore instead of DIR/dataset.nvstore\n\
+  --tables        list every table with row count and schema\n\
+  --report SECTION  dump one section byte-identically to its binary's --json:\n\
+\x20                   table1 table5 table6 fig2 figs3_6 fig7 figs8_11 fig12 suitability\n\
+  --where EXPR    row filter, e.g. app=CAM, size_bytes>4096, rw_ratio!=null\n\
+  --select COLS   comma-separated projection (default: all columns)\n\
+  --agg SPECS     aggregations: count, sum:COL, mean:COL, min:COL, max:COL\n\
+  --by COL        group --agg rows by COL (first-occurrence order)\n\
+  --sort COL[:desc] sort output rows\n\
+  --limit N       keep the first N rows after sorting\n\
+  --json          print the query result as JSON instead of a text table";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut dir = PathBuf::from(".");
+    let mut profile = false;
+    let mut tables = false;
+    let mut json = false;
+    let mut report: Option<String> = None;
+    let mut query_args: Vec<String> = Vec::new();
+
+    fn value(
+        flag: &str,
+        inline: &mut Option<String>,
+        it: &mut impl Iterator<Item = String>,
+        what: &str,
+    ) -> String {
+        match inline.take() {
+            Some(v) if !v.is_empty() => v,
+            Some(_) => die(&format!("{flag} needs {what}")),
+            None => it
+                .next()
+                .unwrap_or_else(|| die(&format!("{flag} needs {what}"))),
+        }
+    }
+
+    let mut it = std::env::args().skip(1);
+    while let Some(raw) = it.next() {
+        let (flag, mut inline) = match raw.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (raw.clone(), None),
+        };
+        match flag.as_str() {
+            "--store" => dir = PathBuf::from(value(&flag, &mut inline, &mut it, "a directory")),
+            "--report" => report = Some(value(&flag, &mut inline, &mut it, "a section name")),
+            "--profile" => profile = true,
+            "--tables" => tables = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            // Everything else — the table name and the query flags — goes
+            // to the query parser verbatim (inline spellings included).
+            _ => {
+                query_args.push(raw);
+                continue;
+            }
+        }
+        if inline.is_some() {
+            die(&format!("{flag} does not take a value"));
+        }
+    }
+
+    let file = if profile { PROFILE_FILE } else { DATASET_FILE };
+    let store = or_die(Store::load(&dir.join(file)), "load store");
+
+    if tables {
+        for t in store.tables() {
+            let schema: Vec<String> = t
+                .schema()
+                .iter()
+                .map(|(name, ty)| format!("{name}:{ty:?}"))
+                .collect();
+            println!("{:<18} {:>6} rows  {}", t.name, t.rows, schema.join(" "));
+        }
+        return;
+    }
+
+    if let Some(section) = report {
+        if profile {
+            die("--report reads the dataset store, not --profile");
+        }
+        // Per-section readers, so a partial store (one binary's --store
+        // output) still answers for the sections it holds.
+        use nv_scavenger as ds;
+        fn render<T: serde::Serialize>(
+            section: Result<T, nvsim_types::NvsimError>,
+        ) -> serde_json::Result<String> {
+            serde_json::to_string_pretty(&or_die(section, "read section"))
+        }
+        let rendered = or_die(
+            match section.as_str() {
+                "table1" => render(ds::read_table1(&store)),
+                "table5" => render(ds::read_table5(&store)),
+                "fig2" => render(ds::read_fig2(&store)),
+                "figs3_6" => render(ds::read_figs3_6(&store)),
+                "fig7" => render(ds::read_fig7(&store)),
+                "figs8_11" => render(ds::read_figs8_11(&store)),
+                "table6" => render(ds::read_table6(&store)),
+                "fig12" => render(ds::read_fig12(&store)),
+                "suitability" => render(ds::read_suitability(&store)),
+                other => die(&format!("unknown report section {other:?}")),
+            },
+            "serialize report",
+        );
+        // Exact bytes of the binary's --json dump: no trailing newline.
+        print!("{rendered}");
+        return;
+    }
+
+    if query_args.is_empty() {
+        die("no table named");
+    }
+    let query = match Query::parse_args(&query_args) {
+        Ok(q) => q,
+        Err(e) => die(&e.to_string()),
+    };
+    let result = match query.run(&store) {
+        Ok(r) => r,
+        Err(e) => die(&e.to_string()),
+    };
+    if json {
+        println!("{}", result.to_json());
+    } else {
+        print!("{}", result.to_table());
+    }
+}

@@ -3,9 +3,13 @@
 //!
 //! With `--parallel` (or `--jobs N`) every per-application section and
 //! the technology replays run on the `nv_scavenger::fleet` worker pool;
-//! stdout and every dump (`--json`, `--metrics-json`, `--timeline`) stay
-//! byte-identical to the serial run — the parallel status note goes to
-//! stderr.
+//! stdout and every dump (`--json`, `--metrics-json`, `--timeline`,
+//! `--store`) stay byte-identical to the serial run — the parallel
+//! status note goes to stderr.
+//!
+//! `--store DIR` writes every section's tables to `DIR/dataset.nvstore`
+//! — the columnar store `nvq` and `nvsim-serve` answer table/figure
+//! queries from without re-simulating (docs/STORE.md).
 //!
 //! The resilience flags (`--retries`, `--keep-going`/`--fail-fast`,
 //! `--journal`, `--resume`, `--faults`, `--fault-seed`) apply to the
@@ -14,6 +18,7 @@
 //! stderr summary), and a journalled sweep can be killed and resumed.
 //! See docs/RESILIENCE.md.
 
+use nv_scavenger::dataset_store as ds;
 use nv_scavenger::experiments as ex;
 use nvsim_bench::{or_die, BenchArgs};
 
@@ -26,7 +31,8 @@ fn main() {
     args.header("Full evaluation: every table and figure");
 
     println!("### Table I");
-    for r in or_die(ex::table1_jobs(args.scale, jobs), "table1") {
+    let t1 = or_die(ex::table1_jobs(args.scale, jobs), "table1");
+    for r in &t1 {
         println!(
             "  {:<10} paper {:>5.0} MB | measured (rescaled) {:>6.1} MB",
             r.app, r.paper_footprint_mb, r.rescaled_mb()
@@ -34,7 +40,8 @@ fn main() {
     }
 
     println!("\n### Table V");
-    for r in or_die(ex::table5_jobs(args.scale, args.iterations, jobs), "table5") {
+    let t5 = or_die(ex::table5_jobs(args.scale, args.iterations, jobs), "table5");
+    for r in &t5 {
         println!(
             "  {:<10} ratio {:>6.2} (paper {:>5.2})  first {:>6.2} (paper {:>5.2})  stack {:>5.1}% (paper {:>4.1}%)",
             r.app, r.rw_ratio, r.paper.0, r.rw_ratio_first, r.paper.1,
@@ -51,35 +58,37 @@ fn main() {
     );
 
     println!("\n### Figures 3-6 (global+heap pools)");
-    let rescale = args.scale.divisor() as f64 / (1024.0 * 1024.0);
-    for r in or_die(
+    let f36 = or_die(
         ex::figs3_6_jobs(args.scale, args.iterations, jobs),
         "figs3_6",
-    ) {
+    );
+    for r in &f36 {
         println!(
             "  {:<10} read-only {:>5.1}% | ratio>50 {:>6.1} MB | {:>3} objects",
             r.app,
             100.0 * r.read_only_bytes as f64 / r.total_bytes.max(1) as f64,
-            r.high_ratio_bytes as f64 * rescale,
+            args.scale.to_paper_mb(r.high_ratio_bytes),
             r.objects.len()
         );
     }
 
     println!("\n### Figure 7 (usage across time steps)");
-    for r in or_die(ex::fig7_jobs(args.scale, args.iterations, jobs), "fig7") {
+    let f7 = or_die(ex::fig7_jobs(args.scale, args.iterations, jobs), "fig7");
+    for r in &f7 {
         println!(
             "  {:<10} untouched in main loop: {:>5.1}% ({:.1} MB paper-eq)",
             r.app,
             r.untouched_fraction * 100.0,
-            r.distribution.untouched_in_main() as f64 * rescale
+            args.scale.to_paper_mb(r.distribution.untouched_in_main())
         );
     }
 
     println!("\n### Figures 8-11 (iteration variance)");
-    for r in or_die(
+    let f811 = or_die(
         ex::figs8_11_jobs(args.scale, args.iterations, jobs),
         "figs8_11",
-    ) {
+    );
+    for r in &f811 {
         println!(
             "  {:<10} min stable [1,2) fraction: {:.2} (paper >0.60)",
             r.app, r.min_stable_fraction
@@ -87,7 +96,8 @@ fn main() {
     }
 
     println!("\n### Table VI (normalized power)");
-    for r in or_die(ex::table6_jobs(args.scale, args.iterations, jobs), "table6") {
+    let t6 = or_die(ex::table6_jobs(args.scale, args.iterations, jobs), "table6");
+    for r in &t6 {
         println!(
             "  {:<10} measured [{:.3} {:.3} {:.3} {:.3}] paper [{:.3} {:.3} {:.3} {:.3}]",
             r.app,
@@ -97,7 +107,8 @@ fn main() {
     }
 
     println!("\n### Figure 12 (latency sensitivity)");
-    for r in or_die(ex::fig12_jobs(args.scale, jobs), "fig12") {
+    let f12 = or_die(ex::fig12_jobs(args.scale, jobs), "fig12");
+    for r in &f12 {
         let pts: Vec<String> = r
             .points
             .iter()
@@ -107,10 +118,11 @@ fn main() {
     }
 
     println!("\n### Suitability (abstract: 31%/27%)");
-    for r in or_die(
+    let suit = or_die(
         ex::suitability_jobs(args.scale, args.iterations, jobs),
         "suitability",
-    ) {
+    );
+    for r in &suit {
         println!(
             "  {:<10} cat2 {:>5.1}%  cat1 {:>5.1}%",
             r.app,
@@ -118,6 +130,24 @@ fn main() {
             r.category1.suitable_fraction() * 100.0
         );
     }
+
+    // The full columnar store: every section's tables, in the print
+    // order above (the same order `merge_into_dataset` from the
+    // individual binaries would build up). The fleet merges shards in
+    // stable cell order, so this file is byte-identical between serial
+    // and `--jobs N` runs.
+    args.dump_store(|| {
+        let mut tables = ds::table1_tables(&t1);
+        tables.extend(ds::table5_tables(&t5));
+        tables.extend(ds::fig2_tables(&f2));
+        tables.extend(ds::figs3_6_tables(&f36));
+        tables.extend(ds::fig7_tables(&f7));
+        tables.extend(ds::figs8_11_tables(&f811));
+        tables.extend(ds::table6_tables(&t6));
+        tables.extend(ds::fig12_tables(&f12));
+        tables.extend(ds::suitability_tables(&suit));
+        tables
+    });
 
     // Instrumented pass: with --metrics-json and/or --timeline, run every
     // app through the fully instrumented pipeline into one shared registry

@@ -29,4 +29,5 @@ fn main() {
         );
     }
     args.dump(&rows);
+    args.dump_store(|| nv_scavenger::dataset_store::suitability_tables(&rows));
 }

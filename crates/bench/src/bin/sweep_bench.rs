@@ -10,7 +10,10 @@
 //! `docs/METRICS.md`.
 //!
 //! Usage: `sweep_bench [test|small|bench] [--iters N] [--jobs N]
-//! [--json PATH]` (default output path: `BENCH_sweep.json`).
+//! [--json PATH] [--store DIR]` (default output path:
+//! `BENCH_sweep.json`). With `--store DIR` the sweep's reports are
+//! additionally collected into `DIR/dataset.nvstore` for `nvq` /
+//! `nvsim-serve` queries.
 
 use nvsim_bench::{or_die, BenchArgs};
 use nvsim_obs::artifact::write_text;
@@ -105,4 +108,15 @@ fn main() {
     );
     or_die(write_text(&path, &json), "write BENCH_sweep.json");
     eprintln!("wrote {}", path.display());
+
+    // The timed legs discard their reports; a store request collects
+    // them once more (untimed) and persists the full dataset.
+    if let Some(dir) = &args.store {
+        let ds = or_die(
+            nv_scavenger::collect_dataset(args.scale, args.iterations, jobs),
+            "collect dataset",
+        );
+        let store_path = or_die(nv_scavenger::write_dataset(&ds, dir), "write result store");
+        eprintln!("wrote {}", store_path.display());
+    }
 }

@@ -21,4 +21,5 @@ fn main() {
         );
     }
     args.dump(&rows);
+    args.dump_store(|| nv_scavenger::dataset_store::table1_tables(&rows));
 }

@@ -23,4 +23,5 @@ fn main() {
         );
     }
     args.dump(&rows);
+    args.dump_store(|| nv_scavenger::dataset_store::table5_tables(&rows));
 }

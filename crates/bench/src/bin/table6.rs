@@ -33,4 +33,5 @@ fn main() {
         (1.0 - min_saving) * 100.0
     );
     args.dump(&rows);
+    args.dump_store(|| nv_scavenger::dataset_store::table6_tables(&rows));
 }

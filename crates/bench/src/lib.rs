@@ -46,14 +46,17 @@ pub mod plot;
 
 /// Usage text every binary prints when argument parsing fails.
 pub const USAGE: &str = "usage: <bin> [test|small|bench] [--iters N] [--json PATH] \
-[--metrics-json PATH] [--timeline PATH] [--parallel] [--jobs N]\n\
+[--metrics-json PATH] [--timeline PATH] [--store DIR] [--parallel] [--jobs N]\n\
 \x20      [--retries N] [--keep-going|--fail-fast] [--journal DIR] [--resume]\n\
 \x20      [--faults SPEC] [--fault-seed N]\n\
+value flags accept both spellings: --iters 5 and --iters=5\n\
   test|small|bench   footprint scale (default: bench = 1/64 paper size)\n\
   --iters N          main-loop iterations (default: 10)\n\
   --json PATH        dump the experiment report as JSON\n\
   --metrics-json PATH dump the nvsim-obs snapshot (docs/METRICS.md)\n\
   --timeline PATH    dump the Chrome trace-event journal\n\
+  --store DIR        write this run's tables into DIR/dataset.nvstore\n\
+\x20                    (merged with any tables already there; see docs/STORE.md)\n\
   --parallel         run experiments on the fleet worker pool\n\
   --jobs N           worker count (implies --parallel; default: all cores)\n\
   --retries N        extra attempts per failed cell (default: 1)\n\
@@ -109,6 +112,9 @@ pub struct BenchArgs {
     pub faults: Option<String>,
     /// `--fault-seed N`: seeded chaos plan over the sweep's cell grid.
     pub fault_seed: Option<u64>,
+    /// `--store DIR`: merge this run's tables into `DIR/dataset.nvstore`
+    /// (the columnar store `nvq` and `nvsim-serve` query).
+    pub store: Option<PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -127,6 +133,7 @@ impl Default for BenchArgs {
             resume: false,
             faults: None,
             fault_seed: None,
+            store: None,
         }
     }
 }
@@ -146,34 +153,62 @@ impl BenchArgs {
 
     /// Parses an explicit argument list (no leading program name):
     /// `[scale] [--iters N] [--json PATH] [--metrics-json PATH]
-    /// [--timeline PATH] [--parallel] [--jobs N]`.
+    /// [--timeline PATH] [--store DIR] [--parallel] [--jobs N]`. Every
+    /// value-taking flag accepts both the separate-token (`--iters 5`)
+    /// and the inline (`--iters=5`) spelling.
     pub fn parse_from(
         argv: impl IntoIterator<Item = String>,
     ) -> Result<Self, String> {
+        // The inline value of a `--flag=value` token; a value arm takes
+        // it instead of consuming the next token.
+        fn value(
+            flag: &str,
+            inline: &mut Option<String>,
+            it: &mut dyn Iterator<Item = String>,
+            what: &str,
+        ) -> Result<String, String> {
+            match inline.take() {
+                Some(v) if !v.is_empty() => Ok(v),
+                // `--flag=` with nothing after the sign is an error, not
+                // a license to eat the next token.
+                Some(_) => Err(format!("{flag} needs {what}")),
+                None => it.next().ok_or(format!("{flag} needs {what}")),
+            }
+        }
+        fn path(
+            flag: &str,
+            inline: &mut Option<String>,
+            it: &mut dyn Iterator<Item = String>,
+        ) -> Result<PathBuf, String> {
+            value(flag, inline, it, "a path").map(PathBuf::from)
+        }
+
         let mut args = BenchArgs::default();
         let mut it = argv.into_iter();
-        while let Some(a) = it.next() {
-            let path_arg = |it: &mut dyn Iterator<Item = String>| {
-                it.next()
-                    .map(PathBuf::from)
-                    .ok_or(format!("{a} needs a path"))
+        while let Some(raw) = it.next() {
+            let (a, mut inline) = match raw.split_once('=') {
+                Some((flag, v)) if flag.starts_with("--") => {
+                    (flag.to_string(), Some(v.to_string()))
+                }
+                _ => (raw, None),
             };
             match a.as_str() {
                 "test" => args.scale = AppScale::Test,
                 "small" => args.scale = AppScale::Small,
                 "bench" => args.scale = AppScale::Bench,
                 "--iters" => {
-                    let v = it.next().ok_or("--iters needs a number")?;
+                    let v = value(&a, &mut inline, &mut it, "a number")?;
                     args.iterations = v
                         .parse()
                         .map_err(|_| format!("--iters needs a number, got {v:?}"))?;
                 }
-                "--json" => args.json = Some(path_arg(&mut it)?),
-                "--metrics-json" => args.metrics_json = Some(path_arg(&mut it)?),
-                "--timeline" => args.timeline_json = Some(path_arg(&mut it)?),
+                "--json" => args.json = Some(path(&a, &mut inline, &mut it)?),
+                "--metrics-json" => args.metrics_json = Some(path(&a, &mut inline, &mut it)?),
+                "--timeline" => args.timeline_json = Some(path(&a, &mut inline, &mut it)?),
+                "--store" => args.store = Some(path(&a, &mut inline, &mut it)?),
                 "--parallel" => args.parallel = true,
                 "--jobs" => {
-                    let v = it.next().ok_or("--jobs needs a worker count")?;
+                    let v = value(&a, &mut inline, &mut it, "a worker count")?;
                     let n: usize = v
                         .parse()
                         .map_err(|_| format!("--jobs needs a worker count, got {v:?}"))?;
@@ -184,30 +219,33 @@ impl BenchArgs {
                     args.parallel = true;
                 }
                 "--retries" => {
-                    let v = it.next().ok_or("--retries needs a count")?;
+                    let v = value(&a, &mut inline, &mut it, "a count")?;
                     args.retries = v
                         .parse()
                         .map_err(|_| format!("--retries needs a count, got {v:?}"))?;
                 }
                 "--keep-going" => args.fail_fast = false,
                 "--fail-fast" => args.fail_fast = true,
-                "--journal" => args.journal = Some(path_arg(&mut it)?),
+                "--journal" => args.journal = Some(path(&a, &mut inline, &mut it)?),
                 "--resume" => args.resume = true,
                 "--faults" => {
-                    let spec = it.next().ok_or("--faults needs a fault spec")?;
+                    let spec = value(&a, &mut inline, &mut it, "a fault spec")?;
                     // Validate eagerly: a typo'd spec must die at the usage
                     // line, not be silently ignored on runs with no dumps.
                     FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
                     args.faults = Some(spec);
                 }
                 "--fault-seed" => {
-                    let v = it.next().ok_or("--fault-seed needs a seed")?;
+                    let v = value(&a, &mut inline, &mut it, "a seed")?;
                     args.fault_seed = Some(
                         v.parse()
                             .map_err(|_| format!("--fault-seed needs a seed, got {v:?}"))?,
                     );
                 }
                 other => return Err(format!("unknown argument: {other}")),
+            }
+            if inline.is_some() {
+                return Err(format!("{a} does not take a value"));
             }
         }
         if args.resume && args.journal.is_none() {
@@ -262,6 +300,27 @@ impl BenchArgs {
             policy.journal = Some(Journal::open(dir).map_err(|e| e.to_string())?);
         }
         Ok(policy)
+    }
+
+    /// Merges this run's section tables into `--store DIR`'s
+    /// `dataset.nvstore`, if requested. The run's `meta` table (scale
+    /// divisor, iterations) is always written first, so any stored rows
+    /// can be rescaled to paper units by a later `nvq` query. Takes a
+    /// closure so binaries pay the flattening cost only when the flag
+    /// is set.
+    pub fn dump_store(&self, tables: impl FnOnce() -> Vec<nvsim_store::Table>) {
+        if let Some(dir) = &self.store {
+            let mut all = vec![nv_scavenger::dataset_store::meta_table(
+                self.scale.divisor(),
+                self.iterations,
+            )];
+            all.extend(tables());
+            let path = or_die(
+                nv_scavenger::merge_into_dataset(dir, all),
+                "write result store",
+            );
+            eprintln!("wrote {}", path.display());
+        }
     }
 
     /// Writes the JSON dump if requested.
@@ -435,6 +494,60 @@ mod tests {
     }
 
     #[test]
+    fn every_value_flag_accepts_both_spellings() {
+        // (flag, value, field check) for every value-taking flag.
+        let cases: &[(&str, &str)] = &[
+            ("--iters", "7"),
+            ("--json", "r.json"),
+            ("--metrics-json", "m.json"),
+            ("--timeline", "t.json"),
+            ("--store", "out.d"),
+            ("--jobs", "3"),
+            ("--retries", "2"),
+            ("--journal", "j.dir"),
+            ("--faults", "panic@GTC/pcram"),
+            ("--fault-seed", "42"),
+        ];
+        for (flag, value) in cases {
+            let spaced = parse(&[flag, value]).unwrap();
+            let inline = parse(&[&format!("{flag}={value}")]).unwrap();
+            assert_eq!(spaced, inline, "{flag}: spellings must agree");
+            assert_ne!(
+                spaced,
+                BenchArgs::default(),
+                "{flag}: parsing must change a field"
+            );
+        }
+        // Only the first '=' splits, so values may contain one.
+        let args = parse(&["--json=a=b.json"]).unwrap();
+        assert_eq!(
+            args.json.as_deref(),
+            Some(std::path::Path::new("a=b.json"))
+        );
+        // `--jobs=N` keeps the implies-parallel behavior.
+        assert!(parse(&["--jobs=2"]).unwrap().parallel);
+        // Boolean flags reject an inline value instead of dropping it.
+        for flag in ["--parallel", "--keep-going", "--fail-fast", "--resume"] {
+            let err = parse(&[&format!("{flag}=yes")]).unwrap_err();
+            assert!(err.contains("does not take a value"), "{flag}: {err}");
+        }
+        // Scale keywords are not flags; `test=...` is simply unknown.
+        let err = parse(&["test=1"]).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+    }
+
+    #[test]
+    fn store_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().store, None);
+        let args = parse(&["--store", "results"]).unwrap();
+        assert_eq!(args.store.as_deref(), Some(std::path::Path::new("results")));
+        // --store alone changes no run semantics: still the plain pass.
+        assert!(!args.wants_instrumented_pass());
+        assert!(!args.wants_resilient_fleet());
+        assert_eq!(args.effective_jobs(), 1);
+    }
+
+    #[test]
     fn parallel_flags_parse() {
         let p = parse(&["--parallel"]).unwrap();
         assert!(p.parallel);
@@ -531,6 +644,10 @@ mod tests {
             (&["Test"][..], "unknown argument: Test"),
             (&["--iters"][..], "--iters needs a number"),
             (&["--iters", "ten"][..], "--iters needs a number"),
+            (&["--iters=ten"][..], "--iters needs a number"),
+            (&["--iters="][..], "--iters needs a number"),
+            (&["--store"][..], "--store needs a path"),
+            (&["--store="][..], "--store needs a path"),
             (&["--json"][..], "--json needs a path"),
             (&["--metrics-json"][..], "--metrics-json needs a path"),
             (&["--timeline"][..], "--timeline needs a path"),
@@ -554,6 +671,7 @@ mod tests {
             "--json",
             "--metrics-json",
             "--timeline",
+            "--store",
             "--parallel",
             "--jobs",
             "--retries",

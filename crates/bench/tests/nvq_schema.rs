@@ -1,0 +1,155 @@
+//! Golden-schema tests for `nvq`: the store answers a section
+//! byte-identically to the experiment binary's `--json` dump — with
+//! zero re-simulation — and the query-mode JSON keeps its documented
+//! shape. Mirrors `run_all_schema.rs` for the query side of the store.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nvsim-nvq-schema-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn report_mode_matches_the_bins_json_dump_byte_for_byte() {
+    let dir = scratch("report-store");
+    let dump = scratch("table1.json");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // One simulation, two artifacts: the --json dump and the store.
+    let status = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(["test", "--iters", "2"])
+        .args(["--json", dump.to_str().unwrap()])
+        .args(["--store", dir.to_str().unwrap()])
+        .status()
+        .expect("run table1");
+    assert!(status.success());
+
+    // nvq re-renders the section from the store alone.
+    let out = Command::new(env!("CARGO_BIN_EXE_nvq"))
+        .args(["--store", dir.to_str().unwrap()])
+        .args(["--report", "table1"])
+        .output()
+        .expect("run nvq");
+    assert!(
+        out.status.success(),
+        "nvq failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dumped = std::fs::read(&dump).unwrap();
+    assert_eq!(
+        out.stdout, dumped,
+        "nvq --report table1 must be byte-identical to table1 --json"
+    );
+
+    std::fs::remove_file(&dump).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_json_keeps_the_documented_shape() {
+    let dir = scratch("query-store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(["test", "--iters", "1"])
+        .args(["--store", dir.to_str().unwrap()])
+        .status()
+        .expect("run table1");
+    assert!(status.success());
+
+    // --tables lists the stored tables (meta rides along with every
+    // section so the store is self-describing for rescaling).
+    let out = Command::new(env!("CARGO_BIN_EXE_nvq"))
+        .args(["--store", dir.to_str().unwrap(), "--tables"])
+        .output()
+        .expect("run nvq --tables");
+    assert!(out.status.success());
+    let listing = String::from_utf8(out.stdout).unwrap();
+    for table in ["meta", "footprint"] {
+        assert!(listing.contains(table), "missing {table} in:\n{listing}");
+    }
+
+    // Query mode with --json: {"table", "columns", "rows"} exactly.
+    let out = Command::new(env!("CARGO_BIN_EXE_nvq"))
+        .args(["--store", dir.to_str().unwrap()])
+        .args(["footprint", "--select", "app,measured_footprint_bytes"])
+        .args(["--sort", "app", "--json"])
+        .output()
+        .expect("run nvq query");
+    assert!(
+        out.status.success(),
+        "nvq failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let value: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(value["table"].as_str(), Some("footprint"));
+    let columns: Vec<&str> = value["columns"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|c| c.as_str().unwrap())
+        .collect();
+    assert_eq!(columns, ["app", "measured_footprint_bytes"]);
+    let rows = value["rows"].as_array().unwrap();
+    assert_eq!(rows.len(), 4, "one footprint row per application");
+    let apps: Vec<&str> = rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+    let mut sorted = apps.clone();
+    sorted.sort_unstable();
+    assert_eq!(apps, sorted, "--sort app must order the rows");
+    for r in rows {
+        assert!(r[1].as_u64().unwrap() > 0, "footprint bytes must be > 0");
+    }
+
+    // Aggregation keeps the same envelope, with derived column labels.
+    let out = Command::new(env!("CARGO_BIN_EXE_nvq"))
+        .args(["--store", dir.to_str().unwrap()])
+        .args(["footprint", "--agg", "count,sum:measured_footprint_bytes", "--json"])
+        .output()
+        .expect("run nvq agg");
+    assert!(out.status.success());
+    let value: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let columns: Vec<&str> = value["columns"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|c| c.as_str().unwrap())
+        .collect();
+    assert_eq!(columns, ["count", "sum(measured_footprint_bytes)"]);
+    assert_eq!(value["rows"].as_array().unwrap().len(), 1);
+    assert_eq!(value["rows"][0][0].as_u64(), Some(4));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_exit_nonzero_with_usage() {
+    let dir = scratch("error-store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(["test", "--iters", "1"])
+        .args(["--store", dir.to_str().unwrap()])
+        .status()
+        .expect("run table1");
+    assert!(status.success());
+
+    // Unknown table, unknown report section, missing store: all loud.
+    for args in [
+        vec!["--store", dir.to_str().unwrap(), "no_such_table"],
+        vec!["--store", dir.to_str().unwrap(), "--report", "fig99"],
+        vec!["--store", "/nonexistent/dir", "--tables"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_nvq"))
+            .args(&args)
+            .output()
+            .expect("run nvq");
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error"), "{args:?} stderr: {err}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -77,5 +77,5 @@ fn main() {
 }
 
 fn mbeq(bytes: u64, scale: AppScale) -> f64 {
-    bytes as f64 * scale.divisor() as f64 / (1024.0 * 1024.0)
+    scale.to_paper_mb(bytes)
 }

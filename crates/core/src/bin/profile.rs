@@ -4,6 +4,7 @@
 //! ```text
 //! profile --app <name> [--scale test|small|bench] [--iters N]
 //!         [--json out.json] [--timeline out.trace.json] [--report out.md|out.json]
+//!         [--store DIR]
 //! ```
 //!
 //! Every stage of the Figure 1 pipeline is bound to one `nvsim-obs`
@@ -16,6 +17,8 @@
 //! `--timeline` writes the run's event journal as Chrome trace-event
 //! JSON (open it at <https://ui.perfetto.dev>). `--report` writes the
 //! consolidated run report — Markdown unless the path ends in `.json`.
+//! `--store` writes the per-epoch counter deltas to
+//! `DIR/profile.nvstore`, queryable with `nvq` (see docs/STORE.md).
 
 use nv_scavenger::profile::profile_observed;
 use nvsim_apps::{all_apps, AppScale, Application};
@@ -31,6 +34,7 @@ struct Cli {
     json: Option<String>,
     timeline: Option<String>,
     report: Option<String>,
+    store: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -41,6 +45,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         json: None,
         timeline: None,
         report: None,
+        store: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -65,6 +70,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 cli.timeline = Some(it.next().ok_or("--timeline needs a path")?.clone())
             }
             "--report" => cli.report = Some(it.next().ok_or("--report needs a path")?.clone()),
+            "--store" => cli.store = Some(it.next().ok_or("--store needs a dir")?.clone()),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             // Allow the app as a bare positional too: `profile gtc`.
             other => cli.app = Some(other.to_string()),
@@ -86,7 +92,8 @@ fn find_app(name: &str, scale: AppScale) -> Result<Box<dyn Application>, String>
 fn run(cli: &Cli) -> Result<(), String> {
     let name = cli.app.as_ref().ok_or(
         "usage: profile --app <name> [--scale test|small|bench] [--iters N] \
-         [--json out.json] [--timeline out.trace.json] [--report out.md|out.json]",
+         [--json out.json] [--timeline out.trace.json] [--report out.md|out.json] \
+         [--store DIR]",
     )?;
     let mut app = find_app(name, cli.scale)?;
     let metrics = Metrics::enabled();
@@ -131,6 +138,11 @@ fn run(cli: &Cli) -> Result<(), String> {
             timeline.len(),
             timeline.dropped()
         );
+    }
+    if let Some(dir) = &cli.store {
+        let path = nv_scavenger::write_epochs(&report.meta.app, &report.epochs, Path::new(dir))
+            .map_err(|e| e.to_string())?;
+        println!("(wrote {})", path.display());
     }
     if let Some(path) = &cli.report {
         let rr = report.run_report(&timeline);

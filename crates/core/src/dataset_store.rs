@@ -1,0 +1,1204 @@
+//! Mapping between [`EvalDataset`] and the generic columnar store
+//! (`nvsim-store`).
+//!
+//! The store crate knows nothing about the evaluation's report structs;
+//! this module is the single place where the dataset's nested reports
+//! flatten into long-format tables and reconstruct from them. The
+//! contract is *exactness*: [`dataset_from_store`] of
+//! [`dataset_to_store`] is `PartialEq`-equal to the original dataset —
+//! every `f64` bit pattern (including the `Some(inf)` read-only ratios
+//! and `None` untouched ratios), every row order, every string. That is
+//! what lets `nvq` and `nvsim-serve` answer table/figure queries from a
+//! store file byte-identically to the sweep binaries' `--json` output,
+//! with zero re-simulation.
+//!
+//! Each paper section has its own table builder (`table1_tables`,
+//! `fig2_tables`, ...) so the per-table sweep binaries can populate a
+//! store incrementally with [`merge_into_dataset`]; `run_all` writes
+//! the complete store in one shot with [`write_dataset`]. Tables
+//! written (see `docs/STORE.md` for the column-level schema): `meta`,
+//! `footprint` (Table I), `stack` (Table V), `stack_objects` +
+//! `fig2_summary` (Figure 2), `objects` + `objects_summary`
+//! (Figures 3–6), `usage` + `usage_summary` (Figure 7),
+//! `variance_buckets` + `variance` + `variance_summary` (Figures 8–11),
+//! `power` + `power_summary` (Table VI), `latency` (Figure 12), and
+//! `suitability` + `decisions` (§VII). The instrumented-profile path
+//! writes a separate `profile.nvstore` with `epochs` + `epoch_counters`
+//! via [`epochs_to_store`].
+
+use crate::experiments::{
+    AppObjectsReport, EvalDataset, Fig12Report, Fig2Report, Fig7Report, SuitabilityRow,
+    Table1Row, Table5Row, Table6Row, VarianceReport,
+};
+use nvsim_cpu::{CpuResult, LatencyPoint};
+use nvsim_objects::report::{ObjectSummary, UsageDistribution, VarianceHistogram};
+use nvsim_obs::epoch::Epoch;
+use nvsim_placement::{Decision, SuitabilityReport};
+use nvsim_store::{Column, Store, Table, Value, DATASET_FILE, PROFILE_FILE};
+use nvsim_types::{AccessCounts, NvsimError, Region};
+use std::path::{Path, PathBuf};
+
+/// Table VI technology labels, in the `normalized`/`paper` array order.
+const POWER_TECHNOLOGIES: [&str; 4] = ["DDR3", "PCRAM", "STTRAM", "MRAM"];
+
+/// The two suitability policies, in `SuitabilityRow` field order.
+const POLICIES: [&str; 2] = ["category2", "category1"];
+
+fn region_label(region: Region) -> String {
+    region.to_string()
+}
+
+fn region_parse(label: &str) -> Result<Region, NvsimError> {
+    match label {
+        "stack" => Ok(Region::Stack),
+        "heap" => Ok(Region::Heap),
+        "global" => Ok(Region::Global),
+        other => Err(NvsimError::InvalidConfig(format!(
+            "stored region {other:?} is not stack/heap/global"
+        ))),
+    }
+}
+
+fn decision_label(decision: Decision) -> &'static str {
+    match decision {
+        Decision::NvramUntouched => "nvram_untouched",
+        Decision::NvramReadOnly => "nvram_read_only",
+        Decision::NvramHighRatio => "nvram_high_ratio",
+        Decision::Dram => "dram",
+    }
+}
+
+fn decision_parse(label: &str) -> Result<Decision, NvsimError> {
+    match label {
+        "nvram_untouched" => Ok(Decision::NvramUntouched),
+        "nvram_read_only" => Ok(Decision::NvramReadOnly),
+        "nvram_high_ratio" => Ok(Decision::NvramHighRatio),
+        "dram" => Ok(Decision::Dram),
+        other => Err(NvsimError::InvalidConfig(format!(
+            "stored decision {other:?} is unknown"
+        ))),
+    }
+}
+
+// ------------------------------------------------------------- writing
+
+/// Column-builder for one long-format table: push a whole row at a time,
+/// keyed by the declared columns.
+struct TableBuilder {
+    name: &'static str,
+    columns: Vec<(&'static str, Column)>,
+}
+
+impl TableBuilder {
+    fn new(name: &'static str, columns: &[(&'static str, Column)]) -> Self {
+        TableBuilder {
+            name,
+            columns: columns.to_vec(),
+        }
+    }
+
+    fn push(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.columns.len(), "table {}: row arity", self.name);
+        for ((_, column), value) in self.columns.iter_mut().zip(row) {
+            match (column, value) {
+                (Column::U64(v), Value::U64(x)) => v.push(*x),
+                (Column::F64(v), Value::F64(x)) => v.push(*x),
+                (Column::OptF64(v), Value::OptF64(x)) => v.push(*x),
+                (Column::Str(v), Value::Str(x)) => v.push(x.clone()),
+                (Column::Bool(v), Value::Bool(x)) => v.push(*x),
+                _ => panic!("table {}: row value type mismatch", self.name),
+            }
+        }
+    }
+
+    fn build(self) -> Table {
+        let mut table = Table::new(self.name);
+        for (name, column) in self.columns {
+            table = table.with_column(name, column);
+        }
+        table
+    }
+}
+
+fn u64s() -> Column {
+    Column::U64(Vec::new())
+}
+fn f64s() -> Column {
+    Column::F64(Vec::new())
+}
+fn opt_f64s() -> Column {
+    Column::OptF64(Vec::new())
+}
+fn strs() -> Column {
+    Column::Str(Vec::new())
+}
+fn bools() -> Column {
+    Column::Bool(Vec::new())
+}
+
+/// The run-configuration table every store carries: divisor and
+/// iteration count, so stored rows rescale to paper units without an
+/// `AppScale` in hand.
+pub fn meta_table(scale_divisor: u64, iterations: u32) -> Table {
+    Table::new("meta")
+        .with_column("scale_divisor", Column::U64(vec![scale_divisor]))
+        .with_column("iterations", Column::U64(vec![u64::from(iterations)]))
+}
+
+/// Table I rows as the `footprint` table.
+pub fn table1_tables(rows: &[Table1Row]) -> Vec<Table> {
+    let mut footprint = TableBuilder::new(
+        "footprint",
+        &[
+            ("app", strs()),
+            ("input", strs()),
+            ("description", strs()),
+            ("paper_footprint_mb", f64s()),
+            ("measured_footprint_bytes", u64s()),
+            ("scale_divisor", u64s()),
+        ],
+    );
+    for r in rows {
+        footprint.push(&[
+            Value::Str(r.app.clone()),
+            Value::Str(r.input.clone()),
+            Value::Str(r.description.clone()),
+            Value::F64(r.paper_footprint_mb),
+            Value::U64(r.measured_footprint_bytes),
+            Value::U64(r.scale_divisor),
+        ]);
+    }
+    vec![footprint.build()]
+}
+
+/// Table V rows as the `stack` table.
+pub fn table5_tables(rows: &[Table5Row]) -> Vec<Table> {
+    let mut stack = TableBuilder::new(
+        "stack",
+        &[
+            ("app", strs()),
+            ("rw_ratio", f64s()),
+            ("rw_ratio_first", f64s()),
+            ("reference_percentage", f64s()),
+            ("paper_rw_ratio", f64s()),
+            ("paper_rw_ratio_first", f64s()),
+            ("paper_reference_percentage", f64s()),
+        ],
+    );
+    for r in rows {
+        stack.push(&[
+            Value::Str(r.app.clone()),
+            Value::F64(r.rw_ratio),
+            Value::F64(r.rw_ratio_first),
+            Value::F64(r.reference_percentage),
+            Value::F64(r.paper.0),
+            Value::F64(r.paper.1),
+            Value::F64(r.paper.2),
+        ]);
+    }
+    vec![stack.build()]
+}
+
+const OBJECT_COLUMNS: [&str; 11] = [
+    "app",
+    "name",
+    "region",
+    "size_bytes",
+    "reads",
+    "writes",
+    "rw_ratio",
+    "reference_rate",
+    "iterations_touched",
+    "only_pre_post",
+    "short_term_heap",
+];
+
+fn object_table(name: &'static str) -> TableBuilder {
+    TableBuilder::new(
+        name,
+        &[
+            ("app", strs()),
+            ("name", strs()),
+            ("region", strs()),
+            ("size_bytes", u64s()),
+            ("reads", u64s()),
+            ("writes", u64s()),
+            ("rw_ratio", opt_f64s()),
+            ("reference_rate", f64s()),
+            ("iterations_touched", u64s()),
+            ("only_pre_post", bools()),
+            ("short_term_heap", bools()),
+        ],
+    )
+}
+
+fn object_row(app: &str, o: &ObjectSummary) -> Vec<Value> {
+    vec![
+        Value::Str(app.to_string()),
+        Value::Str(o.name.clone()),
+        Value::Str(region_label(o.region)),
+        Value::U64(o.size_bytes),
+        Value::U64(o.counts.reads),
+        Value::U64(o.counts.writes),
+        Value::OptF64(o.rw_ratio),
+        Value::F64(o.reference_rate),
+        Value::U64(u64::from(o.iterations_touched)),
+        Value::Bool(o.only_pre_post),
+        Value::Bool(o.short_term_heap),
+    ]
+}
+
+/// Figure 2 as the `stack_objects` + `fig2_summary` tables.
+pub fn fig2_tables(report: &Fig2Report) -> Vec<Table> {
+    let mut objects = object_table("stack_objects");
+    for o in &report.objects {
+        objects.push(&object_row("CAM", o));
+    }
+    vec![
+        objects.build(),
+        Table::new("fig2_summary")
+            .with_column("objects_ratio_gt10", Column::F64(vec![report.objects_ratio_gt10]))
+            .with_column("refs_ratio_gt10", Column::F64(vec![report.refs_ratio_gt10]))
+            .with_column("objects_ratio_gt50", Column::F64(vec![report.objects_ratio_gt50]))
+            .with_column("refs_ratio_gt50", Column::F64(vec![report.refs_ratio_gt50])),
+    ]
+}
+
+/// Figures 3–6 as the `objects` + `objects_summary` tables.
+pub fn figs3_6_tables(reports: &[AppObjectsReport]) -> Vec<Table> {
+    let mut objects = object_table("objects");
+    let mut summary = TableBuilder::new(
+        "objects_summary",
+        &[
+            ("app", strs()),
+            ("total_bytes", u64s()),
+            ("read_only_bytes", u64s()),
+            ("high_ratio_bytes", u64s()),
+            ("objects_ratio_gt1", f64s()),
+        ],
+    );
+    for r in reports {
+        for o in &r.objects {
+            objects.push(&object_row(&r.app, o));
+        }
+        summary.push(&[
+            Value::Str(r.app.clone()),
+            Value::U64(r.total_bytes),
+            Value::U64(r.read_only_bytes),
+            Value::U64(r.high_ratio_bytes),
+            Value::F64(r.objects_ratio_gt1),
+        ]);
+    }
+    vec![objects.build(), summary.build()]
+}
+
+/// Figure 7 as the `usage` + `usage_summary` tables. One `usage` row per
+/// (app, steps), zeros included, so the distribution vector
+/// reconstructs at its exact length.
+pub fn fig7_tables(reports: &[Fig7Report]) -> Vec<Table> {
+    let mut usage = TableBuilder::new(
+        "usage",
+        &[("app", strs()), ("steps", u64s()), ("bytes", u64s())],
+    );
+    let mut summary = TableBuilder::new(
+        "usage_summary",
+        &[("app", strs()), ("untouched_fraction", f64s())],
+    );
+    for r in reports {
+        for (steps, bytes) in r.distribution.bytes_by_steps.iter().enumerate() {
+            usage.push(&[
+                Value::Str(r.app.clone()),
+                Value::U64(steps as u64),
+                Value::U64(*bytes),
+            ]);
+        }
+        summary.push(&[
+            Value::Str(r.app.clone()),
+            Value::F64(r.untouched_fraction),
+        ]);
+    }
+    vec![usage.build(), summary.build()]
+}
+
+/// Figures 8–11 as the `variance_buckets` + `variance` +
+/// `variance_summary` tables: histogram cells in (app, metric, iter,
+/// bucket) order, with bucket labels and iteration counts stored
+/// alongside so even an empty histogram reconstructs exactly.
+pub fn figs8_11_tables(reports: &[VarianceReport]) -> Vec<Table> {
+    let mut buckets_t = TableBuilder::new(
+        "variance_buckets",
+        &[
+            ("app", strs()),
+            ("metric", strs()),
+            ("bucket_index", u64s()),
+            ("bucket", strs()),
+        ],
+    );
+    let mut variance = TableBuilder::new(
+        "variance",
+        &[
+            ("app", strs()),
+            ("metric", strs()),
+            ("iter", u64s()),
+            ("bucket_index", u64s()),
+            ("fraction", f64s()),
+        ],
+    );
+    let mut summary = TableBuilder::new(
+        "variance_summary",
+        &[
+            ("app", strs()),
+            ("min_stable_fraction", f64s()),
+            ("rw_ratio_iters", u64s()),
+            ("ref_rate_iters", u64s()),
+        ],
+    );
+    for r in reports {
+        for (metric, hist) in [("rw_ratio", &r.rw_ratio), ("ref_rate", &r.ref_rate)] {
+            for (i, bucket) in hist.buckets.iter().enumerate() {
+                buckets_t.push(&[
+                    Value::Str(r.app.clone()),
+                    Value::Str(metric.to_string()),
+                    Value::U64(i as u64),
+                    Value::Str(bucket.clone()),
+                ]);
+            }
+            for (iter, row) in hist.fraction.iter().enumerate() {
+                for (i, fraction) in row.iter().enumerate() {
+                    variance.push(&[
+                        Value::Str(r.app.clone()),
+                        Value::Str(metric.to_string()),
+                        Value::U64(iter as u64),
+                        Value::U64(i as u64),
+                        Value::F64(*fraction),
+                    ]);
+                }
+            }
+        }
+        summary.push(&[
+            Value::Str(r.app.clone()),
+            Value::F64(r.min_stable_fraction),
+            Value::U64(r.rw_ratio.fraction.len() as u64),
+            Value::U64(r.ref_rate.fraction.len() as u64),
+        ]);
+    }
+    vec![buckets_t.build(), variance.build(), summary.build()]
+}
+
+/// Table VI as the `power` + `power_summary` tables (one `power` row per
+/// app × technology cell).
+pub fn table6_tables(rows: &[Table6Row]) -> Vec<Table> {
+    let mut power = TableBuilder::new(
+        "power",
+        &[
+            ("app", strs()),
+            ("technology", strs()),
+            ("normalized", f64s()),
+            ("paper", f64s()),
+        ],
+    );
+    let mut summary = TableBuilder::new(
+        "power_summary",
+        &[("app", strs()), ("transactions", u64s())],
+    );
+    for r in rows {
+        for (i, technology) in POWER_TECHNOLOGIES.iter().enumerate() {
+            power.push(&[
+                Value::Str(r.app.clone()),
+                Value::Str(technology.to_string()),
+                Value::F64(r.normalized[i]),
+                Value::F64(r.paper[i]),
+            ]);
+        }
+        summary.push(&[Value::Str(r.app.clone()), Value::U64(r.transactions)]);
+    }
+    vec![power.build(), summary.build()]
+}
+
+/// Figure 12 as the `latency` table (one row per sweep point, point
+/// order preserved).
+pub fn fig12_tables(reports: &[Fig12Report]) -> Vec<Table> {
+    let mut latency = TableBuilder::new(
+        "latency",
+        &[
+            ("app", strs()),
+            ("technology", strs()),
+            ("latency_ns", f64s()),
+            ("normalized_runtime", f64s()),
+            ("cycles", u64s()),
+            ("refs", u64s()),
+            ("instructions", u64s()),
+            ("mem_accesses", u64s()),
+            ("mshr_stall_cycles", u64s()),
+            ("window_stall_cycles", u64s()),
+        ],
+    );
+    for r in reports {
+        for p in &r.points {
+            latency.push(&[
+                Value::Str(r.app.clone()),
+                Value::Str(p.technology.clone()),
+                Value::F64(p.latency_ns),
+                Value::F64(p.normalized_runtime),
+                Value::U64(p.result.cycles),
+                Value::U64(p.result.refs),
+                Value::U64(p.result.instructions),
+                Value::U64(p.result.mem_accesses),
+                Value::U64(p.result.mshr_stall_cycles),
+                Value::U64(p.result.window_stall_cycles),
+            ]);
+        }
+    }
+    vec![latency.build()]
+}
+
+/// §VII suitability as the `suitability` + `decisions` tables
+/// (per-policy aggregate rows plus per-object decisions).
+pub fn suitability_tables(rows: &[SuitabilityRow]) -> Vec<Table> {
+    let mut suitability = TableBuilder::new(
+        "suitability",
+        &[
+            ("app", strs()),
+            ("policy", strs()),
+            ("total_bytes", u64s()),
+            ("nvram_bytes", u64s()),
+            ("untouched_bytes", u64s()),
+            ("read_only_bytes", u64s()),
+            ("high_ratio_bytes", u64s()),
+        ],
+    );
+    let mut decisions = TableBuilder::new(
+        "decisions",
+        &[
+            ("app", strs()),
+            ("policy", strs()),
+            ("index", u64s()),
+            ("decision", strs()),
+        ],
+    );
+    for r in rows {
+        for (policy, report) in [("category2", &r.category2), ("category1", &r.category1)] {
+            suitability.push(&[
+                Value::Str(r.app.clone()),
+                Value::Str(policy.to_string()),
+                Value::U64(report.total_bytes),
+                Value::U64(report.nvram_bytes),
+                Value::U64(report.untouched_bytes),
+                Value::U64(report.read_only_bytes),
+                Value::U64(report.high_ratio_bytes),
+            ]);
+            for (i, d) in report.decisions.iter().enumerate() {
+                decisions.push(&[
+                    Value::Str(r.app.clone()),
+                    Value::Str(policy.to_string()),
+                    Value::U64(i as u64),
+                    Value::Str(decision_label(*d).to_string()),
+                ]);
+            }
+        }
+    }
+    vec![suitability.build(), decisions.build()]
+}
+
+/// Flattens a full dataset into its store tables, in `run_all` section
+/// order. Infallible: every dataset value has a column home.
+pub fn dataset_to_store(ds: &EvalDataset) -> Store {
+    let mut store = Store::new();
+    store.upsert(meta_table(ds.scale_divisor, ds.iterations));
+    let sections = [
+        table1_tables(&ds.table1),
+        table5_tables(&ds.table5),
+        fig2_tables(&ds.fig2),
+        figs3_6_tables(&ds.figs3_6),
+        fig7_tables(&ds.fig7),
+        figs8_11_tables(&ds.figs8_11),
+        table6_tables(&ds.table6),
+        fig12_tables(&ds.fig12),
+        suitability_tables(&ds.suitability),
+    ];
+    for table in sections.into_iter().flatten() {
+        store.upsert(table);
+    }
+    store
+}
+
+// ------------------------------------------------------------- reading
+
+/// Typed access to one table's columns, with schema errors that name
+/// what was expected.
+struct Cols<'a> {
+    table: &'a Table,
+}
+
+impl<'a> Cols<'a> {
+    fn open(store: &'a Store, name: &str) -> Result<Self, NvsimError> {
+        store
+            .table(name)
+            .map(|table| Cols { table })
+            .ok_or_else(|| NvsimError::NotFound(format!("store table {name:?}")))
+    }
+
+    fn rows(&self) -> usize {
+        self.table.rows
+    }
+
+    fn col(&self, name: &str) -> Result<&'a Column, NvsimError> {
+        self.table.column(name).ok_or_else(|| {
+            NvsimError::NotFound(format!(
+                "column {name:?} in store table {:?}",
+                self.table.name
+            ))
+        })
+    }
+
+    fn mismatch(&self, name: &str, want: &str) -> NvsimError {
+        NvsimError::InvalidConfig(format!(
+            "store table {:?} column {name:?} is not {want}",
+            self.table.name
+        ))
+    }
+
+    fn u64(&self, name: &str) -> Result<&'a [u64], NvsimError> {
+        match self.col(name)? {
+            Column::U64(v) => Ok(v),
+            _ => Err(self.mismatch(name, "u64")),
+        }
+    }
+
+    fn f64(&self, name: &str) -> Result<&'a [f64], NvsimError> {
+        match self.col(name)? {
+            Column::F64(v) => Ok(v),
+            _ => Err(self.mismatch(name, "f64")),
+        }
+    }
+
+    fn opt_f64(&self, name: &str) -> Result<&'a [Option<f64>], NvsimError> {
+        match self.col(name)? {
+            Column::OptF64(v) => Ok(v),
+            _ => Err(self.mismatch(name, "f64?")),
+        }
+    }
+
+    fn str(&self, name: &str) -> Result<&'a [String], NvsimError> {
+        match self.col(name)? {
+            Column::Str(v) => Ok(v),
+            _ => Err(self.mismatch(name, "str")),
+        }
+    }
+
+    fn bool(&self, name: &str) -> Result<&'a [bool], NvsimError> {
+        match self.col(name)? {
+            Column::Bool(v) => Ok(v),
+            _ => Err(self.mismatch(name, "bool")),
+        }
+    }
+}
+
+fn single_u64(cols: &Cols<'_>, name: &str) -> Result<u64, NvsimError> {
+    cols.u64(name)?.first().copied().ok_or_else(|| {
+        NvsimError::InvalidConfig(format!("store table {:?} is empty", cols.table.name))
+    })
+}
+
+fn single_f64(cols: &Cols<'_>, name: &str) -> Result<f64, NvsimError> {
+    cols.f64(name)?.first().copied().ok_or_else(|| {
+        NvsimError::InvalidConfig(format!("store table {:?} is empty", cols.table.name))
+    })
+}
+
+/// Reads an object table's rows in stored order, optionally one app's.
+fn read_objects(
+    store: &Store,
+    table: &str,
+    app: Option<&str>,
+) -> Result<Vec<ObjectSummary>, NvsimError> {
+    let cols = Cols::open(store, table)?;
+    let apps = cols.str("app")?;
+    let names = cols.str("name")?;
+    let regions = cols.str("region")?;
+    let sizes = cols.u64("size_bytes")?;
+    let reads = cols.u64("reads")?;
+    let writes = cols.u64("writes")?;
+    let ratios = cols.opt_f64("rw_ratio")?;
+    let rates = cols.f64("reference_rate")?;
+    let touched = cols.u64("iterations_touched")?;
+    let pre_post = cols.bool("only_pre_post")?;
+    let short_term = cols.bool("short_term_heap")?;
+    let mut out = Vec::new();
+    for row in 0..cols.rows() {
+        if let Some(app) = app {
+            if apps[row] != app {
+                continue;
+            }
+        }
+        out.push(ObjectSummary {
+            name: names[row].clone(),
+            region: region_parse(&regions[row])?,
+            size_bytes: sizes[row],
+            counts: AccessCounts::new(reads[row], writes[row]),
+            rw_ratio: ratios[row],
+            reference_rate: rates[row],
+            iterations_touched: touched[row] as u32,
+            only_pre_post: pre_post[row],
+            short_term_heap: short_term[row],
+        });
+    }
+    Ok(out)
+}
+
+/// Reads one variance histogram for `(app, metric)`.
+fn read_histogram(
+    store: &Store,
+    app: &str,
+    metric: &str,
+    iters: usize,
+) -> Result<VarianceHistogram, NvsimError> {
+    let bcols = Cols::open(store, "variance_buckets")?;
+    let bapps = bcols.str("app")?;
+    let bmetrics = bcols.str("metric")?;
+    let blabels = bcols.str("bucket")?;
+    let buckets: Vec<String> = (0..bcols.rows())
+        .filter(|&row| bapps[row] == app && bmetrics[row] == metric)
+        .map(|row| blabels[row].clone())
+        .collect();
+
+    let vcols = Cols::open(store, "variance")?;
+    let vapps = vcols.str("app")?;
+    let vmetrics = vcols.str("metric")?;
+    let fractions = vcols.f64("fraction")?;
+    let cells: Vec<f64> = (0..vcols.rows())
+        .filter(|&row| vapps[row] == app && vmetrics[row] == metric)
+        .map(|row| fractions[row])
+        .collect();
+
+    if cells.len() != iters * buckets.len() {
+        return Err(NvsimError::InvalidConfig(format!(
+            "variance table for {app}/{metric}: {} cells, expected {iters}x{}",
+            cells.len(),
+            buckets.len()
+        )));
+    }
+    let fraction = if buckets.is_empty() {
+        vec![Vec::new(); iters]
+    } else {
+        cells.chunks(buckets.len()).map(<[f64]>::to_vec).collect()
+    };
+    Ok(VarianceHistogram { buckets, fraction })
+}
+
+/// Reads Table I (the `footprint` table). Like every `read_*` section
+/// reader, this touches only its own tables, so it works against a
+/// partial store written by a single experiment binary.
+///
+/// # Errors
+/// [`NvsimError::NotFound`] for a missing table or column,
+/// [`NvsimError::InvalidConfig`] for a schema mismatch.
+pub fn read_table1(store: &Store) -> Result<Vec<Table1Row>, NvsimError> {
+    let fp = Cols::open(store, "footprint")?;
+    (0..fp.rows())
+        .map(|row| {
+            Ok(Table1Row {
+                app: fp.str("app")?[row].clone(),
+                input: fp.str("input")?[row].clone(),
+                description: fp.str("description")?[row].clone(),
+                paper_footprint_mb: fp.f64("paper_footprint_mb")?[row],
+                measured_footprint_bytes: fp.u64("measured_footprint_bytes")?[row],
+                scale_divisor: fp.u64("scale_divisor")?[row],
+            })
+        })
+        .collect()
+}
+
+/// Reads Table V (the `stack` table).
+///
+/// # Errors
+/// See [`read_table1`].
+pub fn read_table5(store: &Store) -> Result<Vec<Table5Row>, NvsimError> {
+    let st = Cols::open(store, "stack")?;
+    (0..st.rows())
+        .map(|row| {
+            Ok(Table5Row {
+                app: st.str("app")?[row].clone(),
+                rw_ratio: st.f64("rw_ratio")?[row],
+                rw_ratio_first: st.f64("rw_ratio_first")?[row],
+                reference_percentage: st.f64("reference_percentage")?[row],
+                paper: (
+                    st.f64("paper_rw_ratio")?[row],
+                    st.f64("paper_rw_ratio_first")?[row],
+                    st.f64("paper_reference_percentage")?[row],
+                ),
+            })
+        })
+        .collect()
+}
+
+/// Reads Figure 2 (`stack_objects` + `fig2_summary`).
+///
+/// # Errors
+/// See [`read_table1`].
+pub fn read_fig2(store: &Store) -> Result<Fig2Report, NvsimError> {
+    let f2 = Cols::open(store, "fig2_summary")?;
+    Ok(Fig2Report {
+        objects: read_objects(store, "stack_objects", None)?,
+        objects_ratio_gt10: single_f64(&f2, "objects_ratio_gt10")?,
+        refs_ratio_gt10: single_f64(&f2, "refs_ratio_gt10")?,
+        objects_ratio_gt50: single_f64(&f2, "objects_ratio_gt50")?,
+        refs_ratio_gt50: single_f64(&f2, "refs_ratio_gt50")?,
+    })
+}
+
+/// Reads Figures 3-6 (`objects` + `objects_summary`).
+///
+/// # Errors
+/// See [`read_table1`].
+pub fn read_figs3_6(store: &Store) -> Result<Vec<AppObjectsReport>, NvsimError> {
+    let os = Cols::open(store, "objects_summary")?;
+    (0..os.rows())
+        .map(|row| {
+            let app = os.str("app")?[row].clone();
+            Ok(AppObjectsReport {
+                objects: read_objects(store, "objects", Some(&app))?,
+                total_bytes: os.u64("total_bytes")?[row],
+                read_only_bytes: os.u64("read_only_bytes")?[row],
+                high_ratio_bytes: os.u64("high_ratio_bytes")?[row],
+                objects_ratio_gt1: os.f64("objects_ratio_gt1")?[row],
+                app,
+            })
+        })
+        .collect()
+}
+
+/// Reads Figure 7 (`usage` + `usage_summary`).
+///
+/// # Errors
+/// See [`read_table1`]; additionally [`NvsimError::InvalidConfig`] when
+/// an app's per-step usage rows have gaps.
+pub fn read_fig7(store: &Store) -> Result<Vec<Fig7Report>, NvsimError> {
+    let us = Cols::open(store, "usage_summary")?;
+    let usage = Cols::open(store, "usage")?;
+    let uapps = usage.str("app")?;
+    let usteps = usage.u64("steps")?;
+    let ubytes = usage.u64("bytes")?;
+    (0..us.rows())
+        .map(|row| {
+            let app = us.str("app")?[row].clone();
+            let mut pairs: Vec<(u64, u64)> = (0..usage.rows())
+                .filter(|&r| uapps[r] == app)
+                .map(|r| (usteps[r], ubytes[r]))
+                .collect();
+            pairs.sort_by_key(|(steps, _)| *steps);
+            let bytes_by_steps: Vec<u64> = pairs.iter().map(|(_, b)| *b).collect();
+            for (i, (steps, _)) in pairs.iter().enumerate() {
+                if *steps != i as u64 {
+                    return Err(NvsimError::InvalidConfig(format!(
+                        "usage table for {app}: step {i} missing"
+                    )));
+                }
+            }
+            Ok(Fig7Report {
+                app,
+                distribution: UsageDistribution { bytes_by_steps },
+                untouched_fraction: us.f64("untouched_fraction")?[row],
+            })
+        })
+        .collect()
+}
+
+/// Reads Figures 8-11 (`variance_buckets` + `variance` +
+/// `variance_summary`).
+///
+/// # Errors
+/// See [`read_table1`].
+pub fn read_figs8_11(store: &Store) -> Result<Vec<VarianceReport>, NvsimError> {
+    let vs = Cols::open(store, "variance_summary")?;
+    (0..vs.rows())
+        .map(|row| {
+            let app = vs.str("app")?[row].clone();
+            let rw_iters = vs.u64("rw_ratio_iters")?[row] as usize;
+            let rate_iters = vs.u64("ref_rate_iters")?[row] as usize;
+            Ok(VarianceReport {
+                rw_ratio: read_histogram(store, &app, "rw_ratio", rw_iters)?,
+                ref_rate: read_histogram(store, &app, "ref_rate", rate_iters)?,
+                min_stable_fraction: vs.f64("min_stable_fraction")?[row],
+                app,
+            })
+        })
+        .collect()
+}
+
+/// Reads Table VI (`power` + `power_summary`).
+///
+/// # Errors
+/// See [`read_table1`]; additionally [`NvsimError::InvalidConfig`] when
+/// an app is missing one of the four technologies' rows.
+pub fn read_table6(store: &Store) -> Result<Vec<Table6Row>, NvsimError> {
+    let ps = Cols::open(store, "power_summary")?;
+    let power = Cols::open(store, "power")?;
+    let papps = power.str("app")?;
+    let ptech = power.str("technology")?;
+    let pnorm = power.f64("normalized")?;
+    let ppaper = power.f64("paper")?;
+    (0..ps.rows())
+        .map(|row| {
+            let app = ps.str("app")?[row].clone();
+            let mut normalized = [0.0f64; 4];
+            let mut paper = [0.0f64; 4];
+            for (i, technology) in POWER_TECHNOLOGIES.iter().enumerate() {
+                let at = (0..power.rows())
+                    .find(|&r| papps[r] == app && ptech[r] == *technology)
+                    .ok_or_else(|| {
+                        NvsimError::InvalidConfig(format!(
+                            "power table for {app}: {technology} row missing"
+                        ))
+                    })?;
+                normalized[i] = pnorm[at];
+                paper[i] = ppaper[at];
+            }
+            Ok(Table6Row {
+                app,
+                normalized,
+                paper,
+                transactions: ps.u64("transactions")?[row],
+            })
+        })
+        .collect()
+}
+
+/// Reads Figure 12 (the `latency` table).
+///
+/// # Errors
+/// See [`read_table1`].
+pub fn read_fig12(store: &Store) -> Result<Vec<Fig12Report>, NvsimError> {
+    let lat = Cols::open(store, "latency")?;
+    let lapps = lat.str("app")?;
+    let mut fig12: Vec<Fig12Report> = Vec::new();
+    for row in 0..lat.rows() {
+        let point = LatencyPoint {
+            technology: lat.str("technology")?[row].clone(),
+            latency_ns: lat.f64("latency_ns")?[row],
+            result: CpuResult {
+                cycles: lat.u64("cycles")?[row],
+                refs: lat.u64("refs")?[row],
+                instructions: lat.u64("instructions")?[row],
+                mem_accesses: lat.u64("mem_accesses")?[row],
+                mshr_stall_cycles: lat.u64("mshr_stall_cycles")?[row],
+                window_stall_cycles: lat.u64("window_stall_cycles")?[row],
+            },
+            normalized_runtime: lat.f64("normalized_runtime")?[row],
+        };
+        match fig12.iter_mut().find(|r| r.app == lapps[row]) {
+            Some(report) => report.points.push(point),
+            None => fig12.push(Fig12Report {
+                app: lapps[row].clone(),
+                points: vec![point],
+            }),
+        }
+    }
+    Ok(fig12)
+}
+
+/// Reads the suitability study (`suitability` + `decisions`).
+///
+/// # Errors
+/// See [`read_table1`]; additionally [`NvsimError::InvalidConfig`] when
+/// an app is missing one of the two policies' rows.
+pub fn read_suitability(store: &Store) -> Result<Vec<SuitabilityRow>, NvsimError> {
+    let su = Cols::open(store, "suitability")?;
+    let sapps = su.str("app")?;
+    let spolicies = su.str("policy")?;
+    let dc = Cols::open(store, "decisions")?;
+    let dapps = dc.str("app")?;
+    let dpolicies = dc.str("policy")?;
+    let dlabels = dc.str("decision")?;
+    let read_policy = |app: &str, policy: &str| -> Result<SuitabilityReport, NvsimError> {
+        let at = (0..su.rows())
+            .find(|&r| sapps[r] == app && spolicies[r] == policy)
+            .ok_or_else(|| {
+                NvsimError::InvalidConfig(format!(
+                    "suitability table for {app}: {policy} row missing"
+                ))
+            })?;
+        let decisions = (0..dc.rows())
+            .filter(|&r| dapps[r] == app && dpolicies[r] == policy)
+            .map(|r| decision_parse(&dlabels[r]))
+            .collect::<Result<Vec<_>, NvsimError>>()?;
+        Ok(SuitabilityReport {
+            decisions,
+            total_bytes: su.u64("total_bytes")?[at],
+            nvram_bytes: su.u64("nvram_bytes")?[at],
+            untouched_bytes: su.u64("untouched_bytes")?[at],
+            read_only_bytes: su.u64("read_only_bytes")?[at],
+            high_ratio_bytes: su.u64("high_ratio_bytes")?[at],
+        })
+    };
+    let mut suitability: Vec<SuitabilityRow> = Vec::new();
+    for row in 0..su.rows() {
+        if suitability.iter().any(|r| r.app == sapps[row]) {
+            continue;
+        }
+        suitability.push(SuitabilityRow {
+            app: sapps[row].clone(),
+            category2: read_policy(&sapps[row], POLICIES[0])?,
+            category1: read_policy(&sapps[row], POLICIES[1])?,
+        });
+    }
+    Ok(suitability)
+}
+
+/// Rebuilds the full dataset from its store tables by composing the
+/// per-section readers. Needs every section present; partial stores are
+/// served section-by-section via the `read_*` functions instead.
+///
+/// # Errors
+/// [`NvsimError::NotFound`] for a missing table or column,
+/// [`NvsimError::InvalidConfig`] for a schema mismatch or an
+/// inconsistent row population.
+pub fn dataset_from_store(store: &Store) -> Result<EvalDataset, NvsimError> {
+    let meta = Cols::open(store, "meta")?;
+    let scale_divisor = single_u64(&meta, "scale_divisor")?;
+    let iterations = single_u64(&meta, "iterations")? as u32;
+
+    Ok(EvalDataset {
+        scale_divisor,
+        iterations,
+        table1: read_table1(store)?,
+        table5: read_table5(store)?,
+        fig2: read_fig2(store)?,
+        figs3_6: read_figs3_6(store)?,
+        fig7: read_fig7(store)?,
+        figs8_11: read_figs8_11(store)?,
+        table6: read_table6(store)?,
+        fig12: read_fig12(store)?,
+        suitability: read_suitability(store)?,
+    })
+}
+
+// ------------------------------------------------------------- files
+
+/// Writes `dir/dataset.nvstore` atomically and returns the path.
+///
+/// # Errors
+/// [`NvsimError::Io`] on any filesystem failure.
+pub fn write_dataset(ds: &EvalDataset, dir: &Path) -> Result<PathBuf, NvsimError> {
+    let path = dir.join(DATASET_FILE);
+    dataset_to_store(ds).save(&path)?;
+    Ok(path)
+}
+
+/// Loads and rebuilds the dataset from `dir/dataset.nvstore`.
+///
+/// # Errors
+/// [`NvsimError::Io`] if the file cannot be read,
+/// [`NvsimError::Corrupt`] if it fails framing validation, or the
+/// [`dataset_from_store`] schema errors.
+pub fn read_dataset(dir: &Path) -> Result<EvalDataset, NvsimError> {
+    dataset_from_store(&Store::load(&dir.join(DATASET_FILE))?)
+}
+
+/// Merges section tables into `dir/dataset.nvstore`, creating the file
+/// when absent. Existing tables of the same names are replaced in
+/// place, everything else is preserved — this is how the per-table
+/// binaries (`table1 --store DIR`, `fig7 --store DIR`, ...) populate
+/// one store incrementally.
+///
+/// # Errors
+/// [`NvsimError::Io`] / [`NvsimError::Corrupt`] from loading or saving
+/// the store file.
+pub fn merge_into_dataset(dir: &Path, tables: Vec<Table>) -> Result<PathBuf, NvsimError> {
+    let path = dir.join(DATASET_FILE);
+    let mut store = if path.exists() {
+        Store::load(&path)?
+    } else {
+        Store::new()
+    };
+    for table in tables {
+        store.upsert(table);
+    }
+    store.save(&path)?;
+    Ok(path)
+}
+
+/// Flattens an instrumented profile's epoch records into store tables:
+/// `epochs` (app, index, phase, wall_ns) and `epoch_counters`
+/// (app, index, counter, value) — the per-iteration deltas the `profile`
+/// binary prints, queryable without re-running the profile. Gauges and
+/// histograms stay in the `--metrics-json` snapshot; the store carries
+/// the counters queries aggregate over.
+pub fn epochs_to_store(app: &str, epochs: &[Epoch]) -> Store {
+    let mut table = TableBuilder::new(
+        "epochs",
+        &[
+            ("app", strs()),
+            ("index", u64s()),
+            ("phase", strs()),
+            ("wall_ns", u64s()),
+        ],
+    );
+    let mut counters = TableBuilder::new(
+        "epoch_counters",
+        &[
+            ("app", strs()),
+            ("index", u64s()),
+            ("counter", strs()),
+            ("value", u64s()),
+        ],
+    );
+    for (i, epoch) in epochs.iter().enumerate() {
+        table.push(&[
+            Value::Str(app.to_string()),
+            Value::U64(i as u64),
+            Value::Str(epoch.kind.label()),
+            Value::U64(epoch.wall_ns),
+        ]);
+        for (name, value) in &epoch.delta.counters {
+            counters.push(&[
+                Value::Str(app.to_string()),
+                Value::U64(i as u64),
+                Value::Str(name.clone()),
+                Value::U64(*value),
+            ]);
+        }
+    }
+    let mut store = Store::new();
+    store.upsert(table.build());
+    store.upsert(counters.build());
+    store
+}
+
+/// Writes `dir/profile.nvstore` atomically and returns the path.
+///
+/// # Errors
+/// [`NvsimError::Io`] on any filesystem failure.
+pub fn write_epochs(app: &str, epochs: &[Epoch], dir: &Path) -> Result<PathBuf, NvsimError> {
+    let path = dir.join(PROFILE_FILE);
+    epochs_to_store(app, epochs).save(&path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::collect_dataset;
+    use nvsim_apps::AppScale;
+
+    #[test]
+    fn dataset_round_trips_through_store_exactly() {
+        let ds = collect_dataset(AppScale::Test, 3, 2).unwrap();
+        let store = dataset_to_store(&ds);
+        // Through the in-memory tables...
+        let back = dataset_from_store(&store).unwrap();
+        assert_eq!(ds, back);
+        // ...and through the full codec.
+        let reopened = Store::decode(store.encode()).unwrap();
+        assert_eq!(dataset_from_store(&reopened).unwrap(), ds);
+    }
+
+    #[test]
+    fn stored_tables_cover_every_report() {
+        let ds = collect_dataset(AppScale::Test, 2, 4).unwrap();
+        let store = dataset_to_store(&ds);
+        for table in [
+            "meta",
+            "footprint",
+            "stack",
+            "stack_objects",
+            "fig2_summary",
+            "objects",
+            "objects_summary",
+            "usage",
+            "usage_summary",
+            "variance_buckets",
+            "variance",
+            "variance_summary",
+            "power",
+            "power_summary",
+            "latency",
+            "suitability",
+            "decisions",
+        ] {
+            assert!(store.table(table).is_some(), "missing table {table}");
+        }
+        assert_eq!(store.table("footprint").unwrap().rows, 4);
+        assert_eq!(store.table("power").unwrap().rows, 16);
+        assert_eq!(store.table("latency").unwrap().rows, 8);
+        for table in ["stack_objects", "objects"] {
+            assert_eq!(
+                store.table(table).unwrap().column_names(),
+                OBJECT_COLUMNS.to_vec(),
+                "{table} schema"
+            );
+        }
+        // The queryable rescale inputs live in the footprint table.
+        let q = nvsim_store::Query::parse_args(&[
+            "footprint".to_string(),
+            "--select".to_string(),
+            "app,measured_footprint_bytes,scale_divisor".to_string(),
+        ])
+        .unwrap();
+        let result = q.run(&store).unwrap();
+        assert_eq!(result.rows.len(), 4);
+    }
+
+    #[test]
+    fn incremental_merge_equals_one_shot_write() {
+        let ds = collect_dataset(AppScale::Test, 2, 2).unwrap();
+        let dir = std::env::temp_dir().join(format!("nvstore-merge-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Per-table binaries populating one file section by section, in
+        // run_all order...
+        merge_into_dataset(&dir, vec![meta_table(ds.scale_divisor, ds.iterations)]).unwrap();
+        merge_into_dataset(&dir, table1_tables(&ds.table1)).unwrap();
+        merge_into_dataset(&dir, table5_tables(&ds.table5)).unwrap();
+        merge_into_dataset(&dir, fig2_tables(&ds.fig2)).unwrap();
+        merge_into_dataset(&dir, figs3_6_tables(&ds.figs3_6)).unwrap();
+        merge_into_dataset(&dir, fig7_tables(&ds.fig7)).unwrap();
+        merge_into_dataset(&dir, figs8_11_tables(&ds.figs8_11)).unwrap();
+        merge_into_dataset(&dir, table6_tables(&ds.table6)).unwrap();
+        merge_into_dataset(&dir, fig12_tables(&ds.fig12)).unwrap();
+        merge_into_dataset(&dir, suitability_tables(&ds.suitability)).unwrap();
+
+        // ...equals run_all's one-shot write, byte for byte.
+        let merged = std::fs::read(dir.join(DATASET_FILE)).unwrap();
+        assert_eq!(bytes::Bytes::from(merged), dataset_to_store(&ds).encode());
+        // And re-merging a section is idempotent.
+        merge_into_dataset(&dir, table5_tables(&ds.table5)).unwrap();
+        let again = std::fs::read(dir.join(DATASET_FILE)).unwrap();
+        assert_eq!(bytes::Bytes::from(again), dataset_to_store(&ds).encode());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_epochs_flatten_to_queryable_tables() {
+        use nvsim_obs::epoch::EpochKind;
+        use nvsim_obs::Snapshot;
+        let mut delta = Snapshot::default();
+        delta.counters.insert("trace.reads".into(), 10);
+        delta.counters.insert("trace.writes".into(), 4);
+        let epochs = vec![
+            Epoch {
+                kind: EpochKind::Setup,
+                delta: delta.clone(),
+                wall_ns: 100,
+            },
+            Epoch {
+                kind: EpochKind::Iteration(0),
+                delta,
+                wall_ns: 50,
+            },
+        ];
+        let store = epochs_to_store("CAM", &epochs);
+        assert_eq!(store.table("epochs").unwrap().rows, 2);
+        assert_eq!(store.table("epoch_counters").unwrap().rows, 4);
+        let q = nvsim_store::Query::parse_args(&[
+            "epoch_counters".to_string(),
+            "--where".to_string(),
+            "counter=trace.reads".to_string(),
+            "--agg".to_string(),
+            "sum:value".to_string(),
+        ])
+        .unwrap();
+        let result = q.run(&store).unwrap();
+        assert_eq!(result.rows[0][0], Value::F64(20.0));
+    }
+}

@@ -69,9 +69,10 @@ pub struct Table1Row {
 }
 
 impl Table1Row {
-    /// Measured footprint re-scaled to the paper's units, MB.
+    /// Measured footprint re-scaled to the paper's units, MB (the one
+    /// shared [`nvsim_apps::rescale_mb`] factor).
     pub fn rescaled_mb(&self) -> f64 {
-        self.measured_footprint_bytes as f64 * self.scale_divisor as f64 / (1024.0 * 1024.0)
+        nvsim_apps::rescale_mb(self.measured_footprint_bytes, self.scale_divisor)
     }
 }
 
@@ -630,6 +631,69 @@ pub fn evaluation_sweep(
     })
 }
 
+// -------------------------------------------------------- Full dataset
+
+/// Every report of the §VI–VII evaluation, collected in one pass — the
+/// record `run_all` prints from and the `nvsim-store` columnar store
+/// persists. Holding the actual report rows (not re-derived views)
+/// means a stored dataset reproduces each table and figure
+/// byte-identically: serialize any member with the same `serde_json`
+/// path the per-table bins use and the output matches their `--json`
+/// dumps exactly, with zero re-simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalDataset {
+    /// Footprint divisor the run used ([`AppScale::divisor`]) — carried
+    /// so stored rows rescale to paper units without an `AppScale`.
+    pub scale_divisor: u64,
+    /// Main-loop iterations per application.
+    pub iterations: u32,
+    /// Table I: per-task memory footprints.
+    pub table1: Vec<Table1Row>,
+    /// Table V: stack read/write ratios and reference shares.
+    pub table5: Vec<Table5Row>,
+    /// Figure 2: CAM stack-object read/write ratio distribution.
+    pub fig2: Fig2Report,
+    /// Figures 3–6: global + heap objects per application.
+    pub figs3_6: Vec<AppObjectsReport>,
+    /// Figure 7: usage across time steps.
+    pub fig7: Vec<Fig7Report>,
+    /// Figures 8–11: iteration-to-iteration variance.
+    pub figs8_11: Vec<VarianceReport>,
+    /// Table VI: normalized power per technology.
+    pub table6: Vec<Table6Row>,
+    /// Figure 12: latency sensitivity curves.
+    pub fig12: Vec<Fig12Report>,
+    /// §VII suitability study rows.
+    pub suitability: Vec<SuitabilityRow>,
+}
+
+/// Runs the whole evaluation on at most `jobs` fleet workers and returns
+/// every report. Section order matches `run_all` exactly (Table I,
+/// Table V, Figure 2, Figures 3–6, Figure 7, Figures 8–11, Table VI,
+/// Figure 12, suitability), and each section's rows come back in stable
+/// per-app order via `run_indexed`, so the dataset — and any store file
+/// written from it — is byte-identical between `jobs = 1` and any
+/// parallel width.
+pub fn collect_dataset(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+) -> Result<EvalDataset, NvsimError> {
+    Ok(EvalDataset {
+        scale_divisor: scale.divisor(),
+        iterations,
+        table1: table1_jobs(scale, jobs)?,
+        table5: table5_jobs(scale, iterations, jobs)?,
+        fig2: fig2(scale, iterations)?,
+        figs3_6: figs3_6_jobs(scale, iterations, jobs)?,
+        fig7: fig7_jobs(scale, iterations, jobs)?,
+        figs8_11: figs8_11_jobs(scale, iterations, jobs)?,
+        table6: table6_jobs(scale, iterations, jobs)?,
+        fig12: fig12_jobs(scale, jobs)?,
+        suitability: suitability_jobs(scale, iterations, jobs)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -756,5 +820,27 @@ mod tests {
         assert_eq!(s.replay_cells, 4 * 4 + 2 * 4);
         assert!(s.transactions > 0);
         assert_eq!(s, evaluation_sweep(AppScale::Test, 2, 1).unwrap());
+    }
+
+    #[test]
+    fn collected_dataset_is_identical_serial_vs_parallel() {
+        let serial = collect_dataset(AppScale::Test, 2, 1).unwrap();
+        let parallel = collect_dataset(AppScale::Test, 2, 8).unwrap();
+        // Field-for-field equality — the store's byte-identity guarantee
+        // rides on the merged rows, not on scheduling.
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.scale_divisor, AppScale::Test.divisor());
+        assert_eq!(serial.table1.len(), 4);
+        assert_eq!(serial.table5.len(), 4);
+        assert_eq!(serial.figs3_6.len(), 4);
+        assert_eq!(serial.fig7.len(), 4);
+        assert_eq!(serial.figs8_11.len(), 4);
+        assert_eq!(serial.table6.len(), 4);
+        assert_eq!(serial.fig12.len(), 2);
+        assert_eq!(serial.suitability.len(), 4);
+        // And the sections agree with the standalone experiment entry
+        // points the per-table bins call.
+        assert_eq!(serial.table1, table1(AppScale::Test).unwrap());
+        assert_eq!(serial.fig2, fig2(AppScale::Test, 2).unwrap());
     }
 }

@@ -139,6 +139,137 @@ where
         .collect()
 }
 
+/// A bounded, long-lived worker pool for request-style workloads.
+///
+/// The fleet's `run_indexed` is shaped for batch fan-out: it spawns
+/// scoped workers for one job list and joins them before returning. A
+/// server needs the opposite discipline — workers that outlive any one
+/// request, a bounded queue that applies backpressure, and a graceful
+/// drain on shutdown — so `nvsim-serve` runs its connections through
+/// this pool. Built on `std::sync::mpsc` only (no third-party
+/// dependencies), keeping the serving layer offline-buildable.
+///
+/// Shutdown: dropping the pool (or calling [`TaskPool::join`]) closes
+/// the queue; workers finish every job already accepted, then exit. A
+/// panicking job is contained to its worker thread and counted — it
+/// never poisons the pool or the caller.
+pub struct TaskPool {
+    queue: Option<std::sync::mpsc::SyncSender<Box<dyn FnOnce() + Send>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    panics: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TaskPool {
+    /// Creates a pool of `workers` threads behind a queue holding at
+    /// most `queue_depth` pending jobs. Both are clamped to ≥ 1.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Box<dyn FnOnce() + Send>>(
+            queue_depth.max(1),
+        );
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let panics = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = std::sync::Arc::clone(&rx);
+                let panics = std::sync::Arc::clone(&panics);
+                std::thread::Builder::new()
+                    .name(format!("taskpool-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while receiving, never while
+                        // running the job.
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return,
+                        };
+                        match job {
+                            Ok(job) => {
+                                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                    panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                            }
+                            // Queue closed: drain complete, exit.
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawn taskpool worker")
+            })
+            .collect();
+        TaskPool {
+            queue: Some(tx),
+            workers,
+            panics,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs that panicked so far (each was contained to its worker).
+    pub fn panics(&self) -> u64 {
+        self.panics.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Submits a job, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    /// The job back, if the pool has already been joined.
+    pub fn execute<F>(&self, job: F) -> Result<(), Box<dyn FnOnce() + Send>>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        match &self.queue {
+            Some(tx) => tx
+                .send(Box::new(job))
+                .map_err(|std::sync::mpsc::SendError(job)| job),
+            None => Err(Box::new(job)),
+        }
+    }
+
+    /// Submits a job without blocking.
+    ///
+    /// # Errors
+    /// The job back, if the queue is full or the pool joined — callers
+    /// shed load (e.g. a server answering 503) instead of queueing
+    /// unboundedly.
+    pub fn try_execute<F>(&self, job: F) -> Result<(), Box<dyn FnOnce() + Send>>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        match &self.queue {
+            Some(tx) => tx.try_send(Box::new(job)).map_err(|e| match e {
+                std::sync::mpsc::TrySendError::Full(job) => job,
+                std::sync::mpsc::TrySendError::Disconnected(job) => job,
+            }),
+            None => Err(Box::new(job)),
+        }
+    }
+
+    /// Graceful shutdown: closes the queue, runs every job already
+    /// accepted, and joins all workers.
+    pub fn join(&mut self) {
+        self.queue = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +380,74 @@ mod tests {
         assert_eq!(three.heap.objects_in(Region::Global).count(), 0);
         assert_eq!(three.global.objects_in(Region::Stack).count(), 0);
         assert!(three.global.objects_in(Region::Global).count() > 0);
+    }
+
+    #[test]
+    fn taskpool_runs_every_accepted_job_before_join() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let mut pool = TaskPool::new(4, 8);
+        assert_eq!(pool.workers(), 4);
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 0..100u64 {
+            let done = Arc::clone(&done);
+            let accepted = pool
+                .execute(move || {
+                    done.fetch_add(i + 1, Ordering::Relaxed);
+                })
+                .is_ok();
+            assert!(accepted, "pool accepts while open");
+        }
+        pool.join();
+        // Sum 1..=100: every job ran exactly once.
+        assert_eq!(done.load(Ordering::Relaxed), 5050);
+        // After join, jobs bounce back.
+        assert!(pool.execute(|| {}).is_err());
+        assert!(pool.try_execute(|| {}).is_err());
+    }
+
+    #[test]
+    fn taskpool_contains_panicking_jobs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let mut pool = TaskPool::new(2, 4);
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 0..10 {
+            let done = Arc::clone(&done);
+            let accepted = pool
+                .execute(move || {
+                    if i % 2 == 0 {
+                        panic!("job {i} detonated");
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                })
+                .is_ok();
+            assert!(accepted, "accepted");
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 5, "odd jobs all ran");
+        assert_eq!(pool.panics(), 5, "even jobs all counted");
+    }
+
+    #[test]
+    fn taskpool_try_execute_sheds_load_when_full() {
+        use std::sync::mpsc;
+        // One worker parked on a gate; depth-1 queue. Job 1 occupies the
+        // worker, job 2 the queue slot; job 3 must bounce immediately.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (parked_tx, parked_rx) = mpsc::channel::<()>();
+        let mut pool = TaskPool::new(1, 1);
+        let accepted = pool
+            .execute(move || {
+                parked_tx.send(()).ok();
+                gate_rx.recv().ok();
+            })
+            .is_ok();
+        assert!(accepted, "accepted");
+        parked_rx.recv().expect("worker picked up the gate job");
+        assert!(pool.try_execute(|| {}).is_ok(), "queue slot free");
+        assert!(pool.try_execute(|| {}).is_err(), "queue full: shed");
+        gate_tx.send(()).expect("release the gate");
+        pool.join();
     }
 }

@@ -1,0 +1,159 @@
+//! A small LRU cache for rendered query responses.
+//!
+//! `nvsim-serve` keys this on [`nvsim_store::Query::canonical`] strings,
+//! so the two spellings of the same query (`--where` order, `=` vs
+//! space) share one entry. The store is immutable while the server runs,
+//! which is what makes response caching sound: an entry can never go
+//! stale, only cold.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Bounded least-recently-used map from canonical query to rendered
+/// response body. Values are `Arc<str>` so a hit hands out a shared
+/// reference instead of copying kilobytes of JSON per request.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    /// Front = most recently used. Small capacities (tens to hundreds of
+    /// distinct queries) make the linear scan cheaper than a hash map
+    /// plus recency list.
+    entries: VecDeque<(String, Arc<str>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` entries (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(at) => {
+                self.hits += 1;
+                let entry = self.entries.remove(at).expect("position() was in range");
+                let value = Arc::clone(&entry.1);
+                self.entries.push_front(entry);
+                Some(value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key`, evicting the least recently used entry when full.
+    /// An existing entry for `key` is replaced (and refreshed).
+    pub fn insert(&mut self, key: &str, value: Arc<str>) {
+        if let Some(at) = self.entries.iter().position(|(k, _)| k == key) {
+            self.entries.remove(at);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.pop_back();
+            self.evictions += 1;
+        }
+        self.entries.push_front((key.to_string(), value));
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries dropped to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_and_miss_counts_track_lookups() {
+        let mut cache = LruCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.insert("a", v("1"));
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        assert!(cache.get("b").is_none());
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_drops_least_recently_used_first() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", v("1"));
+        cache.insert("b", v("2"));
+        // Touch "a" so "b" is now the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.insert("c", v("3"));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get("b").is_none(), "LRU entry evicted");
+        assert!(cache.get("a").is_some(), "recently used entry survives");
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_evicting() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", v("1"));
+        cache.insert("b", v("2"));
+        cache.insert("a", v("1'"));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a").as_deref(), Some("1'"));
+        // "a" was refreshed by the reinsert, so "b" evicts next.
+        cache.insert("c", v("3"));
+        assert!(cache.get("b").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut cache = LruCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert("a", v("1"));
+        cache.insert("b", v("2"));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("b").is_some());
+    }
+}

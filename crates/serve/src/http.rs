@@ -1,0 +1,237 @@
+//! A deliberately minimal HTTP/1.1 subset — just enough for a local
+//! results server, built on `std` only (the container that builds this
+//! repo has no third-party HTTP stack).
+//!
+//! Supported: `GET` requests, URL query strings
+//! (percent-encoding and `+`-for-space included), and fixed-length
+//! responses with `Connection: close`. Everything else — other methods,
+//! request bodies, keep-alive, chunked transfer — is out of scope and
+//! answered with an error status.
+
+/// One parsed request line: method, decoded path, raw query pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method (`GET` for every route we serve).
+    pub method: String,
+    /// Decoded path, e.g. `/tables/1`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+}
+
+/// Decodes `%XX` escapes and `+`-as-space. Malformed escapes pass
+/// through literally rather than failing the request.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a raw query string into decoded `(key, value)` pairs. A
+/// segment without `=` becomes `(key, "")`.
+pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| match seg.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(seg), String::new()),
+        })
+        .collect()
+}
+
+/// Parses the head of an HTTP/1.1 request (everything up to the blank
+/// line). Only the request line is interpreted; headers are validated
+/// for shape and otherwise ignored.
+///
+/// # Errors
+/// A human-readable description of the malformation, suitable for a
+/// `400 Bad Request` body.
+pub fn parse_request(head: &str) -> Result<Request, String> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(format!("malformed request line {request_line:?}")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+    for line in lines {
+        if !line.is_empty() && !line.contains(':') {
+            return Err(format!("malformed header line {line:?}"));
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        query,
+    })
+}
+
+/// A response ready to serialize: status, media type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body (always sent with an exact `Content-Length`).
+    pub body: String,
+}
+
+impl Response {
+    /// `200 OK` with a JSON body.
+    pub fn json(body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// `200 OK` with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// An error response; the message becomes the plain-text body.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{}\n", message.into()),
+        }
+    }
+
+    /// The status reason phrase (only for codes this server emits).
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serializes status line, headers and body into wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        let mut out = head.into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_with_query() {
+        let req = parse_request(
+            "GET /query?table=objects&where=app%3DCAM&where=size_bytes>10+B HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/query");
+        assert_eq!(
+            req.query,
+            vec![
+                ("table".to_string(), "objects".to_string()),
+                ("where".to_string(), "app=CAM".to_string()),
+                ("where".to_string(), "size_bytes>10 B".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn paths_without_query_parse_too() {
+        let req = parse_request("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty());
+    }
+
+    #[test]
+    fn malformed_heads_error_with_context() {
+        for head in [
+            "",
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1\r\nnot a header\r\n\r\n",
+        ] {
+            assert!(parse_request(head).is_err(), "{head:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_plus() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("rw_ratio%21%3Dnull"), "rw_ratio!=null");
+        // Malformed escapes pass through instead of erroring.
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn responses_serialize_with_exact_content_length() {
+        let bytes = Response::json("{\"ok\":true}").to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+
+        let err = Response::error(404, "no such table").to_bytes();
+        let text = String::from_utf8(err).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
+        assert!(text.ends_with("no such table\n"), "{text}");
+    }
+}

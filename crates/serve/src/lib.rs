@@ -1,0 +1,32 @@
+//! `nvsim-serve` — a concurrent HTTP serving layer over the
+//! [`nvsim_store`] sweep-result store.
+//!
+//! The store answers the paper's questions offline through `nvq`; this
+//! crate answers the same questions over HTTP so dashboards, notebooks
+//! and curl can share one result set without re-simulating. Three design
+//! rules keep it honest:
+//!
+//! 1. **No third-party server stack.** The HTTP subset in [`http`] is
+//!    `std`-only — the container building this repo has no network
+//!    access, so a dependency on a web framework would be a build break,
+//!    not a convenience.
+//! 2. **Byte-identical answers.** `/tables/*` and `/figs/*` bodies are
+//!    rendered once at startup with the same `serde_json` pretty-printer
+//!    the experiment binaries use for `--json`, so `curl` output diffs
+//!    clean against the dump files. CI enforces this.
+//! 3. **Bounded everything.** Connections run on the
+//!    [`nv_scavenger::TaskPool`] bounded worker pool (queue-full sheds
+//!    with `503`), and `/query` responses live in a bounded
+//!    [`cache::LruCache`] keyed on [`nvsim_store::Query::canonical`].
+//!
+//! See `docs/STORE.md` for the endpoint table and query grammar.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod server;
+
+pub use cache::LruCache;
+pub use http::{parse_query, parse_request, percent_decode, Request, Response};
+pub use server::{serve, ServeConfig, Server};

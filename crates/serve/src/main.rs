@@ -1,0 +1,101 @@
+//! `nvsim-serve` — serve a sweep-result store over HTTP.
+//!
+//! ```text
+//! nvsim-serve [--store DIR] [--addr HOST:PORT] [--workers N]
+//!             [--queue N] [--cache N]
+//! ```
+//!
+//! Loads `DIR/dataset.nvstore` (written by the experiment binaries'
+//! `--store` flag), binds the address, prints `listening on ADDR`, and
+//! serves until killed. Endpoints and the query grammar are documented
+//! in `docs/STORE.md`; `curl http://ADDR/` lists them too.
+
+use nvsim_serve::{serve, ServeConfig};
+use nvsim_store::{Store, DATASET_FILE};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: nvsim-serve [--store DIR] [--addr HOST:PORT]\n\
+\x20                  [--workers N] [--queue N] [--cache N]\n\
+value flags accept both spellings: --addr HOST:PORT and --addr=HOST:PORT\n\
+  --store DIR      store directory holding dataset.nvstore (default: .)\n\
+  --addr HOST:PORT bind address (default: 127.0.0.1:7770; port 0 = OS pick)\n\
+  --workers N      request worker threads (default: 8)\n\
+  --queue N        pending-connection queue depth before 503s (default: 64)\n\
+  --cache N        /query LRU response-cache capacity (default: 128)";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut dir = PathBuf::from(".");
+    let mut addr = String::from("127.0.0.1:7770");
+    let mut config = ServeConfig::default();
+
+    fn value(
+        flag: &str,
+        inline: &mut Option<String>,
+        it: &mut impl Iterator<Item = String>,
+        what: &str,
+    ) -> String {
+        match inline.take() {
+            Some(v) if !v.is_empty() => v,
+            Some(_) => die(&format!("{flag} needs {what}")),
+            None => it
+                .next()
+                .unwrap_or_else(|| die(&format!("{flag} needs {what}"))),
+        }
+    }
+
+    fn count(flag: &str, raw: &str) -> usize {
+        raw.parse()
+            .unwrap_or_else(|_| die(&format!("{flag} needs a number, got {raw:?}")))
+    }
+
+    let mut it = std::env::args().skip(1);
+    while let Some(raw) = it.next() {
+        let (flag, mut inline) = match raw.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (raw.clone(), None),
+        };
+        match flag.as_str() {
+            "--store" => dir = PathBuf::from(value(&flag, &mut inline, &mut it, "a directory")),
+            "--addr" => addr = value(&flag, &mut inline, &mut it, "HOST:PORT"),
+            "--workers" => {
+                config.workers = count(&flag, &value(&flag, &mut inline, &mut it, "a count"))
+            }
+            "--queue" => {
+                config.queue_depth = count(&flag, &value(&flag, &mut inline, &mut it, "a depth"))
+            }
+            "--cache" => {
+                config.cache_capacity =
+                    count(&flag, &value(&flag, &mut inline, &mut it, "a capacity"))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+        if inline.is_some() {
+            die(&format!("{flag} does not take a value"));
+        }
+    }
+
+    let store = match Store::load(&dir.join(DATASET_FILE)) {
+        Ok(s) => s,
+        Err(e) => die(&format!("load store: {e}")),
+    };
+    let metrics = nvsim_obs::Metrics::enabled();
+    let server = match serve(store, &addr, config, metrics) {
+        Ok(s) => s,
+        Err(e) => die(&format!("bind {addr}: {e}")),
+    };
+    println!("listening on {}", server.addr());
+    // Serve until killed; the accept loop and workers run on background
+    // threads, so park the main thread indefinitely.
+    loop {
+        std::thread::park();
+    }
+}

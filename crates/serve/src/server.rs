@@ -1,0 +1,402 @@
+//! The server: a `TcpListener` accept loop feeding a bounded
+//! [`TaskPool`], an LRU response cache for `/query`, and pre-rendered
+//! bodies for the table/figure endpoints.
+//!
+//! Request path: the accept thread hands each connection to the pool
+//! with [`TaskPool::try_execute`]; when the queue is full the connection
+//! is answered `503` inline (load shedding, never unbounded queueing). A
+//! worker reads the request head, routes it, and writes one response —
+//! `Connection: close`, one request per connection, which keeps the
+//! worker-pool accounting exact.
+//!
+//! Every route and counter is documented in `docs/STORE.md`.
+
+use crate::cache::LruCache;
+use crate::http::{parse_request, Request, Response};
+use nv_scavenger::TaskPool;
+use nvsim_obs::Metrics;
+use nvsim_store::{Query, Store};
+use nvsim_types::NvsimError;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Pending connections the pool queues before shedding with `503`.
+    pub queue_depth: usize,
+    /// `/query` response-cache capacity (distinct canonical queries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 8,
+            queue_depth: 64,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// Everything a worker needs to answer a request. Shared immutably
+/// except for the cache (mutex) and the metrics (atomics).
+struct AppState {
+    store: Store,
+    /// Pre-rendered bodies for `/tables/*` and `/figs/*` — rendered once
+    /// at startup with the same `serde_json` path the experiment
+    /// binaries' `--json` dumps use, so the bytes match those files
+    /// exactly. A section missing from a partial store renders as `Err`
+    /// with the reason, served as `503`.
+    sections: BTreeMap<&'static str, Result<String, String>>,
+    cache: Mutex<LruCache>,
+    metrics: Metrics,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`])
+/// stops accepting, drains in-flight requests, and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// The bound address (useful with a `:0` request for an OS-assigned
+    /// port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, finish accepted requests,
+    /// join the accept thread and the worker pool. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Renders the static section bodies from the store, exactly as the
+/// experiment binaries dump them with `--json`. Sections are rendered
+/// independently: a partial store (one binary's `--store` output, or an
+/// in-progress incremental merge) serves what it holds and answers
+/// `503` with the reason for the rest.
+fn render_sections(store: &Store) -> BTreeMap<&'static str, Result<String, String>> {
+    use nv_scavenger as ds;
+    fn render<T: serde::Serialize>(
+        section: Result<T, NvsimError>,
+    ) -> Result<String, String> {
+        section
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::to_string_pretty(&s).map_err(|e| e.to_string()))
+    }
+    let mut sections = BTreeMap::new();
+    sections.insert("/tables/1", render(ds::read_table1(store)));
+    sections.insert("/tables/5", render(ds::read_table5(store)));
+    sections.insert("/tables/6", render(ds::read_table6(store)));
+    sections.insert("/figs/2", render(ds::read_fig2(store)));
+    sections.insert("/figs/3-6", render(ds::read_figs3_6(store)));
+    sections.insert("/figs/7", render(ds::read_fig7(store)));
+    sections.insert("/figs/8-11", render(ds::read_figs8_11(store)));
+    sections.insert("/figs/12", render(ds::read_fig12(store)));
+    sections.insert("/suitability", render(ds::read_suitability(store)));
+    sections
+}
+
+const INDEX: &str = "nvsim-serve endpoints:\n\
+  /healthz            liveness probe\n\
+  /metrics            nvsim-obs snapshot (serve.* counters included)\n\
+  /tables/{1,5,6}     paper tables, byte-identical to the bins' --json\n\
+  /figs/{2,3-6,7,8-11,12}  paper figures, same guarantee\n\
+  /suitability        the abstract's suitability study\n\
+  /query?table=T&where=..&select=..&agg=..&by=..&sort=..&limit=..\n\
+\x20                     ad-hoc query over the store (docs/STORE.md)\n";
+
+/// Routes one parsed request. Pure apart from cache/metric updates —
+/// unit-testable without sockets.
+fn route(state: &AppState, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::error(405, format!("method {} not allowed", req.method));
+    }
+    match req.path.as_str() {
+        "/" => Response::text(INDEX),
+        "/healthz" => Response::text("ok\n"),
+        "/metrics" => Response::json(state.metrics.snapshot().to_json()),
+        "/query" => query_route(state, &req.query),
+        path => match state.sections.get(path) {
+            Some(Ok(body)) => Response::json(body.clone()),
+            Some(Err(reason)) => {
+                Response::error(503, format!("section {path} unavailable: {reason}"))
+            }
+            None => Response::error(404, format!("no route {path}")),
+        },
+    }
+}
+
+fn query_route(state: &AppState, pairs: &[(String, String)]) -> Response {
+    let query = match Query::from_pairs(pairs) {
+        Ok(q) => q,
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+    let key = query.canonical();
+    if let Some(body) = state.cache.lock().expect("cache poisoned").get(&key) {
+        state.metrics.counter("serve.cache.hits").inc();
+        return Response::json(body.as_ref());
+    }
+    state.metrics.counter("serve.cache.misses").inc();
+    let result = match query.run(&state.store) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+    let body: Arc<str> = Arc::from(result.to_json());
+    {
+        let mut cache = state.cache.lock().expect("cache poisoned");
+        cache.insert(&key, Arc::clone(&body));
+        state.metrics.counter("serve.cache.insertions").inc();
+        let evictions = cache.evictions();
+        drop(cache);
+        // Mirror the cache's lifetime eviction count into a gauge (the
+        // counter API is add-only; the cache already keeps the total).
+        state.metrics.gauge("serve.cache.evictions").set(evictions as i64);
+    }
+    Response::json(body.as_ref())
+}
+
+/// Reads the request head (up to the blank line), routes it, writes the
+/// response. All errors are answered on the wire where possible.
+fn handle_connection(state: &AppState, mut stream: TcpStream) {
+    state.metrics.counter("serve.requests").inc();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    let response = loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break Response::error(400, "connection closed mid-request"),
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break match parse_request(&String::from_utf8_lossy(&head)) {
+                        Ok(req) => route(state, &req),
+                        Err(e) => Response::error(400, e),
+                    };
+                }
+                if head.len() > 16 * 1024 {
+                    break Response::error(400, "request head too large");
+                }
+            }
+            Err(_) => break Response::error(400, "read timed out"),
+        }
+    };
+    state
+        .metrics
+        .counter(&format!("serve.responses.{}", response.status))
+        .inc();
+    let _ = stream.write_all(&response.to_bytes());
+    let _ = stream.flush();
+}
+
+/// Starts serving `store` on `addr` (e.g. `"127.0.0.1:0"` for an
+/// OS-assigned port). Returns once the listener is bound; requests are
+/// handled on background threads until the returned [`Server`] is shut
+/// down or dropped.
+///
+/// `metrics` feeds `/metrics`; pass the registry the caller already
+/// observes (or [`Metrics::enabled`] for a fresh one). The `serve.*`
+/// counters land there.
+///
+/// # Errors
+/// [`NvsimError::Io`] when the address cannot be bound.
+pub fn serve(
+    store: Store,
+    addr: &str,
+    config: ServeConfig,
+    metrics: Metrics,
+) -> Result<Server, NvsimError> {
+    let listener = TcpListener::bind(addr).map_err(|e| NvsimError::Io {
+        path: addr.to_string(),
+        cause: e.to_string(),
+    })?;
+    let local = listener.local_addr().map_err(|e| NvsimError::Io {
+        path: addr.to_string(),
+        cause: e.to_string(),
+    })?;
+
+    let sections = render_sections(&store);
+    // Register every serve.* instrument up front so /metrics shows the
+    // full set (at zero) from the first scrape, not only after the
+    // first event of each kind.
+    for name in [
+        "serve.requests",
+        "serve.shed",
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.cache.insertions",
+    ] {
+        metrics.counter(name);
+    }
+    metrics.gauge("serve.cache.evictions");
+    let state = Arc::new(AppState {
+        store,
+        sections,
+        cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        metrics,
+    });
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_state = Arc::clone(&state);
+    let accept_thread = std::thread::Builder::new()
+        .name("serve-accept".into())
+        .spawn(move || {
+            let mut pool = TaskPool::new(config.workers, config.queue_depth);
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // A second handle on the socket, kept back so a shed
+                // connection can still be answered `503` inline — the
+                // original moves into the job and is unrecoverable once
+                // `try_execute` boxes it.
+                let shed_handle = stream.try_clone().ok();
+                let state = Arc::clone(&accept_state);
+                if let Err(job) = pool.try_execute(move || handle_connection(&state, stream)) {
+                    drop(job);
+                    accept_state.metrics.counter("serve.shed").inc();
+                    if let Some(mut s) = shed_handle {
+                        let _ = s.write_all(
+                            &Response::error(503, "server busy: request queue full").to_bytes(),
+                        );
+                    }
+                }
+            }
+            // Drain accepted requests before the listener closes.
+            pool.join();
+        })
+        .map_err(|e| NvsimError::Io {
+            path: "serve-accept thread".to_string(),
+            cause: e.to_string(),
+        })?;
+
+    Ok(Server {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_store::{Column, Table};
+
+    fn tiny_state() -> AppState {
+        let mut store = Store::new();
+        store.upsert(
+            Table::new("objects")
+                .with_column("app", Column::Str(vec!["CAM".into(), "GTC".into()]))
+                .with_column("size_bytes", Column::U64(vec![64, 4096])),
+        );
+        // The tiny store holds none of the paper sections, so every
+        // pre-rendered endpoint is a 503 with a reason.
+        let sections = render_sections(&store);
+        AppState {
+            store,
+            sections,
+            cache: Mutex::new(LruCache::new(4)),
+            metrics: Metrics::enabled(),
+        }
+    }
+
+    fn get(state: &AppState, path: &str) -> Response {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p, crate::http::parse_query(q)),
+            None => (path, Vec::new()),
+        };
+        route(
+            state,
+            &Request {
+                method: "GET".into(),
+                path: path.into(),
+                query,
+            },
+        )
+    }
+
+    #[test]
+    fn healthz_and_index_answer() {
+        let state = tiny_state();
+        assert_eq!(get(&state, "/healthz").status, 200);
+        assert_eq!(get(&state, "/healthz").body, "ok\n");
+        let index = get(&state, "/");
+        assert!(index.body.contains("/query"), "{}", index.body);
+    }
+
+    #[test]
+    fn query_routes_hit_the_cache_on_repeat() {
+        let state = tiny_state();
+        let first = get(&state, "/query?table=objects&where=app%3DCAM");
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert!(first.body.contains("CAM"), "{}", first.body);
+        let second = get(&state, "/query?table=objects&where=app%3DCAM");
+        assert_eq!(second.body, first.body);
+        // Different spelling (padding spaces), same canonical query:
+        // still a cache hit, not a second render.
+        let third = get(&state, "/query?table=objects&where=app+%3D+CAM");
+        assert_eq!(third.status, 200, "{}", third.body);
+        assert_eq!(third.body, first.body);
+        let snap = state.metrics.snapshot();
+        assert_eq!(snap.counter("serve.cache.hits"), Some(2));
+        assert_eq!(snap.counter("serve.cache.misses"), Some(1));
+    }
+
+    #[test]
+    fn bad_queries_and_routes_answer_errors() {
+        let state = tiny_state();
+        assert_eq!(get(&state, "/query").status, 400);
+        assert_eq!(get(&state, "/query?table=missing").status, 400);
+        assert_eq!(get(&state, "/nope").status, 404);
+        assert_eq!(get(&state, "/tables/1").status, 503, "partial store");
+        let post = route(
+            &state,
+            &Request {
+                method: "POST".into(),
+                path: "/query".into(),
+                query: Vec::new(),
+            },
+        );
+        assert_eq!(post.status, 405);
+    }
+
+    #[test]
+    fn metrics_route_reports_serve_counters() {
+        let state = tiny_state();
+        get(&state, "/query?table=objects");
+        get(&state, "/query?table=objects");
+        let body = get(&state, "/metrics").body;
+        assert!(body.contains("serve.cache.hits"), "{body}");
+        assert!(body.contains("serve.cache.misses"), "{body}");
+    }
+}

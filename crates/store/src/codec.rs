@@ -1,0 +1,256 @@
+//! The on-disk codec: a versioned, CRC32-framed columnar layout built
+//! on the exact framing the tracefile format uses
+//! ([`nvsim_trace::framing`]).
+//!
+//! ```text
+//! [u32 magic "NVST"]
+//!   frame: [varint format-version] [varint table-count]
+//!   per table:
+//!     frame-aligned record: table header
+//!       [str name] [varint rows] [varint cols]
+//!     per column (one record each; frames seal only between records):
+//!       [str column-name] [u8 type-tag] [rows × element]
+//!   [terminator frame]
+//! ```
+//!
+//! Element encodings: `u64` as varint; `f64` as 8 little-endian bytes of
+//! the raw bits (bit-exact round trip — infinities and NaN payloads
+//! survive); `Option<f64>` as a presence byte then the bits; strings
+//! length-prefixed; bools one byte. Records never straddle frames, so a
+//! truncated or bit-flipped file fails with a precise
+//! [`NvsimError::Corrupt`] naming the store section and byte offset —
+//! the same failure discipline as trace replay.
+
+use crate::column::{Column, ColumnType};
+use crate::store::{Store, Table};
+use bytes::{BufMut, Bytes};
+use nvsim_trace::framing::{
+    put_f64, put_str, put_varint, FrameCursor, FrameReader, FrameWriter,
+};
+use nvsim_types::NvsimError;
+
+/// Store file magic: `NVST`.
+pub const MAGIC: u32 = 0x4e56_5354;
+
+/// Current format version, bumped on any layout change.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Encodes a store into its framed byte representation.
+pub fn encode(store: &Store) -> Bytes {
+    let mut w = FrameWriter::new(MAGIC);
+    put_varint(w.payload(), FORMAT_VERSION);
+    put_varint(w.payload(), store.tables().len() as u64);
+    w.maybe_seal();
+    for table in store.tables() {
+        put_str(w.payload(), &table.name);
+        put_varint(w.payload(), table.rows as u64);
+        put_varint(w.payload(), table.columns.len() as u64);
+        w.maybe_seal();
+        for (name, column) in &table.columns {
+            put_str(w.payload(), name);
+            w.payload().put_u8(column.column_type().tag());
+            match column {
+                Column::U64(vals) => {
+                    for v in vals {
+                        put_varint(w.payload(), *v);
+                    }
+                }
+                Column::F64(vals) => {
+                    for v in vals {
+                        put_f64(w.payload(), *v);
+                    }
+                }
+                Column::OptF64(vals) => {
+                    for v in vals {
+                        match v {
+                            Some(v) => {
+                                w.payload().put_u8(1);
+                                put_f64(w.payload(), *v);
+                            }
+                            None => w.payload().put_u8(0),
+                        }
+                    }
+                }
+                Column::Str(vals) => {
+                    for v in vals {
+                        put_str(w.payload(), v);
+                    }
+                }
+                Column::Bool(vals) => {
+                    for v in vals {
+                        w.payload().put_u8(u8::from(*v));
+                    }
+                }
+            }
+            // Column boundary: the only place a frame may seal, so every
+            // record decodes from a single frame.
+            w.maybe_seal();
+        }
+    }
+    w.into_bytes()
+}
+
+/// Streaming record reader: records never straddle frames, so whenever
+/// the current frame is exhausted the next record starts in the next
+/// frame.
+struct Records {
+    frames: FrameReader,
+    current: Option<FrameCursor>,
+}
+
+impl Records {
+    fn open(encoded: Bytes) -> Result<Self, NvsimError> {
+        Ok(Records {
+            frames: FrameReader::open(encoded, MAGIC, "store")?,
+            current: None,
+        })
+    }
+
+    /// Cursor positioned at the next record.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] if the stream ends before another record.
+    fn record(&mut self) -> Result<&mut FrameCursor, NvsimError> {
+        let exhausted = !self
+            .current
+            .as_ref()
+            .is_some_and(FrameCursor::has_remaining);
+        if exhausted {
+            match self.frames.next_frame()? {
+                Some((section, at, payload)) => {
+                    self.current = Some(FrameCursor::new(payload, at, section));
+                }
+                None => {
+                    return Err(NvsimError::Corrupt {
+                        section: "store stream end".to_string(),
+                        offset: 0,
+                    })
+                }
+            }
+        }
+        Ok(self.current.as_mut().expect("frame cursor present"))
+    }
+}
+
+/// Decodes a framed store file.
+///
+/// # Errors
+/// [`NvsimError::Corrupt`] on a malformed file: wrong magic, an
+/// unsupported format version, a truncated or bit-flipped frame (CRC
+/// mismatch), an unknown column tag, or a stream cut before its
+/// terminator.
+pub fn decode(encoded: Bytes) -> Result<Store, NvsimError> {
+    let mut records = Records::open(encoded)?;
+
+    let header = records.record()?;
+    let at = header.offset();
+    let version = header.varint()?;
+    if version != FORMAT_VERSION {
+        return Err(NvsimError::Corrupt {
+            section: format!("store version {version}"),
+            offset: at,
+        });
+    }
+    let table_count = header.varint()? as usize;
+
+    let mut store = Store::new();
+    for _ in 0..table_count {
+        let header = records.record()?;
+        let name = header.str_field()?;
+        let rows = header.varint()? as usize;
+        let cols = header.varint()? as usize;
+        let mut table = Table::new(&name);
+        for _ in 0..cols {
+            let cur = records.record()?;
+            let col_name = cur.str_field()?;
+            let tag_at = cur.offset();
+            let tag = cur.u8()?;
+            let Some(col_type) = ColumnType::from_tag(tag) else {
+                return Err(NvsimError::Corrupt {
+                    section: cur.section.clone(),
+                    offset: tag_at,
+                });
+            };
+            let column = match col_type {
+                ColumnType::U64 => {
+                    let mut vals = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        vals.push(cur.varint()?);
+                    }
+                    Column::U64(vals)
+                }
+                ColumnType::F64 => {
+                    let mut vals = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        vals.push(cur.f64()?);
+                    }
+                    Column::F64(vals)
+                }
+                ColumnType::OptF64 => {
+                    let mut vals = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        let present_at = cur.offset();
+                        vals.push(match cur.u8()? {
+                            0 => None,
+                            1 => Some(cur.f64()?),
+                            _ => {
+                                return Err(NvsimError::Corrupt {
+                                    section: cur.section.clone(),
+                                    offset: present_at,
+                                })
+                            }
+                        });
+                    }
+                    Column::OptF64(vals)
+                }
+                ColumnType::Str => {
+                    let mut vals = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        vals.push(cur.str_field()?);
+                    }
+                    Column::Str(vals)
+                }
+                ColumnType::Bool => {
+                    let mut vals = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        let flag_at = cur.offset();
+                        vals.push(match cur.u8()? {
+                            0 => false,
+                            1 => true,
+                            _ => {
+                                return Err(NvsimError::Corrupt {
+                                    section: cur.section.clone(),
+                                    offset: flag_at,
+                                })
+                            }
+                        });
+                    }
+                    Column::Bool(vals)
+                }
+            };
+            table = table.with_column(&col_name, column);
+        }
+        if table.columns.is_empty() {
+            table.rows = rows;
+        }
+        store.insert(table)?;
+    }
+
+    // Reject trailing garbage: every decoded byte and every frame must
+    // be accounted for, then the terminator must follow.
+    if let Some(cur) = records.current.as_ref() {
+        if cur.has_remaining() {
+            return Err(NvsimError::Corrupt {
+                section: "store trailing record data".to_string(),
+                offset: cur.offset(),
+            });
+        }
+    }
+    if let Some((section, at, _)) = records.frames.next_frame()? {
+        return Err(NvsimError::Corrupt {
+            section: format!("{section} (unexpected trailing frame)"),
+            offset: at,
+        });
+    }
+    Ok(store)
+}

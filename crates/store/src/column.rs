@@ -1,0 +1,285 @@
+//! The typed column model: every value a sweep report carries maps onto
+//! one of five column types, chosen so a stored dataset reconstructs the
+//! in-memory report structs *exactly* — `f64` columns are bit-preserving
+//! (NaN payloads and the `Some(inf)` read-only ratios survive), option
+//! columns keep their `None`s, strings keep their bytes.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Tag identifying a column's element type on disk and in queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Unsigned 64-bit integers (sizes, counts, indices).
+    U64,
+    /// Bit-exact 64-bit floats (ratios, rates, fractions).
+    F64,
+    /// Optional bit-exact floats (`rw_ratio` is `None` for untouched
+    /// objects and `Some(inf)` for read-only ones).
+    OptF64,
+    /// UTF-8 strings (app, object, technology, phase names).
+    Str,
+    /// Booleans (`only_pre_post`, `short_term_heap`).
+    Bool,
+}
+
+impl ColumnType {
+    /// Stable one-byte codec tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            ColumnType::U64 => 0,
+            ColumnType::F64 => 1,
+            ColumnType::OptF64 => 2,
+            ColumnType::Str => 3,
+            ColumnType::Bool => 4,
+        }
+    }
+
+    /// Inverse of [`ColumnType::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => ColumnType::U64,
+            1 => ColumnType::F64,
+            2 => ColumnType::OptF64,
+            3 => ColumnType::Str,
+            4 => ColumnType::Bool,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ColumnType::U64 => "u64",
+            ColumnType::F64 => "f64",
+            ColumnType::OptF64 => "f64?",
+            ColumnType::Str => "str",
+            ColumnType::Bool => "bool",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One column of a stored table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Unsigned integer data.
+    U64(Vec<u64>),
+    /// Float data (bit-exact on disk).
+    F64(Vec<f64>),
+    /// Optional float data.
+    OptF64(Vec<Option<f64>>),
+    /// String data.
+    Str(Vec<String>),
+    /// Boolean data.
+    Bool(Vec<bool>),
+}
+
+impl Column {
+    /// The column's element type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Column::U64(_) => ColumnType::U64,
+            Column::F64(_) => ColumnType::F64,
+            Column::OptF64(_) => ColumnType::OptF64,
+            Column::Str(_) => ColumnType::Str,
+            Column::Bool(_) => ColumnType::Bool,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::U64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::OptF64(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` if the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row` (panics past the end, like slice indexing).
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::U64(v) => Value::U64(v[row]),
+            Column::F64(v) => Value::F64(v[row]),
+            Column::OptF64(v) => Value::OptF64(v[row]),
+            Column::Str(v) => Value::Str(v[row].clone()),
+            Column::Bool(v) => Value::Bool(v[row]),
+        }
+    }
+}
+
+/// One scalar cell, as yielded by queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// From a [`Column::U64`].
+    U64(u64),
+    /// From a [`Column::F64`] (or a float aggregate).
+    F64(f64),
+    /// From a [`Column::OptF64`].
+    OptF64(Option<f64>),
+    /// From a [`Column::Str`].
+    Str(String),
+    /// From a [`Column::Bool`].
+    Bool(bool),
+}
+
+impl Value {
+    /// Numeric view, for aggregation: `OptF64(None)` and non-numeric
+    /// values yield `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            Value::OptF64(v) => *v,
+            Value::Str(_) | Value::Bool(_) => None,
+        }
+    }
+
+    /// Total order across same-typed values (floats by `total_cmp`,
+    /// `None` first); cross-type comparisons fall back to a stable
+    /// type-rank order so sorting never panics.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::U64(_) => 0,
+                Value::F64(_) => 1,
+                Value::OptF64(_) => 2,
+                Value::Str(_) => 3,
+                Value::Bool(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::U64(a), Value::U64(b)) => a.cmp(b),
+            (Value::F64(a), Value::F64(b)) => a.total_cmp(b),
+            (Value::OptF64(a), Value::OptF64(b)) => match (a, b) {
+                (None, None) => Ordering::Equal,
+                (None, Some(_)) => Ordering::Less,
+                (Some(_), None) => Ordering::Greater,
+                (Some(a), Some(b)) => a.total_cmp(b),
+            },
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Renders the value for table output (`-` for `None`, `inf` for
+    /// infinities — human-facing, not the JSON form).
+    pub fn render(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) => format_f64(*v),
+            Value::OptF64(None) => "-".to_string(),
+            Value::OptF64(Some(v)) => format_f64(*v),
+            Value::Str(v) => v.clone(),
+            Value::Bool(v) => v.to_string(),
+        }
+    }
+
+    /// Appends the value to a JSON buffer. Non-finite floats and `None`
+    /// become `null` (the same convention `serde_json` applies to
+    /// non-finite values), so query output is always valid JSON.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) | Value::OptF64(Some(v)) => {
+                if v.is_finite() {
+                    out.push_str(&format_f64(*v));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::OptF64(None) => out.push_str("null"),
+            Value::Str(v) => write_json_str(v, out),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+}
+
+/// Shortest-roundtrip float formatting, with an explicit `.0` suffix on
+/// integral values so a float cell is always distinguishable from an
+/// integer one.
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Appends a JSON string literal (quotes, backslashes and control
+/// characters escaped).
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tags_round_trip() {
+        for t in [
+            ColumnType::U64,
+            ColumnType::F64,
+            ColumnType::OptF64,
+            ColumnType::Str,
+            ColumnType::Bool,
+        ] {
+            assert_eq!(ColumnType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(ColumnType::from_tag(9), None);
+    }
+
+    #[test]
+    fn values_order_totally() {
+        let vals = [
+            Value::OptF64(None),
+            Value::OptF64(Some(f64::NEG_INFINITY)),
+            Value::OptF64(Some(1.0)),
+            Value::OptF64(Some(f64::INFINITY)),
+        ];
+        for w in vals.windows(2) {
+            assert_eq!(w[0].total_cmp(&w[1]), Ordering::Less);
+        }
+        assert_eq!(Value::Str("a".into()).total_cmp(&Value::Str("b".into())), Ordering::Less);
+    }
+
+    #[test]
+    fn json_rendering_is_valid() {
+        let mut out = String::new();
+        Value::OptF64(Some(f64::INFINITY)).write_json(&mut out);
+        assert_eq!(out, "null");
+        out.clear();
+        Value::Str("a\"b\\c\nd".into()).write_json(&mut out);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+        out.clear();
+        Value::F64(2.0).write_json(&mut out);
+        assert_eq!(out, "2.0");
+        out.clear();
+        Value::F64(0.125).write_json(&mut out);
+        assert_eq!(out, "0.125");
+    }
+}

@@ -1,0 +1,40 @@
+//! # nvsim-store — the columnar sweep-result store
+//!
+//! Every sweep binary can re-simulate the paper's tables and figures
+//! from scratch, but a sweep at `Bench` scale is minutes of work and a
+//! fault-tolerant fleet run produces data worth keeping. This crate
+//! gives those results a durable, queryable home:
+//!
+//! - [`store::Table`] / [`store::Store`] — named tables of typed,
+//!   equal-length columns ([`column::Column`]), held in insertion order
+//!   so identical logical content means identical files.
+//! - [`codec`] — a versioned, CRC32-framed on-disk layout reusing the
+//!   tracefile's framing ([`nvsim_trace::framing`]): truncation and bit
+//!   flips surface as [`nvsim_types::NvsimError::Corrupt`] with a
+//!   section and offset, never as garbage data.
+//! - [`query::Query`] — predicate pushdown, projection, aggregation
+//!   (`count`/`sum`/`mean`/`min`/`max`, optionally grouped), sort and
+//!   limit, with a [`query::Query::canonical`] form that keys response
+//!   caches.
+//!
+//! The crate is deliberately generic: it knows nothing about the
+//! evaluation's report structs. The mapping from `EvalDataset` onto
+//! tables lives in `nv-scavenger`'s `dataset_store` module; the `nvq`
+//! CLI (in `nvsim-bench`) and the `nvsim-serve` HTTP layer sit on top
+//! of the query engine here.
+//!
+//! Persistence goes through [`nvsim_obs::artifact::atomic_write`] —
+//! temp file and rename — so a store file on disk is always either the
+//! previous complete version or the new one. See `docs/STORE.md` for
+//! the format specification and query grammar.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod column;
+pub mod query;
+pub mod store;
+
+pub use column::{Column, ColumnType, Value};
+pub use query::{Agg, Filter, Op, Query, QueryResult};
+pub use store::{Store, Table, DATASET_FILE, PROFILE_FILE};

@@ -1,0 +1,799 @@
+//! The query engine: predicate pushdown on typed columns, projections,
+//! aggregations, sort and limit — enough to answer every table/figure
+//! question from a stored sweep without re-simulating.
+//!
+//! Queries are small structured values ([`Query`]) with two front ends:
+//! [`Query::parse_args`] for the `nvq` CLI and [`Query::from_pairs`] for
+//! the `/query` HTTP endpoint's key/value form. Both normalize into the
+//! same [`Query::canonical`] string, which the serving layer uses as its
+//! response-cache key — two spellings of the same question hit the same
+//! cache line.
+//!
+//! Execution is columnar: predicates evaluate directly against the
+//! stored columns and produce a row-index selection; only the projected
+//! columns of selected rows are ever materialized. Aggregations
+//! (`count`, `sum`, `mean`, `min`, `max`) fold over the selection,
+//! optionally grouped by a column (groups appear in first-occurrence
+//! order, so results are deterministic).
+
+use crate::column::{Column, Value};
+use crate::store::{Store, Table};
+use nvsim_types::NvsimError;
+
+/// Comparison operator of one predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Op {
+    fn symbol(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+
+    fn accepts(self, ordering: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ordering),
+            (Op::Eq, Equal)
+                | (Op::Ne, Less | Greater)
+                | (Op::Lt, Less)
+                | (Op::Le, Less | Equal)
+                | (Op::Gt, Greater)
+                | (Op::Ge, Greater | Equal)
+        )
+    }
+}
+
+/// One predicate: `column <op> value`, with the value kept as written
+/// and parsed against the column's type at execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    /// Column the predicate reads.
+    pub column: String,
+    /// Comparison operator.
+    pub op: Op,
+    /// Right-hand side, as written (`"CAM"`, `"4096"`, `"0.5"`,
+    /// `"null"`, `"true"`).
+    pub value: String,
+}
+
+impl Filter {
+    /// Parses `col=value`, `col!=value`, `col<=value`, etc.
+    ///
+    /// # Errors
+    /// [`NvsimError::InvalidConfig`] when no operator is present.
+    pub fn parse(expr: &str) -> Result<Self, NvsimError> {
+        for (symbol, op) in [
+            ("!=", Op::Ne),
+            ("<=", Op::Le),
+            (">=", Op::Ge),
+            ("=", Op::Eq),
+            ("<", Op::Lt),
+            (">", Op::Gt),
+        ] {
+            if let Some(at) = expr.find(symbol) {
+                let column = expr[..at].trim();
+                let value = expr[at + symbol.len()..].trim();
+                if column.is_empty() {
+                    break;
+                }
+                return Ok(Filter {
+                    column: column.to_string(),
+                    op,
+                    value: value.to_string(),
+                });
+            }
+        }
+        Err(NvsimError::InvalidConfig(format!(
+            "bad filter {expr:?}: expected column<op>value with op one of = != < <= > >="
+        )))
+    }
+
+    fn canonical(&self) -> String {
+        format!("{}{}{}", self.column, self.op.symbol(), self.value)
+    }
+}
+
+/// One aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Agg {
+    /// Row count of the selection (or group).
+    Count,
+    /// Sum of a numeric column.
+    Sum(String),
+    /// Arithmetic mean of a numeric column.
+    Mean(String),
+    /// Minimum of a numeric column.
+    Min(String),
+    /// Maximum of a numeric column.
+    Max(String),
+}
+
+impl Agg {
+    /// Parses `count`, `sum:col`, `mean:col`, `min:col`, `max:col`.
+    ///
+    /// # Errors
+    /// [`NvsimError::InvalidConfig`] on an unknown aggregate.
+    pub fn parse(expr: &str) -> Result<Self, NvsimError> {
+        if expr == "count" {
+            return Ok(Agg::Count);
+        }
+        if let Some((kind, col)) = expr.split_once(':') {
+            let col = col.trim().to_string();
+            if !col.is_empty() {
+                return Ok(match kind.trim() {
+                    "sum" => Agg::Sum(col),
+                    "mean" => Agg::Mean(col),
+                    "min" => Agg::Min(col),
+                    "max" => Agg::Max(col),
+                    _ => {
+                        return Err(NvsimError::InvalidConfig(format!(
+                            "unknown aggregate {expr:?}"
+                        )))
+                    }
+                });
+            }
+        }
+        Err(NvsimError::InvalidConfig(format!(
+            "bad aggregate {expr:?}: expected count or sum:|mean:|min:|max:<column>"
+        )))
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Agg::Count => "count".to_string(),
+            Agg::Sum(c) => format!("sum({c})"),
+            Agg::Mean(c) => format!("mean({c})"),
+            Agg::Min(c) => format!("min({c})"),
+            Agg::Max(c) => format!("max({c})"),
+        }
+    }
+
+    fn canonical(&self) -> String {
+        match self {
+            Agg::Count => "count".to_string(),
+            Agg::Sum(c) => format!("sum:{c}"),
+            Agg::Mean(c) => format!("mean:{c}"),
+            Agg::Min(c) => format!("min:{c}"),
+            Agg::Max(c) => format!("max:{c}"),
+        }
+    }
+}
+
+/// A complete query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Table to read.
+    pub table: String,
+    /// Conjunctive predicates (`AND`).
+    pub filters: Vec<Filter>,
+    /// Projected columns, in order (`None` = all).
+    pub select: Option<Vec<String>>,
+    /// Aggregations (empty = plain row query).
+    pub aggs: Vec<Agg>,
+    /// Group-by column for aggregations.
+    pub by: Option<String>,
+    /// Sort column and direction (`true` = descending).
+    pub sort: Option<(String, bool)>,
+    /// Maximum result rows.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// A bare full-table query.
+    pub fn table(name: &str) -> Self {
+        Query {
+            table: name.to_string(),
+            filters: Vec::new(),
+            select: None,
+            aggs: Vec::new(),
+            by: None,
+            sort: None,
+            limit: None,
+        }
+    }
+
+    /// Parses the `nvq` CLI form: a positional table name followed by
+    /// `--where EXPR` (repeatable), `--select a,b,c`, `--agg
+    /// count,sum:col`, `--by col`, `--sort col[:desc]`, `--limit N`.
+    ///
+    /// # Errors
+    /// [`NvsimError::InvalidConfig`] describing the offending token.
+    pub fn parse_args(args: &[String]) -> Result<Self, NvsimError> {
+        let mut query: Option<Query> = None;
+        let mut it = args.iter();
+        let missing = |flag: &str| {
+            NvsimError::InvalidConfig(format!("{flag} requires a value"))
+        };
+        while let Some(arg) = it.next() {
+            // Accept both `--flag value` and `--flag=value` spellings.
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+                _ => (arg.as_str(), None),
+            };
+            let mut value = |name: &str| -> Result<String, NvsimError> {
+                match &inline {
+                    Some(v) => Ok(v.clone()),
+                    None => it.next().cloned().ok_or_else(|| missing(name)),
+                }
+            };
+            match flag {
+                "--where" => {
+                    let q = query
+                        .as_mut()
+                        .ok_or_else(|| NvsimError::InvalidConfig("table name must come first".into()))?;
+                    q.filters.push(Filter::parse(&value("--where")?)?);
+                }
+                "--select" => {
+                    let q = query
+                        .as_mut()
+                        .ok_or_else(|| NvsimError::InvalidConfig("table name must come first".into()))?;
+                    q.select = Some(split_list(&value("--select")?));
+                }
+                "--agg" => {
+                    let q = query
+                        .as_mut()
+                        .ok_or_else(|| NvsimError::InvalidConfig("table name must come first".into()))?;
+                    for part in split_list(&value("--agg")?) {
+                        q.aggs.push(Agg::parse(&part)?);
+                    }
+                }
+                "--by" => {
+                    let q = query
+                        .as_mut()
+                        .ok_or_else(|| NvsimError::InvalidConfig("table name must come first".into()))?;
+                    q.by = Some(value("--by")?);
+                }
+                "--sort" => {
+                    let q = query
+                        .as_mut()
+                        .ok_or_else(|| NvsimError::InvalidConfig("table name must come first".into()))?;
+                    q.sort = Some(parse_sort(&value("--sort")?));
+                }
+                "--limit" => {
+                    let q = query
+                        .as_mut()
+                        .ok_or_else(|| NvsimError::InvalidConfig("table name must come first".into()))?;
+                    let raw = value("--limit")?;
+                    q.limit = Some(raw.parse().map_err(|_| {
+                        NvsimError::InvalidConfig(format!("bad --limit {raw:?}"))
+                    })?);
+                }
+                other if other.starts_with("--") => {
+                    return Err(NvsimError::InvalidConfig(format!(
+                        "unknown query flag {other:?}"
+                    )));
+                }
+                positional => match query {
+                    None => query = Some(Query::table(positional)),
+                    Some(_) => {
+                        return Err(NvsimError::InvalidConfig(format!(
+                            "unexpected extra positional {positional:?}"
+                        )));
+                    }
+                },
+            }
+        }
+        query.ok_or_else(|| NvsimError::InvalidConfig("missing table name".into()))
+    }
+
+    /// Parses the HTTP key/value form (`table=objects`, repeated
+    /// `where=EXPR`, `select=a,b`, `agg=count,sum:col`, `by=col`,
+    /// `sort=col:desc`, `limit=N`). Pairs arrive percent-decoded.
+    ///
+    /// # Errors
+    /// [`NvsimError::InvalidConfig`] describing the offending pair.
+    pub fn from_pairs(pairs: &[(String, String)]) -> Result<Self, NvsimError> {
+        let table = pairs
+            .iter()
+            .find(|(k, _)| k == "table")
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| NvsimError::InvalidConfig("missing table=<name>".into()))?;
+        let mut query = Query::table(&table);
+        for (key, value) in pairs {
+            match key.as_str() {
+                "table" => {}
+                "where" => query.filters.push(Filter::parse(value)?),
+                "select" => query.select = Some(split_list(value)),
+                "agg" => {
+                    for part in split_list(value) {
+                        query.aggs.push(Agg::parse(&part)?);
+                    }
+                }
+                "by" => query.by = Some(value.clone()),
+                "sort" => query.sort = Some(parse_sort(value)),
+                "limit" => {
+                    query.limit = Some(value.parse().map_err(|_| {
+                        NvsimError::InvalidConfig(format!("bad limit {value:?}"))
+                    })?);
+                }
+                other => {
+                    return Err(NvsimError::InvalidConfig(format!(
+                        "unknown query key {other:?}"
+                    )));
+                }
+            }
+        }
+        Ok(query)
+    }
+
+    /// The canonical textual form — identical for every spelling of the
+    /// same question, so it keys response caches. Filters are sorted;
+    /// projection, aggregation and sort order are semantic and kept.
+    pub fn canonical(&self) -> String {
+        let mut out = format!("table={}", self.table);
+        let mut filters: Vec<String> = self.filters.iter().map(Filter::canonical).collect();
+        filters.sort();
+        if !filters.is_empty() {
+            out.push_str(&format!(";where={}", filters.join(",")));
+        }
+        if let Some(select) = &self.select {
+            out.push_str(&format!(";select={}", select.join(",")));
+        }
+        if !self.aggs.is_empty() {
+            let aggs: Vec<String> = self.aggs.iter().map(Agg::canonical).collect();
+            out.push_str(&format!(";agg={}", aggs.join(",")));
+        }
+        if let Some(by) = &self.by {
+            out.push_str(&format!(";by={by}"));
+        }
+        if let Some((column, desc)) = &self.sort {
+            out.push_str(&format!(
+                ";sort={column}:{}",
+                if *desc { "desc" } else { "asc" }
+            ));
+        }
+        if let Some(limit) = self.limit {
+            out.push_str(&format!(";limit={limit}"));
+        }
+        out
+    }
+
+    /// Executes the query against a store.
+    ///
+    /// # Errors
+    /// [`NvsimError::NotFound`] for an unknown table or column,
+    /// [`NvsimError::InvalidConfig`] for a filter value that does not
+    /// parse against its column's type or an aggregate over a
+    /// non-numeric column.
+    pub fn run(&self, store: &Store) -> Result<QueryResult, NvsimError> {
+        let table = store
+            .table(&self.table)
+            .ok_or_else(|| NvsimError::NotFound(format!("table {:?}", self.table)))?;
+
+        // Predicate pushdown: evaluate filters column-wise into a
+        // selection of row indices.
+        let mut selected: Vec<usize> = (0..table.rows).collect();
+        for filter in &self.filters {
+            let column = named_column(table, &filter.column)?;
+            let rhs = parse_rhs(column, filter)?;
+            selected.retain(|&row| match (&column.value(row), &rhs) {
+                // `null` only ever matches via Eq/Ne against None.
+                (Value::OptF64(None), Value::OptF64(None)) => filter.op == Op::Eq,
+                (Value::OptF64(None), _) => filter.op == Op::Ne,
+                (_, Value::OptF64(None)) => filter.op == Op::Ne,
+                (lhs, rhs) => filter.op.accepts(lhs.total_cmp(rhs)),
+            });
+        }
+
+        let mut result = if self.aggs.is_empty() {
+            self.project(table, &selected)?
+        } else {
+            self.aggregate(table, &selected)?
+        };
+
+        if let Some((column, desc)) = &self.sort {
+            let at = result
+                .columns
+                .iter()
+                .position(|c| c == column)
+                .ok_or_else(|| NvsimError::NotFound(format!("sort column {column:?}")))?;
+            result
+                .rows
+                .sort_by(|a, b| {
+                    let ord = a[at].total_cmp(&b[at]);
+                    if *desc {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+        }
+        if let Some(limit) = self.limit {
+            result.rows.truncate(limit);
+        }
+        Ok(result)
+    }
+
+    fn project(&self, table: &Table, selected: &[usize]) -> Result<QueryResult, NvsimError> {
+        let columns: Vec<(String, &Column)> = match &self.select {
+            Some(names) => names
+                .iter()
+                .map(|n| Ok((n.clone(), named_column(table, n)?)))
+                .collect::<Result<_, NvsimError>>()?,
+            None => table
+                .columns
+                .iter()
+                .map(|(n, c)| (n.clone(), c))
+                .collect(),
+        };
+        let rows = selected
+            .iter()
+            .map(|&row| columns.iter().map(|(_, c)| c.value(row)).collect())
+            .collect();
+        Ok(QueryResult {
+            table: self.table.clone(),
+            columns: columns.into_iter().map(|(n, _)| n).collect(),
+            rows,
+        })
+    }
+
+    fn aggregate(&self, table: &Table, selected: &[usize]) -> Result<QueryResult, NvsimError> {
+        // Groups in first-occurrence order (deterministic output).
+        let groups: Vec<(Option<Value>, Vec<usize>)> = match &self.by {
+            Some(by) => {
+                let column = named_column(table, by)?;
+                let mut order: Vec<(Option<Value>, Vec<usize>)> = Vec::new();
+                for &row in selected {
+                    let key = column.value(row);
+                    match order
+                        .iter_mut()
+                        .find(|(k, _)| k.as_ref() == Some(&key))
+                    {
+                        Some((_, rows)) => rows.push(row),
+                        None => order.push((Some(key), vec![row])),
+                    }
+                }
+                order
+            }
+            None => vec![(None, selected.to_vec())],
+        };
+
+        let mut columns = Vec::new();
+        if let Some(by) = &self.by {
+            columns.push(by.clone());
+        }
+        columns.extend(self.aggs.iter().map(Agg::label));
+
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, members) in groups {
+            let mut row = Vec::new();
+            if let Some(key) = key {
+                row.push(key);
+            }
+            for agg in &self.aggs {
+                row.push(fold(table, agg, &members)?);
+            }
+            rows.push(row);
+        }
+        Ok(QueryResult {
+            table: self.table.clone(),
+            columns,
+            rows,
+        })
+    }
+}
+
+fn split_list(raw: &str) -> Vec<String> {
+    raw.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_sort(raw: &str) -> (String, bool) {
+    match raw.rsplit_once(':') {
+        Some((column, "desc")) => (column.to_string(), true),
+        Some((column, "asc")) => (column.to_string(), false),
+        _ => (raw.to_string(), false),
+    }
+}
+
+fn named_column<'t>(table: &'t Table, name: &str) -> Result<&'t Column, NvsimError> {
+    table.column(name).ok_or_else(|| {
+        NvsimError::NotFound(format!("column {name:?} in table {:?}", table.name))
+    })
+}
+
+/// Parses a filter's right-hand side against its column's type.
+fn parse_rhs(column: &Column, filter: &Filter) -> Result<Value, NvsimError> {
+    let bad = || {
+        NvsimError::InvalidConfig(format!(
+            "filter value {:?} does not parse as {} (column {:?})",
+            filter.value,
+            column.column_type(),
+            filter.column
+        ))
+    };
+    Ok(match column {
+        Column::U64(_) => Value::U64(filter.value.parse().map_err(|_| bad())?),
+        Column::F64(_) => Value::F64(filter.value.parse().map_err(|_| bad())?),
+        Column::OptF64(_) => {
+            if filter.value == "null" {
+                Value::OptF64(None)
+            } else {
+                Value::OptF64(Some(filter.value.parse().map_err(|_| bad())?))
+            }
+        }
+        Column::Str(_) => Value::Str(filter.value.clone()),
+        Column::Bool(_) => Value::Bool(filter.value.parse().map_err(|_| bad())?),
+    })
+}
+
+fn fold(table: &Table, agg: &Agg, rows: &[usize]) -> Result<Value, NvsimError> {
+    let numeric = |name: &str| -> Result<Vec<f64>, NvsimError> {
+        let column = named_column(table, name)?;
+        match column {
+            Column::Str(_) | Column::Bool(_) => Err(NvsimError::InvalidConfig(format!(
+                "aggregate over non-numeric column {name:?}"
+            ))),
+            _ => Ok(rows
+                .iter()
+                .filter_map(|&row| column.value(row).as_f64())
+                .collect()),
+        }
+    };
+    Ok(match agg {
+        Agg::Count => Value::U64(rows.len() as u64),
+        Agg::Sum(name) => Value::F64(numeric(name)?.into_iter().sum()),
+        Agg::Mean(name) => {
+            let vals = numeric(name)?;
+            if vals.is_empty() {
+                Value::OptF64(None)
+            } else {
+                Value::F64(vals.iter().sum::<f64>() / vals.len() as f64)
+            }
+        }
+        Agg::Min(name) => numeric(name)?
+            .into_iter()
+            .min_by(f64::total_cmp)
+            .map_or(Value::OptF64(None), Value::F64),
+        Agg::Max(name) => numeric(name)?
+            .into_iter()
+            .max_by(f64::total_cmp)
+            .map_or(Value::OptF64(None), Value::F64),
+    })
+}
+
+/// A query's result: a small table of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Table the query read.
+    pub table: String,
+    /// Result column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// Deterministic pretty-printed JSON (2-space indent):
+    /// `{"table": ..., "columns": [...], "rows": [[...], ...]}`.
+    /// Hand-rolled so the byte layout is part of the format contract —
+    /// golden-schema tests pin it.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"table\": ");
+        crate::column::write_json_str(&self.table, &mut out);
+        out.push_str(",\n  \"columns\": [");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            crate::column::write_json_str(c, &mut out);
+        }
+        out.push_str("],\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push('[');
+            for (j, value) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                value.write_json(&mut out);
+            }
+            out.push(']');
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+
+    /// Aligned plain-text table.
+    pub fn to_table(&self) -> String {
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Value::render).collect())
+            .collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::tests::sample_store;
+
+    fn q(args: &[&str]) -> Query {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Query::parse_args(&owned).unwrap()
+    }
+
+    #[test]
+    fn filters_project_sort_and_limit() {
+        let store = sample_store();
+        let result = q(&[
+            "objects",
+            "--where",
+            "app=CAM",
+            "--select",
+            "app,size_bytes",
+            "--sort",
+            "size_bytes:desc",
+            "--limit",
+            "1",
+        ])
+        .run(&store)
+        .unwrap();
+        assert_eq!(result.columns, vec!["app", "size_bytes"]);
+        assert_eq!(
+            result.rows,
+            vec![vec![Value::Str("CAM".into()), Value::U64(4096)]]
+        );
+    }
+
+    #[test]
+    fn flag_equals_value_spelling_parses_too() {
+        let a = q(&["objects", "--where", "app=CAM", "--limit", "1"]);
+        let b = q(&["objects", "--where=app=CAM", "--limit=1"]);
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn numeric_and_null_predicates() {
+        let store = sample_store();
+        let gt = q(&["objects", "--where", "size_bytes>1000"]).run(&store).unwrap();
+        assert_eq!(gt.rows.len(), 2);
+        let none = q(&["objects", "--where", "rw_ratio=null"]).run(&store).unwrap();
+        assert_eq!(none.rows.len(), 1);
+        let some = q(&["objects", "--where", "rw_ratio!=null"]).run(&store).unwrap();
+        assert_eq!(some.rows.len(), 2);
+        // A None cell never satisfies an ordered comparison.
+        let ordered = q(&["objects", "--where", "rw_ratio>0.5"]).run(&store).unwrap();
+        assert_eq!(ordered.rows.len(), 2, "1.5 and inf, not the None");
+    }
+
+    #[test]
+    fn aggregations_roll_up_with_grouping() {
+        let store = sample_store();
+        let result = q(&[
+            "objects",
+            "--agg",
+            "count,sum:size_bytes,mean:reference_rate",
+            "--by",
+            "app",
+        ])
+        .run(&store)
+        .unwrap();
+        assert_eq!(
+            result.columns,
+            vec!["app", "count", "sum(size_bytes)", "mean(reference_rate)"]
+        );
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0][0], Value::Str("CAM".into()));
+        assert_eq!(result.rows[0][1], Value::U64(2));
+        assert_eq!(result.rows[0][2], Value::F64(4224.0));
+        assert_eq!(result.rows[1][0], Value::Str("GTC".into()));
+        assert_eq!(result.rows[1][2], Value::F64((1 << 20) as f64));
+    }
+
+    #[test]
+    fn canonical_form_normalizes_spellings() {
+        let a = q(&["objects", "--where", "app=CAM", "--where", "size_bytes>10"]);
+        let b = q(&["objects", "--where", "size_bytes>10", "--where", "app=CAM"]);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(
+            a.canonical(),
+            "table=objects;where=app=CAM,size_bytes>10"
+        );
+        let pairs = vec![
+            ("table".to_string(), "objects".to_string()),
+            ("where".to_string(), "size_bytes>10".to_string()),
+            ("where".to_string(), "app=CAM".to_string()),
+        ];
+        assert_eq!(Query::from_pairs(&pairs).unwrap().canonical(), a.canonical());
+    }
+
+    #[test]
+    fn unknown_names_and_bad_values_error() {
+        let store = sample_store();
+        assert!(matches!(
+            Query::table("nope").run(&store),
+            Err(NvsimError::NotFound(_))
+        ));
+        assert!(matches!(
+            q(&["objects", "--where", "ghost=1"]).run(&store),
+            Err(NvsimError::NotFound(_))
+        ));
+        assert!(matches!(
+            q(&["objects", "--where", "size_bytes=abc"]).run(&store),
+            Err(NvsimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            q(&["objects", "--agg", "sum:app"]).run(&store),
+            Err(NvsimError::InvalidConfig(_))
+        ));
+        assert!(Query::parse_args(&["--where".to_string()]).is_err());
+        assert!(Filter::parse("no-operator-here").is_err());
+        assert!(Agg::parse("median:x").is_err());
+    }
+
+    #[test]
+    fn json_output_is_pinned() {
+        let store = sample_store();
+        let result = q(&["meta"]).run(&store).unwrap();
+        assert_eq!(
+            result.to_json(),
+            "{\n  \"table\": \"meta\",\n  \"columns\": [\"scale_divisor\", \"iterations\"],\n  \"rows\": [\n    [4096, 5]\n  ]\n}"
+        );
+        // Infinity renders as null — always-valid JSON.
+        let inf = q(&["objects", "--where", "app=GTC", "--select", "rw_ratio"])
+            .run(&store)
+            .unwrap();
+        assert!(inf.to_json().contains("null"));
+    }
+
+    #[test]
+    fn table_output_aligns() {
+        let store = sample_store();
+        let text = q(&["meta"]).run(&store).unwrap().to_table();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap().trim_end(), "scale_divisor  iterations");
+        assert_eq!(lines.next().unwrap().trim_end(), "4096           5");
+    }
+}

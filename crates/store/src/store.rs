@@ -1,0 +1,313 @@
+//! The store itself: an ordered set of named columnar [`Table`]s with
+//! atomic durable persistence.
+//!
+//! Tables keep their insertion order (the writer controls it, so serial
+//! and parallel sweeps producing the same merged rows produce
+//! byte-identical files), and each table's columns keep theirs. Files
+//! are written with the same temp-and-rename discipline as every other
+//! durable artifact ([`nvsim_obs::artifact::atomic_write`]): a killed
+//! writer leaves either the old file or the new one, never a torn one.
+
+use crate::column::{Column, ColumnType, Value};
+use crate::codec;
+use bytes::Bytes;
+use nvsim_types::NvsimError;
+use std::path::Path;
+
+/// Default store file name inside a `--store DIR` directory.
+pub const DATASET_FILE: &str = "dataset.nvstore";
+
+/// Store file name for instrumented-profile epoch records.
+pub const PROFILE_FILE: &str = "profile.nvstore";
+
+/// One named table of equal-length typed columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name (`"footprint"`, `"objects"`, `"power"`, ...).
+    pub name: String,
+    /// Row count (every column holds exactly this many values).
+    pub rows: usize,
+    /// Columns in declaration order.
+    pub columns: Vec<(String, Column)>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: &str) -> Self {
+        Table {
+            name: name.to_string(),
+            rows: 0,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Adds a column (builder style).
+    ///
+    /// # Panics
+    /// If the column's length disagrees with the columns already added —
+    /// a writer bug, not a data condition.
+    pub fn with_column(mut self, name: &str, column: Column) -> Self {
+        if self.columns.is_empty() {
+            self.rows = column.len();
+        } else {
+            assert_eq!(
+                column.len(),
+                self.rows,
+                "table {:?}: column {name:?} length mismatch",
+                self.name
+            );
+        }
+        self.columns.push((name.to_string(), column));
+        self
+    }
+
+    /// The column `name`, if present.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// `(name, type)` pairs in order — the table's schema.
+    pub fn schema(&self) -> Vec<(&str, ColumnType)> {
+        self.columns
+            .iter()
+            .map(|(n, c)| (n.as_str(), c.column_type()))
+            .collect()
+    }
+
+    /// One row as values, in column order (panics past the end).
+    pub fn row(&self, index: usize) -> Vec<Value> {
+        self.columns.iter().map(|(_, c)| c.value(index)).collect()
+    }
+}
+
+/// An ordered collection of tables — the unit of persistence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Store {
+    tables: Vec<Table>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// All tables, in insertion order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The table `name`, if present.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Adds a table.
+    ///
+    /// # Errors
+    /// [`NvsimError::InvalidConfig`] on a duplicate table name.
+    pub fn insert(&mut self, table: Table) -> Result<(), NvsimError> {
+        if self.table(&table.name).is_some() {
+            return Err(NvsimError::InvalidConfig(format!(
+                "store already has a table named {:?}",
+                table.name
+            )));
+        }
+        self.tables.push(table);
+        Ok(())
+    }
+
+    /// Adds a table, replacing (in place, keeping its position) any
+    /// existing table of the same name. This is what lets the per-table
+    /// sweep binaries incrementally populate one store file: each run
+    /// rewrites its own tables and leaves the others untouched.
+    pub fn upsert(&mut self, table: Table) {
+        match self.tables.iter_mut().find(|t| t.name == table.name) {
+            Some(slot) => *slot = table,
+            None => self.tables.push(table),
+        }
+    }
+
+    /// Encodes the store into its framed on-disk bytes.
+    pub fn encode(&self) -> Bytes {
+        codec::encode(self)
+    }
+
+    /// Decodes a store from its framed bytes.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] naming the failing section and offset.
+    pub fn decode(encoded: Bytes) -> Result<Self, NvsimError> {
+        codec::decode(encoded)
+    }
+
+    /// Writes the store to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    /// [`NvsimError::Io`] carrying the path on any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), NvsimError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| NvsimError::Io {
+                    path: parent.display().to_string(),
+                    cause: e.to_string(),
+                })?;
+            }
+        }
+        nvsim_obs::artifact::atomic_write(path, &self.encode()).map_err(|e| NvsimError::Io {
+            path: path.display().to_string(),
+            cause: e.to_string(),
+        })
+    }
+
+    /// Reads and decodes the store at `path`.
+    ///
+    /// # Errors
+    /// [`NvsimError::Io`] if the file cannot be read, or
+    /// [`NvsimError::Corrupt`] if it fails validation.
+    pub fn load(path: &Path) -> Result<Self, NvsimError> {
+        let raw = std::fs::read(path).map_err(|e| NvsimError::Io {
+            path: path.display().to_string(),
+            cause: e.to_string(),
+        })?;
+        Self::decode(Bytes::from(raw))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn sample_store() -> Store {
+        let mut store = Store::new();
+        store
+            .insert(
+                Table::new("objects")
+                    .with_column(
+                        "app",
+                        Column::Str(vec!["CAM".into(), "CAM".into(), "GTC".into()]),
+                    )
+                    .with_column("size_bytes", Column::U64(vec![4096, 128, 1 << 20]))
+                    .with_column(
+                        "rw_ratio",
+                        Column::OptF64(vec![Some(1.5), None, Some(f64::INFINITY)]),
+                    )
+                    .with_column("reference_rate", Column::F64(vec![0.25, 0.0, 1.0 / 3.0]))
+                    .with_column("only_pre_post", Column::Bool(vec![false, true, false])),
+            )
+            .unwrap();
+        store
+            .insert(
+                Table::new("meta")
+                    .with_column("scale_divisor", Column::U64(vec![4096]))
+                    .with_column("iterations", Column::U64(vec![5])),
+            )
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let store = sample_store();
+        let decoded = Store::decode(store.encode()).unwrap();
+        assert_eq!(store, decoded);
+        // Bit-exactness of the stored infinities.
+        let col = decoded.table("objects").unwrap().column("rw_ratio").unwrap();
+        assert_eq!(col.value(2), Value::OptF64(Some(f64::INFINITY)));
+        assert_eq!(col.value(1), Value::OptF64(None));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let store = sample_store();
+        assert_eq!(store.encode(), store.encode());
+    }
+
+    #[test]
+    fn upsert_replaces_in_place_and_appends() {
+        let mut store = sample_store();
+        // Replace: same name, new content, same position.
+        store.upsert(Table::new("objects").with_column("app", Column::Str(vec!["X".into()])));
+        assert_eq!(store.tables()[0].name, "objects");
+        assert_eq!(store.tables()[0].rows, 1);
+        assert_eq!(store.tables().len(), 2);
+        // Append: unknown name goes to the end.
+        store.upsert(Table::new("extra").with_column("n", Column::U64(vec![7])));
+        assert_eq!(store.tables().len(), 3);
+        assert_eq!(store.tables()[2].name, "extra");
+    }
+
+    #[test]
+    fn duplicate_tables_are_rejected() {
+        let mut store = sample_store();
+        let err = store.insert(Table::new("meta")).unwrap_err();
+        assert!(matches!(err, NvsimError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn save_load_round_trips_via_disk() {
+        let dir = std::env::temp_dir().join(format!("nvstore-test-{}", std::process::id()));
+        let path = dir.join("dataset.nvstore");
+        let store = sample_store();
+        store.save(&path).unwrap();
+        let loaded = Store::load(&path).unwrap();
+        assert_eq!(store, loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_not_panic() {
+        let err = Store::load(Path::new("/nonexistent/nvstore")).unwrap_err();
+        match err {
+            NvsimError::Io { path, .. } => assert!(path.contains("nonexistent")),
+            other => panic!("expected Io, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_surface_as_corrupt() {
+        let good = sample_store().encode();
+        // Truncations at every boundary class.
+        for cut in [0, 3, 4, 10, good.len() - 1] {
+            let err = Store::decode(good.slice(0..cut)).unwrap_err();
+            assert!(matches!(err, NvsimError::Corrupt { .. }), "cut {cut}: {err}");
+        }
+        // A bit flip in the middle of the payload.
+        let mut bad = good.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x20;
+        let err = Store::decode(Bytes::from(bad)).unwrap_err();
+        assert!(matches!(err, NvsimError::Corrupt { .. }), "{err}");
+        // Trailing garbage after the terminator.
+        let mut trailing = good.to_vec();
+        trailing.push(0xff);
+        let err = Store::decode(Bytes::from(trailing)).unwrap_err();
+        assert!(matches!(err, NvsimError::Corrupt { .. }), "{err}");
+        // The pristine bytes still decode.
+        assert!(Store::decode(good).is_ok());
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        // Re-frame a store with a bumped version varint.
+        use nvsim_trace::framing::{put_varint, FrameWriter};
+        let mut w = FrameWriter::new(codec::MAGIC);
+        put_varint(w.payload(), codec::FORMAT_VERSION + 1);
+        put_varint(w.payload(), 0);
+        let err = Store::decode(w.into_bytes()).unwrap_err();
+        match err {
+            NvsimError::Corrupt { section, .. } => {
+                assert!(section.contains("version"), "{section}")
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! CRC32-framed stream sections — the durable framing shared by every
+//! on-disk byte format in the workspace.
+//!
+//! The tracefile module introduced the layout (its "format version 2"):
+//!
+//! ```text
+//! [u32 magic] ([u32 len][u32 crc32][len payload bytes])* [u32 0][u32 0]
+//! ```
+//!
+//! A writer appends records into a pending frame and seals it at a
+//! record boundary once the payload reaches [`FRAME_TARGET`]; the
+//! stream ends with a zero-length terminator frame whose absence tells
+//! the reader the stream was cut. Readers validate the magic up front,
+//! check every frame's length bound and CRC32 (IEEE), and turn any
+//! violation into a precise [`NvsimError::Corrupt`] naming the failing
+//! section and absolute byte offset.
+//!
+//! The machinery lives here — public — so other durable formats (the
+//! `nvsim-store` columnar sweep store, the sweep journal) reuse the
+//! exact same framing instead of reinventing it: [`FrameWriter`] for
+//! the write half, [`FrameReader`] + [`FrameCursor`] for the read half,
+//! and the varint/zig-zag helpers both halves encode with.
+//!
+//! ```
+//! use bytes::BufMut;
+//! use nvsim_trace::framing::{FrameReader, FrameWriter};
+//!
+//! const MAGIC: u32 = 0x4e56_5101;
+//! let mut w = FrameWriter::new(MAGIC);
+//! w.payload().put_u8(7);
+//! w.maybe_seal(); // no-op below the frame target
+//! let encoded = w.into_bytes();
+//!
+//! let mut r = FrameReader::open(encoded, MAGIC, "doc").unwrap();
+//! let (_, _, payload) = r.next_frame().unwrap().unwrap();
+//! assert_eq!(payload.as_ref(), &[7]);
+//! assert!(r.next_frame().unwrap().is_none());
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nvsim_types::NvsimError;
+
+/// Target payload size of one CRC32 frame. Frames seal at the first
+/// record boundary at or past this size, so a single oversized record
+/// (e.g. a large globals table) still lands in one frame.
+pub const FRAME_TARGET: usize = 64 * 1024;
+
+/// Bytes of frame header: `u32` payload length + `u32` CRC32.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE 802.3, reflected) — the checksum guarding each frame;
+/// exported so other durable artifacts (e.g. the sweep journal) can
+/// share it.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Builds a [`NvsimError::Corrupt`] naming the failing `section` and the
+/// absolute byte `offset` of the failure.
+pub fn corrupt(section: impl Into<String>, offset: u64) -> NvsimError {
+    NvsimError::Corrupt {
+        section: section.into(),
+        offset,
+    }
+}
+
+/// Write half of the framing: a header-plus-sealed-frames buffer and the
+/// pending frame payload. [`FrameWriter::seal`] is only called at record
+/// boundaries, so no record ever straddles frames.
+#[derive(Debug)]
+pub struct FrameWriter {
+    out: BytesMut,
+    frame: BytesMut,
+}
+
+impl FrameWriter {
+    /// Creates a writer with the `magic` stream header in place.
+    pub fn new(magic: u32) -> Self {
+        let mut out = BytesMut::with_capacity(1 << 16);
+        out.put_u32(magic);
+        FrameWriter {
+            out,
+            frame: BytesMut::with_capacity(FRAME_TARGET + 1024),
+        }
+    }
+
+    /// The pending frame's payload buffer — encode records into this.
+    pub fn payload(&mut self) -> &mut BytesMut {
+        &mut self.frame
+    }
+
+    /// Encoded size so far, counting the pending frame's eventual header
+    /// (but not the final terminator frame).
+    pub fn len(&self) -> usize {
+        let pending = if self.frame.is_empty() {
+            0
+        } else {
+            FRAME_HEADER_LEN + self.frame.len()
+        };
+        self.out.len() + pending
+    }
+
+    /// `true` if only the magic header has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.len() <= 4 && self.frame.is_empty()
+    }
+
+    /// Seals the pending frame (length + CRC32 header, then payload).
+    /// Call only at a record boundary. A no-op when the pending frame is
+    /// empty.
+    pub fn seal(&mut self) {
+        if self.frame.is_empty() {
+            return;
+        }
+        let payload = std::mem::take(&mut self.frame);
+        self.out.put_u32(payload.len() as u32);
+        self.out.put_u32(crc32(&payload));
+        self.out.put_slice(&payload);
+    }
+
+    /// Seals the pending frame if it has reached [`FRAME_TARGET`].
+    pub fn maybe_seal(&mut self) {
+        if self.frame.len() >= FRAME_TARGET {
+            self.seal();
+        }
+    }
+
+    /// Finishes the stream — seals the pending frame and appends the
+    /// zero-length terminator frame — returning the encoded bytes.
+    pub fn into_bytes(mut self) -> Bytes {
+        self.seal();
+        // Zero-length terminator frame: its absence tells the reader the
+        // stream was cut at a frame boundary.
+        self.out.put_u32(0);
+        self.out.put_u32(0);
+        self.out.freeze()
+    }
+}
+
+/// Read half of the framing: validates the magic up front, then yields
+/// CRC-checked frame payloads until the terminator.
+pub struct FrameReader {
+    buf: Bytes,
+    /// Absolute offset of the next unread byte.
+    offset: u64,
+    index: u32,
+    /// Section-name prefix for errors: `"event"`, `"transaction"`,
+    /// `"store"`, …
+    prefix: &'static str,
+    done: bool,
+}
+
+impl FrameReader {
+    /// Opens a framed stream, validating the magic.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] at offset 0 when the buffer is shorter
+    /// than the header or carries a different magic.
+    pub fn open(mut buf: Bytes, magic: u32, prefix: &'static str) -> Result<Self, NvsimError> {
+        if buf.remaining() < 4 || buf.get_u32() != magic {
+            return Err(corrupt(format!("{prefix} header"), 0));
+        }
+        Ok(FrameReader {
+            buf,
+            offset: 4,
+            index: 0,
+            prefix,
+            done: false,
+        })
+    }
+
+    /// The next frame as `(section name, absolute payload offset,
+    /// payload)`, or `None` after the terminator frame.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] on a truncated stream, an out-of-bounds
+    /// frame length, a CRC mismatch, or trailing bytes after the
+    /// terminator.
+    pub fn next_frame(&mut self) -> Result<Option<(String, u64, Bytes)>, NvsimError> {
+        if self.done {
+            return Ok(None);
+        }
+        let section = format!("{} frame {}", self.prefix, self.index);
+        if self.buf.remaining() < FRAME_HEADER_LEN {
+            return Err(corrupt(format!("{} stream end", self.prefix), self.offset));
+        }
+        let len = self.buf.get_u32() as usize;
+        let want_crc = self.buf.get_u32();
+        if len == 0 && want_crc == 0 {
+            self.done = true;
+            if self.buf.has_remaining() {
+                return Err(corrupt(
+                    format!("{} trailing data", self.prefix),
+                    self.offset + FRAME_HEADER_LEN as u64,
+                ));
+            }
+            return Ok(None);
+        }
+        if self.buf.remaining() < len {
+            return Err(corrupt(section, self.offset));
+        }
+        let payload = self.buf.copy_to_bytes(len);
+        let at = self.offset + FRAME_HEADER_LEN as u64;
+        if crc32(&payload) != want_crc {
+            return Err(corrupt(section, at));
+        }
+        self.offset = at + len as u64;
+        self.index += 1;
+        Ok(Some((section, at, payload)))
+    }
+}
+
+/// Bounds-checked reader over one frame payload, reporting failures as
+/// [`NvsimError::Corrupt`] with absolute offsets.
+pub struct FrameCursor {
+    buf: Bytes,
+    base: u64,
+    len0: usize,
+    /// Section name reported by failures (the frame's section).
+    pub section: String,
+}
+
+impl FrameCursor {
+    /// Wraps one frame payload. `base` is the payload's absolute offset
+    /// in the stream (as yielded by [`FrameReader::next_frame`]).
+    pub fn new(payload: Bytes, base: u64, section: String) -> Self {
+        let len0 = payload.remaining();
+        FrameCursor {
+            buf: payload,
+            base,
+            len0,
+            section,
+        }
+    }
+
+    /// Absolute offset of the next unread byte.
+    pub fn offset(&self) -> u64 {
+        self.base + (self.len0 - self.buf.remaining()) as u64
+    }
+
+    /// A [`NvsimError::Corrupt`] at the current offset.
+    pub fn fail(&self) -> NvsimError {
+        corrupt(self.section.clone(), self.offset())
+    }
+
+    /// `true` while unread payload remains.
+    pub fn has_remaining(&self) -> bool {
+        self.buf.has_remaining()
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] at end of payload.
+    pub fn u8(&mut self) -> Result<u8, NvsimError> {
+        if !self.buf.has_remaining() {
+            return Err(self.fail());
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a LEB128 varint.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] on truncation or a varint running past 64
+    /// bits.
+    pub fn varint(&mut self) -> Result<u64, NvsimError> {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(self.fail());
+            }
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] on truncation or invalid UTF-8; the error
+    /// points at the length prefix.
+    pub fn str_field(&mut self) -> Result<String, NvsimError> {
+        let at = self.offset();
+        let len = self.varint()? as usize;
+        if self.buf.remaining() < len {
+            return Err(self.fail());
+        }
+        let bytes = self.buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt(self.section.clone(), at))
+    }
+
+    /// Reads a fixed 8-byte little-endian `f64` (bit-exact; NaN payloads
+    /// and infinities survive the round trip).
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] on truncation.
+    pub fn f64(&mut self) -> Result<f64, NvsimError> {
+        if self.buf.remaining() < 8 {
+            return Err(self.fail());
+        }
+        Ok(f64::from_bits(self.buf.get_u64_le()))
+    }
+}
+
+/// Appends a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Appends a fixed 8-byte little-endian `f64` (bit-exact).
+pub fn put_f64(buf: &mut BytesMut, v: f64) {
+    buf.put_u64_le(v.to_bits());
+}
+
+/// Zig-zag encodes a signed delta for varint packing.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: u32 = 0x4e56_5199;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn empty_stream_is_header_plus_terminator() {
+        let w = FrameWriter::new(MAGIC);
+        assert!(w.is_empty());
+        let encoded = w.into_bytes();
+        assert_eq!(encoded.len(), 4 + FRAME_HEADER_LEN);
+        let mut r = FrameReader::open(encoded, MAGIC, "t").unwrap();
+        assert!(r.next_frame().unwrap().is_none());
+        // And stays None.
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn payload_round_trips_with_offsets() {
+        let mut w = FrameWriter::new(MAGIC);
+        put_varint(w.payload(), 300);
+        put_str(w.payload(), "héllo");
+        put_f64(w.payload(), -0.125);
+        w.seal();
+        w.payload().put_u8(0xab);
+        let encoded = w.into_bytes();
+
+        let mut r = FrameReader::open(encoded, MAGIC, "t").unwrap();
+        let (section, at, payload) = r.next_frame().unwrap().unwrap();
+        assert_eq!(at, (4 + FRAME_HEADER_LEN) as u64);
+        let mut cur = FrameCursor::new(payload, at, section);
+        assert_eq!(cur.varint().unwrap(), 300);
+        assert_eq!(cur.str_field().unwrap(), "héllo");
+        assert_eq!(cur.f64().unwrap(), -0.125);
+        assert!(!cur.has_remaining());
+
+        let (_, _, second) = r.next_frame().unwrap().unwrap();
+        assert_eq!(second.as_ref(), &[0xab]);
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn wrong_magic_truncation_and_bit_flips_are_corrupt() {
+        let mut w = FrameWriter::new(MAGIC);
+        w.payload().put_slice(&[1, 2, 3, 4]);
+        let good = w.into_bytes();
+
+        assert!(FrameReader::open(good.clone(), MAGIC ^ 1, "t").is_err());
+
+        // Every proper prefix must fail somewhere: at open (cut inside the
+        // magic), inside a frame, or at the missing terminator.
+        for cut in 0..good.len() {
+            let outcome = FrameReader::open(good.slice(0..cut), MAGIC, "t").and_then(|mut r| {
+                while r.next_frame()?.is_some() {}
+                Ok(())
+            });
+            assert!(outcome.is_err(), "cut at {cut} should not parse cleanly");
+        }
+
+        let mut flipped = good.to_vec();
+        flipped[4 + FRAME_HEADER_LEN] ^= 0x10;
+        let mut r = FrameReader::open(Bytes::from(flipped), MAGIC, "t").unwrap();
+        let err = r.next_frame().unwrap_err();
+        assert!(matches!(err, NvsimError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_after_terminator_are_corrupt() {
+        let w = FrameWriter::new(MAGIC);
+        let mut bytes = w.into_bytes().to_vec();
+        bytes.push(0);
+        let mut r = FrameReader::open(Bytes::from(bytes), MAGIC, "t").unwrap();
+        assert!(r.next_frame().is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -4096] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_detects_overlong_encodings() {
+        // 10 continuation bytes push shift past 64 bits.
+        let payload = Bytes::from(vec![0xff; 10]);
+        let mut cur = FrameCursor::new(payload, 0, "t".into());
+        assert!(cur.varint().is_err());
+    }
+}

@@ -25,7 +25,10 @@
 //! * [`sink`] — the [`EventSink`] consumer trait and utility sinks;
 //! * [`tracefile`] — the compact on-disk trace encoding implementing the
 //!   *offline* design §III-D discusses, so the online-vs-offline decision
-//!   can be benchmarked.
+//!   can be benchmarked;
+//! * [`framing`] — the CRC32-framed section layout and varint codecs the
+//!   tracefile (and other durable formats, e.g. the `nvsim-store`
+//!   columnar sweep store) build on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,6 +37,7 @@
 
 pub mod buffer;
 pub mod event;
+pub mod framing;
 pub mod layout;
 pub mod routine;
 pub mod sink;

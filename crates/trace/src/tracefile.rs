@@ -33,7 +33,8 @@
 //! ```
 //!
 //! The writer seals a frame at an event boundary once the pending
-//! payload reaches [`FRAME_TARGET`] (so no event ever straddles frames;
+//! payload reaches [`crate::framing::FRAME_TARGET`] (so no event ever
+//! straddles frames;
 //! delta state *does* carry across frames in both writer and reader),
 //! and terminates the stream with a zero-length frame. The decoders
 //! verify magic, frame bounds, per-frame CRC32 (IEEE) and the
@@ -42,10 +43,19 @@
 //! absolute byte offset — instead of fabricating events or panicking.
 
 use crate::event::{AllocSite, Event, GlobalSymbol, Phase};
+use crate::framing::{
+    corrupt, put_varint, unzigzag, zigzag, FrameCursor, FrameReader, FrameWriter,
+};
 use crate::routine::RoutineId;
 use crate::sink::EventSink;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes};
 use nvsim_types::{AccessKind, MemRef, MemTransaction, NvsimError, TransactionKind, VirtAddr};
+
+// The framing machinery (CRC32 frames, varint/zig-zag codecs) lives in
+// [`crate::framing`] so other durable formats — the nvsim-store columnar
+// store, the sweep journal — share it. `crc32` stays re-exported from
+// here for compatibility.
+pub use crate::framing::crc32;
 
 const TAG_READ: u8 = 0;
 const TAG_WRITE: u8 = 1;
@@ -68,262 +78,10 @@ const TXN_TAG_WRITE_THROUGH: u8 = 2;
 /// replayed into the wrong decoder.
 const TXN_MAGIC: u32 = 0x4e56_5402;
 
-/// Target payload size of one CRC32 frame. Frames seal at the first
-/// event boundary at or past this size, so a single oversized event
-/// (e.g. a large globals table) still lands in one frame.
-const FRAME_TARGET: usize = 64 * 1024;
-
-/// Bytes of frame header: `u32` payload length + `u32` CRC32.
-const FRAME_HEADER_LEN: usize = 8;
-
-const CRC_TABLE: [u32; 256] = crc32_table();
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-/// CRC32 (IEEE 802.3, reflected) — the checksum guarding each tracefile
-/// frame; exported so other durable artifacts (e.g. the sweep journal)
-/// can share it.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xffff_ffffu32;
-    for &b in data {
-        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
-    }
-    !c
-}
-
-fn corrupt(section: impl Into<String>, offset: u64) -> NvsimError {
-    NvsimError::Corrupt {
-        section: section.into(),
-        offset,
-    }
-}
-
-/// Write half of the framing: a header-plus-sealed-frames buffer and the
-/// pending frame payload. `seal` is only called at event boundaries.
-#[derive(Debug)]
-struct FrameBuf {
-    out: BytesMut,
-    frame: BytesMut,
-}
-
-impl FrameBuf {
-    fn new(magic: u32) -> Self {
-        let mut out = BytesMut::with_capacity(1 << 16);
-        out.put_u32(magic);
-        FrameBuf {
-            out,
-            frame: BytesMut::with_capacity(FRAME_TARGET + 1024),
-        }
-    }
-
-    /// Encoded size so far, counting the pending frame's eventual header.
-    fn len(&self) -> usize {
-        let pending = if self.frame.is_empty() {
-            0
-        } else {
-            FRAME_HEADER_LEN + self.frame.len()
-        };
-        self.out.len() + pending
-    }
-
-    fn is_empty(&self) -> bool {
-        self.out.len() <= 4 && self.frame.is_empty()
-    }
-
-    fn seal(&mut self) {
-        if self.frame.is_empty() {
-            return;
-        }
-        let payload = std::mem::take(&mut self.frame);
-        self.out.put_u32(payload.len() as u32);
-        self.out.put_u32(crc32(&payload));
-        self.out.put_slice(&payload);
-    }
-
-    fn maybe_seal(&mut self) {
-        if self.frame.len() >= FRAME_TARGET {
-            self.seal();
-        }
-    }
-
-    fn into_bytes(mut self) -> Bytes {
-        self.seal();
-        // Zero-length terminator frame: its absence tells the decoder the
-        // stream was cut at a frame boundary.
-        self.out.put_u32(0);
-        self.out.put_u32(0);
-        self.out.freeze()
-    }
-}
-
-/// Read half of the framing: validates the magic up front, then yields
-/// CRC-checked frame payloads until the terminator.
-struct Frames {
-    buf: Bytes,
-    /// Absolute offset of the next unread byte.
-    offset: u64,
-    index: u32,
-    /// Section-name prefix for errors: `"event"` or `"transaction"`.
-    prefix: &'static str,
-    done: bool,
-}
-
-impl Frames {
-    fn open(mut buf: Bytes, magic: u32, prefix: &'static str) -> Result<Self, NvsimError> {
-        if buf.remaining() < 4 || buf.get_u32() != magic {
-            return Err(corrupt(format!("{prefix} header"), 0));
-        }
-        Ok(Frames {
-            buf,
-            offset: 4,
-            index: 0,
-            prefix,
-            done: false,
-        })
-    }
-
-    /// The next frame as `(section name, absolute payload offset,
-    /// payload)`, or `None` after the terminator frame.
-    fn next_frame(&mut self) -> Result<Option<(String, u64, Bytes)>, NvsimError> {
-        if self.done {
-            return Ok(None);
-        }
-        let section = format!("{} frame {}", self.prefix, self.index);
-        if self.buf.remaining() < FRAME_HEADER_LEN {
-            return Err(corrupt(format!("{} stream end", self.prefix), self.offset));
-        }
-        let len = self.buf.get_u32() as usize;
-        let want_crc = self.buf.get_u32();
-        if len == 0 && want_crc == 0 {
-            self.done = true;
-            if self.buf.has_remaining() {
-                return Err(corrupt(
-                    format!("{} trailing data", self.prefix),
-                    self.offset + FRAME_HEADER_LEN as u64,
-                ));
-            }
-            return Ok(None);
-        }
-        if self.buf.remaining() < len {
-            return Err(corrupt(section, self.offset));
-        }
-        let payload = self.buf.copy_to_bytes(len);
-        let at = self.offset + FRAME_HEADER_LEN as u64;
-        if crc32(&payload) != want_crc {
-            return Err(corrupt(section, at));
-        }
-        self.offset = at + len as u64;
-        self.index += 1;
-        Ok(Some((section, at, payload)))
-    }
-}
-
-/// Bounds-checked reader over one frame payload, reporting failures as
-/// [`NvsimError::Corrupt`] with absolute offsets.
-struct Cursor {
-    buf: Bytes,
-    base: u64,
-    len0: usize,
-    section: String,
-}
-
-impl Cursor {
-    fn new(payload: Bytes, base: u64, section: String) -> Self {
-        let len0 = payload.remaining();
-        Cursor {
-            buf: payload,
-            base,
-            len0,
-            section,
-        }
-    }
-
-    fn offset(&self) -> u64 {
-        self.base + (self.len0 - self.buf.remaining()) as u64
-    }
-
-    fn fail(&self) -> NvsimError {
-        corrupt(self.section.clone(), self.offset())
-    }
-
-    fn has_remaining(&self) -> bool {
-        self.buf.has_remaining()
-    }
-
-    fn u8(&mut self) -> Result<u8, NvsimError> {
-        if !self.buf.has_remaining() {
-            return Err(self.fail());
-        }
-        Ok(self.buf.get_u8())
-    }
-
-    fn varint(&mut self) -> Result<u64, NvsimError> {
-        let mut v = 0u64;
-        let mut shift = 0;
-        loop {
-            let byte = self.u8()?;
-            v |= u64::from(byte & 0x7f) << shift;
-            if byte & 0x80 == 0 {
-                return Ok(v);
-            }
-            shift += 7;
-            if shift >= 64 {
-                return Err(self.fail());
-            }
-        }
-    }
-
-    fn str_field(&mut self) -> Result<String, NvsimError> {
-        let at = self.offset();
-        let len = self.varint()? as usize;
-        if self.buf.remaining() < len {
-            return Err(self.fail());
-        }
-        let bytes = self.buf.copy_to_bytes(len);
-        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt(self.section.clone(), at))
-    }
-}
-
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.put_u8(byte);
-            return;
-        }
-        buf.put_u8(byte | 0x80);
-    }
-}
-
-#[inline]
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-#[inline]
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
 /// An [`EventSink`] that encodes the event stream into a byte buffer.
 #[derive(Debug)]
 pub struct TraceWriter {
-    frames: FrameBuf,
+    frames: FrameWriter,
     last_addr: u64,
     last_sp: u64,
     events: u64,
@@ -339,7 +97,7 @@ impl TraceWriter {
     /// Creates a writer with the file header in place.
     pub fn new() -> Self {
         TraceWriter {
-            frames: FrameBuf::new(MAGIC),
+            frames: FrameWriter::new(MAGIC),
             last_addr: 0,
             last_sp: 0,
             events: 0,
@@ -369,7 +127,7 @@ impl TraceWriter {
 
     fn put_ref(&mut self, r: &MemRef) {
         self.events += 1;
-        let buf = &mut self.frames.frame;
+        let buf = self.frames.payload();
         buf.put_u8(if r.kind.is_write() { TAG_WRITE } else { TAG_READ });
         let addr = r.addr.raw();
         put_varint(buf, zigzag(addr.wrapping_sub(self.last_addr) as i64));
@@ -382,19 +140,19 @@ impl TraceWriter {
     }
 
     fn put_str(&mut self, s: &str) {
-        put_varint(&mut self.frames.frame, s.len() as u64);
-        self.frames.frame.put_slice(s.as_bytes());
+        put_varint(self.frames.payload(), s.len() as u64);
+        self.frames.payload().put_slice(s.as_bytes());
     }
 }
 
 impl EventSink for TraceWriter {
     fn on_globals(&mut self, symbols: &[GlobalSymbol]) {
-        self.frames.frame.put_u8(TAG_GLOBALS);
-        put_varint(&mut self.frames.frame, symbols.len() as u64);
+        self.frames.payload().put_u8(TAG_GLOBALS);
+        put_varint(self.frames.payload(), symbols.len() as u64);
         for s in symbols {
             self.put_str(&s.name);
-            put_varint(&mut self.frames.frame, s.base.raw());
-            put_varint(&mut self.frames.frame, s.size);
+            put_varint(self.frames.payload(), s.base.raw());
+            put_varint(self.frames.payload(), s.size);
         }
         self.frames.maybe_seal();
     }
@@ -407,7 +165,7 @@ impl EventSink for TraceWriter {
 
     fn on_control(&mut self, event: &Event) {
         self.events += 1;
-        let buf = &mut self.frames.frame;
+        let buf = self.frames.payload();
         match event {
             Event::RoutineEnter {
                 routine,
@@ -429,7 +187,7 @@ impl EventSink for TraceWriter {
                 put_varint(buf, base.raw());
                 put_varint(buf, *size);
                 self.put_str(site.file);
-                put_varint(&mut self.frames.frame, u64::from(site.line));
+                put_varint(self.frames.payload(), u64::from(site.line));
             }
             Event::HeapFree { base } => {
                 buf.put_u8(TAG_FREE);
@@ -469,7 +227,7 @@ impl EventSink for TraceWriter {
 /// poisoning the sweep.
 #[derive(Debug)]
 pub struct TxnTraceWriter {
-    frames: FrameBuf,
+    frames: FrameWriter,
     last_addr: u64,
     last_cycle: u64,
     count: u64,
@@ -485,7 +243,7 @@ impl TxnTraceWriter {
     /// Creates a writer with the stream header in place.
     pub fn new() -> Self {
         TxnTraceWriter {
-            frames: FrameBuf::new(TXN_MAGIC),
+            frames: FrameWriter::new(TXN_MAGIC),
             last_addr: 0,
             last_cycle: 0,
             count: 0,
@@ -510,7 +268,7 @@ impl TxnTraceWriter {
     /// Appends one transaction.
     pub fn push(&mut self, t: &MemTransaction) {
         self.count += 1;
-        let buf = &mut self.frames.frame;
+        let buf = self.frames.payload();
         buf.put_u8(match t.kind {
             TransactionKind::ReadFill => TXN_TAG_READ_FILL,
             TransactionKind::Writeback => TXN_TAG_WRITEBACK,
@@ -547,12 +305,12 @@ pub fn replay_transactions(
     encoded: Bytes,
     mut emit: impl FnMut(MemTransaction),
 ) -> Result<u64, NvsimError> {
-    let mut frames = Frames::open(encoded, TXN_MAGIC, "transaction")?;
+    let mut frames = FrameReader::open(encoded, TXN_MAGIC, "transaction")?;
     let mut last_addr = 0u64;
     let mut last_cycle = 0u64;
     let mut count = 0u64;
     while let Some((section, at, payload)) = frames.next_frame()? {
-        let mut cur = Cursor::new(payload, at, section);
+        let mut cur = FrameCursor::new(payload, at, section);
         while cur.has_remaining() {
             let tag_at = cur.offset();
             let kind = match cur.u8()? {
@@ -596,7 +354,7 @@ pub fn replay(
     sink: &mut dyn EventSink,
     batch_capacity: usize,
 ) -> Result<u64, NvsimError> {
-    let mut frames = Frames::open(encoded, MAGIC, "event")?;
+    let mut frames = FrameReader::open(encoded, MAGIC, "event")?;
 
     let mut batch: Vec<MemRef> = Vec::with_capacity(batch_capacity);
     let mut last_addr = 0u64;
@@ -614,7 +372,7 @@ pub fn replay(
     }
 
     while let Some((section, at, payload)) = frames.next_frame()? {
-        let mut cur = Cursor::new(payload, at, section);
+        let mut cur = FrameCursor::new(payload, at, section);
         while cur.has_remaining() {
             let tag_at = cur.offset();
             let tag = cur.u8()?;
@@ -727,6 +485,7 @@ pub fn replay(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framing::{FRAME_HEADER_LEN, FRAME_TARGET};
     use crate::sink::{CountingSink, RecordingSink};
     use crate::traced::TracedVec;
     use crate::tracer::Tracer;

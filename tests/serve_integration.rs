@@ -1,0 +1,190 @@
+//! End-to-end exercise of the serving layer: simulate once, store the
+//! dataset, serve it, and hammer the server with concurrent clients.
+//!
+//! The two acceptance properties pinned here:
+//!
+//! * **byte identity** — `/tables/1` (and each sibling endpoint) returns
+//!   exactly `serde_json::to_string_pretty` of the section the simulation
+//!   produced, i.e. the same bytes the experiment binaries dump with
+//!   `--json`;
+//! * **cache behaviour under concurrency** — 32 clients repeating one
+//!   query all get the same body, and `/metrics` proves the repeats were
+//!   answered from the LRU cache, not re-rendered.
+
+use nvsim_apps::AppScale;
+use nvsim_serve::{serve, ServeConfig};
+use nvsim_store::Store;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Minimal test client: one GET, read to EOF, split head from body.
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+fn counter_in_metrics(metrics_body: &str, name: &str) -> u64 {
+    // The snapshot JSON renders counters as `"name": value`; good enough
+    // to scrape without a JSON parser in the test.
+    let at = metrics_body
+        .find(&format!("\"{name}\""))
+        .unwrap_or_else(|| panic!("{name} missing from metrics:\n{metrics_body}"));
+    metrics_body[at..]
+        .split(':')
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String = rest.chars().skip_while(|c| !c.is_ascii_digit()).take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or_else(|| panic!("unparsable value for {name} in:\n{metrics_body}"))
+}
+
+#[test]
+fn serve_answers_stored_sections_byte_identically_and_caches_under_concurrency() {
+    // Simulate once, at the smallest scale; everything below queries the
+    // stored result without touching the simulator again.
+    let ds = nv_scavenger::collect_dataset(AppScale::Test, 2, 1).expect("collect dataset");
+    let store = nv_scavenger::dataset_to_store(&ds);
+    // Round-trip through the on-disk codec so the server sees exactly
+    // what `nvsim-serve --store DIR` would load.
+    let store = Store::decode(store.encode()).expect("codec round-trip");
+
+    let metrics = nvsim_obs::Metrics::enabled();
+    let mut server = serve(
+        store,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 8,
+            queue_depth: 64,
+            cache_capacity: 16,
+        },
+        metrics.clone(),
+    )
+    .expect("bind server");
+    let addr = server.addr();
+
+    // Liveness and discoverability.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, index) = get(addr, "/");
+    assert_eq!(status, 200);
+    assert!(index.contains("/query"), "{index}");
+    let (status, _) = get(addr, "/no/such/route");
+    assert_eq!(status, 404);
+
+    // Golden byte identity: every pre-rendered endpoint matches the
+    // section's canonical --json rendering exactly.
+    let sections: &[(&str, String)] = &[
+        ("/tables/1", serde_json::to_string_pretty(&ds.table1).unwrap()),
+        ("/tables/5", serde_json::to_string_pretty(&ds.table5).unwrap()),
+        ("/tables/6", serde_json::to_string_pretty(&ds.table6).unwrap()),
+        ("/figs/2", serde_json::to_string_pretty(&ds.fig2).unwrap()),
+        ("/figs/3-6", serde_json::to_string_pretty(&ds.figs3_6).unwrap()),
+        ("/figs/7", serde_json::to_string_pretty(&ds.fig7).unwrap()),
+        ("/figs/8-11", serde_json::to_string_pretty(&ds.figs8_11).unwrap()),
+        ("/figs/12", serde_json::to_string_pretty(&ds.fig12).unwrap()),
+        ("/suitability", serde_json::to_string_pretty(&ds.suitability).unwrap()),
+    ];
+    for (path, expected) in sections {
+        let (status, body) = get(addr, path);
+        assert_eq!(status, 200, "{path}");
+        assert_eq!(&body, expected, "{path} must match the --json bytes");
+    }
+
+    // Warm the cache with one query, then fan out 32 concurrent clients
+    // repeating it. Every repeat must come back identical — and from the
+    // cache.
+    const QUERY: &str = "/query?table=footprint&where=app%3DCAM&select=app,paper_footprint_mb";
+    let (status, warm) = get(addr, QUERY);
+    assert_eq!(status, 200, "{warm}");
+    let before = get(addr, "/metrics").1;
+    let hits_before = counter_in_metrics(&before, "serve.cache.hits");
+
+    const CLIENTS: usize = 32;
+    let bodies: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| scope.spawn(move || get(addr, QUERY)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    for (status, body) in &bodies {
+        assert_eq!(*status, 200);
+        assert_eq!(body, &warm, "every concurrent client sees the same bytes");
+    }
+
+    let after = get(addr, "/metrics").1;
+    let hits_after = counter_in_metrics(&after, "serve.cache.hits");
+    assert!(
+        hits_after >= hits_before + CLIENTS as u64,
+        "all {CLIENTS} repeats served from cache: hits {hits_before} -> {hits_after}"
+    );
+    assert_eq!(
+        counter_in_metrics(&after, "serve.cache.misses"),
+        1,
+        "only the warm-up rendered"
+    );
+    assert!(counter_in_metrics(&after, "serve.requests") >= CLIENTS as u64 + 4);
+
+    // Distinct query spellings that canonicalize identically share one
+    // cache entry even over HTTP (filter padding is trimmed).
+    let (status, spaced) = get(
+        addr,
+        "/query?table=footprint&where=app+%3D+CAM&select=app,paper_footprint_mb",
+    );
+    assert_eq!(status, 200, "{spaced}");
+    assert_eq!(spaced, warm, "padded-filter spelling hits the same entry");
+
+    // Graceful shutdown: the server stops accepting and joins cleanly.
+    server.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err()
+            || get_after_shutdown(addr),
+        "post-shutdown connections are not served"
+    );
+}
+
+/// After shutdown the listener is closed; a connect may still succeed
+/// transiently on some platforms (backlog), but no response ever comes.
+fn get_after_shutdown(addr: SocketAddr) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return true;
+    };
+    let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+    let mut buf = [0u8; 16];
+    matches!(stream.read(&mut buf), Ok(0) | Err(_))
+}
+
+#[test]
+fn bad_queries_are_answered_not_dropped() {
+    let ds = nv_scavenger::collect_dataset(AppScale::Test, 1, 1).expect("collect dataset");
+    let store = nv_scavenger::dataset_to_store(&ds);
+    let mut server = serve(
+        store,
+        "127.0.0.1:0",
+        ServeConfig::default(),
+        nvsim_obs::Metrics::enabled(),
+    )
+    .expect("bind server");
+    let addr = server.addr();
+
+    let (status, body) = get(addr, "/query");
+    assert_eq!(status, 400, "{body}");
+    let (status, _) = get(addr, "/query?table=no_such_table");
+    assert_eq!(status, 400);
+    let (status, body) = get(addr, "/query?table=footprint&where=nonsense");
+    assert_eq!(status, 400, "{body}");
+
+    server.shutdown();
+}

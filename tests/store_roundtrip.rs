@@ -1,0 +1,185 @@
+//! Round-trip property test for the store codec, mirroring the
+//! fail-loudly discipline of `tests/failure_modes.rs`: randomized
+//! stores must survive encode → disk → decode bit-exactly, and any
+//! damaged file must decode to [`NvsimError::Corrupt`] — never to a
+//! silently wrong table.
+//!
+//! Randomness comes from a seeded LCG (the same deterministic-repro
+//! convention the simulator itself uses), so a failure prints the seed
+//! and replays exactly.
+
+use nvsim_store::{Column, Query, Store, Table};
+use nvsim_types::NvsimError;
+use std::path::PathBuf;
+
+/// Deterministic LCG (Numerical Recipes constants) — no third-party
+/// randomness in the test, and every failure names its seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A random table: 1–4 columns of random type, 0–40 rows.
+fn random_table(rng: &mut Lcg, name: &str) -> Table {
+    let rows = rng.below(41) as usize;
+    let mut table = Table::new(name);
+    for c in 0..1 + rng.below(4) {
+        let col_name = format!("col{c}");
+        let column = match rng.below(5) {
+            0 => Column::U64((0..rows).map(|_| rng.next()).collect()),
+            1 => Column::F64(
+                (0..rows)
+                    // Includes negatives and non-round fractions; the
+                    // codec stores raw bits, so any f64 must survive.
+                    .map(|_| (rng.next() as f64 - (u64::MAX / 2) as f64) / 1234.5)
+                    .collect(),
+            ),
+            2 => Column::OptF64(
+                (0..rows)
+                    .map(|_| (rng.below(3) > 0).then(|| rng.next() as f64 / 7.0))
+                    .collect(),
+            ),
+            3 => Column::Str(
+                (0..rows)
+                    // Exercise escaping-adjacent content: empty strings,
+                    // spaces, unicode, quotes.
+                    .map(|_| {
+                        ["", "CAM", "a b", "προφίλ", "\"quoted\"", "line\nbreak"]
+                            [rng.below(6) as usize]
+                            .to_string()
+                    })
+                    .collect(),
+            ),
+            _ => Column::Bool((0..rows).map(|_| rng.below(2) == 1).collect()),
+        };
+        table = table.with_column(&col_name, column);
+    }
+    table
+}
+
+fn random_store(rng: &mut Lcg) -> Store {
+    let mut store = Store::new();
+    for t in 0..1 + rng.below(6) {
+        store.upsert(random_table(rng, &format!("table{t}")));
+    }
+    store
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nvsim-store-roundtrip-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn random_stores_round_trip_bit_exactly() {
+    for seed in 1..=24u64 {
+        let mut rng = Lcg(seed);
+        let store = random_store(&mut rng);
+
+        // In-memory round trip.
+        let decoded = Store::decode(store.encode()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(decoded, store, "seed {seed}: decode(encode) drifted");
+
+        // Through the filesystem (atomic_write path).
+        let path = scratch(&format!("seed{seed}.nvstore"));
+        store.save(&path).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let loaded = Store::load(&path).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(loaded, store, "seed {seed}: load(save) drifted");
+
+        // Re-encoding what we decoded is byte-identical: the format has
+        // one canonical serialization.
+        assert_eq!(
+            loaded.encode(),
+            store.encode(),
+            "seed {seed}: encoding is not canonical"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn queries_against_a_reloaded_store_match_the_original() {
+    let mut rng = Lcg(7);
+    let store = random_store(&mut rng);
+    let reloaded = Store::decode(store.encode()).expect("round trip");
+
+    for table in store.tables() {
+        // A projection + sort + limit query over every column of every
+        // table: the reloaded store must answer identically.
+        for (col, _) in &table.columns {
+            let args: Vec<String> = vec![
+                table.name.clone(),
+                "--select".into(),
+                col.clone(),
+                "--sort".into(),
+                col.clone(),
+                "--limit".into(),
+                "10".into(),
+            ];
+            let query = Query::parse_args(&args).expect("build query");
+            let a = query.run(&store).expect("query original");
+            let b = query.run(&reloaded).expect("query reloaded");
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "table {} column {col}: reloaded store answers differently",
+                table.name
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_anywhere_is_corrupt_never_silent() {
+    let mut rng = Lcg(11);
+    let store = random_store(&mut rng);
+    let encoded = store.encode();
+    assert!(encoded.len() > 16, "fixture too small to truncate");
+
+    // Every prefix must either fail loudly or (never) equal the
+    // original. Stride keeps the test fast; endpoints are covered.
+    let mut checked = 0;
+    for cut in (0..encoded.len()).step_by(7).chain([encoded.len() - 1]) {
+        let err = Store::decode(encoded.slice(0..cut));
+        match err {
+            Err(NvsimError::Corrupt { .. }) => checked += 1,
+            Err(other) => panic!("cut at {cut}: unexpected error kind {other}"),
+            Ok(decoded) => panic!(
+                "cut at {cut} of {}: truncated file decoded to {} tables",
+                encoded.len(),
+                decoded.tables().len()
+            ),
+        }
+    }
+    assert!(checked > 0);
+}
+
+#[test]
+fn bit_flips_are_detected_by_the_crc() {
+    let mut rng = Lcg(13);
+    let store = random_store(&mut rng);
+    let encoded = store.encode().to_vec();
+
+    // Flip one bit at a spread of positions; every flip must surface as
+    // Corrupt — the CRC frame means no single-bit error can pass. (A
+    // flip in a length varint may also report Corrupt via a bad frame
+    // size; both are the loud path.)
+    for pos in (0..encoded.len()).step_by(encoded.len() / 48 + 1) {
+        let mut damaged = encoded.clone();
+        damaged[pos] ^= 1 << (pos % 8);
+        match Store::decode(bytes::Bytes::from(damaged)) {
+            Err(NvsimError::Corrupt { .. }) => {}
+            Err(other) => panic!("flip at byte {pos}: unexpected error kind {other}"),
+            Ok(_) => panic!("flip at byte {pos} went undetected"),
+        }
+    }
+}
