@@ -19,7 +19,8 @@
 //! `docs/STORE.md`.
 
 use nvsim_bench::or_die;
-use nvsim_store::{Query, Store, DATASET_FILE, PROFILE_FILE};
+use nvsim_obs::Metrics;
+use nvsim_store::{EncodedStore, Query, Store, DATASET_FILE, PROFILE_FILE};
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: nvq [--store DIR] [--profile] --tables\n\
@@ -97,9 +98,12 @@ fn main() {
     }
 
     let file = if profile { PROFILE_FILE } else { DATASET_FILE };
-    let store = or_die(Store::load(&dir.join(file)), "load store");
+    let path = dir.join(file);
 
     if tables {
+        // Schema listing never decodes a block: the encoded store
+        // parses headers only and leaves payloads as byte views.
+        let store = or_die(EncodedStore::load(&path), "load store");
         for t in store.tables() {
             let schema: Vec<String> = t
                 .schema()
@@ -115,6 +119,9 @@ fn main() {
         if profile {
             die("--report reads the dataset store, not --profile");
         }
+        // The section readers reconstruct whole report structs, so this
+        // mode materializes an owned store (every column decoded).
+        let store = or_die(Store::load(&path), "load store");
         // Per-section readers, so a partial store (one binary's --store
         // output) still answers for the sections it holds.
         use nv_scavenger as ds;
@@ -150,7 +157,11 @@ fn main() {
         Ok(q) => q,
         Err(e) => die(&e.to_string()),
     };
-    let result = match query.run(&store) {
+    // Queries run the vectorized engine straight over the encoded
+    // blocks — zero-copy reads, and min/max statistics skip blocks the
+    // filters rule out.
+    let store = or_die(EncodedStore::load(&path), "load store");
+    let result = match query.run_encoded(&store, &Metrics::disabled()) {
         Ok(r) => r,
         Err(e) => die(&e.to_string()),
     };

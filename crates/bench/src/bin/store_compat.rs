@@ -1,0 +1,70 @@
+//! `store_compat` — cross-version store-format check for CI.
+//!
+//! Collects one evaluation dataset and writes it twice: once in the
+//! legacy version-1 layout and once in the current columnar version-2
+//! layout ([`nvsim_store::STORE_VERSION`]). Both files are then read
+//! back through every read path — the owned [`Store`] decoder and the
+//! zero-copy [`EncodedStore`] — and must reconstruct the identical
+//! store. CI points `nvq --report` at both directories and compares the
+//! output byte-for-byte against the experiment binaries' `--json`
+//! dumps, which proves old files keep answering exactly as before.
+//!
+//! Usage: `store_compat [test|small|bench] [--iters N] [--jobs N]
+//! --store DIR` — writes `DIR/v1/dataset.nvstore` and
+//! `DIR/v2/dataset.nvstore`.
+
+use nvsim_bench::{or_die, BenchArgs};
+use nvsim_store::{EncodedStore, Store, DATASET_FILE};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let Some(out) = args.store.clone() else {
+        eprintln!("error: store_compat requires --store DIR for its output");
+        std::process::exit(2);
+    };
+    let jobs = args.jobs.unwrap_or(1);
+    args.header("Store compat: v1 and v2 layouts of one dataset");
+
+    let ds = or_die(
+        nv_scavenger::collect_dataset(args.scale, args.iterations, jobs),
+        "collect dataset",
+    );
+    let store = nv_scavenger::dataset_to_store(&ds);
+
+    let v1_path = out.join("v1").join(DATASET_FILE);
+    let v2_path = out.join("v2").join(DATASET_FILE);
+    or_die(
+        std::fs::create_dir_all(v1_path.parent().expect("has parent")),
+        "create v1 dir",
+    );
+    or_die(
+        nvsim_obs::artifact::atomic_write(&v1_path, &store.encode_v1()),
+        "write v1 store",
+    );
+    or_die(store.save(&v2_path), "write v2 store");
+
+    // Every read path must agree on both layouts.
+    for path in [&v1_path, &v2_path] {
+        let owned = or_die(Store::load(path), "load store");
+        assert_eq!(owned, store, "{}: owned decode drifted", path.display());
+        let encoded = or_die(EncodedStore::load(path), "open encoded store");
+        let materialized = or_die(encoded.to_store(), "materialize encoded store");
+        assert_eq!(
+            materialized,
+            store,
+            "{}: encoded read path drifted",
+            path.display()
+        );
+    }
+
+    let v1_bytes = or_die(std::fs::metadata(&v1_path), "stat v1 store").len();
+    let v2_bytes = or_die(std::fs::metadata(&v2_path), "stat v2 store").len();
+    println!(
+        "v1 {} B ({}) | v2 {} B ({}) | ratio {:.2}x | all read paths agree",
+        v1_bytes,
+        v1_path.display(),
+        v2_bytes,
+        v2_path.display(),
+        v1_bytes as f64 / (v2_bytes as f64).max(1.0),
+    );
+}

@@ -9,6 +9,13 @@
 //! over parallel wall-clock; the schema is documented in
 //! `docs/METRICS.md`.
 //!
+//! The sweep's dataset is then measured as a store: on-disk bytes in
+//! the legacy v1 layout vs the columnar v2 layout (`store` section),
+//! and query throughput of the row-wise reference engine vs the
+//! vectorized encoded engine over a fixed query suite (`query`
+//! section), with the two engines' outputs asserted byte-identical
+//! before anything is timed.
+//!
 //! Usage: `sweep_bench [test|small|bench] [--iters N] [--jobs N]
 //! [--json PATH] [--store DIR]` (default output path:
 //! `BENCH_sweep.json`). With `--store DIR` the sweep's reports are
@@ -17,6 +24,8 @@
 
 use nvsim_bench::{or_die, BenchArgs};
 use nvsim_obs::artifact::write_text;
+use nvsim_obs::Metrics;
+use nvsim_store::{EncodedStore, Query, Store};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -47,6 +56,134 @@ struct SweepBench {
     cells_per_sec_serial: f64,
     /// Replay cells completed per second, parallel leg.
     cells_per_sec_parallel: f64,
+    /// On-disk size of the sweep's dataset in both store layouts.
+    store: StoreSizeBench,
+    /// Query throughput of the two engines over the same dataset.
+    query: QueryThroughputBench,
+}
+
+/// The `store` section: the same dataset encoded in the legacy v1
+/// layout and the columnar v2 layout.
+#[derive(Debug, Serialize)]
+struct StoreSizeBench {
+    /// Bytes of the version-1 (row-value) encoding.
+    v1_bytes: usize,
+    /// Bytes of the version-2 (columnar, delta/dict-compressed)
+    /// encoding.
+    v2_bytes: usize,
+    /// `v1_bytes / v2_bytes` — above 1.0 means v2 is smaller on disk.
+    compression_ratio: f64,
+}
+
+/// The `query` section: a fixed suite of queries run by both engines.
+#[derive(Debug, Serialize)]
+struct QueryThroughputBench {
+    /// Distinct queries in the suite.
+    queries: usize,
+    /// Times the whole suite ran per engine.
+    reps: usize,
+    /// Row-at-a-time reference engine (`Query::run`), total
+    /// milliseconds.
+    rowwise_ms: f64,
+    /// Vectorized engine over encoded blocks (`Query::run_encoded`),
+    /// total milliseconds.
+    encoded_ms: f64,
+    /// `rowwise_ms / encoded_ms`.
+    speedup: f64,
+    /// Suite executions per second, row-wise engine.
+    queries_per_sec_rowwise: f64,
+    /// Suite executions per second, encoded engine.
+    queries_per_sec_encoded: f64,
+}
+
+/// The benchmark's query suite: the analytical shapes `nvq` and the
+/// `/query` endpoint serve from a sweep store — selective dictionary
+/// and range filters that match real subsets of the large per-row
+/// tables (`decisions`, `variance`), grouped aggregations, one probe
+/// for an absent category (all blocks pruned by statistics, the
+/// best case for the encoded engine), plus one projection and the bare
+/// `meta` scan so the row-materialization path stays represented.
+/// (Pre-rendered paper sections bypass the engine entirely, so reports
+/// are not part of the throughput story.)
+fn query_suite() -> Vec<Query> {
+    let shapes: &[&[&str]] = &[
+        &["decisions", "--where", "decision=nvram_read_only", "--agg", "count", "--by", "app"],
+        &["decisions", "--where", "decision=hybrid", "--agg", "count"],
+        &["decisions", "--agg", "count", "--by", "decision"],
+        &["variance", "--where", "metric=rw_ratio", "--agg", "mean:fraction", "--by", "app"],
+        &["power", "--where", "normalized<0.7", "--agg", "count", "--by", "technology"],
+        &["usage", "--where", "steps<=4", "--agg", "sum:bytes", "--by", "app"],
+        &["usage", "--agg", "count,mean:bytes,max:bytes", "--by", "app"],
+        &[
+            "footprint",
+            "--select",
+            "app,measured_footprint_bytes",
+            "--sort",
+            "measured_footprint_bytes:desc",
+        ],
+        &["meta"],
+    ];
+    shapes
+        .iter()
+        .map(|shape| {
+            let args: Vec<String> = shape.iter().map(|a| a.to_string()).collect();
+            or_die(Query::parse_args(&args), "parse bench query")
+        })
+        .collect()
+}
+
+/// Runs the store-size and query-throughput measurements over the
+/// sweep's dataset store.
+fn bench_store_and_queries(store: &Store) -> (StoreSizeBench, QueryThroughputBench) {
+    let v2 = store.encode();
+    let v1 = store.encode_v1();
+    let size = StoreSizeBench {
+        v1_bytes: v1.len(),
+        v2_bytes: v2.len(),
+        compression_ratio: v1.len() as f64 / v2.len().max(1) as f64,
+    };
+
+    let encoded = or_die(EncodedStore::open(v2), "open encoded store");
+    let queries = query_suite();
+    let metrics = Metrics::disabled();
+    // Both engines must agree byte for byte before anything is timed.
+    for query in &queries {
+        let reference = or_die(query.run(store), "row-wise query").to_json();
+        let fast = or_die(query.run_encoded(&encoded, &metrics), "encoded query").to_json();
+        assert_eq!(fast, reference, "engines disagree on {}", query.canonical());
+    }
+
+    // High enough that the timed section is milliseconds, not
+    // microseconds — the ratio is stable run to run.
+    let reps = 400;
+    let t = Instant::now();
+    for _ in 0..reps {
+        for query in &queries {
+            std::hint::black_box(or_die(query.run(store), "row-wise query"));
+        }
+    }
+    let rowwise_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    for _ in 0..reps {
+        for query in &queries {
+            std::hint::black_box(or_die(
+                query.run_encoded(&encoded, &metrics),
+                "encoded query",
+            ));
+        }
+    }
+    let encoded_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let throughput = QueryThroughputBench {
+        queries: queries.len(),
+        reps,
+        rowwise_ms,
+        encoded_ms,
+        speedup: rowwise_ms / encoded_ms.max(f64::MIN_POSITIVE),
+        queries_per_sec_rowwise: reps as f64 / (rowwise_ms / 1e3).max(f64::MIN_POSITIVE),
+        queries_per_sec_encoded: reps as f64 / (encoded_ms / 1e3).max(f64::MIN_POSITIVE),
+    };
+    (size, throughput)
 }
 
 fn main() {
@@ -80,8 +217,18 @@ fn main() {
 
     assert_eq!(serial, parallel, "legs must cover identical work");
 
+    // The timed legs discard their reports; collect the dataset once
+    // more (untimed) for the store-size and query-throughput sections —
+    // and for `--store`, if requested.
+    let ds = or_die(
+        nv_scavenger::collect_dataset(args.scale, args.iterations, jobs),
+        "collect dataset",
+    );
+    let dataset_store = nv_scavenger::dataset_to_store(&ds);
+    let (store_size, query_throughput) = bench_store_and_queries(&dataset_store);
+
     let report = SweepBench {
-        schema: 1,
+        schema: 2,
         scale: format!("1/{}", args.scale.divisor()),
         iterations: args.iterations,
         jobs,
@@ -92,10 +239,21 @@ fn main() {
         transactions: serial.transactions,
         cells_per_sec_serial: serial.replay_cells as f64 / (serial_ms / 1e3),
         cells_per_sec_parallel: serial.replay_cells as f64 / (parallel_ms / 1e3),
+        store: store_size,
+        query: query_throughput,
     };
     println!(
         "serial {serial_ms:.0} ms | parallel ({jobs} workers) {parallel_ms:.0} ms | speedup {:.2}x | {} replay cells",
         report.speedup, report.replay_cells
+    );
+    println!(
+        "store v1 {} B -> v2 {} B ({:.2}x smaller) | query engines: row-wise {:.1} ms vs encoded {:.1} ms ({:.2}x)",
+        report.store.v1_bytes,
+        report.store.v2_bytes,
+        report.store.compression_ratio,
+        report.query.rowwise_ms,
+        report.query.encoded_ms,
+        report.query.speedup
     );
 
     let path = args
@@ -109,13 +267,7 @@ fn main() {
     or_die(write_text(&path, &json), "write BENCH_sweep.json");
     eprintln!("wrote {}", path.display());
 
-    // The timed legs discard their reports; a store request collects
-    // them once more (untimed) and persists the full dataset.
     if let Some(dir) = &args.store {
-        let ds = or_die(
-            nv_scavenger::collect_dataset(args.scale, args.iterations, jobs),
-            "collect dataset",
-        );
         let store_path = or_die(nv_scavenger::write_dataset(&ds, dir), "write result store");
         eprintln!("wrote {}", store_path.display());
     }

@@ -15,7 +15,7 @@ use crate::cache::LruCache;
 use crate::http::{parse_request, Request, Response};
 use nv_scavenger::TaskPool;
 use nvsim_obs::Metrics;
-use nvsim_store::{Query, Store};
+use nvsim_store::{EncodedStore, Query, Store};
 use nvsim_types::NvsimError;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -48,7 +48,10 @@ impl Default for ServeConfig {
 /// Everything a worker needs to answer a request. Shared immutably
 /// except for the cache (mutex) and the metrics (atomics).
 struct AppState {
-    store: Store,
+    /// The store in its encoded form — `/query` runs the vectorized
+    /// engine ([`Query::run_encoded`]) directly over these blocks, so a
+    /// served query decodes only the blocks its filters cannot prune.
+    encoded: EncodedStore,
     /// Pre-rendered bodies for `/tables/*` and `/figs/*` — rendered once
     /// at startup with the same `serde_json` path the experiment
     /// binaries' `--json` dumps use, so the bytes match those files
@@ -166,7 +169,7 @@ fn query_route(state: &AppState, pairs: &[(String, String)]) -> Response {
         return Response::json(body.as_ref());
     }
     state.metrics.counter("serve.cache.misses").inc();
-    let result = match query.run(&state.store) {
+    let result = match query.run_encoded(&state.encoded, &state.metrics) {
         Ok(r) => r,
         Err(e) => return Response::error(400, e.to_string()),
     };
@@ -244,21 +247,29 @@ pub fn serve(
     })?;
 
     let sections = render_sections(&store);
-    // Register every serve.* instrument up front so /metrics shows the
-    // full set (at zero) from the first scrape, not only after the
-    // first event of each kind.
+    // The query engine works on the encoded form; re-encoding an
+    // in-memory store is cheap and cannot fail structurally.
+    let encoded = EncodedStore::open(store.encode())?;
+    // Register every serve.* and query.* instrument up front so
+    // /metrics shows the full set (at zero) from the first scrape, not
+    // only after the first event of each kind.
     for name in [
         "serve.requests",
         "serve.shed",
         "serve.cache.hits",
         "serve.cache.misses",
         "serve.cache.insertions",
+        "query.runs",
+        "query.blocks.scanned",
+        "query.blocks.pruned",
+        "query.rows.scanned",
+        "query.rows.selected",
     ] {
         metrics.counter(name);
     }
     metrics.gauge("serve.cache.evictions");
     let state = Arc::new(AppState {
-        store,
+        encoded,
         sections,
         cache: Mutex::new(LruCache::new(config.cache_capacity)),
         metrics,
@@ -323,7 +334,7 @@ mod tests {
         // pre-rendered endpoint is a 503 with a reason.
         let sections = render_sections(&store);
         AppState {
-            store,
+            encoded: EncodedStore::open(store.encode()).unwrap(),
             sections,
             cache: Mutex::new(LruCache::new(4)),
             metrics: Metrics::enabled(),

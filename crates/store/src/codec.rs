@@ -2,43 +2,399 @@
 //! on the exact framing the tracefile format uses
 //! ([`nvsim_trace::framing`]).
 //!
+//! Version 2 (current) stores every column as a sequence of blocks,
+//! each with min/max statistics and an independently decodable payload,
+//! under a per-column encoding chosen from the column's shape:
+//!
 //! ```text
 //! [u32 magic "NVST"]
-//!   frame: [varint format-version] [varint table-count]
+//!   frame: [varint format-version = 2] [varint table-count]
 //!   per table:
 //!     frame-aligned record: table header
 //!       [str name] [varint rows] [varint cols]
 //!     per column (one record each; frames seal only between records):
-//!       [str column-name] [u8 type-tag] [rows × element]
+//!       [str column-name] [u8 type-tag] [u8 encoding-tag]
+//!       dict only: [varint dict-len] [dict-len × str]   (sorted)
+//!       [varint block-count]
+//!       per block:
+//!         [varint block-rows] [stats] [varint payload-len] [payload]
 //!   [terminator frame]
 //! ```
 //!
-//! Element encodings: `u64` as varint; `f64` as 8 little-endian bytes of
-//! the raw bits (bit-exact round trip — infinities and NaN payloads
-//! survive); `Option<f64>` as a presence byte then the bits; strings
-//! length-prefixed; bools one byte. Records never straddle frames, so a
-//! truncated or bit-flipped file fails with a precise
+//! Encodings (see `docs/STORE_FORMAT.md` for the full byte-level spec):
+//!
+//! * **Raw** (tag 0, any type) — the v1 element layouts: `u64` varint,
+//!   `f64` as 8 little-endian bytes of the raw bits (bit-exact round
+//!   trip — infinities and NaN payloads survive), `Option<f64>` as a
+//!   presence byte then the bits, strings length-prefixed, bools one
+//!   byte.
+//! * **Delta** (tag 1, `u64` only) — fires when the column is globally
+//!   non-decreasing (iteration numbers, addresses, cumulative counts):
+//!   per block a varint base, a bit width, then the successive
+//!   differences bit-packed LSB-first.
+//! * **Dict** (tag 2, `str` only) — fires when distinct values are at
+//!   most half the rows (app, technology, object-class names): the
+//!   sorted dictionary once per column, then per block bit-packed
+//!   indices into it.
+//!
+//! The per-block stats (min/max for numeric and dictionary columns,
+//! plus a null flag for optional floats) let the query engine skip
+//! whole blocks without touching their payloads; the explicit
+//! payload length is what makes the skip free. Records never straddle
+//! frames, so a truncated or bit-flipped file fails with a precise
 //! [`NvsimError::Corrupt`] naming the store section and byte offset —
 //! the same failure discipline as trace replay.
+//!
+//! Version 1 files (one flat `rows × element` run per column, no
+//! blocks, no stats) still decode; [`encode_v1`] keeps the legacy
+//! writer alive for compatibility tests. [`encode`] always writes
+//! version 2.
+//!
+//! ```
+//! use nvsim_store::{Column, Store, Table};
+//!
+//! let mut store = Store::new();
+//! store.insert(
+//!     Table::new("objects")
+//!         .with_column("iteration", Column::U64(vec![1, 1, 2, 3]))
+//!         .with_column("app", Column::Str(vec![
+//!             "CAM".into(), "CAM".into(), "GTC".into(), "CAM".into(),
+//!         ])),
+//! ).unwrap();
+//!
+//! // encode() writes version 2; both versions decode.
+//! let v2 = nvsim_store::codec::encode(&store);
+//! let v1 = nvsim_store::codec::encode_v1(&store);
+//! assert_eq!(Store::decode(v2).unwrap(), store);
+//! assert_eq!(Store::decode(v1).unwrap(), store);
+//! ```
 
 use crate::column::{Column, ColumnType};
-use crate::store::{Store, Table};
-use bytes::{BufMut, Bytes};
+use crate::store::{Store, Table, STORE_VERSION};
+use bytes::{BufMut, Bytes, BytesMut};
 use nvsim_trace::framing::{
     put_f64, put_str, put_varint, FrameCursor, FrameReader, FrameWriter,
 };
 use nvsim_types::NvsimError;
+use std::cmp::Ordering;
 
 /// Store file magic: `NVST`.
 pub const MAGIC: u32 = 0x4e56_5354;
 
-/// Current format version, bumped on any layout change.
-pub const FORMAT_VERSION: u64 = 1;
+/// Current format version — [`STORE_VERSION`], bumped on any layout
+/// change.
+pub const FORMAT_VERSION: u64 = STORE_VERSION;
 
-/// Encodes a store into its framed byte representation.
+/// The legacy flat-column format version, still readable.
+pub const V1_FORMAT_VERSION: u64 = 1;
+
+/// Default rows per block. Small enough that min/max pruning skips
+/// meaningful fractions of a big column, large enough that per-block
+/// overhead (stats + length) is noise.
+pub const BLOCK_ROWS: usize = 4096;
+
+/// Per-column encoding of block payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// The v1 element layouts, one value after another.
+    Raw,
+    /// `u64` columns that are globally non-decreasing: per-block base +
+    /// bit-packed successive differences.
+    Delta,
+    /// Low-cardinality string columns: a sorted per-column dictionary,
+    /// per-block bit-packed indices.
+    Dict,
+}
+
+impl Encoding {
+    /// Stable one-byte codec tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Encoding::Raw => 0,
+            Encoding::Delta => 1,
+            Encoding::Dict => 2,
+        }
+    }
+
+    /// Inverse of [`Encoding::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Encoding::Raw,
+            1 => Encoding::Delta,
+            2 => Encoding::Dict,
+            _ => return None,
+        })
+    }
+
+    /// Whether this encoding is valid for columns of `ty`.
+    pub fn valid_for(self, ty: ColumnType) -> bool {
+        match self {
+            Encoding::Raw => true,
+            Encoding::Delta => ty == ColumnType::U64,
+            Encoding::Dict => ty == ColumnType::Str,
+        }
+    }
+}
+
+/// Encodes a store into its framed byte representation (version 2).
 pub fn encode(store: &Store) -> Bytes {
+    encode_with_block_rows(store, BLOCK_ROWS)
+}
+
+/// [`encode`] with an explicit block size — a test hook for exercising
+/// block boundaries (single-row blocks, pruning) without giant
+/// fixtures. `block_rows` must be non-zero.
+pub fn encode_with_block_rows(store: &Store, block_rows: usize) -> Bytes {
+    assert!(block_rows > 0, "block_rows must be non-zero");
     let mut w = FrameWriter::new(MAGIC);
     put_varint(w.payload(), FORMAT_VERSION);
+    put_varint(w.payload(), store.tables().len() as u64);
+    w.maybe_seal();
+    for table in store.tables() {
+        put_str(w.payload(), &table.name);
+        put_varint(w.payload(), table.rows as u64);
+        put_varint(w.payload(), table.columns.len() as u64);
+        w.maybe_seal();
+        for (name, column) in &table.columns {
+            put_str(w.payload(), name);
+            w.payload().put_u8(column.column_type().tag());
+            encode_column(w.payload(), column, block_rows);
+            // Column boundary: the only place a frame may seal, so every
+            // record decodes from a single frame.
+            w.maybe_seal();
+        }
+    }
+    w.into_bytes()
+}
+
+/// Picks the encoding [`encode`] will use for a column — deterministic,
+/// so serialization stays canonical. Exposed for tests and docs.
+pub fn choose_encoding(column: &Column) -> Encoding {
+    match column {
+        Column::U64(vals) if vals.len() >= 2 && vals.windows(2).all(|w| w[0] <= w[1]) => {
+            Encoding::Delta
+        }
+        Column::Str(vals) if vals.len() >= 2 => {
+            let distinct: std::collections::BTreeSet<&str> =
+                vals.iter().map(String::as_str).collect();
+            if distinct.len() * 2 <= vals.len() {
+                Encoding::Dict
+            } else {
+                Encoding::Raw
+            }
+        }
+        _ => Encoding::Raw,
+    }
+}
+
+/// Writes one column's encoding tag, optional dictionary, and blocks.
+fn encode_column(buf: &mut BytesMut, column: &Column, block_rows: usize) {
+    let encoding = choose_encoding(column);
+    buf.put_u8(encoding.tag());
+
+    // The dictionary (sorted, so index order is string order and the
+    // query engine can translate comparisons to index comparisons).
+    let dict: Vec<&str> = if encoding == Encoding::Dict {
+        let Column::Str(vals) = column else { unreachable!() };
+        let set: std::collections::BTreeSet<&str> = vals.iter().map(String::as_str).collect();
+        let dict: Vec<&str> = set.into_iter().collect();
+        put_varint(buf, dict.len() as u64);
+        for entry in &dict {
+            put_str(buf, entry);
+        }
+        dict
+    } else {
+        Vec::new()
+    };
+
+    let rows = column.len();
+    let blocks = rows.div_ceil(block_rows);
+    put_varint(buf, blocks as u64);
+
+    let mut payload = BytesMut::new();
+    for start in (0..rows).step_by(block_rows) {
+        let end = rows.min(start + block_rows);
+        put_varint(buf, (end - start) as u64);
+        payload.clear();
+        match column {
+            Column::U64(vals) => {
+                let chunk = &vals[start..end];
+                buf.put_u8(1);
+                put_varint(buf, *chunk.iter().min().expect("non-empty block"));
+                put_varint(buf, *chunk.iter().max().expect("non-empty block"));
+                if encoding == Encoding::Delta {
+                    put_varint(&mut payload, chunk[0]);
+                    let width = chunk
+                        .windows(2)
+                        .map(|w| bits_needed(w[1] - w[0]))
+                        .max()
+                        .unwrap_or(0);
+                    payload.put_u8(width);
+                    pack_bits(
+                        chunk.windows(2).map(|w| w[1] - w[0]),
+                        width,
+                        &mut payload,
+                    );
+                } else {
+                    for v in chunk {
+                        put_varint(&mut payload, *v);
+                    }
+                }
+            }
+            Column::F64(vals) => {
+                let chunk = &vals[start..end];
+                let (min, max) = f64_range(chunk.iter().copied()).expect("non-empty block");
+                buf.put_u8(1);
+                put_f64(buf, min);
+                put_f64(buf, max);
+                for v in chunk {
+                    put_f64(&mut payload, *v);
+                }
+            }
+            Column::OptF64(vals) => {
+                let chunk = &vals[start..end];
+                let has_null = chunk.iter().any(Option::is_none);
+                let range = f64_range(chunk.iter().filter_map(|v| *v));
+                let mut flags = 0u8;
+                if range.is_some() {
+                    flags |= 0b01;
+                }
+                if has_null {
+                    flags |= 0b10;
+                }
+                buf.put_u8(flags);
+                if let Some((min, max)) = range {
+                    put_f64(buf, min);
+                    put_f64(buf, max);
+                }
+                for v in chunk {
+                    match v {
+                        Some(v) => {
+                            payload.put_u8(1);
+                            put_f64(&mut payload, *v);
+                        }
+                        None => payload.put_u8(0),
+                    }
+                }
+            }
+            Column::Str(vals) => {
+                let chunk = &vals[start..end];
+                if encoding == Encoding::Dict {
+                    let index = |s: &str| -> u64 {
+                        dict.binary_search(&s).expect("value in dictionary") as u64
+                    };
+                    let min = chunk.iter().map(|s| index(s)).min().expect("non-empty");
+                    let max = chunk.iter().map(|s| index(s)).max().expect("non-empty");
+                    buf.put_u8(1);
+                    put_varint(buf, min);
+                    put_varint(buf, max);
+                    let width = bits_needed((dict.len() - 1) as u64);
+                    payload.put_u8(width);
+                    pack_bits(chunk.iter().map(|s| index(s)), width, &mut payload);
+                } else {
+                    buf.put_u8(0);
+                    for v in chunk {
+                        put_str(&mut payload, v);
+                    }
+                }
+            }
+            Column::Bool(vals) => {
+                buf.put_u8(0);
+                for v in &vals[start..end] {
+                    payload.put_u8(u8::from(*v));
+                }
+            }
+        }
+        put_varint(buf, payload.len() as u64);
+        buf.put_slice(&payload);
+    }
+}
+
+/// Min/max under `total_cmp` (so NaNs and infinities order totally and
+/// the stored bounds are bit-deterministic). `None` for an empty
+/// iterator.
+fn f64_range(vals: impl Iterator<Item = f64>) -> Option<(f64, f64)> {
+    let mut range: Option<(f64, f64)> = None;
+    for v in vals {
+        range = Some(match range {
+            None => (v, v),
+            Some((min, max)) => (
+                if v.total_cmp(&min) == Ordering::Less { v } else { min },
+                if v.total_cmp(&max) == Ordering::Greater { v } else { max },
+            ),
+        });
+    }
+    range
+}
+
+/// Bits needed to represent `v` (0 for 0).
+pub(crate) fn bits_needed(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+/// Byte length of `count` values bit-packed at `width`.
+pub(crate) fn packed_len(count: usize, width: u8) -> usize {
+    ((count as u64 * u64::from(width) + 7) / 8) as usize
+}
+
+/// Packs `vals` at `width` bits each, LSB-first, appending to `buf`.
+/// Values must fit in `width` bits (the writer picks `width` as the
+/// maximum needed).
+pub(crate) fn pack_bits(vals: impl Iterator<Item = u64>, width: u8, buf: &mut BytesMut) {
+    if width == 0 {
+        return;
+    }
+    let mut acc: u128 = 0;
+    let mut bits: u32 = 0;
+    for v in vals {
+        acc |= u128::from(v) << bits;
+        bits += u32::from(width);
+        while bits >= 8 {
+            buf.put_u8((acc & 0xff) as u8);
+            acc >>= 8;
+            bits -= 8;
+        }
+    }
+    if bits > 0 {
+        buf.put_u8((acc & 0xff) as u8);
+    }
+}
+
+/// Inverse of [`pack_bits`]: unpacks `count` values of `width` bits
+/// from `bytes` (which must hold [`packed_len`] bytes).
+pub(crate) fn unpack_bits(bytes: &[u8], count: usize, width: u8) -> Vec<u64> {
+    if width == 0 {
+        return vec![0; count];
+    }
+    let mask: u128 = if width == 64 {
+        u128::from(u64::MAX)
+    } else {
+        (1u128 << width) - 1
+    };
+    let mut out = Vec::with_capacity(count);
+    let mut acc: u128 = 0;
+    let mut bits: u32 = 0;
+    let mut next = 0usize;
+    for _ in 0..count {
+        while bits < u32::from(width) {
+            acc |= u128::from(bytes[next]) << bits;
+            next += 1;
+            bits += 8;
+        }
+        out.push((acc & mask) as u64);
+        acc >>= width;
+        bits -= u32::from(width);
+    }
+    out
+}
+
+/// Encodes a store in the legacy version-1 layout (flat `rows ×
+/// element` per column, no blocks, no stats). Kept so compatibility
+/// tests and the CI `store-format` job can produce v1 files on demand;
+/// [`decode`] reads both versions.
+pub fn encode_v1(store: &Store) -> Bytes {
+    let mut w = FrameWriter::new(MAGIC);
+    put_varint(w.payload(), V1_FORMAT_VERSION);
     put_varint(w.payload(), store.tables().len() as u64);
     w.maybe_seal();
     for table in store.tables() {
@@ -82,8 +438,6 @@ pub fn encode(store: &Store) -> Bytes {
                     }
                 }
             }
-            // Column boundary: the only place a frame may seal, so every
-            // record decodes from a single frame.
             w.maybe_seal();
         }
     }
@@ -92,14 +446,15 @@ pub fn encode(store: &Store) -> Bytes {
 
 /// Streaming record reader: records never straddle frames, so whenever
 /// the current frame is exhausted the next record starts in the next
-/// frame.
-struct Records {
+/// frame. Shared by the v1 decoder here and the v2 reader in
+/// [`crate::encoded`].
+pub(crate) struct Records {
     frames: FrameReader,
     current: Option<FrameCursor>,
 }
 
 impl Records {
-    fn open(encoded: Bytes) -> Result<Self, NvsimError> {
+    pub(crate) fn open(encoded: Bytes) -> Result<Self, NvsimError> {
         Ok(Records {
             frames: FrameReader::open(encoded, MAGIC, "store")?,
             current: None,
@@ -110,7 +465,7 @@ impl Records {
     ///
     /// # Errors
     /// [`NvsimError::Corrupt`] if the stream ends before another record.
-    fn record(&mut self) -> Result<&mut FrameCursor, NvsimError> {
+    pub(crate) fn record(&mut self) -> Result<&mut FrameCursor, NvsimError> {
         let exhausted = !self
             .current
             .as_ref()
@@ -130,22 +485,70 @@ impl Records {
         }
         Ok(self.current.as_mut().expect("frame cursor present"))
     }
+
+    /// Rejects trailing garbage: every decoded byte and every frame
+    /// must be accounted for, then the terminator must follow.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] on leftover record data or frames.
+    pub(crate) fn finish(&mut self) -> Result<(), NvsimError> {
+        if let Some(cur) = self.current.as_ref() {
+            if cur.has_remaining() {
+                return Err(NvsimError::Corrupt {
+                    section: "store trailing record data".to_string(),
+                    offset: cur.offset(),
+                });
+            }
+        }
+        if let Some((section, at, _)) = self.frames.next_frame()? {
+            return Err(NvsimError::Corrupt {
+                section: format!("{section} (unexpected trailing frame)"),
+                offset: at,
+            });
+        }
+        Ok(())
+    }
 }
 
-/// Decodes a framed store file.
+/// Decodes a framed store file, either version: current (2, blocked and
+/// encoded) or legacy (1, flat columns).
 ///
 /// # Errors
 /// [`NvsimError::Corrupt`] on a malformed file: wrong magic, an
 /// unsupported format version, a truncated or bit-flipped frame (CRC
-/// mismatch), an unknown column tag, or a stream cut before its
-/// terminator.
+/// mismatch), an unknown column or encoding tag, or a stream cut before
+/// its terminator.
 pub fn decode(encoded: Bytes) -> Result<Store, NvsimError> {
+    // Peek the version from the header frame, then hand the whole
+    // buffer to the right reader (re-parsing the cheap header).
+    let version = {
+        let mut records = Records::open(encoded.clone())?;
+        let header = records.record()?;
+        let at = header.offset();
+        let version = header.varint()?;
+        if version != V1_FORMAT_VERSION && version != FORMAT_VERSION {
+            return Err(NvsimError::Corrupt {
+                section: format!("store version {version}"),
+                offset: at,
+            });
+        }
+        version
+    };
+    if version == FORMAT_VERSION {
+        return crate::encoded::EncodedStore::open(encoded)?.to_store();
+    }
+    decode_v1(encoded)
+}
+
+/// The legacy version-1 decoder: one flat `rows × element` run per
+/// column record.
+fn decode_v1(encoded: Bytes) -> Result<Store, NvsimError> {
     let mut records = Records::open(encoded)?;
 
     let header = records.record()?;
     let at = header.offset();
     let version = header.varint()?;
-    if version != FORMAT_VERSION {
+    if version != V1_FORMAT_VERSION {
         return Err(NvsimError::Corrupt {
             section: format!("store version {version}"),
             offset: at,
@@ -235,22 +638,115 @@ pub fn decode(encoded: Bytes) -> Result<Store, NvsimError> {
         }
         store.insert(table)?;
     }
+    records.finish()?;
+    Ok(store)
+}
 
-    // Reject trailing garbage: every decoded byte and every frame must
-    // be accounted for, then the terminator must follow.
-    if let Some(cur) = records.current.as_ref() {
-        if cur.has_remaining() {
-            return Err(NvsimError::Corrupt {
-                section: "store trailing record data".to_string(),
-                offset: cur.offset(),
-            });
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::tests::sample_store;
+
+    #[test]
+    fn bitpacking_round_trips_all_widths() {
+        for width in 0..=64u8 {
+            let max = if width == 64 {
+                u64::MAX
+            } else {
+                (1u128 << width) as u64 - 1
+            };
+            let vals: Vec<u64> = (0..17u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & max)
+                .collect();
+            let mut buf = BytesMut::new();
+            pack_bits(vals.iter().copied(), width, &mut buf);
+            assert_eq!(buf.len(), packed_len(vals.len(), width), "width {width}");
+            let back = unpack_bits(&buf, vals.len(), width);
+            if width == 0 {
+                assert!(back.iter().all(|&v| v == 0));
+            } else {
+                assert_eq!(back, vals, "width {width}");
+            }
         }
     }
-    if let Some((section, at, _)) = records.frames.next_frame()? {
-        return Err(NvsimError::Corrupt {
-            section: format!("{section} (unexpected trailing frame)"),
-            offset: at,
-        });
+
+    #[test]
+    fn encoding_choice_matches_column_shape() {
+        assert_eq!(
+            choose_encoding(&Column::U64(vec![1, 2, 2, 5])),
+            Encoding::Delta
+        );
+        assert_eq!(
+            choose_encoding(&Column::U64(vec![5, 2])),
+            Encoding::Raw,
+            "non-monotone falls back"
+        );
+        assert_eq!(choose_encoding(&Column::U64(vec![7])), Encoding::Raw);
+        assert_eq!(
+            choose_encoding(&Column::Str(vec!["b".into(), "a".into(), "b".into(), "a".into()])),
+            Encoding::Dict
+        );
+        assert_eq!(
+            choose_encoding(&Column::Str(vec!["a".into(), "b".into(), "c".into()])),
+            Encoding::Raw,
+            "high cardinality falls back"
+        );
+        assert_eq!(
+            choose_encoding(&Column::F64(vec![1.0, 2.0])),
+            Encoding::Raw
+        );
     }
-    Ok(store)
+
+    #[test]
+    fn v1_files_still_decode() {
+        let store = sample_store();
+        let v1 = encode_v1(&store);
+        assert_eq!(decode(v1).unwrap(), store);
+    }
+
+    #[test]
+    fn v2_beats_v1_on_repetitive_shapes() {
+        // The dataset's real shapes: monotone counters and a handful of
+        // app names repeated over many rows.
+        let mut store = Store::new();
+        store
+            .insert(
+                Table::new("objects")
+                    .with_column(
+                        "iteration",
+                        Column::U64((0..2000u64).map(|i| i / 4).collect()),
+                    )
+                    .with_column(
+                        "app",
+                        Column::Str(
+                            (0..2000usize)
+                                .map(|i| ["CAM", "GTC", "Nek5000", "S3D"][i % 4].to_string())
+                                .collect(),
+                        ),
+                    ),
+            )
+            .unwrap();
+        let v2 = encode(&store);
+        let v1 = encode_v1(&store);
+        assert!(
+            v2.len() < v1.len(),
+            "v2 {} bytes should undercut v1 {} bytes",
+            v2.len(),
+            v1.len()
+        );
+        assert_eq!(decode(v2).unwrap(), store);
+    }
+
+    #[test]
+    fn explicit_block_sizes_round_trip() {
+        let store = sample_store();
+        for block_rows in [1, 2, 3, 4096] {
+            let encoded = encode_with_block_rows(&store, block_rows);
+            assert_eq!(
+                decode(encoded).unwrap(),
+                store,
+                "block_rows {block_rows}"
+            );
+        }
+    }
 }

@@ -3,6 +3,25 @@
 //! in-memory report structs *exactly* — `f64` columns are bit-preserving
 //! (NaN payloads and the `Some(inf)` read-only ratios survive), option
 //! columns keep their `None`s, strings keep their bytes.
+//!
+//! ```
+//! use nvsim_store::{Column, ColumnType, Value};
+//!
+//! // Bit-exactness through a full encode → decode round trip: the
+//! // infinite read-only ratio and the None survive unchanged.
+//! let ratios = Column::OptF64(vec![Some(1.5), None, Some(f64::INFINITY)]);
+//! assert_eq!(ratios.column_type(), ColumnType::OptF64);
+//! assert_eq!(ratios.column_type().to_string(), "f64?");
+//!
+//! let mut store = nvsim_store::Store::new();
+//! store
+//!     .insert(nvsim_store::Table::new("objects").with_column("rw_ratio", ratios.clone()))
+//!     .unwrap();
+//! let decoded = nvsim_store::Store::decode(store.encode()).unwrap();
+//! let col = decoded.table("objects").unwrap().column("rw_ratio").unwrap();
+//! assert_eq!(col, &ratios);
+//! assert_eq!(col.value(2), Value::OptF64(Some(f64::INFINITY)));
+//! ```
 
 use std::cmp::Ordering;
 use std::fmt;

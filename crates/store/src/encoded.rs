@@ -1,0 +1,792 @@
+//! The zero-copy read side of the v2 format: an [`EncodedStore`] keeps
+//! every block payload as a refcounted [`Bytes`] view into the one
+//! buffer the file was read into — nothing is deserialized until a
+//! query actually touches a block, and a block whose min/max statistics
+//! rule it out is never touched at all.
+//!
+//! This is what `nvq` queries and `nvsim-serve`'s `/query` endpoint run
+//! against ([`crate::Query::run_encoded`]); the owned
+//! [`Store`] path ([`crate::Store::decode`]) materializes through here
+//! too, by decoding every block.
+//!
+//! ```
+//! use nvsim_store::{Column, EncodedStore, Encoding, Store, Table};
+//!
+//! let mut store = Store::new();
+//! store.insert(Table::new("power").with_column(
+//!     "technology",
+//!     Column::Str(vec!["PCM".into(), "STTM".into(), "PCM".into(), "PCM".into()]),
+//! )).unwrap();
+//!
+//! let encoded = EncodedStore::open(store.encode()).unwrap();
+//! let column = encoded.table("power").unwrap().column("technology").unwrap();
+//! // Four rows, two distinct strings: the dictionary encoding fired.
+//! assert_eq!(column.encoding(), Encoding::Dict);
+//! assert_eq!(column.dict(), ["PCM", "STTM"]);
+//! // And materializing gives back exactly what was stored.
+//! assert_eq!(encoded.to_store().unwrap(), store);
+//! ```
+
+use crate::codec::{self, Encoding, Records};
+use crate::column::{Column, ColumnType, Value};
+use crate::store::{Store, Table};
+use bytes::Bytes;
+use nvsim_trace::framing::FrameCursor;
+use nvsim_types::NvsimError;
+use std::path::Path;
+
+/// Per-block statistics, read without touching the block payload. What
+/// the query engine prunes on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stats {
+    /// No statistics for this column shape (raw strings, bools).
+    None,
+    /// Value range of a `u64` block.
+    U64 {
+        /// Smallest value in the block.
+        min: u64,
+        /// Largest value in the block.
+        max: u64,
+    },
+    /// Value range of an `f64` block, ordered by `total_cmp`.
+    F64 {
+        /// Smallest value in the block.
+        min: f64,
+        /// Largest value in the block.
+        max: f64,
+    },
+    /// Presence and range of an optional-`f64` block.
+    OptF64 {
+        /// Whether the block holds any `None`.
+        has_null: bool,
+        /// Range over the present values (`None` when all are null).
+        range: Option<(f64, f64)>,
+    },
+    /// Index range of a dictionary-encoded block — the dictionary is
+    /// sorted, so index order is string order.
+    DictIdx {
+        /// Smallest dictionary index in the block.
+        min: u64,
+        /// Largest dictionary index in the block.
+        max: u64,
+    },
+}
+
+/// One block of an encoded column: row count and statistics decoded,
+/// payload still raw bytes.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Rows in this block (always ≥ 1).
+    pub rows: usize,
+    /// The block's pruning statistics.
+    pub stats: Stats,
+    payload: Bytes,
+    payload_at: u64,
+    section: String,
+}
+
+impl Block {
+    /// Encoded payload size in bytes (what pruning skips reading).
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// The decoded values of one block, produced on demand by
+/// [`EncodedColumn::decode_block`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Chunk {
+    /// `u64` values (raw or delta-decoded).
+    U64(Vec<u64>),
+    /// `f64` values.
+    F64(Vec<f64>),
+    /// Optional `f64` values.
+    OptF64(Vec<Option<f64>>),
+    /// Raw (non-dictionary) strings.
+    Str(Vec<String>),
+    /// Dictionary indices — resolve through [`EncodedColumn::dict`].
+    DictIdx(Vec<u64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl Chunk {
+    /// Number of values in the chunk.
+    pub fn len(&self) -> usize {
+        match self {
+            Chunk::U64(v) => v.len(),
+            Chunk::F64(v) => v.len(),
+            Chunk::OptF64(v) => v.len(),
+            Chunk::Str(v) => v.len(),
+            Chunk::DictIdx(v) => v.len(),
+            Chunk::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` if the chunk holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `i` as a query [`Value`]; `dict` resolves
+    /// [`Chunk::DictIdx`] entries (pass the owning column's
+    /// [`EncodedColumn::dict`]).
+    pub fn value(&self, dict: &[String], i: usize) -> Value {
+        match self {
+            Chunk::U64(v) => Value::U64(v[i]),
+            Chunk::F64(v) => Value::F64(v[i]),
+            Chunk::OptF64(v) => Value::OptF64(v[i]),
+            Chunk::Str(v) => Value::Str(v[i].clone()),
+            Chunk::DictIdx(v) => Value::Str(dict[v[i] as usize].clone()),
+            Chunk::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Like [`Chunk::value`], but moves raw strings out of the chunk
+    /// instead of cloning them. The chunk is a per-query decode, so a
+    /// consumer that visits each row at most once (the gather paths do —
+    /// selections are strictly increasing) can take ownership for free;
+    /// a taken slot reads back as the empty string.
+    pub fn take_value(&mut self, dict: &[String], i: usize) -> Value {
+        match self {
+            Chunk::Str(v) => Value::Str(std::mem::take(&mut v[i])),
+            other => other.value(dict, i),
+        }
+    }
+
+    /// Numeric view of the value at `i`, for aggregation: `None` for a
+    /// null cell or a non-numeric chunk.
+    pub fn as_f64(&self, i: usize) -> Option<f64> {
+        match self {
+            Chunk::U64(v) => Some(v[i] as f64),
+            Chunk::F64(v) => Some(v[i]),
+            Chunk::OptF64(v) => v[i],
+            Chunk::Str(_) | Chunk::DictIdx(_) | Chunk::Bool(_) => None,
+        }
+    }
+}
+
+/// One column of an [`EncodedTable`]: type, encoding, dictionary (for
+/// [`Encoding::Dict`]) and blocks, payloads unparsed.
+#[derive(Debug, Clone)]
+pub struct EncodedColumn {
+    column_type: ColumnType,
+    encoding: Encoding,
+    dict: Vec<String>,
+    blocks: Vec<Block>,
+}
+
+impl EncodedColumn {
+    /// The column's element type.
+    pub fn column_type(&self) -> ColumnType {
+        self.column_type
+    }
+
+    /// The column's block-payload encoding.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// The sorted dictionary (empty unless [`Encoding::Dict`]).
+    pub fn dict(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// The column's blocks, in row order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Decodes block `index` into values.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] if the payload does not parse exactly
+    /// (wrong length, bad presence byte, out-of-range dictionary index,
+    /// delta overflow).
+    ///
+    /// # Panics
+    /// If `index` is out of range (caller bug, like slice indexing).
+    pub fn decode_block(&self, index: usize) -> Result<Chunk, NvsimError> {
+        let block = &self.blocks[index];
+        let rows = block.rows;
+        let mut cur = FrameCursor::new(
+            block.payload.clone(),
+            block.payload_at,
+            block.section.clone(),
+        );
+        let chunk = match (self.column_type, self.encoding) {
+            (ColumnType::U64, Encoding::Raw) => {
+                // The payload is exactly `rows` varints: take it in one
+                // bounds check and parse from the slice, instead of
+                // paying the cursor's per-byte accounting. Semantics
+                // mirror `FrameCursor::varint` (truncation or a varint
+                // past 64 bits is corrupt).
+                let raw = cur.take(block.payload.len())?;
+                let mut vals = Vec::with_capacity(rows);
+                let mut at = 0usize;
+                for _ in 0..rows {
+                    let mut v = 0u64;
+                    let mut shift = 0u32;
+                    loop {
+                        let Some(&byte) = raw.get(at) else {
+                            return Err(nvsim_trace::framing::corrupt(
+                                cur.section.clone(),
+                                block.payload_at + at as u64,
+                            ));
+                        };
+                        at += 1;
+                        v |= u64::from(byte & 0x7f) << shift;
+                        if byte & 0x80 == 0 {
+                            break;
+                        }
+                        shift += 7;
+                        if shift >= 64 {
+                            return Err(nvsim_trace::framing::corrupt(
+                                cur.section.clone(),
+                                block.payload_at + at as u64,
+                            ));
+                        }
+                    }
+                    vals.push(v);
+                }
+                if at != raw.len() {
+                    return Err(nvsim_trace::framing::corrupt(
+                        cur.section.clone(),
+                        block.payload_at + at as u64,
+                    ));
+                }
+                Chunk::U64(vals)
+            }
+            (ColumnType::U64, Encoding::Delta) => {
+                let base = cur.varint()?;
+                let width_at = cur.offset();
+                let width = cur.u8()?;
+                if width > 64 {
+                    return Err(nvsim_trace::framing::corrupt(
+                        cur.section.clone(),
+                        width_at,
+                    ));
+                }
+                let packed = cur.take(codec::packed_len(rows - 1, width))?;
+                let deltas = codec::unpack_bits(&packed, rows - 1, width);
+                let mut vals = Vec::with_capacity(rows);
+                let mut running = base;
+                vals.push(running);
+                for delta in deltas {
+                    running = running.checked_add(delta).ok_or_else(|| {
+                        nvsim_trace::framing::corrupt(cur.section.clone(), width_at)
+                    })?;
+                    vals.push(running);
+                }
+                Chunk::U64(vals)
+            }
+            (ColumnType::F64, Encoding::Raw) => {
+                // Fixed-width payload: take the whole array in one
+                // bounds check instead of cursoring value by value.
+                let raw = cur.take(rows * 8)?;
+                let vals = raw
+                    .chunks_exact(8)
+                    .map(|b| {
+                        f64::from_bits(u64::from_le_bytes(
+                            b.try_into().expect("8-byte chunk"),
+                        ))
+                    })
+                    .collect();
+                Chunk::F64(vals)
+            }
+            (ColumnType::OptF64, Encoding::Raw) => {
+                let mut vals = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    let present_at = cur.offset();
+                    vals.push(match cur.u8()? {
+                        0 => None,
+                        1 => Some(cur.f64()?),
+                        _ => {
+                            return Err(nvsim_trace::framing::corrupt(
+                                cur.section.clone(),
+                                present_at,
+                            ))
+                        }
+                    });
+                }
+                Chunk::OptF64(vals)
+            }
+            (ColumnType::Str, Encoding::Raw) => {
+                let mut vals = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    vals.push(cur.str_field()?);
+                }
+                Chunk::Str(vals)
+            }
+            (ColumnType::Str, Encoding::Dict) => {
+                let width_at = cur.offset();
+                let width = cur.u8()?;
+                if width > 64 {
+                    return Err(nvsim_trace::framing::corrupt(
+                        cur.section.clone(),
+                        width_at,
+                    ));
+                }
+                let packed = cur.take(codec::packed_len(rows, width))?;
+                let indices = codec::unpack_bits(&packed, rows, width);
+                for &idx in &indices {
+                    if idx as usize >= self.dict.len() {
+                        return Err(nvsim_trace::framing::corrupt(
+                            cur.section.clone(),
+                            width_at,
+                        ));
+                    }
+                }
+                Chunk::DictIdx(indices)
+            }
+            (ColumnType::Bool, Encoding::Raw) => {
+                let mut vals = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    let flag_at = cur.offset();
+                    vals.push(match cur.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => {
+                            return Err(nvsim_trace::framing::corrupt(
+                                cur.section.clone(),
+                                flag_at,
+                            ))
+                        }
+                    });
+                }
+                Chunk::Bool(vals)
+            }
+            // Invalid pairs are rejected at open(); unreachable here.
+            _ => return Err(cur.fail()),
+        };
+        if cur.has_remaining() {
+            return Err(cur.fail());
+        }
+        Ok(chunk)
+    }
+
+    /// Decodes every block into an owned [`Column`].
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] from any failing block.
+    pub fn materialize(&self) -> Result<Column, NvsimError> {
+        let rows: usize = self.blocks.iter().map(|b| b.rows).sum();
+        let mut column = match self.column_type {
+            ColumnType::U64 => Column::U64(Vec::with_capacity(rows)),
+            ColumnType::F64 => Column::F64(Vec::with_capacity(rows)),
+            ColumnType::OptF64 => Column::OptF64(Vec::with_capacity(rows)),
+            ColumnType::Str => Column::Str(Vec::with_capacity(rows)),
+            ColumnType::Bool => Column::Bool(Vec::with_capacity(rows)),
+        };
+        for index in 0..self.blocks.len() {
+            match (&mut column, self.decode_block(index)?) {
+                (Column::U64(out), Chunk::U64(vals)) => out.extend(vals),
+                (Column::F64(out), Chunk::F64(vals)) => out.extend(vals),
+                (Column::OptF64(out), Chunk::OptF64(vals)) => out.extend(vals),
+                (Column::Str(out), Chunk::Str(vals)) => out.extend(vals),
+                (Column::Str(out), Chunk::DictIdx(indices)) => {
+                    out.extend(indices.iter().map(|&i| self.dict[i as usize].clone()));
+                }
+                (Column::Bool(out), Chunk::Bool(vals)) => out.extend(vals),
+                // decode_block yields the chunk kind its column type
+                // dictates; any other pairing is unreachable.
+                _ => unreachable!("chunk kind mismatches column type"),
+            }
+        }
+        Ok(column)
+    }
+}
+
+/// One table of an [`EncodedStore`].
+#[derive(Debug, Clone)]
+pub struct EncodedTable {
+    /// Table name.
+    pub name: String,
+    /// Row count (every column's blocks sum to this).
+    pub rows: usize,
+    /// Columns in declaration order.
+    pub columns: Vec<(String, EncodedColumn)>,
+}
+
+impl EncodedTable {
+    /// The column `name`, if present.
+    pub fn column(&self, name: &str) -> Option<&EncodedColumn> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+    }
+
+    /// `(name, type)` pairs in order — the table's schema.
+    pub fn schema(&self) -> Vec<(&str, ColumnType)> {
+        self.columns
+            .iter()
+            .map(|(n, c)| (n.as_str(), c.column_type()))
+            .collect()
+    }
+}
+
+/// A store opened for reading without materializing: headers, schemas,
+/// dictionaries and statistics parsed; block payloads held as zero-copy
+/// views into the file buffer.
+#[derive(Debug, Clone)]
+pub struct EncodedStore {
+    tables: Vec<EncodedTable>,
+}
+
+impl EncodedStore {
+    /// Opens encoded store bytes (as produced by [`Store::encode`] or
+    /// read from a `.nvstore` file), validating framing, schema and
+    /// statistics but not block payloads. Version-1 files are accepted
+    /// too: they are decoded and transcoded to v2 in memory once.
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] on any structural violation, with the
+    /// failing section and byte offset.
+    pub fn open(encoded: Bytes) -> Result<Self, NvsimError> {
+        let version = {
+            let mut records = Records::open(encoded.clone())?;
+            let header = records.record()?;
+            let at = header.offset();
+            let version = header.varint()?;
+            if version != codec::V1_FORMAT_VERSION && version != codec::FORMAT_VERSION {
+                return Err(NvsimError::Corrupt {
+                    section: format!("store version {version}"),
+                    offset: at,
+                });
+            }
+            version
+        };
+        if version == codec::V1_FORMAT_VERSION {
+            // Legacy file: one in-memory transcode, then the fast path.
+            let store = codec::decode(encoded)?;
+            return Self::open(codec::encode(&store));
+        }
+        Self::open_v2(encoded)
+    }
+
+    fn open_v2(encoded: Bytes) -> Result<Self, NvsimError> {
+        let mut records = Records::open(encoded)?;
+        let table_count = {
+            let header = records.record()?;
+            header.varint()?; // version, validated by open()
+            header.varint()? as usize
+        };
+        let mut tables = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            let (name, rows, cols) = {
+                let header = records.record()?;
+                let name = header.str_field()?;
+                let rows = header.varint()? as usize;
+                let cols = header.varint()? as usize;
+                (name, rows, cols)
+            };
+            let mut columns = Vec::with_capacity(cols);
+            for _ in 0..cols {
+                let cur = records.record()?;
+                let col_name = cur.str_field()?;
+                let tag_at = cur.offset();
+                let Some(column_type) = ColumnType::from_tag(cur.u8()?) else {
+                    return Err(nvsim_trace::framing::corrupt(cur.section.clone(), tag_at));
+                };
+                let enc_at = cur.offset();
+                let Some(encoding) = Encoding::from_tag(cur.u8()?) else {
+                    return Err(nvsim_trace::framing::corrupt(cur.section.clone(), enc_at));
+                };
+                if !encoding.valid_for(column_type) {
+                    return Err(nvsim_trace::framing::corrupt(cur.section.clone(), enc_at));
+                }
+                let dict = if encoding == Encoding::Dict {
+                    let dict_at = cur.offset();
+                    let len = cur.varint()? as usize;
+                    let mut dict = Vec::with_capacity(len.min(1 << 16));
+                    for _ in 0..len {
+                        dict.push(cur.str_field()?);
+                    }
+                    // The dictionary must be strictly ascending: sorted
+                    // (index order = string order, which comparisons
+                    // and pruning rely on) and duplicate-free.
+                    if dict.is_empty() || dict.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(nvsim_trace::framing::corrupt(
+                            cur.section.clone(),
+                            dict_at,
+                        ));
+                    }
+                    dict
+                } else {
+                    Vec::new()
+                };
+                let block_count = cur.varint()? as usize;
+                let mut blocks = Vec::with_capacity(block_count.min(1 << 16));
+                let mut total_rows = 0usize;
+                for _ in 0..block_count {
+                    let rows_at = cur.offset();
+                    let block_rows = cur.varint()? as usize;
+                    if block_rows == 0 {
+                        return Err(nvsim_trace::framing::corrupt(
+                            cur.section.clone(),
+                            rows_at,
+                        ));
+                    }
+                    total_rows += block_rows;
+                    let stats = read_stats(cur, column_type, encoding, &dict)?;
+                    let payload_len = cur.varint()? as usize;
+                    let payload_at = cur.offset();
+                    let payload = cur.take(payload_len)?;
+                    blocks.push(Block {
+                        rows: block_rows,
+                        stats,
+                        payload,
+                        payload_at,
+                        section: cur.section.clone(),
+                    });
+                }
+                if total_rows != rows {
+                    return Err(nvsim_trace::framing::corrupt(cur.section.clone(), tag_at));
+                }
+                columns.push((col_name, EncodedColumn {
+                    column_type,
+                    encoding,
+                    dict,
+                    blocks,
+                }));
+            }
+            tables.push(EncodedTable {
+                name,
+                rows,
+                columns,
+            });
+        }
+        records.finish()?;
+        Ok(EncodedStore { tables })
+    }
+
+    /// Reads and opens the store file at `path`.
+    ///
+    /// # Errors
+    /// [`NvsimError::Io`] if the file cannot be read, or
+    /// [`NvsimError::Corrupt`] if it fails validation.
+    pub fn load(path: &Path) -> Result<Self, NvsimError> {
+        let raw = std::fs::read(path).map_err(|e| NvsimError::Io {
+            path: path.display().to_string(),
+            cause: e.to_string(),
+        })?;
+        Self::open(Bytes::from(raw))
+    }
+
+    /// All tables, in file order.
+    pub fn tables(&self) -> &[EncodedTable] {
+        &self.tables
+    }
+
+    /// The table `name`, if present.
+    pub fn table(&self, name: &str) -> Option<&EncodedTable> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Materializes the whole store into an owned [`Store`], decoding
+    /// every block — the v2 path behind [`Store::decode`].
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] from any failing block,
+    /// [`NvsimError::InvalidConfig`] on duplicate table names.
+    pub fn to_store(&self) -> Result<Store, NvsimError> {
+        let mut store = Store::new();
+        for t in &self.tables {
+            let mut table = Table::new(&t.name);
+            for (name, column) in &t.columns {
+                table = table.with_column(name, column.materialize()?);
+            }
+            if table.columns.is_empty() {
+                table.rows = t.rows;
+            }
+            store.insert(table)?;
+        }
+        Ok(store)
+    }
+}
+
+/// Reads one block's statistics for a column of `column_type` /
+/// `encoding`. The flags byte is canonical: exactly the bits the writer
+/// would set, or the file is corrupt.
+fn read_stats(
+    cur: &mut FrameCursor,
+    column_type: ColumnType,
+    encoding: Encoding,
+    dict: &[String],
+) -> Result<Stats, NvsimError> {
+    let flags_at = cur.offset();
+    let flags = cur.u8()?;
+    let bad = |cur: &FrameCursor| nvsim_trace::framing::corrupt(cur.section.clone(), flags_at);
+    match (column_type, encoding) {
+        (ColumnType::U64, _) => {
+            if flags != 1 {
+                return Err(bad(cur));
+            }
+            let min = cur.varint()?;
+            let max = cur.varint()?;
+            if min > max {
+                return Err(bad(cur));
+            }
+            Ok(Stats::U64 { min, max })
+        }
+        (ColumnType::F64, _) => {
+            if flags != 1 {
+                return Err(bad(cur));
+            }
+            let min = cur.f64()?;
+            let max = cur.f64()?;
+            if min.total_cmp(&max) == std::cmp::Ordering::Greater {
+                return Err(bad(cur));
+            }
+            Ok(Stats::F64 { min, max })
+        }
+        (ColumnType::OptF64, _) => {
+            if flags == 0 || flags & !0b11 != 0 {
+                return Err(bad(cur));
+            }
+            let range = if flags & 0b01 != 0 {
+                let min = cur.f64()?;
+                let max = cur.f64()?;
+                if min.total_cmp(&max) == std::cmp::Ordering::Greater {
+                    return Err(bad(cur));
+                }
+                Some((min, max))
+            } else {
+                None
+            };
+            Ok(Stats::OptF64 {
+                has_null: flags & 0b10 != 0,
+                range,
+            })
+        }
+        (ColumnType::Str, Encoding::Dict) => {
+            if flags != 1 {
+                return Err(bad(cur));
+            }
+            let min = cur.varint()?;
+            let max = cur.varint()?;
+            if min > max || max as usize >= dict.len() {
+                return Err(bad(cur));
+            }
+            Ok(Stats::DictIdx { min, max })
+        }
+        (ColumnType::Str, _) | (ColumnType::Bool, _) => {
+            if flags != 0 {
+                return Err(bad(cur));
+            }
+            Ok(Stats::None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::tests::sample_store;
+
+    #[test]
+    fn open_parses_schemas_without_decoding_payloads() {
+        let store = sample_store();
+        let encoded = EncodedStore::open(store.encode()).unwrap();
+        assert_eq!(encoded.tables().len(), 2);
+        let objects = encoded.table("objects").unwrap();
+        assert_eq!(objects.rows, 3);
+        assert_eq!(
+            objects.schema().iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            ["app", "size_bytes", "rw_ratio", "reference_rate", "only_pre_post"]
+        );
+        assert_eq!(encoded.to_store().unwrap(), store);
+    }
+
+    #[test]
+    fn encodings_and_stats_match_the_data() {
+        let mut store = Store::new();
+        store
+            .insert(
+                Table::new("t")
+                    .with_column("mono", Column::U64(vec![3, 3, 7, 20]))
+                    .with_column("wild", Column::U64(vec![9, 2, 5, 5]))
+                    .with_column(
+                        "app",
+                        Column::Str(vec!["b".into(), "a".into(), "b".into(), "b".into()]),
+                    )
+                    .with_column(
+                        "opt",
+                        Column::OptF64(vec![Some(1.0), None, Some(-2.5), None]),
+                    ),
+            )
+            .unwrap();
+        let encoded = EncodedStore::open(store.encode()).unwrap();
+        let t = encoded.table("t").unwrap();
+
+        let mono = t.column("mono").unwrap();
+        assert_eq!(mono.encoding(), Encoding::Delta);
+        assert_eq!(mono.blocks()[0].stats, Stats::U64 { min: 3, max: 20 });
+
+        let wild = t.column("wild").unwrap();
+        assert_eq!(wild.encoding(), Encoding::Raw);
+        assert_eq!(wild.blocks()[0].stats, Stats::U64 { min: 2, max: 9 });
+
+        let app = t.column("app").unwrap();
+        assert_eq!(app.encoding(), Encoding::Dict);
+        assert_eq!(app.dict(), ["a", "b"]);
+        assert_eq!(app.blocks()[0].stats, Stats::DictIdx { min: 0, max: 1 });
+        assert_eq!(
+            app.decode_block(0).unwrap(),
+            Chunk::DictIdx(vec![1, 0, 1, 1])
+        );
+
+        let opt = t.column("opt").unwrap();
+        assert_eq!(
+            opt.blocks()[0].stats,
+            Stats::OptF64 {
+                has_null: true,
+                range: Some((-2.5, 1.0)),
+            }
+        );
+    }
+
+    #[test]
+    fn single_row_blocks_decode_and_materialize() {
+        let store = sample_store();
+        let bytes = codec::encode_with_block_rows(&store, 1);
+        let encoded = EncodedStore::open(bytes).unwrap();
+        let objects = encoded.table("objects").unwrap();
+        for (_, column) in &objects.columns {
+            assert_eq!(column.blocks().len(), 3, "one block per row");
+            for block in column.blocks() {
+                assert_eq!(block.rows, 1);
+            }
+        }
+        assert_eq!(encoded.to_store().unwrap(), store);
+    }
+
+    #[test]
+    fn v1_bytes_open_via_transcode() {
+        let store = sample_store();
+        let encoded = EncodedStore::open(store.encode_v1()).unwrap();
+        assert_eq!(encoded.to_store().unwrap(), store);
+    }
+
+    #[test]
+    fn damaged_blocks_fail_loudly() {
+        let store = sample_store();
+        let good = store.encode();
+        // Bit-flip every byte position in turn; open() + full
+        // materialization must never accept the damage silently.
+        for pos in 4..good.len() {
+            let mut bad = good.to_vec();
+            bad[pos] ^= 0x40;
+            let outcome = EncodedStore::open(Bytes::from(bad)).and_then(|s| s.to_store());
+            match outcome {
+                Err(NvsimError::Corrupt { .. }) => {}
+                Err(other) => panic!("flip at {pos}: unexpected error kind {other}"),
+                Ok(decoded) => assert_eq!(
+                    decoded, store,
+                    "flip at {pos} must either fail or cancel out"
+                ),
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! # nvsim-store — the columnar sweep-result store
+//! # nvsim-store — the compressed columnar sweep-result store
 //!
 //! Every sweep binary can re-simulate the paper's tables and figures
 //! from scratch, but a sweep at `Bench` scale is minutes of work and a
@@ -9,13 +9,24 @@
 //!   equal-length columns ([`column::Column`]), held in insertion order
 //!   so identical logical content means identical files.
 //! - [`codec`] — a versioned, CRC32-framed on-disk layout reusing the
-//!   tracefile's framing ([`nvsim_trace::framing`]): truncation and bit
-//!   flips surface as [`nvsim_types::NvsimError::Corrupt`] with a
-//!   section and offset, never as garbage data.
+//!   tracefile's framing ([`nvsim_trace::framing`]). Version 2 is
+//!   genuinely columnar: per-column encodings (delta + bit-packing for
+//!   monotone integers, dictionaries for low-cardinality strings, raw
+//!   fallback) and per-block min/max statistics; version-1 files still
+//!   decode. Truncation and bit flips surface as
+//!   [`nvsim_types::NvsimError::Corrupt`] with a section and offset,
+//!   never as garbage data.
+//! - [`encoded::EncodedStore`] — the zero-copy read side: block
+//!   payloads stay refcounted views into the file buffer until a query
+//!   touches them, and min/max stats let whole blocks be skipped
+//!   untouched.
 //! - [`query::Query`] — predicate pushdown, projection, aggregation
 //!   (`count`/`sum`/`mean`/`min`/`max`, optionally grouped), sort and
 //!   limit, with a [`query::Query::canonical`] form that keys response
-//!   caches.
+//!   caches. [`query::Query::run_encoded`] evaluates over encoded
+//!   blocks in chunked loops with stats pruning;
+//!   [`query::Query::run`] is the row-at-a-time reference — the two
+//!   produce byte-identical JSON.
 //!
 //! The crate is deliberately generic: it knows nothing about the
 //! evaluation's report structs. The mapping from `EvalDataset` onto
@@ -26,15 +37,19 @@
 //! Persistence goes through [`nvsim_obs::artifact::atomic_write`] —
 //! temp file and rename — so a store file on disk is always either the
 //! previous complete version or the new one. See `docs/STORE.md` for
-//! the format specification and query grammar.
+//! the format overview and query grammar, and `docs/STORE_FORMAT.md`
+//! for the byte-level on-disk specification.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod column;
+pub mod encoded;
 pub mod query;
 pub mod store;
 
+pub use codec::Encoding;
 pub use column::{Column, ColumnType, Value};
+pub use encoded::{Block, Chunk, EncodedColumn, EncodedStore, EncodedTable, Stats};
 pub use query::{Agg, Filter, Op, Query, QueryResult};
-pub use store::{Store, Table, DATASET_FILE, PROFILE_FILE};
+pub use store::{Store, Table, DATASET_FILE, PROFILE_FILE, STORE_VERSION};

@@ -15,10 +15,22 @@
 //! (`count`, `sum`, `mean`, `min`, `max`) fold over the selection,
 //! optionally grouped by a column (groups appear in first-occurrence
 //! order, so results are deterministic).
+//!
+//! There are two engines with one contract. [`Query::run`] is the
+//! row-at-a-time reference over an owned [`Store`].
+//! [`Query::run_encoded`] is what `nvq` and `nvsim-serve` actually use:
+//! it evaluates over an [`EncodedStore`]'s blocks, skipping any block
+//! whose min/max statistics rule out a match and decoding the rest
+//! chunk-at-a-time. The two produce byte-identical
+//! [`QueryResult::to_json`] output — differential tests pin that.
 
-use crate::column::{Column, Value};
+use crate::codec::Encoding;
+use crate::column::{Column, ColumnType, Value};
+use crate::encoded::{Chunk, EncodedColumn, EncodedStore, EncodedTable, Stats};
 use crate::store::{Store, Table};
+use nvsim_obs::Metrics;
 use nvsim_types::NvsimError;
+use std::cmp::Ordering;
 
 /// Comparison operator of one predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -401,6 +413,96 @@ impl Query {
             self.aggregate(table, &selected)?
         };
 
+        self.sort_and_limit(&mut result)?;
+        Ok(result)
+    }
+
+    /// Executes the query against an [`EncodedStore`] — the vectorized
+    /// engine behind `nvq` and `nvsim-serve`'s `/query` endpoint.
+    ///
+    /// Filters evaluate block-at-a-time over the encoded columns: a
+    /// block whose min/max statistics cannot contain a match is pruned
+    /// without ever decoding its payload, and surviving blocks decode
+    /// once into a chunk that all candidate rows test against.
+    /// Projection and aggregation then decode only the blocks holding
+    /// selected rows. The result is byte-identical to [`Query::run`]
+    /// over the same data.
+    ///
+    /// Observability (all via `metrics`, a no-op when disabled):
+    /// `query.runs`, `query.blocks.scanned`, `query.blocks.pruned`,
+    /// `query.rows.scanned` and `query.rows.selected`.
+    ///
+    /// ```
+    /// use nvsim_obs::Metrics;
+    /// use nvsim_store::{Column, EncodedStore, Query, Store, Table};
+    ///
+    /// let mut store = Store::new();
+    /// store
+    ///     .insert(
+    ///         Table::new("objects")
+    ///             .with_column("app", Column::Str(vec!["CAM".into(), "GTC".into()]))
+    ///             .with_column("size_bytes", Column::U64(vec![128, 4096])),
+    ///     )
+    ///     .unwrap();
+    /// let encoded = EncodedStore::open(store.encode()).unwrap();
+    ///
+    /// let args: Vec<String> = ["objects", "--where", "size_bytes>1000"]
+    ///     .iter().map(|s| s.to_string()).collect();
+    /// let query = Query::parse_args(&args).unwrap();
+    /// let fast = query.run_encoded(&encoded, &Metrics::disabled()).unwrap();
+    /// // Same bytes as the row-at-a-time reference engine.
+    /// assert_eq!(fast.to_json(), query.run(&store).unwrap().to_json());
+    /// assert_eq!(fast.rows.len(), 1);
+    /// ```
+    ///
+    /// # Errors
+    /// Identical to [`Query::run`]: [`NvsimError::NotFound`] for an
+    /// unknown table or column, [`NvsimError::InvalidConfig`] for a
+    /// filter value that does not parse against its column's type or an
+    /// aggregate over a non-numeric column, plus
+    /// [`NvsimError::Corrupt`] if a decoded block fails validation.
+    pub fn run_encoded(
+        &self,
+        store: &EncodedStore,
+        metrics: &Metrics,
+    ) -> Result<QueryResult, NvsimError> {
+        metrics.counter("query.runs").inc();
+        let table = store
+            .table(&self.table)
+            .ok_or_else(|| NvsimError::NotFound(format!("table {:?}", self.table)))?;
+
+        // Each filter narrows the (ascending) selection; `None` means
+        // "all rows" so an unfiltered query never builds the identity
+        // selection just to filter against it.
+        let mut selection: Option<Vec<usize>> = None;
+        for filter in &self.filters {
+            let column = named_encoded_column(table, &filter.column)?;
+            let rhs = compile_rhs(column, filter)?;
+            selection = Some(scan_filter(
+                column,
+                filter.op,
+                &rhs,
+                selection.as_deref(),
+                metrics,
+            )?);
+        }
+        let selected = selection.unwrap_or_else(|| (0..table.rows).collect());
+        metrics
+            .counter("query.rows.selected")
+            .add(selected.len() as u64);
+
+        let mut result = if self.aggs.is_empty() {
+            self.project_encoded(table, &selected)?
+        } else {
+            self.aggregate_encoded(table, &selected)?
+        };
+        self.sort_and_limit(&mut result)?;
+        Ok(result)
+    }
+
+    /// Applies the query's sort and limit to a computed result (shared
+    /// by both engines).
+    fn sort_and_limit(&self, result: &mut QueryResult) -> Result<(), NvsimError> {
         if let Some((column, desc)) = &self.sort {
             let at = result
                 .columns
@@ -421,7 +523,7 @@ impl Query {
         if let Some(limit) = self.limit {
             result.rows.truncate(limit);
         }
-        Ok(result)
+        Ok(())
     }
 
     fn project(&self, table: &Table, selected: &[usize]) -> Result<QueryResult, NvsimError> {
@@ -482,6 +584,138 @@ impl Query {
             }
             for agg in &self.aggs {
                 row.push(fold(table, agg, &members)?);
+            }
+            rows.push(row);
+        }
+        Ok(QueryResult {
+            table: self.table.clone(),
+            columns,
+            rows,
+        })
+    }
+
+    fn project_encoded(
+        &self,
+        table: &EncodedTable,
+        selected: &[usize],
+    ) -> Result<QueryResult, NvsimError> {
+        let columns: Vec<(String, &EncodedColumn)> = match &self.select {
+            Some(names) => names
+                .iter()
+                .map(|n| Ok((n.clone(), named_encoded_column(table, n)?)))
+                .collect::<Result<_, NvsimError>>()?,
+            None => table
+                .columns
+                .iter()
+                .map(|(n, c)| (n.clone(), c))
+                .collect(),
+        };
+        // Gather column-at-a-time (one decode pass per column, blocks
+        // without selected rows untouched), then transpose into rows.
+        let mut gathered = Vec::with_capacity(columns.len());
+        for (_, column) in &columns {
+            gathered.push(gather_values(column, selected)?.into_iter());
+        }
+        let mut rows = Vec::with_capacity(selected.len());
+        for _ in 0..selected.len() {
+            rows.push(
+                gathered
+                    .iter_mut()
+                    .map(|it| it.next().expect("one gathered value per selected row"))
+                    .collect(),
+            );
+        }
+        Ok(QueryResult {
+            table: self.table.clone(),
+            columns: columns.into_iter().map(|(n, _)| n).collect(),
+            rows,
+        })
+    }
+
+    fn aggregate_encoded(
+        &self,
+        table: &EncodedTable,
+        selected: &[usize],
+    ) -> Result<QueryResult, NvsimError> {
+        // Groups in first-occurrence order, members kept as positions
+        // into `selected` (which also index the gathered vectors).
+        // Dictionary-encoded key columns group on the raw index — an
+        // integer compare per row instead of a string materialization —
+        // and resolve each distinct key through the dictionary exactly
+        // once; first-occurrence order is preserved either way, so the
+        // output stays byte-identical to the row-wise engine's.
+        let groups: Vec<(Option<Value>, Vec<usize>)> = match &self.by {
+            Some(by) => {
+                let column = named_encoded_column(table, by)?;
+                if column.encoding() == Encoding::Dict {
+                    let indices = gather_dict_indices(column, selected)?;
+                    // Occurrence counts first, so every group's member
+                    // vector allocates exactly once.
+                    let mut counts = vec![0usize; column.dict().len()];
+                    for &idx in &indices {
+                        counts[idx as usize] += 1;
+                    }
+                    let mut slot_of: Vec<Option<usize>> = vec![None; column.dict().len()];
+                    let mut order: Vec<(Option<Value>, Vec<usize>)> = Vec::new();
+                    for (at, &idx) in indices.iter().enumerate() {
+                        let slot = match slot_of[idx as usize] {
+                            Some(slot) => slot,
+                            None => {
+                                slot_of[idx as usize] = Some(order.len());
+                                order.push((
+                                    Some(Value::Str(column.dict()[idx as usize].clone())),
+                                    Vec::with_capacity(counts[idx as usize]),
+                                ));
+                                order.len() - 1
+                            }
+                        };
+                        order[slot].1.push(at);
+                    }
+                    order
+                } else {
+                    let keys = gather_values(column, selected)?;
+                    let mut order: Vec<(Option<Value>, Vec<usize>)> = Vec::new();
+                    for (at, key) in keys.into_iter().enumerate() {
+                        match order
+                            .iter_mut()
+                            .find(|(k, _)| k.as_ref() == Some(&key))
+                        {
+                            Some((_, members)) => members.push(at),
+                            None => order.push((Some(key), vec![at])),
+                        }
+                    }
+                    order
+                }
+            }
+            None => vec![(None, (0..selected.len()).collect())],
+        };
+
+        let mut columns = Vec::new();
+        if let Some(by) = &self.by {
+            columns.push(by.clone());
+        }
+        columns.extend(self.aggs.iter().map(Agg::label));
+
+        // Each aggregate column is gathered lazily, on the first group
+        // that folds it — so, exactly like [`fold`], a bad aggregate
+        // column only errors once a group exists. The cache is keyed by
+        // column name: two aggregates over the same column (`mean:bytes,
+        // max:bytes`) share one gather.
+        let mut numeric_cache: Vec<(String, Vec<Option<f64>>)> = Vec::new();
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, members) in groups {
+            let mut row = Vec::new();
+            if let Some(key) = key {
+                row.push(key);
+            }
+            for agg in &self.aggs {
+                row.push(fold_encoded(
+                    table,
+                    selected,
+                    agg,
+                    &members,
+                    &mut numeric_cache,
+                )?);
             }
             rows.push(row);
         }
@@ -571,6 +805,404 @@ fn fold(table: &Table, agg: &Agg, rows: &[usize]) -> Result<Value, NvsimError> {
             .into_iter()
             .max_by(f64::total_cmp)
             .map_or(Value::OptF64(None), Value::F64),
+    })
+}
+
+fn named_encoded_column<'t>(
+    table: &'t EncodedTable,
+    name: &str,
+) -> Result<&'t EncodedColumn, NvsimError> {
+    table.column(name).ok_or_else(|| {
+        NvsimError::NotFound(format!("column {name:?} in table {:?}", table.name))
+    })
+}
+
+/// A filter's right-hand side compiled against an encoded column.
+///
+/// For dictionary columns the string comparison is translated into
+/// index space once per filter: the dictionary is sorted, so with `lo`
+/// = the number of entries ordered before the value and `exact` =
+/// whether entry `lo` equals it, a row's index `idx` satisfies
+/// `< value` iff `idx < lo`, `= value` iff `exact && idx == lo`,
+/// `<= value` iff `idx < lo + exact`, and so on — no per-row string
+/// comparison, and block pruning works directly on index statistics.
+enum Rhs {
+    U64(u64),
+    F64(f64),
+    OptF64(Option<f64>),
+    Str { value: String, lo: usize, exact: bool },
+    Bool(bool),
+}
+
+/// Parses a filter's right-hand side against an encoded column's type —
+/// same rules and same error text as [`parse_rhs`].
+fn compile_rhs(column: &EncodedColumn, filter: &Filter) -> Result<Rhs, NvsimError> {
+    let bad = || {
+        NvsimError::InvalidConfig(format!(
+            "filter value {:?} does not parse as {} (column {:?})",
+            filter.value,
+            column.column_type(),
+            filter.column
+        ))
+    };
+    Ok(match column.column_type() {
+        ColumnType::U64 => Rhs::U64(filter.value.parse().map_err(|_| bad())?),
+        ColumnType::F64 => Rhs::F64(filter.value.parse().map_err(|_| bad())?),
+        ColumnType::OptF64 => {
+            if filter.value == "null" {
+                Rhs::OptF64(None)
+            } else {
+                Rhs::OptF64(Some(filter.value.parse().map_err(|_| bad())?))
+            }
+        }
+        ColumnType::Str => {
+            // For a raw-encoded column the dictionary is empty and
+            // `lo`/`exact` are never consulted.
+            let dict = column.dict();
+            let lo = dict.partition_point(|entry| entry.as_str() < filter.value.as_str());
+            let exact = dict.get(lo).map(String::as_str) == Some(filter.value.as_str());
+            Rhs::Str {
+                value: filter.value.clone(),
+                lo,
+                exact,
+            }
+        }
+        ColumnType::Bool => Rhs::Bool(filter.value.parse().map_err(|_| bad())?),
+    })
+}
+
+/// Evaluates one filter over a column's blocks, narrowing `selection`
+/// (`None` = all rows; always ascending). Blocks whose statistics rule
+/// out any match are pruned without decoding; surviving blocks decode
+/// once and every candidate row tests against the chunk.
+fn scan_filter(
+    column: &EncodedColumn,
+    op: Op,
+    rhs: &Rhs,
+    selection: Option<&[usize]>,
+    metrics: &Metrics,
+) -> Result<Vec<usize>, NvsimError> {
+    // At worst every candidate survives: one allocation up front.
+    let mut kept = Vec::with_capacity(match selection {
+        Some(sel) => sel.len(),
+        None => column.blocks().iter().map(|b| b.rows).sum(),
+    });
+    let mut start = 0usize;
+    let mut pos = 0usize; // cursor into `selection`
+    for (index, block) in column.blocks().iter().enumerate() {
+        let end = start + block.rows;
+        let (begin, candidates) = match selection {
+            Some(sel) => {
+                let begin = pos;
+                while pos < sel.len() && sel[pos] < end {
+                    pos += 1;
+                }
+                (begin, pos - begin)
+            }
+            None => (0, block.rows),
+        };
+        if candidates > 0 {
+            if block_excludes(op, rhs, &block.stats) {
+                metrics.counter("query.blocks.pruned").inc();
+            } else {
+                metrics.counter("query.blocks.scanned").inc();
+                metrics.counter("query.rows.scanned").add(candidates as u64);
+                let chunk = column.decode_block(index)?;
+                match selection {
+                    Some(sel) => {
+                        for &row in &sel[begin..pos] {
+                            if row_matches(&chunk, row - start, op, rhs) {
+                                kept.push(row);
+                            }
+                        }
+                    }
+                    None => {
+                        for i in 0..block.rows {
+                            if row_matches(&chunk, i, op, rhs) {
+                                kept.push(start + i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        start = end;
+    }
+    Ok(kept)
+}
+
+/// `true` when a block's statistics prove no row in it can satisfy
+/// `op rhs`, so its payload need not be decoded. Conservative: answers
+/// `false` whenever unsure (raw string and bool blocks carry no stats).
+fn block_excludes(op: Op, rhs: &Rhs, stats: &Stats) -> bool {
+    match (stats, rhs) {
+        (Stats::U64 { min, max }, Rhs::U64(v)) => range_excludes(op, min.cmp(v), max.cmp(v)),
+        (Stats::F64 { min, max }, Rhs::F64(v)) => {
+            range_excludes(op, min.total_cmp(v), max.total_cmp(v))
+        }
+        (Stats::OptF64 { has_null, range }, Rhs::OptF64(r)) => match r {
+            // `null` only ever matches via Eq against a null cell, and
+            // a null cell never satisfies an ordered comparison.
+            None => match op {
+                Op::Eq => !*has_null,
+                Op::Ne => range.is_none(),
+                _ => true,
+            },
+            Some(v) => {
+                if *has_null && op == Op::Ne {
+                    return false; // the block's nulls match `!= value`
+                }
+                match range {
+                    None => true, // all null, and nulls don't match here
+                    Some((min, max)) => {
+                        range_excludes(op, min.total_cmp(v), max.total_cmp(v))
+                    }
+                }
+            }
+        },
+        (Stats::DictIdx { min, max }, Rhs::Str { lo, exact, .. }) => {
+            // Index order is string order (see [`Rhs`]): a row matches
+            // `< value` iff `idx < lo` and `<= value` iff `idx < bound`.
+            let lo = *lo as u64;
+            let bound = lo + u64::from(*exact);
+            match op {
+                Op::Eq => !*exact || lo < *min || lo > *max,
+                Op::Ne => *exact && *min == lo && *max == lo,
+                Op::Lt => *min >= lo,
+                Op::Le => *min >= bound,
+                Op::Gt => *max < bound,
+                Op::Ge => *max < lo,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Shared interval test: given how a block's min and max compare to the
+/// filter value, can no value in `[min, max]` satisfy `op`?
+fn range_excludes(op: Op, min_cmp: Ordering, max_cmp: Ordering) -> bool {
+    match op {
+        Op::Eq => min_cmp == Ordering::Greater || max_cmp == Ordering::Less,
+        // Pruning `!=` needs every value equal to the probe: min = max
+        // = value (a total order, so the whole block is that value).
+        Op::Ne => min_cmp == Ordering::Equal && max_cmp == Ordering::Equal,
+        Op::Lt => min_cmp != Ordering::Less,
+        Op::Le => min_cmp == Ordering::Greater,
+        Op::Gt => max_cmp != Ordering::Greater,
+        Op::Ge => max_cmp == Ordering::Less,
+    }
+}
+
+/// Tests one decoded value — identical semantics to the row-wise path
+/// in [`Query::run`], including the null rules.
+fn row_matches(chunk: &Chunk, i: usize, op: Op, rhs: &Rhs) -> bool {
+    match (chunk, rhs) {
+        (Chunk::U64(v), Rhs::U64(r)) => op.accepts(v[i].cmp(r)),
+        (Chunk::F64(v), Rhs::F64(r)) => op.accepts(v[i].total_cmp(r)),
+        (Chunk::OptF64(v), Rhs::OptF64(r)) => match (v[i], r) {
+            (None, None) => op == Op::Eq,
+            (None, Some(_)) | (Some(_), None) => op == Op::Ne,
+            (Some(lhs), Some(rhs)) => op.accepts(lhs.total_cmp(rhs)),
+        },
+        (Chunk::Str(v), Rhs::Str { value, .. }) => {
+            op.accepts(v[i].as_str().cmp(value.as_str()))
+        }
+        (Chunk::DictIdx(v), Rhs::Str { lo, exact, .. }) => {
+            let idx = v[i] as usize;
+            match op {
+                Op::Eq => *exact && idx == *lo,
+                Op::Ne => !(*exact && idx == *lo),
+                Op::Lt => idx < *lo,
+                Op::Le => idx < *lo + usize::from(*exact),
+                Op::Gt => idx >= *lo + usize::from(*exact),
+                Op::Ge => idx >= *lo,
+            }
+        }
+        (Chunk::Bool(v), Rhs::Bool(r)) => op.accepts(v[i].cmp(r)),
+        // `compile_rhs` ties the rhs kind to the column's type, and
+        // `decode_block` yields the chunk kind the type dictates.
+        _ => unreachable!("rhs kind mismatches chunk kind"),
+    }
+}
+
+/// Materializes the selected rows of one encoded column as query
+/// values, decoding only blocks that hold at least one selected row.
+fn gather_values(
+    column: &EncodedColumn,
+    selected: &[usize],
+) -> Result<Vec<Value>, NvsimError> {
+    let mut out = Vec::with_capacity(selected.len());
+    let mut start = 0usize;
+    let mut pos = 0usize;
+    for (index, block) in column.blocks().iter().enumerate() {
+        let end = start + block.rows;
+        let begin = pos;
+        while pos < selected.len() && selected[pos] < end {
+            pos += 1;
+        }
+        if pos > begin {
+            let mut chunk = column.decode_block(index)?;
+            if pos - begin == block.rows {
+                // Selections are strictly ascending, so a candidate
+                // count equal to the block's row count means every row
+                // is selected — no per-row index arithmetic.
+                for i in 0..block.rows {
+                    out.push(chunk.take_value(column.dict(), i));
+                }
+            } else {
+                for &row in &selected[begin..pos] {
+                    out.push(chunk.take_value(column.dict(), row - start));
+                }
+            }
+        }
+        start = end;
+    }
+    Ok(out)
+}
+
+/// The selected rows of one dictionary-encoded column as raw dictionary
+/// indices — the integer view grouping uses to avoid materializing a
+/// string per row.
+fn gather_dict_indices(
+    column: &EncodedColumn,
+    selected: &[usize],
+) -> Result<Vec<u64>, NvsimError> {
+    let mut out = Vec::with_capacity(selected.len());
+    let mut start = 0usize;
+    let mut pos = 0usize;
+    for (index, block) in column.blocks().iter().enumerate() {
+        let end = start + block.rows;
+        let begin = pos;
+        while pos < selected.len() && selected[pos] < end {
+            pos += 1;
+        }
+        if pos > begin {
+            match column.decode_block(index)? {
+                Chunk::DictIdx(indices) => {
+                    if pos - begin == block.rows {
+                        // Whole block selected (ascending selection):
+                        // bulk copy.
+                        out.extend_from_slice(&indices);
+                    } else {
+                        out.extend(
+                            selected[begin..pos].iter().map(|&row| indices[row - start]),
+                        );
+                    }
+                }
+                _ => unreachable!("dict-encoded column decodes to DictIdx"),
+            }
+        }
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Numeric view of the selected rows of one encoded column (`None` for
+/// null cells), for aggregation — same block-skipping as
+/// [`gather_values`].
+fn gather_numeric(
+    column: &EncodedColumn,
+    selected: &[usize],
+) -> Result<Vec<Option<f64>>, NvsimError> {
+    let mut out = Vec::with_capacity(selected.len());
+    let mut start = 0usize;
+    let mut pos = 0usize;
+    for (index, block) in column.blocks().iter().enumerate() {
+        let end = start + block.rows;
+        let begin = pos;
+        while pos < selected.len() && selected[pos] < end {
+            pos += 1;
+        }
+        if pos > begin {
+            let chunk = column.decode_block(index)?;
+            if pos - begin == block.rows {
+                // Whole block selected (ascending selection).
+                for i in 0..block.rows {
+                    out.push(chunk.as_f64(i));
+                }
+            } else {
+                for &row in &selected[begin..pos] {
+                    out.push(chunk.as_f64(row - start));
+                }
+            }
+        }
+        start = end;
+    }
+    Ok(out)
+}
+
+/// The gathered numeric view of `name` out of `cache` (one
+/// [`gather_numeric`] per distinct aggregate column), for
+/// [`fold_encoded`]. Same lazy timing as the row-wise [`fold`]: a bad
+/// column only errors once a group actually folds it.
+fn cached_numeric<'c>(
+    table: &EncodedTable,
+    selected: &[usize],
+    name: &str,
+    cache: &'c mut Vec<(String, Vec<Option<f64>>)>,
+) -> Result<&'c [Option<f64>], NvsimError> {
+    if let Some(at) = cache.iter().position(|(n, _)| n == name) {
+        return Ok(&cache[at].1);
+    }
+    let column = named_encoded_column(table, name)?;
+    if matches!(column.column_type(), ColumnType::Str | ColumnType::Bool) {
+        return Err(NvsimError::InvalidConfig(format!(
+            "aggregate over non-numeric column {name:?}"
+        )));
+    }
+    cache.push((name.to_string(), gather_numeric(column, selected)?));
+    Ok(&cache.last().expect("just pushed").1)
+}
+
+/// The encoded-path twin of [`fold`]: the same left-to-right folds over
+/// the same value sequences (the group's present values in selection
+/// order), so sums accumulate in the same order and results are
+/// bit-identical — but streamed over the members directly, with no
+/// per-group scratch vector.
+fn fold_encoded(
+    table: &EncodedTable,
+    selected: &[usize],
+    agg: &Agg,
+    members: &[usize],
+    cache: &mut Vec<(String, Vec<Option<f64>>)>,
+) -> Result<Value, NvsimError> {
+    Ok(match agg {
+        Agg::Count => Value::U64(members.len() as u64),
+        Agg::Sum(name) => {
+            let vals = cached_numeric(table, selected, name, cache)?;
+            Value::F64(members.iter().filter_map(|&at| vals[at]).sum())
+        }
+        Agg::Mean(name) => {
+            let vals = cached_numeric(table, selected, name, cache)?;
+            let (mut sum, mut n) = (0.0f64, 0usize);
+            for &at in members {
+                if let Some(v) = vals[at] {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                Value::OptF64(None)
+            } else {
+                Value::F64(sum / n as f64)
+            }
+        }
+        Agg::Min(name) => {
+            let vals = cached_numeric(table, selected, name, cache)?;
+            members
+                .iter()
+                .filter_map(|&at| vals[at])
+                .min_by(f64::total_cmp)
+                .map_or(Value::OptF64(None), Value::F64)
+        }
+        Agg::Max(name) => {
+            let vals = cached_numeric(table, selected, name, cache)?;
+            members
+                .iter()
+                .filter_map(|&at| vals[at])
+                .max_by(f64::total_cmp)
+                .map_or(Value::OptF64(None), Value::F64)
+        }
     })
 }
 
@@ -795,5 +1427,114 @@ mod tests {
         let mut lines = text.lines();
         assert_eq!(lines.next().unwrap().trim_end(), "scale_divisor  iterations");
         assert_eq!(lines.next().unwrap().trim_end(), "4096           5");
+    }
+
+    #[test]
+    fn encoded_engine_matches_reference_on_every_query_shape() {
+        let store = sample_store();
+        let enc = EncodedStore::open(store.encode()).unwrap();
+        let metrics = Metrics::disabled();
+        let shapes: Vec<Vec<&str>> = vec![
+            vec!["objects"],
+            vec!["meta"],
+            vec!["objects", "--where", "app=CAM"],
+            vec!["objects", "--where", "app!=CAM", "--select", "app,size_bytes"],
+            vec!["objects", "--where", "size_bytes>1000", "--sort", "size_bytes:desc"],
+            vec!["objects", "--where", "size_bytes<=4096", "--limit", "1"],
+            vec!["objects", "--where", "rw_ratio=null"],
+            vec!["objects", "--where", "rw_ratio!=null"],
+            vec!["objects", "--where", "rw_ratio>0.5"],
+            vec!["objects", "--where", "rw_ratio!=1.5"],
+            vec!["objects", "--where", "only_pre_post=true"],
+            vec!["objects", "--where", "app<GTC"],
+            vec!["objects", "--where", "app>=CAM", "--where", "reference_rate<=0.25"],
+            vec!["objects", "--where", "app=NOPE"],
+            vec![
+                "objects",
+                "--agg",
+                "count,sum:size_bytes,mean:rw_ratio,min:reference_rate,max:reference_rate",
+                "--by",
+                "app",
+            ],
+            vec!["objects", "--agg", "mean:rw_ratio", "--where", "app=GTC"],
+            vec!["objects", "--where", "app=NOPE", "--agg", "mean:size_bytes"],
+            vec!["objects", "--agg", "count", "--by", "only_pre_post", "--sort", "count:desc"],
+            vec!["meta", "--select", "iterations", "--limit", "1"],
+        ];
+        for shape in shapes {
+            let query = q(&shape);
+            let fast = query.run_encoded(&enc, &metrics).unwrap();
+            let reference = query.run(&store).unwrap();
+            assert_eq!(fast.to_json(), reference.to_json(), "shape {shape:?}");
+        }
+    }
+
+    #[test]
+    fn encoded_engine_reports_identical_errors() {
+        let store = sample_store();
+        let enc = EncodedStore::open(store.encode()).unwrap();
+        let metrics = Metrics::disabled();
+        for shape in [
+            vec!["nope"],
+            vec!["objects", "--where", "ghost=1"],
+            vec!["objects", "--where", "size_bytes=abc"],
+            vec!["objects", "--where", "rw_ratio=abc"],
+            vec!["objects", "--where", "only_pre_post=maybe"],
+            vec!["objects", "--agg", "sum:app"],
+            vec!["objects", "--agg", "min:only_pre_post"],
+            vec!["objects", "--select", "ghost"],
+            vec!["objects", "--sort", "ghost"],
+            vec!["objects", "--agg", "count", "--by", "ghost"],
+        ] {
+            let query = q(&shape);
+            let fast = query.run_encoded(&enc, &metrics).unwrap_err();
+            let reference = query.run(&store).unwrap_err();
+            assert_eq!(fast.to_string(), reference.to_string(), "shape {shape:?}");
+        }
+    }
+
+    #[test]
+    fn block_stats_prune_without_changing_results() {
+        // 64 monotone u64 rows in 8-row blocks: an equality probe into
+        // the middle should decode exactly one block.
+        let mut store = Store::new();
+        store
+            .insert(
+                Table::new("wide")
+                    .with_column("iteration", Column::U64((0..64).collect()))
+                    .with_column(
+                        "app",
+                        Column::Str(
+                            (0..64)
+                                .map(|i| ["CAM", "GTC"][(i / 32) as usize].to_string())
+                                .collect(),
+                        ),
+                    ),
+            )
+            .unwrap();
+        let enc =
+            EncodedStore::open(crate::codec::encode_with_block_rows(&store, 8)).unwrap();
+
+        let metrics = Metrics::enabled();
+        let query = q(&["wide", "--where", "iteration=42"]);
+        let fast = query.run_encoded(&enc, &metrics).unwrap();
+        assert_eq!(fast.to_json(), query.run(&store).unwrap().to_json());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("query.runs"), Some(1));
+        assert_eq!(snap.counter("query.blocks.pruned"), Some(7));
+        assert_eq!(snap.counter("query.blocks.scanned"), Some(1));
+        assert_eq!(snap.counter("query.rows.scanned"), Some(8));
+        assert_eq!(snap.counter("query.rows.selected"), Some(1));
+
+        // Dictionary statistics prune too: the first half's blocks hold
+        // only "CAM" (index 0), so `app=GTC` skips all four of them.
+        let metrics = Metrics::enabled();
+        let query = q(&["wide", "--where", "app=GTC", "--agg", "count"]);
+        let fast = query.run_encoded(&enc, &metrics).unwrap();
+        assert_eq!(fast.to_json(), query.run(&store).unwrap().to_json());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("query.blocks.pruned"), Some(4));
+        assert_eq!(snap.counter("query.blocks.scanned"), Some(4));
+        assert_eq!(snap.counter("query.rows.selected"), Some(32));
     }
 }

@@ -14,6 +14,11 @@ use bytes::Bytes;
 use nvsim_types::NvsimError;
 use std::path::Path;
 
+/// Current on-disk store format version. Written by every encode;
+/// [`Store::decode`] also reads version-1 files. `docs/STORE_FORMAT.md`
+/// carries a matching version header — CI cross-checks the two.
+pub const STORE_VERSION: u64 = 2;
+
 /// Default store file name inside a `--store DIR` directory.
 pub const DATASET_FILE: &str = "dataset.nvstore";
 
@@ -136,9 +141,17 @@ impl Store {
         }
     }
 
-    /// Encodes the store into its framed on-disk bytes.
+    /// Encodes the store into its framed on-disk bytes (version
+    /// [`STORE_VERSION`]).
     pub fn encode(&self) -> Bytes {
         codec::encode(self)
+    }
+
+    /// Encodes the store in the legacy version-1 layout. Exists for
+    /// compatibility tests and the CI `store-format` job; new files
+    /// should use [`Store::encode`].
+    pub fn encode_v1(&self) -> Bytes {
+        codec::encode_v1(self)
     }
 
     /// Decodes a store from its framed bytes.
@@ -293,6 +306,20 @@ pub(crate) mod tests {
         assert!(matches!(err, NvsimError::Corrupt { .. }), "{err}");
         // The pristine bytes still decode.
         assert!(Store::decode(good).is_ok());
+    }
+
+    #[test]
+    fn legacy_v1_encoding_still_decodes() {
+        let store = sample_store();
+        let v1 = store.encode_v1();
+        assert_ne!(v1, store.encode(), "v1 and v2 layouts differ on disk");
+        assert_eq!(Store::decode(v1).unwrap(), store);
+    }
+
+    #[test]
+    fn format_version_constant_matches_codec() {
+        assert_eq!(codec::FORMAT_VERSION, STORE_VERSION);
+        assert_eq!(codec::V1_FORMAT_VERSION, 1);
     }
 
     #[test]

@@ -328,6 +328,19 @@ impl FrameCursor {
         }
         Ok(f64::from_bits(self.buf.get_u64_le()))
     }
+
+    /// Takes the next `len` bytes as a zero-copy [`Bytes`] view of the
+    /// underlying frame payload (a refcounted slice, not an allocation —
+    /// the backing buffer stays mapped while any view lives).
+    ///
+    /// # Errors
+    /// [`NvsimError::Corrupt`] when fewer than `len` bytes remain.
+    pub fn take(&mut self, len: usize) -> Result<Bytes, NvsimError> {
+        if self.buf.remaining() < len {
+            return Err(self.fail());
+        }
+        Ok(self.buf.copy_to_bytes(len))
+    }
 }
 
 /// Appends a LEB128 varint.
@@ -454,6 +467,18 @@ mod tests {
         for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -4096] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn take_is_a_bounds_checked_zero_copy_view() {
+        let payload = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let mut cur = FrameCursor::new(payload, 10, "t".into());
+        let head = cur.take(3).unwrap();
+        assert_eq!(head.as_ref(), &[1, 2, 3]);
+        assert_eq!(cur.offset(), 13);
+        assert!(cur.take(3).is_err(), "only two bytes remain");
+        assert_eq!(cur.take(2).unwrap().as_ref(), &[4, 5]);
+        assert!(!cur.has_remaining());
     }
 
     #[test]
