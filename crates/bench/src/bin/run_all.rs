@@ -136,7 +136,11 @@ fn main() {
     // individual binaries would build up). The fleet merges shards in
     // stable cell order, so this file is byte-identical between serial
     // and `--jobs N` runs.
-    args.dump_store(|| {
+    // The run's event bus: a JSONL sink when --events PATH was given, a
+    // no-op otherwise. Store merges and (below) the instrumented fleet's
+    // cell lifecycle publish into it.
+    let bus = or_die(args.events_bus(), "events bus");
+    args.dump_store_observed(&bus, || {
         let mut tables = ds::table1_tables(&t1);
         tables.extend(ds::table5_tables(&t5));
         tables.extend(ds::fig2_tables(&f2));
@@ -166,7 +170,8 @@ fn main() {
             // the run through here too (jobs may still be 1): quarantine,
             // journalling and resume live in the policy-aware fleet.
             let points = nv_scavenger::grid_points(args.scale);
-            let policy = or_die(args.fleet_policy(&points), "fleet policy");
+            let mut policy = or_die(args.fleet_policy(&points), "fleet policy");
+            policy.events = bus.clone();
             let run = or_die(
                 nv_scavenger::fleet::profile_fleet_policy(
                     args.scale,
@@ -220,5 +225,10 @@ fn main() {
         }
         args.dump_metrics_with(&metrics.snapshot(), &degraded);
         args.dump_timeline(&timeline);
+    }
+    // Push any buffered JSONL events to disk before exit.
+    bus.flush();
+    if bus.dropped() > 0 {
+        eprintln!("events: {} dropped past the bus capacity", bus.dropped());
     }
 }

@@ -30,6 +30,11 @@
 //! backoff, then quarantined into the report's `degraded` section, and
 //! a journalled sweep can be killed and resumed without losing
 //! completed cells.
+//!
+//! `--events PATH` appends the sweep's typed event stream — sweep/cell
+//! lifecycle, retries, quarantines, fault injections, store writes,
+//! all tagged with run/cell/worker correlation ids — to PATH as JSONL
+//! (one event per line; schema in `docs/METRICS.md`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,7 +43,7 @@ use nv_scavenger::{FleetPolicy, Journal};
 use nvsim_apps::AppScale;
 use nvsim_faults::FaultPlan;
 use nvsim_obs::artifact::write_text;
-use nvsim_obs::{DegradedCell, Metrics, Snapshot, Timeline};
+use nvsim_obs::{DegradedCell, EventBus, JsonlSink, Metrics, Snapshot, Timeline};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -48,7 +53,7 @@ pub mod plot;
 pub const USAGE: &str = "usage: <bin> [test|small|bench] [--iters N] [--json PATH] \
 [--metrics-json PATH] [--timeline PATH] [--store DIR] [--parallel] [--jobs N]\n\
 \x20      [--retries N] [--keep-going|--fail-fast] [--journal DIR] [--resume]\n\
-\x20      [--faults SPEC] [--fault-seed N]\n\
+\x20      [--faults SPEC] [--fault-seed N] [--events PATH]\n\
 value flags accept both spellings: --iters 5 and --iters=5\n\
   test|small|bench   footprint scale (default: bench = 1/64 paper size)\n\
   --iters N          main-loop iterations (default: 10)\n\
@@ -65,7 +70,9 @@ value flags accept both spellings: --iters 5 and --iters=5\n\
   --journal DIR      record per-cell completions for --resume\n\
   --resume           restore cells already completed in --journal DIR\n\
   --faults SPEC      arm a fault plan, e.g. 'panic@GTC/pcram; corrupt@CAM/dram'\n\
-  --fault-seed N     arm a seeded chaos plan (2 panics + 1 corruption)";
+  --fault-seed N     arm a seeded chaos plan (2 panics + 1 corruption)\n\
+  --events PATH      append sweep lifecycle events to PATH as JSONL\n\
+\x20                    (docs/METRICS.md schema; implies the resilient fleet)";
 
 /// Unwraps `result`, printing `error: <context>: <cause>` to stderr and
 /// exiting with status 1 — no panic, no backtrace — on failure. The
@@ -115,6 +122,11 @@ pub struct BenchArgs {
     /// `--store DIR`: merge this run's tables into `DIR/dataset.nvstore`
     /// (the columnar store `nvq` and `nvsim-serve` query).
     pub store: Option<PathBuf>,
+    /// `--events PATH`: append the sweep's typed event stream
+    /// (cell lifecycle, faults, store writes — `docs/METRICS.md`) to
+    /// PATH as JSONL. Implies the resilient fleet path, which is where
+    /// the events are emitted.
+    pub events: Option<PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -134,6 +146,7 @@ impl Default for BenchArgs {
             faults: None,
             fault_seed: None,
             store: None,
+            events: None,
         }
     }
 }
@@ -206,6 +219,7 @@ impl BenchArgs {
                 "--metrics-json" => args.metrics_json = Some(path(&a, &mut inline, &mut it)?),
                 "--timeline" => args.timeline_json = Some(path(&a, &mut inline, &mut it)?),
                 "--store" => args.store = Some(path(&a, &mut inline, &mut it)?),
+                "--events" => args.events = Some(path(&a, &mut inline, &mut it)?),
                 "--parallel" => args.parallel = true,
                 "--jobs" => {
                     let v = value(&a, &mut inline, &mut it, "a worker count")?;
@@ -275,6 +289,7 @@ impl BenchArgs {
             || self.resume
             || self.faults.is_some()
             || self.fault_seed.is_some()
+            || self.events.is_some()
     }
 
     /// Builds the [`FleetPolicy`] for this invocation. `points` is the
@@ -302,6 +317,23 @@ impl BenchArgs {
         Ok(policy)
     }
 
+    /// Builds the [`EventBus`] for this invocation: a JSONL sink
+    /// appending to `--events PATH`, or a disabled bus (every publish a
+    /// no-op) when the flag is absent. The bus carries *only* the JSONL
+    /// sink — never a metrics aggregator — so enabling `--events`
+    /// cannot perturb the `--metrics-json` snapshot or the timeline
+    /// (the `events_bus` differential test depends on that).
+    pub fn events_bus(&self) -> Result<EventBus, String> {
+        let Some(path) = &self.events else {
+            return Ok(EventBus::disabled());
+        };
+        let sink = JsonlSink::create(path)
+            .map_err(|e| format!("open events file {}: {e}", path.display()))?;
+        Ok(EventBus::builder(format!("run-{}", std::process::id()))
+            .subscribe(Box::new(sink))
+            .build())
+    }
+
     /// Merges this run's section tables into `--store DIR`'s
     /// `dataset.nvstore`, if requested. The run's `meta` table (scale
     /// divisor, iterations) is always written first, so any stored rows
@@ -309,6 +341,17 @@ impl BenchArgs {
     /// closure so binaries pay the flattening cost only when the flag
     /// is set.
     pub fn dump_store(&self, tables: impl FnOnce() -> Vec<nvsim_store::Table>) {
+        self.dump_store_observed(&EventBus::disabled(), tables);
+    }
+
+    /// [`BenchArgs::dump_store`], publishing a `store.merge` event on
+    /// `bus` (the run's [`BenchArgs::events_bus`]) when the merge
+    /// happens.
+    pub fn dump_store_observed(
+        &self,
+        bus: &EventBus,
+        tables: impl FnOnce() -> Vec<nvsim_store::Table>,
+    ) {
         if let Some(dir) = &self.store {
             let mut all = vec![nv_scavenger::dataset_store::meta_table(
                 self.scale.divisor(),
@@ -316,7 +359,7 @@ impl BenchArgs {
             )];
             all.extend(tables());
             let path = or_die(
-                nv_scavenger::merge_into_dataset(dir, all),
+                nv_scavenger::merge_into_dataset_observed(dir, all, bus, &bus.correlation()),
                 "write result store",
             );
             eprintln!("wrote {}", path.display());
@@ -507,6 +550,7 @@ mod tests {
             ("--journal", "j.dir"),
             ("--faults", "panic@GTC/pcram"),
             ("--fault-seed", "42"),
+            ("--events", "e.jsonl"),
         ];
         for (flag, value) in cases {
             let spaced = parse(&[flag, value]).unwrap();
@@ -607,7 +651,9 @@ mod tests {
         assert!(parse(&["--retries", "0"]).unwrap().wants_resilient_fleet());
         assert!(parse(&["--journal", "j"]).unwrap().wants_resilient_fleet());
         assert!(parse(&["--fault-seed", "7"]).unwrap().wants_resilient_fleet());
+        assert!(parse(&["--events", "e.jsonl"]).unwrap().wants_resilient_fleet());
         assert!(parse(&["--journal", "j"]).unwrap().wants_instrumented_pass());
+        assert!(parse(&["--events", "e.jsonl"]).unwrap().wants_instrumented_pass());
         assert!(!parse(&["--keep-going"]).unwrap().wants_instrumented_pass());
 
         // A malformed fault spec dies at the usage line, even though the
@@ -661,6 +707,8 @@ mod tests {
             (&["--faults"][..], "--faults needs a fault spec"),
             (&["--fault-seed"][..], "--fault-seed needs a seed"),
             (&["--fault-seed", "xyzzy"][..], "--fault-seed needs a seed"),
+            (&["--events"][..], "--events needs a path"),
+            (&["--events="][..], "--events needs a path"),
         ] {
             let err = parse(argv).unwrap_err();
             assert!(err.contains(needle), "{argv:?}: {err}");
@@ -681,8 +729,15 @@ mod tests {
             "--resume",
             "--faults",
             "--fault-seed",
+            "--events",
         ] {
             assert!(USAGE.contains(flag), "usage text missing {flag}");
         }
+    }
+
+    #[test]
+    fn events_bus_is_disabled_without_the_flag() {
+        let bus = parse(&[]).unwrap().events_bus().unwrap();
+        assert!(!bus.is_enabled());
     }
 }

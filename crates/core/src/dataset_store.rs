@@ -33,6 +33,7 @@ use crate::experiments::{
 use nvsim_cpu::{CpuResult, LatencyPoint};
 use nvsim_objects::report::{ObjectSummary, UsageDistribution, VarianceHistogram};
 use nvsim_obs::epoch::Epoch;
+use nvsim_obs::{Correlation, Event, EventBus};
 use nvsim_placement::{Decision, SuitabilityReport};
 use nvsim_store::{Column, Store, Table, Value, DATASET_FILE, PROFILE_FILE};
 use nvsim_types::{AccessCounts, NvsimError, Region};
@@ -1005,16 +1006,42 @@ pub fn read_dataset(dir: &Path) -> Result<EvalDataset, NvsimError> {
 /// [`NvsimError::Io`] / [`NvsimError::Corrupt`] from loading or saving
 /// the store file.
 pub fn merge_into_dataset(dir: &Path, tables: Vec<Table>) -> Result<PathBuf, NvsimError> {
+    merge_into_dataset_observed(dir, tables, &EventBus::disabled(), &Correlation::default())
+}
+
+/// [`merge_into_dataset`], publishing a `store.write` event (from the
+/// observed save: path, encoded bytes, table count) and a `store.merge`
+/// event (path, tables merged in, resulting table count) on success
+/// under `corr`. With a disabled bus this is exactly
+/// `merge_into_dataset`.
+///
+/// # Errors
+/// Identical to [`merge_into_dataset`].
+pub fn merge_into_dataset_observed(
+    dir: &Path,
+    tables: Vec<Table>,
+    bus: &EventBus,
+    corr: &Correlation,
+) -> Result<PathBuf, NvsimError> {
     let path = dir.join(DATASET_FILE);
     let mut store = if path.exists() {
         Store::load(&path)?
     } else {
         Store::new()
     };
+    let added = tables.len() as u64;
     for table in tables {
         store.upsert(table);
     }
-    store.save(&path)?;
+    store.save_observed(&path, bus, corr)?;
+    bus.publish(
+        corr,
+        Event::StoreMerge {
+            path: path.display().to_string(),
+            added,
+            total: store.tables().len() as u64,
+        },
+    );
     Ok(path)
 }
 

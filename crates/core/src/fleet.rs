@@ -50,7 +50,7 @@ use nvsim_apps::{all_apps, AppScale, Application};
 use nvsim_cache::{CacheFilterSink, TransactionSink};
 use nvsim_faults::panic_message;
 use nvsim_mem::system::{MemorySystem, PowerReport};
-use nvsim_obs::{ArgValue, DegradedCell, EpochRecorder, Metrics, ReportMeta, Timeline};
+use nvsim_obs::{ArgValue, DegradedCell, EpochRecorder, Event, Metrics, ReportMeta, Timeline};
 use nvsim_placement::{compare_targets_traced, MigrationConfig, MigrationSimulator};
 use nvsim_trace::{replay_transactions, Tracer, TxnTraceWriter};
 use nvsim_types::{
@@ -65,6 +65,22 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+thread_local! {
+    /// Index of the [`run_indexed`] pool worker this thread is, if any.
+    static WORKER_ID: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// The [`run_indexed`] worker index of the current thread: `Some(w)` on
+/// a pool worker, `None` on a thread outside any pool (the `jobs <= 1`
+/// inline path runs on the caller's thread and keeps whatever identity
+/// that thread has). Events published from inside a cell use this for
+/// their [`nvsim_obs::Correlation::worker`] field, which is what makes per-worker
+/// attribution possible at all — a merged metrics snapshot cannot say
+/// which worker did what.
+pub fn current_worker() -> Option<u64> {
+    WORKER_ID.with(|w| w.get())
 }
 
 /// Runs `task(0..n)` on a bounded pool of at most `jobs` crossbeam
@@ -95,17 +111,20 @@ where
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
-        for _ in 0..jobs {
+        for worker in 0..jobs {
             let slots = &slots;
             let next = &next;
             let task = &task;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move |_| {
+                WORKER_ID.with(|w| w.set(Some(worker as u64)));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let done = catch_unwind(AssertUnwindSafe(|| task(i)));
+                    *slots[i].lock() = Some(done);
                 }
-                let done = catch_unwind(AssertUnwindSafe(|| task(i)));
-                *slots[i].lock() = Some(done);
             });
         }
     })
@@ -357,7 +376,11 @@ fn run_cell_once(
 
 /// Runs one cell to completion under the policy: restore from the
 /// journal if resuming, otherwise up to `max_attempts` fresh-shard
-/// attempts with bounded backoff, journaling the first success.
+/// attempts with bounded backoff, journaling the first success. Every
+/// lifecycle step publishes a typed event on [`FleetPolicy::events`]
+/// (`cell.started`/`finished`/`retried`/`quarantined`/`resumed`, plus
+/// one `fault.injected` per fault the injector fired), correlated to
+/// the run, application, cell and pool worker.
 fn run_cell_resilient(
     captured: &CapturedStream,
     cell: &CellSpec,
@@ -366,6 +389,12 @@ fn run_cell_resilient(
     parent_timeline: &Timeline,
 ) -> CellRun {
     let cell_name = cell_point(&captured.app, cell.technology);
+    let corr = policy
+        .events
+        .correlation()
+        .with_app(captured.app.as_str())
+        .with_cell(cell_name.as_str())
+        .with_worker(current_worker());
 
     if policy.resume {
         if let Some(journal) = &policy.journal {
@@ -375,6 +404,12 @@ fn run_cell_resilient(
                 if record.transactions == captured.transactions() {
                     let (m, tl) = shard_pair(parent_metrics, parent_timeline);
                     if let Some(outcome) = record.restore(&m, &tl) {
+                        policy.events.publish(
+                            &corr,
+                            Event::CellResumed {
+                                transactions: record.transactions,
+                            },
+                        );
                         return CellRun::Done {
                             outcome,
                             metrics: m,
@@ -392,43 +427,79 @@ fn run_cell_resilient(
         if attempt > 1 {
             std::thread::sleep(policy.backoff(attempt));
         }
+        policy.events.publish(&corr, Event::CellStarted { attempt });
         let (m, tl) = shard_pair(parent_metrics, parent_timeline);
         let result = catch_unwind(AssertUnwindSafe(|| {
             run_cell_once(captured, cell, &cell_name, policy, &m, &tl)
         }));
-        match result {
+        // The injector logged what it fired during this attempt (even a
+        // panic logs before unwinding); publish each firing.
+        for kind in policy.faults.take_fired(&cell_name) {
+            policy.events.publish(
+                &corr,
+                Event::FaultInjected {
+                    kind: kind.label().to_string(),
+                },
+            );
+        }
+        let failure = match result {
             Ok(Ok((outcome, n))) => {
-                if let Some(journal) = &policy.journal {
+                let journal_err = policy.journal.as_ref().and_then(|journal| {
                     let record = CellRecord::from_run(&cell_name, &outcome, n, &m, &tl);
-                    if let Err(e) = journal.store(&record) {
-                        // A cell whose completion cannot be made durable
-                        // counts as failed: resuming would silently redo
-                        // (or worse, trust) work the journal never saw.
-                        last_err = Some(e);
-                        continue;
+                    journal.store(&record).err()
+                });
+                match journal_err {
+                    // A cell whose completion cannot be made durable
+                    // counts as failed: resuming would silently redo
+                    // (or worse, trust) work the journal never saw.
+                    Some(e) => e,
+                    None => {
+                        policy.events.publish(
+                            &corr,
+                            Event::CellFinished {
+                                attempt,
+                                transactions: n,
+                            },
+                        );
+                        return CellRun::Done {
+                            outcome,
+                            metrics: m,
+                            timeline: tl,
+                            resumed: false,
+                        };
                     }
                 }
-                return CellRun::Done {
-                    outcome,
-                    metrics: m,
-                    timeline: tl,
-                    resumed: false,
-                };
             }
-            Ok(Err(e)) => last_err = Some(e),
-            Err(payload) => {
-                last_err = Some(NvsimError::WorkerFailed {
-                    cell: cell_name.clone(),
-                    cause: panic_message(payload),
-                })
-            }
+            Ok(Err(e)) => e,
+            Err(payload) => NvsimError::WorkerFailed {
+                cell: cell_name.clone(),
+                cause: panic_message(payload),
+            },
+        };
+        if attempt < policy.max_attempts() {
+            policy.events.publish(
+                &corr,
+                Event::CellRetried {
+                    attempt,
+                    error: failure.to_string(),
+                },
+            );
         }
+        last_err = Some(failure);
     }
+    let error = last_err.unwrap_or_else(|| NvsimError::WorkerFailed {
+        cell: cell_name.clone(),
+        cause: "no attempt ran".to_string(),
+    });
+    policy.events.publish(
+        &corr,
+        Event::CellQuarantined {
+            attempts: policy.max_attempts(),
+            error: error.to_string(),
+        },
+    );
     CellRun::Failed {
-        error: last_err.unwrap_or_else(|| NvsimError::WorkerFailed {
-            cell: cell_name.clone(),
-            cause: "no attempt ran".to_string(),
-        }),
+        error,
         attempts: policy.max_attempts(),
     }
 }
@@ -458,6 +529,17 @@ pub fn replay_cells_policy(
     timeline: &Timeline,
     policy: &FleetPolicy,
 ) -> Result<SweepOutcome, NvsimError> {
+    let sweep_corr = policy
+        .events
+        .correlation()
+        .with_app(captured.app.as_str())
+        .with_worker(current_worker());
+    policy.events.publish(
+        &sweep_corr,
+        Event::SweepStarted {
+            cells: cells.len() as u64,
+        },
+    );
     let runs = run_indexed(jobs, cells.len(), |i| {
         run_cell_resilient(captured, &cells[i], policy, metrics, timeline)
     });
@@ -492,6 +574,14 @@ pub fn replay_cells_policy(
             }
         }
     }
+    policy.events.publish(
+        &sweep_corr,
+        Event::SweepFinished {
+            completed: outcomes.iter().filter(|o| o.is_some()).count() as u64,
+            quarantined: degraded.len() as u64,
+            resumed: resumed as u64,
+        },
+    );
     Ok(SweepOutcome {
         outcomes,
         degraded,
@@ -706,6 +796,20 @@ pub fn profile_fleet_policy(
                 if policy.fail_fast {
                     return Err(error);
                 }
+                // An application-level failure quarantines the whole
+                // app; mirror the degraded roster's bare-name entry on
+                // the event stream.
+                policy.events.publish(
+                    &policy
+                        .events
+                        .correlation()
+                        .with_app(names[i].as_str())
+                        .with_cell(names[i].as_str()),
+                    Event::CellQuarantined {
+                        attempts: 1,
+                        error: error.to_string(),
+                    },
+                );
                 degraded.push(DegradedCell {
                     cell: names[i].clone(),
                     error: error.to_string(),

@@ -41,13 +41,14 @@ pub mod resilience;
 pub mod stack_fast;
 
 pub use dataset_store::{
-    dataset_from_store, dataset_to_store, epochs_to_store, merge_into_dataset, read_dataset,
+    dataset_from_store, dataset_to_store, epochs_to_store, merge_into_dataset,
+    merge_into_dataset_observed, read_dataset,
     read_fig12, read_fig2, read_fig7, read_figs3_6, read_figs8_11, read_suitability, read_table1,
     read_table5, read_table6, write_dataset, write_epochs,
 };
 pub use experiments::{collect_dataset, EvalDataset};
 pub use fleet::{
-    cell_point, default_jobs, grid_points, profile_fleet, profile_fleet_app,
+    cell_point, current_worker, default_jobs, grid_points, profile_fleet, profile_fleet_app,
     profile_fleet_app_policy, profile_fleet_policy, replay_cells, replay_cells_policy, run_indexed,
     AppRun, CapturedStream, CellOutcome, CellSpec, FleetRun, SweepOutcome,
 };

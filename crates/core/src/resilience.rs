@@ -29,7 +29,9 @@ use nvsim_faults::FaultInjector;
 use nvsim_mem::controller::ControllerStats;
 use nvsim_mem::power::PowerBreakdown;
 use nvsim_mem::system::PowerReport;
-use nvsim_obs::{ArgValue, EventKind, HistogramSnapshot, Metrics, Snapshot, Timeline, BUCKETS};
+use nvsim_obs::{
+    ArgValue, EventBus, EventKind, HistogramSnapshot, Metrics, Snapshot, Timeline, BUCKETS,
+};
 use nvsim_trace::crc32;
 use nvsim_types::{MemoryTechnology, NvsimError};
 use std::path::{Path, PathBuf};
@@ -60,6 +62,11 @@ pub struct FleetPolicy {
     /// Restore journaled cells instead of replaying them. Requires
     /// `journal`.
     pub resume: bool,
+    /// Event bus the sweep publishes lifecycle events to
+    /// (`sweep.*`/`cell.*`/`fault.injected`, each correlated to its
+    /// run/app/cell/worker). Disabled by default: publishing is then a
+    /// single branch and the sweep's observable outputs are untouched.
+    pub events: EventBus,
 }
 
 impl Default for FleetPolicy {
@@ -71,6 +78,7 @@ impl Default for FleetPolicy {
             faults: FaultInjector::disabled(),
             journal: None,
             resume: false,
+            events: EventBus::disabled(),
         }
     }
 }

@@ -238,15 +238,27 @@ impl FaultPlan {
         if self.is_empty() {
             return FaultInjector::disabled();
         }
-        let mut armed: BTreeMap<(String, FaultKind), u32> = BTreeMap::new();
+        let mut budgets: BTreeMap<(String, FaultKind), u32> = BTreeMap::new();
         for s in &self.specs {
-            let budget = armed.entry((s.point.clone(), s.kind)).or_insert(0);
+            let budget = budgets.entry((s.point.clone(), s.kind)).or_insert(0);
             *budget = (*budget).max(s.times);
         }
         FaultInjector {
-            armed: Some(Arc::new(Mutex::new(armed))),
+            armed: Some(Arc::new(Mutex::new(ArmedState {
+                budgets,
+                fired: Vec::new(),
+            }))),
         }
     }
+}
+
+/// Interior of an armed injector: remaining fire budgets plus the log
+/// of faults that actually fired (drained per point by
+/// [`FaultInjector::take_fired`]).
+#[derive(Debug)]
+struct ArmedState {
+    budgets: BTreeMap<(String, FaultKind), u32>,
+    fired: Vec<(String, FaultKind)>,
 }
 
 /// Shared, thread-safe view of an armed [`FaultPlan`]. The disabled
@@ -254,7 +266,7 @@ impl FaultPlan {
 /// pay one `Option` check per cell.
 #[derive(Debug, Clone, Default)]
 pub struct FaultInjector {
-    armed: Option<Arc<Mutex<BTreeMap<(String, FaultKind), u32>>>>,
+    armed: Option<Arc<Mutex<ArmedState>>>,
 }
 
 impl FaultInjector {
@@ -269,13 +281,16 @@ impl FaultInjector {
     }
 
     /// Consumes one firing of `(point, kind)` if armed and not
-    /// exhausted; [`ALWAYS`] budgets never decrement.
+    /// exhausted; [`ALWAYS`] budgets never decrement. Every firing is
+    /// appended to the fired log *before* the fault takes effect, so
+    /// even a panic fault leaves its trace for
+    /// [`FaultInjector::take_fired`].
     fn consume(&self, point: &str, kind: FaultKind) -> bool {
         let Some(armed) = &self.armed else {
             return false;
         };
         let mut armed = armed.lock().expect("fault table lock");
-        match armed.get_mut(&(point.to_string(), kind)) {
+        let fires = match armed.budgets.get_mut(&(point.to_string(), kind)) {
             Some(left) if *left > 0 => {
                 if *left != ALWAYS {
                     *left -= 1;
@@ -283,7 +298,32 @@ impl FaultInjector {
                 true
             }
             _ => false,
+        };
+        if fires {
+            armed.fired.push((point.to_string(), kind));
         }
+        fires
+    }
+
+    /// Drains the log of faults that fired at `point`, in firing order.
+    /// The fleet calls this after each cell attempt to publish one
+    /// `fault.injected` event per firing; budgets are untouched. Shared
+    /// across clones like the budgets. Empty for a disabled injector.
+    pub fn take_fired(&self, point: &str) -> Vec<FaultKind> {
+        let Some(armed) = &self.armed else {
+            return Vec::new();
+        };
+        let mut armed = armed.lock().expect("fault table lock");
+        let mut taken = Vec::new();
+        armed.fired.retain(|(p, kind)| {
+            if p == point {
+                taken.push(*kind);
+                false
+            } else {
+                true
+            }
+        });
+        taken
     }
 
     /// Probes every attempt-level fault at a cell boundary: fires an
@@ -452,6 +492,31 @@ mod tests {
         assert!(inj.corrupted("S3D/mram", &data).is_none());
         // Unarmed points never corrupt.
         assert!(inj.corrupted("GTC/ddr3", &data).is_none());
+    }
+
+    #[test]
+    fn fired_log_records_and_drains_per_point() {
+        let plan = FaultPlan::parse("transient@CAM/mram*1; corrupt@S3D/mram*1").unwrap();
+        let inj = plan.injector();
+        assert!(inj.on_cell_start("CAM/mram").is_err());
+        assert!(inj.corrupted("S3D/mram", &[0u8; 8]).is_some());
+        // The log is shared across clones and drains per point.
+        let clone = inj.clone();
+        assert_eq!(clone.take_fired("CAM/mram"), vec![FaultKind::Transient]);
+        assert!(inj.take_fired("CAM/mram").is_empty(), "already drained");
+        assert_eq!(inj.take_fired("S3D/mram"), vec![FaultKind::CorruptTrace]);
+        // Probes that fire nothing log nothing.
+        assert!(inj.on_cell_start("GTC/ddr3").is_ok());
+        assert!(inj.take_fired("GTC/ddr3").is_empty());
+        assert!(FaultInjector::disabled().take_fired("x").is_empty());
+    }
+
+    #[test]
+    fn panic_fault_is_logged_before_it_unwinds() {
+        let plan = FaultPlan::parse("panic@GTC/pcram").unwrap();
+        let inj = plan.injector();
+        assert!(std::panic::catch_unwind(|| inj.on_cell_start("GTC/pcram")).is_err());
+        assert_eq!(inj.take_fired("GTC/pcram"), vec![FaultKind::Panic]);
     }
 
     #[test]

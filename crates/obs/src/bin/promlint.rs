@@ -1,0 +1,53 @@
+//! Lints Prometheus text exposition against the in-repo encoder's
+//! self-check ([`nvsim_obs::prom::lint`]).
+//!
+//! ```text
+//! promlint [FILE]
+//! ```
+//!
+//! Reads `FILE` (or stdin when omitted or `-`), exits 0 when the
+//! exposition is well-formed, 1 with the first violation on stderr
+//! otherwise. CI scrapes `/metrics?format=prometheus` and pipes the
+//! body through this bin.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (label, text) = match args.as_slice() {
+        [] => ("<stdin>".to_string(), read_stdin()),
+        [path] if path == "-" => ("<stdin>".to_string(), read_stdin()),
+        [path] => (path.clone(), std::fs::read_to_string(path)),
+        _ => {
+            eprintln!("usage: promlint [FILE]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match text {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("promlint: {label}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match nvsim_obs::prom::lint(&text) {
+        Ok(()) => {
+            let samples = nvsim_obs::prom::parse_series(&text)
+                .map(|s| s.len())
+                .unwrap_or(0);
+            println!("ok: {label}: {samples} samples, exposition well-formed");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("promlint: {label}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_stdin() -> std::io::Result<String> {
+    let mut buf = String::new();
+    std::io::stdin().read_to_string(&mut buf)?;
+    Ok(buf)
+}

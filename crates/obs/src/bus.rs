@@ -1,0 +1,540 @@
+//! The bounded, lock-light event bus and its built-in subscribers.
+//!
+//! Producers publish typed [`Event`]s with a [`Correlation`] context
+//! through an [`EventBus`]; the bus stamps each one with a sequence
+//! number and a timestamp and fans it out synchronously to its
+//! subscribers. Like [`crate::Metrics`], a disabled bus
+//! ([`EventBus::disabled`]) is a no-op handle that costs one branch per
+//! publish, so instrumented code never needs `if let`.
+//!
+//! The bus is bounded the same way [`crate::Timeline`] is: past the
+//! capacity, events are counted in [`EventBus::dropped`] instead of
+//! being delivered, so a runaway producer degrades observability
+//! instead of memory.
+//!
+//! Built-in subscribers:
+//! - [`JsonlSink`] — one JSON line per event, the `--events PATH`
+//!   output.
+//! - [`MetricsAggregator`] — derives [`crate::Metrics`] counters,
+//!   gauges and latency histograms from events.
+//! - [`TimelineBridge`] — mirrors events into a [`crate::Timeline`] as
+//!   instants whose args carry the correlation fields.
+//!
+//! ```
+//! use nvsim_obs::{Event, EventBus, Metrics, MetricsAggregator};
+//!
+//! let metrics = Metrics::enabled();
+//! let bus = EventBus::builder("run-1")
+//!     .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
+//!     .build();
+//! let corr = bus.correlation().with_cell("GTC/pcram");
+//! bus.publish(&corr, Event::CellStarted { attempt: 1 });
+//! assert_eq!(metrics.snapshot().counter("fleet.cells.started"), Some(1));
+//! assert_eq!(bus.published(), 1);
+//! ```
+
+use crate::event::{Correlation, Event, EventRecord};
+use crate::metrics::Metrics;
+use crate::timeline::{ArgValue, Timeline};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default bus capacity: one more event than this per run is dropped
+/// (and counted), not delivered. Matches the [`crate::Timeline`] cap.
+pub const DEFAULT_EVENT_CAP: u64 = 1 << 16;
+
+/// A consumer of stamped events. Implementations must be cheap and
+/// must not panic: `on_event` runs inline on the publishing thread.
+pub trait Subscribe: Send + Sync {
+    /// Called once per published event, in publication order per
+    /// publishing thread.
+    fn on_event(&self, record: &EventRecord);
+
+    /// Called when the bus is flushed (end of run); sinks with buffers
+    /// push them out here. Default: nothing.
+    fn flush(&self) {}
+}
+
+struct BusCore {
+    run_id: String,
+    origin: Instant,
+    cap: u64,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    subscribers: Vec<Box<dyn Subscribe>>,
+}
+
+/// A cloneable handle to the event bus. The disabled form publishes
+/// nothing and allocates nothing; clones share the same core, sequence
+/// numbering and subscribers.
+#[derive(Clone, Default)]
+pub struct EventBus {
+    inner: Option<Arc<BusCore>>,
+}
+
+impl fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("EventBus(disabled)"),
+            Some(core) => f
+                .debug_struct("EventBus")
+                .field("run_id", &core.run_id)
+                .field("published", &self.published())
+                .field("dropped", &self.dropped())
+                .field("subscribers", &core.subscribers.len())
+                .finish(),
+        }
+    }
+}
+
+/// Configures and builds an enabled [`EventBus`]. Obtained from
+/// [`EventBus::builder`].
+pub struct EventBusBuilder {
+    run_id: String,
+    cap: u64,
+    subscribers: Vec<Box<dyn Subscribe>>,
+}
+
+impl EventBusBuilder {
+    /// Overrides the event capacity (default
+    /// [`DEFAULT_EVENT_CAP`]).
+    pub fn with_capacity(mut self, cap: u64) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Adds a subscriber; events fan out to subscribers in the order
+    /// they were added.
+    pub fn subscribe(mut self, subscriber: Box<dyn Subscribe>) -> Self {
+        self.subscribers.push(subscriber);
+        self
+    }
+
+    /// Builds the enabled bus.
+    pub fn build(self) -> EventBus {
+        EventBus {
+            inner: Some(Arc::new(BusCore {
+                run_id: self.run_id,
+                origin: Instant::now(),
+                cap: self.cap,
+                seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                subscribers: self.subscribers,
+            })),
+        }
+    }
+}
+
+impl EventBus {
+    /// Starts building an enabled bus for `run_id`.
+    pub fn builder(run_id: impl Into<String>) -> EventBusBuilder {
+        EventBusBuilder {
+            run_id: run_id.into(),
+            cap: DEFAULT_EVENT_CAP,
+            subscribers: Vec::new(),
+        }
+    }
+
+    /// The no-op bus: publishing costs one branch, nothing is recorded.
+    pub fn disabled() -> Self {
+        EventBus { inner: None }
+    }
+
+    /// Whether this handle delivers events anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The run identifier, or `""` when disabled.
+    pub fn run_id(&self) -> &str {
+        self.inner.as_ref().map_or("", |core| &core.run_id)
+    }
+
+    /// A [`Correlation`] pre-filled with this bus's run id.
+    pub fn correlation(&self) -> Correlation {
+        Correlation::for_run(self.run_id())
+    }
+
+    /// Stamps and delivers one event to every subscriber. Past the
+    /// capacity the event is counted as dropped instead. No-op when
+    /// disabled.
+    pub fn publish(&self, correlation: &Correlation, event: Event) {
+        let Some(core) = &self.inner else { return };
+        let seq = core.seq.fetch_add(1, Ordering::Relaxed);
+        if seq >= core.cap {
+            core.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let record = EventRecord {
+            seq,
+            ts_ns: core.origin.elapsed().as_nanos() as u64,
+            correlation: correlation.clone(),
+            event,
+        };
+        for subscriber in &core.subscribers {
+            subscriber.on_event(&record);
+        }
+    }
+
+    /// Events actually delivered so far.
+    pub fn published(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |core| core.seq.load(Ordering::Relaxed).min(core.cap))
+    }
+
+    /// Events discarded because the capacity was exhausted.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |core| core.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Flushes every subscriber (call at the end of a run so buffered
+    /// sinks hit disk).
+    pub fn flush(&self) {
+        if let Some(core) = &self.inner {
+            for subscriber in &core.subscribers {
+                subscriber.flush();
+            }
+        }
+    }
+}
+
+/// Writes one JSON line per event ([`EventRecord::to_jsonl`]) to a
+/// buffered writer — the sink behind `--events PATH`. Write errors are
+/// swallowed: observability must never fail the run it observes.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and buffers writes to it.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Wraps an arbitrary writer (tests use an in-memory buffer).
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl Subscribe for JsonlSink {
+    fn on_event(&self, record: &EventRecord) {
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        let _ = out.write_all(record.to_jsonl().as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Derives [`Metrics`] from events, so counters become a *view* over
+/// the event stream instead of a separate instrumentation path.
+///
+/// Serve events map onto the pre-existing `serve.*` names (plus the
+/// `serve.inflight` gauge and per-route `serve.latency.<route>`
+/// histograms); fleet, fault and store events map onto `fleet.*` and
+/// `store.*` counters. Query execution maps to nothing — the query
+/// engine maintains its own `query.*` counters with per-block detail
+/// the event does not carry.
+pub struct MetricsAggregator {
+    metrics: Metrics,
+}
+
+impl MetricsAggregator {
+    /// Aggregates into `metrics`.
+    pub fn new(metrics: Metrics) -> Self {
+        MetricsAggregator { metrics }
+    }
+}
+
+impl Subscribe for MetricsAggregator {
+    fn on_event(&self, record: &EventRecord) {
+        let m = &self.metrics;
+        match &record.event {
+            Event::RequestReceived => {
+                m.counter("serve.requests").inc();
+                m.gauge("serve.inflight").add(1);
+            }
+            Event::RequestFinished {
+                route,
+                status,
+                latency_ns,
+            } => {
+                m.counter(&format!("serve.responses.{status}")).inc();
+                m.histogram(&format!("serve.latency.{route}"))
+                    .record(*latency_ns);
+                m.gauge("serve.inflight").add(-1);
+            }
+            Event::RequestShed => m.counter("serve.shed").inc(),
+            Event::CacheHit => m.counter("serve.cache.hits").inc(),
+            Event::CacheMiss => m.counter("serve.cache.misses").inc(),
+            Event::CacheInserted => m.counter("serve.cache.insertions").inc(),
+            Event::CacheEvicted { n } => m.counter("serve.cache.evictions").add(*n),
+            Event::SweepStarted { .. } => m.counter("fleet.sweeps").inc(),
+            Event::SweepFinished { .. } => {}
+            Event::CellStarted { .. } => m.counter("fleet.cells.started").inc(),
+            Event::CellFinished { .. } => m.counter("fleet.cells.finished").inc(),
+            Event::CellRetried { .. } => m.counter("fleet.cells.retried").inc(),
+            Event::CellQuarantined { .. } => m.counter("fleet.cells.quarantined").inc(),
+            Event::CellResumed { .. } => m.counter("fleet.cells.resumed").inc(),
+            Event::FaultInjected { .. } => m.counter("fleet.faults.injected").inc(),
+            Event::StoreWrite { .. } => m.counter("store.writes").inc(),
+            Event::StoreMerge { .. } => m.counter("store.merges").inc(),
+            Event::QueryExecuted { .. } => {}
+        }
+    }
+}
+
+/// Mirrors events into a [`Timeline`] as instants named after
+/// [`Event::kind`], with the correlation fields as args — so a Perfetto
+/// view of a run shows *which* cell retried, on *which* worker.
+pub struct TimelineBridge {
+    timeline: Timeline,
+}
+
+impl TimelineBridge {
+    /// Bridges into `timeline`.
+    pub fn new(timeline: Timeline) -> Self {
+        TimelineBridge { timeline }
+    }
+}
+
+impl Subscribe for TimelineBridge {
+    fn on_event(&self, record: &EventRecord) {
+        let c = &record.correlation;
+        let mut args: Vec<(&str, ArgValue)> = Vec::with_capacity(5);
+        args.push(("seq", ArgValue::U64(record.seq)));
+        if !c.run_id.is_empty() {
+            args.push(("run_id", ArgValue::Str(c.run_id.clone())));
+        }
+        if !c.cell.is_empty() {
+            args.push(("cell", ArgValue::Str(c.cell.clone())));
+        }
+        if let Some(w) = c.worker {
+            args.push(("worker", ArgValue::U64(w)));
+        }
+        if !c.request_id.is_empty() {
+            args.push(("request_id", ArgValue::Str(c.request_id.clone())));
+        }
+        self.timeline.instant(record.event.kind(), "event", &args);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    struct Capture(Mutex<Vec<EventRecord>>);
+    impl Subscribe for Capture {
+        fn on_event(&self, record: &EventRecord) {
+            self.0.lock().unwrap().push(record.clone());
+        }
+    }
+
+    #[test]
+    fn disabled_bus_is_inert() {
+        let bus = EventBus::disabled();
+        bus.publish(&bus.correlation(), Event::RequestReceived);
+        assert!(!bus.is_enabled());
+        assert_eq!(bus.published(), 0);
+        assert_eq!(bus.dropped(), 0);
+        assert_eq!(bus.run_id(), "");
+        bus.flush();
+        assert_eq!(format!("{bus:?}"), "EventBus(disabled)");
+    }
+
+    #[test]
+    fn publish_stamps_sequence_and_fans_out() {
+        let capture = Arc::new(Capture(Mutex::new(Vec::new())));
+        struct Tee(Arc<Capture>);
+        impl Subscribe for Tee {
+            fn on_event(&self, r: &EventRecord) {
+                self.0.on_event(r);
+            }
+        }
+        let bus = EventBus::builder("run-x")
+            .subscribe(Box::new(Tee(Arc::clone(&capture))))
+            .subscribe(Box::new(Tee(Arc::clone(&capture))))
+            .build();
+        let corr = bus.correlation().with_cell("GTC/pcram");
+        bus.publish(&corr, Event::CellStarted { attempt: 1 });
+        bus.publish(&corr, Event::CellFinished {
+            attempt: 1,
+            transactions: 9,
+        });
+        let seen = capture.0.lock().unwrap();
+        // Two subscribers x two events, same seq within a publish.
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0].seq, 0);
+        assert_eq!(seen[1].seq, 0);
+        assert_eq!(seen[2].seq, 1);
+        assert_eq!(seen[3].seq, 1);
+        assert_eq!(seen[0].correlation.run_id, "run-x");
+        assert_eq!(bus.published(), 2);
+        assert_eq!(bus.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_delivery_and_counts_drops() {
+        let capture = Arc::new(Capture(Mutex::new(Vec::new())));
+        struct Tee(Arc<Capture>);
+        impl Subscribe for Tee {
+            fn on_event(&self, r: &EventRecord) {
+                self.0.on_event(r);
+            }
+        }
+        let bus = EventBus::builder("run-x")
+            .with_capacity(3)
+            .subscribe(Box::new(Tee(Arc::clone(&capture))))
+            .build();
+        for _ in 0..10 {
+            bus.publish(&bus.correlation(), Event::RequestReceived);
+        }
+        assert_eq!(bus.published(), 3);
+        assert_eq!(bus.dropped(), 7);
+        assert_eq!(capture.0.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event_and_flushes() {
+        struct Pipe(mpsc::Sender<Vec<u8>>);
+        impl Write for Pipe {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.send(buf.to_vec()).unwrap();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let bus = EventBus::builder("run-j")
+            .subscribe(Box::new(JsonlSink::to_writer(Box::new(Pipe(tx)))))
+            .build();
+        bus.publish(&bus.correlation(), Event::SweepStarted { cells: 2 });
+        bus.publish(&bus.correlation(), Event::SweepFinished {
+            completed: 2,
+            quarantined: 0,
+            resumed: 0,
+        });
+        bus.flush();
+        drop(bus);
+        let bytes: Vec<u8> = rx.try_iter().flatten().collect();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\": \"sweep.started\""), "{text}");
+        assert!(lines[1].contains("\"kind\": \"sweep.finished\""), "{text}");
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn aggregator_derives_serve_metrics_from_events() {
+        let metrics = Metrics::enabled();
+        let bus = EventBus::builder("serve-1")
+            .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
+            .build();
+        let corr = bus.correlation().with_request("req-0");
+        bus.publish(&corr, Event::RequestReceived);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("serve.requests"), Some(1));
+        assert_eq!(snap.gauge("serve.inflight"), Some(1));
+        bus.publish(&corr, Event::CacheMiss);
+        bus.publish(&corr, Event::CacheInserted);
+        bus.publish(&corr, Event::CacheEvicted { n: 2 });
+        bus.publish(&corr, Event::RequestFinished {
+            route: "query".into(),
+            status: 200,
+            latency_ns: 1_234,
+        });
+        bus.publish(&bus.correlation(), Event::RequestShed);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("serve.inflight"), Some(0));
+        assert_eq!(snap.counter("serve.cache.misses"), Some(1));
+        assert_eq!(snap.counter("serve.cache.insertions"), Some(1));
+        assert_eq!(snap.counter("serve.cache.evictions"), Some(2));
+        assert_eq!(snap.counter("serve.responses.200"), Some(1));
+        assert_eq!(snap.counter("serve.shed"), Some(1));
+        let latency = snap.histogram("serve.latency.query").unwrap();
+        assert_eq!(latency.count, 1);
+        assert_eq!(latency.sum, 1_234);
+    }
+
+    #[test]
+    fn aggregator_derives_fleet_counters_from_events() {
+        let metrics = Metrics::enabled();
+        let bus = EventBus::builder("run-1")
+            .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
+            .build();
+        let corr = bus.correlation().with_cell("GTC/pcram");
+        bus.publish(&corr, Event::SweepStarted { cells: 1 });
+        bus.publish(&corr, Event::CellStarted { attempt: 1 });
+        bus.publish(&corr, Event::CellRetried {
+            attempt: 1,
+            error: "x".into(),
+        });
+        bus.publish(&corr, Event::CellStarted { attempt: 2 });
+        bus.publish(&corr, Event::CellFinished {
+            attempt: 2,
+            transactions: 5,
+        });
+        bus.publish(&corr, Event::FaultInjected {
+            kind: "transient".into(),
+        });
+        bus.publish(&corr, Event::StoreWrite {
+            path: "p".into(),
+            bytes: 1,
+            tables: 1,
+        });
+        bus.publish(&corr, Event::StoreMerge {
+            path: "p".into(),
+            added: 1,
+            total: 1,
+        });
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("fleet.sweeps"), Some(1));
+        assert_eq!(snap.counter("fleet.cells.started"), Some(2));
+        assert_eq!(snap.counter("fleet.cells.retried"), Some(1));
+        assert_eq!(snap.counter("fleet.cells.finished"), Some(1));
+        assert_eq!(snap.counter("fleet.faults.injected"), Some(1));
+        assert_eq!(snap.counter("store.writes"), Some(1));
+        assert_eq!(snap.counter("store.merges"), Some(1));
+    }
+
+    #[test]
+    fn timeline_bridge_mirrors_events_as_instants() {
+        let timeline = Timeline::enabled();
+        let bus = EventBus::builder("run-t")
+            .subscribe(Box::new(TimelineBridge::new(timeline.clone())))
+            .build();
+        let corr = bus
+            .correlation()
+            .with_cell("CAM/sttram")
+            .with_worker(Some(3));
+        bus.publish(&corr, Event::CellQuarantined {
+            attempts: 2,
+            error: "boom".into(),
+        });
+        let events = timeline.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "cell.quarantined");
+        assert_eq!(events[0].cat, "event");
+        let args = &events[0].args;
+        assert!(args.iter().any(|(k, _)| k == "cell"));
+        assert!(args.iter().any(|(k, _)| k == "worker"));
+    }
+}

@@ -26,6 +26,7 @@
 //! recorder.mark(EpochKind::Iteration(0));
 //! metrics.counter("trace.refs").add(4);
 //! recorder.mark(EpochKind::Iteration(1));
+//! metrics.counter("trace.refs").inc(); // post-loop work lands in the tail
 //! recorder.finish();
 //!
 //! let epochs = recorder.epochs();

@@ -1,0 +1,530 @@
+//! Typed pipeline events and the correlation context they carry.
+//!
+//! A flat metrics snapshot says *how much* happened; it cannot say which
+//! run, cell or worker made it happen. This module defines the typed
+//! [`Event`] vocabulary of the pipeline — sweep and cell lifecycle,
+//! retry/quarantine, fault injection, store writes and merges, query
+//! execution, serve requests — and the [`Correlation`] context every
+//! event carries, so a single JSONL line answers "what happened, to
+//! which cell, on which worker, in which run".
+//!
+//! Events are published through an [`crate::EventBus`]; the stamped form
+//! a subscriber receives is an [`EventRecord`] (sequence number,
+//! timestamp, correlation, payload), whose [`EventRecord::to_jsonl`]
+//! renders the stable one-line schema documented in `docs/METRICS.md`.
+//!
+//! ```
+//! use nvsim_obs::{Correlation, Event, EventRecord};
+//!
+//! let corr = Correlation::for_run("run-1")
+//!     .with_app("GTC")
+//!     .with_cell("GTC/pcram")
+//!     .with_worker(Some(2));
+//! let record = EventRecord {
+//!     seq: 0,
+//!     ts_ns: 1_500,
+//!     correlation: corr,
+//!     event: Event::CellStarted { attempt: 1 },
+//! };
+//! let line = record.to_jsonl();
+//! assert!(line.contains("\"kind\": \"cell.started\""));
+//! assert!(line.contains("\"cell\": \"GTC/pcram\""));
+//! assert!(line.contains("\"worker\": 2"));
+//! ```
+
+use crate::snapshot::escape_json_into;
+use std::fmt::Write as _;
+
+/// Version of the JSONL event schema ([`EventRecord::to_jsonl`]'s
+/// `schema` field). Bump on any non-additive change.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// The correlation context an event carries: which run, application,
+/// cell, worker and request it belongs to. Empty strings (and a `None`
+/// worker) mean "not applicable" and are omitted from the JSONL line, so
+/// a store event is not forced to invent a cell and a serve event is not
+/// forced to invent an app.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Correlation {
+    /// Identifier of the run that published the event (one per process
+    /// invocation, e.g. `run-12345` or `serve-12345`).
+    pub run_id: String,
+    /// Application name (`GTC`, `CAM`, ...), when the event is scoped to
+    /// one.
+    pub app: String,
+    /// Cell name (`app/technology`, e.g. `GTC/pcram`), when the event is
+    /// scoped to one replay cell.
+    pub cell: String,
+    /// Fleet worker index that published the event, when known.
+    pub worker: Option<u64>,
+    /// Server-assigned request identifier (echoed to the client as
+    /// `X-Request-Id`), when the event belongs to one HTTP request.
+    pub request_id: String,
+}
+
+impl Correlation {
+    /// A correlation rooted at `run_id`, all other fields unset.
+    pub fn for_run(run_id: impl Into<String>) -> Self {
+        Correlation {
+            run_id: run_id.into(),
+            ..Correlation::default()
+        }
+    }
+
+    /// Returns the correlation with the application set.
+    pub fn with_app(mut self, app: impl Into<String>) -> Self {
+        self.app = app.into();
+        self
+    }
+
+    /// Returns the correlation with the cell set.
+    pub fn with_cell(mut self, cell: impl Into<String>) -> Self {
+        self.cell = cell.into();
+        self
+    }
+
+    /// Returns the correlation with the worker index set.
+    pub fn with_worker(mut self, worker: Option<u64>) -> Self {
+        self.worker = worker;
+        self
+    }
+
+    /// Returns the correlation with the request id set.
+    pub fn with_request(mut self, request_id: impl Into<String>) -> Self {
+        self.request_id = request_id.into();
+        self
+    }
+}
+
+/// One typed pipeline event. The variants cover every producer the
+/// pipeline has today: the sweep fleet (lifecycle, retry, quarantine,
+/// resume), the fault injector, the columnar store (write, merge), the
+/// query engine, and the HTTP serving layer (request lifecycle and the
+/// response cache).
+///
+/// The wire identity of a variant is its [`Event::kind`] string, which
+/// is stable: renaming a Rust variant must not change its kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A technology sweep over one captured stream began.
+    SweepStarted {
+        /// Cells in the sweep grid.
+        cells: u64,
+    },
+    /// The sweep finished (even if some cells were quarantined).
+    SweepFinished {
+        /// Cells that completed successfully.
+        completed: u64,
+        /// Cells quarantined after exhausting their retry budget.
+        quarantined: u64,
+        /// Cells restored from the completion journal.
+        resumed: u64,
+    },
+    /// One attempt at a replay cell began.
+    CellStarted {
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// A replay cell completed.
+    CellFinished {
+        /// The attempt that succeeded (1-based).
+        attempt: u32,
+        /// Transactions replayed.
+        transactions: u64,
+    },
+    /// An attempt failed and the cell will be retried.
+    CellRetried {
+        /// The attempt that failed (1-based).
+        attempt: u32,
+        /// The failure, rendered.
+        error: String,
+    },
+    /// The cell exhausted its attempts and was quarantined.
+    CellQuarantined {
+        /// Total attempts made.
+        attempts: u32,
+        /// The final failure, rendered.
+        error: String,
+    },
+    /// The cell was restored from the completion journal instead of
+    /// being replayed.
+    CellResumed {
+        /// Transactions the journaled run had replayed.
+        transactions: u64,
+    },
+    /// The fault injector fired at this cell.
+    FaultInjected {
+        /// Fault kind label (`panic`, `delay`, `corrupt`, `transient`).
+        kind: String,
+    },
+    /// A store file was written (atomically).
+    StoreWrite {
+        /// Destination path.
+        path: String,
+        /// Encoded size, bytes.
+        bytes: u64,
+        /// Tables in the written store.
+        tables: u64,
+    },
+    /// Section tables were merged into an existing (or fresh) store.
+    StoreMerge {
+        /// Destination path.
+        path: String,
+        /// Tables upserted by this merge.
+        added: u64,
+        /// Tables in the store after the merge.
+        total: u64,
+    },
+    /// The query engine executed one query.
+    QueryExecuted {
+        /// Table queried.
+        table: String,
+        /// Result rows.
+        rows: u64,
+    },
+    /// The server accepted a request.
+    RequestReceived,
+    /// The server finished answering a request.
+    RequestFinished {
+        /// Route class (`index`, `healthz`, `metrics`, `query`,
+        /// `section`, `other`) — a bounded label set by construction.
+        route: String,
+        /// HTTP status answered.
+        status: u16,
+        /// Wall time from accept to response, nanoseconds.
+        latency_ns: u64,
+    },
+    /// The server shed a request (queue full, answered `503`).
+    RequestShed,
+    /// The `/query` response cache answered without running the engine.
+    CacheHit,
+    /// The `/query` response cache had no entry; the engine ran.
+    CacheMiss,
+    /// A rendered response was inserted into the cache.
+    CacheInserted,
+    /// The cache evicted entries to make room.
+    CacheEvicted {
+        /// Entries evicted since the last report.
+        n: u64,
+    },
+}
+
+/// Every kind string [`Event::kind`] can produce, in declaration order.
+/// Schema validators (the CI observability job) check JSONL lines
+/// against this list.
+pub const KINDS: &[&str] = &[
+    "sweep.started",
+    "sweep.finished",
+    "cell.started",
+    "cell.finished",
+    "cell.retried",
+    "cell.quarantined",
+    "cell.resumed",
+    "fault.injected",
+    "store.write",
+    "store.merge",
+    "query.executed",
+    "request.received",
+    "request.finished",
+    "request.shed",
+    "cache.hit",
+    "cache.miss",
+    "cache.inserted",
+    "cache.evicted",
+];
+
+impl Event {
+    /// The stable dotted kind string of this event.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SweepStarted { .. } => "sweep.started",
+            Event::SweepFinished { .. } => "sweep.finished",
+            Event::CellStarted { .. } => "cell.started",
+            Event::CellFinished { .. } => "cell.finished",
+            Event::CellRetried { .. } => "cell.retried",
+            Event::CellQuarantined { .. } => "cell.quarantined",
+            Event::CellResumed { .. } => "cell.resumed",
+            Event::FaultInjected { .. } => "fault.injected",
+            Event::StoreWrite { .. } => "store.write",
+            Event::StoreMerge { .. } => "store.merge",
+            Event::QueryExecuted { .. } => "query.executed",
+            Event::RequestReceived => "request.received",
+            Event::RequestFinished { .. } => "request.finished",
+            Event::RequestShed => "request.shed",
+            Event::CacheHit => "cache.hit",
+            Event::CacheMiss => "cache.miss",
+            Event::CacheInserted => "cache.inserted",
+            Event::CacheEvicted { .. } => "cache.evicted",
+        }
+    }
+
+    /// Appends the variant's payload fields as `, "key": value` pairs.
+    fn emit_payload(&self, out: &mut String) {
+        fn str_field(out: &mut String, key: &str, v: &str) {
+            let _ = write!(out, ", \"{key}\": \"");
+            escape_json_into(out, v);
+            out.push('"');
+        }
+        match self {
+            Event::SweepStarted { cells } => {
+                let _ = write!(out, ", \"cells\": {cells}");
+            }
+            Event::SweepFinished {
+                completed,
+                quarantined,
+                resumed,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"completed\": {completed}, \"quarantined\": {quarantined}, \
+                     \"resumed\": {resumed}"
+                );
+            }
+            Event::CellStarted { attempt } => {
+                let _ = write!(out, ", \"attempt\": {attempt}");
+            }
+            Event::CellFinished {
+                attempt,
+                transactions,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"attempt\": {attempt}, \"transactions\": {transactions}"
+                );
+            }
+            Event::CellRetried { attempt, error } => {
+                let _ = write!(out, ", \"attempt\": {attempt}");
+                str_field(out, "error", error);
+            }
+            Event::CellQuarantined { attempts, error } => {
+                let _ = write!(out, ", \"attempts\": {attempts}");
+                str_field(out, "error", error);
+            }
+            Event::CellResumed { transactions } => {
+                let _ = write!(out, ", \"transactions\": {transactions}");
+            }
+            Event::FaultInjected { kind } => str_field(out, "fault", kind),
+            Event::StoreWrite {
+                path,
+                bytes,
+                tables,
+            } => {
+                str_field(out, "path", path);
+                let _ = write!(out, ", \"bytes\": {bytes}, \"tables\": {tables}");
+            }
+            Event::StoreMerge { path, added, total } => {
+                str_field(out, "path", path);
+                let _ = write!(out, ", \"added\": {added}, \"total\": {total}");
+            }
+            Event::QueryExecuted { table, rows } => {
+                str_field(out, "table", table);
+                let _ = write!(out, ", \"rows\": {rows}");
+            }
+            Event::RequestFinished {
+                route,
+                status,
+                latency_ns,
+            } => {
+                str_field(out, "route", route);
+                let _ = write!(out, ", \"status\": {status}, \"latency_ns\": {latency_ns}");
+            }
+            Event::CacheEvicted { n } => {
+                let _ = write!(out, ", \"n\": {n}");
+            }
+            Event::RequestReceived
+            | Event::RequestShed
+            | Event::CacheHit
+            | Event::CacheMiss
+            | Event::CacheInserted => {}
+        }
+    }
+}
+
+/// One event as stamped by the bus: a process-wide sequence number, a
+/// timestamp relative to bus creation, the correlation context, and the
+/// payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Publication sequence number (0-based, gap-free per bus).
+    pub seq: u64,
+    /// Nanoseconds since the bus was created.
+    pub ts_ns: u64,
+    /// Who/what the event is about.
+    pub correlation: Correlation,
+    /// The typed payload.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// Renders the record as one JSON object (no trailing newline):
+    ///
+    /// ```json
+    /// {"schema": 1, "seq": 7, "ts_ns": 1500, "kind": "cell.started",
+    ///  "run_id": "run-1", "app": "GTC", "cell": "GTC/pcram",
+    ///  "worker": 2, "attempt": 1}
+    /// ```
+    ///
+    /// Field order is fixed — envelope (`schema`, `seq`, `ts_ns`,
+    /// `kind`), then the non-empty correlation fields (`run_id`, `app`,
+    /// `cell`, `worker`, `request_id`), then the variant's payload.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"schema\": {EVENT_SCHEMA_VERSION}, \"seq\": {}, \"ts_ns\": {}, \"kind\": \"{}\"",
+            self.seq,
+            self.ts_ns,
+            self.event.kind()
+        );
+        let c = &self.correlation;
+        for (key, v) in [
+            ("run_id", &c.run_id),
+            ("app", &c.app),
+            ("cell", &c.cell),
+        ] {
+            if !v.is_empty() {
+                let _ = write!(out, ", \"{key}\": \"");
+                escape_json_into(&mut out, v);
+                out.push('"');
+            }
+        }
+        if let Some(w) = c.worker {
+            let _ = write!(out, ", \"worker\": {w}");
+        }
+        if !c.request_id.is_empty() {
+            out.push_str(", \"request_id\": \"");
+            escape_json_into(&mut out, &c.request_id);
+            out.push('"');
+        }
+        self.event.emit_payload(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<Event> {
+        vec![
+            Event::SweepStarted { cells: 4 },
+            Event::SweepFinished {
+                completed: 3,
+                quarantined: 1,
+                resumed: 0,
+            },
+            Event::CellStarted { attempt: 1 },
+            Event::CellFinished {
+                attempt: 1,
+                transactions: 99,
+            },
+            Event::CellRetried {
+                attempt: 1,
+                error: "boom".into(),
+            },
+            Event::CellQuarantined {
+                attempts: 2,
+                error: "boom".into(),
+            },
+            Event::CellResumed { transactions: 99 },
+            Event::FaultInjected {
+                kind: "panic".into(),
+            },
+            Event::StoreWrite {
+                path: "d/dataset.nvstore".into(),
+                bytes: 4096,
+                tables: 12,
+            },
+            Event::StoreMerge {
+                path: "d/dataset.nvstore".into(),
+                added: 3,
+                total: 12,
+            },
+            Event::QueryExecuted {
+                table: "objects".into(),
+                rows: 7,
+            },
+            Event::RequestReceived,
+            Event::RequestFinished {
+                route: "query".into(),
+                status: 200,
+                latency_ns: 1_000,
+            },
+            Event::RequestShed,
+            Event::CacheHit,
+            Event::CacheMiss,
+            Event::CacheInserted,
+            Event::CacheEvicted { n: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_has_a_listed_kind() {
+        let variants = all_variants();
+        assert_eq!(variants.len(), KINDS.len());
+        for (event, kind) in variants.iter().zip(KINDS) {
+            assert_eq!(event.kind(), *kind);
+        }
+        // Kinds are unique.
+        let mut sorted: Vec<&str> = KINDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), KINDS.len());
+    }
+
+    #[test]
+    fn jsonl_carries_envelope_correlation_and_payload() {
+        let record = EventRecord {
+            seq: 7,
+            ts_ns: 1_500,
+            correlation: Correlation::for_run("run-1")
+                .with_app("GTC")
+                .with_cell("GTC/pcram")
+                .with_worker(Some(2)),
+            event: Event::CellFinished {
+                attempt: 1,
+                transactions: 42,
+            },
+        };
+        let line = record.to_jsonl();
+        assert_eq!(
+            line,
+            "{\"schema\": 1, \"seq\": 7, \"ts_ns\": 1500, \"kind\": \"cell.finished\", \
+             \"run_id\": \"run-1\", \"app\": \"GTC\", \"cell\": \"GTC/pcram\", \
+             \"worker\": 2, \"attempt\": 1, \"transactions\": 42}"
+        );
+    }
+
+    #[test]
+    fn empty_correlation_fields_are_omitted() {
+        let record = EventRecord {
+            seq: 0,
+            ts_ns: 0,
+            correlation: Correlation::for_run("serve-1").with_request("req-9"),
+            event: Event::RequestReceived,
+        };
+        let line = record.to_jsonl();
+        assert!(line.contains("\"request_id\": \"req-9\""), "{line}");
+        assert!(!line.contains("\"app\""), "{line}");
+        assert!(!line.contains("\"cell\""), "{line}");
+        assert!(!line.contains("\"worker\""), "{line}");
+    }
+
+    #[test]
+    fn jsonl_escapes_strings() {
+        let record = EventRecord {
+            seq: 0,
+            ts_ns: 0,
+            correlation: Correlation::for_run("run\"1"),
+            event: Event::CellRetried {
+                attempt: 1,
+                error: "line\nbreak".into(),
+            },
+        };
+        let line = record.to_jsonl();
+        assert!(line.contains("run\\\"1"), "{line}");
+        assert!(line.contains("line\\nbreak"), "{line}");
+        assert!(!line.contains('\n'), "one line per event: {line}");
+    }
+}

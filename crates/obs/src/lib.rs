@@ -32,6 +32,18 @@
 //! * [`report`] — a [`RunReport`] folding epochs, totals, drift rows
 //!   and the timeline summary into versioned JSON or Markdown.
 //!
+//! Since the pipeline went parallel, fault-injected and served, the
+//! instruments gained an attribution layer:
+//!
+//! * [`event`] / [`bus`] — typed [`Event`]s carrying a [`Correlation`]
+//!   (run, app, cell, worker, request) fan out through a bounded
+//!   [`EventBus`] to pluggable subscribers: a JSONL sink
+//!   ([`JsonlSink`]), a metrics deriver ([`MetricsAggregator`]) and a
+//!   timeline mirror ([`TimelineBridge`]);
+//! * [`prom`] — a Prometheus text-exposition encoder
+//!   ([`PromRegistry`]) with label-cardinality budgets, a self-check
+//!   linter and a golden parser.
+//!
 //! ## Example
 //!
 //! ```
@@ -63,15 +75,24 @@
 #![warn(rust_2018_idioms)]
 
 pub mod artifact;
+pub mod bus;
 pub mod epoch;
+pub mod event;
 pub mod histogram;
 pub mod metrics;
+pub mod prom;
 pub mod report;
 pub mod snapshot;
 pub mod span;
 pub mod timeline;
 
+pub use bus::{
+    EventBus, EventBusBuilder, JsonlSink, MetricsAggregator, Subscribe, TimelineBridge,
+    DEFAULT_EVENT_CAP,
+};
 pub use epoch::{Epoch, EpochKind, EpochRecorder};
+pub use event::{Correlation, Event, EventRecord, EVENT_SCHEMA_VERSION, KINDS};
+pub use prom::{PromKind, PromRegistry};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use metrics::{Counter, Gauge, Metrics};
 pub use artifact::atomic_write;

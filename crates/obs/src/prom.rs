@@ -1,0 +1,832 @@
+//! Zero-dependency Prometheus text exposition (format 0.0.4).
+//!
+//! [`PromRegistry`] maps the dotted metric names of a
+//! [`crate::Snapshot`] onto Prometheus metric families — explicit,
+//! registered-up-front families with a **label-cardinality budget**, so
+//! a scrape can never grow unbounded label sets. Three mapping shapes:
+//!
+//! 1. **Exact**: one dotted name → one label-less family
+//!    (`serve.requests` → `serve_requests_total`).
+//! 2. **Labeled prefix**: a family whose series are dotted names under
+//!    a prefix, the suffix becoming a label value
+//!    (`serve.responses.200` → `serve_responses_total{status="200"}`).
+//!    Series must be registered; past the family's budget,
+//!    [`PromRegistry::register_series`] errors and unregistered
+//!    series found in a snapshot are *dropped* (and counted in a
+//!    trailing comment), never exposed.
+//! 3. **Auto**: snapshot names matching no registration are exposed as
+//!    label-less families under a sanitized name (dots → underscores,
+//!    counters suffixed `_total`), so the JSON and Prometheus views
+//!    always cover the same instruments.
+//!
+//! Registered families are emitted even when the snapshot has no data
+//! for them yet — a first scrape shows every pre-registered series at
+//! zero, which is what makes `rate()` well-defined from the start.
+//!
+//! Power-of-two histograms ([`crate::Histogram`]) are rendered as
+//! cumulative `_bucket{le="..."}` / `_sum` / `_count` series; bucket
+//! `i` of the pow2 layout holds integer values `<= 2^i - 1`, so the
+//! `le` bound for bucket `i` is `2^i - 1` (bucket 0 is `le="0"`, the
+//! overflow bucket folds into `+Inf`).
+//!
+//! [`lint`] is the encoder's self-check (CI runs it over live scrape
+//! output via the `promlint` bin) and [`parse_series`] the golden
+//! parser the round-trip tests use.
+//!
+//! ```
+//! use nvsim_obs::{Metrics, PromKind, PromRegistry};
+//!
+//! let mut prom = PromRegistry::new();
+//! prom.register("serve_requests_total", "Requests accepted.",
+//!               PromKind::Counter, "serve.requests").unwrap();
+//! let metrics = Metrics::enabled();
+//! metrics.counter("serve.requests").inc();
+//! let text = prom.encode(&metrics.snapshot());
+//! assert!(text.contains("serve_requests_total 1"));
+//! nvsim_obs::prom::lint(&text).unwrap();
+//! ```
+
+use crate::histogram::{HistogramSnapshot, BUCKETS};
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The exposition type of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotone counter (`_total` by convention).
+    Counter,
+    /// Signed gauge.
+    Gauge,
+    /// Cumulative histogram (`_bucket`/`_sum`/`_count`).
+    Histogram,
+}
+
+impl PromKind {
+    fn text(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: PromKind,
+    /// Exact mapping: the dotted source name.
+    /// Labeled mapping: `None` (sources come from `prefix`).
+    source: Option<String>,
+    /// Labeled mapping: dotted prefix, label key, budget, registered
+    /// label values (sorted).
+    labeled: Option<LabeledSpec>,
+}
+
+#[derive(Debug)]
+struct LabeledSpec {
+    prefix: String,
+    label: String,
+    budget: usize,
+    values: Vec<String>,
+}
+
+/// Registry of Prometheus families over a [`Snapshot`]'s dotted metric
+/// names. Build it once at startup (registration is where budgets are
+/// enforced), then [`PromRegistry::encode`] any snapshot — encoding
+/// never mutates the registry, so it can be shared immutably.
+#[derive(Debug, Default)]
+pub struct PromRegistry {
+    families: BTreeMap<String, Family>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes a label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+fn escape_label_value(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Dotted metric name → Prometheus name: dots become underscores, any
+/// other invalid character becomes `_`, a leading digit gains a `_`.
+pub fn sanitize_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 1);
+    for (i, c) in dotted.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+impl PromRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PromRegistry::default()
+    }
+
+    fn insert_family(&mut self, name: &str, family: Family) -> Result<(), String> {
+        if !valid_metric_name(name) {
+            return Err(format!("invalid metric name {name:?}"));
+        }
+        if self.families.contains_key(name) {
+            return Err(format!("family {name:?} already registered"));
+        }
+        self.families.insert(name.to_string(), family);
+        Ok(())
+    }
+
+    /// Registers a label-less family reading the dotted snapshot name
+    /// `source`.
+    pub fn register(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: PromKind,
+        source: &str,
+    ) -> Result<(), String> {
+        self.insert_family(
+            name,
+            Family {
+                help: help.to_string(),
+                kind,
+                source: Some(source.to_string()),
+                labeled: None,
+            },
+        )
+    }
+
+    /// Registers a labeled family whose series are the dotted snapshot
+    /// names `"{prefix}{value}"`, exposed as `name{label="value"}`. At
+    /// most `budget` label values may ever be registered — that is the
+    /// cardinality ceiling for the family.
+    pub fn register_labeled(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: PromKind,
+        prefix: &str,
+        label: &str,
+        budget: usize,
+    ) -> Result<(), String> {
+        if !valid_label_name(label) {
+            return Err(format!("invalid label name {label:?}"));
+        }
+        if budget == 0 {
+            return Err(format!("family {name:?} budget must be positive"));
+        }
+        self.insert_family(
+            name,
+            Family {
+                help: help.to_string(),
+                kind,
+                source: None,
+                labeled: Some(LabeledSpec {
+                    prefix: prefix.to_string(),
+                    label: label.to_string(),
+                    budget,
+                    values: Vec::new(),
+                }),
+            },
+        )
+    }
+
+    /// Registers one label value of a labeled family. Errors if the
+    /// family is unknown or label-less, or — the point of the budget —
+    /// if the family already holds `budget` distinct values.
+    pub fn register_series(&mut self, family: &str, value: &str) -> Result<(), String> {
+        let fam = self
+            .families
+            .get_mut(family)
+            .ok_or_else(|| format!("unknown family {family:?}"))?;
+        let spec = fam
+            .labeled
+            .as_mut()
+            .ok_or_else(|| format!("family {family:?} takes no labels"))?;
+        if spec.values.iter().any(|v| v == value) {
+            return Ok(());
+        }
+        if spec.values.len() >= spec.budget {
+            return Err(format!(
+                "label cardinality budget exhausted: {family:?} already has {} series \
+                 (budget {}), rejecting {}=\"{}\"",
+                spec.values.len(),
+                spec.budget,
+                spec.label,
+                value
+            ));
+        }
+        spec.values.push(value.to_string());
+        spec.values.sort_unstable();
+        Ok(())
+    }
+
+    /// Renders `snap` as Prometheus text exposition. Deterministic:
+    /// families in name order, series in label-value order. Registered
+    /// series absent from the snapshot are emitted at zero; snapshot
+    /// entries matching a labeled family's prefix but no registered
+    /// series are dropped and counted in a trailing
+    /// `# nvsim: dropped N over-budget series` comment.
+    pub fn encode(&self, snap: &Snapshot) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut claimed: Vec<&str> = Vec::new();
+        let mut dropped = 0u64;
+
+        for (name, fam) in &self.families {
+            emit_help_type(&mut out, name, fam);
+            match (&fam.source, &fam.labeled) {
+                (Some(source), _) => {
+                    claimed.push(source);
+                    emit_value(&mut out, name, None, fam.kind, source, snap);
+                }
+                (None, Some(spec)) => {
+                    for value in &spec.values {
+                        let source = format!("{}{}", spec.prefix, value);
+                        let labelled = (spec.label.as_str(), value.as_str());
+                        emit_value(&mut out, name, Some(labelled), fam.kind, &source, snap);
+                    }
+                    // Snapshot names under the prefix but not registered
+                    // are over budget: dropped, never exposed.
+                    dropped += unclaimed_under_prefix(snap, spec);
+                }
+                (None, None) => {}
+            }
+        }
+
+        // Auto families: snapshot names no registration covers.
+        let labeled_prefixes: Vec<&LabeledSpec> = self
+            .families
+            .values()
+            .filter_map(|f| f.labeled.as_ref())
+            .collect();
+        let mut auto: BTreeMap<String, (PromKind, &str)> = BTreeMap::new();
+        let covered = |name: &str| {
+            claimed.contains(&name)
+                || labeled_prefixes
+                    .iter()
+                    .any(|spec| name.strip_prefix(spec.prefix.as_str()).is_some())
+        };
+        for name in snap.counters.keys().filter(|n| !covered(n)) {
+            auto.insert(
+                format!("{}_total", sanitize_name(name)),
+                (PromKind::Counter, name),
+            );
+        }
+        for name in snap.gauges.keys().filter(|n| !covered(n)) {
+            auto.insert(sanitize_name(name), (PromKind::Gauge, name));
+        }
+        for name in snap.histograms.keys().filter(|n| !covered(n)) {
+            auto.insert(sanitize_name(name), (PromKind::Histogram, name));
+        }
+        for (prom_name, (kind, source)) in &auto {
+            if self.families.contains_key(prom_name) {
+                // A sanitized auto name colliding with a registered
+                // family would duplicate its TYPE block; drop instead.
+                dropped += 1;
+                continue;
+            }
+            let fam = Family {
+                help: format!("Auto-exposed from metric `{source}`."),
+                kind: *kind,
+                source: None,
+                labeled: None,
+            };
+            emit_help_type(&mut out, prom_name, &fam);
+            emit_value(&mut out, prom_name, None, *kind, source, snap);
+        }
+
+        if dropped > 0 {
+            let _ = writeln!(out, "# nvsim: dropped {dropped} over-budget series");
+        }
+        out
+    }
+}
+
+fn unclaimed_under_prefix(snap: &Snapshot, spec: &LabeledSpec) -> u64 {
+    let mut n = 0u64;
+    let over_budget = |name: &str| {
+        name.strip_prefix(spec.prefix.as_str())
+            .is_some_and(|suffix| !spec.values.iter().any(|v| v == suffix))
+    };
+    for name in snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+    {
+        if over_budget(name) {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn emit_help_type(out: &mut String, name: &str, fam: &Family) {
+    let _ = write!(out, "# HELP {name} ");
+    // HELP escaping: backslash and newline only.
+    for c in fam.help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('\n');
+    let _ = writeln!(out, "# TYPE {name} {}", fam.kind.text());
+}
+
+fn push_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"");
+        escape_label_value(out, v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn emit_value(
+    out: &mut String,
+    name: &str,
+    label: Option<(&str, &str)>,
+    kind: PromKind,
+    source: &str,
+    snap: &Snapshot,
+) {
+    let labels: Vec<(&str, &str)> = label.into_iter().collect();
+    match kind {
+        PromKind::Counter => {
+            let v = snap.counter(source).unwrap_or(0);
+            out.push_str(name);
+            push_labels(out, &labels);
+            let _ = writeln!(out, " {v}");
+        }
+        PromKind::Gauge => {
+            let v = snap.gauge(source).unwrap_or(0);
+            out.push_str(name);
+            push_labels(out, &labels);
+            let _ = writeln!(out, " {v}");
+        }
+        PromKind::Histogram => {
+            let empty = HistogramSnapshot {
+                buckets: [0; BUCKETS],
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+            };
+            let h = snap.histogram(source).unwrap_or(&empty);
+            emit_histogram(out, name, &labels, h);
+        }
+    }
+}
+
+/// Emits one pow2 histogram as cumulative `_bucket` series plus `_sum`
+/// and `_count`. The pow2 bucket `i` holds integer values in
+/// `[2^(i-1), 2^i)` (bucket 0 holds exactly `{0}`), so its inclusive
+/// upper bound — the Prometheus `le` — is `2^i - 1`. The overflow
+/// bucket has no finite bound and folds into `+Inf`.
+fn emit_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, count) in h.buckets.iter().enumerate().take(BUCKETS - 1) {
+        cumulative += count;
+        let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+        let _ = write!(out, "{name}_bucket");
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        let le_text = le.to_string();
+        with_le.push(("le", &le_text));
+        push_labels(out, &with_le);
+        let _ = writeln!(out, " {cumulative}");
+    }
+    let _ = write!(out, "{name}_bucket");
+    let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+    with_le.push(("le", "+Inf"));
+    push_labels(out, &with_le);
+    let _ = writeln!(out, " {}", h.count);
+    let _ = write!(out, "{name}_sum");
+    push_labels(out, labels);
+    let _ = writeln!(out, " {}", h.sum);
+    let _ = write!(out, "{name}_count");
+    push_labels(out, labels);
+    let _ = writeln!(out, " {}", h.count);
+}
+
+/// One parsed sample: full series identity (name plus label set, as
+/// written) and its value.
+pub type Series = (String, f64);
+
+/// Parses exposition text into `(series identity, value)` pairs in
+/// document order, skipping comments and blank lines. Errors on lines
+/// that are neither. This is the golden parser the round-trip tests
+/// and the CI scrape check use.
+pub fn parse_series(text: &str) -> Result<Vec<Series>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (id, value) = split_sample(line)
+            .ok_or_else(|| format!("line {}: unparsable sample {line:?}", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value in {line:?}", lineno + 1))?;
+        out.push((id.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Splits `name{labels} value` / `name value` at the value separator,
+/// respecting quotes inside the label set.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let bytes = line.as_bytes();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            _ if escaped => escaped = false,
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b' ' if !in_quotes => {
+                let value = line[i..].trim();
+                if value.is_empty() {
+                    return None;
+                }
+                return Some((&line[..i], value));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn series_base_name(id: &str) -> &str {
+    let name = id.split('{').next().unwrap_or(id);
+    name.trim_end_matches("_bucket")
+        .trim_end_matches("_sum")
+        .trim_end_matches("_count")
+}
+
+/// The encoder's self-check: validates `text` against the exposition
+/// format. Checks metric-name syntax, that every sample is preceded by
+/// its family's `# TYPE` (and at most one TYPE per family), duplicate
+/// series, and histogram arithmetic (cumulative non-decreasing buckets
+/// ending in a `+Inf` equal to `_count`). Returns the first violation.
+pub fn lint(text: &str) -> Result<(), String> {
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen_series: Vec<String> = Vec::new();
+    // Per histogram series (without le): (last cumulative, inf, count).
+    let mut hist: BTreeMap<String, (u64, Option<u64>, Option<u64>)> = BTreeMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("line {n}: invalid family name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {n}: unknown type {kind:?}"));
+            }
+            if typed.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {n}: duplicate TYPE for {name:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((id, value)) = split_sample(line) else {
+            return Err(format!("line {n}: unparsable sample {line:?}"));
+        };
+        let name = id.split('{').next().unwrap_or(id);
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        let base = series_base_name(id);
+        if !typed.contains_key(name) && !typed.contains_key(base) {
+            return Err(format!("line {n}: sample {name:?} precedes its TYPE"));
+        }
+        if seen_series.iter().any(|s| s == id) {
+            return Err(format!("line {n}: duplicate series {id:?}"));
+        }
+        seen_series.push(id.to_string());
+
+        // Histogram arithmetic.
+        if typed.get(base).map(String::as_str) == Some("histogram") {
+            let v: u64 = value
+                .parse::<f64>()
+                .map_err(|_| format!("line {n}: bad value in {line:?}"))?
+                as u64;
+            let key = histogram_key(id, base);
+            let entry = hist.entry(key).or_insert((0, None, None));
+            if name.ends_with("_bucket") {
+                if id.contains("le=\"+Inf\"") {
+                    entry.1 = Some(v);
+                } else {
+                    if v < entry.0 {
+                        return Err(format!(
+                            "line {n}: histogram buckets regress at {id:?} ({v} < {})",
+                            entry.0
+                        ));
+                    }
+                    entry.0 = v;
+                }
+            } else if name.ends_with("_count") {
+                entry.2 = Some(v);
+            }
+        }
+    }
+
+    for (key, (last, inf, count)) in &hist {
+        let inf = inf.ok_or_else(|| format!("histogram {key:?} has no +Inf bucket"))?;
+        let count = count.ok_or_else(|| format!("histogram {key:?} has no _count"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram {key:?}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+        if *last > inf {
+            return Err(format!(
+                "histogram {key:?}: finite buckets ({last}) exceed +Inf ({inf})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Identity of one histogram series: base name plus its non-`le`
+/// labels.
+fn histogram_key(id: &str, base: &str) -> String {
+    let labels = id.split_once('{').map(|(_, rest)| rest.trim_end_matches('}'));
+    let mut key = base.to_string();
+    if let Some(labels) = labels {
+        let kept: Vec<&str> = labels
+            .split(',')
+            .filter(|l| !l.trim_start().starts_with("le="))
+            .collect();
+        if !kept.is_empty() {
+            key.push('{');
+            key.push_str(&kept.join(","));
+            key.push('}');
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn registry() -> PromRegistry {
+        let mut prom = PromRegistry::new();
+        prom.register(
+            "serve_requests_total",
+            "Requests accepted.",
+            PromKind::Counter,
+            "serve.requests",
+        )
+        .unwrap();
+        prom.register(
+            "serve_inflight",
+            "Requests in flight.",
+            PromKind::Gauge,
+            "serve.inflight",
+        )
+        .unwrap();
+        prom.register_labeled(
+            "serve_responses_total",
+            "Responses by status.",
+            PromKind::Counter,
+            "serve.responses.",
+            "status",
+            8,
+        )
+        .unwrap();
+        prom.register_series("serve_responses_total", "200").unwrap();
+        prom.register_series("serve_responses_total", "404").unwrap();
+        prom.register_labeled(
+            "serve_latency_ns",
+            "Request latency by route.",
+            PromKind::Histogram,
+            "serve.latency.",
+            "route",
+            8,
+        )
+        .unwrap();
+        prom.register_series("serve_latency_ns", "query").unwrap();
+        prom
+    }
+
+    #[test]
+    fn pre_registered_series_show_zero_on_empty_snapshot() {
+        let text = registry().encode(&Snapshot::default());
+        assert!(text.contains("serve_requests_total 0\n"), "{text}");
+        assert!(text.contains("serve_inflight 0\n"), "{text}");
+        assert!(text.contains("serve_responses_total{status=\"200\"} 0\n"));
+        assert!(text.contains("serve_responses_total{status=\"404\"} 0\n"));
+        assert!(text.contains("serve_latency_ns_bucket{route=\"query\",le=\"+Inf\"} 0\n"));
+        assert!(text.contains("serve_latency_ns_count{route=\"query\"} 0\n"));
+        lint(&text).unwrap();
+        assert!(parse_series(&text).unwrap().len() >= 4);
+    }
+
+    #[test]
+    fn golden_exposition_matches_snapshot_arithmetic() {
+        let metrics = Metrics::enabled();
+        metrics.counter("serve.requests").add(7);
+        metrics.counter("serve.responses.200").add(6);
+        metrics.counter("serve.responses.404").inc();
+        metrics.gauge("serve.inflight").add(2);
+        let h = metrics.histogram("serve.latency.query");
+        h.record(0); // bucket 0: le="0"
+        h.record(1); // bucket 1: le="1"
+        h.record(2); // bucket 2: le="3"
+        h.record(3); // bucket 2: le="3"
+        h.record(1_000_000); // bucket 20: le="1048575"
+        let snap = metrics.snapshot();
+        let text = registry().encode(&snap);
+        lint(&text).unwrap();
+
+        assert!(text.contains("# HELP serve_requests_total Requests accepted.\n"));
+        assert!(text.contains("# TYPE serve_requests_total counter\n"));
+        assert!(text.contains("serve_requests_total 7\n"));
+        assert!(text.contains("serve_responses_total{status=\"200\"} 6\n"));
+        assert!(text.contains("serve_responses_total{status=\"404\"} 1\n"));
+        assert!(text.contains("serve_inflight 2\n"));
+        // Cumulative bucket arithmetic against the JSON snapshot's pow2
+        // buckets: le=0 -> 1 obs, le=1 -> 2, le=3 -> 4, le=1048575 -> 5.
+        assert!(text.contains("serve_latency_ns_bucket{route=\"query\",le=\"0\"} 1\n"));
+        assert!(text.contains("serve_latency_ns_bucket{route=\"query\",le=\"1\"} 2\n"));
+        assert!(text.contains("serve_latency_ns_bucket{route=\"query\",le=\"3\"} 4\n"));
+        assert!(text.contains("serve_latency_ns_bucket{route=\"query\",le=\"1048575\"} 5\n"));
+        assert!(text.contains("serve_latency_ns_bucket{route=\"query\",le=\"+Inf\"} 5\n"));
+        let hist = snap.histogram("serve.latency.query").unwrap();
+        assert!(text.contains(&format!("serve_latency_ns_sum{{route=\"query\"}} {}\n", hist.sum)));
+        assert!(text.contains("serve_latency_ns_count{route=\"query\"} 5\n"));
+
+        // The parse round trip sees the same values.
+        let series = parse_series(&text).unwrap();
+        let get = |id: &str| {
+            series
+                .iter()
+                .find(|(s, _)| s == id)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing series {id}\n{text}"))
+        };
+        assert_eq!(get("serve_requests_total"), 7.0);
+        assert_eq!(get("serve_responses_total{status=\"404\"}"), 1.0);
+        assert_eq!(get("serve_latency_ns_bucket{route=\"query\",le=\"+Inf\"}"), 5.0);
+    }
+
+    #[test]
+    fn budget_rejects_unbounded_label() {
+        let mut prom = PromRegistry::new();
+        prom.register_labeled(
+            "q_total",
+            "Per-user queries — unbounded by nature.",
+            PromKind::Counter,
+            "q.",
+            "user",
+            2,
+        )
+        .unwrap();
+        prom.register_series("q_total", "alice").unwrap();
+        prom.register_series("q_total", "bob").unwrap();
+        // Idempotent re-registration is fine...
+        prom.register_series("q_total", "alice").unwrap();
+        // ...but a third distinct value breaks the budget.
+        let err = prom.register_series("q_total", "mallory").unwrap_err();
+        assert!(err.contains("cardinality budget"), "{err}");
+
+        // Unregistered series under the prefix are dropped, not exposed.
+        let metrics = Metrics::enabled();
+        metrics.counter("q.alice").inc();
+        metrics.counter("q.mallory").add(99);
+        let text = prom.encode(&metrics.snapshot());
+        assert!(text.contains("q_total{user=\"alice\"} 1\n"), "{text}");
+        assert!(!text.contains("mallory"), "{text}");
+        assert!(text.contains("# nvsim: dropped 1 over-budget series"), "{text}");
+        lint(&text).unwrap();
+    }
+
+    #[test]
+    fn unregistered_names_are_auto_exposed() {
+        let metrics = Metrics::enabled();
+        metrics.counter("trace.reads").add(3);
+        metrics.gauge("replay.active").add(1);
+        metrics.histogram("txn.bytes").record(100);
+        let text = PromRegistry::new().encode(&metrics.snapshot());
+        lint(&text).unwrap();
+        assert!(text.contains("# TYPE trace_reads_total counter\n"), "{text}");
+        assert!(text.contains("trace_reads_total 3\n"));
+        assert!(text.contains("# TYPE replay_active gauge\n"));
+        assert!(text.contains("replay_active 1\n"));
+        assert!(text.contains("# TYPE txn_bytes histogram\n"));
+        assert!(text.contains("txn_bytes_count 1\n"));
+    }
+
+    #[test]
+    fn registration_validates_names_and_budgets() {
+        let mut prom = PromRegistry::new();
+        assert!(prom
+            .register("bad name", "x", PromKind::Counter, "x")
+            .is_err());
+        assert!(prom
+            .register("2leading", "x", PromKind::Counter, "x")
+            .is_err());
+        assert!(prom
+            .register_labeled("ok_total", "x", PromKind::Counter, "x.", "0bad", 4)
+            .is_err());
+        assert!(prom
+            .register_labeled("ok_total", "x", PromKind::Counter, "x.", "label", 0)
+            .is_err());
+        prom.register("ok_total", "x", PromKind::Counter, "x").unwrap();
+        assert!(prom.register("ok_total", "x", PromKind::Counter, "x").is_err());
+        assert!(prom.register_series("ok_total", "v").is_err());
+        assert!(prom.register_series("ghost", "v").is_err());
+    }
+
+    #[test]
+    fn lint_rejects_malformed_expositions() {
+        assert!(lint("no_type_yet 1\n").is_err());
+        assert!(lint("# TYPE a counter\na 1\na 1\n").is_err(), "duplicate series");
+        assert!(lint("# TYPE a counter\n# TYPE a counter\n").is_err(), "duplicate TYPE");
+        assert!(lint("# TYPE a wat\n").is_err(), "unknown type");
+        assert!(lint("# TYPE 9bad counter\n").is_err(), "bad name");
+        assert!(
+            lint("# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n").is_err(),
+            "regressing buckets"
+        );
+        assert!(
+            lint("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 3\n").is_err(),
+            "+Inf != count"
+        );
+        assert!(
+            lint("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n").is_err(),
+            "missing +Inf"
+        );
+        lint("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n")
+            .unwrap();
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize_name("serve.cache.hits"), "serve_cache_hits");
+        assert_eq!(sanitize_name("1weird"), "_1weird");
+        assert_eq!(sanitize_name("a-b"), "a_b");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut prom = PromRegistry::new();
+        prom.register_labeled("f_total", "x", PromKind::Counter, "f.", "v", 2)
+            .unwrap();
+        prom.register_series("f_total", "a\"b\\c").unwrap();
+        let text = prom.encode(&Snapshot::default());
+        assert!(text.contains("f_total{v=\"a\\\"b\\\\c\"} 0\n"), "{text}");
+    }
+}

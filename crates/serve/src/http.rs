@@ -111,6 +111,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body (always sent with an exact `Content-Length`).
     pub body: String,
+    /// When set, emitted as an `X-Request-Id` header — the same id the
+    /// server's `request.received`/`request.finished` events carry, so
+    /// a client can join its response to the event stream.
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -120,6 +124,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body: body.into(),
+            request_id: None,
         }
     }
 
@@ -129,6 +134,7 @@ impl Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            request_id: None,
         }
     }
 
@@ -138,7 +144,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: format!("{}\n", message.into()),
+            request_id: None,
         }
+    }
+
+    /// Attaches the request id echoed back as `X-Request-Id`.
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Self {
+        self.request_id = Some(id.into());
+        self
     }
 
     /// The status reason phrase (only for codes this server emits).
@@ -155,12 +168,17 @@ impl Response {
 
     /// Serializes status line, headers and body into wire bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let request_id = match &self.request_id {
+            Some(id) => format!("X-Request-Id: {id}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            request_id
         );
         let mut out = head.into_bytes();
         out.extend_from_slice(self.body.as_bytes());
@@ -233,5 +251,18 @@ mod tests {
         let text = String::from_utf8(err).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
         assert!(text.ends_with("no such table\n"), "{text}");
+    }
+
+    #[test]
+    fn request_id_is_echoed_as_a_header() {
+        let plain = Response::text("ok").to_bytes();
+        assert!(!String::from_utf8(plain).unwrap().contains("X-Request-Id"));
+
+        let tagged = Response::text("ok").with_request_id("req-7").to_bytes();
+        let text = String::from_utf8(tagged).unwrap();
+        assert!(text.contains("X-Request-Id: req-7\r\n"), "{text}");
+        // Headers stay before the blank line, body after.
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(head.contains("X-Request-Id"), "{head}");
     }
 }

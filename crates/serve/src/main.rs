@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! nvsim-serve [--store DIR] [--addr HOST:PORT] [--workers N]
-//!             [--queue N] [--cache N]
+//!             [--queue N] [--cache N] [--events PATH]
 //! ```
 //!
 //! Loads `DIR/dataset.nvstore` (written by the experiment binaries'
@@ -15,13 +15,14 @@ use nvsim_store::{Store, DATASET_FILE};
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: nvsim-serve [--store DIR] [--addr HOST:PORT]\n\
-\x20                  [--workers N] [--queue N] [--cache N]\n\
+\x20                  [--workers N] [--queue N] [--cache N] [--events PATH]\n\
 value flags accept both spellings: --addr HOST:PORT and --addr=HOST:PORT\n\
   --store DIR      store directory holding dataset.nvstore (default: .)\n\
   --addr HOST:PORT bind address (default: 127.0.0.1:7770; port 0 = OS pick)\n\
   --workers N      request worker threads (default: 8)\n\
   --queue N        pending-connection queue depth before 503s (default: 64)\n\
-  --cache N        /query LRU response-cache capacity (default: 128)";
+  --cache N        /query LRU response-cache capacity (default: 128)\n\
+  --events PATH    append request lifecycle events to PATH as JSONL";
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -71,6 +72,9 @@ fn main() {
             "--cache" => {
                 config.cache_capacity =
                     count(&flag, &value(&flag, &mut inline, &mut it, "a capacity"))
+            }
+            "--events" => {
+                config.events = Some(PathBuf::from(value(&flag, &mut inline, &mut it, "a path")))
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

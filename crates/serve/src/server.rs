@@ -14,15 +14,18 @@
 use crate::cache::LruCache;
 use crate::http::{parse_request, Request, Response};
 use nv_scavenger::TaskPool;
-use nvsim_obs::Metrics;
+use nvsim_obs::{
+    Correlation, Event, EventBus, JsonlSink, Metrics, MetricsAggregator, PromKind, PromRegistry,
+};
 use nvsim_store::{EncodedStore, Query, Store};
 use nvsim_types::NvsimError;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`serve`].
 #[derive(Debug, Clone)]
@@ -33,6 +36,9 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// `/query` response-cache capacity (distinct canonical queries).
     pub cache_capacity: usize,
+    /// When set, every request/cache/query event is appended to this
+    /// file as JSONL (one event per line, `docs/METRICS.md` schema).
+    pub events: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -41,7 +47,29 @@ impl Default for ServeConfig {
             workers: 8,
             queue_depth: 64,
             cache_capacity: 128,
+            events: None,
         }
+    }
+}
+
+/// Routes every request falls into for the per-route latency
+/// histograms (`serve.latency.<class>`). A closed set — label
+/// cardinality in the Prometheus exposition is budgeted, so new routes
+/// must be added here and in [`serve_prom_registry`], not invented at
+/// request time.
+const ROUTE_CLASSES: [&str; 6] = ["index", "healthz", "metrics", "query", "section", "other"];
+
+/// Buckets a request path into one of [`ROUTE_CLASSES`].
+fn route_class(path: &str) -> &'static str {
+    match path {
+        "/" => "index",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/query" => "query",
+        p if p.starts_with("/tables/") || p.starts_with("/figs/") || p == "/suitability" => {
+            "section"
+        }
+        _ => "other",
     }
 }
 
@@ -60,6 +88,21 @@ struct AppState {
     sections: BTreeMap<&'static str, Result<String, String>>,
     cache: Mutex<LruCache>,
     metrics: Metrics,
+    /// The event bus every request publishes its lifecycle into. The
+    /// `serve.*` counters are *derived* from these events by a
+    /// [`MetricsAggregator`] subscriber — the server never bumps them
+    /// directly, so the JSON `/metrics` view and an `--events` JSONL
+    /// file can never disagree.
+    bus: EventBus,
+    /// The Prometheus exposition registry — immutable after [`serve`]
+    /// builds it, so workers encode from it without locking.
+    prom: PromRegistry,
+    /// Monotone request-id source (`req-<n>`).
+    req_seq: AtomicU64,
+    /// Lifetime cache-eviction total already published as
+    /// `cache.evicted` events; the next event carries only the delta.
+    /// Only touched under the cache lock, so deltas are exact.
+    evictions_seen: AtomicU64,
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`])
@@ -131,23 +174,29 @@ fn render_sections(store: &Store) -> BTreeMap<&'static str, Result<String, Strin
 const INDEX: &str = "nvsim-serve endpoints:\n\
   /healthz            liveness probe\n\
   /metrics            nvsim-obs snapshot (serve.* counters included)\n\
+\x20                     ?format=prometheus for text exposition\n\
   /tables/{1,5,6}     paper tables, byte-identical to the bins' --json\n\
   /figs/{2,3-6,7,8-11,12}  paper figures, same guarantee\n\
   /suitability        the abstract's suitability study\n\
   /query?table=T&where=..&select=..&agg=..&by=..&sort=..&limit=..\n\
 \x20                     ad-hoc query over the store (docs/STORE.md)\n";
 
-/// Routes one parsed request. Pure apart from cache/metric updates —
-/// unit-testable without sockets.
-fn route(state: &AppState, req: &Request) -> Response {
+/// `Content-Type` of the Prometheus text exposition format.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Routes one parsed request. Pure apart from cache/metric/event
+/// updates — unit-testable without sockets. `corr` is the request's
+/// correlation context (run and request id) for the events the route
+/// publishes.
+fn route(state: &AppState, req: &Request, corr: &Correlation) -> Response {
     if req.method != "GET" {
         return Response::error(405, format!("method {} not allowed", req.method));
     }
     match req.path.as_str() {
         "/" => Response::text(INDEX),
         "/healthz" => Response::text("ok\n"),
-        "/metrics" => Response::json(state.metrics.snapshot().to_json()),
-        "/query" => query_route(state, &req.query),
+        "/metrics" => metrics_route(state, &req.query),
+        "/query" => query_route(state, &req.query, corr),
         path => match state.sections.get(path) {
             Some(Ok(body)) => Response::json(body.clone()),
             Some(Err(reason)) => {
@@ -158,42 +207,77 @@ fn route(state: &AppState, req: &Request) -> Response {
     }
 }
 
-fn query_route(state: &AppState, pairs: &[(String, String)]) -> Response {
+/// `/metrics`: the JSON snapshot by default, Prometheus text
+/// exposition with `?format=prometheus`.
+fn metrics_route(state: &AppState, pairs: &[(String, String)]) -> Response {
+    let format = pairs
+        .iter()
+        .find(|(k, _)| k == "format")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("json");
+    match format {
+        "json" => Response::json(state.metrics.snapshot().to_json()),
+        "prometheus" => {
+            let mut resp = Response::text(state.prom.encode(&state.metrics.snapshot()));
+            resp.content_type = PROMETHEUS_CONTENT_TYPE;
+            resp
+        }
+        other => Response::error(
+            400,
+            format!("unknown metrics format {other:?} (json, prometheus)"),
+        ),
+    }
+}
+
+fn query_route(state: &AppState, pairs: &[(String, String)], corr: &Correlation) -> Response {
     let query = match Query::from_pairs(pairs) {
         Ok(q) => q,
         Err(e) => return Response::error(400, e.to_string()),
     };
     let key = query.canonical();
     if let Some(body) = state.cache.lock().expect("cache poisoned").get(&key) {
-        state.metrics.counter("serve.cache.hits").inc();
+        state.bus.publish(corr, Event::CacheHit);
         return Response::json(body.as_ref());
     }
-    state.metrics.counter("serve.cache.misses").inc();
-    let result = match query.run_encoded(&state.encoded, &state.metrics) {
-        Ok(r) => r,
-        Err(e) => return Response::error(400, e.to_string()),
-    };
+    state.bus.publish(corr, Event::CacheMiss);
+    let result =
+        match query.run_encoded_observed(&state.encoded, &state.metrics, &state.bus, corr) {
+            Ok(r) => r,
+            Err(e) => return Response::error(400, e.to_string()),
+        };
     let body: Arc<str> = Arc::from(result.to_json());
     {
         let mut cache = state.cache.lock().expect("cache poisoned");
         cache.insert(&key, Arc::clone(&body));
-        state.metrics.counter("serve.cache.insertions").inc();
-        let evictions = cache.evictions();
+        // The eviction delta is read under the cache lock so
+        // concurrent inserts each publish their own exact share of the
+        // lifetime total.
+        let total = cache.evictions() as u64;
+        let seen = state.evictions_seen.swap(total, Ordering::Relaxed);
         drop(cache);
-        // Mirror the cache's lifetime eviction count into a gauge (the
-        // counter API is add-only; the cache already keeps the total).
-        state.metrics.gauge("serve.cache.evictions").set(evictions as i64);
+        state.bus.publish(corr, Event::CacheInserted);
+        if total > seen {
+            state.bus.publish(corr, Event::CacheEvicted { n: total - seen });
+        }
     }
     Response::json(body.as_ref())
 }
 
 /// Reads the request head (up to the blank line), routes it, writes the
-/// response. All errors are answered on the wire where possible.
+/// response. All errors are answered on the wire where possible. The
+/// whole exchange is bracketed by `request.received` /
+/// `request.finished` events carrying a fresh `req-<n>` id, which the
+/// response echoes as `X-Request-Id`.
 fn handle_connection(state: &AppState, mut stream: TcpStream) {
-    state.metrics.counter("serve.requests").inc();
+    let request_id = format!("req-{}", state.req_seq.fetch_add(1, Ordering::Relaxed));
+    let corr = state.bus.correlation().with_request(request_id.as_str());
+    state.bus.publish(&corr, Event::RequestReceived);
+    let started = Instant::now();
+
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
+    let mut route_label = "other";
     let response = loop {
         match stream.read(&mut buf) {
             Ok(0) => break Response::error(400, "connection closed mid-request"),
@@ -201,7 +285,10 @@ fn handle_connection(state: &AppState, mut stream: TcpStream) {
                 head.extend_from_slice(&buf[..n]);
                 if head.windows(4).any(|w| w == b"\r\n\r\n") {
                     break match parse_request(&String::from_utf8_lossy(&head)) {
-                        Ok(req) => route(state, &req),
+                        Ok(req) => {
+                            route_label = route_class(&req.path);
+                            route(state, &req, &corr)
+                        }
                         Err(e) => Response::error(400, e),
                     };
                 }
@@ -212,12 +299,120 @@ fn handle_connection(state: &AppState, mut stream: TcpStream) {
             Err(_) => break Response::error(400, "read timed out"),
         }
     };
-    state
-        .metrics
-        .counter(&format!("serve.responses.{}", response.status))
-        .inc();
+    let response = response.with_request_id(request_id);
+
+    let latency_ns =
+        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    state.bus.publish(
+        &corr,
+        Event::RequestFinished {
+            route: route_label.to_string(),
+            status: response.status,
+            latency_ns,
+        },
+    );
+    // Flush before the client sees the response: the event log stays
+    // durable up to the last answered request even if the process is
+    // killed without the graceful-shutdown path (one no-op when the bus
+    // is disabled, one buffered-writer flush per request otherwise).
+    state.bus.flush();
     let _ = stream.write_all(&response.to_bytes());
     let _ = stream.flush();
+}
+
+/// Statuses this server emits — the label budget for the
+/// `nvsim_serve_responses_total{status=...}` family.
+const RESPONSE_STATUSES: [u16; 5] = [200, 400, 404, 405, 503];
+
+/// Registers every serve.* and query.* instrument up front so
+/// `/metrics` shows the full set (at zero) from the first scrape, not
+/// only after the first event of each kind.
+fn register_serve_metrics(metrics: &Metrics) {
+    for name in [
+        "serve.requests",
+        "serve.shed",
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.cache.insertions",
+        "serve.cache.evictions",
+        "query.runs",
+        "query.blocks.scanned",
+        "query.blocks.pruned",
+        "query.rows.scanned",
+        "query.rows.selected",
+    ] {
+        metrics.counter(name);
+    }
+    for status in RESPONSE_STATUSES {
+        metrics.counter(&format!("serve.responses.{status}"));
+    }
+    metrics.gauge("serve.inflight");
+    for class in ROUTE_CLASSES {
+        metrics.histogram(&format!("serve.latency.{class}"));
+    }
+}
+
+/// The Prometheus families `/metrics?format=prometheus` exposes, with
+/// their label-cardinality budgets. Every family is registered before
+/// the first request, so a first scrape shows the whole set at zero.
+///
+/// # Panics
+/// Never in practice — the registrations are static and the registry
+/// validates them at startup, so a bad name is a programming error
+/// caught by the first test that builds a server.
+fn serve_prom_registry() -> PromRegistry {
+    let mut prom = PromRegistry::new();
+    let reg = [
+        ("nvsim_serve_requests_total", "Requests handled (excludes shed connections).", "serve.requests"),
+        ("nvsim_serve_shed_total", "Connections shed with 503 because the worker queue was full.", "serve.shed"),
+        ("nvsim_serve_cache_hits_total", "/query responses answered from the LRU cache.", "serve.cache.hits"),
+        ("nvsim_serve_cache_misses_total", "/query responses that had to run the engine.", "serve.cache.misses"),
+        ("nvsim_serve_cache_insertions_total", "/query responses inserted into the LRU cache.", "serve.cache.insertions"),
+        ("nvsim_serve_cache_evictions_total", "/query cache entries evicted to make room.", "serve.cache.evictions"),
+        ("nvsim_query_runs_total", "Queries executed by the vectorized engine.", "query.runs"),
+        ("nvsim_query_blocks_scanned_total", "Encoded blocks decoded during filter scans.", "query.blocks.scanned"),
+        ("nvsim_query_blocks_pruned_total", "Encoded blocks skipped via min/max statistics.", "query.blocks.pruned"),
+        ("nvsim_query_rows_scanned_total", "Rows tested against filters.", "query.rows.scanned"),
+        ("nvsim_query_rows_selected_total", "Rows surviving all filters.", "query.rows.selected"),
+    ];
+    for (name, help, source) in reg {
+        prom.register(name, help, PromKind::Counter, source)
+            .expect("static family");
+    }
+    prom.register(
+        "nvsim_serve_inflight",
+        "Requests currently being handled.",
+        PromKind::Gauge,
+        "serve.inflight",
+    )
+    .expect("static family");
+    prom.register_labeled(
+        "nvsim_serve_responses_total",
+        "Responses written, by HTTP status.",
+        PromKind::Counter,
+        "serve.responses.",
+        "status",
+        RESPONSE_STATUSES.len() + 3,
+    )
+    .expect("static family");
+    for status in RESPONSE_STATUSES {
+        prom.register_series("nvsim_serve_responses_total", &status.to_string())
+            .expect("status within budget");
+    }
+    prom.register_labeled(
+        "nvsim_serve_request_latency_ns",
+        "Request wall time from accept to response write, nanoseconds.",
+        PromKind::Histogram,
+        "serve.latency.",
+        "route",
+        ROUTE_CLASSES.len(),
+    )
+    .expect("static family");
+    for class in ROUTE_CLASSES {
+        prom.register_series("nvsim_serve_request_latency_ns", class)
+            .expect("route within budget");
+    }
+    prom
 }
 
 /// Starts serving `store` on `addr` (e.g. `"127.0.0.1:0"` for an
@@ -227,7 +422,9 @@ fn handle_connection(state: &AppState, mut stream: TcpStream) {
 ///
 /// `metrics` feeds `/metrics`; pass the registry the caller already
 /// observes (or [`Metrics::enabled`] for a fresh one). The `serve.*`
-/// counters land there.
+/// counters land there, derived from the request event stream by a
+/// [`MetricsAggregator`]. `config.events` additionally persists that
+/// stream as JSONL.
 ///
 /// # Errors
 /// [`NvsimError::Io`] when the address cannot be bound.
@@ -250,29 +447,32 @@ pub fn serve(
     // The query engine works on the encoded form; re-encoding an
     // in-memory store is cheap and cannot fail structurally.
     let encoded = EncodedStore::open(store.encode())?;
-    // Register every serve.* and query.* instrument up front so
-    // /metrics shows the full set (at zero) from the first scrape, not
-    // only after the first event of each kind.
-    for name in [
-        "serve.requests",
-        "serve.shed",
-        "serve.cache.hits",
-        "serve.cache.misses",
-        "serve.cache.insertions",
-        "query.runs",
-        "query.blocks.scanned",
-        "query.blocks.pruned",
-        "query.rows.scanned",
-        "query.rows.selected",
-    ] {
-        metrics.counter(name);
+    register_serve_metrics(&metrics);
+
+    // The bus every worker publishes request lifecycle events into.
+    // The aggregator derives the serve.* counters from those events;
+    // an optional JSONL sink persists the same stream for offline
+    // correlation (same schema the sweep binaries' --events writes).
+    let mut builder = EventBus::builder(format!("serve-{}", std::process::id()))
+        .subscribe(Box::new(MetricsAggregator::new(metrics.clone())));
+    if let Some(path) = &config.events {
+        let sink = JsonlSink::create(path).map_err(|e| NvsimError::Io {
+            path: path.display().to_string(),
+            cause: e.to_string(),
+        })?;
+        builder = builder.subscribe(Box::new(sink));
     }
-    metrics.gauge("serve.cache.evictions");
+    let bus = builder.build();
+
     let state = Arc::new(AppState {
         encoded,
         sections,
         cache: Mutex::new(LruCache::new(config.cache_capacity)),
         metrics,
+        bus,
+        prom: serve_prom_registry(),
+        req_seq: AtomicU64::new(0),
+        evictions_seen: AtomicU64::new(0),
     });
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -295,7 +495,9 @@ pub fn serve(
                 let state = Arc::clone(&accept_state);
                 if let Err(job) = pool.try_execute(move || handle_connection(&state, stream)) {
                     drop(job);
-                    accept_state.metrics.counter("serve.shed").inc();
+                    accept_state
+                        .bus
+                        .publish(&accept_state.bus.correlation(), Event::RequestShed);
                     if let Some(mut s) = shed_handle {
                         let _ = s.write_all(
                             &Response::error(503, "server busy: request queue full").to_bytes(),
@@ -305,6 +507,8 @@ pub fn serve(
             }
             // Drain accepted requests before the listener closes.
             pool.join();
+            // Then push any buffered JSONL events to disk.
+            accept_state.bus.flush();
         })
         .map_err(|e| NvsimError::Io {
             path: "serve-accept thread".to_string(),
@@ -324,6 +528,10 @@ mod tests {
     use nvsim_store::{Column, Table};
 
     fn tiny_state() -> AppState {
+        tiny_state_with_cache(4)
+    }
+
+    fn tiny_state_with_cache(cache_capacity: usize) -> AppState {
         let mut store = Store::new();
         store.upsert(
             Table::new("objects")
@@ -333,11 +541,20 @@ mod tests {
         // The tiny store holds none of the paper sections, so every
         // pre-rendered endpoint is a 503 with a reason.
         let sections = render_sections(&store);
+        let metrics = Metrics::enabled();
+        register_serve_metrics(&metrics);
+        let bus = EventBus::builder("serve-test")
+            .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
+            .build();
         AppState {
             encoded: EncodedStore::open(store.encode()).unwrap(),
             sections,
-            cache: Mutex::new(LruCache::new(4)),
-            metrics: Metrics::enabled(),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            metrics,
+            bus,
+            prom: serve_prom_registry(),
+            req_seq: AtomicU64::new(0),
+            evictions_seen: AtomicU64::new(0),
         }
     }
 
@@ -346,6 +563,7 @@ mod tests {
             Some((p, q)) => (p, crate::http::parse_query(q)),
             None => (path, Vec::new()),
         };
+        let corr = state.bus.correlation().with_request("req-test");
         route(
             state,
             &Request {
@@ -353,6 +571,7 @@ mod tests {
                 path: path.into(),
                 query,
             },
+            &corr,
         )
     }
 
@@ -397,6 +616,7 @@ mod tests {
                 path: "/query".into(),
                 query: Vec::new(),
             },
+            &state.bus.correlation(),
         );
         assert_eq!(post.status, 405);
     }
@@ -409,5 +629,75 @@ mod tests {
         let body = get(&state, "/metrics").body;
         assert!(body.contains("serve.cache.hits"), "{body}");
         assert!(body.contains("serve.cache.misses"), "{body}");
+    }
+
+    #[test]
+    fn prometheus_format_lints_and_shows_everything_at_zero() {
+        use nvsim_obs::prom;
+        let state = tiny_state();
+        // First scrape, before any traffic: every pre-registered
+        // family must be present, at zero, and the output must pass
+        // the encoder's own lint and parser.
+        let first = get(&state, "/metrics?format=prometheus");
+        assert_eq!(first.status, 200);
+        assert_eq!(first.content_type, PROMETHEUS_CONTENT_TYPE);
+        prom::lint(&first.body).unwrap();
+        let series = prom::parse_series(&first.body).unwrap();
+        let value = |name: &str| {
+            series
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing series {name} in:\n{}", first.body))
+        };
+        assert_eq!(value("nvsim_serve_requests_total"), 0.0);
+        assert_eq!(value("nvsim_serve_inflight"), 0.0);
+        assert_eq!(value("nvsim_serve_responses_total{status=\"503\"}"), 0.0);
+        assert_eq!(
+            value("nvsim_serve_request_latency_ns_count{route=\"query\"}"),
+            0.0
+        );
+
+        // Traffic moves the counters in the next scrape.
+        get(&state, "/query?table=objects");
+        let second = get(&state, "/metrics?format=prometheus");
+        prom::lint(&second.body).unwrap();
+        let series = prom::parse_series(&second.body).unwrap();
+        let runs = series
+            .iter()
+            .find(|(n, _)| n == "nvsim_query_runs_total")
+            .unwrap();
+        assert_eq!(runs.1, 1.0);
+
+        // Unknown formats are a 400, not silently JSON.
+        assert_eq!(get(&state, "/metrics?format=xml").status, 400);
+    }
+
+    #[test]
+    fn cache_evictions_are_a_monotone_counter() {
+        let state = tiny_state_with_cache(1);
+        // Three distinct queries through a 1-entry cache: two evictions.
+        get(&state, "/query?table=objects");
+        get(&state, "/query?table=objects&where=app%3DCAM");
+        get(&state, "/query?table=objects&where=app%3DGTC");
+        let snap = state.metrics.snapshot();
+        assert_eq!(snap.counter("serve.cache.evictions"), Some(2));
+        // The old implementation mirrored this into a gauge; it must
+        // now be a counter only.
+        assert_eq!(snap.gauge("serve.cache.evictions"), None);
+    }
+
+    #[test]
+    fn query_routes_emit_correlated_events() {
+        let state = tiny_state();
+        get(&state, "/query?table=objects");
+        get(&state, "/query?table=objects");
+        // miss + insert + query.executed for the first, hit for the
+        // second — all derived through the bus, not inline bumps.
+        let snap = state.metrics.snapshot();
+        assert_eq!(snap.counter("serve.cache.misses"), Some(1));
+        assert_eq!(snap.counter("serve.cache.insertions"), Some(1));
+        assert_eq!(snap.counter("serve.cache.hits"), Some(1));
+        assert_eq!(state.bus.published(), 4);
     }
 }

@@ -28,7 +28,7 @@ use crate::codec::Encoding;
 use crate::column::{Column, ColumnType, Value};
 use crate::encoded::{Chunk, EncodedColumn, EncodedStore, EncodedTable, Stats};
 use crate::store::{Store, Table};
-use nvsim_obs::Metrics;
+use nvsim_obs::{Correlation, Event, EventBus, Metrics};
 use nvsim_types::NvsimError;
 use std::cmp::Ordering;
 
@@ -497,6 +497,30 @@ impl Query {
             self.aggregate_encoded(table, &selected)?
         };
         self.sort_and_limit(&mut result)?;
+        Ok(result)
+    }
+
+    /// [`Query::run_encoded`], publishing a `query.executed` event on
+    /// success carrying the table name and result row count under
+    /// `corr`. With a disabled bus this is exactly `run_encoded`.
+    ///
+    /// # Errors
+    /// Identical to [`Query::run_encoded`].
+    pub fn run_encoded_observed(
+        &self,
+        store: &EncodedStore,
+        metrics: &Metrics,
+        bus: &EventBus,
+        corr: &Correlation,
+    ) -> Result<QueryResult, NvsimError> {
+        let result = self.run_encoded(store, metrics)?;
+        bus.publish(
+            corr,
+            Event::QueryExecuted {
+                table: self.table.clone(),
+                rows: result.rows.len() as u64,
+            },
+        );
         Ok(result)
     }
 

@@ -11,6 +11,7 @@
 use crate::column::{Column, ColumnType, Value};
 use crate::codec;
 use bytes::Bytes;
+use nvsim_obs::{Correlation, Event, EventBus};
 use nvsim_types::NvsimError;
 use std::path::Path;
 
@@ -167,6 +168,21 @@ impl Store {
     /// # Errors
     /// [`NvsimError::Io`] carrying the path on any filesystem failure.
     pub fn save(&self, path: &Path) -> Result<(), NvsimError> {
+        self.save_observed(path, &EventBus::disabled(), &Correlation::default())
+    }
+
+    /// [`Store::save`], publishing a `store.write` event on success
+    /// carrying the destination path, encoded byte count and table
+    /// count under `corr`. With a disabled bus this is exactly `save`.
+    ///
+    /// # Errors
+    /// [`NvsimError::Io`] carrying the path on any filesystem failure.
+    pub fn save_observed(
+        &self,
+        path: &Path,
+        bus: &EventBus,
+        corr: &Correlation,
+    ) -> Result<(), NvsimError> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent).map_err(|e| NvsimError::Io {
@@ -175,10 +191,21 @@ impl Store {
                 })?;
             }
         }
-        nvsim_obs::artifact::atomic_write(path, &self.encode()).map_err(|e| NvsimError::Io {
+        let encoded = self.encode();
+        let bytes = encoded.len() as u64;
+        nvsim_obs::artifact::atomic_write(path, &encoded).map_err(|e| NvsimError::Io {
             path: path.display().to_string(),
             cause: e.to_string(),
-        })
+        })?;
+        bus.publish(
+            corr,
+            Event::StoreWrite {
+                path: path.display().to_string(),
+                bytes,
+                tables: self.tables.len() as u64,
+            },
+        );
+        Ok(())
     }
 
     /// Reads and decodes the store at `path`.

@@ -1,0 +1,208 @@
+//! The event bus's two core guarantees, end to end over the real fleet:
+//!
+//! 1. **Observation is free of observable side effects.** A sweep run
+//!    with an enabled bus (JSONL sink attached, every lifecycle event
+//!    published) produces a merged metrics snapshot and timeline shape
+//!    byte-identical to the same sweep with the bus disabled — the
+//!    `--events` flag can never perturb `--metrics-json`, `--timeline`
+//!    or `--report` output.
+//! 2. **The JSONL stream is schema-valid and complete.** Every line
+//!    parses, carries the schema version, a known kind, and the run's
+//!    correlation ids; sequence numbers are strictly increasing on a
+//!    single worker; and the event counts reconcile exactly with the
+//!    sweep grid (apps × technologies).
+
+use nv_scavenger::{grid_points, FleetPolicy};
+use nvsim_apps::AppScale;
+use nvsim_faults::FaultPlan;
+use nvsim_obs::{EventBus, JsonlSink, Metrics, Timeline, EVENT_SCHEMA_VERSION, KINDS};
+use serde_json::Value;
+
+const SCALE: AppScale = AppScale::Test;
+const ITERS: u32 = 2;
+const APPS: usize = 4;
+const TECHS: usize = 4;
+
+/// A fresh scratch file path under the system tempdir.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvsim-events-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The timestamp-free rendition of a timeline (wall-clock `ts_ns`
+/// differs between any two runs; everything else must not).
+fn timeline_shape(timeline: &Timeline) -> String {
+    timeline
+        .events()
+        .into_iter()
+        .map(|e| format!("{}|{}|{}|{}|{:?}\n", e.name, e.cat, e.kind.ph(), e.tid, e.args))
+        .collect()
+}
+
+/// Runs the whole fleet under `policy`, returning the merged metrics
+/// JSON and timeline shape.
+fn run_fleet(jobs: usize, policy: &FleetPolicy) -> (String, String) {
+    let metrics = Metrics::enabled();
+    let timeline = Timeline::enabled();
+    let run = nv_scavenger::profile_fleet_policy(SCALE, ITERS, jobs, &metrics, &timeline, policy)
+        .expect("keep-going fleet completes");
+    assert_eq!(run.reports.len(), APPS);
+    (metrics.snapshot().to_json(), timeline_shape(&timeline))
+}
+
+/// Parses an events file into JSON objects, validating each line
+/// against the envelope schema along the way.
+fn read_events(path: &std::path::Path, run_id: &str) -> Vec<Value> {
+    let text = std::fs::read_to_string(path).unwrap();
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {}: not JSON ({e}): {line}", lineno + 1));
+        let obj = v.as_object().unwrap_or_else(|| panic!("line {}: not an object", lineno + 1));
+        assert_eq!(
+            obj["schema"].as_u64(),
+            Some(u64::from(EVENT_SCHEMA_VERSION)),
+            "line {}: schema version",
+            lineno + 1
+        );
+        let kind = obj["kind"].as_str().expect("kind is a string");
+        assert!(KINDS.contains(&kind), "line {}: unknown kind {kind}", lineno + 1);
+        assert_eq!(obj["run_id"].as_str(), Some(run_id), "line {}", lineno + 1);
+        assert!(obj["seq"].is_u64() && obj["ts_ns"].is_u64(), "line {}", lineno + 1);
+        events.push(v);
+    }
+    events
+}
+
+fn count(events: &[Value], kind: &str) -> usize {
+    events.iter().filter(|e| e["kind"] == kind).count()
+}
+
+#[test]
+fn observed_run_is_byte_identical_to_unobserved() {
+    let baseline = run_fleet(1, &FleetPolicy::default());
+
+    let path = scratch("clean");
+    let bus = EventBus::builder("run-test")
+        .subscribe(Box::new(JsonlSink::create(&path).unwrap()))
+        .build();
+    let policy = FleetPolicy {
+        events: bus.clone(),
+        ..FleetPolicy::default()
+    };
+    let observed = run_fleet(1, &policy);
+    bus.flush();
+
+    assert_eq!(baseline.0, observed.0, "metrics snapshot must not change");
+    assert_eq!(baseline.1, observed.1, "timeline shape must not change");
+    assert_eq!(bus.dropped(), 0, "bounded bus must not drop at this scale");
+
+    // The stream reconciles with the sweep grid: one sweep per app,
+    // one started/finished pair per cell, nothing degraded.
+    let events = read_events(&path, "run-test");
+    assert_eq!(events.len() as u64, bus.published());
+    let cells = grid_points(SCALE).len();
+    assert_eq!(cells, APPS * TECHS);
+    assert_eq!(count(&events, "sweep.started"), APPS);
+    assert_eq!(count(&events, "sweep.finished"), APPS);
+    assert_eq!(count(&events, "cell.started"), cells);
+    assert_eq!(count(&events, "cell.finished"), cells);
+    assert_eq!(count(&events, "cell.retried"), 0);
+    assert_eq!(count(&events, "cell.quarantined"), 0);
+
+    // Per-kind payloads carry what the schema promises.
+    for e in &events {
+        match e["kind"].as_str().unwrap() {
+            "sweep.started" => assert_eq!(e["cells"].as_u64(), Some(TECHS as u64)),
+            "sweep.finished" => {
+                assert_eq!(e["completed"].as_u64(), Some(TECHS as u64));
+                assert_eq!(e["quarantined"].as_u64(), Some(0));
+            }
+            "cell.started" => {
+                assert_eq!(e["attempt"].as_u64(), Some(1));
+                let cell = e["cell"].as_str().unwrap();
+                assert!(grid_points(SCALE).contains(&cell.to_string()), "{cell}");
+            }
+            "cell.finished" => {
+                assert!(e["transactions"].as_u64().unwrap() > 0);
+                assert!(e["app"].as_str().is_some());
+            }
+            other => panic!("unexpected kind in a clean run: {other}"),
+        }
+    }
+
+    // Single worker: sequence numbers strictly increase in file order.
+    let seqs: Vec<u64> = events.iter().map(|e| e["seq"].as_u64().unwrap()).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+}
+
+#[test]
+fn faulted_run_streams_retry_quarantine_and_injection_events() {
+    let path = scratch("chaos");
+    let bus = EventBus::builder("run-chaos")
+        .subscribe(Box::new(JsonlSink::create(&path).unwrap()))
+        .build();
+    let policy = FleetPolicy {
+        retries: 0,
+        events: bus.clone(),
+        faults: FaultPlan::parse("panic@GTC/pcram").unwrap().injector(),
+        ..FleetPolicy::default()
+    };
+    let (_, _) = run_fleet(1, &policy);
+    bus.flush();
+
+    let events = read_events(&path, "run-chaos");
+    assert_eq!(count(&events, "fault.injected"), 1);
+    assert_eq!(count(&events, "cell.quarantined"), 1);
+    assert_eq!(count(&events, "cell.retried"), 0, "retries=0 means one attempt");
+
+    let injected = events.iter().find(|e| e["kind"] == "fault.injected").unwrap();
+    assert_eq!(injected["fault"].as_str(), Some("panic"));
+    assert_eq!(injected["cell"].as_str(), Some("GTC/pcram"));
+
+    let quarantined = events.iter().find(|e| e["kind"] == "cell.quarantined").unwrap();
+    assert_eq!(quarantined["cell"].as_str(), Some("GTC/pcram"));
+    assert_eq!(quarantined["attempts"].as_u64(), Some(1));
+    assert!(
+        quarantined["error"].as_str().unwrap().contains("GTC/pcram"),
+        "{quarantined}"
+    );
+
+    // The quarantined cell finished nowhere: 15 finishes for 16 starts.
+    assert_eq!(count(&events, "cell.started"), APPS * TECHS);
+    assert_eq!(count(&events, "cell.finished"), APPS * TECHS - 1);
+}
+
+#[test]
+fn parallel_observed_run_matches_serial_metrics() {
+    // The byte-identity holds at any worker count; seq ordering in the
+    // file does not (workers interleave), so only totals are asserted.
+    let baseline = run_fleet(1, &FleetPolicy::default());
+    let path = scratch("parallel");
+    let bus = EventBus::builder("run-par")
+        .subscribe(Box::new(JsonlSink::create(&path).unwrap()))
+        .build();
+    let policy = FleetPolicy {
+        events: bus.clone(),
+        ..FleetPolicy::default()
+    };
+    let observed = run_fleet(4, &policy);
+    bus.flush();
+
+    assert_eq!(baseline.0, observed.0, "metrics snapshot must not change");
+    assert_eq!(baseline.1, observed.1, "timeline shape must not change");
+
+    let events = read_events(&path, "run-par");
+    assert_eq!(count(&events, "cell.finished"), APPS * TECHS);
+    // Workers stamp their identity into the correlation context.
+    assert!(
+        events
+            .iter()
+            .filter(|e| e["kind"] == "cell.started")
+            .all(|e| e["worker"].is_u64()),
+        "cell events must carry a worker id"
+    );
+}

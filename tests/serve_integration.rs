@@ -68,6 +68,7 @@ fn serve_answers_stored_sections_byte_identically_and_caches_under_concurrency()
             workers: 8,
             queue_depth: 64,
             cache_capacity: 16,
+            ..ServeConfig::default()
         },
         metrics.clone(),
     )
@@ -164,6 +165,143 @@ fn get_after_shutdown(addr: SocketAddr) -> bool {
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
     let mut buf = [0u8; 16];
     matches!(stream.read(&mut buf), Ok(0) | Err(_))
+}
+
+/// Like [`get`], but also returns the response head (for header
+/// assertions).
+fn get_with_head(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+#[test]
+fn request_ids_prometheus_exposition_and_event_stream_over_the_wire() {
+    let ds = nv_scavenger::collect_dataset(AppScale::Test, 1, 1).expect("collect dataset");
+    let store = nv_scavenger::dataset_to_store(&ds);
+
+    let events_path = std::env::temp_dir().join(format!(
+        "nvsim-serve-events-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&events_path);
+
+    let metrics = nvsim_obs::Metrics::enabled();
+    let mut server = serve(
+        store,
+        "127.0.0.1:0",
+        ServeConfig {
+            events: Some(events_path.clone()),
+            ..ServeConfig::default()
+        },
+        metrics.clone(),
+    )
+    .expect("bind server");
+    let addr = server.addr();
+
+    // First scrape, before any other traffic: every pre-registered
+    // family is present at zero, the output parses and lints with the
+    // in-repo encoder's own tooling, and the response advertises the
+    // text exposition content type.
+    let (status, head, body) = get_with_head(addr, "/metrics?format=prometheus");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    nvsim_obs::prom::lint(&body).expect("first scrape lints clean");
+    let series = nvsim_obs::prom::parse_series(&body).expect("first scrape parses");
+    let value = |name: &str| {
+        series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing {name} in:\n{body}"))
+    };
+    // The scrape itself is in flight while the snapshot is taken.
+    assert_eq!(value("nvsim_serve_inflight"), 1.0);
+    assert_eq!(value("nvsim_serve_shed_total"), 0.0);
+    assert_eq!(value("nvsim_serve_cache_evictions_total"), 0.0);
+    assert_eq!(value("nvsim_serve_responses_total{status=\"404\"}"), 0.0);
+    assert_eq!(
+        value("nvsim_serve_request_latency_ns_count{route=\"query\"}"),
+        0.0
+    );
+
+    // Every response carries a unique X-Request-Id echo.
+    let (_, head_a, _) = get_with_head(addr, "/healthz");
+    let (_, head_b, _) = get_with_head(addr, "/healthz");
+    let id = |head: &str| {
+        head.lines()
+            .find_map(|l| l.strip_prefix("X-Request-Id: "))
+            .unwrap_or_else(|| panic!("no X-Request-Id in:\n{head}"))
+            .to_string()
+    };
+    assert!(id(&head_a).starts_with("req-"), "{head_a}");
+    assert_ne!(id(&head_a), id(&head_b));
+
+    // Traffic moves the derived counters; inflight settles back.
+    get(addr, "/query?table=footprint");
+    get(addr, "/query?table=footprint");
+    let (_, _, after) = get_with_head(addr, "/metrics?format=prometheus");
+    nvsim_obs::prom::lint(&after).expect("after-traffic scrape lints clean");
+    let series = nvsim_obs::prom::parse_series(&after).unwrap();
+    let value = |name: &str| {
+        series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing {name} in:\n{after}"))
+    };
+    assert_eq!(value("nvsim_serve_inflight"), 1.0, "only this scrape in flight");
+    assert_eq!(value("nvsim_serve_cache_hits_total"), 1.0);
+    assert_eq!(value("nvsim_serve_cache_misses_total"), 1.0);
+    assert!(value("nvsim_serve_requests_total") >= 6.0);
+    assert!(value("nvsim_serve_request_latency_ns_count{route=\"query\"}") >= 2.0);
+    // The JSON default still serves the snapshot, and the two views of
+    // one registry agree on the cache hit count.
+    let (status, json_view) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(counter_in_metrics(&json_view, "serve.cache.hits"), 1);
+
+    // Shutdown flushes the JSONL sink; the file must hold one
+    // request.received/request.finished pair per request, with matching
+    // ids, all schema-valid.
+    server.shutdown();
+    let text = std::fs::read_to_string(&events_path).expect("events file written");
+    let mut received = 0u64;
+    let mut finished = 0u64;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect(line);
+        assert_eq!(v["schema"].as_u64(), Some(1), "{line}");
+        let kind = v["kind"].as_str().unwrap();
+        assert!(nvsim_obs::KINDS.contains(&kind), "{line}");
+        match kind {
+            "request.received" => {
+                received += 1;
+                assert!(v["request_id"].as_str().unwrap().starts_with("req-"), "{line}");
+            }
+            "request.finished" => {
+                finished += 1;
+                assert!(v["latency_ns"].is_u64(), "{line}");
+                assert!(v["status"].is_u64(), "{line}");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(received, finished, "every request closes its bracket");
+    assert!(received >= 7, "all requests above are in the stream:\n{text}");
+    let _ = std::fs::remove_file(&events_path);
 }
 
 #[test]
