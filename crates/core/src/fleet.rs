@@ -819,6 +819,20 @@ pub fn profile_fleet_policy(
             }
         }
     }
+    // Sweep teardown: firings the per-cell drain in run_cell_resilient
+    // never claimed (probes at non-cell points, or attempts abandoned by
+    // an application-level failure) are published here, so the shared
+    // injector's log is empty — not accumulating — when the run ends.
+    // Safe only after the join above: a mid-run drain could steal a
+    // concurrent cell's firings before its own take_fired call.
+    for (point, kind) in policy.faults.take_all_fired() {
+        policy.events.publish(
+            &policy.events.correlation().with_cell(point.as_str()),
+            Event::FaultInjected {
+                kind: kind.label().to_string(),
+            },
+        );
+    }
     Ok(FleetRun {
         reports,
         degraded,

@@ -254,12 +254,19 @@ impl FaultPlan {
 
 /// Interior of an armed injector: remaining fire budgets plus the log
 /// of faults that actually fired (drained per point by
-/// [`FaultInjector::take_fired`]).
+/// [`FaultInjector::take_fired`], fully by
+/// [`FaultInjector::take_all_fired`]).
 #[derive(Debug)]
 struct ArmedState {
     budgets: BTreeMap<(String, FaultKind), u32>,
     fired: Vec<(String, FaultKind)>,
 }
+
+/// Hard bound on the fired log. Drains keep it near-empty in the fleet;
+/// the cap only matters for a caller that probes an [`ALWAYS`] fault in
+/// a loop and never drains — growth stops here instead of tracking the
+/// injector's lifetime. Generous next to any plan's finite budgets.
+const FIRED_LOG_CAP: usize = 4096;
 
 /// Shared, thread-safe view of an armed [`FaultPlan`]. The disabled
 /// flavour (the default) is a no-op on every probe — production runs
@@ -299,7 +306,7 @@ impl FaultInjector {
             }
             _ => false,
         };
-        if fires {
+        if fires && armed.fired.len() < FIRED_LOG_CAP {
             armed.fired.push((point.to_string(), kind));
         }
         fires
@@ -324,6 +331,20 @@ impl FaultInjector {
             }
         });
         taken
+    }
+
+    /// Drains the *entire* fired log, returning `(point, kind)` pairs in
+    /// firing order. Sweep teardown calls this so firings the per-cell
+    /// [`FaultInjector::take_fired`] never claims — probes at non-cell
+    /// points, or an attempt abandoned by an application-level failure —
+    /// still reach the event stream instead of accumulating for the
+    /// injector's lifetime. Empty for a disabled injector.
+    pub fn take_all_fired(&self) -> Vec<(String, FaultKind)> {
+        let Some(armed) = &self.armed else {
+            return Vec::new();
+        };
+        let mut armed = armed.lock().expect("fault table lock");
+        std::mem::take(&mut armed.fired)
     }
 
     /// Probes every attempt-level fault at a cell boundary: fires an
@@ -509,6 +530,35 @@ mod tests {
         assert!(inj.on_cell_start("GTC/ddr3").is_ok());
         assert!(inj.take_fired("GTC/ddr3").is_empty());
         assert!(FaultInjector::disabled().take_fired("x").is_empty());
+    }
+
+    #[test]
+    fn take_all_fired_drains_every_point() {
+        let plan = FaultPlan::parse("transient@CAM/mram*1; corrupt@S3D/mram*1").unwrap();
+        let inj = plan.injector();
+        assert!(inj.on_cell_start("CAM/mram").is_err());
+        assert!(inj.corrupted("S3D/mram", &[0u8; 8]).is_some());
+        let all = inj.take_all_fired();
+        assert_eq!(all, vec![
+            ("CAM/mram".to_string(), FaultKind::Transient),
+            ("S3D/mram".to_string(), FaultKind::CorruptTrace),
+        ]);
+        assert!(inj.take_all_fired().is_empty(), "already drained");
+        assert!(inj.take_fired("CAM/mram").is_empty(), "already drained");
+        assert!(FaultInjector::disabled().take_all_fired().is_empty());
+    }
+
+    #[test]
+    fn fired_log_is_bounded_for_undrained_always_faults() {
+        // An ALWAYS budget (no *N) never decrements; a caller that
+        // probes in a loop without draining must not grow the log
+        // without bound.
+        let plan = FaultPlan::parse("transient@CAM/mram").unwrap();
+        let inj = plan.injector();
+        for _ in 0..(FIRED_LOG_CAP + 50) {
+            assert!(inj.on_cell_start("CAM/mram").is_err(), "still fires past the cap");
+        }
+        assert_eq!(inj.take_all_fired().len(), FIRED_LOG_CAP);
     }
 
     #[test]

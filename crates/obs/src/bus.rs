@@ -37,7 +37,7 @@ use crate::event::{Correlation, Event, EventRecord};
 use crate::metrics::Metrics;
 use crate::timeline::{ArgValue, Timeline};
 use std::fmt;
-use std::fs::File;
+use std::fs::OpenOptions;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,6 +106,15 @@ impl EventBusBuilder {
     pub fn with_capacity(mut self, cap: u64) -> Self {
         self.cap = cap;
         self
+    }
+
+    /// Removes the capacity bound (`u64::MAX`). The default cap suits
+    /// one bounded sweep; a long-lived process whose metrics are
+    /// *derived* from the bus (nvsim-serve) must never hit it — past
+    /// the cap every subscriber goes silent at once, so a capped serve
+    /// bus would freeze `/metrics` at stale-but-plausible values.
+    pub fn unbounded(self) -> Self {
+        self.with_capacity(u64::MAX)
     }
 
     /// Adds a subscriber; events fan out to subscribers in the order
@@ -214,9 +223,13 @@ pub struct JsonlSink {
 }
 
 impl JsonlSink {
-    /// Creates (truncating) `path` and buffers writes to it.
+    /// Opens `path` for append (creating it if missing) and buffers
+    /// writes to it. Append, not truncate: the `--events PATH` flags
+    /// promise the log survives restarts, so a relaunched server or a
+    /// resumed sweep extends the prior event history instead of
+    /// silently wiping it.
     pub fn create(path: &Path) -> io::Result<Self> {
-        let file = File::create(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Self::to_writer(Box::new(BufWriter::new(file))))
     }
 
@@ -407,6 +420,39 @@ mod tests {
         assert_eq!(bus.published(), 3);
         assert_eq!(bus.dropped(), 7);
         assert_eq!(capture.0.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unbounded_bus_ignores_the_default_cap() {
+        let bus = EventBus::builder("run-u").unbounded().build();
+        for _ in 0..(DEFAULT_EVENT_CAP + 10) {
+            bus.publish(&bus.correlation(), Event::RequestReceived);
+        }
+        assert_eq!(bus.published(), DEFAULT_EVENT_CAP + 10);
+        assert_eq!(bus.dropped(), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_appends_across_reopens() {
+        let path = std::env::temp_dir().join(format!(
+            "nvsim-jsonl-append-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        for run in ["run-a", "run-b"] {
+            let bus = EventBus::builder(run)
+                .subscribe(Box::new(JsonlSink::create(&path).unwrap()))
+                .build();
+            bus.publish(&bus.correlation(), Event::RequestReceived);
+            bus.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        // A second sink on the same path extends the log; a truncating
+        // open would leave only run-b's line.
+        assert_eq!(text.lines().count(), 2, "{text}");
+        assert!(text.contains("run-a"), "{text}");
+        assert!(text.contains("run-b"), "{text}");
     }
 
     #[test]

@@ -210,6 +210,15 @@ fn route(state: &AppState, req: &Request, corr: &Correlation) -> Response {
 /// `/metrics`: the JSON snapshot by default, Prometheus text
 /// exposition with `?format=prometheus`.
 fn metrics_route(state: &AppState, pairs: &[(String, String)]) -> Response {
+    // Refreshed at scrape time: nonzero means the bus discarded events,
+    // i.e. every derived serve.* series below is an undercount. The
+    // serve bus is built unbounded so this stays 0, but the sentinel
+    // makes a misconfigured (capped) bus detectable from the outside
+    // instead of freezing the exposition silently.
+    state
+        .metrics
+        .gauge("serve.events.dropped")
+        .set(i64::try_from(state.bus.dropped()).unwrap_or(i64::MAX));
     let format = pairs
         .iter()
         .find(|(k, _)| k == "format")
@@ -347,6 +356,7 @@ fn register_serve_metrics(metrics: &Metrics) {
         metrics.counter(&format!("serve.responses.{status}"));
     }
     metrics.gauge("serve.inflight");
+    metrics.gauge("serve.events.dropped");
     for class in ROUTE_CLASSES {
         metrics.histogram(&format!("serve.latency.{class}"));
     }
@@ -384,6 +394,13 @@ fn serve_prom_registry() -> PromRegistry {
         "Requests currently being handled.",
         PromKind::Gauge,
         "serve.inflight",
+    )
+    .expect("static family");
+    prom.register(
+        "nvsim_serve_events_dropped",
+        "Lifecycle events discarded by the bus; nonzero means the serve.* series undercount.",
+        PromKind::Gauge,
+        "serve.events.dropped",
     )
     .expect("static family");
     prom.register_labeled(
@@ -453,7 +470,13 @@ pub fn serve(
     // The aggregator derives the serve.* counters from those events;
     // an optional JSONL sink persists the same stream for offline
     // correlation (same schema the sweep binaries' --events writes).
+    // Unbounded: the serve.* metrics exist *only* as a view over this
+    // stream, so the sweep-sized default cap would silently freeze
+    // every counter (and the JSONL log) after a few thousand requests
+    // of a long-lived server. Delivery is synchronous — there is no
+    // queue to bound, only the sequence counter.
     let mut builder = EventBus::builder(format!("serve-{}", std::process::id()))
+        .unbounded()
         .subscribe(Box::new(MetricsAggregator::new(metrics.clone())));
     if let Some(path) = &config.events {
         let sink = JsonlSink::create(path).map_err(|e| NvsimError::Io {
@@ -544,6 +567,7 @@ mod tests {
         let metrics = Metrics::enabled();
         register_serve_metrics(&metrics);
         let bus = EventBus::builder("serve-test")
+            .unbounded()
             .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
             .build();
         AppState {
@@ -652,6 +676,7 @@ mod tests {
         };
         assert_eq!(value("nvsim_serve_requests_total"), 0.0);
         assert_eq!(value("nvsim_serve_inflight"), 0.0);
+        assert_eq!(value("nvsim_serve_events_dropped"), 0.0);
         assert_eq!(value("nvsim_serve_responses_total{status=\"503\"}"), 0.0);
         assert_eq!(
             value("nvsim_serve_request_latency_ns_count{route=\"query\"}"),
