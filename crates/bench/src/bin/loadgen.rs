@@ -1,0 +1,426 @@
+//! `loadgen` — open-loop load generator for `nvsim-serve`, writing
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! loadgen --store DIR [--addr HOST:PORT] [--seed N] [--connections N]
+//!         [--rate RPS] [--requests N] [--warmup N] [--distinct N]
+//!         [--shards N] [--cache N] [--no-keep-alive]
+//!         [--baseline RPS] [--json PATH]
+//! ```
+//!
+//! Without `--addr`, the store is served in-process on an OS-assigned
+//! port and driven over real TCP — the whole serving stack (accept,
+//! shard event loops, parser, cache) is in the measured path. With
+//! `--addr`, an externally started server is driven instead.
+//!
+//! Unless `--baseline RPS` supplies an anchor, the run *measures* its
+//! own baseline first: the same corpus and schedule driven against the
+//! preserved pre-shard serving path (`ServeConfig::legacy` —
+//! thread-per-connection, `Connection: close`, one global LRU behind a
+//! mutex), served in-process from the same store. Both numbers land in
+//! the artifact, so every speedup claim carries the measurement it is
+//! relative to, captured on the same machine in the same run.
+//!
+//! The schema is documented in `docs/METRICS.md`; the request sequence
+//! is deterministic in `--seed` (pinned by `sequence_digest` and the
+//! tests in `crates/bench/tests/`). Every wall-clock-dependent field
+//! lives under `timing`.
+
+use nvsim_bench::or_die;
+use nvsim_obs::artifact::write_text;
+use nvsim_serve::loadgen::{corpus, schedule, schedule_digest, LoadgenConfig, LoadgenOutcome};
+use nvsim_serve::{serve, ServeConfig};
+use nvsim_store::{Store, DATASET_FILE};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: loadgen --store DIR [--addr HOST:PORT] [--seed N]\n\
+\x20              [--connections N] [--rate RPS] [--requests N] [--warmup N]\n\
+\x20              [--distinct N] [--shards N] [--cache N] [--no-keep-alive]\n\
+\x20              [--baseline RPS] [--json PATH]\n\
+value flags accept both spellings: --seed 7 and --seed=7\n\
+  --store DIR      store directory holding dataset.nvstore (required)\n\
+  --addr HOST:PORT drive an already-running server instead of serving\n\
+\x20                  the store in-process\n\
+  --seed N         schedule/corpus seed (default: 42)\n\
+  --connections N  concurrent keep-alive client connections (default: 4)\n\
+  --rate RPS       offered open-loop arrival rate (default: 2000)\n\
+  --requests N     measured requests (default: 2000)\n\
+  --warmup N       closed-loop warm-up requests, unmeasured (default: 200)\n\
+  --distinct N     generated /query targets in the corpus (default: 16)\n\
+  --shards N       shards for the in-process server (default: 4)\n\
+  --cache N        per-shard response-cache capacity (default: 128)\n\
+  --no-keep-alive  one request per connection (the pre-change model)\n\
+  --baseline RPS   skip the measured legacy-path baseline leg and anchor\n\
+\x20                  the speedup on this number instead\n\
+  --json PATH      output path (default: BENCH_serve.json)";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// The `BENCH_serve.json` payload. Everything wall-clock-dependent
+/// lives under `timing`, so determinism tests compare the rest of the
+/// document byte-for-byte.
+#[derive(Debug, Serialize)]
+struct ServeBench {
+    /// Schema version of this file.
+    schema: u32,
+    /// Schedule/corpus seed.
+    seed: u64,
+    /// Distinct request targets (sections + generated queries).
+    corpus: usize,
+    /// Concurrent client connections.
+    connections: usize,
+    /// Server shards (0 when driving an external `--addr` server).
+    shards: usize,
+    /// Whether connections were reused across requests.
+    keep_alive: bool,
+    /// Offered open-loop arrival rate, requests per second.
+    offered_rps: f64,
+    /// Unmeasured closed-loop warm-up requests.
+    warmup: usize,
+    /// Scheduled measured requests.
+    requests: usize,
+    /// FNV-1a digest of the full (arrival, connection, target) sequence.
+    sequence_digest: String,
+    /// Responses fully read in the measured phase.
+    completed: u64,
+    /// Response count by HTTP status.
+    statuses: BTreeMap<String, u64>,
+    /// Transport-level failures (connect/write/short read).
+    errors: u64,
+    /// How the baseline this run compares against was obtained.
+    baseline: Baseline,
+    /// Wall-clock-dependent measurements — including the baseline
+    /// throughput when it was measured in this run.
+    timing: Timing,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    /// `true` when the baseline leg ran in this invocation (the
+    /// number is `timing.baseline_rps`); `false` when `--baseline`
+    /// supplied an external anchor.
+    measured: bool,
+    /// What produced the baseline number.
+    source: String,
+}
+
+#[derive(Debug, Serialize)]
+struct Timing {
+    /// Measured phase wall time, first scheduled arrival to last
+    /// completion, milliseconds.
+    wall_ms: f64,
+    /// `completed / wall` — every fully served response.
+    achieved_rps: f64,
+    /// `status-200 responses / wall` — the headline throughput; shed
+    /// 503s do not count as served load.
+    ok_rps: f64,
+    /// Baseline throughput (ok_rps of the legacy leg, or the
+    /// `--baseline` override).
+    baseline_rps: f64,
+    /// `ok_rps / baseline_rps`.
+    speedup_vs_baseline: f64,
+    /// Scheduled-arrival-to-response latency quantiles (pow2-bucket
+    /// estimator, same as the server's `serve.latency.*`).
+    latency_ns: Latency,
+    /// The baseline leg's latency quantiles (absent with `--baseline`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    baseline_latency_ns: Option<Latency>,
+}
+
+#[derive(Debug, Serialize)]
+struct Latency {
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    mean: f64,
+    max: u64,
+}
+
+impl Latency {
+    fn of(outcome: &LoadgenOutcome) -> Self {
+        Latency {
+            p50: outcome.latency.p50(),
+            p90: outcome.latency.p90(),
+            p99: outcome.latency.p99(),
+            mean: outcome.latency.mean(),
+            max: outcome.latency.max,
+        }
+    }
+}
+
+/// Status-200 throughput of one leg.
+fn ok_rps(outcome: &LoadgenOutcome) -> f64 {
+    let ok = outcome.statuses.get(&200).copied().unwrap_or(0);
+    ok as f64 / outcome.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+}
+
+struct Args {
+    store: Option<PathBuf>,
+    addr: Option<SocketAddr>,
+    distinct: usize,
+    shards: usize,
+    cache: usize,
+    baseline_rps: Option<f64>,
+    json: PathBuf,
+    cfg: LoadgenConfig,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        store: None,
+        addr: None,
+        distinct: 16,
+        shards: 4,
+        cache: 128,
+        baseline_rps: None,
+        json: PathBuf::from("BENCH_serve.json"),
+        cfg: LoadgenConfig::default(),
+    };
+
+    fn value(
+        flag: &str,
+        inline: &mut Option<String>,
+        it: &mut impl Iterator<Item = String>,
+        what: &str,
+    ) -> String {
+        match inline.take() {
+            Some(v) if !v.is_empty() => v,
+            Some(_) => die(&format!("{flag} needs {what}")),
+            None => it
+                .next()
+                .unwrap_or_else(|| die(&format!("{flag} needs {what}"))),
+        }
+    }
+
+    fn count(flag: &str, raw: &str) -> usize {
+        raw.parse()
+            .unwrap_or_else(|_| die(&format!("{flag} needs a number, got {raw:?}")))
+    }
+
+    fn rate(flag: &str, raw: &str) -> f64 {
+        match raw.parse::<f64>() {
+            Ok(v) if v > 0.0 => v,
+            _ => die(&format!("{flag} needs a positive rate, got {raw:?}")),
+        }
+    }
+
+    let mut it = std::env::args().skip(1);
+    while let Some(raw) = it.next() {
+        let (flag, mut inline) = match raw.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (raw.clone(), None),
+        };
+        match flag.as_str() {
+            "--store" => {
+                args.store = Some(PathBuf::from(value(&flag, &mut inline, &mut it, "a directory")))
+            }
+            "--addr" => {
+                let raw = value(&flag, &mut inline, &mut it, "HOST:PORT");
+                args.addr = Some(
+                    raw.parse()
+                        .unwrap_or_else(|_| die(&format!("--addr needs HOST:PORT, got {raw:?}"))),
+                )
+            }
+            "--seed" => {
+                args.cfg.seed = value(&flag, &mut inline, &mut it, "a seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs a number"))
+            }
+            "--connections" => {
+                args.cfg.connections =
+                    count(&flag, &value(&flag, &mut inline, &mut it, "a count")).max(1)
+            }
+            "--rate" => args.cfg.rate_rps = rate(&flag, &value(&flag, &mut inline, &mut it, "RPS")),
+            "--requests" => {
+                args.cfg.requests = count(&flag, &value(&flag, &mut inline, &mut it, "a count"))
+            }
+            "--warmup" => {
+                args.cfg.warmup = count(&flag, &value(&flag, &mut inline, &mut it, "a count"))
+            }
+            "--distinct" => {
+                args.distinct = count(&flag, &value(&flag, &mut inline, &mut it, "a count"))
+            }
+            "--shards" => {
+                args.shards = count(&flag, &value(&flag, &mut inline, &mut it, "a count")).max(1)
+            }
+            "--cache" => {
+                args.cache = count(&flag, &value(&flag, &mut inline, &mut it, "a capacity"))
+            }
+            "--no-keep-alive" => args.cfg.keep_alive = false,
+            "--baseline" => {
+                args.baseline_rps =
+                    Some(rate(&flag, &value(&flag, &mut inline, &mut it, "RPS")))
+            }
+            "--json" => args.json = PathBuf::from(value(&flag, &mut inline, &mut it, "a path")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+        if inline.is_some() {
+            die(&format!("{flag} does not take a value"));
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(dir) = &args.store else {
+        die("--store DIR is required (the corpus is generated from the store)")
+    };
+    let store = or_die(Store::load(&dir.join(DATASET_FILE)), "load store");
+    let targets = corpus(&store, args.cfg.seed, args.distinct);
+    let arrivals = schedule(&args.cfg, targets.len());
+    let digest = schedule_digest(&arrivals, &targets);
+
+    // Baseline leg first: the preserved pre-shard serving path, same
+    // store, same corpus, same schedule — unless an external anchor
+    // was supplied.
+    let (baseline_rps, baseline_latency, baseline) = match args.baseline_rps {
+        Some(rps) => (
+            rps,
+            None,
+            Baseline {
+                measured: false,
+                source: "--baseline override".to_string(),
+            },
+        ),
+        None => {
+            let legacy = or_die(
+                serve(
+                    store.clone(),
+                    "127.0.0.1:0",
+                    ServeConfig {
+                        legacy: true,
+                        cache_capacity: args.cache,
+                        ..ServeConfig::default()
+                    },
+                    nvsim_obs::Metrics::enabled(),
+                ),
+                "spawn legacy baseline server",
+            );
+            eprintln!(
+                "baseline leg: driving legacy path at {} with {} requests",
+                legacy.addr(),
+                args.cfg.requests
+            );
+            let outcome = nvsim_serve::loadgen::run(legacy.addr(), &targets, &args.cfg);
+            drop(legacy);
+            let rps = ok_rps(&outcome);
+            eprintln!(
+                "baseline leg: {:.0} ok req/s ({} completed, {} errors)",
+                rps, outcome.completed, outcome.errors
+            );
+            (
+                rps,
+                Some(Latency::of(&outcome)),
+                Baseline {
+                    measured: true,
+                    source: "legacy serving path (thread-per-connection, Connection: close, \
+                             global mutex LRU) measured in this run on the same corpus, \
+                             schedule and machine"
+                        .to_string(),
+                },
+            )
+        }
+    };
+
+    // Main leg: either drive the given address, or serve the store
+    // in-process on an OS port — through real TCP either way.
+    let mut spawned = None;
+    let (addr, shards) = match args.addr {
+        Some(addr) => (addr, 0),
+        None => {
+            let server = or_die(
+                serve(
+                    store,
+                    "127.0.0.1:0",
+                    ServeConfig {
+                        shards: args.shards,
+                        cache_capacity: args.cache,
+                        keep_alive: args.cfg.keep_alive,
+                        ..ServeConfig::default()
+                    },
+                    nvsim_obs::Metrics::enabled(),
+                ),
+                "spawn in-process server",
+            );
+            let addr = server.addr();
+            spawned = Some(server);
+            (addr, args.shards)
+        }
+    };
+
+    eprintln!(
+        "driving {addr} with {} requests at {} rps over {} connections (seed {}, corpus {}, {})",
+        args.cfg.requests,
+        args.cfg.rate_rps,
+        args.cfg.connections,
+        args.cfg.seed,
+        targets.len(),
+        if args.cfg.keep_alive {
+            "keep-alive"
+        } else {
+            "close-per-request"
+        },
+    );
+    let outcome = nvsim_serve::loadgen::run(addr, &targets, &args.cfg);
+    drop(spawned);
+
+    let ok = ok_rps(&outcome);
+    let report = ServeBench {
+        schema: 1,
+        seed: args.cfg.seed,
+        corpus: targets.len(),
+        connections: args.cfg.connections,
+        shards,
+        keep_alive: args.cfg.keep_alive,
+        offered_rps: args.cfg.rate_rps,
+        warmup: args.cfg.warmup,
+        requests: args.cfg.requests,
+        sequence_digest: digest,
+        completed: outcome.completed,
+        statuses: outcome
+            .statuses
+            .iter()
+            .map(|(status, n)| (status.to_string(), *n))
+            .collect(),
+        errors: outcome.errors,
+        baseline,
+        timing: Timing {
+            wall_ms: outcome.wall.as_secs_f64() * 1e3,
+            achieved_rps: outcome.achieved_rps,
+            ok_rps: ok,
+            baseline_rps,
+            speedup_vs_baseline: ok / baseline_rps.max(f64::MIN_POSITIVE),
+            latency_ns: Latency::of(&outcome),
+            baseline_latency_ns: baseline_latency,
+        },
+    };
+    println!(
+        "{} completed in {:.0} ms | {:.0} ok req/s ({:.2}x baseline {:.0}) | p50 {} us p90 {} us p99 {} us | {} errors",
+        report.completed,
+        report.timing.wall_ms,
+        ok,
+        report.timing.speedup_vs_baseline,
+        baseline_rps,
+        report.timing.latency_ns.p50 / 1_000,
+        report.timing.latency_ns.p90 / 1_000,
+        report.timing.latency_ns.p99 / 1_000,
+        report.errors,
+    );
+    let json = or_die(
+        serde_json::to_string_pretty(&report),
+        "serialize BENCH_serve.json",
+    );
+    or_die(write_text(&args.json, &json), "write BENCH_serve.json");
+    eprintln!("wrote {}", args.json.display());
+}

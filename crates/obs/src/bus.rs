@@ -276,10 +276,24 @@ impl MetricsAggregator {
 impl Subscribe for MetricsAggregator {
     fn on_event(&self, record: &EventRecord) {
         let m = &self.metrics;
+        // Serve events published from a shard carry the shard index in
+        // the correlation `worker` field; those also bump a per-shard
+        // `serve.shard.*` counter next to the global one, so the two
+        // views are derived from the same stream and sum by
+        // construction. Fleet events reuse `worker` for the fleet
+        // worker index, but none of the serve arms below overlap with
+        // fleet-published kinds.
+        let shard = record.correlation.worker;
+        let sharded = |family: &str| {
+            if let Some(s) = shard {
+                m.counter(&format!("serve.shard.{family}.{s}")).inc();
+            }
+        };
         match &record.event {
             Event::RequestReceived => {
                 m.counter("serve.requests").inc();
                 m.gauge("serve.inflight").add(1);
+                sharded("requests");
             }
             Event::RequestFinished {
                 route,
@@ -291,11 +305,28 @@ impl Subscribe for MetricsAggregator {
                     .record(*latency_ns);
                 m.gauge("serve.inflight").add(-1);
             }
-            Event::RequestShed => m.counter("serve.shed").inc(),
-            Event::CacheHit => m.counter("serve.cache.hits").inc(),
-            Event::CacheMiss => m.counter("serve.cache.misses").inc(),
-            Event::CacheInserted => m.counter("serve.cache.insertions").inc(),
-            Event::CacheEvicted { n } => m.counter("serve.cache.evictions").add(*n),
+            Event::RequestShed => {
+                m.counter("serve.shed").inc();
+                sharded("shed");
+            }
+            Event::CacheHit => {
+                m.counter("serve.cache.hits").inc();
+                sharded("cache.hits");
+            }
+            Event::CacheMiss => {
+                m.counter("serve.cache.misses").inc();
+                sharded("cache.misses");
+            }
+            Event::CacheInserted => {
+                m.counter("serve.cache.insertions").inc();
+                sharded("cache.insertions");
+            }
+            Event::CacheEvicted { n } => {
+                m.counter("serve.cache.evictions").add(*n);
+                if let Some(s) = shard {
+                    m.counter(&format!("serve.shard.cache.evictions.{s}")).add(*n);
+                }
+            }
             Event::SweepStarted { .. } => m.counter("fleet.sweeps").inc(),
             Event::SweepFinished { .. } => {}
             Event::CellStarted { .. } => m.counter("fleet.cells.started").inc(),
@@ -518,6 +549,36 @@ mod tests {
         let latency = snap.histogram("serve.latency.query").unwrap();
         assert_eq!(latency.count, 1);
         assert_eq!(latency.sum, 1_234);
+    }
+
+    #[test]
+    fn aggregator_splits_serve_counters_per_shard() {
+        let metrics = Metrics::enabled();
+        let bus = EventBus::builder("serve-2")
+            .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
+            .build();
+        // Two requests on shard 0, one on shard 3, one unsharded
+        // (legacy path): globals count all four, shard counters only
+        // their own, and the shard counters sum to the sharded share.
+        for (shard, hits) in [(Some(0), 2u64), (Some(3), 1), (None, 1)] {
+            for _ in 0..hits {
+                let corr = bus.correlation().with_worker(shard).with_request("req-x");
+                bus.publish(&corr, Event::RequestReceived);
+                bus.publish(&corr, Event::CacheHit);
+                bus.publish(&corr, Event::CacheEvicted { n: 2 });
+            }
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("serve.requests"), Some(4));
+        assert_eq!(snap.counter("serve.cache.hits"), Some(4));
+        assert_eq!(snap.counter("serve.cache.evictions"), Some(8));
+        assert_eq!(snap.counter("serve.shard.requests.0"), Some(2));
+        assert_eq!(snap.counter("serve.shard.requests.3"), Some(1));
+        assert_eq!(snap.counter("serve.shard.cache.hits.0"), Some(2));
+        assert_eq!(snap.counter("serve.shard.cache.hits.3"), Some(1));
+        assert_eq!(snap.counter("serve.shard.cache.evictions.0"), Some(4));
+        // The unsharded request derived no shard series at all.
+        assert_eq!(snap.counter("serve.shard.requests.1"), None);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Per-connection state for the sharded event loop: a non-blocking
+//! socket plus read/write buffers and keep-alive bookkeeping.
+//!
+//! A [`Conn`] does no parsing or routing itself — [`crate::shard`]
+//! drains `read_buf` through [`crate::http::parse_incremental`] and
+//! queues serialized responses into `write_buf`. Keeping the type dumb
+//! makes the buffer arithmetic unit-testable without sockets.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Bytes read per `read()` call on a ready socket.
+const READ_CHUNK: usize = 4096;
+
+/// What [`Conn::fill`] observed on a readable socket.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Fill {
+    /// `n` new bytes were appended to the read buffer.
+    Read(usize),
+    /// The peer closed its write side (EOF).
+    Eof,
+    /// The socket would block; no bytes this round.
+    WouldBlock,
+}
+
+/// One live client connection owned by a single shard.
+pub struct Conn {
+    /// The non-blocking socket.
+    pub stream: TcpStream,
+    /// Bytes received but not yet consumed by the request parser.
+    pub read_buf: Vec<u8>,
+    /// Serialized responses not yet fully written to the socket.
+    pub write_buf: Vec<u8>,
+    /// Prefix of `write_buf` already written.
+    pub written: usize,
+    /// When set, the shard closes the connection once `write_buf`
+    /// drains (after `Connection: close`, a parse error, or shutdown).
+    pub close_after_flush: bool,
+    /// Last time bytes moved in either direction; drives idle timeout.
+    pub last_activity: Instant,
+}
+
+impl Conn {
+    /// Wraps an accepted socket, switching it to non-blocking mode.
+    ///
+    /// # Errors
+    /// Propagates the `set_nonblocking` syscall failure.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            close_after_flush: false,
+            last_activity: Instant::now(),
+        })
+    }
+
+    /// Reads as much as is available without blocking, appending to
+    /// `read_buf`. Returns what happened so the shard can distinguish
+    /// progress, EOF, and spurious readiness.
+    ///
+    /// # Errors
+    /// Real socket errors (reset, etc.); `WouldBlock` is not an error.
+    pub fn fill(&mut self) -> io::Result<Fill> {
+        let mut total = 0;
+        loop {
+            let start = self.read_buf.len();
+            self.read_buf.resize(start + READ_CHUNK, 0);
+            match self.stream.read(&mut self.read_buf[start..]) {
+                Ok(0) => {
+                    self.read_buf.truncate(start);
+                    return if total > 0 {
+                        self.last_activity = Instant::now();
+                        Ok(Fill::Read(total))
+                    } else {
+                        Ok(Fill::Eof)
+                    };
+                }
+                Ok(n) => {
+                    self.read_buf.truncate(start + n);
+                    total += n;
+                    if n < READ_CHUNK {
+                        // Short read: nothing more buffered right now.
+                        self.last_activity = Instant::now();
+                        return Ok(Fill::Read(total));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.read_buf.truncate(start);
+                    return if total > 0 {
+                        self.last_activity = Instant::now();
+                        Ok(Fill::Read(total))
+                    } else {
+                        Ok(Fill::WouldBlock)
+                    };
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.read_buf.truncate(start);
+                }
+                Err(e) => {
+                    self.read_buf.truncate(start);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Drops `n` consumed bytes from the front of the read buffer.
+    pub fn consume(&mut self, n: usize) {
+        self.read_buf.drain(..n);
+    }
+
+    /// Queues serialized response bytes for writing.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.write_buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the connection has pending bytes to write (drives the
+    /// POLLOUT interest bit).
+    pub fn wants_write(&self) -> bool {
+        self.written < self.write_buf.len()
+    }
+
+    /// Writes as much pending output as the socket accepts without
+    /// blocking. Returns `true` if the write buffer fully drained.
+    ///
+    /// # Errors
+    /// Real socket errors; `WouldBlock` is not an error.
+    pub fn flush_some(&mut self) -> io::Result<bool> {
+        while self.written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.written += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Fully drained: reclaim the buffer instead of growing forever
+        // across keep-alive requests.
+        self.write_buf.clear();
+        self.written = 0;
+        Ok(true)
+    }
+
+    /// Whether the shard should close this connection now: output is
+    /// drained and a close was requested.
+    pub fn done(&self) -> bool {
+        self.close_after_flush && !self.wants_write()
+    }
+
+    /// Seconds-scale idle check against a deadline.
+    pub fn idle_since(&self, now: Instant) -> std::time::Duration {
+        now.duration_since(self.last_activity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn fill_reads_available_bytes_and_reports_eof() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server).unwrap();
+        assert_eq!(conn.fill().unwrap(), Fill::WouldBlock);
+
+        client.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        // Give the loopback a moment to deliver.
+        for _ in 0..100 {
+            if !matches!(conn.fill().unwrap(), Fill::WouldBlock) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(conn.read_buf, b"GET / HTTP/1.1\r\n\r\n");
+
+        drop(client);
+        for _ in 0..100 {
+            match conn.fill().unwrap() {
+                Fill::Eof => return,
+                _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        panic!("never saw EOF after client hangup");
+    }
+
+    #[test]
+    fn queue_flush_and_done_track_buffer_state() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server).unwrap();
+        assert!(!conn.wants_write());
+        assert!(!conn.done());
+
+        conn.queue(b"HTTP/1.1 200 OK\r\n\r\n");
+        assert!(conn.wants_write());
+        conn.close_after_flush = true;
+        assert!(!conn.done(), "unflushed output must block close");
+
+        assert!(conn.flush_some().unwrap());
+        assert!(!conn.wants_write());
+        assert!(conn.done());
+        assert!(conn.write_buf.is_empty(), "drained buffer is reclaimed");
+        drop(client);
+    }
+
+    #[test]
+    fn consume_drops_only_the_parsed_prefix() {
+        let (_client, server) = pair();
+        let mut conn = Conn::new(server).unwrap();
+        conn.read_buf = b"firstsecond".to_vec();
+        conn.consume(5);
+        assert_eq!(conn.read_buf, b"second");
+    }
+}

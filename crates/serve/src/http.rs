@@ -1,14 +1,27 @@
-//! A deliberately minimal HTTP/1.1 subset — just enough for a local
-//! results server, built on `std` only (the container that builds this
-//! repo has no third-party HTTP stack).
+//! A deliberately minimal HTTP/1.1 subset — just enough for a results
+//! server, built on `std` only (the container that builds this repo has
+//! no third-party HTTP stack).
 //!
-//! Supported: `GET` requests, URL query strings
-//! (percent-encoding and `+`-for-space included), and fixed-length
-//! responses with `Connection: close`. Everything else — other methods,
-//! request bodies, keep-alive, chunked transfer — is out of scope and
-//! answered with an error status.
+//! Supported: `GET` requests, URL query strings (percent-encoding and
+//! `+`-for-space included), persistent connections with pipelining
+//! (HTTP/1.1 keep-alive semantics, honoring `Connection: close`), and
+//! fixed-length responses. Request bodies and chunked transfer are out
+//! of scope and answered with an error status.
+//!
+//! The parser is *incremental*: [`parse_incremental`] consumes a byte
+//! buffer that may hold a partial head, exactly one request, or several
+//! pipelined requests, and reports how many bytes each complete request
+//! consumed — the shape the non-blocking connection state machine in
+//! [`crate::conn`] needs. It never panics on malformed input: every
+//! malformation maps to a `400` (or `431` for an oversized head), a
+//! property fuzzed by `crates/serve/tests/http_parser.rs`.
 
-/// One parsed request line: method, decoded path, raw query pairs.
+/// Largest request head (request line + headers + blank line) accepted
+/// before the server answers `431 Request Header Fields Too Large`.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request: method, decoded path, raw query pairs, and the
+/// connection disposition the client asked for.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The HTTP method (`GET` for every route we serve).
@@ -17,6 +30,34 @@ pub struct Request {
     pub path: String,
     /// Decoded `key=value` pairs from the query string, in order.
     pub query: Vec<(String, String)>,
+    /// `true` when the client sent `Connection: close` — the server
+    /// answers this request and then closes instead of keeping the
+    /// connection alive.
+    pub close: bool,
+}
+
+/// Outcome of feeding a read buffer to [`parse_incremental`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// The buffer holds no complete head yet; read more bytes.
+    NeedMore,
+    /// One complete request, occupying the first `consumed` bytes of
+    /// the buffer (pipelined successors may follow).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed (head + CRLFCRLF).
+        consumed: usize,
+    },
+    /// The buffer cannot be a valid request. The connection must
+    /// answer with `status` and close — after a framing error the
+    /// byte stream cannot be trusted to find the next request.
+    Bad {
+        /// `400` for malformations, `431` for an oversized head.
+        status: u16,
+        /// Human-readable reason, suitable for the response body.
+        reason: String,
+    },
 }
 
 /// Decodes `%XX` escapes and `+`-as-space. Malformed escapes pass
@@ -67,9 +108,10 @@ pub fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Parses the head of an HTTP/1.1 request (everything up to the blank
-/// line). Only the request line is interpreted; headers are validated
-/// for shape and otherwise ignored.
+/// Parses the head of an HTTP/1.1 request (everything up to, not
+/// including, the blank line). Headers are validated for shape;
+/// `Connection`, `Content-Length` and `Transfer-Encoding` are
+/// interpreted, the rest ignored.
 ///
 /// # Errors
 /// A human-readable description of the malformation, suitable for a
@@ -86,9 +128,29 @@ pub fn parse_request(head: &str) -> Result<Request, String> {
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported protocol {version:?}"));
     }
+    let mut close = false;
     for line in lines {
-        if !line.is_empty() && !line.contains(':') {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
             return Err(format!("malformed header line {line:?}"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            // Token list; "close" anywhere wins. "keep-alive" (the
+            // HTTP/1.1 default) needs no action.
+            close = value
+                .split(',')
+                .any(|token| token.trim().eq_ignore_ascii_case("close"));
+        } else if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<u64>() {
+                Ok(0) => {}
+                Ok(n) => return Err(format!("request bodies not supported ({n} bytes)")),
+                Err(_) => return Err(format!("bad Content-Length {value:?}")),
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(format!("transfer encoding {value:?} not supported"));
         }
     }
     let (path, query) = match target.split_once('?') {
@@ -99,7 +161,45 @@ pub fn parse_request(head: &str) -> Result<Request, String> {
         method: method.to_string(),
         path: percent_decode(path),
         query,
+        close,
     })
+}
+
+/// Incremental parse of `buf`: returns the first complete request and
+/// its byte length, asks for more bytes, or rejects the stream. Safe to
+/// call repeatedly as bytes arrive and after draining each complete
+/// request — exactly how the per-connection state machine uses it.
+pub fn parse_incremental(buf: &[u8]) -> Parse {
+    // Only search within the head limit (plus the terminator itself);
+    // a buffer past the limit without a blank line is an oversized head
+    // regardless of what follows.
+    let window = &buf[..buf.len().min(MAX_HEAD_BYTES + 4)];
+    let Some(head_end) = window.windows(4).position(|w| w == b"\r\n\r\n") else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Parse::Bad {
+                status: 431,
+                reason: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            };
+        }
+        return Parse::NeedMore;
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Parse::Bad {
+            status: 431,
+            reason: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+        };
+    }
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    match parse_request(&head) {
+        Ok(request) => Parse::Complete {
+            request,
+            consumed: head_end + 4,
+        },
+        Err(reason) => Parse::Bad {
+            status: 400,
+            reason,
+        },
+    }
 }
 
 /// A response ready to serialize: status, media type, body.
@@ -161,28 +261,38 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            431 => "Request Header Fields Too Large",
             503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }
 
-    /// Serializes status line, headers and body into wire bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serializes status line, headers and body into wire bytes, with
+    /// the connection disposition the server decided on.
+    pub fn write_to(&self, keep_alive: bool) -> Vec<u8> {
         let request_id = match &self.request_id {
             Some(id) => format!("X-Request-Id: {id}\r\n"),
             None => String::new(),
         };
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
-            request_id
+            request_id,
+            connection,
         );
         let mut out = head.into_bytes();
         out.extend_from_slice(self.body.as_bytes());
         out
+    }
+
+    /// Wire bytes with `Connection: close` — the one-shot form used by
+    /// the shed path and the legacy serving mode.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.write_to(false)
     }
 }
 
@@ -193,11 +303,12 @@ mod tests {
     #[test]
     fn request_line_parses_with_query() {
         let req = parse_request(
-            "GET /query?table=objects&where=app%3DCAM&where=size_bytes>10+B HTTP/1.1\r\nHost: x\r\n\r\n",
+            "GET /query?table=objects&where=app%3DCAM&where=size_bytes>10+B HTTP/1.1\r\nHost: x",
         )
         .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/query");
+        assert!(!req.close);
         assert_eq!(
             req.query,
             vec![
@@ -210,22 +321,117 @@ mod tests {
 
     #[test]
     fn paths_without_query_parse_too() {
-        let req = parse_request("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let req = parse_request("GET /healthz HTTP/1.1").unwrap();
         assert_eq!(req.path, "/healthz");
         assert!(req.query.is_empty());
+    }
+
+    #[test]
+    fn connection_close_is_detected_case_insensitively() {
+        for head in [
+            "GET / HTTP/1.1\r\nConnection: close",
+            "GET / HTTP/1.1\r\nconnection: CLOSE",
+            "GET / HTTP/1.1\r\nConnection: keep-alive, Close",
+        ] {
+            assert!(parse_request(head).unwrap().close, "{head:?}");
+        }
+        for head in [
+            "GET / HTTP/1.1\r\nConnection: keep-alive",
+            "GET / HTTP/1.1\r\nHost: x",
+            "GET / HTTP/1.1\r\nX-Connection: close",
+        ] {
+            assert!(!parse_request(head).unwrap().close, "{head:?}");
+        }
+    }
+
+    #[test]
+    fn bodies_and_bad_content_lengths_are_rejected() {
+        assert!(parse_request("GET / HTTP/1.1\r\nContent-Length: 0").is_ok());
+        let err = parse_request("GET / HTTP/1.1\r\nContent-Length: 10").unwrap_err();
+        assert!(err.contains("bodies"), "{err}");
+        let err = parse_request("GET / HTTP/1.1\r\nContent-Length: abc").unwrap_err();
+        assert!(err.contains("Content-Length"), "{err}");
+        let err = parse_request("GET / HTTP/1.1\r\nTransfer-Encoding: chunked").unwrap_err();
+        assert!(err.contains("transfer encoding"), "{err}");
     }
 
     #[test]
     fn malformed_heads_error_with_context() {
         for head in [
             "",
-            "GET\r\n\r\n",
-            "GET /x\r\n\r\n",
-            "GET /x HTTP/1.1 extra\r\n\r\n",
-            "GET /x SPDY/3\r\n\r\n",
-            "GET /x HTTP/1.1\r\nnot a header\r\n\r\n",
+            "GET",
+            "GET /x",
+            "GET /x HTTP/1.1 extra",
+            "GET /x SPDY/3",
+            "GET /x HTTP/1.1\r\nnot a header",
         ] {
             assert!(parse_request(head).is_err(), "{head:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn incremental_parse_reports_partial_complete_and_pipelined() {
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nGET / HTTP/1.1\r\n\r\n";
+        // Every strict prefix of the first request head needs more.
+        let first_len = wire.len() - b"GET / HTTP/1.1\r\n\r\n".len();
+        for cut in 0..first_len {
+            assert_eq!(parse_incremental(&wire[..cut]), Parse::NeedMore, "cut {cut}");
+        }
+        // The complete first request is consumed exactly; the second is
+        // parsed from the remainder.
+        let Parse::Complete { request, consumed } = parse_incremental(wire) else {
+            panic!("first request should parse");
+        };
+        assert_eq!(request.path, "/healthz");
+        assert_eq!(consumed, first_len);
+        let Parse::Complete { request, consumed } = parse_incremental(&wire[first_len..]) else {
+            panic!("second request should parse");
+        };
+        assert_eq!(request.path, "/");
+        assert_eq!(consumed, wire.len() - first_len);
+    }
+
+    #[test]
+    fn oversized_heads_answer_431_not_a_hang() {
+        // No terminator within the limit: reject as soon as the buffer
+        // exceeds it, even though more bytes could still arrive.
+        let huge = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert_eq!(
+            parse_incremental(&huge),
+            Parse::Bad {
+                status: 431,
+                reason: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            }
+        );
+        // A terminator that lands past the limit is equally oversized.
+        let mut late = b"GET / HTTP/1.1\r\nX: ".to_vec();
+        late.resize(MAX_HEAD_BYTES + 2, b'y');
+        late.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(
+            parse_incremental(&late),
+            Parse::Bad { status: 431, .. }
+        ));
+        // At or under the limit still parses.
+        let mut ok = b"GET / HTTP/1.1\r\nX: ".to_vec();
+        ok.resize(MAX_HEAD_BYTES - 4, b'y');
+        ok.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse_incremental(&ok), Parse::Complete { .. }));
+    }
+
+    #[test]
+    fn malformed_streams_map_to_400() {
+        for wire in [
+            &b"FOO\r\n\r\n"[..],
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno colon here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_incremental(wire), Parse::Bad { status: 400, .. }),
+                "{:?}",
+                String::from_utf8_lossy(wire)
+            );
         }
     }
 
@@ -251,6 +457,19 @@ mod tests {
         let text = String::from_utf8(err).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
         assert!(text.ends_with("no such table\n"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_it() {
+        let text = String::from_utf8(Response::text("ok").write_to(true)).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("Connection: close"), "{text}");
+        let text = String::from_utf8(Response::error(431, "too big").write_to(false)).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Connection: close\r\n"), "{text}");
     }
 
     #[test]

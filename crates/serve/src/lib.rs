@@ -1,32 +1,46 @@
-//! `nvsim-serve` — a concurrent HTTP serving layer over the
+//! `nvsim-serve` — a sharded, event-driven HTTP serving layer over the
 //! [`nvsim_store`] sweep-result store.
 //!
 //! The store answers the paper's questions offline through `nvq`; this
 //! crate answers the same questions over HTTP so dashboards, notebooks
-//! and curl can share one result set without re-simulating. Three design
+//! and curl can share one result set without re-simulating. Four design
 //! rules keep it honest:
 //!
-//! 1. **No third-party server stack.** The HTTP subset in [`http`] is
-//!    `std`-only — the container building this repo has no network
-//!    access, so a dependency on a web framework would be a build break,
-//!    not a convenience.
+//! 1. **No third-party server stack.** The HTTP/1.1 subset in [`http`]
+//!    and the `poll(2)` event loops in [`shard`] are `std`-only — the
+//!    container building this repo has no network access, so a
+//!    dependency on a web framework (or even `libc`) would be a build
+//!    break, not a convenience.
 //! 2. **Byte-identical answers.** `/tables/*` and `/figs/*` bodies are
 //!    rendered once at startup with the same `serde_json` pretty-printer
 //!    the experiment binaries use for `--json`, so `curl` output diffs
-//!    clean against the dump files. CI enforces this.
-//! 3. **Bounded everything.** Connections run on the
-//!    [`nv_scavenger::TaskPool`] bounded worker pool (queue-full sheds
-//!    with `503`), and `/query` responses live in a bounded
-//!    [`cache::LruCache`] keyed on [`nvsim_store::Query::canonical`].
+//!    clean against the dump files. CI enforces this, and differential
+//!    tests pin the sharded path byte-identical to the legacy one.
+//! 3. **No locks on the hot path.** Each shard owns its connections and
+//!    its own [`cache::LruCache`] outright — a cache hit under load
+//!    touches no shared mutex. Keep-alive and pipelining amortize the
+//!    per-request cost further.
+//! 4. **Measured, not asserted.** The [`loadgen`] harness (and its
+//!    `nvsim-bench` binary) drives the server with seeded open-loop
+//!    Poisson traffic and emits `BENCH_serve.json`, including a
+//!    baseline leg measured on the preserved legacy path
+//!    ([`ServeConfig::legacy`]) so every speedup claim carries the
+//!    number it is relative to.
 //!
-//! See `docs/STORE.md` for the endpoint table and query grammar.
+//! See `docs/STORE.md` for the endpoint table and query grammar, and
+//! `docs/ARCHITECTURE.md` for the shard/event-loop data flow.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod conn;
 pub mod http;
+pub mod loadgen;
 pub mod server;
+pub mod shard;
 
 pub use cache::LruCache;
-pub use http::{parse_query, parse_request, percent_decode, Request, Response};
-pub use server::{serve, ServeConfig, Server};
+pub use http::{
+    parse_incremental, parse_query, parse_request, percent_decode, Parse, Request, Response,
+};
+pub use server::{serve, serve_roots, ServeConfig, Server};

@@ -1,0 +1,527 @@
+//! Open-loop load generator for the serving stack.
+//!
+//! The generator is the measuring half of the serving story: every
+//! throughput or latency claim about `nvsim-serve` is produced by this
+//! module (via the `loadgen` bin in `nvsim-bench`) and written to
+//! `BENCH_serve.json`, never asserted by hand. Three design rules:
+//!
+//! 1. **Deterministic schedule.** The request corpus, the
+//!    connection assignment and the Poisson inter-arrival gaps all come
+//!    from one seeded [`Rng`], so the same seed over the same store
+//!    produces an identical request sequence (pinned by
+//!    [`schedule_digest`] and a test in `crates/bench/tests/`).
+//! 2. **Open loop.** Arrival times are scheduled up front at the
+//!    offered rate; a slow server does not slow the arrival process
+//!    down, it grows the measured latency instead. Latency is measured
+//!    from the *scheduled* arrival to the response, so queueing delay —
+//!    the quantity that collapses under concurrency (Peng et al.) — is
+//!    part of the number.
+//! 3. **Closed warm-up.** A closed-loop warm-up phase touches every
+//!    corpus entry before the clock starts, so first-request costs
+//!    (cache fills, page faults, connection setup) never pollute the
+//!    measured phase.
+//!
+//! Latency lands in the existing `nvsim-obs` pow2 histograms, so the
+//! p50/p90/p99 quantiles in `BENCH_serve.json` are the same estimator
+//! the server's own `serve.latency.*` histograms use.
+
+use nvsim_obs::{HistogramSnapshot, Metrics};
+use nvsim_store::Store;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// SplitMix64 — a tiny, full-period, seedable generator. `std`-only on
+/// purpose: the request schedule must be reproducible from the seed
+/// alone, with no dependency on a third-party RNG's version.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The section endpoints every corpus covers, in route order.
+pub const SECTION_TARGETS: [&str; 9] = [
+    "/tables/1",
+    "/tables/5",
+    "/tables/6",
+    "/figs/2",
+    "/figs/3-6",
+    "/figs/7",
+    "/figs/8-11",
+    "/figs/12",
+    "/suitability",
+];
+
+/// Builds a deterministic request corpus over `store`: every section
+/// endpoint, then `distinct` generated `/query` targets drawn from the
+/// store's actual tables (table scans, projections of real columns,
+/// limits), all derived from `seed`. The same seed and store always
+/// yield the same corpus, in the same order.
+pub fn corpus(store: &Store, seed: u64, distinct: usize) -> Vec<String> {
+    let mut rng = Rng::new(seed);
+    let mut targets: Vec<String> = SECTION_TARGETS.iter().map(|s| s.to_string()).collect();
+    let tables = store.tables();
+    if tables.is_empty() {
+        return targets;
+    }
+    for _ in 0..distinct {
+        let table = &tables[rng.below(tables.len())];
+        let mut target = format!("/query?table={}", table.name);
+        match rng.below(3) {
+            // Bare scan of the table.
+            0 => {}
+            // Project a real column (keeps the row-materialization
+            // path represented).
+            1 => {
+                let names = table.column_names();
+                if !names.is_empty() {
+                    let col = names[rng.below(names.len())];
+                    target.push_str(&format!("&select={col}"));
+                }
+            }
+            // Bounded scan.
+            _ => target.push_str(&format!("&limit={}", 1 + rng.below(16))),
+        }
+        targets.push(target);
+    }
+    targets
+}
+
+/// Tuning for one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Seed for the corpus pick sequence and the Poisson gaps.
+    pub seed: u64,
+    /// Concurrent keep-alive connections (client threads).
+    pub connections: usize,
+    /// Offered arrival rate, requests per second (open loop).
+    pub rate_rps: f64,
+    /// Requests in the measured phase.
+    pub requests: usize,
+    /// Requests in the closed warm-up phase (not measured).
+    pub warmup: usize,
+    /// When false, every request asks for `Connection: close` and
+    /// reconnects — the pre-keep-alive serving model, kept as a
+    /// measurable mode so the keep-alive win stays demonstrable.
+    pub keep_alive: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            seed: 42,
+            connections: 4,
+            rate_rps: 2_000.0,
+            requests: 2_000,
+            warmup: 200,
+            keep_alive: true,
+        }
+    }
+}
+
+/// One scheduled request of the measured phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Offset from the start of the measured phase.
+    pub at: Duration,
+    /// Connection (client thread) this request is issued on.
+    pub conn: usize,
+    /// Index into the corpus.
+    pub target: usize,
+}
+
+/// Builds the open-loop arrival schedule: exponential inter-arrival
+/// gaps at `rate_rps` (Poisson process), requests assigned round-robin
+/// to connections, targets drawn uniformly from the corpus. Fully
+/// deterministic in `cfg.seed`.
+pub fn schedule(cfg: &LoadgenConfig, corpus_len: usize) -> Vec<Arrival> {
+    // A distinct stream from the corpus generator's: corpus picks must
+    // not shift when the request count changes.
+    let mut rng = Rng::new(cfg.seed ^ 0xA5A5_A5A5_A5A5_A5A5);
+    let mut at = Duration::ZERO;
+    (0..cfg.requests)
+        .map(|i| {
+            let gap_s = -(1.0 - rng.next_f64()).ln() / cfg.rate_rps.max(f64::MIN_POSITIVE);
+            at += Duration::from_secs_f64(gap_s);
+            Arrival {
+                at,
+                conn: i % cfg.connections.max(1),
+                target: rng.below(corpus_len.max(1)),
+            }
+        })
+        .collect()
+}
+
+/// FNV-1a digest of the full request sequence (arrival offset,
+/// connection, target index, target bytes). Two runs with the same
+/// seed, config and corpus produce the same digest — the determinism
+/// pin recorded in `BENCH_serve.json`.
+pub fn schedule_digest(arrivals: &[Arrival], corpus: &[String]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for a in arrivals {
+        eat(&(a.at.as_nanos() as u64).to_le_bytes());
+        eat(&(a.conn as u64).to_le_bytes());
+        eat(&(a.target as u64).to_le_bytes());
+        eat(corpus[a.target].as_bytes());
+    }
+    format!("{hash:016x}")
+}
+
+/// What one run measured. Everything except `statuses`, `errors` and
+/// `completed` is wall-clock-dependent.
+#[derive(Debug)]
+pub struct LoadgenOutcome {
+    /// Measured-phase wall time, scheduled start to last completion.
+    pub wall: Duration,
+    /// Requests completed (a response fully read) in the measured phase.
+    pub completed: u64,
+    /// `completed / wall`.
+    pub achieved_rps: f64,
+    /// Scheduled-arrival-to-response latency, pow2 buckets.
+    pub latency: HistogramSnapshot,
+    /// Response count by HTTP status.
+    pub statuses: BTreeMap<u16, u64>,
+    /// Requests that failed at the transport level (connect, write,
+    /// short read).
+    pub errors: u64,
+}
+
+/// A minimal HTTP/1.1 client over one (possibly persistent)
+/// connection. Reads responses by `Content-Length`, so it works against
+/// both keep-alive and `Connection: close` servers — a closed
+/// connection is transparently re-established for the next request.
+struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Bytes read past the previous response (pipelined servers).
+    leftover: Vec<u8>,
+    keep_alive: bool,
+}
+
+impl Client {
+    fn new(addr: SocketAddr, keep_alive: bool) -> Self {
+        Client {
+            addr,
+            stream: None,
+            leftover: Vec::new(),
+            keep_alive,
+        }
+    }
+
+    /// Issues one GET and reads the full response. Returns the HTTP
+    /// status. One transparent reconnect-and-retry covers the race
+    /// where a keep-alive server closed the idle connection between
+    /// requests.
+    fn request(&mut self, target: &str) -> Result<u16, String> {
+        match self.request_once(target) {
+            Ok(status) => Ok(status),
+            Err(_) => {
+                self.stream = None;
+                self.leftover.clear();
+                self.request_once(target)
+            }
+        }
+    }
+
+    fn request_once(&mut self, target: &str) -> Result<u16, String> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .map_err(|e| format!("timeout: {e}"))?;
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(stream);
+        }
+        let connection = if self.keep_alive { "keep-alive" } else { "close" };
+        let request =
+            format!("GET {target} HTTP/1.1\r\nHost: loadgen\r\nConnection: {connection}\r\n\r\n");
+        let stream = self.stream.as_mut().expect("connected above");
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+
+        // Read the head, then exactly Content-Length body bytes.
+        let mut buf = std::mem::take(&mut self.leftover);
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf) {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err("connection closed before response head".into()),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("unparsable status line in {head:?}"))?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .ok_or_else(|| format!("no content-length in {head:?}"))?;
+        let body_start = head_end + 4;
+        while buf.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err("connection closed mid-body".into()),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("read body: {e}")),
+            }
+        }
+        self.leftover = buf.split_off(body_start + content_length);
+
+        let server_closes = head
+            .lines()
+            .any(|l| l.to_ascii_lowercase().starts_with("connection: close"));
+        if server_closes || !self.keep_alive {
+            self.stream = None;
+            self.leftover.clear();
+        }
+        Ok(status)
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Drives `addr` with the configured load: closed warm-up first, then
+/// the open-loop measured phase. Each connection runs on its own
+/// thread; a request whose connection is still busy at its scheduled
+/// arrival is issued late and the delay counts as latency (open-loop
+/// semantics).
+pub fn run(addr: SocketAddr, corpus: &[String], cfg: &LoadgenConfig) -> LoadgenOutcome {
+    let connections = cfg.connections.max(1);
+
+    // Closed warm-up: walk the whole corpus round-robin, split across
+    // connections, no recording.
+    std::thread::scope(|scope| {
+        for conn in 0..connections {
+            scope.spawn(move || {
+                let mut client = Client::new(addr, cfg.keep_alive);
+                let mut i = conn;
+                while i < cfg.warmup {
+                    let _ = client.request(&corpus[i % corpus.len()]);
+                    i += connections;
+                }
+            });
+        }
+    });
+
+    let arrivals = schedule(cfg, corpus.len());
+    let metrics = Metrics::enabled();
+    let latency = metrics.histogram("loadgen.latency_ns");
+
+    // Per-connection arrival queues, in schedule order.
+    let mut queues: Vec<Vec<&Arrival>> = vec![Vec::new(); connections];
+    for arrival in &arrivals {
+        queues[arrival.conn].push(arrival);
+    }
+
+    let start = Instant::now() + Duration::from_millis(20);
+    let results: Vec<(BTreeMap<u16, u64>, u64, u64, Option<Instant>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queues
+                .into_iter()
+                .map(|queue| {
+                    let latency = latency.clone();
+                    scope.spawn(move || {
+                        let mut client = Client::new(addr, cfg.keep_alive);
+                        let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
+                        let mut completed = 0u64;
+                        let mut errors = 0u64;
+                        let mut last_done = None;
+                        for arrival in queue {
+                            let due = start + arrival.at;
+                            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            match client.request(&corpus[arrival.target]) {
+                                Ok(status) => {
+                                    let now = Instant::now();
+                                    let nanos = now
+                                        .checked_duration_since(due)
+                                        .unwrap_or(Duration::ZERO)
+                                        .as_nanos();
+                                    latency.record(u64::try_from(nanos).unwrap_or(u64::MAX));
+                                    *statuses.entry(status).or_insert(0) += 1;
+                                    completed += 1;
+                                    last_done = Some(now);
+                                }
+                                Err(_) => errors += 1,
+                            }
+                        }
+                        (statuses, completed, errors, last_done)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen client thread"))
+                .collect()
+        });
+
+    let mut statuses = BTreeMap::new();
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut last_done: Option<Instant> = None;
+    for (s, c, e, t) in results {
+        for (status, n) in s {
+            *statuses.entry(status).or_insert(0) += n;
+        }
+        completed += c;
+        errors += e;
+        last_done = match (last_done, t) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+    let wall = last_done
+        .and_then(|t| t.checked_duration_since(start))
+        .unwrap_or(Duration::ZERO);
+    let snapshot = metrics.snapshot();
+    let latency = snapshot
+        .histogram("loadgen.latency_ns")
+        .cloned()
+        .expect("histogram registered above");
+    LoadgenOutcome {
+        wall,
+        completed,
+        achieved_rps: completed as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        latency,
+        statuses,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_store::{Column, Table};
+
+    fn tiny_store() -> Store {
+        let mut store = Store::new();
+        store.upsert(
+            Table::new("objects")
+                .with_column("app", Column::Str(vec!["CAM".into(), "GTC".into()]))
+                .with_column("size_bytes", Column::U64(vec![64, 4096])),
+        );
+        store
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            let f = a.next_f64();
+            assert!((0.0..1.0).contains(&f), "{f}");
+            assert!(a.below(5) < 5);
+        }
+        assert_ne!(Rng::new(1).next_u64(), Rng::new(2).next_u64());
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_covers_sections() {
+        let store = tiny_store();
+        let a = corpus(&store, 42, 8);
+        let b = corpus(&store, 42, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), SECTION_TARGETS.len() + 8);
+        for section in SECTION_TARGETS {
+            assert!(a.contains(&section.to_string()), "{section} missing");
+        }
+        for target in &a[SECTION_TARGETS.len()..] {
+            assert!(target.starts_with("/query?table=objects"), "{target}");
+        }
+        assert_ne!(a, corpus(&store, 43, 8), "seed changes the query picks");
+    }
+
+    #[test]
+    fn schedule_is_poisson_shaped_and_deterministic() {
+        let cfg = LoadgenConfig {
+            seed: 9,
+            connections: 3,
+            rate_rps: 1000.0,
+            requests: 300,
+            ..LoadgenConfig::default()
+        };
+        let a = schedule(&cfg, 10);
+        let b = schedule(&cfg, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 300);
+        // Arrivals are monotone, round-robin across connections, and
+        // the mean gap approximates 1/rate.
+        for (i, arrival) in a.iter().enumerate() {
+            assert_eq!(arrival.conn, i % 3);
+            assert!(arrival.target < 10);
+            if i > 0 {
+                assert!(arrival.at >= a[i - 1].at);
+            }
+        }
+        let mean_gap = a.last().unwrap().at.as_secs_f64() / 300.0;
+        assert!((0.0005..0.002).contains(&mean_gap), "{mean_gap}");
+    }
+
+    #[test]
+    fn digest_pins_the_sequence() {
+        let store = tiny_store();
+        let cfg = LoadgenConfig::default();
+        let targets = corpus(&store, cfg.seed, 8);
+        let arrivals = schedule(&cfg, targets.len());
+        let d1 = schedule_digest(&arrivals, &targets);
+        let d2 = schedule_digest(&arrivals, &targets);
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len(), 16);
+        let other = schedule(
+            &LoadgenConfig {
+                seed: 43,
+                ..cfg.clone()
+            },
+            targets.len(),
+        );
+        assert_ne!(d1, schedule_digest(&other, &targets));
+    }
+}

@@ -1,27 +1,42 @@
-//! `nvsim-serve` — serve a sweep-result store over HTTP.
+//! `nvsim-serve` — serve one or more sweep-result stores over HTTP.
 //!
 //! ```text
-//! nvsim-serve [--store DIR] [--addr HOST:PORT] [--workers N]
-//!             [--queue N] [--cache N] [--events PATH]
+//! nvsim-serve [--store DIR]... [--addr HOST:PORT] [--shards N]
+//!             [--cache N] [--max-conns N] [--idle-timeout-ms MS]
+//!             [--no-keep-alive] [--legacy] [--workers N] [--queue N]
+//!             [--events PATH]
 //! ```
 //!
 //! Loads `DIR/dataset.nvstore` (written by the experiment binaries'
-//! `--store` flag), binds the address, prints `listening on ADDR`, and
-//! serves until killed. Endpoints and the query grammar are documented
-//! in `docs/STORE.md`; `curl http://ADDR/` lists them too.
+//! `--store` flag) for every `--store`, binds the address, prints
+//! `listening on ADDR`, and serves until killed. The first store
+//! answers the unprefixed routes; every store answers under
+//! `/runs/<dirname>/...`. Endpoints and the query grammar are
+//! documented in `docs/STORE.md`; `curl http://ADDR/` lists them too.
 
-use nvsim_serve::{serve, ServeConfig};
+use nvsim_serve::{serve_roots, ServeConfig};
 use nvsim_store::{Store, DATASET_FILE};
 use std::path::PathBuf;
+use std::time::Duration;
 
-const USAGE: &str = "usage: nvsim-serve [--store DIR] [--addr HOST:PORT]\n\
-\x20                  [--workers N] [--queue N] [--cache N] [--events PATH]\n\
+const USAGE: &str = "usage: nvsim-serve [--store DIR]... [--addr HOST:PORT]\n\
+\x20                  [--shards N] [--cache N] [--max-conns N]\n\
+\x20                  [--idle-timeout-ms MS] [--no-keep-alive]\n\
+\x20                  [--legacy] [--workers N] [--queue N] [--events PATH]\n\
 value flags accept both spellings: --addr HOST:PORT and --addr=HOST:PORT\n\
-  --store DIR      store directory holding dataset.nvstore (default: .)\n\
+  --store DIR      store directory holding dataset.nvstore (default: .);\n\
+\x20                  repeatable — the first serves the bare routes, all\n\
+\x20                  serve under /runs/<dirname>/\n\
   --addr HOST:PORT bind address (default: 127.0.0.1:7770; port 0 = OS pick)\n\
-  --workers N      request worker threads (default: 8)\n\
-  --queue N        pending-connection queue depth before 503s (default: 64)\n\
-  --cache N        /query LRU response-cache capacity (default: 128)\n\
+  --shards N       event-loop shards, each with its own cache (default: 4)\n\
+  --cache N        /query LRU capacity per shard (default: 128)\n\
+  --max-conns N    connections per shard before 503 shedding (default: 256)\n\
+  --idle-timeout-ms MS  close idle keep-alive connections (default: 5000)\n\
+  --no-keep-alive  answer every request with Connection: close\n\
+  --legacy         thread-per-connection serving path (the pre-shard\n\
+\x20                  baseline measured by the loadgen benchmark)\n\
+  --workers N      legacy request worker threads (default: 8)\n\
+  --queue N        legacy pending-connection queue before 503s (default: 64)\n\
   --events PATH    append request lifecycle events to PATH as JSONL";
 
 fn die(msg: &str) -> ! {
@@ -30,7 +45,7 @@ fn die(msg: &str) -> ! {
 }
 
 fn main() {
-    let mut dir = PathBuf::from(".");
+    let mut dirs: Vec<PathBuf> = Vec::new();
     let mut addr = String::from("127.0.0.1:7770");
     let mut config = ServeConfig::default();
 
@@ -61,17 +76,33 @@ fn main() {
             _ => (raw.clone(), None),
         };
         match flag.as_str() {
-            "--store" => dir = PathBuf::from(value(&flag, &mut inline, &mut it, "a directory")),
+            "--store" => {
+                dirs.push(PathBuf::from(value(&flag, &mut inline, &mut it, "a directory")))
+            }
             "--addr" => addr = value(&flag, &mut inline, &mut it, "HOST:PORT"),
+            "--shards" => {
+                config.shards = count(&flag, &value(&flag, &mut inline, &mut it, "a count"))
+            }
+            "--cache" => {
+                config.cache_capacity =
+                    count(&flag, &value(&flag, &mut inline, &mut it, "a capacity"))
+            }
+            "--max-conns" => {
+                config.max_conns_per_shard =
+                    count(&flag, &value(&flag, &mut inline, &mut it, "a count"))
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(
+                    count(&flag, &value(&flag, &mut inline, &mut it, "milliseconds")) as u64,
+                )
+            }
+            "--no-keep-alive" => config.keep_alive = false,
+            "--legacy" => config.legacy = true,
             "--workers" => {
                 config.workers = count(&flag, &value(&flag, &mut inline, &mut it, "a count"))
             }
             "--queue" => {
                 config.queue_depth = count(&flag, &value(&flag, &mut inline, &mut it, "a depth"))
-            }
-            "--cache" => {
-                config.cache_capacity =
-                    count(&flag, &value(&flag, &mut inline, &mut it, "a capacity"))
             }
             "--events" => {
                 config.events = Some(PathBuf::from(value(&flag, &mut inline, &mut it, "a path")))
@@ -87,17 +118,39 @@ fn main() {
         }
     }
 
-    let store = match Store::load(&dir.join(DATASET_FILE)) {
-        Ok(s) => s,
-        Err(e) => die(&format!("load store: {e}")),
-    };
+    if dirs.is_empty() {
+        dirs.push(PathBuf::from("."));
+    }
+    let mut roots: Vec<(String, Store)> = Vec::with_capacity(dirs.len());
+    for dir in &dirs {
+        // Route name: the directory's basename (a resolved "." still
+        // names the current directory).
+        let name = dir
+            .canonicalize()
+            .unwrap_or_else(|_| dir.clone())
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "default".to_string());
+        if roots.iter().any(|(existing, _)| *existing == name) {
+            die(&format!(
+                "duplicate run name {name:?} (from --store {}); rename the directory",
+                dir.display()
+            ));
+        }
+        let store = match Store::load(&dir.join(DATASET_FILE)) {
+            Ok(s) => s,
+            Err(e) => die(&format!("load store {}: {e}", dir.display())),
+        };
+        roots.push((name, store));
+    }
+
     let metrics = nvsim_obs::Metrics::enabled();
-    let server = match serve(store, &addr, config, metrics) {
+    let server = match serve_roots(roots, &addr, config, metrics) {
         Ok(s) => s,
         Err(e) => die(&format!("bind {addr}: {e}")),
     };
     println!("listening on {}", server.addr());
-    // Serve until killed; the accept loop and workers run on background
+    // Serve until killed; the accept loop and shards run on background
     // threads, so park the main thread indefinitely.
     loop {
         std::thread::park();

@@ -1,18 +1,29 @@
-//! The server: a `TcpListener` accept loop feeding a bounded
-//! [`TaskPool`], an LRU response cache for `/query`, and pre-rendered
-//! bodies for the table/figure endpoints.
+//! The server: one blocking acceptor handing sockets round-robin to
+//! per-shard `poll(2)` event loops ([`crate::shard`]), HTTP/1.1
+//! keep-alive with pipelining, a per-shard response LRU (cache hits
+//! never cross a lock), and multi-root serving so one process fronts
+//! many sweep runs.
 //!
-//! Request path: the accept thread hands each connection to the pool
-//! with [`TaskPool::try_execute`]; when the queue is full the connection
-//! is answered `503` inline (load shedding, never unbounded queueing). A
-//! worker reads the request head, routes it, and writes one response —
-//! `Connection: close`, one request per connection, which keeps the
-//! worker-pool accounting exact.
+//! Request path (sharded, the default): the acceptor dispatches each
+//! accepted socket to a shard's intake queue; the shard adopts it into
+//! its event loop, parses pipelined requests incrementally, routes each
+//! one, and answers on the same connection until idle timeout,
+//! `Connection: close`, or shutdown. A shard over its connection budget
+//! sheds new sockets with `503`.
 //!
-//! Every route and counter is documented in `docs/STORE.md`.
+//! The pre-sharding serving path — thread-per-connection on a bounded
+//! [`TaskPool`], one request per connection, one global LRU behind a
+//! mutex — is preserved as [`ServeConfig::legacy`]. It exists so the
+//! `loadgen` benchmark can measure the sharded stack against the real
+//! baseline in one process, and so the differential tests can pin the
+//! two paths byte-identical; it is not a deprecation shim.
+//!
+//! Every route and counter is documented in `docs/STORE.md` and
+//! `docs/METRICS.md`.
 
 use crate::cache::LruCache;
 use crate::http::{parse_request, Request, Response};
+use crate::shard::{self, ShardApp, ShardConfig};
 use nv_scavenger::TaskPool;
 use nvsim_obs::{
     Correlation, Event, EventBus, JsonlSink, Metrics, MetricsAggregator, PromKind, PromRegistry,
@@ -27,15 +38,31 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Tuning knobs for [`serve`].
+/// Tuning knobs for [`serve`] / [`serve_roots`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads handling requests.
-    pub workers: usize,
-    /// Pending connections the pool queues before shedding with `503`.
-    pub queue_depth: usize,
-    /// `/query` response-cache capacity (distinct canonical queries).
+    /// Event-loop shards. Each shard owns its connections and its own
+    /// response cache; the acceptor deals sockets round-robin.
+    pub shards: usize,
+    /// Connections one shard holds at once; sockets dispatched beyond
+    /// this are shed with `503`.
+    pub max_conns_per_shard: usize,
+    /// `/query` response-cache capacity in distinct canonical queries —
+    /// per shard in sharded mode, global in legacy mode.
     pub cache_capacity: usize,
+    /// Keep connections open between requests (HTTP/1.1 semantics).
+    /// Off, every response carries `Connection: close`.
+    pub keep_alive: bool,
+    /// Keep-alive connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+    /// Serve on the pre-sharding path: thread-per-connection workers,
+    /// one request per connection, one global LRU behind a mutex. The
+    /// measured baseline for `BENCH_serve.json`.
+    pub legacy: bool,
+    /// Worker threads handling requests (legacy mode only).
+    pub workers: usize,
+    /// Pending connections the legacy pool queues before shedding.
+    pub queue_depth: usize,
     /// When set, every request/cache/query event is appended to this
     /// file as JSONL (one event per line, `docs/METRICS.md` schema).
     pub events: Option<PathBuf>,
@@ -44,9 +71,14 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            shards: 4,
+            max_conns_per_shard: 256,
+            cache_capacity: 128,
+            keep_alive: true,
+            idle_timeout: Duration::from_secs(5),
+            legacy: false,
             workers: 8,
             queue_depth: 64,
-            cache_capacity: 128,
             events: None,
         }
     }
@@ -59,8 +91,24 @@ impl Default for ServeConfig {
 /// request time.
 const ROUTE_CLASSES: [&str; 6] = ["index", "healthz", "metrics", "query", "section", "other"];
 
-/// Buckets a request path into one of [`ROUTE_CLASSES`].
+/// Buckets a request path into one of [`ROUTE_CLASSES`]. Run-prefixed
+/// paths (`/runs/<name>/tables/1`) classify by their inner path, so
+/// per-route latency series stay comparable across roots.
 fn route_class(path: &str) -> &'static str {
+    if path == "/runs" || path == "/runs/" {
+        return "other";
+    }
+    if let Some(rest) = path.strip_prefix("/runs/") {
+        return match rest.split_once('/') {
+            Some((_, inner)) => inner_class(&format!("/{inner}")),
+            None => "index",
+        };
+    }
+    inner_class(path)
+}
+
+/// [`route_class`] for a root-relative path.
+fn inner_class(path: &str) -> &'static str {
     match path {
         "/" => "index",
         "/healthz" => "healthz",
@@ -73,9 +121,12 @@ fn route_class(path: &str) -> &'static str {
     }
 }
 
-/// Everything a worker needs to answer a request. Shared immutably
-/// except for the cache (mutex) and the metrics (atomics).
-struct AppState {
+/// One served sweep run: its name (the route segment under `/runs/`),
+/// encoded store, and pre-rendered section bodies.
+struct Root {
+    /// Route name: `/runs/<name>/...`. The first root also answers the
+    /// unprefixed routes, so single-store deployments keep their URLs.
+    name: String,
     /// The store in its encoded form — `/query` runs the vectorized
     /// engine ([`Query::run_encoded`]) directly over these blocks, so a
     /// served query decodes only the blocks its filters cannot prune.
@@ -86,23 +137,91 @@ struct AppState {
     /// exactly. A section missing from a partial store renders as `Err`
     /// with the reason, served as `503`.
     sections: BTreeMap<&'static str, Result<String, String>>,
-    cache: Mutex<LruCache>,
+}
+
+/// Everything a request handler needs. Shared immutably across shards
+/// and legacy workers; the only mutable members (`cache`,
+/// `evictions_seen`) belong to the legacy path — sharded handlers keep
+/// their cache privately in [`ShardedApp`].
+struct AppState {
+    /// Served runs; `roots[0]` answers unprefixed routes.
+    roots: Vec<Root>,
     metrics: Metrics,
     /// The event bus every request publishes its lifecycle into. The
     /// `serve.*` counters are *derived* from these events by a
     /// [`MetricsAggregator`] subscriber — the server never bumps them
     /// directly, so the JSON `/metrics` view and an `--events` JSONL
-    /// file can never disagree.
+    /// file can never disagree. Sharded handlers stamp their shard id
+    /// into the correlation `worker` field, which is what the
+    /// aggregator keys the `serve.shard.*` counters on.
     bus: EventBus,
-    /// The Prometheus exposition registry — immutable after [`serve`]
-    /// builds it, so workers encode from it without locking.
+    /// The Prometheus exposition registry — immutable after
+    /// [`serve_roots`] builds it, so handlers encode without locking.
     prom: PromRegistry,
-    /// Monotone request-id source (`req-<n>`).
+    /// Monotone request-id source (`req-<n>`), shared across shards so
+    /// ids stay globally unique.
     req_seq: AtomicU64,
-    /// Lifetime cache-eviction total already published as
+    /// Legacy mode's single global response cache.
+    cache: Mutex<LruCache>,
+    /// Legacy mode's lifetime cache-eviction total already published as
     /// `cache.evicted` events; the next event carries only the delta.
     /// Only touched under the cache lock, so deltas are exact.
     evictions_seen: AtomicU64,
+}
+
+/// Response-cache access, abstracted so [`query_route`] is identical on
+/// both serving paths: the sharded path passes the shard's own
+/// lock-free cache, the legacy path the global mutex-guarded one.
+trait ResponseCache {
+    /// Looks up a canonical-query key.
+    fn get(&mut self, key: &str) -> Option<Arc<str>>;
+    /// Inserts a rendered body and returns how many entries this
+    /// insert's cache evicted since the last insert (the delta the
+    /// `cache.evicted` event carries).
+    fn insert(&mut self, key: &str, body: &Arc<str>) -> u64;
+}
+
+/// The legacy path's view: global cache behind a mutex, eviction delta
+/// computed under the lock so concurrent inserts each publish their
+/// exact share of the lifetime total.
+struct SharedCache<'a> {
+    cache: &'a Mutex<LruCache>,
+    evictions_seen: &'a AtomicU64,
+}
+
+impl ResponseCache for SharedCache<'_> {
+    fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        self.cache.lock().expect("cache poisoned").get(key)
+    }
+
+    fn insert(&mut self, key: &str, body: &Arc<str>) -> u64 {
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        cache.insert(key, Arc::clone(body));
+        let total = cache.evictions() as u64;
+        let seen = self.evictions_seen.swap(total, Ordering::Relaxed);
+        total.saturating_sub(seen)
+    }
+}
+
+/// A shard's view: plain `&mut` — the cache is owned by the shard
+/// thread, so hits and inserts touch no lock at all.
+struct ShardCache<'a> {
+    cache: &'a mut LruCache,
+    evictions_seen: &'a mut u64,
+}
+
+impl ResponseCache for ShardCache<'_> {
+    fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        self.cache.get(key)
+    }
+
+    fn insert(&mut self, key: &str, body: &Arc<str>) -> u64 {
+        self.cache.insert(key, Arc::clone(body));
+        let total = self.cache.evictions() as u64;
+        let delta = total.saturating_sub(*self.evictions_seen);
+        *self.evictions_seen = total;
+        delta
+    }
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`])
@@ -126,8 +245,9 @@ impl Server {
         self.addr
     }
 
-    /// Graceful shutdown: stop accepting, finish accepted requests,
-    /// join the accept thread and the worker pool. Idempotent.
+    /// Graceful shutdown: stop accepting, drain in-flight connections
+    /// (answering buffered requests with `Connection: close`), join the
+    /// shard loops / worker pool and the accept thread. Idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with one throwaway connection.
@@ -179,25 +299,74 @@ const INDEX: &str = "nvsim-serve endpoints:\n\
   /figs/{2,3-6,7,8-11,12}  paper figures, same guarantee\n\
   /suitability        the abstract's suitability study\n\
   /query?table=T&where=..&select=..&agg=..&by=..&sort=..&limit=..\n\
-\x20                     ad-hoc query over the store (docs/STORE.md)\n";
+\x20                     ad-hoc query over the store (docs/STORE.md)\n\
+  /runs               served run names (JSON)\n\
+  /runs/<name>/...    any route above, against that run's store\n";
 
 /// `Content-Type` of the Prometheus text exposition format.
 const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
+/// Which root a path addresses, and the root-relative remainder.
+enum Resolved<'a> {
+    /// `/runs` — the listing endpoint.
+    Listing,
+    /// `/runs/<name>/...` with an unknown name.
+    Missing(&'a str),
+    /// A concrete root plus the path to route inside it.
+    Run(&'a Root, String),
+}
+
+/// Splits a request path into root + inner path. Unprefixed paths go to
+/// `roots[0]`, preserving single-store URLs.
+fn resolve<'a>(roots: &'a [Root], path: &'a str) -> Resolved<'a> {
+    if path == "/runs" || path == "/runs/" {
+        return Resolved::Listing;
+    }
+    if let Some(rest) = path.strip_prefix("/runs/") {
+        let (name, inner) = match rest.split_once('/') {
+            Some((name, inner)) => (name, format!("/{inner}")),
+            None => (rest, "/".to_string()),
+        };
+        return match roots.iter().find(|r| r.name == name) {
+            Some(root) => Resolved::Run(root, inner),
+            None => Resolved::Missing(name),
+        };
+    }
+    Resolved::Run(&roots[0], path.to_string())
+}
+
 /// Routes one parsed request. Pure apart from cache/metric/event
 /// updates — unit-testable without sockets. `corr` is the request's
-/// correlation context (run and request id) for the events the route
-/// publishes.
-fn route(state: &AppState, req: &Request, corr: &Correlation) -> Response {
+/// correlation context (run, shard and request id) for the events the
+/// route publishes; `cache` is whichever response cache the serving
+/// path owns.
+fn route(
+    state: &AppState,
+    req: &Request,
+    corr: &Correlation,
+    cache: &mut dyn ResponseCache,
+) -> Response {
     if req.method != "GET" {
         return Response::error(405, format!("method {} not allowed", req.method));
     }
-    match req.path.as_str() {
+    let (root, path) = match resolve(&state.roots, &req.path) {
+        Resolved::Listing => {
+            let names: Vec<&str> = state.roots.iter().map(|r| r.name.as_str()).collect();
+            return Response::json(
+                serde_json::to_string_pretty(&names).expect("string list renders"),
+            );
+        }
+        Resolved::Missing(name) => {
+            return Response::error(404, format!("no run {name:?} (see /runs)"))
+        }
+        Resolved::Run(root, path) => (root, path),
+    };
+    match path.as_str() {
         "/" => Response::text(INDEX),
         "/healthz" => Response::text("ok\n"),
         "/metrics" => metrics_route(state, &req.query),
-        "/query" => query_route(state, &req.query, corr),
-        path => match state.sections.get(path) {
+        "/query" => query_route(state, root, &req.query, corr, cache),
+        path => match root.sections.get(path) {
             Some(Ok(body)) => Response::json(body.clone()),
             Some(Err(reason)) => {
                 Response::error(503, format!("section {path} unavailable: {reason}"))
@@ -208,7 +377,8 @@ fn route(state: &AppState, req: &Request, corr: &Correlation) -> Response {
 }
 
 /// `/metrics`: the JSON snapshot by default, Prometheus text
-/// exposition with `?format=prometheus`.
+/// exposition with `?format=prometheus`. Metrics are process-global —
+/// the same body regardless of run prefix.
 fn metrics_route(state: &AppState, pairs: &[(String, String)]) -> Response {
     // Refreshed at scrape time: nonzero means the bus discarded events,
     // i.e. every derived serve.* series below is an undercount. The
@@ -238,45 +408,123 @@ fn metrics_route(state: &AppState, pairs: &[(String, String)]) -> Response {
     }
 }
 
-fn query_route(state: &AppState, pairs: &[(String, String)], corr: &Correlation) -> Response {
+fn query_route(
+    state: &AppState,
+    root: &Root,
+    pairs: &[(String, String)],
+    corr: &Correlation,
+    cache: &mut dyn ResponseCache,
+) -> Response {
     let query = match Query::from_pairs(pairs) {
         Ok(q) => q,
         Err(e) => return Response::error(400, e.to_string()),
     };
-    let key = query.canonical();
-    if let Some(body) = state.cache.lock().expect("cache poisoned").get(&key) {
+    // Root name joined with an unprintable separator so two roots'
+    // identical queries cannot collide in one shard's cache.
+    let key = format!("{}\u{1f}{}", root.name, query.canonical());
+    if let Some(body) = cache.get(&key) {
         state.bus.publish(corr, Event::CacheHit);
         return Response::json(body.as_ref());
     }
     state.bus.publish(corr, Event::CacheMiss);
     let result =
-        match query.run_encoded_observed(&state.encoded, &state.metrics, &state.bus, corr) {
+        match query.run_encoded_observed(&root.encoded, &state.metrics, &state.bus, corr) {
             Ok(r) => r,
             Err(e) => return Response::error(400, e.to_string()),
         };
     let body: Arc<str> = Arc::from(result.to_json());
-    {
-        let mut cache = state.cache.lock().expect("cache poisoned");
-        cache.insert(&key, Arc::clone(&body));
-        // The eviction delta is read under the cache lock so
-        // concurrent inserts each publish their own exact share of the
-        // lifetime total.
-        let total = cache.evictions() as u64;
-        let seen = state.evictions_seen.swap(total, Ordering::Relaxed);
-        drop(cache);
-        state.bus.publish(corr, Event::CacheInserted);
-        if total > seen {
-            state.bus.publish(corr, Event::CacheEvicted { n: total - seen });
-        }
+    let evicted = cache.insert(&key, &body);
+    state.bus.publish(corr, Event::CacheInserted);
+    if evicted > 0 {
+        state.bus.publish(corr, Event::CacheEvicted { n: evicted });
     }
     Response::json(body.as_ref())
 }
 
-/// Reads the request head (up to the blank line), routes it, writes the
-/// response. All errors are answered on the wire where possible. The
-/// whole exchange is bracketed by `request.received` /
-/// `request.finished` events carrying a fresh `req-<n>` id, which the
-/// response echoes as `X-Request-Id`.
+/// The sharded request handler: one per shard, owned by its event-loop
+/// thread, holding the shard's private response cache. Implements the
+/// [`ShardApp`] contract [`crate::shard`] drives.
+struct ShardedApp {
+    state: Arc<AppState>,
+    shard: usize,
+    cache: LruCache,
+    evictions_seen: u64,
+}
+
+impl ShardedApp {
+    /// A correlation stamped with this shard's id (the `worker` field),
+    /// which the [`MetricsAggregator`] keys `serve.shard.*` on.
+    fn correlation(&self) -> Correlation {
+        self.state
+            .bus
+            .correlation()
+            .with_worker(Some(self.shard as u64))
+    }
+}
+
+impl ShardApp for ShardedApp {
+    fn handle(&mut self, request: &Request) -> Response {
+        let state = Arc::clone(&self.state);
+        let request_id = format!("req-{}", state.req_seq.fetch_add(1, Ordering::Relaxed));
+        let corr = self.correlation().with_request(request_id.as_str());
+        state.bus.publish(&corr, Event::RequestReceived);
+        let started = Instant::now();
+
+        let route_label = route_class(&request.path);
+        let mut cache = ShardCache {
+            cache: &mut self.cache,
+            evictions_seen: &mut self.evictions_seen,
+        };
+        let response = route(&state, request, &corr, &mut cache).with_request_id(request_id);
+
+        let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        state.bus.publish(
+            &corr,
+            Event::RequestFinished {
+                route: route_label.to_string(),
+                status: response.status,
+                latency_ns,
+            },
+        );
+        // Flush before the client sees the response: the event log stays
+        // durable up to the last answered request even if the process is
+        // killed without the graceful-shutdown path.
+        state.bus.flush();
+        response
+    }
+
+    fn bad(&mut self, status: u16, reason: &str) -> Response {
+        let state = Arc::clone(&self.state);
+        let request_id = format!("req-{}", state.req_seq.fetch_add(1, Ordering::Relaxed));
+        let corr = self.correlation().with_request(request_id.as_str());
+        state.bus.publish(&corr, Event::RequestReceived);
+        let started = Instant::now();
+        let response = Response::error(status, reason).with_request_id(request_id);
+        let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        state.bus.publish(
+            &corr,
+            Event::RequestFinished {
+                route: "other".to_string(),
+                status,
+                latency_ns,
+            },
+        );
+        state.bus.flush();
+        response
+    }
+
+    fn shed(&mut self) -> Response {
+        self.state.bus.publish(&self.correlation(), Event::RequestShed);
+        self.state.bus.flush();
+        Response::error(503, "server busy: shard at connection capacity")
+    }
+}
+
+/// Legacy path: reads the request head (up to the blank line), routes
+/// it, writes one `Connection: close` response. All errors are answered
+/// on the wire where possible. The whole exchange is bracketed by
+/// `request.received` / `request.finished` events carrying a fresh
+/// `req-<n>` id, which the response echoes as `X-Request-Id`.
 fn handle_connection(state: &AppState, mut stream: TcpStream) {
     let request_id = format!("req-{}", state.req_seq.fetch_add(1, Ordering::Relaxed));
     let corr = state.bus.correlation().with_request(request_id.as_str());
@@ -296,7 +544,11 @@ fn handle_connection(state: &AppState, mut stream: TcpStream) {
                     break match parse_request(&String::from_utf8_lossy(&head)) {
                         Ok(req) => {
                             route_label = route_class(&req.path);
-                            route(state, &req, &corr)
+                            let mut cache = SharedCache {
+                                cache: &state.cache,
+                                evictions_seen: &state.evictions_seen,
+                            };
+                            route(state, &req, &corr, &mut cache)
                         }
                         Err(e) => Response::error(400, e),
                     };
@@ -331,12 +583,25 @@ fn handle_connection(state: &AppState, mut stream: TcpStream) {
 
 /// Statuses this server emits — the label budget for the
 /// `nvsim_serve_responses_total{status=...}` family.
-const RESPONSE_STATUSES: [u16; 5] = [200, 400, 404, 405, 503];
+const RESPONSE_STATUSES: [u16; 6] = [200, 400, 404, 405, 431, 503];
+
+/// Per-shard counter families derived by the [`MetricsAggregator`] from
+/// the shard id in each event's correlation. `<family>.<shard>` in the
+/// metrics snapshot; `{shard="<i>"}` labels in the exposition.
+const SHARD_FAMILIES: [&str; 6] = [
+    "serve.shard.requests",
+    "serve.shard.shed",
+    "serve.shard.cache.hits",
+    "serve.shard.cache.misses",
+    "serve.shard.cache.insertions",
+    "serve.shard.cache.evictions",
+];
 
 /// Registers every serve.* and query.* instrument up front so
 /// `/metrics` shows the full set (at zero) from the first scrape, not
-/// only after the first event of each kind.
-fn register_serve_metrics(metrics: &Metrics) {
+/// only after the first event of each kind. `shards` sizes the
+/// per-shard families.
+fn register_serve_metrics(metrics: &Metrics, shards: usize) {
     for name in [
         "serve.requests",
         "serve.shed",
@@ -355,6 +620,11 @@ fn register_serve_metrics(metrics: &Metrics) {
     for status in RESPONSE_STATUSES {
         metrics.counter(&format!("serve.responses.{status}"));
     }
+    for family in SHARD_FAMILIES {
+        for shard in 0..shards {
+            metrics.counter(&format!("{family}.{shard}"));
+        }
+    }
     metrics.gauge("serve.inflight");
     metrics.gauge("serve.events.dropped");
     for class in ROUTE_CLASSES {
@@ -370,11 +640,11 @@ fn register_serve_metrics(metrics: &Metrics) {
 /// Never in practice — the registrations are static and the registry
 /// validates them at startup, so a bad name is a programming error
 /// caught by the first test that builds a server.
-fn serve_prom_registry() -> PromRegistry {
+fn serve_prom_registry(shards: usize) -> PromRegistry {
     let mut prom = PromRegistry::new();
     let reg = [
         ("nvsim_serve_requests_total", "Requests handled (excludes shed connections).", "serve.requests"),
-        ("nvsim_serve_shed_total", "Connections shed with 503 because the worker queue was full.", "serve.shed"),
+        ("nvsim_serve_shed_total", "Connections shed with 503 because the server was at capacity.", "serve.shed"),
         ("nvsim_serve_cache_hits_total", "/query responses answered from the LRU cache.", "serve.cache.hits"),
         ("nvsim_serve_cache_misses_total", "/query responses that had to run the engine.", "serve.cache.misses"),
         ("nvsim_serve_cache_insertions_total", "/query responses inserted into the LRU cache.", "serve.cache.insertions"),
@@ -429,19 +699,29 @@ fn serve_prom_registry() -> PromRegistry {
         prom.register_series("nvsim_serve_request_latency_ns", class)
             .expect("route within budget");
     }
+    if shards > 0 {
+        let shard_reg = [
+            ("nvsim_serve_shard_requests_total", "Requests handled, by shard.", "serve.shard.requests."),
+            ("nvsim_serve_shard_shed_total", "Connections shed with 503, by shard.", "serve.shard.shed."),
+            ("nvsim_serve_shard_cache_hits_total", "/query cache hits, by shard.", "serve.shard.cache.hits."),
+            ("nvsim_serve_shard_cache_misses_total", "/query cache misses, by shard.", "serve.shard.cache.misses."),
+            ("nvsim_serve_shard_cache_insertions_total", "/query cache insertions, by shard.", "serve.shard.cache.insertions."),
+            ("nvsim_serve_shard_cache_evictions_total", "/query cache evictions, by shard.", "serve.shard.cache.evictions."),
+        ];
+        for (name, help, prefix) in shard_reg {
+            prom.register_labeled(name, help, PromKind::Counter, prefix, "shard", shards)
+                .expect("static family");
+            for shard in 0..shards {
+                prom.register_series(name, &shard.to_string())
+                    .expect("shard within budget");
+            }
+        }
+    }
     prom
 }
 
-/// Starts serving `store` on `addr` (e.g. `"127.0.0.1:0"` for an
-/// OS-assigned port). Returns once the listener is bound; requests are
-/// handled on background threads until the returned [`Server`] is shut
-/// down or dropped.
-///
-/// `metrics` feeds `/metrics`; pass the registry the caller already
-/// observes (or [`Metrics::enabled`] for a fresh one). The `serve.*`
-/// counters land there, derived from the request event stream by a
-/// [`MetricsAggregator`]. `config.events` additionally persists that
-/// stream as JSONL.
+/// Starts serving a single `store` on `addr` under the root name
+/// `default` — see [`serve_roots`] for everything else.
 ///
 /// # Errors
 /// [`NvsimError::Io`] when the address cannot be bound.
@@ -451,6 +731,48 @@ pub fn serve(
     config: ServeConfig,
     metrics: Metrics,
 ) -> Result<Server, NvsimError> {
+    serve_roots(vec![("default".to_string(), store)], addr, config, metrics)
+}
+
+/// Starts serving one or more named stores on `addr` (e.g.
+/// `"127.0.0.1:0"` for an OS-assigned port). Returns once the listener
+/// is bound; requests are handled on background threads until the
+/// returned [`Server`] is shut down or dropped. The first root answers
+/// the unprefixed routes; every root answers under `/runs/<name>/`.
+///
+/// `metrics` feeds `/metrics`; pass the registry the caller already
+/// observes (or [`Metrics::enabled`] for a fresh one). The `serve.*`
+/// counters land there, derived from the request event stream by a
+/// [`MetricsAggregator`]. `config.events` additionally persists that
+/// stream as JSONL.
+///
+/// # Errors
+/// [`NvsimError::InvalidConfig`] for an empty or duplicate root set,
+/// [`NvsimError::Io`] when the address cannot be bound or the shard
+/// loops cannot start.
+pub fn serve_roots(
+    stores: Vec<(String, Store)>,
+    addr: &str,
+    config: ServeConfig,
+    metrics: Metrics,
+) -> Result<Server, NvsimError> {
+    if stores.is_empty() {
+        return Err(NvsimError::InvalidConfig(
+            "serve_roots needs at least one store".to_string(),
+        ));
+    }
+    for (i, (name, _)) in stores.iter().enumerate() {
+        if name.is_empty() || name.contains('/') {
+            return Err(NvsimError::InvalidConfig(format!(
+                "bad run name {name:?}: must be a non-empty path segment"
+            )));
+        }
+        if stores[..i].iter().any(|(prev, _)| prev == name) {
+            return Err(NvsimError::InvalidConfig(format!(
+                "duplicate run name {name:?}"
+            )));
+        }
+    }
     let listener = TcpListener::bind(addr).map_err(|e| NvsimError::Io {
         path: addr.to_string(),
         cause: e.to_string(),
@@ -460,13 +782,22 @@ pub fn serve(
         cause: e.to_string(),
     })?;
 
-    let sections = render_sections(&store);
-    // The query engine works on the encoded form; re-encoding an
-    // in-memory store is cheap and cannot fail structurally.
-    let encoded = EncodedStore::open(store.encode())?;
-    register_serve_metrics(&metrics);
+    let shards = config.shards.max(1);
+    let mut roots = Vec::with_capacity(stores.len());
+    for (name, store) in stores {
+        let sections = render_sections(&store);
+        // The query engine works on the encoded form; re-encoding an
+        // in-memory store is cheap and cannot fail structurally.
+        let encoded = EncodedStore::open(store.encode())?;
+        roots.push(Root {
+            name,
+            encoded,
+            sections,
+        });
+    }
+    register_serve_metrics(&metrics, shards);
 
-    // The bus every worker publishes request lifecycle events into.
+    // The bus every handler publishes request lifecycle events into.
     // The aggregator derives the serve.* counters from those events;
     // an optional JSONL sink persists the same stream for offline
     // correlation (same schema the sweep binaries' --events writes).
@@ -488,48 +819,93 @@ pub fn serve(
     let bus = builder.build();
 
     let state = Arc::new(AppState {
-        encoded,
-        sections,
-        cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        roots,
         metrics,
         bus,
-        prom: serve_prom_registry(),
+        prom: serve_prom_registry(shards),
         req_seq: AtomicU64::new(0),
+        cache: Mutex::new(LruCache::new(config.cache_capacity)),
         evictions_seen: AtomicU64::new(0),
     });
 
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
     let accept_state = Arc::clone(&state);
+
+    // Sharded mode spins up its event loops before the accept thread so
+    // a failure surfaces here as an error, not a dead server.
+    let mut shard_handles = Vec::new();
+    if !config.legacy {
+        let shard_config = ShardConfig {
+            max_conns: config.max_conns_per_shard.max(1),
+            idle_timeout: config.idle_timeout,
+            keep_alive: config.keep_alive,
+        };
+        for shard_id in 0..shards {
+            let app = ShardedApp {
+                state: Arc::clone(&state),
+                shard: shard_id,
+                cache: LruCache::new(config.cache_capacity),
+                evictions_seen: 0,
+            };
+            let handle = shard::spawn(shard_id, shard_config.clone(), app, Arc::clone(&stop))
+                .map_err(|e| NvsimError::Io {
+                    path: format!("serve-shard-{shard_id}"),
+                    cause: e.to_string(),
+                })?;
+            shard_handles.push(handle);
+        }
+    }
+
+    let legacy = config.legacy;
     let accept_thread = std::thread::Builder::new()
         .name("serve-accept".into())
         .spawn(move || {
-            let mut pool = TaskPool::new(config.workers, config.queue_depth);
-            for stream in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                // A second handle on the socket, kept back so a shed
-                // connection can still be answered `503` inline — the
-                // original moves into the job and is unrecoverable once
-                // `try_execute` boxes it.
-                let shed_handle = stream.try_clone().ok();
-                let state = Arc::clone(&accept_state);
-                if let Err(job) = pool.try_execute(move || handle_connection(&state, stream)) {
-                    drop(job);
-                    accept_state
-                        .bus
-                        .publish(&accept_state.bus.correlation(), Event::RequestShed);
-                    if let Some(mut s) = shed_handle {
-                        let _ = s.write_all(
-                            &Response::error(503, "server busy: request queue full").to_bytes(),
-                        );
+            if legacy {
+                let mut pool = TaskPool::new(config.workers, config.queue_depth);
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // A second handle on the socket, kept back so a shed
+                    // connection can still be answered `503` inline — the
+                    // original moves into the job and is unrecoverable once
+                    // `try_execute` boxes it.
+                    let shed_handle = stream.try_clone().ok();
+                    let state = Arc::clone(&accept_state);
+                    if let Err(job) = pool.try_execute(move || handle_connection(&state, stream)) {
+                        drop(job);
+                        accept_state
+                            .bus
+                            .publish(&accept_state.bus.correlation(), Event::RequestShed);
+                        if let Some(mut s) = shed_handle {
+                            let _ = s.write_all(
+                                &Response::error(503, "server busy: request queue full")
+                                    .to_bytes(),
+                            );
+                        }
                     }
                 }
+                // Drain accepted requests before the listener closes.
+                pool.join();
+            } else {
+                let mut next = 0usize;
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    shard_handles[next % shard_handles.len()].dispatch(stream);
+                    next += 1;
+                }
+                // Stop is set: each shard drains its in-flight
+                // connections (answering buffered requests with
+                // `Connection: close`) before joining.
+                for handle in shard_handles {
+                    handle.join();
+                }
             }
-            // Drain accepted requests before the listener closes.
-            pool.join();
             // Then push any buffered JSONL events to disk.
             accept_state.bus.flush();
         })
@@ -565,19 +941,22 @@ mod tests {
         // pre-rendered endpoint is a 503 with a reason.
         let sections = render_sections(&store);
         let metrics = Metrics::enabled();
-        register_serve_metrics(&metrics);
+        register_serve_metrics(&metrics, 4);
         let bus = EventBus::builder("serve-test")
             .unbounded()
             .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
             .build();
         AppState {
-            encoded: EncodedStore::open(store.encode()).unwrap(),
-            sections,
-            cache: Mutex::new(LruCache::new(cache_capacity)),
+            roots: vec![Root {
+                name: "default".to_string(),
+                encoded: EncodedStore::open(store.encode()).unwrap(),
+                sections,
+            }],
             metrics,
             bus,
-            prom: serve_prom_registry(),
+            prom: serve_prom_registry(4),
             req_seq: AtomicU64::new(0),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
             evictions_seen: AtomicU64::new(0),
         }
     }
@@ -588,14 +967,20 @@ mod tests {
             None => (path, Vec::new()),
         };
         let corr = state.bus.correlation().with_request("req-test");
+        let mut cache = SharedCache {
+            cache: &state.cache,
+            evictions_seen: &state.evictions_seen,
+        };
         route(
             state,
             &Request {
                 method: "GET".into(),
                 path: path.into(),
                 query,
+                close: false,
             },
             &corr,
+            &mut cache,
         )
     }
 
@@ -606,6 +991,42 @@ mod tests {
         assert_eq!(get(&state, "/healthz").body, "ok\n");
         let index = get(&state, "/");
         assert!(index.body.contains("/query"), "{}", index.body);
+        assert!(index.body.contains("/runs"), "{}", index.body);
+    }
+
+    #[test]
+    fn run_prefixed_routes_reach_the_named_root() {
+        let state = tiny_state();
+        // The listing names the single root.
+        let listing = get(&state, "/runs");
+        assert_eq!(listing.status, 200);
+        assert!(listing.body.contains("\"default\""), "{}", listing.body);
+        // Prefixed routes answer identically to the bare ones.
+        assert_eq!(
+            get(&state, "/runs/default/healthz").body,
+            get(&state, "/healthz").body
+        );
+        assert_eq!(
+            get(&state, "/runs/default/query?table=objects").body,
+            get(&state, "/query?table=objects").body
+        );
+        // Unknown run names are a 404 pointing at the listing.
+        let missing = get(&state, "/runs/nope/healthz");
+        assert_eq!(missing.status, 404);
+        assert!(missing.body.contains("/runs"), "{}", missing.body);
+    }
+
+    #[test]
+    fn route_classes_cover_run_prefixes() {
+        assert_eq!(route_class("/"), "index");
+        assert_eq!(route_class("/runs"), "other");
+        assert_eq!(route_class("/runs/a"), "index");
+        assert_eq!(route_class("/runs/a/"), "index");
+        assert_eq!(route_class("/runs/a/tables/1"), "section");
+        assert_eq!(route_class("/runs/a/query"), "query");
+        assert_eq!(route_class("/runs/a/metrics"), "metrics");
+        assert_eq!(route_class("/tables/1"), "section");
+        assert_eq!(route_class("/nope"), "other");
     }
 
     #[test]
@@ -633,14 +1054,20 @@ mod tests {
         assert_eq!(get(&state, "/query?table=missing").status, 400);
         assert_eq!(get(&state, "/nope").status, 404);
         assert_eq!(get(&state, "/tables/1").status, 503, "partial store");
+        let mut cache = SharedCache {
+            cache: &state.cache,
+            evictions_seen: &state.evictions_seen,
+        };
         let post = route(
             &state,
             &Request {
                 method: "POST".into(),
                 path: "/query".into(),
                 query: Vec::new(),
+                close: false,
             },
             &state.bus.correlation(),
+            &mut cache,
         );
         assert_eq!(post.status, 405);
     }
@@ -653,6 +1080,7 @@ mod tests {
         let body = get(&state, "/metrics").body;
         assert!(body.contains("serve.cache.hits"), "{body}");
         assert!(body.contains("serve.cache.misses"), "{body}");
+        assert!(body.contains("serve.shard.cache.hits.0"), "{body}");
     }
 
     #[test]
@@ -678,6 +1106,12 @@ mod tests {
         assert_eq!(value("nvsim_serve_inflight"), 0.0);
         assert_eq!(value("nvsim_serve_events_dropped"), 0.0);
         assert_eq!(value("nvsim_serve_responses_total{status=\"503\"}"), 0.0);
+        assert_eq!(value("nvsim_serve_responses_total{status=\"431\"}"), 0.0);
+        assert_eq!(value("nvsim_serve_shard_requests_total{shard=\"0\"}"), 0.0);
+        assert_eq!(
+            value("nvsim_serve_shard_cache_hits_total{shard=\"3\"}"),
+            0.0
+        );
         assert_eq!(
             value("nvsim_serve_request_latency_ns_count{route=\"query\"}"),
             0.0
@@ -724,5 +1158,21 @@ mod tests {
         assert_eq!(snap.counter("serve.cache.insertions"), Some(1));
         assert_eq!(snap.counter("serve.cache.hits"), Some(1));
         assert_eq!(state.bus.published(), 4);
+    }
+
+    #[test]
+    fn shard_cache_reports_eviction_deltas() {
+        let mut lru = LruCache::new(1);
+        let mut seen = 0u64;
+        let mut cache = ShardCache {
+            cache: &mut lru,
+            evictions_seen: &mut seen,
+        };
+        let body: Arc<str> = Arc::from("{}");
+        assert_eq!(cache.insert("a", &body), 0);
+        assert_eq!(cache.insert("b", &body), 1);
+        assert_eq!(cache.insert("c", &body), 1);
+        assert!(cache.get("c").is_some());
+        assert!(cache.get("a").is_none());
     }
 }

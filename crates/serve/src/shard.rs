@@ -1,0 +1,485 @@
+//! Per-shard event loops: non-blocking sockets multiplexed with
+//! `poll(2)`, keep-alive pipelining, idle timeouts, and drain-on-stop.
+//!
+//! The serving stack is one blocking acceptor (in [`crate::server`])
+//! handing sockets round-robin to N shards. Each shard owns its
+//! connections outright — sockets never migrate — so per-connection
+//! state and the per-shard response cache are plain `&mut` data with no
+//! locks on the hot path. The only cross-thread traffic is the intake
+//! queue of freshly accepted sockets plus a loopback wake socket that
+//! makes `poll` return when the acceptor dispatches or stop is raised.
+//!
+//! `poll(2)` is declared directly via FFI because the repo is std-only
+//! by policy (the build container has no network for a `libc`
+//! dependency); the declaration matches the Linux ABI the repo's CI
+//! builds on.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::conn::{Conn, Fill};
+use crate::http::{parse_incremental, Parse, Request, Response};
+
+/// Readiness: data to read.
+const POLLIN: i16 = 0x001;
+/// Readiness: writable without blocking.
+const POLLOUT: i16 = 0x004;
+/// Readiness: error condition.
+const POLLERR: i16 = 0x008;
+/// Readiness: peer hung up.
+const POLLHUP: i16 = 0x010;
+
+/// Mirror of `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    /// `poll(2)`; `nfds_t` is `unsigned long` on Linux.
+    fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+}
+
+/// Blocks until any registered fd is ready or the timeout elapses.
+/// Returns the number of ready fds (0 on timeout).
+fn poll_wait(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // correctly laid out pollfd structs for the duration of the
+        // call; poll only writes `revents` within it.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// The application half a shard drives: routing, events, caching. One
+/// instance per shard, owned by the shard thread, so implementations
+/// hold per-shard mutable state (the response LRU) without locks.
+pub trait ShardApp: Send + 'static {
+    /// Answers one well-formed request.
+    fn handle(&mut self, request: &Request) -> Response;
+    /// Answers a malformed request (`status` is 400 or 431).
+    fn bad(&mut self, status: u16, reason: &str) -> Response;
+    /// Answers a connection rejected because the shard is at capacity;
+    /// implementations record the shed before returning the 503.
+    fn shed(&mut self) -> Response;
+}
+
+/// Tuning knobs for one shard's event loop.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Connections the shard holds at once; intake beyond this sheds
+    /// with `503`.
+    pub max_conns: usize,
+    /// Keep-alive connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+    /// When `false`, every response carries `Connection: close` (the
+    /// pre-sharding behavior, kept for comparison benchmarks).
+    pub keep_alive: bool,
+}
+
+/// Acceptor-side handle to a running shard.
+pub struct ShardHandle {
+    intake: Arc<Mutex<VecDeque<TcpStream>>>,
+    wake_tx: TcpStream,
+    thread: JoinHandle<()>,
+}
+
+impl ShardHandle {
+    /// Queues an accepted socket for the shard and wakes its loop.
+    pub fn dispatch(&self, stream: TcpStream) {
+        self.intake
+            .lock()
+            .expect("shard intake poisoned")
+            .push_back(stream);
+        self.wake();
+    }
+
+    /// Forces the shard's `poll` to return (used for dispatch and for
+    /// stop). A full wake pipe already guarantees a pending wakeup, so
+    /// `WouldBlock` is ignorable.
+    pub fn wake(&self) {
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+
+    /// Wakes the shard a final time and waits for its drain to finish.
+    pub fn join(self) {
+        let _ = (&self.wake_tx).write(&[1]);
+        let _ = self.thread.join();
+    }
+}
+
+/// A loopback socket pair standing in for `pipe(2)`: `tx` is the
+/// blocking write end, `rx` the non-blocking read end the shard polls.
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    Ok((tx, rx))
+}
+
+/// Spawns shard `id`'s event loop thread.
+///
+/// # Errors
+/// Propagates failure to create the wake socket pair.
+pub fn spawn<A: ShardApp>(
+    id: usize,
+    config: ShardConfig,
+    app: A,
+    stop: Arc<AtomicBool>,
+) -> io::Result<ShardHandle> {
+    let (wake_tx, wake_rx) = wake_pair()?;
+    let intake: Arc<Mutex<VecDeque<TcpStream>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let loop_intake = Arc::clone(&intake);
+    let thread = thread::Builder::new()
+        .name(format!("serve-shard-{id}"))
+        .spawn(move || run_loop(config, app, stop, wake_rx, loop_intake))
+        .expect("spawn shard thread");
+    Ok(ShardHandle {
+        intake,
+        wake_tx,
+        thread,
+    })
+}
+
+/// How long a shard keeps draining in-flight work after stop before
+/// abandoning stragglers.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// The shard event loop: poll readiness, absorb intake, parse and
+/// answer pipelined requests, flush, sweep idle connections, and drain
+/// cleanly once `stop` is raised.
+fn run_loop<A: ShardApp>(
+    config: ShardConfig,
+    mut app: A,
+    stop: Arc<AtomicBool>,
+    mut wake_rx: TcpStream,
+    intake: Arc<Mutex<VecDeque<TcpStream>>>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut drain_started: Option<Instant> = None;
+    loop {
+        let draining = if drain_started.is_some() {
+            true
+        } else if stop.load(Ordering::SeqCst) {
+            drain_started = Some(Instant::now());
+            // Entering drain: connections with nothing buffered and
+            // nothing to write can close immediately; ones mid-request
+            // get answered below with `Connection: close`.
+            true
+        } else {
+            false
+        };
+
+        // Readiness set: slot 0 is the wake socket, then one per conn.
+        let mut fds = Vec::with_capacity(conns.len() + 1);
+        fds.push(PollFd {
+            fd: wake_rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        for conn in &conns {
+            let mut events = POLLIN;
+            if conn.wants_write() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd {
+                fd: conn.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+        let timeout = if draining {
+            Duration::from_millis(20)
+        } else {
+            // Short enough that idle sweeps stay timely even with no
+            // socket activity at all.
+            Duration::from_millis(100)
+        };
+        if poll_wait(&mut fds, timeout).is_err() {
+            // poll itself failing is unrecoverable for this loop; drop
+            // everything rather than spin.
+            return;
+        }
+
+        // Drain wake bytes so the socket edge re-arms.
+        if fds[0].revents != 0 {
+            let mut sink = [0u8; 64];
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+        }
+
+        // Absorb newly dispatched sockets (shed over capacity).
+        loop {
+            let stream = intake.lock().expect("shard intake poisoned").pop_front();
+            let Some(stream) = stream else { break };
+            if draining || conns.len() >= config.max_conns {
+                let response = app.shed();
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                let mut stream = stream;
+                let _ = stream.write_all(&response.to_bytes());
+                continue;
+            }
+            match Conn::new(stream) {
+                Ok(conn) => conns.push(conn),
+                Err(_) => continue,
+            }
+        }
+
+        // Service every connection the kernel flagged (and flush any
+        // with queued output — cheap no-op when the socket is full).
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let revents = fds.get(i + 1).map_or(0, |f| f.revents);
+            let mut saw_eof = false;
+            if revents & (POLLIN | POLLHUP | POLLERR) != 0 {
+                match conn.fill() {
+                    Ok(Fill::Read(_)) => {}
+                    Ok(Fill::Eof) => saw_eof = true,
+                    Ok(Fill::WouldBlock) => {}
+                    Err(_) => {
+                        dead.push(i);
+                        continue;
+                    }
+                }
+            }
+            service(conn, &mut app, config.keep_alive && !draining);
+            if saw_eof {
+                conn.close_after_flush = true;
+            }
+            if conn.wants_write() {
+                if conn.flush_some().is_err() {
+                    dead.push(i);
+                    continue;
+                }
+            }
+            if conn.done() || (saw_eof && !conn.wants_write()) {
+                dead.push(i);
+            }
+        }
+        for &i in dead.iter().rev() {
+            conns.swap_remove(i);
+        }
+
+        // Idle sweep: keep-alive connections that went quiet past the
+        // deadline are closed without a response (standard behavior).
+        let now = Instant::now();
+        conns.retain(|conn| conn.wants_write() || conn.idle_since(now) < config.idle_timeout);
+
+        if let Some(started) = drain_started {
+            // During drain every serviced connection was marked
+            // close-after-flush; once buffers empty the set shrinks to
+            // zero and the loop exits. A stuck peer can't hold the
+            // shard hostage past the deadline.
+            conns.retain(|conn| {
+                conn.wants_write() || has_buffered_request(&conn.read_buf)
+            });
+            if conns.is_empty() || started.elapsed() > DRAIN_DEADLINE {
+                return;
+            }
+        }
+    }
+}
+
+/// Whether a read buffer still holds at least one complete request
+/// (used during drain to decide if a connection deserves more time).
+fn has_buffered_request(buf: &[u8]) -> bool {
+    matches!(parse_incremental(buf), Parse::Complete { .. })
+}
+
+/// Parses and answers every complete pipelined request currently in
+/// the connection's read buffer, in order. `keep_alive` false (config
+/// off, or draining) makes every response `Connection: close`.
+fn service<A: ShardApp>(conn: &mut Conn, app: &mut A, keep_alive: bool) {
+    while !conn.close_after_flush {
+        match parse_incremental(&conn.read_buf) {
+            Parse::NeedMore => break,
+            Parse::Complete { request, consumed } => {
+                conn.consume(consumed);
+                let ka = keep_alive && !request.close;
+                let response = app.handle(&request);
+                conn.queue(&response.write_to(ka));
+                if !ka {
+                    conn.close_after_flush = true;
+                }
+            }
+            Parse::Bad { status, reason } => {
+                // The byte stream is unframed after a parse error:
+                // answer and close, discarding whatever follows.
+                let response = app.bad(status, &reason);
+                conn.queue(&response.write_to(false));
+                conn.close_after_flush = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    /// Minimal app echoing the path; counts sheds.
+    struct Echo {
+        sheds: u64,
+    }
+
+    impl ShardApp for Echo {
+        fn handle(&mut self, request: &Request) -> Response {
+            Response::text(format!("path={}", request.path))
+        }
+        fn bad(&mut self, status: u16, reason: &str) -> Response {
+            Response::error(status, reason)
+        }
+        fn shed(&mut self) -> Response {
+            self.sheds += 1;
+            Response::error(503, "at capacity")
+        }
+    }
+
+    fn start(config: ShardConfig) -> (ShardHandle, Arc<AtomicBool>) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = spawn(0, config, Echo { sheds: 0 }, Arc::clone(&stop)).unwrap();
+        (handle, stop)
+    }
+
+    fn dispatch_pair(handle: &ShardHandle) -> TcpStream {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        handle.dispatch(server_side);
+        client
+    }
+
+    fn read_response(reader: &mut impl BufRead) -> (String, String) {
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn shard_answers_pipelined_requests_in_order_and_keeps_alive() {
+        let (handle, stop) = start(ShardConfig {
+            max_conns: 8,
+            idle_timeout: Duration::from_secs(5),
+            keep_alive: true,
+        });
+        let mut client = dispatch_pair(&handle);
+        client
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut reader = std::io::BufReader::new(client.try_clone().unwrap());
+        for expected in ["path=/a", "path=/b"] {
+            let (status, body) = read_response(&mut reader);
+            assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+            assert_eq!(body, expected);
+        }
+        // Connection still live: a third request round-trips.
+        client.write_all(b"GET /c HTTP/1.1\r\n\r\n").unwrap();
+        let (_, body) = read_response(&mut reader);
+        assert_eq!(body, "path=/c");
+        stop.store(true, Ordering::SeqCst);
+        handle.join();
+    }
+
+    #[test]
+    fn over_capacity_connections_get_503() {
+        let (handle, stop) = start(ShardConfig {
+            max_conns: 0,
+            idle_timeout: Duration::from_secs(5),
+            keep_alive: true,
+        });
+        let client = dispatch_pair(&handle);
+        let mut reader = std::io::BufReader::new(client);
+        let (status, _) = read_response(&mut reader);
+        assert!(status.starts_with("HTTP/1.1 503"), "{status}");
+        stop.store(true, Ordering::SeqCst);
+        handle.join();
+    }
+
+    #[test]
+    fn idle_connections_are_closed_after_the_deadline() {
+        let (handle, stop) = start(ShardConfig {
+            max_conns: 8,
+            idle_timeout: Duration::from_millis(200),
+            keep_alive: true,
+        });
+        let mut client = dispatch_pair(&handle);
+        // Never send anything: the shard should hang up on its own.
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        let n = client.read(&mut buf).unwrap();
+        assert_eq!(n, 0, "idle close should read as EOF");
+        stop.store(true, Ordering::SeqCst);
+        handle.join();
+    }
+
+    #[test]
+    fn stop_drains_buffered_requests_with_connection_close() {
+        let (handle, stop) = start(ShardConfig {
+            max_conns: 8,
+            idle_timeout: Duration::from_secs(5),
+            keep_alive: true,
+        });
+        let mut client = dispatch_pair(&handle);
+        // Let the shard adopt the connection first.
+        client.write_all(b"GET /warm HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(client.try_clone().unwrap());
+        let _ = read_response(&mut reader);
+        // Race a request against stop. Three legal outcomes, depending
+        // on whether the shard reads the request before or after it
+        // observes stop: answered normally (keep-alive) then closed,
+        // answered by the drain (with close), or closed unanswered.
+        // Never a truncated body.
+        client.write_all(b"GET /last HTTP/1.1\r\n\r\n").unwrap();
+        stop.store(true, Ordering::SeqCst);
+        handle.wake();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        if !rest.is_empty() {
+            let text = String::from_utf8(rest).unwrap();
+            assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+            assert!(
+                text.contains("Connection: close\r\n")
+                    || text.contains("Connection: keep-alive\r\n"),
+                "{text}"
+            );
+            assert!(text.ends_with("path=/last"), "{text}");
+        }
+        handle.join();
+    }
+}

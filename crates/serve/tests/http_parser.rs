@@ -1,0 +1,183 @@
+//! Property/fuzz-style tests for the incremental HTTP/1.1 parser: the
+//! parser must produce identical results no matter how the kernel
+//! chunks the byte stream, handle pipelined requests arriving in one
+//! read, and map every malformation to a clean 400/431 — never a panic
+//! and never an un-terminating `NeedMore` on an oversized head.
+//!
+//! The randomized chunker is seeded with the loadgen SplitMix64, so a
+//! failing case reprints its seed and is exactly reproducible.
+
+use nvsim_serve::loadgen::Rng;
+use nvsim_serve::{parse_incremental, Parse};
+
+/// Drives the incremental parser the way the connection state machine
+/// does: feed `wire` in the given chunk sizes, consume each complete
+/// request, and collect what happened.
+fn drive(wire: &[u8], chunks: &[usize]) -> (Vec<String>, Option<(u16, String)>) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut fed = 0;
+    let mut paths = Vec::new();
+    let mut chunk_iter = chunks.iter().copied();
+    loop {
+        // Parse everything currently buffered.
+        loop {
+            match parse_incremental(&buf) {
+                Parse::NeedMore => break,
+                Parse::Complete { request, consumed } => {
+                    assert!(consumed <= buf.len(), "consumed past the buffer");
+                    assert!(consumed > 0, "complete request consumed nothing");
+                    buf.drain(..consumed);
+                    paths.push(request.path);
+                }
+                Parse::Bad { status, reason } => return (paths, Some((status, reason))),
+            }
+        }
+        if fed >= wire.len() {
+            return (paths, None);
+        }
+        let n = chunk_iter.next().unwrap_or(wire.len() - fed).max(1);
+        let end = (fed + n).min(wire.len());
+        buf.extend_from_slice(&wire[fed..end]);
+        fed = end;
+    }
+}
+
+#[test]
+fn every_single_byte_boundary_yields_the_same_parse() {
+    let wire = b"GET /query?table=objects&where=app%3DCAM HTTP/1.1\r\n\
+                 Host: x\r\nConnection: keep-alive\r\n\r\n";
+    // Feeding one byte at a time must parse exactly like one big read.
+    let (paths, bad) = drive(wire, &vec![1; wire.len()]);
+    assert_eq!(bad, None);
+    assert_eq!(paths, vec!["/query".to_string()]);
+    // And every split point in between: [0..cut] then the rest.
+    for cut in 1..wire.len() {
+        let (paths, bad) = drive(wire, &[cut, wire.len() - cut]);
+        assert_eq!(bad, None, "cut at {cut}");
+        assert_eq!(paths, vec!["/query".to_string()], "cut at {cut}");
+    }
+}
+
+#[test]
+fn pipelined_requests_in_one_read_parse_in_order() {
+    let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nHost: x\r\n\r\nGET /c HTTP/1.1\r\n\r\n";
+    let (paths, bad) = drive(wire, &[wire.len()]);
+    assert_eq!(bad, None);
+    assert_eq!(paths, vec!["/a", "/b", "/c"]);
+}
+
+#[test]
+fn randomized_chunking_never_changes_the_outcome() {
+    let wire = b"GET /tables/1 HTTP/1.1\r\nHost: fuzz\r\n\r\n\
+                 GET /query?table=objects&limit=3 HTTP/1.1\r\nConnection: close\r\n\r\n\
+                 GET /healthz HTTP/1.1\r\nX-Pad: abcdefghij\r\n\r\n";
+    let expected = vec!["/tables/1".to_string(), "/query".into(), "/healthz".into()];
+    for seed in 0..200u64 {
+        let mut rng = Rng::new(seed);
+        let mut chunks = Vec::new();
+        let mut total = 0;
+        while total < wire.len() {
+            let n = 1 + rng.below(17);
+            chunks.push(n);
+            total += n;
+        }
+        let (paths, bad) = drive(wire, &chunks);
+        assert_eq!(bad, None, "seed {seed}, chunks {chunks:?}");
+        assert_eq!(paths, expected, "seed {seed}, chunks {chunks:?}");
+    }
+}
+
+#[test]
+fn oversized_heads_answer_431_even_when_fed_slowly() {
+    // A head that never terminates: the parser must reject once past
+    // the cap rather than asking for more forever (a slowloris guard).
+    let mut wire = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+    wire.resize(20 * 1024, b'a');
+    let (paths, bad) = drive(&wire, &vec![512; wire.len() / 512 + 1]);
+    assert_eq!(paths, Vec::<String>::new());
+    let (status, reason) = bad.expect("oversized head must be rejected");
+    assert_eq!(status, 431, "{reason}");
+}
+
+#[test]
+fn bad_content_length_and_bodies_are_400() {
+    for wire in [
+        &b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"[..],
+        b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789",
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    ] {
+        let (paths, bad) = drive(wire, &[wire.len()]);
+        assert_eq!(paths, Vec::<String>::new());
+        let (status, _) = bad.unwrap_or_else(|| {
+            panic!("{:?} must be rejected", String::from_utf8_lossy(wire))
+        });
+        assert_eq!(status, 400, "{:?}", String::from_utf8_lossy(wire));
+    }
+}
+
+#[test]
+fn malformed_request_lines_are_400_at_any_chunking() {
+    for wire in [
+        &b"\r\n\r\n"[..],
+        b"GET\r\n\r\n",
+        b"GET /x\r\n\r\n",
+        b"GET /x HTTP/1.1 junk\r\n\r\n",
+        b"GET /x GOPHER/7\r\n\r\n",
+        b"GET /x HTTP/1.1\r\nheader without colon\r\n\r\n",
+        b"\x00\x01\x02\x03\r\n\r\n",
+    ] {
+        for chunk in [1usize, 2, 3, wire.len()] {
+            let (paths, bad) = drive(wire, &vec![chunk; wire.len() / chunk + 1]);
+            assert_eq!(paths, Vec::<String>::new());
+            let (status, _) = bad.unwrap_or_else(|| {
+                panic!("{:?} must be rejected", String::from_utf8_lossy(wire))
+            });
+            assert_eq!(status, 400, "{:?}", String::from_utf8_lossy(wire));
+        }
+    }
+}
+
+#[test]
+fn arbitrary_garbage_never_panics() {
+    // Random bytes with CRLFCRLF sprinkled in: whatever happens, the
+    // parser returns a value (no panic, no unbounded NeedMore once the
+    // head cap is exceeded).
+    for seed in 0..100u64 {
+        let mut rng = Rng::new(0xFEED ^ seed);
+        let len = 1 + rng.below(40 * 1024);
+        let mut wire: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        // Guarantee at least one head terminator somewhere.
+        if wire.len() >= 4 {
+            let at = rng.below(wire.len() - 3);
+            wire[at..at + 4].copy_from_slice(b"\r\n\r\n");
+        }
+        let mut buf = Vec::new();
+        let mut fed = 0;
+        let mut rounds = 0;
+        while fed < wire.len() {
+            let n = 1 + rng.below(4096);
+            let end = (fed + n).min(wire.len());
+            buf.extend_from_slice(&wire[fed..end]);
+            fed = end;
+            loop {
+                match parse_incremental(&buf) {
+                    Parse::NeedMore => break,
+                    Parse::Complete { consumed, .. } => {
+                        assert!(consumed > 0 && consumed <= buf.len());
+                        buf.drain(..consumed);
+                    }
+                    Parse::Bad { status, .. } => {
+                        assert!(status == 400 || status == 431, "seed {seed}: {status}");
+                        // A real connection closes here.
+                        buf.clear();
+                        fed = wire.len();
+                        break;
+                    }
+                }
+            }
+            rounds += 1;
+            assert!(rounds < 100_000, "seed {seed}: parser made no progress");
+        }
+    }
+}

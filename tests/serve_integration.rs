@@ -9,29 +9,24 @@
 //!   `--json`;
 //! * **cache behaviour under concurrency** — 32 clients repeating one
 //!   query all get the same body, and `/metrics` proves the repeats were
-//!   answered from the LRU cache, not re-rendered.
+//!   answered from the per-shard LRU caches: at most one render per
+//!   shard, everything else a hit.
 
 use nvsim_apps::AppScale;
 use nvsim_serve::{serve, ServeConfig};
 use nvsim_store::Store;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
-/// Minimal test client: one GET, read to EOF, split head from body.
+/// Minimal test client: one GET, read one `Content-Length`-framed
+/// response. Sends `Connection: close` (each call is its own
+/// connection); reading by frame rather than to EOF keeps the helper
+/// immune to the RST a server close can race onto the wire after the
+/// response bytes.
 fn get(addr: SocketAddr, target: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .write_all(format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
-        .expect("send request");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
-    let status: u16 = head
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status code");
-    (status, body.to_string())
+    let (status, _, body) = get_with_head(addr, target);
+    (status, body)
 }
 
 fn counter_in_metrics(metrics_body: &str, name: &str) -> u64 {
@@ -105,7 +100,9 @@ fn serve_answers_stored_sections_byte_identically_and_caches_under_concurrency()
 
     // Warm the cache with one query, then fan out 32 concurrent clients
     // repeating it. Every repeat must come back identical — and from the
-    // cache.
+    // per-shard caches: each `Connection: close` client is a fresh
+    // round-robined connection, so each of the (default 4) shards
+    // renders the query at most once and answers the rest from cache.
     const QUERY: &str = "/query?table=footprint&where=app%3DCAM&select=app,paper_footprint_mb";
     let (status, warm) = get(addr, QUERY);
     assert_eq!(status, 200, "{warm}");
@@ -126,19 +123,21 @@ fn serve_answers_stored_sections_byte_identically_and_caches_under_concurrency()
 
     let after = get(addr, "/metrics").1;
     let hits_after = counter_in_metrics(&after, "serve.cache.hits");
+    const SHARDS: u64 = 4; // ServeConfig::default().shards
     assert!(
-        hits_after >= hits_before + CLIENTS as u64,
-        "all {CLIENTS} repeats served from cache: hits {hits_before} -> {hits_after}"
+        hits_after >= hits_before + CLIENTS as u64 - (SHARDS - 1),
+        "all but one first-sight per shard served from cache: hits {hits_before} -> {hits_after}"
     );
-    assert_eq!(
-        counter_in_metrics(&after, "serve.cache.misses"),
-        1,
-        "only the warm-up rendered"
+    let misses = counter_in_metrics(&after, "serve.cache.misses");
+    assert!(
+        (1..=SHARDS).contains(&misses),
+        "each shard renders at most once: misses {misses}"
     );
     assert!(counter_in_metrics(&after, "serve.requests") >= CLIENTS as u64 + 4);
 
     // Distinct query spellings that canonicalize identically share one
-    // cache entry even over HTTP (filter padding is trimmed).
+    // cache entry even over HTTP (filter padding is trimmed), so the
+    // padded form returns the same bytes whichever shard it lands on.
     let (status, spaced) = get(
         addr,
         "/query?table=footprint&where=app+%3D+CAM&select=app,paper_footprint_mb",
@@ -172,17 +171,15 @@ fn get_after_shutdown(addr: SocketAddr) -> bool {
 fn get_with_head(addr: SocketAddr, target: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
-        .write_all(format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .expect("send request");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
-    let status: u16 = head
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status code");
-    (status, head.to_string(), body.to_string())
+    let mut reader = BufReader::new(stream);
+    read_one(&mut reader).expect("response before close")
 }
 
 #[test]
@@ -250,9 +247,20 @@ fn request_ids_prometheus_exposition_and_event_stream_over_the_wire() {
     assert!(id(&head_a).starts_with("req-"), "{head_a}");
     assert_ne!(id(&head_a), id(&head_b));
 
-    // Traffic moves the derived counters; inflight settles back.
-    get(addr, "/query?table=footprint");
-    get(addr, "/query?table=footprint");
+    // Traffic moves the derived counters; inflight settles back. Both
+    // queries ride one keep-alive connection so they land on the same
+    // shard's cache: a miss, then a hit.
+    {
+        let mut ka = TcpStream::connect(addr).expect("connect");
+        ka.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut ka_reader = BufReader::new(ka.try_clone().unwrap());
+        for _ in 0..2 {
+            ka.write_all(b"GET /query?table=footprint HTTP/1.1\r\nHost: q\r\n\r\n")
+                .unwrap();
+            let (status, _, _) = read_one(&mut ka_reader).expect("query response");
+            assert_eq!(status, 200);
+        }
+    }
     let (_, _, after) = get_with_head(addr, "/metrics?format=prometheus");
     nvsim_obs::prom::lint(&after).expect("after-traffic scrape lints clean");
     let series = nvsim_obs::prom::parse_series(&after).unwrap();
@@ -323,6 +331,413 @@ fn bad_queries_are_answered_not_dropped() {
     assert_eq!(status, 400);
     let (status, body) = get(addr, "/query?table=footprint&where=nonsense");
     assert_eq!(status, 400, "{body}");
+
+    server.shutdown();
+}
+
+/// Reads exactly one `Content-Length`-framed response from a keep-alive
+/// stream. Returns `None` on a clean EOF before the first response
+/// byte; panics on a head or body cut off mid-way — exactly the "torn
+/// response" the drain tests forbid.
+fn read_one(reader: &mut BufReader<TcpStream>) -> Option<(u16, String, String)> {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            // A reset before any response byte is a close that raced the
+            // client's (kernel-buffered) write — clean, not torn.
+            Err(e)
+                if head.is_empty()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+                    ) =>
+            {
+                return None
+            }
+            Err(e) => panic!("read response head: {e}"),
+        };
+        if n == 0 {
+            assert!(head.is_empty(), "connection died mid-head:\n{head}");
+            return None;
+        }
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in:\n{head}"));
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no Content-Length in:\n{head}"));
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("connection died mid-body");
+    Some((status, head, String::from_utf8(body).expect("utf8 body")))
+}
+
+#[test]
+fn keep_alive_answers_sequential_and_pipelined_requests_in_order() {
+    let ds = nv_scavenger::collect_dataset(AppScale::Test, 1, 1).expect("collect dataset");
+    let store = nv_scavenger::dataset_to_store(&ds);
+    let table1 = serde_json::to_string_pretty(&ds.table1).unwrap();
+    let mut server = serve(
+        store,
+        "127.0.0.1:0",
+        ServeConfig::default(),
+        nvsim_obs::Metrics::enabled(),
+    )
+    .expect("bind server");
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // 100 requests down one connection, answered strictly in order with
+    // the right body for each — keep-alive advertised on every one.
+    for i in 0..100 {
+        let target = if i % 2 == 0 { "/healthz" } else { "/tables/1" };
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: ka\r\n\r\n").as_bytes())
+            .unwrap_or_else(|e| panic!("request {i}: {e}"));
+        let (status, head, body) =
+            read_one(&mut reader).unwrap_or_else(|| panic!("closed early at request {i}"));
+        assert_eq!(status, 200, "request {i}:\n{head}");
+        assert!(head.contains("Connection: keep-alive"), "request {i}:\n{head}");
+        let expected = if i % 2 == 0 { "ok\n" } else { table1.as_str() };
+        assert_eq!(body, expected, "request {i} answered out of order");
+    }
+
+    // A pipelined burst written in one syscall comes back in order.
+    let burst = ["/healthz", "/tables/1", "/no/such/route", "/healthz"];
+    let wire: String = burst
+        .iter()
+        .map(|t| format!("GET {t} HTTP/1.1\r\nHost: ka\r\n\r\n"))
+        .collect();
+    stream.write_all(wire.as_bytes()).unwrap();
+    let expected = [(200, "ok\n".to_string()), (200, table1.clone())];
+    let (status, _, body) = read_one(&mut reader).expect("pipelined 0");
+    assert_eq!((status, body), expected[0]);
+    let (status, _, body) = read_one(&mut reader).expect("pipelined 1");
+    assert_eq!((status, body), expected[1]);
+    let (status, _, _) = read_one(&mut reader).expect("pipelined 2");
+    assert_eq!(status, 404);
+    let (status, _, body) = read_one(&mut reader).expect("pipelined 3");
+    assert_eq!((status, body), expected[0]);
+
+    // `Connection: close` mid-stream is honored: the response says
+    // close, and the server actually hangs up afterwards.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: ka\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, head, body) = read_one(&mut reader).expect("final response");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert!(head.contains("Connection: close"), "{head}");
+    assert!(
+        read_one(&mut reader).is_none(),
+        "server must close after Connection: close"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_by_the_server() {
+    let ds = nv_scavenger::collect_dataset(AppScale::Test, 1, 1).expect("collect dataset");
+    let store = nv_scavenger::dataset_to_store(&ds);
+    let mut server = serve(
+        store,
+        "127.0.0.1:0",
+        ServeConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+        nvsim_obs::Metrics::enabled(),
+    )
+    .expect("bind server");
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: idle\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_one(&mut reader).expect("first response");
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    // Then go quiet: the server, not the client, ends the connection
+    // once the idle deadline passes (the 10s read timeout would panic
+    // inside read_one if it never did).
+    assert!(
+        read_one(&mut reader).is_none(),
+        "idle connection must be closed by the server"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn sharded_serving_is_byte_identical_to_the_legacy_path() {
+    let ds = nv_scavenger::collect_dataset(AppScale::Test, 2, 1).expect("collect dataset");
+    let store = nv_scavenger::dataset_to_store(&ds);
+
+    let mut legacy = serve(
+        store.clone(),
+        "127.0.0.1:0",
+        ServeConfig {
+            legacy: true,
+            ..ServeConfig::default()
+        },
+        nvsim_obs::Metrics::enabled(),
+    )
+    .expect("bind legacy server");
+    let mut sharded = serve(
+        store.clone(),
+        "127.0.0.1:0",
+        ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        },
+        nvsim_obs::Metrics::enabled(),
+    )
+    .expect("bind sharded server");
+
+    // Every section endpoint, the index, health, and a seeded batch of
+    // randomized queries (the same generator the loadgen uses) must
+    // come back byte-identical from both serving paths.
+    let mut targets = vec!["/".to_string(), "/healthz".to_string()];
+    targets.extend(nvsim_serve::loadgen::corpus(&store, 0xD1FF, 24));
+    for target in &targets {
+        let (ls, lb) = get(legacy.addr(), target);
+        let (ss, sb) = get(sharded.addr(), target);
+        assert_eq!(ls, ss, "{target}: status diverged");
+        assert_eq!(lb, sb, "{target}: body diverged between paths");
+    }
+
+    // Force cache hits on known shards: each `Connection: close` GET is
+    // a fresh connection, and the acceptor round-robins over 4 shards,
+    // so 8 repeats of one query give every shard exactly one miss and
+    // one hit.
+    const REPEAT: &str = "/query?table=footprint&where=app%3DCAM";
+    let (_, first) = get(sharded.addr(), REPEAT);
+    for _ in 0..7 {
+        let (status, body) = get(sharded.addr(), REPEAT);
+        assert_eq!(status, 200);
+        assert_eq!(body, first, "repeat must hit the per-shard cache byte-identically");
+    }
+
+    // The per-shard counters are derived from the same event stream as
+    // the totals, and their sums must agree exactly — including the
+    // metrics scrape itself, which is counted before the snapshot.
+    let (status, prom) = get(sharded.addr(), "/metrics?format=prometheus");
+    assert_eq!(status, 200);
+    let series = nvsim_obs::prom::parse_series(&prom).expect("prometheus scrape parses");
+    let value = |name: &str| {
+        series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing {name} in:\n{prom}"))
+    };
+    for (shard_family, total_family) in [
+        ("nvsim_serve_shard_requests_total", "nvsim_serve_requests_total"),
+        ("nvsim_serve_shard_shed_total", "nvsim_serve_shed_total"),
+        ("nvsim_serve_shard_cache_hits_total", "nvsim_serve_cache_hits_total"),
+        ("nvsim_serve_shard_cache_misses_total", "nvsim_serve_cache_misses_total"),
+        (
+            "nvsim_serve_shard_cache_insertions_total",
+            "nvsim_serve_cache_insertions_total",
+        ),
+        (
+            "nvsim_serve_shard_cache_evictions_total",
+            "nvsim_serve_cache_evictions_total",
+        ),
+    ] {
+        let sum: f64 = (0..4)
+            .map(|i| value(&format!("{shard_family}{{shard=\"{i}\"}}")))
+            .sum();
+        assert_eq!(
+            sum,
+            value(total_family),
+            "{shard_family} shards must sum to {total_family}"
+        );
+    }
+    assert!(value("nvsim_serve_cache_hits_total") >= 4.0, "{prom}");
+
+    legacy.shutdown();
+    sharded.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_keep_alive_connections_cleanly() {
+    let ds = nv_scavenger::collect_dataset(AppScale::Test, 1, 1).expect("collect dataset");
+    let store = nv_scavenger::dataset_to_store(&ds);
+    let table1 = serde_json::to_string_pretty(&ds.table1).unwrap();
+
+    let events_path = std::env::temp_dir().join(format!(
+        "nvsim-serve-chaos-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&events_path);
+    let mut server = serve(
+        store,
+        "127.0.0.1:0",
+        ServeConfig {
+            events: Some(events_path.clone()),
+            ..ServeConfig::default()
+        },
+        nvsim_obs::Metrics::enabled(),
+    )
+    .expect("bind server");
+    let addr = server.addr();
+
+    // 32 keep-alive clients hammer the server; the main thread pulls
+    // the plug while they are mid-flight. Every response a client does
+    // receive must be complete (read_one panics on torn heads/bodies),
+    // and the event stream must keep its received/finished brackets.
+    let completed: u64 = std::thread::scope(|scope| {
+        let table1 = &table1;
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                scope.spawn(move || {
+                    let Ok(mut stream) = TcpStream::connect(addr) else {
+                        return 0u64;
+                    };
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(10)))
+                        .unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut completed = 0u64;
+                    loop {
+                        if stream
+                            .write_all(b"GET /tables/1 HTTP/1.1\r\nHost: chaos\r\n\r\n")
+                            .is_err()
+                        {
+                            break;
+                        }
+                        let Some((status, head, body)) = read_one(&mut reader) else {
+                            break; // clean close between responses
+                        };
+                        assert_eq!(status, 200, "{head}");
+                        assert_eq!(&body, table1, "drained response must not be truncated");
+                        completed += 1;
+                        if head.contains("Connection: close") {
+                            break; // the server is draining us out
+                        }
+                    }
+                    completed
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(150));
+        server.shutdown();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client panicked"))
+            .sum()
+    });
+    assert!(completed > 0, "some requests must complete before shutdown");
+
+    // Shutdown flushed the sink; every request that was received also
+    // finished — drain loses no request.finished events — and every
+    // completed client response has its finished bracket.
+    let text = std::fs::read_to_string(&events_path).expect("events file written");
+    let mut received = 0u64;
+    let mut finished = 0u64;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect(line);
+        match v["kind"].as_str().unwrap() {
+            "request.received" => received += 1,
+            "request.finished" => finished += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(received, finished, "drain must not lose request.finished events");
+    assert!(
+        finished >= completed,
+        "every completed response ({completed}) has a finished event ({finished})"
+    );
+    let _ = std::fs::remove_file(&events_path);
+}
+
+#[test]
+fn over_capacity_connections_are_shed_with_503() {
+    let ds = nv_scavenger::collect_dataset(AppScale::Test, 1, 1).expect("collect dataset");
+    let store = nv_scavenger::dataset_to_store(&ds);
+    let mut server = serve(
+        store,
+        "127.0.0.1:0",
+        ServeConfig {
+            shards: 1,
+            max_conns_per_shard: 1,
+            ..ServeConfig::default()
+        },
+        nvsim_obs::Metrics::enabled(),
+    )
+    .expect("bind server");
+    let addr = server.addr();
+
+    // Fill the single shard's single slot with a live keep-alive
+    // connection (reading the response proves the shard adopted it).
+    let mut holder = TcpStream::connect(addr).expect("connect");
+    holder
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(holder.try_clone().unwrap());
+    holder
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: hold\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_one(&mut reader).expect("holder response");
+    assert_eq!(status, 200);
+
+    // The next connection is over capacity: shed with 503 and counted.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("capacity"), "{body}");
+
+    // Release the slot; once the shard notices the EOF a scrape gets
+    // through and shows the shed.
+    drop(reader);
+    drop(holder);
+    let mut shed = 0u64;
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(100));
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            continue;
+        };
+        if stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: m\r\nConnection: close\r\n\r\n")
+            .is_err()
+        {
+            continue;
+        }
+        let mut raw = String::new();
+        if stream.read_to_string(&mut raw).is_err() {
+            continue;
+        }
+        let Some((head, metrics_body)) = raw.split_once("\r\n\r\n") else {
+            continue;
+        };
+        if !head.starts_with("HTTP/1.1 200") {
+            continue; // still shed; the slot has not freed yet
+        }
+        shed = counter_in_metrics(metrics_body, "serve.shed");
+        break;
+    }
+    assert!(shed >= 1, "the shed connection must show in serve.shed");
 
     server.shutdown();
 }
