@@ -1,0 +1,1223 @@
+//! The two-level crash-consistent page allocator.
+//!
+//! Modeled on llfree-rs: the **lower level** is a persistent per-frame
+//! bitfield living in the [`Arena`] (1 = allocated); the **upper
+//! level** is a volatile array of per-tree free counters (one tree =
+//! [`TREE_FRAMES`] frames) updated with CAS, plus a global free
+//! counter. Single-frame allocation is lock-free: reserve a slot in a
+//! tree counter, then claim a concrete bit with an atomic
+//! set-and-persist. Nothing volatile is ever persisted — after a crash
+//! the counters are rebuilt by popcounting the bitfields
+//! ([`NvAllocator::recover`]).
+//!
+//! Multi-frame (contiguous) operations are journalled: an intent
+//! record is sealed into a persistent journal slot before the
+//! bitfields change, and cleared after. Recovery rolls interrupted
+//! intents *back* (never forward), so the caller-visible rule is
+//! simple: **an operation took effect iff it returned `Ok`**.
+//!
+//! ## Persistent layout (64-bit words)
+//!
+//! | words                | contents                                  |
+//! |----------------------|-------------------------------------------|
+//! | 0                    | magic (`NVALLOC1`)                        |
+//! | 1                    | frame count                               |
+//! | 2 .. 2+128           | journal: 64 slots × (descriptor, seal)    |
+//! | 130 ..               | per-frame bitfields, 64 frames per word   |
+//!
+//! Padding bits past the last frame are durably set at format time so
+//! popcount-based rebuilds never see them as free.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nvsim_faults::FaultInjector;
+use nvsim_obs::{Correlation, Counter, Event, EventBus, Metrics};
+
+use crate::arena::{Arena, Update, WordOp};
+use crate::AllocError;
+
+/// Frames tracked per bitfield word.
+pub const FRAMES_PER_WORD: u64 = 64;
+/// Bitfield words per tree (the unit the volatile counters cover).
+pub const TREE_WORDS: u64 = 8;
+/// Frames per tree.
+pub const TREE_FRAMES: u64 = TREE_WORDS * FRAMES_PER_WORD;
+/// Journal slots (each two words: descriptor + seal).
+pub const JOURNAL_SLOTS: usize = 64;
+/// First journal word.
+const JOURNAL_BASE: usize = 2;
+/// First bitfield word.
+const BITFIELD_BASE: usize = JOURNAL_BASE + 2 * JOURNAL_SLOTS;
+/// Arena word 0 must hold this after format.
+pub const MAGIC: u64 = 0x4e56_414c_4c4f_4331; // "NVALLOC1"
+/// Longest journalled range (descriptor packs the length in 16 bits).
+pub const MAX_RANGE: u64 = 0xFFFF;
+
+/// Every named injection point the allocator probes, in the order a
+/// full operation would hit them. The chaos suite crashes at each.
+pub const INJECTION_POINTS: &[&str] = &[
+    "alloc.meta.seal",
+    "alloc.tree.reserve",
+    "alloc.bitfield.set",
+    "alloc.bitfield.clear",
+    "alloc.journal.write",
+    "alloc.range.apply",
+    "alloc.journal.clear",
+];
+
+/// Injection points that persist more than one word in a single
+/// commit, i.e. the sites where `torn@…` faults are meaningful.
+pub const TORN_POINTS: &[&str] = &[
+    "alloc.meta.seal",
+    "alloc.journal.write",
+    "alloc.range.apply",
+    "alloc.journal.clear",
+];
+
+/// Arena words needed for a region of `frames` page frames.
+pub fn words_for(frames: u64) -> usize {
+    BITFIELD_BASE + frames.div_ceil(FRAMES_PER_WORD) as usize
+}
+
+/// SplitMix64 finalizer — seals journal descriptors so a torn slot
+/// (descriptor without matching seal) is detectable.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+const DESC_MARK: u64 = 1 << 63;
+const DESC_ALLOC: u64 = 1 << 48;
+
+fn encode_desc(start: u64, len: u64, is_alloc: bool) -> u64 {
+    DESC_MARK
+        | if is_alloc { DESC_ALLOC } else { 0 }
+        | ((len & MAX_RANGE) << 32)
+        | (start & 0xFFFF_FFFF)
+}
+
+fn decode_desc(d: u64) -> (u64, u64, bool) {
+    (d & 0xFFFF_FFFF, (d >> 32) & MAX_RANGE, d & DESC_ALLOC != 0)
+}
+
+fn seal_for(desc: u64) -> u64 {
+    mix64(desc) | 1
+}
+
+/// Per-word masks covering the frame range `[start, start + len)`.
+fn run_masks(start: u64, len: u64) -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    let mut f = start;
+    let end = start + len;
+    while f < end {
+        let word = BITFIELD_BASE + (f / FRAMES_PER_WORD) as usize;
+        let bit = f % FRAMES_PER_WORD;
+        let take = (FRAMES_PER_WORD - bit).min(end - f);
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << take) - 1) << bit
+        };
+        out.push((word, mask));
+        f += take;
+    }
+    out
+}
+
+/// What recovery found and repaired. All fields are deterministic
+/// functions of the durable image, so they can be stored and compared.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryReport {
+    /// Frames durably allocated after recovery.
+    pub frames: u64,
+    /// Frames free after recovery.
+    pub free_frames: u64,
+    /// Persistent words read to rebuild the volatile state (header +
+    /// journal + bitfields).
+    pub words_scanned: u64,
+    /// Frames rolled back out of interrupted journalled operations.
+    pub rolled_back_frames: u64,
+    /// Live journal intents rolled back.
+    pub rolled_back_intents: u64,
+    /// Dead (torn) journal slots scrubbed.
+    pub scrubbed_slots: u64,
+    /// True if the header was missing/torn and the region was
+    /// re-formatted from scratch.
+    pub reformatted: bool,
+}
+
+impl RecoveryReport {
+    /// Estimated recovery time on a device with the given read
+    /// latency per word — deterministic, so it can live in stored
+    /// datasets (`words_scanned × read_latency_ns`).
+    pub fn est_ns(&self, read_latency_ns: f64) -> f64 {
+        self.words_scanned as f64 * read_latency_ns
+    }
+}
+
+/// A deterministic snapshot of allocator occupancy, fragmentation and
+/// media wear.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocStats {
+    /// Total frames in the region.
+    pub frames: u64,
+    /// Frames currently free.
+    pub free_frames: u64,
+    /// Frames currently allocated.
+    pub allocated_frames: u64,
+    /// Longest run of contiguous free frames.
+    pub largest_free_run: u64,
+    /// Number of maximal free runs (an external-fragmentation proxy).
+    pub free_runs: u64,
+    /// `100 × (1 − largest_free_run / free_frames)`; 0 when empty.
+    pub fragmentation_pct: f64,
+    /// Total words persisted over the arena's lifetime.
+    pub persists: u64,
+    /// Highest persist count on any single word.
+    pub max_word_wear: u64,
+    /// Mean persist count per word.
+    pub mean_word_wear: f64,
+}
+
+struct ObsHandles {
+    alloc: Counter,
+    free: Counter,
+    range_alloc: Counter,
+    range_free: Counter,
+    oom: Counter,
+    double_free: Counter,
+    crash: Counter,
+    torn: Counter,
+    recovery: Counter,
+    rolled_back: Counter,
+}
+
+impl ObsHandles {
+    fn bind(m: &Metrics) -> Self {
+        ObsHandles {
+            alloc: m.counter("alloc.alloc"),
+            free: m.counter("alloc.free"),
+            range_alloc: m.counter("alloc.range_alloc"),
+            range_free: m.counter("alloc.range_free"),
+            oom: m.counter("alloc.oom"),
+            double_free: m.counter("alloc.double_free"),
+            crash: m.counter("alloc.crash"),
+            torn: m.counter("alloc.torn"),
+            recovery: m.counter("alloc.recovery"),
+            rolled_back: m.counter("alloc.recovery.rolled_back"),
+        }
+    }
+
+    fn disabled() -> Self {
+        Self::bind(&Metrics::disabled())
+    }
+}
+
+struct Inner {
+    arena: Arena,
+    frames: u64,
+    trees: usize,
+    /// Volatile free-minus-reserved count per tree. Never persisted.
+    tree_free: Vec<AtomicU32>,
+    /// Volatile global free-minus-reserved count. Never persisted.
+    global_free: AtomicU64,
+    /// Round-robin hint: the tree the last allocation landed in.
+    next_tree: AtomicUsize,
+    /// Volatile journal-slot claims.
+    slot_claims: Vec<AtomicBool>,
+    /// Serializes journalled range operations.
+    range_lock: Mutex<()>,
+    obs: ObsHandles,
+    events: EventBus,
+    correlation: Correlation,
+    crash_noted: AtomicBool,
+}
+
+/// The allocator handle. Cloning shares the same allocator (all state
+/// is behind one `Arc`), so every simulated core can hold one.
+#[derive(Clone)]
+pub struct NvAllocator {
+    inner: Arc<Inner>,
+}
+
+/// Bound on full-tree rescans before the allocator declares its
+/// counters corrupt instead of spinning forever.
+const MAX_BIT_SCANS: usize = 1 << 16;
+/// Bound on whole-region rescans in the contiguous-range search.
+const MAX_RANGE_SCANS: usize = 64;
+
+impl NvAllocator {
+    fn tree_count(frames: u64) -> usize {
+        frames.div_ceil(TREE_FRAMES) as usize
+    }
+
+    fn frames_in_tree(frames: u64, t: usize) -> u64 {
+        (frames - t as u64 * TREE_FRAMES).min(TREE_FRAMES)
+    }
+
+    fn build(arena: Arena, frames: u64, tree_free: Vec<AtomicU32>, free: u64) -> Self {
+        let trees = tree_free.len();
+        NvAllocator {
+            inner: Arc::new(Inner {
+                arena,
+                frames,
+                trees,
+                tree_free,
+                global_free: AtomicU64::new(free),
+                next_tree: AtomicUsize::new(0),
+                slot_claims: (0..JOURNAL_SLOTS).map(|_| AtomicBool::new(false)).collect(),
+                range_lock: Mutex::new(()),
+                obs: ObsHandles::disabled(),
+                events: EventBus::disabled(),
+                correlation: Correlation::default(),
+                crash_noted: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    fn validate_geometry(arena: &Arena, frames: u64) -> Result<(), AllocError> {
+        if frames == 0 || frames > u32::MAX as u64 {
+            return Err(AllocError::Corrupt {
+                what: format!("unsupported region size: {frames} frames"),
+            });
+        }
+        if arena.len() != words_for(frames) {
+            return Err(AllocError::Corrupt {
+                what: format!(
+                    "arena has {} words, a {frames}-frame region needs {}",
+                    arena.len(),
+                    words_for(frames)
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn header_updates(frames: u64) -> Vec<Update> {
+        let mut updates = vec![
+            Update::new(0, WordOp::Write(MAGIC)),
+            Update::new(1, WordOp::Write(frames)),
+        ];
+        // Durably mark padding bits past the last frame as allocated.
+        let tail = frames % FRAMES_PER_WORD;
+        if tail != 0 {
+            let last = BITFIELD_BASE + (frames / FRAMES_PER_WORD) as usize;
+            updates.push(Update::new(last, WordOp::Set(!((1u64 << tail) - 1))));
+        }
+        updates
+    }
+
+    /// Formats a zeroed arena into an empty allocator. Probes the
+    /// `alloc.meta.seal` injection point while persisting the header —
+    /// a crash here leaves an unformatted region, which
+    /// [`NvAllocator::recover`] re-formats losslessly (no frame was
+    /// ever handed out).
+    pub fn format(arena: Arena, frames: u64) -> Result<Self, AllocError> {
+        Self::validate_geometry(&arena, frames)?;
+        arena.commit(&Self::header_updates(frames), "alloc.meta.seal")?;
+        let trees = Self::tree_count(frames);
+        let tree_free = (0..trees)
+            .map(|t| AtomicU32::new(Self::frames_in_tree(frames, t) as u32))
+            .collect();
+        Ok(Self::build(arena, frames, tree_free, frames))
+    }
+
+    /// Rebuilds an allocator from the durable image alone: replays the
+    /// journal (rolling interrupted intents back), scrubs torn slots,
+    /// re-asserts the padding mask, and popcounts the bitfields into
+    /// fresh volatile counters. If the header never persisted, the
+    /// region is re-formatted. Recovery itself is idempotent and is
+    /// modeled as crash-free.
+    pub fn recover(arena: Arena, frames: u64) -> Result<(Self, RecoveryReport), AllocError> {
+        Self::validate_geometry(&arena, frames)?;
+        let mut report = RecoveryReport {
+            words_scanned: 2,
+            ..RecoveryReport::default()
+        };
+
+        if arena.durable(0) != MAGIC || arena.durable(1) != frames {
+            // Torn or missing format: no frame was ever handed out, so
+            // rebuilding an empty region is the lossless repair. Scrub
+            // everything a partial format might have left behind.
+            let mut wipe: Vec<Update> = (JOURNAL_BASE..arena.len())
+                .map(|w| Update::new(w, WordOp::Write(0)))
+                .collect();
+            wipe.extend(Self::header_updates(frames));
+            arena.apply_durable(&wipe);
+            report.reformatted = true;
+        } else {
+            // Defensive: the padding mask rides the same commit as the
+            // header, but re-asserting it is free and idempotent.
+            let tail = Self::header_updates(frames).split_off(2);
+            arena.apply_durable(&tail);
+        }
+
+        // Journal replay. A descriptor is one word, so it persists
+        // atomically; if a valid one is present the intent is rolled
+        // back *regardless of the seal* — rollback is idempotent, and
+        // this is what makes a crash inside the journal-clear commit
+        // safe: the operation was fully applied but its caller saw
+        // `Crashed`, so it must be undone. The seal only distinguishes
+        // "write reached the media" stages for diagnostics; a slot
+        // with garbage that decodes out of range is scrubbed.
+        for slot in 0..JOURNAL_SLOTS {
+            let dw = JOURNAL_BASE + 2 * slot;
+            let desc = arena.durable(dw);
+            let seal = arena.durable(dw + 1);
+            report.words_scanned += 2;
+            if desc == 0 && seal == 0 {
+                continue;
+            }
+            let (start, len, is_alloc) = decode_desc(desc);
+            let live = desc & DESC_MARK != 0 && len > 0 && start + len <= frames;
+            if live {
+                // Undo, never redo: an interrupted alloc clears the
+                // bits it may have set; an interrupted free re-sets
+                // the bits it may have cleared.
+                let undo: Vec<Update> = run_masks(start, len)
+                    .into_iter()
+                    .map(|(w, m)| {
+                        Update::new(w, if is_alloc { WordOp::Clear(m) } else { WordOp::Set(m) })
+                    })
+                    .collect();
+                arena.apply_durable(&undo);
+                report.rolled_back_frames += len;
+                report.rolled_back_intents += 1;
+            } else {
+                report.scrubbed_slots += 1;
+            }
+            arena.apply_durable(&[
+                Update::new(dw + 1, WordOp::Write(0)),
+                Update::new(dw, WordOp::Write(0)),
+            ]);
+        }
+
+        // Rebuild the volatile counters purely from the bitfields.
+        let trees = Self::tree_count(frames);
+        let mut tree_free = Vec::with_capacity(trees);
+        let mut free_total = 0u64;
+        for t in 0..trees {
+            let first = BITFIELD_BASE as u64 + t as u64 * TREE_WORDS;
+            let last = BITFIELD_BASE as u64 + frames.div_ceil(FRAMES_PER_WORD);
+            let mut free = 0u64;
+            for w in first..(first + TREE_WORDS).min(last) {
+                free += u64::from(arena.durable(w as usize).count_zeros());
+                report.words_scanned += 1;
+            }
+            free_total += free;
+            tree_free.push(AtomicU32::new(free as u32));
+        }
+        report.frames = frames - free_total;
+        report.free_frames = free_total;
+
+        Ok((Self::build(arena, frames, tree_free, free_total), report))
+    }
+
+    /// Attach metric counters. Call right after `format`/`recover`,
+    /// before cloning the handle.
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        let inner = Arc::get_mut(&mut self.inner)
+            .expect("attach observability before cloning the allocator");
+        inner.obs = ObsHandles::bind(metrics);
+        self
+    }
+
+    /// Attach an event bus + correlation for `alloc.crashed` /
+    /// `alloc.recovered` publication. Call before cloning the handle.
+    pub fn with_events(mut self, bus: &EventBus, correlation: Correlation) -> Self {
+        let inner = Arc::get_mut(&mut self.inner)
+            .expect("attach observability before cloning the allocator");
+        inner.events = bus.clone();
+        inner.correlation = correlation;
+        self
+    }
+
+    /// Total frames in the region.
+    pub fn frames(&self) -> u64 {
+        self.inner.frames
+    }
+
+    /// Free frames according to the volatile counter.
+    pub fn free_count(&self) -> u64 {
+        self.inner.global_free.load(Ordering::SeqCst)
+    }
+
+    /// The underlying arena (media) handle.
+    pub fn arena(&self) -> &Arena {
+        &self.inner.arena
+    }
+
+    /// True if `frame` is currently allocated (volatile view).
+    pub fn is_allocated(&self, frame: u64) -> bool {
+        if frame >= self.inner.frames {
+            return false;
+        }
+        let word = BITFIELD_BASE + (frame / FRAMES_PER_WORD) as usize;
+        self.inner.arena.load(word) & (1 << (frame % FRAMES_PER_WORD)) != 0
+    }
+
+    /// True if `frame` is allocated on the durable media (what a
+    /// reboot would see).
+    pub fn is_durably_allocated(&self, frame: u64) -> bool {
+        if frame >= self.inner.frames {
+            return false;
+        }
+        let word = BITFIELD_BASE + (frame / FRAMES_PER_WORD) as usize;
+        self.inner.arena.durable(word) & (1 << (frame % FRAMES_PER_WORD)) != 0
+    }
+
+    fn on_err(&self, err: &AllocError) {
+        match err {
+            AllocError::Crashed { site, torn } => {
+                if !self.inner.crash_noted.swap(true, Ordering::SeqCst) {
+                    self.inner.obs.crash.inc();
+                    if *torn {
+                        self.inner.obs.torn.inc();
+                    }
+                    self.inner.events.publish(
+                        &self.inner.correlation,
+                        Event::AllocCrashed {
+                            site: site.clone(),
+                            torn: *torn,
+                        },
+                    );
+                }
+            }
+            AllocError::OutOfMemory => self.inner.obs.oom.inc(),
+            AllocError::DoubleFree { .. } => self.inner.obs.double_free.inc(),
+            _ => {}
+        }
+    }
+
+    /// Records a completed recovery in metrics and on the event bus.
+    /// Integration layers call this after attaching observability.
+    pub fn note_recovery(&self, report: &RecoveryReport) {
+        self.inner.obs.recovery.inc();
+        self.inner.obs.rolled_back.add(report.rolled_back_frames);
+        self.inner.events.publish(
+            &self.inner.correlation,
+            Event::AllocRecovered {
+                frames: report.frames,
+                rolled_back: report.rolled_back_frames,
+                words_scanned: report.words_scanned,
+            },
+        );
+    }
+
+    fn reserve_tree(&self, t: usize) -> bool {
+        let c = &self.inner.tree_free[t];
+        let mut v = c.load(Ordering::SeqCst);
+        loop {
+            if v == 0 {
+                return false;
+            }
+            match c.compare_exchange_weak(v, v - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(now) => v = now,
+            }
+        }
+    }
+
+    fn unreserve_tree(&self, t: usize, n: u32) {
+        self.inner.tree_free[t].fetch_add(n, Ordering::SeqCst);
+    }
+
+    fn reserve_global(&self, n: u64) -> bool {
+        let c = &self.inner.global_free;
+        let mut v = c.load(Ordering::SeqCst);
+        loop {
+            if v < n {
+                return false;
+            }
+            match c.compare_exchange_weak(v, v - n, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(now) => v = now,
+            }
+        }
+    }
+
+    /// Claims one free bit in tree `t`. The caller holds one slot of
+    /// `tree_free[t]`, so a free bit is guaranteed to exist; CAS
+    /// failures only mean another thread made progress.
+    fn take_bit_in_tree(&self, t: usize) -> Result<u64, AllocError> {
+        let arena = &self.inner.arena;
+        let first = BITFIELD_BASE + (t as u64 * TREE_WORDS) as usize;
+        let last = BITFIELD_BASE + self.inner.frames.div_ceil(FRAMES_PER_WORD) as usize;
+        let words = (first + TREE_WORDS as usize).min(last) - first;
+        for _ in 0..MAX_BIT_SCANS {
+            for w in 0..words {
+                let word = first + w;
+                let avail = !arena.load(word);
+                if avail == 0 {
+                    continue;
+                }
+                let bit = avail.trailing_zeros() as u64;
+                if arena.try_set(word, 1 << bit, "alloc.bitfield.set")? {
+                    return Ok((word - BITFIELD_BASE) as u64 * FRAMES_PER_WORD + bit);
+                }
+                // Raced: rescan the tree from the top.
+            }
+        }
+        Err(AllocError::Corrupt {
+            what: format!("tree {t} counter says free but no bit could be claimed"),
+        })
+    }
+
+    fn alloc_inner(&self) -> Result<u64, AllocError> {
+        // Crash point between deciding to allocate and touching any
+        // persistent state.
+        self.inner.arena.probe("alloc.tree.reserve")?;
+        if !self.reserve_global(1) {
+            return Err(AllocError::OutOfMemory);
+        }
+        let trees = self.inner.trees;
+        let start = self.inner.next_tree.load(Ordering::SeqCst);
+        // Our global reservation guarantees some tree counter is (or
+        // becomes) non-zero; a few rounds absorb counter races.
+        for _ in 0..MAX_BIT_SCANS {
+            for i in 0..trees {
+                let t = (start + i) % trees;
+                if self.reserve_tree(t) {
+                    let frame = self.take_bit_in_tree(t)?;
+                    self.inner.next_tree.store(t, Ordering::SeqCst);
+                    self.inner.obs.alloc.inc();
+                    return Ok(frame);
+                }
+            }
+        }
+        self.inner.global_free.fetch_add(1, Ordering::SeqCst);
+        Err(AllocError::Corrupt {
+            what: "global counter says free but every tree is exhausted".into(),
+        })
+    }
+
+    /// Allocates one frame. Lock-free: a tree-counter reservation
+    /// followed by an atomic bitfield set-and-persist.
+    pub fn alloc(&self) -> Result<u64, AllocError> {
+        let r = self.alloc_inner();
+        if let Err(e) = &r {
+            self.on_err(e);
+        }
+        r
+    }
+
+    fn free_inner(&self, frame: u64) -> Result<(), AllocError> {
+        if frame >= self.inner.frames {
+            return Err(AllocError::InvalidFrame { frame });
+        }
+        let word = BITFIELD_BASE + (frame / FRAMES_PER_WORD) as usize;
+        let mask = 1u64 << (frame % FRAMES_PER_WORD);
+        if !self.inner.arena.try_clear(word, mask, "alloc.bitfield.clear")? {
+            return Err(AllocError::DoubleFree { frame });
+        }
+        let t = (frame / TREE_FRAMES) as usize;
+        self.unreserve_tree(t, 1);
+        self.inner.global_free.fetch_add(1, Ordering::SeqCst);
+        self.inner.obs.free.inc();
+        Ok(())
+    }
+
+    /// Frees one frame. Freeing a frame that is not allocated is a
+    /// [`AllocError::DoubleFree`] and changes nothing.
+    pub fn free(&self, frame: u64) -> Result<(), AllocError> {
+        let r = self.free_inner(frame);
+        if let Err(e) = &r {
+            self.on_err(e);
+        }
+        r
+    }
+
+    fn claim_slot(&self) -> usize {
+        for (i, claim) in self.inner.slot_claims.iter().enumerate() {
+            if claim
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                if self.inner.arena.durable(JOURNAL_BASE + 2 * i) == 0 {
+                    return i;
+                }
+                claim.store(false, Ordering::SeqCst);
+            }
+        }
+        0 // Unreachable in practice: ranges are serialized by the lock.
+    }
+
+    fn release_slot(&self, slot: usize) {
+        self.inner.slot_claims[slot].store(false, Ordering::SeqCst);
+    }
+
+    /// Rolls a failed volatile claim back: bits for the first
+    /// `claimed` masks, then the per-tree counters. The global
+    /// reservation is owned by `alloc_range_inner`, not refunded here.
+    fn unclaim_run(&self, masks: &[(usize, u64)], claimed: usize, start: u64, len: u64) {
+        for (word, mask) in &masks[..claimed] {
+            self.inner.arena.volatile_clear(*word, *mask);
+        }
+        for (t, n) in Self::per_tree(start, len) {
+            self.unreserve_tree(t, n);
+        }
+    }
+
+    fn per_tree(start: u64, len: u64) -> Vec<(usize, u32)> {
+        let mut out: Vec<(usize, u32)> = Vec::new();
+        let mut f = start;
+        let end = start + len;
+        while f < end {
+            let t = (f / TREE_FRAMES) as usize;
+            let take = (TREE_FRAMES - f % TREE_FRAMES).min(end - f);
+            out.push((t, take as u32));
+            f += take;
+        }
+        out
+    }
+
+    fn reserve_run(&self, start: u64, len: u64) -> bool {
+        let counts = Self::per_tree(start, len);
+        for (i, (t, n)) in counts.iter().enumerate() {
+            let c = &self.inner.tree_free[*t];
+            let mut v = c.load(Ordering::SeqCst);
+            let ok = loop {
+                if v < *n {
+                    break false;
+                }
+                match c.compare_exchange_weak(v, v - n, Ordering::SeqCst, Ordering::SeqCst) {
+                    Ok(_) => break true,
+                    Err(now) => v = now,
+                }
+            };
+            if !ok {
+                for (t, n) in &counts[..i] {
+                    self.unreserve_tree(*t, *n);
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// One scan pass over the shadow bitfields for a free run of
+    /// `len`, claimed volatile-first. Returns the start frame.
+    fn claim_run(&self, len: u64) -> Option<u64> {
+        let arena = &self.inner.arena;
+        let frames = self.inner.frames;
+        let mut run_start = 0u64;
+        let mut run = 0u64;
+        for f in 0..frames {
+            let word = BITFIELD_BASE + (f / FRAMES_PER_WORD) as usize;
+            let free = arena.load(word) & (1 << (f % FRAMES_PER_WORD)) == 0;
+            if !free {
+                run = 0;
+                continue;
+            }
+            if run == 0 {
+                run_start = f;
+            }
+            run += 1;
+            if run < len {
+                continue;
+            }
+            // Candidate: reserve counters, then claim the bits.
+            if !self.reserve_run(run_start, len) {
+                run = 0;
+                continue;
+            }
+            let masks = run_masks(run_start, len);
+            for (i, (w, m)) in masks.iter().enumerate() {
+                if !arena.volatile_set(*w, *m) {
+                    self.unclaim_run(&masks, i, run_start, len);
+                    run = 0;
+                    break;
+                }
+            }
+            if run != 0 {
+                return Some(run_start);
+            }
+        }
+        None
+    }
+
+    fn journalled(
+        &self,
+        start: u64,
+        len: u64,
+        is_alloc: bool,
+        site_ctx: &str,
+    ) -> Result<(), AllocError> {
+        let _ = site_ctx;
+        let arena = &self.inner.arena;
+        let slot = self.claim_slot();
+        let dw = JOURNAL_BASE + 2 * slot;
+        let desc = encode_desc(start, len, is_alloc);
+        let result = (|| {
+            arena.commit(
+                &[
+                    Update::new(dw, WordOp::Write(desc)),
+                    Update::new(dw + 1, WordOp::Write(seal_for(desc))),
+                ],
+                "alloc.journal.write",
+            )?;
+            let apply: Vec<Update> = run_masks(start, len)
+                .into_iter()
+                .map(|(w, m)| {
+                    Update::new(w, if is_alloc { WordOp::Set(m) } else { WordOp::Clear(m) })
+                })
+                .collect();
+            arena.commit(&apply, "alloc.range.apply")?;
+            // Seal first: a torn clear zeroes the seal but leaves the
+            // descriptor, so recovery still rolls this completed-but-
+            // unacknowledged operation back. Clearing the descriptor
+            // first would strand the op's effects with no owner.
+            arena.commit(
+                &[
+                    Update::new(dw + 1, WordOp::Write(0)),
+                    Update::new(dw, WordOp::Write(0)),
+                ],
+                "alloc.journal.clear",
+            )
+        })();
+        self.release_slot(slot);
+        result
+    }
+
+    fn alloc_range_inner(&self, len: u64) -> Result<u64, AllocError> {
+        if len == 0 || len > MAX_RANGE {
+            return Err(AllocError::InvalidRange { start: 0, len });
+        }
+        let _guard = self.inner.range_lock.lock().unwrap();
+        self.inner.arena.ensure_alive()?;
+        if !self.reserve_global(len) {
+            return Err(AllocError::OutOfMemory);
+        }
+        let mut start = None;
+        for _ in 0..MAX_RANGE_SCANS {
+            if let Some(s) = self.claim_run(len) {
+                start = Some(s);
+                break;
+            }
+        }
+        let Some(start) = start else {
+            // Enough free frames exist but no contiguous run does —
+            // external fragmentation.
+            self.inner.global_free.fetch_add(len, Ordering::SeqCst);
+            return Err(AllocError::OutOfMemory);
+        };
+        // Counters and shadow bits are claimed; journal + persist.
+        self.journalled(start, len, true, "range_alloc")?;
+        self.inner.obs.range_alloc.inc();
+        Ok(start)
+    }
+
+    /// Allocates `len` contiguous frames through the intent journal.
+    /// Returns the first frame. `OutOfMemory` covers both exhaustion
+    /// and fragmentation (no run long enough).
+    pub fn alloc_range(&self, len: u64) -> Result<u64, AllocError> {
+        let r = self.alloc_range_inner(len);
+        if let Err(e) = &r {
+            self.on_err(e);
+        }
+        r
+    }
+
+    fn free_range_inner(&self, start: u64, len: u64) -> Result<(), AllocError> {
+        if len == 0 || len > MAX_RANGE || start + len > self.inner.frames {
+            return Err(AllocError::InvalidRange { start, len });
+        }
+        let _guard = self.inner.range_lock.lock().unwrap();
+        self.inner.arena.ensure_alive()?;
+        for (w, m) in run_masks(start, len) {
+            if self.inner.arena.load(w) & m != m {
+                let first = (w - BITFIELD_BASE) as u64 * FRAMES_PER_WORD
+                    + (!self.inner.arena.load(w) & m).trailing_zeros() as u64;
+                return Err(AllocError::DoubleFree { frame: first });
+            }
+        }
+        self.journalled(start, len, false, "range_free")?;
+        for (t, n) in Self::per_tree(start, len) {
+            self.unreserve_tree(t, n);
+        }
+        self.inner.global_free.fetch_add(len, Ordering::SeqCst);
+        self.inner.obs.range_free.inc();
+        Ok(())
+    }
+
+    /// Frees `len` contiguous frames starting at `start`, through the
+    /// intent journal. Every frame must currently be allocated.
+    pub fn free_range(&self, start: u64, len: u64) -> Result<(), AllocError> {
+        let r = self.free_range_inner(start, len);
+        if let Err(e) = &r {
+            self.on_err(e);
+        }
+        r
+    }
+
+    /// Occupancy, fragmentation and wear snapshot (volatile view).
+    pub fn stats(&self) -> AllocStats {
+        let arena = &self.inner.arena;
+        let frames = self.inner.frames;
+        let mut free = 0u64;
+        let mut run = 0u64;
+        let mut largest = 0u64;
+        let mut runs = 0u64;
+        for f in 0..frames {
+            let word = BITFIELD_BASE + (f / FRAMES_PER_WORD) as usize;
+            if arena.load(word) & (1 << (f % FRAMES_PER_WORD)) == 0 {
+                if run == 0 {
+                    runs += 1;
+                }
+                run += 1;
+                free += 1;
+                largest = largest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        AllocStats {
+            frames,
+            free_frames: free,
+            allocated_frames: frames - free,
+            largest_free_run: largest,
+            free_runs: runs,
+            fragmentation_pct: if free == 0 {
+                0.0
+            } else {
+                100.0 * (1.0 - largest as f64 / free as f64)
+            },
+            persists: arena.persist_count(),
+            max_word_wear: arena.max_wear(),
+            mean_word_wear: arena.mean_wear(),
+        }
+    }
+
+    /// Exports snapshot gauges (`alloc.free_frames`,
+    /// `alloc.allocated_frames`, `alloc.wear.max`, `alloc.persists`,
+    /// `alloc.frag_permille`) into `metrics`.
+    pub fn export_metrics(&self, metrics: &Metrics) {
+        let s = self.stats();
+        metrics.gauge("alloc.free_frames").set(s.free_frames as i64);
+        metrics
+            .gauge("alloc.allocated_frames")
+            .set(s.allocated_frames as i64);
+        metrics.gauge("alloc.wear.max").set(s.max_word_wear as i64);
+        metrics.gauge("alloc.persists").set(s.persists as i64);
+        metrics
+            .gauge("alloc.frag_permille")
+            .set((s.fragmentation_pct * 10.0) as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_faults::FaultPlan;
+
+    fn fresh(frames: u64) -> NvAllocator {
+        let arena = Arena::new(words_for(frames), FaultInjector::disabled());
+        NvAllocator::format(arena, frames).unwrap()
+    }
+
+    #[test]
+    fn descriptor_round_trip() {
+        for (start, len, is_alloc) in [(0, 1, true), (511, 513, false), (0xFFFF_FFFF, 0xFFFF, true)]
+        {
+            let d = encode_desc(start, len, is_alloc);
+            assert_ne!(d, 0);
+            assert_eq!(decode_desc(d), (start, len, is_alloc));
+            assert_ne!(seal_for(d), 0);
+        }
+    }
+
+    #[test]
+    fn run_masks_cover_exactly_the_run() {
+        let masks = run_masks(60, 10); // straddles a word boundary
+        assert_eq!(masks.len(), 2);
+        assert_eq!(masks[0], (BITFIELD_BASE, 0xF << 60));
+        assert_eq!(masks[1], (BITFIELD_BASE + 1, 0x3F));
+        let total: u32 = masks.iter().map(|(_, m)| m.count_ones()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn alloc_free_round_trip_updates_counters_and_media() {
+        let a = fresh(96); // partial last word: 32 padding bits
+        let f0 = a.alloc().unwrap();
+        let f1 = a.alloc().unwrap();
+        assert_ne!(f0, f1);
+        assert!(a.is_allocated(f0) && a.is_durably_allocated(f0));
+        assert_eq!(a.free_count(), 94);
+        a.free(f0).unwrap();
+        assert!(!a.is_allocated(f0) && !a.is_durably_allocated(f0));
+        assert_eq!(a.free_count(), 95);
+        assert!(matches!(
+            a.free(f0),
+            Err(AllocError::DoubleFree { frame }) if frame == f0
+        ));
+        assert!(matches!(
+            a.free(10_000),
+            Err(AllocError::InvalidFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn region_drains_to_oom_and_padding_is_never_handed_out() {
+        let a = fresh(96);
+        let mut got = Vec::new();
+        loop {
+            match a.alloc() {
+                Ok(f) => {
+                    assert!(f < 96, "padding frame {f} handed out");
+                    got.push(f);
+                }
+                Err(AllocError::OutOfMemory) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(got.len(), 96);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 96, "duplicate frames");
+        assert_eq!(a.free_count(), 0);
+    }
+
+    #[test]
+    fn range_round_trip_and_fragmentation_stats() {
+        let a = fresh(TREE_FRAMES * 2); // 1024 frames, 2 trees
+        let start = a.alloc_range(100).unwrap();
+        assert_eq!(start, 0);
+        let s2 = a.alloc_range(600).unwrap(); // crosses the tree seam
+        assert_eq!(s2, 100);
+        assert_eq!(a.free_count(), 1024 - 700);
+        a.free_range(start, 100).unwrap();
+        let st = a.stats();
+        assert_eq!(st.allocated_frames, 600);
+        assert_eq!(st.free_runs, 2);
+        assert_eq!(st.largest_free_run, 1024 - 700);
+        assert!(st.fragmentation_pct > 0.0);
+        assert!(matches!(
+            a.free_range(start, 100),
+            Err(AllocError::DoubleFree { .. })
+        ));
+        assert!(matches!(
+            a.alloc_range(0),
+            Err(AllocError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            a.alloc_range(2048),
+            Err(AllocError::OutOfMemory)
+        ));
+    }
+
+    #[test]
+    fn clean_recovery_rebuilds_identical_counters() {
+        let a = fresh(TREE_FRAMES + 96);
+        let mut owned = Vec::new();
+        for _ in 0..200 {
+            owned.push(a.alloc().unwrap());
+        }
+        for f in owned.drain(..50) {
+            a.free(f).unwrap();
+        }
+        let remounted = a.arena().remount(FaultInjector::disabled());
+        let (b, report) = NvAllocator::recover(remounted, TREE_FRAMES + 96).unwrap();
+        assert!(!report.reformatted);
+        assert_eq!(report.rolled_back_intents, 0);
+        assert_eq!(report.frames, 150);
+        assert_eq!(b.free_count(), a.free_count());
+        for f in &owned {
+            assert!(b.is_durably_allocated(*f));
+        }
+        assert_eq!(b.stats().allocated_frames, 150);
+    }
+
+    #[test]
+    fn crash_before_flush_loses_the_allocation_not_the_frame() {
+        // The one-shot fires on the first bitfield set: the alloc's
+        // store reaches the shadow but never the media.
+        let plan = FaultPlan::parse("panic@alloc.bitfield.set*1").unwrap();
+        let arena = Arena::new(words_for(128), plan.injector());
+        let a = NvAllocator::format(arena.clone(), 128).unwrap();
+        let err = a.alloc().unwrap_err();
+        assert!(matches!(err, AllocError::Crashed { ref site, .. } if site == "alloc.bitfield.set"));
+        let (b, report) = NvAllocator::recover(
+            arena.remount(FaultInjector::disabled()),
+            128,
+        )
+        .unwrap();
+        assert_eq!(report.frames, 0, "the unflushed alloc evaporated");
+        // The frame is not lost: everything is allocatable again.
+        let mut rest = std::collections::HashSet::new();
+        while let Ok(f) = b.alloc() {
+            assert!(rest.insert(f), "double-allocated frame {f}");
+        }
+        assert_eq!(rest.len(), 128);
+    }
+
+    #[test]
+    fn crash_during_free_flush_keeps_the_frame_allocated() {
+        let plan = FaultPlan::parse("panic@alloc.bitfield.clear*1").unwrap();
+        let arena = Arena::new(words_for(128), plan.injector());
+        let a = NvAllocator::format(arena.clone(), 128).unwrap();
+        let kept = a.alloc().unwrap();
+        let gone = a.alloc().unwrap();
+        let err = a.free(gone).unwrap_err();
+        assert!(matches!(err, AllocError::Crashed { .. }));
+        let (b, report) = NvAllocator::recover(
+            arena.remount(FaultInjector::disabled()),
+            128,
+        )
+        .unwrap();
+        // The free never returned Ok, so the caller still owns both.
+        assert_eq!(report.frames, 2);
+        assert!(b.is_durably_allocated(kept));
+        assert!(b.is_durably_allocated(gone));
+        let mut rest = std::collections::HashSet::new();
+        while let Ok(f) = b.alloc() {
+            assert!(f != kept && f != gone, "double-allocated frame {f}");
+            assert!(rest.insert(f));
+        }
+        assert_eq!(rest.len(), 126);
+    }
+
+    #[test]
+    fn torn_range_apply_rolls_back_to_the_pre_op_image() {
+        let plan = FaultPlan::parse("torn@alloc.range.apply*1").unwrap();
+        let arena = Arena::new(words_for(1024), plan.injector());
+        let a = NvAllocator::format(arena.clone(), 1024).unwrap();
+        // Single-frame allocs never touch range.apply, so this one
+        // completes and must survive the torn range below.
+        let keep = a.alloc().unwrap();
+        let err = a.alloc_range(512).unwrap_err();
+        assert!(matches!(err, AllocError::Crashed { torn: true, .. }));
+        let (b, report) = NvAllocator::recover(
+            arena.remount(FaultInjector::disabled()),
+            1024,
+        )
+        .unwrap();
+        assert_eq!(report.rolled_back_intents, 1);
+        assert_eq!(report.rolled_back_frames, 512);
+        assert_eq!(report.frames, 1, "interrupted range rolled back");
+        assert!(b.is_durably_allocated(keep));
+        assert_eq!(b.free_count(), 1023);
+    }
+
+    #[test]
+    fn torn_journal_clear_still_rolls_the_unacknowledged_op_back() {
+        let plan = FaultPlan::parse("torn@alloc.journal.clear*1").unwrap();
+        let arena = Arena::new(words_for(256), plan.injector());
+        let a = NvAllocator::format(arena.clone(), 256).unwrap();
+        // The range was fully persisted before the crash, but the
+        // caller saw `Crashed` — nobody owns those frames. The torn
+        // clear zeroed only the seal (seal-first ordering); the
+        // surviving descriptor makes recovery undo the whole thing,
+        // otherwise the frames would be durably leaked.
+        let err = a.alloc_range(32).unwrap_err();
+        assert!(matches!(err, AllocError::Crashed { torn: true, .. }));
+        let (b, report) = NvAllocator::recover(
+            arena.remount(FaultInjector::disabled()),
+            256,
+        )
+        .unwrap();
+        assert_eq!(report.rolled_back_intents, 1);
+        assert_eq!(report.rolled_back_frames, 32);
+        assert_eq!(report.frames, 0);
+        assert_eq!(b.free_count(), 256);
+    }
+
+    #[test]
+    fn crash_at_journal_clear_undoes_a_fully_applied_free() {
+        let plan = FaultPlan::parse("panic@alloc.journal.clear*1").unwrap();
+        let arena = Arena::new(words_for(256), plan.injector());
+        let a = NvAllocator::format(arena.clone(), 256).unwrap();
+        // Populate through the single-frame path (no journal traffic):
+        // sequential allocs yield the contiguous run 0..40.
+        for _ in 0..40 {
+            a.alloc().unwrap();
+        }
+        // The free is fully applied (bits durably cleared) before the
+        // crash in its cleanup; the caller saw `Crashed`, so recovery
+        // must re-set the bits — the caller still owns the range.
+        let err = a.free_range(0, 40).unwrap_err();
+        assert!(matches!(err, AllocError::Crashed { torn: false, .. }));
+        let (b, report) = NvAllocator::recover(
+            arena.remount(FaultInjector::disabled()),
+            256,
+        )
+        .unwrap();
+        assert_eq!(report.rolled_back_intents, 1);
+        assert_eq!(report.frames, 40, "the interrupted free was undone");
+        for f in 0..40 {
+            assert!(b.is_durably_allocated(f));
+        }
+    }
+
+    #[test]
+    fn recovery_scales_with_region_size_and_estimates_time() {
+        let mut last = 0;
+        for frames in [512u64, 4096, 32768] {
+            let a = fresh(frames);
+            a.alloc().unwrap();
+            let (_, report) =
+                NvAllocator::recover(a.arena().remount(FaultInjector::disabled()), frames).unwrap();
+            assert!(report.words_scanned > last);
+            last = report.words_scanned;
+            let est = report.est_ns(20.0);
+            assert_eq!(est, report.words_scanned as f64 * 20.0);
+        }
+    }
+
+    #[test]
+    fn recover_reformats_a_virgin_or_torn_region() {
+        // Virgin (never formatted) arena.
+        let arena = Arena::new(words_for(512), FaultInjector::disabled());
+        let (a, report) = NvAllocator::recover(arena, 512).unwrap();
+        assert!(report.reformatted);
+        assert_eq!(report.frames, 0);
+        assert_eq!(a.free_count(), 512);
+
+        // Format torn mid-header.
+        let plan = FaultPlan::parse("torn@alloc.meta.seal*1").unwrap();
+        let arena = Arena::new(words_for(96), plan.injector());
+        assert!(NvAllocator::format(arena.clone(), 96).is_err());
+        let (b, report) =
+            NvAllocator::recover(arena.remount(FaultInjector::disabled()), 96).unwrap();
+        assert!(report.reformatted);
+        assert_eq!(b.free_count(), 96);
+        let mut n = 0;
+        while b.alloc().is_ok() {
+            n += 1;
+        }
+        assert_eq!(n, 96);
+    }
+
+    #[test]
+    fn metrics_and_events_flow_through_obs() {
+        let metrics = Metrics::enabled();
+        let bus = EventBus::builder("alloc-test").build();
+        let arena = Arena::new(
+            words_for(128),
+            FaultPlan::parse("panic@alloc.bitfield.clear*1")
+                .unwrap()
+                .injector(),
+        );
+        let a = NvAllocator::format(arena.clone(), 128)
+            .unwrap()
+            .with_metrics(&metrics)
+            .with_events(&bus, bus.correlation().with_app("unit"));
+        let f = a.alloc().unwrap();
+        assert!(a.free(f).is_err(), "one-shot crash on the free");
+        let (b, report) = NvAllocator::recover(arena.remount(FaultInjector::disabled()), 128)
+            .unwrap();
+        let b = b.with_metrics(&metrics).with_events(&bus, bus.correlation());
+        b.note_recovery(&report);
+        bus.flush();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("alloc.alloc"), Some(1));
+        assert_eq!(snap.counter("alloc.crash"), Some(1));
+        assert_eq!(snap.counter("alloc.recovery"), Some(1));
+        assert!(bus.published() >= 2, "crash + recovery events");
+    }
+}

@@ -1,0 +1,486 @@
+//! Crash-simulable persistent word arena.
+//!
+//! The arena models one byte-addressable NVRAM region as an array of
+//! 64-bit words with an explicit *store → persist* pipeline:
+//!
+//! * the **shadow** array is the cache-coherent view every thread sees
+//!   immediately after a store (CPU caches + store buffers);
+//! * the **media** array is what has actually reached the persistence
+//!   domain (what survives power loss).
+//!
+//! Every mutating entry point names an *injection point* and asks the
+//! [`FaultInjector`] whether to kill the machine between the store and
+//! its flush. On a crash the arena freezes: the shadow contents are
+//! lost, the media contents are exactly what had been persisted, and
+//! every later operation fails with [`AllocError::Crashed`]. A
+//! [`Arena::remount`] then models the reboot — the new shadow is a copy
+//! of the old media.
+//!
+//! Multi-word updates go through [`Arena::commit`], where the injector
+//! can additionally tear the update ([`FaultInjector::torn_prefix`]):
+//! only a prefix of the words reaches the media before the crash.
+//!
+//! An operation that passed its crash probe may still persist its words
+//! after another thread crashed the arena — that models a store already
+//! accepted by the persistence domain (eADR) — so the rule callers rely
+//! on is: **an operation took durable effect iff it returned `Ok`**.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nvsim_faults::FaultInjector;
+
+use crate::AllocError;
+
+/// How one word changes inside an [`Update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordOp {
+    /// OR the mask into the word (set bits).
+    Set(u64),
+    /// AND the complement of the mask into the word (clear bits).
+    Clear(u64),
+    /// Overwrite the whole word. Only safe for words the caller owns
+    /// exclusively (the allocator's journal slots, under its lock).
+    Write(u64),
+}
+
+/// One word of a (possibly multi-word) update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Update {
+    /// Word index into the arena.
+    pub word: usize,
+    /// The change to apply.
+    pub op: WordOp,
+}
+
+impl Update {
+    /// Convenience constructor.
+    pub fn new(word: usize, op: WordOp) -> Self {
+        Update { word, op }
+    }
+}
+
+/// Where and how the simulated machine died.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashInfo {
+    /// The injection point that fired.
+    pub site: String,
+    /// Whether a multi-word update was torn (a prefix persisted).
+    pub torn: bool,
+}
+
+struct ArenaInner {
+    /// Cache-coherent view (volatile): every completed store is here.
+    shadow: Vec<AtomicU64>,
+    /// Persistence domain (durable): only flushed stores are here.
+    media: Vec<AtomicU64>,
+    /// Persist count per word — the wear proxy reported in stats.
+    wear: Vec<AtomicU64>,
+    /// Total persisted words over the arena's lifetime (carried over
+    /// remounts, like real media wear).
+    persists: AtomicU64,
+    crashed: AtomicBool,
+    crash: Mutex<Option<CrashInfo>>,
+    injector: FaultInjector,
+}
+
+/// A shared handle to one simulated NVRAM region. Cloning is cheap and
+/// models another path to the same DIMM; the media survives the crash
+/// of the allocator that was using it, so tests keep a clone around to
+/// [`Arena::remount`] after the kill.
+#[derive(Clone)]
+pub struct Arena {
+    inner: Arc<ArenaInner>,
+}
+
+impl Arena {
+    /// A zeroed arena of `words` 64-bit words wired to `injector`.
+    pub fn new(words: usize, injector: FaultInjector) -> Self {
+        let zeroed = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        Arena {
+            inner: Arc::new(ArenaInner {
+                shadow: zeroed(words),
+                media: zeroed(words),
+                wear: zeroed(words),
+                persists: AtomicU64::new(0),
+                crashed: AtomicBool::new(false),
+                crash: Mutex::new(None),
+                injector,
+            }),
+        }
+    }
+
+    /// Words in the region.
+    pub fn len(&self) -> usize {
+        self.inner.shadow.len()
+    }
+
+    /// True if the region has zero words.
+    pub fn is_empty(&self) -> bool {
+        self.inner.shadow.is_empty()
+    }
+
+    /// The volatile (cache-coherent) value of a word.
+    pub fn load(&self, word: usize) -> u64 {
+        self.inner.shadow[word].load(Ordering::SeqCst)
+    }
+
+    /// The durable (persisted) value of a word — what a reboot reads.
+    pub fn durable(&self, word: usize) -> u64 {
+        self.inner.media[word].load(Ordering::SeqCst)
+    }
+
+    /// Persist count of one word.
+    pub fn wear_of(&self, word: usize) -> u64 {
+        self.inner.wear[word].load(Ordering::SeqCst)
+    }
+
+    /// Total words persisted over the arena's lifetime.
+    pub fn persist_count(&self) -> u64 {
+        self.inner.persists.load(Ordering::SeqCst)
+    }
+
+    /// True once a crash fired; all further mutations fail.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Where the machine died, if it did.
+    pub fn crash_info(&self) -> Option<CrashInfo> {
+        self.inner.crash.lock().unwrap().clone()
+    }
+
+    fn record_crash(&self, site: &str, torn: bool) -> AllocError {
+        let mut slot = self.inner.crash.lock().unwrap();
+        // First crash wins; later probes report the original site.
+        if slot.is_none() {
+            *slot = Some(CrashInfo {
+                site: site.to_string(),
+                torn,
+            });
+        }
+        self.inner.crashed.store(true, Ordering::SeqCst);
+        let info = slot.clone().unwrap();
+        AllocError::Crashed {
+            site: info.site,
+            torn: info.torn,
+        }
+    }
+
+    fn crashed_err(&self) -> AllocError {
+        let info = self.crash_info().unwrap_or(CrashInfo {
+            site: String::new(),
+            torn: false,
+        });
+        AllocError::Crashed {
+            site: info.site,
+            torn: info.torn,
+        }
+    }
+
+    /// Fails with the original crash if the arena is frozen; a cheap
+    /// early-out for paths with no injection point of their own.
+    pub fn ensure_alive(&self) -> Result<(), AllocError> {
+        if self.is_crashed() {
+            return Err(self.crashed_err());
+        }
+        Ok(())
+    }
+
+    /// Volatile-only bit set (no persist, no crash probe) — the
+    /// allocator's range path uses this to claim frames against
+    /// concurrent single-frame allocations before journalling. Returns
+    /// `false` (and undoes its own partial set) if any `mask` bit was
+    /// already set.
+    pub fn volatile_set(&self, word: usize, mask: u64) -> bool {
+        let prev = self.inner.shadow[word].fetch_or(mask, Ordering::SeqCst);
+        if prev & mask != 0 {
+            self.inner.shadow[word].fetch_and(!(mask & !prev), Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Volatile-only unconditional clear of `mask` bits — the rollback
+    /// half of [`Arena::volatile_set`].
+    pub fn volatile_clear(&self, word: usize, mask: u64) {
+        self.inner.shadow[word].fetch_and(!mask, Ordering::SeqCst);
+    }
+
+    /// Fails if the arena is crashed, and otherwise gives the injector
+    /// a chance to kill the machine at `site` without touching any
+    /// word (a pure control-flow crash point).
+    pub fn probe(&self, site: &str) -> Result<(), AllocError> {
+        if self.is_crashed() {
+            return Err(self.crashed_err());
+        }
+        if self.inner.injector.crashes(site) {
+            return Err(self.record_crash(site, false));
+        }
+        Ok(())
+    }
+
+    fn persist_set(&self, word: usize, mask: u64) {
+        self.inner.media[word].fetch_or(mask, Ordering::SeqCst);
+        self.note_persist(word);
+    }
+
+    fn persist_clear(&self, word: usize, mask: u64) {
+        self.inner.media[word].fetch_and(!mask, Ordering::SeqCst);
+        self.note_persist(word);
+    }
+
+    fn note_persist(&self, word: usize) {
+        self.inner.wear[word].fetch_add(1, Ordering::SeqCst);
+        self.inner.persists.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Atomically sets `mask` bits in one word, then persists them.
+    ///
+    /// Returns `Ok(true)` if this call set all the bits, `Ok(false)` if
+    /// any of them were already set (the caller lost a race — nothing
+    /// was stored or persisted for it to undo), and
+    /// [`AllocError::Crashed`] if the injector killed the machine at
+    /// `site` after the store but before the flush (the shadow has the
+    /// bits, the media does not).
+    pub fn try_set(&self, word: usize, mask: u64, site: &str) -> Result<bool, AllocError> {
+        if self.is_crashed() {
+            return Err(self.crashed_err());
+        }
+        let prev = self.inner.shadow[word].fetch_or(mask, Ordering::SeqCst);
+        if prev & mask != 0 {
+            // Lost the race: put back exactly the bits we flipped.
+            self.inner.shadow[word].fetch_and(!(mask & !prev), Ordering::SeqCst);
+            return Ok(false);
+        }
+        if self.inner.injector.crashes(site) {
+            return Err(self.record_crash(site, false));
+        }
+        self.persist_set(word, mask);
+        Ok(true)
+    }
+
+    /// Atomically clears `mask` bits in one word, then persists them.
+    ///
+    /// Returns `Ok(true)` if all the bits were set and are now clear,
+    /// `Ok(false)` if any were already clear (nothing changed — the
+    /// caller is looking at a double free), and crashes like
+    /// [`Arena::try_set`].
+    pub fn try_clear(&self, word: usize, mask: u64, site: &str) -> Result<bool, AllocError> {
+        if self.is_crashed() {
+            return Err(self.crashed_err());
+        }
+        let prev = self.inner.shadow[word].fetch_and(!mask, Ordering::SeqCst);
+        if prev & mask != mask {
+            // Some bits were already clear: restore the ones we took.
+            self.inner.shadow[word].fetch_or(prev & mask, Ordering::SeqCst);
+            return Ok(false);
+        }
+        if self.inner.injector.crashes(site) {
+            return Err(self.record_crash(site, false));
+        }
+        self.persist_clear(word, mask);
+        Ok(true)
+    }
+
+    fn apply_shadow(&self, u: &Update) {
+        match u.op {
+            WordOp::Set(m) => {
+                self.inner.shadow[u.word].fetch_or(m, Ordering::SeqCst);
+            }
+            WordOp::Clear(m) => {
+                self.inner.shadow[u.word].fetch_and(!m, Ordering::SeqCst);
+            }
+            WordOp::Write(v) => {
+                self.inner.shadow[u.word].store(v, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn persist_update(&self, u: &Update) {
+        match u.op {
+            WordOp::Set(m) => self.persist_set(u.word, m),
+            WordOp::Clear(m) => self.persist_clear(u.word, m),
+            WordOp::Write(v) => {
+                self.inner.media[u.word].store(v, Ordering::SeqCst);
+                self.note_persist(u.word);
+            }
+        }
+    }
+
+    /// Stores a multi-word update, then persists it word by word in
+    /// order.
+    ///
+    /// This is the torn-write site: if a `torn@site` fault is armed,
+    /// only [`FaultInjector::torn_prefix`] words reach the media before
+    /// the crash; a plain `panic@site` crashes after the stores but
+    /// before any word persists.
+    pub fn commit(&self, updates: &[Update], site: &str) -> Result<(), AllocError> {
+        if self.is_crashed() {
+            return Err(self.crashed_err());
+        }
+        for u in updates {
+            self.apply_shadow(u);
+        }
+        if let Some(prefix) = self.inner.injector.torn_prefix(site, updates.len()) {
+            for u in &updates[..prefix] {
+                self.persist_update(u);
+            }
+            return Err(self.record_crash(site, true));
+        }
+        if self.inner.injector.crashes(site) {
+            return Err(self.record_crash(site, false));
+        }
+        for u in updates {
+            self.persist_update(u);
+        }
+        Ok(())
+    }
+
+    /// Applies an update to shadow *and* media unconditionally, with no
+    /// crash probe. Recovery uses this: the recovery path itself is
+    /// idempotent (it rebuilds from the bitfields), so it is modeled as
+    /// atomic.
+    pub fn apply_durable(&self, updates: &[Update]) {
+        for u in updates {
+            self.apply_shadow(u);
+            self.persist_update(u);
+        }
+    }
+
+    /// Reboot: a fresh arena over the same media. The new shadow is a
+    /// copy of the durable state (everything unflushed is gone), the
+    /// wear and persist counters carry over, and the crash flag is
+    /// reset. The old handle keeps seeing the frozen pre-reboot arena.
+    pub fn remount(&self, injector: FaultInjector) -> Arena {
+        let words = self.len();
+        let copy = |src: &[AtomicU64]| {
+            src.iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::SeqCst)))
+                .collect::<Vec<_>>()
+        };
+        Arena {
+            inner: Arc::new(ArenaInner {
+                shadow: copy(&self.inner.media),
+                media: copy(&self.inner.media),
+                wear: copy(&self.inner.wear),
+                persists: AtomicU64::new(self.persist_count()),
+                crashed: AtomicBool::new(false),
+                crash: Mutex::new(None),
+                injector,
+            }),
+        }
+    }
+
+    /// Wear (persist count) of every word, for stats and reports.
+    pub fn wear_snapshot(&self) -> Vec<u64> {
+        (0..self.len()).map(|w| self.wear_of(w)).collect()
+    }
+
+    /// The maximum single-word wear.
+    pub fn max_wear(&self) -> u64 {
+        (0..self.len()).map(|w| self.wear_of(w)).max().unwrap_or(0)
+    }
+
+    /// Words never persisted even once remain visible here.
+    pub fn mean_wear(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.persist_count() as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_faults::FaultPlan;
+
+    fn quiet(words: usize) -> Arena {
+        Arena::new(words, FaultInjector::disabled())
+    }
+
+    #[test]
+    fn set_clear_round_trip_reaches_media() {
+        let a = quiet(4);
+        assert!(a.try_set(1, 0b101, "s").unwrap());
+        assert_eq!(a.load(1), 0b101);
+        assert_eq!(a.durable(1), 0b101);
+        assert!(!a.try_set(1, 0b100, "s").unwrap(), "already set");
+        assert!(a.try_clear(1, 0b001, "s").unwrap());
+        assert_eq!(a.durable(1), 0b100);
+        assert!(!a.try_clear(1, 0b001, "s").unwrap(), "already clear");
+        assert_eq!(a.persist_count(), 2);
+        assert_eq!(a.wear_of(1), 2);
+    }
+
+    #[test]
+    fn lost_race_restores_only_the_loser_bits() {
+        let a = quiet(1);
+        assert!(a.try_set(0, 0b010, "s").unwrap());
+        // Overlapping set: bit 1 already taken, bit 0 ours — must be
+        // rolled back, leaving the winner's bit alone.
+        assert!(!a.try_set(0, 0b011, "s").unwrap());
+        assert_eq!(a.load(0), 0b010);
+    }
+
+    #[test]
+    fn crash_between_store_and_flush_loses_the_shadow() {
+        let plan = FaultPlan::parse("panic@site.a*1").unwrap();
+        let a = Arena::new(2, plan.injector());
+        let err = a.try_set(0, 1, "site.a").unwrap_err();
+        assert!(matches!(err, AllocError::Crashed { ref site, torn: false } if site == "site.a"));
+        assert_eq!(a.load(0), 1, "store reached the shadow");
+        assert_eq!(a.durable(0), 0, "flush never happened");
+        assert!(a.is_crashed());
+        assert!(matches!(a.try_set(1, 1, "other"), Err(AllocError::Crashed { .. })));
+
+        let b = a.remount(FaultInjector::disabled());
+        assert_eq!(b.load(0), 0, "reboot reads the media");
+        assert!(!b.is_crashed());
+        assert!(b.try_set(0, 1, "site.a").unwrap());
+    }
+
+    #[test]
+    fn torn_commit_persists_only_a_prefix() {
+        let plan = FaultPlan::parse("torn@multi*1").unwrap();
+        let a = Arena::new(4, plan.injector());
+        let updates = [
+            Update::new(0, WordOp::Write(7)),
+            Update::new(1, WordOp::Set(0xF0)),
+            Update::new(2, WordOp::Write(9)),
+            Update::new(3, WordOp::Write(11)),
+        ];
+        let err = a.commit(&updates, "multi").unwrap_err();
+        assert!(matches!(err, AllocError::Crashed { torn: true, .. }));
+        // torn_prefix persists words/2 = 2 of the 4 words.
+        assert_eq!(a.durable(0), 7);
+        assert_eq!(a.durable(1), 0xF0);
+        assert_eq!(a.durable(2), 0);
+        assert_eq!(a.durable(3), 0);
+        // The shadow saw the full update before the crash.
+        assert_eq!(a.load(3), 11);
+    }
+
+    #[test]
+    fn remount_carries_wear_and_persist_counters() {
+        let plan = FaultPlan::parse("panic@die*1").unwrap();
+        let a = Arena::new(2, plan.injector());
+        a.try_set(0, 1, "warm").unwrap();
+        a.try_set(0, 2, "warm").unwrap();
+        let _ = a.try_set(1, 1, "die");
+        let b = a.remount(FaultInjector::disabled());
+        assert_eq!(b.persist_count(), 2);
+        assert_eq!(b.wear_of(0), 2);
+        assert_eq!(b.max_wear(), 2);
+    }
+
+    #[test]
+    fn apply_durable_skips_probes_and_lands_on_media() {
+        let plan = FaultPlan::parse("panic@everything").unwrap();
+        let a = Arena::new(1, plan.injector());
+        a.apply_durable(&[Update::new(0, WordOp::Write(42))]);
+        assert_eq!(a.durable(0), 42);
+        assert!(!a.is_crashed());
+    }
+}

@@ -1,0 +1,109 @@
+//! # nvsim-alloc — crash-consistent NVRAM page allocator
+//!
+//! The paper's pipeline decides *which* objects belong in NVRAM;
+//! actually running a hybrid-memory node also needs the NVRAM region
+//! *managed* so that a crash mid-allocation never loses or
+//! double-allocates a frame. This crate is that manager, modeled on
+//! llfree-rs: a two-level tree whose lower level is a persistent
+//! per-frame bitfield and whose upper level is volatile CAS-updated
+//! counters, with lock-free single-frame fast paths and recovery that
+//! rebuilds every volatile structure purely from the persistent bits.
+//!
+//! The persistent half lives in a crash-simulable [`Arena`] with an
+//! explicit store → persist model, so `nvsim-faults` can kill the
+//! allocator at any of the named [`INJECTION_POINTS`] between a store
+//! and its flush — including tearing multi-word updates
+//! (`torn@site`). The contract the chaos suite enforces for every
+//! seeded crash point and thread interleaving:
+//!
+//! * **no lost frames** — a frame whose operation returned `Ok` is
+//!   durably owned after recovery, and every other frame is
+//!   allocatable again;
+//! * **no double-allocated frames** — recovery never hands out a frame
+//!   an owner already holds.
+//!
+//! ```
+//! use nvsim_alloc::{Arena, NvAllocator, words_for};
+//! use nvsim_faults::FaultInjector;
+//!
+//! let arena = Arena::new(words_for(1024), FaultInjector::disabled());
+//! let alloc = NvAllocator::format(arena.clone(), 1024).unwrap();
+//! let frame = alloc.alloc().unwrap();
+//! alloc.free(frame).unwrap();
+//!
+//! // Simulated reboot: rebuild everything from the durable image.
+//! let (alloc, report) =
+//!     NvAllocator::recover(arena.remount(FaultInjector::disabled()), 1024).unwrap();
+//! assert_eq!(report.frames, 0);
+//! assert_eq!(alloc.free_count(), 1024);
+//! ```
+
+#![warn(missing_docs)]
+
+mod allocator;
+mod arena;
+
+pub use allocator::{
+    words_for, AllocStats, NvAllocator, RecoveryReport, FRAMES_PER_WORD, INJECTION_POINTS,
+    JOURNAL_SLOTS, MAGIC, MAX_RANGE, TORN_POINTS, TREE_FRAMES, TREE_WORDS,
+};
+pub use arena::{Arena, CrashInfo, Update, WordOp};
+
+use std::fmt;
+
+/// Everything an allocator operation can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The fault injector killed the simulated machine. The arena is
+    /// frozen; remount + [`NvAllocator::recover`] is the only way on.
+    Crashed {
+        /// Injection point that fired.
+        site: String,
+        /// Whether a multi-word update was torn.
+        torn: bool,
+    },
+    /// No frame (or no contiguous run) could satisfy the request.
+    OutOfMemory,
+    /// The frame was not allocated.
+    DoubleFree {
+        /// The offending frame.
+        frame: u64,
+    },
+    /// The frame index is outside the region.
+    InvalidFrame {
+        /// The offending frame.
+        frame: u64,
+    },
+    /// The range is empty, too long to journal, or out of bounds.
+    InvalidRange {
+        /// First frame of the range.
+        start: u64,
+        /// Frames in the range.
+        len: u64,
+    },
+    /// The durable image is inconsistent with the requested geometry.
+    Corrupt {
+        /// What recovery or validation found.
+        what: String,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Crashed { site, torn } => {
+                let torn = if *torn { " (torn)" } else { "" };
+                write!(f, "allocator crashed at {site}{torn}")
+            }
+            AllocError::OutOfMemory => write!(f, "out of NVRAM frames"),
+            AllocError::DoubleFree { frame } => write!(f, "frame {frame} is not allocated"),
+            AllocError::InvalidFrame { frame } => write!(f, "frame {frame} is out of range"),
+            AllocError::InvalidRange { start, len } => {
+                write!(f, "invalid range: start {start}, len {len}")
+            }
+            AllocError::Corrupt { what } => write!(f, "corrupt allocator state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}

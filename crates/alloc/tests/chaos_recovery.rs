@@ -1,0 +1,286 @@
+//! Crash-recovery property suite.
+//!
+//! The matrix: every named injection point (panic *and* torn where the
+//! site persists multiple words) × 1..=8 concurrent allocator threads
+//! × fixed seeds, plus randomized `FaultPlan::seeded_alloc` mixes. Each
+//! case runs a mixed single-frame/range workload until the injector
+//! kills the machine, then remounts the media, recovers, and asserts
+//! the headline invariants:
+//!
+//! * **no lost frames** — every frame whose operation returned `Ok` is
+//!   durably allocated after recovery, and every other frame can be
+//!   allocated again (the region drains to exactly its capacity);
+//! * **no double-allocated frames** — no frame is ever owned twice,
+//!   live or across the crash.
+//!
+//! The ownership oracle is exact because the allocator's contract is
+//! exact: an operation took durable effect if and only if it returned
+//! `Ok`. Interrupted journalled operations are always rolled back,
+//! never rolled forward.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use nvsim_alloc::{
+    words_for, AllocError, Arena, NvAllocator, INJECTION_POINTS, TORN_POINTS,
+};
+use nvsim_faults::{FaultInjector, FaultPlan};
+
+/// 4 trees (one partial) and a partial final bitfield word, so tree
+/// seams and padding bits are both in play.
+const FRAMES: u64 = 1620;
+/// Operations attempted per worker thread.
+const OPS: usize = 400;
+
+/// Deterministic per-thread RNG (same family the faults crate uses).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// What one worker durably owns when it stops: single frames and
+/// contiguous ranges for which the allocator returned `Ok` (minus the
+/// ones it successfully freed).
+struct Owned {
+    frames: Vec<u64>,
+    ranges: Vec<(u64, u64)>,
+}
+
+fn worker(alloc: NvAllocator, seed: u64, ops: usize) -> Owned {
+    let mut rng = Lcg(seed);
+    let mut owned = Owned {
+        frames: Vec::new(),
+        ranges: Vec::new(),
+    };
+    for _ in 0..ops {
+        match rng.below(100) {
+            // Single-frame allocation.
+            0..=49 => match alloc.alloc() {
+                Ok(f) => owned.frames.push(f),
+                Err(AllocError::Crashed { .. }) => break,
+                Err(AllocError::OutOfMemory) => {}
+                Err(e) => panic!("alloc: unexpected {e}"),
+            },
+            // Single-frame free of something we own.
+            50..=79 => {
+                if owned.frames.is_empty() {
+                    continue;
+                }
+                let i = rng.below(owned.frames.len() as u64) as usize;
+                let f = owned.frames.swap_remove(i);
+                match alloc.free(f) {
+                    Ok(()) => {}
+                    Err(AllocError::Crashed { .. }) => {
+                        // The free did not take effect: still ours.
+                        owned.frames.push(f);
+                        break;
+                    }
+                    Err(e) => panic!("free({f}): unexpected {e}"),
+                }
+            }
+            // Contiguous range allocation.
+            80..=89 => {
+                let len = 1 + rng.below(24);
+                match alloc.alloc_range(len) {
+                    Ok(s) => owned.ranges.push((s, len)),
+                    Err(AllocError::Crashed { .. }) => break,
+                    Err(AllocError::OutOfMemory) => {}
+                    Err(e) => panic!("alloc_range({len}): unexpected {e}"),
+                }
+            }
+            // Range free of a range we own.
+            _ => {
+                if owned.ranges.is_empty() {
+                    continue;
+                }
+                let i = rng.below(owned.ranges.len() as u64) as usize;
+                let (s, l) = owned.ranges.swap_remove(i);
+                match alloc.free_range(s, l) {
+                    Ok(()) => {}
+                    Err(AllocError::Crashed { .. }) => {
+                        owned.ranges.push((s, l));
+                        break;
+                    }
+                    Err(e) => panic!("free_range({s},{l}): unexpected {e}"),
+                }
+            }
+        }
+    }
+    owned
+}
+
+/// Runs `threads` workers against one allocator wired to `plan`, then
+/// recovers and checks the invariants. Returns the frames owned at
+/// the end (for determinism checks).
+fn chaos_case(plan: &FaultPlan, threads: usize, seed: u64) -> Vec<u64> {
+    let arena = Arena::new(words_for(FRAMES), plan.injector());
+    let alloc = match NvAllocator::format(arena.clone(), FRAMES) {
+        Ok(a) => a,
+        Err(AllocError::Crashed { .. }) => {
+            // Killed during format: nothing was ever handed out, so
+            // recovery must produce an empty, fully usable region.
+            return verify_after_recovery(&arena, &HashSet::new());
+        }
+        Err(e) => panic!("format: unexpected {e}"),
+    };
+
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let a = alloc.clone();
+            let b = Arc::clone(&barrier);
+            let s = seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            thread::spawn(move || {
+                b.wait();
+                worker(a, s, OPS)
+            })
+        })
+        .collect();
+
+    // Merge ownership; any overlap is a live double-allocation.
+    let mut owned = HashSet::new();
+    for h in handles {
+        let got = h.join().expect("worker panicked");
+        for f in got.frames {
+            assert!(owned.insert(f), "frame {f} owned by two threads");
+        }
+        for (s, l) in got.ranges {
+            for f in s..s + l {
+                assert!(owned.insert(f), "frame {f} owned twice via a range");
+            }
+        }
+    }
+    verify_after_recovery(&arena, &owned)
+}
+
+/// Remounts the (possibly crashed) media, recovers, and asserts zero
+/// lost and zero double-allocated frames against the oracle.
+fn verify_after_recovery(arena: &Arena, owned: &HashSet<u64>) -> Vec<u64> {
+    let remounted = arena.remount(FaultInjector::disabled());
+    let (alloc, report) =
+        NvAllocator::recover(remounted, FRAMES).expect("recovery must always succeed");
+
+    // No lost allocations: every Ok-ed frame survived the crash.
+    for &f in owned {
+        assert!(
+            alloc.is_durably_allocated(f),
+            "owned frame {f} lost across recovery (crash {:?})",
+            arena.crash_info()
+        );
+    }
+    // No leaks: nothing beyond the owned set is allocated.
+    let stats = alloc.stats();
+    assert_eq!(
+        stats.allocated_frames,
+        owned.len() as u64,
+        "durable image holds frames nobody owns (crash {:?}, report {report:?})",
+        arena.crash_info()
+    );
+    assert_eq!(report.frames, owned.len() as u64);
+    assert_eq!(alloc.free_count(), FRAMES - owned.len() as u64);
+
+    // No double allocation going forward: the recovered allocator
+    // drains to exactly the remaining capacity without ever handing
+    // out an owned frame.
+    let mut fresh = HashSet::new();
+    loop {
+        match alloc.alloc() {
+            Ok(f) => {
+                assert!(!owned.contains(&f), "frame {f} double-allocated after recovery");
+                assert!(fresh.insert(f), "frame {f} handed out twice while draining");
+            }
+            Err(AllocError::OutOfMemory) => break,
+            Err(e) => panic!("drain: unexpected {e}"),
+        }
+    }
+    assert_eq!(fresh.len() as u64, FRAMES - owned.len() as u64, "lost frames");
+
+    let mut all: Vec<u64> = owned.iter().copied().collect();
+    all.sort_unstable();
+    all
+}
+
+#[test]
+fn every_injection_point_under_every_thread_count() {
+    for (p, point) in INJECTION_POINTS.iter().enumerate() {
+        for threads in 1..=8 {
+            let plan = FaultPlan::parse(&format!("panic@{point}*1")).unwrap();
+            chaos_case(&plan, threads, 0xA110C + (p as u64) << 8 | threads as u64);
+        }
+    }
+}
+
+#[test]
+fn every_torn_point_under_every_thread_count() {
+    for (p, point) in TORN_POINTS.iter().enumerate() {
+        for threads in 1..=8 {
+            let plan = FaultPlan::parse(&format!("torn@{point}*1")).unwrap();
+            chaos_case(&plan, threads, 0x70A4 + (p as u64) << 8 | threads as u64);
+        }
+    }
+}
+
+#[test]
+fn seeded_random_crash_mixes() {
+    let sites: Vec<String> = INJECTION_POINTS.iter().map(|s| s.to_string()).collect();
+    for seed in 0..16u64 {
+        let plan = FaultPlan::seeded_alloc(seed, &sites, 2, 1);
+        let threads = (seed % 8) as usize + 1;
+        chaos_case(&plan, threads, seed.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    }
+}
+
+#[test]
+fn crash_free_runs_still_satisfy_the_invariants() {
+    for threads in 1..=8 {
+        chaos_case(&FaultPlan::none(), threads, 0xC1EA_0000 + threads as u64);
+    }
+}
+
+#[test]
+fn single_thread_runs_are_deterministic() {
+    // The one-shot fires at the first range op's journal write, so
+    // the single-frame churn before it survives into `owned`.
+    let plan = FaultPlan::parse("panic@alloc.journal.write*1").unwrap();
+    let a = chaos_case(&plan, 1, 42);
+    assert!(!a.is_empty(), "workload must own frames at the crash");
+    let b = chaos_case(&plan, 1, 42);
+    assert_eq!(a, b, "same seed, same plan, same surviving frames");
+    let c = chaos_case(&plan, 1, 43);
+    // Different seed: overwhelmingly likely to own different frames.
+    assert_ne!(a, c, "seed must steer the workload");
+}
+
+#[test]
+fn recovery_cost_grows_with_region_size() {
+    let mut last_words = 0;
+    for frames in [512u64, 2048, 8192, 32768] {
+        let arena = Arena::new(words_for(frames), FaultInjector::disabled());
+        let alloc = NvAllocator::format(arena.clone(), frames).unwrap();
+        for _ in 0..frames.min(64) {
+            alloc.alloc().unwrap();
+        }
+        let (_, report) =
+            NvAllocator::recover(arena.remount(FaultInjector::disabled()), frames).unwrap();
+        assert!(
+            report.words_scanned > last_words,
+            "recovery scan must grow with the region"
+        );
+        last_words = report.words_scanned;
+        // The deterministic time estimate is latency-linear: a PCRAM
+        // region (20 ns reads) recovers half as fast as STT-RAM (10).
+        assert_eq!(report.est_ns(20.0), 2.0 * report.est_ns(10.0));
+    }
+}

@@ -36,5 +36,10 @@ fn main() {
     }
     println!("paper shape: +20% latency (MRAM) negligible; 2x (STTRAM) < 5% loss; 10x (PCRAM) up to 25% loss");
     args.dump(&reports);
-    args.dump_store(|| nv_scavenger::dataset_store::fig12_tables(&reports));
+    // The run's event bus (--events PATH, a no-op otherwise): the store
+    // merge below publishes into it, so every experiment binary emits a
+    // complete event stream, not just run_all.
+    let bus = or_die(args.events_bus(), "events bus");
+    args.dump_store_observed(&bus, || nv_scavenger::dataset_store::fig12_tables(&reports));
+    bus.flush();
 }

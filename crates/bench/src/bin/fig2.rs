@@ -33,5 +33,10 @@ fn main() {
         rep.refs_ratio_gt50 * 100.0
     );
     args.dump(&rep);
-    args.dump_store(|| nv_scavenger::dataset_store::fig2_tables(&rep));
+    // The run's event bus (--events PATH, a no-op otherwise): the store
+    // merge below publishes into it, so every experiment binary emits a
+    // complete event stream, not just run_all.
+    let bus = or_die(args.events_bus(), "events bus");
+    args.dump_store_observed(&bus, || nv_scavenger::dataset_store::fig2_tables(&rep));
+    bus.flush();
 }

@@ -62,5 +62,10 @@ fn main() {
     println!("paper: Nek5000 read-only 59MB (7.1%), ratio>50 38.6MB; CAM read-only 94MB (15.5%), ratio>50 4.8MB;");
     println!("       most objects have ratio > 1 except in GTC");
     args.dump(&reports);
-    args.dump_store(|| nv_scavenger::dataset_store::figs3_6_tables(&reports));
+    // The run's event bus (--events PATH, a no-op otherwise): the store
+    // merge below publishes into it, so every experiment binary emits a
+    // complete event stream, not just run_all.
+    let bus = or_die(args.events_bus(), "events bus");
+    args.dump_store_observed(&bus, || nv_scavenger::dataset_store::figs3_6_tables(&reports));
+    bus.flush();
 }

@@ -34,5 +34,10 @@ fn main() {
     println!("\npaper: Nek5000 ~200MB (24.3%) unused in main loop; CAM ~70MB (11.5%); S3D 7.1MB;");
     println!("       GTC omitted (objects evenly touched or short-term heap)");
     args.dump(&reports);
-    args.dump_store(|| nv_scavenger::dataset_store::fig7_tables(&reports));
+    // The run's event bus (--events PATH, a no-op otherwise): the store
+    // merge below publishes into it, so every experiment binary emits a
+    // complete event stream, not just run_all.
+    let bus = or_die(args.events_bus(), "events bus");
+    args.dump_store_observed(&bus, || nv_scavenger::dataset_store::fig7_tables(&reports));
+    bus.flush();
 }

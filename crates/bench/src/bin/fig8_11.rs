@@ -41,5 +41,10 @@ fn main() {
         );
     }
     args.dump(&reports);
-    args.dump_store(|| nv_scavenger::dataset_store::figs8_11_tables(&reports));
+    // The run's event bus (--events PATH, a no-op otherwise): the store
+    // merge below publishes into it, so every experiment binary emits a
+    // complete event stream, not just run_all.
+    let bus = or_die(args.events_bus(), "events bus");
+    args.dump_store_observed(&bus, || nv_scavenger::dataset_store::figs8_11_tables(&reports));
+    bus.flush();
 }

@@ -32,7 +32,7 @@ value flags accept both spellings: --where app=CAM and '--where=app=CAM'\n\
   --profile       query DIR/profile.nvstore instead of DIR/dataset.nvstore\n\
   --tables        list every table with row count and schema\n\
   --report SECTION  dump one section byte-identically to its binary's --json:\n\
-\x20                   table1 table5 table6 fig2 figs3_6 fig7 figs8_11 fig12 suitability\n\
+\x20                   table1 table5 table6 fig2 figs3_6 fig7 figs8_11 fig12 suitability alloc\n\
   --where EXPR    row filter, e.g. app=CAM, size_bytes>4096, rw_ratio!=null\n\
   --select COLS   comma-separated projection (default: all columns)\n\
   --agg SPECS     aggregations: count, sum:COL, mean:COL, min:COL, max:COL\n\
@@ -141,6 +141,7 @@ fn main() {
                 "table6" => render(ds::read_table6(&store)),
                 "fig12" => render(ds::read_fig12(&store)),
                 "suitability" => render(ds::read_suitability(&store)),
+                "alloc" => render(ds::read_alloc(&store)),
                 other => die(&format!("unknown report section {other:?}")),
             },
             "serialize report",

@@ -131,6 +131,25 @@ fn main() {
         );
     }
 
+    println!("\n### Allocator (crash-consistent NVRAM backing)");
+    let alloc = or_die(
+        ex::alloc_study_jobs(args.scale, args.iterations, jobs),
+        "alloc",
+    );
+    for r in &alloc.rows {
+        println!(
+            "  {:<10} backed {:>6} of {:>6} frames | frag {:>5.1}% | wear max {:>4} | recovery scans {:>5} words",
+            r.app, r.backed_frames, r.region_frames, r.fragmentation_pct,
+            r.max_word_wear, r.recovery_words_scanned
+        );
+    }
+    for r in &alloc.recovery {
+        println!(
+            "  recover {:>7} frames: {:>7} words  DDR3 {:>8.1} us  PCRAM {:>8.1} us",
+            r.region_frames, r.words_scanned, r.est_us[0], r.est_us[1]
+        );
+    }
+
     // The full columnar store: every section's tables, in the print
     // order above (the same order `merge_into_dataset` from the
     // individual binaries would build up). The fleet merges shards in
@@ -150,6 +169,7 @@ fn main() {
         tables.extend(ds::table6_tables(&t6));
         tables.extend(ds::fig12_tables(&f12));
         tables.extend(ds::suitability_tables(&suit));
+        tables.extend(ds::alloc_tables(&alloc));
         tables
     });
 

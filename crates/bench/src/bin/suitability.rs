@@ -29,5 +29,10 @@ fn main() {
         );
     }
     args.dump(&rows);
-    args.dump_store(|| nv_scavenger::dataset_store::suitability_tables(&rows));
+    // The run's event bus (--events PATH, a no-op otherwise): the store
+    // merge below publishes into it, so every experiment binary emits a
+    // complete event stream, not just run_all.
+    let bus = or_die(args.events_bus(), "events bus");
+    args.dump_store_observed(&bus, || nv_scavenger::dataset_store::suitability_tables(&rows));
+    bus.flush();
 }

@@ -21,14 +21,15 @@
 //! `fig2_summary` (Figure 2), `objects` + `objects_summary`
 //! (Figures 3–6), `usage` + `usage_summary` (Figure 7),
 //! `variance_buckets` + `variance` + `variance_summary` (Figures 8–11),
-//! `power` + `power_summary` (Table VI), `latency` (Figure 12), and
-//! `suitability` + `decisions` (§VII). The instrumented-profile path
+//! `power` + `power_summary` (Table VI), `latency` (Figure 12),
+//! `suitability` + `decisions` (§VII), and `alloc` + `alloc_recovery`
+//! (the crash-consistent allocator study). The instrumented-profile path
 //! writes a separate `profile.nvstore` with `epochs` + `epoch_counters`
 //! via [`epochs_to_store`].
 
 use crate::experiments::{
-    AppObjectsReport, EvalDataset, Fig12Report, Fig2Report, Fig7Report, SuitabilityRow,
-    Table1Row, Table5Row, Table6Row, VarianceReport,
+    AllocRecoveryRow, AllocReport, AllocRow, AppObjectsReport, EvalDataset, Fig12Report,
+    Fig2Report, Fig7Report, SuitabilityRow, Table1Row, Table5Row, Table6Row, VarianceReport,
 };
 use nvsim_cpu::{CpuResult, LatencyPoint};
 use nvsim_objects::report::{ObjectSummary, UsageDistribution, VarianceHistogram};
@@ -501,6 +502,72 @@ pub fn suitability_tables(rows: &[SuitabilityRow]) -> Vec<Table> {
     vec![suitability.build(), decisions.build()]
 }
 
+/// The allocator study as the `alloc` + `alloc_recovery` tables:
+/// per-application wear/fragmentation/recovery rows plus the recovery
+/// ladder in long format, one row per region-size × technology estimate
+/// ([`POWER_TECHNOLOGIES`] order within each size).
+pub fn alloc_tables(report: &AllocReport) -> Vec<Table> {
+    let mut alloc = TableBuilder::new(
+        "alloc",
+        &[
+            ("app", strs()),
+            ("region_frames", u64s()),
+            ("backed_frames", u64s()),
+            ("free_frames", u64s()),
+            ("fragmentation_pct", f64s()),
+            ("largest_free_run", u64s()),
+            ("free_runs", u64s()),
+            ("persists", u64s()),
+            ("max_word_wear", u64s()),
+            ("mean_word_wear", f64s()),
+            ("checkpoints", u64s()),
+            ("checkpoint_peak_frames", u64s()),
+            ("recovery_words_scanned", u64s()),
+            ("recovered_frames", u64s()),
+        ],
+    );
+    for r in &report.rows {
+        alloc.push(&[
+            Value::Str(r.app.clone()),
+            Value::U64(r.region_frames),
+            Value::U64(r.backed_frames),
+            Value::U64(r.free_frames),
+            Value::F64(r.fragmentation_pct),
+            Value::U64(r.largest_free_run),
+            Value::U64(r.free_runs),
+            Value::U64(r.persists),
+            Value::U64(r.max_word_wear),
+            Value::F64(r.mean_word_wear),
+            Value::U64(r.checkpoints),
+            Value::U64(r.checkpoint_peak_frames),
+            Value::U64(r.recovery_words_scanned),
+            Value::U64(r.recovered_frames),
+        ]);
+    }
+    let mut recovery = TableBuilder::new(
+        "alloc_recovery",
+        &[
+            ("region_frames", u64s()),
+            ("allocated_frames", u64s()),
+            ("words_scanned", u64s()),
+            ("technology", strs()),
+            ("est_us", f64s()),
+        ],
+    );
+    for r in &report.recovery {
+        for (i, technology) in POWER_TECHNOLOGIES.iter().enumerate() {
+            recovery.push(&[
+                Value::U64(r.region_frames),
+                Value::U64(r.allocated_frames),
+                Value::U64(r.words_scanned),
+                Value::Str(technology.to_string()),
+                Value::F64(r.est_us[i]),
+            ]);
+        }
+    }
+    vec![alloc.build(), recovery.build()]
+}
+
 /// Flattens a full dataset into its store tables, in `run_all` section
 /// order. Infallible: every dataset value has a column home.
 pub fn dataset_to_store(ds: &EvalDataset) -> Store {
@@ -516,6 +583,7 @@ pub fn dataset_to_store(ds: &EvalDataset) -> Store {
         table6_tables(&ds.table6),
         fig12_tables(&ds.fig12),
         suitability_tables(&ds.suitability),
+        alloc_tables(&ds.alloc),
     ];
     for table in sections.into_iter().flatten() {
         store.upsert(table);
@@ -946,9 +1014,64 @@ pub fn read_suitability(store: &Store) -> Result<Vec<SuitabilityRow>, NvsimError
     Ok(suitability)
 }
 
+/// Reads the allocator study (`alloc` + `alloc_recovery`).
+///
+/// # Errors
+/// See [`read_table1`]; additionally [`NvsimError::InvalidConfig`] when
+/// the recovery ladder's row count is not a whole number of
+/// per-technology groups.
+pub fn read_alloc(store: &Store) -> Result<AllocReport, NvsimError> {
+    let al = Cols::open(store, "alloc")?;
+    let rows = (0..al.rows())
+        .map(|row| {
+            Ok(AllocRow {
+                app: al.str("app")?[row].clone(),
+                region_frames: al.u64("region_frames")?[row],
+                backed_frames: al.u64("backed_frames")?[row],
+                free_frames: al.u64("free_frames")?[row],
+                fragmentation_pct: al.f64("fragmentation_pct")?[row],
+                largest_free_run: al.u64("largest_free_run")?[row],
+                free_runs: al.u64("free_runs")?[row],
+                persists: al.u64("persists")?[row],
+                max_word_wear: al.u64("max_word_wear")?[row],
+                mean_word_wear: al.f64("mean_word_wear")?[row],
+                checkpoints: al.u64("checkpoints")?[row],
+                checkpoint_peak_frames: al.u64("checkpoint_peak_frames")?[row],
+                recovery_words_scanned: al.u64("recovery_words_scanned")?[row],
+                recovered_frames: al.u64("recovered_frames")?[row],
+            })
+        })
+        .collect::<Result<Vec<_>, NvsimError>>()?;
+    let rc = Cols::open(store, "alloc_recovery")?;
+    let region = rc.u64("region_frames")?;
+    let allocated = rc.u64("allocated_frames")?;
+    let words = rc.u64("words_scanned")?;
+    let est = rc.f64("est_us")?;
+    let group = POWER_TECHNOLOGIES.len();
+    if rc.rows() % group != 0 {
+        return Err(NvsimError::InvalidConfig(format!(
+            "alloc_recovery table: {} rows, expected a multiple of {group}",
+            rc.rows()
+        )));
+    }
+    let recovery = (0..rc.rows())
+        .step_by(group)
+        .map(|base| AllocRecoveryRow {
+            region_frames: region[base],
+            allocated_frames: allocated[base],
+            words_scanned: words[base],
+            est_us: est[base..base + group].to_vec(),
+        })
+        .collect();
+    Ok(AllocReport { rows, recovery })
+}
+
 /// Rebuilds the full dataset from its store tables by composing the
 /// per-section readers. Needs every section present; partial stores are
-/// served section-by-section via the `read_*` functions instead.
+/// served section-by-section via the `read_*` functions instead. The
+/// one exception is the allocator section: stores written before it
+/// existed lack its tables, and read back with a default-empty
+/// [`AllocReport`] instead of an error.
 ///
 /// # Errors
 /// [`NvsimError::NotFound`] for a missing table or column,
@@ -971,6 +1094,11 @@ pub fn dataset_from_store(store: &Store) -> Result<EvalDataset, NvsimError> {
         table6: read_table6(store)?,
         fig12: read_fig12(store)?,
         suitability: read_suitability(store)?,
+        alloc: if store.table("alloc").is_some() {
+            read_alloc(store)?
+        } else {
+            AllocReport::default()
+        },
     })
 }
 
@@ -1142,12 +1270,16 @@ mod tests {
             "latency",
             "suitability",
             "decisions",
+            "alloc",
+            "alloc_recovery",
         ] {
             assert!(store.table(table).is_some(), "missing table {table}");
         }
         assert_eq!(store.table("footprint").unwrap().rows, 4);
         assert_eq!(store.table("power").unwrap().rows, 16);
         assert_eq!(store.table("latency").unwrap().rows, 8);
+        assert_eq!(store.table("alloc").unwrap().rows, 4);
+        assert_eq!(store.table("alloc_recovery").unwrap().rows, 16);
         for table in ["stack_objects", "objects"] {
             assert_eq!(
                 store.table(table).unwrap().column_names(),
@@ -1184,6 +1316,7 @@ mod tests {
         merge_into_dataset(&dir, table6_tables(&ds.table6)).unwrap();
         merge_into_dataset(&dir, fig12_tables(&ds.fig12)).unwrap();
         merge_into_dataset(&dir, suitability_tables(&ds.suitability)).unwrap();
+        merge_into_dataset(&dir, alloc_tables(&ds.alloc)).unwrap();
 
         // ...equals run_all's one-shot write, byte for byte.
         let merged = std::fs::read(dir.join(DATASET_FILE)).unwrap();

@@ -22,10 +22,17 @@ use nvsim_objects::report::{
     object_summaries, region_report, ObjectSummary, UsageDistribution, VarianceHistogram,
     VarianceMetric,
 };
+use nvsim_alloc::{words_for, Arena, NvAllocator, MAX_RANGE};
+use nvsim_faults::FaultInjector;
 use nvsim_obs::{Metrics, Timeline};
-use nvsim_placement::{classify, PlacementPolicy, SuitabilityReport};
+use nvsim_placement::{
+    classify, CheckpointArea, MigrationConfig, MigrationSimulator, PlacementPolicy,
+    SuitabilityReport,
+};
 use nvsim_trace::{replay_trace, TraceWriter, Tracer};
-use nvsim_types::{CacheConfig, MemTransaction, MemoryTechnology, NvsimError, Region};
+use nvsim_types::{
+    CacheConfig, DeviceProfile, MemTransaction, MemoryTechnology, NvsimError, Region,
+};
 use serde::{Deserialize, Serialize};
 
 /// Number of main-loop iterations the paper instruments (§VII).
@@ -589,6 +596,182 @@ pub fn granularity(scale: AppScale, iterations: u32) -> Result<Vec<GranularityRo
         .collect()
 }
 
+// -------------------------------------------------------- Allocator study
+
+/// One per-application row of the allocator study: the §VII-C migration's
+/// NVRAM residency backed by real frames from the crash-consistent
+/// allocator, followed by a double-buffered checkpoint cycle, then a
+/// remount that rebuilds all volatile state from the persistent
+/// bitfields. Wear and fragmentation describe the region *after* the
+/// checkpoint churn; the recovery columns price the §I restart path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocRow {
+    /// Application name.
+    pub app: String,
+    /// Region size in 4 KiB frames ([`crate::profile::alloc_region_frames`]).
+    pub region_frames: u64,
+    /// Frames backing NVRAM-resident objects when the migration settled.
+    pub backed_frames: u64,
+    /// Frames free after the checkpoint cycle released its live image.
+    pub free_frames: u64,
+    /// External fragmentation, percent (`AllocStats::fragmentation_pct`).
+    pub fragmentation_pct: f64,
+    /// Longest contiguous free run, frames.
+    pub largest_free_run: u64,
+    /// Number of maximal free runs.
+    pub free_runs: u64,
+    /// Total persistent words written over the region's lifetime.
+    pub persists: u64,
+    /// Highest persist count on any single word (wear hot spot).
+    pub max_word_wear: u64,
+    /// Mean persist count per word.
+    pub mean_word_wear: f64,
+    /// Checkpoint images committed by the double-buffer cycle.
+    pub checkpoints: u64,
+    /// Peak frames the checkpoint area held (old + new image).
+    pub checkpoint_peak_frames: u64,
+    /// Persistent words scanned by the post-run remount recovery.
+    pub recovery_words_scanned: u64,
+    /// Frames the recovery found durably allocated — must equal
+    /// `backed_frames` (the checkpoint area released its image first).
+    pub recovered_frames: u64,
+}
+
+/// One recovery-scaling row: the cost of rebuilding the allocator's
+/// volatile state from scratch, as a function of region size. The scan
+/// is a pure sequential read of header + journal + bitfields, so the
+/// per-technology estimate is `words_scanned ×` the Table IV read
+/// latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocRecoveryRow {
+    /// Region size, 4 KiB frames.
+    pub region_frames: u64,
+    /// Frames allocated when the region was remounted (half the region).
+    pub allocated_frames: u64,
+    /// Persistent words the recovery scan read.
+    pub words_scanned: u64,
+    /// Estimated recovery time, microseconds, in `[DDR3, PCRAM, STTRAM,
+    /// MRAM]` order ([`MemoryTechnology::ALL`]).
+    pub est_us: Vec<f64>,
+}
+
+/// The allocator section of the evaluation dataset: per-application
+/// wear/fragmentation/recovery rows plus the app-independent
+/// recovery-time-versus-region-size ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AllocReport {
+    /// Per-application rows, Table I order.
+    pub rows: Vec<AllocRow>,
+    /// Recovery scaling ladder, ascending region size.
+    pub recovery: Vec<AllocRecoveryRow>,
+}
+
+/// Region sizes for the recovery ladder, 4 KiB frames: 16 MiB, 64 MiB,
+/// 256 MiB and 1 GiB of simulated NVRAM.
+const RECOVERY_LADDER: [u64; 4] = [4096, 16384, 65536, 262144];
+
+/// Runs the allocator study over all apps plus the recovery ladder.
+pub fn alloc_study(scale: AppScale, iterations: u32) -> Result<AllocReport, NvsimError> {
+    alloc_study_jobs(scale, iterations, 1)
+}
+
+/// [`alloc_study`] on at most `jobs` fleet workers. The ladder is
+/// deterministic and app-independent, so it runs once, serially.
+pub fn alloc_study_jobs(
+    scale: AppScale,
+    iterations: u32,
+    jobs: usize,
+) -> Result<AllocReport, NvsimError> {
+    let rows = run_per_app(scale, jobs, |app, _| {
+        let name = app.spec().name.to_string();
+        let c = characterize(app, iterations)?;
+        let refs: Vec<_> = c
+            .registry
+            .objects()
+            .iter()
+            .filter(|o| o.region != Region::Stack)
+            .map(|o| (&o.metrics, o.metrics.size_bytes))
+            .collect();
+        let (arena, allocator) = crate::profile::fresh_region(c.footprint.total());
+        MigrationSimulator::new(MigrationConfig::default())
+            .with_allocator(&allocator)
+            .run(&refs);
+        let backed = allocator.stats().allocated_frames;
+        // Three double-buffered checkpoints of a quarter footprint. The
+        // region is sized at twice the footprint so the cycle cannot
+        // genuinely run out; an error would only mean a fault injector,
+        // which this study never mounts — stop and report what committed.
+        let mut area = CheckpointArea::new(&allocator);
+        let image_bytes = (c.footprint.total() / 4).max(1);
+        for _ in 0..3 {
+            if area.checkpoint(image_bytes).is_err() {
+                break;
+            }
+        }
+        let checkpoints = area.committed();
+        let checkpoint_peak_frames = area.peak_frames();
+        let _ = area.release();
+        let stats = allocator.stats();
+        let frames = allocator.frames();
+        let (_, report) = NvAllocator::recover(arena.remount(FaultInjector::disabled()), frames)
+            .expect("recovering a fault-free region cannot fail");
+        Ok(AllocRow {
+            app: name,
+            region_frames: frames,
+            backed_frames: backed,
+            free_frames: stats.free_frames,
+            fragmentation_pct: stats.fragmentation_pct,
+            largest_free_run: stats.largest_free_run,
+            free_runs: stats.free_runs,
+            persists: stats.persists,
+            max_word_wear: stats.max_word_wear,
+            mean_word_wear: stats.mean_word_wear,
+            checkpoints,
+            checkpoint_peak_frames,
+            recovery_words_scanned: report.words_scanned,
+            recovered_frames: report.frames,
+        })
+    })?;
+    Ok(AllocReport {
+        rows,
+        recovery: recovery_scaling(),
+    })
+}
+
+/// Builds the recovery ladder: for each [`RECOVERY_LADDER`] size,
+/// format a fresh region, allocate half of it in maximal ranges, then
+/// remount and measure the scan that rebuilds the volatile state.
+/// Purely deterministic — no application, no randomness.
+pub fn recovery_scaling() -> Vec<AllocRecoveryRow> {
+    RECOVERY_LADDER
+        .iter()
+        .map(|&frames| {
+            let arena = Arena::new(words_for(frames), FaultInjector::disabled());
+            let alloc = NvAllocator::format(arena.clone(), frames)
+                .expect("formatting a fault-free region cannot fail");
+            let mut left = frames / 2;
+            while left > 0 {
+                let take = left.min(MAX_RANGE);
+                alloc
+                    .alloc_range(take)
+                    .expect("half-filling a fresh region cannot fail");
+                left -= take;
+            }
+            let (_, report) = NvAllocator::recover(arena.remount(FaultInjector::disabled()), frames)
+                .expect("recovering a fault-free region cannot fail");
+            AllocRecoveryRow {
+                region_frames: frames,
+                allocated_frames: report.frames,
+                words_scanned: report.words_scanned,
+                est_us: MemoryTechnology::ALL
+                    .iter()
+                    .map(|&t| report.est_ns(DeviceProfile::for_technology(t).read_latency_ns) / 1e3)
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
 // -------------------------------------------------------- Evaluation sweep
 
 /// What one whole-evaluation sweep covered — the unit of work
@@ -665,6 +848,11 @@ pub struct EvalDataset {
     pub fig12: Vec<Fig12Report>,
     /// §VII suitability study rows.
     pub suitability: Vec<SuitabilityRow>,
+    /// Crash-consistent allocator study: per-app wear/fragmentation and
+    /// the recovery-time-versus-region-size ladder. Defaults to empty
+    /// when deserializing datasets written before the section existed.
+    #[serde(default)]
+    pub alloc: AllocReport,
 }
 
 /// Runs the whole evaluation on at most `jobs` fleet workers and returns
@@ -691,6 +879,7 @@ pub fn collect_dataset(
         table6: table6_jobs(scale, iterations, jobs)?,
         fig12: fig12_jobs(scale, jobs)?,
         suitability: suitability_jobs(scale, iterations, jobs)?,
+        alloc: alloc_study_jobs(scale, iterations, jobs)?,
     })
 }
 
@@ -748,6 +937,38 @@ mod tests {
         assert!(by_name("Nek5000").untouched_fraction > 0.15);
         assert!(by_name("CAM").untouched_fraction > 0.05);
         assert!(by_name("GTC").untouched_fraction < 0.02);
+    }
+
+    #[test]
+    fn alloc_study_backs_residency_and_prices_recovery() {
+        let r = alloc_study(AppScale::Test, 2).unwrap();
+        assert_eq!(r.rows.len(), 4);
+        for row in &r.rows {
+            // The checkpoint area released its image before the remount,
+            // so recovery must find exactly the migration's residency.
+            assert_eq!(row.recovered_frames, row.backed_frames, "{}", row.app);
+            assert_eq!(row.checkpoints, 3, "{}", row.app);
+            assert!(row.checkpoint_peak_frames > 0, "{}", row.app);
+            assert!(row.persists > 0 && row.max_word_wear > 0, "{}", row.app);
+            assert_eq!(
+                row.backed_frames + row.free_frames,
+                row.region_frames,
+                "{}",
+                row.app
+            );
+        }
+        assert!(r.rows.iter().any(|row| row.backed_frames > 0));
+        // Ladder: scan cost grows with region size; PCRAM reads at twice
+        // DDR3 latency, so its estimate is exactly 2x.
+        assert_eq!(r.recovery.len(), 4);
+        for w in r.recovery.windows(2) {
+            assert!(w[1].words_scanned > w[0].words_scanned);
+            assert!(w[1].est_us[1] > w[0].est_us[1]);
+        }
+        for row in &r.recovery {
+            assert_eq!(row.allocated_frames, row.region_frames / 2);
+            assert!((row.est_us[1] / row.est_us[0] - 2.0).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -504,6 +504,28 @@ fn run_cell_resilient(
     }
 }
 
+/// Drains the policy injector's fired log and publishes one
+/// `fault.injected` event per leftover firing — firings the per-cell
+/// drain in [`run_cell_resilient`] never claims: probes at non-cell
+/// points (e.g. the allocator's `alloc.*` injection sites), or attempts
+/// abandoned by an application-level failure. Every fleet entry point
+/// calls this at teardown so the shared injector's log is empty — not
+/// accumulating — when the run ends, and `--events` streams are
+/// complete no matter which entry point drove the sweep. Call only
+/// after the worker pool has joined: a mid-run drain could steal a
+/// concurrent cell's firing before its own per-cell drain and publish
+/// it with point-level (not cell-level) correlation.
+pub fn publish_fired(policy: &FleetPolicy) {
+    for (point, kind) in policy.faults.take_all_fired() {
+        policy.events.publish(
+            &policy.events.correlation().with_cell(point.as_str()),
+            Event::FaultInjected {
+                kind: kind.label().to_string(),
+            },
+        );
+    }
+}
+
 /// Replays one captured stream into every cell of `cells` on at most
 /// `jobs` workers under a [`FleetPolicy`], returning outcomes in cell
 /// order.
@@ -574,6 +596,10 @@ pub fn replay_cells_policy(
             }
         }
     }
+    // Leftover firings (non-cell probes, abandoned attempts) are
+    // published before the sweep closes, so a caller driving this entry
+    // point directly still gets a complete `--events` stream.
+    publish_fired(policy);
     policy.events.publish(
         &sweep_corr,
         Event::SweepFinished {
@@ -678,12 +704,45 @@ pub fn profile_fleet_app_policy(
         .filter(|o| o.region != Region::Stack)
         .map(|o| (&o.metrics, o.metrics.size_bytes))
         .collect();
+    // Identical allocator wiring to the serial pipeline: NVRAM residency
+    // backed by real frames, then a remount/recover to measure the scan
+    // cost. Same region sizing, same stage position — the serial-vs-fleet
+    // snapshot byte-identity depends on it (the policy injector is
+    // disabled by default, so a clean fleet matches the serial profile;
+    // an armed `alloc.*` fault crashes the region mid-run instead).
+    let frames = crate::profile::alloc_region_frames(characterization.footprint.total());
+    let arena = nvsim_alloc::Arena::new(nvsim_alloc::words_for(frames), policy.faults.clone());
+    let (arena, allocator) = match nvsim_alloc::NvAllocator::format(arena.clone(), frames) {
+        Ok(a) => (arena, a),
+        // Killed at the format seal: remount fault-free and recover the
+        // virgin region (reformats), so the run still has an allocator.
+        Err(_) => {
+            let remounted = arena.remount(nvsim_faults::FaultInjector::disabled());
+            let (a, _) = nvsim_alloc::NvAllocator::recover(remounted.clone(), frames)
+                .expect("recovering a fault-free region cannot fail");
+            (remounted, a)
+        }
+    };
+    let allocator = allocator.with_metrics(metrics);
     let migration = MigrationSimulator::new(MigrationConfig::default())
         .with_metrics(metrics)
         .with_timeline(timeline)
+        .with_allocator(&allocator)
         .run(&refs);
+    let alloc_stats = allocator.stats();
+    let frames = allocator.frames();
+    let (_, alloc_recovery) = nvsim_alloc::NvAllocator::recover(
+        arena.remount(nvsim_faults::FaultInjector::disabled()),
+        frames,
+    )
+    .expect("recovering a fault-free region cannot fail");
+    allocator.note_recovery(&alloc_recovery);
 
     recorder.finish();
+    // The allocator stage runs after the sweep's own drain, so any
+    // `alloc.*` firings it provoked are still in the injector's log —
+    // publish them before this entry point returns.
+    publish_fired(policy);
     let meta = ReportMeta {
         app: app.spec().name.to_string(),
         iterations,
@@ -694,6 +753,8 @@ pub fn profile_fleet_app_policy(
             transactions: captured.transactions(),
             power,
             migration,
+            alloc: alloc_stats,
+            alloc_recovery,
             checkpoints,
             snapshot: metrics.snapshot(),
             epochs: recorder.epochs(),
@@ -819,20 +880,11 @@ pub fn profile_fleet_policy(
             }
         }
     }
-    // Sweep teardown: firings the per-cell drain in run_cell_resilient
-    // never claimed (probes at non-cell points, or attempts abandoned by
-    // an application-level failure) are published here, so the shared
-    // injector's log is empty — not accumulating — when the run ends.
-    // Safe only after the join above: a mid-run drain could steal a
-    // concurrent cell's firings before its own take_fired call.
-    for (point, kind) in policy.faults.take_all_fired() {
-        policy.events.publish(
-            &policy.events.correlation().with_cell(point.as_str()),
-            Event::FaultInjected {
-                kind: kind.label().to_string(),
-            },
-        );
-    }
+    // Sweep teardown: drain and publish whatever the per-cell drains
+    // never claimed. Safe only after the join above: a mid-run drain
+    // could steal a concurrent cell's firings before its own take_fired
+    // call.
+    publish_fired(policy);
     Ok(FleetRun {
         reports,
         degraded,

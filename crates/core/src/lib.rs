@@ -42,15 +42,19 @@ pub mod stack_fast;
 
 pub use dataset_store::{
     dataset_from_store, dataset_to_store, epochs_to_store, merge_into_dataset,
-    merge_into_dataset_observed, read_dataset,
+    merge_into_dataset_observed, read_alloc, read_dataset,
     read_fig12, read_fig2, read_fig7, read_figs3_6, read_figs8_11, read_suitability, read_table1,
     read_table5, read_table6, write_dataset, write_epochs,
 };
-pub use experiments::{collect_dataset, EvalDataset};
+pub use experiments::{
+    alloc_study, alloc_study_jobs, collect_dataset, recovery_scaling, AllocRecoveryRow,
+    AllocReport, AllocRow, EvalDataset,
+};
 pub use fleet::{
     cell_point, current_worker, default_jobs, grid_points, profile_fleet, profile_fleet_app,
-    profile_fleet_app_policy, profile_fleet_policy, replay_cells, replay_cells_policy, run_indexed,
-    AppRun, CapturedStream, CellOutcome, CellSpec, FleetRun, SweepOutcome,
+    profile_fleet_app_policy, profile_fleet_policy, publish_fired, replay_cells,
+    replay_cells_policy, run_indexed, AppRun, CapturedStream, CellOutcome, CellSpec, FleetRun,
+    SweepOutcome,
 };
 pub use parallel::TaskPool;
 pub use resilience::{CellRecord, FleetPolicy, Journal, JournalEvent};
@@ -58,6 +62,7 @@ pub use pipeline::{
     characterize, characterize_observed, characterize_with_metrics, Characterization,
 };
 pub use profile::{
-    object_drift, profile, profile_observed, ProfileReport, DEFAULT_MTBF_S, HOT_REFERENCE_RATE,
+    alloc_region_frames, object_drift, profile, profile_observed, ProfileReport, DEFAULT_MTBF_S,
+    HOT_REFERENCE_RATE,
 };
 pub use stack_fast::{FastStackSink, StackIterationRow, StackReport};

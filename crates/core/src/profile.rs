@@ -17,8 +17,10 @@
 //! [`ProfileReport::run_report`] — a consolidated Markdown/JSON report.
 
 use crate::pipeline::{characterize_observed, Characterization};
+use nvsim_alloc::{words_for, AllocStats, Arena, NvAllocator, RecoveryReport};
 use nvsim_apps::Application;
 use nvsim_cache::{CacheFilterSink, VecTransactionSink};
+use nvsim_faults::FaultInjector;
 use nvsim_mem::system::{MemorySystem, PowerReport};
 use nvsim_obs::{
     Epoch, EpochRecorder, Metrics, ObjectDrift, ReportMeta, RunReport, Snapshot, Timeline,
@@ -41,6 +43,27 @@ pub const HOT_REFERENCE_RATE: f64 = 0.01;
 /// exascale-class full-system figure the §I motivation uses.
 pub const DEFAULT_MTBF_S: f64 = 3600.0;
 
+/// Sizes the simulated NVRAM region backing a run's migration stage:
+/// twice the measured footprint in 4 KiB frames (headroom for the
+/// double-buffered checkpoint discipline), rounded up to a full
+/// bitfield word so the region has no dead tail. Deterministic in the
+/// footprint alone — the serial and fleet profiles must agree on it
+/// byte for byte.
+pub fn alloc_region_frames(footprint_bytes: u64) -> u64 {
+    (nvsim_placement::pages_for(footprint_bytes) * 2).div_ceil(64).max(1) * 64
+}
+
+/// Formats a crash-consistent allocator over a fresh fault-free arena
+/// sized by [`alloc_region_frames`], returning the arena too so the
+/// caller can remount and recover it after the run.
+pub(crate) fn fresh_region(footprint_bytes: u64) -> (Arena, NvAllocator) {
+    let frames = alloc_region_frames(footprint_bytes);
+    let arena = Arena::new(words_for(frames), FaultInjector::disabled());
+    let alloc = NvAllocator::format(arena.clone(), frames)
+        .expect("formatting a fault-free region cannot fail");
+    (arena, alloc)
+}
+
 /// Everything one instrumented pipeline run produces.
 pub struct ProfileReport {
     /// The characterization (registry, stack report, tracer counters).
@@ -51,6 +74,15 @@ pub struct ProfileReport {
     pub power: Vec<PowerReport>,
     /// Migration outcome over the run's global+heap objects.
     pub migration: MigrationStats,
+    /// Occupancy/wear/fragmentation of the crash-consistent NVRAM
+    /// allocator after it backed the migration's NVRAM residency with
+    /// real frames (region sized by [`alloc_region_frames`]).
+    pub alloc: AllocStats,
+    /// Recovery report from remounting the region after the run: the
+    /// scan cost of rebuilding all volatile allocator state from the
+    /// persistent bitfields ([`RecoveryReport::est_ns`] turns it into a
+    /// per-technology time estimate).
+    pub alloc_recovery: RecoveryReport,
     /// Young-model checkpoint plans for the measured footprint
     /// (PFS / local SSD / NVRAM DIMM at [`DEFAULT_MTBF_S`]).
     pub checkpoints: Vec<CheckpointPlan>,
@@ -191,10 +223,23 @@ pub fn profile_observed(
         .filter(|o| o.region != Region::Stack)
         .map(|o| (&o.metrics, o.metrics.size_bytes))
         .collect();
+    // NVRAM residency is backed by real frames from the crash-consistent
+    // allocator; its wear/fragmentation then describes this run.
+    let (arena, allocator) = fresh_region(characterization.footprint.total());
+    let allocator = allocator.with_metrics(metrics);
     let migration = MigrationSimulator::new(MigrationConfig::default())
         .with_metrics(metrics)
         .with_timeline(timeline)
+        .with_allocator(&allocator)
         .run(&refs);
+    let alloc_stats = allocator.stats();
+
+    // Remount the (never-crashed) region and rebuild all volatile state
+    // from the persistent bitfields — the recovery-cost measurement.
+    let frames = allocator.frames();
+    let (_, alloc_recovery) = NvAllocator::recover(arena.remount(FaultInjector::disabled()), frames)
+        .expect("recovering a fault-free region cannot fail");
+    allocator.note_recovery(&alloc_recovery);
 
     // Seal the epoch partition *before* the final snapshot so the Tail
     // epoch absorbs everything since PostProcess and the sum invariant
@@ -209,6 +254,8 @@ pub fn profile_observed(
         transactions: txns.len() as u64,
         power,
         migration,
+        alloc: alloc_stats,
+        alloc_recovery,
         checkpoints,
         snapshot: metrics.snapshot(),
         epochs: recorder.epochs(),

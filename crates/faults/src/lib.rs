@@ -3,17 +3,22 @@
 //! A [`FaultPlan`] is a list of faults to fire at *named injection
 //! points* — the fleet names each grid cell `"{app}/{technology}"`
 //! (e.g. `GTC/pcram`) and asks its [`FaultInjector`] at well-defined
-//! moments whether a fault is armed there. Four kinds exist:
+//! moments whether a fault is armed there. Five kinds exist:
 //!
 //! - **panic** — the worker panics mid-cell (caught by the fleet and
-//!   converted to [`NvsimError::WorkerFailed`]),
+//!   converted to [`NvsimError::WorkerFailed`]); at allocator sites the
+//!   same kind models a hard crash between a store and its flush
+//!   (probed via [`FaultInjector::crashes`], no unwinding),
 //! - **delay** — the cell sleeps briefly before running (exercises
 //!   stragglers without changing results),
 //! - **corrupt** — the cell replays a bit-flipped copy of the encoded
 //!   transaction trace (caught by the tracefile CRC frames as
 //!   [`NvsimError::Corrupt`]),
 //! - **transient** — the cell sees a retryable
-//!   [`NvsimError::Transient`] device error.
+//!   [`NvsimError::Transient`] device error,
+//! - **torn** — a multi-word persistent update is torn: only a prefix
+//!   of the words reaches durable media before the crash (probed via
+//!   [`FaultInjector::torn_prefix`] by the `nvsim-alloc` arena).
 //!
 //! Plans are deterministic by construction: [`FaultPlan::seeded`] draws
 //! from a hand-rolled SplitMix64 generator, so the same seed over the
@@ -59,6 +64,9 @@ pub enum FaultKind {
     CorruptTrace,
     /// Raise a retryable transient device error.
     Transient,
+    /// Tear a multi-word persistent update: only a prefix of the words
+    /// becomes durable before the simulated crash.
+    Torn,
 }
 
 impl FaultKind {
@@ -69,6 +77,7 @@ impl FaultKind {
             FaultKind::Delay => "delay",
             FaultKind::CorruptTrace => "corrupt",
             FaultKind::Transient => "transient",
+            FaultKind::Torn => "torn",
         }
     }
 
@@ -78,6 +87,7 @@ impl FaultKind {
             "delay" => Some(FaultKind::Delay),
             "corrupt" => Some(FaultKind::CorruptTrace),
             "transient" => Some(FaultKind::Transient),
+            "torn" => Some(FaultKind::Torn),
             _ => None,
         }
     }
@@ -155,7 +165,7 @@ impl FaultPlan {
                 .ok_or_else(|| bad(format!("fault spec `{item}` is not kind@point")))?;
             let kind = FaultKind::parse(kind_s.trim()).ok_or_else(|| {
                 bad(format!(
-                    "unknown fault kind `{}` (expected panic, delay, corrupt or transient)",
+                    "unknown fault kind `{}` (expected panic, delay, corrupt, transient or torn)",
                     kind_s.trim()
                 ))
             })?;
@@ -215,6 +225,39 @@ impl FaultPlan {
         for _ in 0..transients {
             match picks.next() {
                 Some(p) => plan.push(FaultKind::Transient, p, 1),
+                None => break,
+            }
+        }
+        plan
+    }
+
+    /// Builds a seeded plan over allocator injection *sites* (the
+    /// `alloc.*` points probed by the `nvsim-alloc` arena): `crashes`
+    /// one-shot crash faults ([`FaultKind::Panic`] consumed by
+    /// [`FaultInjector::crashes`], no unwinding) and `torns` one-shot
+    /// torn-write faults, each at a *distinct* site chosen by the same
+    /// SplitMix64 shuffle as [`FaultPlan::seeded`]. Allocator faults
+    /// are one-shot by construction — a crash site fires once, then
+    /// recovery must succeed with the injector quiescent. Same seed and
+    /// site list ⇒ same plan; counts clamp to the sites available.
+    pub fn seeded_alloc(seed: u64, sites: &[String], crashes: usize, torns: usize) -> Self {
+        let mut rng = SplitMix64(seed);
+        let mut order: Vec<usize> = (0..sites.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = (rng.next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut picks = order.into_iter().map(|i| sites[i].clone());
+        let mut plan = FaultPlan::none();
+        for _ in 0..crashes {
+            match picks.next() {
+                Some(p) => plan.push(FaultKind::Panic, p, 1),
+                None => break,
+            }
+        }
+        for _ in 0..torns {
+            match picks.next() {
+                Some(p) => plan.push(FaultKind::Torn, p, 1),
                 None => break,
             }
         }
@@ -368,6 +411,32 @@ impl FaultInjector {
         Ok(())
     }
 
+    /// Consumes a crash fault ([`FaultKind::Panic`]) armed at `point`,
+    /// returning `true` when the caller should simulate a hard stop
+    /// there — persistent state keeps only what was already flushed,
+    /// volatile state is discarded. Unlike
+    /// [`FaultInjector::on_cell_start`] this never unwinds: the
+    /// `nvsim-alloc` arena models the crash as a return value so the
+    /// recovery path can run in the same process.
+    pub fn crashes(&self, point: &str) -> bool {
+        self.consume(point, FaultKind::Panic)
+    }
+
+    /// Consumes a torn-write fault armed at `point` for a persistent
+    /// update of `words` machine words. Returns `Some(prefix)` — the
+    /// number of *leading* words that reach durable media (always
+    /// strictly fewer than `words`, `words / 2` by the fixed
+    /// deterministic rule) — or `None` when no torn fault is armed or
+    /// the update is empty. A torn firing implies the crash that
+    /// exposed it, so callers treat `Some` as "persist the prefix,
+    /// then stop".
+    pub fn torn_prefix(&self, point: &str, words: usize) -> Option<usize> {
+        if words == 0 || !self.consume(point, FaultKind::Torn) {
+            return None;
+        }
+        Some(words / 2)
+    }
+
     /// If a trace corruption is armed at `point`, consumes it and
     /// returns a copy of `data` with one bit flipped in the middle;
     /// otherwise `None` (the caller keeps the pristine buffer).
@@ -429,6 +498,65 @@ mod tests {
         assert_eq!(plan.specs()[2].times, 1);
         let reparsed = FaultPlan::parse(&plan.to_spec_string()).unwrap();
         assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn torn_specs_round_trip_and_probe_deterministically() {
+        let plan = FaultPlan::parse("torn@alloc.bitfield.set*1; torn@alloc.counter.persist").unwrap();
+        assert_eq!(plan.specs()[0].kind, FaultKind::Torn);
+        assert_eq!(plan.specs()[0].times, 1);
+        assert_eq!(plan.specs()[1].times, ALWAYS);
+        assert_eq!(
+            plan.to_spec_string(),
+            "torn@alloc.bitfield.set*1; torn@alloc.counter.persist"
+        );
+        assert_eq!(plan, FaultPlan::parse(&plan.to_spec_string()).unwrap());
+
+        // The prefix rule is fixed: words / 2, strictly less than words.
+        let inj = plan.injector();
+        assert_eq!(inj.torn_prefix("alloc.bitfield.set", 8), Some(4));
+        assert!(inj.torn_prefix("alloc.bitfield.set", 8).is_none(), "one-shot");
+        assert_eq!(inj.torn_prefix("alloc.counter.persist", 1), Some(0));
+        assert_eq!(inj.torn_prefix("alloc.counter.persist", 5), Some(2));
+        assert!(inj.torn_prefix("alloc.counter.persist", 0).is_none(), "empty update");
+        assert!(inj.torn_prefix("alloc.other", 8).is_none(), "unarmed site");
+        assert!(FaultInjector::disabled().torn_prefix("x", 8).is_none());
+    }
+
+    #[test]
+    fn seeded_alloc_plans_are_deterministic_and_one_shot() {
+        let sites: Vec<String> = ["alloc.bitfield.set", "alloc.bitfield.clear", "alloc.counter.persist", "alloc.meta.seal"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = FaultPlan::seeded_alloc(9, &sites, 2, 1);
+        let b = FaultPlan::seeded_alloc(9, &sites, 2, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.specs().len(), 3);
+        assert!(a.specs().iter().all(|s| s.times == 1), "alloc faults are one-shot");
+        assert_eq!(a.specs().iter().filter(|s| s.kind == FaultKind::Panic).count(), 2);
+        assert_eq!(a.specs().iter().filter(|s| s.kind == FaultKind::Torn).count(), 1);
+        let mut chosen: Vec<&str> = a.specs().iter().map(|s| s.point.as_str()).collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        assert_eq!(chosen.len(), 3, "sites are distinct");
+        assert_ne!(a, FaultPlan::seeded_alloc(10, &sites, 2, 1));
+        // Round-trips through the spec grammar like any other plan.
+        assert_eq!(a, FaultPlan::parse(&a.to_spec_string()).unwrap());
+        // Counts clamp to the available sites.
+        assert_eq!(FaultPlan::seeded_alloc(9, &sites, 10, 10).specs().len(), sites.len());
+    }
+
+    #[test]
+    fn crash_probe_consumes_a_one_shot_panic_without_unwinding() {
+        let plan = FaultPlan::parse("panic@alloc.bitfield.set*1").unwrap();
+        let inj = plan.injector();
+        assert!(inj.crashes("alloc.bitfield.set"));
+        assert!(!inj.crashes("alloc.bitfield.set"), "budget spent");
+        assert!(!inj.crashes("alloc.other"));
+        assert!(!FaultInjector::disabled().crashes("x"));
+        // The firing is logged like every other kind.
+        assert_eq!(inj.take_fired("alloc.bitfield.set"), vec![FaultKind::Panic]);
     }
 
     #[test]

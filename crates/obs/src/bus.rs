@@ -337,6 +337,8 @@ impl Subscribe for MetricsAggregator {
             Event::FaultInjected { .. } => m.counter("fleet.faults.injected").inc(),
             Event::StoreWrite { .. } => m.counter("store.writes").inc(),
             Event::StoreMerge { .. } => m.counter("store.merges").inc(),
+            Event::AllocCrashed { .. } => m.counter("alloc.crashes.observed").inc(),
+            Event::AllocRecovered { .. } => m.counter("alloc.recoveries.observed").inc(),
             Event::QueryExecuted { .. } => {}
         }
     }

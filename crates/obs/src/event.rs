@@ -207,6 +207,24 @@ pub enum Event {
         /// Entries evicted since the last report.
         n: u64,
     },
+    /// The NVRAM page allocator was killed mid-operation by the fault
+    /// injector (the arena is frozen until recovery).
+    AllocCrashed {
+        /// Injection point that fired (e.g. `alloc.bitfield.set`).
+        site: String,
+        /// Whether only a prefix of a multi-word update was persisted.
+        torn: bool,
+    },
+    /// The NVRAM page allocator rebuilt its volatile state from the
+    /// persistent bitfields after a crash (or on a clean remount).
+    AllocRecovered {
+        /// Frames durably allocated after recovery.
+        frames: u64,
+        /// Frames rolled back from interrupted journalled operations.
+        rolled_back: u64,
+        /// Persistent words scanned to rebuild the volatile state.
+        words_scanned: u64,
+    },
 }
 
 /// Every kind string [`Event::kind`] can produce, in declaration order.
@@ -231,6 +249,8 @@ pub const KINDS: &[&str] = &[
     "cache.miss",
     "cache.inserted",
     "cache.evicted",
+    "alloc.crashed",
+    "alloc.recovered",
 ];
 
 impl Event {
@@ -255,6 +275,8 @@ impl Event {
             Event::CacheMiss => "cache.miss",
             Event::CacheInserted => "cache.inserted",
             Event::CacheEvicted { .. } => "cache.evicted",
+            Event::AllocCrashed { .. } => "alloc.crashed",
+            Event::AllocRecovered { .. } => "alloc.recovered",
         }
     }
 
@@ -330,6 +352,21 @@ impl Event {
             }
             Event::CacheEvicted { n } => {
                 let _ = write!(out, ", \"n\": {n}");
+            }
+            Event::AllocCrashed { site, torn } => {
+                str_field(out, "site", site);
+                let _ = write!(out, ", \"torn\": {torn}");
+            }
+            Event::AllocRecovered {
+                frames,
+                rolled_back,
+                words_scanned,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"frames\": {frames}, \"rolled_back\": {rolled_back}, \
+                     \"words_scanned\": {words_scanned}"
+                );
             }
             Event::RequestReceived
             | Event::RequestShed
@@ -456,6 +493,15 @@ mod tests {
             Event::CacheMiss,
             Event::CacheInserted,
             Event::CacheEvicted { n: 2 },
+            Event::AllocCrashed {
+                site: "alloc.bitfield.set".into(),
+                torn: false,
+            },
+            Event::AllocRecovered {
+                frames: 96,
+                rolled_back: 4,
+                words_scanned: 162,
+            },
         ]
     }
 

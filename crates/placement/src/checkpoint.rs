@@ -13,6 +13,8 @@
 //! efficiency is the useful fraction of wall time after checkpoint
 //! overhead and expected rework.
 
+use crate::migration::pages_for;
+use nvsim_alloc::{AllocError, NvAllocator, MAX_RANGE};
 use serde::{Deserialize, Serialize};
 
 /// A checkpoint destination.
@@ -136,6 +138,140 @@ pub fn compare_targets_traced(
     plans
 }
 
+/// A double-buffered checkpoint region in simulated NVRAM, backed by
+/// real frames from a crash-consistent [`NvAllocator`].
+///
+/// §I's "checkpointing … brought under the control of hardware" needs a
+/// persistent region to land images in; this models its allocation
+/// discipline. Each [`CheckpointArea::checkpoint`] allocates frames for
+/// the *new* image first and only then releases the previous image, so
+/// a crash at any instant leaves at least one complete image allocated —
+/// the classic double-buffer invariant. The transient high-water mark
+/// (`peak_frames`) is therefore about twice the image size, which is the
+/// capacity a hybrid-memory planner must reserve for the checkpoint
+/// region.
+///
+/// Every allocation goes through the allocator's journalled range path,
+/// so a fault-injected crash (`nvsim-faults`) mid-checkpoint rolls the
+/// half-written image back at recovery: frames are never lost and never
+/// double-allocated, and the area reports itself poisoned.
+pub struct CheckpointArea {
+    alloc: NvAllocator,
+    /// Chunks (`start`, frame count) of the committed image.
+    live: Vec<(u64, u64)>,
+    committed: u64,
+    peak_frames: u64,
+    poisoned: bool,
+}
+
+impl CheckpointArea {
+    /// Creates an area drawing frames from `alloc`.
+    pub fn new(alloc: &NvAllocator) -> Self {
+        CheckpointArea {
+            alloc: alloc.clone(),
+            live: Vec::new(),
+            committed: 0,
+            peak_frames: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Allocates contiguous chunks totalling `frames`, halving the chunk
+    /// size under fragmentation. On failure the partial image is freed
+    /// before the error is returned.
+    fn alloc_image(&mut self, frames: u64) -> Result<Vec<(u64, u64)>, AllocError> {
+        let mut chunks = Vec::new();
+        let mut remaining = frames;
+        let mut chunk = remaining.min(MAX_RANGE);
+        while remaining > 0 {
+            match self.alloc.alloc_range(chunk.min(remaining)) {
+                Ok(start) => {
+                    let got = chunk.min(remaining);
+                    chunks.push((start, got));
+                    remaining -= got;
+                }
+                Err(AllocError::OutOfMemory) if chunk > 1 => chunk /= 2,
+                Err(e) => {
+                    // Roll the partial image back; if the region crashed
+                    // the frees fail too, but recovery undoes the
+                    // journalled allocations anyway.
+                    for (s, l) in chunks {
+                        let _ = self.alloc.free_range(s, l);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(chunks)
+    }
+
+    /// Takes a checkpoint of `bytes`: allocates the new image, commits
+    /// it, then frees the previous one. Returns the new image's frame
+    /// count. `Err(OutOfMemory)` leaves the previous image intact;
+    /// `Err(Crashed)` poisons the area (the allocator is gone until the
+    /// region is remounted and recovered).
+    pub fn checkpoint(&mut self, bytes: u64) -> Result<u64, AllocError> {
+        if self.poisoned {
+            return Err(AllocError::Corrupt {
+                what: "checkpoint area poisoned by an earlier crash".into(),
+            });
+        }
+        let frames = pages_for(bytes);
+        let new = match self.alloc_image(frames) {
+            Ok(c) => c,
+            Err(e) => {
+                if matches!(e, AllocError::Crashed { .. }) {
+                    self.poisoned = true;
+                }
+                return Err(e);
+            }
+        };
+        // Both images are momentarily live: the double-buffer peak.
+        self.peak_frames = self.peak_frames.max(self.live_frames() + frames);
+        let old = std::mem::replace(&mut self.live, new);
+        for (s, l) in old {
+            if let Err(e) = self.alloc.free_range(s, l) {
+                if matches!(e, AllocError::Crashed { .. }) {
+                    self.poisoned = true;
+                }
+                return Err(e);
+            }
+        }
+        self.committed += 1;
+        Ok(frames)
+    }
+
+    /// Checkpoints committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Frames held by the committed image.
+    pub fn live_frames(&self) -> u64 {
+        self.live.iter().map(|(_, l)| l).sum()
+    }
+
+    /// High-water mark of frames held at once (old + new image during
+    /// the double-buffered handover).
+    pub fn peak_frames(&self) -> u64 {
+        self.peak_frames
+    }
+
+    /// True once a crash has been observed; the area refuses further
+    /// checkpoints until the region is recovered.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Releases the committed image (e.g. at clean shutdown).
+    pub fn release(&mut self) -> Result<(), AllocError> {
+        for (s, l) in std::mem::take(&mut self.live) {
+            self.alloc.free_range(s, l)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +319,85 @@ mod tests {
     fn zero_bytes_costs_only_latency() {
         let t = CheckpointTarget::local_ssd();
         assert_eq!(t.checkpoint_time_s(0), t.latency_s);
+    }
+
+    use crate::migration::PAGE_BYTES;
+    use nvsim_faults::{FaultInjector, FaultPlan};
+
+    fn area_allocator(frames: u64, plan: &FaultPlan) -> (nvsim_alloc::Arena, NvAllocator) {
+        let arena = nvsim_alloc::Arena::new(nvsim_alloc::words_for(frames), plan.injector());
+        let alloc = NvAllocator::format(arena.clone(), frames).unwrap();
+        (arena, alloc)
+    }
+
+    #[test]
+    fn double_buffer_keeps_one_image_and_peaks_at_two() {
+        let (_, alloc) = area_allocator(1024, &FaultPlan::none());
+        let mut area = CheckpointArea::new(&alloc);
+        let image = 25 * PAGE_BYTES;
+        assert_eq!(area.checkpoint(image).unwrap(), 25);
+        assert_eq!(area.live_frames(), 25);
+        assert_eq!(area.peak_frames(), 25); // no previous image yet
+        assert_eq!(area.checkpoint(image).unwrap(), 25);
+        assert_eq!(area.live_frames(), 25);
+        assert_eq!(area.peak_frames(), 50); // both images during handover
+        assert_eq!(alloc.stats().allocated_frames, 25);
+        assert_eq!(area.committed(), 2);
+    }
+
+    #[test]
+    fn repeated_checkpoints_do_not_leak_frames() {
+        let (_, alloc) = area_allocator(1024, &FaultPlan::none());
+        let mut area = CheckpointArea::new(&alloc);
+        for _ in 0..10 {
+            area.checkpoint(40 * PAGE_BYTES).unwrap();
+            assert_eq!(alloc.stats().allocated_frames, 40);
+        }
+        area.release().unwrap();
+        assert_eq!(alloc.stats().allocated_frames, 0);
+        assert_eq!(alloc.free_count(), 1024);
+        assert_eq!(area.peak_frames(), 80);
+    }
+
+    #[test]
+    fn oom_rolls_the_partial_image_back_and_keeps_the_old_one() {
+        // 30 frames cannot double-buffer a 20-frame image.
+        let (_, alloc) = area_allocator(30, &FaultPlan::none());
+        let mut area = CheckpointArea::new(&alloc);
+        assert_eq!(area.checkpoint(20 * PAGE_BYTES).unwrap(), 20);
+        let err = area.checkpoint(20 * PAGE_BYTES).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory), "{err}");
+        // The failed attempt freed its partial chunks; the committed
+        // image is untouched and the area stays usable.
+        assert_eq!(area.live_frames(), 20);
+        assert_eq!(alloc.stats().allocated_frames, 20);
+        assert!(!area.is_poisoned());
+        // A smaller image still fits.
+        assert_eq!(area.checkpoint(5 * PAGE_BYTES).unwrap(), 5);
+        assert_eq!(alloc.stats().allocated_frames, 5);
+    }
+
+    #[test]
+    fn crash_mid_checkpoint_poisons_the_area_and_recovery_loses_nothing() {
+        let plan = FaultPlan::parse("panic@alloc.range.apply*1").unwrap();
+        let (arena, alloc) = area_allocator(256, &plan);
+        let mut area = CheckpointArea::new(&alloc);
+        let err = area.checkpoint(32 * PAGE_BYTES).unwrap_err();
+        assert!(matches!(err, AllocError::Crashed { .. }), "{err}");
+        assert!(area.is_poisoned());
+        assert!(matches!(
+            area.checkpoint(PAGE_BYTES).unwrap_err(),
+            AllocError::Corrupt { .. }
+        ));
+        // The interrupted journalled allocation rolls back at recovery:
+        // the region comes back with every frame free.
+        let (recovered, report) = NvAllocator::recover(
+            arena.remount(FaultInjector::disabled()),
+            256,
+        )
+        .unwrap();
+        assert_eq!(report.frames, 0);
+        assert_eq!(recovered.free_count(), 256);
     }
 
     #[test]

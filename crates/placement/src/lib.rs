@@ -54,11 +54,14 @@ pub mod planner;
 pub mod wear;
 
 pub use checkpoint::{
-    compare_targets, compare_targets_traced, young_plan, CheckpointPlan, CheckpointTarget,
+    compare_targets, compare_targets_traced, young_plan, CheckpointArea, CheckpointPlan,
+    CheckpointTarget,
 };
 pub use classifier::{classify, Decision, PlacementPolicy, SuitabilityReport};
 pub use endurance::{lifetime_years, EnduranceReport};
-pub use migration::{MigrationConfig, MigrationSimulator, MigrationStats};
+pub use migration::{
+    pages_for, MigrationConfig, MigrationSimulator, MigrationStats, PAGE_BYTES,
+};
 pub use page::{compare_granularities, GranularityComparison, PageProfiler};
 pub use planner::{plan, HybridPlan};
 pub use wear::{compare_wear, StartGap, WearTracker};

@@ -13,9 +13,19 @@
 //! cost proportional to the object size.
 
 use crate::classifier::PlacementPolicy;
+use nvsim_alloc::{AllocError, NvAllocator, MAX_RANGE};
 use nvsim_obs::{ArgValue, Metrics, Timeline};
 use nvsim_types::ObjectMetrics;
 use serde::{Deserialize, Serialize};
+
+/// Frame size the migration simulator assumes when backing NVRAM-resident
+/// objects with [`nvsim_alloc`] frames.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Frames needed to back `bytes` of object payload.
+pub fn pages_for(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_BYTES).max(1)
+}
 
 /// Migration simulator configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,11 +90,97 @@ impl MigrationStats {
     }
 }
 
+/// Per-object NVRAM frame bookkeeping for a simulator wired to a real
+/// allocator. Purely observational: allocation failures never change a
+/// placement decision, they only show up in the `placement.backing_*`
+/// metrics, so [`MigrationStats`] stays bit-identical with and without
+/// an allocator attached.
+struct Backing<'a> {
+    alloc: &'a NvAllocator,
+    /// Chunks (`start`, `len` in frames) held per input object.
+    held: Vec<Vec<(u64, u64)>>,
+    /// Migrations whose frames could not be (fully) backed.
+    failures: u64,
+    /// True once the allocator reported a crash; all further calls would
+    /// also fail, so we stop asking.
+    dead: bool,
+}
+
+impl<'a> Backing<'a> {
+    fn new(alloc: &'a NvAllocator, objects: usize) -> Self {
+        Backing {
+            alloc,
+            held: vec![Vec::new(); objects],
+            failures: 0,
+            dead: false,
+        }
+    }
+
+    /// Backs an object migrating into NVRAM with `pages_for(bytes)`
+    /// frames, in contiguous chunks of at most [`MAX_RANGE`] frames,
+    /// halving the chunk size under fragmentation. Anything short of a
+    /// full backing counts as one failure.
+    fn back(&mut self, idx: usize, bytes: u64) {
+        if self.dead {
+            return;
+        }
+        let mut remaining = pages_for(bytes);
+        let mut chunk = remaining.min(MAX_RANGE);
+        while remaining > 0 {
+            match self.alloc.alloc_range(chunk.min(remaining)) {
+                Ok(start) => {
+                    let got = chunk.min(remaining);
+                    self.held[idx].push((start, got));
+                    remaining -= got;
+                }
+                Err(AllocError::OutOfMemory) if chunk > 1 => chunk /= 2,
+                Err(AllocError::Crashed { .. }) => {
+                    self.dead = true;
+                    self.failures += 1;
+                    return;
+                }
+                Err(_) => {
+                    self.failures += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Releases an object's frames as it migrates back to DRAM.
+    fn release(&mut self, idx: usize) {
+        if self.dead {
+            return;
+        }
+        for (start, len) in std::mem::take(&mut self.held[idx]) {
+            match self.alloc.free_range(start, len) {
+                Ok(()) => {}
+                Err(AllocError::Crashed { .. }) => {
+                    self.dead = true;
+                    self.failures += 1;
+                    return;
+                }
+                Err(_) => self.failures += 1,
+            }
+        }
+    }
+
+    /// Frames currently held across all objects.
+    fn held_frames(&self) -> u64 {
+        self.held
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|(_, len)| len)
+            .sum()
+    }
+}
+
 /// The migration simulator.
 pub struct MigrationSimulator {
     config: MigrationConfig,
     metrics: Metrics,
     timeline: Timeline,
+    allocator: Option<NvAllocator>,
 }
 
 impl MigrationSimulator {
@@ -94,6 +190,7 @@ impl MigrationSimulator {
             config,
             metrics: Metrics::disabled(),
             timeline: Timeline::disabled(),
+            allocator: None,
         }
     }
 
@@ -112,6 +209,23 @@ impl MigrationSimulator {
     /// category.
     pub fn with_timeline(mut self, timeline: &Timeline) -> Self {
         self.timeline = timeline.clone();
+        self
+    }
+
+    /// Backs NVRAM residency with real frames from a crash-consistent
+    /// [`NvAllocator`]: every migration into NVRAM allocates
+    /// [`pages_for`]`(size)` frames through `alloc_range`, every
+    /// migration back to DRAM frees them. The integration is purely
+    /// observational — allocation failures (out of frames, or a
+    /// fault-injected crash) never change a placement decision and leave
+    /// [`MigrationStats`] bit-identical; they surface only through the
+    /// `placement.backing_failures` counter and the allocator's own
+    /// `alloc.*` metrics. After [`MigrationSimulator::run`] returns, the
+    /// allocator holds exactly the frames of the objects that finished
+    /// in NVRAM, so its occupancy, wear, and fragmentation stats describe
+    /// the migration run.
+    pub fn with_allocator(mut self, allocator: &NvAllocator) -> Self {
+        self.allocator = Some(allocator.clone());
         self
     }
 
@@ -165,6 +279,10 @@ impl MigrationSimulator {
         };
         let mut pending: Vec<(Residence, u32)> =
             vec![(Residence::Dram, 0); objects.len()];
+        let mut backing = self
+            .allocator
+            .as_ref()
+            .map(|a| Backing::new(a, objects.len()));
 
         for epoch in 0..epochs {
             let lo = epoch * self.config.epoch_iterations as usize;
@@ -187,6 +305,12 @@ impl MigrationSimulator {
                     stats.bytes_moved += size;
                     stats.cost_ns += *size as f64 * self.config.cost_ns_per_byte;
                     stats.final_residence[idx] = want;
+                    if let Some(b) = backing.as_mut() {
+                        match want {
+                            Residence::Nvram => b.back(idx, *size),
+                            Residence::Dram => b.release(idx),
+                        }
+                    }
                     if self.timeline.is_enabled() {
                         self.timeline.instant(
                             "migration",
@@ -216,6 +340,21 @@ impl MigrationSimulator {
             }
         }
         self.export_metrics(&stats);
+        if let Some(b) = &backing {
+            if self.metrics.is_enabled() {
+                self.metrics
+                    .counter("placement.backing_failures")
+                    .add(b.failures);
+                self.metrics
+                    .gauge("placement.backed_frames")
+                    .set(b.held_frames() as i64);
+            }
+            if let Some(a) = &self.allocator {
+                if self.metrics.is_enabled() {
+                    a.export_metrics(&self.metrics);
+                }
+            }
+        }
         self.timeline.end_with(
             "migration_sim",
             "placement",
@@ -357,6 +496,96 @@ mod tests {
         });
         let stats = sim.run(&[(&m, 1000)]);
         assert_eq!(stats.cost_ns, 1000.0);
+    }
+
+    fn fresh_allocator(frames: u64) -> NvAllocator {
+        use nvsim_faults::FaultInjector;
+        let arena = nvsim_alloc::Arena::new(nvsim_alloc::words_for(frames), FaultInjector::disabled());
+        NvAllocator::format(arena, frames).unwrap()
+    }
+
+    #[test]
+    fn allocator_occupancy_matches_final_residency() {
+        let friendly = metrics(&[(100, 2); 10]); // finishes in NVRAM
+        let hostile = metrics(&[(10, 10); 10]); // stays in DRAM
+        let objects: &[(&ObjectMetrics, u64)] =
+            &[(&friendly, 10 * PAGE_BYTES + 1), (&hostile, 8 * PAGE_BYTES)];
+
+        let alloc = fresh_allocator(4096);
+        let with = MigrationSimulator::new(MigrationConfig::default())
+            .with_allocator(&alloc)
+            .run(objects);
+        // Only the NVRAM-resident object is backed, rounded up to frames.
+        assert_eq!(
+            alloc.stats().allocated_frames,
+            pages_for(10 * PAGE_BYTES + 1)
+        );
+        assert_eq!(alloc.free_count(), 4096 - 11);
+
+        // The integration is observational: stats are bit-identical.
+        let without = MigrationSimulator::new(MigrationConfig::default()).run(objects);
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn frames_are_freed_when_an_object_returns_to_dram() {
+        // Read-mostly first half, write-heavy second half: the object
+        // migrates into NVRAM and back out again.
+        let mut series = vec![(200u64, 2u64); 5];
+        series.extend([(10, 10); 5]);
+        let m = metrics(&series);
+        let alloc = fresh_allocator(1024);
+        let stats = MigrationSimulator::new(MigrationConfig::default())
+            .with_allocator(&alloc)
+            .run(&[(&m, 64 * PAGE_BYTES)]);
+        assert_eq!(stats.migrations, 2);
+        assert_eq!(stats.final_residence[0], Residence::Dram);
+        assert_eq!(alloc.stats().allocated_frames, 0);
+        assert_eq!(alloc.free_count(), 1024);
+    }
+
+    #[test]
+    fn allocator_crash_never_changes_placement_decisions() {
+        use nvsim_faults::FaultPlan;
+        let objects_series = metrics(&[(100, 2); 10]);
+        let objects: &[(&ObjectMetrics, u64)] = &[(&objects_series, 16 * PAGE_BYTES)];
+
+        // The one-shot kills the first range journal write, i.e. the
+        // very first backing allocation.
+        let plan = FaultPlan::parse("panic@alloc.journal.write*1").unwrap();
+        let arena = nvsim_alloc::Arena::new(nvsim_alloc::words_for(1024), plan.injector());
+        let alloc = NvAllocator::format(arena, 1024).unwrap();
+
+        let reg = Metrics::enabled();
+        let with = MigrationSimulator::new(MigrationConfig::default())
+            .with_allocator(&alloc)
+            .with_metrics(&reg)
+            .run(objects);
+        let without = MigrationSimulator::new(MigrationConfig::default()).run(objects);
+        assert_eq!(with, without, "a dead allocator must not steer placement");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("placement.backing_failures"), Some(1));
+        assert_eq!(snap.gauge("placement.backed_frames"), Some(0));
+    }
+
+    #[test]
+    fn backing_survives_fragmentation_by_halving_chunks() {
+        // Fragment the region: allocate every other frame directly, so
+        // no contiguous run longer than 1 exists.
+        let alloc = fresh_allocator(256);
+        let singles: Vec<u64> = (0..256).map(|_| alloc.alloc().unwrap()).collect();
+        for f in singles.iter().filter(|f| **f % 2 == 0) {
+            alloc.free(*f).unwrap();
+        }
+        assert_eq!(alloc.stats().largest_free_run, 1);
+        let m = metrics(&[(100, 2); 10]);
+        let stats = MigrationSimulator::new(MigrationConfig::default())
+            .with_allocator(&alloc)
+            .run(&[(&m, 16 * PAGE_BYTES)]);
+        assert_eq!(stats.final_residence[0], Residence::Nvram);
+        // 128 odd frames were busy before the run; the object added 16
+        // more, found one at a time.
+        assert_eq!(alloc.stats().allocated_frames, 128 + 16);
     }
 
     #[test]

@@ -110,6 +110,88 @@ fn killed_sweep_resumes_to_the_fault_free_result() {
 }
 
 #[test]
+fn kill_during_store_merge_resumes_byte_identically() {
+    use nv_scavenger::dataset_store as ds;
+
+    // Reference: the full evaluation dataset and its one-shot store
+    // encoding — what an uninterrupted `run_all --store` writes.
+    let dataset = nv_scavenger::collect_dataset(SCALE, ITERS, 2).unwrap();
+    let reference = nv_scavenger::dataset_to_store(&dataset).encode();
+
+    // Chaos leg: a journalled sweep completes its cells, then the
+    // process is killed inside `merge_into_dataset_observed` — some
+    // sections merged, the final `atomic_write` interrupted after the
+    // temp file was written but before the rename. On disk that leaves
+    // a partial-but-valid dataset.nvstore plus an orphaned temp file.
+    let dir = scratch("store-merge");
+    let journal_dir = scratch("store-merge-journal");
+    let chaos = FleetPolicy {
+        journal: Some(Journal::open(&journal_dir).unwrap()),
+        ..FleetPolicy::default()
+    };
+    run_fleet(2, &chaos);
+    ds::merge_into_dataset(
+        &dir,
+        vec![ds::meta_table(dataset.scale_divisor, dataset.iterations)],
+    )
+    .unwrap();
+    ds::merge_into_dataset(&dir, ds::table1_tables(&dataset.table1)).unwrap();
+    ds::merge_into_dataset(&dir, ds::table5_tables(&dataset.table5)).unwrap();
+    std::fs::write(
+        dir.join(format!("dataset.nvstore.tmp.{}", std::process::id())),
+        b"half-written store image cut off by the kill",
+    )
+    .unwrap();
+
+    // The kill must not have torn the visible file: the partial store
+    // still loads and serves the sections it holds.
+    let partial = nvsim_store::Store::load(&dir.join(nvsim_store::DATASET_FILE)).unwrap();
+    assert_eq!(
+        nv_scavenger::read_table1(&partial).unwrap(),
+        dataset.table1
+    );
+
+    // Resume leg: rerun with --resume (journalled cells restore instead
+    // of re-simulating) and merge every section from the top. Upserts
+    // are keyed by table name, so re-merging the sections the first run
+    // already wrote is idempotent, and the file converges byte for byte
+    // on the uninterrupted reference.
+    let resume = FleetPolicy {
+        journal: Some(Journal::open(&journal_dir).unwrap()),
+        resume: true,
+        ..FleetPolicy::default()
+    };
+    let (degraded, resumed, _, _) = run_fleet(2, &resume);
+    assert!(degraded.is_empty(), "{degraded:?}");
+    assert_eq!(resumed, grid_points(SCALE).len());
+    ds::merge_into_dataset(
+        &dir,
+        vec![ds::meta_table(dataset.scale_divisor, dataset.iterations)],
+    )
+    .unwrap();
+    ds::merge_into_dataset(&dir, ds::table1_tables(&dataset.table1)).unwrap();
+    ds::merge_into_dataset(&dir, ds::table5_tables(&dataset.table5)).unwrap();
+    ds::merge_into_dataset(&dir, ds::fig2_tables(&dataset.fig2)).unwrap();
+    ds::merge_into_dataset(&dir, ds::figs3_6_tables(&dataset.figs3_6)).unwrap();
+    ds::merge_into_dataset(&dir, ds::fig7_tables(&dataset.fig7)).unwrap();
+    ds::merge_into_dataset(&dir, ds::figs8_11_tables(&dataset.figs8_11)).unwrap();
+    ds::merge_into_dataset(&dir, ds::table6_tables(&dataset.table6)).unwrap();
+    ds::merge_into_dataset(&dir, ds::fig12_tables(&dataset.fig12)).unwrap();
+    ds::merge_into_dataset(&dir, ds::suitability_tables(&dataset.suitability)).unwrap();
+    ds::merge_into_dataset(&dir, ds::alloc_tables(&dataset.alloc)).unwrap();
+
+    let merged = std::fs::read(dir.join(nvsim_store::DATASET_FILE)).unwrap();
+    assert_eq!(
+        merged.as_slice(),
+        reference.as_ref(),
+        "resumed store diverges from the uninterrupted reference"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+#[test]
 fn transient_faults_recover_with_a_retry() {
     let cell = grid_points(SCALE).remove(0);
     let spec = format!("transient@{cell}*1");
