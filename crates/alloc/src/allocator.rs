@@ -4,11 +4,13 @@
 //! bitfield living in the [`Arena`] (1 = allocated); the **upper
 //! level** is a volatile array of per-tree free counters (one tree =
 //! [`TREE_FRAMES`] frames) updated with CAS, plus a global free
-//! counter. Single-frame allocation is lock-free: reserve a slot in a
-//! tree counter, then claim a concrete bit with an atomic
-//! set-and-persist. Nothing volatile is ever persisted — after a crash
-//! the counters are rebuilt by popcounting the bitfields
-//! ([`NvAllocator::recover`]).
+//! counter. Single-frame allocation is lock-free in the modeled
+//! algorithm: reserve a slot in a tree counter, then claim a concrete
+//! bit with an atomic set-and-persist (the simulation serializes each
+//! word's store→flush window with the arena's per-word flush lock so
+//! the media stays coherent with the shadow). Nothing volatile is
+//! ever persisted — after a crash the counters are rebuilt by
+//! popcounting the bitfields ([`NvAllocator::recover`]).
 //!
 //! Multi-frame (contiguous) operations are journalled: an intent
 //! record is sealed into a persistent journal slot before the
@@ -298,17 +300,25 @@ impl NvAllocator {
         Ok(())
     }
 
-    fn header_updates(frames: u64) -> Vec<Update> {
-        let mut updates = vec![
-            Update::new(0, WordOp::Write(MAGIC)),
-            Update::new(1, WordOp::Write(frames)),
-        ];
-        // Durably mark padding bits past the last frame as allocated.
+    /// Durably marks padding bits past the last frame as allocated,
+    /// if the last bitfield word is partial.
+    fn padding_update(frames: u64) -> Option<Update> {
         let tail = frames % FRAMES_PER_WORD;
-        if tail != 0 {
-            let last = BITFIELD_BASE + (frames / FRAMES_PER_WORD) as usize;
-            updates.push(Update::new(last, WordOp::Set(!((1u64 << tail) - 1))));
+        if tail == 0 {
+            return None;
         }
+        let last = BITFIELD_BASE + (frames / FRAMES_PER_WORD) as usize;
+        Some(Update::new(last, WordOp::Set(!((1u64 << tail) - 1))))
+    }
+
+    /// The magic goes *last*: commits persist (and tear) in order, so
+    /// a durable magic proves the frame count and padding mask made it
+    /// too. That lets `recover` treat magic-without-matching-frames as
+    /// caller error rather than a torn format.
+    fn header_updates(frames: u64) -> Vec<Update> {
+        let mut updates = vec![Update::new(1, WordOp::Write(frames))];
+        updates.extend(Self::padding_update(frames));
+        updates.push(Update::new(0, WordOp::Write(MAGIC)));
         updates
     }
 
@@ -330,9 +340,11 @@ impl NvAllocator {
     /// Rebuilds an allocator from the durable image alone: replays the
     /// journal (rolling interrupted intents back), scrubs torn slots,
     /// re-asserts the padding mask, and popcounts the bitfields into
-    /// fresh volatile counters. If the header never persisted, the
-    /// region is re-formatted. Recovery itself is idempotent and is
-    /// modeled as crash-free.
+    /// fresh volatile counters. If the magic never persisted, the
+    /// region is re-formatted; a durable header recording a
+    /// *different* frame count is a caller-side mismatch and is
+    /// refused as [`AllocError::Corrupt`] instead of wiped. Recovery
+    /// itself is idempotent and is modeled as crash-free.
     pub fn recover(arena: Arena, frames: u64) -> Result<(Self, RecoveryReport), AllocError> {
         Self::validate_geometry(&arena, frames)?;
         let mut report = RecoveryReport {
@@ -340,7 +352,7 @@ impl NvAllocator {
             ..RecoveryReport::default()
         };
 
-        if arena.durable(0) != MAGIC || arena.durable(1) != frames {
+        if arena.durable(0) != MAGIC {
             // Torn or missing format: no frame was ever handed out, so
             // rebuilding an empty region is the lossless repair. Scrub
             // everything a partial format might have left behind.
@@ -350,11 +362,25 @@ impl NvAllocator {
             wipe.extend(Self::header_updates(frames));
             arena.apply_durable(&wipe);
             report.reformatted = true;
+        } else if arena.durable(1) != frames {
+            // An intact magic means the whole header persisted (it is
+            // the last word of the format commit), so this is a valid
+            // image for a *different* region size — a caller-side
+            // mismatch the geometry check cannot catch whenever two
+            // frame counts share a word count. Destroying the image
+            // would lose every frame it records; refuse instead.
+            return Err(AllocError::Corrupt {
+                what: format!(
+                    "durable header records {} frames, recover asked for {frames}",
+                    arena.durable(1)
+                ),
+            });
         } else {
             // Defensive: the padding mask rides the same commit as the
             // header, but re-asserting it is free and idempotent.
-            let tail = Self::header_updates(frames).split_off(2);
-            arena.apply_durable(&tail);
+            if let Some(pad) = Self::padding_update(frames) {
+                arena.apply_durable(&[pad]);
+            }
         }
 
         // Journal replay. A descriptor is one word, so it persists
@@ -1191,6 +1217,40 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 96);
+    }
+
+    #[test]
+    fn recover_with_mismatched_frame_count_refuses_instead_of_wiping() {
+        // words_for(100) == words_for(128): geometry alone cannot tell
+        // the two regions apart, but the durable header can.
+        assert_eq!(words_for(100), words_for(128));
+        let a = fresh(100);
+        let f = a.alloc().unwrap();
+        let remounted = a.arena().remount(FaultInjector::disabled());
+        match NvAllocator::recover(remounted.clone(), 128) {
+            Err(AllocError::Corrupt { .. }) => {}
+            Err(e) => panic!("expected Corrupt, got {e}"),
+            Ok(_) => panic!("mismatched recover must not succeed"),
+        }
+        // The image survived the refusal: recovery with the recorded
+        // frame count still finds the allocation.
+        let (b, report) = NvAllocator::recover(remounted, 100).unwrap();
+        assert!(!report.reformatted);
+        assert!(b.is_durably_allocated(f));
+        assert_eq!(report.frames, 1);
+    }
+
+    #[test]
+    fn torn_format_never_persists_magic_without_the_frame_count() {
+        // The magic is the last word of the header commit; every torn
+        // prefix is strictly shorter than the commit, so a durable
+        // magic implies a durable frame count.
+        for frames in [96u64, 128] {
+            let plan = FaultPlan::parse("torn@alloc.meta.seal*1").unwrap();
+            let arena = Arena::new(words_for(frames), plan.injector());
+            assert!(NvAllocator::format(arena.clone(), frames).is_err());
+            assert_ne!(arena.durable(0), MAGIC, "magic persisted by a torn format");
+        }
     }
 
     #[test]

@@ -24,9 +24,18 @@
 //! after another thread crashed the arena — that models a store already
 //! accepted by the persistence domain (eADR) — so the rule callers rely
 //! on is: **an operation took durable effect iff it returned `Ok`**.
+//!
+//! Persists are kept coherent with the shadow by a per-word *flush
+//! lock*: every persisting operation holds the lock of each word it
+//! touches from its shadow store through its media persist. Without
+//! it, a multi-word commit's persist could land *after* a later
+//! coherent store from a concurrent single-word op had already
+//! persisted — e.g. a range-free's `Clear` durably erasing a frame
+//! bit a racing `try_set` had just set and flushed — silently
+//! reordering the media against the shadow.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use nvsim_faults::FaultInjector;
 
@@ -74,6 +83,11 @@ struct ArenaInner {
     shadow: Vec<AtomicU64>,
     /// Persistence domain (durable): only flushed stores are here.
     media: Vec<AtomicU64>,
+    /// Per-word flush locks: held across a word's store → persist
+    /// window so the media applies overlapping updates in shadow
+    /// (coherence) order. Multi-word commits take theirs in ascending
+    /// word order, which keeps lock acquisition deadlock-free.
+    flush: Vec<Mutex<()>>,
     /// Persist count per word — the wear proxy reported in stats.
     wear: Vec<AtomicU64>,
     /// Total persisted words over the arena's lifetime (carried over
@@ -101,6 +115,7 @@ impl Arena {
             inner: Arc::new(ArenaInner {
                 shadow: zeroed(words),
                 media: zeroed(words),
+                flush: (0..words).map(|_| Mutex::new(())).collect(),
                 wear: zeroed(words),
                 persists: AtomicU64::new(0),
                 crashed: AtomicBool::new(false),
@@ -220,6 +235,19 @@ impl Arena {
         Ok(())
     }
 
+    /// Flush locks for every word `updates` touches, in ascending
+    /// word order (deduplicated) so concurrent commits cannot
+    /// deadlock against each other or against single-word ops.
+    fn lock_words(&self, updates: &[Update]) -> Vec<MutexGuard<'_, ()>> {
+        let mut words: Vec<usize> = updates.iter().map(|u| u.word).collect();
+        words.sort_unstable();
+        words.dedup();
+        words
+            .into_iter()
+            .map(|w| self.inner.flush[w].lock().unwrap())
+            .collect()
+    }
+
     fn persist_set(&self, word: usize, mask: u64) {
         self.inner.media[word].fetch_or(mask, Ordering::SeqCst);
         self.note_persist(word);
@@ -247,6 +275,7 @@ impl Arena {
         if self.is_crashed() {
             return Err(self.crashed_err());
         }
+        let _flush = self.inner.flush[word].lock().unwrap();
         let prev = self.inner.shadow[word].fetch_or(mask, Ordering::SeqCst);
         if prev & mask != 0 {
             // Lost the race: put back exactly the bits we flipped.
@@ -270,6 +299,7 @@ impl Arena {
         if self.is_crashed() {
             return Err(self.crashed_err());
         }
+        let _flush = self.inner.flush[word].lock().unwrap();
         let prev = self.inner.shadow[word].fetch_and(!mask, Ordering::SeqCst);
         if prev & mask != mask {
             // Some bits were already clear: restore the ones we took.
@@ -319,6 +349,11 @@ impl Arena {
         if self.is_crashed() {
             return Err(self.crashed_err());
         }
+        // Hold every touched word's flush lock for the whole
+        // store → persist window: a concurrent single-word op on one
+        // of these words waits here, so its later coherent store can
+        // never be durably overwritten by this commit's persist.
+        let _flush = self.lock_words(updates);
         for u in updates {
             self.apply_shadow(u);
         }
@@ -343,6 +378,7 @@ impl Arena {
     /// atomic.
     pub fn apply_durable(&self, updates: &[Update]) {
         for u in updates {
+            let _flush = self.inner.flush[u.word].lock().unwrap();
             self.apply_shadow(u);
             self.persist_update(u);
         }
@@ -363,6 +399,7 @@ impl Arena {
             inner: Arc::new(ArenaInner {
                 shadow: copy(&self.inner.media),
                 media: copy(&self.inner.media),
+                flush: (0..words).map(|_| Mutex::new(())).collect(),
                 wear: copy(&self.inner.wear),
                 persists: AtomicU64::new(self.persist_count()),
                 crashed: AtomicBool::new(false),

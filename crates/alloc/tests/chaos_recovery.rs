@@ -217,7 +217,7 @@ fn every_injection_point_under_every_thread_count() {
     for (p, point) in INJECTION_POINTS.iter().enumerate() {
         for threads in 1..=8 {
             let plan = FaultPlan::parse(&format!("panic@{point}*1")).unwrap();
-            chaos_case(&plan, threads, 0xA110C + (p as u64) << 8 | threads as u64);
+            chaos_case(&plan, threads, 0xA110C ^ ((p as u64) << 8) ^ threads as u64);
         }
     }
 }
@@ -227,7 +227,7 @@ fn every_torn_point_under_every_thread_count() {
     for (p, point) in TORN_POINTS.iter().enumerate() {
         for threads in 1..=8 {
             let plan = FaultPlan::parse(&format!("torn@{point}*1")).unwrap();
-            chaos_case(&plan, threads, 0x70A4 + (p as u64) << 8 | threads as u64);
+            chaos_case(&plan, threads, 0x70A4 ^ ((p as u64) << 8) ^ threads as u64);
         }
     }
 }
@@ -247,6 +247,118 @@ fn crash_free_runs_still_satisfy_the_invariants() {
     for threads in 1..=8 {
         chaos_case(&FaultPlan::none(), threads, 0xC1EA_0000 + threads as u64);
     }
+}
+
+#[test]
+fn singles_vs_ranges_persist_in_coherence_order() {
+    // Regression for the persist-order inversion: a range free's
+    // media `Clear` used to be decoupled from its shadow store, so a
+    // concurrent `alloc()` could claim one of the freed frames, set
+    // and flush its bit, and then have it durably erased by the
+    // free's late persist — the frame stayed owned in the shadow but
+    // was handed out again after recovery. A tiny region (two bitfield
+    // words) keeps every worker colliding on the same words, and three
+    // single-frame workers churn hard enough to land inside the
+    // store→persist window of the range worker's commits.
+    const SMALL: u64 = 128;
+    const SINGLE_WORKERS: usize = 3;
+    for round in 0..16u64 {
+        // An armed-but-never-firing plan: every probe goes through the
+        // injector (as crashing runs do) right between a store and its
+        // persist, which lines concurrent workers up on the window.
+        let plan = FaultPlan::parse("panic@no.such.site*1").unwrap();
+        let arena = Arena::new(words_for(SMALL), plan.injector());
+        let alloc = NvAllocator::format(arena.clone(), SMALL).unwrap();
+        let barrier = Arc::new(Barrier::new(1 + SINGLE_WORKERS));
+
+        let ranges = {
+            let a = alloc.clone();
+            let b = Arc::clone(&barrier);
+            thread::spawn(move || {
+                b.wait();
+                let mut rng = Lcg(0xFA11 ^ round);
+                let mut owned: Vec<(u64, u64)> = Vec::new();
+                for _ in 0..4000 {
+                    if owned.len() < 4 {
+                        let len = 8 + rng.below(17);
+                        if let Ok(s) = a.alloc_range(len) {
+                            owned.push((s, len));
+                        }
+                    }
+                    if !owned.is_empty() && rng.below(2) == 0 {
+                        let (s, l) = owned.swap_remove(0);
+                        a.free_range(s, l).expect("crash-free range free");
+                    }
+                }
+                owned
+            })
+        };
+        let singles: Vec<_> = (0..SINGLE_WORKERS as u64)
+            .map(|w| {
+                let a = alloc.clone();
+                let b = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    b.wait();
+                    let mut rng = Lcg(0x51C5 ^ (round << 8) ^ w);
+                    let mut owned: Vec<u64> = Vec::new();
+                    for _ in 0..4000 {
+                        match a.alloc() {
+                            Ok(f) => owned.push(f),
+                            Err(AllocError::OutOfMemory) => {}
+                            Err(e) => panic!("alloc: unexpected {e}"),
+                        }
+                        if owned.len() > 8 {
+                            let i = rng.below(owned.len() as u64) as usize;
+                            a.free(owned.swap_remove(i)).expect("crash-free free");
+                        }
+                    }
+                    owned
+                })
+            })
+            .collect();
+
+        let mut owned = HashSet::new();
+        for (s, l) in ranges.join().expect("range worker panicked") {
+            for f in s..s + l {
+                assert!(owned.insert(f), "frame {f} owned twice via a range");
+            }
+        }
+        for h in singles {
+            for f in h.join().expect("singles worker panicked") {
+                assert!(owned.insert(f), "frame {f} owned by two workers");
+            }
+        }
+        // Every operation returned (no crash fired), so the media must
+        // match the shadow word for word — any difference is a persist
+        // that landed out of coherence order.
+        for w in 0..arena.len() {
+            assert_eq!(
+                arena.durable(w),
+                arena.load(w),
+                "word {w}: media diverged from shadow without a crash"
+            );
+        }
+        verify_small_region(&arena, SMALL, &owned);
+    }
+}
+
+/// `verify_after_recovery` for an arbitrary region size.
+fn verify_small_region(arena: &Arena, frames: u64, owned: &HashSet<u64>) {
+    let remounted = arena.remount(FaultInjector::disabled());
+    let (alloc, report) = NvAllocator::recover(remounted, frames).expect("recovery");
+    for &f in owned {
+        assert!(
+            alloc.is_durably_allocated(f),
+            "owned frame {f} lost across recovery"
+        );
+    }
+    assert_eq!(report.frames, owned.len() as u64, "durable image holds unowned frames");
+    let mut fresh = HashSet::new();
+    while let Ok(f) = alloc.alloc() {
+        assert!(!owned.contains(&f), "frame {f} double-allocated after recovery");
+        assert!(fresh.insert(f), "frame {f} handed out twice while draining");
+    }
+    assert_eq!(fresh.len() as u64, frames - owned.len() as u64, "lost frames");
 }
 
 #[test]
