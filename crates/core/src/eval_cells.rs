@@ -1,0 +1,395 @@
+//! The evaluation cell grid: the whole §VI–VII evaluation decomposed
+//! into independently runnable (section, application) cells.
+//!
+//! [`crate::experiments::collect_dataset`] runs the evaluation as one
+//! pass inside one process. The distributed fleet (`nvsim-dist`) needs
+//! the same work chopped into units a coordinator can lease to workers
+//! on other processes/hosts — and it needs the guarantee that running
+//! the cells *anywhere, in any order* and reassembling them reproduces
+//! `collect_dataset` exactly, so the merged store stays byte-identical
+//! to a serial `run_all`. This module provides that decomposition:
+//!
+//! * [`eval_grid`] — the stable, ordered list of [`EvalCell`]s (36 for
+//!   the full evaluation: nine per-app sections × four apps, Figure 2's
+//!   single CAM cell, Figure 12's two sweep apps, and the
+//!   app-independent recovery ladder);
+//! * [`run_eval_cell`] — runs one cell through the same per-app row
+//!   functions the `*_jobs` fleet uses ([`crate::experiments`]), so
+//!   there is exactly one implementation of each experiment;
+//! * [`assemble_dataset`] — folds a complete set of [`CellResult`]s
+//!   back into an [`EvalDataset`], in grid order, field-for-field equal
+//!   to `collect_dataset` (asserted by the differential test below).
+
+use crate::experiments::{
+    self, AllocRecoveryRow, AllocReport, AllocRow, AppObjectsReport, EvalDataset, Fig12Report,
+    Fig2Report, Fig7Report, SuitabilityRow, Table1Row, Table5Row, Table6Row, VarianceReport,
+};
+use nvsim_apps::{all_apps, AppScale, Application};
+use nvsim_types::NvsimError;
+
+/// Applications of the full per-app sections, Table I order.
+pub const GRID_APPS: [&str; 4] = ["Nek5000", "CAM", "GTC", "S3D"];
+
+/// Applications of the §VII-E latency sweep (Figure 12), sweep order.
+pub const FIG12_APPS: [&str; 2] = ["GTC", "S3D"];
+
+/// One section of the evaluation, in `run_all` print order. The
+/// discriminant order is the merge order: [`assemble_dataset`] folds
+/// cells section by section, so the dataset (and any store written from
+/// it) is independent of which worker finished first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Section {
+    /// Table I: per-task memory footprints.
+    Table1,
+    /// Table V: stack read/write ratios and reference shares.
+    Table5,
+    /// Figure 2: CAM stack objects (single cell).
+    Fig2,
+    /// Figures 3–6: global + heap objects per application.
+    Figs3_6,
+    /// Figure 7: usage across time steps.
+    Fig7,
+    /// Figures 8–11: iteration-to-iteration variance.
+    Figs8_11,
+    /// Table VI: normalized power per technology.
+    Table6,
+    /// Figure 12: latency sensitivity (GTC and S3D only).
+    Fig12,
+    /// §VII suitability study.
+    Suitability,
+    /// Crash-consistent allocator study, per-app rows.
+    Alloc,
+    /// Allocator recovery-scaling ladder (app-independent, single cell).
+    AllocRecovery,
+}
+
+/// Every section, in merge order.
+pub const SECTIONS: [Section; 11] = [
+    Section::Table1,
+    Section::Table5,
+    Section::Fig2,
+    Section::Figs3_6,
+    Section::Fig7,
+    Section::Figs8_11,
+    Section::Table6,
+    Section::Fig12,
+    Section::Suitability,
+    Section::Alloc,
+    Section::AllocRecovery,
+];
+
+impl Section {
+    /// The stable wire key of this section (the prefix of cell names).
+    pub fn key(self) -> &'static str {
+        match self {
+            Section::Table1 => "table1",
+            Section::Table5 => "table5",
+            Section::Fig2 => "fig2",
+            Section::Figs3_6 => "figs3_6",
+            Section::Fig7 => "fig7",
+            Section::Figs8_11 => "figs8_11",
+            Section::Table6 => "table6",
+            Section::Fig12 => "fig12",
+            Section::Suitability => "suitability",
+            Section::Alloc => "alloc",
+            Section::AllocRecovery => "alloc_recovery",
+        }
+    }
+
+    /// The application labels this section fans out over.
+    pub fn apps(self) -> &'static [&'static str] {
+        match self {
+            Section::Fig2 => &["CAM"],
+            Section::Fig12 => &FIG12_APPS,
+            Section::AllocRecovery => &["global"],
+            _ => &GRID_APPS,
+        }
+    }
+}
+
+/// One leasable unit of evaluation work: a section and an index into
+/// [`Section::apps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalCell {
+    /// Which table/figure the cell computes.
+    pub section: Section,
+    /// Index into [`Section::apps`].
+    pub app_index: usize,
+}
+
+impl EvalCell {
+    /// The stable `section/app` wire name (e.g. `table6/GTC`,
+    /// `fig2/CAM`, `alloc_recovery/global`).
+    pub fn name(&self) -> String {
+        format!("{}/{}", self.section.key(), self.app())
+    }
+
+    /// The cell's application label.
+    pub fn app(&self) -> &'static str {
+        self.section.apps()[self.app_index]
+    }
+
+    /// Parses a [`EvalCell::name`] back into a cell. Returns `None` for
+    /// unknown sections, unknown apps, or apps outside the section.
+    pub fn parse(name: &str) -> Option<EvalCell> {
+        let (section_key, app) = name.split_once('/')?;
+        let section = *SECTIONS.iter().find(|s| s.key() == section_key)?;
+        let app_index = section.apps().iter().position(|a| *a == app)?;
+        Some(EvalCell { section, app_index })
+    }
+}
+
+impl std::fmt::Display for EvalCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.section.key(), self.app())
+    }
+}
+
+/// The full evaluation grid, in stable (section, app) order — 36 cells.
+pub fn eval_grid() -> Vec<EvalCell> {
+    let mut cells = Vec::new();
+    for &section in &SECTIONS {
+        for app_index in 0..section.apps().len() {
+            cells.push(EvalCell { section, app_index });
+        }
+    }
+    cells
+}
+
+/// The result of one cell — exactly the rows the section contributes to
+/// the [`EvalDataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResult {
+    /// One Table I row.
+    Table1(Table1Row),
+    /// One Table V row.
+    Table5(Table5Row),
+    /// The Figure 2 report (CAM only).
+    Fig2(Fig2Report),
+    /// One Figures 3–6 report.
+    Figs3_6(AppObjectsReport),
+    /// One Figure 7 report.
+    Fig7(Fig7Report),
+    /// One Figures 8–11 report.
+    Figs8_11(VarianceReport),
+    /// One Table VI row.
+    Table6(Table6Row),
+    /// One Figure 12 report.
+    Fig12(Fig12Report),
+    /// One suitability row.
+    Suitability(SuitabilityRow),
+    /// One allocator-study row.
+    Alloc(AllocRow),
+    /// The recovery-scaling ladder.
+    AllocRecovery(Vec<AllocRecoveryRow>),
+}
+
+impl CellResult {
+    /// The section this result belongs to (must match its cell).
+    pub fn section(&self) -> Section {
+        match self {
+            CellResult::Table1(_) => Section::Table1,
+            CellResult::Table5(_) => Section::Table5,
+            CellResult::Fig2(_) => Section::Fig2,
+            CellResult::Figs3_6(_) => Section::Figs3_6,
+            CellResult::Fig7(_) => Section::Fig7,
+            CellResult::Figs8_11(_) => Section::Figs8_11,
+            CellResult::Table6(_) => Section::Table6,
+            CellResult::Fig12(_) => Section::Fig12,
+            CellResult::Suitability(_) => Section::Suitability,
+            CellResult::Alloc(_) => Section::Alloc,
+            CellResult::AllocRecovery(_) => Section::AllocRecovery,
+        }
+    }
+}
+
+/// Instantiates the cell's application. Per-app sections index
+/// [`all_apps`]; Figure 12 indexes [`experiments::fig12_apps`].
+fn cell_app(cell: EvalCell, scale: AppScale) -> Box<dyn Application> {
+    match cell.section {
+        Section::Fig12 => experiments::fig12_apps(scale).remove(cell.app_index),
+        // Figure 2 is CAM — index 1 of the Table I order.
+        Section::Fig2 => all_apps(scale).remove(1),
+        _ => all_apps(scale).remove(cell.app_index),
+    }
+}
+
+/// Runs one evaluation cell. Every cell goes through the same per-app
+/// row function its `*_jobs` section uses, so a cell run on a remote
+/// worker is value-identical to the same cell inside
+/// [`experiments::collect_dataset`] — the distributed store's
+/// byte-identity guarantee rides on this.
+pub fn run_eval_cell(
+    cell: EvalCell,
+    scale: AppScale,
+    iterations: u32,
+) -> Result<CellResult, NvsimError> {
+    let i = cell.app_index;
+    Ok(match cell.section {
+        Section::Table1 => {
+            CellResult::Table1(experiments::table1_row(cell_app(cell, scale).as_mut(), scale)?)
+        }
+        Section::Table5 => CellResult::Table5(experiments::table5_row(
+            cell_app(cell, scale).as_mut(),
+            i,
+            iterations,
+        )?),
+        Section::Fig2 => CellResult::Fig2(experiments::fig2(scale, iterations)?),
+        Section::Figs3_6 => CellResult::Figs3_6(experiments::figs3_6_row(
+            cell_app(cell, scale).as_mut(),
+            iterations,
+        )?),
+        Section::Fig7 => CellResult::Fig7(experiments::fig7_row(
+            cell_app(cell, scale).as_mut(),
+            iterations,
+        )?),
+        Section::Figs8_11 => CellResult::Figs8_11(experiments::figs8_11_row(
+            cell_app(cell, scale).as_mut(),
+            iterations,
+        )?),
+        Section::Table6 => CellResult::Table6(experiments::table6_row(
+            cell_app(cell, scale).as_mut(),
+            i,
+            iterations,
+            1,
+        )?),
+        Section::Fig12 => CellResult::Fig12(experiments::fig12_row(cell_app(cell, scale).as_mut())?),
+        Section::Suitability => CellResult::Suitability(experiments::suitability_row(
+            cell_app(cell, scale).as_mut(),
+            iterations,
+        )?),
+        Section::Alloc => CellResult::Alloc(experiments::alloc_row(
+            cell_app(cell, scale).as_mut(),
+            iterations,
+        )?),
+        Section::AllocRecovery => CellResult::AllocRecovery(experiments::recovery_scaling()),
+    })
+}
+
+/// Folds a complete result set back into the [`EvalDataset`]
+/// [`experiments::collect_dataset`] would have produced. `results` may
+/// arrive in any order (workers finish when they finish); the fold
+/// walks [`eval_grid`] order, so assembly is deterministic.
+///
+/// # Errors
+/// Returns a message naming the first missing cell, any duplicated
+/// cell, or a result whose section does not match its cell.
+pub fn assemble_dataset(
+    scale: AppScale,
+    iterations: u32,
+    results: &[(EvalCell, CellResult)],
+) -> Result<EvalDataset, String> {
+    let mut ds = EvalDataset {
+        scale_divisor: scale.divisor(),
+        iterations,
+        table1: Vec::new(),
+        table5: Vec::new(),
+        fig2: Fig2Report {
+            objects: Vec::new(),
+            objects_ratio_gt10: 0.0,
+            refs_ratio_gt10: 0.0,
+            objects_ratio_gt50: 0.0,
+            refs_ratio_gt50: 0.0,
+        },
+        figs3_6: Vec::new(),
+        fig7: Vec::new(),
+        figs8_11: Vec::new(),
+        table6: Vec::new(),
+        fig12: Vec::new(),
+        suitability: Vec::new(),
+        alloc: AllocReport::default(),
+    };
+    for cell in eval_grid() {
+        let mut matches = results.iter().filter(|(c, _)| *c == cell);
+        let (_, result) = matches
+            .next()
+            .ok_or_else(|| format!("missing result for cell {cell}"))?;
+        if matches.next().is_some() {
+            return Err(format!("duplicate result for cell {cell}"));
+        }
+        if result.section() != cell.section {
+            return Err(format!(
+                "cell {cell} carries a {:?} result",
+                result.section()
+            ));
+        }
+        match result.clone() {
+            CellResult::Table1(row) => ds.table1.push(row),
+            CellResult::Table5(row) => ds.table5.push(row),
+            CellResult::Fig2(report) => ds.fig2 = report,
+            CellResult::Figs3_6(report) => ds.figs3_6.push(report),
+            CellResult::Fig7(report) => ds.fig7.push(report),
+            CellResult::Figs8_11(report) => ds.figs8_11.push(report),
+            CellResult::Table6(row) => ds.table6.push(row),
+            CellResult::Fig12(report) => ds.fig12.push(report),
+            CellResult::Suitability(row) => ds.suitability.push(row),
+            CellResult::Alloc(row) => ds.alloc.rows.push(row),
+            CellResult::AllocRecovery(ladder) => ds.alloc.recovery = ladder,
+        }
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_grid_is_stable_and_names_round_trip() {
+        let grid = eval_grid();
+        assert_eq!(grid.len(), 36);
+        // 9 per-app sections × 4 + fig2 + fig12 × 2 + recovery ladder.
+        assert_eq!(grid[0].name(), "table1/Nek5000");
+        assert_eq!(grid[8].name(), "fig2/CAM");
+        assert_eq!(grid[35].name(), "alloc_recovery/global");
+        let mut names = std::collections::HashSet::new();
+        for cell in &grid {
+            assert!(names.insert(cell.name()), "duplicate cell {cell}");
+            assert_eq!(EvalCell::parse(&cell.name()), Some(*cell));
+        }
+        assert_eq!(EvalCell::parse("table1/NoSuchApp"), None);
+        assert_eq!(EvalCell::parse("fig2/GTC"), None);
+        assert_eq!(EvalCell::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn assembled_cells_reproduce_collect_dataset() {
+        // THE distributed guarantee: run every cell independently (as
+        // leased workers would), assemble, and compare field-for-field
+        // against the one-pass collector.
+        let scale = AppScale::Test;
+        let results: Vec<(EvalCell, CellResult)> = eval_grid()
+            .into_iter()
+            .map(|cell| (cell, run_eval_cell(cell, scale, 2).unwrap()))
+            .collect();
+        // Assembly order must not depend on completion order.
+        let mut shuffled = results.clone();
+        shuffled.reverse();
+        let assembled = assemble_dataset(scale, 2, &shuffled).unwrap();
+        let collected = experiments::collect_dataset(scale, 2, 1).unwrap();
+        assert_eq!(assembled, collected);
+    }
+
+    #[test]
+    fn assembly_rejects_incomplete_and_mismatched_sets() {
+        let scale = AppScale::Test;
+        let cell = EvalCell::parse("table1/Nek5000").unwrap();
+        let row = run_eval_cell(cell, scale, 1).unwrap();
+        let err = assemble_dataset(scale, 1, &[(cell, row.clone())]).unwrap_err();
+        assert!(err.contains("missing result"), "{err}");
+        // A result filed under the wrong cell is refused, not merged.
+        let wrong = EvalCell::parse("table5/Nek5000").unwrap();
+        let all: Vec<(EvalCell, CellResult)> = eval_grid()
+            .into_iter()
+            .map(|c| {
+                if c == wrong {
+                    (c, row.clone())
+                } else {
+                    (c, run_eval_cell(c, scale, 1).unwrap())
+                }
+            })
+            .collect();
+        let err = assemble_dataset(scale, 1, &all).unwrap_err();
+        assert!(err.contains("table5/Nek5000"), "{err}");
+    }
+}

@@ -90,17 +90,22 @@ pub fn table1(scale: AppScale) -> Result<Vec<Table1Row>, NvsimError> {
 
 /// [`table1`] on at most `jobs` fleet workers.
 pub fn table1_jobs(scale: AppScale, jobs: usize) -> Result<Vec<Table1Row>, NvsimError> {
-    run_per_app(scale, jobs, |app, _| {
-        let spec = app.spec();
-        let c = characterize(app, 1)?;
-        Ok(Table1Row {
-            app: spec.name.to_string(),
-            input: spec.input.to_string(),
-            description: spec.description.to_string(),
-            paper_footprint_mb: spec.paper_footprint_mb,
-            measured_footprint_bytes: c.footprint.total(),
-            scale_divisor: scale.divisor(),
-        })
+    run_per_app(scale, jobs, |app, _| table1_row(app, scale))
+}
+
+/// One Table I row for a single application — the per-cell unit the
+/// distributed fleet ([`crate::eval_cells`]) leases out. [`table1_jobs`]
+/// maps this over the app list, so both paths share one implementation.
+pub fn table1_row(app: &mut dyn Application, scale: AppScale) -> Result<Table1Row, NvsimError> {
+    let spec = app.spec();
+    let c = characterize(app, 1)?;
+    Ok(Table1Row {
+        app: spec.name.to_string(),
+        input: spec.input.to_string(),
+        description: spec.description.to_string(),
+        paper_footprint_mb: spec.paper_footprint_mb,
+        measured_footprint_bytes: c.footprint.total(),
+        scale_divisor: scale.divisor(),
     })
 }
 
@@ -140,17 +145,25 @@ pub fn table5_jobs(
     iterations: u32,
     jobs: usize,
 ) -> Result<Vec<Table5Row>, NvsimError> {
-    run_per_app(scale, jobs, |app, i| {
-        let (name, pr, pf, ps) = TABLE5_PAPER[i];
-        let c = characterize(app, iterations)?;
-        debug_assert_eq!(app.spec().name, name);
-        Ok(Table5Row {
-            app: app.spec().name.to_string(),
-            rw_ratio: c.stack.rw_ratio_steady().unwrap_or(0.0),
-            rw_ratio_first: c.stack.rw_ratio_first().unwrap_or(0.0),
-            reference_percentage: c.stack.stack_reference_share() * 100.0,
-            paper: (pr, pf, ps),
-        })
+    run_per_app(scale, jobs, |app, i| table5_row(app, i, iterations))
+}
+
+/// One Table V row for application index `i` (Table I order; the index
+/// selects the [`TABLE5_PAPER`] comparison values).
+pub fn table5_row(
+    app: &mut dyn Application,
+    i: usize,
+    iterations: u32,
+) -> Result<Table5Row, NvsimError> {
+    let (name, pr, pf, ps) = TABLE5_PAPER[i];
+    let c = characterize(app, iterations)?;
+    debug_assert_eq!(app.spec().name, name);
+    Ok(Table5Row {
+        app: app.spec().name.to_string(),
+        rw_ratio: c.stack.rw_ratio_steady().unwrap_or(0.0),
+        rw_ratio_first: c.stack.rw_ratio_first().unwrap_or(0.0),
+        reference_percentage: c.stack.stack_reference_share() * 100.0,
+        paper: (pr, pf, ps),
     })
 }
 
@@ -228,29 +241,34 @@ pub fn figs3_6_jobs(
     iterations: u32,
     jobs: usize,
 ) -> Result<Vec<AppObjectsReport>, NvsimError> {
-    run_per_app(scale, jobs, |app, _| {
-        let name = app.spec().name.to_string();
-        let c = characterize(app, iterations)?;
-        let mut objects = object_summaries(&c.registry, Region::Global);
-        objects.extend(object_summaries(&c.registry, Region::Heap));
-        objects.sort_by_key(|o| std::cmp::Reverse(o.counts.total()));
-        let g = region_report(&c.registry, Region::Global);
-        let h = region_report(&c.registry, Region::Heap);
-        let touched: Vec<&ObjectSummary> =
-            objects.iter().filter(|o| o.counts.total() > 0).collect();
-        let gt1 = touched
-            .iter()
-            .filter(|o| matches!(o.rw_ratio, Some(r) if r > 1.0))
-            .count() as f64
-            / touched.len().max(1) as f64;
-        Ok(AppObjectsReport {
-            app: name,
-            total_bytes: g.total_bytes + h.total_bytes,
-            read_only_bytes: g.read_only_bytes + h.read_only_bytes,
-            high_ratio_bytes: g.high_ratio_bytes + h.high_ratio_bytes,
-            objects_ratio_gt1: gt1,
-            objects,
-        })
+    run_per_app(scale, jobs, |app, _| figs3_6_row(app, iterations))
+}
+
+/// One Figures 3–6 report for a single application.
+pub fn figs3_6_row(
+    app: &mut dyn Application,
+    iterations: u32,
+) -> Result<AppObjectsReport, NvsimError> {
+    let name = app.spec().name.to_string();
+    let c = characterize(app, iterations)?;
+    let mut objects = object_summaries(&c.registry, Region::Global);
+    objects.extend(object_summaries(&c.registry, Region::Heap));
+    objects.sort_by_key(|o| std::cmp::Reverse(o.counts.total()));
+    let g = region_report(&c.registry, Region::Global);
+    let h = region_report(&c.registry, Region::Heap);
+    let touched: Vec<&ObjectSummary> = objects.iter().filter(|o| o.counts.total() > 0).collect();
+    let gt1 = touched
+        .iter()
+        .filter(|o| matches!(o.rw_ratio, Some(r) if r > 1.0))
+        .count() as f64
+        / touched.len().max(1) as f64;
+    Ok(AppObjectsReport {
+        app: name,
+        total_bytes: g.total_bytes + h.total_bytes,
+        read_only_bytes: g.read_only_bytes + h.read_only_bytes,
+        high_ratio_bytes: g.high_ratio_bytes + h.high_ratio_bytes,
+        objects_ratio_gt1: gt1,
+        objects,
     })
 }
 
@@ -278,17 +296,20 @@ pub fn fig7_jobs(
     iterations: u32,
     jobs: usize,
 ) -> Result<Vec<Fig7Report>, NvsimError> {
-    run_per_app(scale, jobs, |app, _| {
-        let name = app.spec().name.to_string();
-        let c = characterize(app, iterations)?;
-        let distribution = UsageDistribution::from_registry(&c.registry);
-        let untouched_fraction =
-            distribution.untouched_in_main() as f64 / distribution.total().max(1) as f64;
-        Ok(Fig7Report {
-            app: name,
-            distribution,
-            untouched_fraction,
-        })
+    run_per_app(scale, jobs, |app, _| fig7_row(app, iterations))
+}
+
+/// One Figure 7 report for a single application.
+pub fn fig7_row(app: &mut dyn Application, iterations: u32) -> Result<Fig7Report, NvsimError> {
+    let name = app.spec().name.to_string();
+    let c = characterize(app, iterations)?;
+    let distribution = UsageDistribution::from_registry(&c.registry);
+    let untouched_fraction =
+        distribution.untouched_in_main() as f64 / distribution.total().max(1) as f64;
+    Ok(Fig7Report {
+        app: name,
+        distribution,
+        untouched_fraction,
     })
 }
 
@@ -319,26 +340,32 @@ pub fn figs8_11_jobs(
     iterations: u32,
     jobs: usize,
 ) -> Result<Vec<VarianceReport>, NvsimError> {
-    run_per_app(scale, jobs, |app, _| {
-        let name = app.spec().name.to_string();
-        let c = characterize(app, iterations)?;
-        // The paper plots all memory objects; we merge global and heap
-        // histograms by building over each region and averaging
-        // weighted by object count — simpler: build one histogram over
-        // Global (the dominant population) and one over Heap, then
-        // take Global as representative plus report both.
-        let rw = merged_histogram(&c, VarianceMetric::RwRatio, iterations);
-        let rate = merged_histogram(&c, VarianceMetric::RefRate, iterations);
-        let min_stable = (0..iterations as usize)
-            .skip(1) // iteration 0 is the normalization base
-            .map(|i| rw.stable_fraction(i))
-            .fold(1.0f64, f64::min);
-        Ok(VarianceReport {
-            app: name,
-            rw_ratio: rw,
-            ref_rate: rate,
-            min_stable_fraction: min_stable,
-        })
+    run_per_app(scale, jobs, |app, _| figs8_11_row(app, iterations))
+}
+
+/// One Figures 8–11 variance report for a single application.
+pub fn figs8_11_row(
+    app: &mut dyn Application,
+    iterations: u32,
+) -> Result<VarianceReport, NvsimError> {
+    let name = app.spec().name.to_string();
+    let c = characterize(app, iterations)?;
+    // The paper plots all memory objects; we merge global and heap
+    // histograms by building over each region and averaging
+    // weighted by object count — simpler: build one histogram over
+    // Global (the dominant population) and one over Heap, then
+    // take Global as representative plus report both.
+    let rw = merged_histogram(&c, VarianceMetric::RwRatio, iterations);
+    let rate = merged_histogram(&c, VarianceMetric::RefRate, iterations);
+    let min_stable = (0..iterations as usize)
+        .skip(1) // iteration 0 is the normalization base
+        .map(|i| rw.stable_fraction(i))
+        .fold(1.0f64, f64::min);
+    Ok(VarianceReport {
+        app: name,
+        rw_ratio: rw,
+        ref_rate: rate,
+        min_stable_fraction: min_stable,
     })
 }
 
@@ -426,27 +453,38 @@ pub fn table6_jobs(
     iterations: u32,
     jobs: usize,
 ) -> Result<Vec<Table6Row>, NvsimError> {
-    run_per_app(scale, jobs, |app, i| {
-        let (name, paper) = TABLE6_PAPER[i];
-        debug_assert_eq!(app.spec().name, name);
-        let name = app.spec().name.to_string();
-        let captured =
-            CapturedStream::capture(app, iterations, &Metrics::disabled(), &Timeline::disabled())?;
-        let outcomes = replay_cells(
-            &captured,
-            &CellSpec::grid(),
-            jobs,
-            &Metrics::disabled(),
-            &Timeline::disabled(),
-        );
-        let dram = outcomes[0].power.total_mw();
-        let normalized: Vec<f64> = outcomes.iter().map(|o| o.power.total_mw() / dram).collect();
-        Ok(Table6Row {
-            app: name,
-            normalized: [normalized[0], normalized[1], normalized[2], normalized[3]],
-            paper,
-            transactions: captured.transactions(),
-        })
+    run_per_app(scale, jobs, |app, i| table6_row(app, i, iterations, jobs))
+}
+
+/// One Table VI row for application index `i` (Table I order; the index
+/// selects the [`TABLE6_PAPER`] comparison values). `jobs` bounds the
+/// inner technology-replay fan-out and cannot affect the row values —
+/// [`replay_cells`] merges in stable cell order.
+pub fn table6_row(
+    app: &mut dyn Application,
+    i: usize,
+    iterations: u32,
+    jobs: usize,
+) -> Result<Table6Row, NvsimError> {
+    let (name, paper) = TABLE6_PAPER[i];
+    debug_assert_eq!(app.spec().name, name);
+    let name = app.spec().name.to_string();
+    let captured =
+        CapturedStream::capture(app, iterations, &Metrics::disabled(), &Timeline::disabled())?;
+    let outcomes = replay_cells(
+        &captured,
+        &CellSpec::grid(),
+        jobs,
+        &Metrics::disabled(),
+        &Timeline::disabled(),
+    );
+    let dram = outcomes[0].power.total_mw();
+    let normalized: Vec<f64> = outcomes.iter().map(|o| o.power.total_mw() / dram).collect();
+    Ok(Table6Row {
+        app: name,
+        normalized: [normalized[0], normalized[1], normalized[2], normalized[3]],
+        paper,
+        transactions: captured.transactions(),
     })
 }
 
@@ -477,36 +515,44 @@ pub fn fig12(scale: AppScale) -> Result<Vec<Fig12Report>, NvsimError> {
 /// recorded stream drives the core model with exactly the reference
 /// sequence a live rerun would.
 pub fn fig12_jobs(scale: AppScale, jobs: usize) -> Result<Vec<Fig12Report>, NvsimError> {
-    fn sweep_apps(scale: AppScale) -> Vec<Box<dyn Application>> {
-        vec![
-            Box::new(nvsim_apps::Gtc::new(scale)),
-            Box::new(nvsim_apps::S3d::new(scale)),
-        ]
-    }
-    let n = sweep_apps(scale).len();
+    let n = fig12_apps(scale).len();
     run_indexed(jobs, n, |i| {
-        let mut app = sweep_apps(scale).remove(i);
-        let name = app.spec().name.to_string();
-        // Scavenge once: record the trace of one main-loop iteration
-        // (§VII-E times exactly one iteration).
-        let mut writer = TraceWriter::new();
-        {
-            let mut tracer = Tracer::new(&mut writer);
-            app.run(&mut tracer, 1)?;
-            tracer.finish();
-        }
-        let encoded = writer.into_bytes();
-        let base = CoreParams::default();
-        let points = nvsim_cpu::sweep_technologies(&base, |params| {
-            let mut sink = CpuSink::for_iterations(params, 0, 1);
-            replay_trace(encoded.clone(), &mut sink, 4096)
-                .expect("replaying a just-recorded trace");
-            sink.result().expect("cpu sink finished")
-        });
-        Ok(Fig12Report { app: name, points })
+        let mut app = fig12_apps(scale).remove(i);
+        fig12_row(app.as_mut())
     })
     .into_iter()
     .collect()
+}
+
+/// The two §VII-E latency-sweep applications (GTC and S3D), in sweep
+/// order — the app list [`fig12_jobs`] and the distributed fleet's
+/// `fig12/*` cells index into.
+pub fn fig12_apps(scale: AppScale) -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(nvsim_apps::Gtc::new(scale)),
+        Box::new(nvsim_apps::S3d::new(scale)),
+    ]
+}
+
+/// One Figure 12 latency-sensitivity report for a single application.
+pub fn fig12_row(app: &mut dyn Application) -> Result<Fig12Report, NvsimError> {
+    let name = app.spec().name.to_string();
+    // Scavenge once: record the trace of one main-loop iteration
+    // (§VII-E times exactly one iteration).
+    let mut writer = TraceWriter::new();
+    {
+        let mut tracer = Tracer::new(&mut writer);
+        app.run(&mut tracer, 1)?;
+        tracer.finish();
+    }
+    let encoded = writer.into_bytes();
+    let base = CoreParams::default();
+    let points = nvsim_cpu::sweep_technologies(&base, |params| {
+        let mut sink = CpuSink::for_iterations(params, 0, 1);
+        replay_trace(encoded.clone(), &mut sink, 4096).expect("replaying a just-recorded trace");
+        sink.result().expect("cpu sink finished")
+    });
+    Ok(Fig12Report { app: name, points })
 }
 
 // ------------------------------------------------------------- Suitability
@@ -534,16 +580,22 @@ pub fn suitability_jobs(
     iterations: u32,
     jobs: usize,
 ) -> Result<Vec<SuitabilityRow>, NvsimError> {
-    run_per_app(scale, jobs, |app, _| {
-        let name = app.spec().name.to_string();
-        let c = characterize(app, iterations)?;
-        let mut objects = object_summaries(&c.registry, Region::Global);
-        objects.extend(object_summaries(&c.registry, Region::Heap));
-        Ok(SuitabilityRow {
-            app: name,
-            category2: classify(&objects, &PlacementPolicy::category2()),
-            category1: classify(&objects, &PlacementPolicy::category1()),
-        })
+    run_per_app(scale, jobs, |app, _| suitability_row(app, iterations))
+}
+
+/// One suitability row for a single application.
+pub fn suitability_row(
+    app: &mut dyn Application,
+    iterations: u32,
+) -> Result<SuitabilityRow, NvsimError> {
+    let name = app.spec().name.to_string();
+    let c = characterize(app, iterations)?;
+    let mut objects = object_summaries(&c.registry, Region::Global);
+    objects.extend(object_summaries(&c.registry, Region::Heap));
+    Ok(SuitabilityRow {
+        app: name,
+        category2: classify(&objects, &PlacementPolicy::category2()),
+        category1: classify(&objects, &PlacementPolicy::category1()),
     })
 }
 
@@ -682,59 +734,62 @@ pub fn alloc_study_jobs(
     iterations: u32,
     jobs: usize,
 ) -> Result<AllocReport, NvsimError> {
-    let rows = run_per_app(scale, jobs, |app, _| {
-        let name = app.spec().name.to_string();
-        let c = characterize(app, iterations)?;
-        let refs: Vec<_> = c
-            .registry
-            .objects()
-            .iter()
-            .filter(|o| o.region != Region::Stack)
-            .map(|o| (&o.metrics, o.metrics.size_bytes))
-            .collect();
-        let (arena, allocator) = crate::profile::fresh_region(c.footprint.total());
-        MigrationSimulator::new(MigrationConfig::default())
-            .with_allocator(&allocator)
-            .run(&refs);
-        let backed = allocator.stats().allocated_frames;
-        // Three double-buffered checkpoints of a quarter footprint. The
-        // region is sized at twice the footprint so the cycle cannot
-        // genuinely run out; an error would only mean a fault injector,
-        // which this study never mounts — stop and report what committed.
-        let mut area = CheckpointArea::new(&allocator);
-        let image_bytes = (c.footprint.total() / 4).max(1);
-        for _ in 0..3 {
-            if area.checkpoint(image_bytes).is_err() {
-                break;
-            }
-        }
-        let checkpoints = area.committed();
-        let checkpoint_peak_frames = area.peak_frames();
-        let _ = area.release();
-        let stats = allocator.stats();
-        let frames = allocator.frames();
-        let (_, report) = NvAllocator::recover(arena.remount(FaultInjector::disabled()), frames)
-            .expect("recovering a fault-free region cannot fail");
-        Ok(AllocRow {
-            app: name,
-            region_frames: frames,
-            backed_frames: backed,
-            free_frames: stats.free_frames,
-            fragmentation_pct: stats.fragmentation_pct,
-            largest_free_run: stats.largest_free_run,
-            free_runs: stats.free_runs,
-            persists: stats.persists,
-            max_word_wear: stats.max_word_wear,
-            mean_word_wear: stats.mean_word_wear,
-            checkpoints,
-            checkpoint_peak_frames,
-            recovery_words_scanned: report.words_scanned,
-            recovered_frames: report.frames,
-        })
-    })?;
+    let rows = run_per_app(scale, jobs, |app, _| alloc_row(app, iterations))?;
     Ok(AllocReport {
         rows,
         recovery: recovery_scaling(),
+    })
+}
+
+/// One allocator-study row for a single application.
+pub fn alloc_row(app: &mut dyn Application, iterations: u32) -> Result<AllocRow, NvsimError> {
+    let name = app.spec().name.to_string();
+    let c = characterize(app, iterations)?;
+    let refs: Vec<_> = c
+        .registry
+        .objects()
+        .iter()
+        .filter(|o| o.region != Region::Stack)
+        .map(|o| (&o.metrics, o.metrics.size_bytes))
+        .collect();
+    let (arena, allocator) = crate::profile::fresh_region(c.footprint.total());
+    MigrationSimulator::new(MigrationConfig::default())
+        .with_allocator(&allocator)
+        .run(&refs);
+    let backed = allocator.stats().allocated_frames;
+    // Three double-buffered checkpoints of a quarter footprint. The
+    // region is sized at twice the footprint so the cycle cannot
+    // genuinely run out; an error would only mean a fault injector,
+    // which this study never mounts — stop and report what committed.
+    let mut area = CheckpointArea::new(&allocator);
+    let image_bytes = (c.footprint.total() / 4).max(1);
+    for _ in 0..3 {
+        if area.checkpoint(image_bytes).is_err() {
+            break;
+        }
+    }
+    let checkpoints = area.committed();
+    let checkpoint_peak_frames = area.peak_frames();
+    let _ = area.release();
+    let stats = allocator.stats();
+    let frames = allocator.frames();
+    let (_, report) = NvAllocator::recover(arena.remount(FaultInjector::disabled()), frames)
+        .expect("recovering a fault-free region cannot fail");
+    Ok(AllocRow {
+        app: name,
+        region_frames: frames,
+        backed_frames: backed,
+        free_frames: stats.free_frames,
+        fragmentation_pct: stats.fragmentation_pct,
+        largest_free_run: stats.largest_free_run,
+        free_runs: stats.free_runs,
+        persists: stats.persists,
+        max_word_wear: stats.max_word_wear,
+        mean_word_wear: stats.mean_word_wear,
+        checkpoints,
+        checkpoint_peak_frames,
+        recovery_words_scanned: report.words_scanned,
+        recovered_frames: report.frames,
     })
 }
 

@@ -32,6 +32,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod dataset_store;
+pub mod eval_cells;
 pub mod experiments;
 pub mod fleet;
 pub mod parallel;
@@ -45,6 +46,9 @@ pub use dataset_store::{
     merge_into_dataset_observed, read_alloc, read_dataset,
     read_fig12, read_fig2, read_fig7, read_figs3_6, read_figs8_11, read_suitability, read_table1,
     read_table5, read_table6, write_dataset, write_epochs,
+};
+pub use eval_cells::{
+    assemble_dataset, eval_grid, run_eval_cell, CellResult, EvalCell, Section,
 };
 pub use experiments::{
     alloc_study, alloc_study_jobs, collect_dataset, recovery_scaling, AllocRecoveryRow,

@@ -1,0 +1,173 @@
+//! A minimal std-only HTTP/1.1 client for worker→coordinator RPCs.
+//!
+//! One request per connection (`Connection: close`), explicit
+//! `Content-Length` framing, and read/write timeouts on every socket —
+//! a hung coordinator must never wedge a worker, and vice versa. This
+//! deliberately stays far simpler than the server side's keep-alive
+//! shard loop: worker RPC volume is tiny (a few dozen requests per
+//! sweep), so connection reuse buys nothing worth the state machine.
+//!
+//! [`send_raw_prefix`] is the chaos hook: it writes a request head
+//! advertising the *full* body length, sends only a prefix of the
+//! body, then drops the connection — exactly what a worker dying
+//! mid-upload looks like on the coordinator's wire.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Socket read/write timeout for every RPC.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value matching `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy — only used for JSON/error text).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn connect(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+fn write_head(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    addr: &str,
+    headers: &[(&str, &str)],
+    body_len: usize,
+) -> std::io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {body_len}\r\nConnection: close\r\n\r\n"));
+    stream.write_all(head.as_bytes())
+}
+
+/// Sends one request and reads the full response.
+///
+/// `headers` are extra request headers beyond the `Host`,
+/// `Content-Length` and `Connection: close` this client always sends.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<HttpResponse> {
+    let mut stream = connect(addr)?;
+    write_head(&mut stream, method, path, addr, headers, body.len())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Chaos hook: advertises `body.len()` in `Content-Length`, writes
+/// only the first `prefix` bytes of the body, and drops the
+/// connection. The receiving parser never completes the request, so
+/// the coordinator sees a torn upload — indistinguishable from a
+/// worker killed mid-stream.
+pub fn send_raw_prefix(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    prefix: usize,
+) -> std::io::Result<()> {
+    let mut stream = connect(addr)?;
+    write_head(&mut stream, method, path, addr, headers, body.len())?;
+    stream.write_all(&body[..prefix.min(body.len())])?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Both)
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response missing header terminator")?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| "non-utf8 response head")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or_else(|| format!("bad header {line:?}"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let body = raw[head_end + 4..].to_vec();
+    // Connection: close framing — the body is whatever arrived before
+    // EOF; trust Content-Length when present to trim trailing bytes.
+    let body = match headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        Some(len) if len <= body.len() => body[..len].to_vec(),
+        _ => body,
+    };
+    Ok(HttpResponse { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_parse_status_headers_and_body() {
+        let raw = b"HTTP/1.1 409 Conflict\r\nContent-Type: application/json\r\nContent-Length: 13\r\n\r\n{\"ok\": false}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 409);
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        assert_eq!(r.header("Content-Type"), Some("application/json"));
+        assert_eq!(r.text(), "{\"ok\": false}");
+    }
+
+    #[test]
+    fn truncated_heads_are_rejected() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\n").is_err());
+        assert!(parse_response(b"").is_err());
+    }
+
+    #[test]
+    fn content_length_trims_extra_bytes() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nokEXTRA";
+        assert_eq!(parse_response(raw).unwrap().body, b"ok");
+    }
+}

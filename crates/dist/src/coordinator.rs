@@ -1,0 +1,948 @@
+//! The coordinator: owns the evaluation grid, leases cells to workers,
+//! accepts result shards, and merges them into the dataset store.
+//!
+//! ## Lease lifecycle
+//!
+//! Every cell moves `Pending → Leased → Done`, with two escape hatches:
+//! a lease whose holder stops heartbeating expires (`Leased → Pending`,
+//! publishing `dist.lease.expired`), and a cell that burns through its
+//! retry budget is quarantined so one poisoned cell cannot wedge the
+//! sweep. Expiry is checked lazily at the head of every state-changing
+//! request *and* by [`CoordinatorHandle::wait_complete`], so leases die
+//! on schedule even on an otherwise idle coordinator.
+//!
+//! ## Fencing
+//!
+//! Each grant carries a token from a global monotone counter, and a
+//! shard upload is accepted only while its token is the cell's
+//! *current* lease. A zombie worker — one that stalled past its lease,
+//! lost the cell, and woke up mid-upload — presents a stale token and
+//! gets `409`, counted under `dist.shards.rejected`. This is the
+//! classic fenced-lease design: correctness never depends on a dead
+//! worker staying dead.
+//!
+//! ## Journal and resume
+//!
+//! Accepted shards are journaled to `<journal>/<cell>.shard` (the exact
+//! framed bytes, written via [`nvsim_obs::atomic_write`]) *before* the
+//! cell is marked done. A coordinator killed mid-sweep restarts with
+//! `resume: true`, reloads every frame that passes its CRC, and only
+//! re-runs the cells with no valid journal entry — converging on the
+//! same merged store as an uninterrupted run.
+//!
+//! ## Byte-identity
+//!
+//! [`CoordinatorHandle::finalize`] assembles the shards in stable grid
+//! order through [`nv_scavenger::assemble_dataset`] and writes through
+//! the same `meta table + section tables → merge_into_dataset_observed`
+//! path the serial `run_all --store` uses, so the merged
+//! `dataset.nvstore` is byte-identical to a serial run's.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nv_scavenger::dataset_store as ds;
+use nv_scavenger::eval_cells::{eval_grid, CellResult, EvalCell};
+use nvsim_apps::AppScale;
+use nvsim_obs::{
+    atomic_write, Correlation, Event, EventBus, Metrics, PromKind, PromRegistry,
+};
+use nvsim_serve::http::{Request, Response};
+use nvsim_serve::shard::{self, ShardConfig, ShardHandle};
+use nvsim_types::NvsimError;
+
+use crate::protocol::{
+    self, LeaseGrant, LeaseReply, Progress, FENCING_HEADER, REQUEST_ID_HEADER,
+};
+use crate::wire;
+
+/// Everything a coordinator needs to run one distributed sweep.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Application scale for every cell.
+    pub scale: AppScale,
+    /// Iteration count for every cell.
+    pub iterations: u32,
+    /// Listen address (use port 0 for an OS-assigned port).
+    pub listen: String,
+    /// Directory the merged `dataset.nvstore` is written into.
+    pub store_dir: PathBuf,
+    /// Directory accepted shards are journaled into.
+    pub journal_dir: PathBuf,
+    /// Reload journaled shards before granting any lease.
+    pub resume: bool,
+    /// Milliseconds a lease lives without a heartbeat.
+    pub lease_ms: u64,
+    /// Most cells handed out per lease.
+    pub batch: usize,
+    /// Grant attempts per cell before it is quarantined.
+    pub max_attempts: u32,
+    /// Serving shards (event-loop threads) to run.
+    pub shards: usize,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            scale: AppScale::Test,
+            iterations: 2,
+            listen: "127.0.0.1:0".to_string(),
+            store_dir: PathBuf::from("."),
+            journal_dir: PathBuf::from("dist-journal"),
+            resume: false,
+            lease_ms: 5000,
+            batch: 4,
+            max_attempts: 3,
+            shards: 2,
+        }
+    }
+}
+
+/// Where one cell stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SlotState {
+    /// Waiting for a lease.
+    Pending,
+    /// Leased out under this fencing token.
+    Leased {
+        /// The current lease's fencing token.
+        token: u64,
+    },
+    /// Shard accepted and journaled.
+    Done,
+    /// Retry budget exhausted; excluded from further leasing.
+    Quarantined,
+}
+
+struct CellSlot {
+    cell: EvalCell,
+    state: SlotState,
+    attempts: u32,
+    result: Option<CellResult>,
+}
+
+struct Lease {
+    worker: u64,
+    deadline: Instant,
+}
+
+#[derive(Default)]
+struct Inner {
+    slots: Vec<CellSlot>,
+    /// Active leases by token.
+    leases: HashMap<u64, Lease>,
+    next_token: u64,
+    next_worker: u64,
+}
+
+/// Shared coordinator state: the grid, the leases, the instruments.
+pub struct State {
+    inner: Mutex<Inner>,
+    config: DistConfig,
+    bus: Arc<EventBus>,
+    metrics: Metrics,
+    prom: PromRegistry,
+}
+
+impl State {
+    fn corr(&self, request_id: &str, worker: Option<u64>) -> Correlation {
+        self.bus
+            .correlation()
+            .with_worker(worker)
+            .with_request(request_id)
+    }
+
+    /// Expires every lease past its deadline, re-queuing (or
+    /// quarantining) its unfinished cells.
+    fn expire(&self, now: Instant) {
+        let mut inner = self.inner.lock().expect("coordinator state poisoned");
+        let dead: Vec<u64> = inner
+            .leases
+            .iter()
+            .filter(|(_, l)| l.deadline <= now)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in dead {
+            let lease = inner.leases.remove(&token).expect("token listed");
+            let max_attempts = self.config.max_attempts;
+            let mut lost = 0u64;
+            for slot in &mut inner.slots {
+                if slot.state == (SlotState::Leased { token }) {
+                    lost += 1;
+                    slot.state = if slot.attempts >= max_attempts {
+                        SlotState::Quarantined
+                    } else {
+                        SlotState::Pending
+                    };
+                }
+            }
+            // An empty lease (every cell already uploaded) expires
+            // silently — nothing was lost, nothing to report.
+            if lost > 0 {
+                self.bus.publish(
+                    &self.corr("", Some(lease.worker)),
+                    Event::DistLeaseExpired { cells: lost, token },
+                );
+            }
+        }
+    }
+
+    /// Answers `POST /lease`.
+    fn grant(&self, max_cells: usize, request_id: &str) -> LeaseReply {
+        self.expire(Instant::now());
+        let mut inner = self.inner.lock().expect("coordinator state poisoned");
+        let want = max_cells.min(self.config.batch).max(1);
+        let picked: Vec<usize> = inner
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == SlotState::Pending)
+            .map(|(i, _)| i)
+            .take(want)
+            .collect();
+        if picked.is_empty() {
+            let settled = inner
+                .slots
+                .iter()
+                .filter(|s| matches!(s.state, SlotState::Done | SlotState::Quarantined))
+                .count();
+            return if settled == inner.slots.len() {
+                LeaseReply::Done
+            } else {
+                LeaseReply::Retry {
+                    retry_ms: (self.config.lease_ms / 10).max(25),
+                }
+            };
+        }
+        inner.next_token += 1;
+        let token = inner.next_token;
+        inner.next_worker += 1;
+        let worker = inner.next_worker;
+        let mut cells = Vec::with_capacity(picked.len());
+        for i in picked {
+            inner.slots[i].state = SlotState::Leased { token };
+            inner.slots[i].attempts += 1;
+            cells.push(inner.slots[i].cell.name());
+        }
+        inner.leases.insert(
+            token,
+            Lease {
+                worker,
+                deadline: Instant::now() + Duration::from_millis(self.config.lease_ms),
+            },
+        );
+        drop(inner);
+        self.bus.publish(
+            &self.corr(request_id, Some(worker)),
+            Event::DistLeaseGranted {
+                cells: cells.len() as u64,
+                token,
+            },
+        );
+        LeaseReply::Grant(LeaseGrant {
+            run_id: self.bus.correlation().run_id,
+            scale: self.config.scale,
+            iterations: self.config.iterations,
+            lease_ms: self.config.lease_ms,
+            token,
+            worker,
+            cells,
+        })
+    }
+
+    /// Answers `POST /heartbeat`: extends the lease, or reports it gone.
+    fn heartbeat(&self, token: u64) -> Option<u64> {
+        self.expire(Instant::now());
+        let mut inner = self.inner.lock().expect("coordinator state poisoned");
+        let lease_ms = self.config.lease_ms;
+        inner.leases.get_mut(&token).map(|lease| {
+            lease.deadline = Instant::now() + Duration::from_millis(lease_ms);
+            lease_ms
+        })
+    }
+
+    /// Answers `POST /shards/<cell>`: validates the frame and the
+    /// fencing token, journals the shard, marks the cell done.
+    fn accept_shard(&self, path_cell: &str, token: u64, body: &[u8], request_id: &str) -> Response {
+        let reject = |reason: &str, status: u16, worker: Option<u64>| {
+            self.bus.publish(
+                &self.corr(request_id, worker).with_cell(path_cell),
+                Event::DistShardRejected {
+                    reason: reason.to_string(),
+                    token,
+                },
+            );
+            Response::error(status, format!("shard rejected: {reason}"))
+        };
+        let (name, result) = match wire::decode_shard(body) {
+            Ok(decoded) => decoded,
+            Err(e) => return reject(&format!("bad frame: {e}"), 400, None),
+        };
+        if name != path_cell {
+            return reject(
+                &format!("path names cell {path_cell:?} but payload names {name:?}"),
+                400,
+                None,
+            );
+        }
+        let Some(cell) = EvalCell::parse(&name) else {
+            return reject("unknown cell", 404, None);
+        };
+        if result.section() != cell.section {
+            return reject("result section does not match cell", 400, None);
+        }
+
+        self.expire(Instant::now());
+        let mut inner = self.inner.lock().expect("coordinator state poisoned");
+        let at = inner
+            .slots
+            .iter()
+            .position(|s| s.cell == cell)
+            .expect("parsed cell is on the grid");
+        match inner.slots[at].state {
+            SlotState::Leased { token: current } if current == token => {}
+            SlotState::Done => {
+                drop(inner);
+                return reject("cell already complete", 409, None);
+            }
+            SlotState::Quarantined => {
+                drop(inner);
+                return reject("cell quarantined", 409, None);
+            }
+            // Pending (the lease expired) or leased under a newer
+            // token: either way this upload's token is not the cell's
+            // current lease — the zombie fence.
+            _ => {
+                drop(inner);
+                return reject("stale fencing token", 409, None);
+            }
+        }
+        let worker = inner.leases.get(&token).map(|l| l.worker);
+
+        // Journal before acknowledging: an accepted shard must survive
+        // a coordinator kill. The journaled bytes are the frame
+        // exactly as received (CRC and all), so resume re-validates.
+        let path = self.config.journal_dir.join(journal_file(&name));
+        if let Err(e) = atomic_write(&path, body) {
+            drop(inner);
+            return reject(&format!("journal write failed: {e}"), 500, worker);
+        }
+
+        inner.slots[at].state = SlotState::Done;
+        inner.slots[at].result = Some(result);
+        // Once every cell of a lease is done the lease has no Leased
+        // slots left, so its eventual expiry is silent.
+        drop(inner);
+        self.bus.publish(
+            &self.corr(request_id, worker).with_cell(&name),
+            Event::DistShardReceived {
+                bytes: body.len() as u64,
+                token,
+            },
+        );
+        Response::json("{\"ok\": true}")
+    }
+
+    /// Current grid progress.
+    fn progress(&self) -> Progress {
+        let inner = self.inner.lock().expect("coordinator state poisoned");
+        let mut p = Progress {
+            total: inner.slots.len() as u64,
+            ..Progress::default()
+        };
+        for slot in &inner.slots {
+            match slot.state {
+                SlotState::Pending => p.pending += 1,
+                SlotState::Leased { .. } => p.leased += 1,
+                SlotState::Done => p.done += 1,
+                SlotState::Quarantined => p.quarantined += 1,
+            }
+        }
+        p
+    }
+
+    /// Reloads journaled shards, marking every cell with a valid frame
+    /// done. Corrupt or torn files are ignored (their cells re-run).
+    /// Returns how many cells were recovered.
+    fn resume_load(&self) -> std::io::Result<u64> {
+        let mut recovered = 0;
+        let entries = match std::fs::read_dir(&self.config.journal_dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("shard") {
+                continue;
+            }
+            let bytes = std::fs::read(&path)?;
+            let Ok((name, result)) = wire::decode_shard(&bytes) else {
+                continue;
+            };
+            let Some(cell) = EvalCell::parse(&name) else {
+                continue;
+            };
+            if result.section() != cell.section {
+                continue;
+            }
+            let mut inner = self.inner.lock().expect("coordinator state poisoned");
+            if let Some(slot) = inner.slots.iter_mut().find(|s| s.cell == cell) {
+                if slot.state != SlotState::Done {
+                    slot.state = SlotState::Done;
+                    slot.result = Some(result);
+                    recovered += 1;
+                }
+            }
+        }
+        Ok(recovered)
+    }
+}
+
+/// Journal file name for a cell (`table1/Nek5000` → `table1__Nek5000.shard`).
+fn journal_file(cell_name: &str) -> String {
+    format!("{}.shard", cell_name.replace('/', "__"))
+}
+
+/// The per-shard application: routes coordinator endpoints.
+struct CoordinatorApp {
+    state: Arc<State>,
+}
+
+impl shard::ShardApp for CoordinatorApp {
+    fn handle(&mut self, req: &Request) -> Response {
+        let request_id = req.header(REQUEST_ID_HEADER).unwrap_or("").to_string();
+        let resp = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/lease") => {
+                match protocol::parse_lease_request(&String::from_utf8_lossy(&req.body)) {
+                    Ok(max_cells) => Response::json(self.state.grant(max_cells, &request_id).emit()),
+                    Err(e) => Response::error(400, e),
+                }
+            }
+            ("POST", "/heartbeat") => {
+                match protocol::parse_heartbeat(&String::from_utf8_lossy(&req.body)) {
+                    Ok(token) => match self.state.heartbeat(token) {
+                        Some(lease_ms) => {
+                            Response::json(format!("{{\"ok\": true, \"lease_ms\": {lease_ms}}}"))
+                        }
+                        None => Response::error(410, "lease gone"),
+                    },
+                    Err(e) => Response::error(400, e),
+                }
+            }
+            ("POST", path) if path.starts_with("/shards/") => {
+                let cell = &path["/shards/".len()..];
+                match req.header(FENCING_HEADER).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(token) => self.state.accept_shard(cell, token, &req.body, &request_id),
+                    None => Response::error(400, "missing or unparsable X-Fencing-Token"),
+                }
+            }
+            ("GET", "/progress") => Response::json(self.state.progress().emit()),
+            ("GET", "/healthz") => Response::json("{\"ok\": true}"),
+            ("GET", "/metrics") => self.metrics_route(req),
+            (_, path) => Response::error(404, format!("no route {path}")),
+        };
+        if request_id.is_empty() {
+            resp
+        } else {
+            resp.with_request_id(request_id)
+        }
+    }
+
+    fn bad(&mut self, status: u16, reason: &str) -> Response {
+        Response::error(status, reason)
+    }
+
+    fn shed(&mut self) -> Response {
+        Response::error(503, "coordinator at capacity")
+    }
+}
+
+impl CoordinatorApp {
+    fn metrics_route(&self, req: &Request) -> Response {
+        let state = &self.state;
+        state
+            .metrics
+            .gauge("dist.events.dropped")
+            .set(i64::try_from(state.bus.dropped()).unwrap_or(i64::MAX));
+        let format = req
+            .query
+            .iter()
+            .find(|(k, _)| k == "format")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("json");
+        match format {
+            "json" => Response::json(state.metrics.snapshot().to_json()),
+            "prometheus" => {
+                let mut resp = Response::text(state.prom.encode(&state.metrics.snapshot()));
+                resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+                resp
+            }
+            other => Response::error(400, format!("unknown metrics format {other:?}")),
+        }
+    }
+}
+
+/// Registers every `dist.*` instrument up front so a first `/metrics`
+/// scrape shows the full set at zero.
+fn register_dist_metrics(metrics: &Metrics) {
+    for name in [
+        "dist.leases.granted",
+        "dist.cells.leased",
+        "dist.leases.expired",
+        "dist.shards.received",
+        "dist.shards.rejected",
+    ] {
+        metrics.counter(name);
+    }
+    metrics.gauge("dist.events.dropped");
+}
+
+/// The Prometheus families the coordinator's `/metrics` exposes.
+fn dist_prom_registry() -> PromRegistry {
+    let mut prom = PromRegistry::new();
+    let counters = [
+        (
+            "nvsim_dist_leases_granted_total",
+            "Cell-batch leases granted to workers.",
+            "dist.leases.granted",
+        ),
+        (
+            "nvsim_dist_cells_leased_total",
+            "Cells handed out across all leases (one cell may lease more than once).",
+            "dist.cells.leased",
+        ),
+        (
+            "nvsim_dist_leases_expired_total",
+            "Leases expired after missed heartbeats, their cells re-queued.",
+            "dist.leases.expired",
+        ),
+        (
+            "nvsim_dist_shards_received_total",
+            "Result shards accepted, journaled and merged.",
+            "dist.shards.received",
+        ),
+        (
+            "nvsim_dist_shards_rejected_total",
+            "Result shards refused: stale fencing token, bad frame, or duplicate.",
+            "dist.shards.rejected",
+        ),
+    ];
+    for (name, help, source) in counters {
+        prom.register(name, help, PromKind::Counter, source)
+            .expect("static family");
+    }
+    prom.register(
+        "nvsim_dist_events_dropped",
+        "Events discarded by the bus; nonzero means the dist.* series undercount.",
+        PromKind::Gauge,
+        "dist.events.dropped",
+    )
+    .expect("static family");
+    prom
+}
+
+/// A running coordinator.
+pub struct CoordinatorHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CoordinatorHandle {
+    /// The bound address (useful with a `:0` listen request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared metrics handle (the same registry `/metrics` serves).
+    pub fn metrics(&self) -> Metrics {
+        self.state.metrics.clone()
+    }
+
+    /// Current grid progress.
+    pub fn progress(&self) -> Progress {
+        self.state.progress()
+    }
+
+    /// Serves until every cell is done or quarantined, expiring stale
+    /// leases as time passes. Returns the final progress, or the
+    /// progress at `timeout` if the grid did not settle in time.
+    pub fn wait_complete(&self, timeout: Duration) -> Progress {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.state.expire(Instant::now());
+            let p = self.state.progress();
+            if p.complete() || Instant::now() >= deadline {
+                return p;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn stop_serving(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.state.bus.flush();
+    }
+
+    /// Stops serving, assembles the shards in stable grid order, and
+    /// writes the merged store — the same
+    /// `meta table + section tables → merge_into_dataset_observed`
+    /// path `run_all --store` takes, so the result is byte-identical
+    /// to a serial run.
+    ///
+    /// # Errors
+    /// Any cell still unfinished (including quarantined cells), or a
+    /// store I/O failure.
+    pub fn finalize(mut self) -> Result<PathBuf, NvsimError> {
+        self.stop_serving();
+        let state = &self.state;
+        let inner = state.inner.lock().expect("coordinator state poisoned");
+        let mut results = Vec::with_capacity(inner.slots.len());
+        for slot in &inner.slots {
+            if let (SlotState::Done, Some(result)) = (&slot.state, &slot.result) {
+                results.push((slot.cell, result.clone()));
+            }
+        }
+        drop(inner);
+        let dataset =
+            nv_scavenger::assemble_dataset(state.config.scale, state.config.iterations, &results)
+                .map_err(|reason| {
+                    NvsimError::InvalidConfig(format!("incomplete distributed sweep: {reason}"))
+                })?;
+        let mut tables = vec![ds::meta_table(dataset.scale_divisor, dataset.iterations)];
+        tables.extend(ds::table1_tables(&dataset.table1));
+        tables.extend(ds::table5_tables(&dataset.table5));
+        tables.extend(ds::fig2_tables(&dataset.fig2));
+        tables.extend(ds::figs3_6_tables(&dataset.figs3_6));
+        tables.extend(ds::fig7_tables(&dataset.fig7));
+        tables.extend(ds::figs8_11_tables(&dataset.figs8_11));
+        tables.extend(ds::table6_tables(&dataset.table6));
+        tables.extend(ds::fig12_tables(&dataset.fig12));
+        tables.extend(ds::suitability_tables(&dataset.suitability));
+        tables.extend(ds::alloc_tables(&dataset.alloc));
+        std::fs::create_dir_all(&state.config.store_dir).map_err(|e| NvsimError::Io {
+            path: state.config.store_dir.display().to_string(),
+            cause: e.to_string(),
+        })?;
+        nv_scavenger::merge_into_dataset_observed(
+            &state.config.store_dir,
+            tables,
+            &state.bus,
+            &state.bus.correlation(),
+        )
+    }
+
+    /// Stops serving *without* writing the store — a simulated
+    /// coordinator crash. The journal keeps every accepted shard, so a
+    /// new coordinator with `resume: true` over the same journal
+    /// directory converges.
+    pub fn kill(mut self) {
+        self.stop_serving();
+    }
+}
+
+impl Drop for CoordinatorHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_serving();
+        }
+    }
+}
+
+/// Starts a coordinator: binds the listener, optionally reloads the
+/// journal, and begins serving leases.
+///
+/// # Errors
+/// Listener bind or journal-directory I/O failures.
+pub fn start(
+    config: DistConfig,
+    bus: Arc<EventBus>,
+    metrics: Metrics,
+) -> Result<CoordinatorHandle, NvsimError> {
+    let io_err = |path: &Path, e: std::io::Error| NvsimError::Io {
+        path: path.display().to_string(),
+        cause: e.to_string(),
+    };
+    std::fs::create_dir_all(&config.journal_dir).map_err(|e| io_err(&config.journal_dir, e))?;
+    // Fencing across restarts: each incarnation issues tokens from its
+    // own disjoint range (generation << 32), so a zombie worker's token
+    // from a killed coordinator can never alias a fresh lease.
+    let epoch_path = config.journal_dir.join("epoch");
+    let generation = std::fs::read_to_string(&epoch_path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+        + 1;
+    atomic_write(&epoch_path, generation.to_string().as_bytes())
+        .map_err(|e| io_err(&epoch_path, e))?;
+    register_dist_metrics(&metrics);
+    let slots = eval_grid()
+        .into_iter()
+        .map(|cell| CellSlot {
+            cell,
+            state: SlotState::Pending,
+            attempts: 0,
+            result: None,
+        })
+        .collect();
+    let resume = config.resume;
+    let shards = config.shards.max(1);
+    let listen = config.listen.clone();
+    let state = Arc::new(State {
+        inner: Mutex::new(Inner {
+            slots,
+            next_token: generation << 32,
+            ..Inner::default()
+        }),
+        config,
+        bus,
+        metrics,
+        prom: dist_prom_registry(),
+    });
+    if resume {
+        state
+            .resume_load()
+            .map_err(|e| io_err(&state.config.journal_dir, e))?;
+    }
+
+    let listener = TcpListener::bind(&listen).map_err(|e| NvsimError::Io {
+        path: listen.clone(),
+        cause: e.to_string(),
+    })?;
+    let addr = listener.local_addr().map_err(|e| NvsimError::Io {
+        path: listen,
+        cause: e.to_string(),
+    })?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let shard_config = ShardConfig {
+        max_conns: 64,
+        idle_timeout: Duration::from_secs(10),
+        keep_alive: true,
+    };
+    let mut shard_handles: Vec<ShardHandle> = Vec::with_capacity(shards);
+    for id in 0..shards {
+        let app = CoordinatorApp {
+            state: Arc::clone(&state),
+        };
+        let handle = shard::spawn(id, shard_config.clone(), app, Arc::clone(&stop))
+            .map_err(|e| NvsimError::Io {
+                path: format!("dist-shard-{id}"),
+                cause: e.to_string(),
+            })?;
+        shard_handles.push(handle);
+    }
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("dist-accept".into())
+        .spawn(move || {
+            let mut next = 0usize;
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                shard_handles[next % shard_handles.len()].dispatch(stream);
+                next += 1;
+            }
+            for handle in shard_handles {
+                handle.join();
+            }
+        })
+        .map_err(|e| NvsimError::Io {
+            path: "dist-accept thread".to_string(),
+            cause: e.to_string(),
+        })?;
+
+    Ok(CoordinatorHandle {
+        addr,
+        state,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(lease_ms: u64, max_attempts: u32, dir: &Path) -> Arc<State> {
+        let metrics = Metrics::enabled();
+        let bus = Arc::new(
+            EventBus::builder("dist-test")
+                .subscribe(Box::new(nvsim_obs::MetricsAggregator::new(metrics.clone())))
+                .build(),
+        );
+        register_dist_metrics(&metrics);
+        let slots = eval_grid()
+            .into_iter()
+            .map(|cell| CellSlot {
+                cell,
+                state: SlotState::Pending,
+                attempts: 0,
+                result: None,
+            })
+            .collect();
+        Arc::new(State {
+            inner: Mutex::new(Inner {
+                slots,
+                ..Inner::default()
+            }),
+            config: DistConfig {
+                lease_ms,
+                max_attempts,
+                journal_dir: dir.to_path_buf(),
+                ..DistConfig::default()
+            },
+            bus,
+            metrics,
+            prom: dist_prom_registry(),
+        })
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dist-coord-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn leases_cover_the_grid_without_overlap() {
+        let dir = tmp("cover");
+        let state = test_state(60_000, 3, &dir);
+        let mut seen = std::collections::HashSet::new();
+        let mut grants = 0;
+        loop {
+            match state.grant(4, "t-1") {
+                LeaseReply::Grant(g) => {
+                    grants += 1;
+                    assert!(g.cells.len() <= 4);
+                    for cell in g.cells {
+                        assert!(seen.insert(cell.clone()), "{cell} leased twice");
+                    }
+                }
+                LeaseReply::Retry { .. } => break,
+                LeaseReply::Done => panic!("done while cells are leased"),
+            }
+        }
+        assert_eq!(seen.len(), eval_grid().len());
+        assert_eq!(grants, (eval_grid().len() + 3) / 4);
+        let p = state.progress();
+        assert_eq!(p.leased, p.total);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missed_heartbeats_requeue_and_eventually_quarantine() {
+        let dir = tmp("expire");
+        let state = test_state(1, 2, &dir);
+        // Attempt 1: lease the whole grid, let it expire.
+        while let LeaseReply::Grant(_) = state.grant(1024, "t-1") {}
+        std::thread::sleep(Duration::from_millis(10));
+        state.expire(Instant::now());
+        let p = state.progress();
+        assert_eq!(p.pending, p.total, "expired cells re-queue");
+        // Attempt 2 is the last under max_attempts = 2: expiry now
+        // quarantines instead of re-queuing.
+        while let LeaseReply::Grant(_) = state.grant(1024, "t-2") {}
+        std::thread::sleep(Duration::from_millis(10));
+        state.expire(Instant::now());
+        let p = state.progress();
+        assert_eq!(p.quarantined, p.total);
+        // Every cell settled → lease requests answer Done.
+        assert_eq!(state.grant(4, "t-3"), LeaseReply::Done);
+        assert!(state.metrics.counter("dist.leases.expired").get() >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tokens_bounce_off_the_fence() {
+        let dir = tmp("fence");
+        let state = test_state(1, 5, &dir);
+        let LeaseReply::Grant(first) = state.grant(1, "t-1") else {
+            panic!("no grant");
+        };
+        let cell = first.cells[0].clone();
+        let ec = EvalCell::parse(&cell).expect("grid cell");
+        let result = nv_scavenger::run_eval_cell(ec, AppScale::Test, 2).expect("cell runs");
+        let body = wire::encode_shard(&cell, &result);
+        // Let the first lease expire, then re-lease the same cell.
+        std::thread::sleep(Duration::from_millis(10));
+        state.expire(Instant::now());
+        let LeaseReply::Grant(second) = state.grant(1, "t-2") else {
+            panic!("no second grant");
+        };
+        assert_eq!(second.cells[0], cell);
+        assert_ne!(second.token, first.token);
+        // The zombie's upload (old token) is fenced out...
+        let resp = state.accept_shard(&cell, first.token, &body, "t-1");
+        assert_eq!(resp.status, 409, "{}", resp.body);
+        // ...the current holder's goes through...
+        let resp = state.accept_shard(&cell, second.token, &body, "t-2");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // ...and a duplicate of a done cell is refused.
+        let resp = state.accept_shard(&cell, second.token, &body, "t-2");
+        assert_eq!(resp.status, 409, "{}", resp.body);
+        assert_eq!(state.metrics.counter("dist.shards.rejected").get(), 2);
+        assert_eq!(state.metrics.counter("dist.shards.received").get(), 1);
+        // The journal holds the exact accepted frame.
+        let journaled =
+            std::fs::read(dir.join(journal_file(&cell))).expect("journal entry written");
+        assert_eq!(journaled, body);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_frames_are_rejected_without_state_change() {
+        let dir = tmp("torn");
+        let state = test_state(60_000, 3, &dir);
+        let LeaseReply::Grant(g) = state.grant(1, "t-1") else {
+            panic!("no grant");
+        };
+        let cell = g.cells[0].clone();
+        let ec = EvalCell::parse(&cell).expect("grid cell");
+        let result = nv_scavenger::run_eval_cell(ec, AppScale::Test, 2).expect("cell runs");
+        let body = wire::encode_shard(&cell, &result);
+        let resp = state.accept_shard(&cell, g.token, &body[..body.len() / 2], "t-1");
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        // The cell is still leased to the same token — a retry with the
+        // full frame succeeds.
+        let resp = state.accept_shard(&cell, g.token, &body, "t-1");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_reloads_only_valid_journal_frames() {
+        let dir = tmp("resume");
+        let state = test_state(60_000, 3, &dir);
+        // Journal two cells: one valid, one torn.
+        let cells = ["table1/GTC", "fig2/CAM"];
+        let frames: Vec<Vec<u8>> = cells
+            .iter()
+            .map(|c| {
+                let ec = EvalCell::parse(c).expect("grid cell");
+                let r = nv_scavenger::run_eval_cell(ec, AppScale::Test, 2).expect("cell runs");
+                wire::encode_shard(c, &r)
+            })
+            .collect();
+        atomic_write(&dir.join(journal_file(cells[0])), &frames[0]).expect("journal");
+        atomic_write(&dir.join(journal_file(cells[1])), &frames[1][..frames[1].len() / 2])
+            .expect("journal");
+        assert_eq!(state.resume_load().expect("resume scans"), 1);
+        let p = state.progress();
+        assert_eq!(p.done, 1);
+        assert_eq!(p.pending, p.total - 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,46 @@
+//! # nvsim-dist
+//!
+//! The distributed sweep fleet: a coordinator/worker subsystem that
+//! runs the paper's full evaluation grid across processes (or hosts)
+//! and merges the results into a `dataset.nvstore` **byte-identical**
+//! to a serial `run_all --store` run.
+//!
+//! The design is a classic work-queue with fenced leases:
+//!
+//! * the [`coordinator`] owns the 36-cell evaluation grid
+//!   ([`nv_scavenger::eval_grid`]), hands out cell batches under
+//!   heartbeat-renewed leases, accepts CRC-framed binary result shards
+//!   ([`wire`]), journals each accepted shard for crash recovery, and
+//!   assembles the grid in stable order through the serial store-merge
+//!   path;
+//! * a [`worker`] loops `lease → run cells → upload shards` until the
+//!   coordinator reports the grid done, heartbeating inline so its
+//!   death is detected by silence;
+//! * the [`protocol`] is JSON over the `nvsim-serve` HTTP layer for
+//!   control messages, exact binary for result payloads;
+//! * every state transition publishes `dist.*` events on the
+//!   `nvsim-obs` bus, scrapeable in Prometheus format from the
+//!   coordinator's `/metrics`.
+//!
+//! Fault tolerance is lease-expiry plus fencing tokens: a worker that
+//! stops heartbeating loses its cells back to the queue, and if it
+//! later wakes up and uploads anyway, its stale token bounces off the
+//! fence (`409`, counted). A killed coordinator restarts with
+//! `--resume` and reloads every journaled shard that passes its CRC.
+//!
+//! See `docs/DISTRIBUTED.md` for the protocol reference and the
+//! failure matrix.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod coordinator;
+pub mod protocol;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{start, CoordinatorHandle, DistConfig};
+pub use protocol::{LeaseGrant, LeaseReply, Progress};
+pub use wire::{decode_shard, encode_shard, Wire, WireError};
+pub use worker::{run as run_worker, WorkerConfig, WorkerReport};

@@ -1,0 +1,253 @@
+//! `nvsim-dist` — run the paper's evaluation grid as a distributed
+//! fleet: one coordinator, N workers, a byte-identical merged store.
+//!
+//! ```text
+//! nvsim-dist coordinator --store DIR [--listen HOST:PORT] [--scale S]
+//!                        [--iterations N] [--journal DIR] [--resume]
+//!                        [--lease-ms MS] [--batch N] [--retries N]
+//!                        [--shards N] [--local-workers N] [--events PATH]
+//! nvsim-dist worker --coordinator HOST:PORT [--jobs N] [--label L]
+//!                   [--faults SPEC[,SPEC...]] [--connect-retry-ms MS]
+//! ```
+//!
+//! The coordinator serves leases until every cell of the grid is done,
+//! then merges the shards and writes `DIR/dataset.nvstore` — the same
+//! bytes `run_all --scale S --iterations N --store DIR` writes. With
+//! `--local-workers N` it also spawns N in-process worker threads, so
+//! a single invocation runs the whole fleet on one machine.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nvsim_dist::{coordinator, protocol, worker, DistConfig, WorkerConfig};
+use nvsim_faults::{FaultInjector, FaultPlan};
+use nvsim_obs::{EventBus, JsonlSink, Metrics, MetricsAggregator};
+
+const USAGE: &str = "usage: nvsim-dist coordinator --store DIR [--listen HOST:PORT]\n\
+\x20                  [--scale test|small|bench] [--iterations N]\n\
+\x20                  [--journal DIR] [--resume] [--lease-ms MS] [--batch N]\n\
+\x20                  [--retries N] [--shards N] [--local-workers N]\n\
+\x20                  [--events PATH]\n\
+\x20      nvsim-dist worker --coordinator HOST:PORT [--jobs N] [--label L]\n\
+\x20                  [--faults SPEC[,SPEC...]] [--connect-retry-ms MS]\n\
+value flags accept both spellings: --batch N and --batch=N\n\
+coordinator:\n\
+  --store DIR        directory the merged dataset.nvstore is written to\n\
+  --listen HOST:PORT bind address (default 127.0.0.1:7780; port 0 = OS pick)\n\
+  --scale S          application scale: test, small, bench (default test)\n\
+  --iterations N     main-loop iterations per cell (default 2)\n\
+  --journal DIR      shard journal directory (default DIR/dist-journal)\n\
+  --resume           reload journaled shards before leasing\n\
+  --lease-ms MS      lease lifetime without a heartbeat (default 5000)\n\
+  --batch N          most cells per lease (default 4)\n\
+  --retries N        lease attempts per cell before quarantine (default 3)\n\
+  --shards N         serving event-loop shards (default 2)\n\
+  --local-workers N  also run N in-process workers (single-machine fleet)\n\
+  --events PATH      append dist.* lifecycle events to PATH as JSONL\n\
+worker:\n\
+  --coordinator A    coordinator address, host:port (required)\n\
+  --jobs N           cells requested per lease (default 2)\n\
+  --label L          request-id label for this worker (default pid)\n\
+  --faults SPEC      arm chaos points, e.g. panic@dist.cell,torn@dist.upload\n\
+  --connect-retry-ms MS  keep retrying refused connections this long\n\
+\x20                  (default 10000; covers a coordinator restart)";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn value(
+    flag: &str,
+    inline: &mut Option<String>,
+    it: &mut impl Iterator<Item = String>,
+    what: &str,
+) -> String {
+    match inline.take() {
+        Some(v) if !v.is_empty() => v,
+        Some(_) => die(&format!("{flag} needs {what}")),
+        None => it
+            .next()
+            .unwrap_or_else(|| die(&format!("{flag} needs {what}"))),
+    }
+}
+
+fn count(flag: &str, raw: &str) -> u64 {
+    raw.parse()
+        .unwrap_or_else(|_| die(&format!("{flag} needs a number, got {raw:?}")))
+}
+
+fn main() {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("coordinator") => coordinator_main(it),
+        Some("worker") => worker_main(it),
+        Some(other) => die(&format!("unknown subcommand {other:?}")),
+        None => die("a subcommand is required"),
+    }
+}
+
+fn coordinator_main(mut it: impl Iterator<Item = String>) {
+    let mut config = DistConfig {
+        listen: "127.0.0.1:7780".to_string(),
+        ..DistConfig::default()
+    };
+    let mut store: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut local_workers = 0usize;
+    let mut events: Option<PathBuf> = None;
+    while let Some(raw) = it.next() {
+        let (flag, mut inline) = match raw.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (raw.clone(), None),
+        };
+        match flag.as_str() {
+            "--store" => {
+                store = Some(PathBuf::from(value(&flag, &mut inline, &mut it, "a directory")))
+            }
+            "--listen" => config.listen = value(&flag, &mut inline, &mut it, "HOST:PORT"),
+            "--scale" => {
+                let raw = value(&flag, &mut inline, &mut it, "test|small|bench");
+                config.scale = protocol::parse_scale(&raw)
+                    .unwrap_or_else(|| die(&format!("unknown scale {raw:?}")));
+            }
+            "--iterations" => {
+                config.iterations =
+                    count(&flag, &value(&flag, &mut inline, &mut it, "a count")) as u32
+            }
+            "--journal" => {
+                journal = Some(PathBuf::from(value(&flag, &mut inline, &mut it, "a directory")))
+            }
+            "--resume" => config.resume = true,
+            "--lease-ms" => {
+                config.lease_ms = count(&flag, &value(&flag, &mut inline, &mut it, "milliseconds"))
+            }
+            "--batch" => {
+                config.batch = count(&flag, &value(&flag, &mut inline, &mut it, "a count")) as usize
+            }
+            "--retries" => {
+                config.max_attempts =
+                    count(&flag, &value(&flag, &mut inline, &mut it, "a count")) as u32
+            }
+            "--shards" => {
+                config.shards = count(&flag, &value(&flag, &mut inline, &mut it, "a count")) as usize
+            }
+            "--local-workers" => {
+                local_workers =
+                    count(&flag, &value(&flag, &mut inline, &mut it, "a count")) as usize
+            }
+            "--events" => {
+                events = Some(PathBuf::from(value(&flag, &mut inline, &mut it, "a path")))
+            }
+            other => die(&format!("unknown coordinator flag {other:?}")),
+        }
+    }
+    let store = store.unwrap_or_else(|| die("--store is required"));
+    config.store_dir = store.clone();
+    config.journal_dir = journal.unwrap_or_else(|| store.join("dist-journal"));
+
+    let metrics = Metrics::enabled();
+    let mut builder = EventBus::builder(format!("dist-{}", std::process::id()))
+        .subscribe(Box::new(MetricsAggregator::new(metrics.clone())));
+    if let Some(path) = &events {
+        let sink = JsonlSink::create(path)
+            .unwrap_or_else(|e| die(&format!("open {}: {e}", path.display())));
+        builder = builder.subscribe(Box::new(sink));
+    }
+    let bus = Arc::new(builder.build());
+
+    let handle = coordinator::start(config, bus, metrics)
+        .unwrap_or_else(|e| die(&format!("start coordinator: {e}")));
+    eprintln!("coordinating on {}", handle.addr());
+
+    let mut local = Vec::new();
+    for i in 0..local_workers {
+        let worker_config = WorkerConfig {
+            coordinator: handle.addr().to_string(),
+            label: format!("local-{i}"),
+            ..WorkerConfig::default()
+        };
+        local.push(
+            std::thread::Builder::new()
+                .name(format!("dist-worker-{i}"))
+                .spawn(move || worker::run(&worker_config, &FaultInjector::disabled()))
+                .unwrap_or_else(|e| die(&format!("spawn worker: {e}"))),
+        );
+    }
+
+    // Serve until the grid settles (effectively no deadline: operators
+    // kill a stuck fleet; tests pass real timeouts through the library).
+    let progress = handle.wait_complete(Duration::from_secs(86_400 * 365));
+    for thread in local {
+        match thread.join() {
+            Ok(Ok(report)) => eprintln!(
+                "local worker done: {} cells over {} leases",
+                report.cells_done, report.leases
+            ),
+            Ok(Err(e)) => eprintln!("local worker failed: {e}"),
+            Err(_) => eprintln!("local worker panicked"),
+        }
+    }
+    if progress.quarantined > 0 {
+        eprintln!("{} cells quarantined; store not written", progress.quarantined);
+        std::process::exit(1);
+    }
+    match handle.finalize() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("finalize failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn worker_main(mut it: impl Iterator<Item = String>) {
+    let mut config = WorkerConfig {
+        label: format!("w{}", std::process::id()),
+        ..WorkerConfig::default()
+    };
+    let mut coordinator_addr: Option<String> = None;
+    let mut faults = FaultInjector::disabled();
+    while let Some(raw) = it.next() {
+        let (flag, mut inline) = match raw.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (raw.clone(), None),
+        };
+        match flag.as_str() {
+            "--coordinator" => {
+                coordinator_addr = Some(value(&flag, &mut inline, &mut it, "HOST:PORT"))
+            }
+            "--jobs" => {
+                config.jobs = count(&flag, &value(&flag, &mut inline, &mut it, "a count")) as usize
+            }
+            "--label" => config.label = value(&flag, &mut inline, &mut it, "a label"),
+            "--faults" => {
+                let spec = value(&flag, &mut inline, &mut it, "a fault plan");
+                let plan = FaultPlan::parse(&spec)
+                    .unwrap_or_else(|e| die(&format!("bad fault plan {spec:?}: {e}")));
+                faults = plan.injector();
+            }
+            "--connect-retry-ms" => {
+                config.connect_retry = Duration::from_millis(count(
+                    &flag,
+                    &value(&flag, &mut inline, &mut it, "milliseconds"),
+                ))
+            }
+            other => die(&format!("unknown worker flag {other:?}")),
+        }
+    }
+    config.coordinator = coordinator_addr.unwrap_or_else(|| die("--coordinator is required"));
+    match worker::run(&config, &faults) {
+        Ok(report) => {
+            eprintln!(
+                "worker {}: {} cells over {} leases ({} uploads rejected)",
+                config.label, report.cells_done, report.leases, report.uploads_rejected
+            );
+        }
+        Err(e) => {
+            eprintln!("worker {} failed: {e}", config.label);
+            std::process::exit(1);
+        }
+    }
+}

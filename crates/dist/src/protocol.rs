@@ -1,0 +1,314 @@
+//! The coordinator/worker JSON protocol: message shapes, emitters and
+//! parsers.
+//!
+//! Control-plane messages (lease grants, heartbeats, progress) are
+//! small and human-debuggable, so they travel as JSON over the
+//! nvsim-serve HTTP layer. Result shards do **not** — those use the
+//! exact binary codec in [`crate::wire`], because JSON cannot
+//! round-trip every float a shard carries. This module owns the
+//! translation between protocol structs and JSON text in both
+//! directions; the strings are hand-emitted (the vendored serde
+//! surface has no derive-based serializer) and parsed back through
+//! `serde_json::Value`.
+//!
+//! ## Endpoints
+//!
+//! | Method & path          | Body                 | Reply |
+//! |------------------------|----------------------|-------|
+//! | `POST /lease`          | `{"max_cells": N}`   | [`LeaseReply`]: a grant, a retry hint, or `{"done": true}` |
+//! | `POST /heartbeat`      | `{"token": T}`       | `{"ok": true, "lease_ms": N}`, or 410 once the lease is gone |
+//! | `POST /shards/<cell>`  | binary shard frame   | `{"ok": true}`, 409 on a stale fencing token, 400 on a bad frame |
+//! | `GET /progress`        | —                    | grid counts + per-state cells |
+//!
+//! Every worker request carries `X-Request-Id`; shard uploads add
+//! `X-Fencing-Token`. The fencing token is the zombie fence: each
+//! lease gets a fresh token from a global monotone counter, and a
+//! shard upload is only accepted while its token is the cell's
+//! *current* lease — a worker that lost its lease to expiry can never
+//! double-write a cell someone else re-ran.
+
+use nvsim_apps::AppScale;
+use serde_json::Value;
+
+/// Header carrying the upload's lease token.
+pub const FENCING_HEADER: &str = "x-fencing-token";
+/// Header correlating worker RPCs with coordinator events.
+pub const REQUEST_ID_HEADER: &str = "x-request-id";
+
+/// Stable wire key for an [`AppScale`] (`test`, `small`, `bench`).
+pub fn scale_key(scale: AppScale) -> &'static str {
+    match scale {
+        AppScale::Test => "test",
+        AppScale::Small => "small",
+        AppScale::Bench => "bench",
+    }
+}
+
+/// Inverse of [`scale_key`].
+pub fn parse_scale(key: &str) -> Option<AppScale> {
+    match key {
+        "test" => Some(AppScale::Test),
+        "small" => Some(AppScale::Small),
+        "bench" => Some(AppScale::Bench),
+        _ => None,
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A batch of cells leased to one worker, with everything the worker
+/// needs to run them: the run configuration, the lease deadline it
+/// must heartbeat within, and the fencing token it must present when
+/// uploading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseGrant {
+    /// Coordinator's run identifier (workers tag their events with it).
+    pub run_id: String,
+    /// Application scale every cell must run at.
+    pub scale: AppScale,
+    /// Iteration count every cell must run at.
+    pub iterations: u32,
+    /// Milliseconds before the lease expires without a heartbeat.
+    pub lease_ms: u64,
+    /// Fencing token for this lease — send as `X-Fencing-Token`.
+    pub token: u64,
+    /// Worker id assigned by the coordinator (for correlation).
+    pub worker: u64,
+    /// Cell names to run, in the order granted.
+    pub cells: Vec<String>,
+}
+
+/// Coordinator's answer to `POST /lease`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseReply {
+    /// Every cell is finished (or quarantined): the worker can exit.
+    Done,
+    /// Nothing grantable right now (all remaining cells are leased
+    /// out); ask again after `retry_ms`.
+    Retry {
+        /// Suggested back-off before the next lease request.
+        retry_ms: u64,
+    },
+    /// Work to do.
+    Grant(LeaseGrant),
+}
+
+impl LeaseReply {
+    /// Emits the reply as a JSON document.
+    pub fn emit(&self) -> String {
+        match self {
+            LeaseReply::Done => "{\"done\": true}".to_string(),
+            LeaseReply::Retry { retry_ms } => format!("{{\"retry_ms\": {retry_ms}}}"),
+            LeaseReply::Grant(g) => {
+                let cells: Vec<String> =
+                    g.cells.iter().map(|c| format!("\"{}\"", json_escape(c))).collect();
+                format!(
+                    concat!(
+                        "{{\"run_id\": \"{}\", \"scale\": \"{}\", \"iterations\": {}, ",
+                        "\"lease_ms\": {}, \"token\": {}, \"worker\": {}, \"cells\": [{}]}}"
+                    ),
+                    json_escape(&g.run_id),
+                    scale_key(g.scale),
+                    g.iterations,
+                    g.lease_ms,
+                    g.token,
+                    g.worker,
+                    cells.join(", ")
+                )
+            }
+        }
+    }
+
+    /// Parses a reply emitted by [`LeaseReply::emit`].
+    pub fn parse(body: &str) -> Result<LeaseReply, String> {
+        let v: Value = serde_json::from_str(body).map_err(|e| format!("lease reply: {e}"))?;
+        if v.get("done").and_then(Value::as_bool) == Some(true) {
+            return Ok(LeaseReply::Done);
+        }
+        if let Some(ms) = v.get("retry_ms").and_then(Value::as_u64) {
+            return Ok(LeaseReply::Retry { retry_ms: ms });
+        }
+        let field_u64 = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("lease grant missing {name}"))
+        };
+        let field_str = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("lease grant missing {name}"))
+        };
+        let scale_str = field_str("scale")?;
+        let cells = v
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or("lease grant missing cells")?
+            .iter()
+            .map(|c| c.as_str().map(str::to_string).ok_or("non-string cell"))
+            .collect::<Result<Vec<String>, _>>()?;
+        Ok(LeaseReply::Grant(LeaseGrant {
+            run_id: field_str("run_id")?,
+            scale: parse_scale(&scale_str).ok_or_else(|| format!("bad scale {scale_str:?}"))?,
+            iterations: field_u64("iterations")? as u32,
+            lease_ms: field_u64("lease_ms")?,
+            token: field_u64("token")?,
+            worker: field_u64("worker")?,
+            cells,
+        }))
+    }
+}
+
+/// Emits the `POST /lease` request body.
+pub fn emit_lease_request(max_cells: usize) -> String {
+    format!("{{\"max_cells\": {max_cells}}}")
+}
+
+/// Parses the `POST /lease` request body.
+pub fn parse_lease_request(body: &str) -> Result<usize, String> {
+    let v: Value = serde_json::from_str(body).map_err(|e| format!("lease request: {e}"))?;
+    let n = v
+        .get("max_cells")
+        .and_then(Value::as_u64)
+        .ok_or("lease request missing max_cells")?;
+    if n == 0 {
+        return Err("max_cells must be positive".to_string());
+    }
+    Ok(n.min(1024) as usize)
+}
+
+/// Emits the `POST /heartbeat` request body.
+pub fn emit_heartbeat(token: u64) -> String {
+    format!("{{\"token\": {token}}}")
+}
+
+/// Parses the `POST /heartbeat` request body into the lease token.
+pub fn parse_heartbeat(body: &str) -> Result<u64, String> {
+    let v: Value = serde_json::from_str(body).map_err(|e| format!("heartbeat: {e}"))?;
+    v.get("token")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "heartbeat missing token".to_string())
+}
+
+/// Grid progress as reported by `GET /progress`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Progress {
+    /// Total cells in the grid.
+    pub total: u64,
+    /// Cells waiting for a lease.
+    pub pending: u64,
+    /// Cells currently leased out.
+    pub leased: u64,
+    /// Cells whose shard has been accepted.
+    pub done: u64,
+    /// Cells that exhausted their retry budget.
+    pub quarantined: u64,
+}
+
+impl Progress {
+    /// `true` once no cell can change state any more.
+    pub fn complete(&self) -> bool {
+        self.done + self.quarantined == self.total
+    }
+
+    /// Emits the progress document.
+    pub fn emit(&self) -> String {
+        format!(
+            concat!(
+                "{{\"total\": {}, \"pending\": {}, \"leased\": {}, ",
+                "\"done\": {}, \"quarantined\": {}}}"
+            ),
+            self.total, self.pending, self.leased, self.done, self.quarantined
+        )
+    }
+
+    /// Parses a document emitted by [`Progress::emit`].
+    pub fn parse(body: &str) -> Result<Progress, String> {
+        let v: Value = serde_json::from_str(body).map_err(|e| format!("progress: {e}"))?;
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("progress missing {name}"))
+        };
+        Ok(Progress {
+            total: field("total")?,
+            pending: field("pending")?,
+            leased: field("leased")?,
+            done: field("done")?,
+            quarantined: field("quarantined")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_replies_round_trip() {
+        let grant = LeaseReply::Grant(LeaseGrant {
+            run_id: "dist-1".to_string(),
+            scale: AppScale::Test,
+            iterations: 2,
+            lease_ms: 5000,
+            token: 7,
+            worker: 3,
+            cells: vec!["table1/Nek5000".to_string(), "fig2/CAM".to_string()],
+        });
+        for reply in [grant, LeaseReply::Done, LeaseReply::Retry { retry_ms: 250 }] {
+            assert_eq!(LeaseReply::parse(&reply.emit()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn every_scale_has_a_stable_key() {
+        for scale in [AppScale::Test, AppScale::Small, AppScale::Bench] {
+            assert_eq!(parse_scale(scale_key(scale)), Some(scale));
+        }
+        assert_eq!(parse_scale("huge"), None);
+    }
+
+    #[test]
+    fn heartbeat_lease_request_and_progress_round_trip() {
+        assert_eq!(parse_heartbeat(&emit_heartbeat(41)).unwrap(), 41);
+        assert_eq!(parse_lease_request(&emit_lease_request(4)).unwrap(), 4);
+        assert!(parse_lease_request("{\"max_cells\": 0}").is_err());
+        let p = Progress { total: 36, pending: 10, leased: 4, done: 21, quarantined: 1 };
+        assert_eq!(Progress::parse(&p.emit()).unwrap(), p);
+        assert!(!p.complete());
+        let done = Progress { total: 36, done: 35, quarantined: 1, ..Progress::default() };
+        assert!(done.complete());
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_bytes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{01}"), "\\u0001");
+        // A grant holding an escaped run_id survives the round trip.
+        let reply = LeaseReply::Grant(LeaseGrant {
+            run_id: "run \"quoted\"\n".to_string(),
+            scale: AppScale::Bench,
+            iterations: 1,
+            lease_ms: 100,
+            token: 1,
+            worker: 1,
+            cells: vec![],
+        });
+        assert_eq!(LeaseReply::parse(&reply.emit()).unwrap(), reply);
+    }
+}

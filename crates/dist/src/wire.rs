@@ -1,0 +1,599 @@
+//! The exact binary shard codec workers stream results back in.
+//!
+//! JSON cannot carry every value a [`CellResult`] holds — an untouched
+//! read-only object reports `rw_ratio = inf`, which no JSON number
+//! round-trips — and the distributed store's byte-identity guarantee
+//! leaves no room for "close enough" floats. So shards travel as an
+//! exact big-endian binary encoding in the style of
+//! [`nv_scavenger::resilience::CellRecord`]: integers as fixed-width
+//! big-endian, floats as their IEEE-754 bit patterns, strings and
+//! sequences length-prefixed, enums as one-byte tags. The frame wraps
+//! the payload with a magic, a length and a CRC32
+//! ([`nvsim_trace::crc32`]), so a shard torn mid-upload or corrupted in
+//! flight is *detected and rejected*, never half-merged.
+
+use nv_scavenger::eval_cells::CellResult;
+use nv_scavenger::experiments::{
+    AllocRecoveryRow, AllocRow, AppObjectsReport, Fig12Report, Fig2Report, Fig7Report,
+    SuitabilityRow, Table1Row, Table5Row, Table6Row, VarianceReport,
+};
+use nvsim_trace::crc32;
+use nvsim_types::{AccessCounts, Region};
+
+/// Frame magic: "NVDS" (NVsim Distributed Shard).
+pub const SHARD_MAGIC: [u8; 4] = *b"NVDS";
+
+/// Hard cap on a decoded collection length — a corrupt length prefix
+/// must fail cleanly, not attempt a multi-gigabyte allocation.
+const MAX_COUNT: u64 = 1 << 32;
+
+/// A decode failure: what was being read and why it stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode: {}", self.0)
+    }
+}
+
+/// Bounded cursor over an encoded payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn need(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                WireError(format!(
+                    "truncated: need {n} bytes at offset {} of {}",
+                    self.at,
+                    self.buf.len()
+                ))
+            })?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    /// `true` once every byte has been consumed — a complete decode
+    /// must end here, or the payload carried trailing garbage.
+    pub fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+/// The codec: every shard-borne type encodes itself into a byte vector
+/// and decodes from a [`Reader`], field by field, in declaration order.
+pub trait Wire: Sized {
+    /// Appends the big-endian encoding of `self`.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Decodes one value, advancing the reader.
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+impl Wire for u8 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(r.need(1)?[0])
+    }
+}
+
+impl Wire for u32 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let b = r.need(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+impl Wire for u16 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let b = r.need(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+}
+
+impl Wire for u64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let b = r.need(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_be_bytes(raw))
+    }
+}
+
+impl Wire for f64 {
+    // Bit-exact: NaN payloads, signed zeros and infinities (read-only
+    // objects report rw_ratio = inf) all survive the round trip.
+    fn put(&self, out: &mut Vec<u8>) {
+        self.to_bits().put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::take(r)?))
+    }
+}
+
+impl Wire for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::take(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            n => Err(WireError(format!("bool tag {n}"))),
+        }
+    }
+}
+
+impl Wire for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = u64::take(r)?;
+        if len > MAX_COUNT {
+            return Err(WireError(format!("string length {len} over cap")));
+        }
+        let bytes = r.need(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| WireError(format!("bad utf8: {e}")))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.put(out);
+            }
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::take(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::take(r)?)),
+            n => Err(WireError(format!("option tag {n}"))),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        for item in self {
+            item.put(out);
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let count = u64::take(r)?;
+        if count > MAX_COUNT {
+            return Err(WireError(format!("collection length {count} over cap")));
+        }
+        let mut items = Vec::with_capacity(count.min(4096) as usize);
+        for _ in 0..count {
+            items.push(T::take(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl Wire for [f64; 4] {
+    fn put(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.put(out);
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok([
+            f64::take(r)?,
+            f64::take(r)?,
+            f64::take(r)?,
+            f64::take(r)?,
+        ])
+    }
+}
+
+impl Wire for (f64, f64, f64) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+        self.2.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((f64::take(r)?, f64::take(r)?, f64::take(r)?))
+    }
+}
+
+impl Wire for Region {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Region::Stack => 0,
+            Region::Heap => 1,
+            Region::Global => 2,
+        });
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::take(r)? {
+            0 => Ok(Region::Stack),
+            1 => Ok(Region::Heap),
+            2 => Ok(Region::Global),
+            n => Err(WireError(format!("region tag {n}"))),
+        }
+    }
+}
+
+impl Wire for nvsim_placement::Decision {
+    fn put(&self, out: &mut Vec<u8>) {
+        use nvsim_placement::Decision::*;
+        out.push(match self {
+            NvramUntouched => 0,
+            NvramReadOnly => 1,
+            NvramHighRatio => 2,
+            Dram => 3,
+        });
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        use nvsim_placement::Decision::*;
+        match u8::take(r)? {
+            0 => Ok(NvramUntouched),
+            1 => Ok(NvramReadOnly),
+            2 => Ok(NvramHighRatio),
+            3 => Ok(Dram),
+            n => Err(WireError(format!("decision tag {n}"))),
+        }
+    }
+}
+
+/// Implements [`Wire`] for a struct by encoding the listed fields in
+/// order. The field list is positional: keep it in declaration order so
+/// encodings stay stable.
+macro_rules! wire_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl Wire for $ty {
+            fn put(&self, out: &mut Vec<u8>) {
+                $(self.$field.put(out);)+
+            }
+            fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                Ok(Self { $($field: Wire::take(r)?),+ })
+            }
+        }
+    };
+}
+
+wire_struct!(AccessCounts { reads, writes });
+wire_struct!(nvsim_objects::report::ObjectSummary {
+    name,
+    region,
+    size_bytes,
+    counts,
+    rw_ratio,
+    reference_rate,
+    iterations_touched,
+    only_pre_post,
+    short_term_heap,
+});
+wire_struct!(nvsim_objects::report::UsageDistribution { bytes_by_steps });
+wire_struct!(nvsim_objects::report::VarianceHistogram { buckets, fraction });
+wire_struct!(nvsim_cpu::CpuResult {
+    cycles,
+    refs,
+    instructions,
+    mem_accesses,
+    mshr_stall_cycles,
+    window_stall_cycles,
+});
+wire_struct!(nvsim_cpu::LatencyPoint {
+    technology,
+    latency_ns,
+    result,
+    normalized_runtime,
+});
+wire_struct!(nvsim_placement::SuitabilityReport {
+    decisions,
+    total_bytes,
+    nvram_bytes,
+    untouched_bytes,
+    read_only_bytes,
+    high_ratio_bytes,
+});
+wire_struct!(Table1Row {
+    app,
+    input,
+    description,
+    paper_footprint_mb,
+    measured_footprint_bytes,
+    scale_divisor,
+});
+wire_struct!(Table5Row {
+    app,
+    rw_ratio,
+    rw_ratio_first,
+    reference_percentage,
+    paper,
+});
+wire_struct!(Fig2Report {
+    objects,
+    objects_ratio_gt10,
+    refs_ratio_gt10,
+    objects_ratio_gt50,
+    refs_ratio_gt50,
+});
+wire_struct!(AppObjectsReport {
+    app,
+    objects,
+    total_bytes,
+    read_only_bytes,
+    high_ratio_bytes,
+    objects_ratio_gt1,
+});
+wire_struct!(Fig7Report {
+    app,
+    distribution,
+    untouched_fraction,
+});
+wire_struct!(VarianceReport {
+    app,
+    rw_ratio,
+    ref_rate,
+    min_stable_fraction,
+});
+wire_struct!(Table6Row {
+    app,
+    normalized,
+    paper,
+    transactions,
+});
+wire_struct!(Fig12Report { app, points });
+wire_struct!(SuitabilityRow {
+    app,
+    category2,
+    category1,
+});
+wire_struct!(AllocRow {
+    app,
+    region_frames,
+    backed_frames,
+    free_frames,
+    fragmentation_pct,
+    largest_free_run,
+    free_runs,
+    persists,
+    max_word_wear,
+    mean_word_wear,
+    checkpoints,
+    checkpoint_peak_frames,
+    recovery_words_scanned,
+    recovered_frames,
+});
+wire_struct!(AllocRecoveryRow {
+    region_frames,
+    allocated_frames,
+    words_scanned,
+    est_us,
+});
+
+impl Wire for CellResult {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            CellResult::Table1(v) => {
+                out.push(0);
+                v.put(out);
+            }
+            CellResult::Table5(v) => {
+                out.push(1);
+                v.put(out);
+            }
+            CellResult::Fig2(v) => {
+                out.push(2);
+                v.put(out);
+            }
+            CellResult::Figs3_6(v) => {
+                out.push(3);
+                v.put(out);
+            }
+            CellResult::Fig7(v) => {
+                out.push(4);
+                v.put(out);
+            }
+            CellResult::Figs8_11(v) => {
+                out.push(5);
+                v.put(out);
+            }
+            CellResult::Table6(v) => {
+                out.push(6);
+                v.put(out);
+            }
+            CellResult::Fig12(v) => {
+                out.push(7);
+                v.put(out);
+            }
+            CellResult::Suitability(v) => {
+                out.push(8);
+                v.put(out);
+            }
+            CellResult::Alloc(v) => {
+                out.push(9);
+                v.put(out);
+            }
+            CellResult::AllocRecovery(v) => {
+                out.push(10);
+                v.put(out);
+            }
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::take(r)? {
+            0 => CellResult::Table1(Wire::take(r)?),
+            1 => CellResult::Table5(Wire::take(r)?),
+            2 => CellResult::Fig2(Wire::take(r)?),
+            3 => CellResult::Figs3_6(Wire::take(r)?),
+            4 => CellResult::Fig7(Wire::take(r)?),
+            5 => CellResult::Figs8_11(Wire::take(r)?),
+            6 => CellResult::Table6(Wire::take(r)?),
+            7 => CellResult::Fig12(Wire::take(r)?),
+            8 => CellResult::Suitability(Wire::take(r)?),
+            9 => CellResult::Alloc(Wire::take(r)?),
+            10 => CellResult::AllocRecovery(Wire::take(r)?),
+            n => Err(WireError(format!("cell result tag {n}")))?,
+        })
+    }
+}
+
+/// Wraps a payload in the shard frame: magic, payload length (u32 BE),
+/// CRC32 of the payload (u32 BE), payload.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(&SHARD_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a frame and returns the payload. Rejects a bad magic, a
+/// length that disagrees with the buffer (a torn upload shows up here),
+/// and a CRC mismatch.
+pub fn unframe(buf: &[u8]) -> Result<&[u8], WireError> {
+    if buf.len() < 12 {
+        return Err(WireError(format!("frame of {} bytes is too short", buf.len())));
+    }
+    if buf[0..4] != SHARD_MAGIC {
+        return Err(WireError("bad shard magic".to_string()));
+    }
+    let len = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if buf.len() != 12 + len {
+        return Err(WireError(format!(
+            "frame length {len} disagrees with body of {} bytes",
+            buf.len() - 12
+        )));
+    }
+    let want = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    let payload = &buf[12..];
+    let got = crc32(payload);
+    if got != want {
+        return Err(WireError(format!("crc mismatch: {got:08x} != {want:08x}")));
+    }
+    Ok(payload)
+}
+
+/// Encodes one framed shard: the cell name (self-describing, so a
+/// journaled shard file identifies itself) followed by the result.
+pub fn encode_shard(cell_name: &str, result: &CellResult) -> Vec<u8> {
+    let mut payload = Vec::new();
+    cell_name.to_string().put(&mut payload);
+    result.put(&mut payload);
+    frame(&payload)
+}
+
+/// Decodes a framed shard back into `(cell name, result)`, insisting
+/// the payload is fully consumed.
+pub fn decode_shard(buf: &[u8]) -> Result<(String, CellResult), WireError> {
+    let payload = unframe(buf)?;
+    let mut r = Reader::new(payload);
+    let name = String::take(&mut r)?;
+    let result = CellResult::take(&mut r)?;
+    if !r.done() {
+        return Err(WireError("trailing bytes after shard payload".to_string()));
+    }
+    Ok((name, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_scavenger::eval_cells::{eval_grid, run_eval_cell};
+    use nvsim_apps::AppScale;
+
+    #[test]
+    fn every_cell_result_round_trips_bit_exactly() {
+        // Fig2/figs3_6 cells carry rw_ratio = inf rows (read-only
+        // objects) — the exact values JSON would destroy.
+        for cell in [
+            "table1/GTC",
+            "table5/CAM",
+            "fig2/CAM",
+            "figs3_6/Nek5000",
+            "fig7/S3D",
+            "figs8_11/GTC",
+            "table6/S3D",
+            "fig12/GTC",
+            "suitability/CAM",
+            "alloc/GTC",
+            "alloc_recovery/global",
+        ] {
+            let cell = nv_scavenger::EvalCell::parse(cell).unwrap();
+            let result = run_eval_cell(cell, AppScale::Test, 2).unwrap();
+            let wire = encode_shard(&cell.name(), &result);
+            let (name, decoded) = decode_shard(&wire).unwrap();
+            assert_eq!(name, cell.name());
+            assert_eq!(decoded, result, "{cell}");
+            // Determinism: re-encoding yields the same bytes.
+            assert_eq!(wire, encode_shard(&cell.name(), &decoded));
+        }
+    }
+
+    #[test]
+    fn infinities_survive_the_float_codec() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, 1.5e-300] {
+            let mut out = Vec::new();
+            v.put(&mut out);
+            let got = f64::take(&mut Reader::new(&out)).unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_rejected() {
+        let cell = nv_scavenger::EvalCell::parse("alloc_recovery/global").unwrap();
+        let result = run_eval_cell(cell, AppScale::Test, 1).unwrap();
+        let wire = encode_shard(&cell.name(), &result);
+        // Every proper prefix — a torn upload — must fail to unframe.
+        for cut in 0..wire.len() {
+            assert!(decode_shard(&wire[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        // A single flipped payload bit must fail the CRC.
+        let mut bad = wire.clone();
+        let mid = 12 + (bad.len() - 12) / 2;
+        bad[mid] ^= 0x01;
+        let err = decode_shard(&bad).unwrap_err();
+        assert!(err.0.contains("crc"), "{err}");
+        // Trailing garbage is refused too.
+        let mut long = wire.clone();
+        long.push(0);
+        assert!(decode_shard(&long).is_err());
+    }
+
+    #[test]
+    fn the_whole_grid_encodes_distinctly() {
+        let mut seen = std::collections::HashSet::new();
+        for cell in eval_grid() {
+            let result = run_eval_cell(cell, AppScale::Test, 1).unwrap();
+            let wire = encode_shard(&cell.name(), &result);
+            assert!(seen.insert(wire), "cell {cell} encoded identically to another");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The worker: leases cells, runs the replay engine on each, and
+//! streams exact binary shards back to the coordinator.
+//!
+//! ## Heartbeats are inline, on purpose
+//!
+//! The worker has no background heartbeat thread. It heartbeats from
+//! the work loop itself — once before each cell and once after each
+//! upload — so a worker that dies (panics, is killed, loses power)
+//! *stops heartbeating as a side effect of being dead*. A detached
+//! heartbeat thread would keep a dead worker's lease alive forever,
+//! which is exactly the failure the lease exists to detect.
+//!
+//! ## Fault points
+//!
+//! Two nvsim-faults injection points model worker death:
+//!
+//! * `dist.cell` — armed with `panic`, the worker dies right before
+//!   running a cell, abandoning the whole lease (its lease expires and
+//!   the cells re-queue);
+//! * `dist.upload` — armed with `torn`, the worker sends only a prefix
+//!   of the shard frame (with the full `Content-Length` declared, so
+//!   the coordinator's parser waits in vain), drops the connection and
+//!   dies — a worker killed mid-upload on the wire.
+
+use std::time::{Duration, Instant};
+
+use nv_scavenger::eval_cells::EvalCell;
+use nvsim_faults::FaultInjector;
+use nvsim_types::NvsimError;
+
+use crate::client;
+use crate::protocol::{
+    self, LeaseGrant, LeaseReply, FENCING_HEADER, REQUEST_ID_HEADER,
+};
+
+/// Everything one worker needs.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address, `host:port`.
+    pub coordinator: String,
+    /// Most cells requested per lease.
+    pub jobs: usize,
+    /// Label stamped into every RPC's `X-Request-Id`.
+    pub label: String,
+    /// How long to keep retrying a refused connection before giving
+    /// up — covers the window where a killed coordinator is being
+    /// restarted with `--resume`.
+    pub connect_retry: Duration,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            coordinator: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            label: "w".to_string(),
+            connect_retry: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What one worker did before exiting cleanly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Leases obtained.
+    pub leases: u64,
+    /// Cells run and uploaded successfully.
+    pub cells_done: u64,
+    /// Uploads refused by the coordinator (fencing, duplicates).
+    pub uploads_rejected: u64,
+}
+
+/// One RPC with connection-refused retry. A refused connection within
+/// the retry window means the coordinator is (re)starting, not gone.
+fn rpc_with_retry(
+    config: &WorkerConfig,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<client::HttpResponse> {
+    let deadline = Instant::now() + config.connect_retry;
+    loop {
+        match client::request(&config.coordinator, method, path, headers, body) {
+            Ok(resp) => return Ok(resp),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn io_err(path: &str, e: impl std::fmt::Display) -> NvsimError {
+    NvsimError::Io {
+        path: path.to_string(),
+        cause: e.to_string(),
+    }
+}
+
+/// Runs the worker loop until the coordinator answers `done`.
+///
+/// `faults` arms the chaos points (`dist.cell`, `dist.upload`); pass
+/// [`FaultInjector::disabled`] for a production worker. A fired crash
+/// point makes this function return early with the lease abandoned —
+/// callers treat that as the worker having died.
+///
+/// # Errors
+/// Coordinator unreachable past the retry window, or a protocol
+/// violation (unparsable reply).
+pub fn run(config: &WorkerConfig, faults: &FaultInjector) -> Result<WorkerReport, NvsimError> {
+    let mut report = WorkerReport::default();
+    let mut seq = 0u64;
+    let mut rid = move |kind: &str, label: &str| {
+        seq += 1;
+        format!("{label}-{kind}-{seq}")
+    };
+    loop {
+        let request_id = rid("lease", &config.label);
+        let reply = match rpc_with_retry(
+            config,
+            "POST",
+            "/lease",
+            &[(REQUEST_ID_HEADER, &request_id)],
+            protocol::emit_lease_request(config.jobs.max(1)).as_bytes(),
+        ) {
+            Ok(reply) => reply,
+            // A coordinator that vanishes between leases, after this
+            // worker uploaded everything it was assigned, has finalized
+            // and gone away — that's a clean end of the fleet, not a
+            // failure. Unreachable *before* any lease is still an error.
+            Err(_) if report.leases > 0 => return Ok(report),
+            Err(e) => return Err(io_err("/lease", e)),
+        };
+        if reply.status != 200 {
+            return Err(io_err("/lease", format!("status {}", reply.status)));
+        }
+        let reply = LeaseReply::parse(&reply.text()).map_err(|e| io_err("/lease", e))?;
+        match reply {
+            LeaseReply::Done => return Ok(report),
+            LeaseReply::Retry { retry_ms } => {
+                std::thread::sleep(Duration::from_millis(retry_ms.min(1000)));
+            }
+            LeaseReply::Grant(grant) => {
+                report.leases += 1;
+                if !run_lease(config, faults, &grant, &mut report, &mut rid)? {
+                    // A chaos point fired: this worker is "dead". Its
+                    // lease expires on its own.
+                    return Ok(report);
+                }
+            }
+        }
+    }
+}
+
+/// Runs every cell of one lease. Returns `Ok(false)` when a chaos
+/// point killed the worker mid-lease.
+fn run_lease(
+    config: &WorkerConfig,
+    faults: &FaultInjector,
+    grant: &LeaseGrant,
+    report: &mut WorkerReport,
+    rid: &mut impl FnMut(&str, &str) -> String,
+) -> Result<bool, NvsimError> {
+    let token = grant.token.to_string();
+    for cell_name in &grant.cells {
+        // Inline heartbeat: proves this worker is still alive before it
+        // sinks time into the next cell. 410 means the lease already
+        // expired — stop working on it, the cells are someone else's.
+        let request_id = rid("hb", &config.label);
+        let hb = rpc_with_retry(
+            config,
+            "POST",
+            "/heartbeat",
+            &[(REQUEST_ID_HEADER, &request_id)],
+            protocol::emit_heartbeat(grant.token).as_bytes(),
+        )
+        .map_err(|e| io_err("/heartbeat", e))?;
+        if hb.status == 410 {
+            return Ok(true);
+        }
+        if hb.status != 200 {
+            return Err(io_err("/heartbeat", format!("status {}", hb.status)));
+        }
+
+        // Chaos: worker dies before running the cell.
+        if faults.crashes("dist.cell") {
+            return Ok(false);
+        }
+
+        let cell = EvalCell::parse(cell_name)
+            .ok_or_else(|| NvsimError::NotFound(format!("leased unknown cell {cell_name}")))?;
+        let result = nv_scavenger::run_eval_cell(cell, grant.scale, grant.iterations)?;
+        let frame = crate::wire::encode_shard(cell_name, &result);
+
+        let path = format!("/shards/{}", cell_name.replace('/', "%2F"));
+        let request_id = rid("shard", &config.label);
+        let headers = [
+            (REQUEST_ID_HEADER, request_id.as_str()),
+            (FENCING_HEADER, token.as_str()),
+        ];
+
+        // Chaos: worker dies mid-upload, tearing the frame on the wire.
+        if let Some(prefix) = faults.torn_prefix("dist.upload", frame.len()) {
+            let _ = client::send_raw_prefix(
+                &config.coordinator,
+                "POST",
+                &path,
+                &headers,
+                &frame,
+                prefix,
+            );
+            return Ok(false);
+        }
+
+        let resp = rpc_with_retry(config, "POST", &path, &headers, &frame)
+            .map_err(|e| io_err(&path, e))?;
+        match resp.status {
+            200 => report.cells_done += 1,
+            // Fenced out or duplicate: the cell is (or will be) covered
+            // by another lease. Count it and move on.
+            409 => report.uploads_rejected += 1,
+            status => return Err(io_err(&path, format!("status {status}: {}", resp.text()))),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_distinct_and_labeled() {
+        let mut seq = 0u64;
+        let mut rid = move |kind: &str, label: &str| {
+            seq += 1;
+            format!("{label}-{kind}-{seq}")
+        };
+        let a = rid("lease", "w0");
+        let b = rid("hb", "w0");
+        assert_ne!(a, b);
+        assert!(a.starts_with("w0-lease-"));
+        assert!(b.starts_with("w0-hb-"));
+    }
+
+    #[test]
+    fn unreachable_coordinators_error_after_the_retry_window() {
+        let config = WorkerConfig {
+            // A port from the discard range with nothing listening.
+            coordinator: "127.0.0.1:9".to_string(),
+            connect_retry: Duration::from_millis(50),
+            ..WorkerConfig::default()
+        };
+        let err = run(&config, &FaultInjector::disabled());
+        assert!(err.is_err());
+    }
+}

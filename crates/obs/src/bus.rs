@@ -339,6 +339,13 @@ impl Subscribe for MetricsAggregator {
             Event::StoreMerge { .. } => m.counter("store.merges").inc(),
             Event::AllocCrashed { .. } => m.counter("alloc.crashes.observed").inc(),
             Event::AllocRecovered { .. } => m.counter("alloc.recoveries.observed").inc(),
+            Event::DistLeaseGranted { cells, .. } => {
+                m.counter("dist.leases.granted").inc();
+                m.counter("dist.cells.leased").add(*cells);
+            }
+            Event::DistLeaseExpired { .. } => m.counter("dist.leases.expired").inc(),
+            Event::DistShardReceived { .. } => m.counter("dist.shards.received").inc(),
+            Event::DistShardRejected { .. } => m.counter("dist.shards.rejected").inc(),
             Event::QueryExecuted { .. } => {}
         }
     }

@@ -225,6 +225,36 @@ pub enum Event {
         /// Persistent words scanned to rebuild the volatile state.
         words_scanned: u64,
     },
+    /// The dist coordinator granted a worker a lease over a cell batch.
+    DistLeaseGranted {
+        /// Cells in the leased batch.
+        cells: u64,
+        /// The fencing token guarding the lease's shard uploads.
+        token: u64,
+    },
+    /// A lease missed its heartbeat deadline; its unfinished cells went
+    /// back to the pending queue (or quarantine, past the retry budget).
+    DistLeaseExpired {
+        /// Cells re-queued by the expiry.
+        cells: u64,
+        /// The fencing token that is now stale.
+        token: u64,
+    },
+    /// The coordinator accepted a worker's CRC-framed result shard.
+    DistShardReceived {
+        /// Framed shard size, bytes.
+        bytes: u64,
+        /// The fencing token the upload carried.
+        token: u64,
+    },
+    /// The coordinator refused a shard upload (stale fencing token,
+    /// unknown cell, or a frame that failed CRC/decode).
+    DistShardRejected {
+        /// Why the shard was refused.
+        reason: String,
+        /// The fencing token the upload carried (0 when absent).
+        token: u64,
+    },
 }
 
 /// Every kind string [`Event::kind`] can produce, in declaration order.
@@ -251,6 +281,10 @@ pub const KINDS: &[&str] = &[
     "cache.evicted",
     "alloc.crashed",
     "alloc.recovered",
+    "dist.lease.granted",
+    "dist.lease.expired",
+    "dist.shard.received",
+    "dist.shard.rejected",
 ];
 
 impl Event {
@@ -277,6 +311,10 @@ impl Event {
             Event::CacheEvicted { .. } => "cache.evicted",
             Event::AllocCrashed { .. } => "alloc.crashed",
             Event::AllocRecovered { .. } => "alloc.recovered",
+            Event::DistLeaseGranted { .. } => "dist.lease.granted",
+            Event::DistLeaseExpired { .. } => "dist.lease.expired",
+            Event::DistShardReceived { .. } => "dist.shard.received",
+            Event::DistShardRejected { .. } => "dist.shard.rejected",
         }
     }
 
@@ -367,6 +405,17 @@ impl Event {
                     ", \"frames\": {frames}, \"rolled_back\": {rolled_back}, \
                      \"words_scanned\": {words_scanned}"
                 );
+            }
+            Event::DistLeaseGranted { cells, token }
+            | Event::DistLeaseExpired { cells, token } => {
+                let _ = write!(out, ", \"cells\": {cells}, \"token\": {token}");
+            }
+            Event::DistShardReceived { bytes, token } => {
+                let _ = write!(out, ", \"bytes\": {bytes}, \"token\": {token}");
+            }
+            Event::DistShardRejected { reason, token } => {
+                str_field(out, "reason", reason);
+                let _ = write!(out, ", \"token\": {token}");
             }
             Event::RequestReceived
             | Event::RequestShed
@@ -501,6 +550,16 @@ mod tests {
                 frames: 96,
                 rolled_back: 4,
                 words_scanned: 162,
+            },
+            Event::DistLeaseGranted { cells: 4, token: 7 },
+            Event::DistLeaseExpired { cells: 2, token: 7 },
+            Event::DistShardReceived {
+                bytes: 512,
+                token: 7,
+            },
+            Event::DistShardRejected {
+                reason: "stale fencing token".into(),
+                token: 3,
             },
         ]
     }

@@ -2,11 +2,12 @@
 //! server, built on `std` only (the container that builds this repo has
 //! no third-party HTTP stack).
 //!
-//! Supported: `GET` requests, URL query strings (percent-encoding and
-//! `+`-for-space included), persistent connections with pipelining
-//! (HTTP/1.1 keep-alive semantics, honoring `Connection: close`), and
-//! fixed-length responses. Request bodies and chunked transfer are out
-//! of scope and answered with an error status.
+//! Supported: `GET` and `POST` requests, URL query strings
+//! (percent-encoding and `+`-for-space included), persistent connections
+//! with pipelining (HTTP/1.1 keep-alive semantics, honoring
+//! `Connection: close`), fixed-length request bodies (`Content-Length`,
+//! capped at [`MAX_BODY_BYTES`]), and fixed-length responses. Chunked
+//! transfer is out of scope and answered with an error status.
 //!
 //! The parser is *incremental*: [`parse_incremental`] consumes a byte
 //! buffer that may hold a partial head, exactly one request, or several
@@ -20,20 +21,52 @@
 /// before the server answers `431 Request Header Fields Too Large`.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
-/// One parsed request: method, decoded path, raw query pairs, and the
-/// connection disposition the client asked for.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Largest request body accepted before the server answers `413 Payload
+/// Too Large`. Sized for the distributed fleet's result shards (the
+/// largest, figures 3–6 object tables, encode well under 1 MiB at full
+/// scale) with an order of magnitude of headroom.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed request: method, decoded path, raw query pairs, headers,
+/// body, and the connection disposition the client asked for.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Request {
-    /// The HTTP method (`GET` for every route we serve).
+    /// The HTTP method (`GET` or `POST` for every route we serve).
     pub method: String,
     /// Decoded path, e.g. `/tables/1`.
     pub path: String,
     /// Decoded `key=value` pairs from the query string, in order.
     pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs in arrival order, names lowercased
+    /// and values trimmed. The interpreted headers (`Connection`,
+    /// `Content-Length`, `Transfer-Encoding`) appear here too.
+    pub headers: Vec<(String, String)>,
+    /// The request body, exactly `Content-Length` bytes (empty when the
+    /// header is absent or zero).
+    pub body: Vec<u8>,
     /// `true` when the client sent `Connection: close` — the server
     /// answers this request and then closes instead of keeping the
     /// connection alive.
     pub close: bool,
+}
+
+impl Request {
+    /// The first header with this (case-insensitive) name, if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The declared `Content-Length`, 0 when absent. The parser already
+    /// rejected unparsable values, so this never fails on a parsed
+    /// request.
+    pub fn content_length(&self) -> usize {
+        self.header("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
 }
 
 /// Outcome of feeding a read buffer to [`parse_incremental`].
@@ -46,14 +79,16 @@ pub enum Parse {
     Complete {
         /// The parsed request.
         request: Request,
-        /// Bytes of the buffer this request consumed (head + CRLFCRLF).
+        /// Bytes of the buffer this request consumed (head + CRLFCRLF
+        /// + body).
         consumed: usize,
     },
     /// The buffer cannot be a valid request. The connection must
     /// answer with `status` and close — after a framing error the
     /// byte stream cannot be trusted to find the next request.
     Bad {
-        /// `400` for malformations, `431` for an oversized head.
+        /// `400` for malformations, `413` for an oversized body, `431`
+        /// for an oversized head.
         status: u16,
         /// Human-readable reason, suitable for the response body.
         reason: String,
@@ -111,7 +146,9 @@ pub fn parse_query(raw: &str) -> Vec<(String, String)> {
 /// Parses the head of an HTTP/1.1 request (everything up to, not
 /// including, the blank line). Headers are validated for shape;
 /// `Connection`, `Content-Length` and `Transfer-Encoding` are
-/// interpreted, the rest ignored.
+/// interpreted, the rest stored verbatim (lowercased names). The
+/// returned request's `body` is empty — [`parse_incremental`] fills it
+/// once `Content-Length` bytes have arrived.
 ///
 /// # Errors
 /// A human-readable description of the malformation, suitable for a
@@ -129,6 +166,8 @@ pub fn parse_request(head: &str) -> Result<Request, String> {
         return Err(format!("unsupported protocol {version:?}"));
     }
     let mut close = false;
+    let mut content_length: Option<u64> = None;
+    let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -144,14 +183,18 @@ pub fn parse_request(head: &str) -> Result<Request, String> {
                 .split(',')
                 .any(|token| token.trim().eq_ignore_ascii_case("close"));
         } else if name.eq_ignore_ascii_case("content-length") {
-            match value.parse::<u64>() {
-                Ok(0) => {}
-                Ok(n) => return Err(format!("request bodies not supported ({n} bytes)")),
-                Err(_) => return Err(format!("bad Content-Length {value:?}")),
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            // Duplicate declarations must agree, else the body framing
+            // is ambiguous (request-smuggling shape).
+            if content_length.replace(n).is_some_and(|prev| prev != n) {
+                return Err("conflicting Content-Length headers".to_string());
             }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(format!("transfer encoding {value:?} not supported"));
         }
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, parse_query(q)),
@@ -161,14 +204,17 @@ pub fn parse_request(head: &str) -> Result<Request, String> {
         method: method.to_string(),
         path: percent_decode(path),
         query,
+        headers,
+        body: Vec::new(),
         close,
     })
 }
 
-/// Incremental parse of `buf`: returns the first complete request and
-/// its byte length, asks for more bytes, or rejects the stream. Safe to
-/// call repeatedly as bytes arrive and after draining each complete
-/// request — exactly how the per-connection state machine uses it.
+/// Incremental parse of `buf`: returns the first complete request
+/// (head **and** declared body) and its byte length, asks for more
+/// bytes, or rejects the stream. Safe to call repeatedly as bytes
+/// arrive and after draining each complete request — exactly how the
+/// per-connection state machine uses it.
 pub fn parse_incremental(buf: &[u8]) -> Parse {
     // Only search within the head limit (plus the terminator itself);
     // a buffer past the limit without a blank line is an oversized head
@@ -190,15 +236,28 @@ pub fn parse_incremental(buf: &[u8]) -> Parse {
         };
     }
     let head = String::from_utf8_lossy(&buf[..head_end]);
-    match parse_request(&head) {
-        Ok(request) => Parse::Complete {
-            request,
-            consumed: head_end + 4,
-        },
-        Err(reason) => Parse::Bad {
+    let mut request = match parse_request(&head) {
+        Ok(request) => request,
+        Err(reason) => return Parse::Bad {
             status: 400,
             reason,
         },
+    };
+    let need = request.content_length();
+    if need > MAX_BODY_BYTES {
+        return Parse::Bad {
+            status: 413,
+            reason: format!("request body of {need} bytes exceeds {MAX_BODY_BYTES}"),
+        };
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + need {
+        return Parse::NeedMore;
+    }
+    request.body = buf[body_start..body_start + need].to_vec();
+    Parse::Complete {
+        request,
+        consumed: body_start + need,
     }
 }
 
@@ -261,6 +320,9 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
+            410 => "Gone",
+            413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             503 => "Service Unavailable",
             _ => "Internal Server Error",
@@ -345,14 +407,65 @@ mod tests {
     }
 
     #[test]
-    fn bodies_and_bad_content_lengths_are_rejected() {
+    fn bad_content_lengths_and_transfer_encoding_are_rejected() {
         assert!(parse_request("GET / HTTP/1.1\r\nContent-Length: 0").is_ok());
-        let err = parse_request("GET / HTTP/1.1\r\nContent-Length: 10").unwrap_err();
-        assert!(err.contains("bodies"), "{err}");
+        assert!(parse_request("POST / HTTP/1.1\r\nContent-Length: 10").is_ok());
         let err = parse_request("GET / HTTP/1.1\r\nContent-Length: abc").unwrap_err();
         assert!(err.contains("Content-Length"), "{err}");
+        let err = parse_request(
+            "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6",
+        )
+        .unwrap_err();
+        assert!(err.contains("conflicting"), "{err}");
+        assert!(
+            parse_request("POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5").is_ok()
+        );
         let err = parse_request("GET / HTTP/1.1\r\nTransfer-Encoding: chunked").unwrap_err();
         assert!(err.contains("transfer encoding"), "{err}");
+    }
+
+    #[test]
+    fn bodies_are_framed_by_content_length() {
+        let wire = b"POST /shards/x HTTP/1.1\r\nContent-Length: 5\r\nX-Request-Id: r7\r\n\r\nhello";
+        // Every prefix short of the full body needs more bytes.
+        for cut in 0..wire.len() {
+            assert_eq!(parse_incremental(&wire[..cut]), Parse::NeedMore, "cut {cut}");
+        }
+        let Parse::Complete { request, consumed } = parse_incremental(wire) else {
+            panic!("framed body should parse");
+        };
+        assert_eq!(consumed, wire.len());
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body, b"hello");
+        assert_eq!(request.header("x-request-id"), Some("r7"));
+        assert_eq!(request.header("X-Request-ID"), Some("r7"));
+        assert_eq!(request.content_length(), 5);
+
+        // A pipelined GET after the body parses from the remainder.
+        let mut pipelined = wire.to_vec();
+        pipelined.extend_from_slice(b"GET /progress HTTP/1.1\r\n\r\n");
+        let Parse::Complete { consumed, .. } = parse_incremental(&pipelined) else {
+            panic!("first request should parse");
+        };
+        let Parse::Complete { request, .. } = parse_incremental(&pipelined[consumed..]) else {
+            panic!("pipelined request should parse");
+        };
+        assert_eq!(request.path, "/progress");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_bodies_answer_413() {
+        let wire =
+            format!("POST /shards/x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(
+            parse_incremental(wire.as_bytes()),
+            Parse::Bad { status: 413, .. }
+        ));
+        // Exactly at the cap is only a NeedMore (the body hasn't arrived).
+        let wire =
+            format!("POST /shards/x HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n");
+        assert_eq!(parse_incremental(wire.as_bytes()), Parse::NeedMore);
     }
 
     #[test]

@@ -42,5 +42,6 @@ pub mod shard;
 pub use cache::LruCache;
 pub use http::{
     parse_incremental, parse_query, parse_request, percent_decode, Parse, Request, Response,
+    MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
 pub use server::{serve, serve_roots, ServeConfig, Server};

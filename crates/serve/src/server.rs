@@ -977,7 +977,7 @@ mod tests {
                 method: "GET".into(),
                 path: path.into(),
                 query,
-                close: false,
+                ..Request::default()
             },
             &corr,
             &mut cache,
@@ -1063,8 +1063,7 @@ mod tests {
             &Request {
                 method: "POST".into(),
                 path: "/query".into(),
-                query: Vec::new(),
-                close: false,
+                ..Request::default()
             },
             &state.bus.correlation(),
             &mut cache,

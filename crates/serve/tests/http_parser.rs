@@ -100,11 +100,11 @@ fn oversized_heads_answer_431_even_when_fed_slowly() {
 }
 
 #[test]
-fn bad_content_length_and_bodies_are_400() {
+fn bad_content_length_and_transfer_encoding_are_400() {
     for wire in [
         &b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"[..],
         b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
-        b"GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789",
+        b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd",
         b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
     ] {
         let (paths, bad) = drive(wire, &[wire.len()]);
@@ -113,6 +113,39 @@ fn bad_content_length_and_bodies_are_400() {
             panic!("{:?} must be rejected", String::from_utf8_lossy(wire))
         });
         assert_eq!(status, 400, "{:?}", String::from_utf8_lossy(wire));
+    }
+}
+
+#[test]
+fn bodies_parse_identically_at_every_chunking() {
+    let wire = b"POST /shards/table1%2FCAM HTTP/1.1\r\nHost: x\r\n\
+                 Content-Length: 12\r\nX-Request-Id: lease-3\r\n\r\n\
+                 binary\x00\x01\x02\xffOK\
+                 GET /progress HTTP/1.1\r\n\r\n";
+    for chunk in [1usize, 2, 3, 7, wire.len()] {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut fed = 0;
+        let mut bodies = Vec::new();
+        let mut paths = Vec::new();
+        while fed < wire.len() || !buf.is_empty() {
+            match parse_incremental(&buf) {
+                Parse::NeedMore => {
+                    assert!(fed < wire.len(), "chunk {chunk}: starved mid-request");
+                    let end = (fed + chunk).min(wire.len());
+                    buf.extend_from_slice(&wire[fed..end]);
+                    fed = end;
+                }
+                Parse::Complete { request, consumed } => {
+                    buf.drain(..consumed);
+                    bodies.push(request.body.clone());
+                    paths.push(request.path);
+                }
+                Parse::Bad { status, reason } => panic!("chunk {chunk}: {status} {reason}"),
+            }
+        }
+        assert_eq!(paths, vec!["/shards/table1/CAM", "/progress"], "chunk {chunk}");
+        assert_eq!(bodies[0], b"binary\x00\x01\x02\xffOK", "chunk {chunk}");
+        assert!(bodies[1].is_empty(), "chunk {chunk}");
     }
 }
 

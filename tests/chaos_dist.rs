@@ -1,0 +1,230 @@
+//! Chaos for the distributed fleet: workers killed mid-lease and
+//! mid-shard-upload, and the coordinator itself killed and resumed.
+//! In every scenario the surviving fleet must converge on a merged
+//! store byte-identical to the serial write — partial shards
+//! discarded, abandoned cells re-leased, journaled work reloaded.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nvsim_apps::AppScale;
+use nvsim_dist::{coordinator, worker, DistConfig, WorkerConfig};
+use nvsim_faults::{FaultInjector, FaultPlan};
+use nvsim_obs::{EventBus, Metrics, MetricsAggregator};
+
+const SCALE: AppScale = AppScale::Test;
+const ITERATIONS: u32 = 2;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chaos-dist-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write_serial_golden(dir: &Path) -> Vec<u8> {
+    use nv_scavenger::dataset_store as ds;
+    let dataset = nv_scavenger::collect_dataset(SCALE, ITERATIONS, 1).expect("serial run");
+    let mut tables = vec![ds::meta_table(dataset.scale_divisor, dataset.iterations)];
+    tables.extend(ds::table1_tables(&dataset.table1));
+    tables.extend(ds::table5_tables(&dataset.table5));
+    tables.extend(ds::fig2_tables(&dataset.fig2));
+    tables.extend(ds::figs3_6_tables(&dataset.figs3_6));
+    tables.extend(ds::fig7_tables(&dataset.fig7));
+    tables.extend(ds::figs8_11_tables(&dataset.figs8_11));
+    tables.extend(ds::table6_tables(&dataset.table6));
+    tables.extend(ds::fig12_tables(&dataset.fig12));
+    tables.extend(ds::suitability_tables(&dataset.suitability));
+    tables.extend(ds::alloc_tables(&dataset.alloc));
+    let bus = EventBus::disabled();
+    let path = nv_scavenger::merge_into_dataset_observed(dir, tables, &bus, &bus.correlation())
+        .expect("serial store write");
+    std::fs::read(path).expect("read serial store")
+}
+
+fn config(store_dir: &Path, lease_ms: u64, listen: &str, resume: bool) -> DistConfig {
+    DistConfig {
+        scale: SCALE,
+        iterations: ITERATIONS,
+        listen: listen.to_string(),
+        store_dir: store_dir.to_path_buf(),
+        journal_dir: store_dir.join("journal"),
+        resume,
+        lease_ms,
+        batch: 3,
+        max_attempts: 10,
+        shards: 2,
+    }
+}
+
+fn spawn_worker(
+    addr: &str,
+    label: &str,
+    faults: FaultInjector,
+) -> std::thread::JoinHandle<Result<worker::WorkerReport, nvsim_types::NvsimError>> {
+    let config = WorkerConfig {
+        coordinator: addr.to_string(),
+        jobs: 3,
+        label: label.to_string(),
+        connect_retry: Duration::from_secs(10),
+    };
+    std::thread::spawn(move || worker::run(&config, &faults))
+}
+
+#[test]
+fn worker_deaths_mid_lease_and_mid_upload_do_not_change_the_bytes() {
+    let serial_dir = tmp("serial-a");
+    let dist_dir = tmp("dist-a");
+    let golden = write_serial_golden(&serial_dir);
+
+    let metrics = Metrics::enabled();
+    let bus = Arc::new(
+        EventBus::builder("chaos-dist-a")
+            .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
+            .build(),
+    );
+    // Short leases so abandoned cells re-queue quickly.
+    let handle = coordinator::start(
+        config(&dist_dir, 200, "127.0.0.1:0", false),
+        bus,
+        metrics.clone(),
+    )
+    .expect("coordinator starts");
+    let addr = handle.addr().to_string();
+
+    // One worker dies right before running its first cell (the whole
+    // lease is abandoned); one dies mid-upload, tearing the shard frame
+    // on the wire. Two healthy workers finish the grid.
+    let casualty_cell = spawn_worker(
+        &addr,
+        "dies-at-cell",
+        FaultPlan::parse("panic@dist.cell*1").expect("plan").injector(),
+    );
+    let casualty_upload = spawn_worker(
+        &addr,
+        "dies-uploading",
+        FaultPlan::parse("torn@dist.upload*1").expect("plan").injector(),
+    );
+    let survivors = [
+        spawn_worker(&addr, "survivor-1", FaultInjector::disabled()),
+        spawn_worker(&addr, "survivor-2", FaultInjector::disabled()),
+    ];
+
+    let progress = handle.wait_complete(Duration::from_secs(600));
+    assert!(progress.complete(), "grid did not settle: {progress:?}");
+    assert_eq!(progress.quarantined, 0, "{progress:?}");
+
+    // The casualties exited early, abandoning work.
+    let dead = casualty_cell.join().expect("thread").expect("clean abandon");
+    assert_eq!(dead.cells_done, 0, "died before its first cell");
+    let torn = casualty_upload.join().expect("thread").expect("clean abandon");
+    assert_eq!(torn.cells_done, 0, "died during its first upload");
+    for survivor in survivors {
+        survivor.join().expect("thread").expect("survivor runs");
+    }
+
+    // Both abandoned leases expired and were re-covered.
+    assert!(
+        metrics.counter("dist.leases.expired").get() >= 2,
+        "both casualties' leases must expire"
+    );
+    assert_eq!(metrics.counter("dist.shards.received").get(), progress.total);
+
+    let store_path = handle.finalize().expect("finalize");
+    let merged = std::fs::read(store_path).expect("read merged store");
+    assert_eq!(merged, golden, "chaos must not change the merged bytes");
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&dist_dir);
+}
+
+#[test]
+fn coordinator_kill_and_resume_converges_on_identical_bytes() {
+    let serial_dir = tmp("serial-b");
+    let dist_dir = tmp("dist-b");
+    let golden = write_serial_golden(&serial_dir);
+
+    let metrics1 = Metrics::enabled();
+    let bus1 = Arc::new(
+        EventBus::builder("chaos-dist-b1")
+            .subscribe(Box::new(MetricsAggregator::new(metrics1.clone())))
+            .build(),
+    );
+    let first = coordinator::start(
+        config(&dist_dir, 1000, "127.0.0.1:0", false),
+        bus1,
+        metrics1,
+    )
+    .expect("first coordinator starts");
+    let addr = first.addr().to_string();
+
+    // Workers outlive both coordinators: their connect-retry window
+    // covers the kill/restart gap.
+    let workers = [
+        spawn_worker(&addr, "steady-1", FaultInjector::disabled()),
+        spawn_worker(&addr, "steady-2", FaultInjector::disabled()),
+    ];
+
+    // Kill the coordinator once part of the grid is journaled.
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let p = first.progress();
+        if p.done >= 6 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no progress before kill: {p:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let done_at_kill = first.progress().done;
+    first.kill();
+
+    // Restart on the same port with --resume over the same journal.
+    // std listeners set SO_REUSEADDR, but give the old socket a moment
+    // to finish closing.
+    let metrics2 = Metrics::enabled();
+    let bus2 = Arc::new(
+        EventBus::builder("chaos-dist-b2")
+            .subscribe(Box::new(MetricsAggregator::new(metrics2.clone())))
+            .build(),
+    );
+    let second = (0..50)
+        .find_map(|_| {
+            match coordinator::start(
+                config(&dist_dir, 1000, &addr, true),
+                Arc::clone(&bus2),
+                metrics2.clone(),
+            ) {
+                Ok(handle) => Some(handle),
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(100));
+                    None
+                }
+            }
+        })
+        .expect("second coordinator rebinds the port");
+
+    // The journal carried the finished cells across the kill.
+    assert!(
+        second.progress().done >= done_at_kill,
+        "resume lost journaled cells: {} < {done_at_kill}",
+        second.progress().done
+    );
+
+    let progress = second.wait_complete(Duration::from_secs(600));
+    assert!(progress.complete(), "grid did not settle after resume: {progress:?}");
+    assert_eq!(progress.quarantined, 0, "{progress:?}");
+    for thread in workers {
+        thread.join().expect("thread").expect("worker survived the restart");
+    }
+
+    let store_path = second.finalize().expect("finalize after resume");
+    let merged = std::fs::read(store_path).expect("read merged store");
+    assert_eq!(
+        merged, golden,
+        "killed-and-resumed coordinator must write the same bytes"
+    );
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&dist_dir);
+}

@@ -1,0 +1,276 @@
+//! Distributed fleet integration: a coordinator and two workers over
+//! loopback HTTP must produce a merged `dataset.nvstore` byte-identical
+//! to the serial `run_all --store` write path, with correlated `dist.*`
+//! events and honest Prometheus counters along the way.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use nvsim_apps::AppScale;
+use nvsim_dist::{client, coordinator, protocol, worker, DistConfig, WorkerConfig};
+use nvsim_dist::protocol::{LeaseReply, Progress};
+use nvsim_faults::FaultInjector;
+use nvsim_obs::{EventBus, JsonlSink, Metrics, MetricsAggregator};
+
+const SCALE: AppScale = AppScale::Test;
+const ITERATIONS: u32 = 2;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dist-fleet-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Writes the serial golden store exactly the way `run_all --store`
+/// does: one `collect_dataset` pass, meta table plus section tables,
+/// merged through `merge_into_dataset_observed`.
+fn write_serial_golden(dir: &Path) -> Vec<u8> {
+    use nv_scavenger::dataset_store as ds;
+    let dataset = nv_scavenger::collect_dataset(SCALE, ITERATIONS, 1).expect("serial run");
+    let mut tables = vec![ds::meta_table(dataset.scale_divisor, dataset.iterations)];
+    tables.extend(ds::table1_tables(&dataset.table1));
+    tables.extend(ds::table5_tables(&dataset.table5));
+    tables.extend(ds::fig2_tables(&dataset.fig2));
+    tables.extend(ds::figs3_6_tables(&dataset.figs3_6));
+    tables.extend(ds::fig7_tables(&dataset.fig7));
+    tables.extend(ds::figs8_11_tables(&dataset.figs8_11));
+    tables.extend(ds::table6_tables(&dataset.table6));
+    tables.extend(ds::fig12_tables(&dataset.fig12));
+    tables.extend(ds::suitability_tables(&dataset.suitability));
+    tables.extend(ds::alloc_tables(&dataset.alloc));
+    let bus = EventBus::disabled();
+    let path = nv_scavenger::merge_into_dataset_observed(dir, tables, &bus, &bus.correlation())
+        .expect("serial store write");
+    std::fs::read(path).expect("read serial store")
+}
+
+fn fleet_config(store_dir: &Path, lease_ms: u64) -> DistConfig {
+    DistConfig {
+        scale: SCALE,
+        iterations: ITERATIONS,
+        listen: "127.0.0.1:0".to_string(),
+        store_dir: store_dir.to_path_buf(),
+        journal_dir: store_dir.join("journal"),
+        resume: false,
+        lease_ms,
+        batch: 4,
+        max_attempts: 3,
+        shards: 2,
+    }
+}
+
+#[test]
+fn two_workers_merge_byte_identically_to_serial() {
+    let serial_dir = tmp("serial");
+    let dist_dir = tmp("dist");
+    let golden = write_serial_golden(&serial_dir);
+
+    let events_path = dist_dir.join("events.jsonl");
+    let metrics = Metrics::enabled();
+    let bus = Arc::new(
+        EventBus::builder("dist-fleet-test")
+            .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
+            .subscribe(Box::new(JsonlSink::create(&events_path).expect("events sink")))
+            .build(),
+    );
+    let handle = coordinator::start(fleet_config(&dist_dir, 30_000), bus, metrics.clone())
+        .expect("coordinator starts");
+    let addr = handle.addr().to_string();
+
+    let workers: Vec<_> = ["alpha", "beta"]
+        .iter()
+        .map(|label| {
+            let config = WorkerConfig {
+                coordinator: addr.clone(),
+                jobs: 3,
+                label: label.to_string(),
+                connect_retry: Duration::from_secs(5),
+            };
+            std::thread::spawn(move || worker::run(&config, &FaultInjector::disabled()))
+        })
+        .collect();
+
+    let progress = handle.wait_complete(Duration::from_secs(600));
+    assert!(progress.complete(), "grid did not settle: {progress:?}");
+    assert_eq!(progress.quarantined, 0, "{progress:?}");
+
+    let mut cells_done = 0;
+    for thread in workers {
+        let report = thread.join().expect("worker thread").expect("worker run");
+        assert!(report.leases > 0, "both workers should get work");
+        cells_done += report.cells_done;
+    }
+    assert_eq!(cells_done, progress.total, "every cell ran exactly once");
+
+    assert_eq!(metrics.counter("dist.shards.received").get(), progress.total);
+    assert_eq!(metrics.counter("dist.shards.rejected").get(), 0);
+    assert!(metrics.counter("dist.leases.granted").get() >= 2);
+
+    let store_path = handle.finalize().expect("finalize writes the store");
+    let merged = std::fs::read(&store_path).expect("read merged store");
+    assert_eq!(
+        merged, golden,
+        "distributed merge must be byte-identical to the serial write"
+    );
+
+    // X-Request-Id propagation: worker request ids surface on dist.*
+    // events, labeled per worker.
+    let events = std::fs::read_to_string(&events_path).expect("events written");
+    let received: Vec<&str> = events
+        .lines()
+        .filter(|l| l.contains("\"kind\": \"dist.shard.received\""))
+        .collect();
+    assert_eq!(received.len() as u64, progress.total);
+    for line in &received {
+        assert!(
+            line.contains("\"request_id\": \"alpha-shard-")
+                || line.contains("\"request_id\": \"beta-shard-"),
+            "shard event missing worker request id: {line}"
+        );
+        assert!(line.contains("\"cell\": \""), "shard event missing cell: {line}");
+    }
+    assert!(
+        events.lines().any(|l| l.contains("\"kind\": \"dist.lease.granted\"")
+            && (l.contains("\"request_id\": \"alpha-lease-")
+                || l.contains("\"request_id\": \"beta-lease-"))),
+        "lease grants must carry the requesting worker's request id"
+    );
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&dist_dir);
+}
+
+#[test]
+fn protocol_fences_stale_tokens_and_reports_progress() {
+    let dir = tmp("fence");
+    let metrics = Metrics::enabled();
+    let bus = Arc::new(
+        EventBus::builder("dist-fence-test")
+            .subscribe(Box::new(MetricsAggregator::new(metrics.clone())))
+            .build(),
+    );
+    // Leases die after 50 ms without a heartbeat.
+    let handle = coordinator::start(fleet_config(&dir, 50), bus, metrics.clone())
+        .expect("coordinator starts");
+    let addr = handle.addr().to_string();
+
+    let lease = |rid: &str| -> LeaseReply {
+        let resp = client::request(
+            &addr,
+            "POST",
+            "/lease",
+            &[("X-Request-Id", rid)],
+            protocol::emit_lease_request(1).as_bytes(),
+        )
+        .expect("lease rpc");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(resp.header("x-request-id"), Some(rid), "request id echoed");
+        LeaseReply::parse(&resp.text()).expect("lease reply")
+    };
+
+    let LeaseReply::Grant(first) = lease("t-1") else {
+        panic!("expected a grant");
+    };
+    assert_eq!(first.scale, SCALE);
+    assert_eq!(first.iterations, ITERATIONS);
+    let cell = first.cells[0].clone();
+
+    // Compute the shard, but let the lease expire before uploading —
+    // this client is now a zombie.
+    let parsed = nv_scavenger::EvalCell::parse(&cell).expect("grid cell");
+    let result = nv_scavenger::run_eval_cell(parsed, SCALE, ITERATIONS).expect("cell runs");
+    let frame = nvsim_dist::encode_shard(&cell, &result);
+    std::thread::sleep(Duration::from_millis(120));
+
+    // A heartbeat on the expired lease answers 410 Gone.
+    let hb = client::request(
+        &addr,
+        "POST",
+        "/heartbeat",
+        &[],
+        protocol::emit_heartbeat(first.token).as_bytes(),
+    )
+    .expect("heartbeat rpc");
+    assert_eq!(hb.status, 410, "{}", hb.text());
+
+    // The cell re-leases under a new token; the zombie's upload bounces.
+    let LeaseReply::Grant(second) = lease("t-2") else {
+        panic!("expected a re-grant");
+    };
+    assert_eq!(second.cells[0], cell, "expired cell re-leased first");
+    assert_ne!(second.token, first.token);
+    let upload = |token: u64| {
+        client::request(
+            &addr,
+            "POST",
+            &format!("/shards/{}", cell.replace('/', "%2F")),
+            &[("X-Fencing-Token", &token.to_string()), ("X-Request-Id", "t-up")],
+            &frame,
+        )
+        .expect("upload rpc")
+    };
+    let stale = upload(first.token);
+    assert_eq!(stale.status, 409, "{}", stale.text());
+    let fresh = upload(second.token);
+    assert_eq!(fresh.status, 200, "{}", fresh.text());
+
+    // Progress and metrics agree with what just happened.
+    let progress = client::request(&addr, "GET", "/progress", &[], b"").expect("progress rpc");
+    let progress = Progress::parse(&progress.text()).expect("progress body");
+    assert_eq!(progress.done, 1);
+    let prom = client::request(&addr, "GET", "/metrics?format=prometheus", &[], b"")
+        .expect("metrics rpc");
+    let text = prom.text();
+    assert!(
+        text.contains("nvsim_dist_shards_rejected_total 1"),
+        "rejected counter missing: {text}"
+    );
+    assert!(
+        text.contains("nvsim_dist_shards_received_total 1"),
+        "received counter missing: {text}"
+    );
+    assert!(
+        text.contains("nvsim_dist_leases_expired_total 1"),
+        "expired counter missing: {text}"
+    );
+
+    handle.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_are_refused_cleanly() {
+    let dir = tmp("bad");
+    let bus = Arc::new(EventBus::builder("dist-bad-test").build());
+    let handle = coordinator::start(fleet_config(&dir, 30_000), bus, Metrics::enabled())
+        .expect("coordinator starts");
+    let addr = handle.addr().to_string();
+
+    // Unknown route.
+    let resp = client::request(&addr, "GET", "/nope", &[], b"").expect("rpc");
+    assert_eq!(resp.status, 404);
+    // Lease body that is not JSON.
+    let resp = client::request(&addr, "POST", "/lease", &[], b"not json").expect("rpc");
+    assert_eq!(resp.status, 400);
+    // Upload without a fencing token.
+    let resp = client::request(&addr, "POST", "/shards/table1%2FGTC", &[], b"junk").expect("rpc");
+    assert_eq!(resp.status, 400);
+    // Upload with a token but a garbage frame.
+    let resp = client::request(
+        &addr,
+        "POST",
+        "/shards/table1%2FGTC",
+        &[("X-Fencing-Token", "1")],
+        b"junk",
+    )
+    .expect("rpc");
+    assert_eq!(resp.status, 400);
+    // Health stays green through all of it.
+    let resp = client::request(&addr, "GET", "/healthz", &[], b"").expect("rpc");
+    assert_eq!(resp.status, 200);
+
+    handle.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
